@@ -1,0 +1,120 @@
+// Ablation (Section 5.2.2's motivation): the optimized windowed oblivious
+// filter vs. the straightforward "obliviously sort the entire list" decoy
+// removal, analytically at paper scale and measured on the simulator at
+// reduced scale.
+
+#include <cstdio>
+#include <memory>
+
+#include "analysis/chapter5_costs.h"
+#include "analysis/optimizer.h"
+#include "bench_util.h"
+#include "common/math.h"
+#include "common/random.h"
+#include "crypto/key.h"
+#include "oblivious/bitonic_sort.h"
+#include "oblivious/windowed_filter.h"
+#include "relation/encrypted_relation.h"
+#include "sim/coprocessor.h"
+
+namespace {
+
+using namespace ppj;  // NOLINT: bench-local convenience
+
+constexpr std::size_t kPayload = 16;
+
+/// Measured transfers of the windowed filter vs a full-list oblivious sort
+/// on omega slots containing mu reals.
+void MeasureAt(std::uint64_t omega, std::uint64_t mu) {
+  const crypto::Ocb key(crypto::DeriveKey(5, "ablate"));
+  const std::size_t slot =
+      sim::Coprocessor::SealedSize(relation::wire::PlainSize(kPayload));
+
+  auto fill = [&](sim::HostStore& host, sim::Coprocessor& copro) {
+    const sim::RegionId r = host.CreateRegion("src", slot, omega);
+    Rng rng(omega + mu);
+    for (std::uint64_t i = 0; i < omega; ++i) {
+      std::vector<std::uint8_t> payload(kPayload);
+      rng.FillBytes(payload.data(), payload.size());
+      const auto plain = i % (omega / mu) == 0
+                             ? relation::wire::MakeReal(payload)
+                             : relation::wire::MakeDecoy(kPayload);
+      (void)copro.PutSealed(r, i, plain, key);
+    }
+    return r;
+  };
+
+  // Windowed filter with optimal swap.
+  std::uint64_t windowed = 0;
+  {
+    sim::HostStore host;
+    sim::Coprocessor copro(&host, {.memory_tuples = 2, .seed = 1});
+    const sim::RegionId src = fill(host, copro);
+    const sim::RegionId dst = host.CreateRegion("dst", slot, mu);
+    const auto before = copro.metrics().TupleTransfers();
+    auto stats = oblivious::WindowedObliviousFilter(
+        copro, src, omega, mu, analysis::OptimalSwapInteger(omega, mu), key,
+        dst);
+    if (!stats.ok()) return;
+    windowed = copro.metrics().TupleTransfers() - before;
+  }
+  // Naive: obliviously sort the whole (padded) list once.
+  std::uint64_t naive = 0;
+  {
+    sim::HostStore host;
+    sim::Coprocessor copro(&host, {.memory_tuples = 2, .seed = 1});
+    const sim::RegionId src = fill(host, copro);
+    const std::uint64_t padded = NextPowerOfTwo(omega);
+    (void)host.ResizeRegion(src, padded);
+    for (std::uint64_t i = omega; i < padded; ++i) {
+      (void)copro.PutSealed(src, i, relation::wire::MakeDecoy(kPayload),
+                            key);
+    }
+    const auto before = copro.metrics().TupleTransfers();
+    auto st = oblivious::ObliviousSort(copro, src, padded, key,
+                                       oblivious::RealFirstLess());
+    if (!st.ok()) return;
+    naive = copro.metrics().TupleTransfers() - before;
+  }
+  std::printf("%10llu %8llu | %16llu %16llu %9.2fx\n",
+              static_cast<unsigned long long>(omega),
+              static_cast<unsigned long long>(mu),
+              static_cast<unsigned long long>(windowed),
+              static_cast<unsigned long long>(naive),
+              static_cast<double>(naive) / static_cast<double>(windowed));
+}
+
+}  // namespace
+
+int main() {
+  ppj::bench::Banner(
+      "Ablation — windowed oblivious filter vs full oblivious sort",
+      "Section 5.2.2's optimization. Model at paper scale, measured at "
+      "reduced scale.");
+
+  std::printf("Analytical, paper scale (keep mu of omega):\n");
+  std::printf("%12s %8s %16s %16s %9s\n", "omega", "mu", "windowed",
+              "full sort", "ratio");
+  for (std::uint64_t omega : {64000u, 640000u}) {
+    for (std::uint64_t mu : {640u, 6400u}) {
+      const double w =
+          analysis::FilterCost(static_cast<double>(omega),
+                               static_cast<double>(mu));
+      const double n = BitonicTransferCost(static_cast<double>(omega));
+      std::printf("%12llu %8llu %16.0f %16.0f %8.2fx\n",
+                  static_cast<unsigned long long>(omega),
+                  static_cast<unsigned long long>(mu), w, n, n / w);
+    }
+  }
+
+  std::printf("\nMeasured on the simulated coprocessor (reduced scale):\n");
+  std::printf("%10s %8s | %16s %16s %9s\n", "omega", "mu", "windowed",
+              "full sort", "ratio");
+  MeasureAt(512, 16);
+  MeasureAt(1024, 32);
+  MeasureAt(2048, 32);
+
+  std::printf("\nThe windowed filter wins whenever mu << omega — the decoy-"
+              "heavy regime\nevery Chapter 5 algorithm produces.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Regenerates Figure 5.1: communication cost of Algorithm 5 as a function
+// of the coprocessor memory M, at L = 640,000 and S = 6,400. Expected
+// shape: ~1/M decay, steep for small M, approaching the floor L + S as M
+// approaches S.
+
+#include <cstdio>
+
+#include "analysis/chapter5_costs.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace ppj::analysis;
+  ppj::bench::Banner(
+      "Figure 5.1 — Algorithm 5 communication cost vs memory size M",
+      "L = 640,000, S = 6,400. Cost = S + ceil(S/M) L (Eqn 5.3).");
+
+  const std::uint64_t l = 640000, s = 6400;
+  ppj::bench::SeriesWriter series("fig5_1_alg5_vs_m",
+                                  "M cost_tuples ratio_vs_floor");
+  std::printf("%10s %16s %18s\n", "M", "cost (tuples)", "vs floor L+S");
+  for (std::uint64_t m : {8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u, 2048u,
+                          4096u, 6400u}) {
+    const double c = CostAlgorithm5(l, s, m);
+    std::printf("%10llu %16.0f %17.1fx\n",
+                static_cast<unsigned long long>(m), c,
+                c / MinimalCost(l, s));
+    series.Row({static_cast<double>(m), c, c / MinimalCost(l, s)});
+  }
+  std::printf("\nFloor (L + S) = %.0f tuples\n", MinimalCost(l, s));
+  return 0;
+}

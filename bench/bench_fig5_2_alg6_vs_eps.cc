@@ -1,0 +1,41 @@
+// Regenerates Figure 5.2: communication cost of Algorithm 6 as a function
+// of the privacy parameter epsilon, at L = 640,000, S = 6,400, M = 64.
+// Expected shape: monotone decreasing in epsilon, with larger absolute
+// reductions at small epsilon than near epsilon -> 1 (Section 5.3.3).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "analysis/chapter5_costs.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace ppj::analysis;
+  ppj::bench::Banner(
+      "Figure 5.2 — Algorithm 6 communication cost vs epsilon",
+      "L = 640,000, S = 6,400, M = 64. Eqn 5.7 (squared-log filter term).");
+
+  const std::uint64_t l = 640000, s = 6400, m = 64;
+  std::printf("%12s %12s %10s %16s %16s\n", "epsilon", "n*", "segments",
+              "cost (tuples)", "delta vs prev");
+  ppj::bench::SeriesWriter series("fig5_2_alg6_vs_eps",
+                                  "log10_eps n_star segments cost_tuples");
+  double prev = -1;
+  for (double exp10 = -60; exp10 <= -5; exp10 += 5) {
+    const double eps = std::pow(10.0, exp10);
+    const Alg6Cost c = CostAlgorithm6(l, s, m, eps);
+    series.Row({exp10, static_cast<double>(c.n_star),
+                static_cast<double>(c.segments), c.total});
+    std::printf("%12s %12llu %10llu %16.0f %16s\n",
+                ("1e" + std::to_string(static_cast<int>(exp10))).c_str(),
+                static_cast<unsigned long long>(c.n_star),
+                static_cast<unsigned long long>(c.segments), c.total,
+                prev < 0 ? "-" : ppj::bench::Sci(prev - c.total).c_str());
+    prev = c.total;
+  }
+  std::printf(
+      "\nPaper's observation holds when the per-step reduction shrinks as\n"
+      "epsilon grows: trading privacy is most profitable at small epsilon.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Regenerates Figure 5.3: communication cost of Algorithm 6 as a function
+// of memory M, at L = 640,000, S = 6,400, epsilon = 1e-20. Expected shape:
+// decreasing in M, reaching the floor L + S once M >= S; upgrades pay off
+// most when M is small relative to S.
+
+#include <cstdio>
+
+#include "analysis/chapter5_costs.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace ppj::analysis;
+  ppj::bench::Banner(
+      "Figure 5.3 — Algorithm 6 communication cost vs memory size M",
+      "L = 640,000, S = 6,400, epsilon = 1e-20.");
+
+  const std::uint64_t l = 640000, s = 6400;
+  std::printf("%10s %12s %10s %16s %14s\n", "M", "n*", "segments",
+              "cost (tuples)", "vs floor");
+  ppj::bench::SeriesWriter series("fig5_3_alg6_vs_m",
+                                  "M n_star segments cost_tuples");
+  for (std::uint64_t m : {16u, 32u, 64u, 128u, 256u, 512u, 1024u, 2048u,
+                          4096u, 6400u, 8192u}) {
+    const Alg6Cost c = CostAlgorithm6(l, s, m, 1e-20);
+    series.Row({static_cast<double>(m), static_cast<double>(c.n_star),
+                static_cast<double>(c.segments), c.total});
+    std::printf("%10llu %12llu %10llu %16.0f %13.2fx\n",
+                static_cast<unsigned long long>(m),
+                static_cast<unsigned long long>(c.n_star),
+                static_cast<unsigned long long>(c.segments), c.total,
+                c.total / MinimalCost(l, s));
+  }
+  std::printf("\nFloor (L + S) = %.0f tuples; reached once M >= S.\n",
+              MinimalCost(l, s));
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Regenerates Figure 5.4: Algorithm 6 cost (log scale) as a function of the
+// privacy parameter epsilon under the three settings of Table 5.2.
+// Expected shape: for the same epsilon step, the cost reduction in
+// setting 1 (small M) is more significant than in setting 2 (large M).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/chapter5_costs.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace ppj::analysis;
+  ppj::bench::Banner(
+      "Figure 5.4 — Algorithm 6 cost (log10) vs epsilon, three settings",
+      "Setting 1: L=640K S=6.4K M=64; Setting 2: L=640K S=6.4K M=256;\n"
+      "Setting 3: L=2.56M S=25.6K M=256.");
+
+  const Setting settings[] = {{640000, 6400, 64},
+                              {640000, 6400, 256},
+                              {2560000, 25600, 256}};
+  ppj::bench::SeriesWriter series(
+      "fig5_4_alg6_settings",
+      "log10_eps log10_cost_setting1 log10_cost_setting2 "
+      "log10_cost_setting3");
+  std::printf("%12s %18s %18s %18s\n", "epsilon", "setting1 log10",
+              "setting2 log10", "setting3 log10");
+  for (double exp10 = -60; exp10 <= -5; exp10 += 5) {
+    const double eps = std::pow(10.0, exp10);
+    std::printf("%12s", ("1e" + std::to_string(static_cast<int>(exp10)))
+                            .c_str());
+    std::vector<double> row = {exp10};
+    for (const Setting& s : settings) {
+      const double v = std::log10(CostAlgorithm6(s.l, s.s, s.m, eps).total);
+      std::printf(" %18.4f", v);
+      row.push_back(v);
+    }
+    series.Row({row[0], row[1], row[2], row[3]});
+    std::printf("\n");
+  }
+
+  // The paper's claim: reduction per epsilon decade is larger in setting 1
+  // (small M) than setting 2 (large M).
+  const double r1 = CostAlgorithm6(640000, 6400, 64, 1e-60).total -
+                    CostAlgorithm6(640000, 6400, 64, 1e-10).total;
+  const double r2 = CostAlgorithm6(640000, 6400, 256, 1e-60).total -
+                    CostAlgorithm6(640000, 6400, 256, 1e-10).total;
+  std::printf("\nTotal reduction 1e-60 -> 1e-10: setting1 %.3g, setting2 "
+              "%.3g (expect setting1 > setting2)\n", r1, r2);
+  return 0;
+}

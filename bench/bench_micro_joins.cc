@@ -1,0 +1,137 @@
+// Microbenchmarks for the end-to-end join algorithms at reduced scale
+// (google-benchmark). Wall-clock numbers characterize this software
+// simulation only; the paper-relevant metric (tuple transfers) is reported
+// as a counter on each benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/math.h"
+#include "core/algorithm1.h"
+#include "core/algorithm2.h"
+#include "core/algorithm3.h"
+#include "core/algorithm4.h"
+#include "core/algorithm5.h"
+#include "core/algorithm6.h"
+#include "crypto/key.h"
+#include "relation/generator.h"
+
+namespace {
+
+using namespace ppj;  // NOLINT: bench-local convenience
+
+struct World {
+  sim::HostStore host;
+  std::unique_ptr<sim::Coprocessor> copro;
+  relation::TwoTableWorkload workload;
+  std::unique_ptr<crypto::Ocb> key_a, key_b, key_out;
+  std::unique_ptr<relation::EncryptedRelation> a, b;
+};
+
+std::unique_ptr<World> EquijoinWorld(std::uint64_t memory, bool pad) {
+  relation::EquijoinSpec spec;
+  spec.size_a = 16;
+  spec.size_b = 32;
+  spec.n_max = 4;
+  spec.result_size = 16;
+  auto workload = relation::MakeEquijoinWorkload(spec);
+  auto w = std::make_unique<World>();
+  w->workload = std::move(*workload);
+  w->copro = std::make_unique<sim::Coprocessor>(
+      &w->host,
+      sim::CoprocessorOptions{.memory_tuples = memory, .seed = 1});
+  w->key_a = std::make_unique<crypto::Ocb>(crypto::DeriveKey(1, "A"));
+  w->key_b = std::make_unique<crypto::Ocb>(crypto::DeriveKey(2, "B"));
+  w->key_out = std::make_unique<crypto::Ocb>(crypto::DeriveKey(3, "C"));
+  auto ea = relation::EncryptedRelation::Seal(
+      &w->host, *w->workload.a, w->key_a.get(),
+      pad ? NextPowerOfTwo(w->workload.a->size()) : 0);
+  auto eb = relation::EncryptedRelation::Seal(
+      &w->host, *w->workload.b, w->key_b.get(),
+      pad ? NextPowerOfTwo(w->workload.b->size()) : 0);
+  w->a = std::make_unique<relation::EncryptedRelation>(std::move(*ea));
+  w->b = std::make_unique<relation::EncryptedRelation>(std::move(*eb));
+  return w;
+}
+
+template <typename Fn>
+void RunJoinBench(benchmark::State& state, std::uint64_t memory, bool pad,
+                  Fn&& fn) {
+  std::uint64_t transfers = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto w = EquijoinWorld(memory, pad);
+    state.ResumeTiming();
+    fn(*w);
+    transfers = w->copro->metrics().TupleTransfers();
+  }
+  state.counters["tuple_transfers"] = static_cast<double>(transfers);
+}
+
+void BM_Algorithm1(benchmark::State& state) {
+  RunJoinBench(state, 2, false, [](World& w) {
+    core::TwoWayJoin join{w.a.get(), w.b.get(), w.workload.predicate.get(),
+                          w.key_out.get()};
+    auto outcome = core::RunAlgorithm1(*w.copro, join, {.n = 4});
+    benchmark::DoNotOptimize(outcome);
+  });
+}
+BENCHMARK(BM_Algorithm1);
+
+void BM_Algorithm2(benchmark::State& state) {
+  RunJoinBench(state, 8, false, [](World& w) {
+    core::TwoWayJoin join{w.a.get(), w.b.get(), w.workload.predicate.get(),
+                          w.key_out.get()};
+    auto outcome = core::RunAlgorithm2(*w.copro, join, {.n = 4});
+    benchmark::DoNotOptimize(outcome);
+  });
+}
+BENCHMARK(BM_Algorithm2);
+
+void BM_Algorithm3(benchmark::State& state) {
+  RunJoinBench(state, 2, true, [](World& w) {
+    core::TwoWayJoin join{w.a.get(), w.b.get(), w.workload.predicate.get(),
+                          w.key_out.get()};
+    auto outcome = core::RunAlgorithm3(*w.copro, join, {.n = 4});
+    benchmark::DoNotOptimize(outcome);
+  });
+}
+BENCHMARK(BM_Algorithm3);
+
+void BM_Algorithm4(benchmark::State& state) {
+  RunJoinBench(state, 2, false, [](World& w) {
+    const relation::PairAsMultiway multiway(w.workload.predicate.get());
+    core::MultiwayJoin join{{w.a.get(), w.b.get()}, &multiway,
+                            w.key_out.get()};
+    auto outcome = core::RunAlgorithm4(*w.copro, join);
+    benchmark::DoNotOptimize(outcome);
+  });
+}
+BENCHMARK(BM_Algorithm4);
+
+void BM_Algorithm5(benchmark::State& state) {
+  RunJoinBench(state, 8, false, [](World& w) {
+    const relation::PairAsMultiway multiway(w.workload.predicate.get());
+    core::MultiwayJoin join{{w.a.get(), w.b.get()}, &multiway,
+                            w.key_out.get()};
+    auto outcome = core::RunAlgorithm5(*w.copro, join);
+    benchmark::DoNotOptimize(outcome);
+  });
+}
+BENCHMARK(BM_Algorithm5);
+
+void BM_Algorithm6(benchmark::State& state) {
+  RunJoinBench(state, 8, false, [](World& w) {
+    const relation::PairAsMultiway multiway(w.workload.predicate.get());
+    core::MultiwayJoin join{{w.a.get(), w.b.get()}, &multiway,
+                            w.key_out.get()};
+    auto outcome = core::RunAlgorithm6(*w.copro, join, {.epsilon = 1e-9});
+    benchmark::DoNotOptimize(outcome);
+  });
+}
+BENCHMARK(BM_Algorithm6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

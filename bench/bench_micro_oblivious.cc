@@ -1,0 +1,79 @@
+// Microbenchmarks for the oblivious primitives (google-benchmark):
+// bitonic sort and the windowed decoy filter through the simulated
+// coprocessor, including the per-transfer crypto cost.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "crypto/key.h"
+#include "oblivious/bitonic_sort.h"
+#include "oblivious/windowed_filter.h"
+#include "relation/encrypted_relation.h"
+#include "sim/coprocessor.h"
+
+namespace {
+
+using namespace ppj;  // NOLINT: bench-local convenience
+
+constexpr std::size_t kPayload = 32;
+
+sim::RegionId FillRegion(sim::HostStore& host, sim::Coprocessor& copro,
+                         const crypto::Ocb& key, std::uint64_t n,
+                         std::uint64_t reals) {
+  const std::size_t slot =
+      sim::Coprocessor::SealedSize(relation::wire::PlainSize(kPayload));
+  const sim::RegionId r = host.CreateRegion("bench", slot, n);
+  Rng rng(1);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::vector<std::uint8_t> payload(kPayload);
+    rng.FillBytes(payload.data(), payload.size());
+    const auto plain = i < reals ? relation::wire::MakeReal(payload)
+                                 : relation::wire::MakeDecoy(kPayload);
+    (void)copro.PutSealed(r, i, plain, key);
+  }
+  return r;
+}
+
+void BM_ObliviousSort(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const crypto::Ocb key(crypto::DeriveKey(1, "sort"));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::HostStore host;
+    sim::Coprocessor copro(&host, {.memory_tuples = 4, .seed = 2});
+    const sim::RegionId r = FillRegion(host, copro, key, n, n);
+    state.ResumeTiming();
+    auto st = oblivious::ObliviousSort(copro, r, n, key,
+                                       oblivious::RealFirstLess());
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ObliviousSort)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_WindowedFilter(benchmark::State& state) {
+  const auto omega = static_cast<std::uint64_t>(state.range(0));
+  const std::uint64_t mu = omega / 16;
+  const crypto::Ocb key(crypto::DeriveKey(2, "filter"));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::HostStore host;
+    sim::Coprocessor copro(&host, {.memory_tuples = 4, .seed = 2});
+    const sim::RegionId src = FillRegion(host, copro, key, omega, mu);
+    const std::size_t slot =
+        sim::Coprocessor::SealedSize(relation::wire::PlainSize(kPayload));
+    const sim::RegionId dst = host.CreateRegion("out", slot, mu);
+    state.ResumeTiming();
+    auto st = oblivious::WindowedObliviousFilter(copro, src, omega, mu,
+                                                 mu * 2, key, dst);
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(omega));
+}
+BENCHMARK(BM_WindowedFilter)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Regenerates Table 5.3: communication costs of SMC and Algorithms 4, 5, 6
+// under the three settings of Table 5.2, plus the cost-reduction row.
+
+#include <cstdio>
+
+#include "analysis/chapter5_costs.h"
+#include "analysis/smc_cost.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace ppj::analysis;
+  using ppj::bench::Banner;
+  using ppj::bench::Sci;
+
+  Banner("Table 5.3 — Communication costs of Algorithms 4, 5 and 6",
+         "Settings from Table 5.2; SMC reference per Eqn 5.8 "
+         "(xi1 = xi2 = 67, k0 = 64, k1 = 100).\n"
+         "Paper values: SMC 1.1e10/1.1e10/4.5e10; A4 2.3e8/2.3e8/1.2e9; "
+         "A5 6.4e7/1.6e7/2.6e8;\n"
+         "A6(1e-20) 7.4e6/3.4e6/1.8e7; A6(1e-10) 4.6e6/2.8e6/1.5e7; "
+         "reduction 88%/79%/93%.");
+
+  const Setting settings[] = {{640000, 6400, 64},
+                              {640000, 6400, 256},
+                              {2560000, 25600, 256}};
+
+  std::printf("%-28s %14s %14s %14s\n", "", "setting 1", "setting 2",
+              "setting 3");
+  std::printf("%-28s", "L");
+  for (const auto& s : settings) std::printf(" %14llu",
+      static_cast<unsigned long long>(s.l));
+  std::printf("\n%-28s", "S");
+  for (const auto& s : settings) std::printf(" %14llu",
+      static_cast<unsigned long long>(s.s));
+  std::printf("\n%-28s", "M");
+  for (const auto& s : settings) std::printf(" %14llu",
+      static_cast<unsigned long long>(s.m));
+  std::printf("\n\n");
+
+  std::printf("%-28s", "SMC in [32] (Eqn 5.8)");
+  for (const auto& s : settings) {
+    std::printf(" %14s", Sci(CostSmc(s.l, s.s)).c_str());
+  }
+  std::printf("\n%-28s", "Algorithm 4");
+  for (const auto& s : settings) {
+    std::printf(" %14s", Sci(CostAlgorithm4(s.l, s.s)).c_str());
+  }
+  std::printf("\n%-28s", "Algorithm 5");
+  for (const auto& s : settings) {
+    std::printf(" %14s", Sci(CostAlgorithm5(s.l, s.s, s.m)).c_str());
+  }
+  std::printf("\n%-28s", "Algorithm 6 (eps=1e-20)");
+  for (const auto& s : settings) {
+    std::printf(" %14s", Sci(CostAlgorithm6(s.l, s.s, s.m, 1e-20).total).c_str());
+  }
+  std::printf("\n%-28s", "Algorithm 6 (eps=1e-10)");
+  for (const auto& s : settings) {
+    std::printf(" %14s", Sci(CostAlgorithm6(s.l, s.s, s.m, 1e-10).total).c_str());
+  }
+  std::printf("\n\n%-28s", "Cost reduction: A6 vs A5");
+  for (const auto& s : settings) {
+    const double reduction =
+        1.0 - CostAlgorithm6(s.l, s.s, s.m, 1e-20).total /
+                  CostAlgorithm5(s.l, s.s, s.m);
+    std::printf(" %13.0f%%", reduction * 100.0);
+  }
+  std::printf("\n\nDiagnostics (n*, segments, Delta*) for eps = 1e-20:\n");
+  for (const auto& s : settings) {
+    const Alg6Cost c = CostAlgorithm6(s.l, s.s, s.m, 1e-20);
+    std::printf("  L=%-8llu S=%-6llu M=%-4llu  n*=%-6llu segments=%-6llu "
+                "Delta*=%.0f staging=%.3g filter=%.3g\n",
+                static_cast<unsigned long long>(s.l),
+                static_cast<unsigned long long>(s.s),
+                static_cast<unsigned long long>(s.m),
+                static_cast<unsigned long long>(c.n_star),
+                static_cast<unsigned long long>(c.segments), c.delta_star,
+                c.staging, c.filter);
+  }
+  return 0;
+}

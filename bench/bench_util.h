@@ -1,0 +1,67 @@
+#ifndef PPJ_BENCH_BENCH_UTIL_H_
+#define PPJ_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <filesystem>
+#include <initializer_list>
+#include <string>
+
+namespace ppj::bench {
+
+/// Prints a banner identifying which paper artifact a harness regenerates.
+inline void Banner(const std::string& artifact, const std::string& detail) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", artifact.c_str());
+  std::printf("%s\n", detail.c_str());
+  std::printf("============================================================\n");
+}
+
+/// Scientific-notation cell matching the paper's table style (e.g. 6.4e7).
+inline std::string Sci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2g", v);
+  return buf;
+}
+
+/// Writes gnuplot-ready data series under bench_data/<name>.dat so the
+/// figures can be re-plotted outside the terminal. Failures are reported
+/// but never abort a harness run.
+class SeriesWriter {
+ public:
+  SeriesWriter(const std::string& name, const std::string& header) {
+    std::filesystem::create_directories("bench_data");
+    path_ = "bench_data/" + name + ".dat";
+    file_ = std::fopen(path_.c_str(), "w");
+    if (file_ == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(file_, "# %s\n", header.c_str());
+  }
+  SeriesWriter(const SeriesWriter&) = delete;
+  SeriesWriter& operator=(const SeriesWriter&) = delete;
+  ~SeriesWriter() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      std::printf("(series written to %s)\n", path_.c_str());
+    }
+  }
+
+  void Row(std::initializer_list<double> values) {
+    if (file_ == nullptr) return;
+    bool first = true;
+    for (double v : values) {
+      std::fprintf(file_, first ? "%.10g" : " %.10g", v);
+      first = false;
+    }
+    std::fprintf(file_, "\n");
+  }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace ppj::bench
+
+#endif  // PPJ_BENCH_BENCH_UTIL_H_

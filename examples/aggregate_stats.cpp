@@ -1,0 +1,118 @@
+// Aggregation without materialization (the paper's conclusions extension):
+// three hospitals want to know *how many* patients appear in all three
+// registries — and the average age of those patients — without any party,
+// including the public-health agency receiving the statistic, learning
+// which patients they are.
+//
+// Build & run:  ./build/examples/aggregate_stats
+
+#include <cstdio>
+#include <memory>
+
+#include "core/aggregate.h"
+#include "relation/predicate.h"
+#include "relation/relation.h"
+#include "service/service.h"
+
+using ppj::relation::Relation;
+using ppj::relation::Schema;
+
+namespace {
+
+std::unique_ptr<Relation> MakeRegistry(
+    const char* name, std::initializer_list<std::pair<int, int>> rows) {
+  auto rel = std::make_unique<Relation>(
+      name, Schema({Schema::Int64("patient"), Schema::Int64("age")}));
+  for (const auto& [patient, age] : rows) {
+    rel->Append({static_cast<std::int64_t>(patient),
+                 static_cast<std::int64_t>(age)});
+  }
+  return rel;
+}
+
+}  // namespace
+
+int main() {
+  ppj::service::SovereignJoinService service;
+  for (const auto& [name, seed] :
+       std::vector<std::pair<std::string, std::uint64_t>>{
+           {"north-clinic", 1}, {"east-clinic", 2}, {"west-clinic", 3},
+           {"health-agency", 4}}) {
+    if (!service.RegisterParty(name, seed).ok()) return 1;
+  }
+  auto contract = service.CreateContract(
+      {"north-clinic", "east-clinic", "west-clinic"}, "health-agency",
+      "COUNT/AVG(age) over patients present in all three registries");
+  if (!contract.ok()) return 1;
+
+  // Patients 101 and 104 visit all three clinics; others do not.
+  const auto north = MakeRegistry(
+      "north", {{101, 44}, {102, 31}, {104, 67}, {105, 29}});
+  const auto east = MakeRegistry(
+      "east", {{101, 44}, {103, 52}, {104, 67}, {106, 58}});
+  const auto west = MakeRegistry(
+      "west", {{100, 23}, {101, 44}, {104, 67}, {107, 35}});
+
+  if (!service.SubmitRelation(*contract, "north-clinic", *north).ok() ||
+      !service.SubmitRelation(*contract, "east-clinic", *east).ok() ||
+      !service.SubmitRelation(*contract, "west-clinic", *west).ok()) {
+    return 1;
+  }
+
+  // Chain equality on the patient id across the three tables.
+  const ppj::relation::EqualityPredicate eq(0, 0);
+  const ppj::relation::ChainPredicate all_three({&eq, &eq});
+
+  ppj::core::AggregateSpec spec;
+  spec.kind = ppj::core::AggregateKind::kAvg;
+  spec.table = 0;   // age column of the first registry
+  spec.column = 1;
+  auto stats = service.ExecuteAggregate(*contract, all_three, spec,
+                                        ppj::service::ExecuteOptions{});
+  if (!stats.ok()) {
+    std::fprintf(stderr, "aggregate: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Patients present in all three registries: %lld\n",
+              static_cast<long long>(stats->count));
+  std::printf("Average age of those patients:            %.1f\n",
+              stats->average);
+  std::printf("Age range:                                [%lld, %lld]\n\n",
+              static_cast<long long>(stats->min),
+              static_cast<long long>(stats->max));
+
+  // A fixed-domain histogram — the lightweight post-join mining operation
+  // of the federated architecture (Section 2.2.3): shared-patient counts
+  // by id. The domain is declared up front, so the output size is fixed
+  // and data independent.
+  ppj::core::GroupByCountSpec gb;
+  gb.table = 0;   // north registry's view of the joined tuple
+  gb.column = 0;  // patient id
+  gb.domain_lo = 100;
+  gb.domain_hi = 107;
+  auto hist = service.ExecuteGroupByCount(*contract, all_three, gb,
+                                          ppj::service::ExecuteOptions{});
+  if (!hist.ok()) {
+    std::fprintf(stderr, "histogram: %s\n",
+                 hist.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Shared-patient histogram over the declared id domain:\n");
+  for (std::size_t i = 0; i < hist->counts.size(); ++i) {
+    if (hist->counts[i] > 0) {
+      std::printf("  patient %lld: present in all three (x%lld)\n",
+                  static_cast<long long>(hist->domain_lo) +
+                      static_cast<long long>(i),
+                  static_cast<long long>(hist->counts[i]));
+    }
+  }
+  std::printf("\n");
+  std::printf(
+      "No join table was ever materialized: the coprocessor scanned the\n"
+      "4 x 4 x 4 = 64 combinations once (a data-independent pattern) and\n"
+      "released only the statistic — strictly less than even the exact\n"
+      "join output, as the paper's aggregation extension envisions.\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Leakage demonstration (Sections 3.4 and 4.5.1): runs the unsafe
+// "straightforward adaptations" and the safe algorithms on pairs of
+// shape-equal inputs and shows — via the privacy auditor — that the unsafe
+// variants' access traces depend on the data while the safe ones' do not.
+// Also shows the commutative-encryption leak, which no trace audit can
+// see: the duplicate histogram visible to the host.
+//
+// Build & run:  ./build/examples/leakage_demo
+
+#include <cstdio>
+#include <memory>
+
+#include "baseline/unsafe_commutative.h"
+#include "common/math.h"
+#include "baseline/unsafe_nested_loop.h"
+#include "baseline/unsafe_sort_merge.h"
+#include "core/algorithm1.h"
+#include "core/algorithm5.h"
+#include "core/privacy_auditor.h"
+#include "crypto/key.h"
+#include "relation/generator.h"
+
+using namespace ppj;  // NOLINT: example-local convenience
+
+namespace {
+
+struct World {
+  sim::HostStore host;
+  std::unique_ptr<sim::Coprocessor> copro;
+  relation::TwoTableWorkload workload;
+  std::unique_ptr<crypto::Ocb> key_a, key_b, key_out;
+  std::unique_ptr<relation::EncryptedRelation> a, b;
+};
+
+std::unique_ptr<World> MakeWorld(std::uint64_t n_max, std::uint64_t s,
+                                 std::uint64_t seed) {
+  relation::EquijoinSpec spec;
+  spec.size_a = 8;
+  spec.size_b = 16;
+  spec.n_max = n_max;
+  spec.result_size = s;
+  spec.seed = seed;
+  auto workload = relation::MakeEquijoinWorkload(spec);
+  auto w = std::make_unique<World>();
+  w->workload = std::move(*workload);
+  w->copro = std::make_unique<sim::Coprocessor>(
+      &w->host, sim::CoprocessorOptions{.memory_tuples = 4, .seed = 3});
+  w->key_a = std::make_unique<crypto::Ocb>(crypto::DeriveKey(1, "A"));
+  w->key_b = std::make_unique<crypto::Ocb>(crypto::DeriveKey(2, "B"));
+  w->key_out = std::make_unique<crypto::Ocb>(crypto::DeriveKey(3, "C"));
+  auto ea = relation::EncryptedRelation::Seal(
+      &w->host, *w->workload.a, w->key_a.get(),
+      NextPowerOfTwo(w->workload.a->size()));
+  auto eb = relation::EncryptedRelation::Seal(
+      &w->host, *w->workload.b, w->key_b.get(),
+      NextPowerOfTwo(w->workload.b->size()));
+  w->a = std::make_unique<relation::EncryptedRelation>(std::move(*ea));
+  w->b = std::make_unique<relation::EncryptedRelation>(std::move(*eb));
+  return w;
+}
+
+template <typename Fn>
+void Audit(const char* label, Fn&& run_algorithm) {
+  auto runner = [&](std::uint64_t world_id) -> Result<core::AuditRun> {
+    // Same |A| = 8, |B| = 16, N = 4; S differs (8 vs 12), content differs.
+    auto world = MakeWorld(4, 8 + 4 * world_id, 100 + world_id);
+    core::TwoWayJoin join{world->a.get(), world->b.get(),
+                          world->workload.predicate.get(),
+                          world->key_out.get()};
+    PPJ_RETURN_NOT_OK(run_algorithm(*world->copro, join));
+    core::AuditRun run;
+    run.fingerprint = world->copro->trace().fingerprint();
+    run.retained_events = world->copro->trace().retained_events();
+    return run;
+  };
+  auto audit = core::PrivacyAuditor::CompareWorlds(runner);
+  if (!audit.ok()) {
+    std::printf("  %-38s audit error: %s\n", label,
+                audit.status().ToString().c_str());
+    return;
+  }
+  std::printf("  %-38s %s\n", label,
+              audit->identical ? "SAFE   (traces identical)"
+                               : "LEAKS  (traces diverge)");
+  if (!audit->identical && audit->first_divergence >= 0) {
+    std::printf("  %-38s   first divergence at event %lld\n", "",
+                static_cast<long long>(audit->first_divergence));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Running each join twice on shape-equal inputs "
+              "(|A|=8, |B|=16, N=4)\nand comparing the host-visible access "
+              "traces:\n\n");
+
+  Audit("unsafe nested loop (Sec 3.4.1)",
+        [](sim::Coprocessor& c, const core::TwoWayJoin& j) {
+          return baseline::RunUnsafeNestedLoop(c, j).status();
+        });
+  Audit("unsafe buffered nested loop (3.4.2)",
+        [](sim::Coprocessor& c, const core::TwoWayJoin& j) {
+          return baseline::RunUnsafeBufferedNestedLoop(c, j).status();
+        });
+  Audit("unsafe sort-merge join (Sec 4.5.1)",
+        [](sim::Coprocessor& c, const core::TwoWayJoin& j) {
+          return baseline::RunUnsafeSortMergeJoin(c, j).status();
+        });
+  Audit("Algorithm 1 (safe, Sec 4.4.1)",
+        [](sim::Coprocessor& c, const core::TwoWayJoin& j) {
+          return core::RunAlgorithm1(c, j, {.n = 4}).status();
+        });
+  // Algorithm 5 is audited under Definition 3, which fixes S across the
+  // compared worlds (the result size is part of the recipient's output and
+  // may legitimately shape the trace):
+  {
+    auto runner = [&](std::uint64_t world_id) -> Result<core::AuditRun> {
+      auto world = MakeWorld(4, 12, 200 + world_id);  // same S = 12
+      const relation::PairAsMultiway multiway(
+          world->workload.predicate.get());
+      core::MultiwayJoin mj{{world->a.get(), world->b.get()}, &multiway,
+                            world->key_out.get()};
+      PPJ_RETURN_NOT_OK(core::RunAlgorithm5(*world->copro, mj).status());
+      core::AuditRun run;
+      run.fingerprint = world->copro->trace().fingerprint();
+      return run;
+    };
+    auto audit = core::PrivacyAuditor::CompareWorlds(runner);
+    std::printf("  %-38s %s\n", "Algorithm 5, equal S (Def. 3 audit)",
+                audit.ok() && audit->identical
+                    ? "SAFE   (traces identical)"
+                    : "LEAKS  (traces diverge)");
+  }
+
+  // The commutative-encryption leak is invisible to trace audits — the
+  // host reads it straight off the deterministic tokens.
+  std::printf("\nCommutative-encryption false start (Sec 4.5.1): the trace "
+              "is clean,\nbut the host sees token multiplicities. Duplicate "
+              "histogram of B's\njoin column (same |B| = 16, same S = 8):\n");
+  for (std::uint64_t n_max : {1u, 8u}) {
+    auto world = MakeWorld(n_max, 8, 50);
+    core::TwoWayJoin join{world->a.get(), world->b.get(),
+                          world->workload.predicate.get(),
+                          world->key_out.get()};
+    auto outcome = baseline::RunUnsafeCommutativeJoin(*world->copro, join);
+    if (!outcome.ok()) return 1;
+    const auto hist = baseline::DuplicateHistogram(outcome->tokens_b);
+    std::printf("  N = %llu -> keys by multiplicity [",
+                static_cast<unsigned long long>(n_max));
+    for (std::size_t i = 1; i < hist.size(); ++i) {
+      std::printf("%s%llux%zu", i > 1 ? ", " : "",
+                  static_cast<unsigned long long>(hist[i]), i);
+    }
+    std::printf("]\n");
+  }
+  std::printf("\nAn adversarial host distinguishes the two worlds at a "
+              "glance — the\nreason the paper rejects this design.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Privacy/efficiency trade-off (Section 5.3.3): runs Algorithm 6 on the
+// same workload across a sweep of epsilon values and reports measured
+// transfers next to the analytical model, demonstrating the knob the paper
+// contributes — and the L + S floor once memory covers the result.
+//
+// Build & run:  ./build/examples/privacy_tradeoff
+
+#include <cstdio>
+#include <memory>
+
+#include "analysis/chapter5_costs.h"
+#include "core/algorithm6.h"
+#include "crypto/key.h"
+#include "relation/generator.h"
+
+using namespace ppj;  // NOLINT: example-local convenience
+
+int main() {
+  // A 64 x 64 cartesian space with 256 matches, M = 16: S >> M, the regime
+  // where the epsilon knob matters.
+  const std::uint64_t size = 64, s = 256, m = 16;
+  const std::uint64_t l = size * size;
+
+  std::printf("Workload: L = %llu, S = %llu, M = %llu\n\n",
+              static_cast<unsigned long long>(l),
+              static_cast<unsigned long long>(s),
+              static_cast<unsigned long long>(m));
+  std::printf("%10s %8s %10s %16s %16s %9s\n", "epsilon", "n*", "segments",
+              "measured xfers", "model (tuples)", "blemish");
+
+  for (double eps : {1e-12, 1e-9, 1e-6, 1e-3, 1e-1}) {
+    relation::CellSpec spec;
+    spec.size_a = size;
+    spec.size_b = size;
+    spec.result_size = s;
+    spec.seed = 11;
+    auto workload = relation::MakeCellWorkload(spec);
+    if (!workload.ok()) return 1;
+
+    sim::HostStore host;
+    sim::Coprocessor copro(&host, {.memory_tuples = m, .seed = 5});
+    crypto::Ocb key_a(crypto::DeriveKey(1, "A"));
+    crypto::Ocb key_b(crypto::DeriveKey(2, "B"));
+    crypto::Ocb key_out(crypto::DeriveKey(3, "C"));
+    auto a = relation::EncryptedRelation::Seal(&host, *workload->a, &key_a);
+    auto b = relation::EncryptedRelation::Seal(&host, *workload->b, &key_b);
+    const relation::PairAsMultiway multiway(workload->predicate.get());
+    core::MultiwayJoin join{{&*a, &*b}, &multiway, &key_out};
+    auto outcome = core::RunAlgorithm6(copro, join, {.epsilon = eps});
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "eps=%g: %s\n", eps,
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    const analysis::Alg6Cost model = analysis::CostAlgorithm6(l, s, m, eps);
+    std::printf("%10.0e %8llu %10llu %16llu %16.0f %9s\n", eps,
+                static_cast<unsigned long long>(outcome->n_star),
+                static_cast<unsigned long long>(
+                    (outcome->n_star ? (l + outcome->n_star - 1) /
+                                           outcome->n_star
+                                     : 0)),
+                static_cast<unsigned long long>(
+                    copro.metrics().TupleTransfers()),
+                model.total, outcome->blemish ? "YES" : "no");
+  }
+
+  std::printf(
+      "\nReading the table: a larger epsilon buys larger segments, fewer\n"
+      "staged decoys and a cheaper oblivious filter — the privacy level\n"
+      "degrades only by the blemish probability bound epsilon. With\n"
+      "M >= S the screening pass alone suffices and cost hits L + S = %llu."
+      "\n",
+      static_cast<unsigned long long>(l + s));
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "analysis/chapter4_costs.h"
+
+#include <cmath>
+
+#include "common/math.h"
+
+namespace ppj::analysis {
+
+std::uint64_t Gamma(std::uint64_t n, std::uint64_t m) {
+  if (m == 0) return n == 0 ? 1 : n;
+  const std::uint64_t g = CeilDiv(n, m);
+  return g == 0 ? 1 : g;
+}
+
+double CostAlgorithm1(double size_a, double size_b, double n) {
+  const double lg = std::log2(2.0 * n);
+  return size_a + 2.0 * n * size_a + 2.0 * size_a * size_b +
+         2.0 * size_a * size_b * lg * lg;
+}
+
+double CostAlgorithm1Variant(double size_a, double size_b) {
+  const double lg = std::log2(size_b);
+  return size_a + 2.0 * size_a * size_b + size_a * size_b * lg * lg;
+}
+
+double CostAlgorithm2(double size_a, double size_b, double n, double m) {
+  const double gamma = std::max(1.0, std::ceil(n / m));
+  return size_a + n * size_a + gamma * size_a * size_b;
+}
+
+double CostAlgorithm3(double size_a, double size_b, double n,
+                      bool provider_sorted) {
+  const double lg = std::log2(size_b);
+  const double sort_term = provider_sorted ? 0.0 : size_b * lg * lg;
+  return size_a + size_a * n + sort_term + 3.0 * size_a * size_b;
+}
+
+double CostSfeBits(double size_b, double n_matches, const SfeParams& p) {
+  const double ge = p.gate_factor * p.w;
+  return 8.0 * p.l * p.k0 * size_b * size_b * ge +
+         32.0 * p.l * p.k1 * size_b * p.w +
+         2.0 * p.n * p.l * n_matches * p.k1 * size_b * p.w;
+}
+
+double CostAlgorithm1Bits(double size_a, double size_b, double n, double w) {
+  return CostAlgorithm1(size_a, size_b, n) * w;
+}
+
+}  // namespace ppj::analysis

@@ -1,0 +1,55 @@
+#ifndef PPJ_ANALYSIS_CHAPTER4_COSTS_H_
+#define PPJ_ANALYSIS_CHAPTER4_COSTS_H_
+
+#include <cstdint>
+
+namespace ppj::analysis {
+
+/// Closed-form costs of the Chapter 4 algorithms, in tuple transfers in and
+/// out of the coprocessor's memory (Section 4.6). Parameters: |A|, |B|, N
+/// (max matches of any A tuple in B), and M (coprocessor free memory in
+/// tuples).
+
+/// gamma = max(1, ceil(N / M)) — number of passes over B per A tuple that
+/// Algorithm 2 needs (Section 4.6 ignores the delta bookkeeping slack).
+std::uint64_t Gamma(std::uint64_t n, std::uint64_t m);
+
+/// Algorithm 1 (small memory): |A| + 2N|A| + 2|A||B| + 2|A||B| log2(2N)^2.
+double CostAlgorithm1(double size_a, double size_b, double n);
+
+/// Algorithm 1 variant (Section 4.4.2, |B|-sized buffer):
+/// |A| + 2|A||B| + |A||B| log2(|B|)^2.
+double CostAlgorithm1Variant(double size_a, double size_b);
+
+/// Algorithm 2 (large memory): |A| + N|A| + gamma |A||B|.
+double CostAlgorithm2(double size_a, double size_b, double n, double m);
+
+/// Algorithm 3 (sort-based equijoin):
+/// |A| + N|A| + |B| log2(|B|)^2 + 3|A||B|; the sort term drops when the
+/// provider ships B pre-sorted (Section 4.5.2).
+double CostAlgorithm3(double size_a, double size_b, double n,
+                      bool provider_sorted = false);
+
+/// Parameters of the secure-function-evaluation comparison (Section 4.6.5).
+struct SfeParams {
+  double k0 = 64;    ///< supplemental key bits
+  double k1 = 100;   ///< oblivious-transfer security parameter
+  double l = 50;     ///< P_A cheating probability exponent
+  double n = 50;     ///< P_B cheating probability exponent
+  double w = 32;     ///< tuple width in bits
+  /// Gate count of the matching circuit as a multiple of w;
+  /// G_e(w) >= 2w for an L1-norm threshold match.
+  double gate_factor = 2;
+};
+
+/// Total SFE communication in *bits* (Section 4.6.5):
+/// 8 l k0 |B|^2 G_e(w) + 32 l k1 |B| w + 2 n l N k1 |B| w.
+double CostSfeBits(double size_b, double n_matches, const SfeParams& params);
+
+/// Algorithm 1's cost expressed in bits (cost formula times tuple width),
+/// for apples-to-apples comparison with CostSfeBits.
+double CostAlgorithm1Bits(double size_a, double size_b, double n, double w);
+
+}  // namespace ppj::analysis
+
+#endif  // PPJ_ANALYSIS_CHAPTER4_COSTS_H_

@@ -1,0 +1,84 @@
+#include "analysis/chapter5_costs.h"
+
+#include <cmath>
+
+#include "analysis/optimizer.h"
+#include "common/math.h"
+
+namespace ppj::analysis {
+
+double FilterCostWithDelta(double omega, double mu, double delta) {
+  if (omega <= mu) return 0.0;
+  const double lg = std::log2(mu + delta);
+  return (omega - mu) / delta * (mu + delta) * lg * lg;
+}
+
+double FilterCost(double omega, double mu) {
+  if (omega <= mu) return 0.0;
+  const double delta = OptimalSwapContinuous(
+      static_cast<std::uint64_t>(std::llround(mu)));
+  return FilterCostWithDelta(omega, mu, delta);
+}
+
+double CostAlgorithm4(std::uint64_t l, std::uint64_t s) {
+  return 2.0 * static_cast<double>(l) +
+         FilterCost(static_cast<double>(l), static_cast<double>(s));
+}
+
+double CostAlgorithm5(std::uint64_t l, std::uint64_t s, std::uint64_t m) {
+  return static_cast<double>(s) +
+         static_cast<double>(CeilDiv(s, m)) * static_cast<double>(l);
+}
+
+Alg6Cost CostAlgorithm6(std::uint64_t l, std::uint64_t s, std::uint64_t m,
+                        double epsilon) {
+  Alg6Cost out;
+  if (m >= s) {
+    // A single screening pass already records every result (footnote 1).
+    out.n_star = l;
+    out.segments = 1;
+    out.staging = static_cast<double>(s);
+    out.total = MinimalCost(l, s);
+    return out;
+  }
+  if (epsilon <= 0.0) {
+    // n* = M and the flush degenerates to one output per input, i.e.
+    // Algorithm 4 (Section 5.3.3's epsilon = 0 limit).
+    out.n_star = m;
+    out.segments = CeilDiv(l, m);
+    out.staging = static_cast<double>(l);
+    out.delta_star = OptimalSwapContinuous(s);
+    out.filter = FilterCost(static_cast<double>(l), static_cast<double>(s));
+    out.total = CostAlgorithm4(l, s);
+    return out;
+  }
+  out.n_star = OptimalSegmentSize(l, s, m, epsilon);
+  out.segments = CeilDiv(l, out.n_star);
+  out.staging = static_cast<double>(out.segments) * static_cast<double>(m);
+  out.delta_star = OptimalSwapContinuous(s);
+  out.filter =
+      FilterCostWithDelta(out.staging, static_cast<double>(s), out.delta_star);
+  // 2L: screening pass + processing pass; + staging writes; + filter.
+  out.total = 2.0 * static_cast<double>(l) + out.staging + out.filter;
+  return out;
+}
+
+double CostAlgorithm6PaperEqn57(std::uint64_t l, std::uint64_t s,
+                                std::uint64_t m, double epsilon) {
+  if (m >= s) return MinimalCost(l, s);
+  const std::uint64_t n_star = OptimalSegmentSize(l, s, m, epsilon);
+  const double staging = static_cast<double>(CeilDiv(l, n_star)) *
+                         static_cast<double>(m);
+  const double delta = OptimalSwapContinuous(s);
+  const double sd = static_cast<double>(s);
+  // Literal Eqn 5.7: single (unsquared) log factor.
+  const double filter =
+      (staging - sd) / delta * (sd + delta) * std::log2(sd + delta);
+  return 2.0 * static_cast<double>(l) + staging + filter;
+}
+
+double MinimalCost(std::uint64_t l, std::uint64_t s) {
+  return static_cast<double>(l) + static_cast<double>(s);
+}
+
+}  // namespace ppj::analysis

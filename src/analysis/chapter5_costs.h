@@ -1,0 +1,61 @@
+#ifndef PPJ_ANALYSIS_CHAPTER5_COSTS_H_
+#define PPJ_ANALYSIS_CHAPTER5_COSTS_H_
+
+#include <cstdint>
+
+namespace ppj::analysis {
+
+/// Closed-form communication costs of the Chapter 5 algorithms (Table 5.1),
+/// in tuples transferred between the coprocessor and the host. Parameters:
+/// L = |X_1 x ... x X_J| (cartesian size), S = join result size, M =
+/// coprocessor free memory in tuples.
+
+/// A problem setting of the numerical experiments (Table 5.2).
+struct Setting {
+  std::uint64_t l = 640000;
+  std::uint64_t s = 6400;
+  std::uint64_t m = 64;
+};
+
+/// Windowed-filter cost for keeping mu of omega elements with the optimal
+/// swap (Section 5.2.2): ((omega - mu)/Delta*) (mu + Delta*)
+/// [log2(mu + Delta*)]^2. Zero when omega <= mu.
+double FilterCost(double omega, double mu);
+
+/// Same, with an explicit swap size.
+double FilterCostWithDelta(double omega, double mu, double delta);
+
+/// Algorithm 4 (Eqn 5.2): 2L + filter(L -> S).
+double CostAlgorithm4(std::uint64_t l, std::uint64_t s);
+
+/// Algorithm 5 (Eqn 5.3): S + ceil(S/M) L.
+double CostAlgorithm5(std::uint64_t l, std::uint64_t s, std::uint64_t m);
+
+/// Cost breakdown of Algorithm 6 for a given epsilon.
+struct Alg6Cost {
+  double total = 0;          ///< Tuple transfers.
+  std::uint64_t n_star = 0;  ///< Optimal segment size (Eqn 5.6, maximized).
+  std::uint64_t segments = 0;
+  double delta_star = 0;     ///< Swap size used by the final filter.
+  double staging = 0;        ///< ceil(L/n*) M intermediate oTuples.
+  double filter = 0;         ///< Oblivious decoy-filter transfers.
+};
+
+/// Algorithm 6 (Eqn 5.7, with the [log2]^2 filter term — see DESIGN.md on
+/// the paper's missing square): 2L + ceil(L/n*) M + filter(ceil(L/n*)M -> S).
+/// Degenerate cases follow the paper: M >= S costs L + S (single pass);
+/// epsilon = 0 collapses to Algorithm 4.
+Alg6Cost CostAlgorithm6(std::uint64_t l, std::uint64_t s, std::uint64_t m,
+                        double epsilon);
+
+/// Literal Eqn 5.7 with the unsquared log term, kept for comparison with
+/// the paper text.
+double CostAlgorithm6PaperEqn57(std::uint64_t l, std::uint64_t s,
+                                std::uint64_t m, double epsilon);
+
+/// The information-theoretic floor: read L, write S.
+double MinimalCost(std::uint64_t l, std::uint64_t s);
+
+}  // namespace ppj::analysis
+
+#endif  // PPJ_ANALYSIS_CHAPTER5_COSTS_H_

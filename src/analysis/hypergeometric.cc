@@ -1,0 +1,55 @@
+#include "analysis/hypergeometric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math.h"
+
+namespace ppj::analysis {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+double LogHypergeomPmf(std::uint64_t l, std::uint64_t s, std::uint64_t n,
+                       std::uint64_t k) {
+  if (s > l || n > l) return kNegInf;
+  if (k > n || k > s) return kNegInf;
+  if (n - k > l - s) return kNegInf;  // not enough non-results to fill
+  return LogBinomial(s, k) + LogBinomial(l - s, n - k) - LogBinomial(l, n);
+}
+
+double LogHypergeomTailGreater(std::uint64_t l, std::uint64_t s,
+                               std::uint64_t n, std::uint64_t m) {
+  const std::uint64_t k_max = std::min(n, s);
+  if (m >= k_max) return kNegInf;
+  // Sum from the lower end of the tail upward; terms beyond the mode decay
+  // super-exponentially, so stop once a term is 80 nats below the running
+  // maximum AND decreasing (double precision cannot see it anyway).
+  double acc = kNegInf;
+  double max_term = kNegInf;
+  double prev = kNegInf;
+  for (std::uint64_t k = m + 1; k <= k_max; ++k) {
+    const double term = LogHypergeomPmf(l, s, n, k);
+    if (std::isinf(term) && term < 0) continue;
+    acc = LogSumExp(acc, term);
+    max_term = std::max(max_term, term);
+    if (term < prev && term < max_term - 80.0) break;
+    prev = term;
+  }
+  return acc;
+}
+
+double LogBlemishUnionBound(std::uint64_t l, std::uint64_t s,
+                            std::uint64_t m, std::uint64_t n) {
+  if (n == 0) return kNegInf;
+  if (n <= m) return kNegInf;  // a segment of n <= M can never overflow M
+  const double log_segments =
+      std::log(static_cast<double>(l) / static_cast<double>(n));
+  const double tail = LogHypergeomTailGreater(l, s, n, m);
+  if (std::isinf(tail) && tail < 0) return kNegInf;
+  return std::max(log_segments, 0.0) + tail;
+}
+
+}  // namespace ppj::analysis

@@ -1,0 +1,31 @@
+#ifndef PPJ_ANALYSIS_HYPERGEOMETRIC_H_
+#define PPJ_ANALYSIS_HYPERGEOMETRIC_H_
+
+#include <cstdint>
+
+namespace ppj::analysis {
+
+/// Hypergeometric machinery behind Algorithm 6's blemish analysis
+/// (Section 5.3.3). All functions return natural-log probabilities so the
+/// paper's epsilon sweeps down to 1e-60 stay representable.
+
+/// ln P[x(n) = k]: probability that a uniformly random (without
+/// replacement) sample of n of the L cartesian elements contains exactly k
+/// of the S join results (Eqn 5.4). Returns -infinity for impossible k.
+double LogHypergeomPmf(std::uint64_t l, std::uint64_t s, std::uint64_t n,
+                       std::uint64_t k);
+
+/// ln P[x(n) > m]: upper tail of the hypergeometric (the per-segment
+/// overflow probability). Exact sum of the pmf over k = m+1 .. min(n, s).
+double LogHypergeomTailGreater(std::uint64_t l, std::uint64_t s,
+                               std::uint64_t n, std::uint64_t m);
+
+/// ln P_M(n): the union bound (L/n) * P[x(n) > M] over all L/n segments —
+/// the probability that Algorithm 6 hits at least one blemish (Section
+/// 5.3.3). Returns -infinity when n <= M (overflow impossible).
+double LogBlemishUnionBound(std::uint64_t l, std::uint64_t s,
+                            std::uint64_t m, std::uint64_t n);
+
+}  // namespace ppj::analysis
+
+#endif  // PPJ_ANALYSIS_HYPERGEOMETRIC_H_

@@ -1,0 +1,46 @@
+#include "analysis/memory_partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace ppj::analysis {
+
+MemoryPartition OptimalPartition(std::uint64_t n, std::uint64_t f) {
+  MemoryPartition out;
+  n = std::max<std::uint64_t>(n, 1);
+  f = std::max<std::uint64_t>(f, 2);
+  if (n > f) {
+    // Case 1: one A tuple; gamma = ceil(N / F') passes where the result
+    // block blk = ceil(N / gamma) and the rest stages B tuples.
+    out.tuples_a = 1;
+    const std::uint64_t gamma = CeilDiv(n, f);
+    out.passes_over_b = gamma;
+    out.joined = CeilDiv(n, gamma);
+    out.tuples_b = f - out.joined;
+    return out;
+  }
+  // Case 2: hold Q A tuples plus all their (up to QN) matches; one pass.
+  const std::uint64_t q = std::max<std::uint64_t>(1, f / (1 + n));
+  out.tuples_a = q;
+  out.joined = q * n;
+  out.tuples_b = f > q * (1 + n) ? f - q * (1 + n) : 0;
+  out.passes_over_b = 1;
+  return out;
+}
+
+double BlockedAlgorithm2Cost(double size_a, double size_b, double n,
+                             double k, double n_prime) {
+  const double blocks = std::ceil(size_a / k);
+  const double passes = std::ceil(n / n_prime);
+  return size_a + blocks * passes * size_b + n * size_a;
+}
+
+double NonBlockingAlgorithm2Cost(double size_a, double size_b, double n,
+                                 double m_free) {
+  const double gamma = std::max(1.0, std::ceil(n / m_free));
+  return size_a + gamma * size_a * size_b + n * size_a;
+}
+
+}  // namespace ppj::analysis

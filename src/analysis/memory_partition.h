@@ -1,0 +1,38 @@
+#ifndef PPJ_ANALYSIS_MEMORY_PARTITION_H_
+#define PPJ_ANALYSIS_MEMORY_PARTITION_H_
+
+#include <cstdint>
+
+namespace ppj::analysis {
+
+/// Section 4.4.3 "Parameter Selection": how Algorithm 2 should split the
+/// coprocessor's free memory F = M + 1 - delta between input tuples and
+/// result tuples to minimize transfers.
+struct MemoryPartition {
+  std::uint64_t tuples_a = 1;   ///< F_a: A tuples held at once (Q in case 2)
+  std::uint64_t tuples_b = 0;   ///< F_b: B staging tuples
+  std::uint64_t joined = 0;     ///< F_j: result tuples per flush (blk)
+  std::uint64_t passes_over_b = 1;  ///< gamma (case 1) / 1 (case 2)
+};
+
+/// Computes the optimal partition for given N and free memory F
+/// (Section 4.4.3's cases: N > F keeps one A tuple and splits F between B
+/// and result blocks; N <= F holds Q = floor(F / (1 + N)) A tuples with all
+/// their matches). F >= 2.
+MemoryPartition OptimalPartition(std::uint64_t n, std::uint64_t f);
+
+/// Section 4.4.3 "Understanding Blocking of A": transfer cost of the
+/// blocked variant that holds K A tuples with N' < N result slots each —
+/// |A| + ceil(|A|/K) ceil(N/N') |B| + N|A|. The paper proves this never
+/// beats the non-blocking Algorithm 2; the bench demonstrates it.
+double BlockedAlgorithm2Cost(double size_a, double size_b, double n,
+                             double k, double n_prime);
+
+/// Non-blocking Algorithm 2 cost restated for comparison:
+/// |A| + gamma |A||B| + N|A| with gamma = ceil(N / (M - delta)).
+double NonBlockingAlgorithm2Cost(double size_a, double size_b, double n,
+                                 double m_free);
+
+}  // namespace ppj::analysis
+
+#endif  // PPJ_ANALYSIS_MEMORY_PARTITION_H_

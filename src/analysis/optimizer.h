@@ -1,0 +1,35 @@
+#ifndef PPJ_ANALYSIS_OPTIMIZER_H_
+#define PPJ_ANALYSIS_OPTIMIZER_H_
+
+#include <cstdint>
+
+namespace ppj::analysis {
+
+/// Continuous optimal swap size Delta* of the windowed oblivious filter
+/// (Eqn 5.1): the unique root of mu/Delta = 2/log2(mu + Delta), i.e. the
+/// first-quadrant intersection of Delta/mu and log2(mu + Delta)/2. Does not
+/// depend on omega (Section 5.2.2). mu >= 1.
+double OptimalSwapContinuous(std::uint64_t mu);
+
+/// Integer swap size minimizing the filter's transfer model
+/// ((omega - mu)/Delta) (mu + Delta) [log2(mu + Delta)]^2, searched around
+/// the continuous optimum. Never exceeds omega - mu (a larger swap is
+/// useless) and is at least 1.
+std::uint64_t OptimalSwapInteger(std::uint64_t omega, std::uint64_t mu);
+
+/// Optimal segment size n* of Algorithm 6 (Eqn 5.6): the largest segment
+/// size whose blemish union bound P_M(n) stays within epsilon.
+///
+/// Note: the paper's Eqn 5.6 literally reads "arg min n", but the
+/// surrounding text and all numeric results require the *maximum* n with
+/// P_M(n) <= epsilon (larger segments = fewer flushes = cheaper; the bound
+/// grows with n). P_M is monotone for n >= M, so a binary search applies.
+/// Limits: epsilon <= 0 gives n* = M (Algorithm 6 degenerates to
+/// Algorithm 4's one-output-per-input behaviour); M >= S gives n* = L (a
+/// single segment suffices; footnote 1 of Section 5.3.3).
+std::uint64_t OptimalSegmentSize(std::uint64_t l, std::uint64_t s,
+                                 std::uint64_t m, double epsilon);
+
+}  // namespace ppj::analysis
+
+#endif  // PPJ_ANALYSIS_OPTIMIZER_H_

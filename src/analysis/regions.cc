@@ -1,0 +1,59 @@
+#include "analysis/regions.h"
+
+#include <cmath>
+
+namespace ppj::analysis {
+
+std::string ToString(Chapter4Algorithm algorithm) {
+  switch (algorithm) {
+    case Chapter4Algorithm::kAlgorithm1:
+      return "Algorithm 1";
+    case Chapter4Algorithm::kAlgorithm2:
+      return "Algorithm 2";
+    case Chapter4Algorithm::kAlgorithm3:
+      return "Algorithm 3";
+  }
+  return "?";
+}
+
+double RewrittenCost1(double size_b, double alpha) {
+  // |B| + 2|B|^2 + 2 alpha |B|^2 + 2 |B|^2 log2(2 alpha |B|)^2
+  const double lg = std::log2(2.0 * alpha * size_b);
+  return size_b + 2.0 * size_b * size_b + 2.0 * alpha * size_b * size_b +
+         2.0 * size_b * size_b * lg * lg;
+}
+
+double RewrittenCost2(double size_b, double alpha, double gamma) {
+  // |B| + alpha |B|^2 + gamma |B|^2
+  return size_b + alpha * size_b * size_b + gamma * size_b * size_b;
+}
+
+double RewrittenCost3(double size_b, double alpha) {
+  // |B| + 3|B|^2 + alpha |B|^2 + |B| log2(|B|)^2
+  const double lg = std::log2(size_b);
+  return size_b + 3.0 * size_b * size_b + alpha * size_b * size_b +
+         size_b * lg * lg;
+}
+
+double GeneralJoinCrossoverGamma(double alpha, double size_b) {
+  const double lg = std::log2(2.0 * alpha * size_b);
+  return 2.0 + alpha + 2.0 * lg * lg;
+}
+
+Chapter4Algorithm BestGeneralJoin(const OperatingPoint& pt) {
+  const double c1 = RewrittenCost1(pt.size_b, pt.alpha);
+  const double c2 = RewrittenCost2(pt.size_b, pt.alpha, pt.gamma);
+  return c1 < c2 ? Chapter4Algorithm::kAlgorithm1
+                 : Chapter4Algorithm::kAlgorithm2;
+}
+
+Chapter4Algorithm BestEquijoin(const OperatingPoint& pt) {
+  const double c1 = RewrittenCost1(pt.size_b, pt.alpha);
+  const double c2 = RewrittenCost2(pt.size_b, pt.alpha, pt.gamma);
+  const double c3 = RewrittenCost3(pt.size_b, pt.alpha);
+  if (c3 <= c1 && c3 <= c2) return Chapter4Algorithm::kAlgorithm3;
+  if (c2 <= c1) return Chapter4Algorithm::kAlgorithm2;
+  return Chapter4Algorithm::kAlgorithm1;
+}
+
+}  // namespace ppj::analysis

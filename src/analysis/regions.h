@@ -1,0 +1,41 @@
+#ifndef PPJ_ANALYSIS_REGIONS_H_
+#define PPJ_ANALYSIS_REGIONS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ppj::analysis {
+
+/// Which Chapter 4 algorithm wins for a given operating point — the
+/// relationships summarized by Figure 4.1 in terms of
+/// alpha = N/|B| and gamma = ceil(N/M), with |A| = |B| (Section 4.6).
+enum class Chapter4Algorithm { kAlgorithm1, kAlgorithm2, kAlgorithm3 };
+
+std::string ToString(Chapter4Algorithm algorithm);
+
+/// Operating point of the Section 4.6 analysis.
+struct OperatingPoint {
+  double size_b = 1 << 20;  ///< |A| = |B|
+  double alpha = 0.01;      ///< N / |B|
+  double gamma = 1;         ///< ceil(N / M)
+};
+
+/// Cheapest *general-join* algorithm (1 vs 2) at this point, by the
+/// rewritten cost formulas of Section 4.6.
+Chapter4Algorithm BestGeneralJoin(const OperatingPoint& pt);
+
+/// Cheapest *equijoin* algorithm (1 vs 2 vs 3) at this point.
+Chapter4Algorithm BestEquijoin(const OperatingPoint& pt);
+
+/// The crossover gamma above which Algorithm 1 beats Algorithm 2 for
+/// general joins: gamma > 2 + alpha + 2 log2(2 alpha |B|)^2 (Section 4.6.2).
+double GeneralJoinCrossoverGamma(double alpha, double size_b);
+
+/// Rewritten per-|B| cost formulas of Section 4.6 with |A| = |B|.
+double RewrittenCost1(double size_b, double alpha);
+double RewrittenCost2(double size_b, double alpha, double gamma);
+double RewrittenCost3(double size_b, double alpha);
+
+}  // namespace ppj::analysis
+
+#endif  // PPJ_ANALYSIS_REGIONS_H_

@@ -1,0 +1,19 @@
+#include "analysis/smc_cost.h"
+
+#include <cmath>
+
+namespace ppj::analysis {
+
+double CostSmc(std::uint64_t l, std::uint64_t s, const SmcParams& p) {
+  const double ld = static_cast<double>(l);
+  const double sd = static_cast<double>(s);
+  const double ge = p.gate_factor * p.w;
+  return p.xi1 * p.k0 * ld * ge + 32.0 * p.xi1 * p.k1 * p.w * std::sqrt(ld) +
+         2.0 * p.xi2 * p.xi1 * p.k1 * sd * p.w;
+}
+
+double CostSmc(std::uint64_t l, std::uint64_t s) {
+  return CostSmc(l, s, SmcParams{});
+}
+
+}  // namespace ppj::analysis

@@ -1,0 +1,31 @@
+#ifndef PPJ_ANALYSIS_SMC_COST_H_
+#define PPJ_ANALYSIS_SMC_COST_H_
+
+#include <cstdint>
+
+namespace ppj::analysis {
+
+/// Communication cost model of the reference secure multi-party computation
+/// (Fairplay-style two-party circuit evaluation, Malkhi et al. / Pinkas) the
+/// paper compares against in Section 5.4, Eqn 5.8:
+///
+///   xi1 k0 L G_e(w) + 32 xi1 k1 (w sqrt(L)) + 2 xi2 xi1 k1 (S w)
+///
+/// with k0 = 64, k1 = 100, G_e(w) = 2w, and w = 1 when counting in tuples.
+/// xi1 = xi2 = 67 give a privacy preserving level of 1 - 1e-20.
+struct SmcParams {
+  double xi1 = 67;
+  double xi2 = 67;
+  double k0 = 64;
+  double k1 = 100;
+  double w = 1;            ///< tuple width; 1 when costs are in tuples
+  double gate_factor = 2;  ///< G_e(w) = gate_factor * w
+};
+
+/// Eqn 5.8 for a cartesian size L and output size S.
+double CostSmc(std::uint64_t l, std::uint64_t s, const SmcParams& params);
+double CostSmc(std::uint64_t l, std::uint64_t s);
+
+}  // namespace ppj::analysis
+
+#endif  // PPJ_ANALYSIS_SMC_COST_H_

@@ -1,0 +1,99 @@
+#include "baseline/plain_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ppj::baseline {
+
+using relation::Relation;
+using relation::Schema;
+using relation::Tuple;
+
+std::vector<Tuple> NestedLoopJoin(const Relation& a, const Relation& b,
+                                  const relation::PairPredicate& pred,
+                                  const Schema* result_schema) {
+  std::vector<Tuple> out;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (pred.Match(a.tuple(i), b.tuple(j))) {
+        out.push_back(Tuple::Concat(result_schema, a.tuple(i), b.tuple(j)));
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> SortMergeJoin(const Relation& a, const Relation& b,
+                                         std::size_t col_a, std::size_t col_b,
+                                         const Schema* result_schema) {
+  if (col_a >= a.schema().num_columns() ||
+      col_b >= b.schema().num_columns()) {
+    return Status::InvalidArgument("join column out of range");
+  }
+  std::vector<std::size_t> ia(a.size()), ib(b.size());
+  for (std::size_t i = 0; i < ia.size(); ++i) ia[i] = i;
+  for (std::size_t i = 0; i < ib.size(); ++i) ib[i] = i;
+  std::sort(ia.begin(), ia.end(), [&](std::size_t x, std::size_t y) {
+    return a.tuple(x).GetInt64(col_a) < a.tuple(y).GetInt64(col_a);
+  });
+  std::sort(ib.begin(), ib.end(), [&](std::size_t x, std::size_t y) {
+    return b.tuple(x).GetInt64(col_b) < b.tuple(y).GetInt64(col_b);
+  });
+
+  std::vector<Tuple> out;
+  std::size_t i = 0, j = 0;
+  while (i < ia.size() && j < ib.size()) {
+    const std::int64_t ka = a.tuple(ia[i]).GetInt64(col_a);
+    const std::int64_t kb = b.tuple(ib[j]).GetInt64(col_b);
+    if (ka < kb) {
+      ++i;
+    } else if (ka > kb) {
+      ++j;
+    } else {
+      // Emit the full cross product of the equal-key groups.
+      std::size_t j_end = j;
+      while (j_end < ib.size() &&
+             b.tuple(ib[j_end]).GetInt64(col_b) == ka) {
+        ++j_end;
+      }
+      std::size_t i_end = i;
+      while (i_end < ia.size() &&
+             a.tuple(ia[i_end]).GetInt64(col_a) == ka) {
+        ++i_end;
+      }
+      for (std::size_t x = i; x < i_end; ++x) {
+        for (std::size_t y = j; y < j_end; ++y) {
+          out.push_back(
+              Tuple::Concat(result_schema, a.tuple(ia[x]), b.tuple(ib[y])));
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> HashJoin(const Relation& a, const Relation& b,
+                                    std::size_t col_a, std::size_t col_b,
+                                    const Schema* result_schema) {
+  if (col_a >= a.schema().num_columns() ||
+      col_b >= b.schema().num_columns()) {
+    return Status::InvalidArgument("join column out of range");
+  }
+  std::unordered_map<std::int64_t, std::vector<std::size_t>> build;
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    build[b.tuple(j).GetInt64(col_b)].push_back(j);
+  }
+  std::vector<Tuple> out;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto it = build.find(a.tuple(i).GetInt64(col_a));
+    if (it == build.end()) continue;
+    for (std::size_t j : it->second) {
+      out.push_back(Tuple::Concat(result_schema, a.tuple(i), b.tuple(j)));
+    }
+  }
+  return out;
+}
+
+}  // namespace ppj::baseline

@@ -1,0 +1,37 @@
+#ifndef PPJ_BASELINE_PLAIN_JOIN_H_
+#define PPJ_BASELINE_PLAIN_JOIN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "relation/predicate.h"
+#include "relation/relation.h"
+
+namespace ppj::baseline {
+
+/// Plaintext reference joins. These run outside any privacy machinery and
+/// serve as correctness oracles for the secure algorithms and as the
+/// classical algorithms whose "straightforward adaptations" Chapter 3/4
+/// show to be unsafe.
+
+/// Classic nested loop join: every pair evaluated.
+std::vector<relation::Tuple> NestedLoopJoin(
+    const relation::Relation& a, const relation::Relation& b,
+    const relation::PairPredicate& pred,
+    const relation::Schema* result_schema);
+
+/// Classic sort-merge equijoin on int64 key columns.
+Result<std::vector<relation::Tuple>> SortMergeJoin(
+    const relation::Relation& a, const relation::Relation& b,
+    std::size_t col_a, std::size_t col_b,
+    const relation::Schema* result_schema);
+
+/// Classic hash equijoin on int64 key columns (build on B, probe with A).
+Result<std::vector<relation::Tuple>> HashJoin(
+    const relation::Relation& a, const relation::Relation& b,
+    std::size_t col_a, std::size_t col_b,
+    const relation::Schema* result_schema);
+
+}  // namespace ppj::baseline
+
+#endif  // PPJ_BASELINE_PLAIN_JOIN_H_

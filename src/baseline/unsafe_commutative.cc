@@ -1,0 +1,103 @@
+#include "baseline/unsafe_commutative.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/math.h"
+#include "crypto/aes128.h"
+#include "crypto/key.h"
+#include "oblivious/shuffle.h"
+#include "relation/encrypted_relation.h"
+
+namespace ppj::baseline {
+
+Result<CommutativeOutcome> RunUnsafeCommutativeJoin(
+    sim::Coprocessor& copro, const core::TwoWayJoin& join) {
+  PPJ_RETURN_NOT_OK(join.Validate());
+  const auto* eq =
+      dynamic_cast<const relation::EqualityPredicate*>(join.predicate);
+  if (eq == nullptr) {
+    return Status::InvalidArgument(
+        "commutative-encryption join needs an EqualityPredicate");
+  }
+  if (!IsPowerOfTwo(join.a->padded_size()) ||
+      !IsPowerOfTwo(join.b->padded_size())) {
+    return Status::InvalidArgument(
+        "commutative baseline needs power-of-two padded regions");
+  }
+
+  // Oblivious shuffles, as prescribed: they hide *which input position* a
+  // token came from, but not the token equalities themselves.
+  PPJ_RETURN_NOT_OK(oblivious::ObliviousShuffle(
+      copro, join.a->region(), join.a->padded_size(), *join.a->key()));
+  PPJ_RETURN_NOT_OK(oblivious::ObliviousShuffle(
+      copro, join.b->region(), join.b->padded_size(), *join.b->key()));
+
+  // Deterministic symmetric re-encryption of the join keys with one shared
+  // key: equal keys -> equal tokens (AES of the key value, truncated).
+  const crypto::Aes128 det(crypto::DeriveKey(0xC0DE, "commutative-token"));
+  auto tokenize = [&](std::int64_t key) {
+    crypto::Block in{};
+    for (int i = 0; i < 8; ++i) {
+      in[i] = static_cast<std::uint8_t>(static_cast<std::uint64_t>(key) >>
+                                        (8 * i));
+    }
+    const crypto::Block out = det.Encrypt(in);
+    std::uint64_t token = 0;
+    for (int i = 0; i < 8; ++i) {
+      token |= static_cast<std::uint64_t>(out[i]) << (8 * i);
+    }
+    return token;
+  };
+
+  CommutativeOutcome out;
+  for (std::uint64_t i = 0; i < join.a->padded_size(); ++i) {
+    PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple a,
+                         join.a->Fetch(copro, i));
+    if (a.real) {
+      out.tokens_a.push_back(tokenize(a.tuple.GetInt64(eq->col_a())));
+    }
+  }
+  for (std::uint64_t i = 0; i < join.b->padded_size(); ++i) {
+    PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple b,
+                         join.b->Fetch(copro, i));
+    if (b.real) {
+      out.tokens_b.push_back(tokenize(b.tuple.GetInt64(eq->col_b())));
+    }
+  }
+
+  // The host's own sort-merge over the tokens (no coprocessor involved).
+  std::vector<std::uint64_t> sa = out.tokens_a;
+  std::vector<std::uint64_t> sb = out.tokens_b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  std::size_t i = 0, j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    if (sa[i] < sb[j]) {
+      ++i;
+    } else if (sa[i] > sb[j]) {
+      ++j;
+    } else {
+      std::size_t ie = i, je = j;
+      while (ie < sa.size() && sa[ie] == sa[i]) ++ie;
+      while (je < sb.size() && sb[je] == sb[j]) ++je;
+      out.result_size += (ie - i) * (je - j);
+      i = ie;
+      j = je;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> DuplicateHistogram(
+    const std::vector<std::uint64_t>& tokens) {
+  std::map<std::uint64_t, std::uint64_t> counts;
+  for (std::uint64_t t : tokens) ++counts[t];
+  std::uint64_t max_count = 0;
+  for (const auto& [token, c] : counts) max_count = std::max(max_count, c);
+  std::vector<std::uint64_t> hist(max_count + 1, 0);
+  for (const auto& [token, c] : counts) ++hist[c];
+  return hist;
+}
+
+}  // namespace ppj::baseline

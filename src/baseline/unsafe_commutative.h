@@ -1,0 +1,45 @@
+#ifndef PPJ_BASELINE_UNSAFE_COMMUTATIVE_H_
+#define PPJ_BASELINE_UNSAFE_COMMUTATIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/join_result.h"
+#include "core/join_spec.h"
+
+namespace ppj::baseline {
+
+/// Outcome of the commutative-encryption false start (Section 4.5.1): the
+/// host receives deterministic re-encryptions of both join columns and can
+/// sort-merge them itself.
+struct CommutativeOutcome {
+  /// Deterministic per-key tokens of A's and B's join columns, as the host
+  /// sees them. Equal plaintext keys produce equal tokens — that is the
+  /// point, and the leak.
+  std::vector<std::uint64_t> tokens_a;
+  std::vector<std::uint64_t> tokens_b;
+  /// Number of matching (a, b) token pairs (the correct equijoin size).
+  std::uint64_t result_size = 0;
+};
+
+/// The commutative-encryption adaptation: T obliviously shuffles A (and B),
+/// then re-encrypts each join key under one shared *deterministic*
+/// symmetric encryption and hands the tokens to the host, which sort-merges
+/// them without further coprocessor involvement. Correct, and the access
+/// pattern is even data independent — but the *token multiset* leaks the
+/// full duplicate distribution of both relations (the paper: "it leaks the
+/// distribution of the duplicates"). The leak analyzer below quantifies it.
+Result<CommutativeOutcome> RunUnsafeCommutativeJoin(
+    sim::Coprocessor& copro, const core::TwoWayJoin& join);
+
+/// The adversary's view: duplicate-frequency histogram of a token list
+/// (how many keys occur once, twice, ...). Two shape-equal relations with
+/// different skew produce different histograms — a distinguisher the
+/// Definition 1 trace audit cannot see but the host trivially computes.
+std::vector<std::uint64_t> DuplicateHistogram(
+    const std::vector<std::uint64_t>& tokens);
+
+}  // namespace ppj::baseline
+
+#endif  // PPJ_BASELINE_UNSAFE_COMMUTATIVE_H_

@@ -1,0 +1,120 @@
+#include "baseline/unsafe_hash_join.h"
+
+#include "common/hash.h"
+#include "common/math.h"
+#include "oblivious/shuffle.h"
+#include "relation/encrypted_relation.h"
+
+namespace ppj::baseline {
+
+namespace {
+
+std::uint64_t BucketOf(std::int64_t key, std::uint64_t buckets) {
+  const std::uint64_t h = Fnv1a64(&key, sizeof(key));
+  return h % buckets;
+}
+
+}  // namespace
+
+Result<core::Ch5Outcome> RunUnsafeHashJoin(
+    sim::Coprocessor& copro, const core::TwoWayJoin& join,
+    const UnsafeHashJoinOptions& options) {
+  PPJ_RETURN_NOT_OK(join.Validate());
+  const auto* eq =
+      dynamic_cast<const relation::EqualityPredicate*>(join.predicate);
+  if (eq == nullptr) {
+    return Status::InvalidArgument("hash join needs an EqualityPredicate");
+  }
+  if (!IsPowerOfTwo(join.a->padded_size())) {
+    return Status::InvalidArgument(
+        "hash-join baseline needs a power-of-two padded A region");
+  }
+  const std::uint64_t nb = options.num_buckets;
+  const std::uint64_t cap = options.bucket_capacity;
+
+  // Oblivious shuffle of A first, as the paper's pseudocode prescribes.
+  PPJ_RETURN_NOT_OK(oblivious::ObliviousShuffle(
+      copro, join.a->region(), join.a->padded_size(), *join.a->key()));
+
+  // Bucket regions for A in host memory; epoch-based flushing.
+  const std::size_t a_plain =
+      relation::wire::PlainSize(join.a->schema()->tuple_size());
+  const std::size_t a_slot = sim::Coprocessor::SealedSize(a_plain);
+  const sim::RegionId bucket_region = copro.host()->CreateRegion(
+      "unsafe-hash-buckets", a_slot, 0);
+  const std::vector<std::uint8_t> a_decoy =
+      relation::wire::MakeDecoy(join.a->schema()->tuple_size());
+
+  // In-memory plaintext copies for the (plain) bucket join afterwards; the
+  // leak of interest is the flush pattern above, so the post-partition join
+  // is kept simple.
+  std::vector<std::vector<relation::Tuple>> bucket_tuples(nb);
+
+  std::vector<std::vector<std::vector<std::uint8_t>>> pending(nb);
+  std::uint64_t flushed_epochs = 0;
+  auto flush_all = [&]() -> Status {
+    // Fill every bucket to capacity with decoys and write the epoch out.
+    const std::uint64_t base = flushed_epochs * nb * cap;
+    PPJ_RETURN_NOT_OK(
+        copro.host()->ResizeRegion(bucket_region, base + nb * cap));
+    for (std::uint64_t bkt = 0; bkt < nb; ++bkt) {
+      for (std::uint64_t k = 0; k < cap; ++k) {
+        const std::vector<std::uint8_t>& plain =
+            k < pending[bkt].size() ? pending[bkt][k] : a_decoy;
+        PPJ_RETURN_NOT_OK(copro.PutSealed(bucket_region, base + bkt * cap + k,
+                                          plain, *join.output_key));
+      }
+      pending[bkt].clear();
+    }
+    ++flushed_epochs;
+    return Status::OK();
+  };
+
+  for (std::uint64_t ai = 0; ai < join.a->padded_size(); ++ai) {
+    PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple a,
+                         join.a->Fetch(copro, ai));
+    if (a.real) {
+      const std::uint64_t bkt = BucketOf(a.tuple.GetInt64(eq->col_a()), nb);
+      pending[bkt].push_back(
+          relation::wire::MakeReal(a.tuple.Serialize()));
+      bucket_tuples[bkt].push_back(a.tuple);
+      // THE LEAK: when any bucket fills, everything is flushed — the number
+      // of reads between flushes reveals the key-distribution skew.
+      if (pending[bkt].size() >= cap) PPJ_RETURN_NOT_OK(flush_all());
+    }
+  }
+  PPJ_RETURN_NOT_OK(flush_all());
+
+  // Join corresponding buckets against B (plain nested loop per bucket).
+  const std::size_t slot = sim::Coprocessor::SealedSize(
+      relation::wire::PlainSize(join.JoinedPayloadSize()));
+  const sim::RegionId output =
+      copro.host()->CreateRegion("unsafe-hash-output", slot, 0);
+  std::uint64_t written = 0;
+  for (std::uint64_t bi = 0; bi < join.b->padded_size(); ++bi) {
+    PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple b,
+                         join.b->Fetch(copro, bi));
+    if (!b.real) continue;
+    const std::uint64_t bkt = BucketOf(b.tuple.GetInt64(eq->col_b()), nb);
+    for (const relation::Tuple& a : bucket_tuples[bkt]) {
+      copro.NoteComparison();
+      if (join.predicate->Match(a, b.tuple)) {
+        std::vector<std::uint8_t> bytes = a.Serialize();
+        const std::vector<std::uint8_t> bb = b.tuple.Serialize();
+        bytes.insert(bytes.end(), bb.begin(), bb.end());
+        PPJ_RETURN_NOT_OK(copro.host()->ResizeRegion(output, written + 1));
+        PPJ_RETURN_NOT_OK(copro.PutSealed(output, written,
+                                          relation::wire::MakeReal(bytes),
+                                          *join.output_key));
+        ++written;
+      }
+    }
+  }
+
+  core::Ch5Outcome out;
+  out.output_region = output;
+  out.result_size = written;
+  return out;
+}
+
+}  // namespace ppj::baseline

@@ -1,0 +1,31 @@
+#ifndef PPJ_BASELINE_UNSAFE_HASH_JOIN_H_
+#define PPJ_BASELINE_UNSAFE_HASH_JOIN_H_
+
+#include "common/result.h"
+#include "core/join_result.h"
+#include "core/join_spec.h"
+
+namespace ppj::baseline {
+
+struct UnsafeHashJoinOptions {
+  std::uint64_t num_buckets = 4;
+  std::uint64_t bucket_capacity = 8;  ///< p in the paper's footnote
+};
+
+/// The grace-hash false start of Section 4.5.1. A is obliviously shuffled,
+/// then partitioned into hash buckets; whenever one bucket fills, *all*
+/// buckets are padded with decoys and flushed. The flush cadence — how many
+/// tuples T reads between bucket writes — tracks the skew of the join-key
+/// distribution (a uniform relation flushes after ~ num_buckets * capacity
+/// reads, a skewed one after ~ capacity reads), so partitioning leaks.
+/// The corresponding buckets are then joined pairwise to produce the
+/// (correct) result.
+///
+/// Requires an EqualityPredicate and power-of-two padded A region.
+Result<core::Ch5Outcome> RunUnsafeHashJoin(
+    sim::Coprocessor& copro, const core::TwoWayJoin& join,
+    const UnsafeHashJoinOptions& options = {});
+
+}  // namespace ppj::baseline
+
+#endif  // PPJ_BASELINE_UNSAFE_HASH_JOIN_H_

@@ -1,0 +1,97 @@
+#include "baseline/unsafe_nested_loop.h"
+
+#include "relation/encrypted_relation.h"
+
+namespace ppj::baseline {
+
+namespace {
+
+std::vector<std::uint8_t> Joined(
+    const relation::EncryptedRelation::FetchedTuple& a,
+    const relation::EncryptedRelation::FetchedTuple& b) {
+  std::vector<std::uint8_t> bytes = a.tuple.Serialize();
+  const std::vector<std::uint8_t> bb = b.tuple.Serialize();
+  bytes.insert(bytes.end(), bb.begin(), bb.end());
+  return relation::wire::MakeReal(bytes);
+}
+
+}  // namespace
+
+Result<core::Ch5Outcome> RunUnsafeNestedLoop(sim::Coprocessor& copro,
+                                             const core::TwoWayJoin& join) {
+  PPJ_RETURN_NOT_OK(join.Validate());
+  const std::size_t slot = sim::Coprocessor::SealedSize(
+      relation::wire::PlainSize(join.JoinedPayloadSize()));
+  const sim::RegionId output =
+      copro.host()->CreateRegion("unsafe-nl-output", slot, 0);
+
+  std::uint64_t written = 0;
+  for (std::uint64_t ai = 0; ai < join.a->size(); ++ai) {
+    PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple a,
+                         join.a->Fetch(copro, ai));
+    for (std::uint64_t bi = 0; bi < join.b->padded_size(); ++bi) {
+      PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple b,
+                           join.b->Fetch(copro, bi));
+      copro.NoteComparison();
+      if (a.real && b.real && join.predicate->Match(a.tuple, b.tuple)) {
+        // THE LEAK: a put appears in the trace exactly when a pair matches.
+        PPJ_RETURN_NOT_OK(copro.host()->ResizeRegion(output, written + 1));
+        PPJ_RETURN_NOT_OK(
+            copro.PutSealed(output, written, Joined(a, b), *join.output_key));
+        ++written;
+      }
+    }
+  }
+  core::Ch5Outcome out;
+  out.output_region = output;
+  out.result_size = written;
+  return out;
+}
+
+Result<core::Ch5Outcome> RunUnsafeBufferedNestedLoop(
+    sim::Coprocessor& copro, const core::TwoWayJoin& join) {
+  PPJ_RETURN_NOT_OK(join.Validate());
+  const std::uint64_t m = std::max<std::uint64_t>(copro.memory_tuples(), 1);
+  PPJ_ASSIGN_OR_RETURN(sim::SecureBuffer buffer,
+                       sim::SecureBuffer::Allocate(copro, m));
+  const std::size_t slot = sim::Coprocessor::SealedSize(
+      relation::wire::PlainSize(join.JoinedPayloadSize()));
+  const sim::RegionId output =
+      copro.host()->CreateRegion("unsafe-bnl-output", slot, 0);
+
+  std::uint64_t written = 0;
+  auto flush = [&]() -> Status {
+    PPJ_RETURN_NOT_OK(
+        copro.host()->ResizeRegion(output, written + buffer.size()));
+    for (std::size_t k = 0; k < buffer.size(); ++k) {
+      PPJ_RETURN_NOT_OK(copro.PutSealed(output, written + k, buffer.At(k),
+                                        *join.output_key));
+    }
+    written += buffer.size();
+    buffer.Clear();
+    return Status::OK();
+  };
+
+  for (std::uint64_t ai = 0; ai < join.a->size(); ++ai) {
+    PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple a,
+                         join.a->Fetch(copro, ai));
+    for (std::uint64_t bi = 0; bi < join.b->padded_size(); ++bi) {
+      PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple b,
+                           join.b->Fetch(copro, bi));
+      copro.NoteComparison();
+      if (a.real && b.real && join.predicate->Match(a.tuple, b.tuple)) {
+        PPJ_RETURN_NOT_OK(buffer.Push(Joined(a, b)));
+        // STILL A LEAK: the *when* of the flush tracks the match density
+        // (Section 3.4.2 — the adversary estimates the distribution).
+        if (buffer.full()) PPJ_RETURN_NOT_OK(flush());
+      }
+    }
+  }
+  PPJ_RETURN_NOT_OK(flush());
+  core::Ch5Outcome out;
+  out.output_region = output;
+  out.result_size = written;
+  return out;
+}
+
+}  // namespace ppj::baseline

@@ -1,0 +1,28 @@
+#ifndef PPJ_BASELINE_UNSAFE_NESTED_LOOP_H_
+#define PPJ_BASELINE_UNSAFE_NESTED_LOOP_H_
+
+#include "common/result.h"
+#include "core/join_result.h"
+#include "core/join_spec.h"
+
+namespace ppj::baseline {
+
+/// The "straightforward, but unsafe" adaptation of Section 3.4.1: T reads
+/// a, reads each b, and outputs a result tuple *only when the pair
+/// matches*. Input and output stay encrypted — yet the host learns exactly
+/// which (a, b) pairs joined by watching whether an output was produced
+/// before the next B read. Kept in the library as the negative control for
+/// the privacy auditor and the motivating example for the fixed-time /
+/// fixed-size design principles.
+Result<core::Ch5Outcome> RunUnsafeNestedLoop(sim::Coprocessor& copro,
+                                             const core::TwoWayJoin& join);
+
+/// The "incorrect fix" of Section 3.4.2: buffer up to M results inside T
+/// and flush whenever the buffer fills. Flush positions still correlate
+/// with the match distribution, so it also fails the audit.
+Result<core::Ch5Outcome> RunUnsafeBufferedNestedLoop(
+    sim::Coprocessor& copro, const core::TwoWayJoin& join);
+
+}  // namespace ppj::baseline
+
+#endif  // PPJ_BASELINE_UNSAFE_NESTED_LOOP_H_

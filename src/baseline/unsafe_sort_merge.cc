@@ -1,0 +1,83 @@
+#include "baseline/unsafe_sort_merge.h"
+
+#include "common/math.h"
+#include "oblivious/bitonic_sort.h"
+#include "relation/encrypted_relation.h"
+
+namespace ppj::baseline {
+
+Result<core::Ch5Outcome> RunUnsafeSortMergeJoin(
+    sim::Coprocessor& copro, const core::TwoWayJoin& join) {
+  PPJ_RETURN_NOT_OK(join.Validate());
+  const auto* eq =
+      dynamic_cast<const relation::EqualityPredicate*>(join.predicate);
+  if (eq == nullptr) {
+    return Status::InvalidArgument("sort-merge needs an EqualityPredicate");
+  }
+  if (!IsPowerOfTwo(join.a->padded_size()) ||
+      !IsPowerOfTwo(join.b->padded_size())) {
+    return Status::InvalidArgument(
+        "sort-merge baseline needs power-of-two padded regions");
+  }
+
+  // Oblivious sorts: safe on their own.
+  PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(
+      copro, join.a->region(), join.a->padded_size(), *join.a->key(),
+      oblivious::ColumnLess(join.a->schema(), eq->col_a())));
+  PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(
+      copro, join.b->region(), join.b->padded_size(), *join.b->key(),
+      oblivious::ColumnLess(join.b->schema(), eq->col_b())));
+
+  const std::size_t slot = sim::Coprocessor::SealedSize(
+      relation::wire::PlainSize(join.JoinedPayloadSize()));
+  const sim::RegionId output =
+      copro.host()->CreateRegion("unsafe-sm-output", slot, 0);
+
+  // Classic merge: THE LEAK — which cursor advances (visible as which
+  // region the next Get touches) depends on the data.
+  std::uint64_t written = 0;
+  std::uint64_t i = 0;
+  std::uint64_t j = 0;
+  const std::uint64_t na = join.a->size();  // reals sort before padding
+  const std::uint64_t nb = join.b->size();
+  while (i < na && j < nb) {
+    PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple a,
+                         join.a->Fetch(copro, i));
+    PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple b,
+                         join.b->Fetch(copro, j));
+    copro.NoteComparison();
+    const std::int64_t ka = a.tuple.GetInt64(eq->col_a());
+    const std::int64_t kb = b.tuple.GetInt64(eq->col_b());
+    if (ka < kb) {
+      ++i;
+    } else if (ka > kb) {
+      ++j;
+    } else {
+      // Emit the group cross product, rescanning B's equal-key run per A.
+      std::uint64_t j_end = j;
+      while (j_end < nb) {
+        PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple bj,
+                             join.b->Fetch(copro, j_end));
+        copro.NoteComparison();
+        if (bj.tuple.GetInt64(eq->col_b()) != ka) break;
+        std::vector<std::uint8_t> bytes = a.tuple.Serialize();
+        const std::vector<std::uint8_t> bb = bj.tuple.Serialize();
+        bytes.insert(bytes.end(), bb.begin(), bb.end());
+        PPJ_RETURN_NOT_OK(copro.host()->ResizeRegion(output, written + 1));
+        PPJ_RETURN_NOT_OK(copro.PutSealed(output, written,
+                                          relation::wire::MakeReal(bytes),
+                                          *join.output_key));
+        ++written;
+        ++j_end;
+      }
+      ++i;  // next A tuple re-merges against the same B group start
+    }
+  }
+
+  core::Ch5Outcome out;
+  out.output_region = output;
+  out.result_size = written;
+  return out;
+}
+
+}  // namespace ppj::baseline

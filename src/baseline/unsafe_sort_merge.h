@@ -1,0 +1,24 @@
+#ifndef PPJ_BASELINE_UNSAFE_SORT_MERGE_H_
+#define PPJ_BASELINE_UNSAFE_SORT_MERGE_H_
+
+#include "common/result.h"
+#include "core/join_result.h"
+#include "core/join_spec.h"
+
+namespace ppj::baseline {
+
+/// The sort-merge false start of Section 4.5.1. Both relations are
+/// obliviously sorted (that part is safe), but the *merge* advances the A
+/// or B cursor depending on how the keys compare — so the interleaving of
+/// A-reads and B-reads in the trace reveals the number of matches per
+/// tuple. Negative control for the auditor; also a correct (plaintext-
+/// equivalent) equijoin, so the output itself is right.
+///
+/// Requires an EqualityPredicate and power-of-two padded A and B regions.
+/// Sorts both input regions in place.
+Result<core::Ch5Outcome> RunUnsafeSortMergeJoin(sim::Coprocessor& copro,
+                                                const core::TwoWayJoin& join);
+
+}  // namespace ppj::baseline
+
+#endif  // PPJ_BASELINE_UNSAFE_SORT_MERGE_H_

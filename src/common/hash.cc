@@ -1,0 +1,42 @@
+#include "common/hash.h"
+
+namespace ppj {
+
+namespace {
+constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+}  // namespace
+
+std::uint64_t Fnv1a64(std::span<const std::byte> bytes) {
+  std::uint64_t h = kOffsetBasis;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= kPrime;
+  }
+  return h;
+}
+
+std::uint64_t Fnv1a64(const void* data, std::size_t size) {
+  return Fnv1a64(
+      std::span<const std::byte>(static_cast<const std::byte*>(data), size));
+}
+
+void RunningHash::Update(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = state_;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= kPrime;
+  }
+  state_ = h;
+  ++count_;
+}
+
+void RunningHash::UpdateU64(std::uint64_t v) { Update(&v, sizeof(v)); }
+
+void RunningHash::Reset() {
+  state_ = kOffsetBasis;
+  count_ = 0;
+}
+
+}  // namespace ppj

@@ -1,0 +1,41 @@
+#ifndef PPJ_COMMON_HASH_H_
+#define PPJ_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ppj {
+
+/// 64-bit FNV-1a over a byte range.
+std::uint64_t Fnv1a64(std::span<const std::byte> bytes);
+std::uint64_t Fnv1a64(const void* data, std::size_t size);
+
+/// Incremental FNV-1a accumulator. Used by AccessTrace so that traces with
+/// hundreds of millions of events can be compared for equality in O(1)
+/// memory (Definition 1 / Definition 3 audits).
+class RunningHash {
+ public:
+  RunningHash() = default;
+
+  void Update(const void* data, std::size_t size);
+  void UpdateU64(std::uint64_t v);
+
+  std::uint64_t digest() const { return state_; }
+  std::uint64_t count() const { return count_; }
+
+  void Reset();
+
+  bool operator==(const RunningHash& other) const {
+    return state_ == other.state_ && count_ == other.count_;
+  }
+
+ private:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  std::uint64_t state_ = kOffsetBasis;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace ppj
+
+#endif  // PPJ_COMMON_HASH_H_

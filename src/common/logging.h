@@ -1,0 +1,45 @@
+#ifndef PPJ_COMMON_LOGGING_H_
+#define PPJ_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ppj {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimal thread-safe logger writing to stderr. Off by default above
+/// kWarning so tests and benchmarks stay quiet; examples raise verbosity.
+class Logger {
+ public:
+  static void SetMinLevel(LogLevel level);
+  static LogLevel min_level();
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ppj
+
+#define PPJ_LOG(level)                                               \
+  if (::ppj::LogLevel::level < ::ppj::Logger::min_level()) {         \
+  } else                                                             \
+    ::ppj::internal::LogMessage(::ppj::LogLevel::level).stream()
+
+#endif  // PPJ_COMMON_LOGGING_H_

@@ -1,0 +1,68 @@
+#include "common/math.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ppj {
+
+double LogBinomial(std::uint64_t n, std::uint64_t k) {
+  assert(k <= n);
+  if (k == 0 || k == n) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double Log2(double x) { return std::log2(x); }
+
+double LogSumExp(double a, double b) {
+  if (std::isinf(a) && a < 0) return b;
+  if (std::isinf(b) && b < 0) return a;
+  const double m = std::max(a, b);
+  return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+double LogSumExp(const std::vector<double>& values) {
+  double acc = -std::numeric_limits<double>::infinity();
+  for (double v : values) acc = LogSumExp(acc, v);
+  return acc;
+}
+
+std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b) {
+  assert(b > 0);
+  return a / b + (a % b != 0 ? 1 : 0);
+}
+
+std::uint64_t NextPowerOfTwo(std::uint64_t x) {
+  assert(x >= 1);
+  std::uint64_t p = 1;
+  while (p < x && p < (std::uint64_t{1} << 63)) p <<= 1;
+  return p;
+}
+
+bool IsPowerOfTwo(std::uint64_t x) { return x >= 1 && (x & (x - 1)) == 0; }
+
+unsigned FloorLog2(std::uint64_t x) {
+  assert(x >= 1);
+  unsigned r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+double BitonicTransferCost(double n) {
+  if (n <= 1.0) return 0.0;
+  const double lg = std::log2(n);
+  return n * lg * lg;
+}
+
+std::uint64_t BitonicExactComparators(std::uint64_t n) {
+  if (n <= 1) return 0;
+  const std::uint64_t p = NextPowerOfTwo(n);
+  const unsigned lg = FloorLog2(p);
+  // A power-of-two bitonic network has lg*(lg+1)/2 stages of p/2 comparators.
+  return (p / 2) * (static_cast<std::uint64_t>(lg) * (lg + 1) / 2);
+}
+
+}  // namespace ppj

@@ -1,0 +1,55 @@
+#ifndef PPJ_COMMON_MATH_H_
+#define PPJ_COMMON_MATH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ppj {
+
+/// Numeric helpers used by the analytical cost models of Chapters 4 and 5.
+/// Everything probability-flavoured works in the natural-log domain because
+/// the paper's privacy parameter sweeps reach down to epsilon = 1e-60, far
+/// below what a plain double product of binomial coefficients survives.
+
+/// ln(n choose k) via lgamma. Requires 0 <= k <= n; returns -inf-free exact
+/// 0.0 for k == 0 or k == n.
+double LogBinomial(std::uint64_t n, std::uint64_t k);
+
+/// log base 2 of x; x > 0.
+double Log2(double x);
+
+/// ln(exp(a) + exp(b)) computed stably. Accepts -infinity for "probability
+/// zero" summands.
+double LogSumExp(double a, double b);
+
+/// ln(sum_i exp(v_i)), stable; empty input yields -infinity.
+double LogSumExp(const std::vector<double>& values);
+
+/// ceil(a / b) for positive integers; b > 0.
+std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b);
+
+/// Smallest power of two >= x (x >= 1). Saturates at 2^63.
+std::uint64_t NextPowerOfTwo(std::uint64_t x);
+
+/// True when x is a power of two (x >= 1).
+bool IsPowerOfTwo(std::uint64_t x);
+
+/// floor(log2(x)) for x >= 1.
+unsigned FloorLog2(std::uint64_t x);
+
+/// Cost of a bitonic sorting network over n elements, measured in element
+/// transfers between the secure coprocessor and the host: each of the
+/// ~ (1/4) n (log2 n)^2 compare-exchange steps moves two elements in and two
+/// out, i.e. n (log2 n)^2 transfers as the paper states (Section 4.4.1).
+/// This is the closed-form the paper uses (n need not be a power of two in
+/// the formula; implementations pad).
+double BitonicTransferCost(double n);
+
+/// Number of compare-exchange operations of the concrete padded bitonic
+/// network this library executes for n elements (n >= 1). Exact count, used
+/// to reconcile measured transfers with the model.
+std::uint64_t BitonicExactComparators(std::uint64_t n);
+
+}  // namespace ppj
+
+#endif  // PPJ_COMMON_MATH_H_

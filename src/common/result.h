@@ -1,0 +1,82 @@
+#ifndef PPJ_COMMON_RESULT_H_
+#define PPJ_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace ppj {
+
+/// Either a value of type T or a non-OK Status, Arrow-style. Accessing the
+/// value of an errored Result is a programming error and asserts in debug
+/// builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value. Implicit by design so functions can
+  /// `return value;`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status (must be non-OK).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Moves the value out, or returns `fallback` when errored.
+  T ValueOr(T fallback) && {
+    return ok() ? std::move(std::get<T>(repr_)) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace ppj
+
+/// Evaluates an expression yielding Result<T>; assigns its value to `lhs` or
+/// propagates the error Status to the caller.
+#define PPJ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define PPJ_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define PPJ_ASSIGN_OR_RETURN_NAME(a, b) PPJ_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define PPJ_ASSIGN_OR_RETURN(lhs, expr) \
+  PPJ_ASSIGN_OR_RETURN_IMPL(            \
+      PPJ_ASSIGN_OR_RETURN_NAME(_ppj_result_, __LINE__), lhs, expr)
+
+#endif  // PPJ_COMMON_RESULT_H_

@@ -1,0 +1,106 @@
+#ifndef PPJ_COMMON_STATUS_H_
+#define PPJ_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ppj {
+
+/// Error categories used across the library. The set mirrors the failure
+/// modes of the paper's system: protocol violations detected by the secure
+/// coprocessor (tampering), capacity violations of the coprocessor memory,
+/// and ordinary usage errors.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed inconsistent parameters.
+  kOutOfRange,        ///< Index beyond a host region or relation bound.
+  kCapacityExceeded,  ///< Coprocessor free memory (M tuple slots) exhausted.
+  kTampered,          ///< Authenticated decryption failed: host misbehaved.
+  kPrivacyViolation,  ///< An operation would leak beyond the definition.
+  kNotFound,          ///< Named region / party / contract unknown.
+  kAlreadyExists,     ///< Duplicate registration.
+  kFailedPrecondition,///< API called in the wrong order.
+  kUnimplemented,     ///< Feature intentionally not provided.
+  kInternal,          ///< Invariant breakage; indicates a library bug.
+};
+
+/// Returns a stable, human-readable name such as "TAMPERED".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-semantic error carrier in the style of Arrow/RocksDB. Functions in
+/// this library never throw on expected failure paths; they return Status
+/// (or Result<T>) instead. The OK status is cheap to copy and test.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status Tampered(std::string msg) {
+    return Status(StatusCode::kTampered, std::move(msg));
+  }
+  static Status PrivacyViolation(std::string msg) {
+    return Status(StatusCode::kPrivacyViolation, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace ppj
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define PPJ_RETURN_NOT_OK(expr)                    \
+  do {                                             \
+    ::ppj::Status _ppj_status = (expr);            \
+    if (!_ppj_status.ok()) return _ppj_status;     \
+  } while (false)
+
+#endif  // PPJ_COMMON_STATUS_H_

@@ -1,0 +1,112 @@
+#include "core/aggregate.h"
+
+#include <algorithm>
+
+#include "core/cartesian.h"
+
+namespace ppj::core {
+
+Result<AggregateResult> RunAggregateJoin(sim::Coprocessor& copro,
+                                         const MultiwayJoin& join,
+                                         const AggregateSpec& spec) {
+  PPJ_RETURN_NOT_OK(join.Validate());
+  if (spec.kind != AggregateKind::kCount) {
+    if (spec.table >= join.tables.size()) {
+      return Status::InvalidArgument("aggregate table index out of range");
+    }
+    const relation::Schema* schema = join.tables[spec.table]->schema();
+    if (spec.column >= schema->num_columns()) {
+      return Status::InvalidArgument("aggregate column index out of range");
+    }
+    if (schema->columns()[spec.column].type !=
+        relation::ColumnType::kInt64) {
+      return Status::InvalidArgument(
+          "aggregation currently supports int64 columns");
+    }
+  }
+
+  // The running state fits in a constant number of slots; reserve one to
+  // model it against M (even M = 1 suffices).
+  PPJ_ASSIGN_OR_RETURN(sim::SecureBuffer state,
+                       sim::SecureBuffer::Allocate(
+                           copro, std::min<std::uint64_t>(
+                                      1, copro.memory_tuples())));
+  (void)state;
+
+  ITupleReader reader(&copro, join.tables);
+  AggregateResult out;
+  bool first = true;
+  for (std::uint64_t idx = 0; idx < reader.index().size(); ++idx) {
+    PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
+    const bool hit =
+        fetched.real && join.predicate->Satisfy(fetched.components);
+    copro.NoteMatchEvaluation(hit);
+    if (!hit) continue;
+    ++out.count;
+    if (spec.kind == AggregateKind::kCount) continue;
+    const std::int64_t v =
+        fetched.components[spec.table].GetInt64(spec.column);
+    out.sum += v;
+    if (first) {
+      out.min = v;
+      out.max = v;
+      first = false;
+    } else {
+      out.min = std::min(out.min, v);
+      out.max = std::max(out.max, v);
+    }
+  }
+  if (out.count > 0) {
+    out.average =
+        static_cast<double>(out.sum) / static_cast<double>(out.count);
+  }
+  return out;
+}
+
+Result<GroupByCountResult> RunGroupByCountJoin(sim::Coprocessor& copro,
+                                               const MultiwayJoin& join,
+                                               const GroupByCountSpec& spec) {
+  PPJ_RETURN_NOT_OK(join.Validate());
+  if (spec.table >= join.tables.size()) {
+    return Status::InvalidArgument("group-by table index out of range");
+  }
+  const relation::Schema* schema = join.tables[spec.table]->schema();
+  if (spec.column >= schema->num_columns() ||
+      schema->columns()[spec.column].type != relation::ColumnType::kInt64) {
+    return Status::InvalidArgument(
+        "group-by needs an int64 column in range");
+  }
+  if (spec.domain_hi < spec.domain_lo) {
+    return Status::InvalidArgument("empty group domain");
+  }
+  const std::uint64_t buckets =
+      static_cast<std::uint64_t>(spec.domain_hi - spec.domain_lo) + 1;
+  if (buckets > 4096) {
+    return Status::CapacityExceeded(
+        "group domain exceeds 4096 buckets: the histogram must fit the "
+        "coprocessor's constant working memory");
+  }
+
+  GroupByCountResult out;
+  out.domain_lo = spec.domain_lo;
+  out.counts.assign(buckets, 0);
+
+  ITupleReader reader(&copro, join.tables);
+  for (std::uint64_t idx = 0; idx < reader.index().size(); ++idx) {
+    PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
+    const bool hit =
+        fetched.real && join.predicate->Satisfy(fetched.components);
+    copro.NoteMatchEvaluation(hit);
+    if (!hit) continue;
+    const std::int64_t v =
+        fetched.components[spec.table].GetInt64(spec.column);
+    if (v < spec.domain_lo || v > spec.domain_hi) {
+      ++out.overflow;
+    } else {
+      ++out.counts[static_cast<std::size_t>(v - spec.domain_lo)];
+    }
+  }
+  return out;
+}
+
+}  // namespace ppj::core

@@ -1,0 +1,84 @@
+#ifndef PPJ_CORE_AGGREGATE_H_
+#define PPJ_CORE_AGGREGATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/join_spec.h"
+
+namespace ppj::core {
+
+/// Privacy preserving aggregation over a join — the extension the paper's
+/// conclusions single out: "Aggregation queries output statistics over the
+/// join of two tables. It is not necessary to materialize the join result
+/// ... we only need to worry about leaking information when accessing the
+/// input tables, but not the output tables."
+///
+/// The coprocessor scans the L iTuples once in a fixed order, keeps the
+/// running aggregate in its own memory (a handful of slots), and emits a
+/// single sealed value at the end. The access pattern is a function of L
+/// alone — strictly cheaper than any materializing algorithm (cost L + 1,
+/// below even the L + S floor of joins) and trivially privacy preserving.
+enum class AggregateKind {
+  kCount,  ///< |join result|
+  kSum,    ///< sum over matches of an int64 column of one input table
+  kMin,    ///< min over matches (int64)
+  kMax,    ///< max over matches (int64)
+  kAvg,    ///< mean over matches: sum and count accumulated together
+};
+
+struct AggregateSpec {
+  AggregateKind kind = AggregateKind::kCount;
+  /// Which joined table the aggregated column lives in (ignored for COUNT).
+  std::size_t table = 0;
+  /// Which column of that table (int64; ignored for COUNT).
+  std::size_t column = 0;
+};
+
+/// The aggregate value delivered to the recipient.
+struct AggregateResult {
+  std::int64_t count = 0;     ///< matches seen (always computed)
+  std::int64_t sum = 0;       ///< kSum / kAvg
+  std::int64_t min = 0;       ///< kMin (undefined when count == 0)
+  std::int64_t max = 0;       ///< kMax (undefined when count == 0)
+  double average = 0.0;       ///< kAvg (0 when count == 0)
+};
+
+/// Runs the aggregation. Transfer cost: the input scan only (L logical
+/// reads); the single output value is delivered out-of-band (its size is
+/// fixed, so it reveals nothing beyond the query's own answer).
+Result<AggregateResult> RunAggregateJoin(sim::Coprocessor& copro,
+                                         const MultiwayJoin& join,
+                                         const AggregateSpec& spec);
+
+/// GROUP BY COUNT over a join — the lightweight post-join mining operation
+/// the federated-architecture line of work (Section 2.2.3, Bhattacharjee
+/// et al.) runs on top of privacy preserving joins. The group universe
+/// must be declared up front ([lo, hi] of an int64 column): the histogram
+/// the coprocessor maintains — and the output it emits — then has a fixed,
+/// data-independent size, so the access pattern depends on L and the
+/// declared domain only. Values outside the domain land in an overflow
+/// bucket rather than leaking through a variable-size output.
+struct GroupByCountSpec {
+  std::size_t table = 0;   ///< joined table holding the grouping column
+  std::size_t column = 0;  ///< int64 column
+  std::int64_t domain_lo = 0;
+  std::int64_t domain_hi = 0;  ///< inclusive; hi - lo + 1 <= 4096 buckets
+};
+
+struct GroupByCountResult {
+  std::int64_t domain_lo = 0;
+  /// counts[v - domain_lo] = matches whose group value is v.
+  std::vector<std::int64_t> counts;
+  /// Matches with group values outside [lo, hi].
+  std::int64_t overflow = 0;
+};
+
+Result<GroupByCountResult> RunGroupByCountJoin(sim::Coprocessor& copro,
+                                               const MultiwayJoin& join,
+                                               const GroupByCountSpec& spec);
+
+}  // namespace ppj::core
+
+#endif  // PPJ_CORE_AGGREGATE_H_

@@ -1,0 +1,161 @@
+#include "core/algorithm1.h"
+
+#include "common/math.h"
+#include "oblivious/bitonic_sort.h"
+#include "relation/encrypted_relation.h"
+
+namespace ppj::core {
+
+namespace {
+
+/// N as configured or computed by the safe preprocessing scan; never 0.
+Result<std::uint64_t> ResolveN(sim::Coprocessor& copro,
+                               const TwoWayJoin& join, std::uint64_t n) {
+  if (n == 0) {
+    PPJ_ASSIGN_OR_RETURN(n, ComputeMaxMatches(copro, join));
+  }
+  return std::max<std::uint64_t>(n, 1);
+}
+
+/// H copies `count` sealed slots from `src` to `dst` at dst_base and
+/// persists them — the paper's "Request H to write first N of scratch[] to
+/// disk". A host-side move of ciphertext T already produced: no transfers,
+/// one observable disk event per slot.
+Status HostFlushToOutput(sim::Coprocessor& copro, sim::RegionId src,
+                         std::uint64_t count, sim::RegionId dst,
+                         std::uint64_t dst_base) {
+  for (std::uint64_t k = 0; k < count; ++k) {
+    PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> sealed,
+                         copro.host()->ReadSlot(src, k));
+    PPJ_RETURN_NOT_OK(copro.host()->WriteSlot(dst, dst_base + k, sealed));
+    PPJ_RETURN_NOT_OK(copro.DiskWrite(dst, dst_base + k));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Ch4Outcome> RunAlgorithm1(sim::Coprocessor& copro,
+                                 const TwoWayJoin& join,
+                                 const Algorithm1Options& options) {
+  PPJ_RETURN_NOT_OK(join.Validate());
+  PPJ_ASSIGN_OR_RETURN(const std::uint64_t n,
+                       ResolveN(copro, join, options.n));
+
+  const std::size_t payload = join.JoinedPayloadSize();
+  const std::size_t slot = sim::Coprocessor::SealedSize(
+      relation::wire::PlainSize(payload));
+  const std::vector<std::uint8_t> decoy = relation::wire::MakeDecoy(payload);
+
+  // Scratch of 2N oTuples in host memory, padded to a power of two for the
+  // bitonic network (exactly 2N when N is a power of two).
+  const std::uint64_t scratch_slots = NextPowerOfTwo(2 * n);
+  const sim::RegionId scratch =
+      copro.host()->CreateRegion("alg1-scratch", slot, scratch_slots);
+  const std::uint64_t size_a = join.a->size();
+  const std::uint64_t size_b = join.b->padded_size();
+  const sim::RegionId output =
+      copro.host()->CreateRegion("alg1-output", slot, size_a * n);
+
+  const oblivious::PlainLess real_first = oblivious::RealFirstLess();
+
+  for (std::uint64_t ai = 0; ai < size_a; ++ai) {
+    // Reset the scratch with fresh indistinguishable decoys.
+    for (std::uint64_t k = 0; k < scratch_slots; ++k) {
+      PPJ_RETURN_NOT_OK(copro.PutSealed(scratch, k, decoy, *join.output_key));
+    }
+    PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple a,
+                         join.a->Fetch(copro, ai));
+    std::uint64_t i = 0;
+    for (std::uint64_t bi = 0; bi < size_b; ++bi) {
+      PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple b,
+                           join.b->Fetch(copro, bi));
+      const bool hit =
+          a.real && b.real && join.predicate->Match(a.tuple, b.tuple);
+      copro.NoteMatchEvaluation(hit);
+      // Exactly one oTuple out per comparison, always to the same rolling
+      // slot — the fixed-size principle of Section 3.4.3.
+      const std::uint64_t pos = n + (i % n);
+      if (hit) {
+        // Joined payload = a bytes || b bytes.
+        std::vector<std::uint8_t> bytes = a.tuple.Serialize();
+        const std::vector<std::uint8_t> bb = b.tuple.Serialize();
+        bytes.insert(bytes.end(), bb.begin(), bb.end());
+        PPJ_RETURN_NOT_OK(copro.PutSealed(scratch, pos,
+                                          relation::wire::MakeReal(bytes),
+                                          *join.output_key));
+      } else {
+        PPJ_RETURN_NOT_OK(
+            copro.PutSealed(scratch, pos, decoy, *join.output_key));
+      }
+      ++i;
+      if (i % n == 0) {
+        PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(
+            copro, scratch, scratch_slots, *join.output_key, real_first));
+      }
+    }
+    if (i % n != 0) {
+      PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(
+          copro, scratch, scratch_slots, *join.output_key, real_first));
+    }
+    PPJ_RETURN_NOT_OK(HostFlushToOutput(copro, scratch, n, output, ai * n));
+  }
+
+  return Ch4Outcome{output, size_a * n, n};
+}
+
+Result<Ch4Outcome> RunAlgorithm1Variant(sim::Coprocessor& copro,
+                                        const TwoWayJoin& join,
+                                        const Algorithm1Options& options) {
+  PPJ_RETURN_NOT_OK(join.Validate());
+  PPJ_ASSIGN_OR_RETURN(const std::uint64_t n,
+                       ResolveN(copro, join, options.n));
+
+  const std::size_t payload = join.JoinedPayloadSize();
+  const std::size_t slot = sim::Coprocessor::SealedSize(
+      relation::wire::PlainSize(payload));
+  const std::vector<std::uint8_t> decoy = relation::wire::MakeDecoy(payload);
+
+  const std::uint64_t size_a = join.a->size();
+  const std::uint64_t size_b = join.b->padded_size();
+  const std::uint64_t buffer_slots = NextPowerOfTwo(size_b);
+  const sim::RegionId buffer =
+      copro.host()->CreateRegion("alg1v-buffer", slot, buffer_slots);
+  const sim::RegionId output =
+      copro.host()->CreateRegion("alg1v-output", slot, size_a * n);
+
+  const oblivious::PlainLess real_first = oblivious::RealFirstLess();
+
+  for (std::uint64_t ai = 0; ai < size_a; ++ai) {
+    PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple a,
+                         join.a->Fetch(copro, ai));
+    for (std::uint64_t bi = 0; bi < size_b; ++bi) {
+      PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple b,
+                           join.b->Fetch(copro, bi));
+      const bool hit =
+          a.real && b.real && join.predicate->Match(a.tuple, b.tuple);
+      copro.NoteMatchEvaluation(hit);
+      if (hit) {
+        std::vector<std::uint8_t> bytes = a.tuple.Serialize();
+        const std::vector<std::uint8_t> bb = b.tuple.Serialize();
+        bytes.insert(bytes.end(), bb.begin(), bb.end());
+        PPJ_RETURN_NOT_OK(copro.PutSealed(buffer, bi,
+                                          relation::wire::MakeReal(bytes),
+                                          *join.output_key));
+      } else {
+        PPJ_RETURN_NOT_OK(
+            copro.PutSealed(buffer, bi, decoy, *join.output_key));
+      }
+    }
+    for (std::uint64_t k = size_b; k < buffer_slots; ++k) {
+      PPJ_RETURN_NOT_OK(copro.PutSealed(buffer, k, decoy, *join.output_key));
+    }
+    PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(copro, buffer, buffer_slots,
+                                               *join.output_key, real_first));
+    PPJ_RETURN_NOT_OK(HostFlushToOutput(copro, buffer, n, output, ai * n));
+  }
+
+  return Ch4Outcome{output, size_a * n, n};
+}
+
+}  // namespace ppj::core

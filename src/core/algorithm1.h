@@ -1,0 +1,43 @@
+#ifndef PPJ_CORE_ALGORITHM1_H_
+#define PPJ_CORE_ALGORITHM1_H_
+
+#include "common/result.h"
+#include "core/join_result.h"
+#include "core/join_spec.h"
+
+namespace ppj::core {
+
+/// Options shared by Algorithm 1 and its Section 4.4.2 variant.
+struct Algorithm1Options {
+  /// N — the maximum number of B tuples matching any A tuple. 0 means "run
+  /// the safe preprocessing pass of Section 4.3 to compute it" (a nested
+  /// loop that outputs nothing). A too-small N is unsafe to fix by
+  /// re-running (Section 4.3), so the algorithms never guess.
+  std::uint64_t n = 0;
+};
+
+/// Algorithm 1 (Section 4.4.1) — general join for secure coprocessors with
+/// *small* memories. Uses a host-resident scratch array of 2N slots: each
+/// comparison emits exactly one oTuple (result or decoy) into the rolling
+/// half of the scratch; after every N outputs the scratch is obliviously
+/// sorted real-first so accumulated results survive in the front half. The
+/// final front N slots are written to disk per A tuple.
+///
+/// Coprocessor memory demand: the two staging slots only (M can be 0).
+/// Transfer cost: |A| + 2N|A| + 2|A||B| + 2|A||B| log2(2N)^2, up to
+/// power-of-two padding of the scratch (exact when 2N is a power of two).
+Result<Ch4Outcome> RunAlgorithm1(sim::Coprocessor& copro,
+                                 const TwoWayJoin& join,
+                                 const Algorithm1Options& options = {});
+
+/// The Section 4.4.2 variant: no rolling scratch; for each A tuple it
+/// writes |B| oTuples and obliviously sorts all of them once, keeping the
+/// first N. Cost |A| + 2|A||B| + |A||B| log2(|B|)^2 — worse than
+/// Algorithm 1 for small alpha = N/|B|, which is why the paper drops it.
+Result<Ch4Outcome> RunAlgorithm1Variant(sim::Coprocessor& copro,
+                                        const TwoWayJoin& join,
+                                        const Algorithm1Options& options = {});
+
+}  // namespace ppj::core
+
+#endif  // PPJ_CORE_ALGORITHM1_H_

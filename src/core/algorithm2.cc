@@ -1,0 +1,81 @@
+#include "core/algorithm2.h"
+
+#include "common/math.h"
+#include "relation/encrypted_relation.h"
+
+namespace ppj::core {
+
+Result<Ch4Outcome> RunAlgorithm2(sim::Coprocessor& copro,
+                                 const TwoWayJoin& join,
+                                 const Algorithm2Options& options) {
+  PPJ_RETURN_NOT_OK(join.Validate());
+  std::uint64_t n = options.n;
+  if (n == 0) {
+    PPJ_ASSIGN_OR_RETURN(n, ComputeMaxMatches(copro, join));
+  }
+  n = std::max<std::uint64_t>(n, 1);
+
+  if (copro.memory_tuples() <= options.bookkeeping_slots) {
+    return Status::CapacityExceeded(
+        "Algorithm 2 needs memory beyond bookkeeping; use Algorithm 1");
+  }
+  const std::uint64_t m_free =
+      copro.memory_tuples() - options.bookkeeping_slots;
+  const std::uint64_t gamma = std::max<std::uint64_t>(1, CeilDiv(n, m_free));
+  const std::uint64_t blk = CeilDiv(n, gamma);
+
+  PPJ_ASSIGN_OR_RETURN(sim::SecureBuffer joined,
+                       sim::SecureBuffer::Allocate(copro, blk));
+
+  const std::size_t payload = join.JoinedPayloadSize();
+  const std::size_t slot = sim::Coprocessor::SealedSize(
+      relation::wire::PlainSize(payload));
+  const std::vector<std::uint8_t> decoy = relation::wire::MakeDecoy(payload);
+
+  const std::uint64_t size_a = join.a->size();
+  const std::uint64_t size_b = join.b->padded_size();
+  const sim::RegionId output = copro.host()->CreateRegion(
+      "alg2-output", slot, size_a * gamma * blk);
+
+  for (std::uint64_t ai = 0; ai < size_a; ++ai) {
+    PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple a,
+                         join.a->Fetch(copro, ai));
+    std::int64_t last = -1;  // position of the last *stored* B match
+    for (std::uint64_t pass = 0; pass < gamma; ++pass) {
+      joined.Clear();
+      std::int64_t current = 0;
+      std::int64_t pass_last = last;
+      for (std::uint64_t bi = 0; bi < size_b; ++bi) {
+        PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple b,
+                             join.b->Fetch(copro, bi));
+        // Predicate always evaluated; its result is used only when this
+        // pass is still collecting beyond the previous pass's cursor.
+        const bool hit =
+            a.real && b.real && join.predicate->Match(a.tuple, b.tuple);
+        copro.NoteMatchEvaluation(hit);
+        if (current > last && !joined.full() && hit) {
+          std::vector<std::uint8_t> bytes = a.tuple.Serialize();
+          const std::vector<std::uint8_t> bb = b.tuple.Serialize();
+          bytes.insert(bytes.end(), bb.begin(), bb.end());
+          PPJ_RETURN_NOT_OK(joined.Push(relation::wire::MakeReal(bytes)));
+          pass_last = current;
+        }
+        ++current;
+      }
+      last = pass_last;
+      // Fixed-size flush: blk oTuples per pass, decoy-padded.
+      const std::uint64_t base = (ai * gamma + pass) * blk;
+      for (std::uint64_t k = 0; k < blk; ++k) {
+        const std::vector<std::uint8_t>& plain =
+            k < joined.size() ? joined.At(k) : decoy;
+        PPJ_RETURN_NOT_OK(
+            copro.PutSealed(output, base + k, plain, *join.output_key));
+        PPJ_RETURN_NOT_OK(copro.DiskWrite(output, base + k));
+      }
+    }
+  }
+
+  return Ch4Outcome{output, size_a * gamma * blk, n};
+}
+
+}  // namespace ppj::core

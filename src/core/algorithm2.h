@@ -1,0 +1,34 @@
+#ifndef PPJ_CORE_ALGORITHM2_H_
+#define PPJ_CORE_ALGORITHM2_H_
+
+#include "common/result.h"
+#include "core/join_result.h"
+#include "core/join_spec.h"
+
+namespace ppj::core {
+
+struct Algorithm2Options {
+  /// N — maximum matches per A tuple; 0 = compute via the safe scan.
+  std::uint64_t n = 0;
+  /// delta — tuple slots reserved for bookkeeping data structures
+  /// (Section 4.4.3); subtracted from the coprocessor's free memory before
+  /// sizing the result buffer.
+  std::uint64_t bookkeeping_slots = 1;
+};
+
+/// Algorithm 2 (Section 4.4.3) — general join for secure coprocessors with
+/// *larger* memories. For every A tuple, T makes gamma = ceil(N/(M - delta))
+/// passes over B; pass i collects the i-th block of ceil(N/gamma) matches in
+/// coprocessor memory and flushes a fixed-size block (padded with decoys) at
+/// the end of the pass. The `last` cursor resumes matching where the
+/// previous pass stopped, exactly as in the paper's pseudocode.
+///
+/// Transfer cost: |A| + gamma |A||B| + blk*gamma*|A| outputs
+/// (= N|A| when gamma divides N).
+Result<Ch4Outcome> RunAlgorithm2(sim::Coprocessor& copro,
+                                 const TwoWayJoin& join,
+                                 const Algorithm2Options& options = {});
+
+}  // namespace ppj::core
+
+#endif  // PPJ_CORE_ALGORITHM2_H_

@@ -1,0 +1,98 @@
+#include "core/algorithm3.h"
+
+#include "common/math.h"
+#include "oblivious/bitonic_sort.h"
+#include "relation/encrypted_relation.h"
+
+namespace ppj::core {
+
+Result<Ch4Outcome> RunAlgorithm3(sim::Coprocessor& copro,
+                                 const TwoWayJoin& join,
+                                 const Algorithm3Options& options) {
+  PPJ_RETURN_NOT_OK(join.Validate());
+  if (!join.predicate->is_equality()) {
+    return Status::InvalidArgument(
+        "Algorithm 3 is the sort-based equijoin; it needs an "
+        "EqualityPredicate (use Algorithm 1/2 for general predicates)");
+  }
+  const auto* eq =
+      dynamic_cast<const relation::EqualityPredicate*>(join.predicate);
+  if (eq == nullptr) {
+    return Status::InvalidArgument(
+        "equality predicate must be an EqualityPredicate instance");
+  }
+  if (!IsPowerOfTwo(join.b->padded_size())) {
+    return Status::InvalidArgument(
+        "Algorithm 3 needs B sealed into a power-of-two padded region for "
+        "the oblivious sort");
+  }
+
+  std::uint64_t n = options.n;
+  if (n == 0) {
+    PPJ_ASSIGN_OR_RETURN(n, ComputeMaxMatches(copro, join));
+  }
+  n = std::max<std::uint64_t>(n, 1);
+
+  // Oblivious sort of B on the join attribute (padding last). In-place:
+  // every compare-exchange re-seals under B's key with fresh nonces.
+  if (!options.provider_sorted) {
+    PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(
+        copro, join.b->region(), join.b->padded_size(), *join.b->key(),
+        oblivious::ColumnLess(join.b->schema(), eq->col_b())));
+  }
+
+  const std::size_t payload = join.JoinedPayloadSize();
+  const std::size_t slot = sim::Coprocessor::SealedSize(
+      relation::wire::PlainSize(payload));
+  const std::vector<std::uint8_t> decoy = relation::wire::MakeDecoy(payload);
+
+  const std::uint64_t size_a = join.a->size();
+  const std::uint64_t size_b = join.b->padded_size();
+  const sim::RegionId scratch =
+      copro.host()->CreateRegion("alg3-scratch", slot, n);
+  const sim::RegionId output =
+      copro.host()->CreateRegion("alg3-output", slot, size_a * n);
+
+  for (std::uint64_t ai = 0; ai < size_a; ++ai) {
+    PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple a,
+                         join.a->Fetch(copro, ai));
+    for (std::uint64_t k = 0; k < n; ++k) {
+      PPJ_RETURN_NOT_OK(copro.PutSealed(scratch, k, decoy, *join.output_key));
+    }
+    std::uint64_t i = 0;
+    for (std::uint64_t bi = 0; bi < size_b; ++bi) {
+      PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple b,
+                           join.b->Fetch(copro, bi));
+      PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> t,
+                           copro.GetOpen(scratch, i % n, *join.output_key));
+      const bool hit =
+          a.real && b.real && join.predicate->Match(a.tuple, b.tuple);
+      copro.NoteMatchEvaluation(hit);
+      if (hit) {
+        std::vector<std::uint8_t> bytes = a.tuple.Serialize();
+        const std::vector<std::uint8_t> bb = b.tuple.Serialize();
+        bytes.insert(bytes.end(), bb.begin(), bb.end());
+        PPJ_RETURN_NOT_OK(copro.PutSealed(scratch, i % n,
+                                          relation::wire::MakeReal(bytes),
+                                          *join.output_key));
+      } else {
+        // Write back what was read, re-encrypted: indistinguishable from a
+        // fresh result to the host.
+        PPJ_RETURN_NOT_OK(copro.PutSealed(scratch, i % n, t,
+                                          *join.output_key));
+      }
+      ++i;
+    }
+    // H persists the N scratch slots for this A tuple.
+    for (std::uint64_t k = 0; k < n; ++k) {
+      PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> sealed,
+                           copro.host()->ReadSlot(scratch, k));
+      PPJ_RETURN_NOT_OK(copro.host()->WriteSlot(output, ai * n + k, sealed));
+      PPJ_RETURN_NOT_OK(copro.DiskWrite(output, ai * n + k));
+    }
+  }
+
+  return Ch4Outcome{output, size_a * n, n};
+}
+
+}  // namespace ppj::core

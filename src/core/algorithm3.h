@@ -1,0 +1,39 @@
+#ifndef PPJ_CORE_ALGORITHM3_H_
+#define PPJ_CORE_ALGORITHM3_H_
+
+#include "common/result.h"
+#include "core/join_result.h"
+#include "core/join_spec.h"
+
+namespace ppj::core {
+
+struct Algorithm3Options {
+  /// N — maximum matches per A tuple; 0 = compute via the safe scan.
+  std::uint64_t n = 0;
+  /// Skip the oblivious sort of B when the provider shipped it pre-sorted
+  /// on the join attribute (Section 4.5.2's cost note).
+  bool provider_sorted = false;
+};
+
+/// Algorithm 3 (Section 4.5.2) — the safe sort-based *equijoin*. After B is
+/// obliviously sorted on the join attribute, the matches for any A tuple
+/// occupy at most N consecutive positions of B, so a circular scratch of
+/// only N slots suffices: for the i-th B tuple, T reads scratch[i mod N]
+/// and writes back either a re-encryption of what it read or the joined
+/// tuple. Real results are never overwritten because consecutive match
+/// positions map to distinct slots mod N.
+///
+/// Requires an equality predicate (EqualityPredicate); B must be sealed
+/// into a power-of-two padded region so the bitonic sort applies.
+///
+/// NOTE: sorts B's region in place (re-sealed under B's own key); callers
+/// that need B's original order must re-seal.
+///
+/// Transfer cost: |A| + N|A| + |B| log2(|B|)^2 + 3|A||B|.
+Result<Ch4Outcome> RunAlgorithm3(sim::Coprocessor& copro,
+                                 const TwoWayJoin& join,
+                                 const Algorithm3Options& options = {});
+
+}  // namespace ppj::core
+
+#endif  // PPJ_CORE_ALGORITHM3_H_

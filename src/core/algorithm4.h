@@ -1,0 +1,33 @@
+#ifndef PPJ_CORE_ALGORITHM4_H_
+#define PPJ_CORE_ALGORITHM4_H_
+
+#include "common/result.h"
+#include "core/join_result.h"
+#include "core/join_spec.h"
+
+namespace ppj::core {
+
+struct Algorithm4Options {
+  /// Swap size of the final windowed oblivious filter; 0 = the optimal
+  /// Delta* of Eqn 5.1.
+  std::uint64_t filter_delta = 0;
+};
+
+/// Algorithm 4 (Section 5.3.1) — exact privacy preserving join for
+/// coprocessors with *small* memory (needs only the two staging slots).
+///
+/// One pass over the L iTuples of D = X_1 x ... x X_J writes exactly one
+/// oTuple per iTuple — the real join result when satisfy() holds, a decoy
+/// otherwise — so the host sees a pattern determined by L alone. The
+/// optimized windowed oblivious filter of Section 5.2.2 then strips the
+/// L - S decoys, leaving exactly the S results (Definition 3's exact-output
+/// requirement).
+///
+/// Transfer cost (Eqn 5.2): 2L + ((L-S)/Delta*)(S+Delta*) log2(S+Delta*)^2.
+Result<Ch5Outcome> RunAlgorithm4(sim::Coprocessor& copro,
+                                 const MultiwayJoin& join,
+                                 const Algorithm4Options& options = {});
+
+}  // namespace ppj::core
+
+#endif  // PPJ_CORE_ALGORITHM4_H_

@@ -1,0 +1,70 @@
+#include "core/algorithm5.h"
+
+#include "core/cartesian.h"
+#include "relation/encrypted_relation.h"
+
+namespace ppj::core {
+
+Result<Ch5Outcome> RunAlgorithm5(sim::Coprocessor& copro,
+                                 const MultiwayJoin& join) {
+  PPJ_RETURN_NOT_OK(join.Validate());
+  const std::uint64_t m = copro.memory_tuples();
+  if (m == 0) {
+    return Status::CapacityExceeded(
+        "Algorithm 5 needs at least one result slot; use Algorithm 4");
+  }
+  PPJ_ASSIGN_OR_RETURN(sim::SecureBuffer buffer,
+                       sim::SecureBuffer::Allocate(copro, m));
+
+  ITupleReader reader(&copro, join.tables);
+  const std::uint64_t l = reader.index().size();
+  const std::size_t payload = join.JoinedPayloadSize();
+  const std::size_t slot = sim::Coprocessor::SealedSize(
+      relation::wire::PlainSize(payload));
+
+  // Output grows by at most M per scan; final size is exactly S.
+  const sim::RegionId output =
+      copro.host()->CreateRegion("alg5-output", slot, 0);
+
+  std::int64_t pindex = -1;  // index of the last *flushed* result
+  std::uint64_t written = 0;
+  for (;;) {
+    buffer.Clear();
+    std::int64_t last_stored = pindex;
+    bool overflow = false;
+    for (std::uint64_t idx = 0; idx < l; ++idx) {
+      PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
+      const bool hit =
+          fetched.real && join.predicate->Satisfy(fetched.components);
+      copro.NoteMatchEvaluation(hit);
+      if (hit && static_cast<std::int64_t>(idx) > pindex) {
+        if (!buffer.full()) {
+          PPJ_RETURN_NOT_OK(buffer.Push(relation::wire::MakeReal(
+              ITupleReader::JoinedPayload(fetched.components))));
+          last_stored = static_cast<std::int64_t>(idx);
+        } else {
+          overflow = true;  // more results remain: another scan is needed
+        }
+      }
+    }
+    // Flush at the scan boundary — the only observable output point.
+    PPJ_RETURN_NOT_OK(
+        copro.host()->ResizeRegion(output, written + buffer.size()));
+    for (std::size_t k = 0; k < buffer.size(); ++k) {
+      PPJ_RETURN_NOT_OK(copro.PutSealed(output, written + k, buffer.At(k),
+                                        *join.output_key));
+      PPJ_RETURN_NOT_OK(copro.DiskWrite(output, written + k));
+    }
+    written += buffer.size();
+    if (!overflow) break;
+    pindex = last_stored;
+  }
+
+  Ch5Outcome out;
+  out.output_region = output;
+  out.result_size = written;
+  out.staging_slots = 0;  // Algorithm 5 writes no intermediate oTuples
+  return out;
+}
+
+}  // namespace ppj::core

@@ -1,0 +1,29 @@
+#ifndef PPJ_CORE_ALGORITHM5_H_
+#define PPJ_CORE_ALGORITHM5_H_
+
+#include "common/result.h"
+#include "core/join_result.h"
+#include "core/join_spec.h"
+
+namespace ppj::core {
+
+/// Algorithm 5 (Section 5.3.2) — exact privacy preserving join for
+/// coprocessors with *large* memory, no oblivious sorting needed.
+///
+/// T repeatedly scans all L iTuples in a fixed order; each scan collects the
+/// next M results in coprocessor memory (resuming past the pindex cursor of
+/// the previously flushed result) and flushes them *at the scan boundary* —
+/// never mid-scan, which would reveal where the M-th match sits (the leak
+/// Section 5.3.2 opens with). ceil(S/M) scans emit exactly S results.
+///
+/// The per-scan bookkeeping tracks whether any match beyond the stored ones
+/// was seen, so the final scan is detected without an extra pass, matching
+/// the paper's ceil(S/M) L read cost. The trace is a function of (L, S, M).
+///
+/// Transfer cost (Eqn 5.3): S + ceil(S/M) L.
+Result<Ch5Outcome> RunAlgorithm5(sim::Coprocessor& copro,
+                                 const MultiwayJoin& join);
+
+}  // namespace ppj::core
+
+#endif  // PPJ_CORE_ALGORITHM5_H_

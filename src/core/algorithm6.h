@@ -1,0 +1,53 @@
+#ifndef PPJ_CORE_ALGORITHM6_H_
+#define PPJ_CORE_ALGORITHM6_H_
+
+#include "common/result.h"
+#include "core/join_result.h"
+#include "core/join_spec.h"
+
+namespace ppj::core {
+
+struct Algorithm6Options {
+  /// Privacy parameter: the join is privacy preserving with probability at
+  /// least 1 - epsilon (Section 5.3.3). Smaller epsilon = smaller segments
+  /// = more flushes = higher cost. epsilon = 0 degenerates to Algorithm 4's
+  /// one-output-per-input behaviour.
+  double epsilon = 1e-20;
+  /// Seed of the MLFSR random read order. Part of the coprocessor's
+  /// internal randomness; the induced order is data independent.
+  std::uint64_t order_seed = 0x5eed;
+  /// Override the optimal segment size (testing only); 0 = solve Eqn 5.6.
+  std::uint64_t forced_segment_size = 0;
+  /// Swap size of the final filter; 0 = optimal Delta*.
+  std::uint64_t filter_delta = 0;
+};
+
+/// Algorithm 6 (Section 5.3.3) — trades a sliver of privacy (level
+/// 1 - epsilon) for substantial efficiency.
+///
+/// A screening pass counts S; the segment size n* is the largest one whose
+/// blemish union bound P_M(n) stays within epsilon (Eqn 5.6). T then visits
+/// the L iTuples in MLFSR-random order, buffering results in memory and
+/// flushing exactly M oTuples (results + decoys) per segment; a final
+/// windowed oblivious filter reduces the ceil(L/n*) M staged oTuples to the
+/// S real results.
+///
+/// Blemish case: a segment with more than M results. Probability <= epsilon
+/// by construction. When it happens the implementation performs the
+/// paper's "salvage action": it re-outputs everything with an Algorithm 5
+/// sweep — correct, but the extra access pattern is data dependent, so the
+/// outcome carries blemish = true and the privacy auditor will flag the
+/// trace (this is exactly the advertised epsilon-probability privacy loss).
+///
+/// When M >= S the screening pass itself captures every result and the cost
+/// collapses to the minimum L + S (footnote 1).
+///
+/// Transfer cost (Eqn 5.7, squared-log form; see DESIGN.md):
+///   2L + ceil(L/n*) M + ((ceil(L/n*)M - S)/Delta*)(S+Delta*) log2(S+Delta*)^2.
+Result<Ch5Outcome> RunAlgorithm6(sim::Coprocessor& copro,
+                                 const MultiwayJoin& join,
+                                 const Algorithm6Options& options = {});
+
+}  // namespace ppj::core
+
+#endif  // PPJ_CORE_ALGORITHM6_H_

@@ -1,0 +1,87 @@
+#include "core/cartesian.h"
+
+#include <cassert>
+
+namespace ppj::core {
+
+CartesianIndex::CartesianIndex(std::vector<std::uint64_t> table_sizes)
+    : sizes_(std::move(table_sizes)) {
+  assert(!sizes_.empty());
+  strides_.assign(sizes_.size(), 1);
+  for (std::size_t i = sizes_.size(); i-- > 1;) {
+    strides_[i - 1] = strides_[i] * sizes_[i];
+  }
+  size_ = strides_[0] * sizes_[0];
+}
+
+std::vector<std::uint64_t> CartesianIndex::Decompose(
+    std::uint64_t index) const {
+  std::vector<std::uint64_t> out(sizes_.size());
+  for (std::size_t i = 0; i < sizes_.size(); ++i) {
+    out[i] = index / strides_[i];
+    index %= strides_[i];
+  }
+  return out;
+}
+
+std::uint64_t CartesianIndex::Compose(
+    const std::vector<std::uint64_t>& indices) const {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    out += indices[i] * strides_[i];
+  }
+  return out;
+}
+
+namespace {
+std::vector<std::uint64_t> TableSizes(
+    const std::vector<const relation::EncryptedRelation*>& tables) {
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(tables.size());
+  for (const auto* t : tables) sizes.push_back(t->size());
+  return sizes;
+}
+}  // namespace
+
+ITupleReader::ITupleReader(
+    sim::Coprocessor* copro,
+    std::vector<const relation::EncryptedRelation*> tables)
+    : copro_(copro),
+      tables_(std::move(tables)),
+      index_(TableSizes(tables_)),
+      cached_index_(tables_.size()),
+      cached_tuple_(tables_.size()),
+      cached_real_(tables_.size(), false) {
+  for (const auto* t : tables_) payload_size_ += t->schema()->tuple_size();
+}
+
+Result<ITupleReader::Fetched> ITupleReader::Fetch(std::uint64_t logical) {
+  const std::vector<std::uint64_t> parts = index_.Decompose(logical);
+  Fetched out;
+  out.components.reserve(tables_.size());
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    if (!cached_index_[t].has_value() || *cached_index_[t] != parts[t]) {
+      PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple fetched,
+                           tables_[t]->Fetch(*copro_, parts[t]));
+      cached_index_[t] = parts[t];
+      cached_tuple_[t] = std::move(fetched.tuple);
+      cached_real_[t] = fetched.real;
+    }
+    out.components.push_back(cached_tuple_[t]);
+    out.real = out.real && cached_real_[t];
+  }
+  copro_->NoteITupleRead();
+  return out;
+}
+
+std::vector<std::uint8_t> ITupleReader::JoinedPayload(
+    const std::vector<relation::Tuple>& components) {
+  std::vector<std::uint8_t> payload;
+  for (const relation::Tuple& t : components) {
+    const std::vector<std::uint8_t> bytes = t.Serialize();
+    payload.insert(payload.end(), bytes.begin(), bytes.end());
+  }
+  return payload;
+}
+
+}  // namespace ppj::core

@@ -1,0 +1,83 @@
+#ifndef PPJ_CORE_CARTESIAN_H_
+#define PPJ_CORE_CARTESIAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relation/encrypted_relation.h"
+#include "sim/coprocessor.h"
+
+namespace ppj::core {
+
+/// Row-major index over D = X_1 x ... x X_J without materializing D
+/// (Section 5.2.1: "a logical index can be easily converted into the
+/// individual index of each of the J tuples and D need not be
+/// materialized").
+class CartesianIndex {
+ public:
+  explicit CartesianIndex(std::vector<std::uint64_t> table_sizes);
+
+  /// L = product of table sizes.
+  std::uint64_t size() const { return size_; }
+  std::size_t arity() const { return sizes_.size(); }
+  const std::vector<std::uint64_t>& table_sizes() const { return sizes_; }
+
+  /// Per-table indices of the logical element `index` (row-major: the last
+  /// table varies fastest).
+  std::vector<std::uint64_t> Decompose(std::uint64_t index) const;
+
+  /// Inverse of Decompose.
+  std::uint64_t Compose(const std::vector<std::uint64_t>& indices) const;
+
+ private:
+  std::vector<std::uint64_t> sizes_;
+  std::vector<std::uint64_t> strides_;
+  std::uint64_t size_ = 0;
+};
+
+/// Fetches iTuples through the coprocessor, caching unchanged prefix
+/// components so a sequential scan of D costs ~L raw transfers rather than
+/// J*L. One call = one *logical* iTuple read in the Chapter 5 cost metric
+/// regardless of how many component tuples actually moved. The caching
+/// decision depends only on the requested index sequence (public), never on
+/// tuple contents, so it cannot perturb trace equality.
+class ITupleReader {
+ public:
+  ITupleReader(sim::Coprocessor* copro,
+               std::vector<const relation::EncryptedRelation*> tables);
+
+  const CartesianIndex& index() const { return index_; }
+
+  /// The iTuple at logical position `logical`; `real` is false when any
+  /// component is a padding slot.
+  struct Fetched {
+    std::vector<relation::Tuple> components;
+    bool real = true;
+  };
+  Result<Fetched> Fetch(std::uint64_t logical);
+
+  /// Serialized concatenation of the component tuples — the payload of a
+  /// join-result oTuple.
+  static std::vector<std::uint8_t> JoinedPayload(
+      const std::vector<relation::Tuple>& components);
+
+  /// Byte size of a joined payload for these tables.
+  std::size_t joined_payload_size() const { return payload_size_; }
+
+ private:
+  sim::Coprocessor* copro_;
+  std::vector<const relation::EncryptedRelation*> tables_;
+  CartesianIndex index_;
+  std::size_t payload_size_ = 0;
+  // Cache of the last fetched component index/tuple per table.
+  std::vector<std::optional<std::uint64_t>> cached_index_;
+  std::vector<relation::Tuple> cached_tuple_;
+  std::vector<bool> cached_real_;
+};
+
+}  // namespace ppj::core
+
+#endif  // PPJ_CORE_CARTESIAN_H_

@@ -1,0 +1,40 @@
+#include "core/join_result.h"
+
+#include <cstring>
+
+#include "relation/encrypted_relation.h"
+
+namespace ppj::core {
+
+Result<std::vector<std::uint8_t>> OpenSealedSlot(
+    const std::vector<std::uint8_t>& slot, const crypto::Ocb& key) {
+  if (slot.size() < crypto::Ocb::kBlockSize + crypto::Ocb::kTagSize) {
+    return Status::Tampered("sealed slot too small");
+  }
+  crypto::Block nonce;
+  std::memcpy(nonce.data(), slot.data(), crypto::Ocb::kBlockSize);
+  const std::vector<std::uint8_t> body(slot.begin() + crypto::Ocb::kBlockSize,
+                                       slot.end());
+  return key.Decrypt(nonce, body);
+}
+
+Result<std::vector<relation::Tuple>> DecodeJoinOutput(
+    const sim::HostStore& host, sim::RegionId region, std::uint64_t slots,
+    const crypto::Ocb& key, const relation::Schema* result_schema) {
+  std::vector<relation::Tuple> out;
+  for (std::uint64_t i = 0; i < slots; ++i) {
+    PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> sealed,
+                         host.ReadSlot(region, i));
+    PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> plain,
+                         OpenSealedSlot(sealed, key));
+    if (!relation::wire::IsReal(plain)) continue;  // decoy: drop silently
+    PPJ_ASSIGN_OR_RETURN(
+        relation::Tuple tuple,
+        relation::Tuple::Deserialize(result_schema,
+                                     relation::wire::Payload(plain)));
+    out.push_back(std::move(tuple));
+  }
+  return out;
+}
+
+}  // namespace ppj::core

@@ -1,0 +1,52 @@
+#ifndef PPJ_CORE_JOIN_RESULT_H_
+#define PPJ_CORE_JOIN_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "crypto/ocb.h"
+#include "relation/relation.h"
+#include "sim/host_store.h"
+#include "sim/metrics.h"
+
+namespace ppj::core {
+
+/// Outcome of a Chapter 4 algorithm: a host region of `output_slots` sealed
+/// oTuples (real results mixed with decoys) destined for the recipient. The
+/// output size is N|A|-shaped and *does not* reveal the true result size —
+/// that is the Chapter 4 privacy contract.
+struct Ch4Outcome {
+  sim::RegionId output_region = 0;
+  std::uint64_t output_slots = 0;
+  std::uint64_t n_used = 0;  ///< The N the run was sized for.
+};
+
+/// Outcome of a Chapter 5 algorithm: exactly S real results, no padding
+/// (Definition 3's exact-result requirement).
+struct Ch5Outcome {
+  sim::RegionId output_region = 0;
+  std::uint64_t result_size = 0;     ///< S.
+  std::uint64_t staging_slots = 0;   ///< Pre-filter oTuples (diagnostics).
+  std::uint64_t n_star = 0;          ///< Algorithm 6 segment size, else 0.
+  bool blemish = false;              ///< Algorithm 6 overflow + salvage.
+};
+
+/// Recipient-side decoding: opens `slots` sealed oTuples of `region` under
+/// the recipient's key, drops decoys, and deserializes the joined payloads
+/// as concatenated tuples of `schemas` (one per joined table, in order),
+/// flattened under `result_schema`. This runs at P_C, not inside the
+/// coprocessor, so it is untraced.
+Result<std::vector<relation::Tuple>> DecodeJoinOutput(
+    const sim::HostStore& host, sim::RegionId region, std::uint64_t slots,
+    const crypto::Ocb& key, const relation::Schema* result_schema);
+
+/// Opens one sealed slot (nonce || ciphertext || tag) outside the
+/// coprocessor — the primitive data providers and recipients use.
+Result<std::vector<std::uint8_t>> OpenSealedSlot(
+    const std::vector<std::uint8_t>& slot, const crypto::Ocb& key);
+
+}  // namespace ppj::core
+
+#endif  // PPJ_CORE_JOIN_RESULT_H_

@@ -1,0 +1,89 @@
+#include "core/join_spec.h"
+
+#include "core/cartesian.h"
+
+namespace ppj::core {
+
+Status TwoWayJoin::Validate() const {
+  if (a == nullptr || b == nullptr) {
+    return Status::InvalidArgument("join requires relations A and B");
+  }
+  if (predicate == nullptr) {
+    return Status::InvalidArgument("join requires a predicate");
+  }
+  if (output_key == nullptr) {
+    return Status::InvalidArgument("join requires an output key");
+  }
+  if (a->size() == 0 || b->size() == 0) {
+    return Status::InvalidArgument("empty input relation");
+  }
+  return Status::OK();
+}
+
+std::size_t MultiwayJoin::JoinedPayloadSize() const {
+  std::size_t size = 0;
+  for (const auto* t : tables) size += t->schema()->tuple_size();
+  return size;
+}
+
+std::uint64_t MultiwayJoin::CartesianSize() const {
+  std::uint64_t l = 1;
+  for (const auto* t : tables) l *= t->size();
+  return l;
+}
+
+Status MultiwayJoin::Validate() const {
+  if (tables.empty()) {
+    return Status::InvalidArgument("join requires at least one table");
+  }
+  for (const auto* t : tables) {
+    if (t == nullptr || t->size() == 0) {
+      return Status::InvalidArgument("null or empty input table");
+    }
+  }
+  if (predicate == nullptr) {
+    return Status::InvalidArgument("join requires a predicate");
+  }
+  if (output_key == nullptr) {
+    return Status::InvalidArgument("join requires an output key");
+  }
+  return Status::OK();
+}
+
+Result<std::uint64_t> ComputeMaxMatches(sim::Coprocessor& copro,
+                                        const TwoWayJoin& join) {
+  PPJ_RETURN_NOT_OK(join.Validate());
+  std::uint64_t n = 0;
+  for (std::uint64_t i = 0; i < join.a->size(); ++i) {
+    PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple a,
+                         join.a->Fetch(copro, i));
+    std::uint64_t row = 0;
+    for (std::uint64_t j = 0; j < join.b->size(); ++j) {
+      PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple b,
+                           join.b->Fetch(copro, j));
+      const bool hit =
+          a.real && b.real && join.predicate->Match(a.tuple, b.tuple);
+      copro.NoteMatchEvaluation(hit);
+      if (hit) ++row;
+    }
+    n = std::max(n, row);
+  }
+  return n;
+}
+
+Result<std::uint64_t> ScreenResultSize(sim::Coprocessor& copro,
+                                       const MultiwayJoin& join) {
+  PPJ_RETURN_NOT_OK(join.Validate());
+  ITupleReader reader(&copro, join.tables);
+  std::uint64_t s = 0;
+  for (std::uint64_t idx = 0; idx < reader.index().size(); ++idx) {
+    PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
+    const bool hit =
+        fetched.real && join.predicate->Satisfy(fetched.components);
+    copro.NoteMatchEvaluation(hit);
+    if (hit) ++s;
+  }
+  return s;
+}
+
+}  // namespace ppj::core

@@ -1,0 +1,62 @@
+#ifndef PPJ_CORE_JOIN_SPEC_H_
+#define PPJ_CORE_JOIN_SPEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "crypto/ocb.h"
+#include "relation/encrypted_relation.h"
+#include "relation/predicate.h"
+#include "sim/coprocessor.h"
+
+namespace ppj::core {
+
+/// Inputs of a two-way join as the Chapter 4 algorithms consume them.
+/// Result tuples (and decoys) are sealed under `output_key` — in the full
+/// system that is the session key T shares with the recipient P_C, so
+/// neither the host nor the data providers can read the output
+/// (Section 3.2).
+struct TwoWayJoin {
+  const relation::EncryptedRelation* a = nullptr;
+  const relation::EncryptedRelation* b = nullptr;
+  const relation::PairPredicate* predicate = nullptr;
+  const crypto::Ocb* output_key = nullptr;
+
+  /// Payload size of a joined tuple: |a tuple| + |b tuple| bytes.
+  std::size_t JoinedPayloadSize() const {
+    return a->schema()->tuple_size() + b->schema()->tuple_size();
+  }
+
+  Status Validate() const;
+};
+
+/// Inputs of a J-way join (Chapter 5).
+struct MultiwayJoin {
+  std::vector<const relation::EncryptedRelation*> tables;
+  const relation::MultiwayPredicate* predicate = nullptr;
+  const crypto::Ocb* output_key = nullptr;
+
+  std::size_t JoinedPayloadSize() const;
+  /// L = product of table sizes.
+  std::uint64_t CartesianSize() const;
+
+  Status Validate() const;
+};
+
+/// Computes N — the maximum number of B tuples matching any single A tuple
+/// — by the safe preprocessing pass of Section 4.3 ("run a nested loop join
+/// without outputting any result tuple"; it reads both relations in a fixed
+/// pattern and emits nothing, so it leaks nothing).
+Result<std::uint64_t> ComputeMaxMatches(sim::Coprocessor& copro,
+                                        const TwoWayJoin& join);
+
+/// Screening pass of Algorithm 6: counts S = |join result| by reading every
+/// iTuple once and outputting nothing.
+Result<std::uint64_t> ScreenResultSize(sim::Coprocessor& copro,
+                                       const MultiwayJoin& join);
+
+}  // namespace ppj::core
+
+#endif  // PPJ_CORE_JOIN_SPEC_H_

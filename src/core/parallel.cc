@@ -1,0 +1,604 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+
+#include "analysis/optimizer.h"
+#include "common/math.h"
+#include "core/algorithm5.h"
+#include "core/cartesian.h"
+#include "crypto/mlfsr.h"
+#include "oblivious/windowed_filter.h"
+#include "relation/encrypted_relation.h"
+
+namespace ppj::core {
+
+namespace {
+
+/// Worker body of parallel Algorithm 5: emit results with global match
+/// ranks in [rank_lo, rank_hi) into the shared output region at slots
+/// [rank_lo, rank_hi), using Algorithm 5's scan-per-bufferful loop. Rank
+/// selection is a function of the public parameters only.
+Status Alg5Worker(sim::Coprocessor& copro, const MultiwayJoin& join,
+                  std::uint64_t rank_lo, std::uint64_t rank_hi,
+                  sim::RegionId out) {
+  const std::uint64_t m = copro.memory_tuples();
+  PPJ_ASSIGN_OR_RETURN(sim::SecureBuffer buffer,
+                       sim::SecureBuffer::Allocate(copro, m));
+  ITupleReader reader(&copro, join.tables);
+  const std::uint64_t l = reader.index().size();
+
+  std::uint64_t cursor = rank_lo;  // next rank this worker must emit
+  std::uint64_t written = rank_lo;
+  while (cursor < rank_hi) {
+    buffer.Clear();
+    const std::uint64_t take = std::min<std::uint64_t>(m, rank_hi - cursor);
+    std::uint64_t rank = 0;
+    for (std::uint64_t idx = 0; idx < l; ++idx) {
+      PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
+      const bool hit =
+          fetched.real && join.predicate->Satisfy(fetched.components);
+      copro.NoteMatchEvaluation(hit);
+      if (hit) {
+        if (rank >= cursor && rank < cursor + take) {
+          PPJ_RETURN_NOT_OK(buffer.Push(relation::wire::MakeReal(
+              ITupleReader::JoinedPayload(fetched.components))));
+        }
+        ++rank;
+      }
+    }
+    for (std::size_t k = 0; k < buffer.size(); ++k) {
+      PPJ_RETURN_NOT_OK(copro.PutSealed(out, written + k, buffer.At(k),
+                                        *join.output_key));
+      PPJ_RETURN_NOT_OK(copro.DiskWrite(out, written + k));
+    }
+    written += buffer.size();
+    cursor += take;
+  }
+  return Status::OK();
+}
+
+void Accumulate(ParallelOutcome& out, const sim::Coprocessor& copro) {
+  out.per_coprocessor.push_back(copro.metrics());
+  out.makespan_transfers =
+      std::max(out.makespan_transfers, copro.metrics().TupleTransfers());
+  out.total_transfers += copro.metrics().TupleTransfers();
+}
+
+/// The windowed decoy filter of Section 5.2.2 with its inner sorts executed
+/// as parallel bitonic sweeps across all devices. The lead coprocessor
+/// (copros[0]) performs the sequential copy-in/copy-out; the sorts are
+/// where the bulk of the transfers live.
+Status ParallelDecoyFilter(std::vector<sim::Coprocessor*>& copros,
+                           sim::RegionId src, std::uint64_t omega,
+                           std::uint64_t mu, const crypto::Ocb& key,
+                           sim::RegionId dst, std::size_t payload_size) {
+  sim::Coprocessor& lead = *copros[0];
+  const std::vector<std::uint8_t> decoy =
+      relation::wire::MakeDecoy(payload_size);
+  const std::uint64_t delta = analysis::OptimalSwapInteger(omega, mu);
+  const std::uint64_t window = std::min(mu + delta, omega);
+  const std::uint64_t padded = NextPowerOfTwo(window);
+  const std::size_t slot = sim::Coprocessor::SealedSize(
+      relation::wire::PlainSize(payload_size));
+  const sim::RegionId buffer =
+      lead.host()->CreateRegion("parallel-filter-buffer", slot, padded);
+
+  auto copy_in = [&](std::uint64_t s, std::uint64_t b) -> Status {
+    PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> plain,
+                         lead.GetOpen(src, s, key));
+    return lead.PutSealed(buffer, b, plain, key);
+  };
+
+  std::uint64_t consumed = 0;
+  for (; consumed < window; ++consumed) {
+    PPJ_RETURN_NOT_OK(copy_in(consumed, consumed));
+  }
+  for (std::uint64_t b = window; b < padded; ++b) {
+    PPJ_RETURN_NOT_OK(lead.PutSealed(buffer, b, decoy, key));
+  }
+  const oblivious::PlainLess less = oblivious::RealFirstLess();
+  PPJ_RETURN_NOT_OK(ParallelObliviousSort(copros, buffer, padded, key, less));
+  while (consumed < omega) {
+    const std::uint64_t chunk = std::min(delta, omega - consumed);
+    for (std::uint64_t j = 0; j < chunk; ++j) {
+      PPJ_RETURN_NOT_OK(copy_in(consumed + j, mu + j));
+    }
+    consumed += chunk;
+    PPJ_RETURN_NOT_OK(
+        ParallelObliviousSort(copros, buffer, padded, key, less));
+  }
+  for (std::uint64_t k = 0; k < mu; ++k) {
+    PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> plain,
+                         lead.GetOpen(buffer, k, key));
+    PPJ_RETURN_NOT_OK(lead.PutSealed(dst, k, plain, key));
+    PPJ_RETURN_NOT_OK(lead.DiskWrite(dst, k));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ParallelOutcome> RunParallelAlgorithm5(
+    sim::HostStore* host, const MultiwayJoin& join, unsigned parallelism,
+    const sim::CoprocessorOptions& base_options) {
+  PPJ_RETURN_NOT_OK(join.Validate());
+  if (parallelism == 0) {
+    return Status::InvalidArgument("parallelism must be >= 1");
+  }
+
+  // Coordinator screens for S (Section 5.3.5: "one T serves as the
+  // coordinator of parallelism").
+  sim::CoprocessorOptions coord_options = base_options;
+  sim::Coprocessor coordinator(host, coord_options);
+  PPJ_ASSIGN_OR_RETURN(const std::uint64_t s,
+                       ScreenResultSize(coordinator, join));
+
+  const std::size_t payload = join.JoinedPayloadSize();
+  const std::size_t slot = sim::Coprocessor::SealedSize(
+      relation::wire::PlainSize(payload));
+  const sim::RegionId output = host->CreateRegion("par5-output", slot, s);
+
+  ParallelOutcome out;
+  out.output_region = output;
+  out.result_size = s;
+  Accumulate(out, coordinator);
+  if (s == 0) return out;
+
+  const std::uint64_t blk = CeilDiv(s, parallelism);
+  // Worker output slices share the single output region; slice p starts at
+  // rank p*blk. Regions and coprocessors are created up front so ids and
+  // seeds are deterministic.
+  std::vector<std::unique_ptr<sim::Coprocessor>> copros;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+  for (unsigned p = 0; p < parallelism; ++p) {
+    const std::uint64_t lo = std::min<std::uint64_t>(s, p * blk);
+    const std::uint64_t hi = std::min<std::uint64_t>(s, (p + 1) * blk);
+    if (lo >= hi) break;
+    sim::CoprocessorOptions opt = base_options;
+    opt.seed = base_options.seed + 1000 + p;
+    copros.push_back(std::make_unique<sim::Coprocessor>(host, opt));
+    ranges.emplace_back(lo, hi);
+  }
+
+  std::vector<Status> statuses(copros.size());
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(copros.size());
+    for (std::size_t p = 0; p < copros.size(); ++p) {
+      threads.emplace_back([&, p] {
+        // Each worker writes into its slice of the shared output region:
+        // model it with a per-worker sub-range via a dedicated region view.
+        statuses[p] = Alg5Worker(*copros[p], join, ranges[p].first,
+                                 ranges[p].second, output);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (const Status& st : statuses) PPJ_RETURN_NOT_OK(st);
+  for (const auto& c : copros) Accumulate(out, *c);
+  return out;
+}
+
+Result<ParallelOutcome> RunParallelAlgorithm4(
+    sim::HostStore* host, const MultiwayJoin& join, unsigned parallelism,
+    const sim::CoprocessorOptions& base_options) {
+  PPJ_RETURN_NOT_OK(join.Validate());
+  if (parallelism == 0) {
+    return Status::InvalidArgument("parallelism must be >= 1");
+  }
+
+  const std::size_t payload = join.JoinedPayloadSize();
+  const std::size_t slot = sim::Coprocessor::SealedSize(
+      relation::wire::PlainSize(payload));
+  const std::vector<std::uint8_t> decoy = relation::wire::MakeDecoy(payload);
+
+  std::uint64_t l = 1;
+  for (const auto* t : join.tables) l *= t->size();
+  const sim::RegionId staging = host->CreateRegion("par4-staging", slot, l);
+
+  std::vector<std::unique_ptr<sim::Coprocessor>> copros;
+  for (unsigned p = 0; p < parallelism; ++p) {
+    sim::CoprocessorOptions opt = base_options;
+    opt.seed = base_options.seed + 2000 + p;
+    copros.push_back(std::make_unique<sim::Coprocessor>(host, opt));
+  }
+
+  // Phase 1: partition the iTuple range; one oTuple out per iTuple in.
+  const std::uint64_t chunk = CeilDiv(l, parallelism);
+  std::vector<Status> statuses(copros.size(), Status::OK());
+  std::vector<std::uint64_t> counts(copros.size(), 0);
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t p = 0; p < copros.size(); ++p) {
+      threads.emplace_back([&, p] {
+        sim::Coprocessor& copro = *copros[p];
+        ITupleReader reader(&copro, join.tables);
+        const std::uint64_t lo = std::min<std::uint64_t>(l, p * chunk);
+        const std::uint64_t hi = std::min<std::uint64_t>(l, (p + 1) * chunk);
+        for (std::uint64_t idx = lo; idx < hi; ++idx) {
+          auto fetched = reader.Fetch(idx);
+          if (!fetched.ok()) {
+            statuses[p] = fetched.status();
+            return;
+          }
+          const bool hit = fetched->real &&
+                           join.predicate->Satisfy(fetched->components);
+          copro.NoteMatchEvaluation(hit);
+          Status st;
+          if (hit) {
+            ++counts[p];
+            st = copro.PutSealed(
+                staging, idx,
+                relation::wire::MakeReal(
+                    ITupleReader::JoinedPayload(fetched->components)),
+                *join.output_key);
+          } else {
+            st = copro.PutSealed(staging, idx, decoy, *join.output_key);
+          }
+          if (!st.ok()) {
+            statuses[p] = st;
+            return;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (const Status& st : statuses) PPJ_RETURN_NOT_OK(st);
+  std::uint64_t s = 0;
+  for (std::uint64_t c : counts) s += c;
+
+  ParallelOutcome out;
+  out.result_size = s;
+  if (s == 0) {
+    out.output_region = host->CreateRegion("par4-output", slot, 0);
+    for (const auto& c : copros) Accumulate(out, *c);
+    return out;
+  }
+
+  // Phase 2: decoy filter. The windowed filter's inner sorts run as
+  // parallel bitonic sweeps across all coprocessors.
+  out.output_region = host->CreateRegion("par4-output", slot, s);
+  std::vector<sim::Coprocessor*> views;
+  views.reserve(copros.size());
+  for (auto& c : copros) views.push_back(c.get());
+  PPJ_RETURN_NOT_OK(ParallelDecoyFilter(views, staging, l, s,
+                                        *join.output_key, out.output_region,
+                                        payload));
+  for (const auto& c : copros) Accumulate(out, *c);
+  return out;
+}
+
+Result<ParallelCh4Outcome> RunParallelAlgorithm2(
+    sim::HostStore* host, const TwoWayJoin& join, std::uint64_t n,
+    unsigned parallelism, const sim::CoprocessorOptions& base_options) {
+  PPJ_RETURN_NOT_OK(join.Validate());
+  if (parallelism == 0) {
+    return Status::InvalidArgument("parallelism must be >= 1");
+  }
+  if (n == 0) {
+    return Status::InvalidArgument(
+        "parallel Algorithm 2 needs N known a priori (run the safe "
+        "preprocessing scan first)");
+  }
+  const std::uint64_t m = base_options.memory_tuples;
+  if (m <= 1) {
+    return Status::CapacityExceeded("Algorithm 2 needs memory beyond the "
+                                    "bookkeeping slot");
+  }
+  const std::uint64_t m_free = m - 1;  // delta = 1 bookkeeping slot
+  const std::uint64_t gamma = std::max<std::uint64_t>(1, CeilDiv(n, m_free));
+  const std::uint64_t blk = CeilDiv(n, gamma);
+
+  const std::size_t payload = join.JoinedPayloadSize();
+  const std::size_t slot = sim::Coprocessor::SealedSize(
+      relation::wire::PlainSize(payload));
+  const std::vector<std::uint8_t> decoy = relation::wire::MakeDecoy(payload);
+  const std::uint64_t size_a = join.a->size();
+  const std::uint64_t size_b = join.b->padded_size();
+  const sim::RegionId output = host->CreateRegion(
+      "par2-output", slot, size_a * gamma * blk);
+
+  std::vector<std::unique_ptr<sim::Coprocessor>> copros;
+  for (unsigned p = 0; p < parallelism; ++p) {
+    sim::CoprocessorOptions opt = base_options;
+    opt.seed = base_options.seed + 4000 + p;
+    copros.push_back(std::make_unique<sim::Coprocessor>(host, opt));
+  }
+
+  const std::uint64_t chunk = CeilDiv(size_a, parallelism);
+  std::vector<Status> statuses(copros.size(), Status::OK());
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t p = 0; p < copros.size(); ++p) {
+      threads.emplace_back([&, p] {
+        sim::Coprocessor& copro = *copros[p];
+        auto buffer = sim::SecureBuffer::Allocate(copro, blk);
+        if (!buffer.ok()) {
+          statuses[p] = buffer.status();
+          return;
+        }
+        const std::uint64_t lo = std::min<std::uint64_t>(size_a, p * chunk);
+        const std::uint64_t hi =
+            std::min<std::uint64_t>(size_a, (p + 1) * chunk);
+        for (std::uint64_t ai = lo; ai < hi; ++ai) {
+          auto a = join.a->Fetch(copro, ai);
+          if (!a.ok()) {
+            statuses[p] = a.status();
+            return;
+          }
+          std::int64_t last = -1;
+          for (std::uint64_t pass = 0; pass < gamma; ++pass) {
+            buffer->Clear();
+            std::int64_t current = 0;
+            std::int64_t pass_last = last;
+            for (std::uint64_t bi = 0; bi < size_b; ++bi) {
+              auto b = join.b->Fetch(copro, bi);
+              if (!b.ok()) {
+                statuses[p] = b.status();
+                return;
+              }
+              const bool hit = a->real && b->real &&
+                               join.predicate->Match(a->tuple, b->tuple);
+              copro.NoteMatchEvaluation(hit);
+              if (current > last && !buffer->full() && hit) {
+                std::vector<std::uint8_t> bytes = a->tuple.Serialize();
+                const std::vector<std::uint8_t> bb = b->tuple.Serialize();
+                bytes.insert(bytes.end(), bb.begin(), bb.end());
+                Status st =
+                    buffer->Push(relation::wire::MakeReal(bytes));
+                if (!st.ok()) {
+                  statuses[p] = st;
+                  return;
+                }
+                pass_last = current;
+              }
+              ++current;
+            }
+            last = pass_last;
+            const std::uint64_t base = (ai * gamma + pass) * blk;
+            for (std::uint64_t k = 0; k < blk; ++k) {
+              const std::vector<std::uint8_t>& plain =
+                  k < buffer->size() ? buffer->At(k) : decoy;
+              Status st = copro.PutSealed(output, base + k, plain,
+                                          *join.output_key);
+              if (st.ok()) st = copro.DiskWrite(output, base + k);
+              if (!st.ok()) {
+                statuses[p] = st;
+                return;
+              }
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (const Status& st : statuses) PPJ_RETURN_NOT_OK(st);
+
+  ParallelCh4Outcome out;
+  out.output_region = output;
+  out.output_slots = size_a * gamma * blk;
+  out.n_used = n;
+  for (const auto& c : copros) {
+    out.per_coprocessor.push_back(c->metrics());
+    out.makespan_transfers =
+        std::max(out.makespan_transfers, c->metrics().TupleTransfers());
+  }
+  return out;
+}
+
+Result<ParallelOutcome> RunParallelAlgorithm6(
+    sim::HostStore* host, const MultiwayJoin& join, unsigned parallelism,
+    const sim::CoprocessorOptions& base_options,
+    const ParallelAlgorithm6Options& options) {
+  PPJ_RETURN_NOT_OK(join.Validate());
+  if (parallelism == 0) {
+    return Status::InvalidArgument("parallelism must be >= 1");
+  }
+  const std::uint64_t m = base_options.memory_tuples;
+  if (m == 0) {
+    return Status::CapacityExceeded("parallel Algorithm 6 needs M >= 1");
+  }
+
+  const std::size_t payload = join.JoinedPayloadSize();
+  const std::size_t slot = sim::Coprocessor::SealedSize(
+      relation::wire::PlainSize(payload));
+  const std::vector<std::uint8_t> decoy = relation::wire::MakeDecoy(payload);
+
+  // Coordinator: screening pass for S, then the segment-size solve.
+  sim::Coprocessor coordinator(host, base_options);
+  PPJ_ASSIGN_OR_RETURN(const std::uint64_t s,
+                       ScreenResultSize(coordinator, join));
+  std::uint64_t l = 1;
+  for (const auto* t : join.tables) l *= t->size();
+
+  ParallelOutcome out;
+  out.result_size = s;
+  if (s == 0) {
+    out.output_region = host->CreateRegion("par6-output", slot, 0);
+    Accumulate(out, coordinator);
+    return out;
+  }
+  const std::uint64_t n_star =
+      analysis::OptimalSegmentSize(l, s, m, options.epsilon);
+  const std::uint64_t segments = CeilDiv(l, n_star);
+  const sim::RegionId staging =
+      host->CreateRegion("par6-staging", slot, segments * m);
+  out.output_region = host->CreateRegion("par6-output", slot, s);
+
+  // Workers own contiguous segment ranges of the *shared* MLFSR order
+  // (identical seed everywhere, Section 5.3.5): no coordination needed to
+  // agree which iTuple belongs to which segment.
+  std::vector<std::unique_ptr<sim::Coprocessor>> copros;
+  for (unsigned p = 0; p < parallelism; ++p) {
+    sim::CoprocessorOptions opt = base_options;
+    opt.seed = base_options.seed + 3000 + p;
+    copros.push_back(std::make_unique<sim::Coprocessor>(host, opt));
+  }
+  const std::uint64_t segs_per_worker = CeilDiv(segments, parallelism);
+  std::vector<Status> statuses(copros.size(), Status::OK());
+  std::vector<std::uint8_t> blemishes(copros.size(), 0);
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t p = 0; p < copros.size(); ++p) {
+      threads.emplace_back([&, p] {
+        sim::Coprocessor& copro = *copros[p];
+        const std::uint64_t seg_lo =
+            std::min<std::uint64_t>(segments, p * segs_per_worker);
+        const std::uint64_t seg_hi =
+            std::min<std::uint64_t>(segments, (p + 1) * segs_per_worker);
+        if (seg_lo >= seg_hi) return;
+        auto order = crypto::RandomOrder::Create(l, options.order_seed);
+        if (!order.ok()) {
+          statuses[p] = order.status();
+          return;
+        }
+        // Advance the shared order to this worker's first position —
+        // internal computation, no transfers.
+        for (std::uint64_t skip = 0; skip < seg_lo * n_star; ++skip) {
+          order->Next();
+        }
+        auto buffer = sim::SecureBuffer::Allocate(copro, m);
+        if (!buffer.ok()) {
+          statuses[p] = buffer.status();
+          return;
+        }
+        ITupleReader reader(&copro, join.tables);
+        const std::uint64_t pos_hi = std::min(seg_hi * n_star, l);
+        std::uint64_t seg = seg_lo;
+        std::uint64_t in_segment = 0;
+        for (std::uint64_t pos = seg_lo * n_star; pos < pos_hi; ++pos) {
+          const std::uint64_t idx = order->Next();
+          auto fetched = reader.Fetch(idx);
+          if (!fetched.ok()) {
+            statuses[p] = fetched.status();
+            return;
+          }
+          const bool hit = fetched->real &&
+                           join.predicate->Satisfy(fetched->components);
+          copro.NoteMatchEvaluation(hit);
+          if (hit) {
+            if (buffer->full()) {
+              blemishes[p] = 1;
+            } else {
+              Status st = buffer->Push(relation::wire::MakeReal(
+                  ITupleReader::JoinedPayload(fetched->components)));
+              if (!st.ok()) {
+                statuses[p] = st;
+                return;
+              }
+            }
+          }
+          ++in_segment;
+          if (in_segment == n_star || pos + 1 == pos_hi) {
+            for (std::uint64_t k = 0; k < m; ++k) {
+              const std::vector<std::uint8_t>& plain =
+                  k < buffer->size() ? buffer->At(k) : decoy;
+              Status st =
+                  copro.PutSealed(staging, seg * m + k, plain,
+                                  *join.output_key);
+              if (!st.ok()) {
+                statuses[p] = st;
+                return;
+              }
+            }
+            buffer->Clear();
+            in_segment = 0;
+            ++seg;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (const Status& st : statuses) PPJ_RETURN_NOT_OK(st);
+  bool blemish = false;
+  for (std::uint8_t b : blemishes) blemish = blemish || b != 0;
+
+  if (blemish) {
+    // Sequential salvage by the coordinator — same semantics as the
+    // single-device Algorithm 6 (epsilon-probability privacy loss).
+    PPJ_ASSIGN_OR_RETURN(Ch5Outcome salvage,
+                         RunAlgorithm5(coordinator, join));
+    out.output_region = salvage.output_region;
+    out.result_size = salvage.result_size;
+    Accumulate(out, coordinator);
+    for (const auto& c : copros) Accumulate(out, *c);
+    return out;
+  }
+
+  std::vector<sim::Coprocessor*> views;
+  views.reserve(copros.size());
+  for (auto& c : copros) views.push_back(c.get());
+  PPJ_RETURN_NOT_OK(ParallelDecoyFilter(views, staging, segments * m, s,
+                                        *join.output_key, out.output_region,
+                                        payload));
+  Accumulate(out, coordinator);
+  for (const auto& c : copros) Accumulate(out, *c);
+  return out;
+}
+
+Status ParallelObliviousSort(std::vector<sim::Coprocessor*>& copros,
+                             sim::RegionId region, std::uint64_t n,
+                             const crypto::Ocb& key,
+                             const oblivious::PlainLess& less) {
+  if (copros.empty()) {
+    return Status::InvalidArgument("need at least one coprocessor");
+  }
+  if (n <= 1) return Status::OK();
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument("parallel bitonic needs power-of-two n");
+  }
+  const std::size_t p_count = copros.size();
+  for (std::uint64_t k = 2; k <= n; k <<= 1) {
+    for (std::uint64_t j = k >> 1; j > 0; j >>= 1) {
+      // All compare-exchanges of a stage are independent: partition the
+      // index range across devices, barrier at stage end.
+      std::vector<Status> statuses(p_count, Status::OK());
+      std::vector<std::thread> threads;
+      const std::uint64_t chunk = CeilDiv(n, p_count);
+      for (std::size_t p = 0; p < p_count; ++p) {
+        threads.emplace_back([&, p] {
+          sim::Coprocessor& copro = *copros[p];
+          const std::uint64_t lo = std::min<std::uint64_t>(n, p * chunk);
+          const std::uint64_t hi =
+              std::min<std::uint64_t>(n, (p + 1) * chunk);
+          for (std::uint64_t i = lo; i < hi; ++i) {
+            const std::uint64_t l_idx = i ^ j;
+            if (l_idx <= i) continue;
+            auto pi = copro.GetOpen(region, i, key);
+            if (!pi.ok()) {
+              statuses[p] = pi.status();
+              return;
+            }
+            auto pj = copro.GetOpen(region, l_idx, key);
+            if (!pj.ok()) {
+              statuses[p] = pj.status();
+              return;
+            }
+            copro.NoteComparison();
+            const bool ascending = (i & k) == 0;
+            std::vector<std::uint8_t> x = std::move(pi).value();
+            std::vector<std::uint8_t> y = std::move(pj).value();
+            const bool out_of_order = ascending ? less(y, x) : less(x, y);
+            if (out_of_order) std::swap(x, y);
+            Status st = copro.PutSealed(region, i, x, key);
+            if (st.ok()) st = copro.PutSealed(region, l_idx, y, key);
+            if (!st.ok()) {
+              statuses[p] = st;
+              return;
+            }
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      for (const Status& st : statuses) PPJ_RETURN_NOT_OK(st);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ppj::core

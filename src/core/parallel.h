@@ -1,0 +1,88 @@
+#ifndef PPJ_CORE_PARALLEL_H_
+#define PPJ_CORE_PARALLEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/join_result.h"
+#include "core/join_spec.h"
+#include "oblivious/bitonic_sort.h"
+#include "sim/coprocessor.h"
+
+namespace ppj::core {
+
+/// Result of a multi-coprocessor execution (Sections 4.4.4 and 5.3.5). The
+/// simulation runs one coprocessor per thread against the shared host; the
+/// speedup claim is evaluated on the transfer counters, whose per-device
+/// maximum is the parallel makespan in the paper's cost metric.
+struct ParallelOutcome {
+  sim::RegionId output_region = 0;
+  std::uint64_t result_size = 0;
+  std::vector<sim::TransferMetrics> per_coprocessor;
+  /// max over devices of (gets + puts): the parallel completion time.
+  std::uint64_t makespan_transfers = 0;
+  /// sum over devices: total work, for efficiency = total / (P * makespan).
+  std::uint64_t total_transfers = 0;
+};
+
+/// Parallel Algorithm 5 (Section 5.3.5): a coordinator screening pass
+/// computes S, then P workers each emit their rank range of blk = ceil(S/P)
+/// results via Algorithm 5's scan-and-flush loop restricted to their range.
+/// Linear speedup: each worker reads ceil(blk/M) L iTuples.
+Result<ParallelOutcome> RunParallelAlgorithm5(
+    sim::HostStore* host, const MultiwayJoin& join, unsigned parallelism,
+    const sim::CoprocessorOptions& base_options);
+
+/// Parallel Algorithm 4 (Section 5.3.5): the L iTuples are partitioned into
+/// P contiguous ranges, each worker emits one oTuple per assigned iTuple
+/// into the shared staging region; the decoy filter then runs as a parallel
+/// bitonic sweep (compare-exchanges of each stage split across devices).
+Result<ParallelOutcome> RunParallelAlgorithm4(
+    sim::HostStore* host, const MultiwayJoin& join, unsigned parallelism,
+    const sim::CoprocessorOptions& base_options);
+
+/// Parallel Algorithm 2 (Section 4.4.4): Chapter 4's general join is
+/// "easy to parallelize with a linear speed-up" — the outer loop over A is
+/// partitioned across devices, each producing the N-padded output blocks
+/// for its A range into the shared output region. Returns the Chapter 4
+/// outcome shape (output_slots = |A| * gamma * blk).
+struct ParallelCh4Outcome {
+  sim::RegionId output_region = 0;
+  std::uint64_t output_slots = 0;
+  std::uint64_t n_used = 0;
+  std::vector<sim::TransferMetrics> per_coprocessor;
+  std::uint64_t makespan_transfers = 0;
+};
+Result<ParallelCh4Outcome> RunParallelAlgorithm2(
+    sim::HostStore* host, const TwoWayJoin& join, std::uint64_t n,
+    unsigned parallelism, const sim::CoprocessorOptions& base_options);
+
+/// Parallel Algorithm 6 (Section 5.3.5): all coprocessors seed the same
+/// maximal LFSR, so they agree on the random visiting order without
+/// communicating; each worker owns a contiguous range of segments of that
+/// order, buffers matches in its own memory and flushes M oTuples per
+/// segment into its staging slice. The decoy filter then runs as a
+/// parallel bitonic sweep. A blemish in any worker triggers the sequential
+/// salvage (Algorithm 5) by the coordinator.
+struct ParallelAlgorithm6Options {
+  double epsilon = 1e-20;
+  std::uint64_t order_seed = 0x5eed;
+};
+Result<ParallelOutcome> RunParallelAlgorithm6(
+    sim::HostStore* host, const MultiwayJoin& join, unsigned parallelism,
+    const sim::CoprocessorOptions& base_options,
+    const ParallelAlgorithm6Options& options = {});
+
+/// Parallel bitonic sort (Section 5.3.5): the fixed sorting network is
+/// executed stage by stage, with the independent compare-exchanges of each
+/// stage partitioned across the given coprocessors (threads join at stage
+/// boundaries — the synchronization the paper's conclusions discuss).
+Status ParallelObliviousSort(std::vector<sim::Coprocessor*>& copros,
+                             sim::RegionId region, std::uint64_t n,
+                             const crypto::Ocb& key,
+                             const oblivious::PlainLess& less);
+
+}  // namespace ppj::core
+
+#endif  // PPJ_CORE_PARALLEL_H_

@@ -1,0 +1,87 @@
+#include "core/planner.h"
+
+#include <limits>
+
+#include "analysis/chapter4_costs.h"
+#include "analysis/chapter5_costs.h"
+
+namespace ppj::core {
+
+std::string ToString(PlannedAlgorithm algorithm) {
+  switch (algorithm) {
+    case PlannedAlgorithm::kAlgorithm1:
+      return "Algorithm 1";
+    case PlannedAlgorithm::kAlgorithm1Variant:
+      return "Algorithm 1 (variant)";
+    case PlannedAlgorithm::kAlgorithm2:
+      return "Algorithm 2";
+    case PlannedAlgorithm::kAlgorithm3:
+      return "Algorithm 3";
+    case PlannedAlgorithm::kAlgorithm4:
+      return "Algorithm 4";
+    case PlannedAlgorithm::kAlgorithm5:
+      return "Algorithm 5";
+    case PlannedAlgorithm::kAlgorithm6:
+      return "Algorithm 6";
+  }
+  return "?";
+}
+
+Plan PlanJoin(const PlannerInput& input) {
+  const double a = static_cast<double>(input.size_a);
+  const double b = static_cast<double>(input.size_b);
+  const std::uint64_t l = input.size_a * input.size_b;
+  const std::uint64_t s = input.s > 0 ? input.s : l;  // worst case
+  const std::uint64_t m = std::max<std::uint64_t>(input.m, 1);
+
+  Plan best;
+  best.predicted_transfers = std::numeric_limits<double>::infinity();
+  auto consider = [&](PlannedAlgorithm alg, double cost,
+                      const std::string& why) {
+    if (cost < best.predicted_transfers) {
+      best.algorithm = alg;
+      best.predicted_transfers = cost;
+      best.rationale = why;
+    }
+  };
+
+  // Chapter 5 family: always admissible (arbitrary predicates, exact
+  // output, no N assumption).
+  consider(PlannedAlgorithm::kAlgorithm4,
+           analysis::CostAlgorithm4(l, s),
+           "exact output, minimal memory (2 slots)");
+  consider(PlannedAlgorithm::kAlgorithm5,
+           analysis::CostAlgorithm5(l, s, m),
+           "exact output, no oblivious sort, needs M slots");
+  if (input.epsilon > 0.0) {
+    consider(PlannedAlgorithm::kAlgorithm6,
+             analysis::CostAlgorithm6(l, s, m, input.epsilon).total,
+             "exact output, privacy level 1 - epsilon");
+  }
+
+  if (!input.exact_output_required) {
+    // Chapter 4 family: output shaped N|A|, so N must be known or
+    // computed via the safe preprocessing scan (cost |A| + |A||B|).
+    const double n_scan = input.n > 0 ? 0.0 : a + a * b;
+    const double n = static_cast<double>(
+        input.n > 0 ? input.n : std::max<std::uint64_t>(1, s / input.size_a));
+    consider(PlannedAlgorithm::kAlgorithm1,
+             n_scan + analysis::CostAlgorithm1(a, b, n),
+             "N-padded output, tiny memory, rolling oblivious scratch");
+    consider(PlannedAlgorithm::kAlgorithm1Variant,
+             n_scan + analysis::CostAlgorithm1Variant(a, b),
+             "N-padded output, one full-size oblivious sort per A tuple");
+    consider(PlannedAlgorithm::kAlgorithm2,
+             n_scan + analysis::CostAlgorithm2(a, b, n,
+                                               static_cast<double>(m)),
+             "N-padded output, gamma passes, no oblivious sort");
+    if (input.equality_predicate) {
+      consider(PlannedAlgorithm::kAlgorithm3,
+               n_scan + analysis::CostAlgorithm3(a, b, n),
+               "equijoin specialization with sorted B and circular scratch");
+    }
+  }
+  return best;
+}
+
+}  // namespace ppj::core

@@ -1,0 +1,60 @@
+#ifndef PPJ_CORE_PLANNER_H_
+#define PPJ_CORE_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ppj::core {
+
+/// Which of the paper's algorithms a plan selects.
+enum class PlannedAlgorithm {
+  kAlgorithm1,
+  kAlgorithm1Variant,
+  kAlgorithm2,
+  kAlgorithm3,
+  kAlgorithm4,
+  kAlgorithm5,
+  kAlgorithm6,
+};
+
+std::string ToString(PlannedAlgorithm algorithm);
+
+/// Workload description the planner chooses from. The paper derives the
+/// winning algorithm per operating point analytically (Section 4.6,
+/// Section 5.3.4); the planner operationalizes those derivations so a
+/// caller needn't re-read the paper.
+struct PlannerInput {
+  std::uint64_t size_a = 0;
+  std::uint64_t size_b = 0;
+  /// True when the predicate is a plain single-attribute equality —
+  /// unlocks Algorithm 3.
+  bool equality_predicate = false;
+  /// Maximum matches per A tuple, when known a priori (0 = unknown; the
+  /// Chapter 4 family then needs a preprocessing scan, which the planner
+  /// charges).
+  std::uint64_t n = 0;
+  /// Expected result size (for the Chapter 5 family). 0 = unknown; the
+  /// planner assumes the worst case S = L for sizing.
+  std::uint64_t s = 0;
+  /// Coprocessor free memory in tuples.
+  std::uint64_t m = 64;
+  /// Definition 3 strictness: when true, N|A|-shaped outputs are not
+  /// acceptable (N itself is sensitive) and only Algorithms 4/5/6 qualify.
+  bool exact_output_required = false;
+  /// Largest acceptable privacy slack for Algorithm 6; 0 disables it.
+  double epsilon = 0.0;
+};
+
+/// A chosen algorithm with its predicted communication cost.
+struct Plan {
+  PlannedAlgorithm algorithm = PlannedAlgorithm::kAlgorithm5;
+  double predicted_transfers = 0;
+  std::string rationale;
+};
+
+/// Picks the cheapest admissible algorithm by the paper's cost models.
+Plan PlanJoin(const PlannerInput& input);
+
+}  // namespace ppj::core
+
+#endif  // PPJ_CORE_PLANNER_H_

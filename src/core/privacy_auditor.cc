@@ -1,0 +1,69 @@
+#include "core/privacy_auditor.h"
+
+#include <sstream>
+
+namespace ppj::core {
+
+namespace {
+
+AuditResult Compare(const AuditRun& a, const AuditRun& b) {
+  AuditResult out;
+  out.fingerprint_a = a.fingerprint;
+  out.fingerprint_b = b.fingerprint;
+  out.identical = a.fingerprint == b.fingerprint;
+  if (!out.identical) {
+    const std::size_t n =
+        std::min(a.retained_events.size(), b.retained_events.size());
+    out.first_divergence = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(a.retained_events[i] == b.retained_events[i])) {
+        out.first_divergence = static_cast<std::int64_t>(i);
+        break;
+      }
+    }
+    std::ostringstream os;
+    os << "trace mismatch: " << a.fingerprint.ToString() << " vs "
+       << b.fingerprint.ToString();
+    if (out.first_divergence >= 0) {
+      const auto i = static_cast<std::size_t>(out.first_divergence);
+      os << "; first divergence at event " << i << ": "
+         << ToString(a.retained_events[i]) << " vs "
+         << ToString(b.retained_events[i]);
+    } else if (a.fingerprint.count != b.fingerprint.count) {
+      os << "; event counts differ (" << a.fingerprint.count << " vs "
+         << b.fingerprint.count << ")";
+    } else {
+      os << "; divergence beyond retained prefix";
+    }
+    out.detail = os.str();
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<AuditResult> PrivacyAuditor::CompareWorlds(const WorldRunner& run) {
+  PPJ_ASSIGN_OR_RETURN(AuditRun a, run(0));
+  PPJ_ASSIGN_OR_RETURN(AuditRun b, run(1));
+  return Compare(a, b);
+}
+
+Result<AuditResult> PrivacyAuditor::CompareManyWorlds(const WorldRunner& run,
+                                                      std::uint64_t count) {
+  if (count < 2) {
+    return Status::InvalidArgument("need at least two worlds to compare");
+  }
+  PPJ_ASSIGN_OR_RETURN(AuditRun first, run(0));
+  for (std::uint64_t w = 1; w < count; ++w) {
+    PPJ_ASSIGN_OR_RETURN(AuditRun other, run(w));
+    AuditResult result = Compare(first, other);
+    if (!result.identical) return result;
+  }
+  AuditResult ok;
+  ok.identical = true;
+  ok.fingerprint_a = first.fingerprint;
+  ok.fingerprint_b = first.fingerprint;
+  return ok;
+}
+
+}  // namespace ppj::core

@@ -1,0 +1,61 @@
+#ifndef PPJ_CORE_PRIVACY_AUDITOR_H_
+#define PPJ_CORE_PRIVACY_AUDITOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sim/trace.h"
+
+namespace ppj::core {
+
+/// What one audited execution produced: the complete trace fingerprint and
+/// the retained event prefix for divergence diagnostics.
+struct AuditRun {
+  sim::TraceFingerprint fingerprint;
+  std::vector<sim::AccessEvent> retained_events;
+  bool retained_complete = false;
+};
+
+/// Verdict of a Definition 1 / Definition 3 audit.
+struct AuditResult {
+  bool identical = false;
+  sim::TraceFingerprint fingerprint_a;
+  sim::TraceFingerprint fingerprint_b;
+  /// Index of the first retained event where the traces diverge; -1 if the
+  /// retained prefixes agree (divergence may still exist beyond retention
+  /// when identical == false).
+  std::int64_t first_divergence = -1;
+  std::string detail;
+};
+
+/// Empirically checks the paper's security definitions: an algorithm is
+/// privacy preserving iff its ordered list of host accesses is identical
+/// across any two input instances with equal public shape parameters
+/// (|A|,|B|,N for Definition 1; table sizes and |f(...)| for Definition 3).
+///
+/// The caller supplies a factory that builds world `w` (relations with
+/// different *contents* but the same shape), runs the algorithm on a
+/// freshly seeded coprocessor, and returns the observed trace. The auditor
+/// compares the traces of worlds 0 and 1.
+///
+/// This is a falsification tool, not a proof: equal traces on adversarially
+/// chosen shape-equal inputs is the property the paper proves; unequal
+/// traces is a demonstrated leak (the unsafe baselines fail here).
+class PrivacyAuditor {
+ public:
+  using WorldRunner = std::function<Result<AuditRun>(std::uint64_t world)>;
+
+  /// Runs worlds 0 and 1 and compares traces.
+  static Result<AuditResult> CompareWorlds(const WorldRunner& run);
+
+  /// Runs `count` worlds and requires all traces pairwise identical.
+  static Result<AuditResult> CompareManyWorlds(const WorldRunner& run,
+                                               std::uint64_t count);
+};
+
+}  // namespace ppj::core
+
+#endif  // PPJ_CORE_PRIVACY_AUDITOR_H_

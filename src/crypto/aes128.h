@@ -1,0 +1,46 @@
+#ifndef PPJ_CRYPTO_AES128_H_
+#define PPJ_CRYPTO_AES128_H_
+
+#include <array>
+#include <cstdint>
+
+namespace ppj::crypto {
+
+/// 128-bit block used throughout the crypto layer.
+using Block = std::array<std::uint8_t, 16>;
+
+/// XOR of two blocks.
+Block XorBlocks(const Block& a, const Block& b);
+
+/// Doubling in GF(2^128) with the OCB polynomial x^128 + x^7 + x^2 + x + 1
+/// (big-endian bit order). Used to derive OCB offsets.
+Block GfDouble(const Block& block);
+
+/// Portable software AES-128 (FIPS-197): table-free S-box implementation of
+/// SubBytes/ShiftRows/MixColumns with the standard 11-round key schedule.
+///
+/// This models the block cipher E_k of the paper's OCB construction
+/// (Section 3.3.3). It is a faithful, self-contained implementation — the
+/// reproduction environment has no crypto library, and the paper's secure
+/// coprocessor likewise carries its own cipher engine. It is *not*
+/// constant-time against cache adversaries; the simulated coprocessor's
+/// internal state is invisible to the simulated host by construction
+/// (Section 3.3), which is the property the threat model needs.
+class Aes128 {
+ public:
+  /// Expands the key schedule for both directions.
+  explicit Aes128(const Block& key);
+
+  /// Encrypts one 16-byte block.
+  Block Encrypt(const Block& plaintext) const;
+
+  /// Decrypts one 16-byte block.
+  Block Decrypt(const Block& ciphertext) const;
+
+ private:
+  std::array<Block, 11> round_keys_;
+};
+
+}  // namespace ppj::crypto
+
+#endif  // PPJ_CRYPTO_AES128_H_

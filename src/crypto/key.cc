@@ -1,0 +1,44 @@
+#include "crypto/key.h"
+
+#include "common/hash.h"
+
+namespace ppj::crypto {
+
+Block DeriveKey(std::uint64_t seed, const std::string& label) {
+  // Two FNV-1a passes with different salts feed a fixed-key AES permutation
+  // to spread entropy across the block. This is a KDF for *simulation
+  // reproducibility*, not a production KDF.
+  RunningHash h1;
+  h1.UpdateU64(seed);
+  h1.Update(label.data(), label.size());
+  RunningHash h2;
+  h2.UpdateU64(~seed);
+  h2.Update(label.data(), label.size());
+  h2.UpdateU64(0x5a5a5a5a5a5a5a5aULL);
+
+  Block raw{};
+  const std::uint64_t a = h1.digest();
+  const std::uint64_t b = h2.digest();
+  for (int i = 0; i < 8; ++i) {
+    raw[i] = static_cast<std::uint8_t>(a >> (8 * i));
+    raw[8 + i] = static_cast<std::uint8_t>(b >> (8 * i));
+  }
+  static const Block kMixKey = {0x50, 0x50, 0x4a, 0x21, 0x6b, 0x64, 0x66,
+                                0x21, 0x76, 0x31, 0x2e, 0x30, 0x00, 0x00,
+                                0x00, 0x01};
+  const Aes128 mixer(kMixKey);
+  return XorBlocks(mixer.Encrypt(raw), raw);
+}
+
+std::string BlockToHex(const Block& block) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (std::uint8_t byte : block) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace ppj::crypto

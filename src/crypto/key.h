@@ -1,0 +1,22 @@
+#ifndef PPJ_CRYPTO_KEY_H_
+#define PPJ_CRYPTO_KEY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/aes128.h"
+
+namespace ppj::crypto {
+
+/// Derives a 128-bit key from a seed and a domain-separation label. In the
+/// real system each party establishes a fresh symmetric key with the secure
+/// coprocessor after outbound authentication (Section 3.3.3); the simulation
+/// derives keys deterministically so test runs are reproducible.
+Block DeriveKey(std::uint64_t seed, const std::string& label);
+
+/// Hex rendering for logs and error messages.
+std::string BlockToHex(const Block& block);
+
+}  // namespace ppj::crypto
+
+#endif  // PPJ_CRYPTO_KEY_H_

@@ -1,0 +1,125 @@
+#include "crypto/mlfsr.h"
+
+namespace ppj::crypto {
+
+namespace {
+
+// Galois-form tap masks of maximal-length LFSRs, one per register width.
+// The tap positions follow the Xilinx XAPP 052 table of maximal LFSR taps;
+// a tap set {t_1, ..., t_k} (1-indexed, including the width itself) maps to
+// the mask sum(1 << (t_i - 1)) applied after a right shift whenever the
+// shifted-out bit was 1. Maximality of widths up to 24 is verified
+// exhaustively by the unit tests; wider entries come from the same
+// published table.
+constexpr std::uint64_t kTaps[64] = {
+    0, 0,
+    0x3,                  // 2: taps 2,1
+    0x6,                  // 3: taps 3,2
+    0xC,                  // 4: taps 4,3
+    0x14,                 // 5: taps 5,3
+    0x30,                 // 6: taps 6,5
+    0x60,                 // 7: taps 7,6
+    0xB8,                 // 8: taps 8,6,5,4
+    0x110,                // 9: taps 9,5
+    0x240,                // 10: taps 10,7
+    0x500,                // 11: taps 11,9
+    0x829,                // 12: taps 12,6,4,1
+    0x100D,               // 13: taps 13,4,3,1
+    0x2015,               // 14: taps 14,5,3,1
+    0x6000,               // 15: taps 15,14
+    0xD008,               // 16: taps 16,15,13,4
+    0x12000,              // 17: taps 17,14
+    0x20400,              // 18: taps 18,11
+    0x40023,              // 19: taps 19,6,2,1
+    0x90000,              // 20: taps 20,17
+    0x140000,             // 21: taps 21,19
+    0x300000,             // 22: taps 22,21
+    0x420000,             // 23: taps 23,18
+    0xE10000,             // 24: taps 24,23,22,17
+    0x1200000,            // 25: taps 25,22
+    0x2000023,            // 26: taps 26,6,2,1
+    0x4000013,            // 27: taps 27,5,2,1
+    0x9000000,            // 28: taps 28,25
+    0x14000000,           // 29: taps 29,27
+    0x20000029,           // 30: taps 30,6,4,1
+    0x48000000,           // 31: taps 31,28
+    0x80200003,           // 32: taps 32,22,2,1
+    0x100080000,          // 33: taps 33,20
+    0x204000003,          // 34: taps 34,27,2,1
+    0x500000000,          // 35: taps 35,33
+    0x801000000,          // 36: taps 36,25
+    0x100000001F,         // 37: taps 37,5,4,3,2,1
+    0x2000000031,         // 38: taps 38,6,5,1
+    0x4400000000,         // 39: taps 39,35
+    0xA000140000,         // 40: taps 40,38,21,19
+    0x12000000000,        // 41: taps 41,38
+    0x300000C0000,        // 42: taps 42,41,20,19
+    0x63000000000,        // 43: taps 43,42,38,37
+    0xC0000030000,        // 44: taps 44,43,18,17
+    0x1B0000000000,       // 45: taps 45,44,42,41
+    0x300003000000,       // 46: taps 46,45,26,25
+    0x420000000000,       // 47: taps 47,42
+    0xC00000180000,       // 48: taps 48,47,21,20
+    0x1008000000000,      // 49: taps 49,40
+    0x3000000C00000,      // 50: taps 50,49,24,23
+    0x6000C00000000,      // 51: taps 51,50,36,35
+    0x9000000000000,      // 52: taps 52,49
+    0x18003000000000,     // 53: taps 53,52,38,37
+    0x30000000030000,     // 54: taps 54,53,18,17
+    0x40000040000000,     // 55: taps 55,31
+    0xC0000600000000,     // 56: taps 56,55,35,34
+    0x102000000000000,    // 57: taps 57,50
+    0x200004000000000,    // 58: taps 58,39
+    0x600003000000000,    // 59: taps 59,58,38,37
+    0xC00000000000000,    // 60: taps 60,59
+    0x1800300000000000,   // 61: taps 61,60,46,45
+    0x3000000000000030,   // 62: taps 62,61,6,5
+    0x6000000000000000,   // 63: taps 63,62
+};
+
+}  // namespace
+
+Result<Mlfsr> Mlfsr::Create(unsigned bits, std::uint64_t seed) {
+  if (bits < 2 || bits > 63) {
+    return Status::InvalidArgument("MLFSR width must be in [2, 63]");
+  }
+  const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+  std::uint64_t state = seed & mask;
+  if (state == 0) state = 1;
+  return Mlfsr(bits, kTaps[bits], state);
+}
+
+unsigned Mlfsr::BitsForCount(std::uint64_t count) {
+  unsigned l = 2;
+  while (((std::uint64_t{1} << l) - 1) < count && l < 63) ++l;
+  return l;
+}
+
+std::uint64_t Mlfsr::Next() {
+  // Galois form: shift right; if the bit that fell off was set, XOR taps.
+  const std::uint64_t lsb = state_ & 1;
+  state_ >>= 1;
+  if (lsb) state_ ^= taps_;
+  return state_;
+}
+
+Result<RandomOrder> RandomOrder::Create(std::uint64_t count,
+                                        std::uint64_t seed) {
+  if (count == 0) {
+    return Status::InvalidArgument("RandomOrder over an empty index set");
+  }
+  const unsigned bits = Mlfsr::BitsForCount(count);
+  PPJ_ASSIGN_OR_RETURN(Mlfsr reg, Mlfsr::Create(bits, seed));
+  return RandomOrder(reg, count);
+}
+
+std::uint64_t RandomOrder::Next() {
+  // Register states are in {1, .., 2^l - 1}; map to {0, .., count-1} by
+  // discarding out-of-range values (Section 5.2.3).
+  for (;;) {
+    const std::uint64_t v = reg_.Next();
+    if (v <= count_) return v - 1;
+  }
+}
+
+}  // namespace ppj::crypto

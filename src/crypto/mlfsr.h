@@ -1,0 +1,68 @@
+#ifndef PPJ_CRYPTO_MLFSR_H_
+#define PPJ_CRYPTO_MLFSR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ppj::crypto {
+
+/// Maximal-length Linear Feedback Shift Register (Section 5.2.3).
+///
+/// An MLFSR with l internal state bits and a primitive feedback polynomial
+/// cycles through every value in {1, ..., 2^l - 1} exactly once before
+/// repeating. Algorithm 6 uses this to visit the L elements of the cartesian
+/// space D = X_1 x ... x X_J in a pseudo-random order *without materializing
+/// a permutation* — the coprocessor has nowhere near enough memory to store
+/// one. Values outside the target index range are simply skipped.
+class Mlfsr {
+ public:
+  /// Creates a register with `bits` state bits (2 <= bits <= 63) seeded with
+  /// a nonzero state. Seeds are reduced mod 2^bits; a zero reduction is
+  /// mapped to 1 (the all-zero state is a fixed point and must be avoided).
+  static Result<Mlfsr> Create(unsigned bits, std::uint64_t seed);
+
+  /// Smallest register width whose period 2^l - 1 covers `count` values.
+  static unsigned BitsForCount(std::uint64_t count);
+
+  /// Advances the register and returns the next state in {1, ..., 2^l - 1}.
+  std::uint64_t Next();
+
+  /// Full period of this register: 2^bits - 1.
+  std::uint64_t period() const { return (std::uint64_t{1} << bits_) - 1; }
+
+  unsigned bits() const { return bits_; }
+
+ private:
+  Mlfsr(unsigned bits, std::uint64_t taps, std::uint64_t state)
+      : bits_(bits), taps_(taps), state_(state) {}
+
+  unsigned bits_;
+  std::uint64_t taps_;   // Feedback tap mask of a primitive polynomial.
+  std::uint64_t state_;
+};
+
+/// Streams the indices {0, ..., count-1} in the pseudo-random order induced
+/// by an MLFSR, skipping out-of-range register values. This is the iteration
+/// order Algorithm 6 reads iTuples in.
+class RandomOrder {
+ public:
+  static Result<RandomOrder> Create(std::uint64_t count, std::uint64_t seed);
+
+  /// Next index in [0, count); valid exactly `count` times per cycle.
+  std::uint64_t Next();
+
+  std::uint64_t count() const { return count_; }
+
+ private:
+  RandomOrder(Mlfsr reg, std::uint64_t count)
+      : reg_(reg), count_(count) {}
+
+  Mlfsr reg_;
+  std::uint64_t count_;
+};
+
+}  // namespace ppj::crypto
+
+#endif  // PPJ_CRYPTO_MLFSR_H_

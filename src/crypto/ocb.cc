@@ -1,0 +1,138 @@
+#include "crypto/ocb.h"
+
+#include <cstring>
+
+namespace ppj::crypto {
+
+namespace {
+
+// Number of trailing zero bits of i (i >= 1).
+unsigned Ntz(std::uint64_t i) {
+  unsigned n = 0;
+  while ((i & 1) == 0) {
+    ++n;
+    i >>= 1;
+  }
+  return n;
+}
+
+// Constant-time-ish tag comparison (simulation-grade).
+bool TagsEqual(const std::uint8_t* a, const std::uint8_t* b) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < Ocb::kTagSize; ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace
+
+Ocb::Ocb(const Block& key) : aes_(key) {
+  Block zero{};
+  l_star_ = aes_.Encrypt(zero);
+  l_dollar_ = GfDouble(l_star_);
+  // Precompute enough L_i for messages up to 2^40 blocks.
+  Block l = GfDouble(l_dollar_);
+  for (int i = 0; i < 40; ++i) {
+    l_.push_back(l);
+    l = GfDouble(l);
+  }
+}
+
+Block Ocb::OffsetFromNonce(const Block& nonce) const {
+  return aes_.Encrypt(nonce);
+}
+
+std::vector<std::uint8_t> Ocb::Encrypt(
+    const Block& nonce, const std::vector<std::uint8_t>& plaintext) const {
+  const std::size_t full_blocks = plaintext.size() / kBlockSize;
+  const std::size_t tail = plaintext.size() % kBlockSize;
+
+  std::vector<std::uint8_t> out(plaintext.size() + kTagSize);
+  Block offset = OffsetFromNonce(nonce);
+  Block checksum{};
+
+  for (std::size_t i = 1; i <= full_blocks; ++i) {
+    offset = XorBlocks(offset, l_[Ntz(i)]);
+    Block p;
+    std::memcpy(p.data(), &plaintext[(i - 1) * kBlockSize], kBlockSize);
+    checksum = XorBlocks(checksum, p);
+    const Block c = XorBlocks(aes_.Encrypt(XorBlocks(p, offset)), offset);
+    std::memcpy(&out[(i - 1) * kBlockSize], c.data(), kBlockSize);
+  }
+
+  if (tail > 0) {
+    offset = XorBlocks(offset, l_star_);
+    const Block pad = aes_.Encrypt(offset);
+    Block p{};
+    std::memcpy(p.data(), &plaintext[full_blocks * kBlockSize], tail);
+    p[tail] = 0x80;  // 10* padding enters the checksum
+    checksum = XorBlocks(checksum, p);
+    for (std::size_t j = 0; j < tail; ++j) {
+      out[full_blocks * kBlockSize + j] =
+          plaintext[full_blocks * kBlockSize + j] ^ pad[j];
+    }
+  }
+
+  const Block tag =
+      aes_.Encrypt(XorBlocks(XorBlocks(checksum, offset), l_dollar_));
+  std::memcpy(&out[plaintext.size()], tag.data(), kTagSize);
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> Ocb::Decrypt(
+    const Block& nonce, const std::vector<std::uint8_t>& sealed) const {
+  if (sealed.size() < kTagSize) {
+    return Status::Tampered("sealed message shorter than authentication tag");
+  }
+  const std::size_t ct_size = sealed.size() - kTagSize;
+  const std::size_t full_blocks = ct_size / kBlockSize;
+  const std::size_t tail = ct_size % kBlockSize;
+
+  std::vector<std::uint8_t> plaintext(ct_size);
+  Block offset = OffsetFromNonce(nonce);
+  Block checksum{};
+
+  for (std::size_t i = 1; i <= full_blocks; ++i) {
+    offset = XorBlocks(offset, l_[Ntz(i)]);
+    Block c;
+    std::memcpy(c.data(), &sealed[(i - 1) * kBlockSize], kBlockSize);
+    const Block p = XorBlocks(aes_.Decrypt(XorBlocks(c, offset)), offset);
+    checksum = XorBlocks(checksum, p);
+    std::memcpy(&plaintext[(i - 1) * kBlockSize], p.data(), kBlockSize);
+  }
+
+  if (tail > 0) {
+    offset = XorBlocks(offset, l_star_);
+    const Block pad = aes_.Encrypt(offset);
+    Block p{};
+    for (std::size_t j = 0; j < tail; ++j) {
+      plaintext[full_blocks * kBlockSize + j] =
+          sealed[full_blocks * kBlockSize + j] ^ pad[j];
+      p[j] = plaintext[full_blocks * kBlockSize + j];
+    }
+    p[tail] = 0x80;
+    checksum = XorBlocks(checksum, p);
+  }
+
+  const Block tag =
+      aes_.Encrypt(XorBlocks(XorBlocks(checksum, offset), l_dollar_));
+  if (!TagsEqual(tag.data(), &sealed[ct_size])) {
+    return Status::Tampered("OCB tag mismatch: ciphertext was modified");
+  }
+  return plaintext;
+}
+
+std::uint64_t Ocb::BlockCipherCalls(std::size_t plaintext_size) {
+  const std::uint64_t blocks =
+      (plaintext_size + kBlockSize - 1) / kBlockSize;
+  return blocks + 2;  // nonce encryption + per-block calls + tag
+}
+
+Block NonceFromCounter(std::uint64_t counter) {
+  Block nonce{};
+  for (int i = 0; i < 8; ++i) {
+    nonce[15 - i] = static_cast<std::uint8_t>(counter >> (8 * i));
+  }
+  return nonce;
+}
+
+}  // namespace ppj::crypto

@@ -1,0 +1,112 @@
+#include "crypto/ocb_stream.h"
+
+#include <cstring>
+
+namespace ppj::crypto {
+
+namespace {
+
+unsigned Ntz(std::uint64_t i) {
+  unsigned n = 0;
+  while ((i & 1) == 0) {
+    ++n;
+    i >>= 1;
+  }
+  return n;
+}
+
+void InitOffsets(const Aes128& aes, const Block& nonce, Block& offset,
+                 Block& l_star, Block& l_dollar, std::vector<Block>& l) {
+  Block zero{};
+  l_star = aes.Encrypt(zero);
+  l_dollar = GfDouble(l_star);
+  Block li = GfDouble(l_dollar);
+  for (int i = 0; i < 40; ++i) {
+    l.push_back(li);
+    li = GfDouble(li);
+  }
+  // Z[0] = E_k(I xor E_k(0^n)) per the Section 3.3.3 description.
+  offset = aes.Encrypt(XorBlocks(nonce, l_star));
+}
+
+}  // namespace
+
+OcbStreamEncryptor::OcbStreamEncryptor(const Block& key, const Block& nonce)
+    : aes_(key), checksum_{} {
+  InitOffsets(aes_, nonce, offset_, l_star_, l_dollar_, l_);
+}
+
+Block OcbStreamEncryptor::NextBlock(const Block& plaintext) {
+  // Z[i] = f(Z[i-1], i): the standard OCB offset update by doubling.
+  ++index_;
+  offset_ = XorBlocks(offset_, l_[Ntz(index_)]);
+  checksum_ = XorBlocks(checksum_, plaintext);
+  return XorBlocks(aes_.Encrypt(XorBlocks(plaintext, offset_)), offset_);
+}
+
+Block OcbStreamEncryptor::Finalize() {
+  finalized_ = true;
+  return aes_.Encrypt(XorBlocks(XorBlocks(checksum_, offset_), l_dollar_));
+}
+
+OcbStreamDecryptor::OcbStreamDecryptor(const Block& key, const Block& nonce)
+    : aes_(key), checksum_{} {
+  InitOffsets(aes_, nonce, offset_, l_star_, l_dollar_, l_);
+}
+
+Block OcbStreamDecryptor::NextBlock(const Block& ciphertext) {
+  ++index_;
+  offset_ = XorBlocks(offset_, l_[Ntz(index_)]);
+  const Block plaintext =
+      XorBlocks(aes_.Decrypt(XorBlocks(ciphertext, offset_)), offset_);
+  checksum_ = XorBlocks(checksum_, plaintext);
+  return plaintext;
+}
+
+Status OcbStreamDecryptor::Verify(const Block& tag) {
+  const Block expected =
+      aes_.Encrypt(XorBlocks(XorBlocks(checksum_, offset_), l_dollar_));
+  std::uint8_t diff = 0;
+  for (int i = 0; i < 16; ++i) diff |= expected[i] ^ tag[i];
+  if (diff != 0) {
+    return Status::Tampered("OCB stream tag mismatch");
+  }
+  return Status::OK();
+}
+
+std::vector<std::uint8_t> SealStream(const Block& key, const Block& nonce,
+                                     const std::vector<std::uint8_t>& data) {
+  OcbStreamEncryptor enc(key, nonce);
+  std::vector<std::uint8_t> out(data.size() + 16);
+  for (std::size_t off = 0; off + 16 <= data.size(); off += 16) {
+    Block p;
+    std::memcpy(p.data(), &data[off], 16);
+    const Block c = enc.NextBlock(p);
+    std::memcpy(&out[off], c.data(), 16);
+  }
+  const Block tag = enc.Finalize();
+  std::memcpy(&out[data.size()], tag.data(), 16);
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> OpenStream(
+    const Block& key, const Block& nonce,
+    const std::vector<std::uint8_t>& sealed) {
+  if (sealed.size() < 16 || (sealed.size() - 16) % 16 != 0) {
+    return Status::Tampered("malformed OCB stream");
+  }
+  OcbStreamDecryptor dec(key, nonce);
+  std::vector<std::uint8_t> out(sealed.size() - 16);
+  for (std::size_t off = 0; off + 16 <= out.size(); off += 16) {
+    Block c;
+    std::memcpy(c.data(), &sealed[off], 16);
+    const Block p = dec.NextBlock(c);
+    std::memcpy(&out[off], p.data(), 16);
+  }
+  Block tag;
+  std::memcpy(tag.data(), &sealed[out.size()], 16);
+  PPJ_RETURN_NOT_OK(dec.Verify(tag));
+  return out;
+}
+
+}  // namespace ppj::crypto

@@ -1,0 +1,101 @@
+#include "oblivious/bitonic_sort.h"
+
+#include <cstring>
+
+#include "common/math.h"
+#include "relation/encrypted_relation.h"
+#include "relation/tuple.h"
+
+namespace ppj::oblivious {
+
+namespace {
+
+/// One oblivious compare-exchange: both elements travel through T and are
+/// written back re-encrypted under fresh nonces whether or not they
+/// swapped, so the host learns nothing from the exchange.
+Status CompareExchange(sim::Coprocessor& copro, sim::RegionId region,
+                       std::uint64_t i, std::uint64_t j, bool ascending,
+                       const crypto::Ocb& key, const PlainLess& less) {
+  PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> pi,
+                       copro.GetOpen(region, i, key));
+  PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> pj,
+                       copro.GetOpen(region, j, key));
+  copro.NoteComparison();
+  const bool out_of_order = ascending ? less(pj, pi) : less(pi, pj);
+  if (out_of_order) std::swap(pi, pj);
+  PPJ_RETURN_NOT_OK(copro.PutSealed(region, i, pi, key));
+  PPJ_RETURN_NOT_OK(copro.PutSealed(region, j, pj, key));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ObliviousSort(sim::Coprocessor& copro, sim::RegionId region,
+                     std::uint64_t n, const crypto::Ocb& key,
+                     const PlainLess& less) {
+  if (n == 0 || n == 1) return Status::OK();
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument(
+        "bitonic sort needs a power-of-two size; pad with decoys");
+  }
+  // The two staging slots for the elements under comparison are the "+2"
+  // of the paper's M + 2 memory model; no buffer reservation needed.
+  for (std::uint64_t k = 2; k <= n; k <<= 1) {
+    for (std::uint64_t j = k >> 1; j > 0; j >>= 1) {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t l = i ^ j;
+        if (l > i) {
+          const bool ascending = (i & k) == 0;
+          PPJ_RETURN_NOT_OK(
+              CompareExchange(copro, region, i, l, ascending, key, less));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+PlainLess RealFirstLess() {
+  return [](const std::vector<std::uint8_t>& x,
+            const std::vector<std::uint8_t>& y) {
+    return relation::wire::IsReal(x) && !relation::wire::IsReal(y);
+  };
+}
+
+PlainLess ColumnLess(const relation::Schema* schema, std::size_t col) {
+  const std::size_t off = schema->offset(col);
+  return [off](const std::vector<std::uint8_t>& x,
+               const std::vector<std::uint8_t>& y) {
+    const bool xr = relation::wire::IsReal(x);
+    const bool yr = relation::wire::IsReal(y);
+    if (xr != yr) return xr;  // padding after all real tuples
+    if (!xr) return false;
+    // int64 little-endian at offset off within the payload (skip the flag).
+    auto load = [off](const std::vector<std::uint8_t>& p) {
+      std::uint64_t v = 0;
+      for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(p[1 + off + i]) << (8 * i);
+      }
+      return static_cast<std::int64_t>(v);
+    };
+    return load(x) < load(y);
+  };
+}
+
+PlainLess TagLess() {
+  return [](const std::vector<std::uint8_t>& x,
+            const std::vector<std::uint8_t>& y) {
+    std::uint64_t tx = 0, ty = 0;
+    std::memcpy(&tx, x.data() + 1, 8);
+    std::memcpy(&ty, y.data() + 1, 8);
+    return tx < ty;
+  };
+}
+
+std::uint64_t BitonicComparators(std::uint64_t n) {
+  if (n <= 1) return 0;
+  const unsigned lg = FloorLog2(n);
+  return (n / 2) * (static_cast<std::uint64_t>(lg) * (lg + 1) / 2);
+}
+
+}  // namespace ppj::oblivious

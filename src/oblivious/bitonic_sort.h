@@ -1,0 +1,53 @@
+#ifndef PPJ_OBLIVIOUS_BITONIC_SORT_H_
+#define PPJ_OBLIVIOUS_BITONIC_SORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/ocb.h"
+#include "relation/schema.h"
+#include "sim/coprocessor.h"
+
+namespace ppj::oblivious {
+
+/// Strict-weak ordering over slot *plaintexts* (wire format: flag byte +
+/// payload). Evaluated inside the coprocessor after authenticated
+/// decryption; the adversary never observes its outcome because every
+/// compare-exchange re-seals and writes back both elements regardless of
+/// whether they swapped.
+using PlainLess = std::function<bool(const std::vector<std::uint8_t>&,
+                                     const std::vector<std::uint8_t>&)>;
+
+/// Obliviously sorts slots [0, n) of `region` with Batcher's bitonic
+/// network (Section 4.4.1 / 5.2.2). n must be a power of two — callers pad
+/// with decoy slots, which the standard comparators order last.
+///
+/// Access pattern: the fixed network schedule of ~ (1/4) n (log2 n)^2
+/// compare-exchanges, each transferring 2 elements in and 2 out — i.e.
+/// n (log2 n)^2 tuple transfers, the cost the paper charges for an
+/// oblivious sort. The schedule depends only on n, never on the data.
+Status ObliviousSort(sim::Coprocessor& copro, sim::RegionId region,
+                     std::uint64_t n, const crypto::Ocb& key,
+                     const PlainLess& less);
+
+/// Comparator placing real tuples before decoys ("giving lower priority to
+/// decoy tuples"). Ties are left untouched.
+PlainLess RealFirstLess();
+
+/// Comparator for Algorithm 3: ascending by int64 column `col` of `schema`,
+/// with decoy/padding slots ordered last.
+PlainLess ColumnLess(const relation::Schema* schema, std::size_t col);
+
+/// Comparator by a little-endian uint64 tag prepended to the payload —
+/// used by the oblivious shuffle.
+PlainLess TagLess();
+
+/// Exact number of compare-exchange operations the network performs on n
+/// elements (n a power of two).
+std::uint64_t BitonicComparators(std::uint64_t n);
+
+}  // namespace ppj::oblivious
+
+#endif  // PPJ_OBLIVIOUS_BITONIC_SORT_H_

@@ -1,0 +1,48 @@
+#include "oblivious/shuffle.h"
+
+#include <cstring>
+
+#include "common/math.h"
+#include "oblivious/bitonic_sort.h"
+
+namespace ppj::oblivious {
+
+Status ObliviousShuffle(sim::Coprocessor& copro, sim::RegionId region,
+                        std::uint64_t n, const crypto::Ocb& key) {
+  if (n <= 1) return Status::OK();
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument("oblivious shuffle needs power-of-two n");
+  }
+  const std::size_t slot_size = copro.host()->RegionSlotSize(region);
+  const std::size_t plain_size =
+      slot_size - crypto::Ocb::kBlockSize - crypto::Ocb::kTagSize;
+
+  // Tagged staging region: plaintext' = flag byte + 8-byte tag + original
+  // plaintext. The tag is drawn inside T and never visible to the host.
+  const std::size_t tagged_plain = 1 + 8 + plain_size;
+  const sim::RegionId tagged = copro.host()->CreateRegion(
+      "shuffle-tags", sim::Coprocessor::SealedSize(tagged_plain), n);
+
+  for (std::uint64_t i = 0; i < n; ++i) {
+    PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> plain,
+                         copro.GetOpen(region, i, key));
+    std::vector<std::uint8_t> t(tagged_plain);
+    t[0] = 1;
+    const std::uint64_t tag = copro.rng().NextU64();
+    std::memcpy(t.data() + 1, &tag, 8);
+    std::memcpy(t.data() + 9, plain.data(), plain.size());
+    PPJ_RETURN_NOT_OK(copro.PutSealed(tagged, i, t, key));
+  }
+
+  PPJ_RETURN_NOT_OK(ObliviousSort(copro, tagged, n, key, TagLess()));
+
+  for (std::uint64_t i = 0; i < n; ++i) {
+    PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> t,
+                         copro.GetOpen(tagged, i, key));
+    std::vector<std::uint8_t> plain(t.begin() + 9, t.end());
+    PPJ_RETURN_NOT_OK(copro.PutSealed(region, i, plain, key));
+  }
+  return Status::OK();
+}
+
+}  // namespace ppj::oblivious

@@ -1,0 +1,26 @@
+#ifndef PPJ_OBLIVIOUS_SHUFFLE_H_
+#define PPJ_OBLIVIOUS_SHUFFLE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "crypto/ocb.h"
+#include "sim/coprocessor.h"
+
+namespace ppj::oblivious {
+
+/// Obliviously permutes slots [0, n) of `region` (sealed under `key`) into
+/// a uniformly random order unknown to the host: each element is tagged
+/// inside the coprocessor with a random 64-bit key, the tagged list is
+/// bitonically sorted by tag, and the tags are stripped. n must be a power
+/// of two. The access pattern depends only on n.
+///
+/// Used by the unsafe hash/commutative baselines of Section 4.5.1 (which
+/// the paper prescribes to "obliviously shuffle A" first) and available as
+/// a building block.
+Status ObliviousShuffle(sim::Coprocessor& copro, sim::RegionId region,
+                        std::uint64_t n, const crypto::Ocb& key);
+
+}  // namespace ppj::oblivious
+
+#endif  // PPJ_OBLIVIOUS_SHUFFLE_H_

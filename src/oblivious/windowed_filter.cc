@@ -1,0 +1,95 @@
+#include "oblivious/windowed_filter.h"
+
+#include <algorithm>
+
+#include "common/math.h"
+#include "oblivious/bitonic_sort.h"
+#include "relation/encrypted_relation.h"
+
+namespace ppj::oblivious {
+
+Result<FilterStats> WindowedObliviousFilter(sim::Coprocessor& copro,
+                                            sim::RegionId src,
+                                            std::uint64_t omega,
+                                            std::uint64_t mu,
+                                            std::uint64_t delta,
+                                            const crypto::Ocb& key,
+                                            sim::RegionId dst) {
+  if (omega == 0 || mu == 0 || mu > omega) {
+    return Status::InvalidArgument("need 0 < mu <= omega");
+  }
+  if (delta == 0) delta = 1;
+  if (copro.host()->RegionSlots(src) < omega) {
+    return Status::OutOfRange("src region smaller than omega");
+  }
+  if (copro.host()->RegionSlots(dst) < mu) {
+    return Status::OutOfRange("dst region smaller than mu");
+  }
+  const std::size_t slot_size = copro.host()->RegionSlotSize(src);
+  if (copro.host()->RegionSlotSize(dst) != slot_size) {
+    return Status::InvalidArgument("src/dst slot sizes differ");
+  }
+  const std::size_t payload_size =
+      slot_size - crypto::Ocb::kBlockSize - crypto::Ocb::kTagSize - 1;
+
+  FilterStats stats;
+  const std::uint64_t window = std::min(mu + delta, omega);
+  const std::uint64_t padded = NextPowerOfTwo(window);
+  stats.buffer_size = padded;
+
+  // Buffer lives in *host* memory (the coprocessor cannot hold mu + delta
+  // tuples); T touches it only through traced transfers.
+  const sim::RegionId buffer =
+      copro.host()->CreateRegion("filter-buffer", slot_size, padded);
+
+  // Move an element src[s] -> buffer[b] through T, re-sealed.
+  auto copy_in = [&](std::uint64_t s, std::uint64_t b) -> Status {
+    PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> plain,
+                         copro.GetOpen(src, s, key));
+    PPJ_RETURN_NOT_OK(copro.PutSealed(buffer, b, plain, key));
+    stats.copy_transfers += 2;
+    return Status::OK();
+  };
+
+  // Fill the initial window and pad the power-of-two tail with decoys.
+  std::uint64_t consumed = 0;
+  for (; consumed < window; ++consumed) {
+    PPJ_RETURN_NOT_OK(copy_in(consumed, consumed));
+  }
+  const std::vector<std::uint8_t> decoy =
+      relation::wire::MakeDecoy(payload_size);
+  for (std::uint64_t b = window; b < padded; ++b) {
+    PPJ_RETURN_NOT_OK(copro.PutSealed(buffer, b, decoy, key));
+    stats.copy_transfers += 1;
+  }
+
+  const PlainLess less = RealFirstLess();
+  PPJ_RETURN_NOT_OK(ObliviousSort(copro, buffer, padded, key, less));
+  ++stats.sort_invocations;
+
+  // Refill the swap area and re-sort until the source is exhausted. All at
+  // most mu real elements always survive in the top mu buffer positions.
+  while (consumed < omega) {
+    const std::uint64_t chunk = std::min(delta, omega - consumed);
+    for (std::uint64_t j = 0; j < chunk; ++j) {
+      PPJ_RETURN_NOT_OK(copy_in(consumed + j, mu + j));
+    }
+    // Any unused tail of the swap area still holds decoys from the previous
+    // round (sorted behind the reals), so no extra writes are needed; the
+    // chunk size is a function of public parameters only.
+    consumed += chunk;
+    PPJ_RETURN_NOT_OK(ObliviousSort(copro, buffer, padded, key, less));
+    ++stats.sort_invocations;
+  }
+
+  // Emit the top mu slots.
+  for (std::uint64_t i = 0; i < mu; ++i) {
+    PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> plain,
+                         copro.GetOpen(buffer, i, key));
+    PPJ_RETURN_NOT_OK(copro.PutSealed(dst, i, plain, key));
+    stats.copy_transfers += 2;
+  }
+  return stats;
+}
+
+}  // namespace ppj::oblivious

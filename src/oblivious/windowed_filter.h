@@ -1,0 +1,47 @@
+#ifndef PPJ_OBLIVIOUS_WINDOWED_FILTER_H_
+#define PPJ_OBLIVIOUS_WINDOWED_FILTER_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "crypto/ocb.h"
+#include "sim/coprocessor.h"
+
+namespace ppj::oblivious {
+
+/// Statistics of one windowed-filter execution, for reconciling measured
+/// costs against the Section 5.2.2 model.
+struct FilterStats {
+  std::uint64_t sort_invocations = 0;
+  std::uint64_t buffer_size = 0;      ///< mu + delta, padded to a power of 2.
+  std::uint64_t copy_transfers = 0;   ///< refill gets + puts (lower order).
+};
+
+/// The optimized oblivious decoy filter of Section 5.2.2.
+///
+/// Input: slots [0, omega) of `src`, sealed under `key`, of which at most
+/// `mu` are real join results and the rest are decoys. Output: the real
+/// results packed into slots [0, mu) of `dst` (followed by decoys when
+/// fewer than mu reals exist).
+///
+/// Instead of obliviously sorting all omega elements (cost
+/// omega (log2 omega)^2), the filter keeps a buffer of mu + delta elements
+/// in host memory: it sorts the buffer real-first, overwrites the bottom
+/// delta slots with the next delta source elements, and repeats —
+/// (omega - mu)/delta sorts of mu + delta elements, exactly the recurrence
+/// whose optimal delta is Eqn 5.1's Delta*.
+///
+/// The access pattern is a fixed function of (omega, mu, delta); nothing
+/// about which slots are real leaks.
+Result<FilterStats> WindowedObliviousFilter(sim::Coprocessor& copro,
+                                            sim::RegionId src,
+                                            std::uint64_t omega,
+                                            std::uint64_t mu,
+                                            std::uint64_t delta,
+                                            const crypto::Ocb& key,
+                                            sim::RegionId dst);
+
+}  // namespace ppj::oblivious
+
+#endif  // PPJ_OBLIVIOUS_WINDOWED_FILTER_H_

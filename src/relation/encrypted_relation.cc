@@ -1,0 +1,92 @@
+#include "relation/encrypted_relation.h"
+
+#include <cstring>
+
+namespace ppj::relation {
+
+namespace wire {
+
+std::vector<std::uint8_t> MakeReal(const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out(1 + payload.size());
+  out[0] = kReal;
+  std::memcpy(out.data() + 1, payload.data(), payload.size());
+  return out;
+}
+
+std::vector<std::uint8_t> MakeDecoy(std::size_t payload_size) {
+  // All-zero payload: a fixed pattern (Section 4.3) that additionally
+  // deserializes cleanly under every schema, so decoys can share the code
+  // path of real tuples end to end.
+  std::vector<std::uint8_t> out(1 + payload_size, kDecoyFill);
+  out[0] = kDecoy;
+  return out;
+}
+
+bool IsReal(const std::vector<std::uint8_t>& plaintext) {
+  return !plaintext.empty() && plaintext[0] == kReal;
+}
+
+std::vector<std::uint8_t> Payload(
+    const std::vector<std::uint8_t>& plaintext) {
+  return std::vector<std::uint8_t>(plaintext.begin() + 1, plaintext.end());
+}
+
+}  // namespace wire
+
+Result<EncryptedRelation> EncryptedRelation::Seal(sim::HostStore* host,
+                                                  const Relation& rel,
+                                                  const crypto::Ocb* key,
+                                                  std::uint64_t padded_slots) {
+  if (host == nullptr || key == nullptr) {
+    return Status::InvalidArgument("Seal requires a host and a key");
+  }
+  if (padded_slots == 0) padded_slots = rel.size();
+  if (padded_slots < rel.size()) {
+    return Status::InvalidArgument("padded_slots smaller than relation");
+  }
+
+  const std::size_t plain_size = wire::PlainSize(rel.schema().tuple_size());
+  const std::size_t slot_size = sim::Coprocessor::SealedSize(plain_size);
+
+  EncryptedRelation out;
+  out.region_ = host->CreateRegion(rel.name(), slot_size, padded_slots);
+  out.size_ = rel.size();
+  out.padded_size_ = padded_slots;
+  out.schema_ = rel.schema_ptr();
+  out.key_ = key;
+
+  // Provider-side sealing (host writes by the data owner, not traced).
+  // The nonce binds (region, index) with the provider's counter value 0;
+  // coprocessor re-seals use counters >= 1, so nonces never repeat per key.
+  auto seal_slot = [&](std::uint64_t index,
+                       const std::vector<std::uint8_t>& plain) {
+    const crypto::Block nonce =
+        sim::Coprocessor::PositionNonce(out.region_, index, 0);
+    const std::vector<std::uint8_t> sealed = key->Encrypt(nonce, plain);
+    std::vector<std::uint8_t> slot(crypto::Ocb::kBlockSize + sealed.size());
+    std::memcpy(slot.data(), nonce.data(), crypto::Ocb::kBlockSize);
+    std::memcpy(slot.data() + crypto::Ocb::kBlockSize, sealed.data(),
+                sealed.size());
+    return slot;
+  };
+
+  for (std::uint64_t i = 0; i < padded_slots; ++i) {
+    std::vector<std::uint8_t> plain =
+        i < rel.size() ? wire::MakeReal(rel.tuple(i).Serialize())
+                       : wire::MakeDecoy(rel.schema().tuple_size());
+    PPJ_RETURN_NOT_OK(host->WriteSlot(out.region_, i, seal_slot(i, plain)));
+  }
+  return out;
+}
+
+Result<EncryptedRelation::FetchedTuple> EncryptedRelation::Fetch(
+    sim::Coprocessor& copro, std::uint64_t index) const {
+  PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> plain,
+                       copro.GetOpen(region_, index, *key_));
+  const bool real = wire::IsReal(plain);
+  PPJ_ASSIGN_OR_RETURN(Tuple tuple,
+                       Tuple::Deserialize(schema_, wire::Payload(plain)));
+  return FetchedTuple{std::move(tuple), real};
+}
+
+}  // namespace ppj::relation

@@ -1,0 +1,101 @@
+#ifndef PPJ_RELATION_ENCRYPTED_RELATION_H_
+#define PPJ_RELATION_ENCRYPTED_RELATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "crypto/ocb.h"
+#include "relation/relation.h"
+#include "sim/coprocessor.h"
+#include "sim/host_store.h"
+
+namespace ppj::relation {
+
+/// Wire format of every plaintext slot that flows through the coprocessor:
+/// one flag byte followed by a fixed-width payload.
+///
+///   flag = 1  — a real tuple (input tuple or join result).
+///   flag = 0  — a decoy / padding slot: fixed pattern of the same length,
+///               indistinguishable after semantically secure encryption
+///               (Section 4.3 "Decoys").
+///
+/// Using the same framing for inputs, scratch arrays and outputs lets the
+/// oblivious primitives prioritize "real before decoy" uniformly.
+namespace wire {
+
+constexpr std::uint8_t kReal = 1;
+constexpr std::uint8_t kDecoy = 0;
+constexpr std::uint8_t kDecoyFill = 0x00;
+
+/// flag + payload.
+std::vector<std::uint8_t> MakeReal(const std::vector<std::uint8_t>& payload);
+
+/// flag + fixed decoy pattern of `payload_size` bytes.
+std::vector<std::uint8_t> MakeDecoy(std::size_t payload_size);
+
+bool IsReal(const std::vector<std::uint8_t>& plaintext);
+
+/// Payload bytes (everything after the flag).
+std::vector<std::uint8_t> Payload(const std::vector<std::uint8_t>& plaintext);
+
+/// Total plaintext size for a payload of `payload_size` bytes.
+inline std::size_t PlainSize(std::size_t payload_size) {
+  return 1 + payload_size;
+}
+
+}  // namespace wire
+
+/// A relation sealed into a host region, one slot per tuple, under a data
+/// provider's symmetric key. Sealing happens provider-side (it is not part
+/// of the coprocessor's observable trace); fetching happens inside the
+/// coprocessor and is traced.
+///
+/// Slots may include trailing *padding* entries (flag = 0) so oblivious
+/// sorting can run on power-of-two sizes; padding never matches a predicate
+/// because the algorithms consult the flag inside the coprocessor.
+class EncryptedRelation {
+ public:
+  /// Seals `rel` into a fresh region of `host` under `key`. `padded_slots`
+  /// of 0 means "exactly rel.size() slots"; otherwise must be >= rel.size()
+  /// and the excess is filled with decoy padding. Each slot's nonce is
+  /// bound to its (region, index) position — a host that later reorders
+  /// slots is detected by the coprocessor (see Coprocessor::GetOpen).
+  static Result<EncryptedRelation> Seal(sim::HostStore* host,
+                                        const Relation& rel,
+                                        const crypto::Ocb* key,
+                                        std::uint64_t padded_slots = 0);
+
+  sim::RegionId region() const { return region_; }
+  /// Number of real tuples.
+  std::uint64_t size() const { return size_; }
+  /// Number of slots including padding.
+  std::uint64_t padded_size() const { return padded_size_; }
+  const Schema* schema() const { return schema_; }
+  const crypto::Ocb* key() const { return key_; }
+  std::size_t payload_size() const { return schema_->tuple_size(); }
+
+  /// Coprocessor-side fetch: Get + authenticate + decrypt + decode. Returns
+  /// the tuple and whether the slot was real (false = padding). kTampered
+  /// when the host modified the slot.
+  struct FetchedTuple {
+    Tuple tuple;
+    bool real;
+  };
+  Result<FetchedTuple> Fetch(sim::Coprocessor& copro,
+                             std::uint64_t index) const;
+
+ private:
+  EncryptedRelation() = default;
+
+  sim::RegionId region_ = 0;
+  std::uint64_t size_ = 0;
+  std::uint64_t padded_size_ = 0;
+  const Schema* schema_ = nullptr;
+  const crypto::Ocb* key_ = nullptr;
+};
+
+}  // namespace ppj::relation
+
+#endif  // PPJ_RELATION_ENCRYPTED_RELATION_H_

@@ -1,0 +1,285 @@
+#include "relation/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace ppj::relation {
+
+namespace {
+
+Schema MakeKeySchema() {
+  return Schema({Schema::Int64("id"), Schema::Int64("key"),
+                 Schema::String("tag", 12)});
+}
+
+std::string Tag(const char* prefix, std::uint64_t i, std::uint64_t seed) {
+  // Short content marker; differs across seeds so audit pairs differ in
+  // every byte that is not structurally forced.
+  return std::string(prefix) + std::to_string((i * 31 + seed * 7) % 100000);
+}
+
+}  // namespace
+
+Result<TwoTableWorkload> MakeEquijoinWorkload(const EquijoinSpec& spec) {
+  if (spec.n_max == 0 || spec.n_max > spec.size_b) {
+    return Status::InvalidArgument("need 1 <= N <= |B|");
+  }
+  if (spec.result_size < spec.n_max || spec.result_size > spec.size_b) {
+    return Status::InvalidArgument("need N <= S <= |B|");
+  }
+  // Match groups: group g is one A tuple joined by c_g B tuples, c_0 = N,
+  // remaining S - N spread over groups of size <= N.
+  std::vector<std::uint64_t> group_sizes;
+  group_sizes.push_back(spec.n_max);
+  std::uint64_t remaining = spec.result_size - spec.n_max;
+  while (remaining > 0) {
+    const std::uint64_t c = std::min(remaining, spec.n_max);
+    group_sizes.push_back(c);
+    remaining -= c;
+  }
+  if (group_sizes.size() > spec.size_a) {
+    return Status::InvalidArgument(
+        "not enough A tuples for the requested S at this N");
+  }
+
+  Rng rng(spec.seed);
+  const std::int64_t key_base =
+      static_cast<std::int64_t>(1000 + (spec.seed % 17) * 10000);
+
+  auto a = std::make_unique<Relation>("A", MakeKeySchema());
+  auto b = std::make_unique<Relation>("B", MakeKeySchema());
+
+  // Matching part.
+  std::uint64_t b_rows = 0;
+  for (std::size_t g = 0; g < group_sizes.size(); ++g) {
+    const std::int64_t key = key_base + static_cast<std::int64_t>(g);
+    PPJ_RETURN_NOT_OK(a->Append({static_cast<std::int64_t>(rng.NextU64() >> 1),
+                                 key, Tag("a", g, spec.seed)}));
+    for (std::uint64_t j = 0; j < group_sizes[g]; ++j) {
+      PPJ_RETURN_NOT_OK(
+          b->Append({static_cast<std::int64_t>(rng.NextU64() >> 1), key,
+                     Tag("b", b_rows, spec.seed)}));
+      ++b_rows;
+    }
+  }
+  // Non-matching filler with disjoint key ranges.
+  for (std::uint64_t i = a->size(); i < spec.size_a; ++i) {
+    PPJ_RETURN_NOT_OK(a->Append({static_cast<std::int64_t>(rng.NextU64() >> 1),
+                                 key_base + 1000000 +
+                                     static_cast<std::int64_t>(i),
+                                 Tag("a", i, spec.seed)}));
+  }
+  for (std::uint64_t i = b->size(); i < spec.size_b; ++i) {
+    PPJ_RETURN_NOT_OK(b->Append({static_cast<std::int64_t>(rng.NextU64() >> 1),
+                                 key_base + 2000000 +
+                                     static_cast<std::int64_t>(i),
+                                 Tag("b", i, spec.seed)}));
+  }
+
+  TwoTableWorkload out;
+  out.a = std::move(a);
+  out.b = std::move(b);
+  out.predicate = std::make_unique<EqualityPredicate>(1, 1);  // key == key
+  out.max_matches_per_a = spec.n_max;
+  out.result_size = spec.result_size;
+  return out;
+}
+
+Result<TwoTableWorkload> MakeCellWorkload(const CellSpec& spec) {
+  const std::uint64_t l = spec.size_a * spec.size_b;
+  if (spec.result_size > l) {
+    return Status::InvalidArgument("S exceeds |A| * |B|");
+  }
+  if (spec.skew_rows > 0 &&
+      spec.result_size > spec.skew_rows * spec.size_b) {
+    return Status::InvalidArgument("S exceeds skewed row capacity");
+  }
+
+  Rng rng(spec.seed * 0x9e37 + 11);
+  auto a = std::make_unique<Relation>("A", MakeKeySchema());
+  auto b = std::make_unique<Relation>("B", MakeKeySchema());
+  for (std::uint64_t i = 0; i < spec.size_a; ++i) {
+    PPJ_RETURN_NOT_OK(a->Append({static_cast<std::int64_t>(i),
+                                 static_cast<std::int64_t>(rng.NextU64() >> 1),
+                                 Tag("a", i, spec.seed)}));
+  }
+  for (std::uint64_t i = 0; i < spec.size_b; ++i) {
+    PPJ_RETURN_NOT_OK(b->Append({static_cast<std::int64_t>(i),
+                                 static_cast<std::int64_t>(rng.NextU64() >> 1),
+                                 Tag("b", i, spec.seed)}));
+  }
+
+  // Choose exactly S distinct cells of the |A| x |B| grid.
+  std::vector<std::uint64_t> cells;
+  if (spec.skew_rows == 0) {
+    std::unordered_set<std::uint64_t> chosen;
+    while (chosen.size() < spec.result_size) {
+      chosen.insert(rng.NextBelow(l));
+    }
+    cells.assign(chosen.begin(), chosen.end());
+  } else {
+    // All matches land on the first skew_rows rows of A — the pathological
+    // distribution Section 5.1.1 worries about.
+    std::unordered_set<std::uint64_t> chosen;
+    const std::uint64_t capacity = spec.skew_rows * spec.size_b;
+    while (chosen.size() < spec.result_size) {
+      chosen.insert(rng.NextBelow(capacity));
+    }
+    cells.assign(chosen.begin(), chosen.end());
+  }
+
+  auto match_set = std::make_shared<std::unordered_set<std::uint64_t>>();
+  std::vector<std::uint64_t> per_row(spec.size_a, 0);
+  for (std::uint64_t cell : cells) {
+    match_set->insert(cell);
+    per_row[cell / spec.size_b]++;
+  }
+  const std::uint64_t n_max =
+      *std::max_element(per_row.begin(), per_row.end());
+
+  const std::uint64_t size_b = spec.size_b;
+  auto fn = [match_set, size_b](const Tuple& ta, const Tuple& tb) {
+    const auto cell = static_cast<std::uint64_t>(ta.GetInt64(0)) * size_b +
+                      static_cast<std::uint64_t>(tb.GetInt64(0));
+    return match_set->contains(cell);
+  };
+
+  TwoTableWorkload out;
+  out.a = std::move(a);
+  out.b = std::move(b);
+  out.predicate =
+      std::make_unique<LambdaPredicate>("synthetic-cell-match", fn);
+  out.max_matches_per_a = n_max;
+  out.result_size = spec.result_size;
+  return out;
+}
+
+Result<TwoTableWorkload> MakeZipfEquijoinWorkload(const ZipfSpec& spec) {
+  if (spec.num_keys == 0) {
+    return Status::InvalidArgument("need at least one key");
+  }
+  Rng rng(spec.seed * 977 + 13);
+
+  // Zipf CDF over the key universe.
+  std::vector<double> cdf(spec.num_keys);
+  double total = 0;
+  for (std::uint64_t k = 0; k < spec.num_keys; ++k) {
+    total += 1.0 /
+             std::pow(static_cast<double>(k + 1), spec.exponent);
+    cdf[k] = total;
+  }
+  auto sample_key = [&]() -> std::uint64_t {
+    const double u = rng.NextDouble() * total;
+    for (std::uint64_t k = 0; k < spec.num_keys; ++k) {
+      if (u <= cdf[k]) return k;
+    }
+    return spec.num_keys - 1;
+  };
+
+  auto a = std::make_unique<Relation>("A", MakeKeySchema());
+  auto b = std::make_unique<Relation>("B", MakeKeySchema());
+  const std::int64_t base = 7000;
+  for (std::uint64_t i = 0; i < spec.size_a; ++i) {
+    // A holds distinct keys: the first num_keys rows cover the universe,
+    // the rest never match.
+    const std::int64_t key =
+        i < spec.num_keys ? base + static_cast<std::int64_t>(i)
+                          : base + 1000000 + static_cast<std::int64_t>(i);
+    PPJ_RETURN_NOT_OK(a->Append({static_cast<std::int64_t>(i), key,
+                                 Tag("a", i, spec.seed)}));
+  }
+  for (std::uint64_t i = 0; i < spec.size_b; ++i) {
+    PPJ_RETURN_NOT_OK(
+        b->Append({static_cast<std::int64_t>(i),
+                   base + static_cast<std::int64_t>(sample_key()),
+                   Tag("b", i, spec.seed)}));
+  }
+
+  TwoTableWorkload out;
+  out.predicate = std::make_unique<EqualityPredicate>(1, 1);
+  const GroundTruth truth =
+      ComputeGroundTruth(*a, *b, *out.predicate, nullptr);
+  out.a = std::move(a);
+  out.b = std::move(b);
+  out.max_matches_per_a = truth.max_matches_per_a;
+  out.result_size = truth.result_size;
+  return out;
+}
+
+Result<TwoTableWorkload> MakeJaccardWorkload(const JaccardSpec& spec) {
+  if (spec.set_size == 0 || spec.set_size > spec.universe) {
+    return Status::InvalidArgument("set_size must be in [1, universe]");
+  }
+  Rng rng(spec.seed * 131 + 7);
+  Schema schema({Schema::Int64("id"), Schema::Set("features", spec.set_size)});
+  auto a = std::make_unique<Relation>("A", Schema(schema));
+  auto b = std::make_unique<Relation>("B", Schema(schema));
+
+  auto random_set = [&]() {
+    std::unordered_set<std::uint32_t> s;
+    while (s.size() < spec.set_size) {
+      s.insert(static_cast<std::uint32_t>(rng.NextBelow(spec.universe)));
+    }
+    return std::vector<std::uint32_t>(s.begin(), s.end());
+  };
+
+  std::vector<std::vector<std::uint32_t>> a_sets;
+  for (std::uint64_t i = 0; i < spec.size_a; ++i) a_sets.push_back(random_set());
+
+  for (std::uint64_t i = 0; i < spec.size_a; ++i) {
+    PPJ_RETURN_NOT_OK(
+        a->Append({static_cast<std::int64_t>(i), a_sets[i]}));
+  }
+  for (std::uint64_t i = 0; i < spec.size_b; ++i) {
+    std::vector<std::uint32_t> set;
+    if (i < spec.planted_pairs && i < spec.size_a) {
+      // Near-duplicate of A[i]: drop one element, add one — Jaccard stays
+      // high, guaranteeing planted matches.
+      set = a_sets[i];
+      if (!set.empty()) set.pop_back();
+      set.push_back(static_cast<std::uint32_t>(rng.NextBelow(spec.universe)));
+    } else {
+      set = random_set();
+    }
+    PPJ_RETURN_NOT_OK(b->Append({static_cast<std::int64_t>(i), set}));
+  }
+
+  auto predicate = std::make_unique<JaccardPredicate>(1, 1, spec.threshold);
+  const GroundTruth truth =
+      ComputeGroundTruth(*a, *b, *predicate, nullptr);
+
+  TwoTableWorkload out;
+  out.a = std::move(a);
+  out.b = std::move(b);
+  out.predicate = std::move(predicate);
+  out.max_matches_per_a = truth.max_matches_per_a;
+  out.result_size = truth.result_size;
+  return out;
+}
+
+GroundTruth ComputeGroundTruth(const Relation& a, const Relation& b,
+                               const PairPredicate& pred,
+                               const Schema* result_schema) {
+  GroundTruth truth;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t row_matches = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (pred.Match(a.tuple(i), b.tuple(j))) {
+        ++row_matches;
+        ++truth.result_size;
+        if (result_schema != nullptr) {
+          truth.expected.push_back(
+              Tuple::Concat(result_schema, a.tuple(i), b.tuple(j)));
+        }
+      }
+    }
+    truth.max_matches_per_a = std::max(truth.max_matches_per_a, row_matches);
+  }
+  return truth;
+}
+
+}  // namespace ppj::relation

@@ -1,0 +1,112 @@
+#ifndef PPJ_RELATION_GENERATOR_H_
+#define PPJ_RELATION_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relation/predicate.h"
+#include "relation/relation.h"
+
+namespace ppj::relation {
+
+/// A complete two-table workload: relations, predicate, and the ground-truth
+/// shape parameters the paper's algorithms and definitions are stated in.
+struct TwoTableWorkload {
+  std::unique_ptr<Relation> a;
+  std::unique_ptr<Relation> b;
+  std::unique_ptr<PairPredicate> predicate;
+  /// N: maximum number of B tuples matching any single A tuple (Chapter 4).
+  std::uint64_t max_matches_per_a = 0;
+  /// S: total number of matching pairs; L = |A| * |B| (Chapter 5).
+  std::uint64_t result_size = 0;
+};
+
+/// Parameters for an equijoin workload with exact control of N and S.
+struct EquijoinSpec {
+  std::uint64_t size_a = 64;
+  std::uint64_t size_b = 64;
+  /// Exact maximum fan-out: at least one A tuple matches exactly N B tuples
+  /// and none matches more. Must satisfy 1 <= N <= size_b.
+  std::uint64_t n_max = 4;
+  /// Exact total result size; N <= S, S <= size_b, and the construction
+  /// needs ceil(S / N) <= size_a distinct match groups.
+  std::uint64_t result_size = 8;
+  /// Perturbs keys and payloads so that two workloads with identical shape
+  /// have entirely different content (Definition 1 audit pairs).
+  std::uint64_t seed = 1;
+};
+
+/// Builds A and B with schema (id:int64, key:int64, tag:string[12]) joined
+/// on `key`, with exactly the requested N and S. Non-matching tuples get
+/// keys from disjoint ranges.
+Result<TwoTableWorkload> MakeEquijoinWorkload(const EquijoinSpec& spec);
+
+/// Parameters for an arbitrary-predicate workload with exact control of S.
+struct CellSpec {
+  std::uint64_t size_a = 64;
+  std::uint64_t size_b = 64;
+  /// Exact number of matching (a, b) pairs out of L = size_a * size_b.
+  std::uint64_t result_size = 8;
+  std::uint64_t seed = 1;
+  /// Skew: 0 spreads matches uniformly at random over the L cells; k > 0
+  /// concentrates all matches on the first k rows of A (the worst-case
+  /// distribution of Section 5.1.1's discussion). result_size must then be
+  /// <= k * size_b.
+  std::uint64_t skew_rows = 0;
+};
+
+/// Builds a workload whose predicate is an arbitrary (non-equality) match
+/// over the pair of `id` attributes, selecting exactly S of the L cells.
+/// This exercises the "general join, arbitrary predicate" code paths with a
+/// precisely controlled result shape.
+Result<TwoTableWorkload> MakeCellWorkload(const CellSpec& spec);
+
+/// Parameters for a skewed equijoin: B's join keys follow a Zipf
+/// distribution (the hash-join leak scenario of Section 4.5.1's footnote).
+struct ZipfSpec {
+  std::uint64_t size_a = 32;
+  std::uint64_t size_b = 64;
+  /// Key universe; A holds one tuple per key (up to size_a of them).
+  std::uint64_t num_keys = 16;
+  /// Zipf exponent; 0 = uniform, >= 1 strongly skewed.
+  double exponent = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Builds the skewed workload; N and S are computed exhaustively and
+/// returned in the workload's shape fields.
+Result<TwoTableWorkload> MakeZipfEquijoinWorkload(const ZipfSpec& spec);
+
+/// Builds a similarity workload: A and B carry set-valued attributes and the
+/// predicate is Jaccard(a.features, b.features) > f. Ground-truth N and S
+/// are computed by exhaustive evaluation.
+struct JaccardSpec {
+  std::uint64_t size_a = 32;
+  std::uint64_t size_b = 32;
+  std::uint32_t universe = 64;       ///< Element ids drawn from [0, universe).
+  std::uint32_t set_size = 8;        ///< Elements per tuple.
+  double threshold = 0.5;            ///< Match when coefficient > threshold.
+  std::uint64_t seed = 1;
+  std::uint64_t planted_pairs = 4;   ///< Near-duplicate pairs planted across
+                                     ///< A and B to guarantee matches.
+};
+Result<TwoTableWorkload> MakeJaccardWorkload(const JaccardSpec& spec);
+
+/// Ground truth by exhaustive plaintext evaluation: result size S, maximum
+/// fan-out N, and the full expected result (concatenated tuples under
+/// `result_schema`).
+struct GroundTruth {
+  std::uint64_t result_size = 0;
+  std::uint64_t max_matches_per_a = 0;
+  std::vector<Tuple> expected;
+};
+GroundTruth ComputeGroundTruth(const Relation& a, const Relation& b,
+                               const PairPredicate& pred,
+                               const Schema* result_schema);
+
+}  // namespace ppj::relation
+
+#endif  // PPJ_RELATION_GENERATOR_H_

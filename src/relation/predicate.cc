@@ -1,0 +1,102 @@
+#include "relation/predicate.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace ppj::relation {
+
+bool EqualityPredicate::Match(const Tuple& a, const Tuple& b) const {
+  return a.value(col_a_) == b.value(col_b_);
+}
+
+std::string EqualityPredicate::name() const {
+  std::ostringstream os;
+  os << "A[" << col_a_ << "] == B[" << col_b_ << "]";
+  return os.str();
+}
+
+bool LessThanPredicate::Match(const Tuple& a, const Tuple& b) const {
+  return a.GetInt64(col_a_) < b.GetInt64(col_b_);
+}
+
+std::string LessThanPredicate::name() const {
+  std::ostringstream os;
+  os << "A[" << col_a_ << "] < B[" << col_b_ << "]";
+  return os.str();
+}
+
+bool BandPredicate::Match(const Tuple& a, const Tuple& b) const {
+  const std::int64_t d = a.GetInt64(col_a_) - b.GetInt64(col_b_);
+  return d <= width_ && d >= -width_;
+}
+
+std::string BandPredicate::name() const {
+  std::ostringstream os;
+  os << "|A[" << col_a_ << "] - B[" << col_b_ << "]| <= " << width_;
+  return os.str();
+}
+
+bool L1NormPredicate::Match(const Tuple& a, const Tuple& b) const {
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < cols_a_.size(); ++i) {
+    const std::int64_t d = a.GetInt64(cols_a_[i]) - b.GetInt64(cols_b_[i]);
+    sum += d >= 0 ? d : -d;
+  }
+  return sum <= threshold_;
+}
+
+std::string L1NormPredicate::name() const {
+  std::ostringstream os;
+  os << "L1(A, B; " << cols_a_.size() << " attrs) <= " << threshold_;
+  return os.str();
+}
+
+double JaccardPredicate::Coefficient(const std::vector<std::uint32_t>& x,
+                                     const std::vector<std::uint32_t>& y) {
+  if (x.empty() && y.empty()) return 0.0;
+  std::size_t inter = 0, i = 0, j = 0;
+  while (i < x.size() && j < y.size()) {
+    if (x[i] == y[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (x[i] < y[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const std::size_t uni = x.size() + y.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+bool JaccardPredicate::Match(const Tuple& a, const Tuple& b) const {
+  return Coefficient(a.GetSet(col_a_), b.GetSet(col_b_)) > f_;
+}
+
+std::string JaccardPredicate::name() const {
+  std::ostringstream os;
+  os << "Jaccard(A[" << col_a_ << "], B[" << col_b_ << "]) > " << f_;
+  return os.str();
+}
+
+bool ChainPredicate::Satisfy(std::span<const Tuple> ituple) const {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (!links_[i]->Match(ituple[i], ituple[i + 1])) return false;
+  }
+  return true;
+}
+
+std::string ChainPredicate::name() const {
+  std::ostringstream os;
+  os << "chain(";
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (i > 0) os << " AND ";
+    os << links_[i]->name();
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace ppj::relation

@@ -1,0 +1,197 @@
+#ifndef PPJ_RELATION_PREDICATE_H_
+#define PPJ_RELATION_PREDICATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "relation/tuple.h"
+
+namespace ppj::relation {
+
+/// A two-way join predicate over tuples of an outer relation A and an inner
+/// relation B. The paper's central point is that predicates are *arbitrary*
+/// — the general algorithms (1, 2, 4, 5, 6) never look inside Match, they
+/// only guarantee that evaluating it is observationally silent (fixed time,
+/// fixed output size).
+class PairPredicate {
+ public:
+  virtual ~PairPredicate() = default;
+
+  /// True when (a, b) belongs to the join result.
+  virtual bool Match(const Tuple& a, const Tuple& b) const = 0;
+
+  /// Human-readable description for contracts and logs.
+  virtual std::string name() const = 0;
+
+  /// True only for predicates Algorithm 3 (sort-based equijoin) can use:
+  /// equality on a single attribute pair.
+  virtual bool is_equality() const { return false; }
+};
+
+/// Equality on one attribute of each side: a.col_a == b.col_b. The only
+/// predicate the specialized Algorithm 3 supports.
+class EqualityPredicate : public PairPredicate {
+ public:
+  EqualityPredicate(std::size_t col_a, std::size_t col_b)
+      : col_a_(col_a), col_b_(col_b) {}
+
+  bool Match(const Tuple& a, const Tuple& b) const override;
+  std::string name() const override;
+  bool is_equality() const override { return true; }
+
+  std::size_t col_a() const { return col_a_; }
+  std::size_t col_b() const { return col_b_; }
+
+ private:
+  std::size_t col_a_;
+  std::size_t col_b_;
+};
+
+/// a.col_a < b.col_b on int64 attributes — the "arbitrary predicates, e.g.
+/// <" the introduction calls out as unsupported by protocol approaches.
+class LessThanPredicate : public PairPredicate {
+ public:
+  LessThanPredicate(std::size_t col_a, std::size_t col_b)
+      : col_a_(col_a), col_b_(col_b) {}
+
+  bool Match(const Tuple& a, const Tuple& b) const override;
+  std::string name() const override;
+
+ private:
+  std::size_t col_a_;
+  std::size_t col_b_;
+};
+
+/// |a.col_a - b.col_b| <= width on int64 attributes (band join).
+class BandPredicate : public PairPredicate {
+ public:
+  BandPredicate(std::size_t col_a, std::size_t col_b, std::int64_t width)
+      : col_a_(col_a), col_b_(col_b), width_(width) {}
+
+  bool Match(const Tuple& a, const Tuple& b) const override;
+  std::string name() const override;
+
+ private:
+  std::size_t col_a_;
+  std::size_t col_b_;
+  std::int64_t width_;
+};
+
+/// Sum over paired int64 columns of |a_i - b_i| <= threshold — the L1-norm
+/// fuzzy match of Section 4.6.5's circuit-size discussion and the
+/// do-not-fly profile matching scenario.
+class L1NormPredicate : public PairPredicate {
+ public:
+  L1NormPredicate(std::vector<std::size_t> cols_a,
+                  std::vector<std::size_t> cols_b, std::int64_t threshold)
+      : cols_a_(std::move(cols_a)),
+        cols_b_(std::move(cols_b)),
+        threshold_(threshold) {}
+
+  bool Match(const Tuple& a, const Tuple& b) const override;
+  std::string name() const override;
+
+ private:
+  std::vector<std::size_t> cols_a_;
+  std::vector<std::size_t> cols_b_;
+  std::int64_t threshold_;
+};
+
+/// Jaccard coefficient of two set-valued attributes > f (Chapter 1's
+/// similarity-predicate example: |intersection| / |union| > f).
+class JaccardPredicate : public PairPredicate {
+ public:
+  JaccardPredicate(std::size_t col_a, std::size_t col_b, double f)
+      : col_a_(col_a), col_b_(col_b), f_(f) {}
+
+  bool Match(const Tuple& a, const Tuple& b) const override;
+  std::string name() const override;
+
+  /// Jaccard coefficient of two sorted unique sets.
+  static double Coefficient(const std::vector<std::uint32_t>& x,
+                            const std::vector<std::uint32_t>& y);
+
+ private:
+  std::size_t col_a_;
+  std::size_t col_b_;
+  double f_;
+};
+
+/// Arbitrary user-supplied match function.
+class LambdaPredicate : public PairPredicate {
+ public:
+  LambdaPredicate(std::string name,
+                  std::function<bool(const Tuple&, const Tuple&)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  bool Match(const Tuple& a, const Tuple& b) const override {
+    return fn_(a, b);
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::function<bool(const Tuple&, const Tuple&)> fn_;
+};
+
+/// Join predicate over J tables (Chapter 5): satisfy(iTuple) where an
+/// iTuple is one element of D = X_1 x ... x X_J.
+class MultiwayPredicate {
+ public:
+  virtual ~MultiwayPredicate() = default;
+
+  virtual bool Satisfy(std::span<const Tuple> ituple) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Adapts a two-way predicate to the J = 2 multiway interface.
+class PairAsMultiway : public MultiwayPredicate {
+ public:
+  explicit PairAsMultiway(const PairPredicate* pair) : pair_(pair) {}
+
+  bool Satisfy(std::span<const Tuple> ituple) const override {
+    return pair_->Match(ituple[0], ituple[1]);
+  }
+  std::string name() const override { return pair_->name(); }
+
+ private:
+  const PairPredicate* pair_;
+};
+
+/// Conjunction of pairwise predicates along a chain X_1 ⋈ X_2 ⋈ ... ⋈ X_J:
+/// predicate i relates tables i and i+1.
+class ChainPredicate : public MultiwayPredicate {
+ public:
+  explicit ChainPredicate(std::vector<const PairPredicate*> links)
+      : links_(std::move(links)) {}
+
+  bool Satisfy(std::span<const Tuple> ituple) const override;
+  std::string name() const override;
+
+ private:
+  std::vector<const PairPredicate*> links_;
+};
+
+/// Arbitrary multiway match function.
+class LambdaMultiway : public MultiwayPredicate {
+ public:
+  LambdaMultiway(std::string name,
+                 std::function<bool(std::span<const Tuple>)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  bool Satisfy(std::span<const Tuple> ituple) const override {
+    return fn_(ituple);
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::function<bool(std::span<const Tuple>)> fn_;
+};
+
+}  // namespace ppj::relation
+
+#endif  // PPJ_RELATION_PREDICATE_H_

@@ -1,0 +1,38 @@
+#include "relation/relation.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ppj::relation {
+
+Status Relation::Append(std::vector<Value> values) {
+  PPJ_ASSIGN_OR_RETURN(Tuple t, Tuple::Make(&schema_, std::move(values)));
+  tuples_.push_back(std::move(t));
+  return Status::OK();
+}
+
+std::string Relation::ToString(std::size_t max_rows) const {
+  std::ostringstream os;
+  os << name_ << " " << schema_.ToString() << " [" << tuples_.size()
+     << " tuples]";
+  for (std::size_t i = 0; i < tuples_.size() && i < max_rows; ++i) {
+    os << "\n  " << tuples_[i].ToString();
+  }
+  if (tuples_.size() > max_rows) os << "\n  ...";
+  return os.str();
+}
+
+bool SameTupleMultiset(const std::vector<Tuple>& a,
+                       const std::vector<Tuple>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<std::string> ka, kb;
+  ka.reserve(a.size());
+  kb.reserve(b.size());
+  for (const Tuple& t : a) ka.push_back(t.ToString());
+  for (const Tuple& t : b) kb.push_back(t.ToString());
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  return ka == kb;
+}
+
+}  // namespace ppj::relation

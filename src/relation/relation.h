@@ -1,0 +1,56 @@
+#ifndef PPJ_RELATION_RELATION_H_
+#define PPJ_RELATION_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relation/tuple.h"
+
+namespace ppj::relation {
+
+/// An in-memory plaintext relation: what a data provider holds before
+/// sealing and what a recipient reconstructs after decoy filtering. The
+/// schema is owned by the relation so tuples can reference it stably.
+class Relation {
+ public:
+  Relation(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  // The schema is referenced by contained tuples, so relations are move-only
+  // with the default moves disabled too (moving would invalidate pointers).
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const Schema* schema_ptr() const { return &schema_; }
+
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const Tuple& tuple(std::size_t i) const { return tuples_[i]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Appends a tuple built from raw values; validates against the schema.
+  Status Append(std::vector<Value> values);
+
+  /// Appends an already-validated tuple (must reference this schema).
+  void AppendTuple(Tuple tuple) { tuples_.push_back(std::move(tuple)); }
+
+  std::string ToString(std::size_t max_rows = 20) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+/// Multiset equality of two tuple collections — the correctness check used
+/// throughout the tests ("same join result, any order").
+bool SameTupleMultiset(const std::vector<Tuple>& a,
+                       const std::vector<Tuple>& b);
+
+}  // namespace ppj::relation
+
+#endif  // PPJ_RELATION_RELATION_H_

@@ -1,0 +1,94 @@
+#include "relation/schema.h"
+
+#include <sstream>
+
+namespace ppj::relation {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  offsets_.reserve(columns_.size());
+  std::size_t off = 0;
+  for (const Column& c : columns_) {
+    offsets_.push_back(off);
+    off += c.width;
+  }
+  tuple_size_ = off;
+}
+
+Column Schema::Int64(const std::string& name) {
+  return Column{name, ColumnType::kInt64, 8};
+}
+
+Column Schema::Double(const std::string& name) {
+  return Column{name, ColumnType::kDouble, 8};
+}
+
+Column Schema::String(const std::string& name, std::uint32_t width) {
+  return Column{name, ColumnType::kString, width};
+}
+
+Column Schema::Set(const std::string& name, std::uint32_t max_elements) {
+  return Column{name, ColumnType::kSet, 4 + 4 * max_elements};
+}
+
+Result<std::size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    const Column& a = columns_[i];
+    const Column& b = other.columns_[i];
+    if (a.name != b.name || a.type != b.type || a.width != b.width) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> cols = left.columns_;
+  for (Column c : right.columns_) {
+    // Disambiguate duplicated names the SQL way: suffix the right side.
+    bool clash = false;
+    for (const Column& l : left.columns_) {
+      if (l.name == c.name) {
+        clash = true;
+        break;
+      }
+    }
+    if (clash) c.name += "_r";
+    cols.push_back(std::move(c));
+  }
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << columns_[i].name << ":";
+    switch (columns_[i].type) {
+      case ColumnType::kInt64:
+        os << "int64";
+        break;
+      case ColumnType::kDouble:
+        os << "double";
+        break;
+      case ColumnType::kString:
+        os << "string[" << columns_[i].width << "]";
+        break;
+      case ColumnType::kSet:
+        os << "set[" << (columns_[i].width - 4) / 4 << "]";
+        break;
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace ppj::relation

@@ -1,0 +1,238 @@
+#include "relation/tuple.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <sstream>
+
+namespace ppj::relation {
+
+namespace {
+
+void PutU64(std::vector<std::uint8_t>& out, std::size_t off,
+            std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint64_t GetU64(const std::vector<std::uint8_t>& in, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[off + i]) << (8 * i);
+  }
+  return v;
+}
+
+void PutU32(std::vector<std::uint8_t>& out, std::size_t off,
+            std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint32_t GetU32(const std::vector<std::uint8_t>& in, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[off + i]) << (8 * i);
+  }
+  return v;
+}
+
+bool TypeMatches(ColumnType type, const Value& v) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return std::holds_alternative<std::int64_t>(v);
+    case ColumnType::kDouble:
+      return std::holds_alternative<double>(v);
+    case ColumnType::kString:
+      return std::holds_alternative<std::string>(v);
+    case ColumnType::kSet:
+      return std::holds_alternative<std::vector<std::uint32_t>>(v);
+  }
+  return false;
+}
+
+}  // namespace
+
+Tuple::Tuple(const Schema* schema, std::vector<Value> values)
+    : schema_(schema), values_(std::move(values)) {
+  // Normalise sets: sorted + unique, so equality and Jaccard are canonical.
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (auto* set = std::get_if<std::vector<std::uint32_t>>(&values_[i])) {
+      std::sort(set->begin(), set->end());
+      set->erase(std::unique(set->begin(), set->end()), set->end());
+    }
+  }
+}
+
+Result<Tuple> Tuple::Make(const Schema* schema, std::vector<Value> values) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("Tuple::Make requires a schema");
+  }
+  if (values.size() != schema->num_columns()) {
+    return Status::InvalidArgument("tuple arity does not match schema");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const Column& col = schema->columns()[i];
+    if (!TypeMatches(col.type, values[i])) {
+      return Status::InvalidArgument("value type mismatch for column '" +
+                                     col.name + "'");
+    }
+    if (col.type == ColumnType::kString &&
+        std::get<std::string>(values[i]).size() > col.width) {
+      return Status::InvalidArgument("string exceeds fixed width of column '" +
+                                     col.name + "'");
+    }
+    if (col.type == ColumnType::kSet &&
+        std::get<std::vector<std::uint32_t>>(values[i]).size() >
+            (col.width - 4) / 4) {
+      return Status::InvalidArgument("set exceeds capacity of column '" +
+                                     col.name + "'");
+    }
+  }
+  return Tuple(schema, std::move(values));
+}
+
+std::int64_t Tuple::GetInt64(std::size_t i) const {
+  return std::get<std::int64_t>(values_[i]);
+}
+
+double Tuple::GetDouble(std::size_t i) const {
+  return std::get<double>(values_[i]);
+}
+
+const std::string& Tuple::GetString(std::size_t i) const {
+  return std::get<std::string>(values_[i]);
+}
+
+const std::vector<std::uint32_t>& Tuple::GetSet(std::size_t i) const {
+  return std::get<std::vector<std::uint32_t>>(values_[i]);
+}
+
+std::vector<std::uint8_t> Tuple::Serialize() const {
+  assert(schema_ != nullptr);
+  std::vector<std::uint8_t> out(schema_->tuple_size(), 0);
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const Column& col = schema_->columns()[i];
+    const std::size_t off = schema_->offset(i);
+    switch (col.type) {
+      case ColumnType::kInt64: {
+        PutU64(out, off, static_cast<std::uint64_t>(GetInt64(i)));
+        break;
+      }
+      case ColumnType::kDouble: {
+        std::uint64_t bits;
+        const double d = GetDouble(i);
+        std::memcpy(&bits, &d, 8);
+        PutU64(out, off, bits);
+        break;
+      }
+      case ColumnType::kString: {
+        const std::string& s = GetString(i);
+        std::memcpy(&out[off], s.data(), s.size());
+        break;
+      }
+      case ColumnType::kSet: {
+        const auto& set = GetSet(i);
+        PutU32(out, off, static_cast<std::uint32_t>(set.size()));
+        for (std::size_t j = 0; j < set.size(); ++j) {
+          PutU32(out, off + 4 + 4 * j, set[j]);
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Tuple> Tuple::Deserialize(const Schema* schema,
+                                 const std::vector<std::uint8_t>& bytes) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("Tuple::Deserialize requires a schema");
+  }
+  if (bytes.size() != schema->tuple_size()) {
+    return Status::InvalidArgument(
+        "encoded tuple size does not match schema: got " +
+        std::to_string(bytes.size()) + ", want " +
+        std::to_string(schema->tuple_size()));
+  }
+  std::vector<Value> values;
+  values.reserve(schema->num_columns());
+  for (std::size_t i = 0; i < schema->num_columns(); ++i) {
+    const Column& col = schema->columns()[i];
+    const std::size_t off = schema->offset(i);
+    switch (col.type) {
+      case ColumnType::kInt64:
+        values.emplace_back(static_cast<std::int64_t>(GetU64(bytes, off)));
+        break;
+      case ColumnType::kDouble: {
+        const std::uint64_t bits = GetU64(bytes, off);
+        double d;
+        std::memcpy(&d, &bits, 8);
+        values.emplace_back(d);
+        break;
+      }
+      case ColumnType::kString: {
+        std::size_t len = col.width;
+        while (len > 0 && bytes[off + len - 1] == 0) --len;
+        values.emplace_back(
+            std::string(reinterpret_cast<const char*>(&bytes[off]), len));
+        break;
+      }
+      case ColumnType::kSet: {
+        const std::uint32_t count = GetU32(bytes, off);
+        if (count > (col.width - 4) / 4) {
+          return Status::InvalidArgument("malformed set count in column '" +
+                                         col.name + "'");
+        }
+        std::vector<std::uint32_t> set(count);
+        for (std::uint32_t j = 0; j < count; ++j) {
+          set[j] = GetU32(bytes, off + 4 + 4 * j);
+        }
+        values.emplace_back(std::move(set));
+        break;
+      }
+    }
+  }
+  return Tuple(schema, std::move(values));
+}
+
+Tuple Tuple::Concat(const Schema* schema, const Tuple& left,
+                    const Tuple& right) {
+  std::vector<Value> values = left.values_;
+  values.insert(values.end(), right.values_.begin(), right.values_.end());
+  return Tuple(schema, std::move(values));
+}
+
+bool Tuple::operator==(const Tuple& other) const {
+  return values_ == other.values_;
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) os << ", ";
+    const Value& v = values_[i];
+    if (const auto* p = std::get_if<std::int64_t>(&v)) {
+      os << *p;
+    } else if (const auto* d = std::get_if<double>(&v)) {
+      os << *d;
+    } else if (const auto* s = std::get_if<std::string>(&v)) {
+      os << '"' << *s << '"';
+    } else {
+      const auto& set = std::get<std::vector<std::uint32_t>>(v);
+      os << "{";
+      for (std::size_t j = 0; j < set.size(); ++j) {
+        if (j > 0) os << ",";
+        os << set[j];
+      }
+      os << "}";
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace ppj::relation

@@ -1,0 +1,62 @@
+#ifndef PPJ_RELATION_TUPLE_H_
+#define PPJ_RELATION_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relation/schema.h"
+
+namespace ppj::relation {
+
+/// A typed cell value. kSet values are kept sorted and deduplicated.
+using Value = std::variant<std::int64_t, double, std::string,
+                           std::vector<std::uint32_t>>;
+
+/// One relational tuple: typed values under a Schema, with a fixed-width
+/// binary codec. The codec is what actually flows through the simulated
+/// coprocessor; Tuple is the convenient typed view on either end.
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(const Schema* schema, std::vector<Value> values);
+
+  /// Builds a tuple, validating arity and value/column type agreement.
+  static Result<Tuple> Make(const Schema* schema, std::vector<Value> values);
+
+  const Schema& schema() const { return *schema_; }
+  const std::vector<Value>& values() const { return values_; }
+  const Value& value(std::size_t i) const { return values_[i]; }
+
+  std::int64_t GetInt64(std::size_t i) const;
+  double GetDouble(std::size_t i) const;
+  const std::string& GetString(std::size_t i) const;
+  const std::vector<std::uint32_t>& GetSet(std::size_t i) const;
+
+  /// Fixed-width little-endian encoding; size == schema.tuple_size().
+  std::vector<std::uint8_t> Serialize() const;
+
+  /// Inverse of Serialize. Fails on size mismatch or malformed set counts.
+  static Result<Tuple> Deserialize(const Schema* schema,
+                                   const std::vector<std::uint8_t>& bytes);
+
+  /// Concatenation of two tuples under Schema::Concat semantics. `schema`
+  /// must be the concatenated schema (owned by the caller).
+  static Tuple Concat(const Schema* schema, const Tuple& left,
+                      const Tuple& right);
+
+  bool operator==(const Tuple& other) const;
+
+  std::string ToString() const;
+
+ private:
+  const Schema* schema_ = nullptr;
+  std::vector<Value> values_;
+};
+
+}  // namespace ppj::relation
+
+#endif  // PPJ_RELATION_TUPLE_H_

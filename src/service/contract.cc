@@ -1,0 +1,29 @@
+#include "service/contract.h"
+
+#include <string_view>
+
+namespace ppj::service {
+
+bool Contract::PermitsPredicate(const std::string& predicate_name) const {
+  constexpr std::string_view kOnly = "only:";
+  if (predicate_description.rfind(kOnly, 0) != 0) {
+    return true;  // free-text description: documentation, not enforcement
+  }
+  return predicate_description.substr(kOnly.size()) == predicate_name;
+}
+
+Status Contract::Validate() const {
+  if (id.empty()) return Status::InvalidArgument("contract id empty");
+  if (providers.empty()) {
+    return Status::InvalidArgument("contract needs at least one provider");
+  }
+  if (recipient.empty()) {
+    return Status::InvalidArgument("contract needs a recipient");
+  }
+  for (const std::string& p : providers) {
+    if (p.empty()) return Status::InvalidArgument("empty provider name");
+  }
+  return Status::OK();
+}
+
+}  // namespace ppj::service

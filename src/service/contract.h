@@ -1,0 +1,37 @@
+#ifndef PPJ_SERVICE_CONTRACT_H_
+#define PPJ_SERVICE_CONTRACT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ppj::service {
+
+/// A digital contract (Section 3.3.3): the parties have agreed what data
+/// may be shared, which computation is permissible, and who receives the
+/// result. The coprocessor holds the contract and arbitrates it — a
+/// submission or execution that names parties not in the contract is
+/// refused before any data is touched.
+struct Contract {
+  std::string id;
+  /// Data providers in table order (X_1, ..., X_J).
+  std::vector<std::string> providers;
+  /// Result recipient; the paper's P_C, distinct from the providers in the
+  /// canonical deployment but not required to be.
+  std::string recipient;
+  /// Description of the permitted join predicate. Free text documents
+  /// intent; the form "only:<predicate name>" makes the coprocessor
+  /// enforce it at execution time.
+  std::string predicate_description;
+
+  /// True when this contract permits executing a predicate of this name.
+  bool PermitsPredicate(const std::string& predicate_name) const;
+
+  Status Validate() const;
+};
+
+}  // namespace ppj::service
+
+#endif  // PPJ_SERVICE_CONTRACT_H_

@@ -1,0 +1,29 @@
+#include "service/party.h"
+
+#include "crypto/key.h"
+
+namespace ppj::service {
+
+Status PartyRegistry::Register(const std::string& name,
+                               std::uint64_t key_seed) {
+  if (keys_.contains(name)) {
+    return Status::AlreadyExists("party '" + name + "' already registered");
+  }
+  keys_[name] =
+      std::make_unique<crypto::Ocb>(crypto::DeriveKey(key_seed, name));
+  return Status::OK();
+}
+
+bool PartyRegistry::Contains(const std::string& name) const {
+  return keys_.contains(name);
+}
+
+Result<const crypto::Ocb*> PartyRegistry::Key(const std::string& name) const {
+  const auto it = keys_.find(name);
+  if (it == keys_.end()) {
+    return Status::NotFound("unknown party '" + name + "'");
+  }
+  return static_cast<const crypto::Ocb*>(it->second.get());
+}
+
+}  // namespace ppj::service

@@ -1,0 +1,40 @@
+#ifndef PPJ_SERVICE_PARTY_H_
+#define PPJ_SERVICE_PARTY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "crypto/ocb.h"
+
+namespace ppj::service {
+
+/// A registered service requestor (data owner or result recipient,
+/// Section 3.2). In the real system the party and the coprocessor derive a
+/// session key after outbound authentication (Section 3.3.3); the
+/// simulation derives it from the party's registration seed.
+struct Party {
+  std::string name;
+  std::uint64_t key_seed = 0;
+};
+
+/// Registry of parties and their session keys with the coprocessor.
+class PartyRegistry {
+ public:
+  /// kAlreadyExists on duplicate names.
+  Status Register(const std::string& name, std::uint64_t key_seed);
+
+  bool Contains(const std::string& name) const;
+
+  /// The party's OCB session key; kNotFound for unknown parties.
+  Result<const crypto::Ocb*> Key(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<crypto::Ocb>> keys_;
+};
+
+}  // namespace ppj::service
+
+#endif  // PPJ_SERVICE_PARTY_H_

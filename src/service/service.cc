@@ -1,0 +1,487 @@
+#include "service/service.h"
+
+#include "core/algorithm1.h"
+#include "core/algorithm2.h"
+#include "core/algorithm3.h"
+#include "core/algorithm4.h"
+#include "core/algorithm5.h"
+#include "core/algorithm6.h"
+#include "core/parallel.h"
+#include "core/planner.h"
+#include "crypto/key.h"
+#include "common/math.h"
+
+namespace ppj::service {
+
+std::string ToString(JoinAlgorithm algorithm) {
+  switch (algorithm) {
+    case JoinAlgorithm::kAlgorithm1:
+      return "Algorithm 1";
+    case JoinAlgorithm::kAlgorithm1Variant:
+      return "Algorithm 1 (variant)";
+    case JoinAlgorithm::kAlgorithm2:
+      return "Algorithm 2";
+    case JoinAlgorithm::kAlgorithm3:
+      return "Algorithm 3";
+    case JoinAlgorithm::kAlgorithm4:
+      return "Algorithm 4";
+    case JoinAlgorithm::kAlgorithm5:
+      return "Algorithm 5";
+    case JoinAlgorithm::kAlgorithm6:
+      return "Algorithm 6";
+    case JoinAlgorithm::kAuto:
+      return "auto (planner)";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Deep copy of a relation (relations are intentionally non-copyable; the
+/// service keeps its own stable instance so delivered tuples can reference
+/// a schema that outlives the caller's).
+std::unique_ptr<relation::Relation> CopyRelation(
+    const relation::Relation& rel) {
+  auto copy = std::make_unique<relation::Relation>(
+      rel.name(), relation::Schema(rel.schema()));
+  for (const relation::Tuple& t : rel.tuples()) {
+    copy->AppendTuple(relation::Tuple(copy->schema_ptr(), t.values()));
+  }
+  return copy;
+}
+
+bool IsChapter4(JoinAlgorithm algorithm) {
+  switch (algorithm) {
+    case JoinAlgorithm::kAlgorithm1:
+    case JoinAlgorithm::kAlgorithm1Variant:
+    case JoinAlgorithm::kAlgorithm2:
+    case JoinAlgorithm::kAlgorithm3:
+      return true;
+    default:
+      return false;
+  }
+}
+
+JoinAlgorithm FromPlanned(core::PlannedAlgorithm algorithm) {
+  switch (algorithm) {
+    case core::PlannedAlgorithm::kAlgorithm1:
+      return JoinAlgorithm::kAlgorithm1;
+    case core::PlannedAlgorithm::kAlgorithm1Variant:
+      return JoinAlgorithm::kAlgorithm1Variant;
+    case core::PlannedAlgorithm::kAlgorithm2:
+      return JoinAlgorithm::kAlgorithm2;
+    case core::PlannedAlgorithm::kAlgorithm3:
+      return JoinAlgorithm::kAlgorithm3;
+    case core::PlannedAlgorithm::kAlgorithm4:
+      return JoinAlgorithm::kAlgorithm4;
+    case core::PlannedAlgorithm::kAlgorithm5:
+      return JoinAlgorithm::kAlgorithm5;
+    case core::PlannedAlgorithm::kAlgorithm6:
+      return JoinAlgorithm::kAlgorithm6;
+  }
+  return JoinAlgorithm::kAlgorithm5;
+}
+
+/// Resolves kAuto through the planner. Algorithm 3 additionally needs the
+/// second table padded to a power of two, so auto-planning only offers it
+/// when that padding is in place.
+JoinAlgorithm ResolveAlgorithm(
+    const ExecuteOptions& options, const relation::PairPredicate& predicate,
+    const std::vector<const relation::EncryptedRelation*>& tables) {
+  if (options.algorithm != JoinAlgorithm::kAuto) return options.algorithm;
+  core::PlannerInput input;
+  input.size_a = tables[0]->size();
+  input.size_b = tables[1]->size();
+  input.equality_predicate =
+      predicate.is_equality() && IsPowerOfTwo(tables[1]->padded_size());
+  input.n = options.n;
+  input.m = options.memory_tuples;
+  input.epsilon = options.epsilon;
+  return FromPlanned(core::PlanJoin(input).algorithm);
+}
+
+}  // namespace
+
+crypto::Block ManufacturerRootKey() {
+  return crypto::DeriveKey(0x4758, "ibm-manufacturer-root");
+}
+
+std::vector<sim::SoftwareLayer> SovereignJoinService::TrustedSoftwareStack() {
+  return {{"miniboot", 0x50504A01}, {"cp-os", 0x50504A02},
+          {"ppj-sovereign-join", 0x50504A03}};
+}
+
+SovereignJoinService::SovereignJoinService() {
+  Bootstrap();
+}
+
+SovereignJoinService::SovereignJoinService(
+    std::unique_ptr<sim::StorageBackend> backend)
+    : host_(std::move(backend)) {
+  Bootstrap();
+}
+
+void SovereignJoinService::Bootstrap() {
+  // Secure bootstrapping at device power-on (Section 2.2.2): extend the
+  // trust chain layer by layer so parties can later authenticate the
+  // running code via outbound authentication.
+  sim::OutboundAuthentication oa(ManufacturerRootKey());
+  for (const sim::SoftwareLayer& layer : TrustedSoftwareStack()) {
+    oa.LoadLayer(layer.name, layer.code_digest);
+  }
+  attestation_chain_ = oa.chain();
+}
+
+Status SovereignJoinService::VerifyAttestation(
+    const crypto::Block& manufacturer_root,
+    const std::vector<sim::AttestationLink>& chain) {
+  return sim::OutboundAuthentication::Verify(manufacturer_root, chain,
+                                             TrustedSoftwareStack());
+}
+
+Status SovereignJoinService::RegisterParty(const std::string& name,
+                                           std::uint64_t key_seed) {
+  return parties_.Register(name, key_seed);
+}
+
+Result<std::string> SovereignJoinService::CreateContract(
+    std::vector<std::string> providers, std::string recipient,
+    std::string predicate_description) {
+  Contract contract;
+  contract.id = "contract-" + std::to_string(next_contract_++);
+  contract.providers = std::move(providers);
+  contract.recipient = std::move(recipient);
+  contract.predicate_description = std::move(predicate_description);
+  PPJ_RETURN_NOT_OK(contract.Validate());
+  for (const std::string& p : contract.providers) {
+    if (!parties_.Contains(p)) {
+      return Status::NotFound("provider '" + p + "' not registered");
+    }
+  }
+  if (!parties_.Contains(contract.recipient)) {
+    return Status::NotFound("recipient '" + contract.recipient +
+                            "' not registered");
+  }
+  const std::string id = contract.id;
+  contracts_[id] = std::move(contract);
+  return id;
+}
+
+Result<const Contract*> SovereignJoinService::FindContract(
+    const std::string& contract_id) const {
+  const auto it = contracts_.find(contract_id);
+  if (it == contracts_.end()) {
+    return Status::NotFound("unknown contract '" + contract_id + "'");
+  }
+  return &it->second;
+}
+
+Status SovereignJoinService::SubmitRelation(const std::string& contract_id,
+                                            const std::string& party,
+                                            const relation::Relation& rel,
+                                            bool pad_to_power_of_two) {
+  PPJ_ASSIGN_OR_RETURN(const Contract* contract, FindContract(contract_id));
+  bool is_provider = false;
+  for (const std::string& p : contract->providers) {
+    if (p == party) {
+      is_provider = true;
+      break;
+    }
+  }
+  if (!is_provider) {
+    // The coprocessor arbitrates the contract (Section 3.3.3): data from a
+    // party outside the contract is refused outright.
+    return Status::PrivacyViolation("party '" + party +
+                                    "' is not a provider of this contract");
+  }
+  if (rel.empty()) {
+    return Status::InvalidArgument("refusing to accept an empty relation");
+  }
+  PPJ_ASSIGN_OR_RETURN(const crypto::Ocb* key, parties_.Key(party));
+
+  Submission sub;
+  sub.rel = CopyRelation(rel);
+  const std::uint64_t padded =
+      pad_to_power_of_two ? NextPowerOfTwo(rel.size()) : 0;
+  PPJ_ASSIGN_OR_RETURN(
+      relation::EncryptedRelation sealed,
+      relation::EncryptedRelation::Seal(&host_, *sub.rel, key, padded));
+  sub.sealed =
+      std::make_unique<relation::EncryptedRelation>(std::move(sealed));
+  submissions_[contract_id][party] = std::move(sub);
+  return Status::OK();
+}
+
+Result<std::vector<const relation::EncryptedRelation*>>
+SovereignJoinService::GatherTables(const Contract& contract) const {
+  const auto cit = submissions_.find(contract.id);
+  std::vector<const relation::EncryptedRelation*> tables;
+  for (const std::string& p : contract.providers) {
+    if (cit == submissions_.end() || !cit->second.contains(p)) {
+      return Status::FailedPrecondition("provider '" + p +
+                                        "' has not submitted its relation");
+    }
+    tables.push_back(cit->second.at(p).sealed.get());
+  }
+  return tables;
+}
+
+Result<JoinDelivery> SovereignJoinService::ExecuteJoin(
+    const std::string& contract_id, const relation::PairPredicate& predicate,
+    const ExecuteOptions& options) {
+  PPJ_ASSIGN_OR_RETURN(const Contract* contract, FindContract(contract_id));
+  if (contract->providers.size() != 2) {
+    return Status::InvalidArgument(
+        "pair-predicate execution needs exactly two providers");
+  }
+  PPJ_ASSIGN_OR_RETURN(std::vector<const relation::EncryptedRelation*> tables,
+                       GatherTables(*contract));
+  PPJ_ASSIGN_OR_RETURN(const crypto::Ocb* out_key,
+                       parties_.Key(contract->recipient));
+  if (!contract->PermitsPredicate(predicate.name())) {
+    return Status::PrivacyViolation(
+        "contract does not permit predicate '" + predicate.name() + "'");
+  }
+  const JoinAlgorithm algorithm =
+      ResolveAlgorithm(options, predicate, tables);
+
+  sim::CoprocessorOptions copro_options;
+  copro_options.memory_tuples = options.memory_tuples;
+  copro_options.seed = options.seed;
+  sim::Coprocessor copro(&host_, copro_options);
+
+  auto result_schema = std::make_unique<relation::Schema>(
+      relation::Schema::Concat(*tables[0]->schema(), *tables[1]->schema()));
+
+  JoinDelivery delivery;
+  sim::RegionId output_region = 0;
+  std::uint64_t output_slots = 0;
+
+  if (IsChapter4(algorithm)) {
+    core::TwoWayJoin join{tables[0], tables[1], &predicate, out_key};
+    core::Ch4Outcome outcome;
+    switch (algorithm) {
+      case JoinAlgorithm::kAlgorithm1: {
+        PPJ_ASSIGN_OR_RETURN(
+            outcome, core::RunAlgorithm1(copro, join, {.n = options.n}));
+        break;
+      }
+      case JoinAlgorithm::kAlgorithm1Variant: {
+        PPJ_ASSIGN_OR_RETURN(outcome, core::RunAlgorithm1Variant(
+                                          copro, join, {.n = options.n}));
+        break;
+      }
+      case JoinAlgorithm::kAlgorithm2: {
+        PPJ_ASSIGN_OR_RETURN(
+            outcome, core::RunAlgorithm2(copro, join, {.n = options.n}));
+        break;
+      }
+      case JoinAlgorithm::kAlgorithm3: {
+        PPJ_ASSIGN_OR_RETURN(
+            outcome, core::RunAlgorithm3(copro, join, {.n = options.n}));
+        break;
+      }
+      default:
+        return Status::Internal("unreachable");
+    }
+    output_region = outcome.output_region;
+    output_slots = outcome.output_slots;
+  } else {
+    relation::PairAsMultiway multiway(&predicate);
+    core::MultiwayJoin join{{tables[0], tables[1]}, &multiway, out_key};
+    core::Ch5Outcome outcome;
+    switch (algorithm) {
+      case JoinAlgorithm::kAlgorithm4: {
+        PPJ_ASSIGN_OR_RETURN(outcome, core::RunAlgorithm4(copro, join));
+        break;
+      }
+      case JoinAlgorithm::kAlgorithm5: {
+        PPJ_ASSIGN_OR_RETURN(outcome, core::RunAlgorithm5(copro, join));
+        break;
+      }
+      case JoinAlgorithm::kAlgorithm6: {
+        PPJ_ASSIGN_OR_RETURN(
+            outcome, core::RunAlgorithm6(copro, join,
+                                         {.epsilon = options.epsilon,
+                                          .order_seed = options.seed}));
+        break;
+      }
+      default:
+        return Status::Internal("unreachable");
+    }
+    output_region = outcome.output_region;
+    output_slots = outcome.result_size;
+    delivery.blemish = outcome.blemish;
+  }
+
+  PPJ_ASSIGN_OR_RETURN(
+      delivery.tuples,
+      core::DecodeJoinOutput(host_, output_region, output_slots, *out_key,
+                             result_schema.get()));
+  delivery.result_schema = std::move(result_schema);
+  delivery.metrics = copro.metrics();
+  delivery.trace = copro.trace().fingerprint();
+  delivery.observable_output_slots = output_slots;
+  return delivery;
+}
+
+Result<JoinDelivery> SovereignJoinService::ExecuteMultiwayJoin(
+    const std::string& contract_id,
+    const relation::MultiwayPredicate& predicate,
+    const ExecuteOptions& options) {
+  PPJ_ASSIGN_OR_RETURN(const Contract* contract, FindContract(contract_id));
+  PPJ_ASSIGN_OR_RETURN(std::vector<const relation::EncryptedRelation*> tables,
+                       GatherTables(*contract));
+  PPJ_ASSIGN_OR_RETURN(const crypto::Ocb* out_key,
+                       parties_.Key(contract->recipient));
+  if (IsChapter4(options.algorithm)) {
+    return Status::InvalidArgument(
+        "multiway joins need the Chapter 5 algorithms (4, 5 or 6)");
+  }
+  if (!contract->PermitsPredicate(predicate.name())) {
+    return Status::PrivacyViolation(
+        "contract does not permit predicate '" + predicate.name() + "'");
+  }
+  JoinAlgorithm algorithm = options.algorithm;
+  if (algorithm == JoinAlgorithm::kAuto) {
+    core::PlannerInput input;
+    input.size_a = tables[0]->size();
+    input.size_b = 1;
+    for (std::size_t i = 1; i < tables.size(); ++i) {
+      input.size_b *= tables[i]->size();
+    }
+    input.exact_output_required = true;
+    input.m = options.memory_tuples;
+    input.epsilon = options.epsilon;
+    algorithm = FromPlanned(core::PlanJoin(input).algorithm);
+  }
+
+  sim::CoprocessorOptions copro_options;
+  copro_options.memory_tuples = options.memory_tuples;
+  copro_options.seed = options.seed;
+
+  relation::Schema combined = *tables[0]->schema();
+  for (std::size_t i = 1; i < tables.size(); ++i) {
+    combined = relation::Schema::Concat(combined, *tables[i]->schema());
+  }
+  auto result_schema =
+      std::make_unique<relation::Schema>(std::move(combined));
+
+  core::MultiwayJoin join{tables, &predicate, out_key};
+
+  // Multiple coprocessors (Section 5.3.5): dispatch to the parallel
+  // executors and aggregate their per-device metrics.
+  if (options.parallelism > 1) {
+    Result<core::ParallelOutcome> parallel =
+        Status::Internal("unsupported parallel algorithm");
+    switch (algorithm) {
+      case JoinAlgorithm::kAlgorithm4:
+        parallel = core::RunParallelAlgorithm4(
+            &host_, join, options.parallelism, copro_options);
+        break;
+      case JoinAlgorithm::kAlgorithm5:
+        parallel = core::RunParallelAlgorithm5(
+            &host_, join, options.parallelism, copro_options);
+        break;
+      case JoinAlgorithm::kAlgorithm6:
+        parallel = core::RunParallelAlgorithm6(
+            &host_, join, options.parallelism, copro_options,
+            {.epsilon = options.epsilon, .order_seed = options.seed});
+        break;
+      default:
+        break;
+    }
+    PPJ_RETURN_NOT_OK(parallel.status());
+    JoinDelivery delivery;
+    PPJ_ASSIGN_OR_RETURN(
+        delivery.tuples,
+        core::DecodeJoinOutput(host_, parallel->output_region,
+                               parallel->result_size, *out_key,
+                               result_schema.get()));
+    delivery.result_schema = std::move(result_schema);
+    for (const sim::TransferMetrics& m : parallel->per_coprocessor) {
+      delivery.metrics += m;
+    }
+    delivery.observable_output_slots = parallel->result_size;
+    return delivery;
+  }
+
+  sim::Coprocessor copro(&host_, copro_options);
+  core::Ch5Outcome outcome;
+  switch (algorithm) {
+    case JoinAlgorithm::kAlgorithm4: {
+      PPJ_ASSIGN_OR_RETURN(outcome, core::RunAlgorithm4(copro, join));
+      break;
+    }
+    case JoinAlgorithm::kAlgorithm5: {
+      PPJ_ASSIGN_OR_RETURN(outcome, core::RunAlgorithm5(copro, join));
+      break;
+    }
+    case JoinAlgorithm::kAlgorithm6: {
+      PPJ_ASSIGN_OR_RETURN(
+          outcome, core::RunAlgorithm6(copro, join,
+                                       {.epsilon = options.epsilon,
+                                        .order_seed = options.seed}));
+      break;
+    }
+    default:
+      return Status::Internal("unreachable");
+  }
+
+  JoinDelivery delivery;
+  PPJ_ASSIGN_OR_RETURN(
+      delivery.tuples,
+      core::DecodeJoinOutput(host_, outcome.output_region,
+                             outcome.result_size, *out_key,
+                             result_schema.get()));
+  delivery.result_schema = std::move(result_schema);
+  delivery.metrics = copro.metrics();
+  delivery.trace = copro.trace().fingerprint();
+  delivery.observable_output_slots = outcome.result_size;
+  delivery.blemish = outcome.blemish;
+  return delivery;
+}
+
+Result<core::AggregateResult> SovereignJoinService::ExecuteAggregate(
+    const std::string& contract_id,
+    const relation::MultiwayPredicate& predicate,
+    const core::AggregateSpec& aggregate, const ExecuteOptions& options) {
+  PPJ_ASSIGN_OR_RETURN(const Contract* contract, FindContract(contract_id));
+  PPJ_ASSIGN_OR_RETURN(std::vector<const relation::EncryptedRelation*> tables,
+                       GatherTables(*contract));
+  PPJ_ASSIGN_OR_RETURN(const crypto::Ocb* out_key,
+                       parties_.Key(contract->recipient));
+  if (!contract->PermitsPredicate(predicate.name())) {
+    return Status::PrivacyViolation(
+        "contract does not permit predicate '" + predicate.name() + "'");
+  }
+  sim::CoprocessorOptions copro_options;
+  copro_options.memory_tuples = options.memory_tuples;
+  copro_options.seed = options.seed;
+  sim::Coprocessor copro(&host_, copro_options);
+  core::MultiwayJoin join{tables, &predicate, out_key};
+  return core::RunAggregateJoin(copro, join, aggregate);
+}
+
+Result<core::GroupByCountResult> SovereignJoinService::ExecuteGroupByCount(
+    const std::string& contract_id,
+    const relation::MultiwayPredicate& predicate,
+    const core::GroupByCountSpec& spec, const ExecuteOptions& options) {
+  PPJ_ASSIGN_OR_RETURN(const Contract* contract, FindContract(contract_id));
+  PPJ_ASSIGN_OR_RETURN(std::vector<const relation::EncryptedRelation*> tables,
+                       GatherTables(*contract));
+  PPJ_ASSIGN_OR_RETURN(const crypto::Ocb* out_key,
+                       parties_.Key(contract->recipient));
+  if (!contract->PermitsPredicate(predicate.name())) {
+    return Status::PrivacyViolation(
+        "contract does not permit predicate '" + predicate.name() + "'");
+  }
+  sim::CoprocessorOptions copro_options;
+  copro_options.memory_tuples = options.memory_tuples;
+  copro_options.seed = options.seed;
+  sim::Coprocessor copro(&host_, copro_options);
+  core::MultiwayJoin join{tables, &predicate, out_key};
+  return core::RunGroupByCountJoin(copro, join, spec);
+}
+
+}  // namespace ppj::service

@@ -1,0 +1,179 @@
+#ifndef PPJ_SERVICE_SERVICE_H_
+#define PPJ_SERVICE_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/aggregate.h"
+#include "core/join_result.h"
+#include "relation/encrypted_relation.h"
+#include "relation/predicate.h"
+#include "relation/relation.h"
+#include "service/contract.h"
+#include "service/party.h"
+#include "sim/attestation.h"
+#include "sim/coprocessor.h"
+#include "sim/host_store.h"
+
+namespace ppj::service {
+
+/// Which join algorithm an execution should use.
+enum class JoinAlgorithm {
+  kAlgorithm1,         ///< Ch.4 general join, small memory
+  kAlgorithm1Variant,  ///< Ch.4 variant (Section 4.4.2)
+  kAlgorithm2,         ///< Ch.4 general join, large memory
+  kAlgorithm3,         ///< Ch.4 sort-based equijoin
+  kAlgorithm4,         ///< Ch.5 exact join, small memory
+  kAlgorithm5,         ///< Ch.5 exact join, large memory
+  kAlgorithm6,         ///< Ch.5 (1 - epsilon)-privacy join
+  kAuto,               ///< Planner-selected by the paper's cost models
+};
+
+std::string ToString(JoinAlgorithm algorithm);
+
+/// Execution knobs; sensible defaults everywhere.
+struct ExecuteOptions {
+  JoinAlgorithm algorithm = JoinAlgorithm::kAlgorithm5;
+  /// N for the Chapter 4 algorithms; 0 = compute via the safe scan.
+  std::uint64_t n = 0;
+  /// epsilon for Algorithm 6.
+  double epsilon = 1e-20;
+  /// Coprocessor free memory in tuple slots.
+  std::uint64_t memory_tuples = 64;
+  /// Coprocessor seed (nonces, MLFSR order).
+  std::uint64_t seed = 1;
+  /// Number of coprocessors (Section 5.3.5). Values > 1 dispatch to the
+  /// parallel executors; only Algorithms 4, 5 and 6 support it.
+  unsigned parallelism = 1;
+};
+
+/// What the recipient gets back, plus execution telemetry.
+struct JoinDelivery {
+  /// Decoded real result tuples under `result_schema`.
+  std::vector<relation::Tuple> tuples;
+  std::unique_ptr<const relation::Schema> result_schema;
+  sim::TransferMetrics metrics;
+  sim::TraceFingerprint trace;
+  /// For Chapter 4 executions: the padded output size N|A| the host saw.
+  std::uint64_t observable_output_slots = 0;
+  bool blemish = false;  ///< Algorithm 6 salvage happened.
+};
+
+/// The secure information-sharing service of the paper (Section 3.2): a
+/// host with one secure coprocessor offering privacy preserving joins to
+/// registered parties under signed contracts.
+///
+/// Lifecycle: RegisterParty* -> CreateContract -> SubmitRelation (each
+/// provider) -> ExecuteJoin -> the delivery is what P_C decrypts. Each
+/// execution runs on a fresh coprocessor instance so traces of independent
+/// runs are comparable.
+class SovereignJoinService {
+ public:
+  /// The software stack this service's coprocessor attests to running.
+  static std::vector<sim::SoftwareLayer> TrustedSoftwareStack();
+
+  /// In-memory host storage.
+  SovereignJoinService();
+  /// Custom host storage (e.g. sim::MakeFileBackend for disk regions).
+  explicit SovereignJoinService(
+      std::unique_ptr<sim::StorageBackend> backend);
+
+  SovereignJoinService(const SovereignJoinService&) = delete;
+  SovereignJoinService& operator=(const SovereignJoinService&) = delete;
+
+  /// The device's outbound-authentication chain (Section 3.3.3): a party
+  /// verifies it against the manufacturer root and the expected stack
+  /// before trusting the service with data — see VerifyAttestation.
+  const std::vector<sim::AttestationLink>& attestation() const {
+    return attestation_chain_;
+  }
+
+  /// Party-side check: is this service running the known, trusted join
+  /// application under the known OS and bootstrap (Section 3.3.3)?
+  static Status VerifyAttestation(
+      const crypto::Block& manufacturer_root,
+      const std::vector<sim::AttestationLink>& chain);
+
+  Status RegisterParty(const std::string& name, std::uint64_t key_seed);
+
+  /// Registers a contract; all named parties must already be registered.
+  /// `predicate_description` is free text documenting the agreed
+  /// computation; the form "only:<predicate name>" additionally makes the
+  /// coprocessor *enforce* it — executions with any other predicate are
+  /// refused (Section 3.3.3's "which computations are permissible").
+  Result<std::string> CreateContract(std::vector<std::string> providers,
+                                     std::string recipient,
+                                     std::string predicate_description);
+
+  /// Provider `party` submits its relation under contract `contract_id`,
+  /// sealed with its session key. `pad_to_power_of_two` is required for
+  /// algorithms that obliviously sort the relation in place (Algorithm 3
+  /// applies it to the second provider's table).
+  Status SubmitRelation(const std::string& contract_id,
+                        const std::string& party,
+                        const relation::Relation& rel,
+                        bool pad_to_power_of_two = false);
+
+  /// Runs a two-way join with a pair predicate (Chapters 4 and 5 — the
+  /// Chapter 5 algorithms treat it as a 2-way multiway join).
+  Result<JoinDelivery> ExecuteJoin(const std::string& contract_id,
+                                   const relation::PairPredicate& predicate,
+                                   const ExecuteOptions& options);
+
+  /// Runs a J-way join with a multiway predicate (Chapter 5 algorithms
+  /// only).
+  Result<JoinDelivery> ExecuteMultiwayJoin(
+      const std::string& contract_id,
+      const relation::MultiwayPredicate& predicate,
+      const ExecuteOptions& options);
+
+  /// Computes an aggregate over the join without materializing it (the
+  /// conclusions' aggregation extension): only the single statistic is
+  /// delivered to the recipient. Cost: one scan of the cartesian space.
+  Result<core::AggregateResult> ExecuteAggregate(
+      const std::string& contract_id,
+      const relation::MultiwayPredicate& predicate,
+      const core::AggregateSpec& aggregate, const ExecuteOptions& options);
+
+  /// GROUP BY COUNT over the join with a declared, fixed group domain —
+  /// the Section 2.2.3 "lightweight mining" operation. Same privacy story
+  /// as ExecuteAggregate: one scan, fixed-size output.
+  Result<core::GroupByCountResult> ExecuteGroupByCount(
+      const std::string& contract_id,
+      const relation::MultiwayPredicate& predicate,
+      const core::GroupByCountSpec& spec, const ExecuteOptions& options);
+
+  sim::HostStore& host() { return host_; }
+
+ private:
+  struct Submission {
+    // Owned copy of the provider's relation (schema must stay alive for
+    // the delivery's tuples).
+    std::unique_ptr<relation::Relation> rel;
+    std::unique_ptr<relation::EncryptedRelation> sealed;
+  };
+
+  void Bootstrap();
+  Result<const Contract*> FindContract(const std::string& contract_id) const;
+  Result<std::vector<const relation::EncryptedRelation*>> GatherTables(
+      const Contract& contract) const;
+
+  sim::HostStore host_;
+  PartyRegistry parties_;
+  std::map<std::string, Contract> contracts_;
+  // contract id -> provider name -> submission
+  std::map<std::string, std::map<std::string, Submission>> submissions_;
+  std::uint64_t next_contract_ = 1;
+  std::vector<sim::AttestationLink> attestation_chain_;
+};
+
+/// The (simulated) manufacturer root key parties use to verify devices.
+crypto::Block ManufacturerRootKey();
+
+}  // namespace ppj::service
+
+#endif  // PPJ_SERVICE_SERVICE_H_

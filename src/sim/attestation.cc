@@ -1,0 +1,65 @@
+#include "sim/attestation.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace ppj::sim {
+
+OutboundAuthentication::OutboundAuthentication(
+    const crypto::Block& device_root_key)
+    : root_key_(device_root_key) {}
+
+crypto::Block OutboundAuthentication::LinkTag(const crypto::Block& key,
+                                              const crypto::Block& prev,
+                                              const SoftwareLayer& layer) {
+  // Tag = E_k(prev) xor E_k(layer encoding): a CBC-MAC-style two-block
+  // construction over the fixed-size link encoding.
+  const crypto::Aes128 aes(key);
+  crypto::Block encoding{};
+  const std::uint64_t name_digest =
+      Fnv1a64(layer.name.data(), layer.name.size());
+  for (int i = 0; i < 8; ++i) {
+    encoding[i] = static_cast<std::uint8_t>(name_digest >> (8 * i));
+    encoding[8 + i] = static_cast<std::uint8_t>(layer.code_digest >> (8 * i));
+  }
+  return aes.Encrypt(crypto::XorBlocks(aes.Encrypt(prev), encoding));
+}
+
+void OutboundAuthentication::LoadLayer(const std::string& name,
+                                       std::uint64_t code_digest) {
+  const crypto::Block prev =
+      chain_.empty() ? crypto::Block{} : chain_.back().tag;
+  SoftwareLayer layer{name, code_digest};
+  chain_.push_back(AttestationLink{layer, LinkTag(root_key_, prev, layer)});
+}
+
+Status OutboundAuthentication::Verify(
+    const crypto::Block& device_root_key,
+    const std::vector<AttestationLink>& chain,
+    const std::vector<SoftwareLayer>& expected) {
+  if (chain.size() != expected.size()) {
+    return Status::Tampered(
+        "attestation chain length differs from the expected software "
+        "stack");
+  }
+  crypto::Block prev{};
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const AttestationLink& link = chain[i];
+    if (link.layer.name != expected[i].name ||
+        link.layer.code_digest != expected[i].code_digest) {
+      return Status::Tampered("unexpected software layer '" +
+                              link.layer.name + "' at position " +
+                              std::to_string(i));
+    }
+    const crypto::Block want = LinkTag(device_root_key, prev, link.layer);
+    if (std::memcmp(want.data(), link.tag.data(), want.size()) != 0) {
+      return Status::Tampered("attestation tag forged at layer '" +
+                              link.layer.name + "'");
+    }
+    prev = link.tag;
+  }
+  return Status::OK();
+}
+
+}  // namespace ppj::sim

@@ -1,0 +1,72 @@
+#ifndef PPJ_SIM_ATTESTATION_H_
+#define PPJ_SIM_ATTESTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/aes128.h"
+
+namespace ppj::sim {
+
+/// One layer of the secure-bootstrapping hierarchy (Section 2.2.2):
+/// Miniboot -> OS -> application, in decreasing privilege.
+struct SoftwareLayer {
+  std::string name;
+  /// Digest of the code image the device actually loaded.
+  std::uint64_t code_digest = 0;
+};
+
+/// One link of the outbound-authentication chain: the layer description
+/// plus a tag binding it to everything loaded before it.
+struct AttestationLink {
+  SoftwareLayer layer;
+  crypto::Block tag;
+};
+
+/// Outbound Authentication (Sections 2.2.2 and 3.3.3): the mechanism by
+/// which code running on the coprocessor proves to a remote party that it
+/// is a known, trusted application, under a known OS, loaded by known
+/// bootstrap code, inside an untampered device.
+///
+/// The real IBM 4758 builds chains of *public-key* certificates rooted in
+/// the manufacturer. This simulation models the chain with keyed tags
+/// under a device root key that the manufacturer shares with verifiers —
+/// the chain structure, layer ordering, and all tamper-evidence properties
+/// are preserved; only the asymmetric primitive is substituted (no
+/// public-key implementation ships in-tree). DESIGN.md records the
+/// substitution.
+class OutboundAuthentication {
+ public:
+  /// A fresh device with only the manufacturer root installed.
+  explicit OutboundAuthentication(const crypto::Block& device_root_key);
+
+  /// Secure bootstrapping: loads the next software layer, extending the
+  /// trust chain. Layers must be loaded in privilege order; each link's
+  /// tag covers the entire prefix, so no layer can be replaced without
+  /// invalidating everything above it.
+  void LoadLayer(const std::string& name, std::uint64_t code_digest);
+
+  const std::vector<AttestationLink>& chain() const { return chain_; }
+
+  /// Verifier side (a service requestor deciding whether to submit data):
+  /// recomputes the chain under the manufacturer-shared key and checks
+  /// that the loaded layers are exactly `expected`, in order. kTampered on
+  /// any mismatch — wrong code, missing layer, extra layer, or forged tag.
+  static Status Verify(const crypto::Block& device_root_key,
+                       const std::vector<AttestationLink>& chain,
+                       const std::vector<SoftwareLayer>& expected);
+
+ private:
+  static crypto::Block LinkTag(const crypto::Block& key,
+                               const crypto::Block& prev,
+                               const SoftwareLayer& layer);
+
+  crypto::Block root_key_;
+  std::vector<AttestationLink> chain_;
+};
+
+}  // namespace ppj::sim
+
+#endif  // PPJ_SIM_ATTESTATION_H_

@@ -1,0 +1,231 @@
+#include "sim/coprocessor.h"
+
+#include <cstring>
+#include <limits>
+
+namespace ppj::sim {
+
+namespace {
+// Padded cost of one fixed-time predicate evaluation, in model cycles. The
+// absolute value is arbitrary; what matters is that it is *constant*.
+constexpr std::uint64_t kFixedCompareCycles = 64;
+// Unpadded evaluation costs when fixed-time enforcement is off: a match
+// evaluates every clause, a mismatch short-circuits — the classic timing
+// side channel (Section 3.4.2).
+constexpr std::uint64_t kUnpaddedMatchCycles = 64;
+constexpr std::uint64_t kUnpaddedMismatchCycles = 24;
+}  // namespace
+
+Coprocessor::Coprocessor(HostStore* host, const CoprocessorOptions& options)
+    : host_(host),
+      options_(options),
+      trace_(options.max_retained_trace),
+      rng_(options.seed) {}
+
+namespace {
+Status DeviceDisabled() {
+  return Status::Tampered(
+      "secure coprocessor disabled: tamper response fired (memory "
+      "zeroized, Section 2.2.2)");
+}
+}  // namespace
+
+Result<std::vector<std::uint8_t>> Coprocessor::Get(RegionId region,
+                                                   std::uint64_t index) {
+  if (disabled_) return DeviceDisabled();
+  trace_.Record(AccessOp::kGet, region, index);
+  timing_hash_.UpdateU64(metrics_.padded_cycles);
+  ++metrics_.gets;
+  return host_->ReadSlot(region, index);
+}
+
+Status Coprocessor::Put(RegionId region, std::uint64_t index,
+                        const std::vector<std::uint8_t>& sealed) {
+  if (disabled_) return DeviceDisabled();
+  trace_.Record(AccessOp::kPut, region, index);
+  timing_hash_.UpdateU64(metrics_.padded_cycles);
+  ++metrics_.puts;
+  return host_->WriteSlot(region, index, sealed);
+}
+
+Status Coprocessor::DiskWrite(RegionId region, std::uint64_t index) {
+  trace_.Record(AccessOp::kDiskWrite, region, index);
+  timing_hash_.UpdateU64(metrics_.padded_cycles);
+  ++metrics_.disk_writes;
+  return Status::OK();
+}
+
+crypto::Block Coprocessor::NextNonce() {
+  crypto::Block nonce{};
+  const std::uint64_t hi = options_.seed;
+  const std::uint64_t lo = ++nonce_counter_;
+  for (int i = 0; i < 8; ++i) {
+    nonce[i] = static_cast<std::uint8_t>(hi >> (8 * i));
+    nonce[8 + i] = static_cast<std::uint8_t>(lo >> (8 * i));
+  }
+  return nonce;
+}
+
+std::vector<std::uint8_t> Coprocessor::Seal(
+    const std::vector<std::uint8_t>& plaintext, const crypto::Ocb& key) {
+  const crypto::Block nonce = NextNonce();
+  std::vector<std::uint8_t> sealed = key.Encrypt(nonce, plaintext);
+  metrics_.cipher_calls += crypto::Ocb::BlockCipherCalls(plaintext.size());
+  std::vector<std::uint8_t> out(crypto::Ocb::kBlockSize + sealed.size());
+  std::memcpy(out.data(), nonce.data(), crypto::Ocb::kBlockSize);
+  std::memcpy(out.data() + crypto::Ocb::kBlockSize, sealed.data(),
+              sealed.size());
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> Coprocessor::Open(
+    const std::vector<std::uint8_t>& sealed, const crypto::Ocb& key) {
+  if (disabled_) return DeviceDisabled();
+  auto fail = [this](Status status) -> Status {
+    // Tamper detected: zeroize and disable (Section 2.2.2 / 3.3.1).
+    if (options_.tamper_response) disabled_ = true;
+    return status;
+  };
+  if (sealed.size() < crypto::Ocb::kBlockSize + crypto::Ocb::kTagSize) {
+    return fail(Status::Tampered("sealed slot too small"));
+  }
+  crypto::Block nonce;
+  std::memcpy(nonce.data(), sealed.data(), crypto::Ocb::kBlockSize);
+  const std::vector<std::uint8_t> body(
+      sealed.begin() + crypto::Ocb::kBlockSize, sealed.end());
+  metrics_.cipher_calls += crypto::Ocb::BlockCipherCalls(
+      body.size() - crypto::Ocb::kTagSize);
+  Result<std::vector<std::uint8_t>> opened = key.Decrypt(nonce, body);
+  if (!opened.ok()) return fail(opened.status());
+  return opened;
+}
+
+crypto::Block Coprocessor::PositionNonce(RegionId region,
+                                         std::uint64_t index,
+                                         std::uint32_t counter) {
+  crypto::Block nonce{};
+  for (int i = 0; i < 4; ++i) {
+    nonce[i] = static_cast<std::uint8_t>(region >> (8 * i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    nonce[4 + i] = static_cast<std::uint8_t>(index >> (8 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    nonce[12 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
+  }
+  return nonce;
+}
+
+Result<std::vector<std::uint8_t>> Coprocessor::GetOpen(
+    RegionId region, std::uint64_t index, const crypto::Ocb& key) {
+  PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> sealed, Get(region, index));
+  if (sealed.size() < crypto::Ocb::kBlockSize + crypto::Ocb::kTagSize) {
+    return Status::Tampered("sealed slot too small");
+  }
+  // Position binding: the nonce prefix must name this very slot. A host
+  // that moved an (otherwise authentic) slot here is caught before any
+  // decryption — and a host that also rewrote the prefix fails the tag.
+  const crypto::Block expected = PositionNonce(region, index, 0);
+  for (int i = 0; i < 12; ++i) {
+    if (sealed[static_cast<std::size_t>(i)] != expected[i]) {
+      if (options_.tamper_response) disabled_ = true;
+      return Status::Tampered(
+          "slot nonce bound to a different host location: reorder or "
+          "replay attack detected");
+    }
+  }
+  return Open(sealed, key);
+}
+
+Status Coprocessor::PutSealed(RegionId region, std::uint64_t index,
+                              const std::vector<std::uint8_t>& plaintext,
+                              const crypto::Ocb& key) {
+  if (position_counter_ == std::numeric_limits<std::uint32_t>::max()) {
+    position_counter_ = 0;  // 2^32-1 seals per run: wrap (documented).
+  }
+  const crypto::Block nonce =
+      PositionNonce(region, index, ++position_counter_);
+  std::vector<std::uint8_t> sealed = key.Encrypt(nonce, plaintext);
+  metrics_.cipher_calls += crypto::Ocb::BlockCipherCalls(plaintext.size());
+  std::vector<std::uint8_t> slot(crypto::Ocb::kBlockSize + sealed.size());
+  std::memcpy(slot.data(), nonce.data(), crypto::Ocb::kBlockSize);
+  std::memcpy(slot.data() + crypto::Ocb::kBlockSize, sealed.data(),
+              sealed.size());
+  return Put(region, index, slot);
+}
+
+Status Coprocessor::Reserve(std::uint64_t slots) {
+  if (reserved_ + slots > options_.memory_tuples) {
+    return Status::CapacityExceeded(
+        "coprocessor free memory exhausted: requested " +
+        std::to_string(slots) + " slots, free " +
+        std::to_string(free_slots()));
+  }
+  reserved_ += slots;
+  return Status::OK();
+}
+
+void Coprocessor::Release(std::uint64_t slots) {
+  reserved_ = slots > reserved_ ? 0 : reserved_ - slots;
+}
+
+void Coprocessor::NoteComparison() {
+  ++metrics_.comparisons;
+  metrics_.padded_cycles += kFixedCompareCycles;
+}
+
+void Coprocessor::NoteMatchEvaluation(bool matched) {
+  ++metrics_.comparisons;
+  if (options_.enforce_fixed_time) {
+    metrics_.padded_cycles += kFixedCompareCycles;
+  } else {
+    metrics_.padded_cycles +=
+        matched ? kUnpaddedMatchCycles : kUnpaddedMismatchCycles;
+  }
+}
+
+void Coprocessor::NoteITupleRead() { ++metrics_.ituple_reads; }
+
+void Coprocessor::BurnCycles(std::uint64_t cycles) {
+  metrics_.padded_cycles += cycles;
+}
+
+Result<SecureBuffer> SecureBuffer::Allocate(Coprocessor& copro,
+                                            std::uint64_t slots) {
+  PPJ_RETURN_NOT_OK(copro.Reserve(slots));
+  return SecureBuffer(&copro, slots);
+}
+
+SecureBuffer::SecureBuffer(SecureBuffer&& other) noexcept
+    : copro_(other.copro_),
+      capacity_(other.capacity_),
+      items_(std::move(other.items_)) {
+  other.copro_ = nullptr;
+  other.capacity_ = 0;
+}
+
+SecureBuffer& SecureBuffer::operator=(SecureBuffer&& other) noexcept {
+  if (this != &other) {
+    if (copro_ != nullptr) copro_->Release(capacity_);
+    copro_ = other.copro_;
+    capacity_ = other.capacity_;
+    items_ = std::move(other.items_);
+    other.copro_ = nullptr;
+    other.capacity_ = 0;
+  }
+  return *this;
+}
+
+SecureBuffer::~SecureBuffer() {
+  if (copro_ != nullptr) copro_->Release(capacity_);
+}
+
+Status SecureBuffer::Push(std::vector<std::uint8_t> plaintext) {
+  if (full()) {
+    return Status::CapacityExceeded("secure buffer full");
+  }
+  items_.push_back(std::move(plaintext));
+  return Status::OK();
+}
+
+}  // namespace ppj::sim

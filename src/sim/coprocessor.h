@@ -1,0 +1,220 @@
+#ifndef PPJ_SIM_COPROCESSOR_H_
+#define PPJ_SIM_COPROCESSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "crypto/ocb.h"
+#include "sim/host_store.h"
+#include "sim/metrics.h"
+#include "sim/trace.h"
+
+namespace ppj::sim {
+
+/// Configuration of a simulated secure coprocessor.
+struct CoprocessorOptions {
+  /// Free memory M, in tuple slots, available to join algorithms
+  /// (Section 4.1: the device holds at most M + 2 tuples; the +2 staging
+  /// slots for the current input tuples are implicit and not charged here).
+  std::uint64_t memory_tuples = 64;
+
+  /// Seed for the coprocessor's internal randomness (nonces, shuffle tags).
+  /// Internal randomness is invisible to the host by construction.
+  std::uint64_t seed = 1;
+
+  /// Pad predicate evaluations to constant time (the Section 3.4.3 Fixed
+  /// Time principle). Turning this off models a naive implementation whose
+  /// evaluation time depends on the outcome — the timing side channel of
+  /// Section 3.4.2, observable through the timing fingerprint.
+  bool enforce_fixed_time = true;
+
+  /// Tamper response (Section 2.2.2): once authenticated decryption fails,
+  /// the device zeroizes and disables itself — every further operation is
+  /// refused. On by default, as on the real IBM 4758; tests that probe many
+  /// corruptions use fresh devices per probe.
+  bool tamper_response = true;
+
+  /// How many trace events to retain verbatim for diagnostics; the running
+  /// fingerprint always covers the whole trace.
+  std::size_t max_retained_trace = 1u << 16;
+};
+
+class SecureBuffer;
+
+/// The trusted device T (Section 3.2): tamper-responding, with a small free
+/// memory of M tuple slots. All data enters and leaves through Get/Put
+/// transfers against host regions; every transfer is appended to the
+/// adversary-visible AccessTrace and charged to TransferMetrics — this is
+/// the paper's entire cost and security accounting surface.
+///
+/// Tamper response: any authenticated-decryption failure surfaces as
+/// StatusCode::kTampered and the algorithms abort immediately
+/// (Section 3.3.1).
+class Coprocessor {
+ public:
+  Coprocessor(HostStore* host, const CoprocessorOptions& options);
+
+  Coprocessor(const Coprocessor&) = delete;
+  Coprocessor& operator=(const Coprocessor&) = delete;
+
+  // ---- Observable host interactions -------------------------------------
+
+  /// Transfers one sealed slot from the host into T. Recorded in the trace.
+  Result<std::vector<std::uint8_t>> Get(RegionId region, std::uint64_t index);
+
+  /// Transfers one sealed slot from T to the host. Recorded in the trace.
+  Status Put(RegionId region, std::uint64_t index,
+             const std::vector<std::uint8_t>& sealed);
+
+  /// Asks H to persist one slot of a region to disk (the paper's "request
+  /// H to write ... to disk"). Observable, but not a tuple transfer.
+  Status DiskWrite(RegionId region, std::uint64_t index);
+
+  // ---- Sealed-tuple convenience layer ------------------------------------
+
+  /// Sealed size of a plaintext: 16-byte nonce + ciphertext + 16-byte tag.
+  static std::size_t SealedSize(std::size_t plaintext_size) {
+    return crypto::Ocb::kBlockSize + plaintext_size + crypto::Ocb::kTagSize;
+  }
+
+  /// Seals plaintext under `key` with a fresh internal nonce. Semantic
+  /// security makes repeated seals of equal plaintexts (decoys!)
+  /// indistinguishable.
+  std::vector<std::uint8_t> Seal(const std::vector<std::uint8_t>& plaintext,
+                                 const crypto::Ocb& key);
+
+  /// Opens a sealed slot; kTampered when authentication fails.
+  Result<std::vector<std::uint8_t>> Open(
+      const std::vector<std::uint8_t>& sealed, const crypto::Ocb& key);
+
+  /// Get + Open fused, with **position binding**: the stored nonce encodes
+  /// (region, index), so a malicious host that swaps or replays otherwise
+  /// valid sealed slots between locations is detected as tampering. This
+  /// is the per-slot analogue of the paper's sequential OCB offsets, which
+  /// bind each block to its position in the stream (Section 3.3.3).
+  Result<std::vector<std::uint8_t>> GetOpen(RegionId region,
+                                            std::uint64_t index,
+                                            const crypto::Ocb& key);
+
+  /// Seal + Put fused; the nonce is (region || index || fresh counter).
+  Status PutSealed(RegionId region, std::uint64_t index,
+                   const std::vector<std::uint8_t>& plaintext,
+                   const crypto::Ocb& key);
+
+  /// Builds a position-bound nonce: region (4 bytes LE) || index (8 bytes
+  /// LE) || counter (4 bytes LE). Uniqueness per key: data providers seal
+  /// each slot once with counter 0; the coprocessor always uses counters
+  /// >= 1 that never repeat.
+  static crypto::Block PositionNonce(RegionId region, std::uint64_t index,
+                                     std::uint32_t counter);
+
+  // ---- Internal memory accounting ----------------------------------------
+
+  /// Reserves `slots` tuple slots of T's free memory; kCapacityExceeded if
+  /// that would exceed M. Algorithms allocate their working buffers through
+  /// this so the M constraint is enforced, not just assumed.
+  Status Reserve(std::uint64_t slots);
+  void Release(std::uint64_t slots);
+  std::uint64_t memory_tuples() const { return options_.memory_tuples; }
+  std::uint64_t reserved_slots() const { return reserved_; }
+  std::uint64_t free_slots() const {
+    return options_.memory_tuples - reserved_;
+  }
+
+  // ---- Timing / cost model -----------------------------------------------
+
+  /// Charges one predicate evaluation. Per the fixed-time principle
+  /// (Section 3.4.3) every evaluation costs the same padded cycle count
+  /// whether or not it matches.
+  void NoteComparison();
+
+  /// Charges one predicate evaluation *with its outcome*. Under fixed-time
+  /// enforcement (default) this is identical to NoteComparison — constant
+  /// cycles, outcome invisible. With enforcement off, a match costs more
+  /// cycles than a mismatch (evaluation short-circuits), so the adversary
+  /// observing inter-request times (the timing fingerprint) can tell them
+  /// apart — Section 3.4.2's attack, reproduced for the test suite.
+  void NoteMatchEvaluation(bool matched);
+
+  /// Charges one logical iTuple fetch (Chapter 5 cost accounting).
+  void NoteITupleRead();
+
+  /// Explicit cycle burning, for operations that must be padded to a fixed
+  /// duration.
+  void BurnCycles(std::uint64_t cycles);
+
+  /// Fingerprint of the cycle counter sampled at every observable host
+  /// interaction — the adversary's view of inter-request timing. Under
+  /// fixed-time enforcement it is a function of the access trace alone.
+  TraceFingerprint timing_fingerprint() const {
+    return TraceFingerprint{timing_hash_.digest(), timing_hash_.count()};
+  }
+
+  // ---- State -------------------------------------------------------------
+
+  /// True once the tamper response has fired: the device is dead.
+  bool disabled() const { return disabled_; }
+
+  HostStore* host() { return host_; }
+  TransferMetrics& metrics() { return metrics_; }
+  const TransferMetrics& metrics() const { return metrics_; }
+  AccessTrace& trace() { return trace_; }
+  const AccessTrace& trace() const { return trace_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  crypto::Block NextNonce();
+
+  HostStore* host_;
+  CoprocessorOptions options_;
+  TransferMetrics metrics_;
+  AccessTrace trace_;
+  Rng rng_;
+  RunningHash timing_hash_;
+  std::uint64_t reserved_ = 0;
+  std::uint64_t nonce_counter_ = 0;
+  std::uint32_t position_counter_ = 0;
+  bool disabled_ = false;
+};
+
+/// RAII working memory inside T, measured in tuple slots. Holds plaintext
+/// byte-vectors; the allocation is charged against the coprocessor's M.
+class SecureBuffer {
+ public:
+  /// Allocates `slots` plaintext slots inside T.
+  static Result<SecureBuffer> Allocate(Coprocessor& copro,
+                                       std::uint64_t slots);
+
+  SecureBuffer(SecureBuffer&& other) noexcept;
+  SecureBuffer& operator=(SecureBuffer&& other) noexcept;
+  SecureBuffer(const SecureBuffer&) = delete;
+  SecureBuffer& operator=(const SecureBuffer&) = delete;
+  ~SecureBuffer();
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::size_t size() const { return items_.size(); }
+  bool full() const { return items_.size() >= capacity_; }
+
+  /// Appends a plaintext tuple; kCapacityExceeded beyond capacity.
+  Status Push(std::vector<std::uint8_t> plaintext);
+
+  const std::vector<std::uint8_t>& At(std::size_t i) const {
+    return items_[i];
+  }
+  void Clear() { items_.clear(); }
+
+ private:
+  SecureBuffer(Coprocessor* copro, std::uint64_t capacity)
+      : copro_(copro), capacity_(capacity) {}
+
+  Coprocessor* copro_;
+  std::uint64_t capacity_;
+  std::vector<std::vector<std::uint8_t>> items_;
+};
+
+}  // namespace ppj::sim
+
+#endif  // PPJ_SIM_COPROCESSOR_H_

@@ -1,0 +1,104 @@
+#include "sim/host_store.h"
+
+#include <cassert>
+
+namespace ppj::sim {
+
+HostStore::HostStore() : backend_(MakeInMemoryBackend()) {}
+
+HostStore::HostStore(std::unique_ptr<StorageBackend> backend)
+    : backend_(std::move(backend)) {
+  assert(backend_ != nullptr);
+}
+
+RegionId HostStore::CreateRegion(const std::string& name,
+                                 std::size_t slot_size,
+                                 std::uint64_t num_slots) {
+  assert(slot_size > 0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto id = static_cast<RegionId>(regions_.size());
+  regions_.push_back(RegionMeta{name, slot_size, num_slots});
+  const Status st = backend_->CreateRegion(id, slot_size, num_slots);
+  assert(st.ok());
+  (void)st;
+  return id;
+}
+
+Status HostStore::ResizeRegion(RegionId region, std::uint64_t num_slots) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (region >= regions_.size()) {
+    return Status::NotFound("unknown region id");
+  }
+  RegionMeta& meta = regions_[region];
+  PPJ_RETURN_NOT_OK(
+      backend_->ResizeRegion(region, meta.slot_size, num_slots));
+  meta.num_slots = num_slots;
+  return Status::OK();
+}
+
+bool HostStore::ValidSlot(RegionId region, std::uint64_t index) const {
+  return region < regions_.size() && index < regions_[region].num_slots;
+}
+
+Status HostStore::WriteSlot(RegionId region, std::uint64_t index,
+                            const std::vector<std::uint8_t>& bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!ValidSlot(region, index)) {
+    return Status::OutOfRange("WriteSlot outside region bounds");
+  }
+  const RegionMeta& meta = regions_[region];
+  if (bytes.size() != meta.slot_size) {
+    return Status::InvalidArgument("WriteSlot size does not match slot size");
+  }
+  return backend_->WriteSlot(region, meta.slot_size, index, bytes);
+}
+
+Result<std::vector<std::uint8_t>> HostStore::ReadSlot(
+    RegionId region, std::uint64_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!ValidSlot(region, index)) {
+    return Status::OutOfRange("ReadSlot outside region bounds");
+  }
+  return backend_->ReadSlot(region, regions_[region].slot_size, index);
+}
+
+Status HostStore::CorruptSlot(RegionId region, std::uint64_t index,
+                              std::size_t bit_offset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!ValidSlot(region, index)) {
+    return Status::OutOfRange("CorruptSlot outside region bounds");
+  }
+  const RegionMeta& meta = regions_[region];
+  if (bit_offset >= meta.slot_size * 8) {
+    return Status::OutOfRange("bit offset outside slot");
+  }
+  PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> slot,
+                       backend_->ReadSlot(region, meta.slot_size, index));
+  slot[bit_offset / 8] ^= static_cast<std::uint8_t>(1u << (bit_offset % 8));
+  return backend_->WriteSlot(region, meta.slot_size, index, slot);
+}
+
+std::uint64_t HostStore::RegionSlots(RegionId region) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  assert(region < regions_.size());
+  return regions_[region].num_slots;
+}
+
+std::size_t HostStore::RegionSlotSize(RegionId region) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  assert(region < regions_.size());
+  return regions_[region].slot_size;
+}
+
+const std::string& HostStore::RegionName(RegionId region) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  assert(region < regions_.size());
+  return regions_[region].name;
+}
+
+std::size_t HostStore::region_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return regions_.size();
+}
+
+}  // namespace ppj::sim

@@ -1,0 +1,87 @@
+#ifndef PPJ_SIM_HOST_STORE_H_
+#define PPJ_SIM_HOST_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sim/storage_backend.h"
+
+namespace ppj::sim {
+
+/// Identifier of a named region in the host's memory/disk.
+using RegionId = std::uint32_t;
+
+/// The untrusted host H (Section 3.2): a general-purpose machine providing
+/// memory and disk to the secure coprocessor. Storage is organised as named
+/// regions of fixed-size slots; every slot holds one sealed (encrypted +
+/// authenticated) tuple. The host — and therefore the adversary — sees every
+/// slot's ciphertext and every access the coprocessor makes, which is
+/// exactly the observation surface of the paper's threat model. The paper
+/// folds H's memory and disk into one ("we refer to H's memory and disk as
+/// its memory"); the pluggable StorageBackend realizes that: in-memory by
+/// default, file-backed for large simulations.
+///
+/// HostStore itself performs no tracing; the Coprocessor records its own
+/// accesses. Data providers write their encrypted relations into regions
+/// directly (those writes are not part of the coprocessor's trace).
+class HostStore {
+ public:
+  /// In-memory storage.
+  HostStore();
+  /// Custom (e.g. file-backed) storage.
+  explicit HostStore(std::unique_ptr<StorageBackend> backend);
+
+  HostStore(const HostStore&) = delete;
+  HostStore& operator=(const HostStore&) = delete;
+
+  /// Creates a region of `num_slots` slots, each `slot_size` bytes, zero
+  /// initialised. Names are for diagnostics only and need not be unique.
+  RegionId CreateRegion(const std::string& name, std::size_t slot_size,
+                        std::uint64_t num_slots);
+
+  /// Grows or shrinks a region to `num_slots`, preserving the retained
+  /// prefix (new slots are zeroed).
+  Status ResizeRegion(RegionId region, std::uint64_t num_slots);
+
+  /// Raw slot access, used by data providers (and by a *malicious* host in
+  /// tamper tests). Size of `bytes` must equal the region's slot size.
+  Status WriteSlot(RegionId region, std::uint64_t index,
+                   const std::vector<std::uint8_t>& bytes);
+  Result<std::vector<std::uint8_t>> ReadSlot(RegionId region,
+                                             std::uint64_t index) const;
+
+  /// Flips one bit of a stored slot — models active tampering by a
+  /// malicious host. Authenticated encryption must detect this.
+  Status CorruptSlot(RegionId region, std::uint64_t index,
+                     std::size_t bit_offset);
+
+  std::uint64_t RegionSlots(RegionId region) const;
+  std::size_t RegionSlotSize(RegionId region) const;
+  const std::string& RegionName(RegionId region) const;
+  std::size_t region_count() const;
+
+ private:
+  struct RegionMeta {
+    std::string name;
+    std::size_t slot_size = 0;
+    std::uint64_t num_slots = 0;
+  };
+
+  bool ValidSlot(RegionId region, std::uint64_t index) const;
+
+  // Coarse lock: parallel executors (Section 5.3.5) run one coprocessor per
+  // thread against the shared host. Contention is not modeled — the cost
+  // metric is transfers, not wall clock.
+  mutable std::mutex mutex_;
+  std::unique_ptr<StorageBackend> backend_;
+  std::vector<RegionMeta> regions_;
+};
+
+}  // namespace ppj::sim
+
+#endif  // PPJ_SIM_HOST_STORE_H_

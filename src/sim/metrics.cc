@@ -1,0 +1,27 @@
+#include "sim/metrics.h"
+
+#include <sstream>
+
+namespace ppj::sim {
+
+TransferMetrics& TransferMetrics::operator+=(const TransferMetrics& other) {
+  gets += other.gets;
+  puts += other.puts;
+  disk_writes += other.disk_writes;
+  ituple_reads += other.ituple_reads;
+  cipher_calls += other.cipher_calls;
+  comparisons += other.comparisons;
+  padded_cycles += other.padded_cycles;
+  return *this;
+}
+
+std::string TransferMetrics::ToString() const {
+  std::ostringstream os;
+  os << "{gets=" << gets << ", puts=" << puts << ", transfers="
+     << TupleTransfers() << ", disk_writes=" << disk_writes
+     << ", ituple_reads=" << ituple_reads << ", cipher_calls=" << cipher_calls
+     << ", comparisons=" << comparisons << "}";
+  return os.str();
+}
+
+}  // namespace ppj::sim

@@ -1,0 +1,33 @@
+#ifndef PPJ_SIM_METRICS_H_
+#define PPJ_SIM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ppj::sim {
+
+/// Cost counters matching the paper's accounting. The paper's headline
+/// metric is "tuple transfers in and out of T's memory" (Section 4.3 Cost
+/// Analysis); gets + puts reproduces it. Disk writes are tracked separately
+/// because the paper reports them separately ("the server writes N|A| tuples
+/// to disk"). iTuple reads count *logical* multi-way tuple fetches
+/// (Section 5.2.1 treats one element of D = X_1 x ... x X_J as one read).
+struct TransferMetrics {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t disk_writes = 0;
+  std::uint64_t ituple_reads = 0;
+  std::uint64_t cipher_calls = 0;
+  std::uint64_t comparisons = 0;
+  std::uint64_t padded_cycles = 0;  ///< Timing-equalisation work (Sec 3.4.3).
+
+  /// The paper's cost metric.
+  std::uint64_t TupleTransfers() const { return gets + puts; }
+
+  TransferMetrics& operator+=(const TransferMetrics& other);
+  std::string ToString() const;
+};
+
+}  // namespace ppj::sim
+
+#endif  // PPJ_SIM_METRICS_H_

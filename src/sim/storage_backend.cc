@@ -1,0 +1,135 @@
+#include "sim/storage_backend.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+namespace ppj::sim {
+
+namespace {
+
+class InMemoryBackend final : public StorageBackend {
+ public:
+  Status CreateRegion(std::uint32_t region, std::size_t slot_size,
+                      std::uint64_t num_slots) override {
+    regions_[region].assign(
+        static_cast<std::size_t>(num_slots) * slot_size, 0);
+    return Status::OK();
+  }
+
+  Status ResizeRegion(std::uint32_t region, std::size_t slot_size,
+                      std::uint64_t num_slots) override {
+    auto it = regions_.find(region);
+    if (it == regions_.end()) return Status::NotFound("unknown region");
+    it->second.resize(static_cast<std::size_t>(num_slots) * slot_size, 0);
+    return Status::OK();
+  }
+
+  Status WriteSlot(std::uint32_t region, std::size_t slot_size,
+                   std::uint64_t index,
+                   const std::vector<std::uint8_t>& bytes) override {
+    auto it = regions_.find(region);
+    if (it == regions_.end()) return Status::NotFound("unknown region");
+    std::copy(bytes.begin(), bytes.end(),
+              it->second.begin() +
+                  static_cast<std::ptrdiff_t>(index * slot_size));
+    return Status::OK();
+  }
+
+  Result<std::vector<std::uint8_t>> ReadSlot(
+      std::uint32_t region, std::size_t slot_size,
+      std::uint64_t index) const override {
+    const auto it = regions_.find(region);
+    if (it == regions_.end()) return Status::NotFound("unknown region");
+    const auto* begin = it->second.data() + index * slot_size;
+    return std::vector<std::uint8_t>(begin, begin + slot_size);
+  }
+
+ private:
+  std::map<std::uint32_t, std::vector<std::uint8_t>> regions_;
+};
+
+class FileBackend final : public StorageBackend {
+ public:
+  explicit FileBackend(std::filesystem::path directory)
+      : directory_(std::move(directory)) {}
+
+  Status CreateRegion(std::uint32_t region, std::size_t slot_size,
+                      std::uint64_t num_slots) override {
+    std::error_code ec;
+    const auto path = RegionPath(region);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        return Status::Internal("cannot create region file " +
+                                path.string());
+      }
+    }
+    std::filesystem::resize_file(path, num_slots * slot_size, ec);
+    if (ec) return Status::Internal("resize_file: " + ec.message());
+    return Status::OK();
+  }
+
+  Status ResizeRegion(std::uint32_t region, std::size_t slot_size,
+                      std::uint64_t num_slots) override {
+    std::error_code ec;
+    std::filesystem::resize_file(RegionPath(region),
+                                 num_slots * slot_size, ec);
+    if (ec) return Status::Internal("resize_file: " + ec.message());
+    return Status::OK();
+  }
+
+  Status WriteSlot(std::uint32_t region, std::size_t slot_size,
+                   std::uint64_t index,
+                   const std::vector<std::uint8_t>& bytes) override {
+    std::fstream f(RegionPath(region),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    if (!f) return Status::Internal("cannot open region file");
+    f.seekp(static_cast<std::streamoff>(index * slot_size));
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    if (!f) return Status::Internal("short write to region file");
+    return Status::OK();
+  }
+
+  Result<std::vector<std::uint8_t>> ReadSlot(
+      std::uint32_t region, std::size_t slot_size,
+      std::uint64_t index) const override {
+    std::ifstream f(RegionPath(region), std::ios::binary);
+    if (!f) return Status::Internal("cannot open region file");
+    f.seekg(static_cast<std::streamoff>(index * slot_size));
+    std::vector<std::uint8_t> out(slot_size);
+    f.read(reinterpret_cast<char*>(out.data()),
+           static_cast<std::streamsize>(slot_size));
+    if (!f) return Status::Internal("short read from region file");
+    return out;
+  }
+
+ private:
+  std::filesystem::path RegionPath(std::uint32_t region) const {
+    return directory_ / ("region-" + std::to_string(region) + ".bin");
+  }
+
+  std::filesystem::path directory_;
+};
+
+}  // namespace
+
+std::unique_ptr<StorageBackend> MakeInMemoryBackend() {
+  return std::make_unique<InMemoryBackend>();
+}
+
+Result<std::unique_ptr<StorageBackend>> MakeFileBackend(
+    const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot create storage directory '" +
+                                   directory + "': " + ec.message());
+  }
+  return std::unique_ptr<StorageBackend>(
+      std::make_unique<FileBackend>(directory));
+}
+
+}  // namespace ppj::sim

@@ -1,0 +1,53 @@
+#ifndef PPJ_SIM_STORAGE_BACKEND_H_
+#define PPJ_SIM_STORAGE_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ppj::sim {
+
+/// Where the host physically keeps its slot regions. The paper folds H's
+/// memory and disk into one storage abstraction (Section 3.2); this
+/// interface makes that pluggable so the same algorithms run against RAM
+/// (tests, benchmarks) or real files (large simulations, post-mortem
+/// inspection of what the adversary saw). Thread safety is provided by
+/// HostStore's lock; backends may assume serialized calls.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Allocates zero-filled storage for a new region.
+  virtual Status CreateRegion(std::uint32_t region, std::size_t slot_size,
+                              std::uint64_t num_slots) = 0;
+
+  /// Grows or shrinks a region, preserving the retained prefix.
+  virtual Status ResizeRegion(std::uint32_t region, std::size_t slot_size,
+                              std::uint64_t num_slots) = 0;
+
+  /// Writes one slot (bytes.size() == slot_size, already validated).
+  virtual Status WriteSlot(std::uint32_t region, std::size_t slot_size,
+                           std::uint64_t index,
+                           const std::vector<std::uint8_t>& bytes) = 0;
+
+  /// Reads one slot.
+  virtual Result<std::vector<std::uint8_t>> ReadSlot(
+      std::uint32_t region, std::size_t slot_size,
+      std::uint64_t index) const = 0;
+};
+
+/// Default backend: regions live in process memory.
+std::unique_ptr<StorageBackend> MakeInMemoryBackend();
+
+/// Disk backend: each region is a file `region-<id>.bin` under `directory`
+/// (created if absent). Slots are fixed-size records at index * slot_size.
+Result<std::unique_ptr<StorageBackend>> MakeFileBackend(
+    const std::string& directory);
+
+}  // namespace ppj::sim
+
+#endif  // PPJ_SIM_STORAGE_BACKEND_H_

@@ -1,0 +1,68 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+namespace ppj::sim {
+
+std::string TraceFingerprint::ToString() const {
+  std::ostringstream os;
+  os << "{digest=0x" << std::hex << digest << std::dec << ", events=" << count
+     << "}";
+  return os.str();
+}
+
+void AccessTrace::Record(AccessOp op, std::uint32_t region,
+                         std::uint64_t index) {
+  // Serialize explicitly — a struct would drag indeterminate padding bytes
+  // into the fingerprint.
+  std::uint8_t packed[13];
+  packed[0] = static_cast<std::uint8_t>(op);
+  for (int i = 0; i < 4; ++i) {
+    packed[1 + i] = static_cast<std::uint8_t>(region >> (8 * i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    packed[5 + i] = static_cast<std::uint8_t>(index >> (8 * i));
+  }
+  hash_.Update(packed, sizeof(packed));
+  if (events_.size() < max_retained_) {
+    events_.push_back(AccessEvent{op, region, index});
+  }
+}
+
+void AccessTrace::Reset() {
+  hash_.Reset();
+  events_.clear();
+}
+
+std::int64_t AccessTrace::FirstDivergence(const AccessTrace& a,
+                                          const AccessTrace& b) {
+  const std::size_t n = std::min(a.events_.size(), b.events_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(a.events_[i] == b.events_[i])) return static_cast<std::int64_t>(i);
+  }
+  if (a.events_.size() != b.events_.size()) {
+    return static_cast<std::int64_t>(n);
+  }
+  return -1;
+}
+
+std::string ToString(AccessOp op) {
+  switch (op) {
+    case AccessOp::kGet:
+      return "GET";
+    case AccessOp::kPut:
+      return "PUT";
+    case AccessOp::kDiskWrite:
+      return "DISK";
+  }
+  return "?";
+}
+
+std::string ToString(const AccessEvent& event) {
+  std::ostringstream os;
+  os << ToString(event.op) << "(region=" << event.region
+     << ", index=" << event.index << ")";
+  return os.str();
+}
+
+}  // namespace ppj::sim

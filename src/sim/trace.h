@@ -1,0 +1,82 @@
+#ifndef PPJ_SIM_TRACE_H_
+#define PPJ_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace ppj::sim {
+
+/// Kind of host interaction the adversary can observe.
+enum class AccessOp : std::uint8_t {
+  kGet = 0,       ///< T reads a slot from a host region.
+  kPut = 1,       ///< T writes a slot to a host region.
+  kDiskWrite = 2, ///< T asks H to persist a slot range to disk.
+};
+
+/// One observable event: the paper's "server location read or written by the
+/// secure coprocessor". Region + index identify the location.
+struct AccessEvent {
+  AccessOp op;
+  std::uint32_t region;
+  std::uint64_t index;
+
+  bool operator==(const AccessEvent&) const = default;
+};
+
+/// Compact fingerprint of an ordered access list. Two traces are equal iff
+/// their event sequences are byte-identical with overwhelming probability
+/// (64-bit FNV over the serialized events plus the exact event count).
+struct TraceFingerprint {
+  std::uint64_t digest = 0;
+  std::uint64_t count = 0;
+
+  bool operator==(const TraceFingerprint&) const = default;
+  std::string ToString() const;
+};
+
+/// The ordered list J of host locations accessed during an execution
+/// (Definitions 1 and 3). Always maintains a running fingerprint; optionally
+/// retains the full event list for diagnostics (bounded by
+/// `max_retained_events` so that multi-hundred-million-event executions stay
+/// in O(1) memory).
+class AccessTrace {
+ public:
+  explicit AccessTrace(std::size_t max_retained_events = 1u << 16)
+      : max_retained_(max_retained_events) {}
+
+  void Record(AccessOp op, std::uint32_t region, std::uint64_t index);
+
+  TraceFingerprint fingerprint() const {
+    return TraceFingerprint{hash_.digest(), hash_.count()};
+  }
+
+  std::uint64_t event_count() const { return hash_.count(); }
+
+  /// Retained prefix of the trace (up to max_retained_events).
+  const std::vector<AccessEvent>& retained_events() const { return events_; }
+
+  /// True when retained_events() holds the complete trace.
+  bool complete() const { return hash_.count() == events_.size(); }
+
+  void Reset();
+
+  /// Index of the first retained event where the traces differ, or -1 when
+  /// no retained divergence exists. Diagnostic aid for failed audits.
+  static std::int64_t FirstDivergence(const AccessTrace& a,
+                                      const AccessTrace& b);
+
+ private:
+  std::size_t max_retained_;
+  RunningHash hash_;
+  std::vector<AccessEvent> events_;
+};
+
+std::string ToString(AccessOp op);
+std::string ToString(const AccessEvent& event);
+
+}  // namespace ppj::sim
+
+#endif  // PPJ_SIM_TRACE_H_

@@ -1,0 +1,95 @@
+#include "sim/trace_stats.h"
+
+#include <sstream>
+
+namespace ppj::sim {
+
+TraceSummary SummarizeTrace(const AccessTrace& trace) {
+  TraceSummary out;
+  out.total_events = trace.event_count();
+  std::map<std::uint32_t, std::uint64_t> prev_index;
+  std::map<std::uint32_t, std::uint64_t> sequential;
+  std::map<std::uint32_t, std::uint64_t> steps;
+  for (const AccessEvent& e : trace.retained_events()) {
+    RegionAccessStats& stats = out.regions[e.region];
+    const bool first =
+        stats.gets + stats.puts + stats.disk_writes == 0;
+    switch (e.op) {
+      case AccessOp::kGet:
+        ++stats.gets;
+        break;
+      case AccessOp::kPut:
+        ++stats.puts;
+        break;
+      case AccessOp::kDiskWrite:
+        ++stats.disk_writes;
+        break;
+    }
+    if (first) {
+      stats.min_index = e.index;
+      stats.max_index = e.index;
+    } else {
+      stats.min_index = std::min(stats.min_index, e.index);
+      stats.max_index = std::max(stats.max_index, e.index);
+      ++steps[e.region];
+      if (e.index == prev_index[e.region] + 1) ++sequential[e.region];
+    }
+    prev_index[e.region] = e.index;
+  }
+  for (auto& [region, stats] : out.regions) {
+    const std::uint64_t n = steps[region];
+    stats.sequential_fraction =
+        n == 0 ? 0.0
+               : static_cast<double>(sequential[region]) /
+                     static_cast<double>(n);
+  }
+  return out;
+}
+
+std::string TraceSummary::ToString() const {
+  std::ostringstream os;
+  os << "trace: " << total_events << " events\n";
+  for (const auto& [region, stats] : regions) {
+    os << "  region " << region << ": gets=" << stats.gets
+       << " puts=" << stats.puts << " disk=" << stats.disk_writes
+       << " index=[" << stats.min_index << "," << stats.max_index << "]"
+       << " sequential=" << stats.sequential_fraction << "\n";
+  }
+  return os.str();
+}
+
+std::vector<std::string> DiffSummaries(const TraceSummary& a,
+                                       const TraceSummary& b) {
+  std::vector<std::string> out;
+  if (a.total_events != b.total_events) {
+    out.push_back("event counts differ: " + std::to_string(a.total_events) +
+                  " vs " + std::to_string(b.total_events));
+  }
+  for (const auto& [region, sa] : a.regions) {
+    const auto it = b.regions.find(region);
+    if (it == b.regions.end()) {
+      out.push_back("region " + std::to_string(region) +
+                    " accessed only in the first trace");
+      continue;
+    }
+    const RegionAccessStats& sb = it->second;
+    if (sa.gets != sb.gets || sa.puts != sb.puts ||
+        sa.disk_writes != sb.disk_writes) {
+      out.push_back("region " + std::to_string(region) +
+                    " op counts differ: gets " + std::to_string(sa.gets) +
+                    "/" + std::to_string(sb.gets) + ", puts " +
+                    std::to_string(sa.puts) + "/" + std::to_string(sb.puts) +
+                    ", disk " + std::to_string(sa.disk_writes) + "/" +
+                    std::to_string(sb.disk_writes));
+    }
+  }
+  for (const auto& [region, sb] : b.regions) {
+    if (!a.regions.contains(region)) {
+      out.push_back("region " + std::to_string(region) +
+                    " accessed only in the second trace");
+    }
+  }
+  return out;
+}
+
+}  // namespace ppj::sim

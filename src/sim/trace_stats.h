@@ -1,0 +1,48 @@
+#ifndef PPJ_SIM_TRACE_STATS_H_
+#define PPJ_SIM_TRACE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace ppj::sim {
+
+/// Per-region view of what the adversary observed.
+struct RegionAccessStats {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t disk_writes = 0;
+  std::uint64_t min_index = 0;
+  std::uint64_t max_index = 0;
+  /// Fraction of accesses whose index is exactly previous+1 — near 1.0 for
+  /// sequential scans, near 0 for sorting networks and random orders.
+  double sequential_fraction = 0.0;
+};
+
+/// Aggregate statistics over a retained trace prefix: the quantities an
+/// adversary (or an analyst debugging a failed audit) derives from the
+/// observable access list. Everything here is computable by the host; the
+/// point of the safe algorithms is that none of it varies with the data.
+struct TraceSummary {
+  std::uint64_t total_events = 0;
+  std::map<std::uint32_t, RegionAccessStats> regions;
+
+  std::string ToString() const;
+};
+
+/// Summarizes the retained events of a trace. (Only the retained prefix is
+/// available; callers wanting complete summaries configure the coprocessor
+/// with a large max_retained_trace.)
+TraceSummary SummarizeTrace(const AccessTrace& trace);
+
+/// Convenience diff for audit forensics: regions whose statistics differ
+/// between the two summaries, with a one-line description each.
+std::vector<std::string> DiffSummaries(const TraceSummary& a,
+                                       const TraceSummary& b);
+
+}  // namespace ppj::sim
+
+#endif  // PPJ_SIM_TRACE_STATS_H_

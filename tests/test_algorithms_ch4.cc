@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include "baseline/plain_join.h"
+#include "common/math.h"
+#include "core/algorithm1.h"
+#include "core/algorithm2.h"
+#include "core/algorithm3.h"
+#include "core/join_result.h"
+#include "core/privacy_auditor.h"
+#include "oblivious/bitonic_sort.h"
+#include "test_util.h"
+
+namespace ppj::core {
+namespace {
+
+using relation::EquijoinSpec;
+using relation::MakeCellWorkload;
+using relation::MakeEquijoinWorkload;
+using relation::MakeJaccardWorkload;
+using test::MakeWorld;
+using test::TwoPartyWorld;
+
+/// Runs one Chapter 4 algorithm in a world and decodes the recipient view.
+enum class Ch4Alg { kAlg1, kAlg1Variant, kAlg2, kAlg3 };
+
+Result<Ch4Outcome> RunCh4(Ch4Alg which, TwoPartyWorld& world,
+                          std::uint64_t n) {
+  TwoWayJoin join{world.a.get(), world.b.get(),
+                  world.workload.predicate.get(), world.key_out.get()};
+  switch (which) {
+    case Ch4Alg::kAlg1:
+      return RunAlgorithm1(*world.copro, join, {.n = n});
+    case Ch4Alg::kAlg1Variant:
+      return RunAlgorithm1Variant(*world.copro, join, {.n = n});
+    case Ch4Alg::kAlg2:
+      return RunAlgorithm2(*world.copro, join, {.n = n});
+    case Ch4Alg::kAlg3:
+      return RunAlgorithm3(*world.copro, join, {.n = n});
+  }
+  return Status::Internal("unreachable");
+}
+
+void ExpectMatchesGroundTruth(TwoPartyWorld& world,
+                              const Ch4Outcome& outcome) {
+  auto decoded = DecodeJoinOutput(world.host, outcome.output_region,
+                                  outcome.output_slots, *world.key_out,
+                                  world.result_schema.get());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  const relation::GroundTruth truth = relation::ComputeGroundTruth(
+      *world.workload.a, *world.workload.b, *world.workload.predicate,
+      world.result_schema.get());
+  EXPECT_TRUE(relation::SameTupleMultiset(*decoded, truth.expected))
+      << "decoded " << decoded->size() << " tuples, expected "
+      << truth.expected.size();
+}
+
+struct Ch4Case {
+  Ch4Alg alg;
+  std::uint64_t size_a, size_b, n, s, memory;
+  bool pad_pow2;
+};
+
+class Ch4CorrectnessTest : public ::testing::TestWithParam<Ch4Case> {};
+
+TEST_P(Ch4CorrectnessTest, EquijoinMatchesGroundTruth) {
+  const Ch4Case& c = GetParam();
+  EquijoinSpec spec;
+  spec.size_a = c.size_a;
+  spec.size_b = c.size_b;
+  spec.n_max = c.n;
+  spec.result_size = c.s;
+  spec.seed = 5;
+  auto workload = MakeEquijoinWorkload(spec);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  auto world = MakeWorld(std::move(*workload), c.memory, c.pad_pow2);
+  ASSERT_NE(world, nullptr);
+  auto outcome = RunCh4(c.alg, *world, c.n);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ExpectMatchesGroundTruth(*world, *outcome);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Ch4CorrectnessTest,
+    ::testing::Values(
+        // Algorithm 1: small memory, N power-of-two and not.
+        Ch4Case{Ch4Alg::kAlg1, 8, 16, 4, 8, 2, false},
+        Ch4Case{Ch4Alg::kAlg1, 12, 20, 3, 7, 2, false},
+        Ch4Case{Ch4Alg::kAlg1, 16, 16, 1, 4, 2, false},
+        // Algorithm 1 variant.
+        Ch4Case{Ch4Alg::kAlg1Variant, 8, 16, 4, 8, 2, false},
+        Ch4Case{Ch4Alg::kAlg1Variant, 10, 13, 2, 5, 2, false},
+        // Algorithm 2: gamma = 1 (N <= M) and gamma > 1 (N > M).
+        Ch4Case{Ch4Alg::kAlg2, 8, 16, 4, 8, 8, false},
+        Ch4Case{Ch4Alg::kAlg2, 8, 16, 6, 10, 3, false},
+        Ch4Case{Ch4Alg::kAlg2, 12, 24, 8, 16, 2, false},
+        // Algorithm 3: needs pow2-padded B.
+        Ch4Case{Ch4Alg::kAlg3, 8, 16, 4, 8, 2, true},
+        Ch4Case{Ch4Alg::kAlg3, 10, 20, 3, 9, 2, true},
+        Ch4Case{Ch4Alg::kAlg3, 16, 13, 2, 6, 2, true}));
+
+TEST(Ch4AlgorithmsTest, GeneralPredicateWorkloads) {
+  // Algorithms 1 and 2 take arbitrary predicates: run the synthetic cell
+  // workload (non-equality) through both.
+  relation::CellSpec spec;
+  spec.size_a = 10;
+  spec.size_b = 12;
+  spec.result_size = 17;
+  spec.seed = 7;
+  for (Ch4Alg alg : {Ch4Alg::kAlg1, Ch4Alg::kAlg2}) {
+    auto workload = MakeCellWorkload(spec);
+    ASSERT_TRUE(workload.ok());
+    const std::uint64_t n = workload->max_matches_per_a;
+    auto world = MakeWorld(std::move(*workload), 4);
+    ASSERT_NE(world, nullptr);
+    auto outcome = RunCh4(alg, *world, n);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    ExpectMatchesGroundTruth(*world, *outcome);
+  }
+}
+
+TEST(Ch4AlgorithmsTest, JaccardSimilarityJoin) {
+  relation::JaccardSpec spec;
+  spec.size_a = 12;
+  spec.size_b = 12;
+  spec.planted_pairs = 3;
+  auto workload = MakeJaccardWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  const std::uint64_t n = std::max<std::uint64_t>(
+      workload->max_matches_per_a, 1);
+  auto world = MakeWorld(std::move(*workload), 4);
+  ASSERT_NE(world, nullptr);
+  auto outcome = RunCh4(Ch4Alg::kAlg1, *world, n);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ExpectMatchesGroundTruth(*world, *outcome);
+}
+
+TEST(Ch4AlgorithmsTest, NComputedWhenOmitted) {
+  EquijoinSpec spec;
+  spec.size_a = 8;
+  spec.size_b = 12;
+  spec.n_max = 3;
+  spec.result_size = 6;
+  auto workload = MakeEquijoinWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), 4);
+  ASSERT_NE(world, nullptr);
+  auto outcome = RunCh4(Ch4Alg::kAlg2, *world, /*n=*/0);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->n_used, 3u);
+  ExpectMatchesGroundTruth(*world, *outcome);
+}
+
+TEST(Ch4AlgorithmsTest, Algorithm3RejectsNonEquality) {
+  relation::CellSpec spec;
+  auto workload = MakeCellWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), 4, /*pad_pow2=*/true);
+  ASSERT_NE(world, nullptr);
+  auto outcome = RunCh4(Ch4Alg::kAlg3, *world, 4);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Ch4AlgorithmsTest, Algorithm2OutputSizeHidesResultSize) {
+  // The observable output is N|A|-shaped regardless of the true S.
+  for (std::uint64_t s : {4u, 8u}) {
+    EquijoinSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 16;
+    spec.n_max = 4;
+    spec.result_size = s;
+    auto workload = MakeEquijoinWorkload(spec);
+    ASSERT_TRUE(workload.ok());
+    auto world = MakeWorld(std::move(*workload), 8);
+    ASSERT_NE(world, nullptr);
+    auto outcome = RunCh4(Ch4Alg::kAlg2, *world, 4);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome->output_slots, 8u * 4u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cost-model reconciliation: measured transfers equal the closed forms.
+// ---------------------------------------------------------------------------
+
+TEST(Ch4CostReconciliation, Algorithm2TransfersMatchFormulaExactly) {
+  // gamma = ceil(N / (M - delta)) with delta = 1 bookkeeping slot.
+  const std::uint64_t size_a = 6, size_b = 18, n = 6, m = 4;
+  EquijoinSpec spec;
+  spec.size_a = size_a;
+  spec.size_b = size_b;
+  spec.n_max = n;
+  spec.result_size = 10;
+  auto workload = MakeEquijoinWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), m);
+  ASSERT_NE(world, nullptr);
+  auto outcome = RunCh4(Ch4Alg::kAlg2, *world, n);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+  const std::uint64_t gamma = CeilDiv(n, m - 1);
+  const std::uint64_t blk = CeilDiv(n, gamma);
+  // gets: |A| + gamma |A| |B|; puts: |A| * gamma * blk.
+  EXPECT_EQ(world->copro->metrics().gets, size_a + gamma * size_a * size_b);
+  EXPECT_EQ(world->copro->metrics().puts, size_a * gamma * blk);
+  EXPECT_EQ(world->copro->metrics().disk_writes, size_a * gamma * blk);
+}
+
+TEST(Ch4CostReconciliation, Algorithm1TransfersMatchFormulaExactly) {
+  // With N a power of two (scratch = exactly 2N), the measured counts are:
+  // gets  = |A| + |A||B| + sort_gets
+  // puts  = 2N|A| + |A||B| + sort_puts
+  // where each full scratch sort moves 4 * comparators(2N) elements and
+  // runs ceil(|B|/N) times per A tuple.
+  const std::uint64_t size_a = 4, size_b = 16, n = 4;
+  EquijoinSpec spec;
+  spec.size_a = size_a;
+  spec.size_b = size_b;
+  spec.n_max = n;
+  spec.result_size = 8;
+  auto workload = MakeEquijoinWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), 2);
+  ASSERT_NE(world, nullptr);
+  auto outcome = RunCh4(Ch4Alg::kAlg1, *world, n);
+  ASSERT_TRUE(outcome.ok());
+
+  const std::uint64_t sorts_per_a = CeilDiv(size_b, n);  // |B|/N rounds
+  const std::uint64_t comparators = oblivious::BitonicComparators(2 * n);
+  const std::uint64_t sort_gets = size_a * sorts_per_a * 2 * comparators;
+  EXPECT_EQ(world->copro->metrics().gets,
+            size_a + size_a * size_b + sort_gets);
+  EXPECT_EQ(world->copro->metrics().puts,
+            size_a * 2 * n + size_a * size_b + sort_gets);
+  EXPECT_EQ(world->copro->metrics().disk_writes, size_a * n);
+}
+
+TEST(Ch4CostReconciliation, Algorithm3TransfersMatchFormulaExactly) {
+  // B pre-padded to a power of two; the measured counts are:
+  // sort: 4 * comparators(|B|p)
+  // per (a, b): 3 transfers; per a: 1 get + N puts; disk: N|A|.
+  const std::uint64_t size_a = 5, size_b = 16, n = 4;
+  EquijoinSpec spec;
+  spec.size_a = size_a;
+  spec.size_b = size_b;
+  spec.n_max = n;
+  spec.result_size = 9;
+  auto workload = MakeEquijoinWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), 2, /*pad_pow2=*/true);
+  ASSERT_NE(world, nullptr);
+  auto outcome = RunCh4(Ch4Alg::kAlg3, *world, n);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+  const std::uint64_t bp = NextPowerOfTwo(size_b);
+  const std::uint64_t sort_moves =
+      4 * oblivious::BitonicComparators(bp);  // 2 gets + 2 puts each
+  EXPECT_EQ(world->copro->metrics().TupleTransfers(),
+            sort_moves + size_a          // get each a
+                + size_a * n             // initial decoys
+                + 3 * size_a * bp);      // get b + get scratch + put scratch
+  EXPECT_EQ(world->copro->metrics().disk_writes, size_a * n);
+}
+
+// ---------------------------------------------------------------------------
+// Definition 1 audits: shape-equal inputs, identical traces.
+// ---------------------------------------------------------------------------
+
+class Ch4AuditTest : public ::testing::TestWithParam<Ch4Alg> {};
+
+TEST_P(Ch4AuditTest, TraceIdenticalAcrossShapeEqualInputs) {
+  const Ch4Alg alg = GetParam();
+  auto runner = [&](std::uint64_t w) -> Result<AuditRun> {
+    EquijoinSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 16;
+    spec.n_max = 4;
+    spec.result_size = 4 + 3 * w;  // different S — N|A| shape hides it
+    spec.seed = 1000 + w * 77;     // entirely different keys/content
+    auto workload = MakeEquijoinWorkload(spec);
+    if (!workload.ok()) return workload.status();
+    auto world = MakeWorld(std::move(*workload), 4,
+                           alg == Ch4Alg::kAlg3, /*copro_seed=*/42);
+    PPJ_ASSIGN_OR_RETURN(Ch4Outcome outcome, RunCh4(alg, *world, 4));
+    (void)outcome;
+    AuditRun run;
+    run.fingerprint = world->copro->trace().fingerprint();
+    run.retained_events = world->copro->trace().retained_events();
+    run.retained_complete = world->copro->trace().complete();
+    return run;
+  };
+  auto audit = PrivacyAuditor::CompareManyWorlds(runner, 4);
+  ASSERT_TRUE(audit.ok()) << audit.status();
+  EXPECT_TRUE(audit->identical) << audit->detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, Ch4AuditTest,
+                         ::testing::Values(Ch4Alg::kAlg1,
+                                           Ch4Alg::kAlg1Variant,
+                                           Ch4Alg::kAlg2, Ch4Alg::kAlg3));
+
+TEST(Ch4AuditTest2, SkewedVsUniformMatchesSameTrace) {
+  // The hash-join leak scenario: skewed vs uniform key distribution. The
+  // safe algorithms must be blind to it (same |A|, |B|, N, S).
+  auto runner = [&](std::uint64_t w) -> Result<AuditRun> {
+    relation::CellSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 12;
+    spec.result_size = 8;
+    spec.seed = 5 + w;
+    spec.skew_rows = (w == 0) ? 0 : 1;  // world 1: all matches on one row
+    auto workload = MakeCellWorkload(spec);
+    if (!workload.ok()) return workload.status();
+    // Fix N to the worst case 12 so both worlds run the same shape.
+    auto world = MakeWorld(std::move(*workload), 4, false, 7);
+    PPJ_ASSIGN_OR_RETURN(Ch4Outcome outcome,
+                         RunCh4(Ch4Alg::kAlg1, *world, 12));
+    (void)outcome;
+    AuditRun run;
+    run.fingerprint = world->copro->trace().fingerprint();
+    run.retained_events = world->copro->trace().retained_events();
+    return run;
+  };
+  auto audit = PrivacyAuditor::CompareWorlds(runner);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_TRUE(audit->identical) << audit->detail;
+}
+
+}  // namespace
+}  // namespace ppj::core

@@ -1,0 +1,376 @@
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "core/algorithm4.h"
+#include "core/algorithm5.h"
+#include "core/algorithm6.h"
+#include "core/cartesian.h"
+#include "core/join_result.h"
+#include "core/privacy_auditor.h"
+#include "test_util.h"
+
+namespace ppj::core {
+namespace {
+
+using relation::MakeCellWorkload;
+using relation::MakeEquijoinWorkload;
+using test::MakeWorld;
+using test::TwoPartyWorld;
+
+enum class Ch5Alg { kAlg4, kAlg5, kAlg6 };
+
+Result<Ch5Outcome> RunCh5(Ch5Alg which, TwoPartyWorld& world,
+                          double epsilon = 1e-6,
+                          std::uint64_t forced_segment = 0) {
+  const relation::PairAsMultiway multiway(world.workload.predicate.get());
+  MultiwayJoin join{{world.a.get(), world.b.get()}, &multiway,
+                    world.key_out.get()};
+  switch (which) {
+    case Ch5Alg::kAlg4:
+      return RunAlgorithm4(*world.copro, join);
+    case Ch5Alg::kAlg5:
+      return RunAlgorithm5(*world.copro, join);
+    case Ch5Alg::kAlg6:
+      return RunAlgorithm6(*world.copro, join,
+                           {.epsilon = epsilon,
+                            .order_seed = 0xBEEF,
+                            .forced_segment_size = forced_segment});
+  }
+  return Status::Internal("unreachable");
+}
+
+void ExpectExactResult(TwoPartyWorld& world, const Ch5Outcome& outcome) {
+  const relation::GroundTruth truth = relation::ComputeGroundTruth(
+      *world.workload.a, *world.workload.b, *world.workload.predicate,
+      world.result_schema.get());
+  EXPECT_EQ(outcome.result_size, truth.result_size);
+  auto decoded = DecodeJoinOutput(world.host, outcome.output_region,
+                                  outcome.result_size, *world.key_out,
+                                  world.result_schema.get());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  // Chapter 5 contract: the exact result, nothing else — every slot real.
+  EXPECT_EQ(decoded->size(), truth.result_size);
+  EXPECT_TRUE(relation::SameTupleMultiset(*decoded, truth.expected));
+}
+
+TEST(CartesianTest, DecomposeComposeRoundTrip) {
+  CartesianIndex idx({3, 4, 5});
+  EXPECT_EQ(idx.size(), 60u);
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    const auto parts = idx.Decompose(i);
+    EXPECT_LT(parts[0], 3u);
+    EXPECT_LT(parts[1], 4u);
+    EXPECT_LT(parts[2], 5u);
+    EXPECT_EQ(idx.Compose(parts), i);
+  }
+  // Row-major: last table varies fastest.
+  EXPECT_EQ(idx.Decompose(1), (std::vector<std::uint64_t>{0, 0, 1}));
+  EXPECT_EQ(idx.Decompose(5), (std::vector<std::uint64_t>{0, 1, 0}));
+}
+
+TEST(CartesianTest, SequentialReaderCachesPrefix) {
+  relation::CellSpec spec;
+  spec.size_a = 4;
+  spec.size_b = 8;
+  spec.result_size = 3;
+  auto workload = MakeCellWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), 4);
+  ASSERT_NE(world, nullptr);
+  ITupleReader reader(world->copro.get(), {world->a.get(), world->b.get()});
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(reader.Fetch(i).ok());
+  }
+  // Sequential scan: 32 B fetches + 4 A fetches (prefix cached).
+  EXPECT_EQ(world->copro->metrics().gets, 32u + 4u);
+  EXPECT_EQ(world->copro->metrics().ituple_reads, 32u);
+}
+
+struct Ch5Case {
+  Ch5Alg alg;
+  std::uint64_t size_a, size_b, s, memory;
+  double epsilon;
+};
+
+class Ch5CorrectnessTest : public ::testing::TestWithParam<Ch5Case> {};
+
+TEST_P(Ch5CorrectnessTest, ExactResultOnCellWorkload) {
+  const Ch5Case& c = GetParam();
+  relation::CellSpec spec;
+  spec.size_a = c.size_a;
+  spec.size_b = c.size_b;
+  spec.result_size = c.s;
+  spec.seed = c.size_a * 13 + c.s;
+  auto workload = MakeCellWorkload(spec);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  auto world = MakeWorld(std::move(*workload), c.memory);
+  ASSERT_NE(world, nullptr);
+  auto outcome = RunCh5(c.alg, *world, c.epsilon);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_FALSE(outcome->blemish);
+  ExpectExactResult(*world, *outcome);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Ch5CorrectnessTest,
+    ::testing::Values(
+        // Algorithm 4: works with tiny memory.
+        Ch5Case{Ch5Alg::kAlg4, 8, 8, 5, 0, 0},
+        Ch5Case{Ch5Alg::kAlg4, 12, 16, 20, 0, 0},
+        Ch5Case{Ch5Alg::kAlg4, 16, 16, 1, 0, 0},
+        // Algorithm 5: multiple scans (S > M) and single scan (S <= M).
+        Ch5Case{Ch5Alg::kAlg5, 8, 8, 12, 4, 0},
+        Ch5Case{Ch5Alg::kAlg5, 12, 16, 7, 16, 0},
+        Ch5Case{Ch5Alg::kAlg5, 10, 10, 25, 3, 0},
+        // Algorithm 6: S > M path and M >= S shortcut.
+        Ch5Case{Ch5Alg::kAlg6, 12, 12, 24, 6, 1e-6},
+        Ch5Case{Ch5Alg::kAlg6, 16, 16, 10, 4, 1e-9},
+        Ch5Case{Ch5Alg::kAlg6, 8, 8, 3, 16, 1e-6}));
+
+TEST(Ch5AlgorithmsTest, EmptyResultHandled) {
+  relation::CellSpec spec;
+  spec.size_a = 6;
+  spec.size_b = 6;
+  spec.result_size = 0;
+  for (Ch5Alg alg : {Ch5Alg::kAlg4, Ch5Alg::kAlg5, Ch5Alg::kAlg6}) {
+    auto workload = MakeCellWorkload(spec);
+    ASSERT_TRUE(workload.ok());
+    auto world = MakeWorld(std::move(*workload), 4);
+    ASSERT_NE(world, nullptr);
+    auto outcome = RunCh5(alg, *world);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    EXPECT_EQ(outcome->result_size, 0u);
+  }
+}
+
+TEST(Ch5AlgorithmsTest, ThreeWayJoinChainPredicate) {
+  // X1 ⋈ X2 ⋈ X3 on key equality chains — the J > 2 path.
+  relation::Schema schema({relation::Schema::Int64("k")});
+  auto mk = [&](const std::string& name,
+                std::vector<std::int64_t> keys) {
+    auto rel = std::make_unique<relation::Relation>(
+        name, relation::Schema(schema));
+    for (std::int64_t k : keys) EXPECT_TRUE(rel->Append({k}).ok());
+    return rel;
+  };
+  auto x1 = mk("X1", {1, 2, 3, 4});
+  auto x2 = mk("X2", {2, 2, 3, 9});
+  auto x3 = mk("X3", {3, 2, 7, 2});
+  // Expected chain matches k1 == k2 == k3:
+  // k=2: 1 (X1) * 2 (X2) * 2 (X3) = 4; k=3: 1 * 1 * 1 = 1 -> S = 5.
+
+  sim::HostStore host;
+  sim::Coprocessor copro(&host, {.memory_tuples = 4, .seed = 1});
+  const crypto::Ocb key1(crypto::DeriveKey(1, "x1"));
+  const crypto::Ocb key2(crypto::DeriveKey(2, "x2"));
+  const crypto::Ocb key3(crypto::DeriveKey(3, "x3"));
+  const crypto::Ocb key_out(crypto::DeriveKey(4, "out"));
+  auto e1 = relation::EncryptedRelation::Seal(&host, *x1, &key1);
+  auto e2 = relation::EncryptedRelation::Seal(&host, *x2, &key2);
+  auto e3 = relation::EncryptedRelation::Seal(&host, *x3, &key3);
+  ASSERT_TRUE(e1.ok() && e2.ok() && e3.ok());
+
+  const relation::EqualityPredicate eq(0, 0);
+  const relation::ChainPredicate chain({&eq, &eq});
+  MultiwayJoin join{{&*e1, &*e2, &*e3}, &chain, &key_out};
+
+  for (Ch5Alg alg : {Ch5Alg::kAlg4, Ch5Alg::kAlg5, Ch5Alg::kAlg6}) {
+    sim::Coprocessor fresh(&host, {.memory_tuples = 4, .seed = 1});
+    Result<Ch5Outcome> outcome = Status::Internal("unset");
+    switch (alg) {
+      case Ch5Alg::kAlg4:
+        outcome = RunAlgorithm4(fresh, join);
+        break;
+      case Ch5Alg::kAlg5:
+        outcome = RunAlgorithm5(fresh, join);
+        break;
+      case Ch5Alg::kAlg6:
+        outcome = RunAlgorithm6(fresh, join, {.epsilon = 1e-6});
+        break;
+    }
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    EXPECT_EQ(outcome->result_size, 5u) << "alg " << static_cast<int>(alg);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cost reconciliation against the Chapter 5 closed forms.
+// ---------------------------------------------------------------------------
+
+TEST(Ch5CostReconciliation, Algorithm5ReadsAndWritesMatchEqn53) {
+  const std::uint64_t size_a = 8, size_b = 8, s = 11, m = 4;
+  relation::CellSpec spec;
+  spec.size_a = size_a;
+  spec.size_b = size_b;
+  spec.result_size = s;
+  auto workload = MakeCellWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), m);
+  ASSERT_NE(world, nullptr);
+  auto outcome = RunCh5(Ch5Alg::kAlg5, *world);
+  ASSERT_TRUE(outcome.ok());
+
+  const std::uint64_t l = size_a * size_b;
+  // Read cost ceil(S/M) L in logical iTuple reads; write cost exactly S.
+  EXPECT_EQ(world->copro->metrics().ituple_reads, CeilDiv(s, m) * l);
+  EXPECT_EQ(world->copro->metrics().puts, s);
+  EXPECT_EQ(world->copro->metrics().disk_writes, s);
+}
+
+TEST(Ch5CostReconciliation, Algorithm4StagesExactlyLOTuples) {
+  const std::uint64_t size_a = 8, size_b = 8, s = 6;
+  relation::CellSpec spec;
+  spec.size_a = size_a;
+  spec.size_b = size_b;
+  spec.result_size = s;
+  auto workload = MakeCellWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), 0);
+  ASSERT_NE(world, nullptr);
+  auto outcome = RunCh5(Ch5Alg::kAlg4, *world);
+  ASSERT_TRUE(outcome.ok());
+  const std::uint64_t l = size_a * size_b;
+  EXPECT_EQ(outcome->staging_slots, l);
+  EXPECT_EQ(world->copro->metrics().ituple_reads, l);
+  // One staged put per iTuple, plus the filter's transfers on top.
+  EXPECT_GE(world->copro->metrics().puts, l);
+}
+
+TEST(Ch5CostReconciliation, Algorithm6StagingMatchesSegmentModel) {
+  const std::uint64_t size_a = 16, size_b = 16, s = 30, m = 8;
+  relation::CellSpec spec;
+  spec.size_a = size_a;
+  spec.size_b = size_b;
+  spec.result_size = s;
+  auto workload = MakeCellWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), m);
+  ASSERT_NE(world, nullptr);
+  // Force a known segment size to pin the model (small enough that
+  // blemish is impossible: n = m means <= m results per segment).
+  auto outcome = RunCh5(Ch5Alg::kAlg6, *world, 1e-6, /*forced_segment=*/m);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_FALSE(outcome->blemish);
+  const std::uint64_t l = size_a * size_b;
+  EXPECT_EQ(outcome->staging_slots, CeilDiv(l, m) * m);
+  // Screening pass + processing pass.
+  EXPECT_EQ(world->copro->metrics().ituple_reads, 2 * l);
+  ExpectExactResult(*world, *outcome);
+}
+
+TEST(Ch5CostReconciliation, Algorithm6LargeMemoryShortcutCostsLPlusS) {
+  const std::uint64_t size_a = 8, size_b = 8, s = 5;
+  relation::CellSpec spec;
+  spec.size_a = size_a;
+  spec.size_b = size_b;
+  spec.result_size = s;
+  auto workload = MakeCellWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), /*memory=*/64);  // M >= S
+  ASSERT_NE(world, nullptr);
+  auto outcome = RunCh5(Ch5Alg::kAlg6, *world, 1e-20);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(world->copro->metrics().ituple_reads, size_a * size_b);
+  EXPECT_EQ(world->copro->metrics().puts, s);
+  ExpectExactResult(*world, *outcome);
+}
+
+// ---------------------------------------------------------------------------
+// Blemish path.
+// ---------------------------------------------------------------------------
+
+TEST(Ch5BlemishTest, ForcedBlemishSalvagesCorrectly) {
+  // Segment size far above M with a dense result set guarantees overflow.
+  const std::uint64_t size_a = 8, size_b = 8, s = 40, m = 4;
+  relation::CellSpec spec;
+  spec.size_a = size_a;
+  spec.size_b = size_b;
+  spec.result_size = s;
+  auto workload = MakeCellWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), m);
+  ASSERT_NE(world, nullptr);
+  auto outcome = RunCh5(Ch5Alg::kAlg6, *world, 1e-6, /*forced_segment=*/64);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_TRUE(outcome->blemish);
+  // The salvage action still delivers the exact result.
+  ExpectExactResult(*world, *outcome);
+}
+
+// ---------------------------------------------------------------------------
+// Definition 3 audits.
+// ---------------------------------------------------------------------------
+
+class Ch5AuditTest : public ::testing::TestWithParam<Ch5Alg> {};
+
+TEST_P(Ch5AuditTest, TraceIdenticalAcrossShapeEqualInputs) {
+  // Definition 3 fixes table sizes AND |f(...)| = S; contents and match
+  // *placement* vary wildly across worlds (including maximal skew).
+  const Ch5Alg alg = GetParam();
+  auto runner = [&](std::uint64_t w) -> Result<AuditRun> {
+    relation::CellSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 12;
+    spec.result_size = 10;
+    spec.seed = 31 * w + 5;
+    spec.skew_rows = (w % 2 == 0) ? 0 : 2;
+    auto workload = MakeCellWorkload(spec);
+    if (!workload.ok()) return workload.status();
+    auto world = MakeWorld(std::move(*workload), 4, false, /*seed=*/99);
+    PPJ_ASSIGN_OR_RETURN(Ch5Outcome outcome, RunCh5(alg, *world, 1e-6));
+    if (outcome.blemish) {
+      return Status::Internal("unexpected blemish during audit");
+    }
+    AuditRun run;
+    run.fingerprint = world->copro->trace().fingerprint();
+    run.retained_events = world->copro->trace().retained_events();
+    return run;
+  };
+  auto audit = PrivacyAuditor::CompareManyWorlds(runner, 4);
+  ASSERT_TRUE(audit.ok()) << audit.status();
+  EXPECT_TRUE(audit->identical) << audit->detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, Ch5AuditTest,
+                         ::testing::Values(Ch5Alg::kAlg4, Ch5Alg::kAlg5,
+                                           Ch5Alg::kAlg6));
+
+TEST(Ch5AuditTest2, BlemishTraceDiffersFromCleanTrace) {
+  // The epsilon-probability privacy loss is real: with identical shape
+  // parameters, a dataset whose matches happen to crowd one random segment
+  // triggers the salvage path and its trace differs from a clean run's.
+  // Search dataset seeds until both behaviours appear (the segment size is
+  // chosen borderline: expected matches per segment == M).
+  struct Observed {
+    bool blemish;
+    sim::TraceFingerprint trace;
+  };
+  auto run_seed = [&](std::uint64_t seed) -> Observed {
+    relation::CellSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 8;
+    spec.result_size = 20;
+    spec.seed = seed;
+    auto workload = MakeCellWorkload(spec);
+    EXPECT_TRUE(workload.ok());
+    auto world = MakeWorld(std::move(*workload), /*memory=*/5, false, 11);
+    auto outcome = RunCh5(Ch5Alg::kAlg6, *world, 1e-6, /*forced_segment=*/16);
+    EXPECT_TRUE(outcome.ok());
+    return Observed{outcome->blemish, world->copro->trace().fingerprint()};
+  };
+  std::optional<Observed> clean, blemished;
+  for (std::uint64_t seed = 1; seed <= 60 && (!clean || !blemished);
+       ++seed) {
+    const Observed o = run_seed(seed);
+    if (o.blemish && !blemished) blemished = o;
+    if (!o.blemish && !clean) clean = o;
+  }
+  ASSERT_TRUE(clean.has_value() && blemished.has_value())
+      << "could not find both a clean and a blemished dataset";
+  EXPECT_NE(clean->trace, blemished->trace);
+}
+
+}  // namespace
+}  // namespace ppj::core

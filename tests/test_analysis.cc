@@ -1,0 +1,319 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/chapter4_costs.h"
+#include "analysis/chapter5_costs.h"
+#include "analysis/hypergeometric.h"
+#include "analysis/optimizer.h"
+#include "analysis/regions.h"
+#include "analysis/smc_cost.h"
+#include "common/math.h"
+
+namespace ppj::analysis {
+namespace {
+
+double ExactHypergeomPmf(int l, int s, int n, int k) {
+  // Brute force via exact binomials (small parameters only).
+  auto binom = [](int a, int b) -> double {
+    if (b < 0 || b > a) return 0.0;
+    double r = 1.0;
+    for (int i = 0; i < b; ++i) r = r * (a - i) / (i + 1);
+    return r;
+  };
+  return binom(s, k) * binom(l - s, n - k) / binom(l, n);
+}
+
+TEST(HypergeometricTest, PmfMatchesBruteForce) {
+  const int l = 40, s = 10, n = 12;
+  for (int k = 0; k <= 12; ++k) {
+    const double exact = ExactHypergeomPmf(l, s, n, k);
+    const double ours = std::exp(LogHypergeomPmf(l, s, n, k));
+    if (exact == 0.0) {
+      EXPECT_LT(ours, 1e-12) << "k=" << k;
+    } else {
+      EXPECT_NEAR(ours / exact, 1.0, 1e-9) << "k=" << k;
+    }
+  }
+}
+
+TEST(HypergeometricTest, PmfSumsToOne) {
+  const int l = 50, s = 20, n = 15;
+  double sum = 0;
+  for (int k = 0; k <= n; ++k) sum += std::exp(LogHypergeomPmf(l, s, n, k));
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(HypergeometricTest, TailMatchesBruteForce) {
+  const int l = 60, s = 25, n = 20, m = 9;
+  double exact = 0;
+  for (int k = m + 1; k <= n; ++k) exact += ExactHypergeomPmf(l, s, n, k);
+  EXPECT_NEAR(std::exp(LogHypergeomTailGreater(l, s, n, m)) / exact, 1.0,
+              1e-8);
+}
+
+TEST(HypergeometricTest, TailIsZeroWhenImpossible) {
+  // n <= m: cannot exceed m results in a sample of n.
+  EXPECT_TRUE(std::isinf(LogHypergeomTailGreater(100, 50, 5, 5)));
+  EXPECT_TRUE(std::isinf(LogBlemishUnionBound(100, 50, 10, 10)));
+  EXPECT_TRUE(std::isinf(LogBlemishUnionBound(100, 50, 10, 5)));
+}
+
+TEST(HypergeometricTest, UnionBoundGrowsWithSegmentSize) {
+  // Monotone in the operative (sub-saturation) regime where the bound is
+  // far below 1 — the only regime Eqn 5.6's solver ever searches. Once the
+  // per-segment tail saturates at ~1 the union bound decays like log(L/n),
+  // which is fine: it stays far above any epsilon < 1.
+  const std::uint64_t l = 10000, s = 500, m = 16;
+  double prev = -1e300;
+  for (std::uint64_t n : {24u, 48u, 96u, 144u, 192u}) {
+    const double cur = LogBlemishUnionBound(l, s, m, n);
+    EXPECT_GT(cur, prev) << "n=" << n;
+    prev = cur;
+  }
+  // Saturated region: bound remains above log(any epsilon of interest).
+  for (std::uint64_t n : {768u, 1536u}) {
+    EXPECT_GT(LogBlemishUnionBound(l, s, m, n), std::log(1e-3)) << "n=" << n;
+  }
+}
+
+TEST(OptimizerTest, SwapFixedPointProperty) {
+  // Delta* satisfies mu/Delta = 2/log2(mu + Delta) (Eqn 5.1).
+  for (std::uint64_t mu : {64u, 512u, 6400u, 25600u}) {
+    const double d = OptimalSwapContinuous(mu);
+    EXPECT_NEAR(static_cast<double>(mu) / d,
+                2.0 / std::log2(static_cast<double>(mu) + d), 1e-6)
+        << "mu=" << mu;
+  }
+}
+
+TEST(OptimizerTest, SwapMagnitudeForPaperSetting) {
+  // For S = 6400 the optimum sits in the tens of thousands (the analysis in
+  // DESIGN.md reverse-engineers ~5e4 from Table 5.3).
+  const double d = OptimalSwapContinuous(6400);
+  EXPECT_GT(d, 3e4);
+  EXPECT_LT(d, 8e4);
+}
+
+TEST(OptimizerTest, IntegerSwapBeatsNeighbours) {
+  const std::uint64_t omega = 640000, mu = 6400;
+  const std::uint64_t d = OptimalSwapInteger(omega, mu);
+  const double at = FilterCostWithDelta(omega, mu, static_cast<double>(d));
+  // Allow last-ulp ties: near the optimum the model is extremely flat.
+  const double tol = 1.0 + 1e-9;
+  EXPECT_LE(at, tol * FilterCostWithDelta(omega, mu,
+                                          static_cast<double>(d - 1)));
+  EXPECT_LE(at, tol * FilterCostWithDelta(omega, mu,
+                                          static_cast<double>(d + 1)));
+  // Never exceeds omega - mu.
+  EXPECT_EQ(OptimalSwapInteger(10, 8), 2u);
+  EXPECT_EQ(OptimalSwapInteger(8, 8), 1u);
+}
+
+TEST(OptimizerTest, SegmentSizeLimits) {
+  // epsilon = 0 collapses to M (Section 5.3.3's extreme case).
+  EXPECT_EQ(OptimalSegmentSize(10000, 500, 16, 0.0), 16u);
+  // M >= S: single segment (footnote 1).
+  EXPECT_EQ(OptimalSegmentSize(10000, 50, 64, 1e-20), 10000u);
+  // Trivially satisfiable bound: whole input in one segment.
+  EXPECT_EQ(OptimalSegmentSize(100, 50, 49, 1.0), 100u);
+}
+
+TEST(OptimizerTest, SegmentSizeMonotoneInEpsilon) {
+  const std::uint64_t l = 640000, s = 6400, m = 64;
+  std::uint64_t prev = 0;
+  for (double eps : {1e-60, 1e-40, 1e-20, 1e-10, 1e-5}) {
+    const std::uint64_t n = OptimalSegmentSize(l, s, m, eps);
+    EXPECT_GE(n, prev) << "eps=" << eps;
+    EXPECT_GT(n, m);
+    prev = n;
+  }
+}
+
+TEST(OptimizerTest, SegmentSizeSatisfiesBoundTightly) {
+  const std::uint64_t l = 640000, s = 6400, m = 64;
+  const double eps = 1e-20;
+  const std::uint64_t n = OptimalSegmentSize(l, s, m, eps);
+  EXPECT_LE(LogBlemishUnionBound(l, s, m, n), std::log(eps));
+  // Maximality: one more element breaks the bound.
+  EXPECT_GT(LogBlemishUnionBound(l, s, m, n + 1), std::log(eps));
+}
+
+TEST(Chapter4CostTest, GammaAndFormulas) {
+  EXPECT_EQ(Gamma(10, 4), 3u);
+  EXPECT_EQ(Gamma(4, 8), 1u);
+  EXPECT_EQ(Gamma(0, 8), 1u);
+
+  // Algorithm 1 at |A| = |B| = 100, N = 4:
+  // 100 + 800 + 20000 + 20000 * 9 = 200900.
+  EXPECT_NEAR(CostAlgorithm1(100, 100, 4), 100 + 800 + 20000 + 180000, 1e-9);
+  // Algorithm 2 at N = 8, M = 4: gamma = 2 -> 100 + 800 + 20000.
+  EXPECT_NEAR(CostAlgorithm2(100, 100, 8, 4), 100 + 800 + 20000, 1e-9);
+  // Algorithm 3: |A| + N|A| + |B| log2(|B|)^2 + 3|A||B|.
+  const double lg = std::log2(100.0);
+  EXPECT_NEAR(CostAlgorithm3(100, 100, 4),
+              100 + 400 + 100 * lg * lg + 30000, 1e-6);
+  EXPECT_NEAR(CostAlgorithm3(100, 100, 4, true), 100 + 400 + 30000, 1e-9);
+  // Variant: |A| + 2|A||B| + |A||B| log2(|B|)^2.
+  EXPECT_NEAR(CostAlgorithm1Variant(100, 100),
+              100 + 20000 + 10000 * lg * lg, 1e-6);
+}
+
+TEST(Chapter4CostTest, SfeIsOrdersOfMagnitudeWorse) {
+  // Section 4.6.5: for low alpha, SFE is orders of magnitude slower.
+  const double b = 1000, n = 10, w = 32;
+  const double sfe = CostSfeBits(b, n, SfeParams{.w = w});
+  const double ours = CostAlgorithm1Bits(b, b, n, w);
+  EXPECT_GT(sfe / ours, 100.0);
+}
+
+TEST(Chapter5CostTest, Algorithm5MatchesTable53Exactly) {
+  // Table 5.3, Algorithm 5 row: 6.4e7, 1.6e7, 2.6e8.
+  EXPECT_NEAR(CostAlgorithm5(640000, 6400, 64), 6400 + 100.0 * 640000, 1e-6);
+  EXPECT_NEAR(CostAlgorithm5(640000, 6400, 256), 6400 + 25.0 * 640000, 1e-6);
+  EXPECT_NEAR(CostAlgorithm5(2560000, 25600, 256),
+              25600 + 100.0 * 2560000, 1e-6);
+}
+
+TEST(Chapter5CostTest, Algorithm4MatchesTable53Magnitude) {
+  // Table 5.3, Algorithm 4 row: 2.3e8, 2.3e8, 1.2e9 — we require the same
+  // order of magnitude (the paper's Delta* convention is not fully pinned).
+  const double c1 = CostAlgorithm4(640000, 6400);
+  EXPECT_GT(c1, 1.0e8);
+  EXPECT_LT(c1, 4.0e8);
+  EXPECT_NEAR(CostAlgorithm4(640000, 6400), c1, 1e-9);  // deterministic
+  const double c3 = CostAlgorithm4(2560000, 25600);
+  EXPECT_GT(c3, 0.5e9);
+  EXPECT_LT(c3, 2.5e9);
+}
+
+TEST(Chapter5CostTest, Algorithm6MatchesTable53Magnitude) {
+  // Table 5.3, Algorithm 6 (eps = 1e-20): 7.4e6, 3.4e6, 1.8e7.
+  const Alg6Cost c1 = CostAlgorithm6(640000, 6400, 64, 1e-20);
+  EXPECT_GT(c1.total, 3e6);
+  EXPECT_LT(c1.total, 1.5e7);
+  const Alg6Cost c2 = CostAlgorithm6(640000, 6400, 256, 1e-20);
+  EXPECT_GT(c2.total, 1.7e6);
+  EXPECT_LT(c2.total, 7e6);
+  const Alg6Cost c3 = CostAlgorithm6(2560000, 25600, 256, 1e-20);
+  EXPECT_GT(c3.total, 8e6);
+  EXPECT_LT(c3.total, 4e7);
+  // And the eps = 1e-10 row is cheaper than the 1e-20 row.
+  EXPECT_LT(CostAlgorithm6(640000, 6400, 64, 1e-10).total, c1.total);
+}
+
+TEST(Chapter5CostTest, OrderingMatchesTable53) {
+  // For every setting: SMC > Alg4 > Alg5 > Alg6.
+  const Setting settings[] = {{640000, 6400, 64},
+                              {640000, 6400, 256},
+                              {2560000, 25600, 256}};
+  for (const Setting& st : settings) {
+    const double smc = CostSmc(st.l, st.s);
+    const double a4 = CostAlgorithm4(st.l, st.s);
+    const double a5 = CostAlgorithm5(st.l, st.s, st.m);
+    const double a6 = CostAlgorithm6(st.l, st.s, st.m, 1e-20).total;
+    EXPECT_GT(smc, a4) << st.l;
+    EXPECT_GT(a4, a5) << st.l;
+    EXPECT_GT(a5, a6) << st.l;
+  }
+}
+
+TEST(Chapter5CostTest, SmcMatchesTable53) {
+  // Table 5.3, SMC row: 1.1e10 for settings 1-2, 4.5e10 for setting 3.
+  EXPECT_NEAR(CostSmc(640000, 6400) / 1.1e10, 1.0, 0.1);
+  EXPECT_NEAR(CostSmc(2560000, 25600) / 4.5e10, 1.0, 0.1);
+}
+
+TEST(Chapter5CostTest, Algorithm6CostReductionVsAlgorithm5) {
+  // Table 5.3 bottom row: reduction of Alg6 (1e-20) vs Alg5 is 88%, 79%,
+  // 93% — require within +-8 points.
+  const double r1 = 1.0 - CostAlgorithm6(640000, 6400, 64, 1e-20).total /
+                              CostAlgorithm5(640000, 6400, 64);
+  const double r2 = 1.0 - CostAlgorithm6(640000, 6400, 256, 1e-20).total /
+                              CostAlgorithm5(640000, 6400, 256);
+  const double r3 =
+      1.0 - CostAlgorithm6(2560000, 25600, 256, 1e-20).total /
+                CostAlgorithm5(2560000, 25600, 256);
+  EXPECT_NEAR(r1, 0.88, 0.08);
+  EXPECT_NEAR(r2, 0.79, 0.08);
+  EXPECT_NEAR(r3, 0.93, 0.08);
+}
+
+TEST(Chapter5CostTest, Algorithm6MonotoneDecreasingInEpsilon) {
+  // Figure 5.2's shape: cost decreases monotonically as epsilon grows.
+  double prev = 1e300;
+  for (double eps : {1e-60, 1e-50, 1e-40, 1e-30, 1e-20, 1e-10, 1e-5}) {
+    const double c = CostAlgorithm6(640000, 6400, 64, eps).total;
+    EXPECT_LT(c, prev) << "eps=" << eps;
+    prev = c;
+  }
+}
+
+TEST(Chapter5CostTest, Algorithm6ApproachesMinimumWithLargeMemory) {
+  // Figure 5.3's right edge: M >= S gives the floor L + S.
+  EXPECT_DOUBLE_EQ(CostAlgorithm6(640000, 6400, 6400, 1e-20).total,
+                   MinimalCost(640000, 6400));
+  // And decreasing in M before that.
+  double prev = 1e300;
+  for (std::uint64_t m : {16u, 64u, 256u, 1024u, 4096u}) {
+    const double c = CostAlgorithm6(640000, 6400, m, 1e-20).total;
+    EXPECT_LT(c, prev) << "m=" << m;
+    prev = c;
+  }
+}
+
+TEST(Chapter5CostTest, Algorithm5DecreasesWithMemoryLikeFigure51) {
+  // Figure 5.1: cost ~ 1/M, approaching L + S as M -> S.
+  double prev = 1e300;
+  for (std::uint64_t m = 8; m <= 6400; m *= 2) {
+    const double c = CostAlgorithm5(640000, 6400, m);
+    EXPECT_LE(c, prev) << "m=" << m;
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(CostAlgorithm5(640000, 6400, 6400),
+                   MinimalCost(640000, 6400));
+}
+
+TEST(RegionsTest, Gamma1Algorithm2Dominates) {
+  // Section 4.6.1: at gamma = 1, Algorithm 2 beats 1 and 3 everywhere.
+  for (double alpha : {0.001, 0.01, 0.1, 1.0}) {
+    OperatingPoint pt{1 << 20, alpha, 1.0};
+    EXPECT_EQ(BestGeneralJoin(pt), Chapter4Algorithm::kAlgorithm2);
+    EXPECT_EQ(BestEquijoin(pt), Chapter4Algorithm::kAlgorithm2);
+  }
+}
+
+TEST(RegionsTest, GeneralJoinCrossover) {
+  // Section 4.6.2: with alpha = 1/|B|, Algorithm 1 wins once gamma > ~4...
+  // but the exact threshold is 2 + alpha + 2 log2(2 alpha |B|)^2; at
+  // alpha = 1/|B| that is 2 + 1/|B| + 2 -> just above 4.
+  const double b = 1 << 20;
+  const double alpha = 1.0 / b;
+  const double crossover = GeneralJoinCrossoverGamma(alpha, b);
+  EXPECT_NEAR(crossover, 4.0, 0.1);
+  EXPECT_EQ(BestGeneralJoin({b, alpha, crossover + 1}),
+            Chapter4Algorithm::kAlgorithm1);
+  EXPECT_EQ(BestGeneralJoin({b, alpha, crossover - 1}),
+            Chapter4Algorithm::kAlgorithm2);
+}
+
+TEST(RegionsTest, EquijoinAlgorithm3BeatsAlgorithm1) {
+  // Section 4.6.3: Algorithm 3 outperforms Algorithm 1 for any alpha, |B|.
+  for (double b : {1024.0, 1048576.0}) {
+    for (double alpha : {1.0 / b, 0.01, 0.5, 1.0}) {
+      EXPECT_LT(RewrittenCost3(b, alpha), RewrittenCost1(b, alpha));
+    }
+  }
+}
+
+TEST(RegionsTest, EquijoinGammaThresholds) {
+  // Section 4.6.3: gamma <= 3 -> Algorithm 2; gamma >= 4 -> Algorithm 3.
+  const double b = 1 << 20;
+  const double alpha = 0.001;
+  EXPECT_EQ(BestEquijoin({b, alpha, 3.0}), Chapter4Algorithm::kAlgorithm2);
+  EXPECT_EQ(BestEquijoin({b, alpha, 4.0}), Chapter4Algorithm::kAlgorithm3);
+  EXPECT_EQ(BestEquijoin({b, alpha, 10.0}), Chapter4Algorithm::kAlgorithm3);
+}
+
+}  // namespace
+}  // namespace ppj::analysis

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "baseline/plain_join.h"
+#include "baseline/unsafe_commutative.h"
+#include "baseline/unsafe_hash_join.h"
+#include "baseline/unsafe_nested_loop.h"
+#include "baseline/unsafe_sort_merge.h"
+#include "core/join_result.h"
+#include "core/privacy_auditor.h"
+#include "test_util.h"
+
+namespace ppj::baseline {
+namespace {
+
+using core::AuditRun;
+using core::PrivacyAuditor;
+using relation::EquijoinSpec;
+using relation::MakeEquijoinWorkload;
+using test::MakeWorld;
+using test::TwoPartyWorld;
+
+TEST(PlainJoinTest, AllThreeAgreeOnEquijoins) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    EquijoinSpec spec;
+    spec.size_a = 24;
+    spec.size_b = 32;
+    spec.n_max = 4;
+    spec.result_size = 14;
+    spec.seed = seed;
+    auto w = MakeEquijoinWorkload(spec);
+    ASSERT_TRUE(w.ok());
+    const relation::Schema result_schema =
+        relation::Schema::Concat(w->a->schema(), w->b->schema());
+    const auto nl = NestedLoopJoin(*w->a, *w->b, *w->predicate,
+                                   &result_schema);
+    auto sm = SortMergeJoin(*w->a, *w->b, 1, 1, &result_schema);
+    auto hj = HashJoin(*w->a, *w->b, 1, 1, &result_schema);
+    ASSERT_TRUE(sm.ok());
+    ASSERT_TRUE(hj.ok());
+    EXPECT_EQ(nl.size(), 14u);
+    EXPECT_TRUE(relation::SameTupleMultiset(nl, *sm));
+    EXPECT_TRUE(relation::SameTupleMultiset(nl, *hj));
+  }
+}
+
+TEST(PlainJoinTest, BoundsChecked) {
+  EquijoinSpec spec;
+  auto w = MakeEquijoinWorkload(spec);
+  ASSERT_TRUE(w.ok());
+  const relation::Schema rs =
+      relation::Schema::Concat(w->a->schema(), w->b->schema());
+  EXPECT_FALSE(SortMergeJoin(*w->a, *w->b, 9, 1, &rs).ok());
+  EXPECT_FALSE(HashJoin(*w->a, *w->b, 1, 9, &rs).ok());
+}
+
+/// Builds a world pair with identical Chapter-4 shape (|A|, |B|, N) but
+/// different match distribution, runs `algo`, returns the audit.
+template <typename Fn>
+core::AuditResult AuditUnsafe(Fn&& algo, bool vary_s) {
+  auto runner = [&](std::uint64_t w) -> Result<AuditRun> {
+    EquijoinSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 16;
+    spec.n_max = 4;
+    // Same N; S differs (w=0: minimal, w=1: larger) or content-only.
+    spec.result_size = vary_s ? (4 + 8 * w) : 8;
+    spec.seed = 13 + w;
+    auto workload = MakeEquijoinWorkload(spec);
+    if (!workload.ok()) return workload.status();
+    auto world = MakeWorld(std::move(*workload), 4, /*pad_pow2=*/true,
+                           /*copro_seed=*/3);
+    PPJ_RETURN_NOT_OK(algo(*world));
+    AuditRun run;
+    run.fingerprint = world->copro->trace().fingerprint();
+    run.retained_events = world->copro->trace().retained_events();
+    return run;
+  };
+  auto audit = PrivacyAuditor::CompareWorlds(runner);
+  EXPECT_TRUE(audit.ok()) << audit.status();
+  return *audit;
+}
+
+TEST(UnsafeBaselineTest, NaiveNestedLoopLeaks) {
+  // Section 3.4.1: output puts appear exactly at matches -> trace differs.
+  auto audit = AuditUnsafe(
+      [](TwoPartyWorld& world) -> Status {
+        core::TwoWayJoin join{world.a.get(), world.b.get(),
+                              world.workload.predicate.get(),
+                              world.key_out.get()};
+        return RunUnsafeNestedLoop(*world.copro, join).status();
+      },
+      /*vary_s=*/true);
+  EXPECT_FALSE(audit.identical)
+      << "the unsafe nested loop should have failed the audit";
+}
+
+TEST(UnsafeBaselineTest, BufferedNestedLoopStillLeaks) {
+  // Section 3.4.2: the "incorrect fix".
+  auto audit = AuditUnsafe(
+      [](TwoPartyWorld& world) -> Status {
+        core::TwoWayJoin join{world.a.get(), world.b.get(),
+                              world.workload.predicate.get(),
+                              world.key_out.get()};
+        return RunUnsafeBufferedNestedLoop(*world.copro, join).status();
+      },
+      /*vary_s=*/true);
+  EXPECT_FALSE(audit.identical);
+}
+
+TEST(UnsafeBaselineTest, SortMergeLeaksMatchDistribution) {
+  // Section 4.5.1: cursor advancement pattern reveals per-key match counts
+  // even at the *same* S (different grouping).
+  auto runner = [&](std::uint64_t w) -> Result<AuditRun> {
+    EquijoinSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 16;
+    // Same S = 8; world 0 has N = 1 (8 groups), world 1 has N = 4.
+    spec.n_max = (w == 0) ? 1 : 4;
+    spec.result_size = 8;
+    spec.seed = 21 + w;
+    auto workload = MakeEquijoinWorkload(spec);
+    if (!workload.ok()) return workload.status();
+    auto world = MakeWorld(std::move(*workload), 4, /*pad_pow2=*/true, 3);
+    core::TwoWayJoin join{world->a.get(), world->b.get(),
+                          world->workload.predicate.get(),
+                          world->key_out.get()};
+    PPJ_RETURN_NOT_OK(RunUnsafeSortMergeJoin(*world->copro, join).status());
+    AuditRun run;
+    run.fingerprint = world->copro->trace().fingerprint();
+    run.retained_events = world->copro->trace().retained_events();
+    return run;
+  };
+  auto audit = PrivacyAuditor::CompareWorlds(runner);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_FALSE(audit->identical);
+}
+
+TEST(UnsafeBaselineTest, SortMergeIsAtLeastCorrect) {
+  EquijoinSpec spec;
+  spec.size_a = 8;
+  spec.size_b = 16;
+  spec.n_max = 4;
+  spec.result_size = 10;
+  auto workload = MakeEquijoinWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), 4, /*pad_pow2=*/true);
+  core::TwoWayJoin join{world->a.get(), world->b.get(),
+                        world->workload.predicate.get(),
+                        world->key_out.get()};
+  auto outcome = RunUnsafeSortMergeJoin(*world->copro, join);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->result_size, 10u);
+  auto decoded = core::DecodeJoinOutput(
+      world->host, outcome->output_region, outcome->result_size,
+      *world->key_out, world->result_schema.get());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), 10u);
+}
+
+TEST(UnsafeBaselineTest, HashJoinPartitioningLeaksSkew) {
+  // Section 4.5.1 footnote: uniform vs skewed key distribution changes the
+  // flush cadence.
+  auto runner = [&](std::uint64_t w) -> Result<AuditRun> {
+    EquijoinSpec spec;
+    spec.size_a = 16;
+    spec.size_b = 16;
+    // world 0: 8 distinct keys (uniform-ish); world 1: one hot key of 8.
+    spec.n_max = (w == 0) ? 1 : 8;
+    spec.result_size = 8;
+    spec.seed = 4;  // same seed: only the grouping differs
+    auto workload = MakeEquijoinWorkload(spec);
+    if (!workload.ok()) return workload.status();
+    auto world = MakeWorld(std::move(*workload), 4, /*pad_pow2=*/true, 3);
+    core::TwoWayJoin join{world->a.get(), world->b.get(),
+                          world->workload.predicate.get(),
+                          world->key_out.get()};
+    UnsafeHashJoinOptions options;
+    options.num_buckets = 4;
+    options.bucket_capacity = 4;
+    PPJ_RETURN_NOT_OK(
+        RunUnsafeHashJoin(*world->copro, join, options).status());
+    AuditRun run;
+    run.fingerprint = world->copro->trace().fingerprint();
+    run.retained_events = world->copro->trace().retained_events();
+    return run;
+  };
+  auto audit = PrivacyAuditor::CompareWorlds(runner);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_FALSE(audit->identical);
+}
+
+TEST(UnsafeBaselineTest, HashJoinIsAtLeastCorrect) {
+  EquijoinSpec spec;
+  spec.size_a = 16;
+  spec.size_b = 16;
+  spec.n_max = 4;
+  spec.result_size = 9;
+  auto workload = MakeEquijoinWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), 4, /*pad_pow2=*/true);
+  core::TwoWayJoin join{world->a.get(), world->b.get(),
+                        world->workload.predicate.get(),
+                        world->key_out.get()};
+  auto outcome = RunUnsafeHashJoin(*world->copro, join);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->result_size, 9u);
+}
+
+TEST(UnsafeBaselineTest, CommutativeEncryptionLeaksDuplicates) {
+  // Section 4.5.1: the trace may be clean, but the host-visible token
+  // multiset reveals the duplicate distribution.
+  auto run = [&](std::uint64_t n_max) {
+    EquijoinSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 16;
+    spec.n_max = n_max;
+    spec.result_size = 8;
+    spec.seed = 9;
+    auto workload = MakeEquijoinWorkload(spec);
+    EXPECT_TRUE(workload.ok());
+    auto world = MakeWorld(std::move(*workload), 4, /*pad_pow2=*/true, 3);
+    core::TwoWayJoin join{world->a.get(), world->b.get(),
+                          world->workload.predicate.get(),
+                          world->key_out.get()};
+    auto outcome = RunUnsafeCommutativeJoin(*world->copro, join);
+    EXPECT_TRUE(outcome.ok()) << outcome.status();
+    return DuplicateHistogram(outcome->tokens_b);
+  };
+  // Same |B|, same S; the histograms expose N = 1 vs N = 8 immediately.
+  EXPECT_NE(run(1), run(8));
+}
+
+TEST(UnsafeBaselineTest, CommutativeJoinComputesCorrectSize) {
+  EquijoinSpec spec;
+  spec.size_a = 8;
+  spec.size_b = 16;
+  spec.n_max = 4;
+  spec.result_size = 11;
+  auto workload = MakeEquijoinWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), 4, /*pad_pow2=*/true);
+  core::TwoWayJoin join{world->a.get(), world->b.get(),
+                        world->workload.predicate.get(),
+                        world->key_out.get()};
+  auto outcome = RunUnsafeCommutativeJoin(*world->copro, join);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->result_size, 11u);
+  EXPECT_EQ(outcome->tokens_a.size(), 8u);
+  EXPECT_EQ(outcome->tokens_b.size(), 16u);
+}
+
+}  // namespace
+}  // namespace ppj::baseline

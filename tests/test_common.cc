@@ -1,0 +1,171 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/math.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ppj {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Tampered("bad tag");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kTampered);
+  EXPECT_EQ(s.message(), "bad tag");
+  EXPECT_EQ(s.ToString(), "TAMPERED: bad tag");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fn = [](bool fail) -> Status {
+    PPJ_RETURN_NOT_OK(fail ? Status::NotFound("x") : Status::OK());
+    return Status::InvalidArgument("reached");
+  };
+  EXPECT_EQ(fn(true).code(), StatusCode::kNotFound);
+  EXPECT_EQ(fn(false).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::OutOfRange("oops"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Result<int>(Status::Internal("e")).ValueOr(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::NotFound("inner");
+    return 10;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    PPJ_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 11);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kNotFound);
+}
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 5), 2u);
+  EXPECT_EQ(CeilDiv(11, 5), 3u);
+  EXPECT_EQ(CeilDiv(0, 5), 0u);
+  EXPECT_EQ(CeilDiv(1, 1), 1u);
+}
+
+TEST(MathTest, PowersOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1023), 1024u);
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(65));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(1024), 10u);
+  EXPECT_EQ(FloorLog2(1025), 10u);
+}
+
+TEST(MathTest, LogBinomialMatchesExactSmall) {
+  // C(10, 3) = 120
+  EXPECT_NEAR(std::exp(LogBinomial(10, 3)), 120.0, 1e-9);
+  EXPECT_DOUBLE_EQ(LogBinomial(10, 0), 0.0);
+  EXPECT_DOUBLE_EQ(LogBinomial(10, 10), 0.0);
+  // C(52, 5) = 2598960
+  EXPECT_NEAR(std::exp(LogBinomial(52, 5)), 2598960.0, 1e-3);
+}
+
+TEST(MathTest, LogSumExpStable) {
+  EXPECT_NEAR(LogSumExp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  const double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(LogSumExp(ninf, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(LogSumExp(1.5, ninf), 1.5);
+  // Huge magnitude difference must not overflow.
+  EXPECT_NEAR(LogSumExp(-1000.0, -1.0), -1.0, 1e-12);
+}
+
+TEST(MathTest, BitonicCostFormula) {
+  // n (log2 n)^2 for n = 1024: 1024 * 100
+  EXPECT_NEAR(BitonicTransferCost(1024), 102400.0, 1e-9);
+  EXPECT_DOUBLE_EQ(BitonicTransferCost(1), 0.0);
+  // Exact comparator count for a power-of-two network:
+  // (n/2) * lg(lg+1)/2 = 512 * 55 for n = 1024.
+  EXPECT_EQ(BitonicExactComparators(1024), 512u * 55u);
+  EXPECT_EQ(BitonicExactComparators(1), 0u);
+  EXPECT_EQ(BitonicExactComparators(2), 1u);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(RngTest, BoundedValuesInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const std::int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(HashTest, Fnv1aKnownValue) {
+  // FNV-1a 64 of empty input is the offset basis.
+  EXPECT_EQ(Fnv1a64(nullptr, 0), 0xcbf29ce484222325ULL);
+  EXPECT_NE(Fnv1a64("a", 1), Fnv1a64("b", 1));
+}
+
+TEST(HashTest, RunningHashOrderSensitive) {
+  RunningHash h1, h2;
+  h1.UpdateU64(1);
+  h1.UpdateU64(2);
+  h2.UpdateU64(2);
+  h2.UpdateU64(1);
+  EXPECT_NE(h1.digest(), h2.digest());
+  EXPECT_EQ(h1.count(), 2u);
+  h1.Reset();
+  RunningHash fresh;
+  EXPECT_TRUE(h1 == fresh);
+}
+
+}  // namespace
+}  // namespace ppj

@@ -1,0 +1,317 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "crypto/key.h"
+#include "oblivious/bitonic_sort.h"
+#include "oblivious/shuffle.h"
+#include "oblivious/windowed_filter.h"
+#include "relation/encrypted_relation.h"
+#include "sim/coprocessor.h"
+
+namespace ppj::oblivious {
+namespace {
+
+using relation::wire::MakeDecoy;
+using relation::wire::MakeReal;
+
+/// Fixture providing a host, coprocessor, key, and helpers to seal simple
+/// one-int64 payload slots.
+class ObliviousTest : public ::testing::Test {
+ protected:
+  ObliviousTest()
+      : copro_(&host_, {.memory_tuples = 8, .seed = 3}),
+        key_(crypto::DeriveKey(10, "oblivious")) {}
+
+  static constexpr std::size_t kPayload = 8;
+
+  std::vector<std::uint8_t> RealOf(std::uint64_t v) {
+    std::vector<std::uint8_t> p(kPayload);
+    for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    return MakeReal(p);
+  }
+
+  sim::RegionId MakeRegion(const std::vector<std::vector<std::uint8_t>>&
+                               plaintexts) {
+    const std::size_t slot =
+        sim::Coprocessor::SealedSize(relation::wire::PlainSize(kPayload));
+    const sim::RegionId r =
+        host_.CreateRegion("data", slot, plaintexts.size());
+    for (std::size_t i = 0; i < plaintexts.size(); ++i) {
+      EXPECT_TRUE(copro_.PutSealed(r, i, plaintexts[i], key_).ok());
+    }
+    return r;
+  }
+
+  std::vector<std::vector<std::uint8_t>> ReadAll(sim::RegionId r,
+                                                 std::uint64_t n) {
+    std::vector<std::vector<std::uint8_t>> out;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      auto p = copro_.GetOpen(r, i, key_);
+      EXPECT_TRUE(p.ok());
+      out.push_back(*p);
+    }
+    return out;
+  }
+
+  static std::uint64_t ValueOf(const std::vector<std::uint8_t>& plain) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(plain[1 + i]) << (8 * i);
+    }
+    return v;
+  }
+
+  sim::HostStore host_;
+  sim::Coprocessor copro_;
+  crypto::Ocb key_;
+};
+
+/// Comparator over the encoded uint64 payload (reals only in these tests).
+PlainLess ValueLess() {
+  return [](const std::vector<std::uint8_t>& x,
+            const std::vector<std::uint8_t>& y) {
+    auto load = [](const std::vector<std::uint8_t>& p) {
+      std::uint64_t v = 0;
+      for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(p[1 + i]) << (8 * i);
+      }
+      return v;
+    };
+    return load(x) < load(y);
+  };
+}
+
+TEST_F(ObliviousTest, BitonicSortsRandomData) {
+  Rng rng(77);
+  for (std::uint64_t n : {2u, 8u, 64u, 256u}) {
+    std::vector<std::vector<std::uint8_t>> data;
+    std::vector<std::uint64_t> values;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t v = rng.NextBelow(1000);
+      values.push_back(v);
+      data.push_back(RealOf(v));
+    }
+    const sim::RegionId r = MakeRegion(data);
+    ASSERT_TRUE(ObliviousSort(copro_, r, n, key_, ValueLess()).ok());
+    const auto sorted = ReadAll(r, n);
+    std::sort(values.begin(), values.end());
+    for (std::uint64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(ValueOf(sorted[i]), values[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_F(ObliviousTest, BitonicRejectsNonPowerOfTwo) {
+  const sim::RegionId r = MakeRegion({RealOf(1), RealOf(2), RealOf(3)});
+  EXPECT_EQ(ObliviousSort(copro_, r, 3, key_, ValueLess()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ObliviousTest, BitonicTransferCountMatchesModel) {
+  const std::uint64_t n = 64;
+  std::vector<std::vector<std::uint8_t>> data;
+  for (std::uint64_t i = 0; i < n; ++i) data.push_back(RealOf(n - i));
+  const sim::RegionId r = MakeRegion(data);
+  const auto before = copro_.metrics();
+  ASSERT_TRUE(ObliviousSort(copro_, r, n, key_, ValueLess()).ok());
+  const std::uint64_t transfers =
+      copro_.metrics().TupleTransfers() - before.TupleTransfers();
+  // 4 transfers per comparator; (n/2)*lg(lg+1)/2 comparators.
+  EXPECT_EQ(transfers, 4 * BitonicComparators(n));
+  EXPECT_EQ(copro_.metrics().comparisons - before.comparisons,
+            BitonicComparators(n));
+}
+
+TEST_F(ObliviousTest, BitonicTraceIsDataIndependent) {
+  // Definition 1's requirement at the primitive level: two different
+  // datasets of equal size produce byte-identical traces.
+  auto run = [&](std::uint64_t salt) {
+    sim::HostStore host;
+    sim::Coprocessor copro(&host, {.memory_tuples = 8, .seed = 3});
+    const std::size_t slot =
+        sim::Coprocessor::SealedSize(relation::wire::PlainSize(kPayload));
+    const sim::RegionId r = host.CreateRegion("d", slot, 32);
+    Rng rng(salt);
+    for (std::uint64_t i = 0; i < 32; ++i) {
+      std::vector<std::uint8_t> p(kPayload);
+      const std::uint64_t v = rng.NextU64();
+      for (int b = 0; b < 8; ++b) {
+        p[b] = static_cast<std::uint8_t>(v >> (8 * b));
+      }
+      EXPECT_TRUE(copro.PutSealed(r, i, MakeReal(p), key_).ok());
+    }
+    const auto baseline = copro.trace().fingerprint();
+    EXPECT_TRUE(ObliviousSort(copro, r, 32, key_, ValueLess()).ok());
+    (void)baseline;
+    return copro.trace().fingerprint();
+  };
+  EXPECT_EQ(run(1), run(2));
+  EXPECT_EQ(run(2), run(999));
+}
+
+TEST_F(ObliviousTest, RealFirstComparatorOrdersRealsAhead) {
+  std::vector<std::vector<std::uint8_t>> data;
+  // Interleave reals and decoys.
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    if (i % 3 == 0) {
+      data.push_back(RealOf(i));
+    } else {
+      data.push_back(MakeDecoy(kPayload));
+    }
+  }
+  const sim::RegionId r = MakeRegion(data);
+  ASSERT_TRUE(ObliviousSort(copro_, r, 16, key_, RealFirstLess()).ok());
+  const auto sorted = ReadAll(r, 16);
+  std::size_t reals = 0;
+  while (reals < 16 && relation::wire::IsReal(sorted[reals])) ++reals;
+  EXPECT_EQ(reals, 6u);  // i in {0,3,6,9,12,15}
+  for (std::size_t i = reals; i < 16; ++i) {
+    EXPECT_FALSE(relation::wire::IsReal(sorted[i]));
+  }
+}
+
+class WindowedFilterTest
+    : public ObliviousTest,
+      public ::testing::WithParamInterface<std::tuple<int, int, int>> {};
+
+TEST_P(WindowedFilterTest, KeepsExactlyTheReals) {
+  const auto [omega_i, mu_i, delta_i] = GetParam();
+  const std::uint64_t omega = static_cast<std::uint64_t>(omega_i);
+  const std::uint64_t mu = static_cast<std::uint64_t>(mu_i);
+  const std::uint64_t delta = static_cast<std::uint64_t>(delta_i);
+
+  // Scatter exactly mu reals across omega slots (worst case: reals at the
+  // very end, so they must survive every refill round).
+  std::vector<std::vector<std::uint8_t>> data(omega, MakeDecoy(kPayload));
+  Rng rng(omega * 31 + mu * 7 + delta);
+  std::vector<std::uint64_t> positions(omega);
+  for (std::uint64_t i = 0; i < omega; ++i) positions[i] = i;
+  rng.Shuffle(positions);
+  std::vector<std::uint64_t> expected;
+  for (std::uint64_t k = 0; k < mu; ++k) {
+    data[positions[k]] = RealOf(1000 + k);
+    expected.push_back(1000 + k);
+  }
+  const sim::RegionId src = MakeRegion(data);
+  const std::size_t slot =
+      sim::Coprocessor::SealedSize(relation::wire::PlainSize(kPayload));
+  const sim::RegionId dst = host_.CreateRegion("out", slot, mu);
+
+  auto stats =
+      WindowedObliviousFilter(copro_, src, omega, mu, delta, key_, dst);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  std::vector<std::uint64_t> got;
+  for (const auto& plain : ReadAll(dst, mu)) {
+    ASSERT_TRUE(relation::wire::IsReal(plain));
+    got.push_back(ValueOf(plain));
+  }
+  std::sort(got.begin(), got.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WindowedFilterTest,
+    ::testing::Values(std::make_tuple(64, 4, 4), std::make_tuple(64, 4, 16),
+                      std::make_tuple(64, 16, 8), std::make_tuple(128, 8, 32),
+                      std::make_tuple(100, 7, 13), std::make_tuple(33, 2, 5),
+                      std::make_tuple(16, 16, 4), std::make_tuple(17, 1, 1)));
+
+TEST_F(ObliviousTest, FilterFewerRealsThanMuPadsWithDecoys) {
+  // mu is an upper bound: with fewer reals the tail of dst is decoys.
+  std::vector<std::vector<std::uint8_t>> data(32, MakeDecoy(kPayload));
+  data[5] = RealOf(1);
+  data[20] = RealOf(2);
+  const sim::RegionId src = MakeRegion(data);
+  const std::size_t slot =
+      sim::Coprocessor::SealedSize(relation::wire::PlainSize(kPayload));
+  const sim::RegionId dst = host_.CreateRegion("out", slot, 4);
+  ASSERT_TRUE(WindowedObliviousFilter(copro_, src, 32, 4, 8, key_, dst).ok());
+  const auto out = ReadAll(dst, 4);
+  EXPECT_TRUE(relation::wire::IsReal(out[0]));
+  EXPECT_TRUE(relation::wire::IsReal(out[1]));
+  EXPECT_FALSE(relation::wire::IsReal(out[2]));
+  EXPECT_FALSE(relation::wire::IsReal(out[3]));
+}
+
+TEST_F(ObliviousTest, FilterTraceIsDataIndependent) {
+  auto run = [&](std::uint64_t salt) {
+    sim::HostStore host;
+    sim::Coprocessor copro(&host, {.memory_tuples = 8, .seed = 3});
+    const std::size_t slot =
+        sim::Coprocessor::SealedSize(relation::wire::PlainSize(kPayload));
+    const sim::RegionId src = host.CreateRegion("src", slot, 48);
+    Rng rng(salt);
+    // Same omega and mu; reals in different places.
+    std::vector<std::uint64_t> pos(48);
+    for (std::uint64_t i = 0; i < 48; ++i) pos[i] = i;
+    rng.Shuffle(pos);
+    for (std::uint64_t i = 0; i < 48; ++i) {
+      const bool real = std::find(pos.begin(), pos.begin() + 6, i) !=
+                        pos.begin() + 6;
+      std::vector<std::uint8_t> plain =
+          real ? RealOf(rng.NextU64() % 100) : MakeDecoy(kPayload);
+      EXPECT_TRUE(copro.PutSealed(src, i, plain, key_).ok());
+    }
+    const sim::RegionId dst = host.CreateRegion("dst", slot, 6);
+    EXPECT_TRUE(
+        WindowedObliviousFilter(copro, src, 48, 6, 8, key_, dst).ok());
+    return copro.trace().fingerprint();
+  };
+  EXPECT_EQ(run(4), run(5));
+}
+
+TEST_F(ObliviousTest, FilterValidatesArguments) {
+  const sim::RegionId src = MakeRegion({RealOf(1), RealOf(2)});
+  const std::size_t slot =
+      sim::Coprocessor::SealedSize(relation::wire::PlainSize(kPayload));
+  const sim::RegionId dst = host_.CreateRegion("out", slot, 2);
+  EXPECT_FALSE(WindowedObliviousFilter(copro_, src, 0, 1, 1, key_, dst).ok());
+  EXPECT_FALSE(WindowedObliviousFilter(copro_, src, 2, 3, 1, key_, dst).ok());
+  EXPECT_FALSE(
+      WindowedObliviousFilter(copro_, src, 99, 1, 1, key_, dst).ok());
+}
+
+TEST_F(ObliviousTest, ShufflePreservesMultisetAndPermutes) {
+  const std::uint64_t n = 64;
+  std::vector<std::vector<std::uint8_t>> data;
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    data.push_back(RealOf(i));
+    values.push_back(i);
+  }
+  const sim::RegionId r = MakeRegion(data);
+  ASSERT_TRUE(ObliviousShuffle(copro_, r, n, key_).ok());
+  std::vector<std::uint64_t> got;
+  bool moved = false;
+  const auto out = ReadAll(r, n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    got.push_back(ValueOf(out[i]));
+    if (got.back() != i) moved = true;
+  }
+  EXPECT_TRUE(moved);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, values);
+}
+
+TEST_F(ObliviousTest, ShuffleTraceIsDataIndependent) {
+  auto run = [&](std::uint64_t salt) {
+    sim::HostStore host;
+    sim::Coprocessor copro(&host, {.memory_tuples = 8, .seed = 9});
+    const std::size_t slot =
+        sim::Coprocessor::SealedSize(relation::wire::PlainSize(kPayload));
+    const sim::RegionId r = host.CreateRegion("d", slot, 16);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      EXPECT_TRUE(copro.PutSealed(r, i, RealOf(i * salt), key_).ok());
+    }
+    EXPECT_TRUE(ObliviousShuffle(copro, r, 16, key_).ok());
+    return copro.trace().fingerprint();
+  };
+  EXPECT_EQ(run(3), run(17));
+}
+
+}  // namespace
+}  // namespace ppj::oblivious

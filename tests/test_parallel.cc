@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "core/join_result.h"
+#include "core/parallel.h"
+#include "crypto/key.h"
+#include "oblivious/bitonic_sort.h"
+#include "test_util.h"
+
+namespace ppj::core {
+namespace {
+
+using relation::MakeCellWorkload;
+using test::MakeWorld;
+using test::TwoPartyWorld;
+
+void ExpectExactParallelResult(TwoPartyWorld& world,
+                               const ParallelOutcome& outcome) {
+  const relation::GroundTruth truth = relation::ComputeGroundTruth(
+      *world.workload.a, *world.workload.b, *world.workload.predicate,
+      world.result_schema.get());
+  EXPECT_EQ(outcome.result_size, truth.result_size);
+  auto decoded = DecodeJoinOutput(world.host, outcome.output_region,
+                                  outcome.result_size, *world.key_out,
+                                  world.result_schema.get());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(relation::SameTupleMultiset(*decoded, truth.expected));
+}
+
+class ParallelismSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelismSweep, ParallelAlgorithm5CorrectAtAnyWidth) {
+  const unsigned p = GetParam();
+  relation::CellSpec spec;
+  spec.size_a = 8;
+  spec.size_b = 12;
+  spec.result_size = 21;
+  spec.seed = 17;
+  auto workload = MakeCellWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), /*memory=*/4);
+  ASSERT_NE(world, nullptr);
+  const relation::PairAsMultiway multiway(world->workload.predicate.get());
+  MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
+                    world->key_out.get()};
+  auto outcome = RunParallelAlgorithm5(&world->host, join, p,
+                                       {.memory_tuples = 4, .seed = 1});
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ExpectExactParallelResult(*world, *outcome);
+}
+
+TEST_P(ParallelismSweep, ParallelAlgorithm4CorrectAtAnyWidth) {
+  const unsigned p = GetParam();
+  relation::CellSpec spec;
+  spec.size_a = 8;
+  spec.size_b = 8;
+  spec.result_size = 9;
+  spec.seed = 23;
+  auto workload = MakeCellWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), /*memory=*/4);
+  ASSERT_NE(world, nullptr);
+  const relation::PairAsMultiway multiway(world->workload.predicate.get());
+  MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
+                    world->key_out.get()};
+  auto outcome = RunParallelAlgorithm4(&world->host, join, p,
+                                       {.memory_tuples = 4, .seed = 1});
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ExpectExactParallelResult(*world, *outcome);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ParallelismSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+TEST(ParallelTest, Algorithm5MakespanShrinksWithParallelism) {
+  // The paper's linear-speedup claim, evaluated on the transfer makespan.
+  relation::CellSpec spec;
+  spec.size_a = 16;
+  spec.size_b = 16;
+  spec.result_size = 64;
+  spec.seed = 5;
+
+  std::uint64_t makespan_p1 = 0, makespan_p4 = 0;
+  for (unsigned p : {1u, 4u}) {
+    auto workload = MakeCellWorkload(spec);
+    ASSERT_TRUE(workload.ok());
+    auto world = MakeWorld(std::move(*workload), /*memory=*/4);
+    ASSERT_NE(world, nullptr);
+    const relation::PairAsMultiway multiway(world->workload.predicate.get());
+    MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
+                      world->key_out.get()};
+    auto outcome = RunParallelAlgorithm5(&world->host, join, p,
+                                         {.memory_tuples = 4, .seed = 1});
+    ASSERT_TRUE(outcome.ok());
+    // Exclude the shared coordinator screening (entry 0): compare the
+    // worker makespan.
+    std::uint64_t worker_max = 0;
+    for (std::size_t i = 1; i < outcome->per_coprocessor.size(); ++i) {
+      worker_max = std::max(worker_max,
+                            outcome->per_coprocessor[i].TupleTransfers());
+    }
+    (p == 1 ? makespan_p1 : makespan_p4) = worker_max;
+  }
+  // 4 workers each handle 16 of 64 ranks with M = 4 -> 4 scans instead of
+  // 16: a 4x reduction in the dominating read term.
+  EXPECT_LT(makespan_p4 * 3, makespan_p1);
+}
+
+TEST(ParallelTest, ParallelBitonicSortMatchesSequential) {
+  sim::HostStore host;
+  const crypto::Ocb key(crypto::DeriveKey(77, "psort"));
+  const std::size_t payload = 8;
+  const std::size_t slot =
+      sim::Coprocessor::SealedSize(relation::wire::PlainSize(payload));
+  const std::uint64_t n = 128;
+  const sim::RegionId region = host.CreateRegion("data", slot, n);
+
+  std::vector<std::unique_ptr<sim::Coprocessor>> copros;
+  for (unsigned p = 0; p < 4; ++p) {
+    copros.push_back(std::make_unique<sim::Coprocessor>(
+        &host, sim::CoprocessorOptions{.memory_tuples = 4,
+                                       .seed = 100 + p}));
+  }
+  Rng rng(55);
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t v = rng.NextBelow(500);
+    values.push_back(v);
+    std::vector<std::uint8_t> plain(payload);
+    for (int b = 0; b < 8; ++b) {
+      plain[b] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+    ASSERT_TRUE(copros[0]
+                    ->PutSealed(region, i,
+                                relation::wire::MakeReal(plain), key)
+                    .ok());
+  }
+
+  auto less = [](const std::vector<std::uint8_t>& x,
+                 const std::vector<std::uint8_t>& y) {
+    std::uint64_t vx = 0, vy = 0;
+    for (int b = 0; b < 8; ++b) {
+      vx |= static_cast<std::uint64_t>(x[1 + b]) << (8 * b);
+      vy |= static_cast<std::uint64_t>(y[1 + b]) << (8 * b);
+    }
+    return vx < vy;
+  };
+  std::vector<sim::Coprocessor*> views;
+  for (auto& c : copros) views.push_back(c.get());
+  ASSERT_TRUE(ParallelObliviousSort(views, region, n, key, less).ok());
+
+  std::sort(values.begin(), values.end());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto plain = copros[0]->GetOpen(region, i, key);
+    ASSERT_TRUE(plain.ok());
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) {
+      v |= static_cast<std::uint64_t>((*plain)[1 + b]) << (8 * b);
+    }
+    EXPECT_EQ(v, values[i]) << "position " << i;
+  }
+  // Work is genuinely distributed: no device did all the transfers.
+  std::uint64_t total = 0, maximum = 0;
+  for (const auto& c : copros) {
+    total += c->metrics().TupleTransfers();
+    maximum = std::max(maximum, c->metrics().TupleTransfers());
+  }
+  EXPECT_LT(maximum, total);
+}
+
+TEST(ParallelTest, ParallelAlgorithm2CorrectAndLinear) {
+  // Section 4.4.4: Chapter 4's outer loop over A parallelizes with linear
+  // speedup. Verify correctness at several widths and the makespan drop.
+  relation::EquijoinSpec spec;
+  spec.size_a = 16;
+  spec.size_b = 16;
+  spec.n_max = 4;
+  spec.result_size = 12;
+  spec.seed = 6;
+
+  std::uint64_t makespan_p1 = 0;
+  for (unsigned p : {1u, 2u, 4u}) {
+    auto workload = relation::MakeEquijoinWorkload(spec);
+    ASSERT_TRUE(workload.ok());
+    auto world = MakeWorld(std::move(*workload), /*memory=*/3);
+    ASSERT_NE(world, nullptr);
+    TwoWayJoin join{world->a.get(), world->b.get(),
+                    world->workload.predicate.get(), world->key_out.get()};
+    auto outcome = RunParallelAlgorithm2(&world->host, join, 4, p,
+                                         {.memory_tuples = 3, .seed = 1});
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    auto decoded = DecodeJoinOutput(world->host, outcome->output_region,
+                                    outcome->output_slots, *world->key_out,
+                                    world->result_schema.get());
+    ASSERT_TRUE(decoded.ok());
+    const relation::GroundTruth truth = relation::ComputeGroundTruth(
+        *world->workload.a, *world->workload.b, *world->workload.predicate,
+        world->result_schema.get());
+    EXPECT_TRUE(relation::SameTupleMultiset(*decoded, truth.expected))
+        << "P=" << p;
+    if (p == 1) {
+      makespan_p1 = outcome->makespan_transfers;
+    } else {
+      // Linear speedup: makespan ~ p1 / p (A divides evenly here).
+      EXPECT_NEAR(static_cast<double>(outcome->makespan_transfers),
+                  static_cast<double>(makespan_p1) / p,
+                  static_cast<double>(makespan_p1) * 0.05)
+          << "P=" << p;
+    }
+  }
+}
+
+TEST(ParallelTest, ParallelAlgorithm2RequiresKnownN) {
+  relation::EquijoinSpec spec;
+  auto workload = relation::MakeEquijoinWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), 3);
+  TwoWayJoin join{world->a.get(), world->b.get(),
+                  world->workload.predicate.get(), world->key_out.get()};
+  EXPECT_FALSE(RunParallelAlgorithm2(&world->host, join, 0, 2,
+                                     {.memory_tuples = 3})
+                   .ok());
+}
+
+TEST(ParallelTest, RejectsZeroParallelism) {
+  relation::CellSpec spec;
+  auto workload = MakeCellWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), 4);
+  const relation::PairAsMultiway multiway(world->workload.predicate.get());
+  MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
+                    world->key_out.get()};
+  EXPECT_FALSE(RunParallelAlgorithm5(&world->host, join, 0, {}).ok());
+  EXPECT_FALSE(RunParallelAlgorithm4(&world->host, join, 0, {}).ok());
+}
+
+}  // namespace
+}  // namespace ppj::core

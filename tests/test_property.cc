@@ -1,0 +1,347 @@
+// Property-based tests: randomized workloads sweep the whole algorithm
+// family and assert the invariants the paper proves — cross-algorithm
+// agreement, exactness, trace invariance — plus fuzzing of the crypto and
+// oblivious substrates against reference implementations.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/plain_join.h"
+#include "common/random.h"
+#include "core/algorithm1.h"
+#include "core/algorithm2.h"
+#include "core/algorithm3.h"
+#include "core/algorithm4.h"
+#include "core/algorithm5.h"
+#include "core/algorithm6.h"
+#include "core/join_result.h"
+#include "crypto/key.h"
+#include "crypto/mlfsr.h"
+#include "oblivious/bitonic_sort.h"
+#include "test_util.h"
+
+namespace ppj {
+namespace {
+
+using core::MultiwayJoin;
+using core::TwoWayJoin;
+using relation::MakeCellWorkload;
+using test::MakeWorld;
+using test::TwoPartyWorld;
+
+// ---------------------------------------------------------------------------
+// Cross-algorithm agreement on randomized workloads
+// ---------------------------------------------------------------------------
+
+class CrossAlgorithmProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossAlgorithmProperty, AllSixAlgorithmsAgreeWithGroundTruth) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed * 9176 + 3);
+
+  relation::CellSpec spec;
+  spec.size_a = 4 + rng.NextBelow(10);
+  spec.size_b = 4 + rng.NextBelow(10);
+  spec.result_size = rng.NextBelow(spec.size_a * spec.size_b / 2 + 1);
+  spec.seed = seed;
+  auto workload = MakeCellWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  const std::uint64_t n = std::max<std::uint64_t>(
+      workload->max_matches_per_a, 1);
+  const std::uint64_t memory =
+      std::max<std::uint64_t>(2, 1 + rng.NextBelow(8));
+
+  // Ground truth once.
+  auto world0 = MakeWorld(std::move(*workload), memory);
+  const relation::GroundTruth truth = relation::ComputeGroundTruth(
+      *world0->workload.a, *world0->workload.b, *world0->workload.predicate,
+      world0->result_schema.get());
+
+  // Each run gets a fresh world (regions are consumed by the algorithms).
+  auto fresh = [&]() {
+    relation::CellSpec s2 = spec;
+    auto w = MakeCellWorkload(s2);
+    EXPECT_TRUE(w.ok());
+    return MakeWorld(std::move(*w), memory);
+  };
+
+  auto check_ch4 = [&](auto&& run, const char* label) {
+    auto world = fresh();
+    TwoWayJoin join{world->a.get(), world->b.get(),
+                    world->workload.predicate.get(), world->key_out.get()};
+    auto outcome = run(*world->copro, join);
+    ASSERT_TRUE(outcome.ok()) << label << ": " << outcome.status();
+    auto decoded = core::DecodeJoinOutput(
+        world->host, outcome->output_region, outcome->output_slots,
+        *world->key_out, world->result_schema.get());
+    ASSERT_TRUE(decoded.ok()) << label;
+    EXPECT_TRUE(relation::SameTupleMultiset(*decoded, truth.expected))
+        << label << " seed=" << seed << " got " << decoded->size()
+        << " want " << truth.expected.size();
+  };
+  check_ch4(
+      [&](sim::Coprocessor& c, const TwoWayJoin& j) {
+        return core::RunAlgorithm1(c, j, {.n = n});
+      },
+      "Algorithm1");
+  check_ch4(
+      [&](sim::Coprocessor& c, const TwoWayJoin& j) {
+        return core::RunAlgorithm2(c, j, {.n = n});
+      },
+      "Algorithm2");
+
+  auto check_ch5 = [&](auto&& run, const char* label) {
+    auto world = fresh();
+    const relation::PairAsMultiway multiway(
+        world->workload.predicate.get());
+    MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
+                      world->key_out.get()};
+    auto outcome = run(*world->copro, join);
+    ASSERT_TRUE(outcome.ok()) << label << ": " << outcome.status();
+    EXPECT_EQ(outcome->result_size, truth.result_size) << label;
+    auto decoded = core::DecodeJoinOutput(
+        world->host, outcome->output_region, outcome->result_size,
+        *world->key_out, world->result_schema.get());
+    ASSERT_TRUE(decoded.ok()) << label;
+    EXPECT_TRUE(relation::SameTupleMultiset(*decoded, truth.expected))
+        << label << " seed=" << seed;
+  };
+  check_ch5(
+      [&](sim::Coprocessor& c, const MultiwayJoin& j) {
+        return core::RunAlgorithm4(c, j);
+      },
+      "Algorithm4");
+  check_ch5(
+      [&](sim::Coprocessor& c, const MultiwayJoin& j) {
+        return core::RunAlgorithm5(c, j);
+      },
+      "Algorithm5");
+  check_ch5(
+      [&](sim::Coprocessor& c, const MultiwayJoin& j) {
+        return core::RunAlgorithm6(c, j, {.epsilon = 1e-9});
+      },
+      "Algorithm6");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossAlgorithmProperty,
+                         ::testing::Range(1, 13));
+
+// ---------------------------------------------------------------------------
+// Predicate variety: every predicate family through safe algorithms
+// ---------------------------------------------------------------------------
+
+struct PredicateCase {
+  const char* name;
+  std::function<std::unique_ptr<relation::PairPredicate>()> make;
+};
+
+class PredicateVarietyProperty
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(PredicateVarietyProperty, ArbitraryPredicatesThroughAlg1And5) {
+  const int which = GetParam();
+  // Two int64 attribute relations with overlapping value ranges.
+  Rng rng(which * 31 + 7);
+  relation::Schema schema(
+      {relation::Schema::Int64("x"), relation::Schema::Int64("y")});
+  auto a = std::make_unique<relation::Relation>("A",
+                                                relation::Schema(schema));
+  auto b = std::make_unique<relation::Relation>("B",
+                                                relation::Schema(schema));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(a->Append({rng.NextInRange(0, 12),
+                           rng.NextInRange(0, 12)})
+                    .ok());
+    ASSERT_TRUE(b->Append({rng.NextInRange(0, 12),
+                           rng.NextInRange(0, 12)})
+                    .ok());
+  }
+
+  std::unique_ptr<relation::PairPredicate> pred;
+  switch (which % 4) {
+    case 0:
+      pred = std::make_unique<relation::LessThanPredicate>(0, 0);
+      break;
+    case 1:
+      pred = std::make_unique<relation::BandPredicate>(0, 0, 2);
+      break;
+    case 2:
+      pred = std::make_unique<relation::L1NormPredicate>(
+          std::vector<std::size_t>{0, 1}, std::vector<std::size_t>{0, 1}, 5);
+      break;
+    default:
+      pred = std::make_unique<relation::EqualityPredicate>(0, 0);
+      break;
+  }
+
+  relation::TwoTableWorkload workload;
+  workload.a = std::move(a);
+  workload.b = std::move(b);
+  workload.predicate = std::move(pred);
+  auto world = MakeWorld(std::move(workload), 4);
+  ASSERT_NE(world, nullptr);
+  const relation::GroundTruth truth = relation::ComputeGroundTruth(
+      *world->workload.a, *world->workload.b, *world->workload.predicate,
+      world->result_schema.get());
+
+  // Algorithm 1 with the safe preprocessing scan (n = 0 -> computed).
+  {
+    TwoWayJoin join{world->a.get(), world->b.get(),
+                    world->workload.predicate.get(), world->key_out.get()};
+    auto outcome = core::RunAlgorithm1(*world->copro, join, {.n = 0});
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    auto decoded = core::DecodeJoinOutput(
+        world->host, outcome->output_region, outcome->output_slots,
+        *world->key_out, world->result_schema.get());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(relation::SameTupleMultiset(*decoded, truth.expected));
+  }
+  // Algorithm 5 on a fresh coprocessor (inputs were only read, not moved).
+  {
+    sim::Coprocessor fresh(&world->host, {.memory_tuples = 4, .seed = 9});
+    const relation::PairAsMultiway multiway(
+        world->workload.predicate.get());
+    MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
+                      world->key_out.get()};
+    auto outcome = core::RunAlgorithm5(fresh, join);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    EXPECT_EQ(outcome->result_size, truth.result_size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Predicates, PredicateVarietyProperty,
+                         ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Trace invariance fuzz: random shapes, shape-equal pairs
+// ---------------------------------------------------------------------------
+
+class TraceInvarianceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceInvarianceProperty, Algorithm4And5TracesDependOnlyOnShape) {
+  const auto trial = static_cast<std::uint64_t>(GetParam());
+  Rng rng(trial * 1234 + 9);
+  const std::uint64_t size_a = 4 + rng.NextBelow(8);
+  const std::uint64_t size_b = 4 + rng.NextBelow(8);
+  const std::uint64_t s = rng.NextBelow(size_a * size_b / 2 + 1);
+  const std::uint64_t m = 2 + rng.NextBelow(6);
+
+  auto run = [&](bool alg4, std::uint64_t content_seed) {
+    relation::CellSpec spec;
+    spec.size_a = size_a;
+    spec.size_b = size_b;
+    spec.result_size = s;
+    spec.seed = content_seed;
+    auto workload = MakeCellWorkload(spec);
+    EXPECT_TRUE(workload.ok());
+    auto world = MakeWorld(std::move(*workload), m, false, 17);
+    const relation::PairAsMultiway multiway(
+        world->workload.predicate.get());
+    MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
+                      world->key_out.get()};
+    if (alg4) {
+      EXPECT_TRUE(core::RunAlgorithm4(*world->copro, join).ok());
+    } else {
+      EXPECT_TRUE(core::RunAlgorithm5(*world->copro, join).ok());
+    }
+    return world->copro->trace().fingerprint();
+  };
+  EXPECT_EQ(run(true, trial * 2 + 100), run(true, trial * 2 + 101))
+      << "Algorithm 4 trace varied at shape (" << size_a << "," << size_b
+      << "," << s << "," << m << ")";
+  EXPECT_EQ(run(false, trial * 2 + 100), run(false, trial * 2 + 101))
+      << "Algorithm 5 trace varied at shape (" << size_a << "," << size_b
+      << "," << s << "," << m << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, TraceInvarianceProperty,
+                         ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Substrate fuzzing
+// ---------------------------------------------------------------------------
+
+TEST(SubstrateFuzz, OcbRoundTripRandomSizes) {
+  const crypto::Ocb ocb(crypto::DeriveKey(0xF0, "fuzz"));
+  Rng rng(0xFACE);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t size = rng.NextBelow(200);
+    std::vector<std::uint8_t> pt(size);
+    rng.FillBytes(pt.data(), pt.size());
+    const crypto::Block nonce =
+        crypto::NonceFromCounter(1000000 + trial);
+    const auto sealed = ocb.Encrypt(nonce, pt);
+    auto opened = ocb.Decrypt(nonce, sealed);
+    ASSERT_TRUE(opened.ok()) << "size " << size;
+    EXPECT_EQ(*opened, pt);
+    if (!sealed.empty()) {
+      auto corrupted = sealed;
+      corrupted[rng.NextBelow(corrupted.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.NextBelow(255));
+      EXPECT_FALSE(ocb.Decrypt(nonce, corrupted).ok()) << "size " << size;
+    }
+  }
+}
+
+TEST(SubstrateFuzz, BitonicAgainstStdSort) {
+  const crypto::Ocb key(crypto::DeriveKey(0xB1, "sortfuzz"));
+  Rng rng(4242);
+  for (std::uint64_t n : {4u, 16u, 32u, 128u}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      sim::HostStore host;
+      sim::Coprocessor copro(&host, {.memory_tuples = 2, .seed = 5});
+      const std::size_t slot =
+          sim::Coprocessor::SealedSize(relation::wire::PlainSize(8));
+      const sim::RegionId r = host.CreateRegion("f", slot, n);
+      std::vector<std::uint64_t> values;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t v = rng.NextBelow(50);  // duplicates likely
+        values.push_back(v);
+        std::vector<std::uint8_t> p(8);
+        for (int b = 0; b < 8; ++b) {
+          p[b] = static_cast<std::uint8_t>(v >> (8 * b));
+        }
+        ASSERT_TRUE(
+            copro.PutSealed(r, i, relation::wire::MakeReal(p), key).ok());
+      }
+      auto less = [](const std::vector<std::uint8_t>& x,
+                     const std::vector<std::uint8_t>& y) {
+        std::uint64_t vx = 0, vy = 0;
+        for (int b = 0; b < 8; ++b) {
+          vx |= static_cast<std::uint64_t>(x[1 + b]) << (8 * b);
+          vy |= static_cast<std::uint64_t>(y[1 + b]) << (8 * b);
+        }
+        return vx < vy;
+      };
+      ASSERT_TRUE(oblivious::ObliviousSort(copro, r, n, key, less).ok());
+      std::sort(values.begin(), values.end());
+      for (std::uint64_t i = 0; i < n; ++i) {
+        auto p = copro.GetOpen(r, i, key);
+        ASSERT_TRUE(p.ok());
+        std::uint64_t v = 0;
+        for (int b = 0; b < 8; ++b) {
+          v |= static_cast<std::uint64_t>((*p)[1 + b]) << (8 * b);
+        }
+        EXPECT_EQ(v, values[i]) << "n=" << n << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(SubstrateFuzz, RandomOrderLargeCountIsAPermutation) {
+  const std::uint64_t count = 100000;
+  auto order = crypto::RandomOrder::Create(count, 0xDADA);
+  ASSERT_TRUE(order.ok());
+  std::vector<bool> seen(count, false);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t idx = order->Next();
+    ASSERT_LT(idx, count);
+    ASSERT_FALSE(seen[idx]) << "repeat at step " << i;
+    seen[idx] = true;
+  }
+}
+
+}  // namespace
+}  // namespace ppj

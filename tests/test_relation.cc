@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include "crypto/key.h"
+#include "relation/encrypted_relation.h"
+#include "relation/generator.h"
+#include "relation/predicate.h"
+#include "relation/relation.h"
+#include "relation/schema.h"
+#include "relation/tuple.h"
+#include "sim/coprocessor.h"
+
+namespace ppj::relation {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Schema::Int64("id"), Schema::Double("score"),
+                 Schema::String("name", 8), Schema::Set("tags", 4)});
+}
+
+TEST(SchemaTest, LayoutAndLookup) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(s.num_columns(), 4u);
+  EXPECT_EQ(s.tuple_size(), 8u + 8u + 8u + (4u + 16u));
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 8u);
+  EXPECT_EQ(s.offset(2), 16u);
+  EXPECT_EQ(s.offset(3), 24u);
+  EXPECT_EQ(*s.ColumnIndex("name"), 2u);
+  EXPECT_FALSE(s.ColumnIndex("nope").ok());
+}
+
+TEST(SchemaTest, EqualityAndConcat) {
+  const Schema a = TestSchema();
+  const Schema b = TestSchema();
+  EXPECT_TRUE(a == b);
+  const Schema c = Schema::Concat(a, b);
+  EXPECT_EQ(c.num_columns(), 8u);
+  EXPECT_EQ(c.tuple_size(), 2 * a.tuple_size());
+  // Name clash resolved with suffix.
+  EXPECT_TRUE(c.ColumnIndex("id").ok());
+  EXPECT_TRUE(c.ColumnIndex("id_r").ok());
+}
+
+TEST(TupleTest, MakeValidatesTypesAndWidths) {
+  const Schema s = TestSchema();
+  EXPECT_TRUE(Tuple::Make(&s, {std::int64_t{1}, 2.5, std::string("bob"),
+                               std::vector<std::uint32_t>{3, 1}})
+                  .ok());
+  // Arity mismatch.
+  EXPECT_FALSE(Tuple::Make(&s, {std::int64_t{1}}).ok());
+  // Type mismatch.
+  EXPECT_FALSE(Tuple::Make(&s, {2.5, 2.5, std::string("b"),
+                                std::vector<std::uint32_t>{}})
+                   .ok());
+  // String too long for width 8.
+  EXPECT_FALSE(Tuple::Make(&s, {std::int64_t{1}, 2.5,
+                                std::string("very long string"),
+                                std::vector<std::uint32_t>{}})
+                   .ok());
+  // Set beyond capacity 4.
+  EXPECT_FALSE(Tuple::Make(&s, {std::int64_t{1}, 2.5, std::string("b"),
+                                std::vector<std::uint32_t>{1, 2, 3, 4, 5}})
+                   .ok());
+}
+
+TEST(TupleTest, SerializeRoundTripAllTypes) {
+  const Schema s = TestSchema();
+  auto t = Tuple::Make(&s, {std::int64_t{-42}, 3.25, std::string("alice"),
+                            std::vector<std::uint32_t>{9, 2, 9, 5}});
+  ASSERT_TRUE(t.ok());
+  const auto bytes = t->Serialize();
+  EXPECT_EQ(bytes.size(), s.tuple_size());
+  auto back = Tuple::Deserialize(&s, bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, *t);
+  EXPECT_EQ(back->GetInt64(0), -42);
+  EXPECT_DOUBLE_EQ(back->GetDouble(1), 3.25);
+  EXPECT_EQ(back->GetString(2), "alice");
+  // Sets are canonicalized: sorted + deduplicated.
+  EXPECT_EQ(back->GetSet(3), (std::vector<std::uint32_t>{2, 5, 9}));
+}
+
+TEST(TupleTest, DeserializeRejectsMalformed) {
+  const Schema s = TestSchema();
+  EXPECT_FALSE(Tuple::Deserialize(&s, std::vector<std::uint8_t>(3)).ok());
+  std::vector<std::uint8_t> bytes(s.tuple_size(), 0);
+  bytes[24] = 200;  // set count beyond capacity 4
+  EXPECT_FALSE(Tuple::Deserialize(&s, bytes).ok());
+}
+
+TEST(PredicateTest, Equality) {
+  const Schema s = TestSchema();
+  auto a = Tuple::Make(&s, {std::int64_t{7}, 0.0, std::string("x"),
+                            std::vector<std::uint32_t>{}});
+  auto b = Tuple::Make(&s, {std::int64_t{7}, 1.0, std::string("y"),
+                            std::vector<std::uint32_t>{}});
+  auto c = Tuple::Make(&s, {std::int64_t{8}, 0.0, std::string("x"),
+                            std::vector<std::uint32_t>{}});
+  const EqualityPredicate eq(0, 0);
+  EXPECT_TRUE(eq.Match(*a, *b));
+  EXPECT_FALSE(eq.Match(*a, *c));
+  EXPECT_TRUE(eq.is_equality());
+}
+
+TEST(PredicateTest, LessThanAndBand) {
+  const Schema s = TestSchema();
+  auto mk = [&](std::int64_t v) {
+    return *Tuple::Make(&s, {v, 0.0, std::string(""),
+                             std::vector<std::uint32_t>{}});
+  };
+  const LessThanPredicate lt(0, 0);
+  EXPECT_TRUE(lt.Match(mk(1), mk(2)));
+  EXPECT_FALSE(lt.Match(mk(2), mk(2)));
+  EXPECT_FALSE(lt.is_equality());
+
+  const BandPredicate band(0, 0, 3);
+  EXPECT_TRUE(band.Match(mk(10), mk(13)));
+  EXPECT_TRUE(band.Match(mk(13), mk(10)));
+  EXPECT_FALSE(band.Match(mk(10), mk(14)));
+}
+
+TEST(PredicateTest, L1Norm) {
+  const Schema s({Schema::Int64("x"), Schema::Int64("y")});
+  auto mk = [&](std::int64_t x, std::int64_t y) {
+    return *Tuple::Make(&s, {x, y});
+  };
+  const L1NormPredicate l1({0, 1}, {0, 1}, 5);
+  EXPECT_TRUE(l1.Match(mk(1, 2), mk(3, 4)));   // |1-3|+|2-4| = 4
+  EXPECT_FALSE(l1.Match(mk(0, 0), mk(3, 4)));  // 7 > 5
+}
+
+TEST(PredicateTest, Jaccard) {
+  EXPECT_DOUBLE_EQ(JaccardPredicate::Coefficient({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardPredicate::Coefficient({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardPredicate::Coefficient({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardPredicate::Coefficient({}, {}), 0.0);
+
+  const Schema s({Schema::Int64("id"), Schema::Set("f", 4)});
+  auto mk = [&](std::vector<std::uint32_t> set) {
+    return *Tuple::Make(&s, {std::int64_t{0}, std::move(set)});
+  };
+  const JaccardPredicate j(1, 1, 0.4);
+  EXPECT_TRUE(j.Match(mk({1, 2, 3}), mk({2, 3, 4})));
+  EXPECT_FALSE(j.Match(mk({1, 2, 3}), mk({3, 4, 5})));  // 1/5 <= 0.4
+}
+
+TEST(PredicateTest, ChainAndLambda) {
+  const Schema s({Schema::Int64("k")});
+  auto mk = [&](std::int64_t v) { return *Tuple::Make(&s, {v}); };
+  const EqualityPredicate eq(0, 0);
+  const ChainPredicate chain({&eq, &eq});
+  std::vector<Tuple> good = {mk(1), mk(1), mk(1)};
+  std::vector<Tuple> bad = {mk(1), mk(1), mk(2)};
+  EXPECT_TRUE(chain.Satisfy(good));
+  EXPECT_FALSE(chain.Satisfy(bad));
+
+  const LambdaPredicate lam("sum<5", [](const Tuple& a, const Tuple& b) {
+    return a.GetInt64(0) + b.GetInt64(0) < 5;
+  });
+  EXPECT_TRUE(lam.Match(mk(1), mk(2)));
+  EXPECT_FALSE(lam.Match(mk(3), mk(3)));
+}
+
+TEST(RelationTest, AppendAndMultisetEquality) {
+  Relation r("R", Schema({Schema::Int64("k")}));
+  ASSERT_TRUE(r.Append({std::int64_t{1}}).ok());
+  ASSERT_TRUE(r.Append({std::int64_t{2}}).ok());
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_FALSE(r.Append({2.5}).ok());
+
+  std::vector<Tuple> x = {r.tuple(0), r.tuple(1)};
+  std::vector<Tuple> y = {r.tuple(1), r.tuple(0)};
+  EXPECT_TRUE(SameTupleMultiset(x, y));
+  std::vector<Tuple> z = {r.tuple(0), r.tuple(0)};
+  EXPECT_FALSE(SameTupleMultiset(x, z));
+}
+
+TEST(WireTest, RealAndDecoyFraming) {
+  const std::vector<std::uint8_t> payload = {9, 8, 7};
+  const auto real = wire::MakeReal(payload);
+  EXPECT_TRUE(wire::IsReal(real));
+  EXPECT_EQ(wire::Payload(real), payload);
+  const auto decoy = wire::MakeDecoy(3);
+  EXPECT_FALSE(wire::IsReal(decoy));
+  EXPECT_EQ(decoy.size(), real.size());
+}
+
+TEST(EncryptedRelationTest, SealFetchRoundTrip) {
+  sim::HostStore host;
+  sim::Coprocessor copro(&host, {});
+  const crypto::Ocb key(crypto::DeriveKey(5, "er"));
+
+  Relation r("R", Schema({Schema::Int64("k"), Schema::String("v", 8)}));
+  ASSERT_TRUE(r.Append({std::int64_t{10}, std::string("ten")}).ok());
+  ASSERT_TRUE(r.Append({std::int64_t{20}, std::string("twenty")}).ok());
+
+  auto sealed = EncryptedRelation::Seal(&host, r, &key, 4);
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_EQ(sealed->size(), 2u);
+  EXPECT_EQ(sealed->padded_size(), 4u);
+
+  auto f0 = sealed->Fetch(copro, 0);
+  ASSERT_TRUE(f0.ok());
+  EXPECT_TRUE(f0->real);
+  EXPECT_EQ(f0->tuple.GetInt64(0), 10);
+  auto f3 = sealed->Fetch(copro, 3);
+  ASSERT_TRUE(f3.ok());
+  EXPECT_FALSE(f3->real);  // padding
+  EXPECT_EQ(copro.metrics().gets, 2u);
+}
+
+TEST(EncryptedRelationTest, TamperedSlotDetected) {
+  sim::HostStore host;
+  sim::Coprocessor copro(&host, {});
+  const crypto::Ocb key(crypto::DeriveKey(6, "er2"));
+  Relation r("R", Schema({Schema::Int64("k")}));
+  ASSERT_TRUE(r.Append({std::int64_t{1}}).ok());
+  auto sealed = EncryptedRelation::Seal(&host, r, &key);
+  ASSERT_TRUE(sealed.ok());
+  ASSERT_TRUE(host.CorruptSlot(sealed->region(), 0, 17 * 8).ok());
+  EXPECT_EQ(sealed->Fetch(copro, 0).status().code(), StatusCode::kTampered);
+}
+
+TEST(GeneratorTest, EquijoinShapeIsExact) {
+  for (std::uint64_t n : {1u, 2u, 4u, 8u}) {
+    for (std::uint64_t s : {8u, 12u, 16u}) {
+      if (s < n) continue;
+      EquijoinSpec spec;
+      spec.size_a = 32;
+      spec.size_b = 32;
+      spec.n_max = n;
+      spec.result_size = s;
+      spec.seed = n * 100 + s;
+      auto w = MakeEquijoinWorkload(spec);
+      ASSERT_TRUE(w.ok()) << w.status();
+      const GroundTruth truth =
+          ComputeGroundTruth(*w->a, *w->b, *w->predicate, nullptr);
+      EXPECT_EQ(truth.result_size, s) << "n=" << n << " s=" << s;
+      EXPECT_EQ(truth.max_matches_per_a, n) << "n=" << n << " s=" << s;
+    }
+  }
+}
+
+TEST(GeneratorTest, EquijoinRejectsInfeasibleShapes) {
+  EquijoinSpec spec;
+  spec.size_a = 2;
+  spec.size_b = 8;
+  spec.n_max = 1;
+  spec.result_size = 8;  // needs 8 groups > size_a
+  EXPECT_FALSE(MakeEquijoinWorkload(spec).ok());
+  spec.n_max = 0;
+  EXPECT_FALSE(MakeEquijoinWorkload(spec).ok());
+}
+
+TEST(GeneratorTest, CellWorkloadExactSAndSkew) {
+  CellSpec spec;
+  spec.size_a = 16;
+  spec.size_b = 16;
+  spec.result_size = 13;
+  spec.seed = 3;
+  auto w = MakeCellWorkload(spec);
+  ASSERT_TRUE(w.ok());
+  const GroundTruth truth =
+      ComputeGroundTruth(*w->a, *w->b, *w->predicate, nullptr);
+  EXPECT_EQ(truth.result_size, 13u);
+  EXPECT_EQ(truth.max_matches_per_a, w->max_matches_per_a);
+
+  spec.skew_rows = 1;  // all matches on one A row
+  auto skewed = MakeCellWorkload(spec);
+  ASSERT_TRUE(skewed.ok());
+  EXPECT_EQ(skewed->max_matches_per_a, 13u);
+}
+
+TEST(GeneratorTest, ZipfWorkloadShapeAndSkew) {
+  ZipfSpec spec;
+  spec.size_a = 16;
+  spec.size_b = 64;
+  spec.num_keys = 8;
+  spec.seed = 3;
+
+  spec.exponent = 0.0;  // uniform
+  auto uniform = MakeZipfEquijoinWorkload(spec);
+  ASSERT_TRUE(uniform.ok());
+  spec.exponent = 2.0;  // heavily skewed
+  auto skewed = MakeZipfEquijoinWorkload(spec);
+  ASSERT_TRUE(skewed.ok());
+
+  // Every B tuple matches exactly one A tuple (A covers the key universe),
+  // so S = |B| in both cases; the skew concentrates matches on one key.
+  EXPECT_EQ(uniform->result_size, 64u);
+  EXPECT_EQ(skewed->result_size, 64u);
+  EXPECT_GT(skewed->max_matches_per_a, uniform->max_matches_per_a);
+  // Ground truth agrees with the recorded shape.
+  const GroundTruth truth =
+      ComputeGroundTruth(*skewed->a, *skewed->b, *skewed->predicate,
+                         nullptr);
+  EXPECT_EQ(truth.max_matches_per_a, skewed->max_matches_per_a);
+}
+
+TEST(GeneratorTest, ZipfRejectsEmptyUniverse) {
+  ZipfSpec spec;
+  spec.num_keys = 0;
+  EXPECT_FALSE(MakeZipfEquijoinWorkload(spec).ok());
+}
+
+TEST(GeneratorTest, JaccardWorkloadHasPlantedMatches) {
+  JaccardSpec spec;
+  spec.planted_pairs = 4;
+  spec.threshold = 0.5;
+  auto w = MakeJaccardWorkload(spec);
+  ASSERT_TRUE(w.ok());
+  EXPECT_GE(w->result_size, 1u);
+  const GroundTruth truth =
+      ComputeGroundTruth(*w->a, *w->b, *w->predicate, nullptr);
+  EXPECT_EQ(truth.result_size, w->result_size);
+}
+
+}  // namespace
+}  // namespace ppj::relation

@@ -1,0 +1,79 @@
+// Medium-scale stress runs: orders of magnitude beyond the unit tests,
+// still seconds on a laptop. These catch integer-boundary and buffer
+// mistakes that tiny inputs cannot, and exercise the Algorithm 6 segment
+// machinery at realistic segment counts.
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "core/algorithm5.h"
+#include "core/algorithm6.h"
+#include "core/join_result.h"
+#include "test_util.h"
+
+namespace ppj {
+namespace {
+
+using core::MultiwayJoin;
+using relation::MakeCellWorkload;
+using test::MakeWorld;
+
+TEST(ScaleTest, Algorithm5MediumScaleExactness) {
+  // L = 96 x 96 = 9216, S = 300, M = 64 -> ceil(S/M) = 5 scans.
+  relation::CellSpec spec;
+  spec.size_a = 96;
+  spec.size_b = 96;
+  spec.result_size = 300;
+  spec.seed = 77;
+  auto workload = MakeCellWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), 64);
+  const relation::PairAsMultiway multiway(world->workload.predicate.get());
+  MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
+                    world->key_out.get()};
+  auto outcome = core::RunAlgorithm5(*world->copro, join);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->result_size, 300u);
+  EXPECT_EQ(world->copro->metrics().ituple_reads,
+            CeilDiv(300, 64) * 96u * 96u);
+  EXPECT_EQ(world->copro->metrics().puts, 300u);
+
+  auto decoded = core::DecodeJoinOutput(
+      world->host, outcome->output_region, outcome->result_size,
+      *world->key_out, world->result_schema.get());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), 300u);
+}
+
+TEST(ScaleTest, Algorithm6MediumScaleSegments) {
+  // L = 128 x 128 = 16384, S = 512, M = 32: dozens of segments, a real
+  // windowed filter, and a hypergeometric n* solve at this scale.
+  relation::CellSpec spec;
+  spec.size_a = 128;
+  spec.size_b = 128;
+  spec.result_size = 512;
+  spec.seed = 99;
+  auto workload = MakeCellWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), 32);
+  const relation::PairAsMultiway multiway(world->workload.predicate.get());
+  MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
+                    world->key_out.get()};
+  auto outcome =
+      core::RunAlgorithm6(*world->copro, join, {.epsilon = 1e-9});
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_FALSE(outcome->blemish);
+  EXPECT_EQ(outcome->result_size, 512u);
+  EXPECT_GT(outcome->n_star, 32u);
+  // Two passes of L logical reads (screen + main).
+  EXPECT_EQ(world->copro->metrics().ituple_reads, 2u * 16384u);
+
+  auto decoded = core::DecodeJoinOutput(
+      world->host, outcome->output_region, outcome->result_size,
+      *world->key_out, world->result_schema.get());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), 512u);
+}
+
+}  // namespace
+}  // namespace ppj

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "crypto/key.h"
+#include "sim/coprocessor.h"
+#include "sim/host_store.h"
+#include "sim/trace.h"
+#include "sim/trace_stats.h"
+
+namespace ppj::sim {
+namespace {
+
+TEST(HostStoreTest, RegionLifecycle) {
+  HostStore host;
+  const RegionId r = host.CreateRegion("data", 32, 10);
+  EXPECT_EQ(host.RegionSlots(r), 10u);
+  EXPECT_EQ(host.RegionSlotSize(r), 32u);
+  EXPECT_EQ(host.RegionName(r), "data");
+
+  std::vector<std::uint8_t> slot(32, 0xAA);
+  EXPECT_TRUE(host.WriteSlot(r, 3, slot).ok());
+  auto read = host.ReadSlot(r, 3);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, slot);
+}
+
+TEST(HostStoreTest, BoundsChecking) {
+  HostStore host;
+  const RegionId r = host.CreateRegion("data", 8, 2);
+  EXPECT_EQ(host.ReadSlot(r, 2).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(host.ReadSlot(99, 0).status().code(), StatusCode::kOutOfRange);
+  std::vector<std::uint8_t> wrong(7, 0);
+  EXPECT_EQ(host.WriteSlot(r, 0, wrong).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HostStoreTest, ResizePreservesPrefix) {
+  HostStore host;
+  const RegionId r = host.CreateRegion("grow", 4, 1);
+  std::vector<std::uint8_t> slot = {1, 2, 3, 4};
+  ASSERT_TRUE(host.WriteSlot(r, 0, slot).ok());
+  ASSERT_TRUE(host.ResizeRegion(r, 3).ok());
+  EXPECT_EQ(*host.ReadSlot(r, 0), slot);
+  EXPECT_EQ(*host.ReadSlot(r, 2), std::vector<std::uint8_t>(4, 0));
+}
+
+TEST(HostStoreTest, CorruptSlotFlipsOneBit) {
+  HostStore host;
+  const RegionId r = host.CreateRegion("x", 4, 1);
+  ASSERT_TRUE(host.WriteSlot(r, 0, {0, 0, 0, 0}).ok());
+  ASSERT_TRUE(host.CorruptSlot(r, 0, 9).ok());
+  EXPECT_EQ((*host.ReadSlot(r, 0))[1], 0x02);
+}
+
+TEST(TraceTest, FingerprintIsOrderAndContentSensitive) {
+  AccessTrace t1, t2;
+  t1.Record(AccessOp::kGet, 0, 1);
+  t1.Record(AccessOp::kPut, 0, 2);
+  t2.Record(AccessOp::kPut, 0, 2);
+  t2.Record(AccessOp::kGet, 0, 1);
+  EXPECT_NE(t1.fingerprint(), t2.fingerprint());
+  EXPECT_EQ(t1.event_count(), 2u);
+
+  AccessTrace t3;
+  t3.Record(AccessOp::kGet, 0, 1);
+  t3.Record(AccessOp::kPut, 0, 2);
+  EXPECT_EQ(t1.fingerprint(), t3.fingerprint());
+}
+
+TEST(TraceTest, RetentionCapAndDivergence) {
+  AccessTrace small(2);
+  small.Record(AccessOp::kGet, 0, 0);
+  small.Record(AccessOp::kGet, 0, 1);
+  small.Record(AccessOp::kGet, 0, 2);
+  EXPECT_EQ(small.retained_events().size(), 2u);
+  EXPECT_FALSE(small.complete());
+
+  AccessTrace a, b;
+  a.Record(AccessOp::kGet, 0, 0);
+  a.Record(AccessOp::kGet, 0, 5);
+  b.Record(AccessOp::kGet, 0, 0);
+  b.Record(AccessOp::kGet, 0, 7);
+  EXPECT_EQ(AccessTrace::FirstDivergence(a, b), 1);
+  EXPECT_EQ(AccessTrace::FirstDivergence(a, a), -1);
+}
+
+class CoprocessorTest : public ::testing::Test {
+ protected:
+  CoprocessorTest()
+      : copro_(&host_, CoprocessorOptions{.memory_tuples = 4, .seed = 7}),
+        key_(crypto::DeriveKey(1, "test")) {}
+
+  HostStore host_;
+  Coprocessor copro_;
+  crypto::Ocb key_;
+};
+
+TEST_F(CoprocessorTest, TransfersAreTracedAndCounted) {
+  const RegionId r = host_.CreateRegion("r", 16, 4);
+  ASSERT_TRUE(copro_.Put(r, 1, std::vector<std::uint8_t>(16, 9)).ok());
+  ASSERT_TRUE(copro_.Get(r, 1).ok());
+  ASSERT_TRUE(copro_.DiskWrite(r, 1).ok());
+  EXPECT_EQ(copro_.metrics().puts, 1u);
+  EXPECT_EQ(copro_.metrics().gets, 1u);
+  EXPECT_EQ(copro_.metrics().disk_writes, 1u);
+  EXPECT_EQ(copro_.metrics().TupleTransfers(), 2u);
+  EXPECT_EQ(copro_.trace().event_count(), 3u);
+  const auto& events = copro_.trace().retained_events();
+  EXPECT_EQ(events[0].op, AccessOp::kPut);
+  EXPECT_EQ(events[1].op, AccessOp::kGet);
+  EXPECT_EQ(events[2].op, AccessOp::kDiskWrite);
+}
+
+TEST_F(CoprocessorTest, SealOpenRoundTrip) {
+  const std::vector<std::uint8_t> plain = {1, 2, 3, 4, 5};
+  const auto sealed = copro_.Seal(plain, key_);
+  EXPECT_EQ(sealed.size(), Coprocessor::SealedSize(plain.size()));
+  auto opened = copro_.Open(sealed, key_);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, plain);
+  // Fresh nonces: sealing twice yields different ciphertexts.
+  EXPECT_NE(copro_.Seal(plain, key_), copro_.Seal(plain, key_));
+}
+
+TEST_F(CoprocessorTest, HostTamperingIsDetected) {
+  const RegionId r = host_.CreateRegion("r", Coprocessor::SealedSize(8), 1);
+  ASSERT_TRUE(
+      copro_.PutSealed(r, 0, std::vector<std::uint8_t>(8, 3), key_).ok());
+  ASSERT_TRUE(copro_.GetOpen(r, 0, key_).ok());
+  // Malicious host flips a ciphertext bit (skip the stored nonce: a nonce
+  // flip is also caught, but we target the ciphertext path specifically).
+  ASSERT_TRUE(host_.CorruptSlot(r, 0, 16 * 8 + 3).ok());
+  auto opened = copro_.GetOpen(r, 0, key_);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kTampered);
+}
+
+TEST_F(CoprocessorTest, NonceTamperingIsDetected) {
+  const RegionId r = host_.CreateRegion("r", Coprocessor::SealedSize(8), 1);
+  ASSERT_TRUE(
+      copro_.PutSealed(r, 0, std::vector<std::uint8_t>(8, 3), key_).ok());
+  ASSERT_TRUE(host_.CorruptSlot(r, 0, 5).ok());  // inside the nonce
+  EXPECT_EQ(copro_.GetOpen(r, 0, key_).status().code(),
+            StatusCode::kTampered);
+}
+
+TEST_F(CoprocessorTest, MemoryReservationEnforced) {
+  EXPECT_TRUE(copro_.Reserve(3).ok());
+  EXPECT_EQ(copro_.free_slots(), 1u);
+  EXPECT_EQ(copro_.Reserve(2).code(), StatusCode::kCapacityExceeded);
+  copro_.Release(3);
+  EXPECT_EQ(copro_.free_slots(), 4u);
+}
+
+TEST_F(CoprocessorTest, SecureBufferRespectsCapacity) {
+  auto buffer = SecureBuffer::Allocate(copro_, 2);
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_EQ(copro_.free_slots(), 2u);
+  EXPECT_TRUE(buffer->Push({1}).ok());
+  EXPECT_TRUE(buffer->Push({2}).ok());
+  EXPECT_TRUE(buffer->full());
+  EXPECT_EQ(buffer->Push({3}).code(), StatusCode::kCapacityExceeded);
+  buffer->Clear();
+  EXPECT_TRUE(buffer->Push({4}).ok());
+  EXPECT_EQ(buffer->At(0), std::vector<std::uint8_t>{4});
+}
+
+TEST_F(CoprocessorTest, SecureBufferReleasesOnDestruction) {
+  {
+    auto buffer = SecureBuffer::Allocate(copro_, 4);
+    ASSERT_TRUE(buffer.ok());
+    EXPECT_EQ(copro_.free_slots(), 0u);
+    auto denied = SecureBuffer::Allocate(copro_, 1);
+    EXPECT_FALSE(denied.ok());
+    // Move semantics keep a single owner.
+    SecureBuffer moved = std::move(*buffer);
+    EXPECT_EQ(copro_.free_slots(), 0u);
+  }
+  EXPECT_EQ(copro_.free_slots(), 4u);
+}
+
+TEST(TraceStatsTest, SummaryCountsAndSequentiality) {
+  AccessTrace trace;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    trace.Record(AccessOp::kGet, 0, i);  // fully sequential region 0
+  }
+  trace.Record(AccessOp::kPut, 1, 5);
+  trace.Record(AccessOp::kPut, 1, 2);  // non-sequential region 1
+  trace.Record(AccessOp::kDiskWrite, 1, 2);
+
+  const TraceSummary summary = SummarizeTrace(trace);
+  EXPECT_EQ(summary.total_events, 13u);
+  ASSERT_TRUE(summary.regions.contains(0));
+  ASSERT_TRUE(summary.regions.contains(1));
+  const RegionAccessStats& r0 = summary.regions.at(0);
+  EXPECT_EQ(r0.gets, 10u);
+  EXPECT_EQ(r0.min_index, 0u);
+  EXPECT_EQ(r0.max_index, 9u);
+  EXPECT_DOUBLE_EQ(r0.sequential_fraction, 1.0);
+  const RegionAccessStats& r1 = summary.regions.at(1);
+  EXPECT_EQ(r1.puts, 2u);
+  EXPECT_EQ(r1.disk_writes, 1u);
+  EXPECT_LT(r1.sequential_fraction, 0.5);
+  EXPECT_FALSE(summary.ToString().empty());
+}
+
+TEST(TraceStatsTest, DiffFlagsDivergentRegions) {
+  AccessTrace a, b;
+  a.Record(AccessOp::kGet, 0, 1);
+  a.Record(AccessOp::kGet, 2, 0);
+  b.Record(AccessOp::kGet, 0, 1);
+  b.Record(AccessOp::kPut, 0, 1);
+  const auto diffs =
+      DiffSummaries(SummarizeTrace(a), SummarizeTrace(b));
+  EXPECT_FALSE(diffs.empty());
+  EXPECT_TRUE(DiffSummaries(SummarizeTrace(a), SummarizeTrace(a)).empty());
+}
+
+TEST_F(CoprocessorTest, FixedTimeAccounting) {
+  copro_.NoteComparison();
+  copro_.NoteComparison();
+  copro_.NoteITupleRead();
+  copro_.BurnCycles(100);
+  EXPECT_EQ(copro_.metrics().comparisons, 2u);
+  EXPECT_EQ(copro_.metrics().ituple_reads, 1u);
+  EXPECT_GT(copro_.metrics().padded_cycles, 100u);
+}
+
+}  // namespace
+}  // namespace ppj::sim

@@ -1,0 +1,200 @@
+// Tests for the stream-mode OCB (the paper's sequential relation
+// encryption, Section 3.3.3) and the outbound-authentication chain
+// (Sections 2.2.2 / 3.3.3).
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "crypto/key.h"
+#include "crypto/ocb.h"
+#include "crypto/ocb_stream.h"
+#include "sim/attestation.h"
+
+namespace ppj {
+namespace {
+
+using crypto::Block;
+using crypto::NonceFromCounter;
+
+Block Key() { return crypto::DeriveKey(0xABCD, "stream"); }
+
+TEST(OcbStreamTest, RoundTripBlockByBlock) {
+  const Block nonce = NonceFromCounter(1);
+  crypto::OcbStreamEncryptor enc(Key(), nonce);
+  crypto::OcbStreamDecryptor dec(Key(), nonce);
+  Rng rng(5);
+  std::vector<Block> plaintexts;
+  std::vector<Block> ciphertexts;
+  for (int i = 0; i < 20; ++i) {
+    Block p;
+    rng.FillBytes(p.data(), p.size());
+    plaintexts.push_back(p);
+    ciphertexts.push_back(enc.NextBlock(p));
+  }
+  const Block tag = enc.Finalize();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(dec.NextBlock(ciphertexts[i]), plaintexts[i]) << "block " << i;
+  }
+  EXPECT_TRUE(dec.Verify(tag).ok());
+}
+
+TEST(OcbStreamTest, SealOpenWholeBuffer) {
+  Rng rng(6);
+  std::vector<std::uint8_t> data(160);
+  rng.FillBytes(data.data(), data.size());
+  const Block nonce = NonceFromCounter(2);
+  const auto sealed = crypto::SealStream(Key(), nonce, data);
+  EXPECT_EQ(sealed.size(), data.size() + 16);
+  auto opened = crypto::OpenStream(Key(), nonce, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, data);
+}
+
+TEST(OcbStreamTest, DetectsBitFlips) {
+  std::vector<std::uint8_t> data(64, 0x11);
+  const Block nonce = NonceFromCounter(3);
+  auto sealed = crypto::SealStream(Key(), nonce, data);
+  for (std::size_t i = 0; i < sealed.size(); i += 5) {
+    auto bad = sealed;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(crypto::OpenStream(Key(), nonce, bad).ok())
+        << "byte " << i;
+  }
+}
+
+TEST(OcbStreamTest, DetectsBlockReordering) {
+  // THE property per-block MACs lack: swapping two valid ciphertext blocks
+  // breaks the stream tag because offsets encode sequence positions.
+  std::vector<std::uint8_t> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  const Block nonce = NonceFromCounter(4);
+  auto sealed = crypto::SealStream(Key(), nonce, data);
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = a + 1; b < 4; ++b) {
+      auto bad = sealed;
+      for (int k = 0; k < 16; ++k) {
+        std::swap(bad[a * 16 + k], bad[b * 16 + k]);
+      }
+      EXPECT_FALSE(crypto::OpenStream(Key(), nonce, bad).ok())
+          << "swap " << a << "<->" << b;
+    }
+  }
+}
+
+TEST(OcbStreamTest, DetectsTruncation) {
+  std::vector<std::uint8_t> data(80, 0x22);
+  const Block nonce = NonceFromCounter(5);
+  auto sealed = crypto::SealStream(Key(), nonce, data);
+  // Drop one ciphertext block (keeping the tag in place).
+  std::vector<std::uint8_t> truncated;
+  truncated.reserve(80);
+  for (std::size_t i = 0; i < 64; ++i) truncated.push_back(sealed[i]);
+  for (std::size_t i = sealed.size() - 16; i < sealed.size(); ++i) {
+    truncated.push_back(sealed[i]);
+  }
+  EXPECT_FALSE(crypto::OpenStream(Key(), nonce, truncated).ok());
+  // Malformed length.
+  std::vector<std::uint8_t> ragged(sealed.begin(), sealed.begin() + 30);
+  EXPECT_FALSE(crypto::OpenStream(Key(), nonce, ragged).ok());
+}
+
+TEST(OcbStreamTest, DifferentNoncesProduceUnrelatedStreams) {
+  std::vector<std::uint8_t> data(32, 0x00);
+  const auto s1 = crypto::SealStream(Key(), NonceFromCounter(10), data);
+  const auto s2 = crypto::SealStream(Key(), NonceFromCounter(11), data);
+  EXPECT_NE(s1, s2);
+  EXPECT_FALSE(crypto::OpenStream(Key(), NonceFromCounter(11), s1).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Outbound authentication
+// ---------------------------------------------------------------------------
+
+std::vector<sim::SoftwareLayer> TrustedStack() {
+  return {{"miniboot", 0x1111}, {"cp-os", 0x2222}, {"ppj-join-app", 0x3333}};
+}
+
+sim::OutboundAuthentication BootTrustedDevice(const Block& root) {
+  sim::OutboundAuthentication oa(root);
+  for (const auto& layer : TrustedStack()) {
+    oa.LoadLayer(layer.name, layer.code_digest);
+  }
+  return oa;
+}
+
+TEST(AttestationTest, TrustedStackVerifies) {
+  const Block root = crypto::DeriveKey(1, "device-root");
+  const sim::OutboundAuthentication oa = BootTrustedDevice(root);
+  EXPECT_TRUE(sim::OutboundAuthentication::Verify(root, oa.chain(),
+                                                  TrustedStack())
+                  .ok());
+}
+
+TEST(AttestationTest, ModifiedApplicationCodeIsRejected) {
+  const Block root = crypto::DeriveKey(1, "device-root");
+  sim::OutboundAuthentication oa(root);
+  oa.LoadLayer("miniboot", 0x1111);
+  oa.LoadLayer("cp-os", 0x2222);
+  oa.LoadLayer("ppj-join-app", 0xBAD);  // trojaned application image
+  const Status st = sim::OutboundAuthentication::Verify(root, oa.chain(),
+                                                        TrustedStack());
+  EXPECT_EQ(st.code(), StatusCode::kTampered);
+}
+
+TEST(AttestationTest, ForgedTagIsRejected) {
+  const Block root = crypto::DeriveKey(1, "device-root");
+  sim::OutboundAuthentication oa = BootTrustedDevice(root);
+  auto chain = oa.chain();
+  chain[1].tag[0] ^= 0x01;
+  EXPECT_EQ(sim::OutboundAuthentication::Verify(root, chain, TrustedStack())
+                .code(),
+            StatusCode::kTampered);
+}
+
+TEST(AttestationTest, MissingOrExtraLayerIsRejected) {
+  const Block root = crypto::DeriveKey(1, "device-root");
+  sim::OutboundAuthentication oa = BootTrustedDevice(root);
+  auto chain = oa.chain();
+  auto shorter = chain;
+  shorter.pop_back();
+  EXPECT_FALSE(sim::OutboundAuthentication::Verify(root, shorter,
+                                                   TrustedStack())
+                   .ok());
+  auto longer = chain;
+  longer.push_back(chain.back());
+  EXPECT_FALSE(
+      sim::OutboundAuthentication::Verify(root, longer, TrustedStack())
+          .ok());
+}
+
+TEST(AttestationTest, WrongDeviceKeyIsRejected) {
+  // A counterfeit device without the manufacturer root cannot attest.
+  const Block genuine = crypto::DeriveKey(1, "device-root");
+  const Block counterfeit = crypto::DeriveKey(2, "device-root");
+  const sim::OutboundAuthentication oa = BootTrustedDevice(counterfeit);
+  EXPECT_EQ(sim::OutboundAuthentication::Verify(genuine, oa.chain(),
+                                                TrustedStack())
+                .code(),
+            StatusCode::kTampered);
+}
+
+TEST(AttestationTest, LayerSubstitutionInvalidatesSuffix) {
+  // Secure bootstrapping's point: swapping the OS layer of one device's
+  // chain into another's breaks every link above it.
+  const Block root = crypto::DeriveKey(1, "device-root");
+  sim::OutboundAuthentication a = BootTrustedDevice(root);
+  sim::OutboundAuthentication b(root);
+  b.LoadLayer("miniboot", 0x9999);  // different bootstrap
+  b.LoadLayer("cp-os", 0x2222);
+  b.LoadLayer("ppj-join-app", 0x3333);
+  auto spliced = a.chain();
+  spliced[1] = b.chain()[1];  // graft B's (valid-in-B) OS link into A
+  EXPECT_FALSE(
+      sim::OutboundAuthentication::Verify(root, spliced, TrustedStack())
+          .ok());
+}
+
+}  // namespace
+}  // namespace ppj

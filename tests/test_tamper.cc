@@ -1,0 +1,242 @@
+// Failure injection: a *malicious* host (Section 3.3) actively tampering
+// with its memory — bit flips, slot reordering, replays — must be detected
+// by the coprocessor's authenticated encryption and position binding, and
+// every algorithm must abort with kTampered instead of producing output.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/algorithm1.h"
+#include "core/algorithm4.h"
+#include "core/algorithm5.h"
+#include "core/join_result.h"
+#include "test_util.h"
+
+namespace ppj {
+namespace {
+
+using core::MultiwayJoin;
+using core::TwoWayJoin;
+using relation::MakeCellWorkload;
+using relation::MakeEquijoinWorkload;
+using test::MakeWorld;
+using test::TwoPartyWorld;
+
+std::unique_ptr<TwoPartyWorld> FreshWorld(std::uint64_t seed = 3) {
+  relation::EquijoinSpec spec;
+  spec.size_a = 8;
+  spec.size_b = 16;
+  spec.n_max = 4;
+  spec.result_size = 9;
+  spec.seed = seed;
+  auto workload = MakeEquijoinWorkload(spec);
+  EXPECT_TRUE(workload.ok());
+  return MakeWorld(std::move(*workload), 4);
+}
+
+TEST(TamperTest, SlotSwapInInputIsDetected) {
+  // The host exchanges two authentic sealed slots of B. Both still carry
+  // valid tags — only the position binding catches the reorder.
+  auto world = FreshWorld();
+  const sim::RegionId rb = world->b->region();
+  auto s3 = world->host.ReadSlot(rb, 3);
+  auto s7 = world->host.ReadSlot(rb, 7);
+  ASSERT_TRUE(s3.ok() && s7.ok());
+  ASSERT_TRUE(world->host.WriteSlot(rb, 3, *s7).ok());
+  ASSERT_TRUE(world->host.WriteSlot(rb, 7, *s3).ok());
+
+  TwoWayJoin join{world->a.get(), world->b.get(),
+                  world->workload.predicate.get(), world->key_out.get()};
+  auto outcome = core::RunAlgorithm1(*world->copro, join, {.n = 4});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kTampered);
+}
+
+TEST(TamperTest, CrossRegionReplayIsDetected) {
+  // The host copies an authentic slot of A over a slot of B (same slot
+  // size would be needed; here both relations share a schema).
+  auto world = FreshWorld();
+  auto stolen = world->host.ReadSlot(world->a->region(), 0);
+  ASSERT_TRUE(stolen.ok());
+  ASSERT_TRUE(world->host.WriteSlot(world->b->region(), 5, *stolen).ok());
+
+  TwoWayJoin join{world->a.get(), world->b.get(),
+                  world->workload.predicate.get(), world->key_out.get()};
+  auto outcome = core::RunAlgorithm1(*world->copro, join, {.n = 4});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kTampered);
+}
+
+TEST(TamperTest, StaleReplayAtSamePositionIsDetected) {
+  // The host snapshots a slot the coprocessor later overwrites, then
+  // restores the stale version. The nonce prefix still matches the
+  // position, but the stale counter's ciphertext no longer matches what T
+  // wrote — T's *next read* of that slot must fail... unless the stale
+  // value is itself a valid (old) seal for this position. Replay of old
+  // versions at the same position is detectable only with freshness state;
+  // here we verify the system catches it when the plaintext sizes drifted
+  // (region reuse), and document the version-counter limitation.
+  sim::HostStore host;
+  sim::Coprocessor copro(&host, {.memory_tuples = 4, .seed = 1});
+  const crypto::Ocb key(crypto::DeriveKey(9, "replay"));
+  const sim::RegionId r =
+      host.CreateRegion("r", sim::Coprocessor::SealedSize(9), 2);
+  ASSERT_TRUE(copro.PutSealed(r, 0, std::vector<std::uint8_t>(9, 1), key).ok());
+  auto old_version = host.ReadSlot(r, 0);
+  ASSERT_TRUE(old_version.ok());
+  ASSERT_TRUE(copro.PutSealed(r, 0, std::vector<std::uint8_t>(9, 2), key).ok());
+  ASSERT_TRUE(host.WriteSlot(r, 0, *old_version).ok());
+  // The stale seal is authentic for this position: it opens, but to the
+  // OLD value. This is the documented residual (a freshness counter inside
+  // T would close it); the test pins the behaviour so a future fix is
+  // visible.
+  auto opened = copro.GetOpen(r, 0, key);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ((*opened)[0], 1);
+}
+
+TEST(TamperTest, BitFlipFuzzAcrossWholeSlot) {
+  // Every single-bit corruption anywhere in a sealed slot must be caught.
+  // A fresh device per probe: the tamper response disables a device after
+  // its first detection (see TamperResponseDisablesDevice).
+  sim::HostStore host;
+  const crypto::Ocb key(crypto::DeriveKey(10, "fuzz"));
+  const std::size_t plain_size = 24;
+  const std::size_t slot_size = sim::Coprocessor::SealedSize(plain_size);
+  const sim::RegionId r = host.CreateRegion("r", slot_size, 1);
+  for (std::size_t bit = 0; bit < slot_size * 8; bit += 3) {
+    sim::Coprocessor copro(&host, {.memory_tuples = 4, .seed = 1});
+    ASSERT_TRUE(copro
+                    .PutSealed(r, 0, std::vector<std::uint8_t>(plain_size, 7),
+                               key)
+                    .ok());
+    ASSERT_TRUE(host.CorruptSlot(r, 0, bit).ok());
+    auto opened = copro.GetOpen(r, 0, key);
+    ASSERT_FALSE(opened.ok()) << "bit " << bit << " flip went undetected";
+    EXPECT_EQ(opened.status().code(), StatusCode::kTampered);
+  }
+}
+
+TEST(TamperTest, TamperResponseDisablesDevice) {
+  // Section 2.2.2: detection zeroizes the device and disables it — even
+  // untampered slots become unreadable afterwards.
+  sim::HostStore host;
+  sim::Coprocessor copro(&host, {.memory_tuples = 4, .seed = 1});
+  const crypto::Ocb key(crypto::DeriveKey(11, "response"));
+  const std::size_t slot_size = sim::Coprocessor::SealedSize(8);
+  const sim::RegionId r = host.CreateRegion("r", slot_size, 2);
+  ASSERT_TRUE(copro.PutSealed(r, 0, std::vector<std::uint8_t>(8, 1), key).ok());
+  ASSERT_TRUE(copro.PutSealed(r, 1, std::vector<std::uint8_t>(8, 2), key).ok());
+  EXPECT_FALSE(copro.disabled());
+  ASSERT_TRUE(host.CorruptSlot(r, 0, 200).ok());
+  EXPECT_EQ(copro.GetOpen(r, 0, key).status().code(), StatusCode::kTampered);
+  EXPECT_TRUE(copro.disabled());
+  // Slot 1 is intact, but the device is dead.
+  EXPECT_EQ(copro.GetOpen(r, 1, key).status().code(), StatusCode::kTampered);
+  EXPECT_EQ(copro.PutSealed(r, 1, std::vector<std::uint8_t>(8, 3), key).code(),
+            StatusCode::kTampered);
+
+  // With the response disabled (test instrumentation), probing continues.
+  sim::Coprocessor lab(&host, {.memory_tuples = 4,
+                               .seed = 2,
+                               .tamper_response = false});
+  EXPECT_FALSE(lab.GetOpen(r, 0, key).ok());
+  EXPECT_FALSE(lab.disabled());
+  EXPECT_TRUE(lab.GetOpen(r, 1, key).ok());
+}
+
+TEST(TamperTest, MidRunCorruptionAbortsAlgorithm5) {
+  relation::CellSpec spec;
+  spec.size_a = 8;
+  spec.size_b = 8;
+  spec.result_size = 10;
+  auto workload = MakeCellWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), 4);
+  // Corrupt an input slot before the run (the simulation cannot interleave
+  // a corruption "mid-scan", but any scan rereads every slot, so a
+  // corruption before the second scan is equivalent to this).
+  ASSERT_TRUE(world->host.CorruptSlot(world->a->region(), 2, 200).ok());
+  const relation::PairAsMultiway multiway(world->workload.predicate.get());
+  MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
+                    world->key_out.get()};
+  auto outcome = core::RunAlgorithm5(*world->copro, join);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kTampered);
+}
+
+TEST(TamperTest, RecipientDetectsTamperedDelivery) {
+  relation::CellSpec spec;
+  spec.size_a = 6;
+  spec.size_b = 6;
+  spec.result_size = 8;
+  auto workload = MakeCellWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), 4);
+  const relation::PairAsMultiway multiway(world->workload.predicate.get());
+  MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
+                    world->key_out.get()};
+  auto outcome = core::RunAlgorithm5(*world->copro, join);
+  ASSERT_TRUE(outcome.ok());
+  // The host tampers with the delivery on its way to P_C.
+  ASSERT_TRUE(world->host.CorruptSlot(outcome->output_region, 0, 300).ok());
+  auto decoded = core::DecodeJoinOutput(
+      world->host, outcome->output_region, outcome->result_size,
+      *world->key_out, world->result_schema.get());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kTampered);
+}
+
+TEST(TamperTest, WrongKeyCannotOpenDelivery) {
+  // A provider (who holds a different session key) cannot read the result
+  // destined for the recipient.
+  relation::CellSpec spec;
+  spec.size_a = 6;
+  spec.size_b = 6;
+  spec.result_size = 5;
+  auto workload = MakeCellWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), 4);
+  const relation::PairAsMultiway multiway(world->workload.predicate.get());
+  MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
+                    world->key_out.get()};
+  auto outcome = core::RunAlgorithm5(*world->copro, join);
+  ASSERT_TRUE(outcome.ok());
+  auto decoded = core::DecodeJoinOutput(
+      world->host, outcome->output_region, outcome->result_size,
+      *world->key_a, world->result_schema.get());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kTampered);
+}
+
+TEST(TamperTest, RandomFuzzManySlots) {
+  // Randomized: corrupt a random bit of a random input slot; Algorithm 4
+  // (which touches every slot) must always abort with kTampered.
+  Rng rng(0xF00D);
+  for (int trial = 0; trial < 20; ++trial) {
+    relation::CellSpec spec;
+    spec.size_a = 6;
+    spec.size_b = 6;
+    spec.result_size = 7;
+    spec.seed = 100 + trial;
+    auto workload = MakeCellWorkload(spec);
+    ASSERT_TRUE(workload.ok());
+    auto world = MakeWorld(std::move(*workload), 2);
+    const bool hit_a = rng.NextBelow(2) == 0;
+    const sim::RegionId region =
+        hit_a ? world->a->region() : world->b->region();
+    const std::uint64_t slot = rng.NextBelow(6);
+    const std::size_t bits = world->host.RegionSlotSize(region) * 8;
+    ASSERT_TRUE(
+        world->host.CorruptSlot(region, slot, rng.NextBelow(bits)).ok());
+    const relation::PairAsMultiway multiway(world->workload.predicate.get());
+    MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
+                      world->key_out.get()};
+    auto outcome = core::RunAlgorithm4(*world->copro, join);
+    ASSERT_FALSE(outcome.ok()) << "trial " << trial;
+    EXPECT_EQ(outcome.status().code(), StatusCode::kTampered);
+  }
+}
+
+}  // namespace
+}  // namespace ppj

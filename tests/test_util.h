@@ -1,0 +1,71 @@
+#ifndef PPJ_TESTS_TEST_UTIL_H_
+#define PPJ_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/math.h"
+#include "crypto/key.h"
+#include "crypto/ocb.h"
+#include "relation/encrypted_relation.h"
+#include "relation/generator.h"
+#include "sim/coprocessor.h"
+#include "sim/host_store.h"
+
+namespace ppj::test {
+
+/// A fully wired two-party world: host, coprocessor, sealed relations, and
+/// the keys — everything an algorithm run needs. Used by correctness tests
+/// and by privacy audits (which build one world per dataset).
+struct TwoPartyWorld {
+  sim::HostStore host;
+  std::unique_ptr<sim::Coprocessor> copro;
+  relation::TwoTableWorkload workload;
+  std::unique_ptr<crypto::Ocb> key_a;
+  std::unique_ptr<crypto::Ocb> key_b;
+  std::unique_ptr<crypto::Ocb> key_out;
+  std::unique_ptr<relation::EncryptedRelation> a;
+  std::unique_ptr<relation::EncryptedRelation> b;
+  std::unique_ptr<relation::Schema> result_schema;
+
+  TwoPartyWorld() = default;
+  TwoPartyWorld(const TwoPartyWorld&) = delete;
+  TwoPartyWorld& operator=(const TwoPartyWorld&) = delete;
+};
+
+/// Builds a world around a generated workload. `pad_b_pow2` also pads A
+/// (harmless) so in-place-sorting algorithms apply.
+inline std::unique_ptr<TwoPartyWorld> MakeWorld(
+    relation::TwoTableWorkload workload, std::uint64_t memory_tuples,
+    bool pad_pow2 = false, std::uint64_t copro_seed = 42) {
+  auto world = std::make_unique<TwoPartyWorld>();
+  world->workload = std::move(workload);
+  world->copro = std::make_unique<sim::Coprocessor>(
+      &world->host, sim::CoprocessorOptions{.memory_tuples = memory_tuples,
+                                            .seed = copro_seed});
+  world->key_a = std::make_unique<crypto::Ocb>(crypto::DeriveKey(1, "A"));
+  world->key_b = std::make_unique<crypto::Ocb>(crypto::DeriveKey(2, "B"));
+  world->key_out = std::make_unique<crypto::Ocb>(crypto::DeriveKey(3, "C"));
+
+  const std::uint64_t pad_a =
+      pad_pow2 ? NextPowerOfTwo(world->workload.a->size()) : 0;
+  const std::uint64_t pad_b =
+      pad_pow2 ? NextPowerOfTwo(world->workload.b->size()) : 0;
+  auto a = relation::EncryptedRelation::Seal(
+      &world->host, *world->workload.a, world->key_a.get(), pad_a);
+  auto b = relation::EncryptedRelation::Seal(
+      &world->host, *world->workload.b, world->key_b.get(), pad_b);
+  if (!a.ok() || !b.ok()) return nullptr;
+  world->a =
+      std::make_unique<relation::EncryptedRelation>(std::move(*a));
+  world->b =
+      std::make_unique<relation::EncryptedRelation>(std::move(*b));
+  world->result_schema =
+      std::make_unique<relation::Schema>(relation::Schema::Concat(
+          world->workload.a->schema(), world->workload.b->schema()));
+  return world;
+}
+
+}  // namespace ppj::test
+
+#endif  // PPJ_TESTS_TEST_UTIL_H_

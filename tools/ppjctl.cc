@@ -1,0 +1,286 @@
+// ppjctl — command-line driver for the ppj library.
+//
+//   ppjctl join  [--alg=1|1v|2|3|4|5|6|auto] [--size-a=N] [--size-b=N]
+//                [--s=N] [--n=N] [--m=N] [--eps=X] [--parallel=P]
+//                [--storage-dir=PATH] [--seed=N]
+//       Generates a synthetic workload, runs the chosen algorithm through
+//       the sovereign join service (or the parallel executors), prints the
+//       delivered result size and the host-observable metrics.
+//
+//   ppjctl plan  --size-a=N --size-b=N [--n=N] [--s=N] [--m=N] [--eps=X]
+//                [--equality] [--exact]
+//       Prints the planner's choice and predicted cost.
+//
+//   ppjctl costs [--l=N] [--s=N] [--m=N] [--eps=X]
+//       Prints the Chapter 5 model costs (Table 5.1 instantiation).
+//
+//   ppjctl audit [--alg=...] [--size-a=N] [--size-b=N] [--s=N] [--m=N]
+//       Runs the Definition 3 trace audit on two shape-equal worlds and
+//       reports the verdict.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "analysis/chapter5_costs.h"
+#include "analysis/smc_cost.h"
+#include "core/algorithm4.h"
+#include "core/algorithm5.h"
+#include "core/algorithm6.h"
+#include "core/join_result.h"
+#include "core/planner.h"
+#include "core/privacy_auditor.h"
+#include "crypto/key.h"
+#include "relation/generator.h"
+#include "service/service.h"
+#include "sim/storage_backend.h"
+#include "sim/trace_stats.h"
+
+namespace {
+
+using namespace ppj;  // NOLINT: tool-local convenience
+
+/// Minimal --key=value flag access.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const std::string prefix = "--" + key + "=";
+    for (const std::string& a : args_) {
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    }
+    return fallback;
+  }
+  std::uint64_t GetU64(const std::string& key, std::uint64_t fallback) const {
+    const std::string v = Get(key, "");
+    return v.empty() ? fallback : std::strtoull(v.c_str(), nullptr, 10);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const std::string v = Get(key, "");
+    return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+  }
+  bool Has(const std::string& key) const {
+    const std::string flag = "--" + key;
+    for (const std::string& a : args_) {
+      if (a == flag) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+service::JoinAlgorithm ParseAlgorithm(const std::string& s) {
+  if (s == "1") return service::JoinAlgorithm::kAlgorithm1;
+  if (s == "1v") return service::JoinAlgorithm::kAlgorithm1Variant;
+  if (s == "2") return service::JoinAlgorithm::kAlgorithm2;
+  if (s == "3") return service::JoinAlgorithm::kAlgorithm3;
+  if (s == "4") return service::JoinAlgorithm::kAlgorithm4;
+  if (s == "5") return service::JoinAlgorithm::kAlgorithm5;
+  if (s == "6") return service::JoinAlgorithm::kAlgorithm6;
+  return service::JoinAlgorithm::kAuto;
+}
+
+int RunJoin(const Flags& flags) {
+  relation::EquijoinSpec spec;
+  spec.size_a = flags.GetU64("size-a", 32);
+  spec.size_b = flags.GetU64("size-b", 32);
+  spec.n_max = flags.GetU64("n", 4);
+  spec.result_size = flags.GetU64("s", 16);
+  spec.seed = flags.GetU64("seed", 1);
+  auto workload = relation::MakeEquijoinWorkload(spec);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+
+  std::unique_ptr<service::SovereignJoinService> svc_holder;
+  const std::string storage_dir = flags.Get("storage-dir", "");
+  if (storage_dir.empty()) {
+    svc_holder = std::make_unique<service::SovereignJoinService>();
+  } else {
+    auto backend = sim::MakeFileBackend(storage_dir);
+    if (!backend.ok()) {
+      std::fprintf(stderr, "storage: %s\n",
+                   backend.status().ToString().c_str());
+      return 1;
+    }
+    svc_holder = std::make_unique<service::SovereignJoinService>(
+        std::move(*backend));
+  }
+  service::SovereignJoinService& svc = *svc_holder;
+  if (!svc.RegisterParty("alice", 1).ok() ||
+      !svc.RegisterParty("bob", 2).ok() ||
+      !svc.RegisterParty("carol", 3).ok()) {
+    return 1;
+  }
+  auto contract = svc.CreateContract({"alice", "bob"}, "carol", "equijoin");
+  if (!contract.ok()) return 1;
+  if (!svc.SubmitRelation(*contract, "alice", *workload->a, true).ok() ||
+      !svc.SubmitRelation(*contract, "bob", *workload->b, true).ok()) {
+    return 1;
+  }
+
+  service::ExecuteOptions options;
+  options.algorithm = ParseAlgorithm(flags.Get("alg", "auto"));
+  options.n = spec.n_max;
+  options.memory_tuples = flags.GetU64("m", 8);
+  options.epsilon = flags.GetDouble("eps", 1e-9);
+  options.seed = flags.GetU64("seed", 1);
+  options.parallelism =
+      static_cast<unsigned>(flags.GetU64("parallel", 1));
+
+  Result<service::JoinDelivery> delivery = Status::Internal("unset");
+  if (options.parallelism > 1) {
+    const relation::PairAsMultiway multiway(workload->predicate.get());
+    delivery = svc.ExecuteMultiwayJoin(*contract, multiway, options);
+  } else {
+    delivery = svc.ExecuteJoin(*contract, *workload->predicate, options);
+  }
+  if (!delivery.ok()) {
+    std::fprintf(stderr, "join: %s\n",
+                 delivery.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("algorithm        %s\n",
+              service::ToString(options.algorithm).c_str());
+  std::printf("workload         |A|=%llu |B|=%llu N=%llu S=%llu M=%llu\n",
+              static_cast<unsigned long long>(spec.size_a),
+              static_cast<unsigned long long>(spec.size_b),
+              static_cast<unsigned long long>(spec.n_max),
+              static_cast<unsigned long long>(spec.result_size),
+              static_cast<unsigned long long>(options.memory_tuples));
+  std::printf("delivered        %zu tuples\n", delivery->tuples.size());
+  std::printf("host observed    %s\n",
+              delivery->metrics.ToString().c_str());
+  std::printf("trace            %s\n",
+              delivery->trace.ToString().c_str());
+  if (delivery->blemish) std::printf("NOTE: blemish salvage occurred\n");
+  return 0;
+}
+
+int RunPlan(const Flags& flags) {
+  core::PlannerInput input;
+  input.size_a = flags.GetU64("size-a", 1024);
+  input.size_b = flags.GetU64("size-b", 1024);
+  input.n = flags.GetU64("n", 0);
+  input.s = flags.GetU64("s", 0);
+  input.m = flags.GetU64("m", 64);
+  input.epsilon = flags.GetDouble("eps", 0.0);
+  input.equality_predicate = flags.Has("equality");
+  input.exact_output_required = flags.Has("exact");
+  const core::Plan plan = core::PlanJoin(input);
+  std::printf("plan        %s\n", core::ToString(plan.algorithm).c_str());
+  std::printf("predicted   %.3g tuple transfers\n",
+              plan.predicted_transfers);
+  std::printf("rationale   %s\n", plan.rationale.c_str());
+  return 0;
+}
+
+int RunCosts(const Flags& flags) {
+  const std::uint64_t l = flags.GetU64("l", 640000);
+  const std::uint64_t s = flags.GetU64("s", 6400);
+  const std::uint64_t m = flags.GetU64("m", 64);
+  const double eps = flags.GetDouble("eps", 1e-20);
+  std::printf("L=%llu S=%llu M=%llu eps=%g\n",
+              static_cast<unsigned long long>(l),
+              static_cast<unsigned long long>(s),
+              static_cast<unsigned long long>(m), eps);
+  std::printf("  SMC (Eqn 5.8)   %.3g\n", analysis::CostSmc(l, s));
+  std::printf("  Algorithm 4     %.3g\n", analysis::CostAlgorithm4(l, s));
+  std::printf("  Algorithm 5     %.3g\n",
+              analysis::CostAlgorithm5(l, s, m));
+  const analysis::Alg6Cost c6 = analysis::CostAlgorithm6(l, s, m, eps);
+  std::printf("  Algorithm 6     %.3g  (n*=%llu, segments=%llu)\n",
+              c6.total, static_cast<unsigned long long>(c6.n_star),
+              static_cast<unsigned long long>(c6.segments));
+  std::printf("  floor L + S     %.3g\n", analysis::MinimalCost(l, s));
+  return 0;
+}
+
+int RunAudit(const Flags& flags) {
+  const std::uint64_t size_a = flags.GetU64("size-a", 8);
+  const std::uint64_t size_b = flags.GetU64("size-b", 12);
+  const std::uint64_t s = flags.GetU64("s", 10);
+  const std::uint64_t m = flags.GetU64("m", 4);
+  const std::string alg = flags.Get("alg", "5");
+
+  auto runner = [&](std::uint64_t world) -> Result<core::AuditRun> {
+    relation::CellSpec spec;
+    spec.size_a = size_a;
+    spec.size_b = size_b;
+    spec.result_size = s;
+    spec.seed = 31 * world + 5;
+    auto workload = relation::MakeCellWorkload(spec);
+    if (!workload.ok()) return workload.status();
+    sim::HostStore host;
+    sim::Coprocessor copro(
+        &host, {.memory_tuples = m, .seed = 7,
+                .max_retained_trace = 1u << 22});
+    const crypto::Ocb key_a(crypto::DeriveKey(1, "A"));
+    const crypto::Ocb key_b(crypto::DeriveKey(2, "B"));
+    const crypto::Ocb key_out(crypto::DeriveKey(3, "C"));
+    auto ea = relation::EncryptedRelation::Seal(&host, *workload->a,
+                                                &key_a);
+    auto eb = relation::EncryptedRelation::Seal(&host, *workload->b,
+                                                &key_b);
+    if (!ea.ok() || !eb.ok()) return Status::Internal("seal failed");
+    const relation::PairAsMultiway multiway(workload->predicate.get());
+    core::MultiwayJoin join{{&*ea, &*eb}, &multiway, &key_out};
+    Status st = Status::OK();
+    if (alg == "4") {
+      st = core::RunAlgorithm4(copro, join).status();
+    } else if (alg == "6") {
+      st = core::RunAlgorithm6(copro, join, {.epsilon = 1e-9}).status();
+    } else {
+      st = core::RunAlgorithm5(copro, join).status();
+    }
+    PPJ_RETURN_NOT_OK(st);
+    core::AuditRun run;
+    run.fingerprint = copro.trace().fingerprint();
+    run.retained_events = copro.trace().retained_events();
+    if (world == 0) {
+      std::printf("%s", sim::SummarizeTrace(copro.trace()).ToString().c_str());
+    }
+    return run;
+  };
+  auto audit = core::PrivacyAuditor::CompareWorlds(runner);
+  if (!audit.ok()) {
+    std::fprintf(stderr, "audit: %s\n", audit.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("verdict: %s\n",
+              audit->identical ? "SAFE — traces identical"
+                               : ("LEAKS — " + audit->detail).c_str());
+  return audit->identical ? 0 : 2;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: ppjctl <join|plan|costs|audit> [--key=value ...]\n"
+               "see the header of tools/ppjctl.cc for the full flag list\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 64;
+  }
+  const Flags flags(argc, argv);
+  const std::string command = argv[1];
+  if (command == "join") return RunJoin(flags);
+  if (command == "plan") return RunPlan(flags);
+  if (command == "costs") return RunCosts(flags);
+  if (command == "audit") return RunAudit(flags);
+  Usage();
+  return 64;
+}
