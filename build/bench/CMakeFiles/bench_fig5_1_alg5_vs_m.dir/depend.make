@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5_1_alg5_vs_m.
+# This may be replaced when dependencies are built.

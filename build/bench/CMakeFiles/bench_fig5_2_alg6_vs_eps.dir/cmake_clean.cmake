@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_2_alg6_vs_eps.dir/bench_fig5_2_alg6_vs_eps.cc.o"
+  "CMakeFiles/bench_fig5_2_alg6_vs_eps.dir/bench_fig5_2_alg6_vs_eps.cc.o.d"
+  "bench_fig5_2_alg6_vs_eps"
+  "bench_fig5_2_alg6_vs_eps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_2_alg6_vs_eps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

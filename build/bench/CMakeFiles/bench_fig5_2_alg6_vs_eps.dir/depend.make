@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5_2_alg6_vs_eps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_3_alg6_vs_m.dir/bench_fig5_3_alg6_vs_m.cc.o"
+  "CMakeFiles/bench_fig5_3_alg6_vs_m.dir/bench_fig5_3_alg6_vs_m.cc.o.d"
+  "bench_fig5_3_alg6_vs_m"
+  "bench_fig5_3_alg6_vs_m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_3_alg6_vs_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

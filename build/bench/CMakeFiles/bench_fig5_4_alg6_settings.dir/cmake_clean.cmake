@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_4_alg6_settings.dir/bench_fig5_4_alg6_settings.cc.o"
+  "CMakeFiles/bench_fig5_4_alg6_settings.dir/bench_fig5_4_alg6_settings.cc.o.d"
+  "bench_fig5_4_alg6_settings"
+  "bench_fig5_4_alg6_settings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_4_alg6_settings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

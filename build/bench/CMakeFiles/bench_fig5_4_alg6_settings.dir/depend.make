@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5_4_alg6_settings.
+# This may be replaced when dependencies are built.

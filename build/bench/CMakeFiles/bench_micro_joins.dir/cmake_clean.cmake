@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_joins.dir/bench_micro_joins.cc.o"
+  "CMakeFiles/bench_micro_joins.dir/bench_micro_joins.cc.o.d"
+  "bench_micro_joins"
+  "bench_micro_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

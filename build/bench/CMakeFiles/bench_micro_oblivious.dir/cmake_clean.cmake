@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_oblivious.dir/bench_micro_oblivious.cc.o"
+  "CMakeFiles/bench_micro_oblivious.dir/bench_micro_oblivious.cc.o.d"
+  "bench_micro_oblivious"
+  "bench_micro_oblivious.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_oblivious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_6_5_sfe.dir/bench_sec4_6_5_sfe.cc.o"
+  "CMakeFiles/bench_sec4_6_5_sfe.dir/bench_sec4_6_5_sfe.cc.o.d"
+  "bench_sec4_6_5_sfe"
+  "bench_sec4_6_5_sfe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_6_5_sfe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_stats.dir/aggregate_stats.cpp.o"
+  "CMakeFiles/aggregate_stats.dir/aggregate_stats.cpp.o.d"
+  "aggregate_stats"
+  "aggregate_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakage_demo.dir/leakage_demo.cpp.o"
+  "CMakeFiles/leakage_demo.dir/leakage_demo.cpp.o.d"
+  "leakage_demo"
+  "leakage_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakage_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

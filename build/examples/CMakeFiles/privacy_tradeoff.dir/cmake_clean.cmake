@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_tradeoff.dir/privacy_tradeoff.cpp.o"
+  "CMakeFiles/privacy_tradeoff.dir/privacy_tradeoff.cpp.o.d"
+  "privacy_tradeoff"
+  "privacy_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/chapter4_costs.cc" "src/CMakeFiles/ppj_analysis.dir/analysis/chapter4_costs.cc.o" "gcc" "src/CMakeFiles/ppj_analysis.dir/analysis/chapter4_costs.cc.o.d"
+  "/root/repo/src/analysis/chapter5_costs.cc" "src/CMakeFiles/ppj_analysis.dir/analysis/chapter5_costs.cc.o" "gcc" "src/CMakeFiles/ppj_analysis.dir/analysis/chapter5_costs.cc.o.d"
+  "/root/repo/src/analysis/hypergeometric.cc" "src/CMakeFiles/ppj_analysis.dir/analysis/hypergeometric.cc.o" "gcc" "src/CMakeFiles/ppj_analysis.dir/analysis/hypergeometric.cc.o.d"
+  "/root/repo/src/analysis/memory_partition.cc" "src/CMakeFiles/ppj_analysis.dir/analysis/memory_partition.cc.o" "gcc" "src/CMakeFiles/ppj_analysis.dir/analysis/memory_partition.cc.o.d"
+  "/root/repo/src/analysis/optimizer.cc" "src/CMakeFiles/ppj_analysis.dir/analysis/optimizer.cc.o" "gcc" "src/CMakeFiles/ppj_analysis.dir/analysis/optimizer.cc.o.d"
+  "/root/repo/src/analysis/regions.cc" "src/CMakeFiles/ppj_analysis.dir/analysis/regions.cc.o" "gcc" "src/CMakeFiles/ppj_analysis.dir/analysis/regions.cc.o.d"
+  "/root/repo/src/analysis/smc_cost.cc" "src/CMakeFiles/ppj_analysis.dir/analysis/smc_cost.cc.o" "gcc" "src/CMakeFiles/ppj_analysis.dir/analysis/smc_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

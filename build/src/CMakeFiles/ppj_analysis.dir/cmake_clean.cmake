@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppj_analysis.dir/analysis/chapter4_costs.cc.o"
+  "CMakeFiles/ppj_analysis.dir/analysis/chapter4_costs.cc.o.d"
+  "CMakeFiles/ppj_analysis.dir/analysis/chapter5_costs.cc.o"
+  "CMakeFiles/ppj_analysis.dir/analysis/chapter5_costs.cc.o.d"
+  "CMakeFiles/ppj_analysis.dir/analysis/hypergeometric.cc.o"
+  "CMakeFiles/ppj_analysis.dir/analysis/hypergeometric.cc.o.d"
+  "CMakeFiles/ppj_analysis.dir/analysis/memory_partition.cc.o"
+  "CMakeFiles/ppj_analysis.dir/analysis/memory_partition.cc.o.d"
+  "CMakeFiles/ppj_analysis.dir/analysis/optimizer.cc.o"
+  "CMakeFiles/ppj_analysis.dir/analysis/optimizer.cc.o.d"
+  "CMakeFiles/ppj_analysis.dir/analysis/regions.cc.o"
+  "CMakeFiles/ppj_analysis.dir/analysis/regions.cc.o.d"
+  "CMakeFiles/ppj_analysis.dir/analysis/smc_cost.cc.o"
+  "CMakeFiles/ppj_analysis.dir/analysis/smc_cost.cc.o.d"
+  "libppj_analysis.a"
+  "libppj_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppj_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

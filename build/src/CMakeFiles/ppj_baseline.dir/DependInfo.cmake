@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/plain_join.cc" "src/CMakeFiles/ppj_baseline.dir/baseline/plain_join.cc.o" "gcc" "src/CMakeFiles/ppj_baseline.dir/baseline/plain_join.cc.o.d"
+  "/root/repo/src/baseline/unsafe_commutative.cc" "src/CMakeFiles/ppj_baseline.dir/baseline/unsafe_commutative.cc.o" "gcc" "src/CMakeFiles/ppj_baseline.dir/baseline/unsafe_commutative.cc.o.d"
+  "/root/repo/src/baseline/unsafe_hash_join.cc" "src/CMakeFiles/ppj_baseline.dir/baseline/unsafe_hash_join.cc.o" "gcc" "src/CMakeFiles/ppj_baseline.dir/baseline/unsafe_hash_join.cc.o.d"
+  "/root/repo/src/baseline/unsafe_nested_loop.cc" "src/CMakeFiles/ppj_baseline.dir/baseline/unsafe_nested_loop.cc.o" "gcc" "src/CMakeFiles/ppj_baseline.dir/baseline/unsafe_nested_loop.cc.o.d"
+  "/root/repo/src/baseline/unsafe_sort_merge.cc" "src/CMakeFiles/ppj_baseline.dir/baseline/unsafe_sort_merge.cc.o" "gcc" "src/CMakeFiles/ppj_baseline.dir/baseline/unsafe_sort_merge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppj_oblivious.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppj_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppj_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppj_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppj_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

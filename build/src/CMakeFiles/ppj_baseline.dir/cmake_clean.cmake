@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppj_baseline.dir/baseline/plain_join.cc.o"
+  "CMakeFiles/ppj_baseline.dir/baseline/plain_join.cc.o.d"
+  "CMakeFiles/ppj_baseline.dir/baseline/unsafe_commutative.cc.o"
+  "CMakeFiles/ppj_baseline.dir/baseline/unsafe_commutative.cc.o.d"
+  "CMakeFiles/ppj_baseline.dir/baseline/unsafe_hash_join.cc.o"
+  "CMakeFiles/ppj_baseline.dir/baseline/unsafe_hash_join.cc.o.d"
+  "CMakeFiles/ppj_baseline.dir/baseline/unsafe_nested_loop.cc.o"
+  "CMakeFiles/ppj_baseline.dir/baseline/unsafe_nested_loop.cc.o.d"
+  "CMakeFiles/ppj_baseline.dir/baseline/unsafe_sort_merge.cc.o"
+  "CMakeFiles/ppj_baseline.dir/baseline/unsafe_sort_merge.cc.o.d"
+  "libppj_baseline.a"
+  "libppj_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppj_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

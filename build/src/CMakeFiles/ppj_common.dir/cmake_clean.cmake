@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppj_common.dir/common/hash.cc.o"
+  "CMakeFiles/ppj_common.dir/common/hash.cc.o.d"
+  "CMakeFiles/ppj_common.dir/common/logging.cc.o"
+  "CMakeFiles/ppj_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/ppj_common.dir/common/math.cc.o"
+  "CMakeFiles/ppj_common.dir/common/math.cc.o.d"
+  "CMakeFiles/ppj_common.dir/common/random.cc.o"
+  "CMakeFiles/ppj_common.dir/common/random.cc.o.d"
+  "CMakeFiles/ppj_common.dir/common/status.cc.o"
+  "CMakeFiles/ppj_common.dir/common/status.cc.o.d"
+  "libppj_common.a"
+  "libppj_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppj_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate.cc" "src/CMakeFiles/ppj_core.dir/core/aggregate.cc.o" "gcc" "src/CMakeFiles/ppj_core.dir/core/aggregate.cc.o.d"
+  "/root/repo/src/core/algorithm1.cc" "src/CMakeFiles/ppj_core.dir/core/algorithm1.cc.o" "gcc" "src/CMakeFiles/ppj_core.dir/core/algorithm1.cc.o.d"
+  "/root/repo/src/core/algorithm2.cc" "src/CMakeFiles/ppj_core.dir/core/algorithm2.cc.o" "gcc" "src/CMakeFiles/ppj_core.dir/core/algorithm2.cc.o.d"
+  "/root/repo/src/core/algorithm3.cc" "src/CMakeFiles/ppj_core.dir/core/algorithm3.cc.o" "gcc" "src/CMakeFiles/ppj_core.dir/core/algorithm3.cc.o.d"
+  "/root/repo/src/core/algorithm4.cc" "src/CMakeFiles/ppj_core.dir/core/algorithm4.cc.o" "gcc" "src/CMakeFiles/ppj_core.dir/core/algorithm4.cc.o.d"
+  "/root/repo/src/core/algorithm5.cc" "src/CMakeFiles/ppj_core.dir/core/algorithm5.cc.o" "gcc" "src/CMakeFiles/ppj_core.dir/core/algorithm5.cc.o.d"
+  "/root/repo/src/core/algorithm6.cc" "src/CMakeFiles/ppj_core.dir/core/algorithm6.cc.o" "gcc" "src/CMakeFiles/ppj_core.dir/core/algorithm6.cc.o.d"
+  "/root/repo/src/core/cartesian.cc" "src/CMakeFiles/ppj_core.dir/core/cartesian.cc.o" "gcc" "src/CMakeFiles/ppj_core.dir/core/cartesian.cc.o.d"
+  "/root/repo/src/core/join_result.cc" "src/CMakeFiles/ppj_core.dir/core/join_result.cc.o" "gcc" "src/CMakeFiles/ppj_core.dir/core/join_result.cc.o.d"
+  "/root/repo/src/core/join_spec.cc" "src/CMakeFiles/ppj_core.dir/core/join_spec.cc.o" "gcc" "src/CMakeFiles/ppj_core.dir/core/join_spec.cc.o.d"
+  "/root/repo/src/core/parallel.cc" "src/CMakeFiles/ppj_core.dir/core/parallel.cc.o" "gcc" "src/CMakeFiles/ppj_core.dir/core/parallel.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/CMakeFiles/ppj_core.dir/core/planner.cc.o" "gcc" "src/CMakeFiles/ppj_core.dir/core/planner.cc.o.d"
+  "/root/repo/src/core/privacy_auditor.cc" "src/CMakeFiles/ppj_core.dir/core/privacy_auditor.cc.o" "gcc" "src/CMakeFiles/ppj_core.dir/core/privacy_auditor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppj_oblivious.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppj_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppj_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppj_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppj_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppj_core.dir/core/aggregate.cc.o"
+  "CMakeFiles/ppj_core.dir/core/aggregate.cc.o.d"
+  "CMakeFiles/ppj_core.dir/core/algorithm1.cc.o"
+  "CMakeFiles/ppj_core.dir/core/algorithm1.cc.o.d"
+  "CMakeFiles/ppj_core.dir/core/algorithm2.cc.o"
+  "CMakeFiles/ppj_core.dir/core/algorithm2.cc.o.d"
+  "CMakeFiles/ppj_core.dir/core/algorithm3.cc.o"
+  "CMakeFiles/ppj_core.dir/core/algorithm3.cc.o.d"
+  "CMakeFiles/ppj_core.dir/core/algorithm4.cc.o"
+  "CMakeFiles/ppj_core.dir/core/algorithm4.cc.o.d"
+  "CMakeFiles/ppj_core.dir/core/algorithm5.cc.o"
+  "CMakeFiles/ppj_core.dir/core/algorithm5.cc.o.d"
+  "CMakeFiles/ppj_core.dir/core/algorithm6.cc.o"
+  "CMakeFiles/ppj_core.dir/core/algorithm6.cc.o.d"
+  "CMakeFiles/ppj_core.dir/core/cartesian.cc.o"
+  "CMakeFiles/ppj_core.dir/core/cartesian.cc.o.d"
+  "CMakeFiles/ppj_core.dir/core/join_result.cc.o"
+  "CMakeFiles/ppj_core.dir/core/join_result.cc.o.d"
+  "CMakeFiles/ppj_core.dir/core/join_spec.cc.o"
+  "CMakeFiles/ppj_core.dir/core/join_spec.cc.o.d"
+  "CMakeFiles/ppj_core.dir/core/parallel.cc.o"
+  "CMakeFiles/ppj_core.dir/core/parallel.cc.o.d"
+  "CMakeFiles/ppj_core.dir/core/planner.cc.o"
+  "CMakeFiles/ppj_core.dir/core/planner.cc.o.d"
+  "CMakeFiles/ppj_core.dir/core/privacy_auditor.cc.o"
+  "CMakeFiles/ppj_core.dir/core/privacy_auditor.cc.o.d"
+  "libppj_core.a"
+  "libppj_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppj_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cc" "src/CMakeFiles/ppj_crypto.dir/crypto/aes128.cc.o" "gcc" "src/CMakeFiles/ppj_crypto.dir/crypto/aes128.cc.o.d"
+  "/root/repo/src/crypto/key.cc" "src/CMakeFiles/ppj_crypto.dir/crypto/key.cc.o" "gcc" "src/CMakeFiles/ppj_crypto.dir/crypto/key.cc.o.d"
+  "/root/repo/src/crypto/mlfsr.cc" "src/CMakeFiles/ppj_crypto.dir/crypto/mlfsr.cc.o" "gcc" "src/CMakeFiles/ppj_crypto.dir/crypto/mlfsr.cc.o.d"
+  "/root/repo/src/crypto/ocb.cc" "src/CMakeFiles/ppj_crypto.dir/crypto/ocb.cc.o" "gcc" "src/CMakeFiles/ppj_crypto.dir/crypto/ocb.cc.o.d"
+  "/root/repo/src/crypto/ocb_stream.cc" "src/CMakeFiles/ppj_crypto.dir/crypto/ocb_stream.cc.o" "gcc" "src/CMakeFiles/ppj_crypto.dir/crypto/ocb_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppj_crypto.dir/crypto/aes128.cc.o"
+  "CMakeFiles/ppj_crypto.dir/crypto/aes128.cc.o.d"
+  "CMakeFiles/ppj_crypto.dir/crypto/key.cc.o"
+  "CMakeFiles/ppj_crypto.dir/crypto/key.cc.o.d"
+  "CMakeFiles/ppj_crypto.dir/crypto/mlfsr.cc.o"
+  "CMakeFiles/ppj_crypto.dir/crypto/mlfsr.cc.o.d"
+  "CMakeFiles/ppj_crypto.dir/crypto/ocb.cc.o"
+  "CMakeFiles/ppj_crypto.dir/crypto/ocb.cc.o.d"
+  "CMakeFiles/ppj_crypto.dir/crypto/ocb_stream.cc.o"
+  "CMakeFiles/ppj_crypto.dir/crypto/ocb_stream.cc.o.d"
+  "libppj_crypto.a"
+  "libppj_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppj_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oblivious/bitonic_sort.cc" "src/CMakeFiles/ppj_oblivious.dir/oblivious/bitonic_sort.cc.o" "gcc" "src/CMakeFiles/ppj_oblivious.dir/oblivious/bitonic_sort.cc.o.d"
+  "/root/repo/src/oblivious/shuffle.cc" "src/CMakeFiles/ppj_oblivious.dir/oblivious/shuffle.cc.o" "gcc" "src/CMakeFiles/ppj_oblivious.dir/oblivious/shuffle.cc.o.d"
+  "/root/repo/src/oblivious/windowed_filter.cc" "src/CMakeFiles/ppj_oblivious.dir/oblivious/windowed_filter.cc.o" "gcc" "src/CMakeFiles/ppj_oblivious.dir/oblivious/windowed_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppj_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppj_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppj_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

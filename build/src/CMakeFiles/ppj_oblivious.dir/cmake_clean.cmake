@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppj_oblivious.dir/oblivious/bitonic_sort.cc.o"
+  "CMakeFiles/ppj_oblivious.dir/oblivious/bitonic_sort.cc.o.d"
+  "CMakeFiles/ppj_oblivious.dir/oblivious/shuffle.cc.o"
+  "CMakeFiles/ppj_oblivious.dir/oblivious/shuffle.cc.o.d"
+  "CMakeFiles/ppj_oblivious.dir/oblivious/windowed_filter.cc.o"
+  "CMakeFiles/ppj_oblivious.dir/oblivious/windowed_filter.cc.o.d"
+  "libppj_oblivious.a"
+  "libppj_oblivious.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppj_oblivious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

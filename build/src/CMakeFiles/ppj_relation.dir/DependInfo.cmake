@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relation/encrypted_relation.cc" "src/CMakeFiles/ppj_relation.dir/relation/encrypted_relation.cc.o" "gcc" "src/CMakeFiles/ppj_relation.dir/relation/encrypted_relation.cc.o.d"
+  "/root/repo/src/relation/generator.cc" "src/CMakeFiles/ppj_relation.dir/relation/generator.cc.o" "gcc" "src/CMakeFiles/ppj_relation.dir/relation/generator.cc.o.d"
+  "/root/repo/src/relation/predicate.cc" "src/CMakeFiles/ppj_relation.dir/relation/predicate.cc.o" "gcc" "src/CMakeFiles/ppj_relation.dir/relation/predicate.cc.o.d"
+  "/root/repo/src/relation/relation.cc" "src/CMakeFiles/ppj_relation.dir/relation/relation.cc.o" "gcc" "src/CMakeFiles/ppj_relation.dir/relation/relation.cc.o.d"
+  "/root/repo/src/relation/schema.cc" "src/CMakeFiles/ppj_relation.dir/relation/schema.cc.o" "gcc" "src/CMakeFiles/ppj_relation.dir/relation/schema.cc.o.d"
+  "/root/repo/src/relation/tuple.cc" "src/CMakeFiles/ppj_relation.dir/relation/tuple.cc.o" "gcc" "src/CMakeFiles/ppj_relation.dir/relation/tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppj_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppj_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppj_relation.dir/relation/encrypted_relation.cc.o"
+  "CMakeFiles/ppj_relation.dir/relation/encrypted_relation.cc.o.d"
+  "CMakeFiles/ppj_relation.dir/relation/generator.cc.o"
+  "CMakeFiles/ppj_relation.dir/relation/generator.cc.o.d"
+  "CMakeFiles/ppj_relation.dir/relation/predicate.cc.o"
+  "CMakeFiles/ppj_relation.dir/relation/predicate.cc.o.d"
+  "CMakeFiles/ppj_relation.dir/relation/relation.cc.o"
+  "CMakeFiles/ppj_relation.dir/relation/relation.cc.o.d"
+  "CMakeFiles/ppj_relation.dir/relation/schema.cc.o"
+  "CMakeFiles/ppj_relation.dir/relation/schema.cc.o.d"
+  "CMakeFiles/ppj_relation.dir/relation/tuple.cc.o"
+  "CMakeFiles/ppj_relation.dir/relation/tuple.cc.o.d"
+  "libppj_relation.a"
+  "libppj_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppj_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

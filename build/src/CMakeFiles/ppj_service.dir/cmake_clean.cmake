@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppj_service.dir/service/contract.cc.o"
+  "CMakeFiles/ppj_service.dir/service/contract.cc.o.d"
+  "CMakeFiles/ppj_service.dir/service/party.cc.o"
+  "CMakeFiles/ppj_service.dir/service/party.cc.o.d"
+  "CMakeFiles/ppj_service.dir/service/service.cc.o"
+  "CMakeFiles/ppj_service.dir/service/service.cc.o.d"
+  "libppj_service.a"
+  "libppj_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppj_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

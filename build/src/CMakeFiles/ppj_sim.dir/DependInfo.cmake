@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/attestation.cc" "src/CMakeFiles/ppj_sim.dir/sim/attestation.cc.o" "gcc" "src/CMakeFiles/ppj_sim.dir/sim/attestation.cc.o.d"
+  "/root/repo/src/sim/coprocessor.cc" "src/CMakeFiles/ppj_sim.dir/sim/coprocessor.cc.o" "gcc" "src/CMakeFiles/ppj_sim.dir/sim/coprocessor.cc.o.d"
+  "/root/repo/src/sim/host_store.cc" "src/CMakeFiles/ppj_sim.dir/sim/host_store.cc.o" "gcc" "src/CMakeFiles/ppj_sim.dir/sim/host_store.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/ppj_sim.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/ppj_sim.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/storage_backend.cc" "src/CMakeFiles/ppj_sim.dir/sim/storage_backend.cc.o" "gcc" "src/CMakeFiles/ppj_sim.dir/sim/storage_backend.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/ppj_sim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/ppj_sim.dir/sim/trace.cc.o.d"
+  "/root/repo/src/sim/trace_stats.cc" "src/CMakeFiles/ppj_sim.dir/sim/trace_stats.cc.o" "gcc" "src/CMakeFiles/ppj_sim.dir/sim/trace_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppj_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppj_sim.dir/sim/attestation.cc.o"
+  "CMakeFiles/ppj_sim.dir/sim/attestation.cc.o.d"
+  "CMakeFiles/ppj_sim.dir/sim/coprocessor.cc.o"
+  "CMakeFiles/ppj_sim.dir/sim/coprocessor.cc.o.d"
+  "CMakeFiles/ppj_sim.dir/sim/host_store.cc.o"
+  "CMakeFiles/ppj_sim.dir/sim/host_store.cc.o.d"
+  "CMakeFiles/ppj_sim.dir/sim/metrics.cc.o"
+  "CMakeFiles/ppj_sim.dir/sim/metrics.cc.o.d"
+  "CMakeFiles/ppj_sim.dir/sim/storage_backend.cc.o"
+  "CMakeFiles/ppj_sim.dir/sim/storage_backend.cc.o.d"
+  "CMakeFiles/ppj_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/ppj_sim.dir/sim/trace.cc.o.d"
+  "CMakeFiles/ppj_sim.dir/sim/trace_stats.cc.o"
+  "CMakeFiles/ppj_sim.dir/sim/trace_stats.cc.o.d"
+  "libppj_sim.a"
+  "libppj_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppj_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorithms_ch4.dir/test_algorithms_ch4.cc.o"
+  "CMakeFiles/test_algorithms_ch4.dir/test_algorithms_ch4.cc.o.d"
+  "test_algorithms_ch4"
+  "test_algorithms_ch4.pdb"
+  "test_algorithms_ch4[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorithms_ch4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

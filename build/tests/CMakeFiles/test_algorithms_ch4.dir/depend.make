@@ -1,0 +1,2 @@
+# Empty dependencies file for test_algorithms_ch4.
+# This may be replaced when dependencies are built.

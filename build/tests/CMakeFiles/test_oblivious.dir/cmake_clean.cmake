@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oblivious.dir/test_oblivious.cc.o"
+  "CMakeFiles/test_oblivious.dir/test_oblivious.cc.o.d"
+  "test_oblivious"
+  "test_oblivious.pdb"
+  "test_oblivious[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oblivious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_substrate2.dir/test_substrate2.cc.o"
+  "CMakeFiles/test_substrate2.dir/test_substrate2.cc.o.d"
+  "test_substrate2"
+  "test_substrate2.pdb"
+  "test_substrate2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_substrate2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppjctl.dir/ppjctl.cc.o"
+  "CMakeFiles/ppjctl.dir/ppjctl.cc.o.d"
+  "ppjctl"
+  "ppjctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppjctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
