@@ -29,18 +29,23 @@ struct World {
   std::unique_ptr<relation::EncryptedRelation> a, b;
 };
 
-std::unique_ptr<World> EquijoinWorld(std::uint64_t memory, bool pad) {
+std::unique_ptr<World> EquijoinWorld(std::uint64_t memory, bool pad,
+                                     std::uint64_t size_a = 16,
+                                     std::uint64_t size_b = 32,
+                                     std::uint64_t result_size = 16,
+                                     std::uint64_t batch_slots = 0) {
   relation::EquijoinSpec spec;
-  spec.size_a = 16;
-  spec.size_b = 32;
+  spec.size_a = size_a;
+  spec.size_b = size_b;
   spec.n_max = 4;
-  spec.result_size = 16;
+  spec.result_size = result_size;
   auto workload = relation::MakeEquijoinWorkload(spec);
   auto w = std::make_unique<World>();
   w->workload = std::move(*workload);
   w->copro = std::make_unique<sim::Coprocessor>(
-      &w->host,
-      sim::CoprocessorOptions{.memory_tuples = memory, .seed = 1});
+      &w->host, sim::CoprocessorOptions{.memory_tuples = memory,
+                                        .seed = 1,
+                                        .batch_slots = batch_slots});
   w->key_a = std::make_unique<crypto::Ocb>(crypto::DeriveKey(1, "A"));
   w->key_b = std::make_unique<crypto::Ocb>(crypto::DeriveKey(2, "B"));
   w->key_out = std::make_unique<crypto::Ocb>(crypto::DeriveKey(3, "C"));
@@ -131,6 +136,41 @@ void BM_Algorithm6(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_Algorithm6);
+
+// The batched-pipeline acceptance point: Algorithm 5 at |A| = |B| = 2048,
+// M = 64, forced-scalar transfers (batch_slots = 1) against the batched
+// pipeline (batch_slots = 0). Tuple transfers and the access trace are
+// bit-identical between the two (tests/test_batching.cc); only the number
+// of physical host round trips — and with it the wall clock — changes.
+void BM_Algorithm5Scale2048(benchmark::State& state) {
+  const auto batch_slots = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t transfers = 0;
+  std::uint64_t round_trips = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto w = EquijoinWorld(/*memory=*/64, /*pad=*/false, /*size_a=*/2048,
+                           /*size_b=*/2048, /*result_size=*/2048,
+                           batch_slots);
+    const relation::PairAsMultiway multiway(w->workload.predicate.get());
+    core::MultiwayJoin join{{w->a.get(), w->b.get()}, &multiway,
+                            w->key_out.get()};
+    state.ResumeTiming();
+    auto outcome = core::RunAlgorithm5(*w->copro, join);
+    benchmark::DoNotOptimize(outcome);
+    state.PauseTiming();
+    transfers = w->copro->metrics().TupleTransfers();
+    round_trips =
+        w->copro->metrics().batch_gets + w->copro->metrics().batch_puts;
+    state.ResumeTiming();
+  }
+  state.counters["tuple_transfers"] = static_cast<double>(transfers);
+  state.counters["host_round_trips"] = static_cast<double>(round_trips);
+}
+BENCHMARK(BM_Algorithm5Scale2048)
+    ->ArgName("batch_slots")
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

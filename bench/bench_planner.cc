@@ -54,7 +54,7 @@ std::unique_ptr<World> NewWorld(const relation::EquijoinSpec& spec,
 }
 
 /// Measured transfers of one algorithm on a fresh world; 0 on error.
-std::uint64_t Measure(core::PlannedAlgorithm alg,
+std::uint64_t Measure(core::Algorithm alg,
                       const relation::EquijoinSpec& spec,
                       std::uint64_t memory) {
   auto w = NewWorld(spec, memory);
@@ -66,26 +66,26 @@ std::uint64_t Measure(core::PlannedAlgorithm alg,
                            w->key_out.get()};
   Status st = Status::OK();
   switch (alg) {
-    case core::PlannedAlgorithm::kAlgorithm1:
+    case core::Algorithm::kAlgorithm1:
       st = core::RunAlgorithm1(*w->copro, join, {.n = spec.n_max}).status();
       break;
-    case core::PlannedAlgorithm::kAlgorithm1Variant:
+    case core::Algorithm::kAlgorithm1Variant:
       st = core::RunAlgorithm1Variant(*w->copro, join, {.n = spec.n_max})
                .status();
       break;
-    case core::PlannedAlgorithm::kAlgorithm2:
+    case core::Algorithm::kAlgorithm2:
       st = core::RunAlgorithm2(*w->copro, join, {.n = spec.n_max}).status();
       break;
-    case core::PlannedAlgorithm::kAlgorithm3:
+    case core::Algorithm::kAlgorithm3:
       st = core::RunAlgorithm3(*w->copro, join, {.n = spec.n_max}).status();
       break;
-    case core::PlannedAlgorithm::kAlgorithm4:
+    case core::Algorithm::kAlgorithm4:
       st = core::RunAlgorithm4(*w->copro, mjoin).status();
       break;
-    case core::PlannedAlgorithm::kAlgorithm5:
+    case core::Algorithm::kAlgorithm5:
       st = core::RunAlgorithm5(*w->copro, mjoin).status();
       break;
-    case core::PlannedAlgorithm::kAlgorithm6:
+    case core::Algorithm::kAlgorithm6:
       st = core::RunAlgorithm6(*w->copro, mjoin, {.epsilon = 1e-6}).status();
       break;
   }
@@ -101,14 +101,14 @@ int main() {
       "Equijoin workloads; all seven algorithms measured per point. The\n"
       "planner's pick should be at or near the measured minimum.");
 
-  const core::PlannedAlgorithm all[] = {
-      core::PlannedAlgorithm::kAlgorithm1,
-      core::PlannedAlgorithm::kAlgorithm1Variant,
-      core::PlannedAlgorithm::kAlgorithm2,
-      core::PlannedAlgorithm::kAlgorithm3,
-      core::PlannedAlgorithm::kAlgorithm4,
-      core::PlannedAlgorithm::kAlgorithm5,
-      core::PlannedAlgorithm::kAlgorithm6,
+  const core::Algorithm all[] = {
+      core::Algorithm::kAlgorithm1,
+      core::Algorithm::kAlgorithm1Variant,
+      core::Algorithm::kAlgorithm2,
+      core::Algorithm::kAlgorithm3,
+      core::Algorithm::kAlgorithm4,
+      core::Algorithm::kAlgorithm5,
+      core::Algorithm::kAlgorithm6,
   };
 
   struct Point {
@@ -146,8 +146,8 @@ int main() {
                 static_cast<unsigned long long>(pt.m),
                 core::ToString(plan.algorithm).c_str());
     std::uint64_t best = ~0ull;
-    core::PlannedAlgorithm best_alg = plan.algorithm;
-    for (core::PlannedAlgorithm alg : all) {
+    core::Algorithm best_alg = plan.algorithm;
+    for (core::Algorithm alg : all) {
       const std::uint64_t measured = Measure(alg, spec, pt.m);
       if (measured == 0) {
         std::printf("  %-24s (not applicable)\n",

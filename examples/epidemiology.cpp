@@ -63,7 +63,7 @@ int main() {
   // Section 4.5.1). Algorithm 4 works with minimal coprocessor memory.
   const ppj::relation::JaccardPredicate similar(1, 1, 0.5);
   ppj::service::ExecuteOptions options;
-  options.algorithm = ppj::service::JoinAlgorithm::kAlgorithm4;
+  options.algorithm = ppj::core::Algorithm::kAlgorithm4;
   auto delivery = service.ExecuteJoin(*contract, similar, options);
   if (!delivery.ok()) {
     std::fprintf(stderr, "join: %s\n", delivery.status().ToString().c_str());

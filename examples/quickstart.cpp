@@ -65,7 +65,7 @@ int main() {
   // --- Execute with the exact-output Algorithm 5 -----------------------
   const ppj::relation::EqualityPredicate on_passport(0, 0);
   ppj::service::ExecuteOptions options;
-  options.algorithm = ppj::service::JoinAlgorithm::kAlgorithm5;
+  options.algorithm = ppj::core::Algorithm::kAlgorithm5;
   options.memory_tuples = 8;
   auto delivery = service.ExecuteJoin(*contract, on_passport, options);
   if (!delivery.ok()) {

@@ -34,18 +34,20 @@ Result<AggregateResult> RunAggregateJoin(sim::Coprocessor& copro,
   (void)state;
 
   ITupleReader reader(&copro, join.tables);
+  reader.set_batch_hint(
+      copro.BatchLimit(std::max<std::uint64_t>(copro.memory_tuples(), 1)));
   AggregateResult out;
   bool first = true;
   for (std::uint64_t idx = 0; idx < reader.index().size(); ++idx) {
     PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
     const bool hit =
-        fetched.real && join.predicate->Satisfy(fetched.components);
+        fetched.real && join.predicate->Satisfy(*fetched.components);
     copro.NoteMatchEvaluation(hit);
     if (!hit) continue;
     ++out.count;
     if (spec.kind == AggregateKind::kCount) continue;
     const std::int64_t v =
-        fetched.components[spec.table].GetInt64(spec.column);
+        (*fetched.components)[spec.table].GetInt64(spec.column);
     out.sum += v;
     if (first) {
       out.min = v;
@@ -92,14 +94,16 @@ Result<GroupByCountResult> RunGroupByCountJoin(sim::Coprocessor& copro,
   out.counts.assign(buckets, 0);
 
   ITupleReader reader(&copro, join.tables);
+  reader.set_batch_hint(
+      copro.BatchLimit(std::max<std::uint64_t>(copro.memory_tuples(), 1)));
   for (std::uint64_t idx = 0; idx < reader.index().size(); ++idx) {
     PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
     const bool hit =
-        fetched.real && join.predicate->Satisfy(fetched.components);
+        fetched.real && join.predicate->Satisfy(*fetched.components);
     copro.NoteMatchEvaluation(hit);
     if (!hit) continue;
     const std::int64_t v =
-        fetched.components[spec.table].GetInt64(spec.column);
+        (*fetched.components)[spec.table].GetInt64(spec.column);
     if (v < spec.domain_lo || v > spec.domain_hi) {
       ++out.overflow;
     } else {

@@ -1,0 +1,49 @@
+#include "core/algorithm.h"
+
+namespace ppj::core {
+
+std::string ToString(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kAlgorithm1:
+      return "Algorithm 1";
+    case Algorithm::kAlgorithm1Variant:
+      return "Algorithm 1 (variant)";
+    case Algorithm::kAlgorithm2:
+      return "Algorithm 2";
+    case Algorithm::kAlgorithm3:
+      return "Algorithm 3";
+    case Algorithm::kAlgorithm4:
+      return "Algorithm 4";
+    case Algorithm::kAlgorithm5:
+      return "Algorithm 5";
+    case Algorithm::kAlgorithm6:
+      return "Algorithm 6";
+  }
+  return "?";
+}
+
+Result<Algorithm> ParseAlgorithm(const std::string& s) {
+  if (s == "1") return Algorithm::kAlgorithm1;
+  if (s == "1v") return Algorithm::kAlgorithm1Variant;
+  if (s == "2") return Algorithm::kAlgorithm2;
+  if (s == "3") return Algorithm::kAlgorithm3;
+  if (s == "4") return Algorithm::kAlgorithm4;
+  if (s == "5") return Algorithm::kAlgorithm5;
+  if (s == "6") return Algorithm::kAlgorithm6;
+  return Status::InvalidArgument("unknown algorithm '" + s +
+                                 "' (expected 1, 1v, 2, 3, 4, 5 or 6)");
+}
+
+bool IsChapter4(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kAlgorithm1:
+    case Algorithm::kAlgorithm1Variant:
+    case Algorithm::kAlgorithm2:
+    case Algorithm::kAlgorithm3:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace ppj::core

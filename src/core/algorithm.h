@@ -1,0 +1,35 @@
+#ifndef PPJ_CORE_ALGORITHM_H_
+#define PPJ_CORE_ALGORITHM_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace ppj::core {
+
+/// The paper's join algorithms (Chapters 4 and 5) — the single enum shared
+/// by the planner, the service layer and the tools. Service-level "let the
+/// planner pick" is not an algorithm and is therefore not a value here; the
+/// service expresses it as an absent std::optional<Algorithm> (see
+/// service::kAuto).
+enum class Algorithm {
+  kAlgorithm1,         ///< Ch.4 general join, small memory
+  kAlgorithm1Variant,  ///< Ch.4 variant (Section 4.4.2)
+  kAlgorithm2,         ///< Ch.4 general join, large memory
+  kAlgorithm3,         ///< Ch.4 sort-based equijoin
+  kAlgorithm4,         ///< Ch.5 exact join, small memory
+  kAlgorithm5,         ///< Ch.5 exact join, large memory
+  kAlgorithm6,         ///< Ch.5 (1 - epsilon)-privacy join
+};
+
+std::string ToString(Algorithm algorithm);
+
+/// Parses the command-line spelling: "1", "1v", "2", "3", "4", "5", "6".
+Result<Algorithm> ParseAlgorithm(const std::string& s);
+
+/// Chapter 4 family: N|A|-shaped output, two-way joins, sequential only.
+bool IsChapter4(Algorithm algorithm);
+
+}  // namespace ppj::core
+
+#endif  // PPJ_CORE_ALGORITHM_H_

@@ -59,42 +59,50 @@ Result<Ch4Outcome> RunAlgorithm1(sim::Coprocessor& copro,
 
   const oblivious::PlainLess real_first = oblivious::RealFirstLess();
 
+  // Batched sequential scans of the inputs and a windowed writer for the
+  // scratch: per slot the accounting is scalar-identical, only the physical
+  // transfer granularity changes. The writer is flushed before every
+  // ObliviousSort (which reads the scratch region) and the sort itself
+  // leaves no writes pending.
+  BatchedScan ascan(&copro, join.a);
+  BatchedScan bscan(&copro, join.b);
+  BatchedSealWriter writer(&copro, scratch, join.output_key);
+  relation::Tuple a, b;
+  bool a_real = false, b_real = false;
+
   for (std::uint64_t ai = 0; ai < size_a; ++ai) {
     // Reset the scratch with fresh indistinguishable decoys.
     for (std::uint64_t k = 0; k < scratch_slots; ++k) {
-      PPJ_RETURN_NOT_OK(copro.PutSealed(scratch, k, decoy, *join.output_key));
+      PPJ_RETURN_NOT_OK(writer.Put(k, decoy));
     }
-    PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple a,
-                         join.a->Fetch(copro, ai));
+    PPJ_RETURN_NOT_OK(writer.Flush());
+    PPJ_RETURN_NOT_OK(ascan.FetchInto(ai, &a, &a_real));
     std::uint64_t i = 0;
     for (std::uint64_t bi = 0; bi < size_b; ++bi) {
-      PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple b,
-                           join.b->Fetch(copro, bi));
-      const bool hit =
-          a.real && b.real && join.predicate->Match(a.tuple, b.tuple);
+      PPJ_RETURN_NOT_OK(bscan.FetchInto(bi, &b, &b_real));
+      const bool hit = a_real && b_real && join.predicate->Match(a, b);
       copro.NoteMatchEvaluation(hit);
       // Exactly one oTuple out per comparison, always to the same rolling
       // slot — the fixed-size principle of Section 3.4.3.
       const std::uint64_t pos = n + (i % n);
       if (hit) {
         // Joined payload = a bytes || b bytes.
-        std::vector<std::uint8_t> bytes = a.tuple.Serialize();
-        const std::vector<std::uint8_t> bb = b.tuple.Serialize();
+        std::vector<std::uint8_t> bytes = a.Serialize();
+        const std::vector<std::uint8_t> bb = b.Serialize();
         bytes.insert(bytes.end(), bb.begin(), bb.end());
-        PPJ_RETURN_NOT_OK(copro.PutSealed(scratch, pos,
-                                          relation::wire::MakeReal(bytes),
-                                          *join.output_key));
+        PPJ_RETURN_NOT_OK(writer.Put(pos, relation::wire::MakeReal(bytes)));
       } else {
-        PPJ_RETURN_NOT_OK(
-            copro.PutSealed(scratch, pos, decoy, *join.output_key));
+        PPJ_RETURN_NOT_OK(writer.Put(pos, decoy));
       }
       ++i;
       if (i % n == 0) {
+        PPJ_RETURN_NOT_OK(writer.Flush());
         PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(
             copro, scratch, scratch_slots, *join.output_key, real_first));
       }
     }
     if (i % n != 0) {
+      PPJ_RETURN_NOT_OK(writer.Flush());
       PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(
           copro, scratch, scratch_slots, *join.output_key, real_first));
     }
@@ -126,30 +134,33 @@ Result<Ch4Outcome> RunAlgorithm1Variant(sim::Coprocessor& copro,
 
   const oblivious::PlainLess real_first = oblivious::RealFirstLess();
 
+  // Same batching discipline as Algorithm 1: windowed input scans, windowed
+  // buffer writes, flush before the sort reads the buffer.
+  BatchedScan ascan(&copro, join.a);
+  BatchedScan bscan(&copro, join.b);
+  BatchedSealWriter writer(&copro, buffer, join.output_key);
+  relation::Tuple a, b;
+  bool a_real = false, b_real = false;
+
   for (std::uint64_t ai = 0; ai < size_a; ++ai) {
-    PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple a,
-                         join.a->Fetch(copro, ai));
+    PPJ_RETURN_NOT_OK(ascan.FetchInto(ai, &a, &a_real));
     for (std::uint64_t bi = 0; bi < size_b; ++bi) {
-      PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple b,
-                           join.b->Fetch(copro, bi));
-      const bool hit =
-          a.real && b.real && join.predicate->Match(a.tuple, b.tuple);
+      PPJ_RETURN_NOT_OK(bscan.FetchInto(bi, &b, &b_real));
+      const bool hit = a_real && b_real && join.predicate->Match(a, b);
       copro.NoteMatchEvaluation(hit);
       if (hit) {
-        std::vector<std::uint8_t> bytes = a.tuple.Serialize();
-        const std::vector<std::uint8_t> bb = b.tuple.Serialize();
+        std::vector<std::uint8_t> bytes = a.Serialize();
+        const std::vector<std::uint8_t> bb = b.Serialize();
         bytes.insert(bytes.end(), bb.begin(), bb.end());
-        PPJ_RETURN_NOT_OK(copro.PutSealed(buffer, bi,
-                                          relation::wire::MakeReal(bytes),
-                                          *join.output_key));
+        PPJ_RETURN_NOT_OK(writer.Put(bi, relation::wire::MakeReal(bytes)));
       } else {
-        PPJ_RETURN_NOT_OK(
-            copro.PutSealed(buffer, bi, decoy, *join.output_key));
+        PPJ_RETURN_NOT_OK(writer.Put(bi, decoy));
       }
     }
     for (std::uint64_t k = size_b; k < buffer_slots; ++k) {
-      PPJ_RETURN_NOT_OK(copro.PutSealed(buffer, k, decoy, *join.output_key));
+      PPJ_RETURN_NOT_OK(writer.Put(k, decoy));
     }
+    PPJ_RETURN_NOT_OK(writer.Flush());
     PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(copro, buffer, buffer_slots,
                                                *join.output_key, real_first));
     PPJ_RETURN_NOT_OK(HostFlushToOutput(copro, buffer, n, output, ai * n));

@@ -1,5 +1,8 @@
 #include "core/algorithm3.h"
 
+#include <algorithm>
+#include <span>
+
 #include "common/math.h"
 #include "oblivious/bitonic_sort.h"
 #include "relation/encrypted_relation.h"
@@ -53,35 +56,56 @@ Result<Ch4Outcome> RunAlgorithm3(sim::Coprocessor& copro,
   const sim::RegionId output =
       copro.host()->CreateRegion("alg3-output", slot, size_a * n);
 
+  // Windowed input scans and chunked read/write windows over the rolling
+  // scratch ring. A chunk covers [p, p+c) with c <= n - p, so it never
+  // crosses the ring's wrap: within a chunk each slot is read exactly once
+  // and only then rewritten, which makes the pre-chunk staged copies the
+  // values the scalar loop would have read. Per slot the accounting — Get B,
+  // Get scratch, Put scratch — is scalar-identical and in scalar order; the
+  // deferred writes are flushed before the next chunk restages.
+  BatchedScan ascan(&copro, join.a);
+  BatchedScan bscan(&copro, join.b);
+  BatchedSealWriter reset(&copro, scratch, join.output_key);
+  const std::uint64_t limit =
+      copro.BatchLimit(std::max<std::uint64_t>(copro.memory_tuples(), 1));
+  relation::Tuple a, b;
+  bool a_real = false, b_real = false;
+  std::vector<std::uint8_t> t;
+
   for (std::uint64_t ai = 0; ai < size_a; ++ai) {
-    PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple a,
-                         join.a->Fetch(copro, ai));
+    PPJ_RETURN_NOT_OK(ascan.FetchInto(ai, &a, &a_real));
     for (std::uint64_t k = 0; k < n; ++k) {
-      PPJ_RETURN_NOT_OK(copro.PutSealed(scratch, k, decoy, *join.output_key));
+      PPJ_RETURN_NOT_OK(reset.Put(k, decoy));
     }
+    PPJ_RETURN_NOT_OK(reset.Flush());
     std::uint64_t i = 0;
-    for (std::uint64_t bi = 0; bi < size_b; ++bi) {
-      PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple b,
-                           join.b->Fetch(copro, bi));
-      PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> t,
-                           copro.GetOpen(scratch, i % n, *join.output_key));
-      const bool hit =
-          a.real && b.real && join.predicate->Match(a.tuple, b.tuple);
-      copro.NoteMatchEvaluation(hit);
-      if (hit) {
-        std::vector<std::uint8_t> bytes = a.tuple.Serialize();
-        const std::vector<std::uint8_t> bb = b.tuple.Serialize();
-        bytes.insert(bytes.end(), bb.begin(), bb.end());
-        PPJ_RETURN_NOT_OK(copro.PutSealed(scratch, i % n,
-                                          relation::wire::MakeReal(bytes),
-                                          *join.output_key));
-      } else {
-        // Write back what was read, re-encrypted: indistinguishable from a
-        // fresh result to the host.
-        PPJ_RETURN_NOT_OK(copro.PutSealed(scratch, i % n, t,
-                                          *join.output_key));
+    while (i < size_b) {
+      const std::uint64_t p = i % n;
+      const std::uint64_t c =
+          std::min({limit, n - p, size_b - i});
+      PPJ_ASSIGN_OR_RETURN(sim::ReadRun in,
+                           copro.GetOpenRange(scratch, p, c, join.output_key));
+      PPJ_ASSIGN_OR_RETURN(
+          sim::WriteRun out_run,
+          copro.PutSealedRange(scratch, p, c, join.output_key));
+      for (std::uint64_t e = 0; e < c; ++e, ++i) {
+        PPJ_RETURN_NOT_OK(bscan.FetchInto(i, &b, &b_real));
+        PPJ_ASSIGN_OR_RETURN(std::span<const std::uint8_t> s, in.NextOpen());
+        t.assign(s.begin(), s.end());
+        const bool hit = a_real && b_real && join.predicate->Match(a, b);
+        copro.NoteMatchEvaluation(hit);
+        if (hit) {
+          std::vector<std::uint8_t> bytes = a.Serialize();
+          const std::vector<std::uint8_t> bb = b.Serialize();
+          bytes.insert(bytes.end(), bb.begin(), bb.end());
+          PPJ_RETURN_NOT_OK(out_run.Append(relation::wire::MakeReal(bytes)));
+        } else {
+          // Write back what was read, re-encrypted: indistinguishable from
+          // a fresh result to the host.
+          PPJ_RETURN_NOT_OK(out_run.Append(t));
+        }
       }
-      ++i;
+      PPJ_RETURN_NOT_OK(out_run.Flush());
     }
     // H persists the N scratch slots for this A tuple.
     for (std::uint64_t k = 0; k < n; ++k) {

@@ -1,5 +1,7 @@
 #include "core/algorithm4.h"
 
+#include <algorithm>
+
 #include "analysis/optimizer.h"
 #include "core/cartesian.h"
 #include "oblivious/windowed_filter.h"
@@ -22,24 +24,27 @@ Result<Ch5Outcome> RunAlgorithm4(sim::Coprocessor& copro,
   const sim::RegionId staging =
       copro.host()->CreateRegion("alg4-staging", slot, l);
 
-  // Pass 1: one oTuple out per iTuple in, unconditionally.
+  // Pass 1: one oTuple out per iTuple in, unconditionally. The scan and the
+  // staging writes both move through the batched layer; the writer is
+  // flushed before the filter below reads the staging region.
+  reader.set_batch_hint(
+      copro.BatchLimit(std::max<std::uint64_t>(copro.memory_tuples(), 1)));
+  BatchedSealWriter writer(&copro, staging, join.output_key);
   std::uint64_t s = 0;
   for (std::uint64_t idx = 0; idx < l; ++idx) {
     PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
-    const bool hit = fetched.real && join.predicate->Satisfy(fetched.components);
+    const bool hit = fetched.real && join.predicate->Satisfy(*fetched.components);
     copro.NoteMatchEvaluation(hit);
     if (hit) {
       ++s;
-      PPJ_RETURN_NOT_OK(copro.PutSealed(
-          staging, idx,
-          relation::wire::MakeReal(ITupleReader::JoinedPayload(
-              fetched.components)),
-          *join.output_key));
+      PPJ_RETURN_NOT_OK(writer.Put(
+          idx, relation::wire::MakeReal(
+                   ITupleReader::JoinedPayload(*fetched.components))));
     } else {
-      PPJ_RETURN_NOT_OK(copro.PutSealed(staging, idx, decoy,
-                                        *join.output_key));
+      PPJ_RETURN_NOT_OK(writer.Put(idx, decoy));
     }
   }
+  PPJ_RETURN_NOT_OK(writer.Flush());
 
   Ch5Outcome out;
   out.result_size = s;

@@ -1,5 +1,7 @@
 #include "core/algorithm5.h"
 
+#include <algorithm>
+
 #include "core/cartesian.h"
 #include "relation/encrypted_relation.h"
 
@@ -32,29 +34,42 @@ Result<Ch5Outcome> RunAlgorithm5(sim::Coprocessor& copro,
     buffer.Clear();
     std::int64_t last_stored = pindex;
     bool overflow = false;
+    // One coprocessor-memory's worth of slots per host round trip. The
+    // staged run holds *sealed* bytes (untrusted data, no secure slots
+    // consumed — each slot still opens one at a time into the same scratch
+    // slot the scalar path uses), so the window is a transfer-granularity
+    // knob, not a memory commitment. It only changes how slots move, never
+    // which slots or in what order.
+    reader.set_batch_hint(copro.BatchLimit(buffer.capacity()));
     for (std::uint64_t idx = 0; idx < l; ++idx) {
       PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
       const bool hit =
-          fetched.real && join.predicate->Satisfy(fetched.components);
+          fetched.real && join.predicate->Satisfy(*fetched.components);
       copro.NoteMatchEvaluation(hit);
       if (hit && static_cast<std::int64_t>(idx) > pindex) {
         if (!buffer.full()) {
           PPJ_RETURN_NOT_OK(buffer.Push(relation::wire::MakeReal(
-              ITupleReader::JoinedPayload(fetched.components))));
+              ITupleReader::JoinedPayload(*fetched.components))));
           last_stored = static_cast<std::int64_t>(idx);
         } else {
           overflow = true;  // more results remain: another scan is needed
         }
       }
     }
-    // Flush at the scan boundary — the only observable output point.
+    // Flush at the scan boundary — the only observable output point. The
+    // sealed slots land on the host in one scatter (DiskWrite is pure
+    // accounting and does not read the region).
     PPJ_RETURN_NOT_OK(
         copro.host()->ResizeRegion(output, written + buffer.size()));
+    PPJ_ASSIGN_OR_RETURN(
+        sim::WriteRun flush,
+        copro.PutSealedRange(output, written, buffer.size(),
+                             join.output_key));
     for (std::size_t k = 0; k < buffer.size(); ++k) {
-      PPJ_RETURN_NOT_OK(copro.PutSealed(output, written + k, buffer.At(k),
-                                        *join.output_key));
+      PPJ_RETURN_NOT_OK(flush.Append(buffer.At(k)));
       PPJ_RETURN_NOT_OK(copro.DiskWrite(output, written + k));
     }
+    PPJ_RETURN_NOT_OK(flush.Flush());
     written += buffer.size();
     if (!overflow) break;
     pindex = last_stored;

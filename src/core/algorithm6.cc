@@ -1,5 +1,6 @@
 #include "core/algorithm6.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "analysis/optimizer.h"
@@ -32,13 +33,13 @@ Result<ScreenResult> ScreenAndMaybeBuffer(sim::Coprocessor& copro,
   for (std::uint64_t idx = 0; idx < l; ++idx) {
     PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
     const bool hit =
-        fetched.real && join.predicate->Satisfy(fetched.components);
+        fetched.real && join.predicate->Satisfy(*fetched.components);
     copro.NoteMatchEvaluation(hit);
     if (hit) {
       ++out.s;
       if (!overflow && !buffer.full()) {
         PPJ_RETURN_NOT_OK(buffer.Push(relation::wire::MakeReal(
-            ITupleReader::JoinedPayload(fetched.components))));
+            ITupleReader::JoinedPayload(*fetched.components))));
       } else {
         overflow = true;
       }
@@ -72,8 +73,16 @@ Result<Ch5Outcome> RunAlgorithm6(sim::Coprocessor& copro,
   const std::vector<std::uint8_t> decoy = relation::wire::MakeDecoy(payload);
 
   // --- Screening pass: learn S (and buffer results opportunistically). ---
+  // The screening scan is sequential, so it moves through the batched
+  // transfer layer; the hint is withdrawn afterwards because the main pass
+  // visits iTuples in MLFSR-random order, where staged runs would go to
+  // waste (a staged-but-unconsumed slot is never traced or charged, but the
+  // physical gather still costs wall clock).
+  reader.set_batch_hint(
+      copro.BatchLimit(std::max<std::uint64_t>(buffer.capacity(), 1)));
   PPJ_ASSIGN_OR_RETURN(ScreenResult screened,
                        ScreenAndMaybeBuffer(copro, join, reader, buffer));
+  reader.set_batch_hint(1);
   const std::uint64_t s = screened.s;
 
   Ch5Outcome out;
@@ -86,11 +95,15 @@ Result<Ch5Outcome> RunAlgorithm6(sim::Coprocessor& copro,
     // M >= S case: flush straight from memory; total cost L + S.
     out.n_star = l;
     out.output_region = copro.host()->CreateRegion("alg6-output", slot, s);
+    PPJ_ASSIGN_OR_RETURN(
+        sim::WriteRun flush,
+        copro.PutSealedRange(out.output_region, 0, buffer.size(),
+                             join.output_key));
     for (std::size_t k = 0; k < buffer.size(); ++k) {
-      PPJ_RETURN_NOT_OK(copro.PutSealed(out.output_region, k, buffer.At(k),
-                                        *join.output_key));
+      PPJ_RETURN_NOT_OK(flush.Append(buffer.At(k)));
       PPJ_RETURN_NOT_OK(copro.DiskWrite(out.output_region, k));
     }
+    PPJ_RETURN_NOT_OK(flush.Flush());
     return out;
   }
 
@@ -118,25 +131,29 @@ Result<Ch5Outcome> RunAlgorithm6(sim::Coprocessor& copro,
     const std::uint64_t idx = order.Next();
     PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
     const bool hit =
-        fetched.real && join.predicate->Satisfy(fetched.components);
+        fetched.real && join.predicate->Satisfy(*fetched.components);
     copro.NoteMatchEvaluation(hit);
     if (hit) {
       if (buffer.full()) {
         blemish = true;  // segment overflow: the epsilon-probability event
       } else {
         PPJ_RETURN_NOT_OK(buffer.Push(relation::wire::MakeReal(
-            ITupleReader::JoinedPayload(fetched.components))));
+            ITupleReader::JoinedPayload(*fetched.components))));
       }
     }
     ++in_segment;
     if (in_segment == n_star || visited + 1 == l) {
-      // Fixed-size flush: exactly M oTuples, decoy padded.
+      // Fixed-size flush: exactly M oTuples, decoy padded, landing on the
+      // host in one scatter. Nothing reads the staging region before the
+      // final filter pass, which starts after every segment has flushed.
+      PPJ_ASSIGN_OR_RETURN(
+          sim::WriteRun flush,
+          copro.PutSealedRange(staging, seg * m, m, join.output_key));
       for (std::uint64_t k = 0; k < m; ++k) {
-        const std::vector<std::uint8_t>& plain =
-            k < buffer.size() ? buffer.At(k) : decoy;
-        PPJ_RETURN_NOT_OK(copro.PutSealed(staging, seg * m + k, plain,
-                                          *join.output_key));
+        PPJ_RETURN_NOT_OK(
+            flush.Append(k < buffer.size() ? buffer.At(k) : decoy));
       }
+      PPJ_RETURN_NOT_OK(flush.Flush());
       buffer.Clear();
       in_segment = 0;
       ++seg;

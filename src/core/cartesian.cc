@@ -1,5 +1,6 @@
 #include "core/cartesian.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ppj::core {
@@ -17,11 +18,16 @@ CartesianIndex::CartesianIndex(std::vector<std::uint64_t> table_sizes)
 std::vector<std::uint64_t> CartesianIndex::Decompose(
     std::uint64_t index) const {
   std::vector<std::uint64_t> out(sizes_.size());
+  DecomposeInto(index, out.data());
+  return out;
+}
+
+void CartesianIndex::DecomposeInto(std::uint64_t index,
+                                   std::uint64_t* out) const {
   for (std::size_t i = 0; i < sizes_.size(); ++i) {
     out[i] = index / strides_[i];
     index %= strides_[i];
   }
-  return out;
 }
 
 std::uint64_t CartesianIndex::Compose(
@@ -49,6 +55,7 @@ ITupleReader::ITupleReader(
     : copro_(copro),
       tables_(std::move(tables)),
       index_(TableSizes(tables_)),
+      parts_(tables_.size()),
       cached_index_(tables_.size()),
       cached_tuple_(tables_.size()),
       cached_real_(tables_.size(), false) {
@@ -56,20 +63,53 @@ ITupleReader::ITupleReader(
 }
 
 Result<ITupleReader::Fetched> ITupleReader::Fetch(std::uint64_t logical) {
-  const std::vector<std::uint64_t> parts = index_.Decompose(logical);
-  Fetched out;
-  out.components.reserve(tables_.size());
-  for (std::size_t t = 0; t < tables_.size(); ++t) {
-    if (!cached_index_[t].has_value() || *cached_index_[t] != parts[t]) {
-      PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple fetched,
-                           tables_[t]->Fetch(*copro_, parts[t]));
-      cached_index_[t] = parts[t];
-      cached_tuple_[t] = std::move(fetched.tuple);
-      cached_real_[t] = fetched.real;
+  if (has_last_ && logical == last_logical_ + 1) {
+    // Sequential scan: advance the per-table odometer without divisions.
+    const std::vector<std::uint64_t>& sizes = index_.table_sizes();
+    for (std::size_t t = tables_.size(); t-- > 0;) {
+      if (++parts_[t] < sizes[t]) break;
+      parts_[t] = 0;
     }
-    out.components.push_back(cached_tuple_[t]);
+  } else {
+    index_.DecomposeInto(logical, parts_.data());
+  }
+  last_logical_ = logical;
+  has_last_ = true;
+  Fetched out;
+  const std::size_t last = tables_.size() - 1;
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    if (!cached_index_[t].has_value() || *cached_index_[t] != parts_[t]) {
+      bool real = false;
+      if (t == last && batch_hint_ > 1) {
+        // The innermost table varies fastest under a sequential scan of D,
+        // so stage the next run of its slots in one host round trip. The
+        // staged range is a function of (position, hint) only — never of
+        // data — and consumption below performs the same per-slot Get
+        // accounting as the scalar path.
+        if (!run_.has_value() || run_->remaining() == 0 ||
+            run_->position() != parts_[t]) {
+          const std::uint64_t count = std::min<std::uint64_t>(
+              batch_hint_, tables_[t]->size() - parts_[t]);
+          PPJ_ASSIGN_OR_RETURN(
+              relation::EncryptedRelation::FetchRun run,
+              tables_[t]->FetchRange(*copro_, parts_[t], count));
+          run_ = std::move(run);
+        }
+        PPJ_RETURN_NOT_OK(run_->NextInto(&cached_tuple_[t], &real));
+      } else {
+        // Scalar pipeline exactly as before the batched layer existed: one
+        // GetOpen round trip and an allocating decode per component.
+        PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple f,
+                             tables_[t]->Fetch(*copro_, parts_[t]));
+        cached_tuple_[t] = std::move(f.tuple);
+        real = f.real;
+      }
+      cached_index_[t] = parts_[t];
+      cached_real_[t] = real;
+    }
     out.real = out.real && cached_real_[t];
   }
+  out.components = &cached_tuple_;
   copro_->NoteITupleRead();
   return out;
 }

@@ -29,6 +29,9 @@ class CartesianIndex {
   /// table varies fastest).
   std::vector<std::uint64_t> Decompose(std::uint64_t index) const;
 
+  /// Allocation-free Decompose into caller storage (size must be arity()).
+  void DecomposeInto(std::uint64_t index, std::uint64_t* out) const;
+
   /// Inverse of Decompose.
   std::uint64_t Compose(const std::vector<std::uint64_t>& indices) const;
 
@@ -52,12 +55,21 @@ class ITupleReader {
   const CartesianIndex& index() const { return index_; }
 
   /// The iTuple at logical position `logical`; `real` is false when any
-  /// component is a padding slot.
+  /// component is a padding slot. `components` points at the reader's
+  /// per-table cache and is valid until the next Fetch call.
   struct Fetched {
-    std::vector<relation::Tuple> components;
+    const std::vector<relation::Tuple>* components = nullptr;
     bool real = true;
   };
   Result<Fetched> Fetch(std::uint64_t logical);
+
+  /// Declares how many upcoming Fetch calls are sequential in the logical
+  /// index, letting the reader stage the innermost (fastest-varying) table
+  /// through the batched range-transfer path. <= 1 keeps the scalar path;
+  /// callers size the hint from free device slots (Coprocessor::BatchLimit).
+  /// The hint only changes *how* component slots move, never which slots
+  /// are accessed or in what order, so traces are unaffected.
+  void set_batch_hint(std::uint64_t slots) { batch_hint_ = slots; }
 
   /// Serialized concatenation of the component tuples — the payload of a
   /// join-result oTuple.
@@ -72,7 +84,13 @@ class ITupleReader {
   std::vector<const relation::EncryptedRelation*> tables_;
   CartesianIndex index_;
   std::size_t payload_size_ = 0;
-  // Cache of the last fetched component index/tuple per table.
+  std::uint64_t batch_hint_ = 1;
+  std::optional<relation::EncryptedRelation::FetchRun> run_;
+  std::vector<std::uint64_t> parts_;  // Decompose scratch / odometer state.
+  std::uint64_t last_logical_ = 0;
+  bool has_last_ = false;
+  // Cache of the last fetched component index/tuple per table; the tuple
+  // vector doubles as the components view handed out by Fetch.
   std::vector<std::optional<std::uint64_t>> cached_index_;
   std::vector<relation::Tuple> cached_tuple_;
   std::vector<bool> cached_real_;

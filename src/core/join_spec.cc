@@ -1,8 +1,73 @@
 #include "core/join_spec.h"
 
+#include <algorithm>
+
 #include "core/cartesian.h"
 
 namespace ppj::core {
+
+namespace {
+std::uint64_t ScanBatchLimit(const sim::Coprocessor& copro) {
+  // The staged bytes are sealed ciphertext (untrusted data, no secure slots
+  // consumed), so the window is a transfer-granularity knob sized from M.
+  return copro.BatchLimit(std::max<std::uint64_t>(copro.memory_tuples(), 1));
+}
+}  // namespace
+
+BatchedScan::BatchedScan(sim::Coprocessor* copro,
+                         const relation::EncryptedRelation* rel)
+    : copro_(copro), rel_(rel), limit_(ScanBatchLimit(*copro)) {}
+
+Status BatchedScan::FetchInto(std::uint64_t index, relation::Tuple* tuple,
+                              bool* real) {
+  if (limit_ <= 1) {
+    // Scalar pipeline exactly as before the batched layer existed.
+    PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple f,
+                         rel_->Fetch(*copro_, index));
+    *tuple = std::move(f.tuple);
+    *real = f.real;
+    return Status::OK();
+  }
+  if (!run_.has_value() || run_->remaining() == 0 ||
+      run_->position() != index) {
+    const std::uint64_t count =
+        std::min<std::uint64_t>(limit_, rel_->padded_size() - index);
+    PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchRun run,
+                         rel_->FetchRange(*copro_, index, count));
+    run_ = std::move(run);
+  }
+  return run_->NextInto(tuple, real);
+}
+
+BatchedSealWriter::BatchedSealWriter(sim::Coprocessor* copro,
+                                     sim::RegionId region,
+                                     const crypto::Ocb* key)
+    : copro_(copro),
+      region_(region),
+      key_(key),
+      limit_(ScanBatchLimit(*copro)) {}
+
+Status BatchedSealWriter::Put(std::uint64_t index,
+                              const std::vector<std::uint8_t>& plain) {
+  if (!run_.has_value() || run_->remaining() == 0 ||
+      run_->position() != index) {
+    PPJ_RETURN_NOT_OK(Flush());
+    const std::uint64_t slots = copro_->host()->RegionSlots(region_);
+    const std::uint64_t count = std::min<std::uint64_t>(limit_, slots - index);
+    PPJ_ASSIGN_OR_RETURN(sim::WriteRun run,
+                         copro_->PutSealedRange(region_, index, count, key_));
+    run_ = std::move(run);
+  }
+  return run_->Append(plain);
+}
+
+Status BatchedSealWriter::Flush() {
+  if (run_.has_value()) {
+    PPJ_RETURN_NOT_OK(run_->Flush());
+    run_.reset();
+  }
+  return Status::OK();
+}
 
 Status TwoWayJoin::Validate() const {
   if (a == nullptr || b == nullptr) {
@@ -54,15 +119,16 @@ Result<std::uint64_t> ComputeMaxMatches(sim::Coprocessor& copro,
                                         const TwoWayJoin& join) {
   PPJ_RETURN_NOT_OK(join.Validate());
   std::uint64_t n = 0;
+  BatchedScan ascan(&copro, join.a);
+  BatchedScan bscan(&copro, join.b);
+  relation::Tuple a, b;
+  bool a_real = false, b_real = false;
   for (std::uint64_t i = 0; i < join.a->size(); ++i) {
-    PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple a,
-                         join.a->Fetch(copro, i));
+    PPJ_RETURN_NOT_OK(ascan.FetchInto(i, &a, &a_real));
     std::uint64_t row = 0;
     for (std::uint64_t j = 0; j < join.b->size(); ++j) {
-      PPJ_ASSIGN_OR_RETURN(relation::EncryptedRelation::FetchedTuple b,
-                           join.b->Fetch(copro, j));
-      const bool hit =
-          a.real && b.real && join.predicate->Match(a.tuple, b.tuple);
+      PPJ_RETURN_NOT_OK(bscan.FetchInto(j, &b, &b_real));
+      const bool hit = a_real && b_real && join.predicate->Match(a, b);
       copro.NoteMatchEvaluation(hit);
       if (hit) ++row;
     }
@@ -75,11 +141,12 @@ Result<std::uint64_t> ScreenResultSize(sim::Coprocessor& copro,
                                        const MultiwayJoin& join) {
   PPJ_RETURN_NOT_OK(join.Validate());
   ITupleReader reader(&copro, join.tables);
+  reader.set_batch_hint(ScanBatchLimit(copro));
   std::uint64_t s = 0;
   for (std::uint64_t idx = 0; idx < reader.index().size(); ++idx) {
     PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
     const bool hit =
-        fetched.real && join.predicate->Satisfy(fetched.components);
+        fetched.real && join.predicate->Satisfy(*fetched.components);
     copro.NoteMatchEvaluation(hit);
     if (hit) ++s;
   }

@@ -2,6 +2,7 @@
 #define PPJ_CORE_JOIN_SPEC_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
@@ -12,6 +13,51 @@
 #include "sim/coprocessor.h"
 
 namespace ppj::core {
+
+/// Windowed sequential fetcher over an encrypted relation for the nested
+/// scan loops of Chapter 4: upcoming slots are staged through the batched
+/// range-transfer layer (EncryptedRelation::FetchRange) in runs sized by
+/// the coprocessor's batch limit. Per slot the accounting is
+/// scalar-identical; a non-successor index (a restarted inner scan) simply
+/// restages. With a batch limit of 1 every fetch takes the plain scalar
+/// path, which is what the golden-fingerprint tests compare against.
+class BatchedScan {
+ public:
+  BatchedScan(sim::Coprocessor* copro, const relation::EncryptedRelation* rel);
+
+  /// Scalar-equivalent of rel->Fetch(copro, index), decoding into
+  /// caller-owned storage (Tuple::DeserializeInto) on the batched path.
+  Status FetchInto(std::uint64_t index, relation::Tuple* tuple, bool* real);
+
+ private:
+  sim::Coprocessor* copro_;
+  const relation::EncryptedRelation* rel_;
+  std::uint64_t limit_;
+  std::optional<relation::EncryptedRelation::FetchRun> run_;
+};
+
+/// Windowed sequential sealer: scalar-equivalent PutSealed calls whose
+/// physical host writes are deferred into batch-limit WriteRun windows
+/// (Coprocessor::PutSealedRange). Callers must Flush() before anything
+/// reads — or restages — the covered slots.
+class BatchedSealWriter {
+ public:
+  BatchedSealWriter(sim::Coprocessor* copro, sim::RegionId region,
+                    const crypto::Ocb* key);
+
+  /// Scalar-equivalent of PutSealed(region, index, plain, key).
+  Status Put(std::uint64_t index, const std::vector<std::uint8_t>& plain);
+
+  /// Issues the deferred physical writes of the open window.
+  Status Flush();
+
+ private:
+  sim::Coprocessor* copro_;
+  sim::RegionId region_;
+  const crypto::Ocb* key_;
+  std::uint64_t limit_;
+  std::optional<sim::WriteRun> run_;
+};
 
 /// Inputs of a two-way join as the Chapter 4 algorithms consume them.
 /// Result tuples (and decoys) are sealed under `output_key` — in the full

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <span>
 #include <thread>
 
 #include "analysis/optimizer.h"
@@ -31,6 +32,9 @@ Status Alg5Worker(sim::Coprocessor& copro, const MultiwayJoin& join,
 
   std::uint64_t cursor = rank_lo;  // next rank this worker must emit
   std::uint64_t written = rank_lo;
+  // Batched scans, as in the single-device Algorithm 5: the staged run is
+  // sealed ciphertext, a transfer-granularity knob only.
+  reader.set_batch_hint(copro.BatchLimit(buffer.capacity()));
   while (cursor < rank_hi) {
     buffer.Clear();
     const std::uint64_t take = std::min<std::uint64_t>(m, rank_hi - cursor);
@@ -38,21 +42,24 @@ Status Alg5Worker(sim::Coprocessor& copro, const MultiwayJoin& join,
     for (std::uint64_t idx = 0; idx < l; ++idx) {
       PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
       const bool hit =
-          fetched.real && join.predicate->Satisfy(fetched.components);
+          fetched.real && join.predicate->Satisfy(*fetched.components);
       copro.NoteMatchEvaluation(hit);
       if (hit) {
         if (rank >= cursor && rank < cursor + take) {
           PPJ_RETURN_NOT_OK(buffer.Push(relation::wire::MakeReal(
-              ITupleReader::JoinedPayload(fetched.components))));
+              ITupleReader::JoinedPayload(*fetched.components))));
         }
         ++rank;
       }
     }
+    PPJ_ASSIGN_OR_RETURN(
+        sim::WriteRun flush,
+        copro.PutSealedRange(out, written, buffer.size(), join.output_key));
     for (std::size_t k = 0; k < buffer.size(); ++k) {
-      PPJ_RETURN_NOT_OK(copro.PutSealed(out, written + k, buffer.At(k),
-                                        *join.output_key));
+      PPJ_RETURN_NOT_OK(flush.Append(buffer.At(k)));
       PPJ_RETURN_NOT_OK(copro.DiskWrite(out, written + k));
     }
+    PPJ_RETURN_NOT_OK(flush.Flush());
     written += buffer.size();
     cursor += take;
   }
@@ -85,36 +92,57 @@ Status ParallelDecoyFilter(std::vector<sim::Coprocessor*>& copros,
   const sim::RegionId buffer =
       lead.host()->CreateRegion("parallel-filter-buffer", slot, padded);
 
-  auto copy_in = [&](std::uint64_t s, std::uint64_t b) -> Status {
-    PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> plain,
-                         lead.GetOpen(src, s, key));
-    return lead.PutSealed(buffer, b, plain, key);
+  // The lead device's sequential copies move through the batched layer in
+  // batch-limit chunks, exactly like the single-device windowed filter.
+  const std::uint64_t limit =
+      lead.BatchLimit(std::max<std::uint64_t>(lead.memory_tuples(), 1));
+  std::vector<std::uint8_t> plain;
+  auto copy_range = [&](sim::RegionId sregion, std::uint64_t s0,
+                        sim::RegionId dregion, std::uint64_t d0,
+                        std::uint64_t cnt, bool disk) -> Status {
+    for (std::uint64_t done = 0; done < cnt;) {
+      const std::uint64_t step = std::min(limit, cnt - done);
+      PPJ_ASSIGN_OR_RETURN(
+          sim::ReadRun in, lead.GetOpenRange(sregion, s0 + done, step, &key));
+      PPJ_ASSIGN_OR_RETURN(
+          sim::WriteRun out,
+          lead.PutSealedRange(dregion, d0 + done, step, &key));
+      for (std::uint64_t e = 0; e < step; ++e) {
+        PPJ_ASSIGN_OR_RETURN(std::span<const std::uint8_t> s, in.NextOpen());
+        plain.assign(s.begin(), s.end());
+        PPJ_RETURN_NOT_OK(out.Append(plain));
+        if (disk) PPJ_RETURN_NOT_OK(lead.DiskWrite(dregion, d0 + done + e));
+      }
+      PPJ_RETURN_NOT_OK(out.Flush());
+      done += step;
+    }
+    return Status::OK();
   };
 
   std::uint64_t consumed = 0;
-  for (; consumed < window; ++consumed) {
-    PPJ_RETURN_NOT_OK(copy_in(consumed, consumed));
-  }
-  for (std::uint64_t b = window; b < padded; ++b) {
-    PPJ_RETURN_NOT_OK(lead.PutSealed(buffer, b, decoy, key));
+  PPJ_RETURN_NOT_OK(copy_range(src, 0, buffer, 0, window, /*disk=*/false));
+  consumed = window;
+  for (std::uint64_t b = window; b < padded;) {
+    const std::uint64_t step = std::min(limit, padded - b);
+    PPJ_ASSIGN_OR_RETURN(sim::WriteRun out,
+                         lead.PutSealedRange(buffer, b, step, &key));
+    for (std::uint64_t e = 0; e < step; ++e) {
+      PPJ_RETURN_NOT_OK(out.Append(decoy));
+    }
+    PPJ_RETURN_NOT_OK(out.Flush());
+    b += step;
   }
   const oblivious::PlainLess less = oblivious::RealFirstLess();
   PPJ_RETURN_NOT_OK(ParallelObliviousSort(copros, buffer, padded, key, less));
   while (consumed < omega) {
     const std::uint64_t chunk = std::min(delta, omega - consumed);
-    for (std::uint64_t j = 0; j < chunk; ++j) {
-      PPJ_RETURN_NOT_OK(copy_in(consumed + j, mu + j));
-    }
+    PPJ_RETURN_NOT_OK(
+        copy_range(src, consumed, buffer, mu, chunk, /*disk=*/false));
     consumed += chunk;
     PPJ_RETURN_NOT_OK(
         ParallelObliviousSort(copros, buffer, padded, key, less));
   }
-  for (std::uint64_t k = 0; k < mu; ++k) {
-    PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> plain,
-                         lead.GetOpen(buffer, k, key));
-    PPJ_RETURN_NOT_OK(lead.PutSealed(dst, k, plain, key));
-    PPJ_RETURN_NOT_OK(lead.DiskWrite(dst, k));
-  }
+  PPJ_RETURN_NOT_OK(copy_range(buffer, 0, dst, 0, mu, /*disk=*/true));
   return Status::OK();
 }
 
@@ -215,6 +243,9 @@ Result<ParallelOutcome> RunParallelAlgorithm4(
       threads.emplace_back([&, p] {
         sim::Coprocessor& copro = *copros[p];
         ITupleReader reader(&copro, join.tables);
+        reader.set_batch_hint(copro.BatchLimit(
+            std::max<std::uint64_t>(copro.memory_tuples(), 1)));
+        BatchedSealWriter writer(&copro, staging, join.output_key);
         const std::uint64_t lo = std::min<std::uint64_t>(l, p * chunk);
         const std::uint64_t hi = std::min<std::uint64_t>(l, (p + 1) * chunk);
         for (std::uint64_t idx = lo; idx < hi; ++idx) {
@@ -224,24 +255,23 @@ Result<ParallelOutcome> RunParallelAlgorithm4(
             return;
           }
           const bool hit = fetched->real &&
-                           join.predicate->Satisfy(fetched->components);
+                           join.predicate->Satisfy(*fetched->components);
           copro.NoteMatchEvaluation(hit);
           Status st;
           if (hit) {
             ++counts[p];
-            st = copro.PutSealed(
-                staging, idx,
-                relation::wire::MakeReal(
-                    ITupleReader::JoinedPayload(fetched->components)),
-                *join.output_key);
+            st = writer.Put(idx, relation::wire::MakeReal(
+                ITupleReader::JoinedPayload(*fetched->components)));
           } else {
-            st = copro.PutSealed(staging, idx, decoy, *join.output_key);
+            st = writer.Put(idx, decoy);
           }
           if (!st.ok()) {
             statuses[p] = st;
             return;
           }
         }
+        // Phase 2 reads the staging region only after all workers join.
+        statuses[p] = writer.Flush();
       });
     }
     for (auto& t : threads) t.join();
@@ -323,10 +353,14 @@ Result<ParallelCh4Outcome> RunParallelAlgorithm2(
         const std::uint64_t lo = std::min<std::uint64_t>(size_a, p * chunk);
         const std::uint64_t hi =
             std::min<std::uint64_t>(size_a, (p + 1) * chunk);
+        BatchedScan ascan(&copro, join.a);
+        BatchedScan bscan(&copro, join.b);
+        relation::Tuple a, b;
+        bool a_real = false, b_real = false;
         for (std::uint64_t ai = lo; ai < hi; ++ai) {
-          auto a = join.a->Fetch(copro, ai);
-          if (!a.ok()) {
-            statuses[p] = a.status();
+          Status ast = ascan.FetchInto(ai, &a, &a_real);
+          if (!ast.ok()) {
+            statuses[p] = ast;
             return;
           }
           std::int64_t last = -1;
@@ -335,17 +369,17 @@ Result<ParallelCh4Outcome> RunParallelAlgorithm2(
             std::int64_t current = 0;
             std::int64_t pass_last = last;
             for (std::uint64_t bi = 0; bi < size_b; ++bi) {
-              auto b = join.b->Fetch(copro, bi);
-              if (!b.ok()) {
-                statuses[p] = b.status();
+              Status bst = bscan.FetchInto(bi, &b, &b_real);
+              if (!bst.ok()) {
+                statuses[p] = bst;
                 return;
               }
-              const bool hit = a->real && b->real &&
-                               join.predicate->Match(a->tuple, b->tuple);
+              const bool hit =
+                  a_real && b_real && join.predicate->Match(a, b);
               copro.NoteMatchEvaluation(hit);
               if (current > last && !buffer->full() && hit) {
-                std::vector<std::uint8_t> bytes = a->tuple.Serialize();
-                const std::vector<std::uint8_t> bb = b->tuple.Serialize();
+                std::vector<std::uint8_t> bytes = a.Serialize();
+                const std::vector<std::uint8_t> bb = b.Serialize();
                 bytes.insert(bytes.end(), bb.begin(), bb.end());
                 Status st =
                     buffer->Push(relation::wire::MakeReal(bytes));
@@ -359,16 +393,26 @@ Result<ParallelCh4Outcome> RunParallelAlgorithm2(
             }
             last = pass_last;
             const std::uint64_t base = (ai * gamma + pass) * blk;
+            auto flush =
+                copro.PutSealedRange(output, base, blk, join.output_key);
+            if (!flush.ok()) {
+              statuses[p] = flush.status();
+              return;
+            }
             for (std::uint64_t k = 0; k < blk; ++k) {
               const std::vector<std::uint8_t>& plain =
                   k < buffer->size() ? buffer->At(k) : decoy;
-              Status st = copro.PutSealed(output, base + k, plain,
-                                          *join.output_key);
+              Status st = flush->Append(plain);
               if (st.ok()) st = copro.DiskWrite(output, base + k);
               if (!st.ok()) {
                 statuses[p] = st;
                 return;
               }
+            }
+            Status st = flush->Flush();
+            if (!st.ok()) {
+              statuses[p] = st;
+              return;
             }
           }
         }
@@ -478,14 +522,14 @@ Result<ParallelOutcome> RunParallelAlgorithm6(
             return;
           }
           const bool hit = fetched->real &&
-                           join.predicate->Satisfy(fetched->components);
+                           join.predicate->Satisfy(*fetched->components);
           copro.NoteMatchEvaluation(hit);
           if (hit) {
             if (buffer->full()) {
               blemishes[p] = 1;
             } else {
               Status st = buffer->Push(relation::wire::MakeReal(
-                  ITupleReader::JoinedPayload(fetched->components)));
+                  ITupleReader::JoinedPayload(*fetched->components)));
               if (!st.ok()) {
                 statuses[p] = st;
                 return;
@@ -494,16 +538,26 @@ Result<ParallelOutcome> RunParallelAlgorithm6(
           }
           ++in_segment;
           if (in_segment == n_star || pos + 1 == pos_hi) {
+            // One scatter per fixed-size segment flush; the staging region
+            // is only read by the filter, after all workers join.
+            auto flush =
+                copro.PutSealedRange(staging, seg * m, m, join.output_key);
+            if (!flush.ok()) {
+              statuses[p] = flush.status();
+              return;
+            }
             for (std::uint64_t k = 0; k < m; ++k) {
-              const std::vector<std::uint8_t>& plain =
-                  k < buffer->size() ? buffer->At(k) : decoy;
-              Status st =
-                  copro.PutSealed(staging, seg * m + k, plain,
-                                  *join.output_key);
+              Status st = flush->Append(k < buffer->size() ? buffer->At(k)
+                                                           : decoy);
               if (!st.ok()) {
                 statuses[p] = st;
                 return;
               }
+            }
+            Status st = flush->Flush();
+            if (!st.ok()) {
+              statuses[p] = st;
+              return;
             }
             buffer->Clear();
             in_segment = 0;
@@ -541,6 +595,68 @@ Result<ParallelOutcome> RunParallelAlgorithm6(
   return out;
 }
 
+namespace {
+
+/// One device's share [lo, hi) of the compare-exchange sources of bitonic
+/// stage (k, j). Blocks of 2j slots fully owned by this device move through
+/// the batched range layer (their slots are touched by no other device this
+/// stage); boundary blocks fall back to scalar transfers. Per comparator
+/// the accounting is scalar-identical and in scalar order either way.
+Status SortStageRange(sim::Coprocessor& copro, sim::RegionId region,
+                      std::uint64_t k, std::uint64_t j, std::uint64_t lo,
+                      std::uint64_t hi, const crypto::Ocb& key,
+                      const oblivious::PlainLess& less) {
+  const std::uint64_t block = 2 * j;
+  const std::uint64_t limit =
+      copro.BatchLimit(std::max<std::uint64_t>(copro.memory_tuples(), 2));
+  std::vector<std::uint8_t> pi;
+  std::vector<std::uint8_t> pj;
+  std::uint64_t i = lo;
+  while (i < hi) {
+    const std::uint64_t base = i & ~(block - 1);
+    if (block <= limit && i == base && base + j <= hi) {
+      PPJ_ASSIGN_OR_RETURN(sim::ReadRun in,
+                           copro.GetOpenRange(region, base, block, &key));
+      PPJ_ASSIGN_OR_RETURN(sim::WriteRun out,
+                           copro.PutSealedRange(region, base, block, &key));
+      for (std::uint64_t c = base; c < base + j; ++c) {
+        const std::uint64_t l_idx = c ^ j;  // == c + j within the block
+        PPJ_ASSIGN_OR_RETURN(std::span<const std::uint8_t> si, in.OpenAt(c));
+        pi.assign(si.begin(), si.end());
+        PPJ_ASSIGN_OR_RETURN(std::span<const std::uint8_t> sl,
+                             in.OpenAt(l_idx));
+        pj.assign(sl.begin(), sl.end());
+        copro.NoteComparison();
+        const bool ascending = (c & k) == 0;
+        const bool out_of_order = ascending ? less(pj, pi) : less(pi, pj);
+        if (out_of_order) std::swap(pi, pj);
+        PPJ_RETURN_NOT_OK(out.SealAt(c, pi));
+        PPJ_RETURN_NOT_OK(out.SealAt(l_idx, pj));
+      }
+      PPJ_RETURN_NOT_OK(out.Flush());
+      i = base + block;  // sources in [base+j, base+2j) are skips anyway
+      continue;
+    }
+    const std::uint64_t l_idx = i ^ j;
+    if (l_idx > i) {
+      PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> x,
+                           copro.GetOpen(region, i, key));
+      PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> y,
+                           copro.GetOpen(region, l_idx, key));
+      copro.NoteComparison();
+      const bool ascending = (i & k) == 0;
+      const bool out_of_order = ascending ? less(y, x) : less(x, y);
+      if (out_of_order) std::swap(x, y);
+      PPJ_RETURN_NOT_OK(copro.PutSealed(region, i, x, key));
+      PPJ_RETURN_NOT_OK(copro.PutSealed(region, l_idx, y, key));
+    }
+    ++i;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status ParallelObliviousSort(std::vector<sim::Coprocessor*>& copros,
                              sim::RegionId region, std::uint64_t n,
                              const crypto::Ocb& key,
@@ -562,36 +678,11 @@ Status ParallelObliviousSort(std::vector<sim::Coprocessor*>& copros,
       const std::uint64_t chunk = CeilDiv(n, p_count);
       for (std::size_t p = 0; p < p_count; ++p) {
         threads.emplace_back([&, p] {
-          sim::Coprocessor& copro = *copros[p];
           const std::uint64_t lo = std::min<std::uint64_t>(n, p * chunk);
           const std::uint64_t hi =
               std::min<std::uint64_t>(n, (p + 1) * chunk);
-          for (std::uint64_t i = lo; i < hi; ++i) {
-            const std::uint64_t l_idx = i ^ j;
-            if (l_idx <= i) continue;
-            auto pi = copro.GetOpen(region, i, key);
-            if (!pi.ok()) {
-              statuses[p] = pi.status();
-              return;
-            }
-            auto pj = copro.GetOpen(region, l_idx, key);
-            if (!pj.ok()) {
-              statuses[p] = pj.status();
-              return;
-            }
-            copro.NoteComparison();
-            const bool ascending = (i & k) == 0;
-            std::vector<std::uint8_t> x = std::move(pi).value();
-            std::vector<std::uint8_t> y = std::move(pj).value();
-            const bool out_of_order = ascending ? less(y, x) : less(x, y);
-            if (out_of_order) std::swap(x, y);
-            Status st = copro.PutSealed(region, i, x, key);
-            if (st.ok()) st = copro.PutSealed(region, l_idx, y, key);
-            if (!st.ok()) {
-              statuses[p] = st;
-              return;
-            }
-          }
+          statuses[p] =
+              SortStageRange(*copros[p], region, k, j, lo, hi, key, less);
         });
       }
       for (auto& t : threads) t.join();

@@ -7,26 +7,6 @@
 
 namespace ppj::core {
 
-std::string ToString(PlannedAlgorithm algorithm) {
-  switch (algorithm) {
-    case PlannedAlgorithm::kAlgorithm1:
-      return "Algorithm 1";
-    case PlannedAlgorithm::kAlgorithm1Variant:
-      return "Algorithm 1 (variant)";
-    case PlannedAlgorithm::kAlgorithm2:
-      return "Algorithm 2";
-    case PlannedAlgorithm::kAlgorithm3:
-      return "Algorithm 3";
-    case PlannedAlgorithm::kAlgorithm4:
-      return "Algorithm 4";
-    case PlannedAlgorithm::kAlgorithm5:
-      return "Algorithm 5";
-    case PlannedAlgorithm::kAlgorithm6:
-      return "Algorithm 6";
-  }
-  return "?";
-}
-
 Plan PlanJoin(const PlannerInput& input) {
   const double a = static_cast<double>(input.size_a);
   const double b = static_cast<double>(input.size_b);
@@ -36,7 +16,7 @@ Plan PlanJoin(const PlannerInput& input) {
 
   Plan best;
   best.predicted_transfers = std::numeric_limits<double>::infinity();
-  auto consider = [&](PlannedAlgorithm alg, double cost,
+  auto consider = [&](Algorithm alg, double cost,
                       const std::string& why) {
     if (cost < best.predicted_transfers) {
       best.algorithm = alg;
@@ -47,14 +27,14 @@ Plan PlanJoin(const PlannerInput& input) {
 
   // Chapter 5 family: always admissible (arbitrary predicates, exact
   // output, no N assumption).
-  consider(PlannedAlgorithm::kAlgorithm4,
+  consider(Algorithm::kAlgorithm4,
            analysis::CostAlgorithm4(l, s),
            "exact output, minimal memory (2 slots)");
-  consider(PlannedAlgorithm::kAlgorithm5,
+  consider(Algorithm::kAlgorithm5,
            analysis::CostAlgorithm5(l, s, m),
            "exact output, no oblivious sort, needs M slots");
   if (input.epsilon > 0.0) {
-    consider(PlannedAlgorithm::kAlgorithm6,
+    consider(Algorithm::kAlgorithm6,
              analysis::CostAlgorithm6(l, s, m, input.epsilon).total,
              "exact output, privacy level 1 - epsilon");
   }
@@ -65,18 +45,18 @@ Plan PlanJoin(const PlannerInput& input) {
     const double n_scan = input.n > 0 ? 0.0 : a + a * b;
     const double n = static_cast<double>(
         input.n > 0 ? input.n : std::max<std::uint64_t>(1, s / input.size_a));
-    consider(PlannedAlgorithm::kAlgorithm1,
+    consider(Algorithm::kAlgorithm1,
              n_scan + analysis::CostAlgorithm1(a, b, n),
              "N-padded output, tiny memory, rolling oblivious scratch");
-    consider(PlannedAlgorithm::kAlgorithm1Variant,
+    consider(Algorithm::kAlgorithm1Variant,
              n_scan + analysis::CostAlgorithm1Variant(a, b),
              "N-padded output, one full-size oblivious sort per A tuple");
-    consider(PlannedAlgorithm::kAlgorithm2,
+    consider(Algorithm::kAlgorithm2,
              n_scan + analysis::CostAlgorithm2(a, b, n,
                                                static_cast<double>(m)),
              "N-padded output, gamma passes, no oblivious sort");
     if (input.equality_predicate) {
-      consider(PlannedAlgorithm::kAlgorithm3,
+      consider(Algorithm::kAlgorithm3,
                n_scan + analysis::CostAlgorithm3(a, b, n),
                "equijoin specialization with sorted B and circular scratch");
     }

@@ -4,20 +4,9 @@
 #include <cstdint>
 #include <string>
 
+#include "core/algorithm.h"
+
 namespace ppj::core {
-
-/// Which of the paper's algorithms a plan selects.
-enum class PlannedAlgorithm {
-  kAlgorithm1,
-  kAlgorithm1Variant,
-  kAlgorithm2,
-  kAlgorithm3,
-  kAlgorithm4,
-  kAlgorithm5,
-  kAlgorithm6,
-};
-
-std::string ToString(PlannedAlgorithm algorithm);
 
 /// Workload description the planner chooses from. The paper derives the
 /// winning algorithm per operating point analytically (Section 4.6,
@@ -47,7 +36,7 @@ struct PlannerInput {
 
 /// A chosen algorithm with its predicted communication cost.
 struct Plan {
-  PlannedAlgorithm algorithm = PlannedAlgorithm::kAlgorithm5;
+  Algorithm algorithm = Algorithm::kAlgorithm5;
   double predicted_transfers = 0;
   std::string rationale;
 };

@@ -1,10 +1,51 @@
 #include "crypto/aes128.h"
 
-#include <cstring>
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PPJ_AES_HW 1
+#include <immintrin.h>
+#endif
 
 namespace ppj::crypto {
 
 namespace {
+
+#ifdef PPJ_AES_HW
+bool HasAesNi() {
+  static const bool has = __builtin_cpu_supports("aes");
+  return has;
+}
+
+__attribute__((target("aes"))) void EncryptHw(const std::uint8_t* rk,
+                                              const std::uint8_t* in,
+                                              std::uint8_t* out) {
+  __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  x = _mm_xor_si128(x, _mm_load_si128(reinterpret_cast<const __m128i*>(rk)));
+  for (int round = 1; round < 10; ++round) {
+    x = _mm_aesenc_si128(
+        x, _mm_load_si128(reinterpret_cast<const __m128i*>(rk + 16 * round)));
+  }
+  x = _mm_aesenclast_si128(
+      x, _mm_load_si128(reinterpret_cast<const __m128i*>(rk + 160)));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), x);
+}
+
+// AESDEC implements exactly one equivalent-inverse-cipher round
+// (InvShiftRows, InvSubBytes, InvMixColumns, AddRoundKey), so it consumes
+// the same InvMixColumns-transformed schedule as the software path.
+__attribute__((target("aes"))) void DecryptHw(const std::uint8_t* rk,
+                                              const std::uint8_t* in,
+                                              std::uint8_t* out) {
+  __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  x = _mm_xor_si128(x, _mm_load_si128(reinterpret_cast<const __m128i*>(rk)));
+  for (int round = 1; round < 10; ++round) {
+    x = _mm_aesdec_si128(
+        x, _mm_load_si128(reinterpret_cast<const __m128i*>(rk + 16 * round)));
+  }
+  x = _mm_aesdeclast_si128(
+      x, _mm_load_si128(reinterpret_cast<const __m128i*>(rk + 160)));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), x);
+}
+#endif  // PPJ_AES_HW
 
 // FIPS-197 S-box and its inverse.
 constexpr std::uint8_t kSbox[256] = {
@@ -58,12 +99,12 @@ constexpr std::uint8_t kInvSbox[256] = {
 constexpr std::uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
                                     0x20, 0x40, 0x80, 0x1b, 0x36};
 
-std::uint8_t Xtime(std::uint8_t x) {
+constexpr std::uint8_t Xtime(std::uint8_t x) {
   return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
 }
 
 // GF(2^8) multiply.
-std::uint8_t Gmul(std::uint8_t a, std::uint8_t b) {
+constexpr std::uint8_t Gmul(std::uint8_t a, std::uint8_t b) {
   std::uint8_t p = 0;
   for (int i = 0; i < 8; ++i) {
     if (b & 1) p ^= a;
@@ -73,66 +114,70 @@ std::uint8_t Gmul(std::uint8_t a, std::uint8_t b) {
   return p;
 }
 
-void SubBytes(Block& s) {
-  for (auto& b : s) b = kSbox[b];
+constexpr std::uint32_t Pack(std::uint8_t b0, std::uint8_t b1,
+                             std::uint8_t b2, std::uint8_t b3) {
+  return (static_cast<std::uint32_t>(b0) << 24) |
+         (static_cast<std::uint32_t>(b1) << 16) |
+         (static_cast<std::uint32_t>(b2) << 8) | b3;
 }
 
-void InvSubBytes(Block& s) {
-  for (auto& b : s) b = kInvSbox[b];
+constexpr std::uint32_t Ror8(std::uint32_t w) {
+  return (w >> 8) | (w << 24);
 }
 
-// State is column-major: s[4*c + r] is row r, column c.
-void ShiftRows(Block& s) {
-  Block t = s;
-  for (int r = 1; r < 4; ++r) {
-    for (int c = 0; c < 4; ++c) s[4 * c + r] = t[4 * ((c + r) % 4) + r];
+// Te0[x] is the MixColumns output column contributed by a row-0 byte whose
+// SubBytes image is S[x]; Te1..Te3 are its byte rotations for rows 1..3.
+// Td0..Td3 are the same construction for InvSubBytes + InvMixColumns. One
+// encryption round is then four lookups + xors per output column, with
+// ShiftRows folded into which input column each byte is taken from.
+struct Tables {
+  std::uint32_t te[4][256]{};
+  std::uint32_t td[4][256]{};
+};
+
+constexpr Tables MakeTables() {
+  Tables t;
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t s = kSbox[i];
+    const std::uint32_t e =
+        Pack(Xtime(s), s, s, static_cast<std::uint8_t>(Xtime(s) ^ s));
+    t.te[0][i] = e;
+    t.te[1][i] = Ror8(e);
+    t.te[2][i] = Ror8(Ror8(e));
+    t.te[3][i] = Ror8(Ror8(Ror8(e)));
+
+    const std::uint8_t is = kInvSbox[i];
+    const std::uint32_t d = Pack(Gmul(is, 0x0e), Gmul(is, 0x09),
+                                 Gmul(is, 0x0d), Gmul(is, 0x0b));
+    t.td[0][i] = d;
+    t.td[1][i] = Ror8(d);
+    t.td[2][i] = Ror8(Ror8(d));
+    t.td[3][i] = Ror8(Ror8(Ror8(d)));
   }
+  return t;
 }
 
-void InvShiftRows(Block& s) {
-  Block t = s;
-  for (int r = 1; r < 4; ++r) {
-    for (int c = 0; c < 4; ++c) s[4 * ((c + r) % 4) + r] = t[4 * c + r];
-  }
+constexpr Tables kT = MakeTables();
+
+// InvMixColumns of one column word, for the equivalent-inverse key schedule.
+constexpr std::uint32_t InvMixColumnsWord(std::uint32_t w) {
+  return kT.td[0][kSbox[(w >> 24) & 0xff]] ^
+         kT.td[1][kSbox[(w >> 16) & 0xff]] ^
+         kT.td[2][kSbox[(w >> 8) & 0xff]] ^ kT.td[3][kSbox[w & 0xff]];
 }
 
-void MixColumns(Block& s) {
-  for (int c = 0; c < 4; ++c) {
-    std::uint8_t* col = &s[4 * c];
-    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-    col[0] = static_cast<std::uint8_t>(Xtime(a0) ^ (Xtime(a1) ^ a1) ^ a2 ^ a3);
-    col[1] = static_cast<std::uint8_t>(a0 ^ Xtime(a1) ^ (Xtime(a2) ^ a2) ^ a3);
-    col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ Xtime(a2) ^ (Xtime(a3) ^ a3));
-    col[3] = static_cast<std::uint8_t>((Xtime(a0) ^ a0) ^ a1 ^ a2 ^ Xtime(a3));
-  }
+inline std::uint32_t LoadWord(const std::uint8_t* p) {
+  return Pack(p[0], p[1], p[2], p[3]);
 }
 
-void InvMixColumns(Block& s) {
-  for (int c = 0; c < 4; ++c) {
-    std::uint8_t* col = &s[4 * c];
-    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-    col[0] = static_cast<std::uint8_t>(Gmul(a0, 0x0e) ^ Gmul(a1, 0x0b) ^
-                                       Gmul(a2, 0x0d) ^ Gmul(a3, 0x09));
-    col[1] = static_cast<std::uint8_t>(Gmul(a0, 0x09) ^ Gmul(a1, 0x0e) ^
-                                       Gmul(a2, 0x0b) ^ Gmul(a3, 0x0d));
-    col[2] = static_cast<std::uint8_t>(Gmul(a0, 0x0d) ^ Gmul(a1, 0x09) ^
-                                       Gmul(a2, 0x0e) ^ Gmul(a3, 0x0b));
-    col[3] = static_cast<std::uint8_t>(Gmul(a0, 0x0b) ^ Gmul(a1, 0x0d) ^
-                                       Gmul(a2, 0x09) ^ Gmul(a3, 0x0e));
-  }
-}
-
-void AddRoundKey(Block& s, const Block& rk) {
-  for (int i = 0; i < 16; ++i) s[i] ^= rk[i];
+inline void StoreWord(std::uint8_t* p, std::uint32_t w) {
+  p[0] = static_cast<std::uint8_t>(w >> 24);
+  p[1] = static_cast<std::uint8_t>(w >> 16);
+  p[2] = static_cast<std::uint8_t>(w >> 8);
+  p[3] = static_cast<std::uint8_t>(w);
 }
 
 }  // namespace
-
-Block XorBlocks(const Block& a, const Block& b) {
-  Block out;
-  for (int i = 0; i < 16; ++i) out[i] = a[i] ^ b[i];
-  return out;
-}
 
 Block GfDouble(const Block& block) {
   Block out;
@@ -147,48 +192,149 @@ Block GfDouble(const Block& block) {
 }
 
 Aes128::Aes128(const Block& key) {
-  round_keys_[0] = key;
+  // Standard FIPS-197 expansion, one big-endian word per state column.
+  for (int c = 0; c < 4; ++c) enc_keys_[c] = LoadWord(&key[4 * c]);
   for (int round = 1; round <= 10; ++round) {
-    const Block& prev = round_keys_[round - 1];
-    Block next;
+    const std::uint32_t prev = enc_keys_[4 * round - 1];
     // RotWord + SubWord + Rcon on the last word of the previous round key.
-    std::uint8_t t[4] = {kSbox[prev[13]], kSbox[prev[14]], kSbox[prev[15]],
-                         kSbox[prev[12]]};
-    t[0] ^= kRcon[round - 1];
-    for (int i = 0; i < 4; ++i) next[i] = prev[i] ^ t[i];
-    for (int i = 4; i < 16; ++i) next[i] = prev[i] ^ next[i - 4];
-    round_keys_[round] = next;
+    std::uint32_t t = Pack(kSbox[(prev >> 16) & 0xff], kSbox[(prev >> 8) & 0xff],
+                           kSbox[prev & 0xff], kSbox[(prev >> 24) & 0xff]);
+    t ^= static_cast<std::uint32_t>(kRcon[round - 1]) << 24;
+    enc_keys_[4 * round] = enc_keys_[4 * round - 4] ^ t;
+    for (int c = 1; c < 4; ++c) {
+      enc_keys_[4 * round + c] =
+          enc_keys_[4 * round + c - 4] ^ enc_keys_[4 * round + c - 1];
+    }
   }
+  // Equivalent inverse cipher: reversed schedule, inner keys InvMixColumns'd.
+  for (int c = 0; c < 4; ++c) {
+    dec_keys_[c] = enc_keys_[40 + c];
+    dec_keys_[40 + c] = enc_keys_[c];
+  }
+  for (int round = 1; round <= 9; ++round) {
+    for (int c = 0; c < 4; ++c) {
+      dec_keys_[4 * round + c] = InvMixColumnsWord(enc_keys_[4 * (10 - round) + c]);
+    }
+  }
+  for (int i = 0; i < 44; ++i) {
+    StoreWord(&enc_rk_[4 * i], enc_keys_[i]);
+    StoreWord(&dec_rk_[4 * i], dec_keys_[i]);
+  }
+#ifdef PPJ_AES_HW
+  hw_ = HasAesNi();
+#endif
 }
 
 Block Aes128::Encrypt(const Block& plaintext) const {
-  Block s = plaintext;
-  AddRoundKey(s, round_keys_[0]);
-  for (int round = 1; round < 10; ++round) {
-    SubBytes(s);
-    ShiftRows(s);
-    MixColumns(s);
-    AddRoundKey(s, round_keys_[round]);
+#ifdef PPJ_AES_HW
+  if (hw_) {
+    Block out;
+    EncryptHw(enc_rk_.data(), plaintext.data(), out.data());
+    return out;
   }
-  SubBytes(s);
-  ShiftRows(s);
-  AddRoundKey(s, round_keys_[10]);
-  return s;
+#endif
+  std::uint32_t s0 = LoadWord(&plaintext[0]) ^ enc_keys_[0];
+  std::uint32_t s1 = LoadWord(&plaintext[4]) ^ enc_keys_[1];
+  std::uint32_t s2 = LoadWord(&plaintext[8]) ^ enc_keys_[2];
+  std::uint32_t s3 = LoadWord(&plaintext[12]) ^ enc_keys_[3];
+  for (int round = 1; round < 10; ++round) {
+    const std::uint32_t* rk = &enc_keys_[4 * round];
+    const std::uint32_t t0 = kT.te[0][s0 >> 24] ^ kT.te[1][(s1 >> 16) & 0xff] ^
+                             kT.te[2][(s2 >> 8) & 0xff] ^ kT.te[3][s3 & 0xff] ^
+                             rk[0];
+    const std::uint32_t t1 = kT.te[0][s1 >> 24] ^ kT.te[1][(s2 >> 16) & 0xff] ^
+                             kT.te[2][(s3 >> 8) & 0xff] ^ kT.te[3][s0 & 0xff] ^
+                             rk[1];
+    const std::uint32_t t2 = kT.te[0][s2 >> 24] ^ kT.te[1][(s3 >> 16) & 0xff] ^
+                             kT.te[2][(s0 >> 8) & 0xff] ^ kT.te[3][s1 & 0xff] ^
+                             rk[2];
+    const std::uint32_t t3 = kT.te[0][s3 >> 24] ^ kT.te[1][(s0 >> 16) & 0xff] ^
+                             kT.te[2][(s1 >> 8) & 0xff] ^ kT.te[3][s2 & 0xff] ^
+                             rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+  // Final round: SubBytes + ShiftRows only.
+  const std::uint32_t o0 =
+      Pack(kSbox[s0 >> 24], kSbox[(s1 >> 16) & 0xff], kSbox[(s2 >> 8) & 0xff],
+           kSbox[s3 & 0xff]) ^
+      enc_keys_[40];
+  const std::uint32_t o1 =
+      Pack(kSbox[s1 >> 24], kSbox[(s2 >> 16) & 0xff], kSbox[(s3 >> 8) & 0xff],
+           kSbox[s0 & 0xff]) ^
+      enc_keys_[41];
+  const std::uint32_t o2 =
+      Pack(kSbox[s2 >> 24], kSbox[(s3 >> 16) & 0xff], kSbox[(s0 >> 8) & 0xff],
+           kSbox[s1 & 0xff]) ^
+      enc_keys_[42];
+  const std::uint32_t o3 =
+      Pack(kSbox[s3 >> 24], kSbox[(s0 >> 16) & 0xff], kSbox[(s1 >> 8) & 0xff],
+           kSbox[s2 & 0xff]) ^
+      enc_keys_[43];
+  Block out;
+  StoreWord(&out[0], o0);
+  StoreWord(&out[4], o1);
+  StoreWord(&out[8], o2);
+  StoreWord(&out[12], o3);
+  return out;
 }
 
 Block Aes128::Decrypt(const Block& ciphertext) const {
-  Block s = ciphertext;
-  AddRoundKey(s, round_keys_[10]);
-  for (int round = 9; round >= 1; --round) {
-    InvShiftRows(s);
-    InvSubBytes(s);
-    AddRoundKey(s, round_keys_[round]);
-    InvMixColumns(s);
+#ifdef PPJ_AES_HW
+  if (hw_) {
+    Block out;
+    DecryptHw(dec_rk_.data(), ciphertext.data(), out.data());
+    return out;
   }
-  InvShiftRows(s);
-  InvSubBytes(s);
-  AddRoundKey(s, round_keys_[0]);
-  return s;
+#endif
+  std::uint32_t s0 = LoadWord(&ciphertext[0]) ^ dec_keys_[0];
+  std::uint32_t s1 = LoadWord(&ciphertext[4]) ^ dec_keys_[1];
+  std::uint32_t s2 = LoadWord(&ciphertext[8]) ^ dec_keys_[2];
+  std::uint32_t s3 = LoadWord(&ciphertext[12]) ^ dec_keys_[3];
+  for (int round = 1; round < 10; ++round) {
+    const std::uint32_t* rk = &dec_keys_[4 * round];
+    const std::uint32_t t0 = kT.td[0][s0 >> 24] ^ kT.td[1][(s3 >> 16) & 0xff] ^
+                             kT.td[2][(s2 >> 8) & 0xff] ^ kT.td[3][s1 & 0xff] ^
+                             rk[0];
+    const std::uint32_t t1 = kT.td[0][s1 >> 24] ^ kT.td[1][(s0 >> 16) & 0xff] ^
+                             kT.td[2][(s3 >> 8) & 0xff] ^ kT.td[3][s2 & 0xff] ^
+                             rk[1];
+    const std::uint32_t t2 = kT.td[0][s2 >> 24] ^ kT.td[1][(s1 >> 16) & 0xff] ^
+                             kT.td[2][(s0 >> 8) & 0xff] ^ kT.td[3][s3 & 0xff] ^
+                             rk[2];
+    const std::uint32_t t3 = kT.td[0][s3 >> 24] ^ kT.td[1][(s2 >> 16) & 0xff] ^
+                             kT.td[2][(s1 >> 8) & 0xff] ^ kT.td[3][s0 & 0xff] ^
+                             rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+  // Final round: InvSubBytes + InvShiftRows only.
+  const std::uint32_t o0 = Pack(kInvSbox[s0 >> 24], kInvSbox[(s3 >> 16) & 0xff],
+                                kInvSbox[(s2 >> 8) & 0xff],
+                                kInvSbox[s1 & 0xff]) ^
+                           dec_keys_[40];
+  const std::uint32_t o1 = Pack(kInvSbox[s1 >> 24], kInvSbox[(s0 >> 16) & 0xff],
+                                kInvSbox[(s3 >> 8) & 0xff],
+                                kInvSbox[s2 & 0xff]) ^
+                           dec_keys_[41];
+  const std::uint32_t o2 = Pack(kInvSbox[s2 >> 24], kInvSbox[(s1 >> 16) & 0xff],
+                                kInvSbox[(s0 >> 8) & 0xff],
+                                kInvSbox[s3 & 0xff]) ^
+                           dec_keys_[42];
+  const std::uint32_t o3 = Pack(kInvSbox[s3 >> 24], kInvSbox[(s2 >> 16) & 0xff],
+                                kInvSbox[(s1 >> 8) & 0xff],
+                                kInvSbox[s0 & 0xff]) ^
+                           dec_keys_[43];
+  Block out;
+  StoreWord(&out[0], o0);
+  StoreWord(&out[4], o1);
+  StoreWord(&out[8], o2);
+  StoreWord(&out[12], o3);
+  return out;
 }
 
 }  // namespace ppj::crypto

@@ -18,9 +18,13 @@ unsigned Ntz(std::uint64_t i) {
 
 // Constant-time-ish tag comparison (simulation-grade).
 bool TagsEqual(const std::uint8_t* a, const std::uint8_t* b) {
-  std::uint8_t diff = 0;
-  for (std::size_t i = 0; i < Ocb::kTagSize; ++i) diff |= a[i] ^ b[i];
-  return diff == 0;
+  static_assert(Ocb::kTagSize == 16);
+  std::uint64_t a0, a1, b0, b1;
+  std::memcpy(&a0, a, 8);
+  std::memcpy(&a1, a + 8, 8);
+  std::memcpy(&b0, b, 8);
+  std::memcpy(&b1, b + 8, 8);
+  return ((a0 ^ b0) | (a1 ^ b1)) == 0;
 }
 
 }  // namespace
@@ -41,29 +45,28 @@ Block Ocb::OffsetFromNonce(const Block& nonce) const {
   return aes_.Encrypt(nonce);
 }
 
-std::vector<std::uint8_t> Ocb::Encrypt(
-    const Block& nonce, const std::vector<std::uint8_t>& plaintext) const {
-  const std::size_t full_blocks = plaintext.size() / kBlockSize;
-  const std::size_t tail = plaintext.size() % kBlockSize;
+void Ocb::EncryptInto(const Block& nonce, const std::uint8_t* plaintext,
+                      std::size_t size, std::uint8_t* out) const {
+  const std::size_t full_blocks = size / kBlockSize;
+  const std::size_t tail = size % kBlockSize;
 
-  std::vector<std::uint8_t> out(plaintext.size() + kTagSize);
   Block offset = OffsetFromNonce(nonce);
   Block checksum{};
 
   for (std::size_t i = 1; i <= full_blocks; ++i) {
     offset = XorBlocks(offset, l_[Ntz(i)]);
     Block p;
-    std::memcpy(p.data(), &plaintext[(i - 1) * kBlockSize], kBlockSize);
+    std::memcpy(p.data(), plaintext + (i - 1) * kBlockSize, kBlockSize);
     checksum = XorBlocks(checksum, p);
     const Block c = XorBlocks(aes_.Encrypt(XorBlocks(p, offset)), offset);
-    std::memcpy(&out[(i - 1) * kBlockSize], c.data(), kBlockSize);
+    std::memcpy(out + (i - 1) * kBlockSize, c.data(), kBlockSize);
   }
 
   if (tail > 0) {
     offset = XorBlocks(offset, l_star_);
     const Block pad = aes_.Encrypt(offset);
     Block p{};
-    std::memcpy(p.data(), &plaintext[full_blocks * kBlockSize], tail);
+    std::memcpy(p.data(), plaintext + full_blocks * kBlockSize, tail);
     p[tail] = 0x80;  // 10* padding enters the checksum
     checksum = XorBlocks(checksum, p);
     for (std::size_t j = 0; j < tail; ++j) {
@@ -74,7 +77,55 @@ std::vector<std::uint8_t> Ocb::Encrypt(
 
   const Block tag =
       aes_.Encrypt(XorBlocks(XorBlocks(checksum, offset), l_dollar_));
-  std::memcpy(&out[plaintext.size()], tag.data(), kTagSize);
+  std::memcpy(out + size, tag.data(), kTagSize);
+}
+
+Status Ocb::DecryptInto(const Block& nonce, const std::uint8_t* sealed,
+                        std::size_t size, std::uint8_t* out) const {
+  if (size < kTagSize) {
+    return Status::Tampered("sealed message shorter than authentication tag");
+  }
+  const std::size_t ct_size = size - kTagSize;
+  const std::size_t full_blocks = ct_size / kBlockSize;
+  const std::size_t tail = ct_size % kBlockSize;
+
+  Block offset = OffsetFromNonce(nonce);
+  Block checksum{};
+
+  for (std::size_t i = 1; i <= full_blocks; ++i) {
+    offset = XorBlocks(offset, l_[Ntz(i)]);
+    Block c;
+    std::memcpy(c.data(), sealed + (i - 1) * kBlockSize, kBlockSize);
+    const Block p = XorBlocks(aes_.Decrypt(XorBlocks(c, offset)), offset);
+    checksum = XorBlocks(checksum, p);
+    std::memcpy(out + (i - 1) * kBlockSize, p.data(), kBlockSize);
+  }
+
+  if (tail > 0) {
+    offset = XorBlocks(offset, l_star_);
+    const Block pad = aes_.Encrypt(offset);
+    Block p{};
+    for (std::size_t j = 0; j < tail; ++j) {
+      out[full_blocks * kBlockSize + j] =
+          sealed[full_blocks * kBlockSize + j] ^ pad[j];
+      p[j] = out[full_blocks * kBlockSize + j];
+    }
+    p[tail] = 0x80;
+    checksum = XorBlocks(checksum, p);
+  }
+
+  const Block tag =
+      aes_.Encrypt(XorBlocks(XorBlocks(checksum, offset), l_dollar_));
+  if (!TagsEqual(tag.data(), sealed + ct_size)) {
+    return Status::Tampered("OCB tag mismatch: ciphertext was modified");
+  }
+  return Status::OK();
+}
+
+std::vector<std::uint8_t> Ocb::Encrypt(
+    const Block& nonce, const std::vector<std::uint8_t>& plaintext) const {
+  std::vector<std::uint8_t> out(plaintext.size() + kTagSize);
+  EncryptInto(nonce, plaintext.data(), plaintext.size(), out.data());
   return out;
 }
 
@@ -83,41 +134,9 @@ Result<std::vector<std::uint8_t>> Ocb::Decrypt(
   if (sealed.size() < kTagSize) {
     return Status::Tampered("sealed message shorter than authentication tag");
   }
-  const std::size_t ct_size = sealed.size() - kTagSize;
-  const std::size_t full_blocks = ct_size / kBlockSize;
-  const std::size_t tail = ct_size % kBlockSize;
-
-  std::vector<std::uint8_t> plaintext(ct_size);
-  Block offset = OffsetFromNonce(nonce);
-  Block checksum{};
-
-  for (std::size_t i = 1; i <= full_blocks; ++i) {
-    offset = XorBlocks(offset, l_[Ntz(i)]);
-    Block c;
-    std::memcpy(c.data(), &sealed[(i - 1) * kBlockSize], kBlockSize);
-    const Block p = XorBlocks(aes_.Decrypt(XorBlocks(c, offset)), offset);
-    checksum = XorBlocks(checksum, p);
-    std::memcpy(&plaintext[(i - 1) * kBlockSize], p.data(), kBlockSize);
-  }
-
-  if (tail > 0) {
-    offset = XorBlocks(offset, l_star_);
-    const Block pad = aes_.Encrypt(offset);
-    Block p{};
-    for (std::size_t j = 0; j < tail; ++j) {
-      plaintext[full_blocks * kBlockSize + j] =
-          sealed[full_blocks * kBlockSize + j] ^ pad[j];
-      p[j] = plaintext[full_blocks * kBlockSize + j];
-    }
-    p[tail] = 0x80;
-    checksum = XorBlocks(checksum, p);
-  }
-
-  const Block tag =
-      aes_.Encrypt(XorBlocks(XorBlocks(checksum, offset), l_dollar_));
-  if (!TagsEqual(tag.data(), &sealed[ct_size])) {
-    return Status::Tampered("OCB tag mismatch: ciphertext was modified");
-  }
+  std::vector<std::uint8_t> plaintext(sealed.size() - kTagSize);
+  PPJ_RETURN_NOT_OK(
+      DecryptInto(nonce, sealed.data(), sealed.size(), plaintext.data()));
   return plaintext;
 }
 

@@ -43,6 +43,19 @@ class Ocb {
   Result<std::vector<std::uint8_t>> Decrypt(
       const Block& nonce, const std::vector<std::uint8_t>& sealed) const;
 
+  /// Allocation-free sealing into caller storage: writes `size + kTagSize`
+  /// bytes (ciphertext || tag) to `out`. This is the batched-transfer path:
+  /// one long-lived Ocb amortizes its expanded key schedule and offset table
+  /// across every slot of a batch while the caller reuses one arena.
+  void EncryptInto(const Block& nonce, const std::uint8_t* plaintext,
+                   std::size_t size, std::uint8_t* out) const;
+
+  /// Allocation-free open of `size` sealed bytes (ciphertext || tag) into
+  /// `out` (`size - kTagSize` bytes). kTampered on tag mismatch, in which
+  /// case the contents of `out` are unspecified.
+  Status DecryptInto(const Block& nonce, const std::uint8_t* sealed,
+                     std::size_t size, std::uint8_t* out) const;
+
   /// Number of block-cipher invocations for an m-block message: m + 2,
   /// matching the paper's stated cost for OCB.
   static std::uint64_t BlockCipherCalls(std::size_t plaintext_size);

@@ -1,6 +1,8 @@
 #include "oblivious/bitonic_sort.h"
 
+#include <algorithm>
 #include <cstring>
+#include <span>
 
 #include "common/math.h"
 #include "relation/encrypted_relation.h"
@@ -40,8 +42,49 @@ Status ObliviousSort(sim::Coprocessor& copro, sim::RegionId region,
   }
   // The two staging slots for the elements under comparison are the "+2"
   // of the paper's M + 2 memory model; no buffer reservation needed.
+  //
+  // Batched stages: within stage (k, j) the comparators partition the array
+  // into disjoint aligned blocks of 2j slots — pairs (i, i+j) with
+  // (i & j) == 0 — and no slot is read after it is written. When a block
+  // fits the batch limit, one GetOpenRange stages its sealed slots and one
+  // PutSealedRange scatters them back per block, while every comparator
+  // still performs the scalar per-slot accounting in the scalar order:
+  // Get(i), Get(i+j), compare, Put(i), Put(i+j). The staged bytes are
+  // sealed ciphertext (untrusted data, no secure slots consumed), so the
+  // window is a transfer-granularity knob, not a memory commitment.
+  const std::uint64_t limit =
+      copro.BatchLimit(std::max<std::uint64_t>(copro.memory_tuples(), 2));
+  std::vector<std::uint8_t> pi;
+  std::vector<std::uint8_t> pj;
   for (std::uint64_t k = 2; k <= n; k <<= 1) {
     for (std::uint64_t j = k >> 1; j > 0; j >>= 1) {
+      const std::uint64_t block = 2 * j;
+      if (block <= limit) {
+        for (std::uint64_t base = 0; base < n; base += block) {
+          PPJ_ASSIGN_OR_RETURN(sim::ReadRun in,
+                               copro.GetOpenRange(region, base, block, &key));
+          PPJ_ASSIGN_OR_RETURN(
+              sim::WriteRun out,
+              copro.PutSealedRange(region, base, block, &key));
+          for (std::uint64_t i = base; i < base + j; ++i) {
+            const std::uint64_t l = i ^ j;  // == i + j within the block
+            PPJ_ASSIGN_OR_RETURN(std::span<const std::uint8_t> si,
+                                 in.OpenAt(i));
+            pi.assign(si.begin(), si.end());
+            PPJ_ASSIGN_OR_RETURN(std::span<const std::uint8_t> sl,
+                                 in.OpenAt(l));
+            pj.assign(sl.begin(), sl.end());
+            copro.NoteComparison();
+            const bool ascending = (i & k) == 0;
+            const bool out_of_order = ascending ? less(pj, pi) : less(pi, pj);
+            if (out_of_order) std::swap(pi, pj);
+            PPJ_RETURN_NOT_OK(out.SealAt(i, pi));
+            PPJ_RETURN_NOT_OK(out.SealAt(l, pj));
+          }
+          PPJ_RETURN_NOT_OK(out.Flush());
+        }
+        continue;
+      }
       for (std::uint64_t i = 0; i < n; ++i) {
         const std::uint64_t l = i ^ j;
         if (l > i) {

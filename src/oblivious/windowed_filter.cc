@@ -1,6 +1,7 @@
 #include "oblivious/windowed_filter.h"
 
 #include <algorithm>
+#include <span>
 
 #include "common/math.h"
 #include "oblivious/bitonic_sort.h"
@@ -42,25 +43,54 @@ Result<FilterStats> WindowedObliviousFilter(sim::Coprocessor& copro,
   const sim::RegionId buffer =
       copro.host()->CreateRegion("filter-buffer", slot_size, padded);
 
-  // Move an element src[s] -> buffer[b] through T, re-sealed.
-  auto copy_in = [&](std::uint64_t s, std::uint64_t b) -> Status {
-    PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> plain,
-                         copro.GetOpen(src, s, key));
-    PPJ_RETURN_NOT_OK(copro.PutSealed(buffer, b, plain, key));
-    stats.copy_transfers += 2;
+  // All of the filter's copies are sequential, so they move through the
+  // batched range-transfer layer in chunks of the batch limit. The staged
+  // bytes are sealed ciphertext (no secure slots consumed); per element the
+  // accounting is the scalar GetOpen/PutSealed pair, in the scalar order.
+  const std::uint64_t limit =
+      copro.BatchLimit(std::max<std::uint64_t>(copro.memory_tuples(), 1));
+  std::vector<std::uint8_t> plain;
+
+  // Move cnt elements sregion[s0..) -> dregion[d0..) through T, re-sealed.
+  auto copy_range = [&](sim::RegionId sregion, std::uint64_t s0,
+                        sim::RegionId dregion, std::uint64_t d0,
+                        std::uint64_t cnt) -> Status {
+    for (std::uint64_t done = 0; done < cnt;) {
+      const std::uint64_t chunk = std::min(limit, cnt - done);
+      PPJ_ASSIGN_OR_RETURN(
+          sim::ReadRun in,
+          copro.GetOpenRange(sregion, s0 + done, chunk, &key));
+      PPJ_ASSIGN_OR_RETURN(
+          sim::WriteRun out,
+          copro.PutSealedRange(dregion, d0 + done, chunk, &key));
+      for (std::uint64_t e = 0; e < chunk; ++e) {
+        PPJ_ASSIGN_OR_RETURN(std::span<const std::uint8_t> s, in.NextOpen());
+        plain.assign(s.begin(), s.end());
+        PPJ_RETURN_NOT_OK(out.Append(plain));
+      }
+      PPJ_RETURN_NOT_OK(out.Flush());
+      done += chunk;
+      stats.copy_transfers += 2 * chunk;
+    }
     return Status::OK();
   };
 
   // Fill the initial window and pad the power-of-two tail with decoys.
   std::uint64_t consumed = 0;
-  for (; consumed < window; ++consumed) {
-    PPJ_RETURN_NOT_OK(copy_in(consumed, consumed));
-  }
+  PPJ_RETURN_NOT_OK(copy_range(src, 0, buffer, 0, window));
+  consumed = window;
   const std::vector<std::uint8_t> decoy =
       relation::wire::MakeDecoy(payload_size);
-  for (std::uint64_t b = window; b < padded; ++b) {
-    PPJ_RETURN_NOT_OK(copro.PutSealed(buffer, b, decoy, key));
-    stats.copy_transfers += 1;
+  for (std::uint64_t b = window; b < padded;) {
+    const std::uint64_t chunk = std::min(limit, padded - b);
+    PPJ_ASSIGN_OR_RETURN(sim::WriteRun out,
+                         copro.PutSealedRange(buffer, b, chunk, &key));
+    for (std::uint64_t e = 0; e < chunk; ++e) {
+      PPJ_RETURN_NOT_OK(out.Append(decoy));
+    }
+    PPJ_RETURN_NOT_OK(out.Flush());
+    b += chunk;
+    stats.copy_transfers += chunk;
   }
 
   const PlainLess less = RealFirstLess();
@@ -71,9 +101,7 @@ Result<FilterStats> WindowedObliviousFilter(sim::Coprocessor& copro,
   // most mu real elements always survive in the top mu buffer positions.
   while (consumed < omega) {
     const std::uint64_t chunk = std::min(delta, omega - consumed);
-    for (std::uint64_t j = 0; j < chunk; ++j) {
-      PPJ_RETURN_NOT_OK(copy_in(consumed + j, mu + j));
-    }
+    PPJ_RETURN_NOT_OK(copy_range(src, consumed, buffer, mu, chunk));
     // Any unused tail of the swap area still holds decoys from the previous
     // round (sorted behind the reals), so no extra writes are needed; the
     // chunk size is a function of public parameters only.
@@ -83,12 +111,7 @@ Result<FilterStats> WindowedObliviousFilter(sim::Coprocessor& copro,
   }
 
   // Emit the top mu slots.
-  for (std::uint64_t i = 0; i < mu; ++i) {
-    PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> plain,
-                         copro.GetOpen(buffer, i, key));
-    PPJ_RETURN_NOT_OK(copro.PutSealed(dst, i, plain, key));
-    stats.copy_transfers += 2;
-  }
+  PPJ_RETURN_NOT_OK(copy_range(buffer, 0, dst, 0, mu));
   return stats;
 }
 

@@ -89,4 +89,36 @@ Result<EncryptedRelation::FetchedTuple> EncryptedRelation::Fetch(
   return FetchedTuple{std::move(tuple), real};
 }
 
+Status EncryptedRelation::FetchInto(sim::Coprocessor& copro,
+                                    std::uint64_t index, Tuple* tuple,
+                                    bool* real) const {
+  PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> plain,
+                       copro.GetOpen(region_, index, *key_));
+  *real = wire::IsReal(plain);
+  return Tuple::DeserializeInto(
+      schema_, wire::PayloadView(std::span<const std::uint8_t>(plain)),
+      tuple);
+}
+
+Result<EncryptedRelation::FetchRun> EncryptedRelation::FetchRange(
+    sim::Coprocessor& copro, std::uint64_t first, std::uint64_t count) const {
+  PPJ_ASSIGN_OR_RETURN(sim::ReadRun run,
+                       copro.GetOpenRange(region_, first, count, key_));
+  return FetchRun(std::move(run), schema_);
+}
+
+Result<EncryptedRelation::FetchedTuple> EncryptedRelation::FetchRun::Next() {
+  PPJ_ASSIGN_OR_RETURN(std::span<const std::uint8_t> plain, run_.NextOpen());
+  const bool real = wire::IsReal(plain);
+  PPJ_ASSIGN_OR_RETURN(Tuple tuple,
+                       Tuple::Deserialize(schema_, wire::PayloadView(plain)));
+  return FetchedTuple{std::move(tuple), real};
+}
+
+Status EncryptedRelation::FetchRun::NextInto(Tuple* tuple, bool* real) {
+  PPJ_ASSIGN_OR_RETURN(std::span<const std::uint8_t> plain, run_.NextOpen());
+  *real = wire::IsReal(plain);
+  return Tuple::DeserializeInto(schema_, wire::PayloadView(plain), tuple);
+}
+
 }  // namespace ppj::relation

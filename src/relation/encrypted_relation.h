@@ -40,6 +40,15 @@ bool IsReal(const std::vector<std::uint8_t>& plaintext);
 /// Payload bytes (everything after the flag).
 std::vector<std::uint8_t> Payload(const std::vector<std::uint8_t>& plaintext);
 
+/// Zero-copy variants for the batched transfer path.
+inline bool IsReal(std::span<const std::uint8_t> plaintext) {
+  return !plaintext.empty() && plaintext[0] == kReal;
+}
+inline std::span<const std::uint8_t> PayloadView(
+    std::span<const std::uint8_t> plaintext) {
+  return plaintext.subspan(1);
+}
+
 /// Total plaintext size for a payload of `payload_size` bytes.
 inline std::size_t PlainSize(std::size_t payload_size) {
   return 1 + payload_size;
@@ -85,6 +94,33 @@ class EncryptedRelation {
   };
   Result<FetchedTuple> Fetch(sim::Coprocessor& copro,
                              std::uint64_t index) const;
+
+  /// Fetch decoding into caller-owned storage, reusing `tuple`'s value
+  /// buffers across calls (Tuple::DeserializeInto) — built for scan loops.
+  Status FetchInto(sim::Coprocessor& copro, std::uint64_t index, Tuple* tuple,
+                   bool* real) const;
+
+  /// Batched counterpart of Fetch: one physical host round trip stages
+  /// [first, first+count) and Next() performs the per-slot open + decode
+  /// with scalar-identical accounting (see Coprocessor::GetOpenRange).
+  class FetchRun {
+   public:
+    Result<FetchedTuple> Next();
+    /// Next() into caller-owned storage; see EncryptedRelation::FetchInto.
+    Status NextInto(Tuple* tuple, bool* real);
+    std::uint64_t position() const { return run_.position(); }
+    std::uint64_t remaining() const { return run_.remaining(); }
+
+   private:
+    friend class EncryptedRelation;
+    FetchRun(sim::ReadRun run, const Schema* schema)
+        : run_(std::move(run)), schema_(schema) {}
+
+    sim::ReadRun run_;
+    const Schema* schema_;
+  };
+  Result<FetchRun> FetchRange(sim::Coprocessor& copro, std::uint64_t first,
+                              std::uint64_t count) const;
 
  private:
   EncryptedRelation() = default;

@@ -1,6 +1,7 @@
 #include "relation/tuple.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstring>
 #include <sstream>
@@ -16,12 +17,18 @@ void PutU64(std::vector<std::uint8_t>& out, std::size_t off,
   }
 }
 
-std::uint64_t GetU64(const std::vector<std::uint8_t>& in, std::size_t off) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(in[off + i]) << (8 * i);
+std::uint64_t GetU64(std::span<const std::uint8_t> in, std::size_t off) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint64_t v;
+    std::memcpy(&v, in.data() + off, 8);
+    return v;
+  } else {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(in[off + i]) << (8 * i);
+    }
+    return v;
   }
-  return v;
 }
 
 void PutU32(std::vector<std::uint8_t>& out, std::size_t off,
@@ -31,12 +38,18 @@ void PutU32(std::vector<std::uint8_t>& out, std::size_t off,
   }
 }
 
-std::uint32_t GetU32(const std::vector<std::uint8_t>& in, std::size_t off) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<std::uint32_t>(in[off + i]) << (8 * i);
+std::uint32_t GetU32(std::span<const std::uint8_t> in, std::size_t off) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint32_t v;
+    std::memcpy(&v, in.data() + off, 4);
+    return v;
+  } else {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(in[off + i]) << (8 * i);
+    }
+    return v;
   }
-  return v;
 }
 
 bool TypeMatches(ColumnType type, const Value& v) {
@@ -147,7 +160,7 @@ std::vector<std::uint8_t> Tuple::Serialize() const {
 }
 
 Result<Tuple> Tuple::Deserialize(const Schema* schema,
-                                 const std::vector<std::uint8_t>& bytes) {
+                                 std::span<const std::uint8_t> bytes) {
   if (schema == nullptr) {
     return Status::InvalidArgument("Tuple::Deserialize requires a schema");
   }
@@ -196,6 +209,71 @@ Result<Tuple> Tuple::Deserialize(const Schema* schema,
     }
   }
   return Tuple(schema, std::move(values));
+}
+
+Status Tuple::DeserializeInto(const Schema* schema,
+                              std::span<const std::uint8_t> bytes,
+                              Tuple* out) {
+  if (schema == nullptr || out == nullptr) {
+    return Status::InvalidArgument(
+        "Tuple::DeserializeInto requires a schema and an output tuple");
+  }
+  if (bytes.size() != schema->tuple_size()) {
+    return Status::InvalidArgument(
+        "encoded tuple size does not match schema: got " +
+        std::to_string(bytes.size()) + ", want " +
+        std::to_string(schema->tuple_size()));
+  }
+  out->schema_ = schema;
+  out->values_.resize(schema->num_columns());
+  for (std::size_t i = 0; i < schema->num_columns(); ++i) {
+    const Column& col = schema->columns()[i];
+    const std::size_t off = schema->offset(i);
+    Value& slot = out->values_[i];
+    switch (col.type) {
+      case ColumnType::kInt64:
+        slot = static_cast<std::int64_t>(GetU64(bytes, off));
+        break;
+      case ColumnType::kDouble: {
+        const std::uint64_t bits = GetU64(bytes, off);
+        double d;
+        std::memcpy(&d, &bits, 8);
+        slot = d;
+        break;
+      }
+      case ColumnType::kString: {
+        std::size_t len = col.width;
+        while (len > 0 && bytes[off + len - 1] == 0) --len;
+        if (auto* s = std::get_if<std::string>(&slot)) {
+          s->assign(reinterpret_cast<const char*>(&bytes[off]), len);
+        } else {
+          slot = std::string(reinterpret_cast<const char*>(&bytes[off]), len);
+        }
+        break;
+      }
+      case ColumnType::kSet: {
+        const std::uint32_t count = GetU32(bytes, off);
+        if (count > (col.width - 4) / 4) {
+          return Status::InvalidArgument("malformed set count in column '" +
+                                         col.name + "'");
+        }
+        auto* set = std::get_if<std::vector<std::uint32_t>>(&slot);
+        if (set == nullptr) {
+          slot = std::vector<std::uint32_t>();
+          set = std::get_if<std::vector<std::uint32_t>>(&slot);
+        }
+        set->resize(count);
+        for (std::uint32_t j = 0; j < count; ++j) {
+          (*set)[j] = GetU32(bytes, off + 4 + 4 * j);
+        }
+        // Same canonicalization the Tuple constructor applies.
+        std::sort(set->begin(), set->end());
+        set->erase(std::unique(set->begin(), set->end()), set->end());
+        break;
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Tuple Tuple::Concat(const Schema* schema, const Tuple& left,

@@ -2,6 +2,7 @@
 #define PPJ_RELATION_TUPLE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <variant>
 #include <vector>
@@ -41,7 +42,18 @@ class Tuple {
 
   /// Inverse of Serialize. Fails on size mismatch or malformed set counts.
   static Result<Tuple> Deserialize(const Schema* schema,
-                                   const std::vector<std::uint8_t>& bytes);
+                                   std::span<const std::uint8_t> bytes);
+  static Result<Tuple> Deserialize(const Schema* schema,
+                                   const std::vector<std::uint8_t>& bytes) {
+    return Deserialize(schema, std::span<const std::uint8_t>(bytes));
+  }
+
+  /// Deserialize reusing `out`'s existing value storage (no allocation when
+  /// `out` was last decoded under the same schema). Equivalent results to
+  /// Deserialize; built for per-tuple decode loops.
+  static Status DeserializeInto(const Schema* schema,
+                                std::span<const std::uint8_t> bytes,
+                                Tuple* out);
 
   /// Concatenation of two tuples under Schema::Concat semantics. `schema`
   /// must be the concatenated schema (owned by the caller).

@@ -13,26 +13,25 @@
 
 namespace ppj::service {
 
-std::string ToString(JoinAlgorithm algorithm) {
-  switch (algorithm) {
-    case JoinAlgorithm::kAlgorithm1:
-      return "Algorithm 1";
-    case JoinAlgorithm::kAlgorithm1Variant:
-      return "Algorithm 1 (variant)";
-    case JoinAlgorithm::kAlgorithm2:
-      return "Algorithm 2";
-    case JoinAlgorithm::kAlgorithm3:
-      return "Algorithm 3";
-    case JoinAlgorithm::kAlgorithm4:
-      return "Algorithm 4";
-    case JoinAlgorithm::kAlgorithm5:
-      return "Algorithm 5";
-    case JoinAlgorithm::kAlgorithm6:
-      return "Algorithm 6";
-    case JoinAlgorithm::kAuto:
-      return "auto (planner)";
+Status ExecuteOptions::Validate() const {
+  if (memory_tuples < 2) {
+    return Status::InvalidArgument(
+        "the join algorithms need at least two free tuple slots "
+        "(memory_tuples >= 2)");
   }
-  return "?";
+  if (parallelism == 0) {
+    return Status::InvalidArgument("parallelism must be at least 1");
+  }
+  if (parallelism > 1 && algorithm && core::IsChapter4(*algorithm)) {
+    return Status::InvalidArgument(
+        "the Chapter 4 algorithms are sequential; parallel execution "
+        "(Section 5.3.5) needs Algorithm 4, 5 or 6");
+  }
+  if (algorithm == core::Algorithm::kAlgorithm6 && epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "Algorithm 6 needs a positive epsilon privacy budget");
+  }
+  return Status::OK();
 }
 
 namespace {
@@ -50,45 +49,13 @@ std::unique_ptr<relation::Relation> CopyRelation(
   return copy;
 }
 
-bool IsChapter4(JoinAlgorithm algorithm) {
-  switch (algorithm) {
-    case JoinAlgorithm::kAlgorithm1:
-    case JoinAlgorithm::kAlgorithm1Variant:
-    case JoinAlgorithm::kAlgorithm2:
-    case JoinAlgorithm::kAlgorithm3:
-      return true;
-    default:
-      return false;
-  }
-}
-
-JoinAlgorithm FromPlanned(core::PlannedAlgorithm algorithm) {
-  switch (algorithm) {
-    case core::PlannedAlgorithm::kAlgorithm1:
-      return JoinAlgorithm::kAlgorithm1;
-    case core::PlannedAlgorithm::kAlgorithm1Variant:
-      return JoinAlgorithm::kAlgorithm1Variant;
-    case core::PlannedAlgorithm::kAlgorithm2:
-      return JoinAlgorithm::kAlgorithm2;
-    case core::PlannedAlgorithm::kAlgorithm3:
-      return JoinAlgorithm::kAlgorithm3;
-    case core::PlannedAlgorithm::kAlgorithm4:
-      return JoinAlgorithm::kAlgorithm4;
-    case core::PlannedAlgorithm::kAlgorithm5:
-      return JoinAlgorithm::kAlgorithm5;
-    case core::PlannedAlgorithm::kAlgorithm6:
-      return JoinAlgorithm::kAlgorithm6;
-  }
-  return JoinAlgorithm::kAlgorithm5;
-}
-
 /// Resolves kAuto through the planner. Algorithm 3 additionally needs the
 /// second table padded to a power of two, so auto-planning only offers it
 /// when that padding is in place.
-JoinAlgorithm ResolveAlgorithm(
+core::Algorithm ResolveAlgorithm(
     const ExecuteOptions& options, const relation::PairPredicate& predicate,
     const std::vector<const relation::EncryptedRelation*>& tables) {
-  if (options.algorithm != JoinAlgorithm::kAuto) return options.algorithm;
+  if (options.algorithm) return *options.algorithm;
   core::PlannerInput input;
   input.size_a = tables[0]->size();
   input.size_b = tables[1]->size();
@@ -97,7 +64,7 @@ JoinAlgorithm ResolveAlgorithm(
   input.n = options.n;
   input.m = options.memory_tuples;
   input.epsilon = options.epsilon;
-  return FromPlanned(core::PlanJoin(input).algorithm);
+  return core::PlanJoin(input).algorithm;
 }
 
 }  // namespace
@@ -229,6 +196,7 @@ SovereignJoinService::GatherTables(const Contract& contract) const {
 Result<JoinDelivery> SovereignJoinService::ExecuteJoin(
     const std::string& contract_id, const relation::PairPredicate& predicate,
     const ExecuteOptions& options) {
+  PPJ_RETURN_NOT_OK(options.Validate());
   PPJ_ASSIGN_OR_RETURN(const Contract* contract, FindContract(contract_id));
   if (contract->providers.size() != 2) {
     return Status::InvalidArgument(
@@ -242,12 +210,13 @@ Result<JoinDelivery> SovereignJoinService::ExecuteJoin(
     return Status::PrivacyViolation(
         "contract does not permit predicate '" + predicate.name() + "'");
   }
-  const JoinAlgorithm algorithm =
+  const core::Algorithm algorithm =
       ResolveAlgorithm(options, predicate, tables);
 
   sim::CoprocessorOptions copro_options;
   copro_options.memory_tuples = options.memory_tuples;
   copro_options.seed = options.seed;
+  copro_options.batch_slots = options.batch_slots;
   sim::Coprocessor copro(&host_, copro_options);
 
   auto result_schema = std::make_unique<relation::Schema>(
@@ -257,26 +226,26 @@ Result<JoinDelivery> SovereignJoinService::ExecuteJoin(
   sim::RegionId output_region = 0;
   std::uint64_t output_slots = 0;
 
-  if (IsChapter4(algorithm)) {
+  if (core::IsChapter4(algorithm)) {
     core::TwoWayJoin join{tables[0], tables[1], &predicate, out_key};
     core::Ch4Outcome outcome;
     switch (algorithm) {
-      case JoinAlgorithm::kAlgorithm1: {
+      case core::Algorithm::kAlgorithm1: {
         PPJ_ASSIGN_OR_RETURN(
             outcome, core::RunAlgorithm1(copro, join, {.n = options.n}));
         break;
       }
-      case JoinAlgorithm::kAlgorithm1Variant: {
+      case core::Algorithm::kAlgorithm1Variant: {
         PPJ_ASSIGN_OR_RETURN(outcome, core::RunAlgorithm1Variant(
                                           copro, join, {.n = options.n}));
         break;
       }
-      case JoinAlgorithm::kAlgorithm2: {
+      case core::Algorithm::kAlgorithm2: {
         PPJ_ASSIGN_OR_RETURN(
             outcome, core::RunAlgorithm2(copro, join, {.n = options.n}));
         break;
       }
-      case JoinAlgorithm::kAlgorithm3: {
+      case core::Algorithm::kAlgorithm3: {
         PPJ_ASSIGN_OR_RETURN(
             outcome, core::RunAlgorithm3(copro, join, {.n = options.n}));
         break;
@@ -291,15 +260,15 @@ Result<JoinDelivery> SovereignJoinService::ExecuteJoin(
     core::MultiwayJoin join{{tables[0], tables[1]}, &multiway, out_key};
     core::Ch5Outcome outcome;
     switch (algorithm) {
-      case JoinAlgorithm::kAlgorithm4: {
+      case core::Algorithm::kAlgorithm4: {
         PPJ_ASSIGN_OR_RETURN(outcome, core::RunAlgorithm4(copro, join));
         break;
       }
-      case JoinAlgorithm::kAlgorithm5: {
+      case core::Algorithm::kAlgorithm5: {
         PPJ_ASSIGN_OR_RETURN(outcome, core::RunAlgorithm5(copro, join));
         break;
       }
-      case JoinAlgorithm::kAlgorithm6: {
+      case core::Algorithm::kAlgorithm6: {
         PPJ_ASSIGN_OR_RETURN(
             outcome, core::RunAlgorithm6(copro, join,
                                          {.epsilon = options.epsilon,
@@ -329,12 +298,13 @@ Result<JoinDelivery> SovereignJoinService::ExecuteMultiwayJoin(
     const std::string& contract_id,
     const relation::MultiwayPredicate& predicate,
     const ExecuteOptions& options) {
+  PPJ_RETURN_NOT_OK(options.Validate());
   PPJ_ASSIGN_OR_RETURN(const Contract* contract, FindContract(contract_id));
   PPJ_ASSIGN_OR_RETURN(std::vector<const relation::EncryptedRelation*> tables,
                        GatherTables(*contract));
   PPJ_ASSIGN_OR_RETURN(const crypto::Ocb* out_key,
                        parties_.Key(contract->recipient));
-  if (IsChapter4(options.algorithm)) {
+  if (options.algorithm && core::IsChapter4(*options.algorithm)) {
     return Status::InvalidArgument(
         "multiway joins need the Chapter 5 algorithms (4, 5 or 6)");
   }
@@ -342,8 +312,9 @@ Result<JoinDelivery> SovereignJoinService::ExecuteMultiwayJoin(
     return Status::PrivacyViolation(
         "contract does not permit predicate '" + predicate.name() + "'");
   }
-  JoinAlgorithm algorithm = options.algorithm;
-  if (algorithm == JoinAlgorithm::kAuto) {
+  core::Algorithm algorithm =
+      options.algorithm.value_or(core::Algorithm::kAlgorithm5);
+  if (!options.algorithm) {
     core::PlannerInput input;
     input.size_a = tables[0]->size();
     input.size_b = 1;
@@ -353,12 +324,13 @@ Result<JoinDelivery> SovereignJoinService::ExecuteMultiwayJoin(
     input.exact_output_required = true;
     input.m = options.memory_tuples;
     input.epsilon = options.epsilon;
-    algorithm = FromPlanned(core::PlanJoin(input).algorithm);
+    algorithm = core::PlanJoin(input).algorithm;
   }
 
   sim::CoprocessorOptions copro_options;
   copro_options.memory_tuples = options.memory_tuples;
   copro_options.seed = options.seed;
+  copro_options.batch_slots = options.batch_slots;
 
   relation::Schema combined = *tables[0]->schema();
   for (std::size_t i = 1; i < tables.size(); ++i) {
@@ -375,15 +347,15 @@ Result<JoinDelivery> SovereignJoinService::ExecuteMultiwayJoin(
     Result<core::ParallelOutcome> parallel =
         Status::Internal("unsupported parallel algorithm");
     switch (algorithm) {
-      case JoinAlgorithm::kAlgorithm4:
+      case core::Algorithm::kAlgorithm4:
         parallel = core::RunParallelAlgorithm4(
             &host_, join, options.parallelism, copro_options);
         break;
-      case JoinAlgorithm::kAlgorithm5:
+      case core::Algorithm::kAlgorithm5:
         parallel = core::RunParallelAlgorithm5(
             &host_, join, options.parallelism, copro_options);
         break;
-      case JoinAlgorithm::kAlgorithm6:
+      case core::Algorithm::kAlgorithm6:
         parallel = core::RunParallelAlgorithm6(
             &host_, join, options.parallelism, copro_options,
             {.epsilon = options.epsilon, .order_seed = options.seed});
@@ -409,15 +381,15 @@ Result<JoinDelivery> SovereignJoinService::ExecuteMultiwayJoin(
   sim::Coprocessor copro(&host_, copro_options);
   core::Ch5Outcome outcome;
   switch (algorithm) {
-    case JoinAlgorithm::kAlgorithm4: {
+    case core::Algorithm::kAlgorithm4: {
       PPJ_ASSIGN_OR_RETURN(outcome, core::RunAlgorithm4(copro, join));
       break;
     }
-    case JoinAlgorithm::kAlgorithm5: {
+    case core::Algorithm::kAlgorithm5: {
       PPJ_ASSIGN_OR_RETURN(outcome, core::RunAlgorithm5(copro, join));
       break;
     }
-    case JoinAlgorithm::kAlgorithm6: {
+    case core::Algorithm::kAlgorithm6: {
       PPJ_ASSIGN_OR_RETURN(
           outcome, core::RunAlgorithm6(copro, join,
                                        {.epsilon = options.epsilon,
@@ -446,6 +418,7 @@ Result<core::AggregateResult> SovereignJoinService::ExecuteAggregate(
     const std::string& contract_id,
     const relation::MultiwayPredicate& predicate,
     const core::AggregateSpec& aggregate, const ExecuteOptions& options) {
+  PPJ_RETURN_NOT_OK(options.Validate());
   PPJ_ASSIGN_OR_RETURN(const Contract* contract, FindContract(contract_id));
   PPJ_ASSIGN_OR_RETURN(std::vector<const relation::EncryptedRelation*> tables,
                        GatherTables(*contract));
@@ -458,6 +431,7 @@ Result<core::AggregateResult> SovereignJoinService::ExecuteAggregate(
   sim::CoprocessorOptions copro_options;
   copro_options.memory_tuples = options.memory_tuples;
   copro_options.seed = options.seed;
+  copro_options.batch_slots = options.batch_slots;
   sim::Coprocessor copro(&host_, copro_options);
   core::MultiwayJoin join{tables, &predicate, out_key};
   return core::RunAggregateJoin(copro, join, aggregate);
@@ -467,6 +441,7 @@ Result<core::GroupByCountResult> SovereignJoinService::ExecuteGroupByCount(
     const std::string& contract_id,
     const relation::MultiwayPredicate& predicate,
     const core::GroupByCountSpec& spec, const ExecuteOptions& options) {
+  PPJ_RETURN_NOT_OK(options.Validate());
   PPJ_ASSIGN_OR_RETURN(const Contract* contract, FindContract(contract_id));
   PPJ_ASSIGN_OR_RETURN(std::vector<const relation::EncryptedRelation*> tables,
                        GatherTables(*contract));
@@ -479,6 +454,7 @@ Result<core::GroupByCountResult> SovereignJoinService::ExecuteGroupByCount(
   sim::CoprocessorOptions copro_options;
   copro_options.memory_tuples = options.memory_tuples;
   copro_options.seed = options.seed;
+  copro_options.batch_slots = options.batch_slots;
   sim::Coprocessor copro(&host_, copro_options);
   core::MultiwayJoin join{tables, &predicate, out_key};
   return core::RunGroupByCountJoin(copro, join, spec);

@@ -3,12 +3,14 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "core/aggregate.h"
+#include "core/algorithm.h"
 #include "core/join_result.h"
 #include "relation/encrypted_relation.h"
 #include "relation/predicate.h"
@@ -21,23 +23,16 @@
 
 namespace ppj::service {
 
-/// Which join algorithm an execution should use.
-enum class JoinAlgorithm {
-  kAlgorithm1,         ///< Ch.4 general join, small memory
-  kAlgorithm1Variant,  ///< Ch.4 variant (Section 4.4.2)
-  kAlgorithm2,         ///< Ch.4 general join, large memory
-  kAlgorithm3,         ///< Ch.4 sort-based equijoin
-  kAlgorithm4,         ///< Ch.5 exact join, small memory
-  kAlgorithm5,         ///< Ch.5 exact join, large memory
-  kAlgorithm6,         ///< Ch.5 (1 - epsilon)-privacy join
-  kAuto,               ///< Planner-selected by the paper's cost models
-};
-
-std::string ToString(JoinAlgorithm algorithm);
+/// "Let the planner pick" marker for ExecuteOptions::algorithm. The
+/// algorithms themselves live in the unified core::Algorithm enum; auto is
+/// a service-level concept (the planner resolves it by the paper's cost
+/// models), so it is the absent optional, not an enum value.
+inline constexpr std::optional<core::Algorithm> kAuto = std::nullopt;
 
 /// Execution knobs; sensible defaults everywhere.
 struct ExecuteOptions {
-  JoinAlgorithm algorithm = JoinAlgorithm::kAlgorithm5;
+  /// A concrete core::Algorithm, or kAuto for planner selection.
+  std::optional<core::Algorithm> algorithm = core::Algorithm::kAlgorithm5;
   /// N for the Chapter 4 algorithms; 0 = compute via the safe scan.
   std::uint64_t n = 0;
   /// epsilon for Algorithm 6.
@@ -49,6 +44,16 @@ struct ExecuteOptions {
   /// Number of coprocessors (Section 5.3.5). Values > 1 dispatch to the
   /// parallel executors; only Algorithms 4, 5 and 6 support it.
   unsigned parallelism = 1;
+  /// Upper bound on one batched range transfer; 0 = auto-sized from free
+  /// device memory, 1 = force the scalar per-slot path (see
+  /// sim::CoprocessorOptions::batch_slots).
+  std::uint64_t batch_slots = 0;
+
+  /// Rejects contradictory knob combinations before any coprocessor work:
+  /// the Chapter 4 family is sequential (parallelism must be 1), Algorithm
+  /// 6 needs a positive epsilon budget, and the algorithms assume at least
+  /// two free tuple slots. Called by every Execute* entry point.
+  Status Validate() const;
 };
 
 /// What the recipient gets back, plus execution telemetry.

@@ -1,5 +1,6 @@
 #include "sim/coprocessor.h"
 
+#include <bit>
 #include <cstring>
 #include <limits>
 
@@ -104,14 +105,20 @@ crypto::Block Coprocessor::PositionNonce(RegionId region,
                                          std::uint64_t index,
                                          std::uint32_t counter) {
   crypto::Block nonce{};
-  for (int i = 0; i < 4; ++i) {
-    nonce[i] = static_cast<std::uint8_t>(region >> (8 * i));
-  }
-  for (int i = 0; i < 8; ++i) {
-    nonce[4 + i] = static_cast<std::uint8_t>(index >> (8 * i));
-  }
-  for (int i = 0; i < 4; ++i) {
-    nonce[12 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(nonce.data(), &region, 4);
+    std::memcpy(nonce.data() + 4, &index, 8);
+    std::memcpy(nonce.data() + 12, &counter, 4);
+  } else {
+    for (int i = 0; i < 4; ++i) {
+      nonce[i] = static_cast<std::uint8_t>(region >> (8 * i));
+    }
+    for (int i = 0; i < 8; ++i) {
+      nonce[4 + i] = static_cast<std::uint8_t>(index >> (8 * i));
+    }
+    for (int i = 0; i < 4; ++i) {
+      nonce[12 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
+    }
   }
   return nonce;
 }
@@ -152,6 +159,245 @@ Status Coprocessor::PutSealed(RegionId region, std::uint64_t index,
   std::memcpy(slot.data() + crypto::Ocb::kBlockSize, sealed.data(),
               sealed.size());
   return Put(region, index, slot);
+}
+
+std::uint64_t Coprocessor::BatchLimit(std::uint64_t want) const {
+  if (want == 0) want = 1;
+  if (options_.batch_slots != 0 && want > options_.batch_slots) {
+    want = options_.batch_slots;
+  }
+  return want;
+}
+
+Result<ReadRun> Coprocessor::GetRange(RegionId region, std::uint64_t first,
+                                      std::uint64_t count) {
+  return GetOpenRange(region, first, count, nullptr);
+}
+
+Result<ReadRun> Coprocessor::GetOpenRange(RegionId region,
+                                          std::uint64_t first,
+                                          std::uint64_t count,
+                                          const crypto::Ocb* key) {
+  if (disabled_) return DeviceDisabled();
+  if (region >= host_->region_count()) {
+    return Status::NotFound("unknown region id");
+  }
+  ReadRun run(this, region, first, count, host_->RegionSlotSize(region), key);
+  if (count > 0) {
+    PPJ_RETURN_NOT_OK(host_->ReadRange(region, first, count, &run.arena_));
+    ++metrics_.batch_gets;
+  }
+  return run;
+}
+
+Result<WriteRun> Coprocessor::PutRange(RegionId region, std::uint64_t first,
+                                       std::uint64_t count) {
+  return PutSealedRange(region, first, count, nullptr);
+}
+
+Result<WriteRun> Coprocessor::PutSealedRange(RegionId region,
+                                             std::uint64_t first,
+                                             std::uint64_t count,
+                                             const crypto::Ocb* key) {
+  if (disabled_) return DeviceDisabled();
+  if (region >= host_->region_count()) {
+    return Status::NotFound("unknown region id");
+  }
+  const std::uint64_t slots = host_->RegionSlots(region);
+  if (first > slots || count > slots - first) {
+    return Status::OutOfRange("PutRange outside region bounds");
+  }
+  return WriteRun(this, region, first, count, host_->RegionSlotSize(region),
+                  key);
+}
+
+Result<std::vector<std::uint8_t>> ReadRun::NextSealed() {
+  return SealedAt(position());
+}
+
+Result<std::vector<std::uint8_t>> ReadRun::SealedAt(std::uint64_t index) {
+  if (copro_->disabled_) return DeviceDisabled();
+  if (index < first_ || index - first_ >= count_) {
+    return Status::OutOfRange("ReadRun index outside staged range");
+  }
+  // Identical accounting, in identical order, to the scalar Get.
+  copro_->trace_.Record(AccessOp::kGet, region_, index);
+  copro_->timing_hash_.UpdateU64(copro_->metrics_.padded_cycles);
+  ++copro_->metrics_.gets;
+  if (index == position()) ++next_;
+  const std::uint8_t* slot =
+      arena_.data() + static_cast<std::size_t>(index - first_) * slot_size_;
+  return std::vector<std::uint8_t>(slot, slot + slot_size_);
+}
+
+Result<std::span<const std::uint8_t>> ReadRun::NextOpen() {
+  return OpenAt(position());
+}
+
+Result<std::span<const std::uint8_t>> ReadRun::OpenAt(std::uint64_t index) {
+  if (key_ == nullptr) {
+    return Status::InvalidArgument(
+        "ReadRun::OpenAt requires a key-bound run (use GetOpenRange)");
+  }
+  if (copro_->disabled_) return DeviceDisabled();
+  if (index < first_ || index - first_ >= count_) {
+    return Status::OutOfRange("ReadRun index outside staged range");
+  }
+  // Identical accounting, in identical order, to the scalar GetOpen:
+  // trace + timing + get counter, then position check, then open.
+  copro_->trace_.Record(AccessOp::kGet, region_, index);
+  copro_->timing_hash_.UpdateU64(copro_->metrics_.padded_cycles);
+  ++copro_->metrics_.gets;
+  if (index == position()) ++next_;
+
+  const std::uint8_t* slot =
+      arena_.data() + static_cast<std::size_t>(index - first_) * slot_size_;
+  auto fail = [this](Status status) -> Status {
+    if (copro_->options_.tamper_response) copro_->disabled_ = true;
+    return status;
+  };
+  if (slot_size_ < crypto::Ocb::kBlockSize + crypto::Ocb::kTagSize) {
+    return fail(Status::Tampered("sealed slot too small"));
+  }
+  const crypto::Block expected =
+      Coprocessor::PositionNonce(region_, index, 0);
+  for (int i = 0; i < 12; ++i) {
+    if (slot[static_cast<std::size_t>(i)] != expected[i]) {
+      return fail(Status::Tampered(
+          "slot nonce bound to a different host location: reorder or "
+          "replay attack detected"));
+    }
+  }
+  crypto::Block nonce;
+  std::memcpy(nonce.data(), slot, crypto::Ocb::kBlockSize);
+  const std::size_t body_size = slot_size_ - crypto::Ocb::kBlockSize;
+  const std::size_t plain_size = body_size - crypto::Ocb::kTagSize;
+  copro_->metrics_.cipher_calls += crypto::Ocb::BlockCipherCalls(plain_size);
+  plain_.resize(plain_size);
+  const Status opened = key_->DecryptInto(
+      nonce, slot + crypto::Ocb::kBlockSize, body_size, plain_.data());
+  if (!opened.ok()) return fail(opened);
+  return std::span<const std::uint8_t>(plain_.data(), plain_size);
+}
+
+WriteRun::WriteRun(WriteRun&& other) noexcept
+    : copro_(other.copro_),
+      region_(other.region_),
+      first_(other.first_),
+      count_(other.count_),
+      slot_size_(other.slot_size_),
+      key_(other.key_),
+      arena_(std::move(other.arena_)),
+      filled_(std::move(other.filled_)),
+      next_(other.next_) {
+  other.copro_ = nullptr;
+}
+
+WriteRun& WriteRun::operator=(WriteRun&& other) noexcept {
+  if (this != &other) {
+    if (copro_ != nullptr) (void)Flush();
+    copro_ = other.copro_;
+    region_ = other.region_;
+    first_ = other.first_;
+    count_ = other.count_;
+    slot_size_ = other.slot_size_;
+    key_ = other.key_;
+    arena_ = std::move(other.arena_);
+    filled_ = std::move(other.filled_);
+    next_ = other.next_;
+    other.copro_ = nullptr;
+  }
+  return *this;
+}
+
+WriteRun::~WriteRun() {
+  if (copro_ != nullptr) (void)Flush();
+}
+
+Status WriteRun::Append(const std::vector<std::uint8_t>& plaintext) {
+  return SealAt(position(), plaintext);
+}
+
+Status WriteRun::SealAt(std::uint64_t index,
+                        const std::vector<std::uint8_t>& plaintext) {
+  return Fill(index, plaintext, /*seal=*/true);
+}
+
+Status WriteRun::AppendRaw(const std::vector<std::uint8_t>& sealed) {
+  return Fill(position(), sealed, /*seal=*/false);
+}
+
+Status WriteRun::RawAt(std::uint64_t index,
+                       const std::vector<std::uint8_t>& sealed) {
+  return Fill(index, sealed, /*seal=*/false);
+}
+
+Status WriteRun::Fill(std::uint64_t index,
+                      const std::vector<std::uint8_t>& bytes, bool seal) {
+  if (copro_->disabled_) return DeviceDisabled();
+  if (index < first_ || index - first_ >= count_) {
+    return Status::OutOfRange("WriteRun index outside range");
+  }
+  std::uint8_t* slot =
+      arena_.data() + static_cast<std::size_t>(index - first_) * slot_size_;
+  if (seal) {
+    if (key_ == nullptr) {
+      return Status::InvalidArgument(
+          "WriteRun::SealAt requires a key-bound run (use PutSealedRange)");
+    }
+    if (crypto::Ocb::kBlockSize + bytes.size() + crypto::Ocb::kTagSize !=
+        slot_size_) {
+      return Status::InvalidArgument(
+          "WriteRun plaintext does not match slot size");
+    }
+    // Identical accounting to the scalar PutSealed: counter, seal, charge.
+    if (copro_->position_counter_ ==
+        std::numeric_limits<std::uint32_t>::max()) {
+      copro_->position_counter_ = 0;
+    }
+    const crypto::Block nonce = Coprocessor::PositionNonce(
+        region_, index, ++copro_->position_counter_);
+    std::memcpy(slot, nonce.data(), crypto::Ocb::kBlockSize);
+    key_->EncryptInto(nonce, bytes.data(), bytes.size(),
+                      slot + crypto::Ocb::kBlockSize);
+    copro_->metrics_.cipher_calls +=
+        crypto::Ocb::BlockCipherCalls(bytes.size());
+  } else {
+    if (bytes.size() != slot_size_) {
+      return Status::InvalidArgument(
+          "WriteRun sealed slot does not match slot size");
+    }
+    std::memcpy(slot, bytes.data(), bytes.size());
+  }
+  // Identical accounting to the scalar Put; the physical write is deferred.
+  copro_->trace_.Record(AccessOp::kPut, region_, index);
+  copro_->timing_hash_.UpdateU64(copro_->metrics_.padded_cycles);
+  ++copro_->metrics_.puts;
+  if (index == position()) ++next_;
+  filled_[static_cast<std::size_t>(index - first_)] = true;
+  return Status::OK();
+}
+
+Status WriteRun::Flush() {
+  std::uint64_t i = 0;
+  while (i < count_) {
+    if (!filled_[static_cast<std::size_t>(i)]) {
+      ++i;
+      continue;
+    }
+    std::uint64_t end = i;
+    while (end < count_ && filled_[static_cast<std::size_t>(end)]) {
+      filled_[static_cast<std::size_t>(end)] = false;
+      ++end;
+    }
+    PPJ_RETURN_NOT_OK(copro_->host_->WriteRange(
+        region_, first_ + i, end - i,
+        arena_.data() + static_cast<std::size_t>(i) * slot_size_,
+        static_cast<std::size_t>(end - i) * slot_size_));
+    ++copro_->metrics_.batch_puts;
+    i = end;
+  }
+  return Status::OK();
 }
 
 Status Coprocessor::Reserve(std::uint64_t slots) {

@@ -2,6 +2,7 @@
 #define PPJ_SIM_COPROCESSOR_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/random.h"
@@ -40,9 +41,17 @@ struct CoprocessorOptions {
   /// How many trace events to retain verbatim for diagnostics; the running
   /// fingerprint always covers the whole trace.
   std::size_t max_retained_trace = 1u << 16;
+
+  /// Upper bound on the slot count of one batched range transfer. 0 means
+  /// "no override": algorithms size batches from their free device memory.
+  /// 1 forces every range call down to a single slot — the scalar path —
+  /// which is what the golden-fingerprint tests compare against.
+  std::uint64_t batch_slots = 0;
 };
 
 class SecureBuffer;
+class ReadRun;
+class WriteRun;
 
 /// The trusted device T (Section 3.2): tamper-responding, with a small free
 /// memory of M tuple slots. All data enters and leaves through Get/Put
@@ -72,6 +81,43 @@ class Coprocessor {
   /// Asks H to persist one slot of a region to disk (the paper's "request
   /// H to write ... to disk"). Observable, but not a tuple transfer.
   Status DiskWrite(RegionId region, std::uint64_t index);
+
+  // ---- Batched range transfers -------------------------------------------
+  //
+  // One physical host round trip moves a whole contiguous run of slots;
+  // the per-slot cost accounting (trace event, timing sample, get/put
+  // counter, cipher charge) is *deferred* to the moment each slot is
+  // consumed or produced, in exactly the order the scalar loop would have
+  // issued it. AccessTrace fingerprints, timing fingerprints and
+  // TupleTransfers() are therefore bit-identical to the scalar path — the
+  // invariant the Definition 1/3 audits rely on — while the simulation
+  // sheds the per-call locking, allocation and copying that real secure
+  // coprocessors amortize with batched transfers.
+
+  /// Stages `count` sealed slots [first, first+count) of `region` inside T
+  /// for consumption via ReadRun::NextSealed / SealedAt.
+  Result<ReadRun> GetRange(RegionId region, std::uint64_t first,
+                           std::uint64_t count);
+
+  /// Like GetRange, but binds `key` so slots can be consumed through the
+  /// position-checking authenticated-open path (ReadRun::NextOpen / OpenAt).
+  Result<ReadRun> GetOpenRange(RegionId region, std::uint64_t first,
+                               std::uint64_t count, const crypto::Ocb* key);
+
+  /// Opens a write run over slots [first, first+count) of `region` for raw
+  /// sealed slots (WriteRun::AppendRaw / RawAt).
+  Result<WriteRun> PutRange(RegionId region, std::uint64_t first,
+                            std::uint64_t count);
+
+  /// Like PutRange, but binds `key` so plaintexts are sealed in place with
+  /// position-bound nonces (WriteRun::Append / SealAt).
+  Result<WriteRun> PutSealedRange(RegionId region, std::uint64_t first,
+                                  std::uint64_t count,
+                                  const crypto::Ocb* key);
+
+  /// Clamps a desired batch size by the configured batch_slots override
+  /// (see CoprocessorOptions); never returns 0.
+  std::uint64_t BatchLimit(std::uint64_t want) const;
 
   // ---- Sealed-tuple convenience layer ------------------------------------
 
@@ -166,6 +212,9 @@ class Coprocessor {
   Rng& rng() { return rng_; }
 
  private:
+  friend class ReadRun;
+  friend class WriteRun;
+
   crypto::Block NextNonce();
 
   HostStore* host_;
@@ -178,6 +227,125 @@ class Coprocessor {
   std::uint64_t nonce_counter_ = 0;
   std::uint32_t position_counter_ = 0;
   bool disabled_ = false;
+};
+
+/// A staged contiguous run of sealed slots fetched with one physical host
+/// round trip (Coprocessor::GetRange / GetOpenRange). Consuming a slot —
+/// sequentially via NextSealed/NextOpen or at an explicit in-range index via
+/// SealedAt/OpenAt — performs the *full* scalar per-slot accounting at that
+/// moment: trace event, timing sample, get counter, position-nonce check and
+/// authenticated open (for the keyed variants), including the tamper
+/// response. A slot staged but never consumed is neither traced nor charged,
+/// matching what the equivalent scalar loop would have transferred.
+class ReadRun {
+ public:
+  ReadRun(ReadRun&&) noexcept = default;
+  ReadRun& operator=(ReadRun&&) noexcept = default;
+  ReadRun(const ReadRun&) = delete;
+  ReadRun& operator=(const ReadRun&) = delete;
+
+  std::uint64_t first() const { return first_; }
+  std::uint64_t count() const { return count_; }
+  /// Next sequential slot index (first() + number of Next* calls so far).
+  std::uint64_t position() const { return first_ + next_; }
+  std::uint64_t remaining() const { return count_ - next_; }
+
+  /// Scalar-equivalent of Get on the next sequential slot.
+  Result<std::vector<std::uint8_t>> NextSealed();
+  /// Scalar-equivalent of Get on an arbitrary slot of the range.
+  Result<std::vector<std::uint8_t>> SealedAt(std::uint64_t index);
+
+  /// Scalar-equivalent of GetOpen on the next sequential slot. The returned
+  /// view aliases an internal scratch buffer and is valid until the next
+  /// call on this run. Requires a key-bound run (GetOpenRange).
+  Result<std::span<const std::uint8_t>> NextOpen();
+  /// Scalar-equivalent of GetOpen on an arbitrary slot of the range.
+  Result<std::span<const std::uint8_t>> OpenAt(std::uint64_t index);
+
+ private:
+  friend class Coprocessor;
+  ReadRun(Coprocessor* copro, RegionId region, std::uint64_t first,
+          std::uint64_t count, std::size_t slot_size, const crypto::Ocb* key)
+      : copro_(copro),
+        region_(region),
+        first_(first),
+        count_(count),
+        slot_size_(slot_size),
+        key_(key) {}
+
+  Coprocessor* copro_;
+  RegionId region_;
+  std::uint64_t first_;
+  std::uint64_t count_;
+  std::size_t slot_size_;
+  const crypto::Ocb* key_;
+  std::vector<std::uint8_t> arena_;  ///< count * slot_size sealed bytes.
+  std::vector<std::uint8_t> plain_;  ///< Reused plaintext scratch.
+  std::uint64_t next_ = 0;
+};
+
+/// The write-side counterpart: slots are produced one at a time with full
+/// scalar per-slot accounting (seal with the device's position counter,
+/// cipher charge, trace event, timing sample, put counter), but the physical
+/// host write is deferred and issued as one scatter per contiguous filled
+/// span on Flush(). Nothing may read the covered slots between production
+/// and Flush — all in-tree callers flush before the next observable access
+/// to the region. The destructor flushes best-effort; error-checking callers
+/// must call Flush() explicitly.
+class WriteRun {
+ public:
+  WriteRun(WriteRun&& other) noexcept;
+  WriteRun& operator=(WriteRun&& other) noexcept;
+  WriteRun(const WriteRun&) = delete;
+  WriteRun& operator=(const WriteRun&) = delete;
+  ~WriteRun();
+
+  std::uint64_t first() const { return first_; }
+  std::uint64_t count() const { return count_; }
+  /// Next sequential slot index (first() + number of Append* calls so far).
+  std::uint64_t position() const { return first_ + next_; }
+  std::uint64_t remaining() const { return count_ - next_; }
+
+  /// Scalar-equivalent of PutSealed on the next sequential slot. Requires a
+  /// key-bound run (PutSealedRange).
+  Status Append(const std::vector<std::uint8_t>& plaintext);
+  /// Scalar-equivalent of PutSealed at an arbitrary slot of the range.
+  Status SealAt(std::uint64_t index, const std::vector<std::uint8_t>& plaintext);
+
+  /// Scalar-equivalent of raw Put on the next sequential slot.
+  Status AppendRaw(const std::vector<std::uint8_t>& sealed);
+  /// Scalar-equivalent of raw Put at an arbitrary slot of the range.
+  Status RawAt(std::uint64_t index, const std::vector<std::uint8_t>& sealed);
+
+  /// Issues the deferred physical writes: one host scatter per contiguous
+  /// span of filled slots. Idempotent; further Append* calls may follow.
+  Status Flush();
+
+ private:
+  friend class Coprocessor;
+  WriteRun(Coprocessor* copro, RegionId region, std::uint64_t first,
+           std::uint64_t count, std::size_t slot_size, const crypto::Ocb* key)
+      : copro_(copro),
+        region_(region),
+        first_(first),
+        count_(count),
+        slot_size_(slot_size),
+        key_(key),
+        arena_(static_cast<std::size_t>(count) * slot_size),
+        filled_(count, false) {}
+
+  Status Fill(std::uint64_t index, const std::vector<std::uint8_t>& bytes,
+              bool seal);
+
+  Coprocessor* copro_;
+  RegionId region_;
+  std::uint64_t first_;
+  std::uint64_t count_;
+  std::size_t slot_size_;
+  const crypto::Ocb* key_;
+  std::vector<std::uint8_t> arena_;  ///< count * slot_size sealed bytes.
+  std::vector<bool> filled_;         ///< Slots produced since last Flush.
+  std::uint64_t next_ = 0;
 };
 
 /// RAII working memory inside T, measured in tuple slots. Holds plaintext
@@ -197,6 +365,9 @@ class SecureBuffer {
   std::uint64_t capacity() const { return capacity_; }
   std::size_t size() const { return items_.size(); }
   bool full() const { return items_.size() >= capacity_; }
+  /// Reserved-but-unfilled slots: device memory an algorithm may lend to a
+  /// batched range transfer as staging space (see Coprocessor::BatchLimit).
+  std::uint64_t headroom() const { return capacity_ - items_.size(); }
 
   /// Appends a plaintext tuple; kCapacityExceeded beyond capacity.
   Status Push(std::vector<std::uint8_t> plaintext);

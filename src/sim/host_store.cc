@@ -62,6 +62,40 @@ Result<std::vector<std::uint8_t>> HostStore::ReadSlot(
   return backend_->ReadSlot(region, regions_[region].slot_size, index);
 }
 
+Status HostStore::ReadRange(RegionId region, std::uint64_t first,
+                            std::uint64_t count,
+                            std::vector<std::uint8_t>* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (region >= regions_.size()) {
+    return Status::NotFound("unknown region id");
+  }
+  const RegionMeta& meta = regions_[region];
+  if (first > meta.num_slots || count > meta.num_slots - first) {
+    return Status::OutOfRange("ReadRange outside region bounds");
+  }
+  out->resize(static_cast<std::size_t>(count) * meta.slot_size);
+  return backend_->ReadRange(region, meta.slot_size, first, count,
+                             out->data());
+}
+
+Status HostStore::WriteRange(RegionId region, std::uint64_t first,
+                             std::uint64_t count, const std::uint8_t* bytes,
+                             std::size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (region >= regions_.size()) {
+    return Status::NotFound("unknown region id");
+  }
+  const RegionMeta& meta = regions_[region];
+  if (first > meta.num_slots || count > meta.num_slots - first) {
+    return Status::OutOfRange("WriteRange outside region bounds");
+  }
+  if (size != static_cast<std::size_t>(count) * meta.slot_size) {
+    return Status::InvalidArgument(
+        "WriteRange size does not match slot range");
+  }
+  return backend_->WriteRange(region, meta.slot_size, first, count, bytes);
+}
+
 Status HostStore::CorruptSlot(RegionId region, std::uint64_t index,
                               std::size_t bit_offset) {
   std::lock_guard<std::mutex> lock(mutex_);

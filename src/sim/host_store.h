@@ -55,6 +55,17 @@ class HostStore {
   Result<std::vector<std::uint8_t>> ReadSlot(RegionId region,
                                              std::uint64_t index) const;
 
+  /// Gather: reads `count` consecutive slots starting at `first` into `out`
+  /// (resized to `count * slot_size`). One lock acquisition and one backend
+  /// call for the whole range — the host half of the batched transfer path.
+  Status ReadRange(RegionId region, std::uint64_t first, std::uint64_t count,
+                   std::vector<std::uint8_t>* out) const;
+
+  /// Scatter: writes `count` consecutive slots starting at `first`;
+  /// `bytes` must hold exactly `count * slot_size` bytes.
+  Status WriteRange(RegionId region, std::uint64_t first, std::uint64_t count,
+                    const std::uint8_t* bytes, std::size_t size);
+
   /// Flips one bit of a stored slot — models active tampering by a
   /// malicious host. Authenticated encryption must detect this.
   Status CorruptSlot(RegionId region, std::uint64_t index,

@@ -12,6 +12,8 @@ TransferMetrics& TransferMetrics::operator+=(const TransferMetrics& other) {
   cipher_calls += other.cipher_calls;
   comparisons += other.comparisons;
   padded_cycles += other.padded_cycles;
+  batch_gets += other.batch_gets;
+  batch_puts += other.batch_puts;
   return *this;
 }
 
@@ -20,7 +22,8 @@ std::string TransferMetrics::ToString() const {
   os << "{gets=" << gets << ", puts=" << puts << ", transfers="
      << TupleTransfers() << ", disk_writes=" << disk_writes
      << ", ituple_reads=" << ituple_reads << ", cipher_calls=" << cipher_calls
-     << ", comparisons=" << comparisons << "}";
+     << ", comparisons=" << comparisons << ", batch_gets=" << batch_gets
+     << ", batch_puts=" << batch_puts << "}";
   return os.str();
 }
 

@@ -21,6 +21,14 @@ struct TransferMetrics {
   std::uint64_t comparisons = 0;
   std::uint64_t padded_cycles = 0;  ///< Timing-equalisation work (Sec 3.4.3).
 
+  /// Number of physical range transfers issued by the batched Get/Put
+  /// pipeline. Each range call moves many slots in one host round trip, but
+  /// every slot is still charged to `gets`/`puts` individually, so the
+  /// paper's TupleTransfers() metric is unchanged by batching — these two
+  /// counters only expose how well the transfers amortized.
+  std::uint64_t batch_gets = 0;
+  std::uint64_t batch_puts = 0;
+
   /// The paper's cost metric.
   std::uint64_t TupleTransfers() const { return gets + puts; }
 

@@ -1,11 +1,34 @@
 #include "sim/storage_backend.h"
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
 
 namespace ppj::sim {
+
+Status StorageBackend::ReadRange(std::uint32_t region, std::size_t slot_size,
+                                 std::uint64_t first, std::uint64_t count,
+                                 std::uint8_t* out) const {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> slot,
+                         ReadSlot(region, slot_size, first + i));
+    std::memcpy(out + i * slot_size, slot.data(), slot_size);
+  }
+  return Status::OK();
+}
+
+Status StorageBackend::WriteRange(std::uint32_t region, std::size_t slot_size,
+                                  std::uint64_t first, std::uint64_t count,
+                                  const std::uint8_t* bytes) {
+  std::vector<std::uint8_t> slot(slot_size);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::memcpy(slot.data(), bytes + i * slot_size, slot_size);
+    PPJ_RETURN_NOT_OK(WriteSlot(region, slot_size, first + i, slot));
+  }
+  return Status::OK();
+}
 
 namespace {
 
@@ -44,6 +67,26 @@ class InMemoryBackend final : public StorageBackend {
     if (it == regions_.end()) return Status::NotFound("unknown region");
     const auto* begin = it->second.data() + index * slot_size;
     return std::vector<std::uint8_t>(begin, begin + slot_size);
+  }
+
+  Status ReadRange(std::uint32_t region, std::size_t slot_size,
+                   std::uint64_t first, std::uint64_t count,
+                   std::uint8_t* out) const override {
+    const auto it = regions_.find(region);
+    if (it == regions_.end()) return Status::NotFound("unknown region");
+    std::memcpy(out, it->second.data() + first * slot_size,
+                static_cast<std::size_t>(count) * slot_size);
+    return Status::OK();
+  }
+
+  Status WriteRange(std::uint32_t region, std::size_t slot_size,
+                    std::uint64_t first, std::uint64_t count,
+                    const std::uint8_t* bytes) override {
+    auto it = regions_.find(region);
+    if (it == regions_.end()) return Status::NotFound("unknown region");
+    std::memcpy(it->second.data() + first * slot_size, bytes,
+                static_cast<std::size_t>(count) * slot_size);
+    return Status::OK();
   }
 
  private:
@@ -104,6 +147,31 @@ class FileBackend final : public StorageBackend {
            static_cast<std::streamsize>(slot_size));
     if (!f) return Status::Internal("short read from region file");
     return out;
+  }
+
+  Status ReadRange(std::uint32_t region, std::size_t slot_size,
+                   std::uint64_t first, std::uint64_t count,
+                   std::uint8_t* out) const override {
+    std::ifstream f(RegionPath(region), std::ios::binary);
+    if (!f) return Status::Internal("cannot open region file");
+    f.seekg(static_cast<std::streamoff>(first * slot_size));
+    f.read(reinterpret_cast<char*>(out),
+           static_cast<std::streamsize>(count * slot_size));
+    if (!f) return Status::Internal("short read from region file");
+    return Status::OK();
+  }
+
+  Status WriteRange(std::uint32_t region, std::size_t slot_size,
+                    std::uint64_t first, std::uint64_t count,
+                    const std::uint8_t* bytes) override {
+    std::fstream f(RegionPath(region),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    if (!f) return Status::Internal("cannot open region file");
+    f.seekp(static_cast<std::streamoff>(first * slot_size));
+    f.write(reinterpret_cast<const char*>(bytes),
+            static_cast<std::streamsize>(count * slot_size));
+    if (!f) return Status::Internal("short write to region file");
+    return Status::OK();
   }
 
  private:

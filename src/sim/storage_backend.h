@@ -38,6 +38,21 @@ class StorageBackend {
   virtual Result<std::vector<std::uint8_t>> ReadSlot(
       std::uint32_t region, std::size_t slot_size,
       std::uint64_t index) const = 0;
+
+  /// Gather: reads `count` consecutive slots starting at `first` into `out`
+  /// (`count * slot_size` bytes, caller-allocated). The default loops over
+  /// ReadSlot so existing backends keep working; the built-in backends
+  /// override it with a single copy / file operation — this is what makes
+  /// batched coprocessor transfers cheap.
+  virtual Status ReadRange(std::uint32_t region, std::size_t slot_size,
+                           std::uint64_t first, std::uint64_t count,
+                           std::uint8_t* out) const;
+
+  /// Scatter: writes `count` consecutive slots starting at `first` from
+  /// `bytes` (`count * slot_size` bytes). Default loops over WriteSlot.
+  virtual Status WriteRange(std::uint32_t region, std::size_t slot_size,
+                            std::uint64_t first, std::uint64_t count,
+                            const std::uint8_t* bytes);
 };
 
 /// Default backend: regions live in process memory.

@@ -1,0 +1,283 @@
+// Golden-fingerprint tests for the batched transfer pipeline.
+//
+// Contract under test (DESIGN.md, "Batched T<->H transfers"): batching is a
+// physical-transfer optimization only. A batched run (batch_slots = 0, the
+// auto default) and a forced-scalar run (batch_slots = 1) of the same world
+// must be indistinguishable in every host-observable dimension the privacy
+// argument relies on — the AccessTrace fingerprint (Definition 1/3), the
+// timing fingerprint, and the per-tuple transfer counters — and must decode
+// to the same join result. Only the number of physical host round trips
+// (batch_gets / batch_puts) may differ.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm1.h"
+#include "core/algorithm2.h"
+#include "core/algorithm3.h"
+#include "core/algorithm4.h"
+#include "core/algorithm5.h"
+#include "core/algorithm6.h"
+#include "core/join_result.h"
+#include "core/parallel.h"
+#include "core/privacy_auditor.h"
+#include "test_util.h"
+
+namespace ppj::core {
+namespace {
+
+using relation::EquijoinSpec;
+using relation::MakeCellWorkload;
+using relation::MakeEquijoinWorkload;
+using test::MakeWorld;
+using test::TwoPartyWorld;
+
+/// Everything the host observes about one execution, plus the decoded
+/// recipient view for the correctness half of the comparison.
+struct GoldenRecord {
+  sim::TraceFingerprint trace;
+  sim::TraceFingerprint timing;
+  std::uint64_t transfers = 0;
+  std::uint64_t batch_gets = 0;
+  std::uint64_t batch_puts = 0;
+  std::vector<relation::Tuple> decoded;
+};
+
+/// MakeWorld with an explicit batch_slots override. The relations are sealed
+/// host-side before the coprocessor touches anything, so swapping the device
+/// after construction leaves the world bit-identical.
+std::unique_ptr<TwoPartyWorld> MakeBatchWorld(
+    relation::TwoTableWorkload workload, std::uint64_t memory_tuples,
+    bool pad_pow2, std::uint64_t batch_slots) {
+  auto world = MakeWorld(std::move(workload), memory_tuples, pad_pow2);
+  if (world == nullptr) return nullptr;
+  world->copro = std::make_unique<sim::Coprocessor>(
+      &world->host,
+      sim::CoprocessorOptions{.memory_tuples = memory_tuples,
+                              .seed = 42,
+                              .batch_slots = batch_slots});
+  return world;
+}
+
+Status FillRecord(TwoPartyWorld& world, sim::RegionId output,
+                  std::uint64_t slots, GoldenRecord* rec) {
+  rec->trace = world.copro->trace().fingerprint();
+  rec->timing = world.copro->timing_fingerprint();
+  rec->transfers = world.copro->metrics().TupleTransfers();
+  rec->batch_gets = world.copro->metrics().batch_gets;
+  rec->batch_puts = world.copro->metrics().batch_puts;
+  PPJ_ASSIGN_OR_RETURN(rec->decoded,
+                       DecodeJoinOutput(world.host, output, slots,
+                                        *world.key_out,
+                                        world.result_schema.get()));
+  return Status::OK();
+}
+
+/// Both runs must agree on every observable; the batched one must show
+/// actual amortization — strictly fewer physical round trips than tuple
+/// transfers (scalar semantics would need one round trip per transfer).
+void ExpectGoldenMatch(const GoldenRecord& scalar,
+                       const GoldenRecord& batched) {
+  EXPECT_EQ(scalar.trace.digest, batched.trace.digest);
+  EXPECT_EQ(scalar.trace.count, batched.trace.count);
+  EXPECT_EQ(scalar.timing.digest, batched.timing.digest);
+  EXPECT_EQ(scalar.timing.count, batched.timing.count);
+  EXPECT_EQ(scalar.transfers, batched.transfers);
+  EXPECT_TRUE(relation::SameTupleMultiset(scalar.decoded, batched.decoded))
+      << "scalar decoded " << scalar.decoded.size() << " tuples, batched "
+      << batched.decoded.size();
+  EXPECT_GT(batched.batch_gets, 0u);
+  EXPECT_GT(batched.batch_puts, 0u);
+  EXPECT_LT(batched.batch_gets + batched.batch_puts, batched.transfers);
+}
+
+// ---- Chapter 4 ----------------------------------------------------------
+
+enum class Ch4Alg { kAlg1, kAlg1Variant, kAlg2, kAlg3 };
+
+Result<GoldenRecord> RunCh4Golden(Ch4Alg which, std::uint64_t batch_slots) {
+  EquijoinSpec spec;
+  spec.size_a = 8;
+  spec.size_b = 16;
+  spec.n_max = 4;
+  spec.result_size = 6;
+  spec.seed = 5;
+  PPJ_ASSIGN_OR_RETURN(relation::TwoTableWorkload workload,
+                       MakeEquijoinWorkload(spec));
+  auto world = MakeBatchWorld(std::move(workload), /*memory_tuples=*/4,
+                              which == Ch4Alg::kAlg3, batch_slots);
+  if (world == nullptr) return Status::Internal("world construction failed");
+  TwoWayJoin join{world->a.get(), world->b.get(),
+                  world->workload.predicate.get(), world->key_out.get()};
+  auto run = [&]() -> Result<Ch4Outcome> {
+    switch (which) {
+      case Ch4Alg::kAlg1:
+        return RunAlgorithm1(*world->copro, join, {.n = 4});
+      case Ch4Alg::kAlg1Variant:
+        return RunAlgorithm1Variant(*world->copro, join, {.n = 4});
+      case Ch4Alg::kAlg2:
+        return RunAlgorithm2(*world->copro, join, {.n = 4});
+      case Ch4Alg::kAlg3:
+        return RunAlgorithm3(*world->copro, join, {.n = 4});
+    }
+    return Status::Internal("unreachable");
+  };
+  PPJ_ASSIGN_OR_RETURN(Ch4Outcome outcome, run());
+  GoldenRecord rec;
+  PPJ_RETURN_NOT_OK(FillRecord(*world, outcome.output_region,
+                               outcome.output_slots, &rec));
+  return rec;
+}
+
+class Ch4GoldenTest : public ::testing::TestWithParam<Ch4Alg> {};
+
+TEST_P(Ch4GoldenTest, BatchedMatchesScalarFingerprints) {
+  auto scalar = RunCh4Golden(GetParam(), /*batch_slots=*/1);
+  ASSERT_TRUE(scalar.ok()) << scalar.status();
+  auto batched = RunCh4Golden(GetParam(), /*batch_slots=*/0);
+  ASSERT_TRUE(batched.ok()) << batched.status();
+  ExpectGoldenMatch(*scalar, *batched);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChapter4, Ch4GoldenTest,
+                         ::testing::Values(Ch4Alg::kAlg1,
+                                           Ch4Alg::kAlg1Variant,
+                                           Ch4Alg::kAlg2, Ch4Alg::kAlg3));
+
+// ---- Chapter 5 ----------------------------------------------------------
+
+enum class Ch5Alg { kAlg4, kAlg5, kAlg6 };
+
+Result<GoldenRecord> RunCh5Golden(Ch5Alg which, std::uint64_t batch_slots) {
+  relation::CellSpec spec;
+  spec.size_a = 8;
+  spec.size_b = 12;
+  spec.result_size = 9;
+  spec.seed = 17;
+  PPJ_ASSIGN_OR_RETURN(relation::TwoTableWorkload workload,
+                       MakeCellWorkload(spec));
+  auto world = MakeBatchWorld(std::move(workload), /*memory_tuples=*/4,
+                              /*pad_pow2=*/false, batch_slots);
+  if (world == nullptr) return Status::Internal("world construction failed");
+  const relation::PairAsMultiway multiway(world->workload.predicate.get());
+  MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
+                    world->key_out.get()};
+  auto run = [&]() -> Result<Ch5Outcome> {
+    switch (which) {
+      case Ch5Alg::kAlg4:
+        return RunAlgorithm4(*world->copro, join);
+      case Ch5Alg::kAlg5:
+        return RunAlgorithm5(*world->copro, join);
+      case Ch5Alg::kAlg6:
+        return RunAlgorithm6(*world->copro, join,
+                             {.epsilon = 1e-6, .order_seed = 0xBEEF});
+    }
+    return Status::Internal("unreachable");
+  };
+  PPJ_ASSIGN_OR_RETURN(Ch5Outcome outcome, run());
+  GoldenRecord rec;
+  PPJ_RETURN_NOT_OK(FillRecord(*world, outcome.output_region,
+                               outcome.result_size, &rec));
+  return rec;
+}
+
+class Ch5GoldenTest : public ::testing::TestWithParam<Ch5Alg> {};
+
+TEST_P(Ch5GoldenTest, BatchedMatchesScalarFingerprints) {
+  auto scalar = RunCh5Golden(GetParam(), /*batch_slots=*/1);
+  ASSERT_TRUE(scalar.ok()) << scalar.status();
+  auto batched = RunCh5Golden(GetParam(), /*batch_slots=*/0);
+  ASSERT_TRUE(batched.ok()) << batched.status();
+  ExpectGoldenMatch(*scalar, *batched);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChapter5, Ch5GoldenTest,
+                         ::testing::Values(Ch5Alg::kAlg4, Ch5Alg::kAlg5,
+                                           Ch5Alg::kAlg6));
+
+// ---- Parallel execution -------------------------------------------------
+
+/// Parallel outcomes expose per-device transfer counters instead of traces
+/// (each worker owns its own device); the golden comparison is over the
+/// cost model — makespan and total transfers — plus the decoded result.
+TEST(ParallelGoldenTest, BatchedMatchesScalarCostModel) {
+  auto run = [](std::uint64_t batch_slots) -> Result<ParallelOutcome> {
+    relation::CellSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 12;
+    spec.result_size = 9;
+    spec.seed = 17;
+    PPJ_ASSIGN_OR_RETURN(relation::TwoTableWorkload workload,
+                         MakeCellWorkload(spec));
+    auto world = MakeBatchWorld(std::move(workload), 4, false, batch_slots);
+    if (world == nullptr) {
+      return Status::Internal("world construction failed");
+    }
+    const relation::PairAsMultiway multiway(world->workload.predicate.get());
+    MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
+                      world->key_out.get()};
+    return RunParallelAlgorithm5(&world->host, join, /*parallelism=*/2,
+                                 {.memory_tuples = 4,
+                                  .seed = 1,
+                                  .batch_slots = batch_slots});
+  };
+  auto scalar = run(1);
+  ASSERT_TRUE(scalar.ok()) << scalar.status();
+  auto batched = run(0);
+  ASSERT_TRUE(batched.ok()) << batched.status();
+  EXPECT_EQ(scalar->result_size, batched->result_size);
+  EXPECT_EQ(scalar->makespan_transfers, batched->makespan_transfers);
+  EXPECT_EQ(scalar->total_transfers, batched->total_transfers);
+  ASSERT_EQ(scalar->per_coprocessor.size(), batched->per_coprocessor.size());
+  std::uint64_t batched_ranges = 0;
+  for (std::size_t d = 0; d < scalar->per_coprocessor.size(); ++d) {
+    EXPECT_EQ(scalar->per_coprocessor[d].TupleTransfers(),
+              batched->per_coprocessor[d].TupleTransfers());
+    batched_ranges += batched->per_coprocessor[d].batch_gets +
+                      batched->per_coprocessor[d].batch_puts;
+  }
+  EXPECT_GT(batched_ranges, 0u);
+  EXPECT_LT(batched_ranges, batched->total_transfers);
+}
+
+// ---- Privacy audit on the batched path ----------------------------------
+
+/// Definition 1/3 must keep holding when batching is on: worlds that agree
+/// on |A|, |B|, N and S but differ in content and keys must leave identical
+/// access traces through the batched pipeline.
+TEST(BatchedAuditTest, TraceIdenticalAcrossShapeEqualInputs) {
+  auto runner = [](std::uint64_t w) -> Result<AuditRun> {
+    EquijoinSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 16;
+    spec.n_max = 4;
+    spec.result_size = 4 + 3 * w;  // different S — the N|A| shape hides it
+    spec.seed = 1000 + w * 77;     // entirely different keys and content
+    PPJ_ASSIGN_OR_RETURN(relation::TwoTableWorkload workload,
+                         MakeEquijoinWorkload(spec));
+    auto world = MakeBatchWorld(std::move(workload), 4, /*pad_pow2=*/false,
+                                /*batch_slots=*/0);
+    if (world == nullptr) {
+      return Status::Internal("world construction failed");
+    }
+    TwoWayJoin join{world->a.get(), world->b.get(),
+                    world->workload.predicate.get(), world->key_out.get()};
+    PPJ_ASSIGN_OR_RETURN(Ch4Outcome outcome,
+                         RunAlgorithm1(*world->copro, join, {.n = 4}));
+    (void)outcome;
+    AuditRun run;
+    run.fingerprint = world->copro->trace().fingerprint();
+    run.retained_events = world->copro->trace().retained_events();
+    run.retained_complete = world->copro->trace().complete();
+    return run;
+  };
+  auto audit = PrivacyAuditor::CompareManyWorlds(runner, 3);
+  ASSERT_TRUE(audit.ok()) << audit.status();
+  EXPECT_TRUE(audit->identical) << audit->detail;
+}
+
+}  // namespace
+}  // namespace ppj::core

@@ -206,8 +206,8 @@ TEST(PlannerTest, ExactOutputRestrictsToChapter5) {
   input.exact_output_required = true;
   input.epsilon = 0.0;
   const core::Plan plan = core::PlanJoin(input);
-  EXPECT_TRUE(plan.algorithm == core::PlannedAlgorithm::kAlgorithm4 ||
-              plan.algorithm == core::PlannedAlgorithm::kAlgorithm5);
+  EXPECT_TRUE(plan.algorithm == core::Algorithm::kAlgorithm4 ||
+              plan.algorithm == core::Algorithm::kAlgorithm5);
 }
 
 TEST(PlannerTest, EpsilonUnlocksAlgorithm6) {
@@ -219,7 +219,7 @@ TEST(PlannerTest, EpsilonUnlocksAlgorithm6) {
   input.exact_output_required = true;
   input.epsilon = 1e-20;
   const core::Plan plan = core::PlanJoin(input);
-  EXPECT_EQ(plan.algorithm, core::PlannedAlgorithm::kAlgorithm6);
+  EXPECT_EQ(plan.algorithm, core::Algorithm::kAlgorithm6);
   EXPECT_LT(plan.predicted_transfers,
             analysis::CostAlgorithm5(800 * 800, 6400, 64));
 }
@@ -236,7 +236,7 @@ TEST(PlannerTest, SmallNWithMemoryPicksAlgorithm2) {
   input.s = 1 << 12;
   input.m = 64;
   const core::Plan plan = core::PlanJoin(input);
-  EXPECT_EQ(plan.algorithm, core::PlannedAlgorithm::kAlgorithm2);
+  EXPECT_EQ(plan.algorithm, core::Algorithm::kAlgorithm2);
 }
 
 TEST(PlannerTest, EquijoinHighGammaPicksAlgorithm3AmongChapter4) {
@@ -251,7 +251,7 @@ TEST(PlannerTest, EquijoinHighGammaPicksAlgorithm3AmongChapter4) {
   input.s = (1u << 21);
   input.m = 64;
   const core::Plan plan = core::PlanJoin(input);
-  EXPECT_EQ(plan.algorithm, core::PlannedAlgorithm::kAlgorithm3)
+  EXPECT_EQ(plan.algorithm, core::Algorithm::kAlgorithm3)
       << core::ToString(plan.algorithm) << ": " << plan.rationale;
 }
 

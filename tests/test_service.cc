@@ -76,20 +76,20 @@ TEST_F(ServiceTest, ExecutionNeedsAllSubmissions) {
   ASSERT_TRUE(w.ok());
   ASSERT_TRUE(service_.SubmitRelation(contract_, "airline", *w->a).ok());
   ExecuteOptions options;
-  options.algorithm = JoinAlgorithm::kAlgorithm5;
+  options.algorithm = core::Algorithm::kAlgorithm5;
   auto delivery = service_.ExecuteJoin(contract_, *w->predicate, options);
   EXPECT_EQ(delivery.status().code(), StatusCode::kFailedPrecondition);
 }
 
 class ServiceAlgorithmTest
     : public ServiceTest,
-      public ::testing::WithParamInterface<JoinAlgorithm> {};
+      public ::testing::WithParamInterface<core::Algorithm> {};
 
 TEST_P(ServiceAlgorithmTest, EndToEndDeliversExactJoin) {
-  const JoinAlgorithm alg = GetParam();
+  const core::Algorithm alg = GetParam();
   auto w = Workload(7);
   ASSERT_TRUE(w.ok());
-  const bool needs_pad = alg == JoinAlgorithm::kAlgorithm3;
+  const bool needs_pad = alg == core::Algorithm::kAlgorithm3;
   ASSERT_TRUE(Submit(*w, needs_pad).ok());
 
   ExecuteOptions options;
@@ -111,12 +111,12 @@ TEST_P(ServiceAlgorithmTest, EndToEndDeliversExactJoin) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllAlgorithms, ServiceAlgorithmTest,
-    ::testing::Values(JoinAlgorithm::kAlgorithm1,
-                      JoinAlgorithm::kAlgorithm1Variant,
-                      JoinAlgorithm::kAlgorithm2, JoinAlgorithm::kAlgorithm3,
-                      JoinAlgorithm::kAlgorithm4, JoinAlgorithm::kAlgorithm5,
-                      JoinAlgorithm::kAlgorithm6),
-    [](const ::testing::TestParamInfo<JoinAlgorithm>& param_info) {
+    ::testing::Values(core::Algorithm::kAlgorithm1,
+                      core::Algorithm::kAlgorithm1Variant,
+                      core::Algorithm::kAlgorithm2, core::Algorithm::kAlgorithm3,
+                      core::Algorithm::kAlgorithm4, core::Algorithm::kAlgorithm5,
+                      core::Algorithm::kAlgorithm6),
+    [](const ::testing::TestParamInfo<core::Algorithm>& param_info) {
       std::string name = ToString(param_info.param);
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
@@ -131,7 +131,7 @@ TEST_F(ServiceTest, Chapter4OutputShapeHidesS) {
   ASSERT_TRUE(w.ok());
   ASSERT_TRUE(Submit(*w).ok());
   ExecuteOptions options;
-  options.algorithm = JoinAlgorithm::kAlgorithm2;
+  options.algorithm = core::Algorithm::kAlgorithm2;
   options.n = 4;
   auto delivery = service_.ExecuteJoin(contract_, *w->predicate, options);
   ASSERT_TRUE(delivery.ok());
@@ -166,13 +166,13 @@ TEST_F(ServiceTest, MultiwayThreeProviderJoin) {
   const relation::EqualityPredicate eq(0, 0);
   const relation::ChainPredicate chain({&eq, &eq});
   ExecuteOptions options;
-  options.algorithm = JoinAlgorithm::kAlgorithm4;
+  options.algorithm = core::Algorithm::kAlgorithm4;
   auto delivery = service.ExecuteMultiwayJoin(*contract, chain, options);
   ASSERT_TRUE(delivery.ok()) << delivery.status();
   // k=2: 1*1*1 = 1; k=3: 1*2*1 = 2 -> S = 3.
   EXPECT_EQ(delivery->tuples.size(), 3u);
   // Chapter 4 algorithms must refuse multiway contracts.
-  options.algorithm = JoinAlgorithm::kAlgorithm1;
+  options.algorithm = core::Algorithm::kAlgorithm1;
   EXPECT_FALSE(service.ExecuteMultiwayJoin(*contract, chain, options).ok());
 }
 
@@ -185,7 +185,7 @@ TEST_F(ServiceTest, RecipientDifferentKeysCannotCrossDecrypt) {
   ASSERT_TRUE(w.ok());
   ASSERT_TRUE(Submit(*w).ok());
   ExecuteOptions options;
-  options.algorithm = JoinAlgorithm::kAlgorithm5;
+  options.algorithm = core::Algorithm::kAlgorithm5;
   auto delivery = service_.ExecuteJoin(contract_, *w->predicate, options);
   ASSERT_TRUE(delivery.ok());
   EXPECT_EQ(delivery->tuples.size(), 9u);
@@ -208,7 +208,7 @@ TEST_F(ServiceTest, ContractEnforcesPermittedPredicate) {
   ASSERT_TRUE(service.SubmitRelation(*contract, "b", *w->b).ok());
 
   ExecuteOptions options;
-  options.algorithm = JoinAlgorithm::kAlgorithm5;
+  options.algorithm = core::Algorithm::kAlgorithm5;
   // Allowed predicate: executes.
   EXPECT_TRUE(service.ExecuteJoin(*contract, allowed, options).ok());
   // Different predicate: refused as a privacy violation.
@@ -244,7 +244,7 @@ TEST_F(ServiceTest, FileBackedServiceDeliversExactJoin) {
   ASSERT_TRUE(service.SubmitRelation(*contract, "a", *w->a).ok());
   ASSERT_TRUE(service.SubmitRelation(*contract, "b", *w->b).ok());
   ExecuteOptions options;
-  options.algorithm = JoinAlgorithm::kAlgorithm5;
+  options.algorithm = core::Algorithm::kAlgorithm5;
   auto delivery = service.ExecuteJoin(*contract, *w->predicate, options);
   ASSERT_TRUE(delivery.ok()) << delivery.status();
   EXPECT_EQ(delivery->tuples.size(), 9u);
@@ -275,7 +275,7 @@ TEST_F(ServiceTest, AutoAlgorithmSelectionWorksEndToEnd) {
   ASSERT_TRUE(w.ok());
   ASSERT_TRUE(Submit(*w, /*pad=*/true).ok());
   ExecuteOptions options;
-  options.algorithm = JoinAlgorithm::kAuto;
+  options.algorithm = kAuto;
   options.n = w->max_matches_per_a;
   options.memory_tuples = 8;
   options.epsilon = 1e-9;
@@ -291,9 +291,9 @@ TEST_F(ServiceTest, ParallelMultiwayExecutionDeliversExactJoin) {
   ASSERT_TRUE(w.ok());
   ASSERT_TRUE(Submit(*w).ok());
   const relation::PairAsMultiway multiway(w->predicate.get());
-  for (JoinAlgorithm alg : {JoinAlgorithm::kAlgorithm4,
-                            JoinAlgorithm::kAlgorithm5,
-                            JoinAlgorithm::kAlgorithm6}) {
+  for (core::Algorithm alg : {core::Algorithm::kAlgorithm4,
+                            core::Algorithm::kAlgorithm5,
+                            core::Algorithm::kAlgorithm6}) {
     ExecuteOptions options;
     options.algorithm = alg;
     options.memory_tuples = 4;
@@ -390,7 +390,7 @@ TEST_F(ServiceTest, ContractsAreIsolated) {
   ASSERT_TRUE(service.SubmitRelation(*c2, "b2", *w2->b).ok());
 
   ExecuteOptions options;
-  options.algorithm = JoinAlgorithm::kAlgorithm5;
+  options.algorithm = core::Algorithm::kAlgorithm5;
   auto d1 = service.ExecuteJoin(*c1, *w1->predicate, options);
   auto d2 = service.ExecuteJoin(*c2, *w2->predicate, options);
   ASSERT_TRUE(d1.ok() && d2.ok());
@@ -421,7 +421,7 @@ TEST_F(ServiceTest, TraceFingerprintStableAcrossContentChanges) {
     EXPECT_TRUE(service.SubmitRelation(*contract, "a", *w->a).ok());
     EXPECT_TRUE(service.SubmitRelation(*contract, "b", *w->b).ok());
     ExecuteOptions options;
-    options.algorithm = JoinAlgorithm::kAlgorithm5;
+    options.algorithm = core::Algorithm::kAlgorithm5;
     options.seed = 77;
     auto delivery = service.ExecuteJoin(*contract, *w->predicate, options);
     EXPECT_TRUE(delivery.ok());

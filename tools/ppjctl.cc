@@ -2,7 +2,11 @@
 //
 //   ppjctl join  [--alg=1|1v|2|3|4|5|6|auto] [--size-a=N] [--size-b=N]
 //                [--s=N] [--n=N] [--m=N] [--eps=X] [--parallel=P]
-//                [--storage-dir=PATH] [--seed=N]
+//                [--storage-dir=PATH] [--seed=N] [--batch=N]
+//       --batch bounds one batched T<->H range transfer in slots:
+//       0 = auto-sized from free device memory (default), 1 = force the
+//       scalar per-slot path. The metrics dump reports the physical
+//       round trips as batch_gets/batch_puts.
 //       Generates a synthetic workload, runs the chosen algorithm through
 //       the sovereign join service (or the parallel executors), prints the
 //       delivered result size and the host-observable metrics.
@@ -22,6 +26,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "analysis/chapter5_costs.h"
@@ -76,15 +81,21 @@ class Flags {
   std::vector<std::string> args_;
 };
 
-service::JoinAlgorithm ParseAlgorithm(const std::string& s) {
-  if (s == "1") return service::JoinAlgorithm::kAlgorithm1;
-  if (s == "1v") return service::JoinAlgorithm::kAlgorithm1Variant;
-  if (s == "2") return service::JoinAlgorithm::kAlgorithm2;
-  if (s == "3") return service::JoinAlgorithm::kAlgorithm3;
-  if (s == "4") return service::JoinAlgorithm::kAlgorithm4;
-  if (s == "5") return service::JoinAlgorithm::kAlgorithm5;
-  if (s == "6") return service::JoinAlgorithm::kAlgorithm6;
-  return service::JoinAlgorithm::kAuto;
+/// --alg: "auto", or one of core::ParseAlgorithm's spellings. Returns
+/// false (after printing the error) on anything else.
+bool ParseAlgorithmFlag(const std::string& s,
+                        std::optional<core::Algorithm>* out) {
+  if (s == "auto") {
+    *out = service::kAuto;
+    return true;
+  }
+  Result<core::Algorithm> alg = core::ParseAlgorithm(s);
+  if (!alg.ok()) {
+    std::fprintf(stderr, "alg: %s\n", alg.status().ToString().c_str());
+    return false;
+  }
+  *out = *alg;
+  return true;
 }
 
 int RunJoin(const Flags& flags) {
@@ -129,13 +140,16 @@ int RunJoin(const Flags& flags) {
   }
 
   service::ExecuteOptions options;
-  options.algorithm = ParseAlgorithm(flags.Get("alg", "auto"));
+  if (!ParseAlgorithmFlag(flags.Get("alg", "auto"), &options.algorithm)) {
+    return 64;
+  }
   options.n = spec.n_max;
   options.memory_tuples = flags.GetU64("m", 8);
   options.epsilon = flags.GetDouble("eps", 1e-9);
   options.seed = flags.GetU64("seed", 1);
   options.parallelism =
       static_cast<unsigned>(flags.GetU64("parallel", 1));
+  options.batch_slots = flags.GetU64("batch", 0);
 
   Result<service::JoinDelivery> delivery = Status::Internal("unset");
   if (options.parallelism > 1) {
@@ -150,7 +164,8 @@ int RunJoin(const Flags& flags) {
     return 1;
   }
   std::printf("algorithm        %s\n",
-              service::ToString(options.algorithm).c_str());
+              options.algorithm ? core::ToString(*options.algorithm).c_str()
+                                : "auto (planner)");
   std::printf("workload         |A|=%llu |B|=%llu N=%llu S=%llu M=%llu\n",
               static_cast<unsigned long long>(spec.size_a),
               static_cast<unsigned long long>(spec.size_b),
@@ -162,6 +177,12 @@ int RunJoin(const Flags& flags) {
               delivery->metrics.ToString().c_str());
   std::printf("trace            %s\n",
               delivery->trace.ToString().c_str());
+  std::printf("batched I/O      %llu gathers, %llu scatters for %llu "
+              "tuple transfers\n",
+              static_cast<unsigned long long>(delivery->metrics.batch_gets),
+              static_cast<unsigned long long>(delivery->metrics.batch_puts),
+              static_cast<unsigned long long>(
+                  delivery->metrics.TupleTransfers()));
   if (delivery->blemish) std::printf("NOTE: blemish salvage occurred\n");
   return 0;
 }
