@@ -26,6 +26,12 @@ int main() {
       const double c = BlockedAlgorithm2Cost(size_a, size_b, n, k, n_prime);
       std::printf("%6.0f %6.0f %8.0f %16.0f %9.2fx\n", k, n_prime,
                   k * n_prime, c, c / base);
+      ppj::bench::ResultLine("ablation_blocking")
+          .Param("k", k)
+          .Param("n_prime", n_prime)
+          .Param("non_blocking_base", base)
+          .Transfers(c)
+          .Emit();
     }
   }
 

@@ -46,16 +46,19 @@ void MeasureAt(std::uint64_t omega, std::uint64_t mu) {
 
   // Windowed filter with optimal swap.
   std::uint64_t windowed = 0;
+  double windowed_ns = 0;
   {
     sim::HostStore host;
     sim::Coprocessor copro(&host, {.memory_tuples = 2, .seed = 1});
     const sim::RegionId src = fill(host, copro);
     const sim::RegionId dst = host.CreateRegion("dst", slot, mu);
     const auto before = copro.metrics().TupleTransfers();
+    const ppj::bench::WallTimer timer;
     auto stats = oblivious::WindowedObliviousFilter(
         copro, src, omega, mu, analysis::OptimalSwapInteger(omega, mu), key,
         dst);
     if (!stats.ok()) return;
+    windowed_ns = timer.ElapsedNs();
     windowed = copro.metrics().TupleTransfers() - before;
   }
   // Naive: obliviously sort the whole (padded) list once.
@@ -82,6 +85,13 @@ void MeasureAt(std::uint64_t omega, std::uint64_t mu) {
               static_cast<unsigned long long>(windowed),
               static_cast<unsigned long long>(naive),
               static_cast<double>(naive) / static_cast<double>(windowed));
+  ppj::bench::ResultLine("ablation_filter")
+      .Param("omega", static_cast<double>(omega))
+      .Param("mu", static_cast<double>(mu))
+      .Param("full_sort_transfers", static_cast<double>(naive))
+      .Transfers(static_cast<double>(windowed))
+      .WallNs(windowed_ns)
+      .Emit();
 }
 
 }  // namespace

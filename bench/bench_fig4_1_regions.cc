@@ -49,5 +49,10 @@ int main() {
               GeneralJoinCrossoverGamma(1.0 / b, b));
   std::printf("  equijoins: A3 beats A1 for every alpha (4.6.3); A2 vs A3 "
               "threshold near gamma = 3..4.\n");
+  ppj::bench::ResultLine("fig4_1_regions")
+      .Param("b", b)
+      .Param("crossover_gamma_general",
+             GeneralJoinCrossoverGamma(1.0 / b, b))
+      .Emit();
   return 0;
 }

@@ -25,6 +25,12 @@ int main() {
                 static_cast<unsigned long long>(m), c,
                 c / MinimalCost(l, s));
     series.Row({static_cast<double>(m), c, c / MinimalCost(l, s)});
+    ppj::bench::ResultLine("fig5_1_alg5_vs_m")
+        .Param("l", static_cast<double>(l))
+        .Param("s", static_cast<double>(s))
+        .Param("m", static_cast<double>(m))
+        .Transfers(c)
+        .Emit();
   }
   std::printf("\nFloor (L + S) = %.0f tuples\n", MinimalCost(l, s));
   return 0;

@@ -27,6 +27,14 @@ int main() {
     const Alg6Cost c = CostAlgorithm6(l, s, m, eps);
     series.Row({exp10, static_cast<double>(c.n_star),
                 static_cast<double>(c.segments), c.total});
+    ppj::bench::ResultLine("fig5_2_alg6_vs_eps")
+        .Param("l", static_cast<double>(l))
+        .Param("s", static_cast<double>(s))
+        .Param("m", static_cast<double>(m))
+        .Param("log10_eps", exp10)
+        .Param("n_star", static_cast<double>(c.n_star))
+        .Transfers(c.total)
+        .Emit();
     std::printf("%12s %12llu %10llu %16.0f %16s\n",
                 ("1e" + std::to_string(static_cast<int>(exp10))).c_str(),
                 static_cast<unsigned long long>(c.n_star),

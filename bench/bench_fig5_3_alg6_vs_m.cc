@@ -24,6 +24,13 @@ int main() {
     const Alg6Cost c = CostAlgorithm6(l, s, m, 1e-20);
     series.Row({static_cast<double>(m), static_cast<double>(c.n_star),
                 static_cast<double>(c.segments), c.total});
+    ppj::bench::ResultLine("fig5_3_alg6_vs_m")
+        .Param("l", static_cast<double>(l))
+        .Param("s", static_cast<double>(s))
+        .Param("m", static_cast<double>(m))
+        .Param("n_star", static_cast<double>(c.n_star))
+        .Transfers(c.total)
+        .Emit();
     std::printf("%10llu %12llu %10llu %16.0f %13.2fx\n",
                 static_cast<unsigned long long>(m),
                 static_cast<unsigned long long>(c.n_star),

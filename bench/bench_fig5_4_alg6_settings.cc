@@ -32,10 +32,20 @@ int main() {
     std::printf("%12s", ("1e" + std::to_string(static_cast<int>(exp10)))
                             .c_str());
     std::vector<double> row = {exp10};
+    int setting = 1;
     for (const Setting& s : settings) {
-      const double v = std::log10(CostAlgorithm6(s.l, s.s, s.m, eps).total);
+      const double cost = CostAlgorithm6(s.l, s.s, s.m, eps).total;
+      const double v = std::log10(cost);
       std::printf(" %18.4f", v);
       row.push_back(v);
+      ppj::bench::ResultLine("fig5_4_alg6_settings")
+          .Param("setting", setting++)
+          .Param("l", static_cast<double>(s.l))
+          .Param("s", static_cast<double>(s.s))
+          .Param("m", static_cast<double>(s.m))
+          .Param("log10_eps", exp10)
+          .Transfers(cost)
+          .Emit();
     }
     series.Row({row[0], row[1], row[2], row[3]});
     std::printf("\n");

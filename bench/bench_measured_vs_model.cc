@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "analysis/chapter4_costs.h"
 #include "analysis/chapter5_costs.h"
@@ -52,9 +53,16 @@ std::unique_ptr<World> MakeWorld(relation::TwoTableWorkload workload,
   return w;
 }
 
-void Row(const char* name, double measured, double model) {
+void Row(const char* name, double measured, double model,
+         double wall_ns = 0) {
   std::printf("%-34s %14.0f %14.0f %9.3f\n", name, measured, model,
               measured / model);
+  ppj::bench::ResultLine("measured_vs_model")
+      .Param("experiment", std::string(name))
+      .Param("model", model)
+      .Transfers(measured)
+      .WallNs(wall_ns)
+      .Emit();
 }
 
 }  // namespace
@@ -80,6 +88,7 @@ int main() {
     auto w = MakeWorld(std::move(*workload), m, false);
     core::TwoWayJoin join{w->a.get(), w->b.get(),
                           w->workload.predicate.get(), w->key_out.get()};
+    const ppj::bench::WallTimer timer;
     auto outcome = core::RunAlgorithm2(*w->copro, join, {.n = n});
     if (!outcome.ok()) {
       std::printf("Algorithm 2 failed: %s\n",
@@ -91,7 +100,8 @@ int main() {
         static_cast<double>(size_a), static_cast<double>(size_b),
         static_cast<double>(n), static_cast<double>(m - 1));
     Row("Alg2 transfers (gamma=2)",
-        static_cast<double>(w->copro->metrics().TupleTransfers()), model);
+        static_cast<double>(w->copro->metrics().TupleTransfers()), model,
+        timer.ElapsedNs());
   }
 
   // ---- Algorithm 3 (Chapter 4): exact match at power-of-two |B|. ----
@@ -106,6 +116,7 @@ int main() {
     auto w = MakeWorld(std::move(*workload), 2, true);
     core::TwoWayJoin join{w->a.get(), w->b.get(),
                           w->workload.predicate.get(), w->key_out.get()};
+    const ppj::bench::WallTimer timer;
     auto outcome = core::RunAlgorithm3(*w->copro, join, {.n = n});
     if (!outcome.ok()) {
       std::printf("Algorithm 3 failed: %s\n",
@@ -116,7 +127,8 @@ int main() {
         static_cast<double>(size_a), static_cast<double>(size_b),
         static_cast<double>(n));
     Row("Alg3 transfers",
-        static_cast<double>(w->copro->metrics().TupleTransfers()), model);
+        static_cast<double>(w->copro->metrics().TupleTransfers()), model,
+        timer.ElapsedNs());
   }
 
   // ---- Algorithm 5 (Chapter 5): reads and writes exact. ----
@@ -131,13 +143,14 @@ int main() {
     const relation::PairAsMultiway multiway(w->workload.predicate.get());
     core::MultiwayJoin join{{w->a.get(), w->b.get()}, &multiway,
                             w->key_out.get()};
+    const ppj::bench::WallTimer timer;
     auto outcome = core::RunAlgorithm5(*w->copro, join);
     if (!outcome.ok()) return 1;
     const std::uint64_t l = size_a * size_b;
     Row("Alg5 logical reads + writes",
         static_cast<double>(w->copro->metrics().ituple_reads +
                             w->copro->metrics().puts),
-        analysis::CostAlgorithm5(l, s, m));
+        analysis::CostAlgorithm5(l, s, m), timer.ElapsedNs());
   }
 
   // ---- Algorithm 4 (Chapter 5): model with the filter's exact swap. ----
@@ -152,6 +165,7 @@ int main() {
     const relation::PairAsMultiway multiway(w->workload.predicate.get());
     core::MultiwayJoin join{{w->a.get(), w->b.get()}, &multiway,
                             w->key_out.get()};
+    const ppj::bench::WallTimer timer;
     auto outcome = core::RunAlgorithm4(*w->copro, join);
     if (!outcome.ok()) return 1;
     const std::uint64_t l = size_a * size_b;
@@ -162,7 +176,7 @@ int main() {
                             w->copro->metrics().puts +
                             w->copro->metrics().gets -
                             w->copro->metrics().ituple_reads),
-        analysis::CostAlgorithm4(l, s));
+        analysis::CostAlgorithm4(l, s), timer.ElapsedNs());
   }
 
   // ---- Algorithm 6 (Chapter 5): staging matches ceil(L/n*) M. ----
@@ -177,13 +191,15 @@ int main() {
     const relation::PairAsMultiway multiway(w->workload.predicate.get());
     core::MultiwayJoin join{{w->a.get(), w->b.get()}, &multiway,
                             w->key_out.get()};
+    const ppj::bench::WallTimer timer;
     auto outcome =
         core::RunAlgorithm6(*w->copro, join, {.epsilon = 1e-6});
     if (!outcome.ok()) return 1;
     const std::uint64_t l = size_a * size_b;
     Row("Alg6 staged oTuples",
         static_cast<double>(outcome->staging_slots),
-        static_cast<double>(CeilDiv(l, outcome->n_star) * m));
+        static_cast<double>(CeilDiv(l, outcome->n_star) * m),
+        timer.ElapsedNs());
     Row("Alg6 screening+main reads",
         static_cast<double>(w->copro->metrics().ituple_reads),
         2.0 * static_cast<double>(l));

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util_gbench.h"
+
 #include "crypto/aes128.h"
 #include "crypto/key.h"
 #include "crypto/mlfsr.h"
@@ -72,4 +74,4 @@ BENCHMARK(BM_MlfsrNext);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PPJ_BENCH_MAIN()

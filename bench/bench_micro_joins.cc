@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util_gbench.h"
+
 #include <memory>
 
 #include "common/math.h"
@@ -174,4 +176,4 @@ BENCHMARK(BM_Algorithm5Scale2048)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PPJ_BENCH_MAIN()

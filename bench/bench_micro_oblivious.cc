@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util_gbench.h"
+
 #include "common/random.h"
 #include "crypto/key.h"
 #include "oblivious/bitonic_sort.h"
@@ -76,4 +78,4 @@ BENCHMARK(BM_WindowedFilter)->Arg(256)->Arg(1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PPJ_BENCH_MAIN()

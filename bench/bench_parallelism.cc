@@ -36,6 +36,7 @@ int main() {
     auto b = relation::EncryptedRelation::Seal(&host, *workload->b, &key_b);
     const relation::PairAsMultiway multiway(workload->predicate.get());
     core::MultiwayJoin join{{&*a, &*b}, &multiway, &key_out};
+    const bench::WallTimer timer;
     auto outcome = core::RunParallelAlgorithm5(
         &host, join, p, {.memory_tuples = 8, .seed = 5});
     if (!outcome.ok()) {
@@ -55,6 +56,13 @@ int main() {
                 static_cast<unsigned long long>(worker_max),
                 static_cast<unsigned long long>(outcome->total_transfers),
                 speedup, 100.0 * speedup / p);
+    bench::ResultLine("parallelism_alg5")
+        .Param("p", static_cast<double>(p))
+        .Param("total_transfers",
+               static_cast<double>(outcome->total_transfers))
+        .Transfers(static_cast<double>(worker_max))
+        .WallNs(timer.ElapsedNs())
+        .Emit();
   }
 
   // Parallel Algorithm 6 (shared-seed MLFSR partitioning) and parallel
@@ -92,6 +100,14 @@ int main() {
     std::printf("%6u %22llu %22llu\n", p,
                 static_cast<unsigned long long>(maxima[0]),
                 static_cast<unsigned long long>(maxima[1]));
+    bench::ResultLine("parallelism_alg6")
+        .Param("p", static_cast<double>(p))
+        .Transfers(static_cast<double>(maxima[0]))
+        .Emit();
+    bench::ResultLine("parallelism_alg4")
+        .Param("p", static_cast<double>(p))
+        .Transfers(static_cast<double>(maxima[1]))
+        .Emit();
   }
   return 0;
 }

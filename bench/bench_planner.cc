@@ -148,6 +148,7 @@ int main() {
     std::uint64_t best = ~0ull;
     core::Algorithm best_alg = plan.algorithm;
     for (core::Algorithm alg : all) {
+      const bench::WallTimer timer;
       const std::uint64_t measured = Measure(alg, spec, pt.m);
       if (measured == 0) {
         std::printf("  %-24s (not applicable)\n",
@@ -162,6 +163,16 @@ int main() {
                   core::ToString(alg).c_str(),
                   static_cast<unsigned long long>(measured),
                   alg == plan.algorithm ? "   <- planner pick" : "");
+      bench::ResultLine("planner")
+          .Param("size", static_cast<double>(pt.size))
+          .Param("n", static_cast<double>(pt.n))
+          .Param("s", static_cast<double>(pt.s))
+          .Param("m", static_cast<double>(pt.m))
+          .Param("alg", core::ToString(alg))
+          .Param("planner_pick", core::ToString(plan.algorithm))
+          .Transfers(static_cast<double>(measured))
+          .WallNs(timer.ElapsedNs())
+          .Emit();
     }
     std::printf("  measured best: %s\n", core::ToString(best_alg).c_str());
   }

@@ -27,6 +27,14 @@ int main() {
       std::printf("%10.0f %10.0f %8.0e %14s %14s %9.0fx\n", b, n, alpha,
                   ppj::bench::Sci(sfe).c_str(),
                   ppj::bench::Sci(ours).c_str(), sfe / ours);
+      ppj::bench::ResultLine("sec4_6_5_sfe")
+          .Param("b", b)
+          .Param("alpha", alpha)
+          .Param("n", n)
+          .Param("sfe_bits", sfe)
+          .Param("alg1_bits", ours)
+          .Transfers(ours / params.w)
+          .Emit();
     }
   }
   return 0;

@@ -3,6 +3,8 @@
 // settings.
 
 #include <cstdio>
+#include <string>
+#include <utility>
 
 #include "analysis/chapter5_costs.h"
 #include "analysis/optimizer.h"
@@ -27,6 +29,19 @@ int main() {
               "S", "M", "Alg4", "Alg5", "Alg6(1e-20)", "Delta*(S)");
   int i = 1;
   for (const Setting& s : settings) {
+    for (const auto& [alg, cost] :
+         {std::pair<const char*, double>{"4", CostAlgorithm4(s.l, s.s)},
+          {"5", CostAlgorithm5(s.l, s.s, s.m)},
+          {"6", CostAlgorithm6(s.l, s.s, s.m, 1e-20).total}}) {
+      ppj::bench::ResultLine("table5_1_formulas")
+          .Param("setting", i)
+          .Param("alg", std::string(alg))
+          .Param("l", static_cast<double>(s.l))
+          .Param("s", static_cast<double>(s.s))
+          .Param("m", static_cast<double>(s.m))
+          .Transfers(cost)
+          .Emit();
+    }
     std::printf("%-12d %10llu %10llu %8llu | %12s %12s %14s %12.0f\n", i++,
                 static_cast<unsigned long long>(s.l),
                 static_cast<unsigned long long>(s.s),

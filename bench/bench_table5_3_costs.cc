@@ -2,6 +2,8 @@
 // under the three settings of Table 5.2, plus the cost-reduction row.
 
 #include <cstdio>
+#include <string>
+#include <utility>
 
 #include "analysis/chapter5_costs.h"
 #include "analysis/smc_cost.h"
@@ -64,6 +66,26 @@ int main() {
                   CostAlgorithm5(s.l, s.s, s.m);
     std::printf(" %13.0f%%", reduction * 100.0);
   }
+  int setting = 1;
+  for (const auto& s : settings) {
+    for (const auto& [row, cost] :
+         {std::pair<const char*, double>{"smc", CostSmc(s.l, s.s)},
+          {"alg4", CostAlgorithm4(s.l, s.s)},
+          {"alg5", CostAlgorithm5(s.l, s.s, s.m)},
+          {"alg6_eps1e-20", CostAlgorithm6(s.l, s.s, s.m, 1e-20).total},
+          {"alg6_eps1e-10", CostAlgorithm6(s.l, s.s, s.m, 1e-10).total}}) {
+      ppj::bench::ResultLine("table5_3_costs")
+          .Param("setting", setting)
+          .Param("row", std::string(row))
+          .Param("l", static_cast<double>(s.l))
+          .Param("s", static_cast<double>(s.s))
+          .Param("m", static_cast<double>(s.m))
+          .Transfers(cost)
+          .Emit();
+    }
+    ++setting;
+  }
+
   std::printf("\n\nDiagnostics (n*, segments, Delta*) for eps = 1e-20:\n");
   for (const auto& s : settings) {
     const Alg6Cost c = CostAlgorithm6(s.l, s.s, s.m, 1e-20);

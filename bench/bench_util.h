@@ -1,6 +1,7 @@
 #ifndef PPJ_BENCH_BENCH_UTIL_H_
 #define PPJ_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <initializer_list>
@@ -60,6 +61,73 @@ class SeriesWriter {
  private:
   std::string path_;
   std::FILE* file_ = nullptr;
+};
+
+/// One machine-readable result per line on stdout, prefixed "BENCH " so a
+/// scraper can grep it out of the human-readable tables:
+///
+///   BENCH {"bench":"fig5_1_alg5_vs_m","params":{"m":64,"l":640000},
+///          "tuple_transfers":7.1e+06,"wall_ns":0}
+///
+/// Closed-form harnesses report wall_ns 0; harnesses that execute joins
+/// time the run with WallTimer.
+class ResultLine {
+ public:
+  explicit ResultLine(const std::string& name) : name_(name) {}
+
+  ResultLine& Param(const std::string& key, double value) {
+    if (!params_.empty()) params_ += ",";
+    params_ += "\"" + key + "\":" + Num(value);
+    return *this;
+  }
+  ResultLine& Param(const std::string& key, const std::string& value) {
+    if (!params_.empty()) params_ += ",";
+    params_ += "\"" + key + "\":\"" + value + "\"";
+    return *this;
+  }
+  ResultLine& Transfers(double v) {
+    transfers_ = v;
+    return *this;
+  }
+  ResultLine& WallNs(double v) {
+    wall_ns_ = v;
+    return *this;
+  }
+
+  void Emit() const {
+    std::printf("BENCH {\"bench\":\"%s\",\"params\":{%s},"
+                "\"tuple_transfers\":%s,\"wall_ns\":%s}\n",
+                name_.c_str(), params_.c_str(), Num(transfers_).c_str(),
+                Num(wall_ns_).c_str());
+  }
+
+ private:
+  static std::string Num(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+
+  std::string name_;
+  std::string params_;
+  double transfers_ = 0;
+  double wall_ns_ = 0;
+};
+
+/// Wall-clock stopwatch for the harnesses that run real executions.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  double ElapsedNs() const {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace ppj::bench

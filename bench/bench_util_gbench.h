@@ -1,0 +1,52 @@
+#ifndef PPJ_BENCH_BENCH_UTIL_GBENCH_H_
+#define PPJ_BENCH_BENCH_UTIL_GBENCH_H_
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_util.h"
+
+namespace ppj::bench {
+
+/// ConsoleReporter that additionally emits one machine-readable BENCH line
+/// per benchmark (see ResultLine). wall_ns is real time per iteration; a
+/// "tuple_transfers" counter, when the benchmark sets one, becomes the
+/// transfers field.
+class ResultLineReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      ResultLine line(run.benchmark_name());
+      line.Param("iterations", static_cast<double>(run.iterations));
+      const auto it = run.counters.find("tuple_transfers");
+      if (it != run.counters.end()) line.Transfers(it->second);
+      if (run.iterations > 0) {
+        line.WallNs(run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9);
+      }
+      line.Emit();
+    }
+  }
+};
+
+inline int RunBenchmarksWithResultLines(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ResultLineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ppj::bench
+
+/// Drop-in BENCHMARK_MAIN() replacement wiring ResultLineReporter in.
+#define PPJ_BENCH_MAIN()                                         \
+  int main(int argc, char** argv) {                              \
+    return ppj::bench::RunBenchmarksWithResultLines(argc, argv); \
+  }
+
+#endif  // PPJ_BENCH_BENCH_UTIL_GBENCH_H_

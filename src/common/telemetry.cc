@@ -1,0 +1,305 @@
+#include "common/telemetry.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "sim/coprocessor.h"
+
+namespace ppj::telemetry {
+namespace {
+
+/// Per-thread telemetry context. Installed by ScopedContext; read by every
+/// Span. A null recorder makes spans single-branch no-ops, so uninstrumented
+/// threads (and all threads when no recorder is active) pay one TLS load.
+struct ThreadState {
+  TraceRecorder* recorder = nullptr;
+  SpanNode* current = nullptr;
+  const sim::Coprocessor* copro = nullptr;
+  std::uint32_t ordinal = 0;
+};
+
+ThreadState& Tls() {
+  thread_local ThreadState state;
+  return state;
+}
+
+void AppendJsonString(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void AppendMetricsFields(std::ostringstream& os,
+                         const sim::TransferMetrics& m) {
+  os << "\"gets\":" << m.gets << ",\"puts\":" << m.puts
+     << ",\"tuple_transfers\":" << m.TupleTransfers()
+     << ",\"disk_writes\":" << m.disk_writes
+     << ",\"ituple_reads\":" << m.ituple_reads
+     << ",\"cipher_calls\":" << m.cipher_calls
+     << ",\"comparisons\":" << m.comparisons
+     << ",\"padded_cycles\":" << m.padded_cycles
+     << ",\"batch_gets\":" << m.batch_gets
+     << ",\"batch_puts\":" << m.batch_puts;
+}
+
+}  // namespace
+
+const SpanNode* SpanNode::Find(std::string_view child_name) const {
+  for (const auto& child : children) {
+    if (child->name == child_name) return child.get();
+  }
+  return nullptr;
+}
+
+const SpanNode* SpanNode::FindPath(std::string_view path) const {
+  const SpanNode* node = this;
+  while (node != nullptr && !path.empty()) {
+    const std::size_t slash = path.find('/');
+    const std::string_view head =
+        slash == std::string_view::npos ? path : path.substr(0, slash);
+    path = slash == std::string_view::npos ? std::string_view{}
+                                           : path.substr(slash + 1);
+    node = node->Find(head);
+  }
+  return node;
+}
+
+sim::TransferMetrics InclusiveMetrics(const SpanNode& node) {
+  if (node.has_metrics) return node.metrics;
+  sim::TransferMetrics sum;
+  for (const auto& child : node.children) sum += InclusiveMetrics(*child);
+  return sum;
+}
+
+sim::TransferMetrics SelfMetrics(const SpanNode& node) {
+  sim::TransferMetrics children_sum;
+  for (const auto& child : node.children) {
+    children_sum += InclusiveMetrics(*child);
+  }
+  return InclusiveMetrics(node) - children_sum;
+}
+
+TraceRecorder::TraceRecorder(bool enabled)
+    : enabled_(enabled && CompiledIn()),
+      epoch_(std::chrono::steady_clock::now()) {
+  root_.name = "trace";
+}
+
+bool TraceRecorder::CompiledIn() {
+#if defined(PPJ_TELEMETRY_DISABLED)
+  return false;
+#else
+  return true;
+#endif
+}
+
+std::uint64_t TraceRecorder::NowNs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+std::uint32_t TraceRecorder::AssignOrdinal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_ordinal_++;
+}
+
+std::unique_ptr<SpanNode> TraceRecorder::TakeTree() {
+  if (!enabled_) return nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto out = std::make_unique<SpanNode>(std::move(root_));
+  root_ = SpanNode{};
+  root_.name = "trace";
+  out->count = 1;
+  out->wall_ns = 0;
+  for (const auto& child : out->children) out->wall_ns += child->wall_ns;
+  return out;
+}
+
+SpanHandle CurrentSpan() {
+  const ThreadState& ts = Tls();
+  return SpanHandle{ts.recorder, ts.current};
+}
+
+ScopedContext::ScopedContext(TraceRecorder* recorder,
+                             const sim::Coprocessor* copro)
+    : ScopedContext(SpanHandle{recorder, recorder != nullptr
+                                             ? &recorder->root_
+                                             : nullptr},
+                    copro) {}
+
+ScopedContext::ScopedContext(const SpanHandle& parent,
+                             const sim::Coprocessor* copro) {
+  ThreadState& ts = Tls();
+  saved_[0] = ts.recorder;
+  saved_[1] = ts.current;
+  saved_[2] = const_cast<sim::Coprocessor*>(ts.copro);
+  saved_[3] = reinterpret_cast<void*>(static_cast<std::uintptr_t>(ts.ordinal));
+  if (parent.recorder != nullptr && parent.recorder->enabled()) {
+    ts.recorder = parent.recorder;
+    ts.current = parent.node;
+    ts.copro = copro;
+    ts.ordinal = parent.recorder->AssignOrdinal();
+  } else {
+    ts.recorder = nullptr;
+    ts.current = nullptr;
+    ts.copro = nullptr;
+    ts.ordinal = 0;
+  }
+}
+
+ScopedContext::~ScopedContext() {
+  ThreadState& ts = Tls();
+  ts.recorder = static_cast<TraceRecorder*>(saved_[0]);
+  ts.current = static_cast<SpanNode*>(saved_[1]);
+  ts.copro = static_cast<const sim::Coprocessor*>(saved_[2]);
+  ts.ordinal =
+      static_cast<std::uint32_t>(reinterpret_cast<std::uintptr_t>(saved_[3]));
+}
+
+ScopedDevice::ScopedDevice(const sim::Coprocessor* copro) {
+  ThreadState& ts = Tls();
+  saved_ = ts.copro;
+  if (ts.recorder != nullptr) ts.copro = copro;
+}
+
+ScopedDevice::~ScopedDevice() {
+  Tls().copro = static_cast<const sim::Coprocessor*>(saved_);
+}
+
+Span::Span(std::string_view name) {
+  ThreadState& ts = Tls();
+  if (ts.recorder == nullptr) return;
+  recorder_ = ts.recorder;
+  copro_ = ts.copro;
+  t0_ns_ = recorder_->NowNs();
+  if (copro_ != nullptr) at_open_ = copro_->metrics();
+  std::lock_guard<std::mutex> lock(recorder_->mutex_);
+  parent_ = ts.current;
+  for (const auto& child : parent_->children) {
+    if (child->name == name) {
+      node_ = child.get();
+      break;
+    }
+  }
+  if (node_ == nullptr) {
+    auto node = std::make_unique<SpanNode>();
+    node->name = std::string(name);
+    node->start_ns = t0_ns_;
+    node->thread_ordinal = ts.ordinal;
+    node_ = node.get();
+    parent_->children.push_back(std::move(node));
+  }
+  ts.current = node_;
+}
+
+Span::~Span() {
+  if (recorder_ == nullptr) return;
+  const std::uint64_t t1_ns = recorder_->NowNs();
+  sim::TransferMetrics delta;
+  if (copro_ != nullptr) delta = copro_->metrics() - at_open_;
+  std::lock_guard<std::mutex> lock(recorder_->mutex_);
+  node_->count += 1;
+  node_->wall_ns += t1_ns - t0_ns_;
+  if (copro_ != nullptr) {
+    node_->has_metrics = true;
+    node_->metrics += delta;
+  }
+  Tls().current = parent_;
+}
+
+// ---- Exporters -----------------------------------------------------------
+
+namespace {
+
+/// Emits one complete event for `node` at synthetic timestamp `ts_ns`, then
+/// lays its children out sequentially inside it. Merged nodes (count > 1)
+/// have no single real interval, so the layout is synthetic by construction:
+/// positions show nesting and relative width, not historical start times.
+void EmitChromeEvents(const SpanNode& node, std::uint64_t ts_ns, bool* first,
+                      std::ostringstream& os) {
+  if (!*first) os << ",\n";
+  *first = false;
+  os << "{\"name\":";
+  AppendJsonString(os, node.name);
+  os << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << node.thread_ordinal
+     << ",\"ts\":" << (ts_ns / 1000.0) << ",\"dur\":"
+     << (node.wall_ns / 1000.0) << ",\"args\":{\"count\":" << node.count
+     << ',';
+  AppendMetricsFields(os, InclusiveMetrics(node));
+  os << "}}";
+  std::uint64_t child_ts = ts_ns;
+  for (const auto& child : node.children) {
+    EmitChromeEvents(*child, child_ts, first, os);
+    child_ts += child->wall_ns;
+  }
+}
+
+void EmitReportEntries(const SpanNode& node, const std::string& prefix,
+                       bool* first, std::ostringstream& os) {
+  const std::string path =
+      prefix.empty() ? node.name : prefix + "/" + node.name;
+  if (!*first) os << ",\n";
+  *first = false;
+  os << "    {\"path\":";
+  AppendJsonString(os, path);
+  os << ",\"count\":" << node.count << ",\"wall_ns\":" << node.wall_ns
+     << ",\"thread\":" << node.thread_ordinal << ",\"inclusive\":{";
+  AppendMetricsFields(os, InclusiveMetrics(node));
+  os << "},\"self\":{";
+  AppendMetricsFields(os, SelfMetrics(node));
+  os << "}}";
+  for (const auto& child : node.children) {
+    EmitReportEntries(*child, path, first, os);
+  }
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const SpanNode& root) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  // Skip the synthetic "trace" root; top-level spans start at ts 0 in
+  // sequence (their merged durations have no meaningful absolute offsets).
+  std::uint64_t ts_ns = 0;
+  for (const auto& child : root.children) {
+    EmitChromeEvents(*child, ts_ns, &first, os);
+    ts_ns += child->wall_ns;
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string ToMetricsReportJson(const SpanNode& root) {
+  std::ostringstream os;
+  os << "{\n  \"total\":{";
+  AppendMetricsFields(os, InclusiveMetrics(root));
+  os << ",\"wall_ns\":" << root.wall_ns << "},\n  \"spans\":[\n";
+  bool first = true;
+  for (const auto& child : root.children) {
+    EmitReportEntries(*child, "", &first, os);
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace ppj::telemetry

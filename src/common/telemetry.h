@@ -1,0 +1,222 @@
+#ifndef PPJ_COMMON_TELEMETRY_H_
+#define PPJ_COMMON_TELEMETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/metrics.h"
+
+namespace ppj::sim {
+class Coprocessor;
+}  // namespace ppj::sim
+
+namespace ppj::telemetry {
+
+/// Phase-scoped telemetry: an RAII span tree recording wall-clock time and
+/// per-phase TransferMetrics deltas, so measured costs can be attributed to
+/// the closed-form terms of the Chapter 4/5 cost models (sort, scan, output,
+/// mix, filter, ...).
+///
+/// Trace-neutrality invariant (load-bearing — see docs/OBSERVABILITY.md and
+/// tests/test_telemetry.cc): telemetry only ever *reads* the coprocessor's
+/// public counters. It never issues a Get/Put, never charges a cycle, never
+/// draws device randomness. The adversary-visible surface of Definitions 1
+/// and 3 — the access trace, the timing fingerprint, TupleTransfers() — is
+/// bit-identical with telemetry enabled, disabled, or compiled out
+/// (-DPPJ_TELEMETRY=OFF).
+///
+/// Sibling spans with the same name under the same parent are merged into
+/// one node (count, wall time and metrics accumulate). The tree size is
+/// therefore O(distinct span paths), independent of how many iterations a
+/// phase runs — scale-safe for multi-million-transfer executions.
+struct SpanNode {
+  std::string name;
+  /// Number of times this span path was entered.
+  std::uint64_t count = 0;
+  /// First entry, in ns relative to the recorder's construction.
+  std::uint64_t start_ns = 0;
+  /// Total accumulated wall-clock time across all entries.
+  std::uint64_t wall_ns = 0;
+  /// Ordinal of the first thread that opened the span (0 = root thread).
+  std::uint32_t thread_ordinal = 0;
+  /// True when a coprocessor was bound while the span was open; `metrics`
+  /// then holds the accumulated counter delta over the span's lifetime.
+  bool has_metrics = false;
+  sim::TransferMetrics metrics;
+  std::vector<std::unique_ptr<SpanNode>> children;
+
+  /// Direct child by name, or nullptr.
+  const SpanNode* Find(std::string_view child_name) const;
+  /// Descendant by '/'-separated path relative to this node, or nullptr.
+  const SpanNode* FindPath(std::string_view path) const;
+};
+
+/// Inclusive metrics of a span: its own recorded delta when a device was
+/// bound (nested same-device spans are already included in the delta),
+/// otherwise the sum of the children's inclusive metrics (the parallel
+/// coordinator case, where each worker subtree has its own device).
+sim::TransferMetrics InclusiveMetrics(const SpanNode& node);
+
+/// Exclusive (self) metrics: inclusive minus the children's inclusive
+/// metrics, clamped at zero per counter. Summing self over a whole tree
+/// reproduces the root's inclusive totals.
+sim::TransferMetrics SelfMetrics(const SpanNode& node);
+
+/// Collects one execution's span tree. Thread-safe: worker threads attach
+/// via ScopedContext and produce correctly-nested per-worker subtrees.
+/// A disabled recorder (enabled = false, or the library compiled with
+/// PPJ_TELEMETRY=OFF) makes every span a no-op.
+class TraceRecorder {
+ public:
+  TraceRecorder() : TraceRecorder(true) {}
+  explicit TraceRecorder(bool enabled);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// False when constructed disabled or when telemetry is compiled out.
+  bool enabled() const { return enabled_; }
+
+  /// False when the library was built with -DPPJ_TELEMETRY=OFF.
+  static bool CompiledIn();
+
+  /// Detaches and returns the finished tree (root node "trace"); nullptr
+  /// when disabled. Call after every span has closed and every attached
+  /// thread has detached; the recorder is reset to an empty tree.
+  std::unique_ptr<SpanNode> TakeTree();
+
+ private:
+  friend class Span;
+  friend class ScopedContext;
+
+  std::uint64_t NowNs() const;
+  std::uint32_t AssignOrdinal();
+
+  bool enabled_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::mutex mutex_;
+  SpanNode root_;
+  std::uint32_t next_ordinal_ = 0;
+};
+
+/// Cross-thread parenting handle: capture on the coordinating thread with
+/// CurrentSpan(), hand to a worker's ScopedContext so its spans nest under
+/// the coordinator's current span.
+struct SpanHandle {
+  TraceRecorder* recorder = nullptr;
+  SpanNode* node = nullptr;
+};
+
+/// The calling thread's recorder and open span (both null when no context
+/// is installed). Safe to call anywhere; never allocates.
+SpanHandle CurrentSpan();
+
+/// Installs a telemetry context on the calling thread for its lifetime:
+/// spans opened on this thread attach to `recorder`'s tree (or under the
+/// captured parent span for the worker-thread form) and snapshot `copro`'s
+/// counters (may be null — spans then record wall time only). Restores the
+/// previous thread state on destruction; contexts nest.
+class ScopedContext {
+ public:
+  ScopedContext(TraceRecorder* recorder, const sim::Coprocessor* copro);
+  ScopedContext(const SpanHandle& parent, const sim::Coprocessor* copro);
+  ~ScopedContext();
+
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  void* saved_[4];
+};
+
+/// Rebinds the active coprocessor for the current scope (e.g. an algorithm
+/// entered with a device the caller's context does not know about).
+class ScopedDevice {
+ public:
+  explicit ScopedDevice(const sim::Coprocessor* copro);
+  ~ScopedDevice();
+
+  ScopedDevice(const ScopedDevice&) = delete;
+  ScopedDevice& operator=(const ScopedDevice&) = delete;
+
+ private:
+  const void* saved_;
+};
+
+/// RAII span. Opening records a wall-clock and metrics snapshot; closing
+/// accumulates the deltas into the (per-path-merged) tree node. No-op when
+/// the thread has no enabled context. Use via PPJ_SPAN.
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  SpanNode* node_ = nullptr;
+  SpanNode* parent_ = nullptr;
+  const sim::Coprocessor* copro_ = nullptr;
+  sim::TransferMetrics at_open_;
+  std::uint64_t t0_ns_ = 0;
+};
+
+/// ScopedDevice + Span fused: binds `copro` as the active device, then
+/// opens the span, so the span's metrics delta is snapshotted from that
+/// device. The entry-point instrumentation of the join algorithms, the
+/// bitonic sorter and the windowed filter. Use via PPJ_DEVICE_SPAN.
+class DeviceSpan {
+ public:
+  DeviceSpan(const sim::Coprocessor* copro, std::string_view name)
+      : device_(copro), span_(name) {}
+
+ private:
+  ScopedDevice device_;
+  Span span_;
+};
+
+// ---- Exporters -----------------------------------------------------------
+
+/// Chrome trace-event JSON (catapult format), loadable in chrome://tracing
+/// and https://ui.perfetto.dev. One complete ("ph":"X") event per span node,
+/// on track tid = thread ordinal, with the metrics delta in args. Merged
+/// nodes render as one event of the accumulated duration, laid out
+/// sequentially inside their parent.
+std::string ToChromeTraceJson(const SpanNode& root);
+
+/// Flat metrics report keyed by '/'-joined span path: per path the entry
+/// count, wall time, inclusive and self metrics; plus a "total" block with
+/// the root's inclusive metrics. Self counts over the whole tree sum to the
+/// totals, making per-phase transfers reconcile against the flat
+/// TransferMetrics the delivery reports.
+std::string ToMetricsReportJson(const SpanNode& root);
+
+}  // namespace ppj::telemetry
+
+#define PPJ_TELEMETRY_CONCAT_INNER(a, b) a##b
+#define PPJ_TELEMETRY_CONCAT(a, b) PPJ_TELEMETRY_CONCAT_INNER(a, b)
+
+#if !defined(PPJ_TELEMETRY_DISABLED)
+/// Opens an RAII telemetry span for the rest of the enclosing scope.
+#define PPJ_SPAN(name) \
+  ::ppj::telemetry::Span PPJ_TELEMETRY_CONCAT(ppj_span_, __LINE__)(name)
+/// PPJ_SPAN with the metrics source pinned to `copro` (a Coprocessor*).
+#define PPJ_DEVICE_SPAN(copro, name)                                 \
+  ::ppj::telemetry::DeviceSpan PPJ_TELEMETRY_CONCAT(ppj_dspan_,      \
+                                                    __LINE__)(copro, name)
+#else
+// Arguments are still evaluated-as-discarded so locals used only for span
+// names do not become unused-variable errors in telemetry-off builds.
+#define PPJ_SPAN(name) static_cast<void>(name)
+#define PPJ_DEVICE_SPAN(copro, name) \
+  static_cast<void>(copro), static_cast<void>(name)
+#endif
+
+#endif  // PPJ_COMMON_TELEMETRY_H_

@@ -1,6 +1,7 @@
 #include "core/algorithm1.h"
 
 #include "common/math.h"
+#include "common/telemetry.h"
 #include "oblivious/bitonic_sort.h"
 #include "relation/encrypted_relation.h"
 
@@ -39,6 +40,7 @@ Result<Ch4Outcome> RunAlgorithm1(sim::Coprocessor& copro,
                                  const TwoWayJoin& join,
                                  const Algorithm1Options& options) {
   PPJ_RETURN_NOT_OK(join.Validate());
+  PPJ_DEVICE_SPAN(&copro, "algorithm1");
   PPJ_ASSIGN_OR_RETURN(const std::uint64_t n,
                        ResolveN(copro, join, options.n));
 
@@ -71,41 +73,48 @@ Result<Ch4Outcome> RunAlgorithm1(sim::Coprocessor& copro,
   bool a_real = false, b_real = false;
 
   for (std::uint64_t ai = 0; ai < size_a; ++ai) {
-    // Reset the scratch with fresh indistinguishable decoys.
-    for (std::uint64_t k = 0; k < scratch_slots; ++k) {
-      PPJ_RETURN_NOT_OK(writer.Put(k, decoy));
-    }
-    PPJ_RETURN_NOT_OK(writer.Flush());
-    PPJ_RETURN_NOT_OK(ascan.FetchInto(ai, &a, &a_real));
-    std::uint64_t i = 0;
-    for (std::uint64_t bi = 0; bi < size_b; ++bi) {
-      PPJ_RETURN_NOT_OK(bscan.FetchInto(bi, &b, &b_real));
-      const bool hit = a_real && b_real && join.predicate->Match(a, b);
-      copro.NoteMatchEvaluation(hit);
-      // Exactly one oTuple out per comparison, always to the same rolling
-      // slot — the fixed-size principle of Section 3.4.3.
-      const std::uint64_t pos = n + (i % n);
-      if (hit) {
-        // Joined payload = a bytes || b bytes.
-        std::vector<std::uint8_t> bytes = a.Serialize();
-        const std::vector<std::uint8_t> bb = b.Serialize();
-        bytes.insert(bytes.end(), bb.begin(), bb.end());
-        PPJ_RETURN_NOT_OK(writer.Put(pos, relation::wire::MakeReal(bytes)));
-      } else {
-        PPJ_RETURN_NOT_OK(writer.Put(pos, decoy));
+    {
+      PPJ_SPAN("reset");
+      // Reset the scratch with fresh indistinguishable decoys.
+      for (std::uint64_t k = 0; k < scratch_slots; ++k) {
+        PPJ_RETURN_NOT_OK(writer.Put(k, decoy));
       }
-      ++i;
-      if (i % n == 0) {
+      PPJ_RETURN_NOT_OK(writer.Flush());
+    }
+    PPJ_RETURN_NOT_OK(ascan.FetchInto(ai, &a, &a_real));
+    {
+      PPJ_SPAN("mix");
+      std::uint64_t i = 0;
+      for (std::uint64_t bi = 0; bi < size_b; ++bi) {
+        PPJ_RETURN_NOT_OK(bscan.FetchInto(bi, &b, &b_real));
+        const bool hit = a_real && b_real && join.predicate->Match(a, b);
+        copro.NoteMatchEvaluation(hit);
+        // Exactly one oTuple out per comparison, always to the same rolling
+        // slot — the fixed-size principle of Section 3.4.3.
+        const std::uint64_t pos = n + (i % n);
+        if (hit) {
+          // Joined payload = a bytes || b bytes.
+          std::vector<std::uint8_t> bytes = a.Serialize();
+          const std::vector<std::uint8_t> bb = b.Serialize();
+          bytes.insert(bytes.end(), bb.begin(), bb.end());
+          PPJ_RETURN_NOT_OK(writer.Put(pos, relation::wire::MakeReal(bytes)));
+        } else {
+          PPJ_RETURN_NOT_OK(writer.Put(pos, decoy));
+        }
+        ++i;
+        if (i % n == 0) {
+          PPJ_RETURN_NOT_OK(writer.Flush());
+          PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(
+              copro, scratch, scratch_slots, *join.output_key, real_first));
+        }
+      }
+      if (i % n != 0) {
         PPJ_RETURN_NOT_OK(writer.Flush());
         PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(
             copro, scratch, scratch_slots, *join.output_key, real_first));
       }
     }
-    if (i % n != 0) {
-      PPJ_RETURN_NOT_OK(writer.Flush());
-      PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(
-          copro, scratch, scratch_slots, *join.output_key, real_first));
-    }
+    PPJ_SPAN("output");
     PPJ_RETURN_NOT_OK(HostFlushToOutput(copro, scratch, n, output, ai * n));
   }
 
@@ -116,6 +125,7 @@ Result<Ch4Outcome> RunAlgorithm1Variant(sim::Coprocessor& copro,
                                         const TwoWayJoin& join,
                                         const Algorithm1Options& options) {
   PPJ_RETURN_NOT_OK(join.Validate());
+  PPJ_DEVICE_SPAN(&copro, "algorithm1-variant");
   PPJ_ASSIGN_OR_RETURN(const std::uint64_t n,
                        ResolveN(copro, join, options.n));
 
@@ -144,25 +154,29 @@ Result<Ch4Outcome> RunAlgorithm1Variant(sim::Coprocessor& copro,
 
   for (std::uint64_t ai = 0; ai < size_a; ++ai) {
     PPJ_RETURN_NOT_OK(ascan.FetchInto(ai, &a, &a_real));
-    for (std::uint64_t bi = 0; bi < size_b; ++bi) {
-      PPJ_RETURN_NOT_OK(bscan.FetchInto(bi, &b, &b_real));
-      const bool hit = a_real && b_real && join.predicate->Match(a, b);
-      copro.NoteMatchEvaluation(hit);
-      if (hit) {
-        std::vector<std::uint8_t> bytes = a.Serialize();
-        const std::vector<std::uint8_t> bb = b.Serialize();
-        bytes.insert(bytes.end(), bb.begin(), bb.end());
-        PPJ_RETURN_NOT_OK(writer.Put(bi, relation::wire::MakeReal(bytes)));
-      } else {
-        PPJ_RETURN_NOT_OK(writer.Put(bi, decoy));
+    {
+      PPJ_SPAN("mix");
+      for (std::uint64_t bi = 0; bi < size_b; ++bi) {
+        PPJ_RETURN_NOT_OK(bscan.FetchInto(bi, &b, &b_real));
+        const bool hit = a_real && b_real && join.predicate->Match(a, b);
+        copro.NoteMatchEvaluation(hit);
+        if (hit) {
+          std::vector<std::uint8_t> bytes = a.Serialize();
+          const std::vector<std::uint8_t> bb = b.Serialize();
+          bytes.insert(bytes.end(), bb.begin(), bb.end());
+          PPJ_RETURN_NOT_OK(writer.Put(bi, relation::wire::MakeReal(bytes)));
+        } else {
+          PPJ_RETURN_NOT_OK(writer.Put(bi, decoy));
+        }
       }
+      for (std::uint64_t k = size_b; k < buffer_slots; ++k) {
+        PPJ_RETURN_NOT_OK(writer.Put(k, decoy));
+      }
+      PPJ_RETURN_NOT_OK(writer.Flush());
     }
-    for (std::uint64_t k = size_b; k < buffer_slots; ++k) {
-      PPJ_RETURN_NOT_OK(writer.Put(k, decoy));
-    }
-    PPJ_RETURN_NOT_OK(writer.Flush());
     PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(copro, buffer, buffer_slots,
                                                *join.output_key, real_first));
+    PPJ_SPAN("output");
     PPJ_RETURN_NOT_OK(HostFlushToOutput(copro, buffer, n, output, ai * n));
   }
 

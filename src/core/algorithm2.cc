@@ -1,6 +1,7 @@
 #include "core/algorithm2.h"
 
 #include "common/math.h"
+#include "common/telemetry.h"
 #include "relation/encrypted_relation.h"
 
 namespace ppj::core {
@@ -9,6 +10,7 @@ Result<Ch4Outcome> RunAlgorithm2(sim::Coprocessor& copro,
                                  const TwoWayJoin& join,
                                  const Algorithm2Options& options) {
   PPJ_RETURN_NOT_OK(join.Validate());
+  PPJ_DEVICE_SPAN(&copro, "algorithm2");
   std::uint64_t n = options.n;
   if (n == 0) {
     PPJ_ASSIGN_OR_RETURN(n, ComputeMaxMatches(copro, join));
@@ -48,24 +50,28 @@ Result<Ch4Outcome> RunAlgorithm2(sim::Coprocessor& copro,
     std::int64_t last = -1;  // position of the last *stored* B match
     for (std::uint64_t pass = 0; pass < gamma; ++pass) {
       joined.Clear();
-      std::int64_t current = 0;
-      std::int64_t pass_last = last;
-      for (std::uint64_t bi = 0; bi < size_b; ++bi) {
-        PPJ_RETURN_NOT_OK(bscan.FetchInto(bi, &b, &b_real));
-        // Predicate always evaluated; its result is used only when this
-        // pass is still collecting beyond the previous pass's cursor.
-        const bool hit = a_real && b_real && join.predicate->Match(a, b);
-        copro.NoteMatchEvaluation(hit);
-        if (current > last && !joined.full() && hit) {
-          std::vector<std::uint8_t> bytes = a.Serialize();
-          const std::vector<std::uint8_t> bb = b.Serialize();
-          bytes.insert(bytes.end(), bb.begin(), bb.end());
-          PPJ_RETURN_NOT_OK(joined.Push(relation::wire::MakeReal(bytes)));
-          pass_last = current;
+      {
+        PPJ_SPAN("mix");
+        std::int64_t current = 0;
+        std::int64_t pass_last = last;
+        for (std::uint64_t bi = 0; bi < size_b; ++bi) {
+          PPJ_RETURN_NOT_OK(bscan.FetchInto(bi, &b, &b_real));
+          // Predicate always evaluated; its result is used only when this
+          // pass is still collecting beyond the previous pass's cursor.
+          const bool hit = a_real && b_real && join.predicate->Match(a, b);
+          copro.NoteMatchEvaluation(hit);
+          if (current > last && !joined.full() && hit) {
+            std::vector<std::uint8_t> bytes = a.Serialize();
+            const std::vector<std::uint8_t> bb = b.Serialize();
+            bytes.insert(bytes.end(), bb.begin(), bb.end());
+            PPJ_RETURN_NOT_OK(joined.Push(relation::wire::MakeReal(bytes)));
+            pass_last = current;
+          }
+          ++current;
         }
-        ++current;
+        last = pass_last;
       }
-      last = pass_last;
+      PPJ_SPAN("output");
       // Fixed-size flush: blk oTuples per pass, decoy-padded; the sealed
       // slots land on the host in one scatter (DiskWrite is pure accounting
       // and does not read the region).

@@ -4,6 +4,7 @@
 #include <span>
 
 #include "common/math.h"
+#include "common/telemetry.h"
 #include "oblivious/bitonic_sort.h"
 #include "relation/encrypted_relation.h"
 
@@ -30,6 +31,7 @@ Result<Ch4Outcome> RunAlgorithm3(sim::Coprocessor& copro,
         "the oblivious sort");
   }
 
+  PPJ_DEVICE_SPAN(&copro, "algorithm3");
   std::uint64_t n = options.n;
   if (n == 0) {
     PPJ_ASSIGN_OR_RETURN(n, ComputeMaxMatches(copro, join));
@@ -39,6 +41,7 @@ Result<Ch4Outcome> RunAlgorithm3(sim::Coprocessor& copro,
   // Oblivious sort of B on the join attribute (padding last). In-place:
   // every compare-exchange re-seals under B's key with fresh nonces.
   if (!options.provider_sorted) {
+    PPJ_SPAN("sort-b");
     PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(
         copro, join.b->region(), join.b->padded_size(), *join.b->key(),
         oblivious::ColumnLess(join.b->schema(), eq->col_b())));
@@ -74,39 +77,47 @@ Result<Ch4Outcome> RunAlgorithm3(sim::Coprocessor& copro,
 
   for (std::uint64_t ai = 0; ai < size_a; ++ai) {
     PPJ_RETURN_NOT_OK(ascan.FetchInto(ai, &a, &a_real));
-    for (std::uint64_t k = 0; k < n; ++k) {
-      PPJ_RETURN_NOT_OK(reset.Put(k, decoy));
-    }
-    PPJ_RETURN_NOT_OK(reset.Flush());
-    std::uint64_t i = 0;
-    while (i < size_b) {
-      const std::uint64_t p = i % n;
-      const std::uint64_t c =
-          std::min({limit, n - p, size_b - i});
-      PPJ_ASSIGN_OR_RETURN(sim::ReadRun in,
-                           copro.GetOpenRange(scratch, p, c, join.output_key));
-      PPJ_ASSIGN_OR_RETURN(
-          sim::WriteRun out_run,
-          copro.PutSealedRange(scratch, p, c, join.output_key));
-      for (std::uint64_t e = 0; e < c; ++e, ++i) {
-        PPJ_RETURN_NOT_OK(bscan.FetchInto(i, &b, &b_real));
-        PPJ_ASSIGN_OR_RETURN(std::span<const std::uint8_t> s, in.NextOpen());
-        t.assign(s.begin(), s.end());
-        const bool hit = a_real && b_real && join.predicate->Match(a, b);
-        copro.NoteMatchEvaluation(hit);
-        if (hit) {
-          std::vector<std::uint8_t> bytes = a.Serialize();
-          const std::vector<std::uint8_t> bb = b.Serialize();
-          bytes.insert(bytes.end(), bb.begin(), bb.end());
-          PPJ_RETURN_NOT_OK(out_run.Append(relation::wire::MakeReal(bytes)));
-        } else {
-          // Write back what was read, re-encrypted: indistinguishable from
-          // a fresh result to the host.
-          PPJ_RETURN_NOT_OK(out_run.Append(t));
-        }
+    {
+      PPJ_SPAN("reset");
+      for (std::uint64_t k = 0; k < n; ++k) {
+        PPJ_RETURN_NOT_OK(reset.Put(k, decoy));
       }
-      PPJ_RETURN_NOT_OK(out_run.Flush());
+      PPJ_RETURN_NOT_OK(reset.Flush());
     }
+    {
+      PPJ_SPAN("mix");
+      std::uint64_t i = 0;
+      while (i < size_b) {
+        const std::uint64_t p = i % n;
+        const std::uint64_t c =
+            std::min({limit, n - p, size_b - i});
+        PPJ_ASSIGN_OR_RETURN(
+            sim::ReadRun in,
+            copro.GetOpenRange(scratch, p, c, join.output_key));
+        PPJ_ASSIGN_OR_RETURN(
+            sim::WriteRun out_run,
+            copro.PutSealedRange(scratch, p, c, join.output_key));
+        for (std::uint64_t e = 0; e < c; ++e, ++i) {
+          PPJ_RETURN_NOT_OK(bscan.FetchInto(i, &b, &b_real));
+          PPJ_ASSIGN_OR_RETURN(std::span<const std::uint8_t> s, in.NextOpen());
+          t.assign(s.begin(), s.end());
+          const bool hit = a_real && b_real && join.predicate->Match(a, b);
+          copro.NoteMatchEvaluation(hit);
+          if (hit) {
+            std::vector<std::uint8_t> bytes = a.Serialize();
+            const std::vector<std::uint8_t> bb = b.Serialize();
+            bytes.insert(bytes.end(), bb.begin(), bb.end());
+            PPJ_RETURN_NOT_OK(out_run.Append(relation::wire::MakeReal(bytes)));
+          } else {
+            // Write back what was read, re-encrypted: indistinguishable from
+            // a fresh result to the host.
+            PPJ_RETURN_NOT_OK(out_run.Append(t));
+          }
+        }
+        PPJ_RETURN_NOT_OK(out_run.Flush());
+      }
+    }
+    PPJ_SPAN("output");
     // H persists the N scratch slots for this A tuple.
     for (std::uint64_t k = 0; k < n; ++k) {
       PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> sealed,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/optimizer.h"
+#include "common/telemetry.h"
 #include "core/cartesian.h"
 #include "oblivious/windowed_filter.h"
 #include "relation/encrypted_relation.h"
@@ -13,6 +14,7 @@ Result<Ch5Outcome> RunAlgorithm4(sim::Coprocessor& copro,
                                  const MultiwayJoin& join,
                                  const Algorithm4Options& options) {
   PPJ_RETURN_NOT_OK(join.Validate());
+  PPJ_DEVICE_SPAN(&copro, "algorithm4");
   ITupleReader reader(&copro, join.tables);
   const std::uint64_t l = reader.index().size();
 
@@ -31,20 +33,24 @@ Result<Ch5Outcome> RunAlgorithm4(sim::Coprocessor& copro,
       copro.BatchLimit(std::max<std::uint64_t>(copro.memory_tuples(), 1)));
   BatchedSealWriter writer(&copro, staging, join.output_key);
   std::uint64_t s = 0;
-  for (std::uint64_t idx = 0; idx < l; ++idx) {
-    PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
-    const bool hit = fetched.real && join.predicate->Satisfy(*fetched.components);
-    copro.NoteMatchEvaluation(hit);
-    if (hit) {
-      ++s;
-      PPJ_RETURN_NOT_OK(writer.Put(
-          idx, relation::wire::MakeReal(
-                   ITupleReader::JoinedPayload(*fetched.components))));
-    } else {
-      PPJ_RETURN_NOT_OK(writer.Put(idx, decoy));
+  {
+    PPJ_SPAN("mix");
+    for (std::uint64_t idx = 0; idx < l; ++idx) {
+      PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
+      const bool hit =
+          fetched.real && join.predicate->Satisfy(*fetched.components);
+      copro.NoteMatchEvaluation(hit);
+      if (hit) {
+        ++s;
+        PPJ_RETURN_NOT_OK(writer.Put(
+            idx, relation::wire::MakeReal(
+                     ITupleReader::JoinedPayload(*fetched.components))));
+      } else {
+        PPJ_RETURN_NOT_OK(writer.Put(idx, decoy));
+      }
     }
+    PPJ_RETURN_NOT_OK(writer.Flush());
   }
-  PPJ_RETURN_NOT_OK(writer.Flush());
 
   Ch5Outcome out;
   out.result_size = s;
@@ -66,6 +72,7 @@ Result<Ch5Outcome> RunAlgorithm4(sim::Coprocessor& copro,
                            copro, staging, l, s, delta, *join.output_key,
                            out.output_region));
   (void)stats;
+  PPJ_SPAN("output");
   for (std::uint64_t k = 0; k < s; ++k) {
     PPJ_RETURN_NOT_OK(copro.DiskWrite(out.output_region, k));
   }

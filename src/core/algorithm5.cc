@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/telemetry.h"
 #include "core/cartesian.h"
 #include "relation/encrypted_relation.h"
 
@@ -10,6 +11,7 @@ namespace ppj::core {
 Result<Ch5Outcome> RunAlgorithm5(sim::Coprocessor& copro,
                                  const MultiwayJoin& join) {
   PPJ_RETURN_NOT_OK(join.Validate());
+  PPJ_DEVICE_SPAN(&copro, "algorithm5");
   const std::uint64_t m = copro.memory_tuples();
   if (m == 0) {
     return Status::CapacityExceeded(
@@ -41,35 +43,41 @@ Result<Ch5Outcome> RunAlgorithm5(sim::Coprocessor& copro,
     // knob, not a memory commitment. It only changes how slots move, never
     // which slots or in what order.
     reader.set_batch_hint(copro.BatchLimit(buffer.capacity()));
-    for (std::uint64_t idx = 0; idx < l; ++idx) {
-      PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
-      const bool hit =
-          fetched.real && join.predicate->Satisfy(*fetched.components);
-      copro.NoteMatchEvaluation(hit);
-      if (hit && static_cast<std::int64_t>(idx) > pindex) {
-        if (!buffer.full()) {
-          PPJ_RETURN_NOT_OK(buffer.Push(relation::wire::MakeReal(
-              ITupleReader::JoinedPayload(*fetched.components))));
-          last_stored = static_cast<std::int64_t>(idx);
-        } else {
-          overflow = true;  // more results remain: another scan is needed
+    {
+      PPJ_SPAN("scan");
+      for (std::uint64_t idx = 0; idx < l; ++idx) {
+        PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
+        const bool hit =
+            fetched.real && join.predicate->Satisfy(*fetched.components);
+        copro.NoteMatchEvaluation(hit);
+        if (hit && static_cast<std::int64_t>(idx) > pindex) {
+          if (!buffer.full()) {
+            PPJ_RETURN_NOT_OK(buffer.Push(relation::wire::MakeReal(
+                ITupleReader::JoinedPayload(*fetched.components))));
+            last_stored = static_cast<std::int64_t>(idx);
+          } else {
+            overflow = true;  // more results remain: another scan is needed
+          }
         }
       }
     }
-    // Flush at the scan boundary — the only observable output point. The
-    // sealed slots land on the host in one scatter (DiskWrite is pure
-    // accounting and does not read the region).
-    PPJ_RETURN_NOT_OK(
-        copro.host()->ResizeRegion(output, written + buffer.size()));
-    PPJ_ASSIGN_OR_RETURN(
-        sim::WriteRun flush,
-        copro.PutSealedRange(output, written, buffer.size(),
-                             join.output_key));
-    for (std::size_t k = 0; k < buffer.size(); ++k) {
-      PPJ_RETURN_NOT_OK(flush.Append(buffer.At(k)));
-      PPJ_RETURN_NOT_OK(copro.DiskWrite(output, written + k));
+    {
+      PPJ_SPAN("output");
+      // Flush at the scan boundary — the only observable output point. The
+      // sealed slots land on the host in one scatter (DiskWrite is pure
+      // accounting and does not read the region).
+      PPJ_RETURN_NOT_OK(
+          copro.host()->ResizeRegion(output, written + buffer.size()));
+      PPJ_ASSIGN_OR_RETURN(
+          sim::WriteRun flush,
+          copro.PutSealedRange(output, written, buffer.size(),
+                               join.output_key));
+      for (std::size_t k = 0; k < buffer.size(); ++k) {
+        PPJ_RETURN_NOT_OK(flush.Append(buffer.At(k)));
+        PPJ_RETURN_NOT_OK(copro.DiskWrite(output, written + k));
+      }
+      PPJ_RETURN_NOT_OK(flush.Flush());
     }
-    PPJ_RETURN_NOT_OK(flush.Flush());
     written += buffer.size();
     if (!overflow) break;
     pindex = last_stored;

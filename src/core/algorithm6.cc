@@ -5,6 +5,7 @@
 
 #include "analysis/optimizer.h"
 #include "common/math.h"
+#include "common/telemetry.h"
 #include "core/algorithm5.h"
 #include "core/cartesian.h"
 #include "crypto/mlfsr.h"
@@ -55,6 +56,7 @@ Result<Ch5Outcome> RunAlgorithm6(sim::Coprocessor& copro,
                                  const MultiwayJoin& join,
                                  const Algorithm6Options& options) {
   PPJ_RETURN_NOT_OK(join.Validate());
+  PPJ_DEVICE_SPAN(&copro, "algorithm6");
   const std::uint64_t m = copro.memory_tuples();
   if (m == 0) {
     return Status::CapacityExceeded(
@@ -80,8 +82,12 @@ Result<Ch5Outcome> RunAlgorithm6(sim::Coprocessor& copro,
   // physical gather still costs wall clock).
   reader.set_batch_hint(
       copro.BatchLimit(std::max<std::uint64_t>(buffer.capacity(), 1)));
-  PPJ_ASSIGN_OR_RETURN(ScreenResult screened,
-                       ScreenAndMaybeBuffer(copro, join, reader, buffer));
+  ScreenResult screened;
+  {
+    PPJ_SPAN("screen");
+    PPJ_ASSIGN_OR_RETURN(screened,
+                         ScreenAndMaybeBuffer(copro, join, reader, buffer));
+  }
   reader.set_batch_hint(1);
   const std::uint64_t s = screened.s;
 
@@ -93,6 +99,7 @@ Result<Ch5Outcome> RunAlgorithm6(sim::Coprocessor& copro,
   }
   if (screened.buffered_all) {
     // M >= S case: flush straight from memory; total cost L + S.
+    PPJ_SPAN("output");
     out.n_star = l;
     out.output_region = copro.host()->CreateRegion("alg6-output", slot, s);
     PPJ_ASSIGN_OR_RETURN(
@@ -127,36 +134,39 @@ Result<Ch5Outcome> RunAlgorithm6(sim::Coprocessor& copro,
   buffer.Clear();
   std::uint64_t seg = 0;
   std::uint64_t in_segment = 0;
-  for (std::uint64_t visited = 0; visited < l; ++visited) {
-    const std::uint64_t idx = order.Next();
-    PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
-    const bool hit =
-        fetched.real && join.predicate->Satisfy(*fetched.components);
-    copro.NoteMatchEvaluation(hit);
-    if (hit) {
-      if (buffer.full()) {
-        blemish = true;  // segment overflow: the epsilon-probability event
-      } else {
-        PPJ_RETURN_NOT_OK(buffer.Push(relation::wire::MakeReal(
-            ITupleReader::JoinedPayload(*fetched.components))));
+  {
+    PPJ_SPAN("main");
+    for (std::uint64_t visited = 0; visited < l; ++visited) {
+      const std::uint64_t idx = order.Next();
+      PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
+      const bool hit =
+          fetched.real && join.predicate->Satisfy(*fetched.components);
+      copro.NoteMatchEvaluation(hit);
+      if (hit) {
+        if (buffer.full()) {
+          blemish = true;  // segment overflow: the epsilon-probability event
+        } else {
+          PPJ_RETURN_NOT_OK(buffer.Push(relation::wire::MakeReal(
+              ITupleReader::JoinedPayload(*fetched.components))));
+        }
       }
-    }
-    ++in_segment;
-    if (in_segment == n_star || visited + 1 == l) {
-      // Fixed-size flush: exactly M oTuples, decoy padded, landing on the
-      // host in one scatter. Nothing reads the staging region before the
-      // final filter pass, which starts after every segment has flushed.
-      PPJ_ASSIGN_OR_RETURN(
-          sim::WriteRun flush,
-          copro.PutSealedRange(staging, seg * m, m, join.output_key));
-      for (std::uint64_t k = 0; k < m; ++k) {
-        PPJ_RETURN_NOT_OK(
-            flush.Append(k < buffer.size() ? buffer.At(k) : decoy));
+      ++in_segment;
+      if (in_segment == n_star || visited + 1 == l) {
+        // Fixed-size flush: exactly M oTuples, decoy padded, landing on the
+        // host in one scatter. Nothing reads the staging region before the
+        // final filter pass, which starts after every segment has flushed.
+        PPJ_ASSIGN_OR_RETURN(
+            sim::WriteRun flush,
+            copro.PutSealedRange(staging, seg * m, m, join.output_key));
+        for (std::uint64_t k = 0; k < m; ++k) {
+          PPJ_RETURN_NOT_OK(
+              flush.Append(k < buffer.size() ? buffer.At(k) : decoy));
+        }
+        PPJ_RETURN_NOT_OK(flush.Flush());
+        buffer.Clear();
+        in_segment = 0;
+        ++seg;
       }
-      PPJ_RETURN_NOT_OK(flush.Flush());
-      buffer.Clear();
-      in_segment = 0;
-      ++seg;
     }
   }
   out.blemish = blemish;
@@ -165,6 +175,7 @@ Result<Ch5Outcome> RunAlgorithm6(sim::Coprocessor& copro,
     // Salvage action (Section 5.3.3): re-output everything with an
     // Algorithm 5 sweep. Correct, but the extra scans' existence depends on
     // the data — the privacy loss the epsilon bound budgets for.
+    PPJ_SPAN("salvage");
     buffer_opt.reset();  // hand the memory back for Algorithm 5's buffer
     PPJ_ASSIGN_OR_RETURN(Ch5Outcome salvage, RunAlgorithm5(copro, join));
     salvage.blemish = true;
@@ -184,6 +195,7 @@ Result<Ch5Outcome> RunAlgorithm6(sim::Coprocessor& copro,
                            copro, staging, staging_slots, s, delta,
                            *join.output_key, out.output_region));
   (void)stats;
+  PPJ_SPAN("output");
   for (std::uint64_t k = 0; k < s; ++k) {
     PPJ_RETURN_NOT_OK(copro.DiskWrite(out.output_region, k));
   }

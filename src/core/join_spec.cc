@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/telemetry.h"
 #include "core/cartesian.h"
 
 namespace ppj::core {
@@ -118,6 +119,7 @@ Status MultiwayJoin::Validate() const {
 Result<std::uint64_t> ComputeMaxMatches(sim::Coprocessor& copro,
                                         const TwoWayJoin& join) {
   PPJ_RETURN_NOT_OK(join.Validate());
+  PPJ_DEVICE_SPAN(&copro, "screen");
   std::uint64_t n = 0;
   BatchedScan ascan(&copro, join.a);
   BatchedScan bscan(&copro, join.b);
@@ -140,6 +142,7 @@ Result<std::uint64_t> ComputeMaxMatches(sim::Coprocessor& copro,
 Result<std::uint64_t> ScreenResultSize(sim::Coprocessor& copro,
                                        const MultiwayJoin& join) {
   PPJ_RETURN_NOT_OK(join.Validate());
+  PPJ_DEVICE_SPAN(&copro, "screen");
   ITupleReader reader(&copro, join.tables);
   reader.set_batch_hint(ScanBatchLimit(copro));
   std::uint64_t s = 0;

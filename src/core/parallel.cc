@@ -7,6 +7,7 @@
 
 #include "analysis/optimizer.h"
 #include "common/math.h"
+#include "common/telemetry.h"
 #include "core/algorithm5.h"
 #include "core/cartesian.h"
 #include "crypto/mlfsr.h"
@@ -39,19 +40,23 @@ Status Alg5Worker(sim::Coprocessor& copro, const MultiwayJoin& join,
     buffer.Clear();
     const std::uint64_t take = std::min<std::uint64_t>(m, rank_hi - cursor);
     std::uint64_t rank = 0;
-    for (std::uint64_t idx = 0; idx < l; ++idx) {
-      PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
-      const bool hit =
-          fetched.real && join.predicate->Satisfy(*fetched.components);
-      copro.NoteMatchEvaluation(hit);
-      if (hit) {
-        if (rank >= cursor && rank < cursor + take) {
-          PPJ_RETURN_NOT_OK(buffer.Push(relation::wire::MakeReal(
-              ITupleReader::JoinedPayload(*fetched.components))));
+    {
+      PPJ_SPAN("scan");
+      for (std::uint64_t idx = 0; idx < l; ++idx) {
+        PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
+        const bool hit =
+            fetched.real && join.predicate->Satisfy(*fetched.components);
+        copro.NoteMatchEvaluation(hit);
+        if (hit) {
+          if (rank >= cursor && rank < cursor + take) {
+            PPJ_RETURN_NOT_OK(buffer.Push(relation::wire::MakeReal(
+                ITupleReader::JoinedPayload(*fetched.components))));
+          }
+          ++rank;
         }
-        ++rank;
       }
     }
+    PPJ_SPAN("output");
     PPJ_ASSIGN_OR_RETURN(
         sim::WriteRun flush,
         copro.PutSealedRange(out, written, buffer.size(), join.output_key));
@@ -82,6 +87,9 @@ Status ParallelDecoyFilter(std::vector<sim::Coprocessor*>& copros,
                            std::uint64_t mu, const crypto::Ocb& key,
                            sim::RegionId dst, std::size_t payload_size) {
   sim::Coprocessor& lead = *copros[0];
+  // Metric-less umbrella span: the lead's sequential copies and the sort
+  // workers run on different devices, so each inner phase binds its own.
+  PPJ_SPAN("parallel-filter");
   const std::vector<std::uint8_t> decoy =
       relation::wire::MakeDecoy(payload_size);
   const std::uint64_t delta = analysis::OptimalSwapInteger(omega, mu);
@@ -120,28 +128,35 @@ Status ParallelDecoyFilter(std::vector<sim::Coprocessor*>& copros,
   };
 
   std::uint64_t consumed = 0;
-  PPJ_RETURN_NOT_OK(copy_range(src, 0, buffer, 0, window, /*disk=*/false));
-  consumed = window;
-  for (std::uint64_t b = window; b < padded;) {
-    const std::uint64_t step = std::min(limit, padded - b);
-    PPJ_ASSIGN_OR_RETURN(sim::WriteRun out,
-                         lead.PutSealedRange(buffer, b, step, &key));
-    for (std::uint64_t e = 0; e < step; ++e) {
-      PPJ_RETURN_NOT_OK(out.Append(decoy));
+  {
+    PPJ_DEVICE_SPAN(&lead, "fill");
+    PPJ_RETURN_NOT_OK(copy_range(src, 0, buffer, 0, window, /*disk=*/false));
+    consumed = window;
+    for (std::uint64_t b = window; b < padded;) {
+      const std::uint64_t step = std::min(limit, padded - b);
+      PPJ_ASSIGN_OR_RETURN(sim::WriteRun out,
+                           lead.PutSealedRange(buffer, b, step, &key));
+      for (std::uint64_t e = 0; e < step; ++e) {
+        PPJ_RETURN_NOT_OK(out.Append(decoy));
+      }
+      PPJ_RETURN_NOT_OK(out.Flush());
+      b += step;
     }
-    PPJ_RETURN_NOT_OK(out.Flush());
-    b += step;
   }
   const oblivious::PlainLess less = oblivious::RealFirstLess();
   PPJ_RETURN_NOT_OK(ParallelObliviousSort(copros, buffer, padded, key, less));
   while (consumed < omega) {
     const std::uint64_t chunk = std::min(delta, omega - consumed);
-    PPJ_RETURN_NOT_OK(
-        copy_range(src, consumed, buffer, mu, chunk, /*disk=*/false));
+    {
+      PPJ_DEVICE_SPAN(&lead, "refill");
+      PPJ_RETURN_NOT_OK(
+          copy_range(src, consumed, buffer, mu, chunk, /*disk=*/false));
+    }
     consumed += chunk;
     PPJ_RETURN_NOT_OK(
         ParallelObliviousSort(copros, buffer, padded, key, less));
   }
+  PPJ_DEVICE_SPAN(&lead, "emit");
   PPJ_RETURN_NOT_OK(copy_range(buffer, 0, dst, 0, mu, /*disk=*/true));
   return Status::OK();
 }
@@ -155,6 +170,9 @@ Result<ParallelOutcome> RunParallelAlgorithm5(
   if (parallelism == 0) {
     return Status::InvalidArgument("parallelism must be >= 1");
   }
+  // Metric-less umbrella span: every device below binds its own subtree
+  // (the coordinator inside "screen", each worker inside "worker-<p>").
+  PPJ_SPAN("parallel-algorithm5");
 
   // Coordinator screens for S (Section 5.3.5: "one T serves as the
   // coordinator of parallelism").
@@ -192,10 +210,14 @@ Result<ParallelOutcome> RunParallelAlgorithm5(
 
   std::vector<Status> statuses(copros.size());
   {
+    const telemetry::SpanHandle tparent = telemetry::CurrentSpan();
     std::vector<std::thread> threads;
     threads.reserve(copros.size());
     for (std::size_t p = 0; p < copros.size(); ++p) {
       threads.emplace_back([&, p] {
+        telemetry::ScopedContext tctx(tparent, copros[p].get());
+        const std::string wname = "worker-" + std::to_string(p);
+        PPJ_SPAN(wname);
         // Each worker writes into its slice of the shared output region:
         // model it with a per-worker sub-range via a dedicated region view.
         statuses[p] = Alg5Worker(*copros[p], join, ranges[p].first,
@@ -216,6 +238,7 @@ Result<ParallelOutcome> RunParallelAlgorithm4(
   if (parallelism == 0) {
     return Status::InvalidArgument("parallelism must be >= 1");
   }
+  PPJ_SPAN("parallel-algorithm4");
 
   const std::size_t payload = join.JoinedPayloadSize();
   const std::size_t slot = sim::Coprocessor::SealedSize(
@@ -238,10 +261,15 @@ Result<ParallelOutcome> RunParallelAlgorithm4(
   std::vector<Status> statuses(copros.size(), Status::OK());
   std::vector<std::uint64_t> counts(copros.size(), 0);
   {
+    const telemetry::SpanHandle tparent = telemetry::CurrentSpan();
     std::vector<std::thread> threads;
     for (std::size_t p = 0; p < copros.size(); ++p) {
       threads.emplace_back([&, p] {
         sim::Coprocessor& copro = *copros[p];
+        telemetry::ScopedContext tctx(tparent, &copro);
+        const std::string wname = "worker-" + std::to_string(p);
+        PPJ_SPAN(wname);
+        PPJ_SPAN("mix");
         ITupleReader reader(&copro, join.tables);
         reader.set_batch_hint(copro.BatchLimit(
             std::max<std::uint64_t>(copro.memory_tuples(), 1)));
@@ -313,6 +341,7 @@ Result<ParallelCh4Outcome> RunParallelAlgorithm2(
         "parallel Algorithm 2 needs N known a priori (run the safe "
         "preprocessing scan first)");
   }
+  PPJ_SPAN("parallel-algorithm2");
   const std::uint64_t m = base_options.memory_tuples;
   if (m <= 1) {
     return Status::CapacityExceeded("Algorithm 2 needs memory beyond the "
@@ -341,10 +370,14 @@ Result<ParallelCh4Outcome> RunParallelAlgorithm2(
   const std::uint64_t chunk = CeilDiv(size_a, parallelism);
   std::vector<Status> statuses(copros.size(), Status::OK());
   {
+    const telemetry::SpanHandle tparent = telemetry::CurrentSpan();
     std::vector<std::thread> threads;
     for (std::size_t p = 0; p < copros.size(); ++p) {
       threads.emplace_back([&, p] {
         sim::Coprocessor& copro = *copros[p];
+        telemetry::ScopedContext tctx(tparent, &copro);
+        const std::string wname = "worker-" + std::to_string(p);
+        PPJ_SPAN(wname);
         auto buffer = sim::SecureBuffer::Allocate(copro, blk);
         if (!buffer.ok()) {
           statuses[p] = buffer.status();
@@ -446,6 +479,7 @@ Result<ParallelOutcome> RunParallelAlgorithm6(
   if (m == 0) {
     return Status::CapacityExceeded("parallel Algorithm 6 needs M >= 1");
   }
+  PPJ_SPAN("parallel-algorithm6");
 
   const std::size_t payload = join.JoinedPayloadSize();
   const std::size_t slot = sim::Coprocessor::SealedSize(
@@ -486,10 +520,15 @@ Result<ParallelOutcome> RunParallelAlgorithm6(
   std::vector<Status> statuses(copros.size(), Status::OK());
   std::vector<std::uint8_t> blemishes(copros.size(), 0);
   {
+    const telemetry::SpanHandle tparent = telemetry::CurrentSpan();
     std::vector<std::thread> threads;
     for (std::size_t p = 0; p < copros.size(); ++p) {
       threads.emplace_back([&, p] {
         sim::Coprocessor& copro = *copros[p];
+        telemetry::ScopedContext tctx(tparent, &copro);
+        const std::string wname = "worker-" + std::to_string(p);
+        PPJ_SPAN(wname);
+        PPJ_SPAN("main");
         const std::uint64_t seg_lo =
             std::min<std::uint64_t>(segments, p * segs_per_worker);
         const std::uint64_t seg_hi =
@@ -575,6 +614,7 @@ Result<ParallelOutcome> RunParallelAlgorithm6(
   if (blemish) {
     // Sequential salvage by the coordinator — same semantics as the
     // single-device Algorithm 6 (epsilon-probability privacy loss).
+    PPJ_SPAN("salvage");
     PPJ_ASSIGN_OR_RETURN(Ch5Outcome salvage,
                          RunAlgorithm5(coordinator, join));
     out.output_region = salvage.output_region;
@@ -669,6 +709,7 @@ Status ParallelObliviousSort(std::vector<sim::Coprocessor*>& copros,
     return Status::InvalidArgument("parallel bitonic needs power-of-two n");
   }
   const std::size_t p_count = copros.size();
+  const telemetry::SpanHandle tparent = telemetry::CurrentSpan();
   for (std::uint64_t k = 2; k <= n; k <<= 1) {
     for (std::uint64_t j = k >> 1; j > 0; j >>= 1) {
       // All compare-exchanges of a stage are independent: partition the
@@ -678,6 +719,11 @@ Status ParallelObliviousSort(std::vector<sim::Coprocessor*>& copros,
       const std::uint64_t chunk = CeilDiv(n, p_count);
       for (std::size_t p = 0; p < p_count; ++p) {
         threads.emplace_back([&, p] {
+          // Same name every stage: the span tree aggregates all of this
+          // device's stage shares into one "sort-worker-<p>" node.
+          telemetry::ScopedContext tctx(tparent, copros[p]);
+          const std::string wname = "sort-worker-" + std::to_string(p);
+          PPJ_SPAN(wname);
           const std::uint64_t lo = std::min<std::uint64_t>(n, p * chunk);
           const std::uint64_t hi =
               std::min<std::uint64_t>(n, (p + 1) * chunk);

@@ -5,6 +5,7 @@
 #include <span>
 
 #include "common/math.h"
+#include "common/telemetry.h"
 #include "relation/encrypted_relation.h"
 #include "relation/tuple.h"
 
@@ -40,6 +41,7 @@ Status ObliviousSort(sim::Coprocessor& copro, sim::RegionId region,
     return Status::InvalidArgument(
         "bitonic sort needs a power-of-two size; pad with decoys");
   }
+  PPJ_DEVICE_SPAN(&copro, "bitonic-sort");
   // The two staging slots for the elements under comparison are the "+2"
   // of the paper's M + 2 memory model; no buffer reservation needed.
   //

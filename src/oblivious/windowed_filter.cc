@@ -4,6 +4,7 @@
 #include <span>
 
 #include "common/math.h"
+#include "common/telemetry.h"
 #include "oblivious/bitonic_sort.h"
 #include "relation/encrypted_relation.h"
 
@@ -33,6 +34,7 @@ Result<FilterStats> WindowedObliviousFilter(sim::Coprocessor& copro,
   const std::size_t payload_size =
       slot_size - crypto::Ocb::kBlockSize - crypto::Ocb::kTagSize - 1;
 
+  PPJ_DEVICE_SPAN(&copro, "windowed-filter");
   FilterStats stats;
   const std::uint64_t window = std::min(mu + delta, omega);
   const std::uint64_t padded = NextPowerOfTwo(window);
@@ -77,20 +79,23 @@ Result<FilterStats> WindowedObliviousFilter(sim::Coprocessor& copro,
 
   // Fill the initial window and pad the power-of-two tail with decoys.
   std::uint64_t consumed = 0;
-  PPJ_RETURN_NOT_OK(copy_range(src, 0, buffer, 0, window));
-  consumed = window;
-  const std::vector<std::uint8_t> decoy =
-      relation::wire::MakeDecoy(payload_size);
-  for (std::uint64_t b = window; b < padded;) {
-    const std::uint64_t chunk = std::min(limit, padded - b);
-    PPJ_ASSIGN_OR_RETURN(sim::WriteRun out,
-                         copro.PutSealedRange(buffer, b, chunk, &key));
-    for (std::uint64_t e = 0; e < chunk; ++e) {
-      PPJ_RETURN_NOT_OK(out.Append(decoy));
+  {
+    PPJ_SPAN("fill");
+    PPJ_RETURN_NOT_OK(copy_range(src, 0, buffer, 0, window));
+    consumed = window;
+    const std::vector<std::uint8_t> decoy =
+        relation::wire::MakeDecoy(payload_size);
+    for (std::uint64_t b = window; b < padded;) {
+      const std::uint64_t chunk = std::min(limit, padded - b);
+      PPJ_ASSIGN_OR_RETURN(sim::WriteRun out,
+                           copro.PutSealedRange(buffer, b, chunk, &key));
+      for (std::uint64_t e = 0; e < chunk; ++e) {
+        PPJ_RETURN_NOT_OK(out.Append(decoy));
+      }
+      PPJ_RETURN_NOT_OK(out.Flush());
+      b += chunk;
+      stats.copy_transfers += chunk;
     }
-    PPJ_RETURN_NOT_OK(out.Flush());
-    b += chunk;
-    stats.copy_transfers += chunk;
   }
 
   const PlainLess less = RealFirstLess();
@@ -101,7 +106,10 @@ Result<FilterStats> WindowedObliviousFilter(sim::Coprocessor& copro,
   // most mu real elements always survive in the top mu buffer positions.
   while (consumed < omega) {
     const std::uint64_t chunk = std::min(delta, omega - consumed);
-    PPJ_RETURN_NOT_OK(copy_range(src, consumed, buffer, mu, chunk));
+    {
+      PPJ_SPAN("refill");
+      PPJ_RETURN_NOT_OK(copy_range(src, consumed, buffer, mu, chunk));
+    }
     // Any unused tail of the swap area still holds decoys from the previous
     // round (sorted behind the reals), so no extra writes are needed; the
     // chunk size is a function of public parameters only.
@@ -111,6 +119,7 @@ Result<FilterStats> WindowedObliviousFilter(sim::Coprocessor& copro,
   }
 
   // Emit the top mu slots.
+  PPJ_SPAN("emit");
   PPJ_RETURN_NOT_OK(copy_range(buffer, 0, dst, 0, mu));
   return stats;
 }

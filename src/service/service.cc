@@ -1,5 +1,6 @@
 #include "service/service.h"
 
+#include "common/logging.h"
 #include "core/algorithm1.h"
 #include "core/algorithm2.h"
 #include "core/algorithm3.h"
@@ -218,6 +219,7 @@ Result<JoinDelivery> SovereignJoinService::ExecuteJoin(
   copro_options.seed = options.seed;
   copro_options.batch_slots = options.batch_slots;
   sim::Coprocessor copro(&host_, copro_options);
+  telemetry::TraceRecorder recorder(options.telemetry);
 
   auto result_schema = std::make_unique<relation::Schema>(
       relation::Schema::Concat(*tables[0]->schema(), *tables[1]->schema()));
@@ -225,6 +227,15 @@ Result<JoinDelivery> SovereignJoinService::ExecuteJoin(
   JoinDelivery delivery;
   sim::RegionId output_region = 0;
   std::uint64_t output_slots = 0;
+
+  // The telemetry context covers exactly the algorithm execution (closed
+  // before TakeTree below); the decode afterwards is recipient-side work
+  // outside the device's trace. Direct Span/ScopedContext objects (instead
+  // of PPJ_SPAN) so the scope can end mid-function; they are inert when
+  // telemetry is disabled or compiled out.
+  std::optional<telemetry::ScopedContext> tctx(std::in_place, &recorder,
+                                               &copro);
+  std::optional<telemetry::Span> tspan(std::in_place, "execute-join");
 
   if (core::IsChapter4(algorithm)) {
     core::TwoWayJoin join{tables[0], tables[1], &predicate, out_key};
@@ -283,6 +294,10 @@ Result<JoinDelivery> SovereignJoinService::ExecuteJoin(
     delivery.blemish = outcome.blemish;
   }
 
+  tspan.reset();
+  tctx.reset();
+  delivery.telemetry = recorder.TakeTree();
+
   PPJ_ASSIGN_OR_RETURN(
       delivery.tuples,
       core::DecodeJoinOutput(host_, output_region, output_slots, *out_key,
@@ -290,6 +305,7 @@ Result<JoinDelivery> SovereignJoinService::ExecuteJoin(
   delivery.result_schema = std::move(result_schema);
   delivery.metrics = copro.metrics();
   delivery.trace = copro.trace().fingerprint();
+  delivery.timing = copro.timing_fingerprint();
   delivery.observable_output_slots = output_slots;
   return delivery;
 }
@@ -342,29 +358,37 @@ Result<JoinDelivery> SovereignJoinService::ExecuteMultiwayJoin(
   core::MultiwayJoin join{tables, &predicate, out_key};
 
   // Multiple coprocessors (Section 5.3.5): dispatch to the parallel
-  // executors and aggregate their per-device metrics.
+  // executors and aggregate their per-device metrics. No single device
+  // exists here, so the context binds no coprocessor; each worker subtree
+  // binds its own device inside the parallel executor.
   if (options.parallelism > 1) {
+    telemetry::TraceRecorder recorder(options.telemetry);
     Result<core::ParallelOutcome> parallel =
         Status::Internal("unsupported parallel algorithm");
-    switch (algorithm) {
-      case core::Algorithm::kAlgorithm4:
-        parallel = core::RunParallelAlgorithm4(
-            &host_, join, options.parallelism, copro_options);
-        break;
-      case core::Algorithm::kAlgorithm5:
-        parallel = core::RunParallelAlgorithm5(
-            &host_, join, options.parallelism, copro_options);
-        break;
-      case core::Algorithm::kAlgorithm6:
-        parallel = core::RunParallelAlgorithm6(
-            &host_, join, options.parallelism, copro_options,
-            {.epsilon = options.epsilon, .order_seed = options.seed});
-        break;
-      default:
-        break;
+    {
+      telemetry::ScopedContext tctx(&recorder, nullptr);
+      PPJ_SPAN("execute-multiway-join");
+      switch (algorithm) {
+        case core::Algorithm::kAlgorithm4:
+          parallel = core::RunParallelAlgorithm4(
+              &host_, join, options.parallelism, copro_options);
+          break;
+        case core::Algorithm::kAlgorithm5:
+          parallel = core::RunParallelAlgorithm5(
+              &host_, join, options.parallelism, copro_options);
+          break;
+        case core::Algorithm::kAlgorithm6:
+          parallel = core::RunParallelAlgorithm6(
+              &host_, join, options.parallelism, copro_options,
+              {.epsilon = options.epsilon, .order_seed = options.seed});
+          break;
+        default:
+          break;
+      }
     }
     PPJ_RETURN_NOT_OK(parallel.status());
     JoinDelivery delivery;
+    delivery.telemetry = recorder.TakeTree();
     PPJ_ASSIGN_OR_RETURN(
         delivery.tuples,
         core::DecodeJoinOutput(host_, parallel->output_region,
@@ -379,28 +403,34 @@ Result<JoinDelivery> SovereignJoinService::ExecuteMultiwayJoin(
   }
 
   sim::Coprocessor copro(&host_, copro_options);
+  telemetry::TraceRecorder recorder(options.telemetry);
   core::Ch5Outcome outcome;
-  switch (algorithm) {
-    case core::Algorithm::kAlgorithm4: {
-      PPJ_ASSIGN_OR_RETURN(outcome, core::RunAlgorithm4(copro, join));
-      break;
+  {
+    telemetry::ScopedContext tctx(&recorder, &copro);
+    PPJ_SPAN("execute-multiway-join");
+    switch (algorithm) {
+      case core::Algorithm::kAlgorithm4: {
+        PPJ_ASSIGN_OR_RETURN(outcome, core::RunAlgorithm4(copro, join));
+        break;
+      }
+      case core::Algorithm::kAlgorithm5: {
+        PPJ_ASSIGN_OR_RETURN(outcome, core::RunAlgorithm5(copro, join));
+        break;
+      }
+      case core::Algorithm::kAlgorithm6: {
+        PPJ_ASSIGN_OR_RETURN(
+            outcome, core::RunAlgorithm6(copro, join,
+                                         {.epsilon = options.epsilon,
+                                          .order_seed = options.seed}));
+        break;
+      }
+      default:
+        return Status::Internal("unreachable");
     }
-    case core::Algorithm::kAlgorithm5: {
-      PPJ_ASSIGN_OR_RETURN(outcome, core::RunAlgorithm5(copro, join));
-      break;
-    }
-    case core::Algorithm::kAlgorithm6: {
-      PPJ_ASSIGN_OR_RETURN(
-          outcome, core::RunAlgorithm6(copro, join,
-                                       {.epsilon = options.epsilon,
-                                        .order_seed = options.seed}));
-      break;
-    }
-    default:
-      return Status::Internal("unreachable");
   }
 
   JoinDelivery delivery;
+  delivery.telemetry = recorder.TakeTree();
   PPJ_ASSIGN_OR_RETURN(
       delivery.tuples,
       core::DecodeJoinOutput(host_, outcome.output_region,
@@ -409,6 +439,7 @@ Result<JoinDelivery> SovereignJoinService::ExecuteMultiwayJoin(
   delivery.result_schema = std::move(result_schema);
   delivery.metrics = copro.metrics();
   delivery.trace = copro.trace().fingerprint();
+  delivery.timing = copro.timing_fingerprint();
   delivery.observable_output_slots = outcome.result_size;
   delivery.blemish = outcome.blemish;
   return delivery;
@@ -434,7 +465,21 @@ Result<core::AggregateResult> SovereignJoinService::ExecuteAggregate(
   copro_options.batch_slots = options.batch_slots;
   sim::Coprocessor copro(&host_, copro_options);
   core::MultiwayJoin join{tables, &predicate, out_key};
-  return core::RunAggregateJoin(copro, join, aggregate);
+  // Aggregate results carry no telemetry field; surface the per-phase
+  // report at debug level instead of dropping the tree on the floor.
+  telemetry::TraceRecorder recorder(options.telemetry);
+  Result<core::AggregateResult> result =
+      Status::Internal("aggregate join did not run");
+  {
+    telemetry::ScopedContext tctx(&recorder, &copro);
+    PPJ_SPAN("execute-aggregate");
+    result = core::RunAggregateJoin(copro, join, aggregate);
+  }
+  if (auto tree = recorder.TakeTree(); tree != nullptr) {
+    PPJ_LOG(kDebug) << "aggregate telemetry: "
+                    << telemetry::ToMetricsReportJson(*tree);
+  }
+  return result;
 }
 
 Result<core::GroupByCountResult> SovereignJoinService::ExecuteGroupByCount(
@@ -457,7 +502,19 @@ Result<core::GroupByCountResult> SovereignJoinService::ExecuteGroupByCount(
   copro_options.batch_slots = options.batch_slots;
   sim::Coprocessor copro(&host_, copro_options);
   core::MultiwayJoin join{tables, &predicate, out_key};
-  return core::RunGroupByCountJoin(copro, join, spec);
+  telemetry::TraceRecorder recorder(options.telemetry);
+  Result<core::GroupByCountResult> result =
+      Status::Internal("group-by-count join did not run");
+  {
+    telemetry::ScopedContext tctx(&recorder, &copro);
+    PPJ_SPAN("execute-group-by-count");
+    result = core::RunGroupByCountJoin(copro, join, spec);
+  }
+  if (auto tree = recorder.TakeTree(); tree != nullptr) {
+    PPJ_LOG(kDebug) << "group-by-count telemetry: "
+                    << telemetry::ToMetricsReportJson(*tree);
+  }
+  return result;
 }
 
 }  // namespace ppj::service

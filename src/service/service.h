@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/telemetry.h"
 #include "core/aggregate.h"
 #include "core/algorithm.h"
 #include "core/join_result.h"
@@ -48,6 +49,11 @@ struct ExecuteOptions {
   /// device memory, 1 = force the scalar per-slot path (see
   /// sim::CoprocessorOptions::batch_slots).
   std::uint64_t batch_slots = 0;
+  /// Collect the phase-scoped span tree (JoinDelivery::telemetry). Trace
+  /// neutral by construction: the adversary-observable surface — access
+  /// trace, timing fingerprint, transfer counts — is bit-identical either
+  /// way (proven by tests/test_telemetry.cc).
+  bool telemetry = true;
 
   /// Rejects contradictory knob combinations before any coprocessor work:
   /// the Chapter 4 family is sequential (parallelism must be 1), Algorithm
@@ -63,6 +69,13 @@ struct JoinDelivery {
   std::unique_ptr<const relation::Schema> result_schema;
   sim::TransferMetrics metrics;
   sim::TraceFingerprint trace;
+  /// The device's timing fingerprint (serial executions; zero when
+  /// parallelism > 1 — per-device timing is not aggregated).
+  sim::TraceFingerprint timing;
+  /// Phase-scoped span tree (null when ExecuteOptions::telemetry is false
+  /// or the build has PPJ_TELEMETRY=OFF). Export with
+  /// telemetry::ToChromeTraceJson / ToMetricsReportJson.
+  std::unique_ptr<telemetry::SpanNode> telemetry;
   /// For Chapter 4 executions: the padded output size N|A| the host saw.
   std::uint64_t observable_output_slots = 0;
   bool blemish = false;  ///< Algorithm 6 salvage happened.

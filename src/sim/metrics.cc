@@ -17,6 +17,23 @@ TransferMetrics& TransferMetrics::operator+=(const TransferMetrics& other) {
   return *this;
 }
 
+TransferMetrics TransferMetrics::operator-(const TransferMetrics& other) const {
+  const auto sub = [](std::uint64_t a, std::uint64_t b) {
+    return a >= b ? a - b : 0;
+  };
+  TransferMetrics out;
+  out.gets = sub(gets, other.gets);
+  out.puts = sub(puts, other.puts);
+  out.disk_writes = sub(disk_writes, other.disk_writes);
+  out.ituple_reads = sub(ituple_reads, other.ituple_reads);
+  out.cipher_calls = sub(cipher_calls, other.cipher_calls);
+  out.comparisons = sub(comparisons, other.comparisons);
+  out.padded_cycles = sub(padded_cycles, other.padded_cycles);
+  out.batch_gets = sub(batch_gets, other.batch_gets);
+  out.batch_puts = sub(batch_puts, other.batch_puts);
+  return out;
+}
+
 std::string TransferMetrics::ToString() const {
   std::ostringstream os;
   os << "{gets=" << gets << ", puts=" << puts << ", transfers="

@@ -33,6 +33,11 @@ struct TransferMetrics {
   std::uint64_t TupleTransfers() const { return gets + puts; }
 
   TransferMetrics& operator+=(const TransferMetrics& other);
+  /// Fieldwise delta between two snapshots of the same monotonically
+  /// increasing counters (clamped at zero per field). The telemetry layer
+  /// uses this to attribute counter growth to the span that caused it.
+  TransferMetrics operator-(const TransferMetrics& other) const;
+  bool operator==(const TransferMetrics& other) const = default;
   std::string ToString() const;
 };
 

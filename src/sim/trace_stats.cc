@@ -2,7 +2,36 @@
 
 #include <sstream>
 
+#include "sim/host_store.h"
+
 namespace ppj::sim {
+
+namespace {
+std::string LabelOrId(const RegionNameRegistry* names, std::uint32_t region) {
+  return names != nullptr ? names->Label(region) : std::to_string(region);
+}
+}  // namespace
+
+RegionNameRegistry RegionNameRegistry::FromHost(const HostStore& host) {
+  RegionNameRegistry out;
+  for (std::size_t r = 0; r < host.region_count(); ++r) {
+    const auto id = static_cast<std::uint32_t>(r);
+    out.Register(id, host.RegionName(id));
+  }
+  return out;
+}
+
+void RegionNameRegistry::Register(std::uint32_t region, std::string name) {
+  names_[region] = std::move(name);
+}
+
+std::string RegionNameRegistry::Label(std::uint32_t region) const {
+  const auto it = names_.find(region);
+  if (it == names_.end() || it->second.empty()) {
+    return std::to_string(region);
+  }
+  return std::to_string(region) + " (" + it->second + ")";
+}
 
 TraceSummary SummarizeTrace(const AccessTrace& trace) {
   TraceSummary out;
@@ -46,11 +75,11 @@ TraceSummary SummarizeTrace(const AccessTrace& trace) {
   return out;
 }
 
-std::string TraceSummary::ToString() const {
+std::string TraceSummary::ToString(const RegionNameRegistry* names) const {
   std::ostringstream os;
   os << "trace: " << total_events << " events\n";
   for (const auto& [region, stats] : regions) {
-    os << "  region " << region << ": gets=" << stats.gets
+    os << "  region " << LabelOrId(names, region) << ": gets=" << stats.gets
        << " puts=" << stats.puts << " disk=" << stats.disk_writes
        << " index=[" << stats.min_index << "," << stats.max_index << "]"
        << " sequential=" << stats.sequential_fraction << "\n";
@@ -59,7 +88,8 @@ std::string TraceSummary::ToString() const {
 }
 
 std::vector<std::string> DiffSummaries(const TraceSummary& a,
-                                       const TraceSummary& b) {
+                                       const TraceSummary& b,
+                                       const RegionNameRegistry* names) {
   std::vector<std::string> out;
   if (a.total_events != b.total_events) {
     out.push_back("event counts differ: " + std::to_string(a.total_events) +
@@ -68,14 +98,14 @@ std::vector<std::string> DiffSummaries(const TraceSummary& a,
   for (const auto& [region, sa] : a.regions) {
     const auto it = b.regions.find(region);
     if (it == b.regions.end()) {
-      out.push_back("region " + std::to_string(region) +
+      out.push_back("region " + LabelOrId(names, region) +
                     " accessed only in the first trace");
       continue;
     }
     const RegionAccessStats& sb = it->second;
     if (sa.gets != sb.gets || sa.puts != sb.puts ||
         sa.disk_writes != sb.disk_writes) {
-      out.push_back("region " + std::to_string(region) +
+      out.push_back("region " + LabelOrId(names, region) +
                     " op counts differ: gets " + std::to_string(sa.gets) +
                     "/" + std::to_string(sb.gets) + ", puts " +
                     std::to_string(sa.puts) + "/" + std::to_string(sb.puts) +
@@ -85,7 +115,7 @@ std::vector<std::string> DiffSummaries(const TraceSummary& a,
   }
   for (const auto& [region, sb] : b.regions) {
     if (!a.regions.contains(region)) {
-      out.push_back("region " + std::to_string(region) +
+      out.push_back("region " + LabelOrId(names, region) +
                     " accessed only in the second trace");
     }
   }

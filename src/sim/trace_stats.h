@@ -10,6 +10,28 @@
 
 namespace ppj::sim {
 
+class HostStore;
+
+/// Maps region ids to their symbolic host names so trace summaries and
+/// audit diffs print "region 3 (alg5-output)" instead of a bare number.
+/// Snapshot semantics: FromHost captures the regions existing at call time;
+/// ids created later fall back to the numeric label.
+class RegionNameRegistry {
+ public:
+  RegionNameRegistry() = default;
+
+  /// Snapshots every region the host currently has (ids are dense).
+  static RegionNameRegistry FromHost(const HostStore& host);
+
+  void Register(std::uint32_t region, std::string name);
+
+  /// "id (name)" when the region is known and named, "id" otherwise.
+  std::string Label(std::uint32_t region) const;
+
+ private:
+  std::map<std::uint32_t, std::string> names_;
+};
+
 /// Per-region view of what the adversary observed.
 struct RegionAccessStats {
   std::uint64_t gets = 0;
@@ -30,7 +52,8 @@ struct TraceSummary {
   std::uint64_t total_events = 0;
   std::map<std::uint32_t, RegionAccessStats> regions;
 
-  std::string ToString() const;
+  /// With a registry, regions print their symbolic host names.
+  std::string ToString(const RegionNameRegistry* names = nullptr) const;
 };
 
 /// Summarizes the retained events of a trace. (Only the retained prefix is
@@ -39,9 +62,12 @@ struct TraceSummary {
 TraceSummary SummarizeTrace(const AccessTrace& trace);
 
 /// Convenience diff for audit forensics: regions whose statistics differ
-/// between the two summaries, with a one-line description each.
+/// between the two summaries, with a one-line description each. With a
+/// registry, regions are named symbolically.
 std::vector<std::string> DiffSummaries(const TraceSummary& a,
-                                       const TraceSummary& b);
+                                       const TraceSummary& b,
+                                       const RegionNameRegistry* names =
+                                           nullptr);
 
 }  // namespace ppj::sim
 

@@ -1,0 +1,488 @@
+// Trace-neutrality goldens for the phase-scoped telemetry layer, plus
+// coverage for the trace-summary utilities it reports through.
+//
+// Contract under test (DESIGN.md / docs/OBSERVABILITY.md): telemetry is an
+// observer. A run with a telemetry context installed and a run without one
+// must be indistinguishable in every host-observable dimension the privacy
+// argument relies on — the AccessTrace fingerprint (Definition 1/3), the
+// timing fingerprint, and the per-tuple transfer counters. This must hold
+// for every algorithm, with and without batched transfers, serial and
+// parallel, and regardless of whether the library was built with
+// -DPPJ_TELEMETRY=OFF (where spans compile to nothing).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/telemetry.h"
+#include "core/algorithm1.h"
+#include "core/algorithm2.h"
+#include "core/algorithm3.h"
+#include "core/algorithm4.h"
+#include "core/algorithm5.h"
+#include "core/algorithm6.h"
+#include "core/join_result.h"
+#include "core/parallel.h"
+#include "relation/generator.h"
+#include "service/service.h"
+#include "sim/trace_stats.h"
+#include "test_util.h"
+
+namespace ppj {
+namespace {
+
+using core::MultiwayJoin;
+using core::TwoWayJoin;
+using relation::EquijoinSpec;
+using relation::MakeCellWorkload;
+using relation::MakeEquijoinWorkload;
+using test::MakeWorld;
+using test::TwoPartyWorld;
+
+// ---- Neutrality goldens: serial algorithms ------------------------------
+
+enum class Alg { kAlg1, kAlg1Variant, kAlg2, kAlg3, kAlg4, kAlg5, kAlg6 };
+
+/// What the host observes about one execution.
+struct Observation {
+  sim::TraceFingerprint trace;
+  sim::TraceFingerprint timing;
+  std::uint64_t transfers = 0;
+};
+
+std::unique_ptr<TwoPartyWorld> MakeAlgWorld(Alg which,
+                                            std::uint64_t batch_slots) {
+  Result<relation::TwoTableWorkload> workload =
+      Status::Internal("workload not built");
+  if (which == Alg::kAlg4 || which == Alg::kAlg5 || which == Alg::kAlg6) {
+    relation::CellSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 12;
+    spec.result_size = 9;
+    spec.seed = 17;
+    workload = MakeCellWorkload(spec);
+  } else {
+    EquijoinSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 16;
+    spec.n_max = 4;
+    spec.result_size = 6;
+    spec.seed = 5;
+    workload = MakeEquijoinWorkload(spec);
+  }
+  if (!workload.ok()) return nullptr;
+  auto world = MakeWorld(std::move(*workload), /*memory_tuples=*/4,
+                         /*pad_pow2=*/which == Alg::kAlg3);
+  if (world == nullptr) return nullptr;
+  world->copro = std::make_unique<sim::Coprocessor>(
+      &world->host, sim::CoprocessorOptions{.memory_tuples = 4,
+                                            .seed = 42,
+                                            .batch_slots = batch_slots});
+  return world;
+}
+
+Status RunAlg(Alg which, TwoPartyWorld& world) {
+  TwoWayJoin join{world.a.get(), world.b.get(),
+                  world.workload.predicate.get(), world.key_out.get()};
+  const relation::PairAsMultiway multiway(world.workload.predicate.get());
+  MultiwayJoin mjoin{{world.a.get(), world.b.get()}, &multiway,
+                    world.key_out.get()};
+  switch (which) {
+    case Alg::kAlg1:
+      return core::RunAlgorithm1(*world.copro, join, {.n = 4}).status();
+    case Alg::kAlg1Variant:
+      return core::RunAlgorithm1Variant(*world.copro, join, {.n = 4})
+          .status();
+    case Alg::kAlg2:
+      return core::RunAlgorithm2(*world.copro, join, {.n = 4}).status();
+    case Alg::kAlg3:
+      return core::RunAlgorithm3(*world.copro, join, {.n = 4}).status();
+    case Alg::kAlg4:
+      return core::RunAlgorithm4(*world.copro, mjoin).status();
+    case Alg::kAlg5:
+      return core::RunAlgorithm5(*world.copro, mjoin).status();
+    case Alg::kAlg6:
+      return core::RunAlgorithm6(*world.copro, mjoin,
+                                 {.epsilon = 1e-6, .order_seed = 0xBEEF})
+          .status();
+  }
+  return Status::Internal("unreachable");
+}
+
+/// Runs `which` with or without a telemetry context on the calling thread
+/// and returns the host-observable surface. When observed, the recorder's
+/// finished tree is also sanity-checked against the device counters.
+Result<Observation> Observe(Alg which, std::uint64_t batch_slots,
+                            bool observed) {
+  auto world = MakeAlgWorld(which, batch_slots);
+  if (world == nullptr) return Status::Internal("world construction failed");
+  if (observed) {
+    telemetry::TraceRecorder recorder(true);
+    {
+      telemetry::ScopedContext context(&recorder, world->copro.get());
+      PPJ_RETURN_NOT_OK(RunAlg(which, *world));
+    }
+    auto tree = recorder.TakeTree();
+    if (telemetry::TraceRecorder::CompiledIn()) {
+      if (tree == nullptr) return Status::Internal("expected a span tree");
+      // The tree's inclusive transfers must reconcile with the device.
+      if (telemetry::InclusiveMetrics(*tree).TupleTransfers() !=
+          world->copro->metrics().TupleTransfers()) {
+        return Status::Internal("span tree does not reconcile");
+      }
+    } else if (tree != nullptr) {
+      return Status::Internal("compiled-out build produced a tree");
+    }
+  } else {
+    PPJ_RETURN_NOT_OK(RunAlg(which, *world));
+  }
+  Observation obs;
+  obs.trace = world->copro->trace().fingerprint();
+  obs.timing = world->copro->timing_fingerprint();
+  obs.transfers = world->copro->metrics().TupleTransfers();
+  return obs;
+}
+
+void ExpectSameSurface(const Observation& unobserved,
+                       const Observation& observed) {
+  EXPECT_EQ(unobserved.trace.digest, observed.trace.digest);
+  EXPECT_EQ(unobserved.trace.count, observed.trace.count);
+  EXPECT_EQ(unobserved.timing.digest, observed.timing.digest);
+  EXPECT_EQ(unobserved.timing.count, observed.timing.count);
+  EXPECT_EQ(unobserved.transfers, observed.transfers);
+}
+
+class NeutralityTest : public ::testing::TestWithParam<Alg> {};
+
+TEST_P(NeutralityTest, ObservedMatchesUnobservedScalar) {
+  auto without = Observe(GetParam(), /*batch_slots=*/1, false);
+  ASSERT_TRUE(without.ok()) << without.status();
+  auto with = Observe(GetParam(), /*batch_slots=*/1, true);
+  ASSERT_TRUE(with.ok()) << with.status();
+  ExpectSameSurface(*without, *with);
+}
+
+TEST_P(NeutralityTest, ObservedMatchesUnobservedBatched) {
+  auto without = Observe(GetParam(), /*batch_slots=*/0, false);
+  ASSERT_TRUE(without.ok()) << without.status();
+  auto with = Observe(GetParam(), /*batch_slots=*/0, true);
+  ASSERT_TRUE(with.ok()) << with.status();
+  ExpectSameSurface(*without, *with);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, NeutralityTest,
+                         ::testing::Values(Alg::kAlg1, Alg::kAlg1Variant,
+                                           Alg::kAlg2, Alg::kAlg3,
+                                           Alg::kAlg4, Alg::kAlg5,
+                                           Alg::kAlg6));
+
+// ---- Neutrality: parallel execution -------------------------------------
+
+/// Parallel workers own their devices; neutrality is over the per-device
+/// transfer counters and the cost-model outputs.
+TEST(ParallelNeutralityTest, ObservedMatchesUnobserved) {
+  auto run = [](bool observed) -> Result<core::ParallelOutcome> {
+    relation::CellSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 12;
+    spec.result_size = 9;
+    spec.seed = 17;
+    PPJ_ASSIGN_OR_RETURN(relation::TwoTableWorkload workload,
+                         MakeCellWorkload(spec));
+    auto world = MakeWorld(std::move(workload), 4);
+    if (world == nullptr) {
+      return Status::Internal("world construction failed");
+    }
+    const relation::PairAsMultiway multiway(world->workload.predicate.get());
+    MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
+                      world->key_out.get()};
+    auto execute = [&]() {
+      return core::RunParallelAlgorithm5(&world->host, join,
+                                         /*parallelism=*/2,
+                                         {.memory_tuples = 4, .seed = 1});
+    };
+    if (!observed) return execute();
+    telemetry::TraceRecorder recorder(true);
+    Result<core::ParallelOutcome> outcome =
+        Status::Internal("parallel run did not start");
+    {
+      telemetry::ScopedContext context(&recorder, nullptr);
+      PPJ_SPAN("parallel-root");
+      outcome = execute();
+    }
+    auto tree = recorder.TakeTree();
+    if (telemetry::TraceRecorder::CompiledIn()) {
+      if (tree == nullptr) return Status::Internal("expected a span tree");
+      // Two worker subtrees, each bound to its own device; the umbrella
+      // node carries no metrics of its own, so inclusive == worker sum.
+      const telemetry::SpanNode* par =
+          tree->FindPath("parallel-root/parallel-algorithm5");
+      if (par == nullptr) return Status::Internal("missing parallel span");
+      if (par->Find("worker-0") == nullptr ||
+          par->Find("worker-1") == nullptr) {
+        return Status::Internal("missing worker subtree");
+      }
+    }
+    return outcome;
+  };
+  auto without = run(false);
+  ASSERT_TRUE(without.ok()) << without.status();
+  auto with = run(true);
+  ASSERT_TRUE(with.ok()) << with.status();
+  EXPECT_EQ(without->result_size, with->result_size);
+  EXPECT_EQ(without->makespan_transfers, with->makespan_transfers);
+  EXPECT_EQ(without->total_transfers, with->total_transfers);
+  ASSERT_EQ(without->per_coprocessor.size(), with->per_coprocessor.size());
+  for (std::size_t d = 0; d < without->per_coprocessor.size(); ++d) {
+    EXPECT_EQ(without->per_coprocessor[d].TupleTransfers(),
+              with->per_coprocessor[d].TupleTransfers());
+  }
+}
+
+// ---- Neutrality: the service path ---------------------------------------
+
+/// A fresh service, contract and submitted workload per execution, so two
+/// runs are bit-comparable (repeated executions on one service shift the
+/// host's region ids and therefore the trace, independent of telemetry).
+class ServiceTelemetryTest : public ::testing::Test {
+ protected:
+  Result<service::JoinDelivery> RunOnce(bool telemetry_enabled) {
+    service::SovereignJoinService service;
+    PPJ_RETURN_NOT_OK(service.RegisterParty("airline", 101));
+    PPJ_RETURN_NOT_OK(service.RegisterParty("agency", 102));
+    PPJ_RETURN_NOT_OK(service.RegisterParty("analyst", 103));
+    PPJ_ASSIGN_OR_RETURN(
+        const std::string contract,
+        service.CreateContract({"airline", "agency"}, "analyst",
+                               "passenger.key == watchlist.key"));
+    EquijoinSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 16;
+    spec.n_max = 4;
+    spec.result_size = 9;
+    spec.seed = 1;
+    PPJ_ASSIGN_OR_RETURN(relation::TwoTableWorkload workload,
+                         MakeEquijoinWorkload(spec));
+    PPJ_RETURN_NOT_OK(service.SubmitRelation(contract, "airline", *workload.a));
+    PPJ_RETURN_NOT_OK(service.SubmitRelation(contract, "agency", *workload.b));
+    service::ExecuteOptions options;
+    options.algorithm = core::Algorithm::kAlgorithm5;
+    options.memory_tuples = 4;
+    options.telemetry = telemetry_enabled;
+    return service.ExecuteJoin(contract, *workload.predicate, options);
+  }
+};
+
+TEST_F(ServiceTelemetryTest, DeliveryIdenticalWithTelemetryOnAndOff) {
+  auto off = RunOnce(/*telemetry_enabled=*/false);
+  ASSERT_TRUE(off.ok()) << off.status();
+  EXPECT_EQ(off->telemetry, nullptr);
+
+  auto on = RunOnce(/*telemetry_enabled=*/true);
+  ASSERT_TRUE(on.ok()) << on.status();
+
+  // Identical adversary surface and identical delivery.
+  EXPECT_EQ(off->trace.digest, on->trace.digest);
+  EXPECT_EQ(off->trace.count, on->trace.count);
+  EXPECT_EQ(off->timing.digest, on->timing.digest);
+  EXPECT_EQ(off->timing.count, on->timing.count);
+  EXPECT_EQ(off->metrics.TupleTransfers(), on->metrics.TupleTransfers());
+  EXPECT_TRUE(relation::SameTupleMultiset(off->tuples, on->tuples));
+
+  if (!telemetry::TraceRecorder::CompiledIn()) {
+    EXPECT_EQ(on->telemetry, nullptr);
+    return;
+  }
+  ASSERT_NE(on->telemetry, nullptr);
+  // The span tree attributes every transfer the delivery reports.
+  EXPECT_EQ(telemetry::InclusiveMetrics(*on->telemetry).TupleTransfers(),
+            on->metrics.TupleTransfers());
+  const telemetry::SpanNode* alg =
+      on->telemetry->FindPath("execute-join/algorithm5");
+  ASSERT_NE(alg, nullptr);
+  EXPECT_NE(alg->Find("scan"), nullptr);
+  EXPECT_NE(alg->Find("output"), nullptr);
+  EXPECT_GE(alg->count, 1u);
+
+  // Self metrics over the whole tree reconcile to the inclusive total.
+  std::uint64_t self_sum = 0;
+  auto accumulate = [&](const telemetry::SpanNode& node, auto&& rec) -> void {
+    self_sum += telemetry::SelfMetrics(node).TupleTransfers();
+    for (const auto& child : node.children) rec(*child, rec);
+  };
+  accumulate(*on->telemetry, accumulate);
+  EXPECT_EQ(self_sum, on->metrics.TupleTransfers());
+}
+
+TEST_F(ServiceTelemetryTest, ExportersProduceWellFormedDocuments) {
+  if (!telemetry::TraceRecorder::CompiledIn()) {
+    GTEST_SKIP() << "telemetry compiled out";
+  }
+  auto delivery = RunOnce(/*telemetry_enabled=*/true);
+  ASSERT_TRUE(delivery.ok()) << delivery.status();
+  ASSERT_NE(delivery->telemetry, nullptr);
+
+  const std::string chrome = telemetry::ToChromeTraceJson(*delivery->telemetry);
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(chrome.find("execute-join"), std::string::npos);
+
+  const std::string report =
+      telemetry::ToMetricsReportJson(*delivery->telemetry);
+  EXPECT_NE(report.find("\"total\""), std::string::npos);
+  EXPECT_NE(report.find("execute-join/algorithm5"), std::string::npos);
+  EXPECT_NE(report.find("\"tuple_transfers\""), std::string::npos);
+}
+
+// ---- Span-tree mechanics -------------------------------------------------
+
+TEST(SpanTreeTest, SiblingsMergeByNameAndNestByPath) {
+  if (!telemetry::TraceRecorder::CompiledIn()) {
+    GTEST_SKIP() << "telemetry compiled out";
+  }
+  telemetry::TraceRecorder recorder(true);
+  {
+    telemetry::ScopedContext context(&recorder, nullptr);
+    for (int i = 0; i < 3; ++i) {
+      PPJ_SPAN("outer");
+      { PPJ_SPAN("inner"); }
+      { PPJ_SPAN("inner"); }
+    }
+  }
+  auto tree = recorder.TakeTree();
+  ASSERT_NE(tree, nullptr);
+  const telemetry::SpanNode* outer = tree->Find("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 3u);
+  EXPECT_EQ(outer->children.size(), 1u);  // merged by name
+  const telemetry::SpanNode* inner = tree->FindPath("outer/inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 6u);
+  EXPECT_EQ(tree->FindPath("outer/missing"), nullptr);
+  EXPECT_FALSE(outer->has_metrics);  // no device bound
+}
+
+TEST(SpanTreeTest, DisabledRecorderYieldsNoTree) {
+  telemetry::TraceRecorder recorder(false);
+  {
+    telemetry::ScopedContext context(&recorder, nullptr);
+    PPJ_SPAN("ignored");
+  }
+  EXPECT_EQ(recorder.TakeTree(), nullptr);
+  EXPECT_FALSE(recorder.enabled());
+}
+
+// ---- Trace summaries and the region-name registry ------------------------
+
+TEST(TraceSummaryTest, EmptyTraceSummarizes) {
+  sim::HostStore host;
+  sim::Coprocessor copro(&host, {.memory_tuples = 4, .seed = 1});
+  const sim::TraceSummary summary = sim::SummarizeTrace(copro.trace());
+  EXPECT_EQ(summary.total_events, 0u);
+  EXPECT_TRUE(summary.regions.empty());
+  EXPECT_FALSE(summary.ToString().empty());
+  EXPECT_TRUE(sim::DiffSummaries(summary, summary).empty());
+}
+
+TEST(TraceSummaryTest, RegistryLabelsAppearInSummariesAndDiffs) {
+  EquijoinSpec spec;
+  spec.size_a = 8;
+  spec.size_b = 16;
+  spec.n_max = 4;
+  spec.result_size = 6;
+  spec.seed = 5;
+  auto workload = MakeEquijoinWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), 4);
+  ASSERT_NE(world, nullptr);
+  const relation::PairAsMultiway multiway(world->workload.predicate.get());
+  MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
+                    world->key_out.get()};
+  auto outcome = core::RunAlgorithm5(*world->copro, join);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+  const sim::RegionNameRegistry names =
+      sim::RegionNameRegistry::FromHost(world->host);
+  const sim::TraceSummary summary = sim::SummarizeTrace(world->copro->trace());
+  EXPECT_GT(summary.total_events, 0u);
+  const std::string text = summary.ToString(&names);
+  // Symbolic names from the host show up next to the region ids.
+  EXPECT_NE(text.find("alg5-output"), std::string::npos);
+  // Unnamed fallback: an id the registry has never seen prints bare.
+  sim::RegionNameRegistry empty;
+  EXPECT_EQ(empty.Label(7), "7");
+  EXPECT_NE(names.Label(0).find(" ("), std::string::npos);
+
+  // A diff against an empty summary names every touched region.
+  const sim::TraceSummary nothing;
+  const std::vector<std::string> diff =
+      sim::DiffSummaries(nothing, summary, &names);
+  EXPECT_FALSE(diff.empty());
+  bool labeled = false;
+  for (const std::string& line : diff) {
+    if (line.find("alg5-output") != std::string::npos) labeled = true;
+  }
+  EXPECT_TRUE(labeled);
+}
+
+TEST(TraceSummaryTest, TruncatedRetentionSummarizesPrefixOnly) {
+  EquijoinSpec spec;
+  spec.size_a = 8;
+  spec.size_b = 16;
+  spec.n_max = 4;
+  spec.result_size = 6;
+  spec.seed = 5;
+  auto workload = MakeEquijoinWorkload(spec);
+  ASSERT_TRUE(workload.ok());
+  auto world = MakeWorld(std::move(*workload), 4);
+  ASSERT_NE(world, nullptr);
+  // Replace the device with one that retains only a short trace prefix.
+  world->copro = std::make_unique<sim::Coprocessor>(
+      &world->host, sim::CoprocessorOptions{.memory_tuples = 4,
+                                            .seed = 42,
+                                            .max_retained_trace = 8});
+  const relation::PairAsMultiway multiway(world->workload.predicate.get());
+  MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
+                    world->key_out.get()};
+  auto outcome = core::RunAlgorithm5(*world->copro, join);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  const sim::TraceSummary summary = sim::SummarizeTrace(world->copro->trace());
+  // total_events counts the full trace; the per-region statistics only
+  // cover the retained prefix.
+  EXPECT_GT(summary.total_events, 8u);
+  EXPECT_EQ(summary.total_events, world->copro->trace().fingerprint().count);
+  std::uint64_t covered = 0;
+  for (const auto& [region, stats] : summary.regions) {
+    covered += stats.gets + stats.puts + stats.disk_writes;
+  }
+  EXPECT_EQ(covered, 8u);
+}
+
+TEST(TraceSummaryTest, SequentialScanVsSortingNetworkAccessShape) {
+  // Algorithm 5 scans its input sequentially; Algorithm 4 bitonic-sorts the
+  // staging buffer. The summary's sequential_fraction separates the two.
+  auto run = [](Alg which) -> Result<double> {
+    auto world = MakeAlgWorld(which, /*batch_slots=*/1);
+    if (world == nullptr) {
+      return Status::Internal("world construction failed");
+    }
+    PPJ_RETURN_NOT_OK(RunAlg(which, *world));
+    const sim::TraceSummary summary =
+        sim::SummarizeTrace(world->copro->trace());
+    double best_sequential = 0.0;
+    for (const auto& [region, stats] : summary.regions) {
+      if (stats.gets + stats.puts < 32) continue;
+      best_sequential = std::max(best_sequential, stats.sequential_fraction);
+    }
+    return best_sequential;
+  };
+  auto scan = run(Alg::kAlg5);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_GT(*scan, 0.9);
+}
+
+}  // namespace
+}  // namespace ppj

@@ -1,15 +1,30 @@
 // ppjctl — command-line driver for the ppj library.
 //
+//   Global flags (every command):
+//     --log-level=debug|info|warning|error
+//       Minimum severity the library logs to stderr (default: warning).
+//
 //   ppjctl join  [--alg=1|1v|2|3|4|5|6|auto] [--size-a=N] [--size-b=N]
 //                [--s=N] [--n=N] [--m=N] [--eps=X] [--parallel=P]
 //                [--storage-dir=PATH] [--seed=N] [--batch=N]
+//                [--trace-out=FILE] [--metrics-json=FILE]
 //       --batch bounds one batched T<->H range transfer in slots:
 //       0 = auto-sized from free device memory (default), 1 = force the
 //       scalar per-slot path. The metrics dump reports the physical
 //       round trips as batch_gets/batch_puts.
+//       --trace-out writes the execution's telemetry span tree as Chrome
+//       trace-event JSON (open in chrome://tracing or ui.perfetto.dev);
+//       --metrics-json writes the flat per-phase metrics report keyed by
+//       span path. See docs/OBSERVABILITY.md.
 //       Generates a synthetic workload, runs the chosen algorithm through
 //       the sovereign join service (or the parallel executors), prints the
 //       delivered result size and the host-observable metrics.
+//
+//   ppjctl report [--alg=1|1v|2|3|4|5|6] [--size-a=N] [--size-b=N] [--s=N]
+//                 [--n=N] [--m=N] [--eps=X] [--parallel=P] [--seed=N]
+//                 [--batch=N]
+//       Runs the join with telemetry and prints the measured per-phase
+//       transfer counts next to the Chapter 4/5 cost-model predictions.
 //
 //   ppjctl plan  --size-a=N --size-b=N [--n=N] [--s=N] [--m=N] [--eps=X]
 //                [--equality] [--exact]
@@ -20,17 +35,22 @@
 //
 //   ppjctl audit [--alg=...] [--size-a=N] [--size-b=N] [--s=N] [--m=N]
 //       Runs the Definition 3 trace audit on two shape-equal worlds and
-//       reports the verdict.
+//       reports the verdict (regions print their symbolic host names).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
+#include "analysis/chapter4_costs.h"
 #include "analysis/chapter5_costs.h"
 #include "analysis/smc_cost.h"
+#include "common/logging.h"
+#include "common/telemetry.h"
 #include "core/algorithm4.h"
 #include "core/algorithm5.h"
 #include "core/algorithm6.h"
@@ -47,11 +67,16 @@ namespace {
 
 using namespace ppj;  // NOLINT: tool-local convenience
 
-/// Minimal --key=value flag access.
+/// Minimal --key=value flag access. Flags may appear anywhere on the
+/// command line, before or after the command word.
 class Flags {
  public:
   Flags(int argc, char** argv) {
-    for (int i = 2; i < argc; ++i) args_.emplace_back(argv[i]);
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view(argv[i]).rfind("--", 0) == 0) {
+        args_.emplace_back(argv[i]);
+      }
+    }
   }
 
   std::string Get(const std::string& key, const std::string& fallback) const {
@@ -82,7 +107,7 @@ class Flags {
 };
 
 /// --alg: "auto", or one of core::ParseAlgorithm's spellings. Returns
-/// false (after printing the error) on anything else.
+/// false (after logging the error) on anything else.
 bool ParseAlgorithmFlag(const std::string& s,
                         std::optional<core::Algorithm>* out) {
   if (s == "auto") {
@@ -91,57 +116,67 @@ bool ParseAlgorithmFlag(const std::string& s,
   }
   Result<core::Algorithm> alg = core::ParseAlgorithm(s);
   if (!alg.ok()) {
-    std::fprintf(stderr, "alg: %s\n", alg.status().ToString().c_str());
+    PPJ_LOG(kError) << "alg: " << alg.status().ToString();
     return false;
   }
   *out = *alg;
   return true;
 }
 
-int RunJoin(const Flags& flags) {
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  out.close();
+  if (!out) {
+    PPJ_LOG(kError) << "cannot write " << path;
+    return false;
+  }
+  return true;
+}
+
+/// One synthetic-workload join executed through the service, plus the
+/// inputs that shaped it — shared by `join` and `report`.
+struct JoinRun {
   relation::EquijoinSpec spec;
+  service::ExecuteOptions options;
+  service::JoinDelivery delivery;
+};
+
+Result<JoinRun> ExecuteJoinFromFlags(const Flags& flags,
+                                     const std::string& default_alg) {
+  JoinRun run;
+  relation::EquijoinSpec& spec = run.spec;
   spec.size_a = flags.GetU64("size-a", 32);
   spec.size_b = flags.GetU64("size-b", 32);
   spec.n_max = flags.GetU64("n", 4);
   spec.result_size = flags.GetU64("s", 16);
   spec.seed = flags.GetU64("seed", 1);
-  auto workload = relation::MakeEquijoinWorkload(spec);
-  if (!workload.ok()) {
-    std::fprintf(stderr, "workload: %s\n",
-                 workload.status().ToString().c_str());
-    return 1;
-  }
+  PPJ_ASSIGN_OR_RETURN(relation::TwoTableWorkload workload,
+                       relation::MakeEquijoinWorkload(spec));
 
   std::unique_ptr<service::SovereignJoinService> svc_holder;
   const std::string storage_dir = flags.Get("storage-dir", "");
   if (storage_dir.empty()) {
     svc_holder = std::make_unique<service::SovereignJoinService>();
   } else {
-    auto backend = sim::MakeFileBackend(storage_dir);
-    if (!backend.ok()) {
-      std::fprintf(stderr, "storage: %s\n",
-                   backend.status().ToString().c_str());
-      return 1;
-    }
+    PPJ_ASSIGN_OR_RETURN(std::unique_ptr<sim::StorageBackend> backend,
+                         sim::MakeFileBackend(storage_dir));
     svc_holder = std::make_unique<service::SovereignJoinService>(
-        std::move(*backend));
+        std::move(backend));
   }
   service::SovereignJoinService& svc = *svc_holder;
-  if (!svc.RegisterParty("alice", 1).ok() ||
-      !svc.RegisterParty("bob", 2).ok() ||
-      !svc.RegisterParty("carol", 3).ok()) {
-    return 1;
-  }
-  auto contract = svc.CreateContract({"alice", "bob"}, "carol", "equijoin");
-  if (!contract.ok()) return 1;
-  if (!svc.SubmitRelation(*contract, "alice", *workload->a, true).ok() ||
-      !svc.SubmitRelation(*contract, "bob", *workload->b, true).ok()) {
-    return 1;
-  }
+  PPJ_RETURN_NOT_OK(svc.RegisterParty("alice", 1));
+  PPJ_RETURN_NOT_OK(svc.RegisterParty("bob", 2));
+  PPJ_RETURN_NOT_OK(svc.RegisterParty("carol", 3));
+  PPJ_ASSIGN_OR_RETURN(
+      std::string contract,
+      svc.CreateContract({"alice", "bob"}, "carol", "equijoin"));
+  PPJ_RETURN_NOT_OK(svc.SubmitRelation(contract, "alice", *workload.a, true));
+  PPJ_RETURN_NOT_OK(svc.SubmitRelation(contract, "bob", *workload.b, true));
 
-  service::ExecuteOptions options;
-  if (!ParseAlgorithmFlag(flags.Get("alg", "auto"), &options.algorithm)) {
-    return 64;
+  service::ExecuteOptions& options = run.options;
+  if (!ParseAlgorithmFlag(flags.Get("alg", default_alg), &options.algorithm)) {
+    return Status::InvalidArgument("bad --alg flag");
   }
   options.n = spec.n_max;
   options.memory_tuples = flags.GetU64("m", 8);
@@ -151,18 +186,27 @@ int RunJoin(const Flags& flags) {
       static_cast<unsigned>(flags.GetU64("parallel", 1));
   options.batch_slots = flags.GetU64("batch", 0);
 
-  Result<service::JoinDelivery> delivery = Status::Internal("unset");
   if (options.parallelism > 1) {
-    const relation::PairAsMultiway multiway(workload->predicate.get());
-    delivery = svc.ExecuteMultiwayJoin(*contract, multiway, options);
+    const relation::PairAsMultiway multiway(workload.predicate.get());
+    PPJ_ASSIGN_OR_RETURN(run.delivery,
+                         svc.ExecuteMultiwayJoin(contract, multiway, options));
   } else {
-    delivery = svc.ExecuteJoin(*contract, *workload->predicate, options);
+    PPJ_ASSIGN_OR_RETURN(
+        run.delivery,
+        svc.ExecuteJoin(contract, *workload.predicate, options));
   }
-  if (!delivery.ok()) {
-    std::fprintf(stderr, "join: %s\n",
-                 delivery.status().ToString().c_str());
+  return run;
+}
+
+int RunJoin(const Flags& flags) {
+  Result<JoinRun> run = ExecuteJoinFromFlags(flags, "auto");
+  if (!run.ok()) {
+    PPJ_LOG(kError) << "join: " << run.status().ToString();
     return 1;
   }
+  const relation::EquijoinSpec& spec = run->spec;
+  const service::ExecuteOptions& options = run->options;
+  const service::JoinDelivery& delivery = run->delivery;
   std::printf("algorithm        %s\n",
               options.algorithm ? core::ToString(*options.algorithm).c_str()
                                 : "auto (planner)");
@@ -172,18 +216,133 @@ int RunJoin(const Flags& flags) {
               static_cast<unsigned long long>(spec.n_max),
               static_cast<unsigned long long>(spec.result_size),
               static_cast<unsigned long long>(options.memory_tuples));
-  std::printf("delivered        %zu tuples\n", delivery->tuples.size());
-  std::printf("host observed    %s\n",
-              delivery->metrics.ToString().c_str());
-  std::printf("trace            %s\n",
-              delivery->trace.ToString().c_str());
+  std::printf("delivered        %zu tuples\n", delivery.tuples.size());
+  std::printf("host observed    %s\n", delivery.metrics.ToString().c_str());
+  std::printf("trace            %s\n", delivery.trace.ToString().c_str());
   std::printf("batched I/O      %llu gathers, %llu scatters for %llu "
               "tuple transfers\n",
-              static_cast<unsigned long long>(delivery->metrics.batch_gets),
-              static_cast<unsigned long long>(delivery->metrics.batch_puts),
+              static_cast<unsigned long long>(delivery.metrics.batch_gets),
+              static_cast<unsigned long long>(delivery.metrics.batch_puts),
               static_cast<unsigned long long>(
-                  delivery->metrics.TupleTransfers()));
-  if (delivery->blemish) std::printf("NOTE: blemish salvage occurred\n");
+                  delivery.metrics.TupleTransfers()));
+  if (delivery.blemish) std::printf("NOTE: blemish salvage occurred\n");
+
+  const std::string trace_out = flags.Get("trace-out", "");
+  const std::string metrics_json = flags.Get("metrics-json", "");
+  if (!trace_out.empty() || !metrics_json.empty()) {
+    if (delivery.telemetry == nullptr) {
+      PPJ_LOG(kError) << "no telemetry tree (library built with "
+                         "PPJ_TELEMETRY=OFF?) — nothing to export";
+      return 1;
+    }
+    if (!trace_out.empty()) {
+      if (!WriteFile(trace_out,
+                     telemetry::ToChromeTraceJson(*delivery.telemetry))) {
+        return 1;
+      }
+      std::printf("trace written    %s (chrome://tracing, ui.perfetto.dev)\n",
+                  trace_out.c_str());
+    }
+    if (!metrics_json.empty()) {
+      if (!WriteFile(metrics_json,
+                     telemetry::ToMetricsReportJson(*delivery.telemetry))) {
+        return 1;
+      }
+      std::printf("metrics written  %s\n", metrics_json.c_str());
+    }
+  }
+  return 0;
+}
+
+void PrintPhaseRows(const telemetry::SpanNode& node,
+                    const std::string& prefix) {
+  const std::string path =
+      prefix.empty() ? node.name : prefix + "/" + node.name;
+  std::printf("  %-42s %8llu %12llu %10.3f\n", path.c_str(),
+              static_cast<unsigned long long>(node.count),
+              static_cast<unsigned long long>(
+                  telemetry::InclusiveMetrics(node).TupleTransfers()),
+              static_cast<double>(node.wall_ns) / 1e6);
+  for (const auto& child : node.children) PrintPhaseRows(*child, path);
+}
+
+int RunReport(const Flags& flags) {
+  Result<JoinRun> run = ExecuteJoinFromFlags(flags, "5");
+  if (!run.ok()) {
+    PPJ_LOG(kError) << "report: " << run.status().ToString();
+    return 1;
+  }
+  const relation::EquijoinSpec& spec = run->spec;
+  const service::ExecuteOptions& options = run->options;
+  const service::JoinDelivery& delivery = run->delivery;
+  if (delivery.telemetry == nullptr) {
+    PPJ_LOG(kError) << "report needs the telemetry layer "
+                       "(build with -DPPJ_TELEMETRY=ON)";
+    return 1;
+  }
+
+  std::printf("measured per-phase costs\n");
+  std::printf("  %-42s %8s %12s %10s\n", "phase", "count", "transfers",
+              "wall-ms");
+  for (const auto& child : delivery.telemetry->children) {
+    PrintPhaseRows(*child, "");
+  }
+  std::printf("  %-42s %8s %12llu\n", "total (host observed)", "",
+              static_cast<unsigned long long>(
+                  delivery.metrics.TupleTransfers()));
+
+  // Model comparison — the closed-form Chapter 4/5 predictions for the
+  // same workload shape.
+  if (!options.algorithm) {
+    std::printf("\nmodel: planner-selected algorithm; pass an explicit "
+                "--alg for a cost-model comparison\n");
+    return 0;
+  }
+  const double a = static_cast<double>(spec.size_a);
+  const double b = static_cast<double>(spec.size_b);
+  const double n = static_cast<double>(spec.n_max);
+  const std::uint64_t l = spec.size_a * spec.size_b;
+  const std::uint64_t s = spec.result_size;
+  const std::uint64_t m = options.memory_tuples;
+  double predicted = 0.0;
+  switch (*options.algorithm) {
+    case core::Algorithm::kAlgorithm1:
+      predicted = analysis::CostAlgorithm1(a, b, n);
+      break;
+    case core::Algorithm::kAlgorithm1Variant:
+      predicted = analysis::CostAlgorithm1Variant(a, b);
+      break;
+    case core::Algorithm::kAlgorithm2:
+      predicted = analysis::CostAlgorithm2(a, b, n, static_cast<double>(m));
+      break;
+    case core::Algorithm::kAlgorithm3:
+      predicted = analysis::CostAlgorithm3(a, b, n);
+      break;
+    case core::Algorithm::kAlgorithm4:
+      predicted = analysis::CostAlgorithm4(l, s);
+      break;
+    case core::Algorithm::kAlgorithm5:
+      predicted = analysis::CostAlgorithm5(l, s, m);
+      break;
+    case core::Algorithm::kAlgorithm6: {
+      const analysis::Alg6Cost c6 =
+          analysis::CostAlgorithm6(l, s, m, options.epsilon);
+      predicted = c6.total;
+      std::printf("\nmodel n*=%llu segments=%llu\n",
+                  static_cast<unsigned long long>(c6.n_star),
+                  static_cast<unsigned long long>(c6.segments));
+      break;
+    }
+  }
+  std::printf("\nmodel predicted  %.4g tuple transfers (%s)\n", predicted,
+              core::ToString(*options.algorithm).c_str());
+  std::printf("measured         %llu tuple transfers (ratio %.3f)\n",
+              static_cast<unsigned long long>(
+                  delivery.metrics.TupleTransfers()),
+              predicted > 0
+                  ? static_cast<double>(delivery.metrics.TupleTransfers()) /
+                        predicted
+                  : 0.0);
   return 0;
 }
 
@@ -268,13 +427,18 @@ int RunAudit(const Flags& flags) {
     run.fingerprint = copro.trace().fingerprint();
     run.retained_events = copro.trace().retained_events();
     if (world == 0) {
-      std::printf("%s", sim::SummarizeTrace(copro.trace()).ToString().c_str());
+      // Snapshot after the run so algorithm-created output/staging
+      // regions get their symbolic names in the summary.
+      const sim::RegionNameRegistry names =
+          sim::RegionNameRegistry::FromHost(host);
+      std::printf("%s",
+                  sim::SummarizeTrace(copro.trace()).ToString(&names).c_str());
     }
     return run;
   };
   auto audit = core::PrivacyAuditor::CompareWorlds(runner);
   if (!audit.ok()) {
-    std::fprintf(stderr, "audit: %s\n", audit.status().ToString().c_str());
+    PPJ_LOG(kError) << "audit: " << audit.status().ToString();
     return 1;
   }
   std::printf("verdict: %s\n",
@@ -285,7 +449,8 @@ int RunAudit(const Flags& flags) {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: ppjctl <join|plan|costs|audit> [--key=value ...]\n"
+               "usage: ppjctl <join|report|plan|costs|audit> "
+               "[--key=value ...]\n"
                "see the header of tools/ppjctl.cc for the full flag list\n");
 }
 
@@ -297,8 +462,33 @@ int main(int argc, char** argv) {
     return 64;
   }
   const Flags flags(argc, argv);
-  const std::string command = argv[1];
+  const std::string level = flags.Get("log-level", "");
+  if (!level.empty()) {
+    if (level == "debug") {
+      Logger::SetMinLevel(LogLevel::kDebug);
+    } else if (level == "info") {
+      Logger::SetMinLevel(LogLevel::kInfo);
+    } else if (level == "warning") {
+      Logger::SetMinLevel(LogLevel::kWarning);
+    } else if (level == "error") {
+      Logger::SetMinLevel(LogLevel::kError);
+    } else {
+      std::fprintf(stderr,
+                   "unknown --log-level '%s' "
+                   "(want debug|info|warning|error)\n",
+                   level.c_str());
+      return 64;
+    }
+  }
+  std::string command;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--", 0) != 0) {
+      command = argv[i];
+      break;
+    }
+  }
   if (command == "join") return RunJoin(flags);
+  if (command == "report") return RunReport(flags);
   if (command == "plan") return RunPlan(flags);
   if (command == "costs") return RunCosts(flags);
   if (command == "audit") return RunAudit(flags);
