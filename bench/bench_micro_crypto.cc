@@ -36,6 +36,34 @@ void BM_Aes128Decrypt(benchmark::State& state) {
 }
 BENCHMARK(BM_Aes128Decrypt);
 
+void BM_Aes128EncryptBlocks(benchmark::State& state) {
+  // Pipelined multi-block kernel: n independent blocks per call. Contrast
+  // with BM_Aes128Encrypt, whose serial dependency chain is latency-bound.
+  const Aes128 aes(DeriveKey(1, "bench"));
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> buf(n * 16, 0x5A);
+  for (auto _ : state) {
+    aes.EncryptBlocks(buf.data(), buf.data(), n);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 16);
+}
+BENCHMARK(BM_Aes128EncryptBlocks)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_Aes128DecryptBlocks(benchmark::State& state) {
+  const Aes128 aes(DeriveKey(1, "bench"));
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> buf(n * 16, 0x5A);
+  for (auto _ : state) {
+    aes.DecryptBlocks(buf.data(), buf.data(), n);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 16);
+}
+BENCHMARK(BM_Aes128DecryptBlocks)->Arg(8)->Arg(64)->Arg(256);
+
 void BM_OcbSeal(benchmark::State& state) {
   const Ocb ocb(DeriveKey(2, "bench"));
   std::vector<std::uint8_t> tuple(static_cast<std::size_t>(state.range(0)),
@@ -63,6 +91,62 @@ void BM_OcbOpen(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_OcbOpen)->Arg(32)->Arg(64)->Arg(256);
+
+// Wide-vs-scalar sweeps over bulk message sizes (the batched-transfer
+// regime): allocation-free EncryptInto/DecryptInto so the comparison
+// isolates the kernels. The ≥3x acceptance gate compares
+// BM_OcbSealWide/4096+ against BM_OcbSealScalar at the same size.
+void RunOcbSealInto(benchmark::State& state, const Ocb& ocb) {
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::uint8_t> tuple(len, 0x5A);
+  std::vector<std::uint8_t> out(len + Ocb::kTagSize);
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    ocb.EncryptInto(NonceFromCounter(++counter), tuple.data(), len,
+                    out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+
+void RunOcbOpenInto(benchmark::State& state, const Ocb& ocb) {
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::uint8_t> tuple(len, 0x5A);
+  const auto sealed = ocb.Encrypt(NonceFromCounter(7), tuple);
+  std::vector<std::uint8_t> out(len);
+  for (auto _ : state) {
+    const auto ok = ocb.DecryptInto(NonceFromCounter(7), sealed.data(),
+                                    sealed.size(), out.data());
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+
+void BM_OcbSealWide(benchmark::State& state) {
+  const Ocb ocb(DeriveKey(2, "bench"), {.wide_kernels = true});
+  RunOcbSealInto(state, ocb);
+}
+BENCHMARK(BM_OcbSealWide)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_OcbSealScalar(benchmark::State& state) {
+  const Ocb ocb(DeriveKey(2, "bench"), {.wide_kernels = false});
+  RunOcbSealInto(state, ocb);
+}
+BENCHMARK(BM_OcbSealScalar)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_OcbOpenWide(benchmark::State& state) {
+  const Ocb ocb(DeriveKey(2, "bench"), {.wide_kernels = true});
+  RunOcbOpenInto(state, ocb);
+}
+BENCHMARK(BM_OcbOpenWide)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_OcbOpenScalar(benchmark::State& state) {
+  const Ocb ocb(DeriveKey(2, "bench"), {.wide_kernels = false});
+  RunOcbOpenInto(state, ocb);
+}
+BENCHMARK(BM_OcbOpenScalar)->Arg(256)->Arg(4096)->Arg(65536);
 
 void BM_MlfsrNext(benchmark::State& state) {
   auto order = RandomOrder::Create(640000, 1);

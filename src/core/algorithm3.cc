@@ -94,6 +94,7 @@ Result<Ch4Outcome> RunAlgorithm3(sim::Coprocessor& copro,
         PPJ_ASSIGN_OR_RETURN(
             sim::ReadRun in,
             copro.GetOpenRange(scratch, p, c, join.output_key));
+        PPJ_RETURN_NOT_OK(in.PrefetchOpen());
         PPJ_ASSIGN_OR_RETURN(
             sim::WriteRun out_run,
             copro.PutSealedRange(scratch, p, c, join.output_key));

@@ -112,6 +112,7 @@ Status ParallelDecoyFilter(std::vector<sim::Coprocessor*>& copros,
       const std::uint64_t step = std::min(limit, cnt - done);
       PPJ_ASSIGN_OR_RETURN(
           sim::ReadRun in, lead.GetOpenRange(sregion, s0 + done, step, &key));
+      PPJ_RETURN_NOT_OK(in.PrefetchOpen());
       PPJ_ASSIGN_OR_RETURN(
           sim::WriteRun out,
           lead.PutSealedRange(dregion, d0 + done, step, &key));
@@ -657,6 +658,7 @@ Status SortStageRange(sim::Coprocessor& copro, sim::RegionId region,
     if (block <= limit && i == base && base + j <= hi) {
       PPJ_ASSIGN_OR_RETURN(sim::ReadRun in,
                            copro.GetOpenRange(region, base, block, &key));
+      PPJ_RETURN_NOT_OK(in.PrefetchOpen());
       PPJ_ASSIGN_OR_RETURN(sim::WriteRun out,
                            copro.PutSealedRange(region, base, block, &key));
       for (std::uint64_t c = base; c < base + j; ++c) {

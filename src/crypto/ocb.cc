@@ -1,5 +1,6 @@
 #include "crypto/ocb.h"
 
+#include <bit>
 #include <cstring>
 
 namespace ppj::crypto {
@@ -7,13 +8,24 @@ namespace ppj::crypto {
 namespace {
 
 // Number of trailing zero bits of i (i >= 1).
-unsigned Ntz(std::uint64_t i) {
-  unsigned n = 0;
-  while ((i & 1) == 0) {
-    ++n;
-    i >>= 1;
-  }
-  return n;
+inline unsigned Ntz(std::uint64_t i) {
+  return static_cast<unsigned>(std::countr_zero(i));
+}
+
+// Full blocks per lane-group staging pass of the wide path. A multiple of
+// the 8-block interleave depth of the AES-NI kernels, small enough that the
+// staging buffer and offset table stay in L1, large enough to amortize the
+// per-call round-key setup of the widest kernels.
+constexpr std::size_t kLaneGroup = 64;
+
+inline std::uint64_t Load64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline void Store64(std::uint8_t* p, std::uint64_t v) {
+  std::memcpy(p, &v, 8);
 }
 
 // Constant-time-ish tag comparison (simulation-grade).
@@ -29,7 +41,12 @@ bool TagsEqual(const std::uint8_t* a, const std::uint8_t* b) {
 
 }  // namespace
 
-Ocb::Ocb(const Block& key) : aes_(key) {
+Ocb::Ocb(const Block& key) : Ocb(key, Options{}) {}
+
+Ocb::Ocb(const Block& key, const Options& options)
+    : aes_(key, options.backend),
+      nonce_mode_(options.nonce_mode),
+      wide_(options.wide_kernels) {
   Block zero{};
   l_star_ = aes_.Encrypt(zero);
   l_dollar_ = GfDouble(l_star_);
@@ -39,10 +56,48 @@ Ocb::Ocb(const Block& key) : aes_(key) {
     l_.push_back(l);
     l = GfDouble(l);
   }
+  if (wide_) {
+    // Offset-prefix table P_i = P_{i-1} ^ L_{ntz(i)}: the nonce-independent
+    // part of every offset, consumed by the fused XEX kernels against a
+    // broadcast Offset_0.
+    prefix_.resize(kWidePrefixBlocks * kBlockSize);
+    std::uint64_t p0 = 0;
+    std::uint64_t p1 = 0;
+    for (std::size_t i = 1; i <= kWidePrefixBlocks; ++i) {
+      const Block& li = l_[Ntz(i)];
+      p0 ^= Load64(li.data());
+      p1 ^= Load64(li.data() + 8);
+      Store64(prefix_.data() + (i - 1) * kBlockSize, p0);
+      Store64(prefix_.data() + (i - 1) * kBlockSize + 8, p1);
+    }
+  }
 }
 
 Block Ocb::OffsetFromNonce(const Block& nonce) const {
-  return aes_.Encrypt(nonce);
+  if (nonce_mode_ == NonceMode::kDirect) return aes_.Encrypt(nonce);
+  // RFC 7253 Offset_0: bottom = last 6 bits of the formatted Nonce,
+  // Ktop = E_k(Nonce with those bits zeroed), Stretch = Ktop || (Ktop[1..64]
+  // xor Ktop[9..72]), Offset_0 = Stretch[1+bottom..128+bottom].
+  const unsigned bottom = nonce[15] & 0x3f;
+  Block top = nonce;
+  top[15] &= 0xc0;
+  const Block ktop = aes_.Encrypt(top);
+  std::uint8_t stretch[24];
+  std::memcpy(stretch, ktop.data(), 16);
+  for (int j = 0; j < 8; ++j) {
+    stretch[16 + j] = static_cast<std::uint8_t>(ktop[j] ^ ktop[j + 1]);
+  }
+  const unsigned byte = bottom / 8;
+  const unsigned shift = bottom % 8;
+  Block offset;
+  for (unsigned j = 0; j < 16; ++j) {
+    offset[j] = shift == 0
+                    ? stretch[byte + j]
+                    : static_cast<std::uint8_t>(
+                          (stretch[byte + j] << shift) |
+                          (stretch[byte + j + 1] >> (8 - shift)));
+  }
+  return offset;
 }
 
 void Ocb::EncryptInto(const Block& nonce, const std::uint8_t* plaintext,
@@ -53,13 +108,67 @@ void Ocb::EncryptInto(const Block& nonce, const std::uint8_t* plaintext,
   Block offset = OffsetFromNonce(nonce);
   Block checksum{};
 
-  for (std::size_t i = 1; i <= full_blocks; ++i) {
-    offset = XorBlocks(offset, l_[Ntz(i)]);
-    Block p;
-    std::memcpy(p.data(), plaintext + (i - 1) * kBlockSize, kBlockSize);
-    checksum = XorBlocks(checksum, p);
-    const Block c = XorBlocks(aes_.Encrypt(XorBlocks(p, offset)), offset);
-    std::memcpy(out + (i - 1) * kBlockSize, c.data(), kBlockSize);
+  if (wide_) {
+    // Wide path: the first kWidePrefixBlocks offsets are Offset_0 ^ P_i
+    // with P_i from the precomputed table, so the whole in-table region is
+    // ONE fused-kernel call — c = E(p ^ P_i ^ Offset_0) ^ P_i ^ Offset_0 —
+    // with no per-block offset work at all. Blocks beyond the table chain
+    // offsets per lane group. The checksum folds the same plaintext blocks
+    // as the scalar loop (XOR is commutative), so ciphertext and tag are
+    // byte-identical.
+    std::uint64_t ck0 = 0;
+    std::uint64_t ck1 = 0;
+    const std::size_t table_blocks = std::min(full_blocks, kWidePrefixBlocks);
+    if (table_blocks > 0) {
+      aes_.EncryptXexBlocks(plaintext, prefix_.data(), offset.data(), out,
+                            table_blocks);
+      for (std::size_t g = 0; g < table_blocks; ++g) {
+        ck0 ^= Load64(plaintext + g * kBlockSize);
+        ck1 ^= Load64(plaintext + g * kBlockSize + 8);
+      }
+      const std::uint8_t* last =
+          prefix_.data() + (table_blocks - 1) * kBlockSize;
+      Store64(offset.data(), Load64(offset.data()) ^ Load64(last));
+      Store64(offset.data() + 8, Load64(offset.data() + 8) ^ Load64(last + 8));
+    }
+    if (full_blocks > table_blocks) {
+      const Block zero_base{};
+      alignas(64) std::uint8_t offs[kLaneGroup * kBlockSize];
+      std::uint64_t off0 = Load64(offset.data());
+      std::uint64_t off1 = Load64(offset.data() + 8);
+      std::size_t done = table_blocks;
+      while (done < full_blocks) {
+        const std::size_t group = std::min(kLaneGroup, full_blocks - done);
+        for (std::size_t g = 0; g < group; ++g) {
+          const Block& l = l_[Ntz(done + g + 1)];
+          off0 ^= Load64(l.data());
+          off1 ^= Load64(l.data() + 8);
+          Store64(offs + g * kBlockSize, off0);
+          Store64(offs + g * kBlockSize + 8, off1);
+        }
+        const std::uint8_t* in = plaintext + done * kBlockSize;
+        for (std::size_t g = 0; g < group; ++g) {
+          ck0 ^= Load64(in + g * kBlockSize);
+          ck1 ^= Load64(in + g * kBlockSize + 8);
+        }
+        aes_.EncryptXexBlocks(in, offs, zero_base.data(),
+                              out + done * kBlockSize, group);
+        done += group;
+      }
+      Store64(offset.data(), off0);
+      Store64(offset.data() + 8, off1);
+    }
+    Store64(checksum.data(), ck0);
+    Store64(checksum.data() + 8, ck1);
+  } else {
+    for (std::size_t i = 1; i <= full_blocks; ++i) {
+      offset = XorBlocks(offset, l_[Ntz(i)]);
+      Block p;
+      std::memcpy(p.data(), plaintext + (i - 1) * kBlockSize, kBlockSize);
+      checksum = XorBlocks(checksum, p);
+      const Block c = XorBlocks(aes_.Encrypt(XorBlocks(p, offset)), offset);
+      std::memcpy(out + (i - 1) * kBlockSize, c.data(), kBlockSize);
+    }
   }
 
   if (tail > 0) {
@@ -92,13 +201,60 @@ Status Ocb::DecryptInto(const Block& nonce, const std::uint8_t* sealed,
   Block offset = OffsetFromNonce(nonce);
   Block checksum{};
 
-  for (std::size_t i = 1; i <= full_blocks; ++i) {
-    offset = XorBlocks(offset, l_[Ntz(i)]);
-    Block c;
-    std::memcpy(c.data(), sealed + (i - 1) * kBlockSize, kBlockSize);
-    const Block p = XorBlocks(aes_.Decrypt(XorBlocks(c, offset)), offset);
-    checksum = XorBlocks(checksum, p);
-    std::memcpy(out + (i - 1) * kBlockSize, p.data(), kBlockSize);
+  if (wide_) {
+    std::uint64_t ck0 = 0;
+    std::uint64_t ck1 = 0;
+    const std::size_t table_blocks = std::min(full_blocks, kWidePrefixBlocks);
+    if (table_blocks > 0) {
+      aes_.DecryptXexBlocks(sealed, prefix_.data(), offset.data(), out,
+                            table_blocks);
+      for (std::size_t g = 0; g < table_blocks; ++g) {
+        ck0 ^= Load64(out + g * kBlockSize);
+        ck1 ^= Load64(out + g * kBlockSize + 8);
+      }
+      const std::uint8_t* last =
+          prefix_.data() + (table_blocks - 1) * kBlockSize;
+      Store64(offset.data(), Load64(offset.data()) ^ Load64(last));
+      Store64(offset.data() + 8, Load64(offset.data() + 8) ^ Load64(last + 8));
+    }
+    if (full_blocks > table_blocks) {
+      const Block zero_base{};
+      alignas(64) std::uint8_t offs[kLaneGroup * kBlockSize];
+      std::uint64_t off0 = Load64(offset.data());
+      std::uint64_t off1 = Load64(offset.data() + 8);
+      std::size_t done = table_blocks;
+      while (done < full_blocks) {
+        const std::size_t group = std::min(kLaneGroup, full_blocks - done);
+        for (std::size_t g = 0; g < group; ++g) {
+          const Block& l = l_[Ntz(done + g + 1)];
+          off0 ^= Load64(l.data());
+          off1 ^= Load64(l.data() + 8);
+          Store64(offs + g * kBlockSize, off0);
+          Store64(offs + g * kBlockSize + 8, off1);
+        }
+        std::uint8_t* dst = out + done * kBlockSize;
+        aes_.DecryptXexBlocks(sealed + done * kBlockSize, offs,
+                              zero_base.data(), dst, group);
+        for (std::size_t g = 0; g < group; ++g) {
+          ck0 ^= Load64(dst + g * kBlockSize);
+          ck1 ^= Load64(dst + g * kBlockSize + 8);
+        }
+        done += group;
+      }
+      Store64(offset.data(), off0);
+      Store64(offset.data() + 8, off1);
+    }
+    Store64(checksum.data(), ck0);
+    Store64(checksum.data() + 8, ck1);
+  } else {
+    for (std::size_t i = 1; i <= full_blocks; ++i) {
+      offset = XorBlocks(offset, l_[Ntz(i)]);
+      Block c;
+      std::memcpy(c.data(), sealed + (i - 1) * kBlockSize, kBlockSize);
+      const Block p = XorBlocks(aes_.Decrypt(XorBlocks(c, offset)), offset);
+      checksum = XorBlocks(checksum, p);
+      std::memcpy(out + (i - 1) * kBlockSize, p.data(), kBlockSize);
+    }
   }
 
   if (tail > 0) {

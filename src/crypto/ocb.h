@@ -28,7 +28,42 @@ class Ocb {
   static constexpr std::size_t kBlockSize = 16;
   static constexpr std::size_t kTagSize = 16;
 
+  /// How the per-message initial offset is derived from the 16-byte nonce.
+  enum class NonceMode {
+    /// Offset_0 = E_k(nonce) — the library's native mode (the Section 3.3.3
+    /// random-access offset schedule with a full 128-bit nonce).
+    kDirect,
+    /// RFC 7253 nonce processing (Ktop/Stretch/bottom) for TAGLEN = 128.
+    /// The Block must carry the RFC's 128-bit formatted Nonce,
+    /// num2str(TAGLEN mod 128, 7) || 0* || 1 || N, assembled by the caller.
+    /// Exists so the offset/checksum/tag machinery can be validated against
+    /// the RFC's published known-answer vectors.
+    kRfc7253,
+  };
+
+  struct Options {
+    Aes128::Backend backend = Aes128::Backend::kAuto;
+    NonceMode nonce_mode = NonceMode::kDirect;
+    /// Route full blocks through the pipelined multi-block AES kernels
+    /// (Aes128::EncryptBlocks/DecryptBlocks) in lane groups. Byte-identical
+    /// ciphertext and tags to the scalar path; off exists for benchmarking
+    /// and for the wide-vs-scalar identity tests.
+    bool wide_kernels = true;
+  };
+
+  /// Blocks covered by the precomputed offset-prefix table of the wide
+  /// path. Offset_i = Offset_0 ^ P_i with P_i = L_{ntz(1)} ^ ... ^
+  /// L_{ntz(i)} independent of the nonce, so the first kWidePrefixBlocks
+  /// offsets of every message come straight from one table XOR'd against a
+  /// broadcast Offset_0 inside the fused kernels; beyond the table the wide
+  /// path falls back to chaining offsets per lane group.
+  static constexpr std::size_t kWidePrefixBlocks = 4096;
+
   explicit Ocb(const Block& key);
+  Ocb(const Block& key, const Options& options);
+
+  /// True when the underlying cipher runs on AES-NI.
+  bool hardware_accelerated() const { return aes_.hardware(); }
 
   /// Encrypts `plaintext` under `nonce`. Output layout: ciphertext
   /// (same length as plaintext) followed by the 16-byte tag. Nonces must be
@@ -64,9 +99,14 @@ class Ocb {
   Block OffsetFromNonce(const Block& nonce) const;
 
   Aes128 aes_;
+  NonceMode nonce_mode_;
+  bool wide_;
   Block l_star_;    // E_k(0^128)
   Block l_dollar_;  // double(L*)
   std::vector<Block> l_;  // L_i = double^{i+1}(L$)
+  // P_1..P_kWidePrefixBlocks as contiguous 16-byte blocks (wide path only;
+  // empty when wide_kernels is off).
+  std::vector<std::uint8_t> prefix_;
 };
 
 /// Convenience: builds a 16-byte nonce from a 64-bit message counter.

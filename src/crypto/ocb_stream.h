@@ -30,6 +30,12 @@ class OcbStreamEncryptor {
   /// Encrypts the next plaintext block of the stream.
   Block NextBlock(const Block& plaintext);
 
+  /// Encrypts the next `nblocks` 16-byte blocks from `in` to `out` in lane
+  /// groups through the pipelined multi-block AES kernels. Byte-identical to
+  /// nblocks sequential NextBlock calls. `in`/`out` equal or non-overlapping.
+  void NextBlocks(const std::uint8_t* in, std::uint8_t* out,
+                  std::size_t nblocks);
+
   /// Finalizes the stream: returns the authentication tag over everything
   /// encrypted so far. The encryptor must not be used afterwards.
   Block Finalize();
@@ -56,6 +62,11 @@ class OcbStreamDecryptor {
 
   /// Decrypts the next ciphertext block of the stream.
   Block NextBlock(const Block& ciphertext);
+
+  /// Multi-block counterpart of NextBlock; same contract as the encryptor's
+  /// NextBlocks.
+  void NextBlocks(const std::uint8_t* in, std::uint8_t* out,
+                  std::size_t nblocks);
 
   /// Checks the received tag against the processed stream.
   Status Verify(const Block& tag);

@@ -65,6 +65,7 @@ Status ObliviousSort(sim::Coprocessor& copro, sim::RegionId region,
         for (std::uint64_t base = 0; base < n; base += block) {
           PPJ_ASSIGN_OR_RETURN(sim::ReadRun in,
                                copro.GetOpenRange(region, base, block, &key));
+          PPJ_RETURN_NOT_OK(in.PrefetchOpen());
           PPJ_ASSIGN_OR_RETURN(
               sim::WriteRun out,
               copro.PutSealedRange(region, base, block, &key));

@@ -62,6 +62,7 @@ Result<FilterStats> WindowedObliviousFilter(sim::Coprocessor& copro,
       PPJ_ASSIGN_OR_RETURN(
           sim::ReadRun in,
           copro.GetOpenRange(sregion, s0 + done, chunk, &key));
+      PPJ_RETURN_NOT_OK(in.PrefetchOpen());
       PPJ_ASSIGN_OR_RETURN(
           sim::WriteRun out,
           copro.PutSealedRange(dregion, d0 + done, chunk, &key));

@@ -62,11 +62,11 @@ Result<EncryptedRelation> EncryptedRelation::Seal(sim::HostStore* host,
                        const std::vector<std::uint8_t>& plain) {
     const crypto::Block nonce =
         sim::Coprocessor::PositionNonce(out.region_, index, 0);
-    const std::vector<std::uint8_t> sealed = key->Encrypt(nonce, plain);
-    std::vector<std::uint8_t> slot(crypto::Ocb::kBlockSize + sealed.size());
+    std::vector<std::uint8_t> slot(crypto::Ocb::kBlockSize + plain.size() +
+                                   crypto::Ocb::kTagSize);
     std::memcpy(slot.data(), nonce.data(), crypto::Ocb::kBlockSize);
-    std::memcpy(slot.data() + crypto::Ocb::kBlockSize, sealed.data(),
-                sealed.size());
+    key->EncryptInto(nonce, plain.data(), plain.size(),
+                     slot.data() + crypto::Ocb::kBlockSize);
     return slot;
   };
 
@@ -104,6 +104,7 @@ Result<EncryptedRelation::FetchRun> EncryptedRelation::FetchRange(
     sim::Coprocessor& copro, std::uint64_t first, std::uint64_t count) const {
   PPJ_ASSIGN_OR_RETURN(sim::ReadRun run,
                        copro.GetOpenRange(region_, first, count, key_));
+  PPJ_RETURN_NOT_OK(run.PrefetchOpen());
   return FetchRun(std::move(run), schema_);
 }
 

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <limits>
 
+#include "common/logging.h"
+
 namespace ppj::sim {
 
 namespace {
@@ -70,12 +72,13 @@ crypto::Block Coprocessor::NextNonce() {
 std::vector<std::uint8_t> Coprocessor::Seal(
     const std::vector<std::uint8_t>& plaintext, const crypto::Ocb& key) {
   const crypto::Block nonce = NextNonce();
-  std::vector<std::uint8_t> sealed = key.Encrypt(nonce, plaintext);
-  metrics_.cipher_calls += crypto::Ocb::BlockCipherCalls(plaintext.size());
-  std::vector<std::uint8_t> out(crypto::Ocb::kBlockSize + sealed.size());
+  // Seal straight into the nonce-prefixed slot — no intermediate buffer.
+  std::vector<std::uint8_t> out(crypto::Ocb::kBlockSize + plaintext.size() +
+                                crypto::Ocb::kTagSize);
   std::memcpy(out.data(), nonce.data(), crypto::Ocb::kBlockSize);
-  std::memcpy(out.data() + crypto::Ocb::kBlockSize, sealed.data(),
-              sealed.size());
+  key.EncryptInto(nonce, plaintext.data(), plaintext.size(),
+                  out.data() + crypto::Ocb::kBlockSize);
+  metrics_.cipher_calls += crypto::Ocb::BlockCipherCalls(plaintext.size());
   return out;
 }
 
@@ -92,13 +95,16 @@ Result<std::vector<std::uint8_t>> Coprocessor::Open(
   }
   crypto::Block nonce;
   std::memcpy(nonce.data(), sealed.data(), crypto::Ocb::kBlockSize);
-  const std::vector<std::uint8_t> body(
-      sealed.begin() + crypto::Ocb::kBlockSize, sealed.end());
-  metrics_.cipher_calls += crypto::Ocb::BlockCipherCalls(
-      body.size() - crypto::Ocb::kTagSize);
-  Result<std::vector<std::uint8_t>> opened = key.Decrypt(nonce, body);
-  if (!opened.ok()) return fail(opened.status());
-  return opened;
+  const std::size_t body_size = sealed.size() - crypto::Ocb::kBlockSize;
+  const std::size_t plain_size = body_size - crypto::Ocb::kTagSize;
+  metrics_.cipher_calls += crypto::Ocb::BlockCipherCalls(plain_size);
+  // Open straight out of the caller's slot — no intermediate body vector.
+  std::vector<std::uint8_t> plain(plain_size);
+  const Status opened = key.DecryptInto(
+      nonce, sealed.data() + crypto::Ocb::kBlockSize, body_size,
+      plain.data());
+  if (!opened.ok()) return fail(opened);
+  return plain;
 }
 
 crypto::Block Coprocessor::PositionNonce(RegionId region,
@@ -152,12 +158,12 @@ Status Coprocessor::PutSealed(RegionId region, std::uint64_t index,
   }
   const crypto::Block nonce =
       PositionNonce(region, index, ++position_counter_);
-  std::vector<std::uint8_t> sealed = key.Encrypt(nonce, plaintext);
-  metrics_.cipher_calls += crypto::Ocb::BlockCipherCalls(plaintext.size());
-  std::vector<std::uint8_t> slot(crypto::Ocb::kBlockSize + sealed.size());
+  std::vector<std::uint8_t> slot(crypto::Ocb::kBlockSize + plaintext.size() +
+                                 crypto::Ocb::kTagSize);
   std::memcpy(slot.data(), nonce.data(), crypto::Ocb::kBlockSize);
-  std::memcpy(slot.data() + crypto::Ocb::kBlockSize, sealed.data(),
-              sealed.size());
+  key.EncryptInto(nonce, plaintext.data(), plaintext.size(),
+                  slot.data() + crypto::Ocb::kBlockSize);
+  metrics_.cipher_calls += crypto::Ocb::BlockCipherCalls(plaintext.size());
   return Put(region, index, slot);
 }
 
@@ -234,6 +240,56 @@ Result<std::span<const std::uint8_t>> ReadRun::NextOpen() {
   return OpenAt(position());
 }
 
+Status ReadRun::PrefetchOpen() {
+  if (key_ == nullptr) {
+    return Status::InvalidArgument(
+        "ReadRun::PrefetchOpen requires a key-bound run (use GetOpenRange)");
+  }
+  if (copro_->disabled_) return DeviceDisabled();
+  if (prefetched_ || count_ == 0) return Status::OK();
+  if (slot_size_ < crypto::Ocb::kBlockSize + crypto::Ocb::kTagSize) {
+    // Malformed region: let consumption report it slot by slot.
+    return Status::OK();
+  }
+  const std::size_t body_size = slot_size_ - crypto::Ocb::kBlockSize;
+  const std::size_t plain_size = body_size - crypto::Ocb::kTagSize;
+  plain_arena_.resize(static_cast<std::size_t>(count_) * plain_size);
+  slot_state_.assign(static_cast<std::size_t>(count_), SlotState::kOk);
+  slot_status_.assign(static_cast<std::size_t>(count_), Status::OK());
+  for (std::uint64_t i = 0; i < count_; ++i) {
+    const std::uint8_t* slot =
+        arena_.data() + static_cast<std::size_t>(i) * slot_size_;
+    const crypto::Block expected =
+        Coprocessor::PositionNonce(region_, first_ + i, 0);
+    bool nonce_ok = true;
+    for (int j = 0; j < 12; ++j) {
+      if (slot[static_cast<std::size_t>(j)] != expected[j]) {
+        nonce_ok = false;
+        break;
+      }
+    }
+    if (!nonce_ok) {
+      slot_state_[static_cast<std::size_t>(i)] = SlotState::kNonceMismatch;
+      slot_status_[static_cast<std::size_t>(i)] = Status::Tampered(
+          "slot nonce bound to a different host location: reorder or "
+          "replay attack detected");
+      continue;
+    }
+    crypto::Block nonce;
+    std::memcpy(nonce.data(), slot, crypto::Ocb::kBlockSize);
+    const Status opened = key_->DecryptInto(
+        nonce, slot + crypto::Ocb::kBlockSize, body_size,
+        plain_arena_.data() + static_cast<std::size_t>(i) * plain_size);
+    if (!opened.ok()) {
+      slot_state_[static_cast<std::size_t>(i)] = SlotState::kOpenFailed;
+      slot_status_[static_cast<std::size_t>(i)] = opened;
+    }
+  }
+  ++copro_->metrics_.prefetch_opens;
+  prefetched_ = true;
+  return Status::OK();
+}
+
 Result<std::span<const std::uint8_t>> ReadRun::OpenAt(std::uint64_t index) {
   if (key_ == nullptr) {
     return Status::InvalidArgument(
@@ -258,6 +314,28 @@ Result<std::span<const std::uint8_t>> ReadRun::OpenAt(std::uint64_t index) {
   };
   if (slot_size_ < crypto::Ocb::kBlockSize + crypto::Ocb::kTagSize) {
     return fail(Status::Tampered("sealed slot too small"));
+  }
+  if (prefetched_) {
+    // Cached consumption replays the scalar sequence exactly: a nonce
+    // mismatch fails *before* any cipher charge; an authentication failure
+    // is charged then fails; success is charged then handed out — so the
+    // fingerprints and counters match the unprefetched path bit for bit.
+    const std::size_t rel = static_cast<std::size_t>(index - first_);
+    const std::size_t plain_size =
+        slot_size_ - crypto::Ocb::kBlockSize - crypto::Ocb::kTagSize;
+    switch (slot_state_[rel]) {
+      case SlotState::kNonceMismatch:
+        return fail(slot_status_[rel]);
+      case SlotState::kOpenFailed:
+        copro_->metrics_.cipher_calls +=
+            crypto::Ocb::BlockCipherCalls(plain_size);
+        return fail(slot_status_[rel]);
+      case SlotState::kOk:
+        copro_->metrics_.cipher_calls +=
+            crypto::Ocb::BlockCipherCalls(plain_size);
+        return std::span<const std::uint8_t>(
+            plain_arena_.data() + rel * plain_size, plain_size);
+    }
   }
   const crypto::Block expected =
       Coprocessor::PositionNonce(region_, index, 0);
@@ -293,9 +371,22 @@ WriteRun::WriteRun(WriteRun&& other) noexcept
   other.copro_ = nullptr;
 }
 
+namespace {
+// Last-resort reporting for destruction-path flushes, whose Status has no
+// caller left to return to (the satellite "dropped host writes must be
+// visible" fix).
+void ReportDroppedFlush(const Status& status) {
+  PPJ_LOG(kError) << "WriteRun dropped deferred host writes: "
+                  << status.ToString();
+}
+}  // namespace
+
 WriteRun& WriteRun::operator=(WriteRun&& other) noexcept {
   if (this != &other) {
-    if (copro_ != nullptr) (void)Flush();
+    if (copro_ != nullptr) {
+      const Status flushed = Flush();
+      if (!flushed.ok()) ReportDroppedFlush(flushed);
+    }
     copro_ = other.copro_;
     region_ = other.region_;
     first_ = other.first_;
@@ -311,7 +402,10 @@ WriteRun& WriteRun::operator=(WriteRun&& other) noexcept {
 }
 
 WriteRun::~WriteRun() {
-  if (copro_ != nullptr) (void)Flush();
+  if (copro_ != nullptr) {
+    const Status flushed = Flush();
+    if (!flushed.ok()) ReportDroppedFlush(flushed);
+  }
 }
 
 Status WriteRun::Append(const std::vector<std::uint8_t>& plaintext) {

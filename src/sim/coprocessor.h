@@ -262,6 +262,18 @@ class ReadRun {
   /// Scalar-equivalent of GetOpen on an arbitrary slot of the range.
   Result<std::span<const std::uint8_t>> OpenAt(std::uint64_t index);
 
+  /// Bulk prefetch-decrypt: opens every staged slot into an internal
+  /// plaintext arena in one pass over the pipelined wide OCB kernels, so
+  /// later NextOpen/OpenAt calls only hand out cached results. Purely an
+  /// internal speed-up of T: prefetching performs **no** per-slot accounting
+  /// and **no** tamper response — each consumption call still replays the
+  /// exact scalar sequence (trace event, timing sample, get counter, nonce
+  /// check, cipher charge, tamper response) at the moment it happens, so
+  /// every adversary-visible fingerprint is bit-identical whether or not the
+  /// run was prefetched, and slots never consumed are never charged.
+  /// Requires a key-bound run; a no-op on undersized slots or empty runs.
+  Status PrefetchOpen();
+
  private:
   friend class Coprocessor;
   ReadRun(Coprocessor* copro, RegionId region, std::uint64_t first,
@@ -273,6 +285,10 @@ class ReadRun {
         slot_size_(slot_size),
         key_(key) {}
 
+  /// Outcome of prefetch-decrypting one slot; reported (and charged) only
+  /// when the slot is actually consumed.
+  enum class SlotState : std::uint8_t { kOk, kNonceMismatch, kOpenFailed };
+
   Coprocessor* copro_;
   RegionId region_;
   std::uint64_t first_;
@@ -281,6 +297,10 @@ class ReadRun {
   const crypto::Ocb* key_;
   std::vector<std::uint8_t> arena_;  ///< count * slot_size sealed bytes.
   std::vector<std::uint8_t> plain_;  ///< Reused plaintext scratch.
+  std::vector<std::uint8_t> plain_arena_;  ///< Prefetched plaintexts.
+  std::vector<SlotState> slot_state_;      ///< Per-slot prefetch outcome.
+  std::vector<Status> slot_status_;        ///< Failure details per slot.
+  bool prefetched_ = false;
   std::uint64_t next_ = 0;
 };
 

@@ -14,6 +14,7 @@ TransferMetrics& TransferMetrics::operator+=(const TransferMetrics& other) {
   padded_cycles += other.padded_cycles;
   batch_gets += other.batch_gets;
   batch_puts += other.batch_puts;
+  prefetch_opens += other.prefetch_opens;
   return *this;
 }
 
@@ -31,6 +32,7 @@ TransferMetrics TransferMetrics::operator-(const TransferMetrics& other) const {
   out.padded_cycles = sub(padded_cycles, other.padded_cycles);
   out.batch_gets = sub(batch_gets, other.batch_gets);
   out.batch_puts = sub(batch_puts, other.batch_puts);
+  out.prefetch_opens = sub(prefetch_opens, other.prefetch_opens);
   return out;
 }
 
@@ -40,7 +42,8 @@ std::string TransferMetrics::ToString() const {
      << TupleTransfers() << ", disk_writes=" << disk_writes
      << ", ituple_reads=" << ituple_reads << ", cipher_calls=" << cipher_calls
      << ", comparisons=" << comparisons << ", batch_gets=" << batch_gets
-     << ", batch_puts=" << batch_puts << "}";
+     << ", batch_puts=" << batch_puts << ", prefetch_opens=" << prefetch_opens
+     << "}";
   return os.str();
 }
 

@@ -29,6 +29,12 @@ struct TransferMetrics {
   std::uint64_t batch_gets = 0;
   std::uint64_t batch_puts = 0;
 
+  /// Bulk prefetch-decrypt passes (ReadRun::PrefetchOpen). Like the batch
+  /// counters this is a diagnostic of internal amortization only: per-slot
+  /// cipher charges still land in `cipher_calls` at consumption time, so no
+  /// fingerprint or paper metric depends on it.
+  std::uint64_t prefetch_opens = 0;
+
   /// The paper's cost metric.
   std::uint64_t TupleTransfers() const { return gets + puts; }
 

@@ -41,6 +41,7 @@ struct GoldenRecord {
   sim::TraceFingerprint trace;
   sim::TraceFingerprint timing;
   std::uint64_t transfers = 0;
+  std::uint64_t cipher_calls = 0;
   std::uint64_t batch_gets = 0;
   std::uint64_t batch_puts = 0;
   std::vector<relation::Tuple> decoded;
@@ -51,8 +52,10 @@ struct GoldenRecord {
 /// after construction leaves the world bit-identical.
 std::unique_ptr<TwoPartyWorld> MakeBatchWorld(
     relation::TwoTableWorkload workload, std::uint64_t memory_tuples,
-    bool pad_pow2, std::uint64_t batch_slots) {
-  auto world = MakeWorld(std::move(workload), memory_tuples, pad_pow2);
+    bool pad_pow2, std::uint64_t batch_slots,
+    const crypto::Ocb::Options& crypto_options = {}) {
+  auto world = MakeWorld(std::move(workload), memory_tuples, pad_pow2,
+                         /*copro_seed=*/42, crypto_options);
   if (world == nullptr) return nullptr;
   world->copro = std::make_unique<sim::Coprocessor>(
       &world->host,
@@ -67,6 +70,7 @@ Status FillRecord(TwoPartyWorld& world, sim::RegionId output,
   rec->trace = world.copro->trace().fingerprint();
   rec->timing = world.copro->timing_fingerprint();
   rec->transfers = world.copro->metrics().TupleTransfers();
+  rec->cipher_calls = world.copro->metrics().cipher_calls;
   rec->batch_gets = world.copro->metrics().batch_gets;
   rec->batch_puts = world.copro->metrics().batch_puts;
   PPJ_ASSIGN_OR_RETURN(rec->decoded,
@@ -86,6 +90,7 @@ void ExpectGoldenMatch(const GoldenRecord& scalar,
   EXPECT_EQ(scalar.timing.digest, batched.timing.digest);
   EXPECT_EQ(scalar.timing.count, batched.timing.count);
   EXPECT_EQ(scalar.transfers, batched.transfers);
+  EXPECT_EQ(scalar.cipher_calls, batched.cipher_calls);
   EXPECT_TRUE(relation::SameTupleMultiset(scalar.decoded, batched.decoded))
       << "scalar decoded " << scalar.decoded.size() << " tuples, batched "
       << batched.decoded.size();
@@ -98,7 +103,9 @@ void ExpectGoldenMatch(const GoldenRecord& scalar,
 
 enum class Ch4Alg { kAlg1, kAlg1Variant, kAlg2, kAlg3 };
 
-Result<GoldenRecord> RunCh4Golden(Ch4Alg which, std::uint64_t batch_slots) {
+Result<GoldenRecord> RunCh4Golden(Ch4Alg which, std::uint64_t batch_slots,
+                                  const crypto::Ocb::Options& crypto_options =
+                                      {}) {
   EquijoinSpec spec;
   spec.size_a = 8;
   spec.size_b = 16;
@@ -108,7 +115,8 @@ Result<GoldenRecord> RunCh4Golden(Ch4Alg which, std::uint64_t batch_slots) {
   PPJ_ASSIGN_OR_RETURN(relation::TwoTableWorkload workload,
                        MakeEquijoinWorkload(spec));
   auto world = MakeBatchWorld(std::move(workload), /*memory_tuples=*/4,
-                              which == Ch4Alg::kAlg3, batch_slots);
+                              which == Ch4Alg::kAlg3, batch_slots,
+                              crypto_options);
   if (world == nullptr) return Status::Internal("world construction failed");
   TwoWayJoin join{world->a.get(), world->b.get(),
                   world->workload.predicate.get(), world->key_out.get()};
@@ -142,6 +150,23 @@ TEST_P(Ch4GoldenTest, BatchedMatchesScalarFingerprints) {
   ExpectGoldenMatch(*scalar, *batched);
 }
 
+// The wide OCB kernels are byte-identical ciphers, so a run on the wide
+// path, the scalar-kernel path, and the software-AES fallback must agree on
+// *every* golden dimension — traces, timing, transfers, cipher charges and
+// the decoded result — not just the batching counters.
+TEST_P(Ch4GoldenTest, KernelWidthAndBackendInvisibleInFingerprints) {
+  auto wide = RunCh4Golden(GetParam(), /*batch_slots=*/0);
+  ASSERT_TRUE(wide.ok()) << wide.status();
+  auto scalar_kernels =
+      RunCh4Golden(GetParam(), /*batch_slots=*/0, {.wide_kernels = false});
+  ASSERT_TRUE(scalar_kernels.ok()) << scalar_kernels.status();
+  ExpectGoldenMatch(*wide, *scalar_kernels);
+  auto software = RunCh4Golden(GetParam(), /*batch_slots=*/0,
+                               {.backend = crypto::Aes128::Backend::kSoftware});
+  ASSERT_TRUE(software.ok()) << software.status();
+  ExpectGoldenMatch(*wide, *software);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllChapter4, Ch4GoldenTest,
                          ::testing::Values(Ch4Alg::kAlg1,
                                            Ch4Alg::kAlg1Variant,
@@ -151,7 +176,9 @@ INSTANTIATE_TEST_SUITE_P(AllChapter4, Ch4GoldenTest,
 
 enum class Ch5Alg { kAlg4, kAlg5, kAlg6 };
 
-Result<GoldenRecord> RunCh5Golden(Ch5Alg which, std::uint64_t batch_slots) {
+Result<GoldenRecord> RunCh5Golden(Ch5Alg which, std::uint64_t batch_slots,
+                                  const crypto::Ocb::Options& crypto_options =
+                                      {}) {
   relation::CellSpec spec;
   spec.size_a = 8;
   spec.size_b = 12;
@@ -160,7 +187,8 @@ Result<GoldenRecord> RunCh5Golden(Ch5Alg which, std::uint64_t batch_slots) {
   PPJ_ASSIGN_OR_RETURN(relation::TwoTableWorkload workload,
                        MakeCellWorkload(spec));
   auto world = MakeBatchWorld(std::move(workload), /*memory_tuples=*/4,
-                              /*pad_pow2=*/false, batch_slots);
+                              /*pad_pow2=*/false, batch_slots,
+                              crypto_options);
   if (world == nullptr) return Status::Internal("world construction failed");
   const relation::PairAsMultiway multiway(world->workload.predicate.get());
   MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
@@ -192,6 +220,19 @@ TEST_P(Ch5GoldenTest, BatchedMatchesScalarFingerprints) {
   auto batched = RunCh5Golden(GetParam(), /*batch_slots=*/0);
   ASSERT_TRUE(batched.ok()) << batched.status();
   ExpectGoldenMatch(*scalar, *batched);
+}
+
+TEST_P(Ch5GoldenTest, KernelWidthAndBackendInvisibleInFingerprints) {
+  auto wide = RunCh5Golden(GetParam(), /*batch_slots=*/0);
+  ASSERT_TRUE(wide.ok()) << wide.status();
+  auto scalar_kernels =
+      RunCh5Golden(GetParam(), /*batch_slots=*/0, {.wide_kernels = false});
+  ASSERT_TRUE(scalar_kernels.ok()) << scalar_kernels.status();
+  ExpectGoldenMatch(*wide, *scalar_kernels);
+  auto software = RunCh5Golden(GetParam(), /*batch_slots=*/0,
+                               {.backend = crypto::Aes128::Backend::kSoftware});
+  ASSERT_TRUE(software.ok()) << software.status();
+  ExpectGoldenMatch(*wide, *software);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllChapter5, Ch5GoldenTest,

@@ -1,4 +1,6 @@
 #include <set>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -6,9 +8,28 @@
 #include "crypto/key.h"
 #include "crypto/mlfsr.h"
 #include "crypto/ocb.h"
+#include "crypto/ocb_stream.h"
 
 namespace ppj::crypto {
 namespace {
+
+std::vector<std::uint8_t> FromHex(const std::string& hex) {
+  std::vector<std::uint8_t> out(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(
+        std::stoul(hex.substr(2 * i, 2), nullptr, 16));
+  }
+  return out;
+}
+
+// Deterministic test plaintext.
+std::vector<std::uint8_t> Pattern(std::size_t len, std::uint8_t salt) {
+  std::vector<std::uint8_t> out(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out[i] = static_cast<std::uint8_t>(i * 131 + salt);
+  }
+  return out;
+}
 
 TEST(Aes128Test, Fips197KnownAnswer) {
   // FIPS-197 Appendix C.1: AES-128 with key 000102...0f, plaintext
@@ -52,6 +73,95 @@ TEST(Aes128Test, GfDoubleKnownBehaviour) {
   EXPECT_EQ(GfDouble(one), two);
 }
 
+TEST(Aes128Test, HardwareMatchesSoftware) {
+  // The AES-NI and T-table paths must be the same function. Skipped (not
+  // silently passed) on machines without AES-NI so a CI log shows which
+  // arm actually ran.
+  const Block key = DeriveKey(7, "hw-vs-sw");
+  const Aes128 hw(key, Aes128::Backend::kAuto);
+  const Aes128 sw(key, Aes128::Backend::kSoftware);
+  ASSERT_FALSE(sw.hardware());
+  if (!hw.hardware()) GTEST_SKIP() << "no AES-NI on this host";
+  Block b{};
+  for (int i = 0; i < 256; ++i) {
+    b[i % 16] ^= static_cast<std::uint8_t>(i * 41 + 3);
+    EXPECT_EQ(hw.Encrypt(b), sw.Encrypt(b));
+    EXPECT_EQ(hw.Decrypt(b), sw.Decrypt(b));
+  }
+}
+
+TEST(Aes128Test, MultiBlockMatchesSingleBlock) {
+  // EncryptBlocks/DecryptBlocks must be byte-identical to n sequential
+  // single-block calls on both backends, for counts around and beyond the
+  // 8-block interleave width (remainder loop included).
+  const Block key = DeriveKey(8, "multiblock");
+  for (const auto backend : {Aes128::Backend::kAuto,
+                             Aes128::Backend::kSoftware}) {
+    const Aes128 aes(key, backend);
+    for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 15u, 16u, 17u,
+                          31u, 64u}) {
+      const std::vector<std::uint8_t> in = Pattern(n * 16, 0x5A);
+      std::vector<std::uint8_t> got(n * 16);
+      aes.EncryptBlocks(in.data(), got.data(), n);
+      for (std::size_t b = 0; b < n; ++b) {
+        Block p;
+        std::memcpy(p.data(), in.data() + 16 * b, 16);
+        const Block c = aes.Encrypt(p);
+        EXPECT_EQ(0, std::memcmp(got.data() + 16 * b, c.data(), 16))
+            << "encrypt block " << b << " of " << n;
+      }
+      std::vector<std::uint8_t> back(n * 16);
+      aes.DecryptBlocks(got.data(), back.data(), n);
+      EXPECT_EQ(back, in) << "decrypt n=" << n;
+    }
+  }
+}
+
+TEST(Aes128Test, MultiBlockInPlace) {
+  // The OCB lane groups cipher their staging buffer in place.
+  const Aes128 aes(DeriveKey(9, "inplace"));
+  const std::vector<std::uint8_t> in = Pattern(33 * 16, 0xC3);
+  std::vector<std::uint8_t> expected(in.size());
+  aes.EncryptBlocks(in.data(), expected.data(), 33);
+  std::vector<std::uint8_t> buf = in;
+  aes.EncryptBlocks(buf.data(), buf.data(), 33);
+  EXPECT_EQ(buf, expected);
+  aes.DecryptBlocks(buf.data(), buf.data(), 33);
+  EXPECT_EQ(buf, in);
+}
+
+TEST(Aes128Test, XexBlocksMatchesManualWhitening) {
+  // Fused out = E(in ^ mask ^ base) ^ mask ^ base must equal the hand-rolled
+  // composition on both backends, across interleave boundaries and the
+  // single-block remainder loop.
+  const Block key = DeriveKey(10, "xex");
+  const Block base = DeriveKey(11, "base");
+  for (const auto backend :
+       {Aes128::Backend::kAuto, Aes128::Backend::kSoftware}) {
+    const Aes128 aes(key, backend);
+    for (std::size_t n : {1u, 2u, 7u, 8u, 9u, 16u, 33u, 64u, 100u}) {
+      const std::vector<std::uint8_t> in = Pattern(n * 16, 0x3D);
+      const std::vector<std::uint8_t> mask = Pattern(n * 16, 0x91);
+      std::vector<std::uint8_t> expected(n * 16);
+      for (std::size_t i = 0; i < n * 16; ++i) {
+        expected[i] = static_cast<std::uint8_t>(in[i] ^ mask[i] ^ base[i % 16]);
+      }
+      aes.EncryptBlocks(expected.data(), expected.data(), n);
+      for (std::size_t i = 0; i < n * 16; ++i) {
+        expected[i] =
+            static_cast<std::uint8_t>(expected[i] ^ mask[i] ^ base[i % 16]);
+      }
+      std::vector<std::uint8_t> got(n * 16);
+      aes.EncryptXexBlocks(in.data(), mask.data(), base.data(), got.data(), n);
+      ASSERT_EQ(got, expected) << "n=" << n;
+      std::vector<std::uint8_t> back(n * 16);
+      aes.DecryptXexBlocks(got.data(), mask.data(), base.data(), back.data(),
+                           n);
+      EXPECT_EQ(back, in) << "n=" << n;
+    }
+  }
+}
+
 TEST(OcbTest, RoundTripVariousLengths) {
   const Ocb ocb(DeriveKey(1, "ocb"));
   for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 31u, 32u, 33u, 100u, 256u}) {
@@ -65,6 +175,124 @@ TEST(OcbTest, RoundTripVariousLengths) {
     auto opened = ocb.Decrypt(nonce, sealed);
     ASSERT_TRUE(opened.ok()) << opened.status();
     EXPECT_EQ(*opened, pt);
+  }
+}
+
+TEST(OcbTest, Rfc7253KnownAnswers) {
+  // RFC 7253 Appendix A, AES-128-OCB-TAGLEN128, empty associated data.
+  // With no AD, HASH(K,A) = 0 and the library's checksum/tag pipeline is
+  // exactly the RFC's; only nonce processing differs, selected here via
+  // NonceMode::kRfc7253. The 16-byte Block carries the RFC's formatted
+  // Nonce: num2str(TAGLEN mod 128, 7) || 0* || 1 || N, i.e. for a 96-bit N
+  // bytes {00 00 00 01} || N.
+  const std::vector<std::uint8_t> key_bytes =
+      FromHex("000102030405060708090A0B0C0D0E0F");
+  Block key;
+  std::memcpy(key.data(), key_bytes.data(), 16);
+  const Ocb ocb(key, {.nonce_mode = Ocb::NonceMode::kRfc7253});
+
+  struct Vector {
+    const char* nonce_hex;  // 96-bit N
+    const char* pt_hex;
+    const char* ct_hex;  // ciphertext || tag
+  };
+  const Vector vectors[] = {
+      {"BBAA99887766554433221100", "",
+       "785407BFFFC8AD9EDCC5520AC9111EE6"},
+      {"BBAA99887766554433221103", "0001020304050607",
+       "45DD69F8F5AAE72414054CD1F35D82760B2CD00D2F99BFA9"},
+      {"BBAA99887766554433221106", "000102030405060708090A0B0C0D0E0F",
+       "5CE88EC2E0692706A915C00AEB8B2396F40E1C743F52436BDF06D8FA1ECA343D"},
+  };
+  for (const Vector& v : vectors) {
+    Block nonce{};
+    nonce[3] = 0x01;
+    const std::vector<std::uint8_t> n = FromHex(v.nonce_hex);
+    ASSERT_EQ(n.size(), 12u);
+    std::memcpy(nonce.data() + 4, n.data(), 12);
+
+    const std::vector<std::uint8_t> pt = FromHex(v.pt_hex);
+    const std::vector<std::uint8_t> expected = FromHex(v.ct_hex);
+    EXPECT_EQ(ocb.Encrypt(nonce, pt), expected) << "N=" << v.nonce_hex;
+
+    auto opened = ocb.Decrypt(nonce, expected);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    EXPECT_EQ(*opened, pt);
+  }
+}
+
+TEST(OcbTest, WideMatchesScalarAllTailSizes) {
+  // The wide path must be byte-identical to the scalar path for every tail
+  // length 0..15 at several full-block counts, spanning empty, partial lane
+  // groups, kernel interleave boundaries, the exact end of the precomputed
+  // offset-prefix table, and the chained-offset fallback beyond it.
+  const Block key = DeriveKey(4, "wide");
+  const Ocb wide(key, {.wide_kernels = true});
+  const Ocb scalar(key, {.wide_kernels = false});
+  constexpr std::size_t kPrefix =
+      static_cast<std::size_t>(Ocb::kWidePrefixBlocks);
+  for (std::size_t blocks : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                             std::size_t{7}, std::size_t{8}, std::size_t{31},
+                             std::size_t{32}, std::size_t{33}, kPrefix,
+                             kPrefix + 1, kPrefix + 65}) {
+    for (std::size_t tail = 0; tail < 16; ++tail) {
+      const std::size_t len = blocks * 16 + tail;
+      const std::vector<std::uint8_t> pt = Pattern(len, 0x11);
+      const Block nonce = NonceFromCounter(9000 + len);
+      const auto cw = wide.Encrypt(nonce, pt);
+      const auto cs = scalar.Encrypt(nonce, pt);
+      ASSERT_EQ(cw, cs) << "len=" << len;
+      // Cross-decryption: each path opens the other's output.
+      auto ow = wide.Decrypt(nonce, cs);
+      auto os = scalar.Decrypt(nonce, cw);
+      ASSERT_TRUE(ow.ok() && os.ok()) << "len=" << len;
+      EXPECT_EQ(*ow, pt);
+      EXPECT_EQ(*os, pt);
+    }
+  }
+}
+
+TEST(OcbTest, SoftwareBackendMatchesAuto) {
+  // Same ciphertext regardless of cipher backend: the sealed relations a
+  // software-only provider produces open on an AES-NI coprocessor and
+  // vice versa.
+  const Block key = DeriveKey(5, "backend");
+  const Ocb auto_ocb(key);
+  const Ocb sw_ocb(key, {.backend = Aes128::Backend::kSoftware});
+  for (std::size_t len : {0u, 5u, 16u, 40u, 513u}) {
+    const std::vector<std::uint8_t> pt = Pattern(len, 0x77);
+    const Block nonce = NonceFromCounter(700 + len);
+    EXPECT_EQ(auto_ocb.Encrypt(nonce, pt), sw_ocb.Encrypt(nonce, pt))
+        << "len=" << len;
+  }
+}
+
+TEST(OcbStreamTest, NextBlocksMatchesNextBlock) {
+  const Block key = DeriveKey(6, "stream");
+  const Block nonce = NonceFromCounter(31337);
+  for (std::size_t nblocks : {1u, 2u, 8u, 31u, 32u, 33u, 100u}) {
+    const std::vector<std::uint8_t> pt = Pattern(nblocks * 16, 0x42);
+    OcbStreamEncryptor one(key, nonce);
+    std::vector<std::uint8_t> expect(pt.size());
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      Block p;
+      std::memcpy(p.data(), pt.data() + 16 * b, 16);
+      const Block c = one.NextBlock(p);
+      std::memcpy(expect.data() + 16 * b, c.data(), 16);
+    }
+    const Block tag_one = one.Finalize();
+
+    OcbStreamEncryptor many(key, nonce);
+    std::vector<std::uint8_t> got(pt.size());
+    many.NextBlocks(pt.data(), got.data(), nblocks);
+    EXPECT_EQ(got, expect) << "nblocks=" << nblocks;
+    EXPECT_EQ(many.Finalize(), tag_one);
+
+    OcbStreamDecryptor dec(key, nonce);
+    std::vector<std::uint8_t> back(pt.size());
+    dec.NextBlocks(got.data(), back.data(), nblocks);
+    EXPECT_EQ(back, pt);
+    EXPECT_TRUE(dec.Verify(tag_one).ok());
   }
 }
 

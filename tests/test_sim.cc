@@ -1,3 +1,7 @@
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "crypto/key.h"
@@ -141,6 +145,93 @@ TEST_F(CoprocessorTest, NonceTamperingIsDetected) {
   ASSERT_TRUE(host_.CorruptSlot(r, 0, 5).ok());  // inside the nonce
   EXPECT_EQ(copro_.GetOpen(r, 0, key_).status().code(),
             StatusCode::kTampered);
+}
+
+class PrefetchOpenTest : public CoprocessorTest {
+ protected:
+  // Provider-style sealing (counter 0), like EncryptedRelation::Seal.
+  RegionId SealRegion(std::size_t plain_size, std::uint64_t slots) {
+    const RegionId r =
+        host_.CreateRegion("r", Coprocessor::SealedSize(plain_size), slots);
+    for (std::uint64_t i = 0; i < slots; ++i) {
+      const crypto::Block nonce = Coprocessor::PositionNonce(r, i, 0);
+      std::vector<std::uint8_t> slot(Coprocessor::SealedSize(plain_size));
+      std::memcpy(slot.data(), nonce.data(), crypto::Ocb::kBlockSize);
+      const std::vector<std::uint8_t> plain(plain_size,
+                                            static_cast<std::uint8_t>(i));
+      key_.EncryptInto(nonce, plain.data(), plain.size(),
+                       slot.data() + crypto::Ocb::kBlockSize);
+      EXPECT_TRUE(host_.WriteSlot(r, i, slot).ok());
+    }
+    return r;
+  }
+};
+
+TEST_F(PrefetchOpenTest, AccountingIdenticalWithAndWithoutPrefetch) {
+  const RegionId r = SealRegion(8, 4);
+  // Same host, two fresh devices: one consumes a prefetched run, the other
+  // the lazy per-slot path. Every observable must coincide.
+  Coprocessor lazy(&host_, CoprocessorOptions{.memory_tuples = 4, .seed = 7});
+  Coprocessor eager(&host_, CoprocessorOptions{.memory_tuples = 4, .seed = 7});
+
+  auto lazy_run = lazy.GetOpenRange(r, 0, 4, &key_);
+  ASSERT_TRUE(lazy_run.ok());
+  auto eager_run = eager.GetOpenRange(r, 0, 4, &key_);
+  ASSERT_TRUE(eager_run.ok());
+  ASSERT_TRUE(eager_run->PrefetchOpen().ok());
+
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    auto a = lazy_run->NextOpen();
+    auto b = eager_run->NextOpen();
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_TRUE(std::equal(a->begin(), a->end(), b->begin(), b->end()));
+  }
+  EXPECT_EQ(lazy.trace().fingerprint().digest,
+            eager.trace().fingerprint().digest);
+  EXPECT_EQ(lazy.timing_fingerprint().digest,
+            eager.timing_fingerprint().digest);
+  EXPECT_EQ(lazy.metrics().gets, eager.metrics().gets);
+  EXPECT_EQ(lazy.metrics().cipher_calls, eager.metrics().cipher_calls);
+  EXPECT_EQ(lazy.metrics().prefetch_opens, 0u);
+  EXPECT_EQ(eager.metrics().prefetch_opens, 1u);
+}
+
+TEST_F(PrefetchOpenTest, TamperResponseFiresAtConsumptionNotPrefetch) {
+  const RegionId r = SealRegion(8, 3);
+  // Corrupt the ciphertext of slot 1 only (bit offset past the nonce).
+  ASSERT_TRUE(host_.CorruptSlot(r, 1, crypto::Ocb::kBlockSize * 8 + 2).ok());
+  auto run = copro_.GetOpenRange(r, 0, 3, &key_);
+  ASSERT_TRUE(run.ok());
+  // Prefetch decrypts everything — including the bad slot — but must not
+  // trip the tamper response before the slot is actually consumed.
+  ASSERT_TRUE(run->PrefetchOpen().ok());
+  EXPECT_FALSE(copro_.disabled());
+  EXPECT_TRUE(run->NextOpen().ok());
+  const std::uint64_t calls_before_bad = copro_.metrics().cipher_calls;
+  auto bad = run->NextOpen();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kTampered);
+  // The failed open is still charged, exactly like the scalar path.
+  EXPECT_GT(copro_.metrics().cipher_calls, calls_before_bad);
+  EXPECT_TRUE(copro_.disabled());
+}
+
+TEST_F(PrefetchOpenTest, UnconsumedTamperedSlotNeverCharges) {
+  const RegionId r = SealRegion(8, 3);
+  ASSERT_TRUE(host_.CorruptSlot(r, 2, crypto::Ocb::kBlockSize * 8 + 2).ok());
+  {
+    auto run = copro_.GetOpenRange(r, 0, 3, &key_);
+    ASSERT_TRUE(run.ok());
+    ASSERT_TRUE(run->PrefetchOpen().ok());
+    EXPECT_TRUE(run->NextOpen().ok());
+    EXPECT_TRUE(run->NextOpen().ok());
+    // Slot 2 is staged and prefetch-decrypted, but never consumed.
+  }
+  EXPECT_FALSE(copro_.disabled());
+  EXPECT_EQ(copro_.metrics().gets, 2u);
+  // Only the two consumed slots were charged.
+  EXPECT_EQ(copro_.metrics().cipher_calls,
+            2 * crypto::Ocb::BlockCipherCalls(8));
 }
 
 TEST_F(CoprocessorTest, MemoryReservationEnforced) {

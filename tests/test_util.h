@@ -34,18 +34,25 @@ struct TwoPartyWorld {
 };
 
 /// Builds a world around a generated workload. `pad_b_pow2` also pads A
-/// (harmless) so in-place-sorting algorithms apply.
+/// (harmless) so in-place-sorting algorithms apply. `crypto_options` selects
+/// the cipher backend / kernel width for all three keys — the wide-vs-scalar
+/// fingerprint goldens build otherwise-identical worlds that differ only
+/// here.
 inline std::unique_ptr<TwoPartyWorld> MakeWorld(
     relation::TwoTableWorkload workload, std::uint64_t memory_tuples,
-    bool pad_pow2 = false, std::uint64_t copro_seed = 42) {
+    bool pad_pow2 = false, std::uint64_t copro_seed = 42,
+    const crypto::Ocb::Options& crypto_options = {}) {
   auto world = std::make_unique<TwoPartyWorld>();
   world->workload = std::move(workload);
   world->copro = std::make_unique<sim::Coprocessor>(
       &world->host, sim::CoprocessorOptions{.memory_tuples = memory_tuples,
                                             .seed = copro_seed});
-  world->key_a = std::make_unique<crypto::Ocb>(crypto::DeriveKey(1, "A"));
-  world->key_b = std::make_unique<crypto::Ocb>(crypto::DeriveKey(2, "B"));
-  world->key_out = std::make_unique<crypto::Ocb>(crypto::DeriveKey(3, "C"));
+  world->key_a = std::make_unique<crypto::Ocb>(crypto::DeriveKey(1, "A"),
+                                               crypto_options);
+  world->key_b = std::make_unique<crypto::Ocb>(crypto::DeriveKey(2, "B"),
+                                               crypto_options);
+  world->key_out = std::make_unique<crypto::Ocb>(crypto::DeriveKey(3, "C"),
+                                                 crypto_options);
 
   const std::uint64_t pad_a =
       pad_pow2 ? NextPowerOfTwo(world->workload.a->size()) : 0;
