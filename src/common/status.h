@@ -11,7 +11,11 @@ namespace ppj {
 /// Error categories used across the library. The set mirrors the failure
 /// modes of the paper's system: protocol violations detected by the secure
 /// coprocessor (tampering), capacity violations of the coprocessor memory,
-/// and ordinary usage errors.
+/// transient faults of the untrusted host's storage, and ordinary usage
+/// errors. The fault taxonomy (docs/ROBUSTNESS.md) splits host failures in
+/// two: kUnavailable is *retryable* — the bounded-backoff retry policy may
+/// recover it — while kTampered is an *integrity* failure that permanently
+/// kills the device.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,   ///< Caller passed inconsistent parameters.
@@ -24,6 +28,7 @@ enum class StatusCode {
   kFailedPrecondition,///< API called in the wrong order.
   kUnimplemented,     ///< Feature intentionally not provided.
   kInternal,          ///< Invariant breakage; indicates a library bug.
+  kUnavailable,       ///< Transient host/storage fault; safe to retry.
 };
 
 /// Returns a stable, human-readable name such as "TAMPERED".
@@ -74,6 +79,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -56,7 +56,9 @@ void AppendMetricsFields(std::ostringstream& os,
      << ",\"comparisons\":" << m.comparisons
      << ",\"padded_cycles\":" << m.padded_cycles
      << ",\"batch_gets\":" << m.batch_gets
-     << ",\"batch_puts\":" << m.batch_puts;
+     << ",\"batch_puts\":" << m.batch_puts
+     << ",\"host_retries\":" << m.host_retries
+     << ",\"backoff_cycles\":" << m.backoff_cycles;
 }
 
 }  // namespace

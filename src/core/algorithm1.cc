@@ -2,6 +2,7 @@
 
 #include "common/math.h"
 #include "common/telemetry.h"
+#include "core/host_retry.h"
 #include "oblivious/bitonic_sort.h"
 #include "relation/encrypted_relation.h"
 
@@ -21,14 +22,16 @@ Result<std::uint64_t> ResolveN(sim::Coprocessor& copro,
 /// H copies `count` sealed slots from `src` to `dst` at dst_base and
 /// persists them — the paper's "Request H to write first N of scratch[] to
 /// disk". A host-side move of ciphertext T already produced: no transfers,
-/// one observable disk event per slot.
+/// one observable disk event per slot. H retries its own transient I/O
+/// (bounded, untraced) like any storage client.
 Status HostFlushToOutput(sim::Coprocessor& copro, sim::RegionId src,
                          std::uint64_t count, sim::RegionId dst,
                          std::uint64_t dst_base) {
   for (std::uint64_t k = 0; k < count; ++k) {
     PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> sealed,
-                         copro.host()->ReadSlot(src, k));
-    PPJ_RETURN_NOT_OK(copro.host()->WriteSlot(dst, dst_base + k, sealed));
+                         ReadSlotWithRetry(*copro.host(), src, k));
+    PPJ_RETURN_NOT_OK(
+        WriteSlotWithRetry(*copro.host(), dst, dst_base + k, sealed));
     PPJ_RETURN_NOT_OK(copro.DiskWrite(dst, dst_base + k));
   }
   return Status::OK();

@@ -5,6 +5,7 @@
 
 #include "common/math.h"
 #include "common/telemetry.h"
+#include "core/host_retry.h"
 #include "oblivious/bitonic_sort.h"
 #include "relation/encrypted_relation.h"
 
@@ -119,11 +120,13 @@ Result<Ch4Outcome> RunAlgorithm3(sim::Coprocessor& copro,
       }
     }
     PPJ_SPAN("output");
-    // H persists the N scratch slots for this A tuple.
+    // H persists the N scratch slots for this A tuple, retrying its own
+    // transient I/O (bounded, untraced) like any storage client.
     for (std::uint64_t k = 0; k < n; ++k) {
       PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> sealed,
-                           copro.host()->ReadSlot(scratch, k));
-      PPJ_RETURN_NOT_OK(copro.host()->WriteSlot(output, ai * n + k, sealed));
+                           ReadSlotWithRetry(*copro.host(), scratch, k));
+      PPJ_RETURN_NOT_OK(
+          WriteSlotWithRetry(*copro.host(), output, ai * n + k, sealed));
       PPJ_RETURN_NOT_OK(copro.DiskWrite(output, ai * n + k));
     }
   }

@@ -1,0 +1,43 @@
+#include "core/host_retry.h"
+
+#include "sim/coprocessor.h"
+
+namespace ppj::core {
+
+namespace {
+std::uint32_t MaxAttempts() {
+  return sim::CoprocessorOptions::RetryPolicy{}.max_attempts;
+}
+}  // namespace
+
+Result<std::vector<std::uint8_t>> ReadSlotWithRetry(const sim::HostStore& host,
+                                                    sim::RegionId region,
+                                                    std::uint64_t index) {
+  const std::uint32_t max_attempts = MaxAttempts();
+  Result<std::vector<std::uint8_t>> slot = host.ReadSlot(region, index);
+  for (std::uint32_t attempt = 1;
+       attempt < max_attempts && !slot.ok() &&
+       slot.status().code() == StatusCode::kUnavailable;
+       ++attempt) {
+    slot = host.ReadSlot(region, index);
+  }
+  return slot;
+}
+
+Status WriteSlotWithRetry(sim::HostStore& host, sim::RegionId region,
+                          std::uint64_t index,
+                          const std::vector<std::uint8_t>& bytes) {
+  const std::uint32_t max_attempts = MaxAttempts();
+  // A torn write persists a partial slot before failing kUnavailable; the
+  // retry rewrites the slot in full from `bytes`, repairing the tear.
+  Status status = host.WriteSlot(region, index, bytes);
+  for (std::uint32_t attempt = 1;
+       attempt < max_attempts && !status.ok() &&
+       status.code() == StatusCode::kUnavailable;
+       ++attempt) {
+    status = host.WriteSlot(region, index, bytes);
+  }
+  return status;
+}
+
+}  // namespace ppj::core

@@ -1,0 +1,29 @@
+#ifndef PPJ_CORE_HOST_RETRY_H_
+#define PPJ_CORE_HOST_RETRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sim/host_store.h"
+
+namespace ppj::core {
+
+/// Host-side bounded retry for raw slot I/O that runs *outside* the
+/// coprocessor: the recipient's delivery reads and H's own disk-to-disk
+/// copies (Algorithm 1/3 "request H to write scratch to disk"). These
+/// touch the same fallible storage the coprocessor does but have no device
+/// to charge backoff to and no trace — they apply the same kUnavailable
+/// policy (default RetryPolicy budget) with a local loop. Any other status,
+/// including kTampered, returns immediately.
+Result<std::vector<std::uint8_t>> ReadSlotWithRetry(const sim::HostStore& host,
+                                                    sim::RegionId region,
+                                                    std::uint64_t index);
+Status WriteSlotWithRetry(sim::HostStore& host, sim::RegionId region,
+                          std::uint64_t index,
+                          const std::vector<std::uint8_t>& bytes);
+
+}  // namespace ppj::core
+
+#endif  // PPJ_CORE_HOST_RETRY_H_

@@ -2,7 +2,9 @@
 
 #include <cstring>
 
+#include "core/host_retry.h"
 #include "relation/encrypted_relation.h"
+#include "sim/coprocessor.h"
 
 namespace ppj::core {
 
@@ -24,7 +26,7 @@ Result<std::vector<relation::Tuple>> DecodeJoinOutput(
   std::vector<relation::Tuple> out;
   for (std::uint64_t i = 0; i < slots; ++i) {
     PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> sealed,
-                         host.ReadSlot(region, i));
+                         ReadSlotWithRetry(host, region, i));
     PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> plain,
                          OpenSealedSlot(sealed, key));
     if (!relation::wire::IsReal(plain)) continue;  // decoy: drop silently

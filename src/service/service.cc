@@ -144,10 +144,42 @@ Result<const Contract*> SovereignJoinService::FindContract(
   return &it->second;
 }
 
+Status SovereignJoinService::CheckContractAlive(
+    const std::string& contract_id) const {
+  if (dead_contracts_.contains(contract_id)) {
+    return Status::Tampered(
+        "contract '" + contract_id +
+        "' is permanently disabled: its device's tamper response fired "
+        "(Section 2.2.2); no further submissions or executions are "
+        "accepted");
+  }
+  return Status::OK();
+}
+
+Status SovereignJoinService::RecordFailure(const std::string& contract_id,
+                                           std::string phase,
+                                           const sim::Coprocessor* copro,
+                                           Status status) {
+  ExecutionFailure failure;
+  failure.contract_id = contract_id;
+  failure.phase = std::move(phase);
+  failure.status = status;
+  if (copro != nullptr) failure.partial_metrics = copro->metrics();
+  // Parallel runs own their devices inside the executor, so the tamper
+  // verdict must also be read off the status code, not just the (absent)
+  // device handle.
+  failure.device_disabled = (copro != nullptr && copro->disabled()) ||
+                            status.code() == StatusCode::kTampered;
+  if (failure.device_disabled) dead_contracts_.insert(contract_id);
+  last_failure_ = std::move(failure);
+  return status;
+}
+
 Status SovereignJoinService::SubmitRelation(const std::string& contract_id,
                                             const std::string& party,
                                             const relation::Relation& rel,
                                             bool pad_to_power_of_two) {
+  PPJ_RETURN_NOT_OK(CheckContractAlive(contract_id));
   PPJ_ASSIGN_OR_RETURN(const Contract* contract, FindContract(contract_id));
   bool is_provider = false;
   for (const std::string& p : contract->providers) {
@@ -197,7 +229,11 @@ SovereignJoinService::GatherTables(const Contract& contract) const {
 Result<JoinDelivery> SovereignJoinService::ExecuteJoin(
     const std::string& contract_id, const relation::PairPredicate& predicate,
     const ExecuteOptions& options) {
-  PPJ_RETURN_NOT_OK(options.Validate());
+  last_failure_.reset();
+  PPJ_RETURN_NOT_OK(CheckContractAlive(contract_id));
+  if (Status valid = options.Validate(); !valid.ok()) {
+    return RecordFailure(contract_id, "validate", nullptr, std::move(valid));
+  }
   PPJ_ASSIGN_OR_RETURN(const Contract* contract, FindContract(contract_id));
   if (contract->providers.size() != 2) {
     return Status::InvalidArgument(
@@ -237,71 +273,75 @@ Result<JoinDelivery> SovereignJoinService::ExecuteJoin(
                                                &copro);
   std::optional<telemetry::Span> tspan(std::in_place, "execute-join");
 
+  // Algorithm failures funnel through RecordFailure so the caller can read
+  // the structured post-mortem (phase, retry history, partial metrics,
+  // device verdict) off last_failure(). No partial plaintext escapes: the
+  // delivery is only populated after every step has succeeded.
   if (core::IsChapter4(algorithm)) {
     core::TwoWayJoin join{tables[0], tables[1], &predicate, out_key};
-    core::Ch4Outcome outcome;
+    Result<core::Ch4Outcome> run = Status::Internal("unreachable");
     switch (algorithm) {
-      case core::Algorithm::kAlgorithm1: {
-        PPJ_ASSIGN_OR_RETURN(
-            outcome, core::RunAlgorithm1(copro, join, {.n = options.n}));
+      case core::Algorithm::kAlgorithm1:
+        run = core::RunAlgorithm1(copro, join, {.n = options.n});
         break;
-      }
-      case core::Algorithm::kAlgorithm1Variant: {
-        PPJ_ASSIGN_OR_RETURN(outcome, core::RunAlgorithm1Variant(
-                                          copro, join, {.n = options.n}));
+      case core::Algorithm::kAlgorithm1Variant:
+        run = core::RunAlgorithm1Variant(copro, join, {.n = options.n});
         break;
-      }
-      case core::Algorithm::kAlgorithm2: {
-        PPJ_ASSIGN_OR_RETURN(
-            outcome, core::RunAlgorithm2(copro, join, {.n = options.n}));
+      case core::Algorithm::kAlgorithm2:
+        run = core::RunAlgorithm2(copro, join, {.n = options.n});
         break;
-      }
-      case core::Algorithm::kAlgorithm3: {
-        PPJ_ASSIGN_OR_RETURN(
-            outcome, core::RunAlgorithm3(copro, join, {.n = options.n}));
+      case core::Algorithm::kAlgorithm3:
+        run = core::RunAlgorithm3(copro, join, {.n = options.n});
         break;
-      }
       default:
-        return Status::Internal("unreachable");
+        break;
     }
-    output_region = outcome.output_region;
-    output_slots = outcome.output_slots;
+    if (!run.ok()) {
+      tspan.reset();
+      tctx.reset();
+      return RecordFailure(contract_id, "algorithm", &copro, run.status());
+    }
+    output_region = run->output_region;
+    output_slots = run->output_slots;
   } else {
     relation::PairAsMultiway multiway(&predicate);
     core::MultiwayJoin join{{tables[0], tables[1]}, &multiway, out_key};
-    core::Ch5Outcome outcome;
+    Result<core::Ch5Outcome> run = Status::Internal("unreachable");
     switch (algorithm) {
-      case core::Algorithm::kAlgorithm4: {
-        PPJ_ASSIGN_OR_RETURN(outcome, core::RunAlgorithm4(copro, join));
+      case core::Algorithm::kAlgorithm4:
+        run = core::RunAlgorithm4(copro, join);
         break;
-      }
-      case core::Algorithm::kAlgorithm5: {
-        PPJ_ASSIGN_OR_RETURN(outcome, core::RunAlgorithm5(copro, join));
+      case core::Algorithm::kAlgorithm5:
+        run = core::RunAlgorithm5(copro, join);
         break;
-      }
-      case core::Algorithm::kAlgorithm6: {
-        PPJ_ASSIGN_OR_RETURN(
-            outcome, core::RunAlgorithm6(copro, join,
-                                         {.epsilon = options.epsilon,
-                                          .order_seed = options.seed}));
+      case core::Algorithm::kAlgorithm6:
+        run = core::RunAlgorithm6(copro, join,
+                                  {.epsilon = options.epsilon,
+                                   .order_seed = options.seed});
         break;
-      }
       default:
-        return Status::Internal("unreachable");
+        break;
     }
-    output_region = outcome.output_region;
-    output_slots = outcome.result_size;
-    delivery.blemish = outcome.blemish;
+    if (!run.ok()) {
+      tspan.reset();
+      tctx.reset();
+      return RecordFailure(contract_id, "algorithm", &copro, run.status());
+    }
+    output_region = run->output_region;
+    output_slots = run->result_size;
+    delivery.blemish = run->blemish;
   }
 
   tspan.reset();
   tctx.reset();
   delivery.telemetry = recorder.TakeTree();
 
-  PPJ_ASSIGN_OR_RETURN(
-      delivery.tuples,
-      core::DecodeJoinOutput(host_, output_region, output_slots, *out_key,
-                             result_schema.get()));
+  Result<std::vector<relation::Tuple>> decoded = core::DecodeJoinOutput(
+      host_, output_region, output_slots, *out_key, result_schema.get());
+  if (!decoded.ok()) {
+    return RecordFailure(contract_id, "decode", &copro, decoded.status());
+  }
+  delivery.tuples = std::move(decoded).value();
   delivery.result_schema = std::move(result_schema);
   delivery.metrics = copro.metrics();
   delivery.trace = copro.trace().fingerprint();
@@ -314,7 +354,11 @@ Result<JoinDelivery> SovereignJoinService::ExecuteMultiwayJoin(
     const std::string& contract_id,
     const relation::MultiwayPredicate& predicate,
     const ExecuteOptions& options) {
-  PPJ_RETURN_NOT_OK(options.Validate());
+  last_failure_.reset();
+  PPJ_RETURN_NOT_OK(CheckContractAlive(contract_id));
+  if (Status valid = options.Validate(); !valid.ok()) {
+    return RecordFailure(contract_id, "validate", nullptr, std::move(valid));
+  }
   PPJ_ASSIGN_OR_RETURN(const Contract* contract, FindContract(contract_id));
   PPJ_ASSIGN_OR_RETURN(std::vector<const relation::EncryptedRelation*> tables,
                        GatherTables(*contract));
@@ -386,14 +430,21 @@ Result<JoinDelivery> SovereignJoinService::ExecuteMultiwayJoin(
           break;
       }
     }
-    PPJ_RETURN_NOT_OK(parallel.status());
+    if (!parallel.ok()) {
+      // Worker devices live inside the parallel executor; the tamper
+      // verdict rides on the status code.
+      return RecordFailure(contract_id, "algorithm", nullptr,
+                           parallel.status());
+    }
     JoinDelivery delivery;
     delivery.telemetry = recorder.TakeTree();
-    PPJ_ASSIGN_OR_RETURN(
-        delivery.tuples,
-        core::DecodeJoinOutput(host_, parallel->output_region,
-                               parallel->result_size, *out_key,
-                               result_schema.get()));
+    Result<std::vector<relation::Tuple>> decoded = core::DecodeJoinOutput(
+        host_, parallel->output_region, parallel->result_size, *out_key,
+        result_schema.get());
+    if (!decoded.ok()) {
+      return RecordFailure(contract_id, "decode", nullptr, decoded.status());
+    }
+    delivery.tuples = std::move(decoded).value();
     delivery.result_schema = std::move(result_schema);
     for (const sim::TransferMetrics& m : parallel->per_coprocessor) {
       delivery.metrics += m;
@@ -404,38 +455,40 @@ Result<JoinDelivery> SovereignJoinService::ExecuteMultiwayJoin(
 
   sim::Coprocessor copro(&host_, copro_options);
   telemetry::TraceRecorder recorder(options.telemetry);
-  core::Ch5Outcome outcome;
+  Result<core::Ch5Outcome> run = Status::Internal("unreachable");
   {
     telemetry::ScopedContext tctx(&recorder, &copro);
     PPJ_SPAN("execute-multiway-join");
     switch (algorithm) {
-      case core::Algorithm::kAlgorithm4: {
-        PPJ_ASSIGN_OR_RETURN(outcome, core::RunAlgorithm4(copro, join));
+      case core::Algorithm::kAlgorithm4:
+        run = core::RunAlgorithm4(copro, join);
         break;
-      }
-      case core::Algorithm::kAlgorithm5: {
-        PPJ_ASSIGN_OR_RETURN(outcome, core::RunAlgorithm5(copro, join));
+      case core::Algorithm::kAlgorithm5:
+        run = core::RunAlgorithm5(copro, join);
         break;
-      }
-      case core::Algorithm::kAlgorithm6: {
-        PPJ_ASSIGN_OR_RETURN(
-            outcome, core::RunAlgorithm6(copro, join,
-                                         {.epsilon = options.epsilon,
-                                          .order_seed = options.seed}));
+      case core::Algorithm::kAlgorithm6:
+        run = core::RunAlgorithm6(copro, join,
+                                  {.epsilon = options.epsilon,
+                                   .order_seed = options.seed});
         break;
-      }
       default:
-        return Status::Internal("unreachable");
+        break;
     }
   }
+  if (!run.ok()) {
+    return RecordFailure(contract_id, "algorithm", &copro, run.status());
+  }
+  const core::Ch5Outcome& outcome = *run;
 
   JoinDelivery delivery;
   delivery.telemetry = recorder.TakeTree();
-  PPJ_ASSIGN_OR_RETURN(
-      delivery.tuples,
-      core::DecodeJoinOutput(host_, outcome.output_region,
-                             outcome.result_size, *out_key,
-                             result_schema.get()));
+  Result<std::vector<relation::Tuple>> decoded = core::DecodeJoinOutput(
+      host_, outcome.output_region, outcome.result_size, *out_key,
+      result_schema.get());
+  if (!decoded.ok()) {
+    return RecordFailure(contract_id, "decode", &copro, decoded.status());
+  }
+  delivery.tuples = std::move(decoded).value();
   delivery.result_schema = std::move(result_schema);
   delivery.metrics = copro.metrics();
   delivery.trace = copro.trace().fingerprint();
@@ -449,7 +502,11 @@ Result<core::AggregateResult> SovereignJoinService::ExecuteAggregate(
     const std::string& contract_id,
     const relation::MultiwayPredicate& predicate,
     const core::AggregateSpec& aggregate, const ExecuteOptions& options) {
-  PPJ_RETURN_NOT_OK(options.Validate());
+  last_failure_.reset();
+  PPJ_RETURN_NOT_OK(CheckContractAlive(contract_id));
+  if (Status valid = options.Validate(); !valid.ok()) {
+    return RecordFailure(contract_id, "validate", nullptr, std::move(valid));
+  }
   PPJ_ASSIGN_OR_RETURN(const Contract* contract, FindContract(contract_id));
   PPJ_ASSIGN_OR_RETURN(std::vector<const relation::EncryptedRelation*> tables,
                        GatherTables(*contract));
@@ -479,6 +536,9 @@ Result<core::AggregateResult> SovereignJoinService::ExecuteAggregate(
     PPJ_LOG(kDebug) << "aggregate telemetry: "
                     << telemetry::ToMetricsReportJson(*tree);
   }
+  if (!result.ok()) {
+    return RecordFailure(contract_id, "algorithm", &copro, result.status());
+  }
   return result;
 }
 
@@ -486,7 +546,11 @@ Result<core::GroupByCountResult> SovereignJoinService::ExecuteGroupByCount(
     const std::string& contract_id,
     const relation::MultiwayPredicate& predicate,
     const core::GroupByCountSpec& spec, const ExecuteOptions& options) {
-  PPJ_RETURN_NOT_OK(options.Validate());
+  last_failure_.reset();
+  PPJ_RETURN_NOT_OK(CheckContractAlive(contract_id));
+  if (Status valid = options.Validate(); !valid.ok()) {
+    return RecordFailure(contract_id, "validate", nullptr, std::move(valid));
+  }
   PPJ_ASSIGN_OR_RETURN(const Contract* contract, FindContract(contract_id));
   PPJ_ASSIGN_OR_RETURN(std::vector<const relation::EncryptedRelation*> tables,
                        GatherTables(*contract));
@@ -513,6 +577,9 @@ Result<core::GroupByCountResult> SovereignJoinService::ExecuteGroupByCount(
   if (auto tree = recorder.TakeTree(); tree != nullptr) {
     PPJ_LOG(kDebug) << "group-by-count telemetry: "
                     << telemetry::ToMetricsReportJson(*tree);
+  }
+  if (!result.ok()) {
+    return RecordFailure(contract_id, "algorithm", &copro, result.status());
   }
   return result;
 }

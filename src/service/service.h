@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,31 @@ struct JoinDelivery {
   /// For Chapter 4 executions: the padded output size N|A| the host saw.
   std::uint64_t observable_output_slots = 0;
   bool blemish = false;  ///< Algorithm 6 salvage happened.
+};
+
+/// Structured post-mortem of a failed execution (docs/ROBUSTNESS.md). Every
+/// Execute* entry point still returns a plain error Status to the caller;
+/// this record, readable via SovereignJoinService::last_failure() until the
+/// next execution, carries the graceful-degradation details the Status
+/// string cannot: which phase died, the retry history the bounded-backoff
+/// policy accumulated before giving up, the partial transfer metrics of the
+/// aborted run, and whether the tamper response fired (in which case the
+/// contract is permanently dead). Partial *plaintext* is never part of this
+/// record — or of any failure path: a delivery exists only on full success.
+struct ExecutionFailure {
+  std::string contract_id;
+  /// Coarse phase that failed: "validate", "setup", "algorithm", "decode".
+  std::string phase;
+  /// The error returned to the caller (kUnavailable = retry budget
+  /// exhausted; kTampered = integrity failure, device dead).
+  Status status;
+  /// Transfer metrics accumulated up to the abort (zero when the failure
+  /// precedes coprocessor construction). host_retries / backoff_cycles
+  /// inside are the retry history of the failed run.
+  sim::TransferMetrics partial_metrics;
+  /// The tamper response fired: the contract's device zeroized itself and
+  /// the service refuses all further work under this contract.
+  bool device_disabled = false;
 };
 
 /// The secure information-sharing service of the paper (Section 3.2): a
@@ -167,6 +193,20 @@ class SovereignJoinService {
 
   sim::HostStore& host() { return host_; }
 
+  /// Post-mortem of the most recent failed execution, or nullopt when the
+  /// last execution succeeded (each Execute* resets it on entry). See
+  /// ExecutionFailure.
+  const std::optional<ExecutionFailure>& last_failure() const {
+    return last_failure_;
+  }
+
+  /// True once the tamper response fired during an execution under this
+  /// contract: the contract is permanently dead and every further
+  /// SubmitRelation / Execute* under it is refused with kTampered.
+  bool ContractDead(const std::string& contract_id) const {
+    return dead_contracts_.contains(contract_id);
+  }
+
  private:
   struct Submission {
     // Owned copy of the provider's relation (schema must stay alive for
@@ -180,6 +220,16 @@ class SovereignJoinService {
   Result<std::vector<const relation::EncryptedRelation*>> GatherTables(
       const Contract& contract) const;
 
+  /// kTampered when the contract's device is dead (see ContractDead).
+  Status CheckContractAlive(const std::string& contract_id) const;
+
+  /// Captures an ExecutionFailure for last_failure(), marks the contract
+  /// dead when the tamper response fired (`copro` disabled, or a kTampered
+  /// status from a parallel run whose workers own their devices), and
+  /// returns `status` unchanged for the caller to propagate.
+  Status RecordFailure(const std::string& contract_id, std::string phase,
+                       const sim::Coprocessor* copro, Status status);
+
   sim::HostStore host_;
   PartyRegistry parties_;
   std::map<std::string, Contract> contracts_;
@@ -187,6 +237,8 @@ class SovereignJoinService {
   std::map<std::string, std::map<std::string, Submission>> submissions_;
   std::uint64_t next_contract_ = 1;
   std::vector<sim::AttestationLink> attestation_chain_;
+  std::optional<ExecutionFailure> last_failure_;
+  std::set<std::string> dead_contracts_;
 };
 
 /// The (simulated) manufacturer root key parties use to verify devices.

@@ -3,8 +3,10 @@
 #include <bit>
 #include <cstring>
 #include <limits>
+#include <string>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
 
 namespace ppj::sim {
 
@@ -33,13 +35,43 @@ Status DeviceDisabled() {
 }
 }  // namespace
 
+template <typename Fn>
+Status Coprocessor::RetryHostTransfer(std::string_view what, Fn&& attempt) {
+  Status status = attempt();
+  if (status.code() != StatusCode::kUnavailable) return status;
+  // Fault path only from here down: a fault-free transfer has already
+  // returned, so the span, the retry counters and the backoff charges are
+  // all provably absent from fault-free traces and metrics.
+  PPJ_SPAN("host-retry");
+  std::uint32_t attempts = 1;
+  while (attempts < options_.retry.max_attempts) {
+    ++metrics_.host_retries;
+    metrics_.backoff_cycles += options_.retry.backoff_base_cycles
+                               << (attempts - 1);
+    ++attempts;
+    status = attempt();
+    if (status.code() != StatusCode::kUnavailable) return status;
+  }
+  return Status::Unavailable(
+      std::string(what) + " failed after " + std::to_string(attempts) +
+      " attempts (bounded retry budget exhausted); last error: " +
+      status.message());
+}
+
 Result<std::vector<std::uint8_t>> Coprocessor::Get(RegionId region,
                                                    std::uint64_t index) {
   if (disabled_) return DeviceDisabled();
   trace_.Record(AccessOp::kGet, region, index);
   timing_hash_.UpdateU64(metrics_.padded_cycles);
   ++metrics_.gets;
-  return host_->ReadSlot(region, index);
+  std::vector<std::uint8_t> sealed;
+  PPJ_RETURN_NOT_OK(RetryHostTransfer("Get", [&]() -> Status {
+    auto slot = host_->ReadSlot(region, index);
+    if (!slot.ok()) return slot.status();
+    sealed = std::move(slot).value();
+    return Status::OK();
+  }));
+  return sealed;
 }
 
 Status Coprocessor::Put(RegionId region, std::uint64_t index,
@@ -48,7 +80,9 @@ Status Coprocessor::Put(RegionId region, std::uint64_t index,
   trace_.Record(AccessOp::kPut, region, index);
   timing_hash_.UpdateU64(metrics_.padded_cycles);
   ++metrics_.puts;
-  return host_->WriteSlot(region, index, sealed);
+  return RetryHostTransfer("Put", [&]() -> Status {
+    return host_->WriteSlot(region, index, sealed);
+  });
 }
 
 Status Coprocessor::DiskWrite(RegionId region, std::uint64_t index) {
@@ -190,7 +224,9 @@ Result<ReadRun> Coprocessor::GetOpenRange(RegionId region,
   }
   ReadRun run(this, region, first, count, host_->RegionSlotSize(region), key);
   if (count > 0) {
-    PPJ_RETURN_NOT_OK(host_->ReadRange(region, first, count, &run.arena_));
+    PPJ_RETURN_NOT_OK(RetryHostTransfer("GetRange staging", [&]() -> Status {
+      return host_->ReadRange(region, first, count, &run.arena_);
+    }));
     ++metrics_.batch_gets;
   }
   return run;
@@ -484,10 +520,16 @@ Status WriteRun::Flush() {
       filled_[static_cast<std::size_t>(end)] = false;
       ++end;
     }
-    PPJ_RETURN_NOT_OK(copro_->host_->WriteRange(
-        region_, first_ + i, end - i,
-        arena_.data() + static_cast<std::size_t>(i) * slot_size_,
-        static_cast<std::size_t>(end - i) * slot_size_));
+    PPJ_RETURN_NOT_OK(
+        copro_->RetryHostTransfer("WriteRun flush", [&]() -> Status {
+          // A torn host write persists only a prefix of the span; reissuing
+          // the whole scatter from T's arena repairs it, which is why the
+          // deferred-write arena must stay intact until Flush succeeds.
+          return copro_->host_->WriteRange(
+              region_, first_ + i, end - i,
+              arena_.data() + static_cast<std::size_t>(i) * slot_size_,
+              static_cast<std::size_t>(end - i) * slot_size_);
+        }));
     ++copro_->metrics_.batch_puts;
     i = end;
   }

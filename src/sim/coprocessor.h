@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/random.h"
@@ -47,6 +48,22 @@ struct CoprocessorOptions {
   /// 1 forces every range call down to a single slot — the scalar path —
   /// which is what the golden-fingerprint tests compare against.
   std::uint64_t batch_slots = 0;
+
+  /// Bounded recovery from transient host-storage faults
+  /// (docs/ROBUSTNESS.md). A host transfer failing with the retryable
+  /// StatusCode::kUnavailable is reissued up to `max_attempts` times in
+  /// total, charging `backoff_base_cycles << (attempt - 1)` model cycles of
+  /// deterministic exponential backoff per retry to
+  /// TransferMetrics::backoff_cycles. Integrity failures (kTampered) are
+  /// never retried — retrying forgery attempts would hand the adversary
+  /// extra oracle queries. Fault-free transfers succeed on the first
+  /// attempt and never enter the retry machinery, so traces, fingerprints
+  /// and metrics stay bit-identical to a build without it.
+  struct RetryPolicy {
+    std::uint32_t max_attempts = 4;
+    std::uint64_t backoff_base_cycles = 64;
+  };
+  RetryPolicy retry{};
 };
 
 class SecureBuffer;
@@ -214,6 +231,15 @@ class Coprocessor {
  private:
   friend class ReadRun;
   friend class WriteRun;
+
+  /// Runs one physical host transfer under options_.retry: `attempt` (a
+  /// callable returning Status) is reissued while it fails with the
+  /// retryable kUnavailable, up to the bounded attempt budget, with
+  /// deterministic exponential backoff charged to the metrics. Any other
+  /// status — success, kTampered, kInternal — returns immediately. Defined
+  /// in coprocessor.cc; instantiated only there.
+  template <typename Fn>
+  Status RetryHostTransfer(std::string_view what, Fn&& attempt);
 
   crypto::Block NextNonce();
 

@@ -1,0 +1,387 @@
+#include "sim/fault_injector.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace ppj::sim {
+namespace {
+
+/// Per-category salts for the deterministic coin. Distinct salts make the
+/// per-operation draws independent across fault kinds without needing more
+/// than one counter.
+constexpr std::uint64_t kSaltTransientRead = 0x7472616e735f7264ULL;
+constexpr std::uint64_t kSaltTransientWrite = 0x7472616e735f7772ULL;
+constexpr std::uint64_t kSaltTornWrite = 0x746f726e5f777274ULL;
+constexpr std::uint64_t kSaltBitFlip = 0x6269745f666c6970ULL;
+constexpr std::uint64_t kSaltUnavailable = 0x756e617661696c21ULL;
+constexpr std::uint64_t kSaltLatency = 0x6c6174656e637921ULL;
+constexpr std::uint64_t kSaltBitPosition = 0x6269745f706f7321ULL;
+
+/// SplitMix64 finalizer — a strong 64-bit mix, the standard seed scrambler.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+bool ParseU64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool ParseRate(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  if (v < 0.0 || v > 1.0) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string_view FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransientRead:
+      return "transient-read";
+    case FaultKind::kTransientWrite:
+      return "transient-write";
+    case FaultKind::kTornWrite:
+      return "torn-write";
+    case FaultKind::kBitFlip:
+      return "bit-flip";
+    case FaultKind::kRegionUnavailable:
+      return "region-unavailable";
+    case FaultKind::kLatencySpike:
+      return "latency-spike";
+  }
+  return "unknown";
+}
+
+bool FaultPlan::Quiet() const {
+  return transient_read_rate == 0.0 && transient_write_rate == 0.0 &&
+         torn_write_rate == 0.0 && bit_flip_rate == 0.0 &&
+         region_unavailable_rate == 0.0 && latency_rate == 0.0;
+}
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string pair = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault plan: expected key=value, got '" +
+                                     pair + "'");
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    const auto bad = [&]() {
+      return Status::InvalidArgument("fault plan: bad value for '" + key +
+                                     "': '" + value + "'");
+    };
+    std::uint64_t u = 0;
+    double rate = 0.0;
+    if (key == "seed") {
+      if (!ParseU64(value, &plan.seed)) return bad();
+    } else if (key == "transient") {
+      if (!ParseRate(value, &rate)) return bad();
+      plan.transient_read_rate = rate;
+      plan.transient_write_rate = rate;
+    } else if (key == "transient-read") {
+      if (!ParseRate(value, &plan.transient_read_rate)) return bad();
+    } else if (key == "transient-write") {
+      if (!ParseRate(value, &plan.transient_write_rate)) return bad();
+    } else if (key == "torn") {
+      if (!ParseRate(value, &plan.torn_write_rate)) return bad();
+    } else if (key == "bitflip") {
+      if (!ParseRate(value, &plan.bit_flip_rate)) return bad();
+    } else if (key == "unavail") {
+      if (!ParseRate(value, &plan.region_unavailable_rate)) return bad();
+    } else if (key == "latency") {
+      if (!ParseRate(value, &plan.latency_rate)) return bad();
+    } else if (key == "attempts") {
+      if (!ParseU64(value, &u) || u == 0) return bad();
+      plan.transient_attempts = static_cast<std::uint32_t>(u);
+    } else if (key == "window") {
+      if (!ParseU64(value, &u) || u == 0) return bad();
+      plan.region_unavailable_attempts = static_cast<std::uint32_t>(u);
+    } else if (key == "latency-cycles") {
+      if (!ParseU64(value, &plan.latency_cycles)) return bad();
+    } else if (key == "cooldown") {
+      if (!ParseU64(value, &plan.cooldown_ops)) return bad();
+    } else {
+      return Status::InvalidArgument("fault plan: unknown key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream os;
+  os << "seed=" << seed;
+  if (transient_read_rate == transient_write_rate &&
+      transient_read_rate > 0.0) {
+    os << ",transient=" << transient_read_rate;
+  } else {
+    if (transient_read_rate > 0.0) {
+      os << ",transient-read=" << transient_read_rate;
+    }
+    if (transient_write_rate > 0.0) {
+      os << ",transient-write=" << transient_write_rate;
+    }
+  }
+  if (torn_write_rate > 0.0) os << ",torn=" << torn_write_rate;
+  if (bit_flip_rate > 0.0) os << ",bitflip=" << bit_flip_rate;
+  if (region_unavailable_rate > 0.0) {
+    os << ",unavail=" << region_unavailable_rate;
+  }
+  if (latency_rate > 0.0) os << ",latency=" << latency_rate;
+  os << ",attempts=" << transient_attempts
+     << ",window=" << region_unavailable_attempts
+     << ",cooldown=" << cooldown_ops;
+  return os.str();
+}
+
+std::string FaultStats::ToString() const {
+  std::ostringstream os;
+  os << "{ops=" << ops << ", transient_read_failures="
+     << transient_read_failures
+     << ", transient_write_failures=" << transient_write_failures
+     << ", torn_writes=" << torn_writes << ", bit_flips=" << bit_flips
+     << ", region_unavailable_failures=" << region_unavailable_failures
+     << ", latency_spikes=" << latency_spikes << "}";
+  return os.str();
+}
+
+FaultInjectingBackend::FaultInjectingBackend(
+    std::unique_ptr<StorageBackend> inner)
+    : inner_(std::move(inner)) {}
+
+void FaultInjectingBackend::Arm(const FaultPlan& plan) {
+  plan_ = plan;
+  armed_ = true;
+  op_counter_ = 0;
+  quiet_until_op_ = 0;
+  pending_transient_ = 0;
+  unavailable_active_ = false;
+  unavailable_region_ = 0;
+  unavailable_remaining_ = 0;
+}
+
+void FaultInjectingBackend::Disarm() { armed_ = false; }
+
+double FaultInjectingBackend::Draw(std::uint64_t op,
+                                   std::uint64_t salt) const {
+  const std::uint64_t h = Mix64(Mix64(plan_.seed ^ salt) ^ op);
+  // Top 53 bits → uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+Status FaultInjectingBackend::NextReadOp(std::uint32_t region,
+                                         bool* flip_bit) const {
+  stats_.ops += 1;
+  *flip_bit = false;
+  if (!armed_ || plan_.Quiet()) return Status::OK();
+  const std::uint64_t op = ++op_counter_;
+
+  // An open region-unavailable window rejects matching-region I/O first:
+  // windows model a storage shard going dark, which trumps everything else.
+  if (unavailable_active_ && region == unavailable_region_) {
+    stats_.region_unavailable_failures += 1;
+    if (--unavailable_remaining_ == 0) {
+      unavailable_active_ = false;
+      quiet_until_op_ = op + plan_.cooldown_ops;
+    }
+    return Status::Unavailable("injected fault: region " +
+                               std::to_string(region) +
+                               " unavailable (window)");
+  }
+  // A pending transient sequence keeps failing until its attempts run out.
+  if (pending_transient_ > 0) {
+    pending_transient_ -= 1;
+    stats_.transient_read_failures += 1;
+    if (pending_transient_ == 0) quiet_until_op_ = op + plan_.cooldown_ops;
+    return Status::Unavailable("injected fault: transient read failure");
+  }
+  // Cooldown: no *new* fault sequences until the horizon passes. This is
+  // what bounds consecutive failures below the retry budget.
+  if (op < quiet_until_op_) return Status::OK();
+
+  if (plan_.transient_read_rate > 0.0 &&
+      Draw(op, kSaltTransientRead) < plan_.transient_read_rate) {
+    stats_.transient_read_failures += 1;
+    pending_transient_ = plan_.transient_attempts - 1;
+    if (pending_transient_ == 0) quiet_until_op_ = op + plan_.cooldown_ops;
+    return Status::Unavailable("injected fault: transient read failure");
+  }
+  if (plan_.region_unavailable_rate > 0.0 &&
+      Draw(op, kSaltUnavailable) < plan_.region_unavailable_rate) {
+    stats_.region_unavailable_failures += 1;
+    unavailable_region_ = region;
+    unavailable_remaining_ = plan_.region_unavailable_attempts - 1;
+    unavailable_active_ = unavailable_remaining_ > 0;
+    if (!unavailable_active_) quiet_until_op_ = op + plan_.cooldown_ops;
+    return Status::Unavailable("injected fault: region " +
+                               std::to_string(region) + " unavailable");
+  }
+  if (plan_.bit_flip_rate > 0.0 &&
+      Draw(op, kSaltBitFlip) < plan_.bit_flip_rate) {
+    stats_.bit_flips += 1;
+    *flip_bit = true;  // Silent corruption: the op itself succeeds.
+  }
+  if (plan_.latency_rate > 0.0 &&
+      Draw(op, kSaltLatency) < plan_.latency_rate) {
+    stats_.latency_spikes += 1;
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingBackend::NextWriteOp(std::uint32_t region,
+                                          bool* torn) const {
+  stats_.ops += 1;
+  *torn = false;
+  if (!armed_ || plan_.Quiet()) return Status::OK();
+  const std::uint64_t op = ++op_counter_;
+
+  if (unavailable_active_ && region == unavailable_region_) {
+    stats_.region_unavailable_failures += 1;
+    if (--unavailable_remaining_ == 0) {
+      unavailable_active_ = false;
+      quiet_until_op_ = op + plan_.cooldown_ops;
+    }
+    return Status::Unavailable("injected fault: region " +
+                               std::to_string(region) +
+                               " unavailable (window)");
+  }
+  if (pending_transient_ > 0) {
+    pending_transient_ -= 1;
+    stats_.transient_write_failures += 1;
+    if (pending_transient_ == 0) quiet_until_op_ = op + plan_.cooldown_ops;
+    return Status::Unavailable("injected fault: transient write failure");
+  }
+  if (op < quiet_until_op_) return Status::OK();
+
+  if (plan_.transient_write_rate > 0.0 &&
+      Draw(op, kSaltTransientWrite) < plan_.transient_write_rate) {
+    stats_.transient_write_failures += 1;
+    pending_transient_ = plan_.transient_attempts - 1;
+    if (pending_transient_ == 0) quiet_until_op_ = op + plan_.cooldown_ops;
+    return Status::Unavailable("injected fault: transient write failure");
+  }
+  if (plan_.torn_write_rate > 0.0 &&
+      Draw(op, kSaltTornWrite) < plan_.torn_write_rate) {
+    stats_.torn_writes += 1;
+    *torn = true;  // Caller persists a prefix, then reports kUnavailable.
+    quiet_until_op_ = op + plan_.cooldown_ops;
+    return Status::OK();
+  }
+  if (plan_.latency_rate > 0.0 &&
+      Draw(op, kSaltLatency) < plan_.latency_rate) {
+    stats_.latency_spikes += 1;
+  }
+  return Status::OK();
+}
+
+void FaultInjectingBackend::FlipDeterministicBit(std::uint64_t op,
+                                                 std::uint8_t* data,
+                                                 std::size_t size) const {
+  if (size == 0) return;
+  const std::uint64_t h = Mix64(Mix64(plan_.seed ^ kSaltBitPosition) ^ op);
+  data[(h >> 3) % size] ^= static_cast<std::uint8_t>(1u << (h & 7));
+}
+
+Status FaultInjectingBackend::CreateRegion(std::uint32_t region,
+                                           std::size_t slot_size,
+                                           std::uint64_t num_slots) {
+  // Region lifecycle is service setup, never faulted (HostStore asserts
+  // CreateRegion succeeds).
+  return inner_->CreateRegion(region, slot_size, num_slots);
+}
+
+Status FaultInjectingBackend::ResizeRegion(std::uint32_t region,
+                                           std::size_t slot_size,
+                                           std::uint64_t num_slots) {
+  return inner_->ResizeRegion(region, slot_size, num_slots);
+}
+
+Status FaultInjectingBackend::WriteSlot(
+    std::uint32_t region, std::size_t slot_size, std::uint64_t index,
+    const std::vector<std::uint8_t>& bytes) {
+  bool torn = false;
+  PPJ_RETURN_NOT_OK(NextWriteOp(region, &torn));
+  if (torn) {
+    // Persist only a prefix of the slot, then fail the call. A retry
+    // rewrites the slot in full, repairing the tear — and if nobody
+    // retries, the half-written ciphertext fails authentication on read,
+    // exactly the durability hazard torn writes model.
+    std::vector<std::uint8_t> prefix = bytes;
+    std::memset(prefix.data() + prefix.size() / 2, 0,
+                prefix.size() - prefix.size() / 2);
+    PPJ_RETURN_NOT_OK(inner_->WriteSlot(region, slot_size, index, prefix));
+    return Status::Unavailable("injected fault: torn write");
+  }
+  return inner_->WriteSlot(region, slot_size, index, bytes);
+}
+
+Result<std::vector<std::uint8_t>> FaultInjectingBackend::ReadSlot(
+    std::uint32_t region, std::size_t slot_size, std::uint64_t index) const {
+  bool flip = false;
+  PPJ_RETURN_NOT_OK(NextReadOp(region, &flip));
+  PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> out,
+                       inner_->ReadSlot(region, slot_size, index));
+  if (flip) FlipDeterministicBit(op_counter_, out.data(), out.size());
+  return out;
+}
+
+Status FaultInjectingBackend::ReadRange(std::uint32_t region,
+                                        std::size_t slot_size,
+                                        std::uint64_t first,
+                                        std::uint64_t count,
+                                        std::uint8_t* out) const {
+  bool flip = false;
+  PPJ_RETURN_NOT_OK(NextReadOp(region, &flip));
+  PPJ_RETURN_NOT_OK(inner_->ReadRange(region, slot_size, first, count, out));
+  if (flip) {
+    FlipDeterministicBit(op_counter_, out,
+                         static_cast<std::size_t>(count) * slot_size);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingBackend::WriteRange(std::uint32_t region,
+                                         std::size_t slot_size,
+                                         std::uint64_t first,
+                                         std::uint64_t count,
+                                         const std::uint8_t* bytes) {
+  bool torn = false;
+  PPJ_RETURN_NOT_OK(NextWriteOp(region, &torn));
+  if (torn) {
+    // Persist the first half of the range only; the rest never lands.
+    const std::uint64_t kept = count / 2;
+    if (kept > 0) {
+      PPJ_RETURN_NOT_OK(
+          inner_->WriteRange(region, slot_size, first, kept, bytes));
+    }
+    return Status::Unavailable("injected fault: torn range write");
+  }
+  return inner_->WriteRange(region, slot_size, first, count, bytes);
+}
+
+}  // namespace ppj::sim

@@ -1,0 +1,173 @@
+#ifndef PPJ_SIM_FAULT_INJECTOR_H_
+#define PPJ_SIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sim/storage_backend.h"
+
+namespace ppj::sim {
+
+/// The host-fault taxonomy of docs/ROBUSTNESS.md. The paper's threat model
+/// (Section 3.2) lets the untrusted host H fail or misbehave arbitrarily;
+/// the simulation splits that space into *transient* faults — the storage
+/// briefly refuses or mangles an operation, surfaced as retryable
+/// StatusCode::kUnavailable — and *integrity* faults (kBitFlip), which
+/// silently corrupt data and must end in StatusCode::kTampered when the
+/// coprocessor consumes the slot.
+enum class FaultKind {
+  kTransientRead,       ///< A read attempt fails with kUnavailable.
+  kTransientWrite,      ///< A write attempt fails with kUnavailable.
+  kTornWrite,           ///< A prefix is persisted, then the write fails.
+  kBitFlip,             ///< Read data is silently corrupted (one bit).
+  kRegionUnavailable,   ///< A whole region refuses I/O for a window.
+  kLatencySpike,        ///< The operation succeeds but is charged as slow.
+};
+
+std::string_view FaultKindToString(FaultKind kind);
+
+/// A seeded, fully deterministic schedule of host faults, keyed by the
+/// backend operation count: operation k draws one pseudo-random variate per
+/// fault kind from hash(seed, k, kind), so a plan replays bit-identically
+/// across runs, platforms and processes — chaos results are reproducible
+/// from (plan, workload) alone.
+///
+/// Recovery guarantee: after any kUnavailable-producing fault sequence the
+/// injector stays quiet for `cooldown_ops` operations, so one logical
+/// transfer never sees more than max(transient_attempts,
+/// region_unavailable_attempts) consecutive failures. Keep that bound below
+/// the coprocessor's RetryPolicy::max_attempts and every transient plan is
+/// recoverable by construction (bit flips are integrity faults and exempt:
+/// they are meant to kill the device, not to be retried away).
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  /// Per-operation firing probabilities in [0, 1].
+  double transient_read_rate = 0.0;
+  double transient_write_rate = 0.0;
+  double torn_write_rate = 0.0;
+  double bit_flip_rate = 0.0;
+  double region_unavailable_rate = 0.0;
+  double latency_rate = 0.0;
+
+  /// Consecutive failing attempts per transient fault (the Nth retry
+  /// succeeds). Keep < RetryPolicy::max_attempts for guaranteed recovery.
+  std::uint32_t transient_attempts = 2;
+  /// Failed attempts per region-unavailable window.
+  std::uint32_t region_unavailable_attempts = 2;
+  /// Model cycles a latency spike represents (reported in FaultStats only;
+  /// the simulation's cost metric is transfers, not wall clock).
+  std::uint64_t latency_cycles = 1024;
+  /// Minimum fault-free operations between two kUnavailable fault
+  /// sequences (the recovery guarantee above).
+  std::uint64_t cooldown_ops = 8;
+
+  /// True when no fault can ever fire (all rates zero).
+  bool Quiet() const;
+
+  /// Parses a `ppjctl --fault-plan` spec: comma-separated key=value pairs.
+  /// Keys: seed, transient (sets read+write), transient-read,
+  /// transient-write, torn, bitflip, unavail, latency (rates as decimals),
+  /// attempts, window, cooldown (counts). Example:
+  ///   "seed=7,transient=0.05,torn=0.02,unavail=0.01,attempts=2"
+  static Result<FaultPlan> Parse(const std::string& spec);
+
+  /// Round-trippable canonical spec string.
+  std::string ToString() const;
+};
+
+/// What a plan actually did to a run — the chaos harness and the ppjctl
+/// fault summary read these after execution.
+struct FaultStats {
+  std::uint64_t ops = 0;  ///< Backend operations observed (armed or not).
+  std::uint64_t transient_read_failures = 0;
+  std::uint64_t transient_write_failures = 0;
+  std::uint64_t torn_writes = 0;
+  std::uint64_t bit_flips = 0;
+  std::uint64_t region_unavailable_failures = 0;
+  std::uint64_t latency_spikes = 0;
+
+  /// Total operations that returned an injected kUnavailable.
+  std::uint64_t injected_failures() const {
+    return transient_read_failures + transient_write_failures + torn_writes +
+           region_unavailable_failures;
+  }
+  std::string ToString() const;
+};
+
+/// Decorator injecting FaultPlan faults into any StorageBackend. Unarmed
+/// (the initial state) it is a pure pass-through — wrap a backend
+/// unconditionally, run the fault-free setup (region creation, provider
+/// submissions), then Arm() for exactly the phase under test. Thread safety
+/// matches the StorageBackend contract: HostStore's lock serializes calls,
+/// so the injector's schedule state needs no lock of its own.
+///
+/// Injection points are the slot I/O entry points (ReadSlot/WriteSlot/
+/// ReadRange/WriteRange) — one schedule operation per call, matching the
+/// physical-round-trip granularity of the batched transfer pipeline.
+/// CreateRegion/ResizeRegion are deliberately never faulted: they model
+/// the service's own setup, not the adversary's storage.
+class FaultInjectingBackend final : public StorageBackend {
+ public:
+  explicit FaultInjectingBackend(std::unique_ptr<StorageBackend> inner);
+
+  /// Installs `plan` and resets the schedule (operation counter, cooldown
+  /// and window state — not the lifetime stats).
+  void Arm(const FaultPlan& plan);
+  void Disarm();
+  bool armed() const { return armed_; }
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+  StorageBackend& inner() { return *inner_; }
+
+  Status CreateRegion(std::uint32_t region, std::size_t slot_size,
+                      std::uint64_t num_slots) override;
+  Status ResizeRegion(std::uint32_t region, std::size_t slot_size,
+                      std::uint64_t num_slots) override;
+  Status WriteSlot(std::uint32_t region, std::size_t slot_size,
+                   std::uint64_t index,
+                   const std::vector<std::uint8_t>& bytes) override;
+  Result<std::vector<std::uint8_t>> ReadSlot(
+      std::uint32_t region, std::size_t slot_size,
+      std::uint64_t index) const override;
+  Status ReadRange(std::uint32_t region, std::size_t slot_size,
+                   std::uint64_t first, std::uint64_t count,
+                   std::uint8_t* out) const override;
+  Status WriteRange(std::uint32_t region, std::size_t slot_size,
+                    std::uint64_t first, std::uint64_t count,
+                    const std::uint8_t* bytes) override;
+
+ private:
+  /// Uniform [0, 1) variate for (seed, op, salt) — the deterministic coin.
+  double Draw(std::uint64_t op, std::uint64_t salt) const;
+  /// Enters a new schedule operation; returns an injected failure for the
+  /// read path (or OK), setting *flip_bit when the data must be corrupted.
+  Status NextReadOp(std::uint32_t region, bool* flip_bit) const;
+  /// Same for the write path; *torn true means "persist a prefix, then
+  /// return the failure".
+  Status NextWriteOp(std::uint32_t region, bool* torn) const;
+  void FlipDeterministicBit(std::uint64_t op, std::uint8_t* data,
+                            std::size_t size) const;
+
+  std::unique_ptr<StorageBackend> inner_;
+  bool armed_ = false;
+  FaultPlan plan_;
+  // The schedule state is advanced from ReadSlot/ReadRange too, which the
+  // StorageBackend interface declares const; calls are serialized by
+  // HostStore's lock (see class comment).
+  mutable FaultStats stats_;
+  mutable std::uint64_t op_counter_ = 0;
+  mutable std::uint64_t quiet_until_op_ = 0;   ///< Cooldown horizon.
+  mutable std::uint32_t pending_transient_ = 0;
+  mutable bool unavailable_active_ = false;
+  mutable std::uint32_t unavailable_region_ = 0;
+  mutable std::uint32_t unavailable_remaining_ = 0;
+};
+
+}  // namespace ppj::sim
+
+#endif  // PPJ_SIM_FAULT_INJECTOR_H_

@@ -15,6 +15,8 @@ TransferMetrics& TransferMetrics::operator+=(const TransferMetrics& other) {
   batch_gets += other.batch_gets;
   batch_puts += other.batch_puts;
   prefetch_opens += other.prefetch_opens;
+  host_retries += other.host_retries;
+  backoff_cycles += other.backoff_cycles;
   return *this;
 }
 
@@ -33,6 +35,8 @@ TransferMetrics TransferMetrics::operator-(const TransferMetrics& other) const {
   out.batch_gets = sub(batch_gets, other.batch_gets);
   out.batch_puts = sub(batch_puts, other.batch_puts);
   out.prefetch_opens = sub(prefetch_opens, other.prefetch_opens);
+  out.host_retries = sub(host_retries, other.host_retries);
+  out.backoff_cycles = sub(backoff_cycles, other.backoff_cycles);
   return out;
 }
 
@@ -43,7 +47,8 @@ std::string TransferMetrics::ToString() const {
      << ", ituple_reads=" << ituple_reads << ", cipher_calls=" << cipher_calls
      << ", comparisons=" << comparisons << ", batch_gets=" << batch_gets
      << ", batch_puts=" << batch_puts << ", prefetch_opens=" << prefetch_opens
-     << "}";
+     << ", host_retries=" << host_retries
+     << ", backoff_cycles=" << backoff_cycles << "}";
   return os.str();
 }
 

@@ -35,6 +35,15 @@ struct TransferMetrics {
   /// fingerprint or paper metric depends on it.
   std::uint64_t prefetch_opens = 0;
 
+  /// Transient-fault recovery (docs/ROBUSTNESS.md): how many host transfer
+  /// attempts were repeated after a retryable kUnavailable failure, and the
+  /// deterministic backoff charged while waiting (model cycles, kept apart
+  /// from `padded_cycles` so the timing-equalisation accounting stays
+  /// meaningful). Both are zero on fault-free runs — retries only ever
+  /// happen after a fault, so no fingerprint or golden depends on them.
+  std::uint64_t host_retries = 0;
+  std::uint64_t backoff_cycles = 0;
+
   /// The paper's cost metric.
   std::uint64_t TupleTransfers() const { return gets + puts; }
 

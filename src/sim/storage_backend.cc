@@ -1,5 +1,6 @@
 #include "sim/storage_backend.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -93,6 +94,14 @@ class InMemoryBackend final : public StorageBackend {
   std::map<std::uint32_t, std::vector<std::uint8_t>> regions_;
 };
 
+/// Fault taxonomy (docs/ROBUSTNESS.md): errno-bearing I/O failures — the
+/// file vanished, the device returned EIO, the disk filled up — are
+/// environmental and possibly transient, so they map to kUnavailable with
+/// the errno text preserved for the retry layer's diagnostics. A short
+/// read/write with *no* errno means the file is smaller than the region
+/// bookkeeping says it should be: an invariant breakage, kInternal. One
+/// backend-level retry absorbs the benign short-op case (a signal-
+/// interrupted transfer) before either verdict is reached.
 class FileBackend final : public StorageBackend {
  public:
   explicit FileBackend(std::filesystem::path directory)
@@ -105,12 +114,12 @@ class FileBackend final : public StorageBackend {
     {
       std::ofstream out(path, std::ios::binary | std::ios::trunc);
       if (!out) {
-        return Status::Internal("cannot create region file " +
-                                path.string());
+        return Status::Unavailable("cannot create region file " +
+                                   path.string() + ": " + ErrnoText());
       }
     }
     std::filesystem::resize_file(path, num_slots * slot_size, ec);
-    if (ec) return Status::Internal("resize_file: " + ec.message());
+    if (ec) return Status::Unavailable("resize_file: " + ec.message());
     return Status::OK();
   }
 
@@ -119,62 +128,121 @@ class FileBackend final : public StorageBackend {
     std::error_code ec;
     std::filesystem::resize_file(RegionPath(region),
                                  num_slots * slot_size, ec);
-    if (ec) return Status::Internal("resize_file: " + ec.message());
+    if (ec) return Status::Unavailable("resize_file: " + ec.message());
     return Status::OK();
   }
 
   Status WriteSlot(std::uint32_t region, std::size_t slot_size,
                    std::uint64_t index,
                    const std::vector<std::uint8_t>& bytes) override {
-    std::fstream f(RegionPath(region),
-                   std::ios::binary | std::ios::in | std::ios::out);
-    if (!f) return Status::Internal("cannot open region file");
-    f.seekp(static_cast<std::streamoff>(index * slot_size));
-    f.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-    if (!f) return Status::Internal("short write to region file");
-    return Status::OK();
+    (void)slot_size;
+    return WriteAt(region, index * bytes.size(), bytes.data(), bytes.size());
   }
 
   Result<std::vector<std::uint8_t>> ReadSlot(
       std::uint32_t region, std::size_t slot_size,
       std::uint64_t index) const override {
-    std::ifstream f(RegionPath(region), std::ios::binary);
-    if (!f) return Status::Internal("cannot open region file");
-    f.seekg(static_cast<std::streamoff>(index * slot_size));
     std::vector<std::uint8_t> out(slot_size);
-    f.read(reinterpret_cast<char*>(out.data()),
-           static_cast<std::streamsize>(slot_size));
-    if (!f) return Status::Internal("short read from region file");
+    PPJ_RETURN_NOT_OK(
+        ReadAt(region, index * slot_size, out.data(), out.size()));
     return out;
   }
 
   Status ReadRange(std::uint32_t region, std::size_t slot_size,
                    std::uint64_t first, std::uint64_t count,
                    std::uint8_t* out) const override {
-    std::ifstream f(RegionPath(region), std::ios::binary);
-    if (!f) return Status::Internal("cannot open region file");
-    f.seekg(static_cast<std::streamoff>(first * slot_size));
-    f.read(reinterpret_cast<char*>(out),
-           static_cast<std::streamsize>(count * slot_size));
-    if (!f) return Status::Internal("short read from region file");
-    return Status::OK();
+    return ReadAt(region, first * slot_size, out,
+                  static_cast<std::size_t>(count) * slot_size);
   }
 
   Status WriteRange(std::uint32_t region, std::size_t slot_size,
                     std::uint64_t first, std::uint64_t count,
                     const std::uint8_t* bytes) override {
-    std::fstream f(RegionPath(region),
-                   std::ios::binary | std::ios::in | std::ios::out);
-    if (!f) return Status::Internal("cannot open region file");
-    f.seekp(static_cast<std::streamoff>(first * slot_size));
-    f.write(reinterpret_cast<const char*>(bytes),
-            static_cast<std::streamsize>(count * slot_size));
-    if (!f) return Status::Internal("short write to region file");
-    return Status::OK();
+    return WriteAt(region, first * slot_size, bytes,
+                   static_cast<std::size_t>(count) * slot_size);
   }
 
  private:
+  static std::string ErrnoText() {
+    const int err = errno;
+    return "errno " + std::to_string(err) + " (" + std::strerror(err) + ")";
+  }
+
+  Status ReadAt(std::uint32_t region, std::uint64_t offset, std::uint8_t* out,
+                std::size_t size) const {
+    const auto path = RegionPath(region);
+    errno = 0;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::Unavailable("cannot open region file " + path.string() +
+                                 ": " + ErrnoText());
+    }
+    Status status = Status::OK();
+    if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) {
+      status = Status::Unavailable("seek in region file " + path.string() +
+                                   ": " + ErrnoText());
+    } else {
+      std::size_t got = std::fread(out, 1, size, f);
+      if (got < size && errno == 0) {
+        // No errno: either a benign interrupted transfer (retry succeeds)
+        // or the file really is short (retry hits the same end-of-file and
+        // it becomes an invariant breakage).
+        std::clearerr(f);
+        got += std::fread(out + got, 1, size - got, f);
+      }
+      if (got < size) {
+        status = errno != 0
+                     ? Status::Unavailable("read of region file " +
+                                           path.string() + ": " + ErrnoText())
+                     : Status::Internal(
+                           "short read from region file " + path.string() +
+                           " (got " + std::to_string(got) + " of " +
+                           std::to_string(size) + " bytes at offset " +
+                           std::to_string(offset) + ")");
+      }
+    }
+    std::fclose(f);
+    return status;
+  }
+
+  Status WriteAt(std::uint32_t region, std::uint64_t offset,
+                 const std::uint8_t* bytes, std::size_t size) {
+    const auto path = RegionPath(region);
+    errno = 0;
+    // "rb+" preserves existing contents (the region was sized at creation).
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    if (f == nullptr) {
+      return Status::Unavailable("cannot open region file " + path.string() +
+                                 ": " + ErrnoText());
+    }
+    Status status = Status::OK();
+    if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) {
+      status = Status::Unavailable("seek in region file " + path.string() +
+                                   ": " + ErrnoText());
+    } else {
+      std::size_t put = std::fwrite(bytes, 1, size, f);
+      if (put < size && errno == 0) {
+        std::clearerr(f);
+        put += std::fwrite(bytes + put, 1, size - put, f);
+      }
+      if (put < size) {
+        status = errno != 0
+                     ? Status::Unavailable("write to region file " +
+                                           path.string() + ": " + ErrnoText())
+                     : Status::Internal(
+                           "short write to region file " + path.string() +
+                           " (put " + std::to_string(put) + " of " +
+                           std::to_string(size) + " bytes at offset " +
+                           std::to_string(offset) + ")");
+      }
+    }
+    if (std::fclose(f) != 0 && status.ok()) {
+      status = Status::Unavailable("close of region file " + path.string() +
+                                   ": " + ErrnoText());
+    }
+    return status;
+  }
+
   std::filesystem::path RegionPath(std::uint32_t region) const {
     return directory_ / ("region-" + std::to_string(region) + ".bin");
   }

@@ -1,0 +1,699 @@
+// Chaos suite (ctest label "chaos"): deterministic host-fault injection
+// against the full join stack. The contracts under test, from
+// docs/ROBUSTNESS.md:
+//   - transient faults (reads, writes, torn writes, region windows) whose
+//     sequence length stays below the retry budget always recover, with the
+//     correct join output and an adversary-visible surface bit-identical to
+//     the fault-free run;
+//   - silent corruption always ends in kTampered (device dead), never in a
+//     wrong result;
+//   - an exhausted retry budget surfaces kUnavailable — a fault, not an
+//     integrity verdict — and leaves the device alive;
+//   - the service degrades gracefully: structured failure via
+//     last_failure(), no partial plaintext, contract dead after tampering.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/algorithm5.h"
+#include "core/join_result.h"
+#include "crypto/key.h"
+#include "crypto/ocb.h"
+#include "relation/generator.h"
+#include "service/service.h"
+#include "sim/coprocessor.h"
+#include "sim/fault_injector.h"
+#include "sim/host_store.h"
+#include "sim/storage_backend.h"
+
+namespace ppj {
+namespace {
+
+using relation::MakeCellWorkload;
+using sim::FaultInjectingBackend;
+using sim::FaultPlan;
+
+// ---- FaultPlan specs ------------------------------------------------------
+
+TEST(FaultPlanTest, ParsesAndRoundTrips) {
+  auto plan = FaultPlan::Parse(
+      "seed=7,transient=0.05,torn=0.02,bitflip=0.01,unavail=0.03,"
+      "latency=0.5,attempts=3,window=2,cooldown=16");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->seed, 7u);
+  EXPECT_DOUBLE_EQ(plan->transient_read_rate, 0.05);
+  EXPECT_DOUBLE_EQ(plan->transient_write_rate, 0.05);
+  EXPECT_DOUBLE_EQ(plan->torn_write_rate, 0.02);
+  EXPECT_DOUBLE_EQ(plan->bit_flip_rate, 0.01);
+  EXPECT_DOUBLE_EQ(plan->region_unavailable_rate, 0.03);
+  EXPECT_DOUBLE_EQ(plan->latency_rate, 0.5);
+  EXPECT_EQ(plan->transient_attempts, 3u);
+  EXPECT_EQ(plan->region_unavailable_attempts, 2u);
+  EXPECT_EQ(plan->cooldown_ops, 16u);
+  // The canonical string parses back to the same plan.
+  auto again = FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->ToString(), plan->ToString());
+}
+
+TEST(FaultPlanTest, SplitReadWriteRates) {
+  auto plan = FaultPlan::Parse("transient-read=0.1,transient-write=0.2");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->transient_read_rate, 0.1);
+  EXPECT_DOUBLE_EQ(plan->transient_write_rate, 0.2);
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  EXPECT_EQ(FaultPlan::Parse("bogus=1").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FaultPlan::Parse("transient").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FaultPlan::Parse("transient=1.5").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FaultPlan::Parse("transient=-0.1").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FaultPlan::Parse("attempts=0").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FaultPlan::Parse("seed=abc").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---- Injector determinism -------------------------------------------------
+
+std::vector<StatusCode> RunProbeSequence(std::uint64_t seed) {
+  FaultInjectingBackend backend(sim::MakeInMemoryBackend());
+  EXPECT_TRUE(backend.CreateRegion(0, 16, 32).ok());
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.transient_read_rate = 0.3;
+  plan.transient_write_rate = 0.3;
+  plan.transient_attempts = 1;
+  plan.cooldown_ops = 0;
+  backend.Arm(plan);
+  std::vector<StatusCode> codes;
+  const std::vector<std::uint8_t> bytes(16, 0xAB);
+  for (int i = 0; i < 64; ++i) {
+    codes.push_back(
+        backend.WriteSlot(0, 16, static_cast<std::uint64_t>(i % 32), bytes)
+            .code());
+    codes.push_back(
+        backend.ReadSlot(0, 16, static_cast<std::uint64_t>(i % 32))
+            .status()
+            .code());
+  }
+  return codes;
+}
+
+TEST(FaultInjectorTest, ScheduleIsDeterministic) {
+  const auto first = RunProbeSequence(42);
+  const auto second = RunProbeSequence(42);
+  EXPECT_EQ(first, second);
+  // And actually mixes successes with injected failures.
+  EXPECT_TRUE(std::count(first.begin(), first.end(),
+                         StatusCode::kUnavailable) > 0);
+  EXPECT_TRUE(std::count(first.begin(), first.end(), StatusCode::kOk) > 0);
+  // A different seed yields a different schedule.
+  EXPECT_NE(first, RunProbeSequence(43));
+}
+
+TEST(FaultInjectorTest, UnarmedIsPassThrough) {
+  FaultInjectingBackend backend(sim::MakeInMemoryBackend());
+  ASSERT_TRUE(backend.CreateRegion(0, 4, 4).ok());
+  const std::vector<std::uint8_t> bytes{1, 2, 3, 4};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(backend.WriteSlot(0, 4, 0, bytes).ok());
+    auto read = backend.ReadSlot(0, 4, 0);
+    ASSERT_TRUE(read.ok());
+    ASSERT_EQ(*read, bytes);
+  }
+  EXPECT_EQ(backend.stats().injected_failures(), 0u);
+  EXPECT_EQ(backend.stats().ops, 200u);
+}
+
+TEST(FaultInjectorTest, TransientSequenceRespectsAttemptsAndCooldown) {
+  FaultInjectingBackend backend(sim::MakeInMemoryBackend());
+  ASSERT_TRUE(backend.CreateRegion(0, 4, 1).ok());
+  FaultPlan plan;
+  plan.transient_read_rate = 1.0;  // Fires at the first opportunity.
+  plan.transient_attempts = 2;
+  plan.cooldown_ops = 8;
+  backend.Arm(plan);
+  // Two consecutive failures (the configured sequence length)...
+  EXPECT_EQ(backend.ReadSlot(0, 4, 0).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(backend.ReadSlot(0, 4, 0).status().code(),
+            StatusCode::kUnavailable);
+  // ...then the cooldown keeps the next reads clean, so a retry budget of
+  // attempts+1 provably recovers.
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_TRUE(backend.ReadSlot(0, 4, 0).ok()) << "op " << i;
+  }
+  EXPECT_EQ(backend.stats().transient_read_failures, 2u);
+}
+
+TEST(FaultInjectorTest, BitFlipCorruptsSilently) {
+  FaultInjectingBackend backend(sim::MakeInMemoryBackend());
+  ASSERT_TRUE(backend.CreateRegion(0, 16, 1).ok());
+  const std::vector<std::uint8_t> bytes(16, 0x55);
+  ASSERT_TRUE(backend.WriteSlot(0, 16, 0, bytes).ok());
+  FaultPlan plan;
+  plan.bit_flip_rate = 1.0;
+  backend.Arm(plan);
+  auto read = backend.ReadSlot(0, 16, 0);
+  ASSERT_TRUE(read.ok());  // The operation "succeeds"...
+  EXPECT_NE(*read, bytes);  // ...with corrupted data.
+  EXPECT_EQ(backend.stats().bit_flips, 1u);
+  backend.Disarm();
+  // The stored bytes were never touched — the flip was in flight.
+  EXPECT_EQ(*backend.ReadSlot(0, 16, 0), bytes);
+}
+
+TEST(FaultInjectorTest, TornWriteLeavesDetectableHalfWrite) {
+  FaultInjectingBackend backend(sim::MakeInMemoryBackend());
+  ASSERT_TRUE(backend.CreateRegion(0, 16, 1).ok());
+  FaultPlan plan;
+  plan.torn_write_rate = 1.0;
+  plan.cooldown_ops = 4;
+  backend.Arm(plan);
+  const std::vector<std::uint8_t> bytes(16, 0xEE);
+  EXPECT_EQ(backend.WriteSlot(0, 16, 0, bytes).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(backend.stats().torn_writes, 1u);
+  backend.Disarm();
+  auto read = backend.ReadSlot(0, 16, 0);
+  ASSERT_TRUE(read.ok());
+  EXPECT_NE(*read, bytes);            // Only a prefix landed...
+  EXPECT_EQ((*read)[0], 0xEE);        // ...the head of the record...
+  EXPECT_EQ((*read)[15], 0x00);       // ...but not the tail.
+}
+
+// ---- Coprocessor-level retry ----------------------------------------------
+
+TEST(RetryTest, TransientReadRecoversWithinBudget) {
+  // The injector is owned by the host; keep a raw handle for arming
+  // (backend calls are serialized by the host's lock).
+  auto injector =
+      std::make_unique<FaultInjectingBackend>(sim::MakeInMemoryBackend());
+  auto* faults = injector.get();
+  sim::HostStore host(std::move(injector));
+  sim::Coprocessor copro(&host, {.memory_tuples = 4, .seed = 1});
+  const crypto::Ocb key(crypto::DeriveKey(20, "retry"));
+  const sim::RegionId r =
+      host.CreateRegion("r", sim::Coprocessor::SealedSize(8), 4);
+  ASSERT_TRUE(copro.PutSealed(r, 0, std::vector<std::uint8_t>(8, 9), key).ok());
+  FaultPlan plan;
+  plan.transient_read_rate = 1.0;
+  plan.transient_attempts = 2;  // < RetryPolicy::max_attempts (4).
+  plan.cooldown_ops = 8;
+  faults->Arm(plan);
+  auto opened = copro.GetOpen(r, 0, key);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_EQ((*opened)[0], 9);
+  EXPECT_EQ(copro.metrics().host_retries, 2u);
+  EXPECT_EQ(copro.metrics().backoff_cycles, 64u + 128u);
+  EXPECT_FALSE(copro.disabled());
+}
+
+TEST(RetryTest, TornWriteRepairedByRetry) {
+  auto injector =
+      std::make_unique<FaultInjectingBackend>(sim::MakeInMemoryBackend());
+  auto* faults = injector.get();
+  sim::HostStore host(std::move(injector));
+  sim::Coprocessor copro(&host, {.memory_tuples = 4, .seed = 1});
+  const crypto::Ocb key(crypto::DeriveKey(21, "torn"));
+  const sim::RegionId r =
+      host.CreateRegion("r", sim::Coprocessor::SealedSize(8), 2);
+  FaultPlan plan;
+  plan.torn_write_rate = 1.0;
+  plan.cooldown_ops = 8;
+  faults->Arm(plan);
+  // The torn first attempt persists garbage; the retry rewrites in full.
+  ASSERT_TRUE(copro.PutSealed(r, 0, std::vector<std::uint8_t>(8, 5), key).ok());
+  EXPECT_EQ(copro.metrics().host_retries, 1u);
+  faults->Disarm();
+  auto opened = copro.GetOpen(r, 0, key);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_EQ((*opened)[0], 5);
+}
+
+TEST(RetryTest, ExhaustedBudgetIsUnavailableNotTampered) {
+  auto injector =
+      std::make_unique<FaultInjectingBackend>(sim::MakeInMemoryBackend());
+  auto* faults = injector.get();
+  sim::HostStore host(std::move(injector));
+  sim::Coprocessor copro(&host, {.memory_tuples = 4, .seed = 1});
+  const sim::RegionId r = host.CreateRegion("r", 16, 2);
+  FaultPlan plan;
+  plan.transient_read_rate = 1.0;
+  plan.transient_attempts = 16;  // Outlasts the budget of 4.
+  plan.cooldown_ops = 0;
+  faults->Arm(plan);
+  auto got = copro.Get(r, 0);
+  ASSERT_FALSE(got.ok());
+  // A persistent outage is a fault, not an integrity verdict: the device
+  // stays alive and a later (healthy) transfer works again.
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(copro.disabled());
+  EXPECT_EQ(copro.metrics().host_retries, 3u);
+  faults->Disarm();
+  EXPECT_TRUE(copro.Get(r, 0).ok());
+}
+
+// ---- Whole-join chaos -----------------------------------------------------
+
+/// A two-party world over fault-injected storage. The injector is armed
+/// only after setup (sealing the inputs), so faults hit exactly the
+/// execution under test.
+struct ChaosWorld {
+  std::unique_ptr<sim::HostStore> host;
+  FaultInjectingBackend* faults = nullptr;  // owned by host
+  relation::TwoTableWorkload workload;
+  std::unique_ptr<crypto::Ocb> key_a, key_b, key_out;
+  std::unique_ptr<relation::EncryptedRelation> a, b;
+  std::unique_ptr<relation::Schema> result_schema;
+};
+
+std::unique_ptr<ChaosWorld> MakeChaosWorld(std::uint64_t seed) {
+  relation::CellSpec spec;
+  spec.size_a = 8;
+  spec.size_b = 8;
+  spec.result_size = 10;
+  spec.seed = seed;
+  auto workload = MakeCellWorkload(spec);
+  EXPECT_TRUE(workload.ok());
+  auto world = std::make_unique<ChaosWorld>();
+  auto injector =
+      std::make_unique<FaultInjectingBackend>(sim::MakeInMemoryBackend());
+  world->faults = injector.get();
+  world->host = std::make_unique<sim::HostStore>(std::move(injector));
+  world->workload = std::move(*workload);
+  world->key_a = std::make_unique<crypto::Ocb>(crypto::DeriveKey(1, "A"));
+  world->key_b = std::make_unique<crypto::Ocb>(crypto::DeriveKey(2, "B"));
+  world->key_out = std::make_unique<crypto::Ocb>(crypto::DeriveKey(3, "C"));
+  auto a = relation::EncryptedRelation::Seal(world->host.get(),
+                                             *world->workload.a,
+                                             world->key_a.get());
+  auto b = relation::EncryptedRelation::Seal(world->host.get(),
+                                             *world->workload.b,
+                                             world->key_b.get());
+  EXPECT_TRUE(a.ok() && b.ok());
+  world->a = std::make_unique<relation::EncryptedRelation>(std::move(*a));
+  world->b = std::make_unique<relation::EncryptedRelation>(std::move(*b));
+  world->result_schema =
+      std::make_unique<relation::Schema>(relation::Schema::Concat(
+          world->workload.a->schema(), world->workload.b->schema()));
+  return world;
+}
+
+struct ChaosRun {
+  Status status = Status::OK();
+  std::vector<relation::Tuple> tuples;
+  sim::TransferMetrics metrics;
+  sim::TraceFingerprint trace;
+  sim::TraceFingerprint timing;
+};
+
+ChaosRun RunJoin(ChaosWorld& world) {
+  ChaosRun run;
+  sim::Coprocessor copro(world.host.get(), {.memory_tuples = 4, .seed = 42});
+  const relation::PairAsMultiway multiway(world.workload.predicate.get());
+  core::MultiwayJoin join{{world.a.get(), world.b.get()}, &multiway,
+                          world.key_out.get()};
+  auto outcome = core::RunAlgorithm5(copro, join);
+  run.metrics = copro.metrics();
+  run.trace = copro.trace().fingerprint();
+  run.timing = copro.timing_fingerprint();
+  if (!outcome.ok()) {
+    run.status = outcome.status();
+    return run;
+  }
+  auto decoded = core::DecodeJoinOutput(
+      *world.host, outcome->output_region, outcome->result_size,
+      *world.key_out, world.result_schema.get());
+  if (!decoded.ok()) {
+    run.status = decoded.status();
+    return run;
+  }
+  run.tuples = std::move(*decoded);
+  return run;
+}
+
+FaultPlan RecoverableTransientPlan(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.transient_read_rate = 0.05;
+  plan.transient_write_rate = 0.05;
+  plan.torn_write_rate = 0.03;
+  plan.region_unavailable_rate = 0.02;
+  plan.region_unavailable_attempts = 2;
+  plan.transient_attempts = 2;  // Sequences stay under the budget of 4.
+  plan.latency_rate = 0.05;
+  plan.cooldown_ops = 8;
+  return plan;
+}
+
+TEST(ChaosJoinTest, TransientFaultsRecoverWithCorrectOutput) {
+  auto clean = MakeChaosWorld(5);
+  const ChaosRun baseline = RunJoin(*clean);
+  ASSERT_TRUE(baseline.status.ok()) << baseline.status;
+
+  for (std::uint64_t fault_seed = 1; fault_seed <= 5; ++fault_seed) {
+    auto world = MakeChaosWorld(5);
+    world->faults->Arm(RecoverableTransientPlan(fault_seed));
+    const ChaosRun chaotic = RunJoin(*world);
+    ASSERT_TRUE(chaotic.status.ok())
+        << "fault seed " << fault_seed << ": " << chaotic.status;
+    EXPECT_TRUE(
+        relation::SameTupleMultiset(chaotic.tuples, baseline.tuples))
+        << "fault seed " << fault_seed;
+    // Transient recovery is invisible on the adversary-observable surface:
+    // retries happen below the trace, and backoff is charged outside the
+    // timing-equalisation counter.
+    EXPECT_EQ(chaotic.trace, baseline.trace) << "fault seed " << fault_seed;
+    EXPECT_EQ(chaotic.timing, baseline.timing)
+        << "fault seed " << fault_seed;
+    EXPECT_EQ(chaotic.metrics.TupleTransfers(),
+              baseline.metrics.TupleTransfers());
+  }
+}
+
+TEST(ChaosJoinTest, AtLeastOneSeedActuallyInjectsFaults) {
+  // Guards the test above against a silently quiet plan: across the seeds
+  // used there, faults must actually fire and be retried.
+  std::uint64_t total_failures = 0;
+  std::uint64_t total_retries = 0;
+  for (std::uint64_t fault_seed = 1; fault_seed <= 5; ++fault_seed) {
+    auto world = MakeChaosWorld(5);
+    world->faults->Arm(RecoverableTransientPlan(fault_seed));
+    const ChaosRun chaotic = RunJoin(*world);
+    total_failures += world->faults->stats().injected_failures();
+    total_retries += chaotic.metrics.host_retries;
+  }
+  EXPECT_GT(total_failures, 0u);
+  EXPECT_GT(total_retries, 0u);
+}
+
+TEST(ChaosJoinTest, BitFlipsAlwaysEndInTamperedNeverWrongOutput) {
+  auto clean = MakeChaosWorld(6);
+  const ChaosRun baseline = RunJoin(*clean);
+  ASSERT_TRUE(baseline.status.ok());
+
+  for (std::uint64_t fault_seed = 1; fault_seed <= 8; ++fault_seed) {
+    auto world = MakeChaosWorld(6);
+    FaultPlan plan;
+    plan.seed = fault_seed;
+    plan.bit_flip_rate = 0.2;
+    world->faults->Arm(plan);
+    const ChaosRun chaotic = RunJoin(*world);
+    if (chaotic.status.ok()) {
+      // Every flip landed in data that was never consumed; the output must
+      // then be exactly right. Silent wrong output is the one forbidden
+      // outcome.
+      EXPECT_TRUE(
+          relation::SameTupleMultiset(chaotic.tuples, baseline.tuples))
+          << "fault seed " << fault_seed;
+    } else {
+      EXPECT_EQ(chaotic.status.code(), StatusCode::kTampered)
+          << "fault seed " << fault_seed << ": " << chaotic.status;
+      EXPECT_TRUE(chaotic.tuples.empty());
+    }
+  }
+}
+
+TEST(ChaosJoinTest, GuaranteedBitFlipIsAlwaysDetected) {
+  auto world = MakeChaosWorld(7);
+  FaultPlan plan;
+  plan.bit_flip_rate = 1.0;
+  world->faults->Arm(plan);
+  const ChaosRun chaotic = RunJoin(*world);
+  ASSERT_FALSE(chaotic.status.ok());
+  EXPECT_EQ(chaotic.status.code(), StatusCode::kTampered);
+  EXPECT_TRUE(chaotic.tuples.empty());
+  EXPECT_GT(world->faults->stats().bit_flips, 0u);
+}
+
+// ---- Service-level graceful degradation -----------------------------------
+
+class ChaosServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto injector =
+        std::make_unique<FaultInjectingBackend>(sim::MakeInMemoryBackend());
+    faults_ = injector.get();
+    service_ = std::make_unique<service::SovereignJoinService>(
+        std::move(injector));
+    ASSERT_TRUE(service_->RegisterParty("airline", 101).ok());
+    ASSERT_TRUE(service_->RegisterParty("agency", 102).ok());
+    ASSERT_TRUE(service_->RegisterParty("analyst", 103).ok());
+    auto contract = service_->CreateContract({"airline", "agency"},
+                                             "analyst", "any");
+    ASSERT_TRUE(contract.ok()) << contract.status();
+    contract_ = *contract;
+
+    relation::EquijoinSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 16;
+    spec.n_max = 4;
+    spec.result_size = 9;
+    spec.seed = 3;
+    auto workload = relation::MakeEquijoinWorkload(spec);
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::move(*workload);
+    ASSERT_TRUE(
+        service_->SubmitRelation(contract_, "airline", *workload_.a).ok());
+    ASSERT_TRUE(
+        service_->SubmitRelation(contract_, "agency", *workload_.b).ok());
+  }
+
+  service::ExecuteOptions Options() const {
+    service::ExecuteOptions options;
+    options.algorithm = core::Algorithm::kAlgorithm5;
+    options.memory_tuples = 6;
+    return options;
+  }
+
+  FaultInjectingBackend* faults_ = nullptr;
+  std::unique_ptr<service::SovereignJoinService> service_;
+  std::string contract_;
+  relation::TwoTableWorkload workload_;
+};
+
+TEST_F(ChaosServiceTest, TransientFaultsRecoverEndToEnd) {
+  FaultPlan plan = RecoverableTransientPlan(11);
+  faults_->Arm(plan);
+  auto delivery =
+      service_->ExecuteJoin(contract_, *workload_.predicate, Options());
+  ASSERT_TRUE(delivery.ok()) << delivery.status();
+  EXPECT_FALSE(service_->last_failure().has_value());
+  EXPECT_FALSE(service_->ContractDead(contract_));
+  const relation::GroundTruth truth = relation::ComputeGroundTruth(
+      *workload_.a, *workload_.b, *workload_.predicate,
+      delivery->result_schema.get());
+  EXPECT_TRUE(
+      relation::SameTupleMultiset(delivery->tuples, truth.expected));
+}
+
+TEST_F(ChaosServiceTest, CorruptionYieldsStructuredFailureAndDeadContract) {
+  FaultPlan plan;
+  plan.bit_flip_rate = 1.0;
+  faults_->Arm(plan);
+  auto delivery =
+      service_->ExecuteJoin(contract_, *workload_.predicate, Options());
+  ASSERT_FALSE(delivery.ok());
+  EXPECT_EQ(delivery.status().code(), StatusCode::kTampered);
+
+  // Structured post-mortem: phase, status, partial metrics, verdict.
+  ASSERT_TRUE(service_->last_failure().has_value());
+  const service::ExecutionFailure& failure = *service_->last_failure();
+  EXPECT_EQ(failure.contract_id, contract_);
+  EXPECT_TRUE(failure.phase == "algorithm" || failure.phase == "decode")
+      << failure.phase;
+  EXPECT_EQ(failure.status.code(), StatusCode::kTampered);
+  EXPECT_TRUE(failure.device_disabled);
+  EXPECT_GT(failure.partial_metrics.TupleTransfers(), 0u);
+
+  // The contract is dead: executions AND submissions are refused.
+  EXPECT_TRUE(service_->ContractDead(contract_));
+  faults_->Disarm();
+  EXPECT_EQ(service_->ExecuteJoin(contract_, *workload_.predicate, Options())
+                .status()
+                .code(),
+            StatusCode::kTampered);
+  EXPECT_EQ(
+      service_->SubmitRelation(contract_, "airline", *workload_.a).code(),
+      StatusCode::kTampered);
+
+  // Other contracts on the same service are unaffected.
+  auto fresh = service_->CreateContract({"airline", "agency"}, "analyst",
+                                        "any");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(service_->ContractDead(*fresh));
+  ASSERT_TRUE(
+      service_->SubmitRelation(*fresh, "airline", *workload_.a).ok());
+  ASSERT_TRUE(
+      service_->SubmitRelation(*fresh, "agency", *workload_.b).ok());
+  auto delivery2 =
+      service_->ExecuteJoin(*fresh, *workload_.predicate, Options());
+  EXPECT_TRUE(delivery2.ok()) << delivery2.status();
+}
+
+TEST_F(ChaosServiceTest, ExhaustedRetryBudgetReportsUnavailable) {
+  FaultPlan plan;
+  plan.transient_read_rate = 1.0;
+  plan.transient_attempts = 64;  // Hopeless outage, outlasts every budget.
+  plan.cooldown_ops = 0;
+  faults_->Arm(plan);
+  auto delivery =
+      service_->ExecuteJoin(contract_, *workload_.predicate, Options());
+  ASSERT_FALSE(delivery.ok());
+  EXPECT_EQ(delivery.status().code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(service_->last_failure().has_value());
+  const service::ExecutionFailure& failure = *service_->last_failure();
+  EXPECT_FALSE(failure.device_disabled);
+  // The retry history shows the budget was spent before giving up.
+  EXPECT_GT(failure.partial_metrics.host_retries, 0u);
+  EXPECT_GT(failure.partial_metrics.backoff_cycles, 0u);
+  // An outage is not tampering: the contract survives and recovers.
+  EXPECT_FALSE(service_->ContractDead(contract_));
+  faults_->Disarm();
+  auto retry =
+      service_->ExecuteJoin(contract_, *workload_.predicate, Options());
+  EXPECT_TRUE(retry.ok()) << retry.status();
+  EXPECT_FALSE(service_->last_failure().has_value());
+}
+
+// ---- The full sweep: every algorithm, scalar/batched/parallel -------------
+
+/// A fully deterministic service world: fingerprints are only comparable
+/// between *fresh* services (region IDs allocate monotonically per backend,
+/// so two executions on one service trace different scratch-region IDs).
+struct SweepWorld {
+  FaultInjectingBackend* faults = nullptr;  // owned by service
+  std::unique_ptr<service::SovereignJoinService> service;
+  std::string contract;
+};
+
+SweepWorld MakeSweepWorld(const relation::TwoTableWorkload& workload,
+                          bool pad) {
+  SweepWorld world;
+  auto injector =
+      std::make_unique<FaultInjectingBackend>(sim::MakeInMemoryBackend());
+  world.faults = injector.get();
+  world.service = std::make_unique<service::SovereignJoinService>(
+      std::move(injector));
+  EXPECT_TRUE(world.service->RegisterParty("airline", 101).ok());
+  EXPECT_TRUE(world.service->RegisterParty("agency", 102).ok());
+  EXPECT_TRUE(world.service->RegisterParty("analyst", 103).ok());
+  auto contract = world.service->CreateContract({"airline", "agency"},
+                                                "analyst", "any");
+  EXPECT_TRUE(contract.ok()) << contract.status();
+  world.contract = *contract;
+  EXPECT_TRUE(world.service
+                  ->SubmitRelation(world.contract, "airline", *workload.a,
+                                   pad)
+                  .ok());
+  EXPECT_TRUE(world.service
+                  ->SubmitRelation(world.contract, "agency", *workload.b,
+                                   pad)
+                  .ok());
+  return world;
+}
+
+class ChaosSweepTest : public ::testing::TestWithParam<core::Algorithm> {
+ protected:
+  void SetUp() override {
+    relation::EquijoinSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 16;
+    spec.n_max = 4;
+    spec.result_size = 9;
+    spec.seed = 3;
+    auto workload = relation::MakeEquijoinWorkload(spec);
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::move(*workload);
+  }
+
+  relation::TwoTableWorkload workload_;
+};
+
+TEST_P(ChaosSweepTest, RecoversInEveryExecutionMode) {
+  const core::Algorithm alg = GetParam();
+  const bool needs_pad = alg == core::Algorithm::kAlgorithm3;
+  const bool supports_parallel = alg == core::Algorithm::kAlgorithm4 ||
+                                 alg == core::Algorithm::kAlgorithm5 ||
+                                 alg == core::Algorithm::kAlgorithm6;
+  struct Mode {
+    const char* name;
+    std::uint64_t batch_slots;  // 1 forces the scalar per-slot path.
+    unsigned parallelism;
+  };
+  std::vector<Mode> modes = {{"batched", 0, 1}, {"scalar", 1, 1}};
+  if (supports_parallel) modes.push_back({"parallel", 0, 2});
+
+  std::uint64_t injected_failures = 0;
+  for (const Mode& mode : modes) {
+    SCOPED_TRACE(::testing::Message()
+                 << ToString(alg) << " / " << mode.name);
+    service::ExecuteOptions options;
+    options.algorithm = alg;
+    options.n = workload_.max_matches_per_a;
+    options.memory_tuples = 6;
+    options.batch_slots = mode.batch_slots;
+    options.parallelism = mode.parallelism;
+
+    SweepWorld clean = MakeSweepWorld(workload_, needs_pad);
+    auto baseline = clean.service->ExecuteJoin(clean.contract,
+                                               *workload_.predicate, options);
+    ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+    SweepWorld chaotic = MakeSweepWorld(workload_, needs_pad);
+    chaotic.faults->Arm(RecoverableTransientPlan(29));
+    auto faulted = chaotic.service->ExecuteJoin(
+        chaotic.contract, *workload_.predicate, options);
+    ASSERT_TRUE(faulted.ok()) << faulted.status();
+    EXPECT_FALSE(chaotic.service->last_failure().has_value());
+    injected_failures += chaotic.faults->stats().injected_failures();
+
+    const relation::GroundTruth truth = relation::ComputeGroundTruth(
+        *workload_.a, *workload_.b, *workload_.predicate,
+        faulted->result_schema.get());
+    EXPECT_TRUE(
+        relation::SameTupleMultiset(faulted->tuples, truth.expected))
+        << "got " << faulted->tuples.size() << ", want "
+        << truth.expected.size();
+
+    // Recovery is invisible on the adversary-observable surface.
+    EXPECT_EQ(faulted->trace, baseline->trace);
+    EXPECT_EQ(faulted->timing, baseline->timing);
+    EXPECT_EQ(faulted->metrics.TupleTransfers(),
+              baseline->metrics.TupleTransfers());
+  }
+  // The sweep must exercise real faults, not a quiet plan.
+  EXPECT_GT(injected_failures, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, ChaosSweepTest,
+    ::testing::Values(core::Algorithm::kAlgorithm1,
+                      core::Algorithm::kAlgorithm1Variant,
+                      core::Algorithm::kAlgorithm2,
+                      core::Algorithm::kAlgorithm3,
+                      core::Algorithm::kAlgorithm4,
+                      core::Algorithm::kAlgorithm5,
+                      core::Algorithm::kAlgorithm6),
+    [](const ::testing::TestParamInfo<core::Algorithm>& param_info) {
+      std::string name = ToString(param_info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace ppj

@@ -120,5 +120,61 @@ TEST(FileBackendTest, RejectsUnwritableDirectory) {
   EXPECT_FALSE(backend.ok());
 }
 
+// ---- Error taxonomy (docs/ROBUSTNESS.md) ----------------------------------
+// Environment-induced I/O failures are retryable kUnavailable and carry the
+// errno; a region file that exists but is impossibly short breaks the
+// backend's own size invariant and is kInternal — retrying cannot help.
+
+TEST(FileBackendTest, MissingRegionFileIsUnavailableWithErrno) {
+  const std::string dir = TempDir("taxonomy-missing");
+  auto backend = MakeFileBackend(dir);
+  ASSERT_TRUE(backend.ok());
+  HostStore host(std::move(*backend));
+  const RegionId r = host.CreateRegion("r", 8, 4);
+  ASSERT_TRUE(host.WriteSlot(r, 0, std::vector<std::uint8_t>(8, 1)).ok());
+  // The host environment loses the region file out from under the backend
+  // (crash, eviction, operator error).
+  std::uintmax_t removed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    removed += std::filesystem::remove(entry.path()) ? 1 : 0;
+  }
+  ASSERT_GT(removed, 0u);
+
+  auto read = host.ReadSlot(r, 0);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(read.status().message().find("errno"), std::string::npos)
+      << read.status();
+
+  const Status write = host.WriteSlot(r, 0, std::vector<std::uint8_t>(8, 2));
+  ASSERT_FALSE(write.ok());
+  EXPECT_EQ(write.code(), StatusCode::kUnavailable);
+  EXPECT_NE(write.message().find("errno"), std::string::npos) << write;
+}
+
+TEST(FileBackendTest, TruncatedRegionFileIsInternal) {
+  const std::string dir = TempDir("taxonomy-truncated");
+  auto backend = MakeFileBackend(dir);
+  ASSERT_TRUE(backend.ok());
+  HostStore host(std::move(*backend));
+  const RegionId r = host.CreateRegion("r", 16, 4);
+  ASSERT_TRUE(host.WriteSlot(r, 3, std::vector<std::uint8_t>(16, 7)).ok());
+  // Truncate the region file below slot 3's extent: the file opens and
+  // seeks fine, but the read comes up short with no errno — a broken size
+  // invariant, not a transient environment fault.
+  std::filesystem::path file;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    file = entry.path();
+  }
+  ASSERT_FALSE(file.empty());
+  std::filesystem::resize_file(file, 16);
+
+  auto read = host.ReadSlot(r, 3);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInternal);
+  EXPECT_NE(read.status().message().find("short read"), std::string::npos)
+      << read.status();
+}
+
 }  // namespace
 }  // namespace ppj::sim

@@ -209,6 +209,129 @@ TEST(TamperTest, WrongKeyCannotOpenDelivery) {
   EXPECT_EQ(decoded.status().code(), StatusCode::kTampered);
 }
 
+// ---- Batched transfer path ------------------------------------------------
+// The prefetched ReadRun pipeline stages (and bulk-decrypts) a whole window
+// in one physical round trip, so corruption handling has a subtlety the
+// scalar path lacks: detection must be *deferred* to the exact consumption
+// index — not reported early at staging time, which would leak how far T
+// actually reads — and must behave bit-identically to the scalar loop.
+
+/// Seals `slots` slots of payload size 8 into a fresh region (payload byte
+/// = slot index) using a throwaway setup device, so the consumer device
+/// under test starts with pristine metrics and trace.
+sim::RegionId SealConsecutiveSlots(sim::HostStore& host,
+                                   const crypto::Ocb& key,
+                                   std::uint64_t slots) {
+  const sim::RegionId r =
+      host.CreateRegion("r", sim::Coprocessor::SealedSize(8), slots);
+  sim::Coprocessor setup(&host, {.memory_tuples = 4, .seed = 1});
+  for (std::uint64_t i = 0; i < slots; ++i) {
+    EXPECT_TRUE(
+        setup
+            .PutSealed(r, i,
+                       std::vector<std::uint8_t>(8,
+                                                 static_cast<std::uint8_t>(i)),
+                       key)
+            .ok());
+  }
+  return r;
+}
+
+TEST(TamperTest, CorruptionInsidePrefetchWindowDetectedAtConsumption) {
+  sim::HostStore host;
+  const crypto::Ocb key(crypto::DeriveKey(12, "batch"));
+  const sim::RegionId r = SealConsecutiveSlots(host, key, 8);
+  ASSERT_TRUE(host.CorruptSlot(r, 5, 137).ok());
+
+  sim::Coprocessor copro(&host, {.memory_tuples = 16, .seed = 2});
+  auto run = copro.GetOpenRange(r, 0, 8, &key);
+  ASSERT_TRUE(run.ok());
+  // Prefetching the whole window (corrupted slot included) succeeds: the
+  // verdict is deferred to consumption.
+  ASSERT_TRUE(run->PrefetchOpen().ok());
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    auto open = run->NextOpen();
+    ASSERT_TRUE(open.ok()) << "slot " << i;
+    EXPECT_EQ((*open)[0], static_cast<std::uint8_t>(i));
+  }
+  auto bad = run->NextOpen();  // Exactly slot 5.
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kTampered);
+  EXPECT_TRUE(copro.disabled());
+}
+
+TEST(TamperTest, ReorderInsidePrefetchWindowDetectedAtFirstSwappedSlot) {
+  // Both swapped slots carry valid tags; only the position binding catches
+  // the reorder — and it must do so at the first swapped consumption index
+  // even when the whole window was bulk-decrypted up front.
+  sim::HostStore host;
+  const crypto::Ocb key(crypto::DeriveKey(13, "batch-swap"));
+  const sim::RegionId r = SealConsecutiveSlots(host, key, 8);
+  auto s2 = host.ReadSlot(r, 2);
+  auto s6 = host.ReadSlot(r, 6);
+  ASSERT_TRUE(s2.ok() && s6.ok());
+  ASSERT_TRUE(host.WriteSlot(r, 2, *s6).ok());
+  ASSERT_TRUE(host.WriteSlot(r, 6, *s2).ok());
+
+  sim::Coprocessor copro(&host, {.memory_tuples = 16, .seed = 2});
+  auto run = copro.GetOpenRange(r, 0, 8, &key);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->PrefetchOpen().ok());
+  ASSERT_TRUE(run->NextOpen().ok());
+  ASSERT_TRUE(run->NextOpen().ok());
+  auto bad = run->NextOpen();  // Slot 2 holds slot 6's (authentic) seal.
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kTampered);
+  EXPECT_TRUE(copro.disabled());
+}
+
+TEST(TamperTest, PrefetchedAndScalarAgreeAtTheFailurePoint) {
+  // Identical devices consume the same corrupted region, one through the
+  // scalar loop, one through a prefetched run: same failure index, same
+  // verdict, and a bit-identical adversary-visible surface up to the abort.
+  sim::HostStore host;
+  const crypto::Ocb key(crypto::DeriveKey(14, "batch-eq"));
+  const sim::RegionId r = SealConsecutiveSlots(host, key, 8);
+  ASSERT_TRUE(host.CorruptSlot(r, 4, 99).ok());
+
+  sim::Coprocessor scalar_dev(&host, {.memory_tuples = 16, .seed = 2});
+  std::uint64_t scalar_fail = 8;
+  Status scalar_status;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    auto open = scalar_dev.GetOpen(r, i, key);
+    if (!open.ok()) {
+      scalar_fail = i;
+      scalar_status = open.status();
+      break;
+    }
+  }
+
+  sim::Coprocessor batched_dev(&host, {.memory_tuples = 16, .seed = 2});
+  auto run = batched_dev.GetOpenRange(r, 0, 8, &key);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->PrefetchOpen().ok());
+  std::uint64_t batched_fail = 8;
+  Status batched_status;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    auto open = run->NextOpen();
+    if (!open.ok()) {
+      batched_fail = i;
+      batched_status = open.status();
+      break;
+    }
+  }
+
+  EXPECT_EQ(scalar_fail, 4u);
+  EXPECT_EQ(batched_fail, scalar_fail);
+  EXPECT_EQ(scalar_status.code(), StatusCode::kTampered);
+  EXPECT_EQ(batched_status.code(), StatusCode::kTampered);
+  EXPECT_EQ(batched_dev.metrics().gets, scalar_dev.metrics().gets);
+  EXPECT_EQ(batched_dev.trace().fingerprint(),
+            scalar_dev.trace().fingerprint());
+  EXPECT_EQ(batched_dev.timing_fingerprint(),
+            scalar_dev.timing_fingerprint());
+}
+
 TEST(TamperTest, RandomFuzzManySlots) {
   // Randomized: corrupt a random bit of a random input slot; Algorithm 4
   // (which touches every slot) must always abort with kTampered.

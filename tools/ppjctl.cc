@@ -7,11 +7,18 @@
 //   ppjctl join  [--alg=1|1v|2|3|4|5|6|auto] [--size-a=N] [--size-b=N]
 //                [--s=N] [--n=N] [--m=N] [--eps=X] [--parallel=P]
 //                [--storage-dir=PATH] [--seed=N] [--batch=N]
+//                [--fault-plan=SPEC]
 //                [--trace-out=FILE] [--metrics-json=FILE]
 //       --batch bounds one batched T<->H range transfer in slots:
 //       0 = auto-sized from free device memory (default), 1 = force the
 //       scalar per-slot path. The metrics dump reports the physical
 //       round trips as batch_gets/batch_puts.
+//       --fault-plan wraps the host storage in the deterministic fault
+//       injector and arms it for the execution (setup stays fault-free).
+//       SPEC is comma-separated key=value pairs, e.g.
+//       "seed=7,transient=0.05,torn=0.02,unavail=0.01" — see
+//       docs/ROBUSTNESS.md. The run prints a fault summary: what was
+//       injected, and the retries/backoff the device spent recovering.
 //       --trace-out writes the execution's telemetry span tree as Chrome
 //       trace-event JSON (open in chrome://tracing or ui.perfetto.dev);
 //       --metrics-json writes the flat per-phase metrics report keyed by
@@ -22,7 +29,7 @@
 //
 //   ppjctl report [--alg=1|1v|2|3|4|5|6] [--size-a=N] [--size-b=N] [--s=N]
 //                 [--n=N] [--m=N] [--eps=X] [--parallel=P] [--seed=N]
-//                 [--batch=N]
+//                 [--batch=N] [--fault-plan=SPEC]
 //       Runs the join with telemetry and prints the measured per-phase
 //       transfer counts next to the Chapter 4/5 cost-model predictions.
 //
@@ -60,6 +67,7 @@
 #include "crypto/key.h"
 #include "relation/generator.h"
 #include "service/service.h"
+#include "sim/fault_injector.h"
 #include "sim/storage_backend.h"
 #include "sim/trace_stats.h"
 
@@ -140,6 +148,10 @@ struct JoinRun {
   relation::EquijoinSpec spec;
   service::ExecuteOptions options;
   service::JoinDelivery delivery;
+  /// --fault-plan state: the armed plan and what it actually injected.
+  bool faults_armed = false;
+  sim::FaultPlan fault_plan;
+  sim::FaultStats fault_stats;
 };
 
 Result<JoinRun> ExecuteJoinFromFlags(const Flags& flags,
@@ -154,16 +166,24 @@ Result<JoinRun> ExecuteJoinFromFlags(const Flags& flags,
   PPJ_ASSIGN_OR_RETURN(relation::TwoTableWorkload workload,
                        relation::MakeEquijoinWorkload(spec));
 
-  std::unique_ptr<service::SovereignJoinService> svc_holder;
   const std::string storage_dir = flags.Get("storage-dir", "");
+  std::unique_ptr<sim::StorageBackend> backend;
   if (storage_dir.empty()) {
-    svc_holder = std::make_unique<service::SovereignJoinService>();
+    backend = sim::MakeInMemoryBackend();
   } else {
-    PPJ_ASSIGN_OR_RETURN(std::unique_ptr<sim::StorageBackend> backend,
-                         sim::MakeFileBackend(storage_dir));
-    svc_holder = std::make_unique<service::SovereignJoinService>(
-        std::move(backend));
+    PPJ_ASSIGN_OR_RETURN(backend, sim::MakeFileBackend(storage_dir));
   }
+  sim::FaultInjectingBackend* faults = nullptr;
+  const std::string fault_spec = flags.Get("fault-plan", "");
+  if (!fault_spec.empty()) {
+    PPJ_ASSIGN_OR_RETURN(run.fault_plan, sim::FaultPlan::Parse(fault_spec));
+    auto injector =
+        std::make_unique<sim::FaultInjectingBackend>(std::move(backend));
+    faults = injector.get();
+    backend = std::move(injector);
+  }
+  auto svc_holder =
+      std::make_unique<service::SovereignJoinService>(std::move(backend));
   service::SovereignJoinService& svc = *svc_holder;
   PPJ_RETURN_NOT_OK(svc.RegisterParty("alice", 1));
   PPJ_RETURN_NOT_OK(svc.RegisterParty("bob", 2));
@@ -186,15 +206,40 @@ Result<JoinRun> ExecuteJoinFromFlags(const Flags& flags,
       static_cast<unsigned>(flags.GetU64("parallel", 1));
   options.batch_slots = flags.GetU64("batch", 0);
 
+  // Setup above (sealing, submissions) runs fault-free; the plan is armed
+  // for exactly the execution under test.
+  if (faults != nullptr) {
+    faults->Arm(run.fault_plan);
+    run.faults_armed = true;
+  }
+  Result<service::JoinDelivery> delivery = Status::Internal("unreachable");
   if (options.parallelism > 1) {
     const relation::PairAsMultiway multiway(workload.predicate.get());
-    PPJ_ASSIGN_OR_RETURN(run.delivery,
-                         svc.ExecuteMultiwayJoin(contract, multiway, options));
+    delivery = svc.ExecuteMultiwayJoin(contract, multiway, options);
   } else {
-    PPJ_ASSIGN_OR_RETURN(
-        run.delivery,
-        svc.ExecuteJoin(contract, *workload.predicate, options));
+    delivery = svc.ExecuteJoin(contract, *workload.predicate, options);
   }
+  if (faults != nullptr) run.fault_stats = faults->stats();
+  if (!delivery.ok()) {
+    // Graceful degradation: surface the structured post-mortem the service
+    // kept — which phase died, the retry history, the tamper verdict.
+    if (svc.last_failure().has_value()) {
+      const service::ExecutionFailure& f = *svc.last_failure();
+      std::fprintf(stderr, "execution failed in phase '%s'\n",
+                   f.phase.c_str());
+      std::fprintf(
+          stderr, "  retries %llu, backoff %llu cycles, device %s\n",
+          static_cast<unsigned long long>(f.partial_metrics.host_retries),
+          static_cast<unsigned long long>(f.partial_metrics.backoff_cycles),
+          f.device_disabled ? "DISABLED (tamper response fired)" : "alive");
+      if (faults != nullptr) {
+        std::fprintf(stderr, "  injected faults %s\n",
+                     run.fault_stats.ToString().c_str());
+      }
+    }
+    return delivery.status();
+  }
+  run.delivery = std::move(*delivery);
   return run;
 }
 
@@ -225,6 +270,15 @@ int RunJoin(const Flags& flags) {
               static_cast<unsigned long long>(delivery.metrics.batch_puts),
               static_cast<unsigned long long>(
                   delivery.metrics.TupleTransfers()));
+  if (run->faults_armed) {
+    std::printf("fault plan       %s\n", run->fault_plan.ToString().c_str());
+    std::printf("faults injected  %s\n", run->fault_stats.ToString().c_str());
+    std::printf("recovery         %llu retries, %llu backoff cycles\n",
+                static_cast<unsigned long long>(
+                    delivery.metrics.host_retries),
+                static_cast<unsigned long long>(
+                    delivery.metrics.backoff_cycles));
+  }
   if (delivery.blemish) std::printf("NOTE: blemish salvage occurred\n");
 
   const std::string trace_out = flags.Get("trace-out", "");
@@ -290,6 +344,16 @@ int RunReport(const Flags& flags) {
   std::printf("  %-42s %8s %12llu\n", "total (host observed)", "",
               static_cast<unsigned long long>(
                   delivery.metrics.TupleTransfers()));
+  if (run->faults_armed) {
+    std::printf("\nfault summary\n");
+    std::printf("  plan      %s\n", run->fault_plan.ToString().c_str());
+    std::printf("  injected  %s\n", run->fault_stats.ToString().c_str());
+    std::printf("  recovery  %llu retries, %llu backoff cycles\n",
+                static_cast<unsigned long long>(
+                    delivery.metrics.host_retries),
+                static_cast<unsigned long long>(
+                    delivery.metrics.backoff_cycles));
+  }
 
   // Model comparison — the closed-form Chapter 4/5 predictions for the
   // same workload shape.
