@@ -93,6 +93,15 @@ std::uint64_t Measure(core::Algorithm alg,
   return w->copro->metrics().TupleTransfers();
 }
 
+/// Prints PlanJoin's predicted operator tree (core::PlannedOp), indented.
+void PrintPlannedOp(const core::PlannedOp& op, int depth) {
+  std::printf("  %*s%-24s %12.4g   %s\n", 2 * depth, "", op.name.c_str(),
+              op.predicted_transfers, op.formula.c_str());
+  for (const core::PlannedOp& child : op.children) {
+    PrintPlannedOp(child, depth + 1);
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -175,6 +184,19 @@ int main() {
           .Emit();
     }
     std::printf("  measured best: %s\n", core::ToString(best_alg).c_str());
+    // The physical-plan breakdown behind the pick: per-operator predicted
+    // transfers, same tree `ppjctl explain` joins against telemetry spans.
+    std::printf("  predicted operator tree:\n");
+    PrintPlannedOp(plan.root, 1);
+    for (const core::PlannedOp& op : plan.root.children) {
+      bench::ResultLine("planner_op")
+          .Param("size", static_cast<double>(pt.size))
+          .Param("m", static_cast<double>(pt.m))
+          .Param("planner_pick", core::ToString(plan.algorithm))
+          .Param("op", op.name)
+          .Transfers(op.predicted_transfers)
+          .Emit();
+    }
   }
   std::printf("\n(Planner predictions use the asymptotic formulas; at these "
               "reduced\nscales constant factors can shift the winner by one "

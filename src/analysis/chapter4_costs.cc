@@ -35,6 +35,42 @@ double CostAlgorithm3(double size_a, double size_b, double n,
   return size_a + size_a * n + sort_term + 3.0 * size_a * size_b;
 }
 
+Ch4Terms TermsAlgorithm1(double size_a, double size_b, double n) {
+  const double lg = std::log2(2.0 * n);
+  Ch4Terms t;
+  t.mix = size_a + 2.0 * size_a * size_b;
+  t.sort = 2.0 * size_a * size_b * lg * lg;
+  t.output = 2.0 * n * size_a;
+  return t;
+}
+
+Ch4Terms TermsAlgorithm1Variant(double size_a, double size_b) {
+  const double lg = std::log2(size_b);
+  Ch4Terms t;
+  t.mix = size_a + size_a * size_b;
+  t.sort = size_a * size_b * lg * lg;
+  t.output = size_a * size_b;
+  return t;
+}
+
+Ch4Terms TermsAlgorithm2(double size_a, double size_b, double n, double m) {
+  const double gamma = std::max(1.0, std::ceil(n / m));
+  Ch4Terms t;
+  t.mix = size_a + gamma * size_a * size_b;
+  t.output = n * size_a;
+  return t;
+}
+
+Ch4Terms TermsAlgorithm3(double size_a, double size_b, double n,
+                         bool provider_sorted) {
+  const double lg = std::log2(size_b);
+  Ch4Terms t;
+  t.mix = size_a + 3.0 * size_a * size_b;
+  t.sort = provider_sorted ? 0.0 : size_b * lg * lg;
+  t.output = size_a * n;
+  return t;
+}
+
 double CostSfeBits(double size_b, double n_matches, const SfeParams& p) {
   const double ge = p.gate_factor * p.w;
   return 8.0 * p.l * p.k0 * size_b * size_b * ge +

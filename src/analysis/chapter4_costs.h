@@ -30,6 +30,24 @@ double CostAlgorithm2(double size_a, double size_b, double n, double m);
 double CostAlgorithm3(double size_a, double size_b, double n,
                       bool provider_sorted = false);
 
+/// Per-phase attribution of a Chapter 4 cost, matching the operator layer's
+/// span names: `mix` is the tuple traffic of scanning inputs and mixing
+/// oTuples through the scratch area, `sort` the oblivious-sort transfers,
+/// `output` the emission of the N-padded result. The three terms sum to the
+/// corresponding CostAlgorithmN (up to floating-point association).
+struct Ch4Terms {
+  double mix = 0;
+  double sort = 0;
+  double output = 0;
+  double Total() const { return mix + sort + output; }
+};
+
+Ch4Terms TermsAlgorithm1(double size_a, double size_b, double n);
+Ch4Terms TermsAlgorithm1Variant(double size_a, double size_b);
+Ch4Terms TermsAlgorithm2(double size_a, double size_b, double n, double m);
+Ch4Terms TermsAlgorithm3(double size_a, double size_b, double n,
+                         bool provider_sorted = false);
+
 /// Parameters of the secure-function-evaluation comparison (Section 4.6.5).
 struct SfeParams {
   double k0 = 64;    ///< supplemental key bits

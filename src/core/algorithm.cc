@@ -1,49 +1,115 @@
 #include "core/algorithm.h"
 
+#include "core/parallel.h"
+#include "plan/builder.h"
+
 namespace ppj::core {
 
-std::string ToString(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kAlgorithm1:
-      return "Algorithm 1";
-    case Algorithm::kAlgorithm1Variant:
-      return "Algorithm 1 (variant)";
-    case Algorithm::kAlgorithm2:
-      return "Algorithm 2";
-    case Algorithm::kAlgorithm3:
-      return "Algorithm 3";
-    case Algorithm::kAlgorithm4:
-      return "Algorithm 4";
-    case Algorithm::kAlgorithm5:
-      return "Algorithm 5";
-    case Algorithm::kAlgorithm6:
-      return "Algorithm 6";
+namespace {
+
+// Uniform-signature adapters over the Section 5.3.5 parallel engines.
+Result<ParallelOutcome> ParallelAlg4(sim::HostStore* host,
+                                     const MultiwayJoin& join,
+                                     unsigned parallelism,
+                                     const sim::CoprocessorOptions& copro,
+                                     const ParallelRunOptions& run) {
+  (void)run;
+  return RunParallelAlgorithm4(host, join, parallelism, copro);
+}
+
+Result<ParallelOutcome> ParallelAlg5(sim::HostStore* host,
+                                     const MultiwayJoin& join,
+                                     unsigned parallelism,
+                                     const sim::CoprocessorOptions& copro,
+                                     const ParallelRunOptions& run) {
+  (void)run;
+  return RunParallelAlgorithm5(host, join, parallelism, copro);
+}
+
+Result<ParallelOutcome> ParallelAlg6(sim::HostStore* host,
+                                     const MultiwayJoin& join,
+                                     unsigned parallelism,
+                                     const sim::CoprocessorOptions& copro,
+                                     const ParallelRunOptions& run) {
+  ParallelAlgorithm6Options options;
+  options.epsilon = run.epsilon;
+  options.order_seed = run.order_seed;
+  return RunParallelAlgorithm6(host, join, parallelism, copro, options);
+}
+
+}  // namespace
+
+const std::vector<AlgorithmInfo>& AlgorithmRegistry() {
+  static const std::vector<AlgorithmInfo> kRegistry = {
+      {Algorithm::kAlgorithm1, "Algorithm 1", "1", "algorithm1", 4,
+       /*requires_equality=*/false, /*requires_pow2_b=*/false,
+       /*requires_epsilon=*/false, /*exact_output=*/false,
+       /*supports_parallel=*/false,
+       "N-padded output, tiny memory, rolling oblivious scratch",
+       &plan::BuildAlgorithm1Plan, nullptr},
+      {Algorithm::kAlgorithm1Variant, "Algorithm 1 (variant)", "1v",
+       "algorithm1-variant", 4,
+       /*requires_equality=*/false, /*requires_pow2_b=*/false,
+       /*requires_epsilon=*/false, /*exact_output=*/false,
+       /*supports_parallel=*/false,
+       "N-padded output, one full-size oblivious sort per A tuple",
+       &plan::BuildAlgorithm1VariantPlan, nullptr},
+      {Algorithm::kAlgorithm2, "Algorithm 2", "2", "algorithm2", 4,
+       /*requires_equality=*/false, /*requires_pow2_b=*/false,
+       /*requires_epsilon=*/false, /*exact_output=*/false,
+       /*supports_parallel=*/false,
+       "N-padded output, gamma passes, no oblivious sort",
+       &plan::BuildAlgorithm2Plan, nullptr},
+      {Algorithm::kAlgorithm3, "Algorithm 3", "3", "algorithm3", 4,
+       /*requires_equality=*/true, /*requires_pow2_b=*/true,
+       /*requires_epsilon=*/false, /*exact_output=*/false,
+       /*supports_parallel=*/false,
+       "equijoin specialization with sorted B and circular scratch",
+       &plan::BuildAlgorithm3Plan, nullptr},
+      {Algorithm::kAlgorithm4, "Algorithm 4", "4", "algorithm4", 5,
+       /*requires_equality=*/false, /*requires_pow2_b=*/false,
+       /*requires_epsilon=*/false, /*exact_output=*/true,
+       /*supports_parallel=*/true,
+       "exact output, minimal memory (2 slots)", &plan::BuildAlgorithm4Plan,
+       &ParallelAlg4},
+      {Algorithm::kAlgorithm5, "Algorithm 5", "5", "algorithm5", 5,
+       /*requires_equality=*/false, /*requires_pow2_b=*/false,
+       /*requires_epsilon=*/false, /*exact_output=*/true,
+       /*supports_parallel=*/true,
+       "exact output, no oblivious sort, needs M slots",
+       &plan::BuildAlgorithm5Plan, &ParallelAlg5},
+      {Algorithm::kAlgorithm6, "Algorithm 6", "6", "algorithm6", 5,
+       /*requires_equality=*/false, /*requires_pow2_b=*/false,
+       /*requires_epsilon=*/true, /*exact_output=*/true,
+       /*supports_parallel=*/true,
+       "exact output, privacy level 1 - epsilon", &plan::BuildAlgorithm6Plan,
+       &ParallelAlg6},
+  };
+  return kRegistry;
+}
+
+const AlgorithmInfo& GetAlgorithmInfo(Algorithm algorithm) {
+  for (const AlgorithmInfo& info : AlgorithmRegistry()) {
+    if (info.algorithm == algorithm) return info;
   }
-  return "?";
+  // Unreachable for valid enum values; keep a deterministic fallback.
+  return AlgorithmRegistry().front();
+}
+
+std::string ToString(Algorithm algorithm) {
+  return GetAlgorithmInfo(algorithm).name;
 }
 
 Result<Algorithm> ParseAlgorithm(const std::string& s) {
-  if (s == "1") return Algorithm::kAlgorithm1;
-  if (s == "1v") return Algorithm::kAlgorithm1Variant;
-  if (s == "2") return Algorithm::kAlgorithm2;
-  if (s == "3") return Algorithm::kAlgorithm3;
-  if (s == "4") return Algorithm::kAlgorithm4;
-  if (s == "5") return Algorithm::kAlgorithm5;
-  if (s == "6") return Algorithm::kAlgorithm6;
+  for (const AlgorithmInfo& info : AlgorithmRegistry()) {
+    if (s == info.spelling) return info.algorithm;
+  }
   return Status::InvalidArgument("unknown algorithm '" + s +
                                  "' (expected 1, 1v, 2, 3, 4, 5 or 6)");
 }
 
 bool IsChapter4(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kAlgorithm1:
-    case Algorithm::kAlgorithm1Variant:
-    case Algorithm::kAlgorithm2:
-    case Algorithm::kAlgorithm3:
-      return true;
-    default:
-      return false;
-  }
+  return GetAlgorithmInfo(algorithm).chapter == 4;
 }
 
 }  // namespace ppj::core

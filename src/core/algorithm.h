@@ -1,11 +1,27 @@
 #ifndef PPJ_CORE_ALGORITHM_H_
 #define PPJ_CORE_ALGORITHM_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 
+namespace ppj::sim {
+class HostStore;
+struct CoprocessorOptions;
+}  // namespace ppj::sim
+
+namespace ppj::plan {
+struct JoinPlanOptions;
+struct PhysicalPlan;
+}  // namespace ppj::plan
+
 namespace ppj::core {
+
+struct TwoWayJoin;
+struct MultiwayJoin;
+struct ParallelOutcome;
 
 /// The paper's join algorithms (Chapters 4 and 5) — the single enum shared
 /// by the planner, the service layer and the tools. Service-level "let the
@@ -21,6 +37,53 @@ enum class Algorithm {
   kAlgorithm5,         ///< Ch.5 exact join, large memory
   kAlgorithm6,         ///< Ch.5 (1 - epsilon)-privacy join
 };
+
+/// Algorithm-independent knobs of the parallel engines (Section 5.3.5).
+struct ParallelRunOptions {
+  double epsilon = 1e-20;             ///< Algorithm 6 privacy slack.
+  std::uint64_t order_seed = 0x5eed;  ///< Algorithm 6 visiting order.
+};
+
+/// Builds the algorithm's physical plan (plan/builder.h signatures).
+using PlanBuilderFn = Result<plan::PhysicalPlan> (*)(
+    const TwoWayJoin* two_way, const MultiwayJoin* multiway,
+    const plan::JoinPlanOptions& options);
+
+/// Runs the algorithm's multi-coprocessor engine.
+using ParallelRunnerFn = Result<ParallelOutcome> (*)(
+    sim::HostStore* host, const MultiwayJoin& join, unsigned parallelism,
+    const sim::CoprocessorOptions& copro_options,
+    const ParallelRunOptions& run_options);
+
+/// One registry row per paper algorithm: naming, chapter, capability
+/// flags, and the plan-builder / parallel-engine entry points. This is the
+/// single dispatch table — the service layer, the parallel engine lookup
+/// and ppjctl all resolve algorithms here, so adding an operator-built
+/// plan needs exactly one registration.
+struct AlgorithmInfo {
+  Algorithm algorithm = Algorithm::kAlgorithm5;
+  const char* name = "";       ///< Display name ("Algorithm 1 (variant)").
+  const char* spelling = "";   ///< Command-line spelling ("1v").
+  const char* root_span = "";  ///< Device span the plan executes under.
+  int chapter = 5;             ///< Paper chapter: 4 or 5.
+  bool requires_equality = false;  ///< Needs an EqualityPredicate.
+  bool requires_pow2_b = false;    ///< Needs |B| padded to a power of two.
+  bool requires_epsilon = false;   ///< Needs epsilon > 0.
+  bool exact_output = false;  ///< Emits exactly S results (Definition 3).
+  /// Has a registered service-level parallel engine (Section 5.3.5).
+  /// Algorithm 2's Section 4.4.4 executor exists but returns the Chapter 4
+  /// outcome shape and stays a core-level API (RunParallelAlgorithm2).
+  bool supports_parallel = false;
+  const char* summary = "";  ///< One-line planner-style characterization.
+  PlanBuilderFn build = nullptr;
+  ParallelRunnerFn parallel = nullptr;
+};
+
+/// All algorithms, in enum order.
+const std::vector<AlgorithmInfo>& AlgorithmRegistry();
+
+/// The registry row for `algorithm`.
+const AlgorithmInfo& GetAlgorithmInfo(Algorithm algorithm);
 
 std::string ToString(Algorithm algorithm);
 

@@ -1,189 +1,41 @@
 #include "core/algorithm1.h"
 
-#include "common/math.h"
-#include "common/telemetry.h"
-#include "core/host_retry.h"
-#include "oblivious/bitonic_sort.h"
-#include "relation/encrypted_relation.h"
+#include "plan/builder.h"
+#include "plan/context.h"
+#include "plan/executor.h"
+
+// Algorithms 1 and 1v as thin plan builders: the bodies live in the
+// operator layer (plan/ops_ch4.cc — ResolveNOp + ScratchRotateOp in
+// kRolling resp. kFullSort mode). These wrappers are the stable public
+// compatibility surface; fingerprints are bit-identical to the former
+// monolithic drivers (tests/test_plan_goldens.cc).
 
 namespace ppj::core {
-
-namespace {
-
-/// N as configured or computed by the safe preprocessing scan; never 0.
-Result<std::uint64_t> ResolveN(sim::Coprocessor& copro,
-                               const TwoWayJoin& join, std::uint64_t n) {
-  if (n == 0) {
-    PPJ_ASSIGN_OR_RETURN(n, ComputeMaxMatches(copro, join));
-  }
-  return std::max<std::uint64_t>(n, 1);
-}
-
-/// H copies `count` sealed slots from `src` to `dst` at dst_base and
-/// persists them — the paper's "Request H to write first N of scratch[] to
-/// disk". A host-side move of ciphertext T already produced: no transfers,
-/// one observable disk event per slot. H retries its own transient I/O
-/// (bounded, untraced) like any storage client.
-Status HostFlushToOutput(sim::Coprocessor& copro, sim::RegionId src,
-                         std::uint64_t count, sim::RegionId dst,
-                         std::uint64_t dst_base) {
-  for (std::uint64_t k = 0; k < count; ++k) {
-    PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> sealed,
-                         ReadSlotWithRetry(*copro.host(), src, k));
-    PPJ_RETURN_NOT_OK(
-        WriteSlotWithRetry(*copro.host(), dst, dst_base + k, sealed));
-    PPJ_RETURN_NOT_OK(copro.DiskWrite(dst, dst_base + k));
-  }
-  return Status::OK();
-}
-
-}  // namespace
 
 Result<Ch4Outcome> RunAlgorithm1(sim::Coprocessor& copro,
                                  const TwoWayJoin& join,
                                  const Algorithm1Options& options) {
-  PPJ_RETURN_NOT_OK(join.Validate());
-  PPJ_DEVICE_SPAN(&copro, "algorithm1");
-  PPJ_ASSIGN_OR_RETURN(const std::uint64_t n,
-                       ResolveN(copro, join, options.n));
-
-  const std::size_t payload = join.JoinedPayloadSize();
-  const std::size_t slot = sim::Coprocessor::SealedSize(
-      relation::wire::PlainSize(payload));
-  const std::vector<std::uint8_t> decoy = relation::wire::MakeDecoy(payload);
-
-  // Scratch of 2N oTuples in host memory, padded to a power of two for the
-  // bitonic network (exactly 2N when N is a power of two).
-  const std::uint64_t scratch_slots = NextPowerOfTwo(2 * n);
-  const sim::RegionId scratch =
-      copro.host()->CreateRegion("alg1-scratch", slot, scratch_slots);
-  const std::uint64_t size_a = join.a->size();
-  const std::uint64_t size_b = join.b->padded_size();
-  const sim::RegionId output =
-      copro.host()->CreateRegion("alg1-output", slot, size_a * n);
-
-  const oblivious::PlainLess real_first = oblivious::RealFirstLess();
-
-  // Batched sequential scans of the inputs and a windowed writer for the
-  // scratch: per slot the accounting is scalar-identical, only the physical
-  // transfer granularity changes. The writer is flushed before every
-  // ObliviousSort (which reads the scratch region) and the sort itself
-  // leaves no writes pending.
-  BatchedScan ascan(&copro, join.a);
-  BatchedScan bscan(&copro, join.b);
-  BatchedSealWriter writer(&copro, scratch, join.output_key);
-  relation::Tuple a, b;
-  bool a_real = false, b_real = false;
-
-  for (std::uint64_t ai = 0; ai < size_a; ++ai) {
-    {
-      PPJ_SPAN("reset");
-      // Reset the scratch with fresh indistinguishable decoys.
-      for (std::uint64_t k = 0; k < scratch_slots; ++k) {
-        PPJ_RETURN_NOT_OK(writer.Put(k, decoy));
-      }
-      PPJ_RETURN_NOT_OK(writer.Flush());
-    }
-    PPJ_RETURN_NOT_OK(ascan.FetchInto(ai, &a, &a_real));
-    {
-      PPJ_SPAN("mix");
-      std::uint64_t i = 0;
-      for (std::uint64_t bi = 0; bi < size_b; ++bi) {
-        PPJ_RETURN_NOT_OK(bscan.FetchInto(bi, &b, &b_real));
-        const bool hit = a_real && b_real && join.predicate->Match(a, b);
-        copro.NoteMatchEvaluation(hit);
-        // Exactly one oTuple out per comparison, always to the same rolling
-        // slot — the fixed-size principle of Section 3.4.3.
-        const std::uint64_t pos = n + (i % n);
-        if (hit) {
-          // Joined payload = a bytes || b bytes.
-          std::vector<std::uint8_t> bytes = a.Serialize();
-          const std::vector<std::uint8_t> bb = b.Serialize();
-          bytes.insert(bytes.end(), bb.begin(), bb.end());
-          PPJ_RETURN_NOT_OK(writer.Put(pos, relation::wire::MakeReal(bytes)));
-        } else {
-          PPJ_RETURN_NOT_OK(writer.Put(pos, decoy));
-        }
-        ++i;
-        if (i % n == 0) {
-          PPJ_RETURN_NOT_OK(writer.Flush());
-          PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(
-              copro, scratch, scratch_slots, *join.output_key, real_first));
-        }
-      }
-      if (i % n != 0) {
-        PPJ_RETURN_NOT_OK(writer.Flush());
-        PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(
-            copro, scratch, scratch_slots, *join.output_key, real_first));
-      }
-    }
-    PPJ_SPAN("output");
-    PPJ_RETURN_NOT_OK(HostFlushToOutput(copro, scratch, n, output, ai * n));
-  }
-
-  return Ch4Outcome{output, size_a * n, n};
+  plan::JoinPlanOptions popts;
+  popts.n = options.n;
+  PPJ_ASSIGN_OR_RETURN(
+      plan::PhysicalPlan physical,
+      plan::BuildJoinPlan(Algorithm::kAlgorithm1, &join, nullptr, popts));
+  plan::PlanContext ctx(&join, nullptr);
+  PPJ_RETURN_NOT_OK(plan::PlanExecutor().Run(copro, physical, ctx));
+  return plan::TakeCh4Outcome(ctx);
 }
 
 Result<Ch4Outcome> RunAlgorithm1Variant(sim::Coprocessor& copro,
                                         const TwoWayJoin& join,
                                         const Algorithm1Options& options) {
-  PPJ_RETURN_NOT_OK(join.Validate());
-  PPJ_DEVICE_SPAN(&copro, "algorithm1-variant");
-  PPJ_ASSIGN_OR_RETURN(const std::uint64_t n,
-                       ResolveN(copro, join, options.n));
-
-  const std::size_t payload = join.JoinedPayloadSize();
-  const std::size_t slot = sim::Coprocessor::SealedSize(
-      relation::wire::PlainSize(payload));
-  const std::vector<std::uint8_t> decoy = relation::wire::MakeDecoy(payload);
-
-  const std::uint64_t size_a = join.a->size();
-  const std::uint64_t size_b = join.b->padded_size();
-  const std::uint64_t buffer_slots = NextPowerOfTwo(size_b);
-  const sim::RegionId buffer =
-      copro.host()->CreateRegion("alg1v-buffer", slot, buffer_slots);
-  const sim::RegionId output =
-      copro.host()->CreateRegion("alg1v-output", slot, size_a * n);
-
-  const oblivious::PlainLess real_first = oblivious::RealFirstLess();
-
-  // Same batching discipline as Algorithm 1: windowed input scans, windowed
-  // buffer writes, flush before the sort reads the buffer.
-  BatchedScan ascan(&copro, join.a);
-  BatchedScan bscan(&copro, join.b);
-  BatchedSealWriter writer(&copro, buffer, join.output_key);
-  relation::Tuple a, b;
-  bool a_real = false, b_real = false;
-
-  for (std::uint64_t ai = 0; ai < size_a; ++ai) {
-    PPJ_RETURN_NOT_OK(ascan.FetchInto(ai, &a, &a_real));
-    {
-      PPJ_SPAN("mix");
-      for (std::uint64_t bi = 0; bi < size_b; ++bi) {
-        PPJ_RETURN_NOT_OK(bscan.FetchInto(bi, &b, &b_real));
-        const bool hit = a_real && b_real && join.predicate->Match(a, b);
-        copro.NoteMatchEvaluation(hit);
-        if (hit) {
-          std::vector<std::uint8_t> bytes = a.Serialize();
-          const std::vector<std::uint8_t> bb = b.Serialize();
-          bytes.insert(bytes.end(), bb.begin(), bb.end());
-          PPJ_RETURN_NOT_OK(writer.Put(bi, relation::wire::MakeReal(bytes)));
-        } else {
-          PPJ_RETURN_NOT_OK(writer.Put(bi, decoy));
-        }
-      }
-      for (std::uint64_t k = size_b; k < buffer_slots; ++k) {
-        PPJ_RETURN_NOT_OK(writer.Put(k, decoy));
-      }
-      PPJ_RETURN_NOT_OK(writer.Flush());
-    }
-    PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(copro, buffer, buffer_slots,
-                                               *join.output_key, real_first));
-    PPJ_SPAN("output");
-    PPJ_RETURN_NOT_OK(HostFlushToOutput(copro, buffer, n, output, ai * n));
-  }
-
-  return Ch4Outcome{output, size_a * n, n};
+  plan::JoinPlanOptions popts;
+  popts.n = options.n;
+  PPJ_ASSIGN_OR_RETURN(plan::PhysicalPlan physical,
+                       plan::BuildJoinPlan(Algorithm::kAlgorithm1Variant,
+                                           &join, nullptr, popts));
+  plan::PlanContext ctx(&join, nullptr);
+  PPJ_RETURN_NOT_OK(plan::PlanExecutor().Run(copro, physical, ctx));
+  return plan::TakeCh4Outcome(ctx);
 }
 
 }  // namespace ppj::core

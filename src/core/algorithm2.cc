@@ -1,95 +1,26 @@
 #include "core/algorithm2.h"
 
-#include "common/math.h"
-#include "common/telemetry.h"
-#include "relation/encrypted_relation.h"
+#include "plan/builder.h"
+#include "plan/context.h"
+#include "plan/executor.h"
+
+// Algorithm 2 as a thin plan builder: the body lives in the operator layer
+// (plan/ops_ch4.cc — ResolveNOp + MultiPassScanOp).
 
 namespace ppj::core {
 
 Result<Ch4Outcome> RunAlgorithm2(sim::Coprocessor& copro,
                                  const TwoWayJoin& join,
                                  const Algorithm2Options& options) {
-  PPJ_RETURN_NOT_OK(join.Validate());
-  PPJ_DEVICE_SPAN(&copro, "algorithm2");
-  std::uint64_t n = options.n;
-  if (n == 0) {
-    PPJ_ASSIGN_OR_RETURN(n, ComputeMaxMatches(copro, join));
-  }
-  n = std::max<std::uint64_t>(n, 1);
-
-  if (copro.memory_tuples() <= options.bookkeeping_slots) {
-    return Status::CapacityExceeded(
-        "Algorithm 2 needs memory beyond bookkeeping; use Algorithm 1");
-  }
-  const std::uint64_t m_free =
-      copro.memory_tuples() - options.bookkeeping_slots;
-  const std::uint64_t gamma = std::max<std::uint64_t>(1, CeilDiv(n, m_free));
-  const std::uint64_t blk = CeilDiv(n, gamma);
-
-  PPJ_ASSIGN_OR_RETURN(sim::SecureBuffer joined,
-                       sim::SecureBuffer::Allocate(copro, blk));
-
-  const std::size_t payload = join.JoinedPayloadSize();
-  const std::size_t slot = sim::Coprocessor::SealedSize(
-      relation::wire::PlainSize(payload));
-  const std::vector<std::uint8_t> decoy = relation::wire::MakeDecoy(payload);
-
-  const std::uint64_t size_a = join.a->size();
-  const std::uint64_t size_b = join.b->padded_size();
-  const sim::RegionId output = copro.host()->CreateRegion(
-      "alg2-output", slot, size_a * gamma * blk);
-
-  // Windowed input scans; per slot the accounting is scalar-identical.
-  BatchedScan ascan(&copro, join.a);
-  BatchedScan bscan(&copro, join.b);
-  relation::Tuple a, b;
-  bool a_real = false, b_real = false;
-
-  for (std::uint64_t ai = 0; ai < size_a; ++ai) {
-    PPJ_RETURN_NOT_OK(ascan.FetchInto(ai, &a, &a_real));
-    std::int64_t last = -1;  // position of the last *stored* B match
-    for (std::uint64_t pass = 0; pass < gamma; ++pass) {
-      joined.Clear();
-      {
-        PPJ_SPAN("mix");
-        std::int64_t current = 0;
-        std::int64_t pass_last = last;
-        for (std::uint64_t bi = 0; bi < size_b; ++bi) {
-          PPJ_RETURN_NOT_OK(bscan.FetchInto(bi, &b, &b_real));
-          // Predicate always evaluated; its result is used only when this
-          // pass is still collecting beyond the previous pass's cursor.
-          const bool hit = a_real && b_real && join.predicate->Match(a, b);
-          copro.NoteMatchEvaluation(hit);
-          if (current > last && !joined.full() && hit) {
-            std::vector<std::uint8_t> bytes = a.Serialize();
-            const std::vector<std::uint8_t> bb = b.Serialize();
-            bytes.insert(bytes.end(), bb.begin(), bb.end());
-            PPJ_RETURN_NOT_OK(joined.Push(relation::wire::MakeReal(bytes)));
-            pass_last = current;
-          }
-          ++current;
-        }
-        last = pass_last;
-      }
-      PPJ_SPAN("output");
-      // Fixed-size flush: blk oTuples per pass, decoy-padded; the sealed
-      // slots land on the host in one scatter (DiskWrite is pure accounting
-      // and does not read the region).
-      const std::uint64_t base = (ai * gamma + pass) * blk;
-      PPJ_ASSIGN_OR_RETURN(
-          sim::WriteRun flush,
-          copro.PutSealedRange(output, base, blk, join.output_key));
-      for (std::uint64_t k = 0; k < blk; ++k) {
-        const std::vector<std::uint8_t>& plain =
-            k < joined.size() ? joined.At(k) : decoy;
-        PPJ_RETURN_NOT_OK(flush.Append(plain));
-        PPJ_RETURN_NOT_OK(copro.DiskWrite(output, base + k));
-      }
-      PPJ_RETURN_NOT_OK(flush.Flush());
-    }
-  }
-
-  return Ch4Outcome{output, size_a * gamma * blk, n};
+  plan::JoinPlanOptions popts;
+  popts.n = options.n;
+  popts.bookkeeping_slots = options.bookkeeping_slots;
+  PPJ_ASSIGN_OR_RETURN(
+      plan::PhysicalPlan physical,
+      plan::BuildJoinPlan(Algorithm::kAlgorithm2, &join, nullptr, popts));
+  plan::PlanContext ctx(&join, nullptr);
+  PPJ_RETURN_NOT_OK(plan::PlanExecutor().Run(copro, physical, ctx));
+  return plan::TakeCh4Outcome(ctx);
 }
 
 }  // namespace ppj::core

@@ -1,137 +1,28 @@
 #include "core/algorithm3.h"
 
-#include <algorithm>
-#include <span>
+#include "plan/builder.h"
+#include "plan/context.h"
+#include "plan/executor.h"
 
-#include "common/math.h"
-#include "common/telemetry.h"
-#include "core/host_retry.h"
-#include "oblivious/bitonic_sort.h"
-#include "relation/encrypted_relation.h"
+// Algorithm 3 as a thin plan builder: the body lives in the operator layer
+// (plan/ops_ch4.cc — ResolveNOp + ObliviousSortOp("sort-b") +
+// ScratchRotateOp in kRing mode). The equijoin/power-of-two validation
+// happens at plan-build time, before any device span opens.
 
 namespace ppj::core {
 
 Result<Ch4Outcome> RunAlgorithm3(sim::Coprocessor& copro,
                                  const TwoWayJoin& join,
                                  const Algorithm3Options& options) {
-  PPJ_RETURN_NOT_OK(join.Validate());
-  if (!join.predicate->is_equality()) {
-    return Status::InvalidArgument(
-        "Algorithm 3 is the sort-based equijoin; it needs an "
-        "EqualityPredicate (use Algorithm 1/2 for general predicates)");
-  }
-  const auto* eq =
-      dynamic_cast<const relation::EqualityPredicate*>(join.predicate);
-  if (eq == nullptr) {
-    return Status::InvalidArgument(
-        "equality predicate must be an EqualityPredicate instance");
-  }
-  if (!IsPowerOfTwo(join.b->padded_size())) {
-    return Status::InvalidArgument(
-        "Algorithm 3 needs B sealed into a power-of-two padded region for "
-        "the oblivious sort");
-  }
-
-  PPJ_DEVICE_SPAN(&copro, "algorithm3");
-  std::uint64_t n = options.n;
-  if (n == 0) {
-    PPJ_ASSIGN_OR_RETURN(n, ComputeMaxMatches(copro, join));
-  }
-  n = std::max<std::uint64_t>(n, 1);
-
-  // Oblivious sort of B on the join attribute (padding last). In-place:
-  // every compare-exchange re-seals under B's key with fresh nonces.
-  if (!options.provider_sorted) {
-    PPJ_SPAN("sort-b");
-    PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(
-        copro, join.b->region(), join.b->padded_size(), *join.b->key(),
-        oblivious::ColumnLess(join.b->schema(), eq->col_b())));
-  }
-
-  const std::size_t payload = join.JoinedPayloadSize();
-  const std::size_t slot = sim::Coprocessor::SealedSize(
-      relation::wire::PlainSize(payload));
-  const std::vector<std::uint8_t> decoy = relation::wire::MakeDecoy(payload);
-
-  const std::uint64_t size_a = join.a->size();
-  const std::uint64_t size_b = join.b->padded_size();
-  const sim::RegionId scratch =
-      copro.host()->CreateRegion("alg3-scratch", slot, n);
-  const sim::RegionId output =
-      copro.host()->CreateRegion("alg3-output", slot, size_a * n);
-
-  // Windowed input scans and chunked read/write windows over the rolling
-  // scratch ring. A chunk covers [p, p+c) with c <= n - p, so it never
-  // crosses the ring's wrap: within a chunk each slot is read exactly once
-  // and only then rewritten, which makes the pre-chunk staged copies the
-  // values the scalar loop would have read. Per slot the accounting — Get B,
-  // Get scratch, Put scratch — is scalar-identical and in scalar order; the
-  // deferred writes are flushed before the next chunk restages.
-  BatchedScan ascan(&copro, join.a);
-  BatchedScan bscan(&copro, join.b);
-  BatchedSealWriter reset(&copro, scratch, join.output_key);
-  const std::uint64_t limit =
-      copro.BatchLimit(std::max<std::uint64_t>(copro.memory_tuples(), 1));
-  relation::Tuple a, b;
-  bool a_real = false, b_real = false;
-  std::vector<std::uint8_t> t;
-
-  for (std::uint64_t ai = 0; ai < size_a; ++ai) {
-    PPJ_RETURN_NOT_OK(ascan.FetchInto(ai, &a, &a_real));
-    {
-      PPJ_SPAN("reset");
-      for (std::uint64_t k = 0; k < n; ++k) {
-        PPJ_RETURN_NOT_OK(reset.Put(k, decoy));
-      }
-      PPJ_RETURN_NOT_OK(reset.Flush());
-    }
-    {
-      PPJ_SPAN("mix");
-      std::uint64_t i = 0;
-      while (i < size_b) {
-        const std::uint64_t p = i % n;
-        const std::uint64_t c =
-            std::min({limit, n - p, size_b - i});
-        PPJ_ASSIGN_OR_RETURN(
-            sim::ReadRun in,
-            copro.GetOpenRange(scratch, p, c, join.output_key));
-        PPJ_RETURN_NOT_OK(in.PrefetchOpen());
-        PPJ_ASSIGN_OR_RETURN(
-            sim::WriteRun out_run,
-            copro.PutSealedRange(scratch, p, c, join.output_key));
-        for (std::uint64_t e = 0; e < c; ++e, ++i) {
-          PPJ_RETURN_NOT_OK(bscan.FetchInto(i, &b, &b_real));
-          PPJ_ASSIGN_OR_RETURN(std::span<const std::uint8_t> s, in.NextOpen());
-          t.assign(s.begin(), s.end());
-          const bool hit = a_real && b_real && join.predicate->Match(a, b);
-          copro.NoteMatchEvaluation(hit);
-          if (hit) {
-            std::vector<std::uint8_t> bytes = a.Serialize();
-            const std::vector<std::uint8_t> bb = b.Serialize();
-            bytes.insert(bytes.end(), bb.begin(), bb.end());
-            PPJ_RETURN_NOT_OK(out_run.Append(relation::wire::MakeReal(bytes)));
-          } else {
-            // Write back what was read, re-encrypted: indistinguishable from
-            // a fresh result to the host.
-            PPJ_RETURN_NOT_OK(out_run.Append(t));
-          }
-        }
-        PPJ_RETURN_NOT_OK(out_run.Flush());
-      }
-    }
-    PPJ_SPAN("output");
-    // H persists the N scratch slots for this A tuple, retrying its own
-    // transient I/O (bounded, untraced) like any storage client.
-    for (std::uint64_t k = 0; k < n; ++k) {
-      PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> sealed,
-                           ReadSlotWithRetry(*copro.host(), scratch, k));
-      PPJ_RETURN_NOT_OK(
-          WriteSlotWithRetry(*copro.host(), output, ai * n + k, sealed));
-      PPJ_RETURN_NOT_OK(copro.DiskWrite(output, ai * n + k));
-    }
-  }
-
-  return Ch4Outcome{output, size_a * n, n};
+  plan::JoinPlanOptions popts;
+  popts.n = options.n;
+  popts.provider_sorted = options.provider_sorted;
+  PPJ_ASSIGN_OR_RETURN(
+      plan::PhysicalPlan physical,
+      plan::BuildJoinPlan(Algorithm::kAlgorithm3, &join, nullptr, popts));
+  plan::PlanContext ctx(&join, nullptr);
+  PPJ_RETURN_NOT_OK(plan::PlanExecutor().Run(copro, physical, ctx));
+  return plan::TakeCh4Outcome(ctx);
 }
 
 }  // namespace ppj::core

@@ -1,82 +1,25 @@
 #include "core/algorithm4.h"
 
-#include <algorithm>
+#include "plan/builder.h"
+#include "plan/context.h"
+#include "plan/executor.h"
 
-#include "analysis/optimizer.h"
-#include "common/telemetry.h"
-#include "core/cartesian.h"
-#include "oblivious/windowed_filter.h"
-#include "relation/encrypted_relation.h"
+// Algorithm 4 as a thin plan builder: the body lives in the operator layer
+// (plan/ops_ch5.cc — ITupleScanOp + WindowedFilterOp + EmitOutputOp).
 
 namespace ppj::core {
 
 Result<Ch5Outcome> RunAlgorithm4(sim::Coprocessor& copro,
                                  const MultiwayJoin& join,
                                  const Algorithm4Options& options) {
-  PPJ_RETURN_NOT_OK(join.Validate());
-  PPJ_DEVICE_SPAN(&copro, "algorithm4");
-  ITupleReader reader(&copro, join.tables);
-  const std::uint64_t l = reader.index().size();
-
-  const std::size_t payload = join.JoinedPayloadSize();
-  const std::size_t slot = sim::Coprocessor::SealedSize(
-      relation::wire::PlainSize(payload));
-  const std::vector<std::uint8_t> decoy = relation::wire::MakeDecoy(payload);
-
-  const sim::RegionId staging =
-      copro.host()->CreateRegion("alg4-staging", slot, l);
-
-  // Pass 1: one oTuple out per iTuple in, unconditionally. The scan and the
-  // staging writes both move through the batched layer; the writer is
-  // flushed before the filter below reads the staging region.
-  reader.set_batch_hint(
-      copro.BatchLimit(std::max<std::uint64_t>(copro.memory_tuples(), 1)));
-  BatchedSealWriter writer(&copro, staging, join.output_key);
-  std::uint64_t s = 0;
-  {
-    PPJ_SPAN("mix");
-    for (std::uint64_t idx = 0; idx < l; ++idx) {
-      PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
-      const bool hit =
-          fetched.real && join.predicate->Satisfy(*fetched.components);
-      copro.NoteMatchEvaluation(hit);
-      if (hit) {
-        ++s;
-        PPJ_RETURN_NOT_OK(writer.Put(
-            idx, relation::wire::MakeReal(
-                     ITupleReader::JoinedPayload(*fetched.components))));
-      } else {
-        PPJ_RETURN_NOT_OK(writer.Put(idx, decoy));
-      }
-    }
-    PPJ_RETURN_NOT_OK(writer.Flush());
-  }
-
-  Ch5Outcome out;
-  out.result_size = s;
-  out.staging_slots = l;
-  if (s == 0) {
-    // Nothing to deliver; the empty output size is itself part of the
-    // (public) output.
-    out.output_region = copro.host()->CreateRegion("alg4-output", slot, 0);
-    return out;
-  }
-
-  // Pass 2: oblivious decoy filtering, L -> S.
-  const std::uint64_t delta =
-      options.filter_delta > 0 ? options.filter_delta
-                               : analysis::OptimalSwapInteger(l, s);
-  out.output_region = copro.host()->CreateRegion("alg4-output", slot, s);
-  PPJ_ASSIGN_OR_RETURN(oblivious::FilterStats stats,
-                       oblivious::WindowedObliviousFilter(
-                           copro, staging, l, s, delta, *join.output_key,
-                           out.output_region));
-  (void)stats;
-  PPJ_SPAN("output");
-  for (std::uint64_t k = 0; k < s; ++k) {
-    PPJ_RETURN_NOT_OK(copro.DiskWrite(out.output_region, k));
-  }
-  return out;
+  plan::JoinPlanOptions popts;
+  popts.filter_delta = options.filter_delta;
+  PPJ_ASSIGN_OR_RETURN(
+      plan::PhysicalPlan physical,
+      plan::BuildJoinPlan(Algorithm::kAlgorithm4, nullptr, &join, popts));
+  plan::PlanContext ctx(nullptr, &join);
+  PPJ_RETURN_NOT_OK(plan::PlanExecutor().Run(copro, physical, ctx));
+  return plan::TakeCh5Outcome(ctx);
 }
 
 }  // namespace ppj::core

@@ -1,93 +1,22 @@
 #include "core/algorithm5.h"
 
-#include <algorithm>
+#include "plan/builder.h"
+#include "plan/context.h"
+#include "plan/executor.h"
 
-#include "common/telemetry.h"
-#include "core/cartesian.h"
-#include "relation/encrypted_relation.h"
+// Algorithm 5 as a thin plan builder: the body lives in the operator layer
+// (plan/ops_ch5.cc — BufferedEmitOp).
 
 namespace ppj::core {
 
 Result<Ch5Outcome> RunAlgorithm5(sim::Coprocessor& copro,
                                  const MultiwayJoin& join) {
-  PPJ_RETURN_NOT_OK(join.Validate());
-  PPJ_DEVICE_SPAN(&copro, "algorithm5");
-  const std::uint64_t m = copro.memory_tuples();
-  if (m == 0) {
-    return Status::CapacityExceeded(
-        "Algorithm 5 needs at least one result slot; use Algorithm 4");
-  }
-  PPJ_ASSIGN_OR_RETURN(sim::SecureBuffer buffer,
-                       sim::SecureBuffer::Allocate(copro, m));
-
-  ITupleReader reader(&copro, join.tables);
-  const std::uint64_t l = reader.index().size();
-  const std::size_t payload = join.JoinedPayloadSize();
-  const std::size_t slot = sim::Coprocessor::SealedSize(
-      relation::wire::PlainSize(payload));
-
-  // Output grows by at most M per scan; final size is exactly S.
-  const sim::RegionId output =
-      copro.host()->CreateRegion("alg5-output", slot, 0);
-
-  std::int64_t pindex = -1;  // index of the last *flushed* result
-  std::uint64_t written = 0;
-  for (;;) {
-    buffer.Clear();
-    std::int64_t last_stored = pindex;
-    bool overflow = false;
-    // One coprocessor-memory's worth of slots per host round trip. The
-    // staged run holds *sealed* bytes (untrusted data, no secure slots
-    // consumed — each slot still opens one at a time into the same scratch
-    // slot the scalar path uses), so the window is a transfer-granularity
-    // knob, not a memory commitment. It only changes how slots move, never
-    // which slots or in what order.
-    reader.set_batch_hint(copro.BatchLimit(buffer.capacity()));
-    {
-      PPJ_SPAN("scan");
-      for (std::uint64_t idx = 0; idx < l; ++idx) {
-        PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
-        const bool hit =
-            fetched.real && join.predicate->Satisfy(*fetched.components);
-        copro.NoteMatchEvaluation(hit);
-        if (hit && static_cast<std::int64_t>(idx) > pindex) {
-          if (!buffer.full()) {
-            PPJ_RETURN_NOT_OK(buffer.Push(relation::wire::MakeReal(
-                ITupleReader::JoinedPayload(*fetched.components))));
-            last_stored = static_cast<std::int64_t>(idx);
-          } else {
-            overflow = true;  // more results remain: another scan is needed
-          }
-        }
-      }
-    }
-    {
-      PPJ_SPAN("output");
-      // Flush at the scan boundary — the only observable output point. The
-      // sealed slots land on the host in one scatter (DiskWrite is pure
-      // accounting and does not read the region).
-      PPJ_RETURN_NOT_OK(
-          copro.host()->ResizeRegion(output, written + buffer.size()));
-      PPJ_ASSIGN_OR_RETURN(
-          sim::WriteRun flush,
-          copro.PutSealedRange(output, written, buffer.size(),
-                               join.output_key));
-      for (std::size_t k = 0; k < buffer.size(); ++k) {
-        PPJ_RETURN_NOT_OK(flush.Append(buffer.At(k)));
-        PPJ_RETURN_NOT_OK(copro.DiskWrite(output, written + k));
-      }
-      PPJ_RETURN_NOT_OK(flush.Flush());
-    }
-    written += buffer.size();
-    if (!overflow) break;
-    pindex = last_stored;
-  }
-
-  Ch5Outcome out;
-  out.output_region = output;
-  out.result_size = written;
-  out.staging_slots = 0;  // Algorithm 5 writes no intermediate oTuples
-  return out;
+  PPJ_ASSIGN_OR_RETURN(plan::PhysicalPlan physical,
+                       plan::BuildJoinPlan(Algorithm::kAlgorithm5, nullptr,
+                                           &join, plan::JoinPlanOptions{}));
+  plan::PlanContext ctx(nullptr, &join);
+  PPJ_RETURN_NOT_OK(plan::PlanExecutor().Run(copro, physical, ctx));
+  return plan::TakeCh5Outcome(ctx);
 }
 
 }  // namespace ppj::core

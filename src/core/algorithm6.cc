@@ -1,205 +1,30 @@
 #include "core/algorithm6.h"
 
-#include <algorithm>
-#include <optional>
+#include "plan/builder.h"
+#include "plan/context.h"
+#include "plan/executor.h"
 
-#include "analysis/optimizer.h"
-#include "common/math.h"
-#include "common/telemetry.h"
-#include "core/algorithm5.h"
-#include "core/cartesian.h"
-#include "crypto/mlfsr.h"
-#include "oblivious/windowed_filter.h"
-#include "relation/encrypted_relation.h"
+// Algorithm 6 as a thin plan builder: the body lives in the operator layer
+// (plan/ops_ch5.cc — ScreenOp + EpsilonPartitionOp + SalvageOp +
+// WindowedFilterOp + EmitOutputOp; the salvage operator re-enters
+// RunAlgorithm5 exactly like the former monolithic driver).
 
 namespace ppj::core {
-
-namespace {
-
-/// Screening pass that also opportunistically buffers results: if all S
-/// results fit in memory, Algorithm 6 is done after this single pass
-/// (footnote 1 of Section 5.3.3).
-struct ScreenResult {
-  std::uint64_t s = 0;
-  bool buffered_all = false;
-};
-
-Result<ScreenResult> ScreenAndMaybeBuffer(sim::Coprocessor& copro,
-                                          const MultiwayJoin& join,
-                                          ITupleReader& reader,
-                                          sim::SecureBuffer& buffer) {
-  ScreenResult out;
-  bool overflow = false;
-  const std::uint64_t l = reader.index().size();
-  for (std::uint64_t idx = 0; idx < l; ++idx) {
-    PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
-    const bool hit =
-        fetched.real && join.predicate->Satisfy(*fetched.components);
-    copro.NoteMatchEvaluation(hit);
-    if (hit) {
-      ++out.s;
-      if (!overflow && !buffer.full()) {
-        PPJ_RETURN_NOT_OK(buffer.Push(relation::wire::MakeReal(
-            ITupleReader::JoinedPayload(*fetched.components))));
-      } else {
-        overflow = true;
-      }
-    }
-  }
-  out.buffered_all = !overflow;
-  return out;
-}
-
-}  // namespace
 
 Result<Ch5Outcome> RunAlgorithm6(sim::Coprocessor& copro,
                                  const MultiwayJoin& join,
                                  const Algorithm6Options& options) {
-  PPJ_RETURN_NOT_OK(join.Validate());
-  PPJ_DEVICE_SPAN(&copro, "algorithm6");
-  const std::uint64_t m = copro.memory_tuples();
-  if (m == 0) {
-    return Status::CapacityExceeded(
-        "Algorithm 6 needs at least one result slot; use Algorithm 4");
-  }
-  PPJ_ASSIGN_OR_RETURN(sim::SecureBuffer buffer_holder,
-                       sim::SecureBuffer::Allocate(copro, m));
-  std::optional<sim::SecureBuffer> buffer_opt(std::move(buffer_holder));
-  sim::SecureBuffer& buffer = *buffer_opt;
-
-  ITupleReader reader(&copro, join.tables);
-  const std::uint64_t l = reader.index().size();
-  const std::size_t payload = join.JoinedPayloadSize();
-  const std::size_t slot = sim::Coprocessor::SealedSize(
-      relation::wire::PlainSize(payload));
-  const std::vector<std::uint8_t> decoy = relation::wire::MakeDecoy(payload);
-
-  // --- Screening pass: learn S (and buffer results opportunistically). ---
-  // The screening scan is sequential, so it moves through the batched
-  // transfer layer; the hint is withdrawn afterwards because the main pass
-  // visits iTuples in MLFSR-random order, where staged runs would go to
-  // waste (a staged-but-unconsumed slot is never traced or charged, but the
-  // physical gather still costs wall clock).
-  reader.set_batch_hint(
-      copro.BatchLimit(std::max<std::uint64_t>(buffer.capacity(), 1)));
-  ScreenResult screened;
-  {
-    PPJ_SPAN("screen");
-    PPJ_ASSIGN_OR_RETURN(screened,
-                         ScreenAndMaybeBuffer(copro, join, reader, buffer));
-  }
-  reader.set_batch_hint(1);
-  const std::uint64_t s = screened.s;
-
-  Ch5Outcome out;
-  out.result_size = s;
-  if (s == 0) {
-    out.output_region = copro.host()->CreateRegion("alg6-output", slot, 0);
-    return out;
-  }
-  if (screened.buffered_all) {
-    // M >= S case: flush straight from memory; total cost L + S.
-    PPJ_SPAN("output");
-    out.n_star = l;
-    out.output_region = copro.host()->CreateRegion("alg6-output", slot, s);
-    PPJ_ASSIGN_OR_RETURN(
-        sim::WriteRun flush,
-        copro.PutSealedRange(out.output_region, 0, buffer.size(),
-                             join.output_key));
-    for (std::size_t k = 0; k < buffer.size(); ++k) {
-      PPJ_RETURN_NOT_OK(flush.Append(buffer.At(k)));
-      PPJ_RETURN_NOT_OK(copro.DiskWrite(out.output_region, k));
-    }
-    PPJ_RETURN_NOT_OK(flush.Flush());
-    return out;
-  }
-
-  // --- Segment size n* (Eqn 5.6, maximized; see DESIGN.md). ---
-  const std::uint64_t n_star =
-      options.forced_segment_size > 0
-          ? options.forced_segment_size
-          : analysis::OptimalSegmentSize(l, s, m, options.epsilon);
-  out.n_star = n_star;
-  const std::uint64_t segments = CeilDiv(l, n_star);
-  const std::uint64_t staging_slots = segments * m;
-  out.staging_slots = staging_slots;
-
-  const sim::RegionId staging =
-      copro.host()->CreateRegion("alg6-staging", slot, staging_slots);
-
-  // --- Main pass in MLFSR-random order, flushing M oTuples per segment. ---
-  PPJ_ASSIGN_OR_RETURN(crypto::RandomOrder order,
-                       crypto::RandomOrder::Create(l, options.order_seed));
-  bool blemish = false;
-  buffer.Clear();
-  std::uint64_t seg = 0;
-  std::uint64_t in_segment = 0;
-  {
-    PPJ_SPAN("main");
-    for (std::uint64_t visited = 0; visited < l; ++visited) {
-      const std::uint64_t idx = order.Next();
-      PPJ_ASSIGN_OR_RETURN(ITupleReader::Fetched fetched, reader.Fetch(idx));
-      const bool hit =
-          fetched.real && join.predicate->Satisfy(*fetched.components);
-      copro.NoteMatchEvaluation(hit);
-      if (hit) {
-        if (buffer.full()) {
-          blemish = true;  // segment overflow: the epsilon-probability event
-        } else {
-          PPJ_RETURN_NOT_OK(buffer.Push(relation::wire::MakeReal(
-              ITupleReader::JoinedPayload(*fetched.components))));
-        }
-      }
-      ++in_segment;
-      if (in_segment == n_star || visited + 1 == l) {
-        // Fixed-size flush: exactly M oTuples, decoy padded, landing on the
-        // host in one scatter. Nothing reads the staging region before the
-        // final filter pass, which starts after every segment has flushed.
-        PPJ_ASSIGN_OR_RETURN(
-            sim::WriteRun flush,
-            copro.PutSealedRange(staging, seg * m, m, join.output_key));
-        for (std::uint64_t k = 0; k < m; ++k) {
-          PPJ_RETURN_NOT_OK(
-              flush.Append(k < buffer.size() ? buffer.At(k) : decoy));
-        }
-        PPJ_RETURN_NOT_OK(flush.Flush());
-        buffer.Clear();
-        in_segment = 0;
-        ++seg;
-      }
-    }
-  }
-  out.blemish = blemish;
-
-  if (blemish) {
-    // Salvage action (Section 5.3.3): re-output everything with an
-    // Algorithm 5 sweep. Correct, but the extra scans' existence depends on
-    // the data — the privacy loss the epsilon bound budgets for.
-    PPJ_SPAN("salvage");
-    buffer_opt.reset();  // hand the memory back for Algorithm 5's buffer
-    PPJ_ASSIGN_OR_RETURN(Ch5Outcome salvage, RunAlgorithm5(copro, join));
-    salvage.blemish = true;
-    salvage.n_star = n_star;
-    salvage.staging_slots = staging_slots;
-    return salvage;
-  }
-
-  // --- Final pass: oblivious decoy filtering, ceil(L/n*) M -> S. ---
-  const std::uint64_t delta =
-      options.filter_delta > 0
-          ? options.filter_delta
-          : analysis::OptimalSwapInteger(staging_slots, s);
-  out.output_region = copro.host()->CreateRegion("alg6-output", slot, s);
-  PPJ_ASSIGN_OR_RETURN(oblivious::FilterStats stats,
-                       oblivious::WindowedObliviousFilter(
-                           copro, staging, staging_slots, s, delta,
-                           *join.output_key, out.output_region));
-  (void)stats;
-  PPJ_SPAN("output");
-  for (std::uint64_t k = 0; k < s; ++k) {
-    PPJ_RETURN_NOT_OK(copro.DiskWrite(out.output_region, k));
-  }
-  return out;
+  plan::JoinPlanOptions popts;
+  popts.epsilon = options.epsilon;
+  popts.order_seed = options.order_seed;
+  popts.forced_segment_size = options.forced_segment_size;
+  popts.filter_delta = options.filter_delta;
+  PPJ_ASSIGN_OR_RETURN(
+      plan::PhysicalPlan physical,
+      plan::BuildJoinPlan(Algorithm::kAlgorithm6, nullptr, &join, popts));
+  plan::PlanContext ctx(nullptr, &join);
+  PPJ_RETURN_NOT_OK(plan::PlanExecutor().Run(copro, physical, ctx));
+  return plan::TakeCh5Outcome(ctx);
 }
 
 }  // namespace ppj::core

@@ -4,15 +4,193 @@
 
 #include "analysis/chapter4_costs.h"
 #include "analysis/chapter5_costs.h"
+#include "common/math.h"
 
 namespace ppj::core {
 
+namespace {
+
+/// The planner sizes the cartesian product |A||B| in uint64; at paper-scale
+/// extremes (each relation near 2^32) the product overflows and silently
+/// wraps to a tiny cost, steering the planner to the most expensive
+/// algorithm. Saturate instead: every cost model is monotone in L, so the
+/// saturated value keeps the comparisons ordered correctly.
+std::uint64_t SaturatingMul(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return out;
+}
+
+/// Workload parameters every cost model shares, derived once so PlanJoin
+/// and DescribeAlgorithm price identically.
+struct Derived {
+  double a = 0;
+  double b = 0;
+  std::uint64_t l = 0;
+  std::uint64_t s = 0;
+  std::uint64_t m = 1;
+  double n = 1;        ///< N used by the Chapter 4 family.
+  double n_scan = 0;   ///< Preprocessing charge when N is unknown.
+};
+
+Derived DeriveParameters(const PlannerInput& input) {
+  Derived d;
+  d.a = static_cast<double>(input.size_a);
+  d.b = static_cast<double>(input.size_b);
+  d.l = SaturatingMul(input.size_a, input.size_b);
+  d.s = input.s > 0 ? input.s : d.l;  // worst case
+  d.m = std::max<std::uint64_t>(input.m, 1);
+  d.n_scan = input.n > 0 ? 0.0 : d.a + d.a * d.b;
+  const std::uint64_t s_per_a =
+      input.size_a > 0 ? d.s / input.size_a : d.s;
+  d.n = static_cast<double>(
+      input.n > 0 ? input.n : std::max<std::uint64_t>(1, s_per_a));
+  return d;
+}
+
+PlannedOp Leaf(std::string name, std::string formula, double transfers) {
+  PlannedOp op;
+  op.name = std::move(name);
+  op.formula = std::move(formula);
+  op.predicted_transfers = transfers;
+  return op;
+}
+
+PlannedOp Node(std::string name, std::string formula,
+               std::vector<PlannedOp> children) {
+  PlannedOp op;
+  op.name = std::move(name);
+  op.formula = std::move(formula);
+  op.children = std::move(children);
+  for (const PlannedOp& child : op.children) {
+    op.predicted_transfers += child.predicted_transfers;
+  }
+  return op;
+}
+
+PlannedOp ResolveNLeaf(const Derived& d) {
+  return Leaf("resolve-n",
+              "|A| + |A||B| preprocessing scan when N is unknown, else 0",
+              d.n_scan);
+}
+
+PlannedOp Ch4OpNode(const char* op_name, const analysis::Ch4Terms& terms,
+                    bool include_sort) {
+  std::vector<PlannedOp> children;
+  children.push_back(Leaf("mix", "input scan + scratch mixing traffic",
+                          terms.mix));
+  if (include_sort) {
+    children.push_back(
+        Leaf("sort", "oblivious bitonic-sort transfers", terms.sort));
+  }
+  children.push_back(
+      Leaf("output", "N-padded result emission", terms.output));
+  return Node(op_name, "per-phase attribution of the Section 4.6 cost",
+              std::move(children));
+}
+
+}  // namespace
+
+PlannedOp DescribeAlgorithm(Algorithm algorithm, const PlannerInput& input) {
+  const Derived d = DeriveParameters(input);
+  const AlgorithmInfo& info = GetAlgorithmInfo(algorithm);
+  const double ld = static_cast<double>(d.l);
+  const double sd = static_cast<double>(d.s);
+  std::vector<PlannedOp> ops;
+  switch (algorithm) {
+    case Algorithm::kAlgorithm1: {
+      ops.push_back(ResolveNLeaf(d));
+      ops.push_back(Ch4OpNode("scratch-rotate",
+                              analysis::TermsAlgorithm1(d.a, d.b, d.n),
+                              /*include_sort=*/true));
+      break;
+    }
+    case Algorithm::kAlgorithm1Variant: {
+      ops.push_back(ResolveNLeaf(d));
+      ops.push_back(Ch4OpNode("scratch-rotate",
+                              analysis::TermsAlgorithm1Variant(d.a, d.b),
+                              /*include_sort=*/true));
+      break;
+    }
+    case Algorithm::kAlgorithm2: {
+      ops.push_back(ResolveNLeaf(d));
+      ops.push_back(Ch4OpNode(
+          "multi-pass-scan",
+          analysis::TermsAlgorithm2(d.a, d.b, d.n,
+                                    static_cast<double>(d.m)),
+          /*include_sort=*/false));
+      break;
+    }
+    case Algorithm::kAlgorithm3: {
+      const analysis::Ch4Terms terms =
+          analysis::TermsAlgorithm3(d.a, d.b, d.n);
+      ops.push_back(ResolveNLeaf(d));
+      ops.push_back(Leaf("sort-b", "|B| log2(|B|)^2 oblivious pre-sort of B",
+                         terms.sort));
+      ops.push_back(Ch4OpNode("scratch-rotate", terms,
+                              /*include_sort=*/false));
+      break;
+    }
+    case Algorithm::kAlgorithm4: {
+      ops.push_back(Leaf("ituple-scan",
+                         "2L: read every iTuple, write one oTuple each",
+                         2.0 * ld));
+      ops.push_back(Leaf("filter",
+                         "windowed oblivious decoy filter (Section 5.2.2)",
+                         analysis::FilterCost(ld, sd)));
+      ops.push_back(Leaf("output",
+                         "host-side disk writes of the S result slots",
+                         0.0));
+      break;
+    }
+    case Algorithm::kAlgorithm5: {
+      ops.push_back(Node(
+          "buffered-emit", "S + ceil(S/M) L repeated scans",
+          {Leaf("scan", "ceil(S/M) full passes over the iTuples",
+                static_cast<double>(CeilDiv(d.s, d.m)) * ld),
+           Leaf("output", "S result tuples flushed at scan boundaries",
+                sd)}));
+      break;
+    }
+    case Algorithm::kAlgorithm6: {
+      const analysis::Alg6Cost c =
+          analysis::CostAlgorithm6(d.l, d.s, d.m, input.epsilon);
+      // The partition term is whatever the closed form charges beyond the
+      // screening pass and the final filter; this residual stays correct
+      // across all three regimes of CostAlgorithm6 (M >= S single pass,
+      // epsilon = 0 collapse to Algorithm 4, and the general case).
+      const double partition = c.total - ld - c.filter;
+      ops.push_back(Leaf("screen",
+                         "L: screening pass sizing the result (S)", ld));
+      ops.push_back(Leaf(
+          "epsilon-partition",
+          "processing pass + ceil(L/n*) M staged oTuples (Eqn 5.7)",
+          partition));
+      ops.push_back(Leaf("salvage",
+                         "re-run as Algorithm 5 only on a blemished pass",
+                         0.0));
+      ops.push_back(Leaf("filter",
+                         "windowed oblivious decoy filter (Section 5.2.2)",
+                         c.filter));
+      ops.push_back(Leaf("output",
+                         "host-side disk writes of the S result slots",
+                         0.0));
+      break;
+    }
+  }
+  return Node(std::string(info.root_span), std::string(info.summary),
+              std::move(ops));
+}
+
 Plan PlanJoin(const PlannerInput& input) {
-  const double a = static_cast<double>(input.size_a);
-  const double b = static_cast<double>(input.size_b);
-  const std::uint64_t l = input.size_a * input.size_b;
-  const std::uint64_t s = input.s > 0 ? input.s : l;  // worst case
-  const std::uint64_t m = std::max<std::uint64_t>(input.m, 1);
+  const Derived d = DeriveParameters(input);
+  const double a = d.a;
+  const double b = d.b;
+  const std::uint64_t l = d.l;
+  const std::uint64_t s = d.s;
+  const std::uint64_t m = d.m;
 
   Plan best;
   best.predicted_transfers = std::numeric_limits<double>::infinity();
@@ -42,9 +220,8 @@ Plan PlanJoin(const PlannerInput& input) {
   if (!input.exact_output_required) {
     // Chapter 4 family: output shaped N|A|, so N must be known or
     // computed via the safe preprocessing scan (cost |A| + |A||B|).
-    const double n_scan = input.n > 0 ? 0.0 : a + a * b;
-    const double n = static_cast<double>(
-        input.n > 0 ? input.n : std::max<std::uint64_t>(1, s / input.size_a));
+    const double n_scan = d.n_scan;
+    const double n = d.n;
     consider(Algorithm::kAlgorithm1,
              n_scan + analysis::CostAlgorithm1(a, b, n),
              "N-padded output, tiny memory, rolling oblivious scratch");
@@ -61,6 +238,7 @@ Plan PlanJoin(const PlannerInput& input) {
                "equijoin specialization with sorted B and circular scratch");
     }
   }
+  best.root = DescribeAlgorithm(best.algorithm, input);
   return best;
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/algorithm.h"
 
@@ -34,12 +35,35 @@ struct PlannerInput {
   double epsilon = 0.0;
 };
 
-/// A chosen algorithm with its predicted communication cost.
+/// One node of a physical plan description: an operator (or cost term
+/// inside an operator) with the closed-form formula it was priced by and
+/// its predicted tuple transfers. Leaf names match the span names the plan
+/// executor emits, so a predicted tree can be joined against a measured
+/// telemetry tree node-for-node.
+struct PlannedOp {
+  std::string name;
+  std::string formula;
+  double predicted_transfers = 0;
+  std::vector<PlannedOp> children;
+};
+
+/// A chosen algorithm with its predicted communication cost and the
+/// operator tree the plan executor will run, priced per operator.
 struct Plan {
   Algorithm algorithm = Algorithm::kAlgorithm5;
   double predicted_transfers = 0;
   std::string rationale;
+  /// Root of the per-operator cost breakdown; `root.name` is the
+  /// algorithm's device span, children are the executable operators in
+  /// plan order. `root.predicted_transfers` sums the children and equals
+  /// `predicted_transfers` for the winning algorithm.
+  PlannedOp root;
 };
+
+/// Prices the operator tree of one specific algorithm for this workload,
+/// whether or not the planner would pick it. Used by `PlanJoin` for the
+/// winner and by `ppjctl explain` for any requested algorithm.
+PlannedOp DescribeAlgorithm(Algorithm algorithm, const PlannerInput& input);
 
 /// Picks the cheapest admissible algorithm by the paper's cost models.
 Plan PlanJoin(const PlannerInput& input);

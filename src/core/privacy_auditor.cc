@@ -35,6 +35,35 @@ AuditResult Compare(const AuditRun& a, const AuditRun& b) {
     } else {
       os << "; divergence beyond retained prefix";
     }
+    // Attribute the divergence to a physical-plan operator: walk the two
+    // checkpoint sequences while they name the same operators and report
+    // the first one whose cumulative fingerprint differs. A mismatched
+    // operator *name* means the plans themselves took different shapes at
+    // that position — itself an attribution.
+    const std::size_t ckpts =
+        std::min(a.checkpoints.size(), b.checkpoints.size());
+    for (std::size_t i = 0; i < ckpts; ++i) {
+      if (a.checkpoints[i].op != b.checkpoints[i].op) {
+        out.divergent_op = a.checkpoints[i].op;
+        os << "; plans diverge at operator " << i << " ('"
+           << a.checkpoints[i].op << "' vs '" << b.checkpoints[i].op
+           << "')";
+        break;
+      }
+      if (!(a.checkpoints[i].trace == b.checkpoints[i].trace)) {
+        out.divergent_op = a.checkpoints[i].op;
+        os << "; first divergent operator: '" << out.divergent_op << "'";
+        break;
+      }
+    }
+    if (out.divergent_op.empty() && a.checkpoints.size() != b.checkpoints.size()) {
+      const AuditRun& longer =
+          a.checkpoints.size() > b.checkpoints.size() ? a : b;
+      out.divergent_op = longer.checkpoints[ckpts].op;
+      os << "; operator counts differ (" << a.checkpoints.size() << " vs "
+         << b.checkpoints.size() << "), first unmatched: '"
+         << out.divergent_op << "'";
+    }
     out.detail = os.str();
   }
   return out;

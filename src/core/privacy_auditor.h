@@ -11,12 +11,24 @@
 
 namespace ppj::core {
 
+/// Running trace fingerprint observed at the end of one physical-plan
+/// operator. The PlanExecutor records one per executed operator; the
+/// auditor uses matching checkpoint sequences to attribute a trace
+/// divergence to the first operator whose cumulative fingerprint differs.
+struct OpCheckpoint {
+  std::string op;
+  sim::TraceFingerprint trace;
+};
+
 /// What one audited execution produced: the complete trace fingerprint and
 /// the retained event prefix for divergence diagnostics.
 struct AuditRun {
   sim::TraceFingerprint fingerprint;
   std::vector<sim::AccessEvent> retained_events;
   bool retained_complete = false;
+  /// Per-operator checkpoints when the run went through the PlanExecutor
+  /// (empty otherwise; attribution is then skipped).
+  std::vector<OpCheckpoint> checkpoints;
 };
 
 /// Verdict of a Definition 1 / Definition 3 audit.
@@ -28,6 +40,10 @@ struct AuditResult {
   /// retained prefixes agree (divergence may still exist beyond retention
   /// when identical == false).
   std::int64_t first_divergence = -1;
+  /// Name of the first physical-plan operator whose cumulative trace
+  /// fingerprint differs between the two runs; empty when the runs carried
+  /// no checkpoints or the divergence could not be attributed.
+  std::string divergent_op;
   std::string detail;
 };
 

@@ -1,0 +1,166 @@
+#include "plan/builder.h"
+
+#include <memory>
+#include <string>
+
+#include "common/math.h"
+#include "plan/ops.h"
+#include "relation/predicate.h"
+
+namespace ppj::plan {
+
+namespace {
+
+/// Chapter 4 prologue: the family is two-way; validation runs here, before
+/// any coprocessor interaction.
+Result<PhysicalPlan> Ch4Plan(core::Algorithm algorithm,
+                             const core::TwoWayJoin* two_way) {
+  const core::AlgorithmInfo& info = core::GetAlgorithmInfo(algorithm);
+  if (two_way == nullptr) {
+    return Status::InvalidArgument(std::string(info.name) +
+                                   " needs a two-way join description");
+  }
+  PPJ_RETURN_NOT_OK(two_way->Validate());
+  PhysicalPlan plan;
+  plan.algorithm = algorithm;
+  plan.root_span = info.root_span;
+  return plan;
+}
+
+/// Chapter 5 prologue: the family is multiway.
+Result<PhysicalPlan> Ch5Plan(core::Algorithm algorithm,
+                             const core::MultiwayJoin* multiway) {
+  const core::AlgorithmInfo& info = core::GetAlgorithmInfo(algorithm);
+  if (multiway == nullptr) {
+    return Status::InvalidArgument(std::string(info.name) +
+                                   " needs a multiway join description");
+  }
+  PPJ_RETURN_NOT_OK(multiway->Validate());
+  PhysicalPlan plan;
+  plan.algorithm = algorithm;
+  plan.root_span = info.root_span;
+  return plan;
+}
+
+}  // namespace
+
+Result<PhysicalPlan> BuildAlgorithm1Plan(const core::TwoWayJoin* two_way,
+                                         const core::MultiwayJoin* multiway,
+                                         const JoinPlanOptions& options) {
+  (void)multiway;
+  PPJ_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                       Ch4Plan(core::Algorithm::kAlgorithm1, two_way));
+  plan.ops.push_back(std::make_unique<ResolveNOp>(options.n));
+  plan.ops.push_back(
+      std::make_unique<ScratchRotateOp>(ScratchRotateOp::Mode::kRolling));
+  return plan;
+}
+
+Result<PhysicalPlan> BuildAlgorithm1VariantPlan(
+    const core::TwoWayJoin* two_way, const core::MultiwayJoin* multiway,
+    const JoinPlanOptions& options) {
+  (void)multiway;
+  PPJ_ASSIGN_OR_RETURN(
+      PhysicalPlan plan,
+      Ch4Plan(core::Algorithm::kAlgorithm1Variant, two_way));
+  plan.ops.push_back(std::make_unique<ResolveNOp>(options.n));
+  plan.ops.push_back(
+      std::make_unique<ScratchRotateOp>(ScratchRotateOp::Mode::kFullSort));
+  return plan;
+}
+
+Result<PhysicalPlan> BuildAlgorithm2Plan(const core::TwoWayJoin* two_way,
+                                         const core::MultiwayJoin* multiway,
+                                         const JoinPlanOptions& options) {
+  (void)multiway;
+  PPJ_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                       Ch4Plan(core::Algorithm::kAlgorithm2, two_way));
+  plan.ops.push_back(std::make_unique<ResolveNOp>(options.n));
+  plan.ops.push_back(
+      std::make_unique<MultiPassScanOp>(options.bookkeeping_slots));
+  return plan;
+}
+
+Result<PhysicalPlan> BuildAlgorithm3Plan(const core::TwoWayJoin* two_way,
+                                         const core::MultiwayJoin* multiway,
+                                         const JoinPlanOptions& options) {
+  (void)multiway;
+  PPJ_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                       Ch4Plan(core::Algorithm::kAlgorithm3, two_way));
+  if (!two_way->predicate->is_equality()) {
+    return Status::InvalidArgument(
+        "Algorithm 3 is the sort-based equijoin; it needs an "
+        "EqualityPredicate (use Algorithm 1/2 for general predicates)");
+  }
+  const auto* eq =
+      dynamic_cast<const relation::EqualityPredicate*>(two_way->predicate);
+  if (eq == nullptr) {
+    return Status::InvalidArgument(
+        "equality predicate must be an EqualityPredicate instance");
+  }
+  if (!IsPowerOfTwo(two_way->b->padded_size())) {
+    return Status::InvalidArgument(
+        "Algorithm 3 needs B sealed into a power-of-two padded region for "
+        "the oblivious sort");
+  }
+  plan.ops.push_back(std::make_unique<ResolveNOp>(options.n));
+  plan.ops.push_back(
+      std::make_unique<ObliviousSortOp>(eq->col_b(), options.provider_sorted));
+  plan.ops.push_back(
+      std::make_unique<ScratchRotateOp>(ScratchRotateOp::Mode::kRing));
+  return plan;
+}
+
+Result<PhysicalPlan> BuildAlgorithm4Plan(const core::TwoWayJoin* two_way,
+                                         const core::MultiwayJoin* multiway,
+                                         const JoinPlanOptions& options) {
+  (void)two_way;
+  PPJ_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                       Ch5Plan(core::Algorithm::kAlgorithm4, multiway));
+  plan.ops.push_back(std::make_unique<ITupleScanOp>());
+  plan.ops.push_back(std::make_unique<WindowedFilterOp>(options.filter_delta,
+                                                        "alg4-output"));
+  plan.ops.push_back(std::make_unique<EmitOutputOp>());
+  return plan;
+}
+
+Result<PhysicalPlan> BuildAlgorithm5Plan(const core::TwoWayJoin* two_way,
+                                         const core::MultiwayJoin* multiway,
+                                         const JoinPlanOptions& options) {
+  (void)two_way;
+  (void)options;
+  PPJ_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                       Ch5Plan(core::Algorithm::kAlgorithm5, multiway));
+  plan.ops.push_back(std::make_unique<BufferedEmitOp>());
+  return plan;
+}
+
+Result<PhysicalPlan> BuildAlgorithm6Plan(const core::TwoWayJoin* two_way,
+                                         const core::MultiwayJoin* multiway,
+                                         const JoinPlanOptions& options) {
+  (void)two_way;
+  PPJ_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                       Ch5Plan(core::Algorithm::kAlgorithm6, multiway));
+  plan.ops.push_back(std::make_unique<ScreenOp>());
+  plan.ops.push_back(std::make_unique<EpsilonPartitionOp>(
+      options.epsilon, options.order_seed, options.forced_segment_size));
+  plan.ops.push_back(std::make_unique<SalvageOp>());
+  plan.ops.push_back(std::make_unique<WindowedFilterOp>(options.filter_delta,
+                                                        "alg6-output"));
+  plan.ops.push_back(std::make_unique<EmitOutputOp>());
+  return plan;
+}
+
+Result<PhysicalPlan> BuildJoinPlan(core::Algorithm algorithm,
+                                   const core::TwoWayJoin* two_way,
+                                   const core::MultiwayJoin* multiway,
+                                   const JoinPlanOptions& options) {
+  const core::AlgorithmInfo& info = core::GetAlgorithmInfo(algorithm);
+  if (info.build == nullptr) {
+    return Status::InvalidArgument(std::string(info.name) +
+                                   " has no registered plan builder");
+  }
+  return info.build(two_way, multiway, options);
+}
+
+}  // namespace ppj::plan

@@ -1,0 +1,70 @@
+#ifndef PPJ_PLAN_BUILDER_H_
+#define PPJ_PLAN_BUILDER_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/algorithm.h"
+#include "core/join_spec.h"
+#include "plan/executor.h"
+
+namespace ppj::plan {
+
+/// Knobs the plan builders accept — the union of the per-algorithm option
+/// structs, with the same defaults. Unknown-to-an-algorithm fields are
+/// ignored by its builder.
+struct JoinPlanOptions {
+  /// Chapter 4 output-shape parameter N (0 = safe preprocessing scan).
+  std::uint64_t n = 0;
+  /// Algorithm 2: memory slots reserved for bookkeeping.
+  std::uint64_t bookkeeping_slots = 1;
+  /// Algorithm 3: B arrives already sorted on the join attribute.
+  bool provider_sorted = false;
+  /// Algorithm 6: privacy slack (privacy level 1 - epsilon).
+  double epsilon = 1e-20;
+  /// Algorithm 6: seed of the MLFSR visiting order.
+  std::uint64_t order_seed = 0x5eed;
+  /// Algorithm 6: test override of the derived segment size n*.
+  std::uint64_t forced_segment_size = 0;
+  /// Algorithms 4/6: test override of the filter swap distance delta.
+  std::uint64_t filter_delta = 0;
+};
+
+/// Builds the physical plan for `algorithm` via the core algorithm
+/// registry. Exactly one join description must be non-null: the Chapter 4
+/// family takes `two_way`, the Chapter 5 family `multiway`. All input
+/// validation happens at build time, before any device span opens or host
+/// region exists — matching the monolithic drivers, which validated before
+/// touching the coprocessor.
+Result<PhysicalPlan> BuildJoinPlan(core::Algorithm algorithm,
+                                   const core::TwoWayJoin* two_way,
+                                   const core::MultiwayJoin* multiway,
+                                   const JoinPlanOptions& options);
+
+// Per-algorithm builders with the registry's uniform signature. Prefer
+// BuildJoinPlan; these exist so core/algorithm.cc can register them.
+Result<PhysicalPlan> BuildAlgorithm1Plan(const core::TwoWayJoin* two_way,
+                                         const core::MultiwayJoin* multiway,
+                                         const JoinPlanOptions& options);
+Result<PhysicalPlan> BuildAlgorithm1VariantPlan(
+    const core::TwoWayJoin* two_way, const core::MultiwayJoin* multiway,
+    const JoinPlanOptions& options);
+Result<PhysicalPlan> BuildAlgorithm2Plan(const core::TwoWayJoin* two_way,
+                                         const core::MultiwayJoin* multiway,
+                                         const JoinPlanOptions& options);
+Result<PhysicalPlan> BuildAlgorithm3Plan(const core::TwoWayJoin* two_way,
+                                         const core::MultiwayJoin* multiway,
+                                         const JoinPlanOptions& options);
+Result<PhysicalPlan> BuildAlgorithm4Plan(const core::TwoWayJoin* two_way,
+                                         const core::MultiwayJoin* multiway,
+                                         const JoinPlanOptions& options);
+Result<PhysicalPlan> BuildAlgorithm5Plan(const core::TwoWayJoin* two_way,
+                                         const core::MultiwayJoin* multiway,
+                                         const JoinPlanOptions& options);
+Result<PhysicalPlan> BuildAlgorithm6Plan(const core::TwoWayJoin* two_way,
+                                         const core::MultiwayJoin* multiway,
+                                         const JoinPlanOptions& options);
+
+}  // namespace ppj::plan
+
+#endif  // PPJ_PLAN_BUILDER_H_

@@ -1,0 +1,45 @@
+#include "plan/context.h"
+
+#include "relation/encrypted_relation.h"
+
+namespace ppj::plan {
+
+Status PlanContext::InitWireShape() {
+  if ((two_way_ == nullptr) == (multiway_ == nullptr)) {
+    return Status::InvalidArgument(
+        "PlanContext needs exactly one join description");
+  }
+  payload = two_way_ != nullptr ? two_way_->JoinedPayloadSize()
+                                : multiway_->JoinedPayloadSize();
+  slot = sim::Coprocessor::SealedSize(relation::wire::PlainSize(payload));
+  decoy = relation::wire::MakeDecoy(payload);
+  return Status::OK();
+}
+
+sim::RegionId PlanContext::CreateRegion(sim::Coprocessor& copro,
+                                        const std::string& name,
+                                        std::uint64_t slots) {
+  const sim::RegionId id = copro.host()->CreateRegion(name, slot, slots);
+  regions_.push_back(RegionUse{name, id, slots});
+  return id;
+}
+
+core::Ch4Outcome TakeCh4Outcome(const PlanContext& ctx) {
+  core::Ch4Outcome out;
+  out.output_region = ctx.output_region;
+  out.output_slots = ctx.output_slots;
+  out.n_used = ctx.n;
+  return out;
+}
+
+core::Ch5Outcome TakeCh5Outcome(const PlanContext& ctx) {
+  core::Ch5Outcome out;
+  out.output_region = ctx.output_region;
+  out.result_size = ctx.s;
+  out.staging_slots = ctx.staging_slots;
+  out.n_star = ctx.n_star;
+  out.blemish = ctx.blemish;
+  return out;
+}
+
+}  // namespace ppj::plan

@@ -1,0 +1,112 @@
+#ifndef PPJ_PLAN_CONTEXT_H_
+#define PPJ_PLAN_CONTEXT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/cartesian.h"
+#include "core/join_result.h"
+#include "core/join_spec.h"
+#include "core/privacy_auditor.h"
+#include "sim/coprocessor.h"
+
+namespace ppj::plan {
+
+/// One host region created on behalf of a plan: the symbolic name, the id
+/// the host assigned, and its slot count at creation time. Region lifecycle
+/// ownership lives here rather than in the individual algorithms — every
+/// operator allocates through PlanContext::CreateRegion, so a finished run
+/// can enumerate exactly which regions the plan touched (ppjctl explain,
+/// audit summaries).
+struct RegionUse {
+  std::string name;
+  sim::RegionId id = 0;
+  std::uint64_t slots = 0;
+};
+
+/// Shared mutable state threaded through the operators of one physical
+/// plan execution. Exactly one of the two join descriptions is set (the
+/// Chapter 4 family is two-way, the Chapter 5 family multiway); the rest
+/// is cross-operator plumbing that used to be local variables of the
+/// monolithic RunAlgorithmN drivers.
+///
+/// A PlanContext is single-use: build it, run the plan, read the outcome.
+class PlanContext {
+ public:
+  PlanContext(const core::TwoWayJoin* two_way,
+              const core::MultiwayJoin* multiway)
+      : two_way_(two_way), multiway_(multiway) {}
+
+  const core::TwoWayJoin* two_way() const { return two_way_; }
+  const core::MultiwayJoin* multiway() const { return multiway_; }
+
+  /// The recipient key joined payloads are sealed under.
+  const crypto::Ocb* output_key() const {
+    return two_way_ != nullptr ? two_way_->output_key : multiway_->output_key;
+  }
+
+  /// Derives the sealed wire shape (payload size, slot size, the decoy
+  /// plaintext) from the join description. Pure host-side computation —
+  /// no coprocessor interaction — called once by the executor before the
+  /// first operator.
+  Status InitWireShape();
+
+  /// Creates a host region of `slots` slots of the plan's sealed slot
+  /// size and records it in regions(). All operator allocations go
+  /// through here; creation order determines sim::RegionId assignment and
+  /// is therefore part of the frozen trace shape.
+  sim::RegionId CreateRegion(sim::Coprocessor& copro, const std::string& name,
+                             std::uint64_t slots);
+
+  const std::vector<RegionUse>& regions() const { return regions_; }
+
+  // --- Sealed wire shape (InitWireShape) ---
+  std::size_t payload = 0;  ///< Joined payload bytes (a || b || ...).
+  std::size_t slot = 0;     ///< Sealed slot size for that payload.
+  std::vector<std::uint8_t> decoy;  ///< Decoy plaintext, one per plan.
+
+  // --- Cross-operator state ---
+  std::uint64_t n = 0;  ///< Resolved N (Chapter 4; ResolveNOp).
+  std::uint64_t s = 0;  ///< True result size S (Chapter 5 scans).
+  bool buffered_all = false;  ///< Alg 6 screen kept every result in memory.
+  bool blemish = false;       ///< Alg 6 segment overflow (epsilon event).
+  std::uint64_t n_star = 0;   ///< Alg 6 segment size actually used.
+  sim::RegionId staging_region = 0;
+  std::uint64_t staging_slots = 0;
+  /// Shared iTuple reader (Chapter 5): constructed by the first scan
+  /// operator, reused by later passes so batching hints and the cartesian
+  /// index survive operator boundaries.
+  std::optional<core::ITupleReader> reader;
+  /// Shared secure buffer (Algorithm 6): the salvage operator releases it
+  /// before re-running Algorithm 5, exactly like the monolithic driver.
+  std::optional<sim::SecureBuffer> buffer;
+
+  // --- Outcome ---
+  sim::RegionId output_region = 0;
+  std::uint64_t output_slots = 0;  ///< Ch.4: N|A| slots; Ch.5: S results.
+  /// Set by an operator that completed the plan early (empty result,
+  /// everything-buffered fast path, blemish salvage). The executor skips
+  /// all remaining operators.
+  bool finished = false;
+
+  /// Cumulative trace fingerprint after each executed operator, recorded
+  /// by the executor (read-only on the trace: trace-neutral).
+  std::vector<core::OpCheckpoint> checkpoints;
+
+ private:
+  const core::TwoWayJoin* two_way_ = nullptr;
+  const core::MultiwayJoin* multiway_ = nullptr;
+  std::vector<RegionUse> regions_;
+};
+
+/// Outcome extraction once a plan has run to completion.
+core::Ch4Outcome TakeCh4Outcome(const PlanContext& ctx);
+core::Ch5Outcome TakeCh5Outcome(const PlanContext& ctx);
+
+}  // namespace ppj::plan
+
+#endif  // PPJ_PLAN_CONTEXT_H_

@@ -1,0 +1,39 @@
+#include "plan/executor.h"
+
+#include <string>
+
+#include "common/telemetry.h"
+#include "core/parallel.h"
+
+namespace ppj::plan {
+
+Status PlanExecutor::Run(sim::Coprocessor& copro, PhysicalPlan& plan,
+                         PlanContext& ctx) {
+  PPJ_RETURN_NOT_OK(ctx.InitWireShape());
+  PPJ_DEVICE_SPAN(&copro, plan.root_span);
+  for (const std::unique_ptr<ObliviousOp>& op : plan.ops) {
+    if (ctx.finished) break;
+    if (!op->ShouldRun(ctx)) continue;
+    PPJ_SPAN(op->name());
+    PPJ_RETURN_NOT_OK(op->Run(copro, ctx));
+    ctx.checkpoints.push_back(core::OpCheckpoint{
+        std::string(op->name()), copro.trace().fingerprint()});
+  }
+  return Status::OK();
+}
+
+Result<core::ParallelOutcome> RunParallelPlan(
+    sim::HostStore* host, core::Algorithm algorithm,
+    const core::MultiwayJoin& join, unsigned parallelism,
+    const sim::CoprocessorOptions& copro_options,
+    const core::ParallelRunOptions& run_options) {
+  const core::AlgorithmInfo& info = core::GetAlgorithmInfo(algorithm);
+  if (info.parallel == nullptr) {
+    return Status::InvalidArgument(
+        std::string(info.name) +
+        " has no registered service-level parallel engine");
+  }
+  return info.parallel(host, join, parallelism, copro_options, run_options);
+}
+
+}  // namespace ppj::plan

@@ -1,0 +1,49 @@
+#ifndef PPJ_PLAN_EXECUTOR_H_
+#define PPJ_PLAN_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/algorithm.h"
+#include "plan/context.h"
+#include "plan/operator.h"
+
+namespace ppj::plan {
+
+/// An executable physical plan: which paper algorithm it implements, the
+/// root device span it runs under, and the ordered operator list. Built by
+/// the per-algorithm builders (plan/builder.h) via the core algorithm
+/// registry; single-use, like the PlanContext it runs against.
+struct PhysicalPlan {
+  core::Algorithm algorithm = core::Algorithm::kAlgorithm5;
+  std::string root_span;
+  std::vector<std::unique_ptr<ObliviousOp>> ops;
+};
+
+/// Runs a physical plan: one engine for every algorithm and for scalar and
+/// batched transfer modes alike (the transfer granularity is a Coprocessor
+/// property, not a plan property). Per operator the executor opens a
+/// telemetry span named after the operator and records the cumulative
+/// trace fingerprint into PlanContext::checkpoints — both read-only on the
+/// frozen trace/timing/transfer surface, so executing through the engine
+/// is bit-identical to the former monolithic drivers.
+class PlanExecutor {
+ public:
+  Status Run(sim::Coprocessor& copro, PhysicalPlan& plan, PlanContext& ctx);
+};
+
+/// Runs the registered parallel engine for `algorithm` (the Chapter 5
+/// multi-coprocessor executors of Section 5.3.5). Fails for algorithms
+/// without a registered service-level parallel engine.
+Result<core::ParallelOutcome> RunParallelPlan(
+    sim::HostStore* host, core::Algorithm algorithm,
+    const core::MultiwayJoin& join, unsigned parallelism,
+    const sim::CoprocessorOptions& copro_options,
+    const core::ParallelRunOptions& run_options);
+
+}  // namespace ppj::plan
+
+#endif  // PPJ_PLAN_EXECUTOR_H_

@@ -1,0 +1,66 @@
+#ifndef PPJ_PLAN_OPERATOR_H_
+#define PPJ_PLAN_OPERATOR_H_
+
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ppj::sim {
+class Coprocessor;
+}  // namespace ppj::sim
+
+namespace ppj::plan {
+
+class PlanContext;
+
+/// One oblivious physical operator — a reusable building block of the
+/// paper's six join algorithms (full iTuple scans, windowed decoy
+/// filtering, oblivious sort, scratch-region rotation, padded output
+/// writing). A PhysicalPlan is an ordered list of these; the PlanExecutor
+/// runs them through one engine in scalar, batched or parallel mode.
+///
+/// The contract every operator must honor is *trace neutrality*: the
+/// ordered list of host accesses, the timing trace and the transfer
+/// counters an operator produces depend only on the public shape
+/// parameters (|A|, |B|, N, L, S, M, epsilon), never on tuple contents.
+/// The fingerprint-golden suites (tests/test_plan_goldens.cc,
+/// tests/test_batching.cc, tests/test_faults.cc) enforce this
+/// bit-identically against the pre-operator-layer implementations.
+class ObliviousOp {
+ public:
+  virtual ~ObliviousOp() = default;
+
+  /// Stable operator name. It is the telemetry span the executor opens
+  /// around Run, the key planner-side PlannedOp trees join against for
+  /// predicted-vs-measured reconciliation, and the label on the privacy
+  /// auditor's per-operator trace checkpoints.
+  virtual std::string_view name() const = 0;
+
+  /// Closed-form transfer-cost term this operator accounts for, in the
+  /// paper's notation (declared cost metadata; the numeric prediction for
+  /// a concrete shape comes from core::DescribeAlgorithm / analysis/).
+  virtual std::string_view cost_formula() const = 0;
+
+  /// One-line statement of the operator's trace-shape contract: which
+  /// shape parameters its host-access pattern is a function of.
+  virtual std::string_view trace_shape() const = 0;
+
+  /// Whether the operator participates in this execution. Checked by the
+  /// executor before opening the operator span, so a skipped operator
+  /// leaves no telemetry node (data-independent skips only — e.g. the
+  /// salvage operator keys off the blemish flag, whose occurrence the
+  /// epsilon bound budgets for).
+  virtual bool ShouldRun(const PlanContext& ctx) const {
+    (void)ctx;
+    return true;
+  }
+
+  /// Executes the operator. All host interaction goes through `copro`;
+  /// all cross-operator state (resolved N, screened S, staging regions,
+  /// the shared iTuple reader / secure buffer) lives in `ctx`.
+  virtual Status Run(sim::Coprocessor& copro, PlanContext& ctx) = 0;
+};
+
+}  // namespace ppj::plan
+
+#endif  // PPJ_PLAN_OPERATOR_H_

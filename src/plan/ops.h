@@ -1,0 +1,270 @@
+#ifndef PPJ_PLAN_OPS_H_
+#define PPJ_PLAN_OPS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "plan/context.h"
+#include "plan/operator.h"
+#include "relation/tuple.h"
+
+namespace ppj::plan {
+
+/// Evaluates the join predicate for one staged tuple pair (Chapter 4) or
+/// one assembled iTuple (Chapter 5) and records the oblivious
+/// match-evaluation note. The enclosing scan operator stages the inputs
+/// and invokes Run once per comparison — the predicate is *always*
+/// evaluated, for every pair, which is what keeps the evaluation count a
+/// pure function of the input shape.
+class PredicateEvaluateOp final : public ObliviousOp {
+ public:
+  std::string_view name() const override { return "predicate-evaluate"; }
+  std::string_view cost_formula() const override {
+    return "0 (in-device; one evaluation per staged pair)";
+  }
+  std::string_view trace_shape() const override {
+    return "no host accesses; |A||B| (resp. L) evaluation notes";
+  }
+  Status Run(sim::Coprocessor& copro, PlanContext& ctx) override;
+
+  // Staging area, set by the enclosing scan before each Run.
+  const relation::Tuple* a = nullptr;  ///< Two-way: provider A tuple.
+  const relation::Tuple* b = nullptr;  ///< Two-way: provider B tuple.
+  bool a_real = false;
+  bool b_real = false;
+  const core::ITupleReader::Fetched* fetched = nullptr;  ///< Multiway.
+  bool hit = false;  ///< Result of the last evaluation.
+};
+
+/// Resolves the Chapter 4 output-shape parameter N: the configured hint,
+/// or the safe preprocessing scan (ComputeMaxMatches) when unknown; never
+/// zero. Writes PlanContext::n.
+class ResolveNOp final : public ObliviousOp {
+ public:
+  explicit ResolveNOp(std::uint64_t hint) : hint_(hint) {}
+  std::string_view name() const override { return "resolve-n"; }
+  std::string_view cost_formula() const override {
+    return "0 if N known, else |A| + |A||B| (preprocessing scan)";
+  }
+  std::string_view trace_shape() const override {
+    return "function of |A|, |B| only (full scan when N unknown)";
+  }
+  Status Run(sim::Coprocessor& copro, PlanContext& ctx) override;
+
+ private:
+  std::uint64_t hint_ = 0;
+};
+
+/// Oblivious (bitonic) sort of provider B on the equality column, padding
+/// last — Algorithm 3's preprocessing step. In-place over B's region;
+/// every compare-exchange re-seals under B's key with fresh nonces.
+class ObliviousSortOp final : public ObliviousOp {
+ public:
+  ObliviousSortOp(std::size_t col_b, bool provider_sorted)
+      : col_b_(col_b), provider_sorted_(provider_sorted) {}
+  std::string_view name() const override { return "sort-b"; }
+  std::string_view cost_formula() const override {
+    return "|B| log2(|B|)^2, or 0 when the provider pre-sorted";
+  }
+  std::string_view trace_shape() const override {
+    return "fixed bitonic network over |B| slots (data-independent)";
+  }
+  bool ShouldRun(const PlanContext& ctx) const override;
+  Status Run(sim::Coprocessor& copro, PlanContext& ctx) override;
+
+ private:
+  std::size_t col_b_ = 0;
+  bool provider_sorted_ = false;
+};
+
+/// The Chapter 4 mix-and-flush core: per A tuple, stream B through the
+/// device writing exactly one oTuple per comparison into a scratch region,
+/// and emit N slots of N|A|-shaped output. Three rotation disciplines:
+///  - kRolling (Algorithm 1): 2N rolling scratch, bitonic sort every N
+///    comparisons pushes reals ahead of decoys.
+///  - kFullSort (Algorithm 1 variant): |B|-sized buffer, one full-size
+///    oblivious sort per A tuple.
+///  - kRing (Algorithm 3): N-slot circular scratch over sorted B; matches
+///    overwrite the ring in place, no sort needed.
+class ScratchRotateOp final : public ObliviousOp {
+ public:
+  enum class Mode { kRolling, kFullSort, kRing };
+  explicit ScratchRotateOp(Mode mode) : mode_(mode) {}
+  std::string_view name() const override { return "scratch-rotate"; }
+  std::string_view cost_formula() const override;
+  std::string_view trace_shape() const override {
+    return "function of |A|, |B|, N only";
+  }
+  Status Run(sim::Coprocessor& copro, PlanContext& ctx) override;
+
+ private:
+  Status RunRolling(sim::Coprocessor& copro, PlanContext& ctx);
+  Status RunFullSort(sim::Coprocessor& copro, PlanContext& ctx);
+  Status RunRing(sim::Coprocessor& copro, PlanContext& ctx);
+
+  PredicateEvaluateOp eval_;
+  Mode mode_;
+};
+
+/// Algorithm 2's large-memory core: gamma passes over B per A tuple, an
+/// in-memory block of ceil(N/gamma) results per pass, fixed-size
+/// decoy-padded flushes. No oblivious sort anywhere.
+class MultiPassScanOp final : public ObliviousOp {
+ public:
+  explicit MultiPassScanOp(std::uint64_t bookkeeping_slots)
+      : bookkeeping_slots_(bookkeeping_slots) {}
+  std::string_view name() const override { return "multi-pass-scan"; }
+  std::string_view cost_formula() const override {
+    return "|A| + gamma |A||B| (mix) + N|A| (output), gamma = ceil(N/M)";
+  }
+  std::string_view trace_shape() const override {
+    return "function of |A|, |B|, N, M only";
+  }
+  Status Run(sim::Coprocessor& copro, PlanContext& ctx) override;
+
+ private:
+  PredicateEvaluateOp eval_;
+  std::uint64_t bookkeeping_slots_ = 1;
+};
+
+/// Algorithm 4's first pass: one oTuple out per iTuple in, unconditionally
+/// (real result or decoy), into an L-slot staging region. Constructs the
+/// shared ITupleReader and publishes S. Completes the plan early when
+/// S == 0 (the empty output size is itself public).
+class ITupleScanOp final : public ObliviousOp {
+ public:
+  std::string_view name() const override { return "ituple-scan"; }
+  std::string_view cost_formula() const override {
+    return "2L (L iTuple reads + L staging writes)";
+  }
+  std::string_view trace_shape() const override {
+    return "function of L only";
+  }
+  Status Run(sim::Coprocessor& copro, PlanContext& ctx) override;
+
+ private:
+  PredicateEvaluateOp eval_;
+};
+
+/// Algorithm 5 in one operator: repeated full scans over the iTuple space,
+/// buffering up to M results past the persistent cursor and flushing them
+/// at each scan boundary — the only observable output points.
+class BufferedEmitOp final : public ObliviousOp {
+ public:
+  std::string_view name() const override { return "buffered-emit"; }
+  std::string_view cost_formula() const override {
+    return "ceil(S/M) L (scans) + S (output)";
+  }
+  std::string_view trace_shape() const override {
+    return "function of L, S, M only";
+  }
+  Status Run(sim::Coprocessor& copro, PlanContext& ctx) override;
+
+ private:
+  PredicateEvaluateOp eval_;
+};
+
+/// Algorithm 6's screening pass: learns S with one sequential scan while
+/// opportunistically buffering results. When everything fit (M >= S) the
+/// operator flushes straight from memory and completes the plan — total
+/// cost L + S, footnote 1 of Section 5.3.3.
+class ScreenOp final : public ObliviousOp {
+ public:
+  std::string_view name() const override { return "screen"; }
+  std::string_view cost_formula() const override {
+    return "L (screening scan; + S flush when M >= S)";
+  }
+  std::string_view trace_shape() const override {
+    return "function of L only (flush adds S, which is public)";
+  }
+  Status Run(sim::Coprocessor& copro, PlanContext& ctx) override;
+
+ private:
+  PredicateEvaluateOp eval_;
+};
+
+/// Algorithm 6's main pass: visit iTuples in MLFSR-random order, buffer
+/// matches, flush exactly M decoy-padded oTuples per n*-sized segment into
+/// staging. Sets the blemish flag on segment overflow — the
+/// epsilon-probability event the privacy level budgets for.
+class EpsilonPartitionOp final : public ObliviousOp {
+ public:
+  EpsilonPartitionOp(double epsilon, std::uint64_t order_seed,
+                     std::uint64_t forced_segment_size)
+      : epsilon_(epsilon),
+        order_seed_(order_seed),
+        forced_segment_size_(forced_segment_size) {}
+  std::string_view name() const override { return "epsilon-partition"; }
+  std::string_view cost_formula() const override {
+    return "L (random-order scan) + ceil(L/n*) M (staging flushes)";
+  }
+  std::string_view trace_shape() const override {
+    return "function of L, S, M, epsilon only (seeded visiting order)";
+  }
+  Status Run(sim::Coprocessor& copro, PlanContext& ctx) override;
+
+ private:
+  PredicateEvaluateOp eval_;
+  double epsilon_ = 1e-20;
+  std::uint64_t order_seed_ = 0x5eed;
+  std::uint64_t forced_segment_size_ = 0;
+};
+
+/// Algorithm 6's salvage action (Section 5.3.3): after a blemish,
+/// re-output everything with an Algorithm 5 sweep. Runs only when the
+/// blemish flag is set — the extra scans' existence is the privacy loss
+/// the epsilon bound budgets for.
+class SalvageOp final : public ObliviousOp {
+ public:
+  std::string_view name() const override { return "salvage"; }
+  std::string_view cost_formula() const override {
+    return "CostAlgorithm5(L, S, M), charged with probability <= epsilon";
+  }
+  std::string_view trace_shape() const override {
+    return "Algorithm 5's shape; occurrence itself is the epsilon event";
+  }
+  bool ShouldRun(const PlanContext& ctx) const override;
+  Status Run(sim::Coprocessor& copro, PlanContext& ctx) override;
+};
+
+/// Oblivious decoy filter: staging_slots oTuples -> exactly S results via
+/// the windowed bitonic filter (Section 5.2). Shared tail of Algorithms 4
+/// and 6.
+class WindowedFilterOp final : public ObliviousOp {
+ public:
+  WindowedFilterOp(std::uint64_t filter_delta, std::string output_name)
+      : filter_delta_(filter_delta), output_name_(std::move(output_name)) {}
+  std::string_view name() const override { return "filter"; }
+  std::string_view cost_formula() const override {
+    return "(omega - S)/delta (S + delta) log2(S + delta)^2, omega = "
+           "staging slots";
+  }
+  std::string_view trace_shape() const override {
+    return "function of staging slots, S, delta only";
+  }
+  Status Run(sim::Coprocessor& copro, PlanContext& ctx) override;
+
+ private:
+  std::uint64_t filter_delta_ = 0;
+  std::string output_name_;
+};
+
+/// Marks the S output slots delivered: one observable disk event per
+/// result slot (pure accounting; the sealed bytes are already in place).
+class EmitOutputOp final : public ObliviousOp {
+ public:
+  std::string_view name() const override { return "output"; }
+  std::string_view cost_formula() const override {
+    return "0 transfers; S disk events";
+  }
+  std::string_view trace_shape() const override {
+    return "function of S only";
+  }
+  Status Run(sim::Coprocessor& copro, PlanContext& ctx) override;
+};
+
+}  // namespace ppj::plan
+
+#endif  // PPJ_PLAN_OPS_H_

@@ -1,0 +1,381 @@
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/math.h"
+#include "common/telemetry.h"
+#include "core/host_retry.h"
+#include "oblivious/bitonic_sort.h"
+#include "plan/ops.h"
+#include "relation/encrypted_relation.h"
+
+namespace ppj::plan {
+
+namespace {
+
+/// Joined payload = a bytes || b bytes.
+std::vector<std::uint8_t> JoinedBytes(const relation::Tuple& a,
+                                      const relation::Tuple& b) {
+  std::vector<std::uint8_t> bytes = a.Serialize();
+  const std::vector<std::uint8_t> bb = b.Serialize();
+  bytes.insert(bytes.end(), bb.begin(), bb.end());
+  return bytes;
+}
+
+/// H copies `count` sealed slots from `src` to `dst` at dst_base and
+/// persists them — the paper's "Request H to write first N of scratch[] to
+/// disk". A host-side move of ciphertext T already produced: no transfers,
+/// one observable disk event per slot. H retries its own transient I/O
+/// (bounded, untraced) like any storage client.
+Status HostFlushToOutput(sim::Coprocessor& copro, sim::RegionId src,
+                         std::uint64_t count, sim::RegionId dst,
+                         std::uint64_t dst_base) {
+  for (std::uint64_t k = 0; k < count; ++k) {
+    PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> sealed,
+                         core::ReadSlotWithRetry(*copro.host(), src, k));
+    PPJ_RETURN_NOT_OK(
+        core::WriteSlotWithRetry(*copro.host(), dst, dst_base + k, sealed));
+    PPJ_RETURN_NOT_OK(copro.DiskWrite(dst, dst_base + k));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool ObliviousSortOp::ShouldRun(const PlanContext& ctx) const {
+  (void)ctx;
+  return !provider_sorted_;
+}
+
+Status ObliviousSortOp::Run(sim::Coprocessor& copro, PlanContext& ctx) {
+  const core::TwoWayJoin& join = *ctx.two_way();
+  return oblivious::ObliviousSort(
+      copro, join.b->region(), join.b->padded_size(), *join.b->key(),
+      oblivious::ColumnLess(join.b->schema(), col_b_));
+}
+
+std::string_view ScratchRotateOp::cost_formula() const {
+  switch (mode_) {
+    case Mode::kRolling:
+      return "|A| + 2|A||B| (mix) + 2|A||B| log2(2N)^2 (sort) + 2N|A| "
+             "(output)";
+    case Mode::kFullSort:
+      return "|A| + 2|A||B| (mix) + |A||B| log2(|B|)^2 (sort)";
+    case Mode::kRing:
+      return "|A| + 3|A||B| (mix) + N|A| (output)";
+  }
+  return "?";
+}
+
+Status ScratchRotateOp::Run(sim::Coprocessor& copro, PlanContext& ctx) {
+  switch (mode_) {
+    case Mode::kRolling:
+      return RunRolling(copro, ctx);
+    case Mode::kFullSort:
+      return RunFullSort(copro, ctx);
+    case Mode::kRing:
+      return RunRing(copro, ctx);
+  }
+  return Status::InvalidArgument("unknown scratch rotation mode");
+}
+
+Status ScratchRotateOp::RunRolling(sim::Coprocessor& copro,
+                                   PlanContext& ctx) {
+  const core::TwoWayJoin& join = *ctx.two_way();
+  const std::uint64_t n = ctx.n;
+
+  // Scratch of 2N oTuples in host memory, padded to a power of two for the
+  // bitonic network (exactly 2N when N is a power of two).
+  const std::uint64_t scratch_slots = NextPowerOfTwo(2 * n);
+  const sim::RegionId scratch =
+      ctx.CreateRegion(copro, "alg1-scratch", scratch_slots);
+  const std::uint64_t size_a = join.a->size();
+  const std::uint64_t size_b = join.b->padded_size();
+  const sim::RegionId output =
+      ctx.CreateRegion(copro, "alg1-output", size_a * n);
+
+  const oblivious::PlainLess real_first = oblivious::RealFirstLess();
+
+  // Batched sequential scans of the inputs and a windowed writer for the
+  // scratch: per slot the accounting is scalar-identical, only the physical
+  // transfer granularity changes. The writer is flushed before every
+  // ObliviousSort (which reads the scratch region) and the sort itself
+  // leaves no writes pending.
+  core::BatchedScan ascan(&copro, join.a);
+  core::BatchedScan bscan(&copro, join.b);
+  core::BatchedSealWriter writer(&copro, scratch, join.output_key);
+  relation::Tuple a, b;
+  bool a_real = false, b_real = false;
+
+  for (std::uint64_t ai = 0; ai < size_a; ++ai) {
+    {
+      PPJ_SPAN("reset");
+      // Reset the scratch with fresh indistinguishable decoys.
+      for (std::uint64_t k = 0; k < scratch_slots; ++k) {
+        PPJ_RETURN_NOT_OK(writer.Put(k, ctx.decoy));
+      }
+      PPJ_RETURN_NOT_OK(writer.Flush());
+    }
+    PPJ_RETURN_NOT_OK(ascan.FetchInto(ai, &a, &a_real));
+    {
+      PPJ_SPAN("mix");
+      std::uint64_t i = 0;
+      for (std::uint64_t bi = 0; bi < size_b; ++bi) {
+        PPJ_RETURN_NOT_OK(bscan.FetchInto(bi, &b, &b_real));
+        eval_.a = &a;
+        eval_.b = &b;
+        eval_.a_real = a_real;
+        eval_.b_real = b_real;
+        PPJ_RETURN_NOT_OK(eval_.Run(copro, ctx));
+        // Exactly one oTuple out per comparison, always to the same rolling
+        // slot — the fixed-size principle of Section 3.4.3.
+        const std::uint64_t pos = n + (i % n);
+        if (eval_.hit) {
+          PPJ_RETURN_NOT_OK(writer.Put(
+              pos, relation::wire::MakeReal(JoinedBytes(a, b))));
+        } else {
+          PPJ_RETURN_NOT_OK(writer.Put(pos, ctx.decoy));
+        }
+        ++i;
+        if (i % n == 0) {
+          PPJ_RETURN_NOT_OK(writer.Flush());
+          PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(
+              copro, scratch, scratch_slots, *join.output_key, real_first));
+        }
+      }
+      if (i % n != 0) {
+        PPJ_RETURN_NOT_OK(writer.Flush());
+        PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(
+            copro, scratch, scratch_slots, *join.output_key, real_first));
+      }
+    }
+    PPJ_SPAN("output");
+    PPJ_RETURN_NOT_OK(HostFlushToOutput(copro, scratch, n, output, ai * n));
+  }
+
+  ctx.output_region = output;
+  ctx.output_slots = size_a * n;
+  return Status::OK();
+}
+
+Status ScratchRotateOp::RunFullSort(sim::Coprocessor& copro,
+                                    PlanContext& ctx) {
+  const core::TwoWayJoin& join = *ctx.two_way();
+  const std::uint64_t n = ctx.n;
+
+  const std::uint64_t size_a = join.a->size();
+  const std::uint64_t size_b = join.b->padded_size();
+  const std::uint64_t buffer_slots = NextPowerOfTwo(size_b);
+  const sim::RegionId buffer =
+      ctx.CreateRegion(copro, "alg1v-buffer", buffer_slots);
+  const sim::RegionId output =
+      ctx.CreateRegion(copro, "alg1v-output", size_a * n);
+
+  const oblivious::PlainLess real_first = oblivious::RealFirstLess();
+
+  // Same batching discipline as Algorithm 1: windowed input scans, windowed
+  // buffer writes, flush before the sort reads the buffer.
+  core::BatchedScan ascan(&copro, join.a);
+  core::BatchedScan bscan(&copro, join.b);
+  core::BatchedSealWriter writer(&copro, buffer, join.output_key);
+  relation::Tuple a, b;
+  bool a_real = false, b_real = false;
+
+  for (std::uint64_t ai = 0; ai < size_a; ++ai) {
+    PPJ_RETURN_NOT_OK(ascan.FetchInto(ai, &a, &a_real));
+    {
+      PPJ_SPAN("mix");
+      for (std::uint64_t bi = 0; bi < size_b; ++bi) {
+        PPJ_RETURN_NOT_OK(bscan.FetchInto(bi, &b, &b_real));
+        eval_.a = &a;
+        eval_.b = &b;
+        eval_.a_real = a_real;
+        eval_.b_real = b_real;
+        PPJ_RETURN_NOT_OK(eval_.Run(copro, ctx));
+        if (eval_.hit) {
+          PPJ_RETURN_NOT_OK(writer.Put(
+              bi, relation::wire::MakeReal(JoinedBytes(a, b))));
+        } else {
+          PPJ_RETURN_NOT_OK(writer.Put(bi, ctx.decoy));
+        }
+      }
+      for (std::uint64_t k = size_b; k < buffer_slots; ++k) {
+        PPJ_RETURN_NOT_OK(writer.Put(k, ctx.decoy));
+      }
+      PPJ_RETURN_NOT_OK(writer.Flush());
+    }
+    PPJ_RETURN_NOT_OK(oblivious::ObliviousSort(copro, buffer, buffer_slots,
+                                               *join.output_key, real_first));
+    PPJ_SPAN("output");
+    PPJ_RETURN_NOT_OK(HostFlushToOutput(copro, buffer, n, output, ai * n));
+  }
+
+  ctx.output_region = output;
+  ctx.output_slots = size_a * n;
+  return Status::OK();
+}
+
+Status ScratchRotateOp::RunRing(sim::Coprocessor& copro, PlanContext& ctx) {
+  const core::TwoWayJoin& join = *ctx.two_way();
+  const std::uint64_t n = ctx.n;
+
+  const std::uint64_t size_a = join.a->size();
+  const std::uint64_t size_b = join.b->padded_size();
+  const sim::RegionId scratch = ctx.CreateRegion(copro, "alg3-scratch", n);
+  const sim::RegionId output =
+      ctx.CreateRegion(copro, "alg3-output", size_a * n);
+
+  // Windowed input scans and chunked read/write windows over the rolling
+  // scratch ring. A chunk covers [p, p+c) with c <= n - p, so it never
+  // crosses the ring's wrap: within a chunk each slot is read exactly once
+  // and only then rewritten, which makes the pre-chunk staged copies the
+  // values the scalar loop would have read. Per slot the accounting — Get B,
+  // Get scratch, Put scratch — is scalar-identical and in scalar order; the
+  // deferred writes are flushed before the next chunk restages.
+  core::BatchedScan ascan(&copro, join.a);
+  core::BatchedScan bscan(&copro, join.b);
+  core::BatchedSealWriter reset(&copro, scratch, join.output_key);
+  const std::uint64_t limit =
+      copro.BatchLimit(std::max<std::uint64_t>(copro.memory_tuples(), 1));
+  relation::Tuple a, b;
+  bool a_real = false, b_real = false;
+  std::vector<std::uint8_t> t;
+
+  for (std::uint64_t ai = 0; ai < size_a; ++ai) {
+    PPJ_RETURN_NOT_OK(ascan.FetchInto(ai, &a, &a_real));
+    {
+      PPJ_SPAN("reset");
+      for (std::uint64_t k = 0; k < n; ++k) {
+        PPJ_RETURN_NOT_OK(reset.Put(k, ctx.decoy));
+      }
+      PPJ_RETURN_NOT_OK(reset.Flush());
+    }
+    {
+      PPJ_SPAN("mix");
+      std::uint64_t i = 0;
+      while (i < size_b) {
+        const std::uint64_t p = i % n;
+        const std::uint64_t c = std::min({limit, n - p, size_b - i});
+        PPJ_ASSIGN_OR_RETURN(
+            sim::ReadRun in,
+            copro.GetOpenRange(scratch, p, c, join.output_key));
+        PPJ_RETURN_NOT_OK(in.PrefetchOpen());
+        PPJ_ASSIGN_OR_RETURN(
+            sim::WriteRun out_run,
+            copro.PutSealedRange(scratch, p, c, join.output_key));
+        for (std::uint64_t e = 0; e < c; ++e, ++i) {
+          PPJ_RETURN_NOT_OK(bscan.FetchInto(i, &b, &b_real));
+          PPJ_ASSIGN_OR_RETURN(std::span<const std::uint8_t> s,
+                               in.NextOpen());
+          t.assign(s.begin(), s.end());
+          eval_.a = &a;
+          eval_.b = &b;
+          eval_.a_real = a_real;
+          eval_.b_real = b_real;
+          PPJ_RETURN_NOT_OK(eval_.Run(copro, ctx));
+          if (eval_.hit) {
+            PPJ_RETURN_NOT_OK(out_run.Append(
+                relation::wire::MakeReal(JoinedBytes(a, b))));
+          } else {
+            // Write back what was read, re-encrypted: indistinguishable from
+            // a fresh result to the host.
+            PPJ_RETURN_NOT_OK(out_run.Append(t));
+          }
+        }
+        PPJ_RETURN_NOT_OK(out_run.Flush());
+      }
+    }
+    PPJ_SPAN("output");
+    // H persists the N scratch slots for this A tuple, retrying its own
+    // transient I/O (bounded, untraced) like any storage client.
+    for (std::uint64_t k = 0; k < n; ++k) {
+      PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> sealed,
+                           core::ReadSlotWithRetry(*copro.host(), scratch, k));
+      PPJ_RETURN_NOT_OK(core::WriteSlotWithRetry(*copro.host(), output,
+                                                 ai * n + k, sealed));
+      PPJ_RETURN_NOT_OK(copro.DiskWrite(output, ai * n + k));
+    }
+  }
+
+  ctx.output_region = output;
+  ctx.output_slots = size_a * n;
+  return Status::OK();
+}
+
+Status MultiPassScanOp::Run(sim::Coprocessor& copro, PlanContext& ctx) {
+  const core::TwoWayJoin& join = *ctx.two_way();
+  const std::uint64_t n = ctx.n;
+
+  if (copro.memory_tuples() <= bookkeeping_slots_) {
+    return Status::CapacityExceeded(
+        "Algorithm 2 needs memory beyond bookkeeping; use Algorithm 1");
+  }
+  const std::uint64_t m_free = copro.memory_tuples() - bookkeeping_slots_;
+  const std::uint64_t gamma = std::max<std::uint64_t>(1, CeilDiv(n, m_free));
+  const std::uint64_t blk = CeilDiv(n, gamma);
+
+  PPJ_ASSIGN_OR_RETURN(sim::SecureBuffer joined,
+                       sim::SecureBuffer::Allocate(copro, blk));
+
+  const std::uint64_t size_a = join.a->size();
+  const std::uint64_t size_b = join.b->padded_size();
+  const sim::RegionId output =
+      ctx.CreateRegion(copro, "alg2-output", size_a * gamma * blk);
+
+  // Windowed input scans; per slot the accounting is scalar-identical.
+  core::BatchedScan ascan(&copro, join.a);
+  core::BatchedScan bscan(&copro, join.b);
+  relation::Tuple a, b;
+  bool a_real = false, b_real = false;
+
+  for (std::uint64_t ai = 0; ai < size_a; ++ai) {
+    PPJ_RETURN_NOT_OK(ascan.FetchInto(ai, &a, &a_real));
+    std::int64_t last = -1;  // position of the last *stored* B match
+    for (std::uint64_t pass = 0; pass < gamma; ++pass) {
+      joined.Clear();
+      {
+        PPJ_SPAN("mix");
+        std::int64_t current = 0;
+        std::int64_t pass_last = last;
+        for (std::uint64_t bi = 0; bi < size_b; ++bi) {
+          PPJ_RETURN_NOT_OK(bscan.FetchInto(bi, &b, &b_real));
+          // Predicate always evaluated; its result is used only when this
+          // pass is still collecting beyond the previous pass's cursor.
+          eval_.a = &a;
+          eval_.b = &b;
+          eval_.a_real = a_real;
+          eval_.b_real = b_real;
+          PPJ_RETURN_NOT_OK(eval_.Run(copro, ctx));
+          if (current > last && !joined.full() && eval_.hit) {
+            PPJ_RETURN_NOT_OK(joined.Push(
+                relation::wire::MakeReal(JoinedBytes(a, b))));
+            pass_last = current;
+          }
+          ++current;
+        }
+        last = pass_last;
+      }
+      PPJ_SPAN("output");
+      // Fixed-size flush: blk oTuples per pass, decoy-padded; the sealed
+      // slots land on the host in one scatter (DiskWrite is pure accounting
+      // and does not read the region).
+      const std::uint64_t base = (ai * gamma + pass) * blk;
+      PPJ_ASSIGN_OR_RETURN(
+          sim::WriteRun flush,
+          copro.PutSealedRange(output, base, blk, join.output_key));
+      for (std::uint64_t k = 0; k < blk; ++k) {
+        const std::vector<std::uint8_t>& plain =
+            k < joined.size() ? joined.At(k) : ctx.decoy;
+        PPJ_RETURN_NOT_OK(flush.Append(plain));
+        PPJ_RETURN_NOT_OK(copro.DiskWrite(output, base + k));
+      }
+      PPJ_RETURN_NOT_OK(flush.Flush());
+    }
+  }
+
+  ctx.output_region = output;
+  ctx.output_slots = size_a * gamma * blk;
+  return Status::OK();
+}
+
+}  // namespace ppj::plan

@@ -1,0 +1,311 @@
+#include <algorithm>
+#include <vector>
+
+#include "analysis/optimizer.h"
+#include "common/math.h"
+#include "common/telemetry.h"
+#include "core/algorithm5.h"
+#include "crypto/mlfsr.h"
+#include "oblivious/windowed_filter.h"
+#include "plan/ops.h"
+#include "relation/encrypted_relation.h"
+
+namespace ppj::plan {
+
+Status ITupleScanOp::Run(sim::Coprocessor& copro, PlanContext& ctx) {
+  const core::MultiwayJoin& join = *ctx.multiway();
+  ctx.reader.emplace(&copro, join.tables);
+  core::ITupleReader& reader = *ctx.reader;
+  const std::uint64_t l = reader.index().size();
+
+  const sim::RegionId staging = ctx.CreateRegion(copro, "alg4-staging", l);
+
+  // One oTuple out per iTuple in, unconditionally. The scan and the
+  // staging writes both move through the batched layer; the writer is
+  // flushed before the filter reads the staging region.
+  reader.set_batch_hint(
+      copro.BatchLimit(std::max<std::uint64_t>(copro.memory_tuples(), 1)));
+  core::BatchedSealWriter writer(&copro, staging, join.output_key);
+  std::uint64_t s = 0;
+  {
+    PPJ_SPAN("mix");
+    for (std::uint64_t idx = 0; idx < l; ++idx) {
+      PPJ_ASSIGN_OR_RETURN(core::ITupleReader::Fetched fetched,
+                           reader.Fetch(idx));
+      eval_.fetched = &fetched;
+      PPJ_RETURN_NOT_OK(eval_.Run(copro, ctx));
+      if (eval_.hit) {
+        ++s;
+        PPJ_RETURN_NOT_OK(writer.Put(
+            idx, relation::wire::MakeReal(
+                     core::ITupleReader::JoinedPayload(*fetched.components))));
+      } else {
+        PPJ_RETURN_NOT_OK(writer.Put(idx, ctx.decoy));
+      }
+    }
+    PPJ_RETURN_NOT_OK(writer.Flush());
+  }
+
+  ctx.s = s;
+  ctx.staging_region = staging;
+  ctx.staging_slots = l;
+  if (s == 0) {
+    // Nothing to deliver; the empty output size is itself part of the
+    // (public) output.
+    ctx.output_region = ctx.CreateRegion(copro, "alg4-output", 0);
+    ctx.output_slots = 0;
+    ctx.finished = true;
+  }
+  return Status::OK();
+}
+
+Status BufferedEmitOp::Run(sim::Coprocessor& copro, PlanContext& ctx) {
+  const core::MultiwayJoin& join = *ctx.multiway();
+  const std::uint64_t m = copro.memory_tuples();
+  if (m == 0) {
+    return Status::CapacityExceeded(
+        "Algorithm 5 needs at least one result slot; use Algorithm 4");
+  }
+  PPJ_ASSIGN_OR_RETURN(sim::SecureBuffer buffer,
+                       sim::SecureBuffer::Allocate(copro, m));
+
+  ctx.reader.emplace(&copro, join.tables);
+  core::ITupleReader& reader = *ctx.reader;
+  const std::uint64_t l = reader.index().size();
+
+  // Output grows by at most M per scan; final size is exactly S.
+  const sim::RegionId output = ctx.CreateRegion(copro, "alg5-output", 0);
+
+  std::int64_t pindex = -1;  // index of the last *flushed* result
+  std::uint64_t written = 0;
+  for (;;) {
+    buffer.Clear();
+    std::int64_t last_stored = pindex;
+    bool overflow = false;
+    // One coprocessor-memory's worth of slots per host round trip. The
+    // staged run holds *sealed* bytes (untrusted data, no secure slots
+    // consumed — each slot still opens one at a time into the same scratch
+    // slot the scalar path uses), so the window is a transfer-granularity
+    // knob, not a memory commitment. It only changes how slots move, never
+    // which slots or in what order.
+    reader.set_batch_hint(copro.BatchLimit(buffer.capacity()));
+    {
+      PPJ_SPAN("scan");
+      for (std::uint64_t idx = 0; idx < l; ++idx) {
+        PPJ_ASSIGN_OR_RETURN(core::ITupleReader::Fetched fetched,
+                             reader.Fetch(idx));
+        eval_.fetched = &fetched;
+        PPJ_RETURN_NOT_OK(eval_.Run(copro, ctx));
+        if (eval_.hit && static_cast<std::int64_t>(idx) > pindex) {
+          if (!buffer.full()) {
+            PPJ_RETURN_NOT_OK(buffer.Push(relation::wire::MakeReal(
+                core::ITupleReader::JoinedPayload(*fetched.components))));
+            last_stored = static_cast<std::int64_t>(idx);
+          } else {
+            overflow = true;  // more results remain: another scan is needed
+          }
+        }
+      }
+    }
+    {
+      PPJ_SPAN("output");
+      // Flush at the scan boundary — the only observable output point. The
+      // sealed slots land on the host in one scatter (DiskWrite is pure
+      // accounting and does not read the region).
+      PPJ_RETURN_NOT_OK(
+          copro.host()->ResizeRegion(output, written + buffer.size()));
+      PPJ_ASSIGN_OR_RETURN(
+          sim::WriteRun flush,
+          copro.PutSealedRange(output, written, buffer.size(),
+                               join.output_key));
+      for (std::size_t k = 0; k < buffer.size(); ++k) {
+        PPJ_RETURN_NOT_OK(flush.Append(buffer.At(k)));
+        PPJ_RETURN_NOT_OK(copro.DiskWrite(output, written + k));
+      }
+      PPJ_RETURN_NOT_OK(flush.Flush());
+    }
+    written += buffer.size();
+    if (!overflow) break;
+    pindex = last_stored;
+  }
+
+  ctx.output_region = output;
+  ctx.output_slots = written;
+  ctx.s = written;
+  ctx.staging_slots = 0;  // Algorithm 5 writes no intermediate oTuples
+  return Status::OK();
+}
+
+Status ScreenOp::Run(sim::Coprocessor& copro, PlanContext& ctx) {
+  const core::MultiwayJoin& join = *ctx.multiway();
+  const std::uint64_t m = copro.memory_tuples();
+  if (m == 0) {
+    return Status::CapacityExceeded(
+        "Algorithm 6 needs at least one result slot; use Algorithm 4");
+  }
+  PPJ_ASSIGN_OR_RETURN(sim::SecureBuffer buffer_holder,
+                       sim::SecureBuffer::Allocate(copro, m));
+  ctx.buffer.emplace(std::move(buffer_holder));
+  sim::SecureBuffer& buffer = *ctx.buffer;
+
+  ctx.reader.emplace(&copro, join.tables);
+  core::ITupleReader& reader = *ctx.reader;
+  const std::uint64_t l = reader.index().size();
+
+  // The screening scan is sequential, so it moves through the batched
+  // transfer layer; the hint is withdrawn afterwards because the main pass
+  // visits iTuples in MLFSR-random order, where staged runs would go to
+  // waste (a staged-but-unconsumed slot is never traced or charged, but the
+  // physical gather still costs wall clock).
+  reader.set_batch_hint(
+      copro.BatchLimit(std::max<std::uint64_t>(buffer.capacity(), 1)));
+  std::uint64_t s = 0;
+  bool overflow = false;
+  for (std::uint64_t idx = 0; idx < l; ++idx) {
+    PPJ_ASSIGN_OR_RETURN(core::ITupleReader::Fetched fetched,
+                         reader.Fetch(idx));
+    eval_.fetched = &fetched;
+    PPJ_RETURN_NOT_OK(eval_.Run(copro, ctx));
+    if (eval_.hit) {
+      ++s;
+      if (!overflow && !buffer.full()) {
+        PPJ_RETURN_NOT_OK(buffer.Push(relation::wire::MakeReal(
+            core::ITupleReader::JoinedPayload(*fetched.components))));
+      } else {
+        overflow = true;
+      }
+    }
+  }
+  reader.set_batch_hint(1);
+
+  ctx.s = s;
+  ctx.buffered_all = !overflow;
+  if (s == 0) {
+    ctx.output_region = ctx.CreateRegion(copro, "alg6-output", 0);
+    ctx.output_slots = 0;
+    ctx.finished = true;
+    return Status::OK();
+  }
+  if (ctx.buffered_all) {
+    // M >= S case: flush straight from memory; total cost L + S.
+    PPJ_SPAN("output");
+    ctx.n_star = l;
+    ctx.output_region = ctx.CreateRegion(copro, "alg6-output", s);
+    PPJ_ASSIGN_OR_RETURN(
+        sim::WriteRun flush,
+        copro.PutSealedRange(ctx.output_region, 0, buffer.size(),
+                             join.output_key));
+    for (std::size_t k = 0; k < buffer.size(); ++k) {
+      PPJ_RETURN_NOT_OK(flush.Append(buffer.At(k)));
+      PPJ_RETURN_NOT_OK(copro.DiskWrite(ctx.output_region, k));
+    }
+    PPJ_RETURN_NOT_OK(flush.Flush());
+    ctx.output_slots = s;
+    ctx.finished = true;
+  }
+  return Status::OK();
+}
+
+Status EpsilonPartitionOp::Run(sim::Coprocessor& copro, PlanContext& ctx) {
+  const core::MultiwayJoin& join = *ctx.multiway();
+  const std::uint64_t m = copro.memory_tuples();
+  core::ITupleReader& reader = *ctx.reader;
+  sim::SecureBuffer& buffer = *ctx.buffer;
+  const std::uint64_t l = reader.index().size();
+
+  // --- Segment size n* (Eqn 5.6, maximized; see DESIGN.md). ---
+  const std::uint64_t n_star =
+      forced_segment_size_ > 0
+          ? forced_segment_size_
+          : analysis::OptimalSegmentSize(l, ctx.s, m, epsilon_);
+  ctx.n_star = n_star;
+  const std::uint64_t segments = CeilDiv(l, n_star);
+  const std::uint64_t staging_slots = segments * m;
+  ctx.staging_slots = staging_slots;
+
+  ctx.staging_region = ctx.CreateRegion(copro, "alg6-staging", staging_slots);
+
+  // --- Main pass in MLFSR-random order, flushing M oTuples per segment. ---
+  PPJ_ASSIGN_OR_RETURN(crypto::RandomOrder order,
+                       crypto::RandomOrder::Create(l, order_seed_));
+  bool blemish = false;
+  buffer.Clear();
+  std::uint64_t seg = 0;
+  std::uint64_t in_segment = 0;
+  {
+    PPJ_SPAN("main");
+    for (std::uint64_t visited = 0; visited < l; ++visited) {
+      const std::uint64_t idx = order.Next();
+      PPJ_ASSIGN_OR_RETURN(core::ITupleReader::Fetched fetched,
+                           reader.Fetch(idx));
+      eval_.fetched = &fetched;
+      PPJ_RETURN_NOT_OK(eval_.Run(copro, ctx));
+      if (eval_.hit) {
+        if (buffer.full()) {
+          blemish = true;  // segment overflow: the epsilon-probability event
+        } else {
+          PPJ_RETURN_NOT_OK(buffer.Push(relation::wire::MakeReal(
+              core::ITupleReader::JoinedPayload(*fetched.components))));
+        }
+      }
+      ++in_segment;
+      if (in_segment == n_star || visited + 1 == l) {
+        // Fixed-size flush: exactly M oTuples, decoy padded, landing on the
+        // host in one scatter. Nothing reads the staging region before the
+        // final filter pass, which starts after every segment has flushed.
+        PPJ_ASSIGN_OR_RETURN(
+            sim::WriteRun flush,
+            copro.PutSealedRange(ctx.staging_region, seg * m, m,
+                                 join.output_key));
+        for (std::uint64_t k = 0; k < m; ++k) {
+          PPJ_RETURN_NOT_OK(
+              flush.Append(k < buffer.size() ? buffer.At(k) : ctx.decoy));
+        }
+        PPJ_RETURN_NOT_OK(flush.Flush());
+        buffer.Clear();
+        in_segment = 0;
+        ++seg;
+      }
+    }
+  }
+  ctx.blemish = blemish;
+  return Status::OK();
+}
+
+bool SalvageOp::ShouldRun(const PlanContext& ctx) const {
+  return ctx.blemish;
+}
+
+Status SalvageOp::Run(sim::Coprocessor& copro, PlanContext& ctx) {
+  // Salvage action (Section 5.3.3): re-output everything with an
+  // Algorithm 5 sweep. Correct, but the extra scans' existence depends on
+  // the data — the privacy loss the epsilon bound budgets for.
+  ctx.buffer.reset();  // hand the memory back for Algorithm 5's buffer
+  PPJ_ASSIGN_OR_RETURN(core::Ch5Outcome salvage,
+                       core::RunAlgorithm5(copro, *ctx.multiway()));
+  ctx.output_region = salvage.output_region;
+  ctx.output_slots = salvage.result_size;
+  ctx.s = salvage.result_size;
+  // n_star, staging_slots and the blemish flag keep the Algorithm 6 values.
+  ctx.finished = true;
+  return Status::OK();
+}
+
+Status WindowedFilterOp::Run(sim::Coprocessor& copro, PlanContext& ctx) {
+  const std::uint64_t delta =
+      filter_delta_ > 0
+          ? filter_delta_
+          : analysis::OptimalSwapInteger(ctx.staging_slots, ctx.s);
+  ctx.output_region = ctx.CreateRegion(copro, output_name_, ctx.s);
+  PPJ_ASSIGN_OR_RETURN(
+      oblivious::FilterStats stats,
+      oblivious::WindowedObliviousFilter(copro, ctx.staging_region,
+                                         ctx.staging_slots, ctx.s, delta,
+                                         *ctx.output_key(),
+                                         ctx.output_region));
+  (void)stats;
+  ctx.output_slots = ctx.s;
+  return Status::OK();
+}
+
+}  // namespace ppj::plan

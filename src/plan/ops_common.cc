@@ -1,0 +1,34 @@
+#include <algorithm>
+
+#include "plan/ops.h"
+
+namespace ppj::plan {
+
+Status PredicateEvaluateOp::Run(sim::Coprocessor& copro, PlanContext& ctx) {
+  if (ctx.two_way() != nullptr) {
+    hit = a_real && b_real && ctx.two_way()->predicate->Match(*a, *b);
+  } else {
+    hit = fetched->real &&
+          ctx.multiway()->predicate->Satisfy(*fetched->components);
+  }
+  copro.NoteMatchEvaluation(hit);
+  return Status::OK();
+}
+
+Status ResolveNOp::Run(sim::Coprocessor& copro, PlanContext& ctx) {
+  std::uint64_t n = hint_;
+  if (n == 0) {
+    PPJ_ASSIGN_OR_RETURN(n, core::ComputeMaxMatches(copro, *ctx.two_way()));
+  }
+  ctx.n = std::max<std::uint64_t>(n, 1);
+  return Status::OK();
+}
+
+Status EmitOutputOp::Run(sim::Coprocessor& copro, PlanContext& ctx) {
+  for (std::uint64_t k = 0; k < ctx.output_slots; ++k) {
+    PPJ_RETURN_NOT_OK(copro.DiskWrite(ctx.output_region, k));
+  }
+  return Status::OK();
+}
+
+}  // namespace ppj::plan

@@ -1,16 +1,14 @@
 #include "service/service.h"
 
 #include "common/logging.h"
-#include "core/algorithm1.h"
-#include "core/algorithm2.h"
-#include "core/algorithm3.h"
-#include "core/algorithm4.h"
-#include "core/algorithm5.h"
-#include "core/algorithm6.h"
+#include "core/algorithm.h"
 #include "core/parallel.h"
 #include "core/planner.h"
 #include "crypto/key.h"
 #include "common/math.h"
+#include "plan/builder.h"
+#include "plan/context.h"
+#include "plan/executor.h"
 
 namespace ppj::service {
 
@@ -23,12 +21,16 @@ Status ExecuteOptions::Validate() const {
   if (parallelism == 0) {
     return Status::InvalidArgument("parallelism must be at least 1");
   }
-  if (parallelism > 1 && algorithm && core::IsChapter4(*algorithm)) {
+  // Capability checks come off the algorithm registry rather than
+  // hand-maintained per-algorithm switches.
+  if (parallelism > 1 && algorithm &&
+      !core::GetAlgorithmInfo(*algorithm).supports_parallel) {
     return Status::InvalidArgument(
         "the Chapter 4 algorithms are sequential; parallel execution "
         "(Section 5.3.5) needs Algorithm 4, 5 or 6");
   }
-  if (algorithm == core::Algorithm::kAlgorithm6 && epsilon <= 0.0) {
+  if (algorithm && core::GetAlgorithmInfo(*algorithm).requires_epsilon &&
+      epsilon <= 0.0) {
     return Status::InvalidArgument(
         "Algorithm 6 needs a positive epsilon privacy budget");
   }
@@ -66,6 +68,31 @@ core::Algorithm ResolveAlgorithm(
   input.m = options.memory_tuples;
   input.epsilon = options.epsilon;
   return core::PlanJoin(input).algorithm;
+}
+
+/// Builds the physical plan for `algorithm` and drives it through the plan
+/// executor. The service consumes plans directly — the per-algorithm switch
+/// blocks live only in the registry's plan builders now.
+Result<core::Ch4Outcome> RunCh4Plan(sim::Coprocessor& copro,
+                                    core::Algorithm algorithm,
+                                    const core::TwoWayJoin& join,
+                                    const plan::JoinPlanOptions& popts) {
+  PPJ_ASSIGN_OR_RETURN(plan::PhysicalPlan physical,
+                       plan::BuildJoinPlan(algorithm, &join, nullptr, popts));
+  plan::PlanContext ctx(&join, nullptr);
+  PPJ_RETURN_NOT_OK(plan::PlanExecutor().Run(copro, physical, ctx));
+  return plan::TakeCh4Outcome(ctx);
+}
+
+Result<core::Ch5Outcome> RunCh5Plan(sim::Coprocessor& copro,
+                                    core::Algorithm algorithm,
+                                    const core::MultiwayJoin& join,
+                                    const plan::JoinPlanOptions& popts) {
+  PPJ_ASSIGN_OR_RETURN(plan::PhysicalPlan physical,
+                       plan::BuildJoinPlan(algorithm, nullptr, &join, popts));
+  plan::PlanContext ctx(nullptr, &join);
+  PPJ_RETURN_NOT_OK(plan::PlanExecutor().Run(copro, physical, ctx));
+  return plan::TakeCh5Outcome(ctx);
 }
 
 }  // namespace
@@ -277,25 +304,13 @@ Result<JoinDelivery> SovereignJoinService::ExecuteJoin(
   // the structured post-mortem (phase, retry history, partial metrics,
   // device verdict) off last_failure(). No partial plaintext escapes: the
   // delivery is only populated after every step has succeeded.
+  plan::JoinPlanOptions popts;
+  popts.n = options.n;
+  popts.epsilon = options.epsilon;
+  popts.order_seed = options.seed;
   if (core::IsChapter4(algorithm)) {
     core::TwoWayJoin join{tables[0], tables[1], &predicate, out_key};
-    Result<core::Ch4Outcome> run = Status::Internal("unreachable");
-    switch (algorithm) {
-      case core::Algorithm::kAlgorithm1:
-        run = core::RunAlgorithm1(copro, join, {.n = options.n});
-        break;
-      case core::Algorithm::kAlgorithm1Variant:
-        run = core::RunAlgorithm1Variant(copro, join, {.n = options.n});
-        break;
-      case core::Algorithm::kAlgorithm2:
-        run = core::RunAlgorithm2(copro, join, {.n = options.n});
-        break;
-      case core::Algorithm::kAlgorithm3:
-        run = core::RunAlgorithm3(copro, join, {.n = options.n});
-        break;
-      default:
-        break;
-    }
+    Result<core::Ch4Outcome> run = RunCh4Plan(copro, algorithm, join, popts);
     if (!run.ok()) {
       tspan.reset();
       tctx.reset();
@@ -306,22 +321,7 @@ Result<JoinDelivery> SovereignJoinService::ExecuteJoin(
   } else {
     relation::PairAsMultiway multiway(&predicate);
     core::MultiwayJoin join{{tables[0], tables[1]}, &multiway, out_key};
-    Result<core::Ch5Outcome> run = Status::Internal("unreachable");
-    switch (algorithm) {
-      case core::Algorithm::kAlgorithm4:
-        run = core::RunAlgorithm4(copro, join);
-        break;
-      case core::Algorithm::kAlgorithm5:
-        run = core::RunAlgorithm5(copro, join);
-        break;
-      case core::Algorithm::kAlgorithm6:
-        run = core::RunAlgorithm6(copro, join,
-                                  {.epsilon = options.epsilon,
-                                   .order_seed = options.seed});
-        break;
-      default:
-        break;
-    }
+    Result<core::Ch5Outcome> run = RunCh5Plan(copro, algorithm, join, popts);
     if (!run.ok()) {
       tspan.reset();
       tctx.reset();
@@ -412,23 +412,9 @@ Result<JoinDelivery> SovereignJoinService::ExecuteMultiwayJoin(
     {
       telemetry::ScopedContext tctx(&recorder, nullptr);
       PPJ_SPAN("execute-multiway-join");
-      switch (algorithm) {
-        case core::Algorithm::kAlgorithm4:
-          parallel = core::RunParallelAlgorithm4(
-              &host_, join, options.parallelism, copro_options);
-          break;
-        case core::Algorithm::kAlgorithm5:
-          parallel = core::RunParallelAlgorithm5(
-              &host_, join, options.parallelism, copro_options);
-          break;
-        case core::Algorithm::kAlgorithm6:
-          parallel = core::RunParallelAlgorithm6(
-              &host_, join, options.parallelism, copro_options,
-              {.epsilon = options.epsilon, .order_seed = options.seed});
-          break;
-        default:
-          break;
-      }
+      parallel = plan::RunParallelPlan(
+          &host_, algorithm, join, options.parallelism, copro_options,
+          {.epsilon = options.epsilon, .order_seed = options.seed});
     }
     if (!parallel.ok()) {
       // Worker devices live inside the parallel executor; the tamper
@@ -459,21 +445,10 @@ Result<JoinDelivery> SovereignJoinService::ExecuteMultiwayJoin(
   {
     telemetry::ScopedContext tctx(&recorder, &copro);
     PPJ_SPAN("execute-multiway-join");
-    switch (algorithm) {
-      case core::Algorithm::kAlgorithm4:
-        run = core::RunAlgorithm4(copro, join);
-        break;
-      case core::Algorithm::kAlgorithm5:
-        run = core::RunAlgorithm5(copro, join);
-        break;
-      case core::Algorithm::kAlgorithm6:
-        run = core::RunAlgorithm6(copro, join,
-                                  {.epsilon = options.epsilon,
-                                   .order_seed = options.seed});
-        break;
-      default:
-        break;
-    }
+    plan::JoinPlanOptions popts;
+    popts.epsilon = options.epsilon;
+    popts.order_seed = options.seed;
+    run = RunCh5Plan(copro, algorithm, join, popts);
   }
   if (!run.ok()) {
     return RecordFailure(contract_id, "algorithm", &copro, run.status());

@@ -1,0 +1,331 @@
+// Tests for the oblivious operator layer (src/plan/): the algorithm
+// registry, plan builders, plan context, and the executor's checkpoint /
+// short-circuit semantics. The bit-identity of the refactor itself is
+// proven by test_plan_goldens.cc; this file covers the layer's API.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm.h"
+#include "core/algorithm5.h"
+#include "core/parallel.h"
+#include "plan/builder.h"
+#include "plan/context.h"
+#include "plan/executor.h"
+#include "plan/ops.h"
+#include "relation/generator.h"
+#include "test_util.h"
+
+namespace ppj::plan {
+namespace {
+
+using relation::EquijoinSpec;
+using relation::MakeCellWorkload;
+using relation::MakeEquijoinWorkload;
+using test::MakeWorld;
+using test::TwoPartyWorld;
+
+std::unique_ptr<TwoPartyWorld> Ch4World(bool pad_pow2 = false) {
+  EquijoinSpec spec;
+  spec.size_a = 8;
+  spec.size_b = 16;
+  spec.n_max = 4;
+  spec.result_size = 6;
+  spec.seed = 5;
+  auto workload = MakeEquijoinWorkload(spec);
+  if (!workload.ok()) return nullptr;
+  return MakeWorld(std::move(*workload), /*memory_tuples=*/4, pad_pow2);
+}
+
+std::unique_ptr<TwoPartyWorld> Ch5World(std::uint64_t memory_tuples = 4) {
+  relation::CellSpec spec;
+  spec.size_a = 8;
+  spec.size_b = 12;
+  spec.result_size = 9;
+  spec.seed = 17;
+  auto workload = MakeCellWorkload(spec);
+  if (!workload.ok()) return nullptr;
+  return MakeWorld(std::move(*workload), memory_tuples);
+}
+
+std::vector<std::string> OpNames(const PhysicalPlan& plan) {
+  std::vector<std::string> names;
+  for (const auto& op : plan.ops) names.emplace_back(op->name());
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm registry.
+// ---------------------------------------------------------------------------
+
+TEST(AlgorithmRegistryTest, CoversEveryAlgorithmConsistently) {
+  int rows = 0;
+  for (const core::AlgorithmInfo& info : core::AlgorithmRegistry()) {
+    ++rows;
+    // Spellings round-trip through the parser and names through ToString.
+    auto parsed = core::ParseAlgorithm(info.spelling);
+    ASSERT_TRUE(parsed.ok()) << info.spelling;
+    EXPECT_EQ(*parsed, info.algorithm);
+    EXPECT_EQ(core::ToString(info.algorithm), info.name);
+    EXPECT_TRUE(info.chapter == 4 || info.chapter == 5) << info.name;
+    EXPECT_EQ(core::IsChapter4(info.algorithm), info.chapter == 4);
+    // Chapter 5 = exact output (Definition 3); Chapter 4 pads to N|A|.
+    EXPECT_EQ(info.exact_output, info.chapter == 5) << info.name;
+    // Parallel engines exist exactly for the Chapter 5 family.
+    EXPECT_EQ(info.parallel != nullptr, info.chapter == 5) << info.name;
+    ASSERT_NE(info.build, nullptr) << info.name;
+  }
+  EXPECT_EQ(rows, 7);
+}
+
+TEST(AlgorithmRegistryTest, CapabilityFlagsMatchThePaper) {
+  EXPECT_TRUE(core::GetAlgorithmInfo(core::Algorithm::kAlgorithm3)
+                  .requires_equality);
+  EXPECT_TRUE(core::GetAlgorithmInfo(core::Algorithm::kAlgorithm3)
+                  .requires_pow2_b);
+  EXPECT_TRUE(core::GetAlgorithmInfo(core::Algorithm::kAlgorithm6)
+                  .requires_epsilon);
+  for (const core::AlgorithmInfo& info : core::AlgorithmRegistry()) {
+    if (info.algorithm != core::Algorithm::kAlgorithm3) {
+      EXPECT_FALSE(info.requires_equality) << info.name;
+    }
+    if (info.algorithm != core::Algorithm::kAlgorithm6) {
+      EXPECT_FALSE(info.requires_epsilon) << info.name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plan builders: operator sequences and validation.
+// ---------------------------------------------------------------------------
+
+TEST(PlanBuilderTest, BuildsTheExpectedOperatorSequences) {
+  auto ch4 = Ch4World(/*pad_pow2=*/true);
+  auto ch5 = Ch5World();
+  ASSERT_NE(ch4, nullptr);
+  ASSERT_NE(ch5, nullptr);
+  core::TwoWayJoin two_way{ch4->a.get(), ch4->b.get(),
+                           ch4->workload.predicate.get(),
+                           ch4->key_out.get()};
+  const relation::PairAsMultiway pair(ch5->workload.predicate.get());
+  core::MultiwayJoin multiway{{ch5->a.get(), ch5->b.get()}, &pair,
+                              ch5->key_out.get()};
+
+  struct Expected {
+    core::Algorithm alg;
+    std::vector<std::string> ops;
+  };
+  const Expected cases[] = {
+      {core::Algorithm::kAlgorithm1, {"resolve-n", "scratch-rotate"}},
+      {core::Algorithm::kAlgorithm1Variant, {"resolve-n", "scratch-rotate"}},
+      {core::Algorithm::kAlgorithm2, {"resolve-n", "multi-pass-scan"}},
+      {core::Algorithm::kAlgorithm3,
+       {"resolve-n", "sort-b", "scratch-rotate"}},
+      {core::Algorithm::kAlgorithm4, {"ituple-scan", "filter", "output"}},
+      {core::Algorithm::kAlgorithm5, {"buffered-emit"}},
+      {core::Algorithm::kAlgorithm6,
+       {"screen", "epsilon-partition", "salvage", "filter", "output"}},
+  };
+  for (const Expected& c : cases) {
+    const bool ch4_alg = core::IsChapter4(c.alg);
+    JoinPlanOptions popts;
+    popts.n = 4;
+    popts.epsilon = 1e-6;
+    auto plan = BuildJoinPlan(c.alg, ch4_alg ? &two_way : nullptr,
+                              ch4_alg ? nullptr : &multiway, popts);
+    ASSERT_TRUE(plan.ok()) << core::ToString(c.alg) << ": " << plan.status();
+    EXPECT_EQ(plan->algorithm, c.alg);
+    EXPECT_EQ(plan->root_span,
+              core::GetAlgorithmInfo(c.alg).root_span);
+    EXPECT_EQ(OpNames(*plan), c.ops) << core::ToString(c.alg);
+    for (const auto& op : plan->ops) {
+      EXPECT_FALSE(op->cost_formula().empty()) << op->name();
+      EXPECT_FALSE(op->trace_shape().empty()) << op->name();
+    }
+  }
+}
+
+TEST(PlanBuilderTest, RejectsTheWrongJoinShape) {
+  auto ch5 = Ch5World();
+  ASSERT_NE(ch5, nullptr);
+  const relation::PairAsMultiway pair(ch5->workload.predicate.get());
+  core::MultiwayJoin multiway{{ch5->a.get(), ch5->b.get()}, &pair,
+                              ch5->key_out.get()};
+  // Chapter 4 builders need a two-way join…
+  EXPECT_FALSE(
+      BuildJoinPlan(core::Algorithm::kAlgorithm1, nullptr, nullptr, {})
+          .ok());
+  // …and Chapter 5 builders a multiway description.
+  EXPECT_FALSE(
+      BuildJoinPlan(core::Algorithm::kAlgorithm5, nullptr, nullptr, {})
+          .ok());
+  EXPECT_TRUE(
+      BuildJoinPlan(core::Algorithm::kAlgorithm5, nullptr, &multiway, {})
+          .ok());
+}
+
+TEST(PlanBuilderTest, Algorithm3RequiresPowerOfTwoB) {
+  auto world = Ch4World(/*pad_pow2=*/false);  // |B| = 16 is pow2, |A| = 8
+  ASSERT_NE(world, nullptr);
+  core::TwoWayJoin join{world->a.get(), world->b.get(),
+                        world->workload.predicate.get(),
+                        world->key_out.get()};
+  // size_b = 16 is already a power of two, so this succeeds…
+  EXPECT_TRUE(BuildJoinPlan(core::Algorithm::kAlgorithm3, &join, nullptr, {})
+                  .ok());
+  // …but a 12-slot B (unpadded cell workload) is rejected at build time.
+  auto odd = Ch5World();
+  ASSERT_NE(odd, nullptr);
+  core::TwoWayJoin odd_join{odd->a.get(), odd->b.get(),
+                            odd->workload.predicate.get(),
+                            odd->key_out.get()};
+  auto plan =
+      BuildJoinPlan(core::Algorithm::kAlgorithm3, &odd_join, nullptr, {});
+  EXPECT_FALSE(plan.ok());
+}
+
+// ---------------------------------------------------------------------------
+// PlanContext.
+// ---------------------------------------------------------------------------
+
+TEST(PlanContextTest, WireShapeNeedsExactlyOneJoinDescription) {
+  PlanContext neither(nullptr, nullptr);
+  EXPECT_FALSE(neither.InitWireShape().ok());
+}
+
+TEST(PlanContextTest, RecordsEveryRegionTheOpsCreate) {
+  auto world = Ch5World();
+  ASSERT_NE(world, nullptr);
+  const relation::PairAsMultiway pair(world->workload.predicate.get());
+  core::MultiwayJoin join{{world->a.get(), world->b.get()}, &pair,
+                          world->key_out.get()};
+  auto plan =
+      BuildJoinPlan(core::Algorithm::kAlgorithm5, nullptr, &join, {});
+  ASSERT_TRUE(plan.ok());
+  PlanContext ctx(nullptr, &join);
+  ASSERT_TRUE(PlanExecutor().Run(*world->copro, *plan, ctx).ok());
+  ASSERT_FALSE(ctx.regions().empty());
+  bool found_output = false;
+  for (const RegionUse& region : ctx.regions()) {
+    EXPECT_FALSE(region.name.empty());
+    if (region.name == "alg5-output") found_output = true;
+  }
+  EXPECT_TRUE(found_output);
+  EXPECT_EQ(ctx.output_region, ctx.regions().back().id);
+}
+
+// ---------------------------------------------------------------------------
+// PlanExecutor: wrapper equivalence, checkpoints, short-circuit.
+// ---------------------------------------------------------------------------
+
+TEST(PlanExecutorTest, MatchesTheCompatibilityWrapperBitForBit) {
+  auto via_wrapper = Ch5World();
+  auto via_plan = Ch5World();
+  ASSERT_NE(via_wrapper, nullptr);
+  ASSERT_NE(via_plan, nullptr);
+
+  const relation::PairAsMultiway pair_w(via_wrapper->workload.predicate.get());
+  core::MultiwayJoin join_w{{via_wrapper->a.get(), via_wrapper->b.get()},
+                            &pair_w, via_wrapper->key_out.get()};
+  ASSERT_TRUE(core::RunAlgorithm5(*via_wrapper->copro, join_w).ok());
+
+  const relation::PairAsMultiway pair_p(via_plan->workload.predicate.get());
+  core::MultiwayJoin join_p{{via_plan->a.get(), via_plan->b.get()}, &pair_p,
+                            via_plan->key_out.get()};
+  auto plan =
+      BuildJoinPlan(core::Algorithm::kAlgorithm5, nullptr, &join_p, {});
+  ASSERT_TRUE(plan.ok());
+  PlanContext ctx(nullptr, &join_p);
+  ASSERT_TRUE(PlanExecutor().Run(*via_plan->copro, *plan, ctx).ok());
+
+  EXPECT_EQ(via_wrapper->copro->trace().fingerprint(),
+            via_plan->copro->trace().fingerprint());
+  EXPECT_EQ(via_wrapper->copro->metrics().TupleTransfers(),
+            via_plan->copro->metrics().TupleTransfers());
+}
+
+TEST(PlanExecutorTest, RecordsOneCheckpointPerExecutedOperator) {
+  auto world = Ch5World();
+  ASSERT_NE(world, nullptr);
+  const relation::PairAsMultiway pair(world->workload.predicate.get());
+  core::MultiwayJoin join{{world->a.get(), world->b.get()}, &pair,
+                          world->key_out.get()};
+  JoinPlanOptions popts;
+  popts.epsilon = 1e-6;
+  popts.order_seed = 0xBEEF;
+  auto plan =
+      BuildJoinPlan(core::Algorithm::kAlgorithm6, nullptr, &join, popts);
+  ASSERT_TRUE(plan.ok());
+  PlanContext ctx(nullptr, &join);
+  ASSERT_TRUE(PlanExecutor().Run(*world->copro, *plan, ctx).ok());
+  // S = 9 > M = 4, no blemish on this workload: screen + epsilon-partition
+  // + filter + output ran; salvage's ShouldRun kept it out.
+  ASSERT_FALSE(ctx.checkpoints.empty());
+  EXPECT_EQ(ctx.checkpoints.front().op, "screen");
+  EXPECT_EQ(ctx.checkpoints.back().op, "output");
+  for (const core::OpCheckpoint& c : ctx.checkpoints) {
+    EXPECT_NE(c.op, "salvage");
+  }
+  // Cumulative fingerprints: the event count never decreases.
+  for (std::size_t i = 1; i < ctx.checkpoints.size(); ++i) {
+    EXPECT_GE(ctx.checkpoints[i].trace.count,
+              ctx.checkpoints[i - 1].trace.count);
+  }
+}
+
+TEST(PlanExecutorTest, FinishedShortCircuitsTheRemainingOperators) {
+  // M = 32 >= S = 9: ScreenOp buffers the whole result, flushes it, and
+  // marks the plan finished — no partition, filter, or output op runs.
+  auto world = Ch5World(/*memory_tuples=*/32);
+  ASSERT_NE(world, nullptr);
+  const relation::PairAsMultiway pair(world->workload.predicate.get());
+  core::MultiwayJoin join{{world->a.get(), world->b.get()}, &pair,
+                          world->key_out.get()};
+  JoinPlanOptions popts;
+  popts.epsilon = 1e-6;
+  auto plan =
+      BuildJoinPlan(core::Algorithm::kAlgorithm6, nullptr, &join, popts);
+  ASSERT_TRUE(plan.ok());
+  PlanContext ctx(nullptr, &join);
+  ASSERT_TRUE(PlanExecutor().Run(*world->copro, *plan, ctx).ok());
+  ASSERT_EQ(ctx.checkpoints.size(), 1u);
+  EXPECT_EQ(ctx.checkpoints[0].op, "screen");
+  EXPECT_TRUE(ctx.finished);
+  EXPECT_EQ(ctx.s, 9u);
+}
+
+// ---------------------------------------------------------------------------
+// RunParallelPlan.
+// ---------------------------------------------------------------------------
+
+TEST(RunParallelPlanTest, DispatchesThroughTheRegistry) {
+  auto world = Ch5World();
+  ASSERT_NE(world, nullptr);
+  const relation::PairAsMultiway pair(world->workload.predicate.get());
+  core::MultiwayJoin join{{world->a.get(), world->b.get()}, &pair,
+                          world->key_out.get()};
+  const sim::CoprocessorOptions opts{.memory_tuples = 4, .seed = 1};
+  auto outcome = RunParallelPlan(&world->host, core::Algorithm::kAlgorithm5,
+                                 join, /*parallelism=*/2, opts, {});
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->result_size, 9u);
+}
+
+TEST(RunParallelPlanTest, RejectsAlgorithmsWithoutAParallelEngine) {
+  auto world = Ch5World();
+  ASSERT_NE(world, nullptr);
+  const relation::PairAsMultiway pair(world->workload.predicate.get());
+  core::MultiwayJoin join{{world->a.get(), world->b.get()}, &pair,
+                          world->key_out.get()};
+  const sim::CoprocessorOptions opts{.memory_tuples = 4, .seed = 1};
+  auto outcome = RunParallelPlan(&world->host, core::Algorithm::kAlgorithm1,
+                                 join, 2, opts, {});
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppj::plan

@@ -1,0 +1,343 @@
+// Frozen pre-refactor fingerprint goldens for the plan-engine refactor.
+//
+// test_batching.cc proves *internal* consistency (batched == scalar,
+// wide == narrow kernels); it would still pass if a refactor changed the
+// access trace of both sides in lockstep. This suite freezes the absolute
+// host-observable fingerprints — trace digest/count, timing digest/count,
+// tuple transfers and cipher charges — of every algorithm x {scalar,
+// batched} and of the parallel executors, captured from the hand-written
+// pre-plan implementations. The operator/plan engine must reproduce them
+// bit for bit.
+//
+// If a change legitimately alters an algorithm's observable behavior the
+// constants below must be re-captured (run with PPJ_PRINT_GOLDENS=1 in the
+// environment to get copy-pasteable actuals) and the change justified as a
+// deliberate protocol change in the PR.
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm1.h"
+#include "core/algorithm2.h"
+#include "core/algorithm3.h"
+#include "core/algorithm4.h"
+#include "core/algorithm5.h"
+#include "core/algorithm6.h"
+#include "core/join_result.h"
+#include "core/parallel.h"
+#include "test_util.h"
+
+namespace ppj::core {
+namespace {
+
+using relation::EquijoinSpec;
+using relation::MakeCellWorkload;
+using relation::MakeEquijoinWorkload;
+using test::MakeWorld;
+using test::TwoPartyWorld;
+
+/// The absolute host-observable record of one sequential execution.
+struct Fingerprint {
+  std::uint64_t trace_digest = 0;
+  std::uint64_t trace_count = 0;
+  std::uint64_t timing_digest = 0;
+  std::uint64_t timing_count = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t cipher_calls = 0;
+};
+
+bool PrintGoldens() { return std::getenv("PPJ_PRINT_GOLDENS") != nullptr; }
+
+void ExpectFingerprint(const char* label, const Fingerprint& expected,
+                       const Fingerprint& actual) {
+  if (PrintGoldens()) {
+    ADD_FAILURE() << label << " = {0x" << std::hex << actual.trace_digest
+                  << "ull, " << std::dec << actual.trace_count << ", 0x"
+                  << std::hex << actual.timing_digest << "ull, " << std::dec
+                  << actual.timing_count << ", " << actual.transfers << ", "
+                  << actual.cipher_calls << "},";
+    return;
+  }
+  EXPECT_EQ(expected.trace_digest, actual.trace_digest) << label;
+  EXPECT_EQ(expected.trace_count, actual.trace_count) << label;
+  EXPECT_EQ(expected.timing_digest, actual.timing_digest) << label;
+  EXPECT_EQ(expected.timing_count, actual.timing_count) << label;
+  EXPECT_EQ(expected.transfers, actual.transfers) << label;
+  EXPECT_EQ(expected.cipher_calls, actual.cipher_calls) << label;
+}
+
+std::unique_ptr<TwoPartyWorld> MakeBatchWorld(
+    relation::TwoTableWorkload workload, std::uint64_t memory_tuples,
+    bool pad_pow2, std::uint64_t batch_slots) {
+  auto world = MakeWorld(std::move(workload), memory_tuples, pad_pow2,
+                         /*copro_seed=*/42);
+  if (world == nullptr) return nullptr;
+  world->copro = std::make_unique<sim::Coprocessor>(
+      &world->host,
+      sim::CoprocessorOptions{.memory_tuples = memory_tuples,
+                              .seed = 42,
+                              .batch_slots = batch_slots});
+  return world;
+}
+
+Result<relation::TwoTableWorkload> Ch4Workload() {
+  EquijoinSpec spec;
+  spec.size_a = 8;
+  spec.size_b = 16;
+  spec.n_max = 4;
+  spec.result_size = 6;
+  spec.seed = 5;
+  return MakeEquijoinWorkload(spec);
+}
+
+Result<relation::TwoTableWorkload> Ch5Workload() {
+  relation::CellSpec spec;
+  spec.size_a = 8;
+  spec.size_b = 12;
+  spec.result_size = 9;
+  spec.seed = 17;
+  return MakeCellWorkload(spec);
+}
+
+Fingerprint Capture(const TwoPartyWorld& world) {
+  Fingerprint fp;
+  fp.trace_digest = world.copro->trace().fingerprint().digest;
+  fp.trace_count = world.copro->trace().fingerprint().count;
+  fp.timing_digest = world.copro->timing_fingerprint().digest;
+  fp.timing_count = world.copro->timing_fingerprint().count;
+  fp.transfers = world.copro->metrics().TupleTransfers();
+  fp.cipher_calls = world.copro->metrics().cipher_calls;
+  return fp;
+}
+
+// ---- Sequential: all six algorithms x {scalar, batched} ------------------
+
+enum class Alg { kAlg1, kAlg1Variant, kAlg2, kAlg3, kAlg4, kAlg5, kAlg6 };
+
+const char* AlgName(Alg a) {
+  switch (a) {
+    case Alg::kAlg1: return "alg1";
+    case Alg::kAlg1Variant: return "alg1v";
+    case Alg::kAlg2: return "alg2";
+    case Alg::kAlg3: return "alg3";
+    case Alg::kAlg4: return "alg4";
+    case Alg::kAlg5: return "alg5";
+    case Alg::kAlg6: return "alg6";
+  }
+  return "?";
+}
+
+Result<Fingerprint> RunSequential(Alg which, std::uint64_t batch_slots) {
+  const bool ch4 = which == Alg::kAlg1 || which == Alg::kAlg1Variant ||
+                   which == Alg::kAlg2 || which == Alg::kAlg3;
+  PPJ_ASSIGN_OR_RETURN(relation::TwoTableWorkload workload,
+                       ch4 ? Ch4Workload() : Ch5Workload());
+  auto world = MakeBatchWorld(std::move(workload), /*memory_tuples=*/4,
+                              which == Alg::kAlg3, batch_slots);
+  if (world == nullptr) return Status::Internal("world construction failed");
+  if (ch4) {
+    TwoWayJoin join{world->a.get(), world->b.get(),
+                    world->workload.predicate.get(), world->key_out.get()};
+    Result<Ch4Outcome> outcome = Status::Internal("unreachable");
+    switch (which) {
+      case Alg::kAlg1:
+        outcome = RunAlgorithm1(*world->copro, join, {.n = 4});
+        break;
+      case Alg::kAlg1Variant:
+        outcome = RunAlgorithm1Variant(*world->copro, join, {.n = 4});
+        break;
+      case Alg::kAlg2:
+        outcome = RunAlgorithm2(*world->copro, join, {.n = 4});
+        break;
+      case Alg::kAlg3:
+        outcome = RunAlgorithm3(*world->copro, join, {.n = 4});
+        break;
+      default:
+        break;
+    }
+    PPJ_RETURN_NOT_OK(outcome.status());
+  } else {
+    const relation::PairAsMultiway multiway(world->workload.predicate.get());
+    MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
+                      world->key_out.get()};
+    Result<Ch5Outcome> outcome = Status::Internal("unreachable");
+    switch (which) {
+      case Alg::kAlg4:
+        outcome = RunAlgorithm4(*world->copro, join);
+        break;
+      case Alg::kAlg5:
+        outcome = RunAlgorithm5(*world->copro, join);
+        break;
+      case Alg::kAlg6:
+        outcome = RunAlgorithm6(*world->copro, join,
+                                {.epsilon = 1e-6, .order_seed = 0xBEEF});
+        break;
+      default:
+        break;
+    }
+    PPJ_RETURN_NOT_OK(outcome.status());
+  }
+  return Capture(*world);
+}
+
+// Captured from the pre-plan hand-written drivers (commit 0084f1a) on the
+// fixed workloads above; scalar (batch_slots=1) and batched (batch_slots=0)
+// agree on every field by the test_batching invariant, so one table covers
+// both modes.
+struct SequentialGolden {
+  Alg alg;
+  Fingerprint fp;
+};
+
+const SequentialGolden kSequentialGoldens[] = {
+    {Alg::kAlg1, {0xdef4020e60121a0dull, 3432, 0xe2c325f5f6bd5a25ull, 3432,
+                  3400, 20128}},
+    {Alg::kAlg1Variant, {0x7ecc8f25fb7178edull, 2856, 0xdb0ba7ffef09e465ull,
+                         2856, 2824, 16672}},
+    {Alg::kAlg2, {0xf1e1421856ba6855ull, 328, 0x69fea8580042b4a5ull, 328,
+                  296, 1248}},
+    {Alg::kAlg3, {0xa2d5359c0473a9d5ull, 776, 0xa2ea3cb2f5148065ull, 776,
+                  744, 3552}},
+    {Alg::kAlg4, {0x17ed116f4766293aull, 7148, 0x700411f0f2b24b10ull, 7148,
+                  7139, 42626}},
+    {Alg::kAlg5, {0x50d6bc674b03d4e6ull, 330, 0xe9d35686bf74a73dull, 330,
+                  321, 1302}},
+    {Alg::kAlg6, {0xafd20469dcccb421ull, 7321, 0xcc4202724ce8133bull, 7321,
+                  7312, 43318}},
+};
+
+class FrozenSequentialTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(FrozenSequentialTest, MatchesPrePlanFingerprints) {
+  for (const SequentialGolden& golden : kSequentialGoldens) {
+    auto actual = RunSequential(golden.alg, GetParam());
+    ASSERT_TRUE(actual.ok()) << AlgName(golden.alg) << ": "
+                             << actual.status();
+    ExpectFingerprint(AlgName(golden.alg), golden.fp, *actual);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ScalarAndBatched, FrozenSequentialTest,
+                         ::testing::Values(std::uint64_t{1},
+                                           std::uint64_t{0}),
+                         [](const auto& pinfo) {
+                           return pinfo.param == 1 ? "scalar" : "batched";
+                         });
+
+// ---- Parallel executors --------------------------------------------------
+
+/// Parallel runs expose per-device transfer counters instead of one trace;
+/// the frozen record is the paper's parallel cost model plus result shape.
+struct ParallelFingerprint {
+  std::uint64_t result_slots = 0;
+  std::uint64_t makespan = 0;
+  std::uint64_t total = 0;
+  std::uint64_t cipher_calls = 0;
+};
+
+void ExpectParallel(const char* label, const ParallelFingerprint& expected,
+                    const ParallelFingerprint& actual) {
+  if (PrintGoldens()) {
+    ADD_FAILURE() << label << " = {" << actual.result_slots << ", "
+                  << actual.makespan << ", " << actual.total << ", "
+                  << actual.cipher_calls << "},";
+    return;
+  }
+  EXPECT_EQ(expected.result_slots, actual.result_slots) << label;
+  EXPECT_EQ(expected.makespan, actual.makespan) << label;
+  EXPECT_EQ(expected.total, actual.total) << label;
+  EXPECT_EQ(expected.cipher_calls, actual.cipher_calls) << label;
+}
+
+template <typename Outcome>
+ParallelFingerprint CaptureParallel(const Outcome& outcome,
+                                    std::uint64_t result_slots) {
+  ParallelFingerprint fp;
+  fp.result_slots = result_slots;
+  fp.makespan = outcome.makespan_transfers;
+  for (const sim::TransferMetrics& m : outcome.per_coprocessor) {
+    fp.total += m.TupleTransfers();
+    fp.cipher_calls += m.cipher_calls;
+  }
+  return fp;
+}
+
+Result<ParallelFingerprint> RunParallel(Alg which, std::uint64_t batch_slots) {
+  const sim::CoprocessorOptions base{
+      .memory_tuples = 4, .seed = 1, .batch_slots = batch_slots};
+  if (which == Alg::kAlg2) {
+    PPJ_ASSIGN_OR_RETURN(relation::TwoTableWorkload workload, Ch4Workload());
+    auto world = MakeBatchWorld(std::move(workload), 4, false, batch_slots);
+    if (world == nullptr) return Status::Internal("world construction failed");
+    TwoWayJoin join{world->a.get(), world->b.get(),
+                    world->workload.predicate.get(), world->key_out.get()};
+    PPJ_ASSIGN_OR_RETURN(
+        ParallelCh4Outcome outcome,
+        RunParallelAlgorithm2(&world->host, join, /*n=*/4,
+                              /*parallelism=*/2, base));
+    return CaptureParallel(outcome, outcome.output_slots);
+  }
+  PPJ_ASSIGN_OR_RETURN(relation::TwoTableWorkload workload, Ch5Workload());
+  auto world = MakeBatchWorld(std::move(workload), 4, false, batch_slots);
+  if (world == nullptr) return Status::Internal("world construction failed");
+  const relation::PairAsMultiway multiway(world->workload.predicate.get());
+  MultiwayJoin join{{world->a.get(), world->b.get()}, &multiway,
+                    world->key_out.get()};
+  Result<ParallelOutcome> outcome = Status::Internal("unreachable");
+  switch (which) {
+    case Alg::kAlg4:
+      outcome = RunParallelAlgorithm4(&world->host, join, 2, base);
+      break;
+    case Alg::kAlg5:
+      outcome = RunParallelAlgorithm5(&world->host, join, 2, base);
+      break;
+    case Alg::kAlg6:
+      outcome = RunParallelAlgorithm6(&world->host, join, 2, base,
+                                      {.epsilon = 1e-6,
+                                       .order_seed = 0xBEEF});
+      break;
+    default:
+      return Status::Internal("not a parallel algorithm");
+  }
+  PPJ_RETURN_NOT_OK(outcome.status());
+  return CaptureParallel(*outcome, outcome->result_size);
+}
+
+struct ParallelGolden {
+  Alg alg;
+  ParallelFingerprint fp;
+};
+
+const ParallelGolden kParallelGoldens[] = {
+    {Alg::kAlg2, {32, 148, 296, 1248}},
+    {Alg::kAlg4, {9, 3903, 7139, 42626}},
+    {Alg::kAlg5, {9, 213, 425, 1718}},
+    {Alg::kAlg6, {9, 3944, 7313, 43322}},
+};
+
+class FrozenParallelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FrozenParallelTest, MatchesPrePlanCostModel) {
+  for (const ParallelGolden& golden : kParallelGoldens) {
+    auto actual = RunParallel(golden.alg, GetParam());
+    ASSERT_TRUE(actual.ok()) << AlgName(golden.alg) << ": "
+                             << actual.status();
+    ExpectParallel(AlgName(golden.alg), golden.fp, *actual);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ScalarAndBatched, FrozenParallelTest,
+                         ::testing::Values(std::uint64_t{1},
+                                           std::uint64_t{0}),
+                         [](const auto& pinfo) {
+                           return pinfo.param == 1 ? "scalar" : "batched";
+                         });
+
+}  // namespace
+}  // namespace ppj::core

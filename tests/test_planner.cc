@@ -1,0 +1,281 @@
+// Golden tests for the planner: PlanJoin must pick the paper-expected
+// algorithm in each operating regime (Sections 4.6 and 5.3.4), the
+// physical-plan description must price the same operator tree the executor
+// runs, and the cartesian-size arithmetic must saturate instead of wrapping
+// (uint64 overflow steered the old planner to nonsense picks).
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "analysis/chapter4_costs.h"
+#include "analysis/chapter5_costs.h"
+#include "core/algorithm.h"
+#include "core/planner.h"
+
+namespace ppj {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Regime goldens: one operating point per algorithm, each verified against
+// the closed-form costs before freezing.
+// ---------------------------------------------------------------------------
+
+struct Regime {
+  const char* label;
+  core::PlannerInput input;
+  core::Algorithm expected;
+};
+
+core::PlannerInput Input(std::uint64_t a, std::uint64_t b, std::uint64_t n,
+                         std::uint64_t s, std::uint64_t m, bool equality,
+                         bool exact, double epsilon) {
+  core::PlannerInput in;
+  in.size_a = a;
+  in.size_b = b;
+  in.n = n;
+  in.s = s;
+  in.m = m;
+  in.equality_predicate = equality;
+  in.exact_output_required = exact;
+  in.epsilon = epsilon;
+  return in;
+}
+
+class PlannerRegimeTest : public ::testing::TestWithParam<Regime> {};
+
+TEST_P(PlannerRegimeTest, PicksPaperExpectedAlgorithm) {
+  const Regime& regime = GetParam();
+  const core::Plan plan = core::PlanJoin(regime.input);
+  EXPECT_EQ(plan.algorithm, regime.expected)
+      << "picked " << core::ToString(plan.algorithm) << ": "
+      << plan.rationale;
+  EXPECT_TRUE(std::isfinite(plan.predicted_transfers));
+  EXPECT_GT(plan.predicted_transfers, 0.0);
+  EXPECT_FALSE(plan.rationale.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, PlannerRegimeTest,
+    ::testing::Values(
+        // M >= S: one screening pass records every result; Algorithm 5
+        // degenerates to the L + S floor and wins.
+        Regime{"memory_covers_result",
+               Input(100, 100, 0, 50, 64, false, true, 0.0),
+               core::Algorithm::kAlgorithm5},
+        // Tiny memory with S << L: Algorithm 5's ceil(S/M) repeated scans
+        // explode; Algorithm 4 pays 2L + the windowed filter instead
+        // (Section 5.3.4's small-M corner).
+        Regime{"tiny_memory_small_result",
+               Input(800, 800, 0, 6400, 1, false, true, 0.0),
+               core::Algorithm::kAlgorithm4},
+        // The paper's Table 5.2 setting (L = 640000, S = 6400, M = 64)
+        // with privacy slack: Algorithm 6 undercuts both 4 and 5.
+        Regime{"paper_setting_epsilon",
+               Input(800, 800, 0, 6400, 64, false, true, 0.01),
+               core::Algorithm::kAlgorithm6},
+        // N fits in memory (gamma = 1): Algorithm 2 dominates Chapter 4
+        // (Section 4.6.1) and the worst-case S keeps Chapter 5 honest.
+        Regime{"gamma_one",
+               Input(4096, 4096, 8, 4096, 64, false, false, 0.0),
+               core::Algorithm::kAlgorithm2},
+        // Equijoin with gamma >> 1: Algorithm 3's sorted-B circular
+        // scratch wins (Section 4.6.3).
+        Regime{"equijoin_high_gamma",
+               Input(4096, 4096, 1024, 2097152, 64, true, false, 0.0),
+               core::Algorithm::kAlgorithm3},
+        // M = 1 with moderate N and a large |B|: Algorithm 1's rolling
+        // scratch sorts 2N-sized runs, cheaper than the variant's
+        // |B|-sized sorts and Algorithm 2's N passes (Section 4.6.2).
+        Regime{"tiny_memory_moderate_n",
+               Input(512, 8192, 256, 2097152, 1, false, false, 0.0),
+               core::Algorithm::kAlgorithm1},
+        // M = 1 with N large relative to log2(|B|)^2: the variant's one
+        // full-size sort per A tuple beats the rolling scratch
+        // (Section 4.4.2).
+        Regime{"tiny_memory_large_n",
+               Input(4096, 4096, 1024, 2097152, 1, false, false, 0.0),
+               core::Algorithm::kAlgorithm1Variant}),
+    [](const ::testing::TestParamInfo<Regime>& pinfo) {
+      return pinfo.param.label;
+    });
+
+TEST(PlannerTest, ExactOutputNeverPicksChapter4) {
+  for (std::uint64_t n : {1u, 16u, 1024u}) {
+    for (std::uint64_t m : {1u, 64u}) {
+      core::PlannerInput input = Input(512, 512, n, 0, m, true, true, 1e-9);
+      const core::Plan plan = core::PlanJoin(input);
+      EXPECT_EQ(core::GetAlgorithmInfo(plan.algorithm).chapter, 5)
+          << core::ToString(plan.algorithm);
+    }
+  }
+}
+
+TEST(PlannerTest, EqualityGateKeepsAlgorithm3Out) {
+  core::PlannerInput input =
+      Input(4096, 4096, 1024, 2097152, 64, true, false, 0.0);
+  ASSERT_EQ(core::PlanJoin(input).algorithm, core::Algorithm::kAlgorithm3);
+  input.equality_predicate = false;
+  EXPECT_NE(core::PlanJoin(input).algorithm, core::Algorithm::kAlgorithm3);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: saturating cartesian-size arithmetic.
+// ---------------------------------------------------------------------------
+
+TEST(PlannerTest, HugeInputsSaturateInsteadOfWrapping) {
+  // 2^33 x 2^33 = 2^66 overflows uint64; the saturated planner must keep
+  // the cost astronomically large instead of wrapping to ~0 and treating
+  // the join as free.
+  core::PlannerInput input;
+  input.size_a = 1ull << 33;
+  input.size_b = 1ull << 33;
+  input.m = 64;
+  const core::Plan plan = core::PlanJoin(input);
+  EXPECT_TRUE(std::isfinite(plan.predicted_transfers));
+  EXPECT_GT(plan.predicted_transfers, 1e18);
+}
+
+TEST(PlannerTest, OverflowPreservesCostMonotonicity) {
+  // Growing the workload must never make the predicted cost shrink —
+  // exactly what the pre-saturation wraparound violated.
+  core::PlannerInput small_in;
+  small_in.size_a = 1ull << 20;
+  small_in.size_b = 1ull << 20;
+  small_in.m = 64;
+  core::PlannerInput huge = small_in;
+  huge.size_a = 1ull << 40;
+  huge.size_b = 1ull << 40;
+  EXPECT_GE(core::PlanJoin(huge).predicted_transfers,
+            core::PlanJoin(small_in).predicted_transfers);
+}
+
+TEST(PlannerTest, EmptyRelationDoesNotDivideByZero) {
+  core::PlannerInput input;
+  input.size_a = 0;
+  input.size_b = 100;
+  input.s = 10;
+  input.m = 4;
+  const core::Plan plan = core::PlanJoin(input);  // must not crash
+  EXPECT_TRUE(std::isfinite(plan.predicted_transfers));
+}
+
+// ---------------------------------------------------------------------------
+// DescribeAlgorithm: the priced operator tree.
+// ---------------------------------------------------------------------------
+
+double SumChildren(const core::PlannedOp& op) {
+  double total = 0;
+  for (const core::PlannedOp& child : op.children) {
+    total += child.predicted_transfers;
+  }
+  return total;
+}
+
+TEST(PlannedOpTest, EveryAlgorithmYieldsAConsistentTree) {
+  const core::PlannerInput input = Input(64, 64, 4, 128, 8, true, false, 1e-6);
+  for (const core::AlgorithmInfo& info : core::AlgorithmRegistry()) {
+    const core::PlannedOp root =
+        core::DescribeAlgorithm(info.algorithm, input);
+    EXPECT_EQ(root.name, info.root_span);
+    ASSERT_FALSE(root.children.empty()) << info.name;
+    // The root totals its children, and each interior node totals its own.
+    EXPECT_DOUBLE_EQ(root.predicted_transfers, SumChildren(root))
+        << info.name;
+    for (const core::PlannedOp& op : root.children) {
+      EXPECT_FALSE(op.name.empty());
+      EXPECT_FALSE(op.formula.empty());
+      EXPECT_GE(op.predicted_transfers, 0.0) << info.name << "/" << op.name;
+      if (!op.children.empty()) {
+        EXPECT_DOUBLE_EQ(op.predicted_transfers, SumChildren(op))
+            << info.name << "/" << op.name;
+      }
+    }
+  }
+}
+
+TEST(PlannedOpTest, TreeTotalsMatchClosedFormCosts) {
+  const core::PlannerInput input = Input(64, 64, 4, 128, 8, true, false, 1e-6);
+  const double a = 64, b = 64, n = 4;
+  const std::uint64_t l = 64 * 64, s = 128, m = 8;
+  struct Expect {
+    core::Algorithm alg;
+    double cost;
+  } cases[] = {
+      {core::Algorithm::kAlgorithm1, analysis::CostAlgorithm1(a, b, n)},
+      {core::Algorithm::kAlgorithm1Variant,
+       analysis::CostAlgorithm1Variant(a, b)},
+      {core::Algorithm::kAlgorithm2,
+       analysis::CostAlgorithm2(a, b, n, static_cast<double>(m))},
+      {core::Algorithm::kAlgorithm3, analysis::CostAlgorithm3(a, b, n)},
+      {core::Algorithm::kAlgorithm4, analysis::CostAlgorithm4(l, s)},
+      {core::Algorithm::kAlgorithm5, analysis::CostAlgorithm5(l, s, m)},
+      {core::Algorithm::kAlgorithm6,
+       analysis::CostAlgorithm6(l, s, m, input.epsilon).total},
+  };
+  for (const Expect& c : cases) {
+    const core::PlannedOp root = core::DescribeAlgorithm(c.alg, input);
+    // N is known in `input`, so no preprocessing charge: the tree total is
+    // the closed-form cost (up to floating-point association).
+    EXPECT_NEAR(root.predicted_transfers, c.cost, 1e-9 * c.cost)
+        << core::ToString(c.alg);
+  }
+}
+
+TEST(PlannedOpTest, Algorithm6ResidualStaysNonNegativeInAllRegimes) {
+  // The epsilon-partition term is the closed form's residual; it must not
+  // go negative in any of CostAlgorithm6's three regimes.
+  const core::PlannerInput cases[] = {
+      Input(100, 100, 0, 50, 64, false, true, 1e-6),    // M >= S
+      Input(800, 800, 0, 6400, 64, false, true, 0.0),   // epsilon = 0
+      Input(800, 800, 0, 6400, 64, false, true, 1e-6),  // general
+  };
+  for (const core::PlannerInput& input : cases) {
+    const core::PlannedOp root =
+        core::DescribeAlgorithm(core::Algorithm::kAlgorithm6, input);
+    for (const core::PlannedOp& op : root.children) {
+      EXPECT_GE(op.predicted_transfers, -1e-9) << op.name;
+    }
+  }
+}
+
+TEST(PlannedOpTest, PlanJoinAttachesTheWinningTree) {
+  const core::PlannerInput input =
+      Input(800, 800, 0, 6400, 64, false, true, 0.01);
+  const core::Plan plan = core::PlanJoin(input);
+  ASSERT_EQ(plan.algorithm, core::Algorithm::kAlgorithm6);
+  EXPECT_EQ(plan.root.name,
+            core::GetAlgorithmInfo(plan.algorithm).root_span);
+  EXPECT_NEAR(plan.root.predicted_transfers, plan.predicted_transfers,
+              1e-9 * plan.predicted_transfers);
+  // The operator names are the executor's span names.
+  ASSERT_EQ(plan.root.children.size(), 5u);
+  EXPECT_EQ(plan.root.children[0].name, "screen");
+  EXPECT_EQ(plan.root.children[1].name, "epsilon-partition");
+  EXPECT_EQ(plan.root.children[2].name, "salvage");
+  EXPECT_EQ(plan.root.children[3].name, "filter");
+  EXPECT_EQ(plan.root.children[4].name, "output");
+}
+
+// ---------------------------------------------------------------------------
+// Chapter 4 term decomposition.
+// ---------------------------------------------------------------------------
+
+TEST(Ch4TermsTest, TermsSumToTheClosedFormTotals) {
+  const double a = 96, b = 128, n = 7, m = 16;
+  EXPECT_NEAR(analysis::TermsAlgorithm1(a, b, n).Total(),
+              analysis::CostAlgorithm1(a, b, n), 1e-6);
+  EXPECT_NEAR(analysis::TermsAlgorithm1Variant(a, b).Total(),
+              analysis::CostAlgorithm1Variant(a, b), 1e-6);
+  EXPECT_NEAR(analysis::TermsAlgorithm2(a, b, n, m).Total(),
+              analysis::CostAlgorithm2(a, b, n, m), 1e-6);
+  EXPECT_NEAR(analysis::TermsAlgorithm3(a, b, n).Total(),
+              analysis::CostAlgorithm3(a, b, n), 1e-6);
+  EXPECT_NEAR(analysis::TermsAlgorithm3(a, b, n, true).Total(),
+              analysis::CostAlgorithm3(a, b, n, true), 1e-6);
+  EXPECT_EQ(analysis::TermsAlgorithm3(a, b, n, true).sort, 0.0);
+}
+
+}  // namespace
+}  // namespace ppj

@@ -303,8 +303,10 @@ TEST_F(ServiceTelemetryTest, DeliveryIdenticalWithTelemetryOnAndOff) {
   const telemetry::SpanNode* alg =
       on->telemetry->FindPath("execute-join/algorithm5");
   ASSERT_NE(alg, nullptr);
-  EXPECT_NE(alg->Find("scan"), nullptr);
-  EXPECT_NE(alg->Find("output"), nullptr);
+  const telemetry::SpanNode* emit = alg->Find("buffered-emit");
+  ASSERT_NE(emit, nullptr);
+  EXPECT_NE(emit->Find("scan"), nullptr);
+  EXPECT_NE(emit->Find("output"), nullptr);
   EXPECT_GE(alg->count, 1u);
 
   // Self metrics over the whole tree reconcile to the inclusive total.

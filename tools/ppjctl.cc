@@ -37,6 +37,15 @@
 //                [--equality] [--exact]
 //       Prints the planner's choice and predicted cost.
 //
+//   ppjctl explain [--alg=1|1v|2|3|4|5|6|auto] [--size-a=N] [--size-b=N]
+//                  [--s=N] [--n=N] [--m=N] [--eps=X] [--seed=N] [--batch=N]
+//       Prints the physical plan: the operator tree the plan executor will
+//       run, each operator's predicted tuple transfers and the closed-form
+//       formula it was priced by, plus the planner's rationale. Then runs
+//       the join with telemetry and prints predicted vs. measured transfers
+//       per top-level operator, ending with one machine-readable
+//       "BENCH {...}" JSON line.
+//
 //   ppjctl costs [--l=N] [--s=N] [--m=N] [--eps=X]
 //       Prints the Chapter 5 model costs (Table 5.1 instantiation).
 //
@@ -58,12 +67,13 @@
 #include "analysis/smc_cost.h"
 #include "common/logging.h"
 #include "common/telemetry.h"
-#include "core/algorithm4.h"
-#include "core/algorithm5.h"
-#include "core/algorithm6.h"
+#include "core/algorithm.h"
 #include "core/join_result.h"
 #include "core/planner.h"
 #include "core/privacy_auditor.h"
+#include "plan/builder.h"
+#include "plan/context.h"
+#include "plan/executor.h"
 #include "crypto/key.h"
 #include "relation/generator.h"
 #include "service/service.h"
@@ -155,7 +165,8 @@ struct JoinRun {
 };
 
 Result<JoinRun> ExecuteJoinFromFlags(const Flags& flags,
-                                     const std::string& default_alg) {
+                                     const std::string& default_alg,
+                                     const std::string& force_alg = "") {
   JoinRun run;
   relation::EquijoinSpec& spec = run.spec;
   spec.size_a = flags.GetU64("size-a", 32);
@@ -195,7 +206,9 @@ Result<JoinRun> ExecuteJoinFromFlags(const Flags& flags,
   PPJ_RETURN_NOT_OK(svc.SubmitRelation(contract, "bob", *workload.b, true));
 
   service::ExecuteOptions& options = run.options;
-  if (!ParseAlgorithmFlag(flags.Get("alg", default_alg), &options.algorithm)) {
+  const std::string alg_flag =
+      force_alg.empty() ? flags.Get("alg", default_alg) : force_alg;
+  if (!ParseAlgorithmFlag(alg_flag, &options.algorithm)) {
     return Status::InvalidArgument("bad --alg flag");
   }
   options.n = spec.n_max;
@@ -362,41 +375,27 @@ int RunReport(const Flags& flags) {
                 "--alg for a cost-model comparison\n");
     return 0;
   }
-  const double a = static_cast<double>(spec.size_a);
-  const double b = static_cast<double>(spec.size_b);
-  const double n = static_cast<double>(spec.n_max);
-  const std::uint64_t l = spec.size_a * spec.size_b;
-  const std::uint64_t s = spec.result_size;
-  const std::uint64_t m = options.memory_tuples;
-  double predicted = 0.0;
-  switch (*options.algorithm) {
-    case core::Algorithm::kAlgorithm1:
-      predicted = analysis::CostAlgorithm1(a, b, n);
-      break;
-    case core::Algorithm::kAlgorithm1Variant:
-      predicted = analysis::CostAlgorithm1Variant(a, b);
-      break;
-    case core::Algorithm::kAlgorithm2:
-      predicted = analysis::CostAlgorithm2(a, b, n, static_cast<double>(m));
-      break;
-    case core::Algorithm::kAlgorithm3:
-      predicted = analysis::CostAlgorithm3(a, b, n);
-      break;
-    case core::Algorithm::kAlgorithm4:
-      predicted = analysis::CostAlgorithm4(l, s);
-      break;
-    case core::Algorithm::kAlgorithm5:
-      predicted = analysis::CostAlgorithm5(l, s, m);
-      break;
-    case core::Algorithm::kAlgorithm6: {
-      const analysis::Alg6Cost c6 =
-          analysis::CostAlgorithm6(l, s, m, options.epsilon);
-      predicted = c6.total;
-      std::printf("\nmodel n*=%llu segments=%llu\n",
-                  static_cast<unsigned long long>(c6.n_star),
-                  static_cast<unsigned long long>(c6.segments));
-      break;
-    }
+  // The prediction comes off the planner's per-operator tree for this
+  // workload shape — no per-algorithm switch; the registry and
+  // DescribeAlgorithm own the formulas.
+  core::PlannerInput model_input;
+  model_input.size_a = spec.size_a;
+  model_input.size_b = spec.size_b;
+  model_input.n = spec.n_max;
+  model_input.s = spec.result_size;
+  model_input.m = options.memory_tuples;
+  model_input.epsilon = options.epsilon;
+  model_input.equality_predicate = true;
+  const core::PlannedOp model =
+      core::DescribeAlgorithm(*options.algorithm, model_input);
+  const double predicted = model.predicted_transfers;
+  if (*options.algorithm == core::Algorithm::kAlgorithm6) {
+    const analysis::Alg6Cost c6 = analysis::CostAlgorithm6(
+        spec.size_a * spec.size_b, spec.result_size, options.memory_tuples,
+        options.epsilon);
+    std::printf("\nmodel n*=%llu segments=%llu\n",
+                static_cast<unsigned long long>(c6.n_star),
+                static_cast<unsigned long long>(c6.segments));
   }
   std::printf("\nmodel predicted  %.4g tuple transfers (%s)\n", predicted,
               core::ToString(*options.algorithm).c_str());
@@ -425,6 +424,121 @@ int RunPlan(const Flags& flags) {
   std::printf("predicted   %.3g tuple transfers\n",
               plan.predicted_transfers);
   std::printf("rationale   %s\n", plan.rationale.c_str());
+  return 0;
+}
+
+void PrintPlannedOp(const core::PlannedOp& op, int depth) {
+  std::printf("  %*s%-*s %12.4g   %s\n", 2 * depth, "",
+              40 - 2 * depth, op.name.c_str(), op.predicted_transfers,
+              op.formula.c_str());
+  for (const core::PlannedOp& child : op.children) {
+    PrintPlannedOp(child, depth + 1);
+  }
+}
+
+int RunExplain(const Flags& flags) {
+  // Same workload shape ExecuteJoinFromFlags will generate, so the
+  // prediction and the measurement describe the same join.
+  core::PlannerInput input;
+  input.size_a = flags.GetU64("size-a", 32);
+  input.size_b = flags.GetU64("size-b", 32);
+  input.n = flags.GetU64("n", 4);
+  input.s = flags.GetU64("s", 16);
+  input.m = flags.GetU64("m", 8);
+  input.epsilon = flags.GetDouble("eps", 1e-9);
+  input.equality_predicate = true;
+
+  const std::string alg_flag = flags.Get("alg", "auto");
+  core::Algorithm algorithm = core::Algorithm::kAlgorithm5;
+  std::string rationale;
+  if (alg_flag == "auto") {
+    const core::Plan plan = core::PlanJoin(input);
+    algorithm = plan.algorithm;
+    rationale = plan.rationale + " (planner-selected)";
+  } else {
+    Result<core::Algorithm> parsed = core::ParseAlgorithm(alg_flag);
+    if (!parsed.ok()) {
+      PPJ_LOG(kError) << "explain: " << parsed.status().ToString();
+      return 1;
+    }
+    algorithm = *parsed;
+    rationale = std::string(core::GetAlgorithmInfo(algorithm).summary);
+  }
+  const core::AlgorithmInfo& info = core::GetAlgorithmInfo(algorithm);
+  const core::PlannedOp model = core::DescribeAlgorithm(algorithm, input);
+
+  std::printf("algorithm    %s (chapter %d)\n", info.name,
+              info.chapter);
+  std::printf("rationale    %s\n", rationale.c_str());
+  std::printf("workload     |A|=%llu |B|=%llu N=%llu S=%llu M=%llu "
+              "eps=%g\n",
+              static_cast<unsigned long long>(input.size_a),
+              static_cast<unsigned long long>(input.size_b),
+              static_cast<unsigned long long>(input.n),
+              static_cast<unsigned long long>(input.s),
+              static_cast<unsigned long long>(input.m), input.epsilon);
+  std::printf("\npredicted operator tree (tuple transfers)\n");
+  std::printf("  %-40s %12s   %s\n", "operator", "predicted", "formula");
+  PrintPlannedOp(model, 0);
+
+  // Run the join and line measured per-operator transfers up against the
+  // prediction. The operator names in the planned tree are the span names
+  // the executor emits, so the join is a name join on the telemetry tree.
+  Result<JoinRun> run =
+      ExecuteJoinFromFlags(flags, "auto", std::string(info.spelling));
+  if (!run.ok()) {
+    PPJ_LOG(kError) << "explain: " << run.status().ToString();
+    return 1;
+  }
+  const service::JoinDelivery& delivery = run->delivery;
+  if (delivery.telemetry == nullptr) {
+    std::printf("\n(no telemetry tree — library built with "
+                "-DPPJ_TELEMETRY=OFF; predicted tree only)\n");
+    return 0;
+  }
+  const telemetry::SpanNode* measured_root = delivery.telemetry->FindPath(
+      std::string("execute-join/") + std::string(info.root_span));
+  if (measured_root == nullptr) {
+    measured_root = delivery.telemetry->FindPath(
+        std::string("execute-multiway-join/") + std::string(info.root_span));
+  }
+  std::printf("\npredicted vs measured per operator\n");
+  std::printf("  %-40s %12s %12s\n", "operator", "predicted", "measured");
+  std::string ops_json;
+  for (const core::PlannedOp& op : model.children) {
+    const telemetry::SpanNode* node =
+        measured_root != nullptr ? measured_root->Find(op.name) : nullptr;
+    const double measured =
+        node != nullptr
+            ? static_cast<double>(
+                  telemetry::InclusiveMetrics(*node).TupleTransfers())
+            : 0.0;
+    std::printf("  %-40s %12.4g %12.4g\n", op.name.c_str(),
+                op.predicted_transfers, measured);
+    if (!ops_json.empty()) ops_json += ",";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"op\":\"%s\",\"predicted\":%.17g,\"measured\":%.17g}",
+                  op.name.c_str(), op.predicted_transfers, measured);
+    ops_json += buf;
+  }
+  std::printf("  %-40s %12.4g %12llu\n", "total (host observed)",
+              model.predicted_transfers,
+              static_cast<unsigned long long>(
+                  delivery.metrics.TupleTransfers()));
+  std::printf("\nBENCH {\"bench\":\"explain\",\"params\":{"
+              "\"algorithm\":\"%s\",\"size_a\":%llu,\"size_b\":%llu,"
+              "\"s\":%llu,\"m\":%llu},\"predicted_total\":%.17g,"
+              "\"measured_total\":%llu,\"ops\":[%s]}\n",
+              info.name,
+              static_cast<unsigned long long>(input.size_a),
+              static_cast<unsigned long long>(input.size_b),
+              static_cast<unsigned long long>(input.s),
+              static_cast<unsigned long long>(input.m),
+              model.predicted_transfers,
+              static_cast<unsigned long long>(
+                  delivery.metrics.TupleTransfers()),
+              ops_json.c_str());
   return 0;
 }
 
@@ -478,18 +592,23 @@ int RunAudit(const Flags& flags) {
     if (!ea.ok() || !eb.ok()) return Status::Internal("seal failed");
     const relation::PairAsMultiway multiway(workload->predicate.get());
     core::MultiwayJoin join{{&*ea, &*eb}, &multiway, &key_out};
-    Status st = Status::OK();
-    if (alg == "4") {
-      st = core::RunAlgorithm4(copro, join).status();
-    } else if (alg == "6") {
-      st = core::RunAlgorithm6(copro, join, {.epsilon = 1e-9}).status();
-    } else {
-      st = core::RunAlgorithm5(copro, join).status();
-    }
-    PPJ_RETURN_NOT_OK(st);
+    // Drive the physical plan directly (instead of the RunAlgorithmN
+    // wrappers) so the executor's per-operator checkpoints reach the
+    // auditor: a divergence then names the guilty operator.
+    core::Algorithm algorithm = core::Algorithm::kAlgorithm5;
+    if (alg == "4") algorithm = core::Algorithm::kAlgorithm4;
+    if (alg == "6") algorithm = core::Algorithm::kAlgorithm6;
+    plan::JoinPlanOptions popts;
+    popts.epsilon = 1e-9;
+    PPJ_ASSIGN_OR_RETURN(
+        plan::PhysicalPlan physical,
+        plan::BuildJoinPlan(algorithm, nullptr, &join, popts));
+    plan::PlanContext ctx(nullptr, &join);
+    PPJ_RETURN_NOT_OK(plan::PlanExecutor().Run(copro, physical, ctx));
     core::AuditRun run;
     run.fingerprint = copro.trace().fingerprint();
     run.retained_events = copro.trace().retained_events();
+    run.checkpoints = ctx.checkpoints;
     if (world == 0) {
       // Snapshot after the run so algorithm-created output/staging
       // regions get their symbolic names in the summary.
@@ -513,7 +632,7 @@ int RunAudit(const Flags& flags) {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: ppjctl <join|report|plan|costs|audit> "
+               "usage: ppjctl <join|report|plan|explain|costs|audit> "
                "[--key=value ...]\n"
                "see the header of tools/ppjctl.cc for the full flag list\n");
 }
@@ -554,6 +673,7 @@ int main(int argc, char** argv) {
   if (command == "join") return RunJoin(flags);
   if (command == "report") return RunReport(flags);
   if (command == "plan") return RunPlan(flags);
+  if (command == "explain") return RunExplain(flags);
   if (command == "costs") return RunCosts(flags);
   if (command == "audit") return RunAudit(flags);
   Usage();
