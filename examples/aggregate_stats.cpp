@@ -67,21 +67,23 @@ int main() {
   spec.kind = ppj::core::AggregateKind::kAvg;
   spec.table = 0;   // age column of the first registry
   spec.column = 1;
-  auto stats = service.ExecuteAggregate(*contract, all_three, spec,
-                                        ppj::service::ExecuteOptions{});
-  if (!stats.ok()) {
+  auto stats_response = service.Execute(
+      *contract, ppj::service::JoinRequest::Aggregate(all_three, spec),
+      ppj::service::ExecuteOptions{});
+  if (!stats_response.ok()) {
     std::fprintf(stderr, "aggregate: %s\n",
-                 stats.status().ToString().c_str());
+                 stats_response.status().ToString().c_str());
     return 1;
   }
+  const ppj::core::AggregateResult& stats = *stats_response->aggregate;
 
   std::printf("Patients present in all three registries: %lld\n",
-              static_cast<long long>(stats->count));
+              static_cast<long long>(stats.count));
   std::printf("Average age of those patients:            %.1f\n",
-              stats->average);
+              stats.average);
   std::printf("Age range:                                [%lld, %lld]\n\n",
-              static_cast<long long>(stats->min),
-              static_cast<long long>(stats->max));
+              static_cast<long long>(stats.min),
+              static_cast<long long>(stats.max));
 
   // A fixed-domain histogram — the lightweight post-join mining operation
   // of the federated architecture (Section 2.2.3): shared-patient counts
@@ -92,20 +94,22 @@ int main() {
   gb.column = 0;  // patient id
   gb.domain_lo = 100;
   gb.domain_hi = 107;
-  auto hist = service.ExecuteGroupByCount(*contract, all_three, gb,
-                                          ppj::service::ExecuteOptions{});
-  if (!hist.ok()) {
+  auto hist_response = service.Execute(
+      *contract, ppj::service::JoinRequest::GroupByCount(all_three, gb),
+      ppj::service::ExecuteOptions{});
+  if (!hist_response.ok()) {
     std::fprintf(stderr, "histogram: %s\n",
-                 hist.status().ToString().c_str());
+                 hist_response.status().ToString().c_str());
     return 1;
   }
+  const ppj::core::GroupByCountResult& hist = *hist_response->group_by;
   std::printf("Shared-patient histogram over the declared id domain:\n");
-  for (std::size_t i = 0; i < hist->counts.size(); ++i) {
-    if (hist->counts[i] > 0) {
+  for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+    if (hist.counts[i] > 0) {
       std::printf("  patient %lld: present in all three (x%lld)\n",
-                  static_cast<long long>(hist->domain_lo) +
+                  static_cast<long long>(hist.domain_lo) +
                       static_cast<long long>(i),
-                  static_cast<long long>(hist->counts[i]));
+                  static_cast<long long>(hist.counts[i]));
     }
   }
   std::printf("\n");

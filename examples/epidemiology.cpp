@@ -64,14 +64,16 @@ int main() {
   const ppj::relation::JaccardPredicate similar(1, 1, 0.5);
   ppj::service::ExecuteOptions options;
   options.algorithm = ppj::core::Algorithm::kAlgorithm4;
-  auto delivery = service.ExecuteJoin(*contract, similar, options);
-  if (!delivery.ok()) {
-    std::fprintf(stderr, "join: %s\n", delivery.status().ToString().c_str());
+  auto response = service.Execute(
+      *contract, ppj::service::JoinRequest::PairJoin(similar), options);
+  if (!response.ok()) {
+    std::fprintf(stderr, "join: %s\n", response.status().ToString().c_str());
     return 1;
   }
+  const ppj::service::JoinDelivery& delivery = *response->delivery;
 
   std::printf("Similar (sequence, patient) pairs delivered to the lab:\n");
-  for (const auto& t : delivery->tuples) {
+  for (const auto& t : delivery.tuples) {
     std::printf("  sequence %lld ~ patient %lld  (Jaccard = %.2f)\n",
                 static_cast<long long>(t.GetInt64(0)),
                 static_cast<long long>(t.GetInt64(2)),
@@ -82,6 +84,6 @@ int main() {
               "HIPAA-relevant records never leave their encrypted form\n"
               "outside the coprocessor. Host-visible transfers: %llu.\n",
               static_cast<unsigned long long>(
-                  delivery->metrics.TupleTransfers()));
+                  delivery.metrics.TupleTransfers()));
   return 0;
 }

@@ -67,15 +67,17 @@ int main() {
   ppj::service::ExecuteOptions options;
   options.algorithm = ppj::core::Algorithm::kAlgorithm5;
   options.memory_tuples = 8;
-  auto delivery = service.ExecuteJoin(*contract, on_passport, options);
-  if (!delivery.ok()) {
-    std::fprintf(stderr, "join: %s\n", delivery.status().ToString().c_str());
+  auto response = service.Execute(
+      *contract, ppj::service::JoinRequest::PairJoin(on_passport), options);
+  if (!response.ok()) {
+    std::fprintf(stderr, "join: %s\n", response.status().ToString().c_str());
     return 1;
   }
+  const ppj::service::JoinDelivery& delivery = *response->delivery;
 
   std::printf("Matches delivered to the analyst (%zu):\n",
-              delivery->tuples.size());
-  for (const auto& t : delivery->tuples) {
+              delivery.tuples.size());
+  for (const auto& t : delivery.tuples) {
     std::printf("  passport %lld  name %-10s  flight %lld  risk %lld\n",
                 static_cast<long long>(t.GetInt64(0)),
                 t.GetString(1).c_str(),
@@ -86,10 +88,10 @@ int main() {
               "a pattern that depends only on (L = %llu, S = %zu, M = %llu),"
               "\nnever on who is on either list.\n",
               static_cast<unsigned long long>(
-                  delivery->metrics.TupleTransfers()),
-              delivery->trace.ToString().c_str(),
+                  delivery.metrics.TupleTransfers()),
+              delivery.trace.ToString().c_str(),
               static_cast<unsigned long long>(5 * 3),
-              delivery->tuples.size(),
+              delivery.tuples.size(),
               static_cast<unsigned long long>(options.memory_tuples));
   return 0;
 }

@@ -28,6 +28,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kQuotaExceeded:
+      return "QUOTA_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -29,6 +29,7 @@ enum class StatusCode {
   kUnimplemented,     ///< Feature intentionally not provided.
   kInternal,          ///< Invariant breakage; indicates a library bug.
   kUnavailable,       ///< Transient host/storage fault; safe to retry.
+  kQuotaExceeded,     ///< A tenant quota refused the request (admission).
 };
 
 /// Returns a stable, human-readable name such as "TAMPERED".
@@ -82,6 +83,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status QuotaExceeded(std::string msg) {
+    return Status(StatusCode::kQuotaExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

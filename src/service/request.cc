@@ -1,0 +1,77 @@
+#include "service/request.h"
+
+#include "core/algorithm.h"
+
+namespace ppj::service {
+
+Status ExecuteOptions::Validate(const TenantQuotas* quotas) const {
+  if (memory_tuples < 2) {
+    return Status::InvalidArgument(
+        "the join algorithms need at least two free tuple slots "
+        "(memory_tuples >= 2)");
+  }
+  if (parallelism == 0) {
+    return Status::InvalidArgument("parallelism must be at least 1");
+  }
+  // Capability checks come off the algorithm registry rather than
+  // hand-maintained per-algorithm switches.
+  if (parallelism > 1 && algorithm &&
+      !core::GetAlgorithmInfo(*algorithm).supports_parallel) {
+    return Status::InvalidArgument(
+        "the Chapter 4 algorithms are sequential; parallel execution "
+        "(Section 5.3.5) needs Algorithm 4, 5 or 6");
+  }
+  if (algorithm && core::GetAlgorithmInfo(*algorithm).requires_epsilon &&
+      epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "Algorithm 6 needs a positive epsilon privacy budget");
+  }
+  if (quotas != nullptr) {
+    // Quota violations are a distinct failure class: the options are
+    // internally consistent, the tenant just asked for more than its
+    // contract of service allows.
+    if (parallelism > quotas->max_parallelism) {
+      return Status::QuotaExceeded(
+          "parallelism " + std::to_string(parallelism) +
+          " exceeds the tenant quota of " +
+          std::to_string(quotas->max_parallelism) + " coprocessors");
+    }
+    if (memory_tuples > quotas->max_memory_tuples) {
+      return Status::QuotaExceeded(
+          "memory_tuples " + std::to_string(memory_tuples) +
+          " exceeds the tenant quota of " +
+          std::to_string(quotas->max_memory_tuples) + " slots");
+    }
+  }
+  return Status::OK();
+}
+
+std::string_view ToString(JoinRequest::Kind kind) {
+  switch (kind) {
+    case JoinRequest::Kind::kPairJoin:
+      return "pair-join";
+    case JoinRequest::Kind::kMultiwayJoin:
+      return "multiway-join";
+    case JoinRequest::Kind::kAggregate:
+      return "aggregate";
+    case JoinRequest::Kind::kGroupByCount:
+      return "group-by-count";
+  }
+  return "unknown";
+}
+
+std::string_view ToString(TicketStatus status) {
+  switch (status) {
+    case TicketStatus::kQueued:
+      return "queued";
+    case TicketStatus::kRunning:
+      return "running";
+    case TicketStatus::kDone:
+      return "done";
+    case TicketStatus::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+}  // namespace ppj::service

@@ -1,0 +1,256 @@
+#ifndef PPJ_SERVICE_REQUEST_H_
+#define PPJ_SERVICE_REQUEST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/telemetry.h"
+#include "core/aggregate.h"
+#include "core/algorithm.h"
+#include "relation/predicate.h"
+#include "relation/relation.h"
+#include "sim/metrics.h"
+#include "sim/trace.h"
+
+namespace ppj::service {
+
+/// "Let the planner pick" marker for ExecuteOptions::algorithm. The
+/// algorithms themselves live in the unified core::Algorithm enum; auto is
+/// a service-level concept (the planner resolves it by the paper's cost
+/// models), so it is the absent optional, not an enum value.
+inline constexpr std::optional<core::Algorithm> kAuto = std::nullopt;
+
+/// Per-tenant resource ceilings the scheduler enforces (a tenant is the
+/// recipient party of a contract — the paper's P_C driving the queries).
+/// Two kinds of limits live here:
+///
+///  * *Options quotas* (max_parallelism, max_memory_tuples): bounds on what
+///    one request may ask of the coprocessor pool. Checked once, at submit
+///    time, by ExecuteOptions::Validate — violations are refused with
+///    StatusCode::kQuotaExceeded, distinct from the kInvalidArgument a
+///    self-contradictory option combination earns.
+///  * *Admission quotas* (max_queued, max_in_flight): how much pending and
+///    concurrent work one tenant may hold. max_queued refuses Submit with
+///    kQuotaExceeded when the tenant's queue is full; max_in_flight never
+///    refuses — it caps how many of the tenant's requests run at once, so a
+///    single heavy tenant cannot monopolise the worker pool.
+struct TenantQuotas {
+  /// Requests of this tenant running concurrently (dequeue-side cap).
+  std::size_t max_in_flight = 4;
+  /// Requests of this tenant waiting in the queue (admission cap).
+  std::size_t max_queued = 1024;
+  /// Largest per-request coprocessor pool (ExecuteOptions::parallelism).
+  unsigned max_parallelism = 16;
+  /// Largest per-request device memory (ExecuteOptions::memory_tuples).
+  std::uint64_t max_memory_tuples = std::uint64_t{1} << 24;
+};
+
+/// Execution knobs; sensible defaults everywhere.
+struct ExecuteOptions {
+  /// A concrete core::Algorithm, or kAuto for planner selection.
+  std::optional<core::Algorithm> algorithm = core::Algorithm::kAlgorithm5;
+  /// N for the Chapter 4 algorithms; 0 = compute via the safe scan.
+  std::uint64_t n = 0;
+  /// epsilon for Algorithm 6.
+  double epsilon = 1e-20;
+  /// Coprocessor free memory in tuple slots.
+  std::uint64_t memory_tuples = 64;
+  /// Coprocessor seed (nonces, MLFSR order).
+  std::uint64_t seed = 1;
+  /// Number of coprocessors (Section 5.3.5). Values > 1 dispatch to the
+  /// parallel executors; only Algorithms 4, 5 and 6 support it.
+  unsigned parallelism = 1;
+  /// Upper bound on one batched range transfer; 0 = auto-sized from free
+  /// device memory, 1 = force the scalar per-slot path (see
+  /// sim::CoprocessorOptions::batch_slots).
+  std::uint64_t batch_slots = 0;
+  /// Collect the phase-scoped span tree (JoinDelivery::telemetry). Trace
+  /// neutral by construction: the adversary-observable surface — access
+  /// trace, timing fingerprint, transfer counts — is bit-identical either
+  /// way (proven by tests/test_telemetry.cc).
+  bool telemetry = true;
+  /// Consult the per-contract reuse cache (docs/SERVICE.md): a repeated
+  /// query over unchanged relations is served from its sealed, already
+  /// computed intermediate instead of re-running the join. Trace note: a
+  /// cache hit performs no coprocessor work at all, so the adversary sees
+  /// only the recipient-side decode.
+  bool allow_reuse = true;
+
+  /// Rejects contradictory knob combinations before any coprocessor work:
+  /// the Chapter 4 family is sequential (parallelism must be 1), Algorithm
+  /// 6 needs a positive epsilon budget, and the algorithms assume at least
+  /// two free tuple slots. When `quotas` is non-null, additionally enforces
+  /// the per-request option quotas — violations return the distinct
+  /// StatusCode::kQuotaExceeded so callers can tell "you asked for too
+  /// much" from "you asked for nonsense".
+  ///
+  /// Runs exactly once per request, at Submit time; the deprecated
+  /// Execute* shims inherit that single check by delegating to Submit.
+  Status Validate(const TenantQuotas* quotas = nullptr) const;
+};
+
+/// What the recipient gets back, plus execution telemetry.
+struct JoinDelivery {
+  /// Decoded real result tuples under `result_schema`.
+  std::vector<relation::Tuple> tuples;
+  std::unique_ptr<const relation::Schema> result_schema;
+  sim::TransferMetrics metrics;
+  sim::TraceFingerprint trace;
+  /// The device's timing fingerprint (serial executions; zero when
+  /// parallelism > 1 — per-device timing is not aggregated).
+  sim::TraceFingerprint timing;
+  /// Phase-scoped span tree (null when ExecuteOptions::telemetry is false,
+  /// the build has PPJ_TELEMETRY=OFF, or the delivery was served from the
+  /// reuse cache). Export with telemetry::ToChromeTraceJson /
+  /// ToMetricsReportJson.
+  std::unique_ptr<telemetry::SpanNode> telemetry;
+  /// For Chapter 4 executions: the padded output size N|A| the host saw.
+  std::uint64_t observable_output_slots = 0;
+  bool blemish = false;  ///< Algorithm 6 salvage happened.
+  /// Served from the per-contract reuse cache: metrics/trace/timing above
+  /// describe the original execution; this request itself cost only the
+  /// recipient-side decode.
+  bool reused = false;
+};
+
+/// Structured post-mortem of a failed execution (docs/ROBUSTNESS.md). Every
+/// failing request still returns a plain error Status to the caller; this
+/// record carries the graceful-degradation details the Status string
+/// cannot: which phase died, the retry history the bounded-backoff policy
+/// accumulated before giving up, the partial transfer metrics of the
+/// aborted run, and whether the tamper response fired (in which case the
+/// contract is permanently dead). Partial *plaintext* is never part of this
+/// record — or of any failure path: a delivery exists only on full success.
+///
+/// Lifetime: each request owns its post-mortem. Read it via
+/// SovereignJoinService::post_mortem(ticket) — it stays valid until the
+/// ticket is released. The legacy last_failure() accessor remains for the
+/// serial shims but is only meaningful when requests do not interleave.
+struct ExecutionFailure {
+  std::string contract_id;
+  /// Coarse phase that failed: "validate", "admission", "setup",
+  /// "algorithm", "decode".
+  std::string phase;
+  /// The error returned to the caller (kUnavailable = retry budget
+  /// exhausted; kTampered = integrity failure, device dead).
+  Status status;
+  /// Transfer metrics accumulated up to the abort (zero when the failure
+  /// precedes coprocessor construction). host_retries / backoff_cycles
+  /// inside are the retry history of the failed run.
+  sim::TransferMetrics partial_metrics;
+  /// The tamper response fired: the contract's device zeroized itself and
+  /// the service refuses all further work under this contract.
+  bool device_disabled = false;
+};
+
+/// The one request variant of the unified service API: a two-way join, a
+/// J-way join, an aggregate, or a GROUP BY COUNT, all submitted through
+/// SovereignJoinService::Submit. The predicate is referenced, not owned —
+/// the caller must keep it alive until the request completes (i.e. until
+/// Wait returns or Poll reports kDone), exactly as the old Execute*
+/// signatures required for their call duration.
+class JoinRequest {
+ public:
+  enum class Kind {
+    kPairJoin,      ///< Two-way join, pair predicate (Chapters 4 and 5).
+    kMultiwayJoin,  ///< J-way join, multiway predicate (Chapter 5 only).
+    kAggregate,     ///< Single statistic over the join; no materialization.
+    kGroupByCount,  ///< Fixed-domain histogram over the join.
+  };
+
+  static JoinRequest PairJoin(const relation::PairPredicate& predicate) {
+    JoinRequest r;
+    r.kind_ = Kind::kPairJoin;
+    r.pair_ = &predicate;
+    return r;
+  }
+  static JoinRequest MultiwayJoin(
+      const relation::MultiwayPredicate& predicate) {
+    JoinRequest r;
+    r.kind_ = Kind::kMultiwayJoin;
+    r.multiway_ = &predicate;
+    return r;
+  }
+  static JoinRequest Aggregate(const relation::MultiwayPredicate& predicate,
+                               core::AggregateSpec spec) {
+    JoinRequest r;
+    r.kind_ = Kind::kAggregate;
+    r.multiway_ = &predicate;
+    r.aggregate_ = spec;
+    return r;
+  }
+  static JoinRequest GroupByCount(
+      const relation::MultiwayPredicate& predicate,
+      core::GroupByCountSpec spec) {
+    JoinRequest r;
+    r.kind_ = Kind::kGroupByCount;
+    r.multiway_ = &predicate;
+    r.group_by_ = spec;
+    return r;
+  }
+
+  /// An empty (predicate-less) request; useful only as a placeholder to
+  /// assign a factory-built request into. Submitting one is a programming
+  /// error.
+  JoinRequest() = default;
+
+  Kind kind() const { return kind_; }
+  /// Non-null exactly for kPairJoin.
+  const relation::PairPredicate* pair() const { return pair_; }
+  /// Non-null for every kind except kPairJoin.
+  const relation::MultiwayPredicate* multiway() const { return multiway_; }
+  const core::AggregateSpec& aggregate() const { return aggregate_; }
+  const core::GroupByCountSpec& group_by() const { return group_by_; }
+
+  /// The predicate's contract-arbitration name.
+  std::string predicate_name() const {
+    return pair_ != nullptr ? pair_->name() : multiway_->name();
+  }
+
+ private:
+  Kind kind_ = Kind::kPairJoin;
+  const relation::PairPredicate* pair_ = nullptr;
+  const relation::MultiwayPredicate* multiway_ = nullptr;
+  core::AggregateSpec aggregate_;
+  core::GroupByCountSpec group_by_;
+};
+
+std::string_view ToString(JoinRequest::Kind kind);
+
+/// What Wait hands back: the field matching the request's kind is set, the
+/// others are nullopt.
+struct Response {
+  JoinRequest::Kind kind = JoinRequest::Kind::kPairJoin;
+  std::optional<JoinDelivery> delivery;             ///< join kinds
+  std::optional<core::AggregateResult> aggregate;   ///< kAggregate
+  std::optional<core::GroupByCountResult> group_by; ///< kGroupByCount
+  /// Served from the per-contract reuse cache (also mirrored on
+  /// delivery->reused for join kinds).
+  bool reused = false;
+};
+
+/// Handle of a submitted request. Cheap to copy; id 0 is never issued.
+struct Ticket {
+  std::uint64_t id = 0;
+  explicit operator bool() const { return id != 0; }
+  bool operator==(const Ticket&) const = default;
+};
+
+/// Where a ticket currently is in its lifecycle (docs/SERVICE.md).
+enum class TicketStatus {
+  kQueued,   ///< Admitted, waiting for a worker (fair dequeue pending).
+  kRunning,  ///< A worker thread is executing the plan.
+  kDone,     ///< Finished; Wait() returns immediately.
+  kUnknown,  ///< Never issued, or already released.
+};
+
+std::string_view ToString(TicketStatus status);
+
+}  // namespace ppj::service
+
+#endif  // PPJ_SERVICE_REQUEST_H_

@@ -1,0 +1,189 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ppj::service {
+
+unsigned SchedulerOptions::ResolvedWorkers() const {
+  if (workers != 0) return workers;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 2;
+  return std::clamp(hw, 2u, 8u);
+}
+
+ContractScheduler::ContractScheduler(const SchedulerOptions& options)
+    : options_(options) {
+  stats_.workers = options_.ResolvedWorkers();
+  workers_.reserve(stats_.workers);
+  for (unsigned i = 0; i < stats_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ContractScheduler::~ContractScheduler() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+    // Cancel everything still queued: their Wait()ers unblock with a
+    // retryable kUnavailable rather than hanging forever.
+    for (auto& [tenant, queue] : queues_) {
+      for (auto& req : queue) {
+        req->phase = TicketStatus::kDone;
+        req->result = Status::Unavailable("scheduler stopped");
+        ++stats_.cancelled;
+      }
+      queue.clear();
+    }
+    stats_.queued = 0;
+  }
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+Result<Ticket> ContractScheduler::Submit(const std::string& tenant,
+                                         const std::string& contract_id,
+                                         Work work) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) {
+    return Status::Unavailable("the scheduler is shutting down");
+  }
+  auto& queue = queues_[tenant];
+  if (queue.size() >= options_.quotas.max_queued) {
+    ++stats_.quota_rejected;
+    return Status::QuotaExceeded(
+        "tenant '" + tenant + "' already has " +
+        std::to_string(queue.size()) +
+        " queued requests (quota max_queued=" +
+        std::to_string(options_.quotas.max_queued) + ")");
+  }
+  auto req = std::make_shared<RequestState>();
+  req->id = next_id_++;
+  req->tenant = tenant;
+  req->contract_id = contract_id;
+  req->work = std::move(work);
+  queue.push_back(req);
+  tickets_.emplace(req->id, req);
+  ++stats_.submitted;
+  ++stats_.queued;
+  lock.unlock();
+  work_cv_.notify_one();
+  return Ticket{req->id};
+}
+
+std::shared_ptr<ContractScheduler::RequestState>
+ContractScheduler::NextRunnableLocked() {
+  if (queues_.empty()) return nullptr;
+  // Start scanning at the tenant after the last one served; wrap around.
+  // std::map iteration order is sorted, so the scan is deterministic.
+  auto start = queues_.upper_bound(rr_cursor_);
+  if (start == queues_.end()) start = queues_.begin();
+  auto it = start;
+  do {
+    auto& [tenant, queue] = *it;
+    if (!queue.empty() &&
+        running_per_tenant_[tenant] < options_.quotas.max_in_flight) {
+      auto req = queue.front();
+      queue.pop_front();
+      rr_cursor_ = tenant;
+      return req;
+    }
+    ++it;
+    if (it == queues_.end()) it = queues_.begin();
+  } while (it != start);
+  return nullptr;
+}
+
+void ContractScheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    std::shared_ptr<RequestState> req;
+    work_cv_.wait(lock, [&] {
+      if (stopping_) return true;
+      req = NextRunnableLocked();
+      return req != nullptr;
+    });
+    if (req == nullptr) {
+      // stopping_ with no runnable work: drain out.
+      if (stopping_) return;
+      continue;
+    }
+    req->phase = TicketStatus::kRunning;
+    ++running_per_tenant_[req->tenant];
+    --stats_.queued;
+    ++stats_.running;
+    Work work = std::move(req->work);
+    req->work = nullptr;
+    lock.unlock();
+
+    // The per-request post-mortem lives on the stack of this worker while
+    // the plan runs; it is published into the ticket under the lock below,
+    // so no other tenant's request can ever observe or overwrite it.
+    ExecutionFailure failure;
+    Result<Response> result = work(&failure);
+
+    lock.lock();
+    req->result = std::move(result);
+    if (!req->result.ok()) {
+      req->failure = std::move(failure);
+      ++stats_.failed;
+    } else {
+      ++stats_.completed;
+    }
+    req->phase = TicketStatus::kDone;
+    --running_per_tenant_[req->tenant];
+    --stats_.running;
+    // A slot freed up for this tenant; another of its queued requests may
+    // now be runnable.
+    work_cv_.notify_one();
+    done_cv_.notify_all();
+  }
+}
+
+Result<Response> ContractScheduler::Wait(Ticket ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = tickets_.find(ticket.id);
+  if (it == tickets_.end()) {
+    return Status::NotFound("unknown ticket " + std::to_string(ticket.id));
+  }
+  auto req = it->second;
+  done_cv_.wait(lock, [&] { return req->phase == TicketStatus::kDone; });
+  if (req->consumed) {
+    return Status::FailedPrecondition(
+        "ticket " + std::to_string(ticket.id) + " was already waited on");
+  }
+  req->consumed = true;
+  return std::move(req->result);
+}
+
+TicketStatus ContractScheduler::Poll(Ticket ticket) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = tickets_.find(ticket.id);
+  if (it == tickets_.end()) return TicketStatus::kUnknown;
+  return it->second->phase;
+}
+
+std::optional<ExecutionFailure> ContractScheduler::post_mortem(
+    Ticket ticket) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = tickets_.find(ticket.id);
+  if (it == tickets_.end()) return std::nullopt;
+  if (it->second->phase != TicketStatus::kDone) return std::nullopt;
+  return it->second->failure;
+}
+
+void ContractScheduler::Release(Ticket ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = tickets_.find(ticket.id);
+  if (it == tickets_.end()) return;
+  if (it->second->phase != TicketStatus::kDone) return;
+  tickets_.erase(it);
+}
+
+SchedulerStats ContractScheduler::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ppj::service

@@ -1,0 +1,151 @@
+#ifndef PPJ_SERVICE_SCHEDULER_H_
+#define PPJ_SERVICE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "service/request.h"
+
+namespace ppj::service {
+
+/// Knobs of the contract scheduler (docs/SERVICE.md). Configure before the
+/// first Submit via SovereignJoinService::ConfigureScheduler; the worker
+/// pool starts lazily with the first submitted request.
+struct SchedulerOptions {
+  /// Worker threads executing plans. 0 = hardware concurrency clamped to
+  /// [2, 8] — the simulation's coprocessors are CPU-bound, so more workers
+  /// than cores only adds contention on the host-store lock.
+  unsigned workers = 0;
+  /// Per-tenant admission and option quotas (one set for all tenants).
+  TenantQuotas quotas;
+  /// Per-contract reuse of sealed, already-computed intermediates
+  /// (arXiv 2103.05792's query-series model): repeated queries over
+  /// unchanged relation versions are served without re-running the join.
+  bool reuse_cache = true;
+  /// Sealed intermediates retained per contract (oldest evicted first).
+  std::size_t reuse_entries_per_contract = 8;
+
+  /// The worker count after the `workers = 0` auto rule.
+  unsigned ResolvedWorkers() const;
+};
+
+/// Counters of scheduler activity since construction, plus an instantaneous
+/// queue snapshot. Monotonic fields never reset.
+struct SchedulerStats {
+  std::uint64_t submitted = 0;       ///< Admitted requests.
+  std::uint64_t completed = 0;       ///< Finished OK.
+  std::uint64_t failed = 0;          ///< Finished with an error status.
+  std::uint64_t quota_rejected = 0;  ///< Refused at admission (kQuotaExceeded).
+  std::uint64_t cancelled = 0;       ///< Queued at shutdown, never ran.
+  std::size_t queued = 0;            ///< Waiting right now.
+  std::size_t running = 0;           ///< Executing right now.
+  unsigned workers = 0;              ///< Pool size.
+};
+
+/// The production front half of the service: a worker pool draining
+/// per-tenant FIFO queues of join requests. Fairness is round-robin across
+/// tenants — each dequeue starts scanning at the tenant after the last one
+/// served, so a tenant submitting thousands of requests cannot starve one
+/// submitting a single join. Admission control refuses work beyond a
+/// tenant's queue quota with StatusCode::kQuotaExceeded; the max-in-flight
+/// quota is enforced at dequeue (a tenant at its cap is skipped, not
+/// refused).
+///
+/// The scheduler knows nothing about joins: a request is an opaque work
+/// closure returning Result<Response> and optionally filling an
+/// ExecutionFailure post-mortem. The service layer owns the execution
+/// semantics; the scheduler owns ordering, concurrency and ticket
+/// lifecycle. Thread-safe throughout.
+class ContractScheduler {
+ public:
+  /// A request's execution body. Runs on a worker thread. On failure the
+  /// implementation fills `*failure` with the structured post-mortem the
+  /// ticket retains (isolated per request — never shared across tenants).
+  using Work = std::function<Result<Response>(ExecutionFailure* failure)>;
+
+  explicit ContractScheduler(const SchedulerOptions& options);
+
+  /// Cancels everything still queued (those tickets resolve to
+  /// kUnavailable), waits for running requests to finish, joins the pool.
+  ~ContractScheduler();
+
+  ContractScheduler(const ContractScheduler&) = delete;
+  ContractScheduler& operator=(const ContractScheduler&) = delete;
+
+  /// Admits a request for `tenant` (quota permitting) and returns its
+  /// ticket. kQuotaExceeded when the tenant's queue is at max_queued;
+  /// kUnavailable when the scheduler is shutting down.
+  Result<Ticket> Submit(const std::string& tenant,
+                        const std::string& contract_id, Work work);
+
+  /// Blocks until the ticket's request completes and returns its response
+  /// (or the request's error status). Each ticket's response can be
+  /// consumed exactly once; later Waits return kFailedPrecondition. The
+  /// ticket itself — including its post-mortem — survives until Release.
+  Result<Response> Wait(Ticket ticket);
+
+  /// Non-blocking lifecycle query. kUnknown for never-issued or released
+  /// tickets.
+  TicketStatus Poll(Ticket ticket) const;
+
+  /// The request's structured post-mortem, or nullopt when it succeeded,
+  /// has not finished, or the ticket is unknown. Stable until Release.
+  std::optional<ExecutionFailure> post_mortem(Ticket ticket) const;
+
+  /// Frees the ticket's retained state (response if unconsumed, post
+  /// mortem). No-op for unknown tickets; refuses (silently) to release a
+  /// ticket still queued or running — those release on completion + a
+  /// later Release call.
+  void Release(Ticket ticket);
+
+  SchedulerStats stats() const;
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  struct RequestState {
+    std::uint64_t id = 0;
+    std::string tenant;
+    std::string contract_id;
+    Work work;
+    TicketStatus phase = TicketStatus::kQueued;
+    bool consumed = false;  ///< Response already taken by Wait.
+    Result<Response> result = Status::Internal("request not finished");
+    std::optional<ExecutionFailure> failure;
+  };
+
+  void WorkerLoop();
+  /// Fair pick under lock: the next queued request of a tenant below its
+  /// in-flight cap, scanning round-robin from after `rr_cursor_`.
+  std::shared_ptr<RequestState> NextRunnableLocked();
+
+  SchedulerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< New work / freed tenant slot.
+  std::condition_variable done_cv_;  ///< A request completed.
+  bool stopping_ = false;
+  std::uint64_t next_id_ = 1;
+  /// tenant -> FIFO of queued requests.
+  std::map<std::string, std::deque<std::shared_ptr<RequestState>>> queues_;
+  std::map<std::string, std::size_t> running_per_tenant_;
+  std::string rr_cursor_;  ///< Last tenant served (fair-scan start point).
+  std::unordered_map<std::uint64_t, std::shared_ptr<RequestState>> tickets_;
+  SchedulerStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ppj::service
+
+#endif  // PPJ_SERVICE_SCHEDULER_H_

@@ -1,73 +1,34 @@
 #include "service/service.h"
 
+#include <deque>
+#include <utility>
+#include <variant>
+
 #include "common/logging.h"
+#include "common/math.h"
 #include "core/algorithm.h"
 #include "core/parallel.h"
 #include "core/planner.h"
 #include "crypto/key.h"
-#include "common/math.h"
 #include "plan/builder.h"
 #include "plan/context.h"
 #include "plan/executor.h"
 
 namespace ppj::service {
 
-Status ExecuteOptions::Validate() const {
-  if (memory_tuples < 2) {
-    return Status::InvalidArgument(
-        "the join algorithms need at least two free tuple slots "
-        "(memory_tuples >= 2)");
-  }
-  if (parallelism == 0) {
-    return Status::InvalidArgument("parallelism must be at least 1");
-  }
-  // Capability checks come off the algorithm registry rather than
-  // hand-maintained per-algorithm switches.
-  if (parallelism > 1 && algorithm &&
-      !core::GetAlgorithmInfo(*algorithm).supports_parallel) {
-    return Status::InvalidArgument(
-        "the Chapter 4 algorithms are sequential; parallel execution "
-        "(Section 5.3.5) needs Algorithm 4, 5 or 6");
-  }
-  if (algorithm && core::GetAlgorithmInfo(*algorithm).requires_epsilon &&
-      epsilon <= 0.0) {
-    return Status::InvalidArgument(
-        "Algorithm 6 needs a positive epsilon privacy budget");
-  }
-  return Status::OK();
-}
-
 namespace {
 
 /// Deep copy of a relation (relations are intentionally non-copyable; the
 /// service keeps its own stable instance so delivered tuples can reference
 /// a schema that outlives the caller's).
-std::unique_ptr<relation::Relation> CopyRelation(
+std::shared_ptr<relation::Relation> CopyRelation(
     const relation::Relation& rel) {
-  auto copy = std::make_unique<relation::Relation>(
+  auto copy = std::make_shared<relation::Relation>(
       rel.name(), relation::Schema(rel.schema()));
   for (const relation::Tuple& t : rel.tuples()) {
     copy->AppendTuple(relation::Tuple(copy->schema_ptr(), t.values()));
   }
   return copy;
-}
-
-/// Resolves kAuto through the planner. Algorithm 3 additionally needs the
-/// second table padded to a power of two, so auto-planning only offers it
-/// when that padding is in place.
-core::Algorithm ResolveAlgorithm(
-    const ExecuteOptions& options, const relation::PairPredicate& predicate,
-    const std::vector<const relation::EncryptedRelation*>& tables) {
-  if (options.algorithm) return *options.algorithm;
-  core::PlannerInput input;
-  input.size_a = tables[0]->size();
-  input.size_b = tables[1]->size();
-  input.equality_predicate =
-      predicate.is_equality() && IsPowerOfTwo(tables[1]->padded_size());
-  input.n = options.n;
-  input.m = options.memory_tuples;
-  input.epsilon = options.epsilon;
-  return core::PlanJoin(input).algorithm;
 }
 
 /// Builds the physical plan for `algorithm` and drives it through the plan
@@ -97,6 +58,119 @@ Result<core::Ch5Outcome> RunCh5Plan(sim::Coprocessor& copro,
 
 }  // namespace
 
+/// Per-contract cache of sealed, already-computed join intermediates. A
+/// repeated query — same request kind, algorithm, predicate, options, and
+/// (crucially) the same relation versions — is served by re-decoding the
+/// original execution's sealed output region instead of re-running the
+/// join. The cached intermediate stays sealed under the recipient's key in
+/// host storage; a hit therefore costs only the recipient-side decode and
+/// is invisible to the host-side adversary (no coprocessor runs at all).
+/// Guarded by the service mutex.
+struct SovereignJoinService::ReuseCache {
+  struct Key {
+    JoinRequest::Kind kind = JoinRequest::Kind::kPairJoin;
+    core::Algorithm algorithm = core::Algorithm::kAlgorithm5;
+    std::string predicate;
+    /// Submission versions in provider order — a resubmit bumps these, so
+    /// stale intermediates can never match.
+    std::vector<std::uint64_t> versions;
+    std::uint64_t n = 0;
+    double epsilon = 0.0;
+    std::uint64_t memory_tuples = 0;
+    std::uint64_t seed = 0;
+    unsigned parallelism = 1;
+    std::uint64_t batch_slots = 0;
+    // Aggregate / group-by shape (zeroed for the join kinds).
+    core::AggregateKind agg_kind = core::AggregateKind::kCount;
+    std::size_t spec_table = 0;
+    std::size_t spec_column = 0;
+    std::int64_t domain_lo = 0;
+    std::int64_t domain_hi = 0;
+
+    bool operator==(const Key&) const = default;
+  };
+
+  /// A join kind's cached outcome: the sealed output region plus the
+  /// original execution's observable surface (metrics, fingerprints).
+  struct CachedJoin {
+    sim::RegionId region = 0;
+    std::uint64_t decode_slots = 0;
+    bool blemish = false;
+    sim::TransferMetrics metrics;
+    sim::TraceFingerprint trace;
+    sim::TraceFingerprint timing;
+  };
+
+  using Value =
+      std::variant<CachedJoin, core::AggregateResult, core::GroupByCountResult>;
+
+  struct Entry {
+    Key key;
+    Value value;
+  };
+
+  std::map<std::string, std::deque<Entry>> by_contract;
+
+  const Entry* Find(const std::string& contract_id, const Key& key) const {
+    auto it = by_contract.find(contract_id);
+    if (it == by_contract.end()) return nullptr;
+    for (const Entry& e : it->second) {
+      if (e.key == key) return &e;
+    }
+    return nullptr;
+  }
+
+  void Insert(const std::string& contract_id, Key key, Value value,
+              std::size_t cap) {
+    if (cap == 0) return;
+    auto& entries = by_contract[contract_id];
+    for (Entry& e : entries) {
+      if (e.key == key) {
+        e.value = std::move(value);
+        return;
+      }
+    }
+    while (entries.size() >= cap) entries.pop_front();
+    entries.push_back(Entry{std::move(key), std::move(value)});
+  }
+
+  void Erase(const std::string& contract_id) {
+    by_contract.erase(contract_id);
+  }
+};
+
+/// Everything a worker thread needs to run one request, snapshot under the
+/// service mutex at Submit time. The submission shared_ptrs pin the sealed
+/// relations (and their schemas) for the request's lifetime, so a
+/// concurrent resubmit can never free data a running plan reads.
+struct SovereignJoinService::PreparedRequest {
+  std::string contract_id;
+  std::string tenant;
+  JoinRequest request;
+  ExecuteOptions options;
+  core::Algorithm algorithm = core::Algorithm::kAlgorithm5;
+  std::vector<std::shared_ptr<const Submission>> snapshot;
+  const crypto::Ocb* out_key = nullptr;
+  bool use_cache = false;
+  ReuseCache::Key cache_key;
+
+  std::vector<const relation::EncryptedRelation*> Tables() const {
+    std::vector<const relation::EncryptedRelation*> tables;
+    tables.reserve(snapshot.size());
+    for (const auto& sub : snapshot) tables.push_back(sub->sealed.get());
+    return tables;
+  }
+
+  std::unique_ptr<relation::Schema> ResultSchema() const {
+    relation::Schema combined = *snapshot[0]->sealed->schema();
+    for (std::size_t i = 1; i < snapshot.size(); ++i) {
+      combined =
+          relation::Schema::Concat(combined, *snapshot[i]->sealed->schema());
+    }
+    return std::make_unique<relation::Schema>(std::move(combined));
+  }
+};
+
 crypto::Block ManufacturerRootKey() {
   return crypto::DeriveKey(0x4758, "ibm-manufacturer-root");
 }
@@ -116,6 +190,8 @@ SovereignJoinService::SovereignJoinService(
   Bootstrap();
 }
 
+SovereignJoinService::~SovereignJoinService() = default;
+
 void SovereignJoinService::Bootstrap() {
   // Secure bootstrapping at device power-on (Section 2.2.2): extend the
   // trust chain layer by layer so parties can later authenticate the
@@ -125,6 +201,26 @@ void SovereignJoinService::Bootstrap() {
     oa.LoadLayer(layer.name, layer.code_digest);
   }
   attestation_chain_ = oa.chain();
+  reuse_cache_ = std::make_unique<ReuseCache>();
+}
+
+Status SovereignJoinService::ConfigureScheduler(
+    const SchedulerOptions& options) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (scheduler_ != nullptr) {
+    return Status::FailedPrecondition(
+        "the scheduler's worker pool is already running; call "
+        "ConfigureScheduler before the first Submit");
+  }
+  scheduler_options_ = options;
+  return Status::OK();
+}
+
+ContractScheduler& SovereignJoinService::EnsureSchedulerLocked() {
+  if (scheduler_ == nullptr) {
+    scheduler_ = std::make_unique<ContractScheduler>(scheduler_options_);
+  }
+  return *scheduler_;
 }
 
 Status SovereignJoinService::VerifyAttestation(
@@ -136,12 +232,14 @@ Status SovereignJoinService::VerifyAttestation(
 
 Status SovereignJoinService::RegisterParty(const std::string& name,
                                            std::uint64_t key_seed) {
+  std::unique_lock<std::mutex> lock(mutex_);
   return parties_.Register(name, key_seed);
 }
 
 Result<std::string> SovereignJoinService::CreateContract(
     std::vector<std::string> providers, std::string recipient,
     std::string predicate_description) {
+  std::unique_lock<std::mutex> lock(mutex_);
   Contract contract;
   contract.id = "contract-" + std::to_string(next_contract_++);
   contract.providers = std::move(providers);
@@ -162,7 +260,7 @@ Result<std::string> SovereignJoinService::CreateContract(
   return id;
 }
 
-Result<const Contract*> SovereignJoinService::FindContract(
+Result<const Contract*> SovereignJoinService::FindContractLocked(
     const std::string& contract_id) const {
   const auto it = contracts_.find(contract_id);
   if (it == contracts_.end()) {
@@ -171,7 +269,7 @@ Result<const Contract*> SovereignJoinService::FindContract(
   return &it->second;
 }
 
-Status SovereignJoinService::CheckContractAlive(
+Status SovereignJoinService::CheckContractAliveLocked(
     const std::string& contract_id) const {
   if (dead_contracts_.contains(contract_id)) {
     return Status::Tampered(
@@ -183,10 +281,21 @@ Status SovereignJoinService::CheckContractAlive(
   return Status::OK();
 }
 
+bool SovereignJoinService::ContractDead(const std::string& contract_id) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return dead_contracts_.contains(contract_id);
+}
+
+std::optional<ExecutionFailure> SovereignJoinService::last_failure() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return last_failure_;
+}
+
 Status SovereignJoinService::RecordFailure(const std::string& contract_id,
                                            std::string phase,
                                            const sim::Coprocessor* copro,
-                                           Status status) {
+                                           Status status,
+                                           ExecutionFailure* failure_out) {
   ExecutionFailure failure;
   failure.contract_id = contract_id;
   failure.phase = std::move(phase);
@@ -197,8 +306,17 @@ Status SovereignJoinService::RecordFailure(const std::string& contract_id,
   // device handle.
   failure.device_disabled = (copro != nullptr && copro->disabled()) ||
                             status.code() == StatusCode::kTampered;
-  if (failure.device_disabled) dead_contracts_.insert(contract_id);
-  last_failure_ = std::move(failure);
+  if (failure_out != nullptr) *failure_out = failure;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (failure.device_disabled) {
+      dead_contracts_.insert(contract_id);
+      // A dead contract serves nothing — including its cached
+      // intermediates.
+      reuse_cache_->Erase(contract_id);
+    }
+    last_failure_ = std::move(failure);
+  }
   return status;
 }
 
@@ -206,8 +324,10 @@ Status SovereignJoinService::SubmitRelation(const std::string& contract_id,
                                             const std::string& party,
                                             const relation::Relation& rel,
                                             bool pad_to_power_of_two) {
-  PPJ_RETURN_NOT_OK(CheckContractAlive(contract_id));
-  PPJ_ASSIGN_OR_RETURN(const Contract* contract, FindContract(contract_id));
+  std::unique_lock<std::mutex> lock(mutex_);
+  PPJ_RETURN_NOT_OK(CheckContractAliveLocked(contract_id));
+  PPJ_ASSIGN_OR_RETURN(const Contract* contract,
+                       FindContractLocked(contract_id));
   bool is_provider = false;
   for (const std::string& p : contract->providers) {
     if (p == party) {
@@ -226,66 +346,413 @@ Status SovereignJoinService::SubmitRelation(const std::string& contract_id,
   }
   PPJ_ASSIGN_OR_RETURN(const crypto::Ocb* key, parties_.Key(party));
 
-  Submission sub;
-  sub.rel = CopyRelation(rel);
+  auto sub = std::make_shared<Submission>();
+  sub->rel = CopyRelation(rel);
+  sub->version = next_version_++;
   const std::uint64_t padded =
       pad_to_power_of_two ? NextPowerOfTwo(rel.size()) : 0;
   PPJ_ASSIGN_OR_RETURN(
       relation::EncryptedRelation sealed,
-      relation::EncryptedRelation::Seal(&host_, *sub.rel, key, padded));
-  sub.sealed =
-      std::make_unique<relation::EncryptedRelation>(std::move(sealed));
+      relation::EncryptedRelation::Seal(&host_, *sub->rel, key, padded));
+  sub->sealed =
+      std::make_shared<relation::EncryptedRelation>(std::move(sealed));
+  // The old snapshot stays alive through any in-flight request that pinned
+  // it; replacing the shared_ptr only drops the registry's reference.
   submissions_[contract_id][party] = std::move(sub);
+  // Cached intermediates are keyed on submission versions, so they can no
+  // longer match — drop them eagerly rather than letting dead entries age
+  // out of the capped deque.
+  reuse_cache_->Erase(contract_id);
   return Status::OK();
 }
 
-Result<std::vector<const relation::EncryptedRelation*>>
-SovereignJoinService::GatherTables(const Contract& contract) const {
+Result<std::vector<std::shared_ptr<const SovereignJoinService::Submission>>>
+SovereignJoinService::GatherTablesLocked(const Contract& contract) const {
   const auto cit = submissions_.find(contract.id);
-  std::vector<const relation::EncryptedRelation*> tables;
+  std::vector<std::shared_ptr<const Submission>> tables;
   for (const std::string& p : contract.providers) {
     if (cit == submissions_.end() || !cit->second.contains(p)) {
       return Status::FailedPrecondition("provider '" + p +
                                         "' has not submitted its relation");
     }
-    tables.push_back(cit->second.at(p).sealed.get());
+    tables.push_back(cit->second.at(p));
   }
   return tables;
 }
 
-Result<JoinDelivery> SovereignJoinService::ExecuteJoin(
-    const std::string& contract_id, const relation::PairPredicate& predicate,
-    const ExecuteOptions& options) {
+Result<Ticket> SovereignJoinService::Submit(const std::string& contract_id,
+                                            const JoinRequest& request,
+                                            const ExecuteOptions& options) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Legacy single-slot semantics: each submission opens a fresh slot; a
+  // failing completion fills it. Only meaningful for serial callers.
   last_failure_.reset();
-  PPJ_RETURN_NOT_OK(CheckContractAlive(contract_id));
-  if (Status valid = options.Validate(); !valid.ok()) {
-    return RecordFailure(contract_id, "validate", nullptr, std::move(valid));
+  PPJ_RETURN_NOT_OK(CheckContractAliveLocked(contract_id));
+
+  // Validation runs exactly once per request — here, at admission. The
+  // worker-side execution never re-validates.
+  if (Status valid = options.Validate(&scheduler_options_.quotas);
+      !valid.ok()) {
+    const bool quota = valid.code() == StatusCode::kQuotaExceeded;
+    lock.unlock();
+    return RecordFailure(contract_id, quota ? "admission" : "validate",
+                         nullptr, std::move(valid), nullptr);
   }
-  PPJ_ASSIGN_OR_RETURN(const Contract* contract, FindContract(contract_id));
-  if (contract->providers.size() != 2) {
+  PPJ_ASSIGN_OR_RETURN(const Contract* contract,
+                       FindContractLocked(contract_id));
+  if (request.kind() == JoinRequest::Kind::kPairJoin &&
+      contract->providers.size() != 2) {
     return Status::InvalidArgument(
         "pair-predicate execution needs exactly two providers");
   }
-  PPJ_ASSIGN_OR_RETURN(std::vector<const relation::EncryptedRelation*> tables,
-                       GatherTables(*contract));
+  if (request.kind() == JoinRequest::Kind::kMultiwayJoin &&
+      options.algorithm && core::IsChapter4(*options.algorithm)) {
+    return Status::InvalidArgument(
+        "multiway joins need the Chapter 5 algorithms (4, 5 or 6)");
+  }
+  if (!contract->PermitsPredicate(request.predicate_name())) {
+    return Status::PrivacyViolation("contract does not permit predicate '" +
+                                    request.predicate_name() + "'");
+  }
+  PPJ_ASSIGN_OR_RETURN(std::vector<std::shared_ptr<const Submission>> snapshot,
+                       GatherTablesLocked(*contract));
   PPJ_ASSIGN_OR_RETURN(const crypto::Ocb* out_key,
                        parties_.Key(contract->recipient));
-  if (!contract->PermitsPredicate(predicate.name())) {
-    return Status::PrivacyViolation(
-        "contract does not permit predicate '" + predicate.name() + "'");
+
+  // Resolve kAuto through the planner, once, against the snapshot sizes.
+  core::Algorithm algorithm =
+      options.algorithm.value_or(core::Algorithm::kAlgorithm5);
+  if (!options.algorithm) {
+    core::PlannerInput input;
+    if (request.kind() == JoinRequest::Kind::kPairJoin) {
+      input.size_a = snapshot[0]->sealed->size();
+      input.size_b = snapshot[1]->sealed->size();
+      // Algorithm 3 additionally needs the second table padded to a power
+      // of two, so auto-planning only offers it when that padding is in
+      // place.
+      input.equality_predicate =
+          request.pair()->is_equality() &&
+          IsPowerOfTwo(snapshot[1]->sealed->padded_size());
+      input.n = options.n;
+      // A parallel request cannot take a Chapter 4 plan (they are
+      // sequential): force the planner into the exact-output family.
+      input.exact_output_required = options.parallelism > 1;
+    } else {
+      input.size_a = snapshot[0]->sealed->size();
+      input.size_b = 1;
+      for (std::size_t i = 1; i < snapshot.size(); ++i) {
+        input.size_b *= snapshot[i]->sealed->size();
+      }
+      input.exact_output_required = true;
+    }
+    input.m = options.memory_tuples;
+    input.epsilon = options.epsilon;
+    algorithm = core::PlanJoin(input).algorithm;
   }
-  const core::Algorithm algorithm =
-      ResolveAlgorithm(options, predicate, tables);
+
+  auto prep = std::make_shared<PreparedRequest>();
+  prep->contract_id = contract_id;
+  prep->tenant = contract->recipient;
+  prep->request = request;
+  prep->options = options;
+  prep->algorithm = algorithm;
+  prep->snapshot = std::move(snapshot);
+  prep->out_key = out_key;
+  prep->use_cache = scheduler_options_.reuse_cache && options.allow_reuse;
+  if (prep->use_cache) {
+    ReuseCache::Key key;
+    key.kind = request.kind();
+    key.algorithm = algorithm;
+    key.predicate = request.predicate_name();
+    for (const auto& sub : prep->snapshot) {
+      key.versions.push_back(sub->version);
+    }
+    key.n = options.n;
+    key.epsilon = options.epsilon;
+    key.memory_tuples = options.memory_tuples;
+    key.seed = options.seed;
+    key.parallelism = options.parallelism;
+    key.batch_slots = options.batch_slots;
+    if (request.kind() == JoinRequest::Kind::kAggregate) {
+      key.agg_kind = request.aggregate().kind;
+      key.spec_table = request.aggregate().table;
+      key.spec_column = request.aggregate().column;
+    } else if (request.kind() == JoinRequest::Kind::kGroupByCount) {
+      key.spec_table = request.group_by().table;
+      key.spec_column = request.group_by().column;
+      key.domain_lo = request.group_by().domain_lo;
+      key.domain_hi = request.group_by().domain_hi;
+    }
+    prep->cache_key = std::move(key);
+  }
+
+  // Lock order: service mutex, then scheduler mutex. The scheduler never
+  // calls back into the service, so the reverse edge does not exist.
+  ContractScheduler& scheduler = EnsureSchedulerLocked();
+  Result<Ticket> ticket = scheduler.Submit(
+      prep->tenant, contract_id,
+      [this, prep](ExecutionFailure* failure) -> Result<Response> {
+        return RunRequest(*prep, failure);
+      });
+  if (!ticket.ok()) {
+    Status status = ticket.status();
+    lock.unlock();
+    return RecordFailure(contract_id, "admission", nullptr, std::move(status),
+                         nullptr);
+  }
+  return ticket;
+}
+
+Result<Response> SovereignJoinService::Wait(Ticket ticket) {
+  ContractScheduler* scheduler;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    scheduler = scheduler_.get();
+  }
+  if (scheduler == nullptr) {
+    return Status::NotFound("unknown ticket " + std::to_string(ticket.id));
+  }
+  return scheduler->Wait(ticket);
+}
+
+TicketStatus SovereignJoinService::Poll(Ticket ticket) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (scheduler_ == nullptr) return TicketStatus::kUnknown;
+  return scheduler_->Poll(ticket);
+}
+
+std::optional<ExecutionFailure> SovereignJoinService::post_mortem(
+    Ticket ticket) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (scheduler_ == nullptr) return std::nullopt;
+  return scheduler_->post_mortem(ticket);
+}
+
+void SovereignJoinService::Release(Ticket ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (scheduler_ == nullptr) return;
+  scheduler_->Release(ticket);
+}
+
+SchedulerStats SovereignJoinService::scheduler_stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (scheduler_ == nullptr) {
+    SchedulerStats stats;
+    stats.workers = scheduler_options_.ResolvedWorkers();
+    return stats;
+  }
+  return scheduler_->stats();
+}
+
+Result<Response> SovereignJoinService::Execute(const std::string& contract_id,
+                                               const JoinRequest& request,
+                                               const ExecuteOptions& options) {
+  PPJ_ASSIGN_OR_RETURN(Ticket ticket, Submit(contract_id, request, options));
+  Result<Response> response = Wait(ticket);
+  Release(ticket);
+  return response;
+}
+
+Result<Response> SovereignJoinService::RunRequest(
+    const PreparedRequest& prep, ExecutionFailure* failure_out) {
+  const JoinRequest& request = prep.request;
+
+  // Reuse-cache lookup: copy the hit out under the lock, decode outside it.
+  if (prep.use_cache) {
+    std::optional<ReuseCache::Value> hit;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (const ReuseCache::Entry* entry =
+              reuse_cache_->Find(prep.contract_id, prep.cache_key)) {
+        hit = entry->value;
+      }
+    }
+    if (hit) {
+      Response response;
+      response.kind = request.kind();
+      response.reused = true;
+      if (const auto* cached = std::get_if<ReuseCache::CachedJoin>(&*hit)) {
+        auto result_schema = prep.ResultSchema();
+        Result<std::vector<relation::Tuple>> decoded = core::DecodeJoinOutput(
+            host_, cached->region, cached->decode_slots, *prep.out_key,
+            result_schema.get());
+        if (!decoded.ok()) {
+          return RecordFailure(prep.contract_id, "decode", nullptr,
+                               decoded.status(), failure_out);
+        }
+        JoinDelivery delivery;
+        delivery.tuples = std::move(decoded).value();
+        delivery.result_schema = std::move(result_schema);
+        delivery.metrics = cached->metrics;
+        delivery.trace = cached->trace;
+        delivery.timing = cached->timing;
+        delivery.observable_output_slots = cached->decode_slots;
+        delivery.blemish = cached->blemish;
+        delivery.reused = true;
+        response.delivery = std::move(delivery);
+      } else if (const auto* agg =
+                     std::get_if<core::AggregateResult>(&*hit)) {
+        response.aggregate = *agg;
+      } else {
+        response.group_by = std::get<core::GroupByCountResult>(*hit);
+      }
+      return response;
+    }
+  }
+
+  if (request.kind() == JoinRequest::Kind::kPairJoin ||
+      request.kind() == JoinRequest::Kind::kMultiwayJoin) {
+    PPJ_ASSIGN_OR_RETURN(JoinDelivery delivery,
+                         RunJoin(prep, failure_out));
+    Response response;
+    response.kind = request.kind();
+    response.delivery = std::move(delivery);
+    return response;
+  }
+
+  // Aggregate / GROUP BY COUNT: one scan of the cartesian space on a fresh
+  // serial coprocessor; the fixed-size result is delivered out-of-band.
+  std::vector<const relation::EncryptedRelation*> tables = prep.Tables();
+  sim::CoprocessorOptions copro_options;
+  copro_options.memory_tuples = prep.options.memory_tuples;
+  copro_options.seed = prep.options.seed;
+  copro_options.batch_slots = prep.options.batch_slots;
+  sim::Coprocessor copro(&host_, copro_options);
+  core::MultiwayJoin join{tables, request.multiway(), prep.out_key};
+  // These results carry no telemetry field; surface the per-phase report at
+  // debug level instead of dropping the tree on the floor.
+  telemetry::TraceRecorder recorder(prep.options.telemetry);
+
+  Response response;
+  response.kind = request.kind();
+  if (request.kind() == JoinRequest::Kind::kAggregate) {
+    Result<core::AggregateResult> result =
+        Status::Internal("aggregate join did not run");
+    {
+      telemetry::ScopedContext tctx(&recorder, &copro);
+      PPJ_SPAN("execute-aggregate");
+      result = core::RunAggregateJoin(copro, join, request.aggregate());
+    }
+    if (auto tree = recorder.TakeTree(); tree != nullptr) {
+      PPJ_LOG(kDebug) << "aggregate telemetry: "
+                      << telemetry::ToMetricsReportJson(*tree);
+    }
+    if (!result.ok()) {
+      return RecordFailure(prep.contract_id, "algorithm", &copro,
+                           result.status(), failure_out);
+    }
+    response.aggregate = *result;
+    if (prep.use_cache) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      reuse_cache_->Insert(prep.contract_id, prep.cache_key, *result,
+                           scheduler_options_.reuse_entries_per_contract);
+    }
+  } else {
+    Result<core::GroupByCountResult> result =
+        Status::Internal("group-by-count join did not run");
+    {
+      telemetry::ScopedContext tctx(&recorder, &copro);
+      PPJ_SPAN("execute-group-by-count");
+      result = core::RunGroupByCountJoin(copro, join, request.group_by());
+    }
+    if (auto tree = recorder.TakeTree(); tree != nullptr) {
+      PPJ_LOG(kDebug) << "group-by-count telemetry: "
+                      << telemetry::ToMetricsReportJson(*tree);
+    }
+    if (!result.ok()) {
+      return RecordFailure(prep.contract_id, "algorithm", &copro,
+                           result.status(), failure_out);
+    }
+    response.group_by = *result;
+    if (prep.use_cache) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      reuse_cache_->Insert(prep.contract_id, prep.cache_key, *result,
+                           scheduler_options_.reuse_entries_per_contract);
+    }
+  }
+  return response;
+}
+
+Result<JoinDelivery> SovereignJoinService::RunJoin(
+    const PreparedRequest& prep, ExecutionFailure* failure_out) {
+  const bool pair = prep.request.kind() == JoinRequest::Kind::kPairJoin;
+  const char* root_span = pair ? "execute-join" : "execute-multiway-join";
+  std::vector<const relation::EncryptedRelation*> tables = prep.Tables();
+  auto result_schema = prep.ResultSchema();
 
   sim::CoprocessorOptions copro_options;
-  copro_options.memory_tuples = options.memory_tuples;
-  copro_options.seed = options.seed;
-  copro_options.batch_slots = options.batch_slots;
-  sim::Coprocessor copro(&host_, copro_options);
-  telemetry::TraceRecorder recorder(options.telemetry);
+  copro_options.memory_tuples = prep.options.memory_tuples;
+  copro_options.seed = prep.options.seed;
+  copro_options.batch_slots = prep.options.batch_slots;
 
-  auto result_schema = std::make_unique<relation::Schema>(
-      relation::Schema::Concat(*tables[0]->schema(), *tables[1]->schema()));
+  // The pair predicate doubles as a 2-way multiway predicate wherever the
+  // Chapter 5 machinery needs one.
+  std::optional<relation::PairAsMultiway> adapter;
+  const relation::MultiwayPredicate* multiway = prep.request.multiway();
+  if (pair) {
+    adapter.emplace(prep.request.pair());
+    multiway = &*adapter;
+  }
+
+  auto cache_join = [&](sim::RegionId region, std::uint64_t decode_slots,
+                        const JoinDelivery& delivery) {
+    if (!prep.use_cache) return;
+    ReuseCache::CachedJoin cached;
+    cached.region = region;
+    cached.decode_slots = decode_slots;
+    cached.blemish = delivery.blemish;
+    cached.metrics = delivery.metrics;
+    cached.trace = delivery.trace;
+    cached.timing = delivery.timing;
+    std::unique_lock<std::mutex> lock(mutex_);
+    reuse_cache_->Insert(prep.contract_id, prep.cache_key, cached,
+                         scheduler_options_.reuse_entries_per_contract);
+  };
+
+  // Multiple coprocessors (Section 5.3.5): dispatch to the parallel
+  // executors and aggregate their per-device metrics. No single device
+  // exists here, so the context binds no coprocessor; each worker subtree
+  // binds its own device inside the parallel executor.
+  if (prep.options.parallelism > 1) {
+    core::MultiwayJoin join{tables, multiway, prep.out_key};
+    telemetry::TraceRecorder recorder(prep.options.telemetry);
+    Result<core::ParallelOutcome> parallel =
+        Status::Internal("unsupported parallel algorithm");
+    {
+      telemetry::ScopedContext tctx(&recorder, nullptr);
+      telemetry::Span tspan(root_span);
+      parallel = plan::RunParallelPlan(
+          &host_, prep.algorithm, join, prep.options.parallelism,
+          copro_options,
+          {.epsilon = prep.options.epsilon, .order_seed = prep.options.seed});
+    }
+    if (!parallel.ok()) {
+      // Worker devices live inside the parallel executor; the tamper
+      // verdict rides on the status code.
+      return RecordFailure(prep.contract_id, "algorithm", nullptr,
+                           parallel.status(), failure_out);
+    }
+    JoinDelivery delivery;
+    delivery.telemetry = recorder.TakeTree();
+    Result<std::vector<relation::Tuple>> decoded = core::DecodeJoinOutput(
+        host_, parallel->output_region, parallel->result_size, *prep.out_key,
+        result_schema.get());
+    if (!decoded.ok()) {
+      return RecordFailure(prep.contract_id, "decode", nullptr,
+                           decoded.status(), failure_out);
+    }
+    delivery.tuples = std::move(decoded).value();
+    delivery.result_schema = std::move(result_schema);
+    for (const sim::TransferMetrics& m : parallel->per_coprocessor) {
+      delivery.metrics += m;
+    }
+    delivery.observable_output_slots = parallel->result_size;
+    cache_join(parallel->output_region, parallel->result_size, delivery);
+    return delivery;
+  }
+
+  sim::Coprocessor copro(&host_, copro_options);
+  telemetry::TraceRecorder recorder(prep.options.telemetry);
 
   JoinDelivery delivery;
   sim::RegionId output_region = 0;
@@ -298,34 +765,38 @@ Result<JoinDelivery> SovereignJoinService::ExecuteJoin(
   // telemetry is disabled or compiled out.
   std::optional<telemetry::ScopedContext> tctx(std::in_place, &recorder,
                                                &copro);
-  std::optional<telemetry::Span> tspan(std::in_place, "execute-join");
+  std::optional<telemetry::Span> tspan(std::in_place, root_span);
 
   // Algorithm failures funnel through RecordFailure so the caller can read
   // the structured post-mortem (phase, retry history, partial metrics,
-  // device verdict) off last_failure(). No partial plaintext escapes: the
+  // device verdict) off its ticket. No partial plaintext escapes: the
   // delivery is only populated after every step has succeeded.
   plan::JoinPlanOptions popts;
-  popts.n = options.n;
-  popts.epsilon = options.epsilon;
-  popts.order_seed = options.seed;
-  if (core::IsChapter4(algorithm)) {
-    core::TwoWayJoin join{tables[0], tables[1], &predicate, out_key};
-    Result<core::Ch4Outcome> run = RunCh4Plan(copro, algorithm, join, popts);
+  popts.n = prep.options.n;
+  popts.epsilon = prep.options.epsilon;
+  popts.order_seed = prep.options.seed;
+  if (core::IsChapter4(prep.algorithm)) {
+    core::TwoWayJoin join{tables[0], tables[1], prep.request.pair(),
+                          prep.out_key};
+    Result<core::Ch4Outcome> run =
+        RunCh4Plan(copro, prep.algorithm, join, popts);
     if (!run.ok()) {
       tspan.reset();
       tctx.reset();
-      return RecordFailure(contract_id, "algorithm", &copro, run.status());
+      return RecordFailure(prep.contract_id, "algorithm", &copro,
+                           run.status(), failure_out);
     }
     output_region = run->output_region;
     output_slots = run->output_slots;
   } else {
-    relation::PairAsMultiway multiway(&predicate);
-    core::MultiwayJoin join{{tables[0], tables[1]}, &multiway, out_key};
-    Result<core::Ch5Outcome> run = RunCh5Plan(copro, algorithm, join, popts);
+    core::MultiwayJoin join{tables, multiway, prep.out_key};
+    Result<core::Ch5Outcome> run =
+        RunCh5Plan(copro, prep.algorithm, join, popts);
     if (!run.ok()) {
       tspan.reset();
       tctx.reset();
-      return RecordFailure(contract_id, "algorithm", &copro, run.status());
+      return RecordFailure(prep.contract_id, "algorithm", &copro,
+                           run.status(), failure_out);
     }
     output_region = run->output_region;
     output_slots = run->result_size;
@@ -337,9 +808,10 @@ Result<JoinDelivery> SovereignJoinService::ExecuteJoin(
   delivery.telemetry = recorder.TakeTree();
 
   Result<std::vector<relation::Tuple>> decoded = core::DecodeJoinOutput(
-      host_, output_region, output_slots, *out_key, result_schema.get());
+      host_, output_region, output_slots, *prep.out_key, result_schema.get());
   if (!decoded.ok()) {
-    return RecordFailure(contract_id, "decode", &copro, decoded.status());
+    return RecordFailure(prep.contract_id, "decode", &copro, decoded.status(),
+                         failure_out);
   }
   delivery.tuples = std::move(decoded).value();
   delivery.result_schema = std::move(result_schema);
@@ -347,216 +819,49 @@ Result<JoinDelivery> SovereignJoinService::ExecuteJoin(
   delivery.trace = copro.trace().fingerprint();
   delivery.timing = copro.timing_fingerprint();
   delivery.observable_output_slots = output_slots;
+  cache_join(output_region, output_slots, delivery);
   return delivery;
+}
+
+Result<JoinDelivery> SovereignJoinService::ExecuteJoin(
+    const std::string& contract_id, const relation::PairPredicate& predicate,
+    const ExecuteOptions& options) {
+  PPJ_ASSIGN_OR_RETURN(
+      Response response,
+      Execute(contract_id, JoinRequest::PairJoin(predicate), options));
+  return std::move(*response.delivery);
 }
 
 Result<JoinDelivery> SovereignJoinService::ExecuteMultiwayJoin(
     const std::string& contract_id,
     const relation::MultiwayPredicate& predicate,
     const ExecuteOptions& options) {
-  last_failure_.reset();
-  PPJ_RETURN_NOT_OK(CheckContractAlive(contract_id));
-  if (Status valid = options.Validate(); !valid.ok()) {
-    return RecordFailure(contract_id, "validate", nullptr, std::move(valid));
-  }
-  PPJ_ASSIGN_OR_RETURN(const Contract* contract, FindContract(contract_id));
-  PPJ_ASSIGN_OR_RETURN(std::vector<const relation::EncryptedRelation*> tables,
-                       GatherTables(*contract));
-  PPJ_ASSIGN_OR_RETURN(const crypto::Ocb* out_key,
-                       parties_.Key(contract->recipient));
-  if (options.algorithm && core::IsChapter4(*options.algorithm)) {
-    return Status::InvalidArgument(
-        "multiway joins need the Chapter 5 algorithms (4, 5 or 6)");
-  }
-  if (!contract->PermitsPredicate(predicate.name())) {
-    return Status::PrivacyViolation(
-        "contract does not permit predicate '" + predicate.name() + "'");
-  }
-  core::Algorithm algorithm =
-      options.algorithm.value_or(core::Algorithm::kAlgorithm5);
-  if (!options.algorithm) {
-    core::PlannerInput input;
-    input.size_a = tables[0]->size();
-    input.size_b = 1;
-    for (std::size_t i = 1; i < tables.size(); ++i) {
-      input.size_b *= tables[i]->size();
-    }
-    input.exact_output_required = true;
-    input.m = options.memory_tuples;
-    input.epsilon = options.epsilon;
-    algorithm = core::PlanJoin(input).algorithm;
-  }
-
-  sim::CoprocessorOptions copro_options;
-  copro_options.memory_tuples = options.memory_tuples;
-  copro_options.seed = options.seed;
-  copro_options.batch_slots = options.batch_slots;
-
-  relation::Schema combined = *tables[0]->schema();
-  for (std::size_t i = 1; i < tables.size(); ++i) {
-    combined = relation::Schema::Concat(combined, *tables[i]->schema());
-  }
-  auto result_schema =
-      std::make_unique<relation::Schema>(std::move(combined));
-
-  core::MultiwayJoin join{tables, &predicate, out_key};
-
-  // Multiple coprocessors (Section 5.3.5): dispatch to the parallel
-  // executors and aggregate their per-device metrics. No single device
-  // exists here, so the context binds no coprocessor; each worker subtree
-  // binds its own device inside the parallel executor.
-  if (options.parallelism > 1) {
-    telemetry::TraceRecorder recorder(options.telemetry);
-    Result<core::ParallelOutcome> parallel =
-        Status::Internal("unsupported parallel algorithm");
-    {
-      telemetry::ScopedContext tctx(&recorder, nullptr);
-      PPJ_SPAN("execute-multiway-join");
-      parallel = plan::RunParallelPlan(
-          &host_, algorithm, join, options.parallelism, copro_options,
-          {.epsilon = options.epsilon, .order_seed = options.seed});
-    }
-    if (!parallel.ok()) {
-      // Worker devices live inside the parallel executor; the tamper
-      // verdict rides on the status code.
-      return RecordFailure(contract_id, "algorithm", nullptr,
-                           parallel.status());
-    }
-    JoinDelivery delivery;
-    delivery.telemetry = recorder.TakeTree();
-    Result<std::vector<relation::Tuple>> decoded = core::DecodeJoinOutput(
-        host_, parallel->output_region, parallel->result_size, *out_key,
-        result_schema.get());
-    if (!decoded.ok()) {
-      return RecordFailure(contract_id, "decode", nullptr, decoded.status());
-    }
-    delivery.tuples = std::move(decoded).value();
-    delivery.result_schema = std::move(result_schema);
-    for (const sim::TransferMetrics& m : parallel->per_coprocessor) {
-      delivery.metrics += m;
-    }
-    delivery.observable_output_slots = parallel->result_size;
-    return delivery;
-  }
-
-  sim::Coprocessor copro(&host_, copro_options);
-  telemetry::TraceRecorder recorder(options.telemetry);
-  Result<core::Ch5Outcome> run = Status::Internal("unreachable");
-  {
-    telemetry::ScopedContext tctx(&recorder, &copro);
-    PPJ_SPAN("execute-multiway-join");
-    plan::JoinPlanOptions popts;
-    popts.epsilon = options.epsilon;
-    popts.order_seed = options.seed;
-    run = RunCh5Plan(copro, algorithm, join, popts);
-  }
-  if (!run.ok()) {
-    return RecordFailure(contract_id, "algorithm", &copro, run.status());
-  }
-  const core::Ch5Outcome& outcome = *run;
-
-  JoinDelivery delivery;
-  delivery.telemetry = recorder.TakeTree();
-  Result<std::vector<relation::Tuple>> decoded = core::DecodeJoinOutput(
-      host_, outcome.output_region, outcome.result_size, *out_key,
-      result_schema.get());
-  if (!decoded.ok()) {
-    return RecordFailure(contract_id, "decode", &copro, decoded.status());
-  }
-  delivery.tuples = std::move(decoded).value();
-  delivery.result_schema = std::move(result_schema);
-  delivery.metrics = copro.metrics();
-  delivery.trace = copro.trace().fingerprint();
-  delivery.timing = copro.timing_fingerprint();
-  delivery.observable_output_slots = outcome.result_size;
-  delivery.blemish = outcome.blemish;
-  return delivery;
+  PPJ_ASSIGN_OR_RETURN(
+      Response response,
+      Execute(contract_id, JoinRequest::MultiwayJoin(predicate), options));
+  return std::move(*response.delivery);
 }
 
 Result<core::AggregateResult> SovereignJoinService::ExecuteAggregate(
     const std::string& contract_id,
     const relation::MultiwayPredicate& predicate,
     const core::AggregateSpec& aggregate, const ExecuteOptions& options) {
-  last_failure_.reset();
-  PPJ_RETURN_NOT_OK(CheckContractAlive(contract_id));
-  if (Status valid = options.Validate(); !valid.ok()) {
-    return RecordFailure(contract_id, "validate", nullptr, std::move(valid));
-  }
-  PPJ_ASSIGN_OR_RETURN(const Contract* contract, FindContract(contract_id));
-  PPJ_ASSIGN_OR_RETURN(std::vector<const relation::EncryptedRelation*> tables,
-                       GatherTables(*contract));
-  PPJ_ASSIGN_OR_RETURN(const crypto::Ocb* out_key,
-                       parties_.Key(contract->recipient));
-  if (!contract->PermitsPredicate(predicate.name())) {
-    return Status::PrivacyViolation(
-        "contract does not permit predicate '" + predicate.name() + "'");
-  }
-  sim::CoprocessorOptions copro_options;
-  copro_options.memory_tuples = options.memory_tuples;
-  copro_options.seed = options.seed;
-  copro_options.batch_slots = options.batch_slots;
-  sim::Coprocessor copro(&host_, copro_options);
-  core::MultiwayJoin join{tables, &predicate, out_key};
-  // Aggregate results carry no telemetry field; surface the per-phase
-  // report at debug level instead of dropping the tree on the floor.
-  telemetry::TraceRecorder recorder(options.telemetry);
-  Result<core::AggregateResult> result =
-      Status::Internal("aggregate join did not run");
-  {
-    telemetry::ScopedContext tctx(&recorder, &copro);
-    PPJ_SPAN("execute-aggregate");
-    result = core::RunAggregateJoin(copro, join, aggregate);
-  }
-  if (auto tree = recorder.TakeTree(); tree != nullptr) {
-    PPJ_LOG(kDebug) << "aggregate telemetry: "
-                    << telemetry::ToMetricsReportJson(*tree);
-  }
-  if (!result.ok()) {
-    return RecordFailure(contract_id, "algorithm", &copro, result.status());
-  }
-  return result;
+  PPJ_ASSIGN_OR_RETURN(
+      Response response,
+      Execute(contract_id, JoinRequest::Aggregate(predicate, aggregate),
+              options));
+  return std::move(*response.aggregate);
 }
 
 Result<core::GroupByCountResult> SovereignJoinService::ExecuteGroupByCount(
     const std::string& contract_id,
     const relation::MultiwayPredicate& predicate,
     const core::GroupByCountSpec& spec, const ExecuteOptions& options) {
-  last_failure_.reset();
-  PPJ_RETURN_NOT_OK(CheckContractAlive(contract_id));
-  if (Status valid = options.Validate(); !valid.ok()) {
-    return RecordFailure(contract_id, "validate", nullptr, std::move(valid));
-  }
-  PPJ_ASSIGN_OR_RETURN(const Contract* contract, FindContract(contract_id));
-  PPJ_ASSIGN_OR_RETURN(std::vector<const relation::EncryptedRelation*> tables,
-                       GatherTables(*contract));
-  PPJ_ASSIGN_OR_RETURN(const crypto::Ocb* out_key,
-                       parties_.Key(contract->recipient));
-  if (!contract->PermitsPredicate(predicate.name())) {
-    return Status::PrivacyViolation(
-        "contract does not permit predicate '" + predicate.name() + "'");
-  }
-  sim::CoprocessorOptions copro_options;
-  copro_options.memory_tuples = options.memory_tuples;
-  copro_options.seed = options.seed;
-  copro_options.batch_slots = options.batch_slots;
-  sim::Coprocessor copro(&host_, copro_options);
-  core::MultiwayJoin join{tables, &predicate, out_key};
-  telemetry::TraceRecorder recorder(options.telemetry);
-  Result<core::GroupByCountResult> result =
-      Status::Internal("group-by-count join did not run");
-  {
-    telemetry::ScopedContext tctx(&recorder, &copro);
-    PPJ_SPAN("execute-group-by-count");
-    result = core::RunGroupByCountJoin(copro, join, spec);
-  }
-  if (auto tree = recorder.TakeTree(); tree != nullptr) {
-    PPJ_LOG(kDebug) << "group-by-count telemetry: "
-                    << telemetry::ToMetricsReportJson(*tree);
-  }
-  if (!result.ok()) {
-    return RecordFailure(contract_id, "algorithm", &copro, result.status());
-  }
-  return result;
+  PPJ_ASSIGN_OR_RETURN(
+      Response response,
+      Execute(contract_id, JoinRequest::GroupByCount(predicate, spec),
+              options));
+  return std::move(*response.group_by);
 }
 
 }  // namespace ppj::service

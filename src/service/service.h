@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -19,102 +20,31 @@
 #include "relation/relation.h"
 #include "service/contract.h"
 #include "service/party.h"
+#include "service/request.h"
+#include "service/scheduler.h"
 #include "sim/attestation.h"
 #include "sim/coprocessor.h"
 #include "sim/host_store.h"
 
 namespace ppj::service {
 
-/// "Let the planner pick" marker for ExecuteOptions::algorithm. The
-/// algorithms themselves live in the unified core::Algorithm enum; auto is
-/// a service-level concept (the planner resolves it by the paper's cost
-/// models), so it is the absent optional, not an enum value.
-inline constexpr std::optional<core::Algorithm> kAuto = std::nullopt;
-
-/// Execution knobs; sensible defaults everywhere.
-struct ExecuteOptions {
-  /// A concrete core::Algorithm, or kAuto for planner selection.
-  std::optional<core::Algorithm> algorithm = core::Algorithm::kAlgorithm5;
-  /// N for the Chapter 4 algorithms; 0 = compute via the safe scan.
-  std::uint64_t n = 0;
-  /// epsilon for Algorithm 6.
-  double epsilon = 1e-20;
-  /// Coprocessor free memory in tuple slots.
-  std::uint64_t memory_tuples = 64;
-  /// Coprocessor seed (nonces, MLFSR order).
-  std::uint64_t seed = 1;
-  /// Number of coprocessors (Section 5.3.5). Values > 1 dispatch to the
-  /// parallel executors; only Algorithms 4, 5 and 6 support it.
-  unsigned parallelism = 1;
-  /// Upper bound on one batched range transfer; 0 = auto-sized from free
-  /// device memory, 1 = force the scalar per-slot path (see
-  /// sim::CoprocessorOptions::batch_slots).
-  std::uint64_t batch_slots = 0;
-  /// Collect the phase-scoped span tree (JoinDelivery::telemetry). Trace
-  /// neutral by construction: the adversary-observable surface — access
-  /// trace, timing fingerprint, transfer counts — is bit-identical either
-  /// way (proven by tests/test_telemetry.cc).
-  bool telemetry = true;
-
-  /// Rejects contradictory knob combinations before any coprocessor work:
-  /// the Chapter 4 family is sequential (parallelism must be 1), Algorithm
-  /// 6 needs a positive epsilon budget, and the algorithms assume at least
-  /// two free tuple slots. Called by every Execute* entry point.
-  Status Validate() const;
-};
-
-/// What the recipient gets back, plus execution telemetry.
-struct JoinDelivery {
-  /// Decoded real result tuples under `result_schema`.
-  std::vector<relation::Tuple> tuples;
-  std::unique_ptr<const relation::Schema> result_schema;
-  sim::TransferMetrics metrics;
-  sim::TraceFingerprint trace;
-  /// The device's timing fingerprint (serial executions; zero when
-  /// parallelism > 1 — per-device timing is not aggregated).
-  sim::TraceFingerprint timing;
-  /// Phase-scoped span tree (null when ExecuteOptions::telemetry is false
-  /// or the build has PPJ_TELEMETRY=OFF). Export with
-  /// telemetry::ToChromeTraceJson / ToMetricsReportJson.
-  std::unique_ptr<telemetry::SpanNode> telemetry;
-  /// For Chapter 4 executions: the padded output size N|A| the host saw.
-  std::uint64_t observable_output_slots = 0;
-  bool blemish = false;  ///< Algorithm 6 salvage happened.
-};
-
-/// Structured post-mortem of a failed execution (docs/ROBUSTNESS.md). Every
-/// Execute* entry point still returns a plain error Status to the caller;
-/// this record, readable via SovereignJoinService::last_failure() until the
-/// next execution, carries the graceful-degradation details the Status
-/// string cannot: which phase died, the retry history the bounded-backoff
-/// policy accumulated before giving up, the partial transfer metrics of the
-/// aborted run, and whether the tamper response fired (in which case the
-/// contract is permanently dead). Partial *plaintext* is never part of this
-/// record — or of any failure path: a delivery exists only on full success.
-struct ExecutionFailure {
-  std::string contract_id;
-  /// Coarse phase that failed: "validate", "setup", "algorithm", "decode".
-  std::string phase;
-  /// The error returned to the caller (kUnavailable = retry budget
-  /// exhausted; kTampered = integrity failure, device dead).
-  Status status;
-  /// Transfer metrics accumulated up to the abort (zero when the failure
-  /// precedes coprocessor construction). host_retries / backoff_cycles
-  /// inside are the retry history of the failed run.
-  sim::TransferMetrics partial_metrics;
-  /// The tamper response fired: the contract's device zeroized itself and
-  /// the service refuses all further work under this contract.
-  bool device_disabled = false;
-};
-
 /// The secure information-sharing service of the paper (Section 3.2): a
-/// host with one secure coprocessor offering privacy preserving joins to
-/// registered parties under signed contracts.
+/// host with a pool of secure coprocessors offering privacy preserving
+/// joins to registered parties under signed contracts. The service is a
+/// concurrent multi-tenant system: many contracts execute joins at the same
+/// time over the worker pool of the ContractScheduler, with per-tenant
+/// admission control and fair scheduling (docs/SERVICE.md).
 ///
 /// Lifecycle: RegisterParty* -> CreateContract -> SubmitRelation (each
-/// provider) -> ExecuteJoin -> the delivery is what P_C decrypts. Each
-/// execution runs on a fresh coprocessor instance so traces of independent
-/// runs are comparable.
+/// provider) -> Submit(JoinRequest) -> Wait(ticket) — or the blocking
+/// Execute convenience that fuses the two. Each execution runs on a fresh
+/// coprocessor instance so traces of independent runs are comparable.
+///
+/// Thread safety: every public method is safe to call concurrently. The
+/// only exception is last_failure(), which retains the pre-scheduler
+/// one-global-slot semantics and is only meaningful when requests do not
+/// interleave; concurrent callers read per-request post-mortems via
+/// post_mortem(ticket) instead.
 class SovereignJoinService {
  public:
   /// The software stack this service's coprocessor attests to running.
@@ -128,6 +58,15 @@ class SovereignJoinService {
 
   SovereignJoinService(const SovereignJoinService&) = delete;
   SovereignJoinService& operator=(const SovereignJoinService&) = delete;
+
+  /// Drains the scheduler: queued requests are cancelled (their Wait()ers
+  /// see kUnavailable), running requests finish, workers join.
+  ~SovereignJoinService();
+
+  /// Replaces the scheduler configuration (worker count, tenant quotas,
+  /// reuse cache). Must be called before the first Submit — once the worker
+  /// pool is running the configuration is frozen (kFailedPrecondition).
+  Status ConfigureScheduler(const SchedulerOptions& options);
 
   /// The device's outbound-authentication chain (Section 3.3.3): a party
   /// verifies it against the manufacturer root and the expected stack
@@ -156,18 +95,73 @@ class SovereignJoinService {
   /// Provider `party` submits its relation under contract `contract_id`,
   /// sealed with its session key. `pad_to_power_of_two` is required for
   /// algorithms that obliviously sort the relation in place (Algorithm 3
-  /// applies it to the second provider's table).
+  /// applies it to the second provider's table). Resubmitting bumps the
+  /// relation's version: in-flight requests keep executing against the
+  /// snapshot they captured at submit time, and reuse-cache entries keyed
+  /// on the old version stop matching.
   Status SubmitRelation(const std::string& contract_id,
                         const std::string& party,
                         const relation::Relation& rel,
                         bool pad_to_power_of_two = false);
 
+  // --- The unified asynchronous request API (docs/SERVICE.md) ------------
+
+  /// Admits `request` for execution under `contract_id` and returns a
+  /// ticket immediately. All validation happens here, exactly once: option
+  /// consistency, per-tenant option quotas (kQuotaExceeded), contract
+  /// liveness and predicate arbitration, and submission completeness. A
+  /// returned ticket means the request *will* execute (or be cancelled at
+  /// shutdown); admission refusal means no work was enqueued.
+  ///
+  /// The predicate inside `request` is borrowed — keep it alive until the
+  /// ticket completes. The relation snapshot, in contrast, is captured
+  /// here: a concurrent SubmitRelation cannot change what this request
+  /// reads.
+  ///
+  /// The tenant, for quota and fairness purposes, is the contract's
+  /// recipient party (the paper's P_C driving the queries).
+  Result<Ticket> Submit(const std::string& contract_id,
+                        const JoinRequest& request,
+                        const ExecuteOptions& options);
+
+  /// Blocks until the ticket completes; returns the response or the
+  /// execution's error status. Consumable once per ticket.
+  Result<Response> Wait(Ticket ticket);
+
+  /// Non-blocking lifecycle query: queued / running / done / unknown.
+  TicketStatus Poll(Ticket ticket) const;
+
+  /// The structured post-mortem of this ticket's failed execution, or
+  /// nullopt when it succeeded or has not finished. Isolated per request:
+  /// concurrent tenants each see exactly their own failure. Valid until
+  /// Release(ticket).
+  std::optional<ExecutionFailure> post_mortem(Ticket ticket) const;
+
+  /// Frees the ticket's retained state. Completed tickets only.
+  void Release(Ticket ticket);
+
+  /// Blocking convenience: Submit + Wait + Release in one call.
+  Result<Response> Execute(const std::string& contract_id,
+                           const JoinRequest& request,
+                           const ExecuteOptions& options);
+
+  /// Scheduler counters (submitted / completed / failed / quota_rejected /
+  /// queued / running). Zeroes before the first Submit.
+  SchedulerStats scheduler_stats() const;
+
+  // --- Deprecated synchronous wrappers ------------------------------------
+  // Thin shims over Submit/Wait kept for source compatibility; new code
+  // should build a JoinRequest and call Submit or Execute. Each shim blocks
+  // for its one request, so last_failure() keeps working for them.
+
+  /// DEPRECATED: use Execute(id, JoinRequest::PairJoin(pred), options).
   /// Runs a two-way join with a pair predicate (Chapters 4 and 5 — the
   /// Chapter 5 algorithms treat it as a 2-way multiway join).
   Result<JoinDelivery> ExecuteJoin(const std::string& contract_id,
                                    const relation::PairPredicate& predicate,
                                    const ExecuteOptions& options);
 
+  /// DEPRECATED: use Execute(id, JoinRequest::MultiwayJoin(pred), options).
   /// Runs a J-way join with a multiway predicate (Chapter 5 algorithms
   /// only).
   Result<JoinDelivery> ExecuteMultiwayJoin(
@@ -175,6 +169,7 @@ class SovereignJoinService {
       const relation::MultiwayPredicate& predicate,
       const ExecuteOptions& options);
 
+  /// DEPRECATED: use Execute(id, JoinRequest::Aggregate(pred, spec), opts).
   /// Computes an aggregate over the join without materializing it (the
   /// conclusions' aggregation extension): only the single statistic is
   /// delivered to the recipient. Cost: one scan of the cartesian space.
@@ -183,6 +178,7 @@ class SovereignJoinService {
       const relation::MultiwayPredicate& predicate,
       const core::AggregateSpec& aggregate, const ExecuteOptions& options);
 
+  /// DEPRECATED: use Execute(id, JoinRequest::GroupByCount(pred, spec), o).
   /// GROUP BY COUNT over the join with a declared, fixed group domain —
   /// the Section 2.2.3 "lightweight mining" operation. Same privacy story
   /// as ExecuteAggregate: one scan, fixed-size output.
@@ -193,52 +189,87 @@ class SovereignJoinService {
 
   sim::HostStore& host() { return host_; }
 
-  /// Post-mortem of the most recent failed execution, or nullopt when the
-  /// last execution succeeded (each Execute* resets it on entry). See
-  /// ExecutionFailure.
-  const std::optional<ExecutionFailure>& last_failure() const {
-    return last_failure_;
-  }
+  /// Post-mortem of the most recent failed request *in submission order*,
+  /// or nullopt when the most recently submitted request has (so far) not
+  /// failed. Kept for the synchronous shims and single-threaded callers.
+  ///
+  /// Lifetime and concurrency: this is one global slot — Submit resets it,
+  /// a failing completion overwrites it. Under concurrent submissions the
+  /// slot is a race by construction; use post_mortem(ticket) for the
+  /// per-request record. The returned copy is the caller's own.
+  std::optional<ExecutionFailure> last_failure() const;
 
   /// True once the tamper response fired during an execution under this
   /// contract: the contract is permanently dead and every further
-  /// SubmitRelation / Execute* under it is refused with kTampered.
-  bool ContractDead(const std::string& contract_id) const {
-    return dead_contracts_.contains(contract_id);
-  }
+  /// SubmitRelation / Submit under it is refused with kTampered.
+  bool ContractDead(const std::string& contract_id) const;
 
  private:
   struct Submission {
     // Owned copy of the provider's relation (schema must stay alive for
-    // the delivery's tuples).
-    std::unique_ptr<relation::Relation> rel;
-    std::unique_ptr<relation::EncryptedRelation> sealed;
+    // the delivery's tuples) plus its sealed image. Held by shared_ptr so
+    // in-flight requests keep their snapshot alive across a resubmit.
+    std::shared_ptr<relation::Relation> rel;
+    std::shared_ptr<relation::EncryptedRelation> sealed;
+    std::uint64_t version = 0;
   };
 
+  struct ReuseCache;       // Per-contract sealed-intermediate cache.
+  struct PreparedRequest;  // Everything a worker needs, snapshot at Submit.
+
   void Bootstrap();
-  Result<const Contract*> FindContract(const std::string& contract_id) const;
-  Result<std::vector<const relation::EncryptedRelation*>> GatherTables(
+  /// Creates the scheduler (and worker pool) on first use. mutex_ held.
+  ContractScheduler& EnsureSchedulerLocked();
+
+  Result<const Contract*> FindContractLocked(
+      const std::string& contract_id) const;
+  Result<std::vector<std::shared_ptr<const Submission>>> GatherTablesLocked(
       const Contract& contract) const;
 
   /// kTampered when the contract's device is dead (see ContractDead).
-  Status CheckContractAlive(const std::string& contract_id) const;
+  /// mutex_ held.
+  Status CheckContractAliveLocked(const std::string& contract_id) const;
 
-  /// Captures an ExecutionFailure for last_failure(), marks the contract
-  /// dead when the tamper response fired (`copro` disabled, or a kTampered
-  /// status from a parallel run whose workers own their devices), and
-  /// returns `status` unchanged for the caller to propagate.
+  /// Captures an ExecutionFailure (into `failure_out` when non-null and
+  /// into the legacy last_failure() slot), marks the contract dead when the
+  /// tamper response fired (`copro` disabled, or a kTampered status from a
+  /// parallel run whose workers own their devices), and returns `status`
+  /// unchanged for the caller to propagate. Takes mutex_; must be called
+  /// without it held.
   Status RecordFailure(const std::string& contract_id, std::string phase,
-                       const sim::Coprocessor* copro, Status status);
+                       const sim::Coprocessor* copro, Status status,
+                       ExecutionFailure* failure_out);
+
+  /// The worker-side execution body: runs `prep` on a fresh coprocessor
+  /// (or serves it from the reuse cache) without holding mutex_.
+  Result<Response> RunRequest(const PreparedRequest& prep,
+                              ExecutionFailure* failure_out);
+  Result<JoinDelivery> RunJoin(const PreparedRequest& prep,
+                               ExecutionFailure* failure_out);
 
   sim::HostStore host_;
+
+  /// Guards every registry below. Never held while a plan executes; the
+  /// scheduler's own lock is never taken while mutex_ is held by anything
+  /// but Submit (which takes them in service -> scheduler order).
+  mutable std::mutex mutex_;
   PartyRegistry parties_;
   std::map<std::string, Contract> contracts_;
-  // contract id -> provider name -> submission
-  std::map<std::string, std::map<std::string, Submission>> submissions_;
+  // contract id -> provider name -> submission snapshot
+  std::map<std::string, std::map<std::string, std::shared_ptr<const Submission>>>
+      submissions_;
   std::uint64_t next_contract_ = 1;
+  std::uint64_t next_version_ = 1;
   std::vector<sim::AttestationLink> attestation_chain_;
   std::optional<ExecutionFailure> last_failure_;
   std::set<std::string> dead_contracts_;
+  std::unique_ptr<ReuseCache> reuse_cache_;
+
+  SchedulerOptions scheduler_options_;
+  /// Declared last on purpose: destroyed first, so the worker pool drains
+  /// (and every in-flight request finishes touching host_ and the
+  /// registries) before any other member dies.
+  std::unique_ptr<ContractScheduler> scheduler_;
 };
 
 /// The (simulated) manufacturer root key parties use to verify devices.

@@ -510,7 +510,7 @@ TEST_F(ChaosServiceTest, CorruptionYieldsStructuredFailureAndDeadContract) {
 
   // Structured post-mortem: phase, status, partial metrics, verdict.
   ASSERT_TRUE(service_->last_failure().has_value());
-  const service::ExecutionFailure& failure = *service_->last_failure();
+  const service::ExecutionFailure failure = *service_->last_failure();
   EXPECT_EQ(failure.contract_id, contract_);
   EXPECT_TRUE(failure.phase == "algorithm" || failure.phase == "decode")
       << failure.phase;
@@ -554,7 +554,7 @@ TEST_F(ChaosServiceTest, ExhaustedRetryBudgetReportsUnavailable) {
   ASSERT_FALSE(delivery.ok());
   EXPECT_EQ(delivery.status().code(), StatusCode::kUnavailable);
   ASSERT_TRUE(service_->last_failure().has_value());
-  const service::ExecutionFailure& failure = *service_->last_failure();
+  const service::ExecutionFailure failure = *service_->last_failure();
   EXPECT_FALSE(failure.device_disabled);
   // The retry history shows the budget was spent before giving up.
   EXPECT_GT(failure.partial_metrics.host_retries, 0u);
@@ -566,6 +566,140 @@ TEST_F(ChaosServiceTest, ExhaustedRetryBudgetReportsUnavailable) {
       service_->ExecuteJoin(contract_, *workload_.predicate, Options());
   EXPECT_TRUE(retry.ok()) << retry.status();
   EXPECT_FALSE(service_->last_failure().has_value());
+}
+
+// ---- Chaos under concurrency ----------------------------------------------
+// The scheduler's headline contract: N tenants share one faulty host, yet
+// every request sees exactly its own outcome — correct tuples under
+// recoverable chaos, and on corruption an isolated per-request post-mortem
+// that names its own contract, never a neighbour's.
+
+TEST_F(ChaosServiceTest, ChaosUnderConcurrentTenantsRecovers) {
+  constexpr int kExtraTenants = 3;
+  constexpr int kRequestsPerTenant = 3;
+  struct Tenant {
+    std::string contract;
+    relation::TwoTableWorkload workload;
+  };
+  std::vector<Tenant> tenants;
+  // Tenant 0 is the fixture's; give every extra tenant its own recipient
+  // (its own quota bucket) and its own distinguishable workload, so a
+  // cross-tenant mixup cannot hide behind identical data.
+  tenants.push_back({contract_, std::move(workload_)});
+  for (int t = 0; t < kExtraTenants; ++t) {
+    const std::string recipient = "auditor-" + std::to_string(t);
+    ASSERT_TRUE(service_->RegisterParty(recipient, 500 + t).ok());
+    auto contract = service_->CreateContract({"airline", "agency"},
+                                             recipient, "any");
+    ASSERT_TRUE(contract.ok());
+    relation::EquijoinSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 16;
+    spec.n_max = 4;
+    spec.result_size = 4 + t;
+    spec.seed = 80 + t;
+    auto workload = relation::MakeEquijoinWorkload(spec);
+    ASSERT_TRUE(workload.ok());
+    ASSERT_TRUE(
+        service_->SubmitRelation(*contract, "airline", *workload->a).ok());
+    ASSERT_TRUE(
+        service_->SubmitRelation(*contract, "agency", *workload->b).ok());
+    tenants.push_back({*contract, std::move(*workload)});
+  }
+
+  faults_->Arm(RecoverableTransientPlan(17));
+  service::ExecuteOptions options = Options();
+  options.allow_reuse = false;  // every request executes under chaos
+
+  std::vector<std::vector<service::Ticket>> tickets(tenants.size());
+  for (int i = 0; i < kRequestsPerTenant; ++i) {
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      auto ticket = service_->Submit(
+          tenants[t].contract,
+          service::JoinRequest::PairJoin(*tenants[t].workload.predicate),
+          options);
+      ASSERT_TRUE(ticket.ok()) << ticket.status();
+      tickets[t].push_back(*ticket);
+    }
+  }
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const auto& w = tenants[t].workload;
+    for (service::Ticket ticket : tickets[t]) {
+      auto response = service_->Wait(ticket);
+      ASSERT_TRUE(response.ok()) << response.status();
+      EXPECT_FALSE(service_->post_mortem(ticket).has_value());
+      const relation::GroundTruth truth = relation::ComputeGroundTruth(
+          *w.a, *w.b, *w.predicate, response->delivery->result_schema.get());
+      EXPECT_TRUE(relation::SameTupleMultiset(response->delivery->tuples,
+                                              truth.expected))
+          << "tenant " << t;
+      service_->Release(ticket);
+    }
+    EXPECT_FALSE(service_->ContractDead(tenants[t].contract));
+  }
+  EXPECT_GT(faults_->stats().ops, 0u);
+}
+
+TEST_F(ChaosServiceTest, ConcurrentCorruptionIsolatesPerRequestPostMortems) {
+  // A second tenant with its own contract over the same providers.
+  ASSERT_TRUE(service_->RegisterParty("auditor", 555).ok());
+  auto second = service_->CreateContract({"airline", "agency"}, "auditor",
+                                         "any");
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(
+      service_->SubmitRelation(*second, "airline", *workload_.a).ok());
+  ASSERT_TRUE(
+      service_->SubmitRelation(*second, "agency", *workload_.b).ok());
+
+  FaultPlan plan;
+  plan.bit_flip_rate = 1.0;
+  faults_->Arm(plan);
+
+  // Two interleaved failing requests: each ticket must retain exactly its
+  // own post-mortem (the legacy last_failure() slot is a race here by
+  // construction — that is what post_mortem(ticket) exists for).
+  const service::JoinRequest request =
+      service::JoinRequest::PairJoin(*workload_.predicate);
+  auto t1 = service_->Submit(contract_, request, Options());
+  auto t2 = service_->Submit(*second, request, Options());
+  ASSERT_TRUE(t1.ok()) << t1.status();
+  ASSERT_TRUE(t2.ok()) << t2.status();
+
+  auto r1 = service_->Wait(*t1);
+  auto r2 = service_->Wait(*t2);
+  ASSERT_FALSE(r1.ok());
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kTampered);
+  EXPECT_EQ(r2.status().code(), StatusCode::kTampered);
+
+  const auto f1 = service_->post_mortem(*t1);
+  const auto f2 = service_->post_mortem(*t2);
+  ASSERT_TRUE(f1.has_value());
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ(f1->contract_id, contract_);
+  EXPECT_EQ(f2->contract_id, *second);
+  EXPECT_TRUE(f1->device_disabled);
+  EXPECT_TRUE(f2->device_disabled);
+  EXPECT_TRUE(f1->phase == "algorithm" || f1->phase == "decode");
+  EXPECT_TRUE(f2->phase == "algorithm" || f2->phase == "decode");
+
+  // Both tamper responses fired; both contracts are dead, and the rest of
+  // the service keeps working once the storage heals.
+  EXPECT_TRUE(service_->ContractDead(contract_));
+  EXPECT_TRUE(service_->ContractDead(*second));
+  faults_->Disarm();
+  ASSERT_TRUE(service_->RegisterParty("fresh", 556).ok());
+  auto healthy = service_->CreateContract({"airline", "agency"}, "fresh",
+                                          "any");
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_TRUE(
+      service_->SubmitRelation(*healthy, "airline", *workload_.a).ok());
+  ASSERT_TRUE(
+      service_->SubmitRelation(*healthy, "agency", *workload_.b).ok());
+  EXPECT_TRUE(
+      service_->Execute(*healthy, request, Options()).ok());
+  service_->Release(*t1);
+  service_->Release(*t2);
 }
 
 // ---- The full sweep: every algorithm, scalar/batched/parallel -------------

@@ -1,6 +1,8 @@
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -428,6 +430,342 @@ TEST_F(ServiceTest, TraceFingerprintStableAcrossContentChanges) {
     return delivery->trace;
   };
   EXPECT_EQ(run(100), run(200));
+}
+
+// ---- The unified async request API + contract scheduler -------------------
+
+TEST_F(ServiceTest, SubmitWaitTicketLifecycle) {
+  auto w = Workload(21);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(Submit(*w).ok());
+  ExecuteOptions options;
+  options.algorithm = core::Algorithm::kAlgorithm5;
+  options.memory_tuples = 6;
+
+  auto ticket = service_.Submit(
+      contract_, JoinRequest::PairJoin(*w->predicate), options);
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  EXPECT_TRUE(static_cast<bool>(*ticket));
+
+  auto response = service_.Wait(*ticket);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(service_.Poll(*ticket), TicketStatus::kDone);
+  EXPECT_EQ(response->kind, JoinRequest::Kind::kPairJoin);
+  ASSERT_TRUE(response->delivery.has_value());
+  EXPECT_EQ(response->delivery->tuples.size(), 9u);
+  EXPECT_FALSE(response->reused);
+  EXPECT_FALSE(service_.post_mortem(*ticket).has_value());
+
+  // The response is single-consume; the ticket survives until Release.
+  EXPECT_EQ(service_.Wait(*ticket).status().code(),
+            StatusCode::kFailedPrecondition);
+  service_.Release(*ticket);
+  EXPECT_EQ(service_.Poll(*ticket), TicketStatus::kUnknown);
+  EXPECT_EQ(service_.Wait(*ticket).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServiceTest, UnifiedRequestCoversAllFourKinds) {
+  auto w = Workload(23);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(Submit(*w).ok());
+  ExecuteOptions options;
+  options.algorithm = core::Algorithm::kAlgorithm5;
+  options.memory_tuples = 6;
+  const relation::PairAsMultiway multiway(w->predicate.get());
+
+  auto join = service_.Execute(
+      contract_, JoinRequest::PairJoin(*w->predicate), options);
+  ASSERT_TRUE(join.ok()) << join.status();
+  ASSERT_TRUE(join->delivery.has_value());
+
+  auto mjoin = service_.Execute(
+      contract_, JoinRequest::MultiwayJoin(multiway), options);
+  ASSERT_TRUE(mjoin.ok()) << mjoin.status();
+  ASSERT_TRUE(mjoin->delivery.has_value());
+  EXPECT_EQ(mjoin->delivery->tuples.size(), join->delivery->tuples.size());
+
+  auto agg = service_.Execute(
+      contract_,
+      JoinRequest::Aggregate(multiway, {.kind = core::AggregateKind::kCount}),
+      options);
+  ASSERT_TRUE(agg.ok()) << agg.status();
+  ASSERT_TRUE(agg->aggregate.has_value());
+  EXPECT_EQ(static_cast<std::size_t>(agg->aggregate->count),
+            join->delivery->tuples.size());
+
+  core::GroupByCountSpec spec;
+  spec.table = 0;
+  spec.column = 0;
+  spec.domain_lo = 0;
+  spec.domain_hi = 63;
+  auto gb = service_.Execute(contract_,
+                             JoinRequest::GroupByCount(multiway, spec),
+                             options);
+  ASSERT_TRUE(gb.ok()) << gb.status();
+  ASSERT_TRUE(gb->group_by.has_value());
+  std::int64_t total = gb->group_by->overflow;
+  for (std::int64_t c : gb->group_by->counts) total += c;
+  EXPECT_EQ(static_cast<std::size_t>(total), join->delivery->tuples.size());
+}
+
+TEST_F(ServiceTest, OptionQuotaViolationsGetDistinctStatusCode) {
+  SchedulerOptions sched;
+  sched.quotas.max_parallelism = 2;
+  sched.quotas.max_memory_tuples = 64;
+  ASSERT_TRUE(service_.ConfigureScheduler(sched).ok());
+  auto w = Workload(31);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(Submit(*w).ok());
+
+  ExecuteOptions options;
+  options.algorithm = core::Algorithm::kAlgorithm5;
+  options.parallelism = 3;  // over the quota of 2
+  auto over_parallel = service_.Submit(
+      contract_, JoinRequest::PairJoin(*w->predicate), options);
+  EXPECT_EQ(over_parallel.status().code(), StatusCode::kQuotaExceeded);
+
+  options.parallelism = 1;
+  options.memory_tuples = 128;  // over the quota of 64
+  auto over_memory = service_.Submit(
+      contract_, JoinRequest::PairJoin(*w->predicate), options);
+  EXPECT_EQ(over_memory.status().code(), StatusCode::kQuotaExceeded);
+  // The refusal leaves a post-mortem with the admission phase.
+  auto failure = service_.last_failure();
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->phase, "admission");
+
+  // A merely contradictory option set stays kInvalidArgument — the caller
+  // can tell "too much" from "nonsense".
+  options.memory_tuples = 1;
+  auto nonsense = service_.Submit(
+      contract_, JoinRequest::PairJoin(*w->predicate), options);
+  EXPECT_EQ(nonsense.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServiceTest, AdmissionQueueQuotaRefusesExcessSubmits) {
+  SchedulerOptions sched;
+  sched.quotas.max_queued = 0;  // every enqueue refused
+  ASSERT_TRUE(service_.ConfigureScheduler(sched).ok());
+  auto w = Workload(33);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(Submit(*w).ok());
+  ExecuteOptions options;
+  options.algorithm = core::Algorithm::kAlgorithm5;
+  options.memory_tuples = 6;
+  auto ticket = service_.Submit(
+      contract_, JoinRequest::PairJoin(*w->predicate), options);
+  EXPECT_EQ(ticket.status().code(), StatusCode::kQuotaExceeded);
+  EXPECT_EQ(service_.scheduler_stats().quota_rejected, 1u);
+  EXPECT_EQ(service_.scheduler_stats().submitted, 0u);
+}
+
+TEST_F(ServiceTest, ConfigureSchedulerFreezesAfterFirstSubmit) {
+  auto w = Workload(35);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(Submit(*w).ok());
+  ExecuteOptions options;
+  options.algorithm = core::Algorithm::kAlgorithm5;
+  options.memory_tuples = 6;
+  ASSERT_TRUE(service_
+                  .Execute(contract_, JoinRequest::PairJoin(*w->predicate),
+                           options)
+                  .ok());
+  EXPECT_EQ(service_.ConfigureScheduler(SchedulerOptions{}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServiceTest, ReuseCacheServesRepeatedQuery) {
+  auto w = Workload(41);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(Submit(*w).ok());
+  ExecuteOptions options;
+  options.algorithm = core::Algorithm::kAlgorithm5;
+  options.memory_tuples = 6;
+  const JoinRequest request = JoinRequest::PairJoin(*w->predicate);
+
+  auto first = service_.Execute(contract_, request, options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->reused);
+
+  // Identical query, unchanged relations: served from the sealed
+  // intermediate. Same tuples, the original run's observable surface, no
+  // fresh coprocessor work.
+  auto second = service_.Execute(contract_, request, options);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second->reused);
+  ASSERT_TRUE(second->delivery.has_value());
+  EXPECT_TRUE(second->delivery->reused);
+  EXPECT_TRUE(relation::SameTupleMultiset(second->delivery->tuples,
+                                          first->delivery->tuples));
+  EXPECT_EQ(second->delivery->metrics.TupleTransfers(),
+            first->delivery->metrics.TupleTransfers());
+  EXPECT_EQ(second->delivery->trace, first->delivery->trace);
+
+  // Any differing option is a different key.
+  ExecuteOptions other = options;
+  other.seed = 99;
+  auto reseeded = service_.Execute(contract_, request, other);
+  ASSERT_TRUE(reseeded.ok());
+  EXPECT_FALSE(reseeded->reused);
+
+  // Per-request opt-out forces a fresh execution.
+  ExecuteOptions no_reuse = options;
+  no_reuse.allow_reuse = false;
+  auto fresh = service_.Execute(contract_, request, no_reuse);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->reused);
+}
+
+TEST_F(ServiceTest, ResubmitInvalidatesReuseCache) {
+  auto w = Workload(43);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(Submit(*w).ok());
+  ExecuteOptions options;
+  options.algorithm = core::Algorithm::kAlgorithm5;
+  options.memory_tuples = 6;
+  const JoinRequest request = JoinRequest::PairJoin(*w->predicate);
+
+  ASSERT_TRUE(service_.Execute(contract_, request, options).ok());
+  auto cached = service_.Execute(contract_, request, options);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached->reused);
+
+  // Resubmitting a provider's relation bumps its version: the cached
+  // intermediate no longer matches and the next query runs for real.
+  ASSERT_TRUE(service_.SubmitRelation(contract_, "airline", *w->a).ok());
+  auto after = service_.Execute(contract_, request, options);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_FALSE(after->reused);
+  EXPECT_TRUE(relation::SameTupleMultiset(after->delivery->tuples,
+                                          cached->delivery->tuples));
+}
+
+TEST_F(ServiceTest, ConcurrentTenantsMatchSerialExecution) {
+  // N tenants, each with its own contract and workload, submit M requests
+  // from their own threads. Every delivery must equal the plain-join
+  // ground truth — concurrency must never mix up contracts, keys, or
+  // snapshots.
+  constexpr int kTenants = 4;
+  constexpr int kRequestsPerTenant = 4;
+  SovereignJoinService service;
+  SchedulerOptions sched;
+  sched.workers = 4;
+  sched.quotas.max_in_flight = 2;
+  ASSERT_TRUE(service.ConfigureScheduler(sched).ok());
+
+  struct Tenant {
+    std::string contract;
+    Result<relation::TwoTableWorkload> workload = Status::Internal("unset");
+  };
+  std::vector<Tenant> tenants(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    const std::string a = "prov-a-" + std::to_string(t);
+    const std::string b = "prov-b-" + std::to_string(t);
+    const std::string r = "recipient-" + std::to_string(t);
+    ASSERT_TRUE(service.RegisterParty(a, 100 + t).ok());
+    ASSERT_TRUE(service.RegisterParty(b, 200 + t).ok());
+    ASSERT_TRUE(service.RegisterParty(r, 300 + t).ok());
+    auto contract = service.CreateContract({a, b}, r, "equijoin");
+    ASSERT_TRUE(contract.ok());
+    tenants[t].contract = *contract;
+    EquijoinSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 16;
+    spec.n_max = 4;
+    spec.result_size = 5 + t;
+    spec.seed = 70 + t;
+    tenants[t].workload = MakeEquijoinWorkload(spec);
+    ASSERT_TRUE(tenants[t].workload.ok());
+    ASSERT_TRUE(service
+                    .SubmitRelation(tenants[t].contract, a,
+                                    *tenants[t].workload->a)
+                    .ok());
+    ASSERT_TRUE(service
+                    .SubmitRelation(tenants[t].contract, b,
+                                    *tenants[t].workload->b)
+                    .ok());
+  }
+
+  ExecuteOptions options;
+  options.algorithm = core::Algorithm::kAlgorithm5;
+  options.memory_tuples = 6;
+  options.allow_reuse = false;  // force every request to execute for real
+
+  std::vector<std::vector<Ticket>> tickets(kTenants);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kRequestsPerTenant; ++i) {
+        auto ticket = service.Submit(
+            tenants[t].contract,
+            JoinRequest::PairJoin(*tenants[t].workload->predicate), options);
+        ASSERT_TRUE(ticket.ok()) << ticket.status();
+        tickets[t].push_back(*ticket);
+      }
+    });
+  }
+  for (std::thread& th : submitters) th.join();
+
+  for (int t = 0; t < kTenants; ++t) {
+    const auto& w = *tenants[t].workload;
+    for (Ticket ticket : tickets[t]) {
+      auto response = service.Wait(ticket);
+      ASSERT_TRUE(response.ok()) << response.status();
+      ASSERT_TRUE(response->delivery.has_value());
+      const relation::GroundTruth truth = relation::ComputeGroundTruth(
+          *w.a, *w.b, *w.predicate, response->delivery->result_schema.get());
+      EXPECT_TRUE(relation::SameTupleMultiset(response->delivery->tuples,
+                                              truth.expected))
+          << "tenant " << t;
+      service.Release(ticket);
+    }
+  }
+
+  const SchedulerStats stats = service.scheduler_stats();
+  constexpr std::uint64_t kTotal = kTenants * kRequestsPerTenant;
+  EXPECT_EQ(stats.submitted, kTotal);
+  EXPECT_EQ(stats.completed, kTotal);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.running, 0u);
+}
+
+TEST_F(ServiceTest, ConcurrentMixedKindsDeliverConsistentAnswers) {
+  // Joins, aggregates, and group-by-counts of one tenant interleave on the
+  // worker pool; the aggregate answers must match the materialized join.
+  auto w = Workload(47);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(Submit(*w).ok());
+  ExecuteOptions options;
+  options.algorithm = core::Algorithm::kAlgorithm5;
+  options.memory_tuples = 6;
+  options.allow_reuse = false;
+  const relation::PairAsMultiway multiway(w->predicate.get());
+
+  std::vector<Ticket> join_tickets;
+  std::vector<Ticket> agg_tickets;
+  for (int i = 0; i < 4; ++i) {
+    auto jt = service_.Submit(contract_,
+                              JoinRequest::PairJoin(*w->predicate), options);
+    ASSERT_TRUE(jt.ok()) << jt.status();
+    join_tickets.push_back(*jt);
+    auto at = service_.Submit(
+        contract_,
+        JoinRequest::Aggregate(multiway,
+                               {.kind = core::AggregateKind::kCount}),
+        options);
+    ASSERT_TRUE(at.ok()) << at.status();
+    agg_tickets.push_back(*at);
+  }
+  for (std::size_t i = 0; i < join_tickets.size(); ++i) {
+    auto join = service_.Wait(join_tickets[i]);
+    ASSERT_TRUE(join.ok()) << join.status();
+    auto agg = service_.Wait(agg_tickets[i]);
+    ASSERT_TRUE(agg.ok()) << agg.status();
+    EXPECT_EQ(static_cast<std::size_t>(agg->aggregate->count),
+              join->delivery->tuples.size());
+  }
 }
 
 }  // namespace

@@ -225,19 +225,23 @@ Result<JoinRun> ExecuteJoinFromFlags(const Flags& flags,
     faults->Arm(run.fault_plan);
     run.faults_armed = true;
   }
-  Result<service::JoinDelivery> delivery = Status::Internal("unreachable");
-  if (options.parallelism > 1) {
-    const relation::PairAsMultiway multiway(workload.predicate.get());
-    delivery = svc.ExecuteMultiwayJoin(contract, multiway, options);
-  } else {
-    delivery = svc.ExecuteJoin(contract, *workload.predicate, options);
-  }
+  // The unified async API: submit the request (a pair join — values of
+  // --parallel > 1 dispatch to the parallel executors inside the service),
+  // then block on its ticket.
+  const service::JoinRequest request =
+      service::JoinRequest::PairJoin(*workload.predicate);
+  Result<service::Ticket> ticket = svc.Submit(contract, request, options);
+  Result<service::Response> response =
+      ticket.ok() ? svc.Wait(*ticket) : ticket.status();
   if (faults != nullptr) run.fault_stats = faults->stats();
-  if (!delivery.ok()) {
+  if (!response.ok()) {
     // Graceful degradation: surface the structured post-mortem the service
-    // kept — which phase died, the retry history, the tamper verdict.
-    if (svc.last_failure().has_value()) {
-      const service::ExecutionFailure& f = *svc.last_failure();
+    // kept for this ticket — which phase died, the retry history, the
+    // tamper verdict.
+    const std::optional<service::ExecutionFailure> failure =
+        ticket.ok() ? svc.post_mortem(*ticket) : svc.last_failure();
+    if (failure.has_value()) {
+      const service::ExecutionFailure& f = *failure;
       std::fprintf(stderr, "execution failed in phase '%s'\n",
                    f.phase.c_str());
       std::fprintf(
@@ -250,9 +254,9 @@ Result<JoinRun> ExecuteJoinFromFlags(const Flags& flags,
                      run.fault_stats.ToString().c_str());
       }
     }
-    return delivery.status();
+    return response.status();
   }
-  run.delivery = std::move(*delivery);
+  run.delivery = std::move(*response->delivery);
   return run;
 }
 
