@@ -4,21 +4,27 @@
 // Unlike the per-algorithm harnesses this measures the *service* layer —
 // admission, fair dequeue across tenants, worker-pool execution — not the
 // transfer cost model. `--smoke` shrinks the sweep for CI.
+//
+// Latency percentiles come from the metrics registry the service publishes
+// into (the all-tenant merge of ppj_request_latency_ns) — the bench reads
+// the same exposition `ppjctl stats` and Service::MetricsSnapshot() serve,
+// so the committed BENCH baselines and the live metrics reconcile by
+// construction. With -DPPJ_METRICS=OFF the registry is empty and the bench
+// falls back to the per-ticket lifecycle records (same timestamps, no
+// histograms).
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/metrics.h"
 #include "relation/generator.h"
 #include "service/service.h"
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 double Percentile(std::vector<double> sorted, double p) {
   if (sorted.empty()) return 0;
@@ -49,9 +55,13 @@ int main(int argc, char** argv) {
             : "64 contracts x 4 requests over 8 tenants; latency is\n"
               "submit -> completion (queueing + execution), Algorithm 5.");
 
+  // A private registry keeps the numbers scoped to this run even when
+  // other code in the process publishes into the global instance.
+  metrics::Registry registry;
   service::SovereignJoinService service;
   service::SchedulerOptions sched;
   sched.quotas.max_in_flight = 4;
+  sched.registry = &registry;
   if (!service.ConfigureScheduler(sched).ok()) return 1;
 
   // kTenants recipients, each driving kContracts/kTenants contracts; every
@@ -98,11 +108,7 @@ int main(int argc, char** argv) {
   // drain in submission order. Latency therefore includes time spent
   // queued behind the tenant's fair-share slot — the number a caller of
   // the async API actually experiences.
-  struct Pending {
-    service::Ticket ticket;
-    Clock::time_point submitted;
-  };
-  std::vector<Pending> pending;
+  std::vector<service::Ticket> pending;
   pending.reserve(kTotal);
   const bench::WallTimer timer;
   for (std::size_t r = 0; r < kRounds; ++r) {
@@ -115,35 +121,55 @@ int main(int argc, char** argv) {
                     ticket.status().ToString().c_str());
         return 1;
       }
-      pending.push_back({*ticket, Clock::now()});
+      pending.push_back(*ticket);
     }
   }
 
-  std::vector<double> latency_ms;
-  latency_ms.reserve(kTotal);
   std::size_t delivered_tuples = 0;
-  for (const Pending& p : pending) {
-    auto response = service.Wait(p.ticket);
+  // Fallback percentile source when metrics are compiled out: the
+  // lifecycle records carry the same scheduler timestamps the histograms
+  // were fed from.
+  std::vector<double> lifecycle_latency_ms;
+  lifecycle_latency_ms.reserve(kTotal);
+  for (const service::Ticket& ticket : pending) {
+    auto response = service.Wait(ticket);
     if (!response.ok()) {
       std::printf("request failed: %s\n",
                   response.status().ToString().c_str());
       return 1;
     }
-    latency_ms.push_back(
-        std::chrono::duration<double, std::milli>(Clock::now() - p.submitted)
-            .count());
     delivered_tuples += response->delivery->tuples.size();
-    service.Release(p.ticket);
+    if (auto trace = service.lifecycle(ticket)) {
+      lifecycle_latency_ms.push_back(
+          static_cast<double>(trace->latency_ns()) / 1e6);
+    }
+    service.Release(ticket);
   }
   const double wall_ns = timer.ElapsedNs();
 
   const service::SchedulerStats stats = service.scheduler_stats();
-  std::sort(latency_ms.begin(), latency_ms.end());
   const double seconds = wall_ns / 1e9;
   const double joins_per_sec =
       seconds > 0 ? static_cast<double>(kTotal) / seconds : 0;
-  const double p50 = Percentile(latency_ms, 0.50);
-  const double p99 = Percentile(latency_ms, 0.99);
+
+  // p50/p99 from the registry's log-linear latency histogram, merged over
+  // all tenants — the same numbers MetricsSnapshot()/`ppjctl stats` expose.
+  double p50 = 0, p99 = 0;
+  const metrics::Snapshot snapshot = service.MetricsSnapshot();
+  const metrics::HistogramSample latency =
+      snapshot.MergeHistograms(metrics::kLatencyNs);
+  if (latency.count == kTotal) {
+    p50 = static_cast<double>(latency.Quantile(0.50)) / 1e6;
+    p99 = static_cast<double>(latency.Quantile(0.99)) / 1e6;
+  } else if (metrics::Registry::CompiledIn()) {
+    std::printf("latency histogram count %llu != %zu requests\n",
+                static_cast<unsigned long long>(latency.count), kTotal);
+    return 1;
+  } else {
+    std::sort(lifecycle_latency_ms.begin(), lifecycle_latency_ms.end());
+    p50 = Percentile(lifecycle_latency_ms, 0.50);
+    p99 = Percentile(lifecycle_latency_ms, 0.99);
+  }
 
   std::printf("%12s %10s %10s %12s %10s %10s\n", "contracts", "requests",
               "workers", "joins/sec", "p50 ms", "p99 ms");

@@ -1,0 +1,564 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+
+namespace ppj::metrics {
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view value) {
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+void AppendLabel(std::string& out, std::string_view key,
+                 const std::string& value, bool& first) {
+  if (value.empty()) return;
+  if (!first) out += ',';
+  first = false;
+  out += key;
+  out += "=\"";
+  AppendEscaped(out, value);
+  out += '"';
+}
+
+// JSON string escaping for exposition (label values and names are plain
+// identifiers in practice, but stay correct for arbitrary input).
+void AppendJsonString(std::string& out, std::string_view value) {
+  out += '"';
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendJsonLabels(std::string& out, const LabelSet& labels) {
+  out += '{';
+  bool first = true;
+  auto field = [&](std::string_view key, const std::string& value) {
+    if (value.empty()) return;
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, key);
+    out += ':';
+    AppendJsonString(out, value);
+  };
+  field("tenant", labels.tenant);
+  field("kind", labels.kind);
+  field("algorithm", labels.algorithm);
+  field("outcome", labels.outcome);
+  field("op", labels.op);
+  out += '}';
+}
+
+void AtomicMinimize(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaximize(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::string LabelSet::ToPrometheus() const {
+  if (empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  AppendLabel(out, "tenant", tenant, first);
+  AppendLabel(out, "kind", kind, first);
+  AppendLabel(out, "algorithm", algorithm, first);
+  AppendLabel(out, "outcome", outcome, first);
+  AppendLabel(out, "op", op, first);
+  out += '}';
+  return out;
+}
+
+std::string LabelSet::ToKey() const {
+  // \x1f is an invalid character in every label value we emit, so the join
+  // is collision-free.
+  std::string key;
+  key.reserve(tenant.size() + kind.size() + algorithm.size() +
+              outcome.size() + op.size() + 4);
+  key += tenant;
+  key += '\x1f';
+  key += kind;
+  key += '\x1f';
+  key += algorithm;
+  key += '\x1f';
+  key += outcome;
+  key += '\x1f';
+  key += op;
+  return key;
+}
+
+namespace internal {
+
+std::size_t BucketIndex(std::uint64_t value) {
+  if (value < kLinearBuckets) return static_cast<std::size_t>(value);
+  const std::size_t octave = std::bit_width(value) - 1;  // >= kFirstOctave
+  const std::size_t sub = (value >> (octave - 2)) & (kSubBuckets - 1);
+  return kLinearBuckets + (octave - kFirstOctave) * kSubBuckets + sub;
+}
+
+std::uint64_t BucketLowerBound(std::size_t index) {
+  if (index < kLinearBuckets) return index;
+  const std::size_t rel = index - kLinearBuckets;
+  const std::size_t octave = kFirstOctave + rel / kSubBuckets;
+  const std::size_t sub = rel % kSubBuckets;
+  return (std::uint64_t{kSubBuckets} + sub) << (octave - 2);
+}
+
+std::uint64_t BucketUpperBound(std::size_t index) {
+  if (index < kLinearBuckets) return index + 1;
+  const std::size_t rel = index - kLinearBuckets;
+  const std::size_t octave = kFirstOctave + rel / kSubBuckets;
+  const std::size_t sub = rel % kSubBuckets;
+  if (octave == 63 && sub == kSubBuckets - 1) return ~std::uint64_t{0};
+  return (std::uint64_t{kSubBuckets} + sub + 1) << (octave - 2);
+}
+
+}  // namespace internal
+
+void Histogram::Observe(std::uint64_t value) {
+  if (cell_ == nullptr) return;
+  cell_->buckets[internal::BucketIndex(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  cell_->count.fetch_add(1, std::memory_order_relaxed);
+  cell_->sum.fetch_add(value, std::memory_order_relaxed);
+  AtomicMinimize(cell_->min, value);
+  AtomicMaximize(cell_->max, value);
+}
+
+std::uint64_t HistogramSample::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (const Bucket& b : buckets) {
+    if (seen + b.count < rank) {
+      seen += b.count;
+      continue;
+    }
+    // Interpolate within [lower, upper) by rank position.
+    const std::uint64_t lower =
+        internal::BucketLowerBound(internal::BucketIndex(
+            b.upper == ~std::uint64_t{0} ? b.upper : b.upper - 1));
+    const double frac = b.count == 0
+                            ? 0.0
+                            : static_cast<double>(rank - seen) /
+                                  static_cast<double>(b.count);
+    const double width = static_cast<double>(b.upper - lower);
+    std::uint64_t v =
+        lower + static_cast<std::uint64_t>(std::llround(frac * width));
+    return std::clamp(v, min, max);
+  }
+  return max;
+}
+
+// ---- Registry ------------------------------------------------------------
+
+struct Registry::Shard {
+  mutable std::mutex mu;
+  // Keys: name + '\x1e' + labels.ToKey(). Cells are heap-stable; handles
+  // hold raw pointers that stay valid for the registry's lifetime.
+  std::unordered_map<std::string, std::unique_ptr<internal::CounterCell>>
+      counters;
+  std::unordered_map<std::string, std::unique_ptr<internal::GaugeCell>> gauges;
+  std::unordered_map<std::string, std::unique_ptr<internal::HistogramCell>>
+      histograms;
+  // Name + labels per key, for snapshotting.
+  std::unordered_map<std::string, std::pair<std::string, LabelSet>> meta;
+};
+
+Registry::Registry(bool enabled)
+    : enabled_(enabled && CompiledIn()),
+      shards_(enabled_ ? std::make_unique<Shard[]>(kShards) : nullptr) {}
+
+Registry::~Registry() = default;
+
+Registry& Registry::Global() {
+  static Registry* global = new Registry(true);  // leaked: outlive all users
+  return *global;
+}
+
+bool Registry::CompiledIn() {
+#ifdef PPJ_METRICS_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+Registry::Shard& Registry::ShardFor(std::string_view key) const {
+  return shards_[std::hash<std::string_view>{}(key) % kShards];
+}
+
+namespace {
+std::string MapKey(std::string_view name, const LabelSet& labels) {
+  std::string key(name);
+  key += '\x1e';
+  key += labels.ToKey();
+  return key;
+}
+}  // namespace
+
+Counter Registry::GetCounter(std::string_view name, const LabelSet& labels) {
+  if (!enabled_) return Counter{};
+  const std::string key = MapKey(name, labels);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& cell = shard.counters[key];
+  if (cell == nullptr) {
+    cell = std::make_unique<internal::CounterCell>();
+    shard.meta.emplace(key, std::make_pair(std::string(name), labels));
+  }
+  return Counter{cell.get()};
+}
+
+Gauge Registry::GetGauge(std::string_view name, const LabelSet& labels) {
+  if (!enabled_) return Gauge{};
+  const std::string key = MapKey(name, labels);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& cell = shard.gauges[key];
+  if (cell == nullptr) {
+    cell = std::make_unique<internal::GaugeCell>();
+    shard.meta.emplace(key, std::make_pair(std::string(name), labels));
+  }
+  return Gauge{cell.get()};
+}
+
+Histogram Registry::GetHistogram(std::string_view name,
+                                 const LabelSet& labels) {
+  if (!enabled_) return Histogram{};
+  const std::string key = MapKey(name, labels);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& cell = shard.histograms[key];
+  if (cell == nullptr) {
+    cell = std::make_unique<internal::HistogramCell>();
+    shard.meta.emplace(key, std::make_pair(std::string(name), labels));
+  }
+  return Histogram{cell.get()};
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  Snapshot snap;
+  if (!enabled_) return snap;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, cell] : shard.counters) {
+      const auto& [name, labels] = shard.meta.at(key);
+      snap.counters.push_back(
+          {name, labels, cell->value.load(std::memory_order_relaxed)});
+    }
+    for (const auto& [key, cell] : shard.gauges) {
+      const auto& [name, labels] = shard.meta.at(key);
+      snap.gauges.push_back(
+          {name, labels, cell->value.load(std::memory_order_relaxed)});
+    }
+    for (const auto& [key, cell] : shard.histograms) {
+      const auto& [name, labels] = shard.meta.at(key);
+      HistogramSample sample;
+      sample.name = name;
+      sample.labels = labels;
+      sample.count = cell->count.load(std::memory_order_relaxed);
+      sample.sum = cell->sum.load(std::memory_order_relaxed);
+      if (sample.count > 0) {
+        sample.min = cell->min.load(std::memory_order_relaxed);
+        sample.max = cell->max.load(std::memory_order_relaxed);
+      }
+      for (std::size_t b = 0; b < internal::kNumBuckets; ++b) {
+        const std::uint64_t n =
+            cell->buckets[b].load(std::memory_order_relaxed);
+        if (n > 0) {
+          sample.buckets.push_back({internal::BucketUpperBound(b), n});
+        }
+      }
+      snap.histograms.push_back(std::move(sample));
+    }
+  }
+  auto by_name_labels = [](const auto& a, const auto& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.labels.ToKey() < b.labels.ToKey();
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name_labels);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name_labels);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name_labels);
+  return snap;
+}
+
+// ---- Snapshot queries ----------------------------------------------------
+
+const HistogramSample* Snapshot::FindHistogram(std::string_view name,
+                                               const LabelSet& labels) const {
+  for (const HistogramSample& h : histograms) {
+    if (h.name == name && h.labels == labels) return &h;
+  }
+  return nullptr;
+}
+
+std::uint64_t Snapshot::CounterValue(std::string_view name,
+                                     const LabelSet& labels) const {
+  for (const CounterSample& c : counters) {
+    if (c.name == name && c.labels == labels) return c.value;
+  }
+  return 0;
+}
+
+std::int64_t Snapshot::GaugeValue(std::string_view name,
+                                  const LabelSet& labels) const {
+  for (const GaugeSample& g : gauges) {
+    if (g.name == name && g.labels == labels) return g.value;
+  }
+  return 0;
+}
+
+std::uint64_t Snapshot::CounterTotal(std::string_view name) const {
+  std::uint64_t total = 0;
+  for (const CounterSample& c : counters) {
+    if (c.name == name) total += c.value;
+  }
+  return total;
+}
+
+std::int64_t Snapshot::GaugeTotal(std::string_view name) const {
+  std::int64_t total = 0;
+  for (const GaugeSample& g : gauges) {
+    if (g.name == name) total += g.value;
+  }
+  return total;
+}
+
+HistogramSample Snapshot::MergeHistograms(std::string_view name) const {
+  HistogramSample merged;
+  merged.name = std::string(name);
+  std::map<std::uint64_t, std::uint64_t> buckets;
+  bool any = false;
+  for (const HistogramSample& h : histograms) {
+    if (h.name != name || h.count == 0) continue;
+    merged.count += h.count;
+    merged.sum += h.sum;
+    merged.min = any ? std::min(merged.min, h.min) : h.min;
+    merged.max = any ? std::max(merged.max, h.max) : h.max;
+    any = true;
+    for (const auto& b : h.buckets) buckets[b.upper] += b.count;
+  }
+  merged.buckets.reserve(buckets.size());
+  for (const auto& [upper, count] : buckets) {
+    merged.buckets.push_back({upper, count});
+  }
+  return merged;
+}
+
+// ---- Exposition ----------------------------------------------------------
+
+std::string Snapshot::ToPrometheusText() const {
+  std::string out;
+  std::string last_family;
+  auto type_line = [&](const std::string& name, std::string_view type) {
+    if (name == last_family) return;
+    last_family = name;
+    out += "# TYPE ";
+    out += name;
+    out += ' ';
+    out += type;
+    out += '\n';
+  };
+  for (const CounterSample& c : counters) {
+    type_line(c.name, "counter");
+    out += c.name;
+    out += c.labels.ToPrometheus();
+    out += ' ';
+    out += std::to_string(c.value);
+    out += '\n';
+  }
+  for (const GaugeSample& g : gauges) {
+    type_line(g.name, "gauge");
+    out += g.name;
+    out += g.labels.ToPrometheus();
+    out += ' ';
+    out += std::to_string(g.value);
+    out += '\n';
+  }
+  for (const HistogramSample& h : histograms) {
+    type_line(h.name, "histogram");
+    // Cumulative buckets; le is the exclusive upper bound of our storage
+    // buckets, which is a valid inclusive bound for integer-valued samples
+    // (v < upper  <=>  v <= upper-1; we report `upper` as le, conservative
+    // by construction and exact at bucket edges for the merged view).
+    std::uint64_t cumulative = 0;
+    for (const auto& b : h.buckets) {
+      cumulative += b.count;
+      out += h.name;
+      out += "_bucket";
+      LabelSet with_le = h.labels;
+      std::string labels = with_le.ToPrometheus();
+      if (labels.empty()) {
+        labels = "{le=\"" +
+                 (b.upper == ~std::uint64_t{0} ? std::string("+Inf")
+                                               : std::to_string(b.upper)) +
+                 "\"}";
+      } else {
+        labels.back() = ',';
+        labels += "le=\"";
+        labels += b.upper == ~std::uint64_t{0} ? std::string("+Inf")
+                                               : std::to_string(b.upper);
+        labels += "\"}";
+      }
+      out += labels;
+      out += ' ';
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    {
+      out += h.name;
+      out += "_bucket";
+      std::string labels = h.labels.ToPrometheus();
+      if (labels.empty()) {
+        labels = "{le=\"+Inf\"}";
+      } else {
+        labels.back() = ',';
+        labels += "le=\"+Inf\"}";
+      }
+      out += labels;
+      out += ' ';
+      out += std::to_string(h.count);
+      out += '\n';
+    }
+    out += h.name;
+    out += "_sum";
+    out += h.labels.ToPrometheus();
+    out += ' ';
+    out += std::to_string(h.sum);
+    out += '\n';
+    out += h.name;
+    out += "_count";
+    out += h.labels.ToPrometheus();
+    out += ' ';
+    out += std::to_string(h.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Snapshot::ToJson() const {
+  std::string out = "{\"counters\":[";
+  bool first = true;
+  for (const CounterSample& c : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(out, c.name);
+    out += ",\"labels\":";
+    AppendJsonLabels(out, c.labels);
+    out += ",\"value\":";
+    out += std::to_string(c.value);
+    out += '}';
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const GaugeSample& g : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(out, g.name);
+    out += ",\"labels\":";
+    AppendJsonLabels(out, g.labels);
+    out += ",\"value\":";
+    out += std::to_string(g.value);
+    out += '}';
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const HistogramSample& h : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(out, h.name);
+    out += ",\"labels\":";
+    AppendJsonLabels(out, h.labels);
+    out += ",\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    out += std::to_string(h.sum);
+    out += ",\"min\":";
+    out += std::to_string(h.min);
+    out += ",\"max\":";
+    out += std::to_string(h.max);
+    out += ",\"p50\":";
+    out += std::to_string(h.Quantile(0.50));
+    out += ",\"p99\":";
+    out += std::to_string(h.Quantile(0.99));
+    out += ",\"buckets\":[";
+    bool bfirst = true;
+    for (const auto& b : h.buckets) {
+      if (!bfirst) out += ',';
+      bfirst = false;
+      out += "{\"le\":";
+      out += b.upper == ~std::uint64_t{0} ? std::string("\"+Inf\"")
+                                          : std::to_string(b.upper);
+      out += ",\"count\":";
+      out += std::to_string(b.count);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ppj::metrics

@@ -1,0 +1,292 @@
+#ifndef PPJ_COMMON_METRICS_H_
+#define PPJ_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppj::metrics {
+
+/// Process-wide service metrics: lock-sharded counters, gauges and
+/// log-linear histograms keyed by (name, labels), with Prometheus-text and
+/// JSON exposition. This is the *cross-request* observability layer — the
+/// PR-2 telemetry span trees observe one execution at a time; the registry
+/// accumulates queue waits, per-tenant fairness, quota refusals, reuse-cache
+/// hits and retry storms across every request the service ever served.
+///
+/// Trace-neutrality invariant (load-bearing — docs/OBSERVABILITY.md,
+/// tests/test_telemetry.cc): like telemetry, the registry is an *observer*.
+/// Instrumentation points only ever read public counters and wall clocks;
+/// they never issue a Get/Put, never charge a model cycle, never draw
+/// device randomness. The adversary-visible surface of Definitions 1 and 3
+/// is bit-identical with metrics enabled, disabled at runtime, or compiled
+/// out (-DPPJ_METRICS=OFF).
+///
+/// Label cardinality is bounded by construction: the schema is the fixed
+/// five-field set below, and every value is an already-adversary-visible
+/// request attribute (tenant name, request kind, algorithm, outcome,
+/// operator name) — never data-dependent, so the exposition itself cannot
+/// leak beyond the definitions.
+struct LabelSet {
+  std::string tenant;
+  std::string kind;       ///< JoinRequest kind ("pair-join", ...).
+  std::string algorithm;  ///< Resolved core::Algorithm name.
+  std::string outcome;    ///< completed|failed|refused|reused|cancelled.
+  std::string op;         ///< Plan-operator name (per-op attribution).
+
+  /// Named constructor for the common tenant-only label set; set further
+  /// fields on the returned value.
+  static LabelSet ForTenant(std::string tenant_name) {
+    LabelSet labels;
+    labels.tenant = std::move(tenant_name);
+    return labels;
+  }
+
+  bool operator==(const LabelSet&) const = default;
+  bool empty() const {
+    return tenant.empty() && kind.empty() && algorithm.empty() &&
+           outcome.empty() && op.empty();
+  }
+  /// `{tenant="a",outcome="failed"}` — only non-empty fields, stable field
+  /// order; "" for an all-empty set.
+  std::string ToPrometheus() const;
+  /// Canonical map key (field-order-stable, collision-free).
+  std::string ToKey() const;
+};
+
+namespace internal {
+
+struct CounterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct GaugeCell {
+  std::atomic<std::int64_t> value{0};
+};
+
+/// Log-linear bucketing: 32 unit-width buckets for values < 32, then 4
+/// sub-buckets per power of two. Relative quantile error is bounded by
+/// 1/4 of the bucket width — good enough for p50/p99 latency attribution
+/// at any scale from nanoseconds to hours, in 268 fixed buckets.
+inline constexpr std::size_t kLinearBuckets = 32;
+inline constexpr std::size_t kSubBuckets = 4;
+inline constexpr std::size_t kFirstOctave = 5;  // 2^5 == kLinearBuckets
+inline constexpr std::size_t kNumBuckets =
+    kLinearBuckets + (64 - kFirstOctave) * kSubBuckets;
+
+std::size_t BucketIndex(std::uint64_t value);
+/// Exclusive upper bound of a bucket (UINT64_MAX for the last octave).
+std::uint64_t BucketUpperBound(std::size_t index);
+/// Inclusive lower bound of a bucket.
+std::uint64_t BucketLowerBound(std::size_t index);
+
+struct HistogramCell {
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets{};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max{0};
+};
+
+}  // namespace internal
+
+/// Monotonic counter handle. Cheap to copy; thread-safe (one relaxed
+/// fetch_add per Increment). A null handle (disabled or compiled-out
+/// registry) no-ops.
+class Counter {
+ public:
+  Counter() = default;
+  void Increment(std::uint64_t delta = 1) {
+    if (cell_ != nullptr) {
+      cell_->value.fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+  std::uint64_t value() const {
+    return cell_ != nullptr ? cell_->value.load(std::memory_order_relaxed)
+                            : 0;
+  }
+
+ private:
+  friend class Registry;
+  explicit Counter(internal::CounterCell* cell) : cell_(cell) {}
+  internal::CounterCell* cell_ = nullptr;
+};
+
+/// Instantaneous value handle (queue depth, in-flight requests).
+class Gauge {
+ public:
+  Gauge() = default;
+  void Set(std::int64_t value) {
+    if (cell_ != nullptr) cell_->value.store(value, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) {
+    if (cell_ != nullptr) {
+      cell_->value.fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+  std::int64_t value() const {
+    return cell_ != nullptr ? cell_->value.load(std::memory_order_relaxed)
+                            : 0;
+  }
+
+ private:
+  friend class Registry;
+  explicit Gauge(internal::GaugeCell* cell) : cell_(cell) {}
+  internal::GaugeCell* cell_ = nullptr;
+};
+
+/// Log-linear histogram handle. Observe() is wait-free (a handful of
+/// relaxed atomic ops); quantiles are computed at snapshot time.
+class Histogram {
+ public:
+  Histogram() = default;
+  void Observe(std::uint64_t value);
+
+ private:
+  friend class Registry;
+  explicit Histogram(internal::HistogramCell* cell) : cell_(cell) {}
+  internal::HistogramCell* cell_ = nullptr;
+};
+
+// ---- Snapshots -----------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  LabelSet labels;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  LabelSet labels;
+  std::int64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  LabelSet labels;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  struct Bucket {
+    std::uint64_t upper = 0;  ///< Exclusive upper bound.
+    std::uint64_t count = 0;  ///< Non-cumulative per-bucket count.
+  };
+  /// Only non-empty buckets, ascending by upper bound.
+  std::vector<Bucket> buckets;
+
+  /// Bucket-interpolated quantile, clamped to [min, max]. q in [0, 1];
+  /// 0 when the histogram is empty.
+  std::uint64_t Quantile(double q) const;
+};
+
+/// Point-in-time copy of a registry. Samples are sorted by (name, label
+/// key) so exposition output is deterministic.
+struct Snapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Exact-match lookups; nullptr / 0 when absent.
+  const HistogramSample* FindHistogram(std::string_view name,
+                                       const LabelSet& labels) const;
+  std::uint64_t CounterValue(std::string_view name,
+                             const LabelSet& labels) const;
+  std::int64_t GaugeValue(std::string_view name, const LabelSet& labels) const;
+
+  /// Sum over every sample of `name`, all label sets.
+  std::uint64_t CounterTotal(std::string_view name) const;
+  std::int64_t GaugeTotal(std::string_view name) const;
+  /// Bucket-wise merge of every histogram named `name` (labels cleared) —
+  /// e.g. the all-tenant latency distribution.
+  HistogramSample MergeHistograms(std::string_view name) const;
+
+  /// Prometheus text exposition format (one # TYPE line per family;
+  /// histograms expose cumulative _bucket{le=...}, _sum and _count).
+  std::string ToPrometheusText() const;
+  /// The same data as a JSON document, with p50/p99 precomputed per
+  /// histogram.
+  std::string ToJson() const;
+};
+
+/// The registry: get-or-create metric handles by (name, labels), snapshot
+/// on demand. Thread-safe throughout; handle creation takes one shard lock,
+/// updates through handles are lock-free. Construct disabled (or build with
+/// -DPPJ_METRICS=OFF) and every handle becomes a no-op while Snapshot()
+/// returns an empty document — behavior-neutral by construction.
+class Registry {
+ public:
+  Registry() : Registry(true) {}
+  explicit Registry(bool enabled);
+  ~Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide default instance every service publishes into unless
+  /// explicitly pointed elsewhere (service::SchedulerOptions::registry).
+  static Registry& Global();
+
+  /// False when the library was built with -DPPJ_METRICS=OFF.
+  static bool CompiledIn();
+  /// False when constructed disabled or when metrics are compiled out.
+  bool enabled() const { return enabled_; }
+
+  Counter GetCounter(std::string_view name, const LabelSet& labels = {});
+  Gauge GetGauge(std::string_view name, const LabelSet& labels = {});
+  Histogram GetHistogram(std::string_view name, const LabelSet& labels = {});
+
+  Snapshot TakeSnapshot() const;
+
+ private:
+  struct Shard;
+  Shard& ShardFor(std::string_view key) const;
+
+  bool enabled_;
+  static constexpr std::size_t kShards = 16;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+// ---- Metric-name constants (the service's label schema) ------------------
+// docs/OBSERVABILITY.md#service-metrics documents each family.
+
+/// Admissions, labeled {tenant}.
+inline constexpr std::string_view kRequestsSubmitted =
+    "ppj_requests_submitted_total";
+/// Terminal request outcomes, labeled {tenant, kind, algorithm, outcome}
+/// with disjoint outcomes completed|failed|reused|cancelled.
+inline constexpr std::string_view kRequestsTotal = "ppj_requests_total";
+/// Admission/validation refusals, labeled {tenant, outcome="refused"}.
+inline constexpr std::string_view kQuotaRefusals = "ppj_quota_refusals_total";
+/// Reuse-cache hits, labeled {tenant, kind, algorithm}.
+inline constexpr std::string_view kReuseHits = "ppj_reuse_hits_total";
+/// Gauges, labeled {tenant}.
+inline constexpr std::string_view kQueueDepth = "ppj_queue_depth";
+inline constexpr std::string_view kInFlight = "ppj_requests_in_flight";
+/// Lifecycle histograms (ns), labeled {tenant}.
+inline constexpr std::string_view kQueueWaitNs = "ppj_queue_wait_ns";
+inline constexpr std::string_view kExecutionNs = "ppj_execution_ns";
+inline constexpr std::string_view kLatencyNs = "ppj_request_latency_ns";
+/// TransferMetrics rollups, labeled {tenant, algorithm}.
+inline constexpr std::string_view kHostRetries = "ppj_host_retries_total";
+inline constexpr std::string_view kBackoffCycles =
+    "ppj_backoff_cycles_total";
+inline constexpr std::string_view kTupleTransfers =
+    "ppj_tuple_transfers_total";
+/// Per-operator retry attribution from the plan executor, labeled
+/// {algorithm, op}.
+inline constexpr std::string_view kOpHostRetries =
+    "ppj_op_host_retries_total";
+inline constexpr std::string_view kOpBackoffCycles =
+    "ppj_op_backoff_cycles_total";
+
+}  // namespace ppj::metrics
+
+#endif  // PPJ_COMMON_METRICS_H_

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "core/cartesian.h"
@@ -96,6 +97,13 @@ class PlanContext {
   /// Cumulative trace fingerprint after each executed operator, recorded
   /// by the executor (read-only on the trace: trace-neutral).
   std::vector<core::OpCheckpoint> checkpoints;
+
+  /// Registry for per-operator retry attribution
+  /// (ppj_op_host_retries_total{algorithm,op}): the executor publishes the
+  /// host_retries/backoff_cycles delta each operator accrued. nullptr =
+  /// metrics::Registry::Global(). Like the checkpoints, this only *reads*
+  /// public counters — trace-neutral.
+  metrics::Registry* metrics_registry = nullptr;
 
  private:
   const core::TwoWayJoin* two_way_ = nullptr;

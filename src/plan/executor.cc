@@ -10,14 +10,37 @@ namespace ppj::plan {
 Status PlanExecutor::Run(sim::Coprocessor& copro, PhysicalPlan& plan,
                          PlanContext& ctx) {
   PPJ_RETURN_NOT_OK(ctx.InitWireShape());
+  metrics::Registry& registry = ctx.metrics_registry != nullptr
+                                    ? *ctx.metrics_registry
+                                    : metrics::Registry::Global();
   PPJ_DEVICE_SPAN(&copro, plan.root_span);
   for (const std::unique_ptr<ObliviousOp>& op : plan.ops) {
     if (ctx.finished) break;
     if (!op->ShouldRun(ctx)) continue;
+    // Per-operator retry attribution: like the checkpoint below, a pure
+    // read of the device's public counters (trace-neutral). Fault-free
+    // runs have zero deltas and touch the registry not at all.
+    const std::uint64_t retries_before = copro.metrics().host_retries;
+    const std::uint64_t backoff_before = copro.metrics().backoff_cycles;
     PPJ_SPAN(op->name());
     PPJ_RETURN_NOT_OK(op->Run(copro, ctx));
     ctx.checkpoints.push_back(core::OpCheckpoint{
         std::string(op->name()), copro.trace().fingerprint()});
+    const std::uint64_t retries = copro.metrics().host_retries - retries_before;
+    const std::uint64_t backoff =
+        copro.metrics().backoff_cycles - backoff_before;
+    if (retries != 0 || backoff != 0) {
+      metrics::LabelSet labels;
+      labels.algorithm = core::ToString(plan.algorithm);
+      labels.op = std::string(op->name());
+      if (retries != 0) {
+        registry.GetCounter(metrics::kOpHostRetries, labels).Increment(retries);
+      }
+      if (backoff != 0) {
+        registry.GetCounter(metrics::kOpBackoffCycles, labels)
+            .Increment(backoff);
+      }
+    }
   }
   return Status::OK();
 }

@@ -251,6 +251,54 @@ enum class TicketStatus {
 
 std::string_view ToString(TicketStatus status);
 
+/// Lifecycle record of one request: the scheduler stamps every transition
+/// (steady-clock ns relative to scheduler construction) and the terminal
+/// outcome, so queue wait and execution time attribute separately — the
+/// cross-request counterpart of the per-execution span tree, linked to it
+/// by ticket id (JoinDelivery::telemetry is the span tree of the execution
+/// this record times). Read via SovereignJoinService::lifecycle(ticket);
+/// stable once the ticket is done, retained until Release.
+///
+/// Ordering invariants (asserted by tests/test_metrics.cc):
+///   submitted_ns <= dequeued_ns <= executing_ns (when set) <= finished_ns
+/// and a request served from the reuse cache never reaches `executing`
+/// (executing_ns stays 0): MarkExecuting fires only on a cache miss.
+struct RequestTrace {
+  std::uint64_t ticket_id = 0;
+  std::string tenant;
+  std::string contract_id;
+  std::string kind;       ///< ToString(JoinRequest::Kind).
+  std::string algorithm;  ///< Resolved algorithm name ("" for aggregates).
+  /// Terminal outcome: "completed", "failed", "reused", "cancelled";
+  /// "" while the request is still queued or running.
+  std::string outcome;
+
+  std::uint64_t submitted_ns = 0;  ///< Admitted into the tenant queue.
+  std::uint64_t dequeued_ns = 0;   ///< Claimed by a worker thread.
+  std::uint64_t executing_ns = 0;  ///< Real execution began (0 if reused).
+  std::uint64_t finished_ns = 0;   ///< Result published.
+
+  /// Retry-history rollups from the execution's TransferMetrics (partial
+  /// metrics on failure). Zero for reuse hits — no coprocessor ran.
+  std::uint64_t host_retries = 0;
+  std::uint64_t backoff_cycles = 0;
+  std::uint64_t tuple_transfers = 0;
+
+  bool done() const { return !outcome.empty(); }
+  /// Time spent waiting in the tenant queue.
+  std::uint64_t queue_wait_ns() const {
+    return dequeued_ns >= submitted_ns ? dequeued_ns - submitted_ns : 0;
+  }
+  /// Worker-side time (includes the reuse-cache probe on hits).
+  std::uint64_t execution_ns() const {
+    return finished_ns >= dequeued_ns ? finished_ns - dequeued_ns : 0;
+  }
+  /// Submit-to-completion latency.
+  std::uint64_t latency_ns() const {
+    return finished_ns >= submitted_ns ? finished_ns - submitted_ns : 0;
+  }
+};
+
 }  // namespace ppj::service
 
 #endif  // PPJ_SERVICE_REQUEST_H_

@@ -12,12 +12,83 @@ unsigned SchedulerOptions::ResolvedWorkers() const {
   return std::clamp(hw, 2u, 8u);
 }
 
+metrics::Registry& SchedulerOptions::ResolvedRegistry() const {
+  return registry != nullptr ? *registry : metrics::Registry::Global();
+}
+
 ContractScheduler::ContractScheduler(const SchedulerOptions& options)
-    : options_(options) {
+    : options_(options),
+      registry_(options.ResolvedRegistry()),
+      epoch_(std::chrono::steady_clock::now()) {
   stats_.workers = options_.ResolvedWorkers();
   workers_.reserve(stats_.workers);
   for (unsigned i = 0; i < stats_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+std::uint64_t ContractScheduler::NowNs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void ContractScheduler::FinishLocked(RequestState& req,
+                                     std::string_view outcome) {
+  req.phase = TicketStatus::kDone;
+  req.trace.finished_ns = NowNs();
+  req.trace.outcome = std::string(outcome);
+
+  // Rollups: retry history and transfer totals of the execution this
+  // lifecycle record timed. Reuse hits carry the *original* execution's
+  // metrics in their delivery — rolling those up again would double-count,
+  // so they contribute nothing (no coprocessor ran).
+  const sim::TransferMetrics* m = nullptr;
+  if (req.result.ok()) {
+    const Response& resp = *req.result;
+    if (!resp.reused && resp.delivery.has_value()) {
+      m = &resp.delivery->metrics;
+    }
+  } else if (req.failure.has_value()) {
+    m = &req.failure->partial_metrics;
+  }
+  if (m != nullptr) {
+    req.trace.host_retries = m->host_retries;
+    req.trace.backoff_cycles = m->backoff_cycles;
+    req.trace.tuple_transfers = m->TupleTransfers();
+  }
+
+  metrics::LabelSet tenant_labels = metrics::LabelSet::ForTenant(req.tenant);
+  metrics::LabelSet outcome_labels = tenant_labels;
+  outcome_labels.kind = req.trace.kind;
+  outcome_labels.algorithm = req.trace.algorithm;
+  outcome_labels.outcome = req.trace.outcome;
+  registry_.GetCounter(metrics::kRequestsTotal, outcome_labels).Increment();
+  if (req.trace.dequeued_ns != 0) {
+    // Ran on a worker (not cancelled in the queue): attribute its times.
+    registry_.GetGauge(metrics::kInFlight, tenant_labels).Add(-1);
+    registry_.GetHistogram(metrics::kExecutionNs, tenant_labels)
+        .Observe(req.trace.execution_ns());
+    registry_.GetHistogram(metrics::kLatencyNs, tenant_labels)
+        .Observe(req.trace.latency_ns());
+  }
+  if (m != nullptr && (m->host_retries != 0 || m->backoff_cycles != 0 ||
+                       req.trace.tuple_transfers != 0)) {
+    metrics::LabelSet rollup = tenant_labels;
+    rollup.algorithm = req.trace.algorithm;
+    if (m->host_retries != 0) {
+      registry_.GetCounter(metrics::kHostRetries, rollup)
+          .Increment(m->host_retries);
+    }
+    if (m->backoff_cycles != 0) {
+      registry_.GetCounter(metrics::kBackoffCycles, rollup)
+          .Increment(m->backoff_cycles);
+    }
+    if (req.trace.tuple_transfers != 0) {
+      registry_.GetCounter(metrics::kTupleTransfers, rollup)
+          .Increment(req.trace.tuple_transfers);
+    }
   }
 }
 
@@ -29,9 +100,11 @@ ContractScheduler::~ContractScheduler() {
     // retryable kUnavailable rather than hanging forever.
     for (auto& [tenant, queue] : queues_) {
       for (auto& req : queue) {
-        req->phase = TicketStatus::kDone;
         req->result = Status::Unavailable("scheduler stopped");
+        FinishLocked(*req, "cancelled");
         ++stats_.cancelled;
+        registry_.GetGauge(metrics::kQueueDepth, metrics::LabelSet::ForTenant(tenant))
+            .Add(-1);
       }
       queue.clear();
     }
@@ -44,7 +117,7 @@ ContractScheduler::~ContractScheduler() {
 
 Result<Ticket> ContractScheduler::Submit(const std::string& tenant,
                                          const std::string& contract_id,
-                                         Work work) {
+                                         RequestLabels labels, Work work) {
   std::unique_lock<std::mutex> lock(mutex_);
   if (stopping_) {
     return Status::Unavailable("the scheduler is shutting down");
@@ -52,6 +125,10 @@ Result<Ticket> ContractScheduler::Submit(const std::string& tenant,
   auto& queue = queues_[tenant];
   if (queue.size() >= options_.quotas.max_queued) {
     ++stats_.quota_rejected;
+    registry_
+        .GetCounter(metrics::kQuotaRefusals,
+                    metrics::LabelSet::ForTenant(tenant))
+        .Increment();
     return Status::QuotaExceeded(
         "tenant '" + tenant + "' already has " +
         std::to_string(queue.size()) +
@@ -63,10 +140,22 @@ Result<Ticket> ContractScheduler::Submit(const std::string& tenant,
   req->tenant = tenant;
   req->contract_id = contract_id;
   req->work = std::move(work);
+  req->trace.ticket_id = req->id;
+  req->trace.tenant = tenant;
+  req->trace.contract_id = contract_id;
+  req->trace.kind = std::move(labels.kind);
+  req->trace.algorithm = std::move(labels.algorithm);
+  req->trace.submitted_ns = NowNs();
   queue.push_back(req);
   tickets_.emplace(req->id, req);
   ++stats_.submitted;
   ++stats_.queued;
+  registry_
+      .GetCounter(metrics::kRequestsSubmitted,
+                  metrics::LabelSet::ForTenant(tenant))
+      .Increment();
+  registry_.GetGauge(metrics::kQueueDepth, metrics::LabelSet::ForTenant(tenant))
+      .Add(1);
   lock.unlock();
   work_cv_.notify_one();
   return Ticket{req->id};
@@ -110,9 +199,18 @@ void ContractScheduler::WorkerLoop() {
       continue;
     }
     req->phase = TicketStatus::kRunning;
+    req->trace.dequeued_ns = NowNs();
     ++running_per_tenant_[req->tenant];
     --stats_.queued;
     ++stats_.running;
+    {
+      metrics::LabelSet tenant_labels =
+          metrics::LabelSet::ForTenant(req->tenant);
+      registry_.GetGauge(metrics::kQueueDepth, tenant_labels).Add(-1);
+      registry_.GetGauge(metrics::kInFlight, tenant_labels).Add(1);
+      registry_.GetHistogram(metrics::kQueueWaitNs, tenant_labels)
+          .Observe(req->trace.queue_wait_ns());
+    }
     Work work = std::move(req->work);
     req->work = nullptr;
     lock.unlock();
@@ -121,17 +219,31 @@ void ContractScheduler::WorkerLoop() {
     // the plan runs; it is published into the ticket under the lock below,
     // so no other tenant's request can ever observe or overwrite it.
     ExecutionFailure failure;
-    Result<Response> result = work(&failure);
+    WorkContext ctx;
+    ctx.failure = &failure;
+    ctx.mark_executing = [this, req] {
+      // Fired by the service after its reuse-cache probe misses: the
+      // request is now doing real coprocessor work. Take the scheduler
+      // lock so lifecycle() readers see a consistent record.
+      std::lock_guard<std::mutex> mark_lock(mutex_);
+      req->trace.executing_ns = NowNs();
+    };
+    Result<Response> result = work(ctx);
 
     lock.lock();
     req->result = std::move(result);
+    std::string_view outcome;
     if (!req->result.ok()) {
       req->failure = std::move(failure);
       ++stats_.failed;
+      outcome = "failed";
     } else {
+      // SchedulerStats::completed keeps its PR-6 meaning (finished OK,
+      // reuse hits included); the registry records disjoint outcomes.
       ++stats_.completed;
+      outcome = req->result->reused ? "reused" : "completed";
     }
-    req->phase = TicketStatus::kDone;
+    FinishLocked(*req, outcome);
     --running_per_tenant_[req->tenant];
     --stats_.running;
     // A slot freed up for this tenant; another of its queued requests may
@@ -171,6 +283,14 @@ std::optional<ExecutionFailure> ContractScheduler::post_mortem(
   if (it == tickets_.end()) return std::nullopt;
   if (it->second->phase != TicketStatus::kDone) return std::nullopt;
   return it->second->failure;
+}
+
+std::optional<RequestTrace> ContractScheduler::lifecycle(
+    Ticket ticket) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = tickets_.find(ticket.id);
+  if (it == tickets_.end()) return std::nullopt;
+  return it->second->trace;
 }
 
 void ContractScheduler::Release(Ticket ticket) {

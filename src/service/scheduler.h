@@ -1,6 +1,7 @@
 #ifndef PPJ_SERVICE_SCHEDULER_H_
 #define PPJ_SERVICE_SCHEDULER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -14,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "service/request.h"
@@ -36,22 +38,59 @@ struct SchedulerOptions {
   bool reuse_cache = true;
   /// Sealed intermediates retained per contract (oldest evicted first).
   std::size_t reuse_entries_per_contract = 8;
+  /// Metrics registry the scheduler and service publish into. nullptr =
+  /// the process-wide metrics::Registry::Global(). Point it at a private
+  /// instance for isolated-per-service snapshots (tests do).
+  metrics::Registry* registry = nullptr;
 
   /// The worker count after the `workers = 0` auto rule.
   unsigned ResolvedWorkers() const;
+  /// `registry` after the nullptr → Global() rule.
+  metrics::Registry& ResolvedRegistry() const;
 };
 
 /// Counters of scheduler activity since construction, plus an instantaneous
 /// queue snapshot. Monotonic fields never reset.
+///
+/// This struct is a *thin snapshot view* over the metrics registry's
+/// scheduler families: every field is updated at the same lifecycle
+/// transition that drives the corresponding registry metric
+/// (ppj_requests_submitted_total, ppj_requests_total{outcome=...},
+/// ppj_quota_refusals_total, ppj_queue_depth, ppj_requests_in_flight), so
+/// the two always reconcile when metrics are compiled in — asserted by
+/// tests/test_metrics.cc. The struct itself stays functional with
+/// -DPPJ_METRICS=OFF (benchmarks and tests rely on it), which is why it is
+/// not literally read back out of the registry. Note the one vocabulary
+/// difference: `completed` includes reuse-cache hits, while the registry
+/// keeps outcomes disjoint ("completed" vs "reused").
 struct SchedulerStats {
   std::uint64_t submitted = 0;       ///< Admitted requests.
-  std::uint64_t completed = 0;       ///< Finished OK.
+  std::uint64_t completed = 0;       ///< Finished OK (including reuse hits).
   std::uint64_t failed = 0;          ///< Finished with an error status.
   std::uint64_t quota_rejected = 0;  ///< Refused at admission (kQuotaExceeded).
   std::uint64_t cancelled = 0;       ///< Queued at shutdown, never ran.
   std::size_t queued = 0;            ///< Waiting right now.
   std::size_t running = 0;           ///< Executing right now.
   unsigned workers = 0;              ///< Pool size.
+};
+
+/// Adversary-visible request attributes the scheduler stamps into lifecycle
+/// records and metric labels. The scheduler itself never interprets them.
+struct RequestLabels {
+  std::string kind;       ///< ToString(JoinRequest::Kind).
+  std::string algorithm;  ///< Resolved algorithm name ("" when n/a).
+};
+
+/// Handed to a request's work closure on the worker thread.
+struct WorkContext {
+  /// On failure the closure fills this structured post-mortem; the ticket
+  /// retains it (isolated per request — never shared across tenants).
+  ExecutionFailure* failure = nullptr;
+  /// The closure calls this exactly when real execution begins — i.e.
+  /// after its reuse-cache probe misses. Requests served from the cache
+  /// never call it, which is what makes "reused requests never reach
+  /// executing" a checkable lifecycle invariant.
+  std::function<void()> mark_executing;
 };
 
 /// The production front half of the service: a worker pool draining
@@ -66,14 +105,15 @@ struct SchedulerStats {
 /// The scheduler knows nothing about joins: a request is an opaque work
 /// closure returning Result<Response> and optionally filling an
 /// ExecutionFailure post-mortem. The service layer owns the execution
-/// semantics; the scheduler owns ordering, concurrency and ticket
-/// lifecycle. Thread-safe throughout.
+/// semantics; the scheduler owns ordering, concurrency, ticket lifecycle —
+/// and, since PR 7, the lifecycle *record*: every ticket's transitions are
+/// timestamped into a RequestTrace and published to the metrics registry
+/// (queue-wait/execution/latency histograms, queue-depth and in-flight
+/// gauges, outcome counters — all per tenant). Thread-safe throughout.
 class ContractScheduler {
  public:
-  /// A request's execution body. Runs on a worker thread. On failure the
-  /// implementation fills `*failure` with the structured post-mortem the
-  /// ticket retains (isolated per request — never shared across tenants).
-  using Work = std::function<Result<Response>(ExecutionFailure* failure)>;
+  /// A request's execution body. Runs on a worker thread.
+  using Work = std::function<Result<Response>(WorkContext& ctx)>;
 
   explicit ContractScheduler(const SchedulerOptions& options);
 
@@ -88,12 +128,14 @@ class ContractScheduler {
   /// ticket. kQuotaExceeded when the tenant's queue is at max_queued;
   /// kUnavailable when the scheduler is shutting down.
   Result<Ticket> Submit(const std::string& tenant,
-                        const std::string& contract_id, Work work);
+                        const std::string& contract_id, RequestLabels labels,
+                        Work work);
 
   /// Blocks until the ticket's request completes and returns its response
   /// (or the request's error status). Each ticket's response can be
   /// consumed exactly once; later Waits return kFailedPrecondition. The
-  /// ticket itself — including its post-mortem — survives until Release.
+  /// ticket itself — including its post-mortem and lifecycle record —
+  /// survives until Release.
   Result<Response> Wait(Ticket ticket);
 
   /// Non-blocking lifecycle query. kUnknown for never-issued or released
@@ -104,14 +146,20 @@ class ContractScheduler {
   /// has not finished, or the ticket is unknown. Stable until Release.
   std::optional<ExecutionFailure> post_mortem(Ticket ticket) const;
 
+  /// The ticket's lifecycle record (a consistent snapshot; in-flight
+  /// requests have empty `outcome` and zero trailing timestamps). nullopt
+  /// for unknown or released tickets.
+  std::optional<RequestTrace> lifecycle(Ticket ticket) const;
+
   /// Frees the ticket's retained state (response if unconsumed, post
-  /// mortem). No-op for unknown tickets; refuses (silently) to release a
-  /// ticket still queued or running — those release on completion + a
-  /// later Release call.
+  /// mortem, lifecycle record). No-op for unknown tickets; refuses
+  /// (silently) to release a ticket still queued or running — those
+  /// release on completion + a later Release call.
   void Release(Ticket ticket);
 
   SchedulerStats stats() const;
   const SchedulerOptions& options() const { return options_; }
+  metrics::Registry& registry() const { return registry_; }
 
  private:
   struct RequestState {
@@ -123,14 +171,23 @@ class ContractScheduler {
     bool consumed = false;  ///< Response already taken by Wait.
     Result<Response> result = Status::Internal("request not finished");
     std::optional<ExecutionFailure> failure;
+    RequestTrace trace;
   };
 
   void WorkerLoop();
   /// Fair pick under lock: the next queued request of a tenant below its
   /// in-flight cap, scanning round-robin from after `rr_cursor_`.
   std::shared_ptr<RequestState> NextRunnableLocked();
+  /// ns since scheduler construction (steady clock).
+  std::uint64_t NowNs() const;
+  /// Terminal bookkeeping shared by worker completion and shutdown
+  /// cancellation: stamps finished_ns + outcome, updates SchedulerStats and
+  /// the registry at the same transition. Caller holds mutex_.
+  void FinishLocked(RequestState& req, std::string_view outcome);
 
   SchedulerOptions options_;
+  metrics::Registry& registry_;
+  const std::chrono::steady_clock::time_point epoch_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;  ///< New work / freed tenant slot.

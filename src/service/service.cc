@@ -37,10 +37,12 @@ std::shared_ptr<relation::Relation> CopyRelation(
 Result<core::Ch4Outcome> RunCh4Plan(sim::Coprocessor& copro,
                                     core::Algorithm algorithm,
                                     const core::TwoWayJoin& join,
-                                    const plan::JoinPlanOptions& popts) {
+                                    const plan::JoinPlanOptions& popts,
+                                    metrics::Registry* registry = nullptr) {
   PPJ_ASSIGN_OR_RETURN(plan::PhysicalPlan physical,
                        plan::BuildJoinPlan(algorithm, &join, nullptr, popts));
   plan::PlanContext ctx(&join, nullptr);
+  ctx.metrics_registry = registry;
   PPJ_RETURN_NOT_OK(plan::PlanExecutor().Run(copro, physical, ctx));
   return plan::TakeCh4Outcome(ctx);
 }
@@ -48,10 +50,12 @@ Result<core::Ch4Outcome> RunCh4Plan(sim::Coprocessor& copro,
 Result<core::Ch5Outcome> RunCh5Plan(sim::Coprocessor& copro,
                                     core::Algorithm algorithm,
                                     const core::MultiwayJoin& join,
-                                    const plan::JoinPlanOptions& popts) {
+                                    const plan::JoinPlanOptions& popts,
+                                    metrics::Registry* registry = nullptr) {
   PPJ_ASSIGN_OR_RETURN(plan::PhysicalPlan physical,
                        plan::BuildJoinPlan(algorithm, nullptr, &join, popts));
   plan::PlanContext ctx(nullptr, &join);
+  ctx.metrics_registry = registry;
   PPJ_RETURN_NOT_OK(plan::PlanExecutor().Run(copro, physical, ctx));
   return plan::TakeCh5Outcome(ctx);
 }
@@ -394,6 +398,18 @@ Result<Ticket> SovereignJoinService::Submit(const std::string& contract_id,
   if (Status valid = options.Validate(&scheduler_options_.quotas);
       !valid.ok()) {
     const bool quota = valid.code() == StatusCode::kQuotaExceeded;
+    if (quota) {
+      // Option-quota refusals count alongside the scheduler's admission
+      // refusals; the tenant label is best-effort (the contract may not
+      // even exist at this point — validation order is observable).
+      const auto cit = contracts_.find(contract_id);
+      scheduler_options_.ResolvedRegistry()
+          .GetCounter(metrics::kQuotaRefusals,
+                      metrics::LabelSet::ForTenant(
+                          cit != contracts_.end() ? cit->second.recipient
+                                                  : std::string()))
+          .Increment();
+    }
     lock.unlock();
     return RecordFailure(contract_id, quota ? "admission" : "validate",
                          nullptr, std::move(valid), nullptr);
@@ -489,10 +505,18 @@ Result<Ticket> SovereignJoinService::Submit(const std::string& contract_id,
   // Lock order: service mutex, then scheduler mutex. The scheduler never
   // calls back into the service, so the reverse edge does not exist.
   ContractScheduler& scheduler = EnsureSchedulerLocked();
+  RequestLabels labels;
+  labels.kind = std::string(ToString(request.kind()));
+  // Aggregates and GROUP BY COUNT run a fixed scan, not a join algorithm;
+  // labeling them with the (unused) resolved algorithm would be noise.
+  if (request.kind() == JoinRequest::Kind::kPairJoin ||
+      request.kind() == JoinRequest::Kind::kMultiwayJoin) {
+    labels.algorithm = core::ToString(algorithm);
+  }
   Result<Ticket> ticket = scheduler.Submit(
-      prep->tenant, contract_id,
-      [this, prep](ExecutionFailure* failure) -> Result<Response> {
-        return RunRequest(*prep, failure);
+      prep->tenant, contract_id, std::move(labels),
+      [this, prep](WorkContext& ctx) -> Result<Response> {
+        return RunRequest(*prep, ctx);
       });
   if (!ticket.ok()) {
     Status status = ticket.status();
@@ -544,6 +568,24 @@ SchedulerStats SovereignJoinService::scheduler_stats() const {
   return scheduler_->stats();
 }
 
+metrics::Snapshot SovereignJoinService::MetricsSnapshot() const {
+  metrics::Registry* registry;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    registry = &scheduler_options_.ResolvedRegistry();
+  }
+  // Snapshot outside mutex_: the walk takes every registry shard lock in
+  // turn and must not nest inside the service lock.
+  return registry->TakeSnapshot();
+}
+
+std::optional<RequestTrace> SovereignJoinService::lifecycle(
+    Ticket ticket) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (scheduler_ == nullptr) return std::nullopt;
+  return scheduler_->lifecycle(ticket);
+}
+
 Result<Response> SovereignJoinService::Execute(const std::string& contract_id,
                                                const JoinRequest& request,
                                                const ExecuteOptions& options) {
@@ -554,7 +596,8 @@ Result<Response> SovereignJoinService::Execute(const std::string& contract_id,
 }
 
 Result<Response> SovereignJoinService::RunRequest(
-    const PreparedRequest& prep, ExecutionFailure* failure_out) {
+    const PreparedRequest& prep, WorkContext& ctx) {
+  ExecutionFailure* failure_out = ctx.failure;
   const JoinRequest& request = prep.request;
 
   // Reuse-cache lookup: copy the hit out under the lock, decode outside it.
@@ -568,6 +611,17 @@ Result<Response> SovereignJoinService::RunRequest(
       }
     }
     if (hit) {
+      // No coprocessor work follows — the lifecycle record never reaches
+      // `executing` (mark_executing stays unfired).
+      const bool join_kind =
+          request.kind() == JoinRequest::Kind::kPairJoin ||
+          request.kind() == JoinRequest::Kind::kMultiwayJoin;
+      metrics::LabelSet reuse_labels = metrics::LabelSet::ForTenant(prep.tenant);
+      reuse_labels.kind = std::string(ToString(request.kind()));
+      if (join_kind) reuse_labels.algorithm = core::ToString(prep.algorithm);
+      scheduler_options_.ResolvedRegistry()
+          .GetCounter(metrics::kReuseHits, reuse_labels)
+          .Increment();
       Response response;
       response.kind = request.kind();
       response.reused = true;
@@ -599,6 +653,10 @@ Result<Response> SovereignJoinService::RunRequest(
       return response;
     }
   }
+
+  // Real coprocessor work begins here (cache miss or reuse disabled): the
+  // lifecycle record transitions to `executing`.
+  if (ctx.mark_executing) ctx.mark_executing();
 
   if (request.kind() == JoinRequest::Kind::kPairJoin ||
       request.kind() == JoinRequest::Kind::kMultiwayJoin) {
@@ -779,7 +837,8 @@ Result<JoinDelivery> SovereignJoinService::RunJoin(
     core::TwoWayJoin join{tables[0], tables[1], prep.request.pair(),
                           prep.out_key};
     Result<core::Ch4Outcome> run =
-        RunCh4Plan(copro, prep.algorithm, join, popts);
+        RunCh4Plan(copro, prep.algorithm, join, popts,
+                   &scheduler_options_.ResolvedRegistry());
     if (!run.ok()) {
       tspan.reset();
       tctx.reset();
@@ -791,7 +850,8 @@ Result<JoinDelivery> SovereignJoinService::RunJoin(
   } else {
     core::MultiwayJoin join{tables, multiway, prep.out_key};
     Result<core::Ch5Outcome> run =
-        RunCh5Plan(copro, prep.algorithm, join, popts);
+        RunCh5Plan(copro, prep.algorithm, join, popts,
+                   &scheduler_options_.ResolvedRegistry());
     if (!run.ok()) {
       tspan.reset();
       tctx.reset();

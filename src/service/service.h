@@ -146,8 +146,28 @@ class SovereignJoinService {
                            const ExecuteOptions& options);
 
   /// Scheduler counters (submitted / completed / failed / quota_rejected /
-  /// queued / running). Zeroes before the first Submit.
+  /// queued / running). Zeroes before the first Submit. A thin snapshot
+  /// view over the metrics registry's scheduler families — see
+  /// SchedulerStats and MetricsSnapshot() for the full exposition.
   SchedulerStats scheduler_stats() const;
+
+  /// Point-in-time snapshot of the metrics registry this service publishes
+  /// into (SchedulerOptions::registry; the process-wide
+  /// metrics::Registry::Global() by default): per-tenant queue-wait /
+  /// execution / latency histograms, queue-depth and in-flight gauges,
+  /// outcome and quota-refusal and reuse-hit counters, retry rollups.
+  /// Export with Snapshot::ToPrometheusText() or ToJson(); empty when
+  /// metrics are compiled out (-DPPJ_METRICS=OFF).
+  metrics::Snapshot MetricsSnapshot() const;
+
+  /// The ticket's lifecycle record (submitted → queued → dequeued →
+  /// executing → terminal outcome, steady-clock ns timestamps, queue-wait
+  /// vs execution attribution, retry rollups). Works in every build —
+  /// lifecycle records are part of the request API, not the metrics
+  /// exposition. nullopt for unknown or released tickets; valid until
+  /// Release(ticket). The record's ticket id links it to the request's
+  /// span tree (JoinDelivery::telemetry).
+  std::optional<RequestTrace> lifecycle(Ticket ticket) const;
 
   // --- Deprecated synchronous wrappers ------------------------------------
   // Thin shims over Submit/Wait kept for source compatibility; new code
@@ -189,9 +209,12 @@ class SovereignJoinService {
 
   sim::HostStore& host() { return host_; }
 
-  /// Post-mortem of the most recent failed request *in submission order*,
-  /// or nullopt when the most recently submitted request has (so far) not
-  /// failed. Kept for the synchronous shims and single-threaded callers.
+  /// DEPRECATED: use post_mortem(ticket) for the per-request record and
+  /// the registry's failure counters (ppj_requests_total{outcome="failed"},
+  /// via MetricsSnapshot()) for rates. Post-mortem of the most recent
+  /// failed request *in submission order*, or nullopt when the most
+  /// recently submitted request has (so far) not failed. Kept for the
+  /// synchronous shims and single-threaded callers.
   ///
   /// Lifetime and concurrency: this is one global slot — Submit resets it,
   /// a failing completion overwrites it. Under concurrent submissions the
@@ -241,9 +264,10 @@ class SovereignJoinService {
                        ExecutionFailure* failure_out);
 
   /// The worker-side execution body: runs `prep` on a fresh coprocessor
-  /// (or serves it from the reuse cache) without holding mutex_.
-  Result<Response> RunRequest(const PreparedRequest& prep,
-                              ExecutionFailure* failure_out);
+  /// (or serves it from the reuse cache) without holding mutex_. Calls
+  /// ctx.mark_executing exactly when real execution begins (i.e. not on a
+  /// reuse-cache hit) and fills *ctx.failure on error.
+  Result<Response> RunRequest(const PreparedRequest& prep, WorkContext& ctx);
   Result<JoinDelivery> RunJoin(const PreparedRequest& prep,
                                ExecutionFailure* failure_out);
 

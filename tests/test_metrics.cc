@@ -1,0 +1,482 @@
+// The service metrics registry (src/common/metrics.h): bucket math,
+// snapshot/exposition correctness, null-handle neutrality, concurrent
+// publication from many threads (the TSan target), and the request
+// lifecycle the scheduler records for every ticket.
+//
+// Registry-content assertions gate on metrics::Registry::CompiledIn() so
+// the suite stays green under -DPPJ_METRICS=OFF; the lifecycle-ordering
+// tests run in every build — lifecycle records are part of the request
+// API, not the metrics exposition.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "relation/generator.h"
+#include "service/service.h"
+
+namespace ppj {
+namespace {
+
+using metrics::LabelSet;
+using metrics::Registry;
+
+// ---- Bucket math ---------------------------------------------------------
+
+TEST(MetricsBucketTest, LinearRangeIsExact) {
+  for (std::uint64_t v = 0; v < metrics::internal::kLinearBuckets; ++v) {
+    const std::size_t index = metrics::internal::BucketIndex(v);
+    EXPECT_EQ(index, v);
+    EXPECT_LE(metrics::internal::BucketLowerBound(index), v);
+    EXPECT_GT(metrics::internal::BucketUpperBound(index), v);
+  }
+}
+
+TEST(MetricsBucketTest, LogLinearRangeBracketsEveryValue) {
+  const std::uint64_t cases[] = {32,        33,
+                                 63,        64,
+                                 1000,      4095,
+                                 1ull << 20, (1ull << 40) + 12345,
+                                 ~std::uint64_t{0} - 1, ~std::uint64_t{0}};
+  for (std::uint64_t v : cases) {
+    const std::size_t index = metrics::internal::BucketIndex(v);
+    ASSERT_LT(index, metrics::internal::kNumBuckets) << v;
+    EXPECT_LE(metrics::internal::BucketLowerBound(index), v) << v;
+    if (index + 1 < metrics::internal::kNumBuckets) {
+      EXPECT_GT(metrics::internal::BucketUpperBound(index), v) << v;
+    }
+  }
+}
+
+TEST(MetricsBucketTest, BucketsAreMonotone) {
+  std::uint64_t prev_upper = 0;
+  for (std::size_t i = 0; i + 1 < metrics::internal::kNumBuckets; ++i) {
+    const std::uint64_t lower = metrics::internal::BucketLowerBound(i);
+    const std::uint64_t upper = metrics::internal::BucketUpperBound(i);
+    EXPECT_LT(lower, upper) << i;
+    EXPECT_EQ(lower, prev_upper) << "gap or overlap at bucket " << i;
+    prev_upper = upper;
+  }
+}
+
+// Relative bucket width past the linear range is <= 1/4: the quantile
+// estimate can never be off by more than 25% of the true value.
+TEST(MetricsBucketTest, RelativeErrorBounded) {
+  for (std::uint64_t v : {100ull, 10'000ull, 1'000'000ull, 1ull << 33}) {
+    const std::size_t index = metrics::internal::BucketIndex(v);
+    const double lower =
+        static_cast<double>(metrics::internal::BucketLowerBound(index));
+    const double upper =
+        static_cast<double>(metrics::internal::BucketUpperBound(index));
+    EXPECT_LE((upper - lower) / lower, 0.25 + 1e-9) << v;
+  }
+}
+
+// ---- Registry basics -----------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersAndGaugesRoundTrip) {
+  if (!Registry::CompiledIn()) GTEST_SKIP() << "metrics compiled out";
+  Registry registry;
+  LabelSet a = LabelSet::ForTenant("a");
+  LabelSet b = LabelSet::ForTenant("b");
+  registry.GetCounter("requests", a).Increment();
+  registry.GetCounter("requests", a).Increment(4);
+  registry.GetCounter("requests", b).Increment(2);
+  registry.GetGauge("depth", a).Add(3);
+  registry.GetGauge("depth", a).Add(-1);
+
+  const metrics::Snapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.CounterValue("requests", a), 5u);
+  EXPECT_EQ(snap.CounterValue("requests", b), 2u);
+  EXPECT_EQ(snap.CounterTotal("requests"), 7u);
+  EXPECT_EQ(snap.GaugeValue("depth", a), 2);
+  EXPECT_EQ(snap.CounterValue("requests", LabelSet::ForTenant("absent")), 0u);
+}
+
+TEST(MetricsRegistryTest, SameKeySharesOneCell) {
+  if (!Registry::CompiledIn()) GTEST_SKIP() << "metrics compiled out";
+  Registry registry;
+  LabelSet labels = LabelSet::ForTenant("t");
+  labels.outcome = "completed";
+  metrics::Counter first = registry.GetCounter("c", labels);
+  metrics::Counter second = registry.GetCounter("c", labels);
+  first.Increment();
+  second.Increment();
+  EXPECT_EQ(registry.TakeSnapshot().CounterValue("c", labels), 2u);
+}
+
+TEST(MetricsRegistryTest, SingleValueHistogramIsExactAtEveryQuantile) {
+  if (!Registry::CompiledIn()) GTEST_SKIP() << "metrics compiled out";
+  Registry registry;
+  metrics::Histogram h = registry.GetHistogram("latency");
+  for (int i = 0; i < 100; ++i) h.Observe(1'000'000);
+  const metrics::Snapshot snap = registry.TakeSnapshot();
+  const metrics::HistogramSample* sample =
+      snap.FindHistogram("latency", LabelSet{});
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->count, 100u);
+  EXPECT_EQ(sample->sum, 100u * 1'000'000u);
+  EXPECT_EQ(sample->min, 1'000'000u);
+  EXPECT_EQ(sample->max, 1'000'000u);
+  // Clamped to [min, max], a single distinct value is exact everywhere.
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(sample->Quantile(q), 1'000'000u) << q;
+  }
+}
+
+TEST(MetricsRegistryTest, QuantilesOrderedAndWithinRange) {
+  if (!Registry::CompiledIn()) GTEST_SKIP() << "metrics compiled out";
+  Registry registry;
+  metrics::Histogram h = registry.GetHistogram("mixed");
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.Observe(v * 137);
+  const metrics::Snapshot snap = registry.TakeSnapshot();
+  const metrics::HistogramSample* sample =
+      snap.FindHistogram("mixed", LabelSet{});
+  ASSERT_NE(sample, nullptr);
+  const std::uint64_t p50 = sample->Quantile(0.50);
+  const std::uint64_t p99 = sample->Quantile(0.99);
+  EXPECT_LE(sample->min, p50);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, sample->max);
+  // Log-linear bounds: p50 within 25% of the true median 500*137.
+  EXPECT_NEAR(static_cast<double>(p50), 500.0 * 137, 0.25 * 500 * 137);
+}
+
+TEST(MetricsRegistryTest, MergeHistogramsSumsAcrossLabelSets) {
+  if (!Registry::CompiledIn()) GTEST_SKIP() << "metrics compiled out";
+  Registry registry;
+  registry.GetHistogram("lat", LabelSet::ForTenant("a")).Observe(10);
+  registry.GetHistogram("lat", LabelSet::ForTenant("b")).Observe(30);
+  registry.GetHistogram("lat", LabelSet::ForTenant("b")).Observe(50);
+  const metrics::HistogramSample merged =
+      registry.TakeSnapshot().MergeHistograms("lat");
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_EQ(merged.sum, 90u);
+  EXPECT_EQ(merged.min, 10u);
+  EXPECT_EQ(merged.max, 50u);
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryIsInertAndEmpty) {
+  Registry registry(/*enabled=*/false);
+  registry.GetCounter("c", LabelSet::ForTenant("t")).Increment(7);
+  registry.GetGauge("g").Set(42);
+  registry.GetHistogram("h").Observe(1);
+  const metrics::Snapshot snap = registry.TakeSnapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  EXPECT_EQ(snap.ToPrometheusText(), "");
+}
+
+// ---- Exposition formats --------------------------------------------------
+
+TEST(MetricsExpositionTest, PrometheusTextIsWellFormed) {
+  if (!Registry::CompiledIn()) GTEST_SKIP() << "metrics compiled out";
+  Registry registry;
+  LabelSet labels = LabelSet::ForTenant("acme");
+  labels.outcome = "completed";
+  registry.GetCounter("ppj_requests_total", labels).Increment(3);
+  registry.GetGauge("ppj_queue_depth", LabelSet::ForTenant("acme")).Set(1);
+  metrics::Histogram h =
+      registry.GetHistogram("ppj_latency_ns", LabelSet::ForTenant("acme"));
+  h.Observe(5);
+  h.Observe(100);
+  const std::string text = registry.TakeSnapshot().ToPrometheusText();
+
+  EXPECT_NE(text.find("# TYPE ppj_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ppj_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ppj_latency_ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("ppj_requests_total{tenant=\"acme\","
+                      "outcome=\"completed\"} 3"),
+            std::string::npos);
+  // Histogram exposition is cumulative and ends with +Inf == _count.
+  EXPECT_NE(text.find("le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("ppj_latency_ns_count{tenant=\"acme\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("ppj_latency_ns_sum{tenant=\"acme\"} 105"),
+            std::string::npos);
+}
+
+TEST(MetricsExpositionTest, LabelValuesAreEscaped) {
+  if (!Registry::CompiledIn()) GTEST_SKIP() << "metrics compiled out";
+  Registry registry;
+  LabelSet weird = LabelSet::ForTenant("we\"ird\\te\nnant");
+  registry.GetCounter("c", weird).Increment();
+  const metrics::Snapshot snap = registry.TakeSnapshot();
+  const std::string text = snap.ToPrometheusText();
+  EXPECT_NE(text.find("tenant=\"we\\\"ird\\\\te\\nnant\""),
+            std::string::npos);
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("we\\\"ird\\\\te\\nnant"), std::string::npos);
+}
+
+TEST(MetricsExpositionTest, JsonCarriesPrecomputedQuantiles) {
+  if (!Registry::CompiledIn()) GTEST_SKIP() << "metrics compiled out";
+  Registry registry;
+  metrics::Histogram h = registry.GetHistogram("ppj_latency_ns");
+  for (int i = 0; i < 10; ++i) h.Observe(4096);
+  const std::string json = registry.TakeSnapshot().ToJson();
+  EXPECT_NE(json.find("\"p50\":4096"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":4096"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+// ---- Concurrency hammer (the TSan target) --------------------------------
+
+// Many threads race handle creation (shard-map inserts) against lock-free
+// updates through already-created handles, across overlapping label sets.
+// Run under -DPPJ_SANITIZE=thread this is the registry's data-race proof;
+// in a plain build it still verifies totals are not lost.
+TEST(MetricsHammerTest, ConcurrentPublishersLoseNothing) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 5000;
+  std::atomic<int> barrier{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &barrier, t] {
+      barrier.fetch_add(1);
+      while (barrier.load() < kThreads) std::this_thread::yield();
+      LabelSet mine = LabelSet::ForTenant("tenant-" + std::to_string(t % 4));
+      metrics::Counter counter = registry.GetCounter("ppj_hammer_total", mine);
+      metrics::Histogram hist = registry.GetHistogram("ppj_hammer_ns", mine);
+      metrics::Gauge gauge = registry.GetGauge("ppj_hammer_gauge", mine);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        counter.Increment();
+        hist.Observe(static_cast<std::uint64_t>(i) * 97 + t);
+        gauge.Add(1);
+        gauge.Add(-1);
+        if (i % 512 == 0) {
+          // Racing get-or-create on a fresh key against the hot path.
+          registry
+              .GetCounter("ppj_hammer_keys_total",
+                          LabelSet::ForTenant("k" + std::to_string(i / 512)))
+              .Increment();
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  if (!Registry::CompiledIn()) return;  // null handles: nothing to count
+  const metrics::Snapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.CounterTotal("ppj_hammer_total"),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(snap.MergeHistograms("ppj_hammer_ns").count,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(snap.GaugeTotal("ppj_hammer_gauge"), 0);
+}
+
+// Snapshots taken while publishers are mid-flight must be internally
+// consistent (never tear a cell) — run alongside the hammer under TSan.
+TEST(MetricsHammerTest, SnapshotsRaceCleanlyWithPublishers) {
+  Registry registry;
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    metrics::Histogram h = registry.GetHistogram("ppj_race_ns");
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      h.Observe(++i);
+      registry.GetCounter("ppj_race_total").Increment();
+    }
+  });
+  for (int s = 0; s < 50; ++s) {
+    const metrics::Snapshot snap = registry.TakeSnapshot();
+    const metrics::HistogramSample merged =
+        snap.MergeHistograms("ppj_race_ns");
+    std::uint64_t bucket_total = 0;
+    for (const auto& b : merged.buckets) bucket_total += b.count;
+    // Bucket counts and the count field are updated by separate relaxed
+    // atomics; a snapshot may catch one ahead of the other by at most the
+    // number of in-flight Observe calls (here: one publisher).
+    if (merged.count > 0) {
+      const std::uint64_t diff = bucket_total > merged.count
+                                     ? bucket_total - merged.count
+                                     : merged.count - bucket_total;
+      EXPECT_LE(diff, 2u);
+    }
+  }
+  stop.store(true);
+  publisher.join();
+}
+
+// ---- Request lifecycle through the service -------------------------------
+
+// A service wired to a private registry, driving real joins end to end.
+class LifecycleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    service_ = std::make_unique<service::SovereignJoinService>();
+    service::SchedulerOptions sched;
+    sched.registry = &registry_;
+    ASSERT_TRUE(service_->ConfigureScheduler(sched).ok());
+    ASSERT_TRUE(service_->RegisterParty("alice", 1).ok());
+    ASSERT_TRUE(service_->RegisterParty("bob", 2).ok());
+    ASSERT_TRUE(service_->RegisterParty("carol", 3).ok());
+    auto contract =
+        service_->CreateContract({"alice", "bob"}, "carol", "equijoin");
+    ASSERT_TRUE(contract.ok()) << contract.status();
+    contract_ = *contract;
+    relation::EquijoinSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 16;
+    spec.n_max = 4;
+    spec.result_size = 6;
+    spec.seed = 5;
+    auto workload = relation::MakeEquijoinWorkload(spec);
+    ASSERT_TRUE(workload.ok()) << workload.status();
+    workload_ = std::make_unique<relation::TwoTableWorkload>(
+        std::move(*workload));
+    ASSERT_TRUE(service_
+                    ->SubmitRelation(contract_, "alice", *workload_->a, true)
+                    .ok());
+    ASSERT_TRUE(
+        service_->SubmitRelation(contract_, "bob", *workload_->b, true).ok());
+  }
+
+  Result<service::Ticket> SubmitJoin(std::uint64_t seed) {
+    service::ExecuteOptions options;
+    options.algorithm = core::Algorithm::kAlgorithm5;
+    options.n = 4;
+    options.memory_tuples = 8;
+    options.seed = seed;
+    return service_->Submit(
+        contract_, service::JoinRequest::PairJoin(*workload_->predicate),
+        options);
+  }
+
+  metrics::Registry registry_;
+  std::unique_ptr<service::SovereignJoinService> service_;
+  std::string contract_;
+  std::unique_ptr<relation::TwoTableWorkload> workload_;
+};
+
+TEST_F(LifecycleTest, TimestampsAreMonotone) {
+  auto ticket = SubmitJoin(1);
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  auto response = service_->Wait(*ticket);
+  ASSERT_TRUE(response.ok()) << response.status();
+
+  auto trace = service_->lifecycle(*ticket);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_TRUE(trace->done());
+  EXPECT_EQ(trace->outcome, "completed");
+  EXPECT_EQ(trace->tenant, "carol");
+  EXPECT_EQ(trace->kind, "pair-join");
+  EXPECT_EQ(trace->algorithm, "Algorithm 5");
+  // submitted -> dequeued -> executing -> finished, strictly ordered.
+  EXPECT_GT(trace->submitted_ns, 0u);
+  EXPECT_GE(trace->dequeued_ns, trace->submitted_ns);
+  EXPECT_GE(trace->executing_ns, trace->dequeued_ns);
+  EXPECT_GE(trace->finished_ns, trace->executing_ns);
+  // Attribution identity: queue wait + execution == total latency.
+  EXPECT_EQ(trace->queue_wait_ns() + trace->execution_ns(),
+            trace->latency_ns());
+}
+
+TEST_F(LifecycleTest, ReusedRequestsNeverReachExecuting) {
+  auto first = SubmitJoin(9);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(service_->Wait(*first).ok());
+
+  auto repeat = SubmitJoin(9);  // identical request: reuse-cache hit
+  ASSERT_TRUE(repeat.ok()) << repeat.status();
+  auto response = service_->Wait(*repeat);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->reused);
+
+  auto trace = service_->lifecycle(*repeat);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->outcome, "reused");
+  // The reuse-cache probe hit, so mark_executing never fired: the request
+  // was dequeued and finished without ever entering the executing state.
+  EXPECT_EQ(trace->executing_ns, 0u);
+  EXPECT_GE(trace->dequeued_ns, trace->submitted_ns);
+  EXPECT_GE(trace->finished_ns, trace->dequeued_ns);
+}
+
+TEST_F(LifecycleTest, RegistryReconcilesWithSchedulerStats) {
+  constexpr std::uint64_t kRequests = 3;
+  std::vector<service::Ticket> tickets;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    auto ticket = SubmitJoin(100 + i);
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+    tickets.push_back(*ticket);
+  }
+  auto repeat = SubmitJoin(100);  // one reuse hit
+  ASSERT_TRUE(repeat.ok());
+  tickets.push_back(*repeat);
+  for (const service::Ticket& t : tickets) {
+    ASSERT_TRUE(service_->Wait(t).ok());
+  }
+
+  const service::SchedulerStats stats = service_->scheduler_stats();
+  EXPECT_EQ(stats.submitted, kRequests + 1);
+  EXPECT_EQ(stats.completed, kRequests + 1);  // PR-6 semantics: reuse counts
+  EXPECT_EQ(stats.failed, 0u);
+
+  if (!Registry::CompiledIn()) return;
+  const metrics::Snapshot snap = service_->MetricsSnapshot();
+  EXPECT_EQ(snap.CounterTotal(metrics::kRequestsSubmitted), stats.submitted);
+  // Registry outcomes are disjoint; their sum is the scheduler's total.
+  LabelSet completed = LabelSet::ForTenant("carol");
+  completed.kind = "pair-join";
+  completed.algorithm = "Algorithm 5";
+  LabelSet reused = completed;
+  completed.outcome = "completed";
+  reused.outcome = "reused";
+  EXPECT_EQ(snap.CounterValue(metrics::kRequestsTotal, completed), kRequests);
+  EXPECT_EQ(snap.CounterValue(metrics::kRequestsTotal, reused), 1u);
+  LabelSet reuse_hit = LabelSet::ForTenant("carol");
+  reuse_hit.kind = "pair-join";
+  reuse_hit.algorithm = "Algorithm 5";
+  EXPECT_EQ(snap.CounterValue(metrics::kReuseHits, reuse_hit), 1u);
+  // Every settled request left the queue and the in-flight set.
+  EXPECT_EQ(snap.GaugeTotal(metrics::kQueueDepth), 0);
+  EXPECT_EQ(snap.GaugeTotal(metrics::kInFlight), 0);
+  // One latency observation per request that ran on a worker.
+  EXPECT_EQ(snap.MergeHistograms(metrics::kLatencyNs).count, kRequests + 1);
+  EXPECT_EQ(snap.MergeHistograms(metrics::kQueueWaitNs).count, kRequests + 1);
+}
+
+TEST_F(LifecycleTest, QuotaRefusalsAreCounted) {
+  // A second service with a zero-queue quota: every submit refuses.
+  metrics::Registry registry;
+  service::SovereignJoinService svc;
+  service::SchedulerOptions sched;
+  sched.registry = &registry;
+  sched.quotas.max_queued = 0;
+  ASSERT_TRUE(svc.ConfigureScheduler(sched).ok());
+  ASSERT_TRUE(svc.RegisterParty("alice", 1).ok());
+  ASSERT_TRUE(svc.RegisterParty("bob", 2).ok());
+  ASSERT_TRUE(svc.RegisterParty("carol", 3).ok());
+  auto contract = svc.CreateContract({"alice", "bob"}, "carol", "equijoin");
+  ASSERT_TRUE(contract.ok());
+  ASSERT_TRUE(svc.SubmitRelation(*contract, "alice", *workload_->a, true).ok());
+  ASSERT_TRUE(svc.SubmitRelation(*contract, "bob", *workload_->b, true).ok());
+
+  service::ExecuteOptions options;
+  options.algorithm = core::Algorithm::kAlgorithm5;
+  options.n = 4;
+  options.memory_tuples = 8;
+  auto ticket = svc.Submit(
+      *contract, service::JoinRequest::PairJoin(*workload_->predicate),
+      options);
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_EQ(ticket.status().code(), StatusCode::kQuotaExceeded);
+  EXPECT_EQ(svc.scheduler_stats().quota_rejected, 1u);
+  if (Registry::CompiledIn()) {
+    EXPECT_EQ(registry.TakeSnapshot().CounterTotal(metrics::kQuotaRefusals),
+              1u);
+  }
+}
+
+}  // namespace
+}  // namespace ppj

@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "common/telemetry.h"
 #include "core/algorithm1.h"
 #include "core/algorithm2.h"
@@ -337,6 +338,99 @@ TEST_F(ServiceTelemetryTest, ExportersProduceWellFormedDocuments) {
   EXPECT_NE(report.find("\"total\""), std::string::npos);
   EXPECT_NE(report.find("execute-join/algorithm5"), std::string::npos);
   EXPECT_NE(report.find("\"tuple_transfers\""), std::string::npos);
+}
+
+// ---- Neutrality: the metrics registry -----------------------------------
+
+/// Same contract as the telemetry goldens above, extended to the PR-7
+/// metrics layer: the adversary-visible surface must be bit-identical
+/// whether the service publishes into an enabled registry, a
+/// runtime-disabled registry, or (under -DPPJ_METRICS=OFF) no registry at
+/// all. A fresh service per run keeps region-id assignment comparable.
+class MetricsNeutralityTest : public ::testing::Test {
+ protected:
+  /// Runs one async join with the scheduler publishing into `registry`
+  /// (nullptr = the process global) and returns the delivery.
+  Result<service::JoinDelivery> RunOnce(metrics::Registry* registry) {
+    service::SovereignJoinService service;
+    service::SchedulerOptions sched;
+    sched.registry = registry;
+    PPJ_RETURN_NOT_OK(service.ConfigureScheduler(sched));
+    PPJ_RETURN_NOT_OK(service.RegisterParty("airline", 101));
+    PPJ_RETURN_NOT_OK(service.RegisterParty("agency", 102));
+    PPJ_RETURN_NOT_OK(service.RegisterParty("analyst", 103));
+    PPJ_ASSIGN_OR_RETURN(
+        const std::string contract,
+        service.CreateContract({"airline", "agency"}, "analyst",
+                               "passenger.key == watchlist.key"));
+    EquijoinSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 16;
+    spec.n_max = 4;
+    spec.result_size = 9;
+    spec.seed = 1;
+    PPJ_ASSIGN_OR_RETURN(relation::TwoTableWorkload workload,
+                         MakeEquijoinWorkload(spec));
+    PPJ_RETURN_NOT_OK(service.SubmitRelation(contract, "airline", *workload.a));
+    PPJ_RETURN_NOT_OK(service.SubmitRelation(contract, "agency", *workload.b));
+    service::ExecuteOptions options;
+    options.algorithm = core::Algorithm::kAlgorithm5;
+    options.memory_tuples = 4;
+    // The instrumented async path: Submit -> worker -> Wait, so queue-wait
+    // and execution histograms actually get observed.
+    PPJ_ASSIGN_OR_RETURN(
+        const service::Ticket ticket,
+        service.Submit(contract,
+                       service::JoinRequest::PairJoin(*workload.predicate),
+                       options));
+    PPJ_ASSIGN_OR_RETURN(service::Response response, service.Wait(ticket));
+    if (!response.delivery.has_value()) {
+      return Status::Internal("join response carried no delivery");
+    }
+    return std::move(*response.delivery);
+  }
+
+  static void ExpectSameSurface(const service::JoinDelivery& a,
+                                const service::JoinDelivery& b) {
+    EXPECT_EQ(a.trace.digest, b.trace.digest);
+    EXPECT_EQ(a.trace.count, b.trace.count);
+    EXPECT_EQ(a.timing.digest, b.timing.digest);
+    EXPECT_EQ(a.timing.count, b.timing.count);
+    EXPECT_EQ(a.metrics.TupleTransfers(), b.metrics.TupleTransfers());
+    EXPECT_TRUE(relation::SameTupleMultiset(a.tuples, b.tuples));
+  }
+};
+
+TEST_F(MetricsNeutralityTest, SurfaceIdenticalEnabledDisabledAndDefault) {
+  metrics::Registry enabled(/*enabled=*/true);
+  metrics::Registry disabled(/*enabled=*/false);
+
+  auto with_enabled = RunOnce(&enabled);
+  ASSERT_TRUE(with_enabled.ok()) << with_enabled.status();
+  auto with_disabled = RunOnce(&disabled);
+  ASSERT_TRUE(with_disabled.ok()) << with_disabled.status();
+  auto with_global = RunOnce(nullptr);
+  ASSERT_TRUE(with_global.ok()) << with_global.status();
+
+  // Definition 1/3 surface: identical whether the registry records
+  // everything, nothing, or is the shared process-global instance. Under
+  // -DPPJ_METRICS=OFF all three paths take null handles — the same
+  // comparison then proves the compiled-out build equals runtime-off.
+  ExpectSameSurface(*with_enabled, *with_disabled);
+  ExpectSameSurface(*with_enabled, *with_global);
+
+  // And the observer observed (exactly when it is compiled in + enabled).
+  const metrics::Snapshot on = enabled.TakeSnapshot();
+  const metrics::Snapshot off = disabled.TakeSnapshot();
+  if (metrics::Registry::CompiledIn()) {
+    EXPECT_EQ(on.CounterTotal(metrics::kRequestsSubmitted), 1u);
+    EXPECT_EQ(on.MergeHistograms(metrics::kLatencyNs).count, 1u);
+  } else {
+    EXPECT_TRUE(on.counters.empty());
+    EXPECT_TRUE(on.histograms.empty());
+  }
+  EXPECT_TRUE(off.counters.empty());
+  EXPECT_TRUE(off.histograms.empty());
 }
 
 // ---- Span-tree mechanics -------------------------------------------------

@@ -1,0 +1,292 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH result lines (ROADMAP item 4).
+
+Every bench harness emits machine-readable lines of the form
+
+    BENCH {"bench":"service_throughput","params":{...},"tuple_transfers":0,"wall_ns":123}
+
+(see bench/bench_util.h). This tool compares the BENCH lines of a fresh run
+against a committed baseline file under bench_data/ and fails (exit 1) when
+any gated metric regressed by more than --tolerance (default 10%).
+
+Modes:
+  # Compare a captured run (file or '-' for stdin) against a baseline:
+  bench_gate.py --baseline bench_data/BENCH_service_smoke.json --input run.txt
+
+  # Run the bench itself N times (best-of-N damps scheduler noise):
+  bench_gate.py --baseline bench_data/BENCH_micro_crypto.json \
+      --runs 3 --command './build/bench/bench_micro_crypto --benchmark_filter=BM_OcbSeal'
+
+  # Self-test of the gate logic (machine-independent; wired into ctest):
+  bench_gate.py --self-test
+
+Matching: records pair up by bench name plus every *shape* param present in
+both records (sizes, counts, configuration); *measured* params
+(joins_per_sec, p50_ms, ...) and wall_ns/tuple_transfers are gated, each
+with a direction (higher-better or lower-better). A baseline record with no
+matching current record is itself a failure — a silently vanished bench
+must not pass the gate.
+"""
+
+import argparse
+import json
+import re
+import shlex
+import subprocess
+import sys
+
+# google-benchmark interleaves its colourised console table with the BENCH
+# lines, leaving ANSI escapes glued to the start of the line.
+ANSI = re.compile(r"\x1b\[[0-9;]*m")
+
+# Measured metrics and their direction. Everything else inside params is a
+# shape key and must match exactly for two records to pair up.
+HIGHER_BETTER = {
+    "joins_per_sec",
+    "tuples_per_sec",
+    "bytes_per_second",
+    "items_per_second",
+}
+LOWER_BETTER = {
+    "p50_ms",
+    "p99_ms",
+    "wall_ms",
+}
+# Top-level fields gated alongside params. tuple_transfers is a determinism
+# check, not a perf metric: any change at all fails the gate.
+TOP_LEVEL_LOWER_BETTER = {"wall_ns"}
+EXACT_MATCH = {"tuple_transfers"}
+# Measured-but-not-gated noise (google-benchmark bookkeeping).
+IGNORED = {"iterations", "real_time", "cpu_time"}
+
+
+def parse_bench_lines(text):
+    """Returns the list of parsed BENCH JSON payloads in `text`."""
+    records = []
+    for line in text.splitlines():
+        line = ANSI.sub("", line).strip()
+        if not line.startswith("BENCH "):
+            continue
+        try:
+            records.append(json.loads(line[len("BENCH "):]))
+        except json.JSONDecodeError as err:
+            print(f"bench_gate: unparseable BENCH line ({err}): {line}",
+                  file=sys.stderr)
+            sys.exit(2)
+    return records
+
+
+def shape_of(record):
+    """The identity of a record: bench name + non-measured params."""
+    params = record.get("params", {})
+    shape = {
+        k: v
+        for k, v in sorted(params.items())
+        if k not in HIGHER_BETTER | LOWER_BETTER | IGNORED
+    }
+    return (record.get("bench", "?"), tuple(shape.items()))
+
+
+def gated_metrics(record):
+    """(name, value, higher_is_better) triples this record exposes."""
+    out = []
+    for k, v in sorted(record.get("params", {}).items()):
+        if k in HIGHER_BETTER:
+            out.append((k, float(v), True))
+        elif k in LOWER_BETTER:
+            out.append((k, float(v), False))
+    for k in TOP_LEVEL_LOWER_BETTER:
+        if record.get(k):  # 0 means "not measured" for wall_ns
+            out.append((k, float(record[k]), False))
+    return out
+
+
+def merge_best(runs):
+    """Best-of-N merge: per shape, keep the best value of every metric."""
+    merged = {}
+    for records in runs:
+        for rec in records:
+            key = shape_of(rec)
+            if key not in merged:
+                merged[key] = json.loads(json.dumps(rec))  # deep copy
+                continue
+            best = merged[key]
+            for name, value, higher in gated_metrics(rec):
+                container = best["params"] if name in best.get("params", {}) \
+                    else best
+                old = float(container.get(name, value))
+                container[name] = max(old, value) if higher \
+                    else min(old, value)
+    return list(merged.values())
+
+
+def compare(baseline_records, current_records, tolerance):
+    """Returns a list of failure strings (empty = gate passes)."""
+    failures = []
+    current_by_shape = {shape_of(r): r for r in current_records}
+    for base in baseline_records:
+        key = shape_of(base)
+        cur = current_by_shape.get(key)
+        if cur is None:
+            failures.append(
+                f"{key[0]}: no matching BENCH record in the current run "
+                f"(shape {dict(key[1])})")
+            continue
+        for name, base_value, higher in gated_metrics(base):
+            container = cur.get("params", {}) if name in cur.get("params", {}) \
+                else cur
+            if name not in container:
+                failures.append(f"{key[0]}: metric '{name}' missing from the "
+                                "current run")
+                continue
+            cur_value = float(container[name])
+            if base_value == 0:
+                continue  # nothing to regress against
+            if higher:
+                regression = (base_value - cur_value) / base_value
+            else:
+                regression = (cur_value - base_value) / base_value
+            direction = "higher-better" if higher else "lower-better"
+            if regression > tolerance:
+                failures.append(
+                    f"{key[0]}: {name} regressed {regression:+.1%} "
+                    f"(baseline {base_value:g}, current {cur_value:g}, "
+                    f"{direction}, tolerance {tolerance:.0%})")
+            else:
+                print(f"bench_gate: OK {key[0]}.{name} "
+                      f"{regression:+.1%} vs baseline "
+                      f"({base_value:g} -> {cur_value:g}, {direction})")
+        for name in EXACT_MATCH:
+            if name in base and name in cur and base[name] != cur[name]:
+                failures.append(
+                    f"{key[0]}: {name} changed {base[name]} -> {cur[name]} "
+                    "(deterministic transfer count must not drift)")
+    return failures
+
+
+def self_test():
+    """Machine-independent check that the gate logic gates."""
+    base = parse_bench_lines(
+        'BENCH {"bench":"svc","params":{"contracts":8,"joins_per_sec":1000.0,'
+        '"p99_ms":10.0},"tuple_transfers":42,"wall_ns":5000}\n')
+    ok = parse_bench_lines(
+        'BENCH {"bench":"svc","params":{"contracts":8,"joins_per_sec":950.0,'
+        '"p99_ms":10.5},"tuple_transfers":42,"wall_ns":5200}\n')
+    slow = parse_bench_lines(
+        'BENCH {"bench":"svc","params":{"contracts":8,"joins_per_sec":800.0,'
+        '"p99_ms":10.0},"tuple_transfers":42,"wall_ns":5000}\n')
+    latency = parse_bench_lines(
+        'BENCH {"bench":"svc","params":{"contracts":8,"joins_per_sec":1000.0,'
+        '"p99_ms":13.0},"tuple_transfers":42,"wall_ns":5000}\n')
+    drift = parse_bench_lines(
+        'BENCH {"bench":"svc","params":{"contracts":8,"joins_per_sec":1000.0,'
+        '"p99_ms":10.0},"tuple_transfers":43,"wall_ns":5000}\n')
+    missing = parse_bench_lines(
+        'BENCH {"bench":"other","params":{"contracts":8,"joins_per_sec":1.0,'
+        '"p99_ms":1.0},"tuple_transfers":0,"wall_ns":1}\n')
+    shape_change = parse_bench_lines(
+        'BENCH {"bench":"svc","params":{"contracts":16,"joins_per_sec":1000.0,'
+        '"p99_ms":10.0},"tuple_transfers":42,"wall_ns":5000}\n')
+    merged = merge_best([parse_bench_lines(
+        'BENCH {"bench":"svc","params":{"contracts":8,"joins_per_sec":700.0,'
+        '"p99_ms":20.0},"tuple_transfers":42,"wall_ns":9000}\n'), ok])
+
+    cases = [
+        ("within tolerance passes", compare(base, ok, 0.10), False),
+        ("-20% throughput fails", compare(base, slow, 0.10), True),
+        ("+30% p99 fails", compare(base, latency, 0.10), True),
+        ("transfer drift fails", compare(base, drift, 0.10), True),
+        ("missing bench fails", compare(base, missing, 0.10), True),
+        ("shape change is a missing bench", compare(base, shape_change, 0.10),
+         True),
+        ("best-of-N uses the best run", compare(base, merged, 0.10), False),
+        ("loose tolerance admits the regression", compare(base, slow, 0.25),
+         False),
+    ]
+    bad = 0
+    for name, failures, expect_fail in cases:
+        got_fail = bool(failures)
+        verdict = "ok" if got_fail == expect_fail else "WRONG"
+        if got_fail != expect_fail:
+            bad += 1
+        print(f"self-test [{verdict}] {name}: "
+              f"{failures if failures else 'pass'}")
+    if bad:
+        print(f"bench_gate: self-test FAILED ({bad} wrong verdicts)",
+              file=sys.stderr)
+        return 1
+    print("bench_gate: self-test passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline", action="append", default=[],
+                    help="committed bench_data/BENCH_*.json baseline "
+                         "(repeatable)")
+    ap.add_argument("--input", action="append", default=[],
+                    help="file with a captured run's stdout ('-' = stdin; "
+                         "repeatable)")
+    ap.add_argument("--command", action="append", default=[],
+                    help="bench command to run and capture (repeatable)")
+    ap.add_argument("--runs", type=int, default=1,
+                    help="run each --command N times, gate on best-of-N")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed relative regression (default 0.10)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate logic itself and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.baseline or (not args.input and not args.command):
+        ap.error("need --baseline plus --input or --command "
+                 "(or --self-test)")
+
+    baseline_records = []
+    for path in args.baseline:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        # Baseline files hold raw BENCH lines; bare-JSON-per-line files
+        # (the original BENCH_service.json format) are accepted too.
+        records = parse_bench_lines(text)
+        if not records:
+            records = [json.loads(line) for line in text.splitlines()
+                       if line.strip()]
+        baseline_records.extend(records)
+
+    runs = []
+    for path in args.input:
+        text = sys.stdin.read() if path == "-" else open(
+            path, encoding="utf-8").read()
+        runs.append(parse_bench_lines(text))
+    for command in args.command:
+        for i in range(max(1, args.runs)):
+            print(f"bench_gate: run {i + 1}/{args.runs}: {command}")
+            proc = subprocess.run(shlex.split(command), capture_output=True,
+                                  text=True)
+            if proc.returncode != 0:
+                print(proc.stdout, file=sys.stderr)
+                print(proc.stderr, file=sys.stderr)
+                print(f"bench_gate: command failed "
+                      f"(exit {proc.returncode}): {command}", file=sys.stderr)
+                sys.exit(2)
+            runs.append(parse_bench_lines(proc.stdout))
+
+    current_records = merge_best(runs)
+    if not current_records:
+        print("bench_gate: no BENCH lines found in the current run",
+              file=sys.stderr)
+        sys.exit(2)
+
+    failures = compare(baseline_records, current_records, args.tolerance)
+    if failures:
+        for failure in failures:
+            print(f"bench_gate: FAIL {failure}", file=sys.stderr)
+        sys.exit(1)
+    print("bench_gate: all benches within tolerance")
+
+
+if __name__ == "__main__":
+    main()

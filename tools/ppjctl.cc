@@ -49,6 +49,19 @@
 //   ppjctl costs [--l=N] [--s=N] [--m=N] [--eps=X]
 //       Prints the Chapter 5 model costs (Table 5.1 instantiation).
 //
+//   ppjctl stats [--requests=N] [--alg=...] [--size-a=N] [--size-b=N]
+//                [--s=N] [--n=N] [--m=N] [--format=prom|json] [--out=FILE]
+//       Drives a short request series through the service against a
+//       private metrics registry — N distinct joins plus one exact repeat
+//       (a reuse-cache hit) — then prints the registry snapshot in
+//       Prometheus text exposition format (default) or JSON. This is the
+//       same data Service::MetricsSnapshot() serves in-process: per-tenant
+//       request/outcome counters, queue-wait / execution / latency
+//       histograms, quota-refusal and reuse-hit counters, retry rollups.
+//       --out writes the exposition to FILE (non-zero exit if the write
+//       fails). With -DPPJ_METRICS=OFF the registry is compiled out and
+//       stats says so. See docs/OBSERVABILITY.md ("Service metrics").
+//
 //   ppjctl audit [--alg=...] [--size-a=N] [--size-b=N] [--s=N] [--m=N]
 //       Runs the Definition 3 trace audit on two shape-equal worlds and
 //       reports the verdict (regions print their symbolic host names).
@@ -66,6 +79,7 @@
 #include "analysis/chapter5_costs.h"
 #include "analysis/smc_cost.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/telemetry.h"
 #include "core/algorithm.h"
 #include "core/join_result.h"
@@ -158,6 +172,11 @@ struct JoinRun {
   relation::EquijoinSpec spec;
   service::ExecuteOptions options;
   service::JoinDelivery delivery;
+  /// The scheduler's lifecycle record for the ticket — queue-wait vs
+  /// execution attribution. Captured before the function-local service is
+  /// destroyed; available in every build (lifecycle records are part of
+  /// the request API, not the metrics exposition).
+  std::optional<service::RequestTrace> trace;
   /// --fault-plan state: the armed plan and what it actually injected.
   bool faults_armed = false;
   sim::FaultPlan fault_plan;
@@ -233,6 +252,7 @@ Result<JoinRun> ExecuteJoinFromFlags(const Flags& flags,
   Result<service::Ticket> ticket = svc.Submit(contract, request, options);
   Result<service::Response> response =
       ticket.ok() ? svc.Wait(*ticket) : ticket.status();
+  if (ticket.ok()) run.trace = svc.lifecycle(*ticket);
   if (faults != nullptr) run.fault_stats = faults->stats();
   if (!response.ok()) {
     // Graceful degradation: surface the structured post-mortem the service
@@ -361,6 +381,22 @@ int RunReport(const Flags& flags) {
   std::printf("  %-42s %8s %12llu\n", "total (host observed)", "",
               static_cast<unsigned long long>(
                   delivery.metrics.TupleTransfers()));
+
+  // Scheduler attribution: how much of the request's wall time was spent
+  // waiting for a worker vs. actually executing. Same timestamps the
+  // registry's ppj_queue_wait_ns / ppj_execution_ns histograms observe.
+  if (run->trace.has_value() && run->trace->done()) {
+    const service::RequestTrace& t = *run->trace;
+    std::printf("\nrequest lifecycle (scheduler attribution)\n");
+    std::printf("  queue wait  %10.3f ms\n",
+                static_cast<double>(t.queue_wait_ns()) / 1e6);
+    std::printf("  execution   %10.3f ms%s\n",
+                static_cast<double>(t.execution_ns()) / 1e6,
+                t.outcome == "reused" ? "  (reuse-cache hit)" : "");
+    std::printf("  total       %10.3f ms  (outcome: %s)\n",
+                static_cast<double>(t.latency_ns()) / 1e6,
+                t.outcome.c_str());
+  }
   if (run->faults_armed) {
     std::printf("\nfault summary\n");
     std::printf("  plan      %s\n", run->fault_plan.ToString().c_str());
@@ -567,6 +603,102 @@ int RunCosts(const Flags& flags) {
   return 0;
 }
 
+int RunStats(const Flags& flags) {
+  if (!metrics::Registry::CompiledIn()) {
+    std::printf(
+        "metrics registry compiled out (-DPPJ_METRICS=OFF) — nothing to "
+        "expose.\nLifecycle records still work: see `ppjctl report` for "
+        "per-request queue-wait attribution.\n");
+    return 0;
+  }
+  // A private registry so the exposition shows exactly this command's
+  // request series, not whatever else the process global accumulated.
+  metrics::Registry registry;
+
+  relation::EquijoinSpec spec;
+  spec.size_a = flags.GetU64("size-a", 16);
+  spec.size_b = flags.GetU64("size-b", 16);
+  spec.n_max = flags.GetU64("n", 4);
+  spec.result_size = flags.GetU64("s", 8);
+  spec.seed = flags.GetU64("seed", 1);
+  Result<relation::TwoTableWorkload> workload =
+      relation::MakeEquijoinWorkload(spec);
+  if (!workload.ok()) {
+    PPJ_LOG(kError) << "stats: " << workload.status().ToString();
+    return 1;
+  }
+
+  service::SovereignJoinService svc;
+  service::SchedulerOptions sched;
+  sched.registry = &registry;
+  Status status = svc.ConfigureScheduler(sched);
+  if (status.ok()) status = svc.RegisterParty("alice", 1);
+  if (status.ok()) status = svc.RegisterParty("bob", 2);
+  if (status.ok()) status = svc.RegisterParty("carol", 3);
+  Result<std::string> contract =
+      status.ok() ? svc.CreateContract({"alice", "bob"}, "carol", "equijoin")
+                  : status;
+  if (contract.ok()) {
+    status = svc.SubmitRelation(*contract, "alice", *workload->a, true);
+  } else {
+    status = contract.status();
+  }
+  if (status.ok()) {
+    status = svc.SubmitRelation(*contract, "bob", *workload->b, true);
+  }
+  if (!status.ok()) {
+    PPJ_LOG(kError) << "stats: " << status.ToString();
+    return 1;
+  }
+
+  service::ExecuteOptions options;
+  if (!ParseAlgorithmFlag(flags.Get("alg", "5"), &options.algorithm)) {
+    return 1;
+  }
+  options.n = spec.n_max;
+  options.memory_tuples = flags.GetU64("m", 8);
+  options.epsilon = flags.GetDouble("eps", 1e-9);
+  options.batch_slots = flags.GetU64("batch", 0);
+
+  // N distinct requests (the seed is part of the reuse-cache key) plus one
+  // exact repeat of the last — a reuse hit, so the exposition shows the
+  // ppj_reuse_hits_total counter and a request whose lifecycle never
+  // reached `executing`.
+  const service::JoinRequest request =
+      service::JoinRequest::PairJoin(*workload->predicate);
+  const std::uint64_t requests = flags.GetU64("requests", 4);
+  for (std::uint64_t i = 0; i <= requests; ++i) {
+    options.seed = i < requests ? 100 + i : 100 + requests - 1;
+    Result<service::Ticket> ticket = svc.Submit(*contract, request, options);
+    Result<service::Response> response =
+        ticket.ok() ? svc.Wait(*ticket) : ticket.status();
+    if (!response.ok()) {
+      PPJ_LOG(kError) << "stats: request " << i << ": "
+                      << response.status().ToString();
+      return 1;
+    }
+    if (ticket.ok()) svc.Release(*ticket);
+  }
+
+  const metrics::Snapshot snapshot = svc.MetricsSnapshot();
+  const std::string format = flags.Get("format", "prom");
+  if (format != "prom" && format != "json") {
+    PPJ_LOG(kError) << "stats: unknown --format '" << format
+                    << "' (want prom|json)";
+    return 64;
+  }
+  const std::string text =
+      format == "json" ? snapshot.ToJson() : snapshot.ToPrometheusText();
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    if (!WriteFile(out, text)) return 1;
+    std::printf("stats written    %s (%s)\n", out.c_str(), format.c_str());
+  }
+  return 0;
+}
+
 int RunAudit(const Flags& flags) {
   const std::uint64_t size_a = flags.GetU64("size-a", 8);
   const std::uint64_t size_b = flags.GetU64("size-b", 12);
@@ -636,7 +768,7 @@ int RunAudit(const Flags& flags) {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: ppjctl <join|report|plan|explain|costs|audit> "
+               "usage: ppjctl <join|report|plan|explain|costs|stats|audit> "
                "[--key=value ...]\n"
                "see the header of tools/ppjctl.cc for the full flag list\n");
 }
@@ -679,6 +811,7 @@ int main(int argc, char** argv) {
   if (command == "plan") return RunPlan(flags);
   if (command == "explain") return RunExplain(flags);
   if (command == "costs") return RunCosts(flags);
+  if (command == "stats") return RunStats(flags);
   if (command == "audit") return RunAudit(flags);
   Usage();
   return 64;
