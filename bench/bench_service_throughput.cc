@@ -13,9 +13,13 @@
 // falls back to the per-ticket lifecycle records (same timestamps, no
 // histograms).
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +27,7 @@
 #include "common/metrics.h"
 #include "relation/generator.h"
 #include "service/service.h"
+#include "sim/storage_backend.h"
 
 namespace {
 
@@ -40,8 +45,12 @@ double Percentile(std::vector<double> sorted, double p) {
 int main(int argc, char** argv) {
   using namespace ppj;  // NOLINT: bench-local convenience
   bool smoke = false;
+  std::string backend_kind = "mem";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      backend_kind = argv[i] + 10;
+    }
   }
 
   const std::size_t kContracts = smoke ? 8 : 64;
@@ -58,7 +67,30 @@ int main(int argc, char** argv) {
   // A private registry keeps the numbers scoped to this run even when
   // other code in the process publishes into the global instance.
   metrics::Registry registry;
-  service::SovereignJoinService service;
+  // --backend=mem|file|mmap swaps the host storage so the service numbers
+  // can be compared across backends; disk backends use a temp directory.
+  std::unique_ptr<sim::StorageBackend> backend;
+  if (backend_kind == "mem") {
+    backend = sim::MakeInMemoryBackend();
+  } else if (backend_kind == "file" || backend_kind == "mmap") {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("bench-service-" + backend_kind + "-" + std::to_string(::getpid())))
+            .string();
+    auto made = backend_kind == "file" ? sim::MakeFileBackend(dir)
+                                       : sim::MakeMmapBackend(dir);
+    if (!made.ok()) {
+      std::printf("backend setup failed: %s\n",
+                  made.status().ToString().c_str());
+      return 1;
+    }
+    backend = std::move(*made);
+  } else {
+    std::printf("bad --backend=%s (want mem, file or mmap)\n",
+                backend_kind.c_str());
+    return 1;
+  }
+  service::SovereignJoinService service(std::move(backend));
   service::SchedulerOptions sched;
   sched.quotas.max_in_flight = 4;
   sched.registry = &registry;
@@ -181,12 +213,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.failed));
   if (stats.completed != kTotal || stats.failed != 0) return 1;
 
-  bench::ResultLine("service_throughput")
-      .Param("contracts", static_cast<double>(kContracts))
+  bench::ResultLine line("service_throughput");
+  line.Param("contracts", static_cast<double>(kContracts))
       .Param("tenants", static_cast<double>(kTenants))
       .Param("requests", static_cast<double>(kTotal))
-      .Param("workers", static_cast<double>(stats.workers))
-      .Param("joins_per_sec", joins_per_sec)
+      .Param("workers", static_cast<double>(stats.workers));
+  // The backend is a shape parameter only when it deviates from the
+  // default: committed mem baselines keep matching runs that never pass
+  // --backend.
+  if (backend_kind != "mem") line.Param("backend", backend_kind);
+  line.Param("joins_per_sec", joins_per_sec)
       .Param("p50_ms", p50)
       .Param("p99_ms", p99)
       .WallNs(wall_ns)

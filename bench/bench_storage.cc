@@ -1,0 +1,313 @@
+// Storage fast-path harness: measures the three storage backends (mem,
+// file, mmap) at three levels of the stack —
+//
+//   range_read / range_write : HostStore::ReadRange / WriteRange bulk
+//       throughput at several range sizes (MB/s). This is the raw transfer
+//       path batched coprocessor runs ride on; the mmap backend's memcpy
+//       against the mapping vs the file backend's per-call
+//       open/seek/transfer/close cycle is the headline comparison.
+//   prefetch_open : Coprocessor::GetOpenRange + PrefetchOpen + consume, the
+//       sealed->plaintext staging pipeline (tuples/s). Backends that lend
+//       borrowed views (mem, mmap) skip the backend->staging copy entirely.
+//   join_alg5 : one contract driving Algorithm 5 end to end through the
+//       service (joins/s) — the number a caller actually experiences.
+//
+// Every result is emitted as a BENCH line (see bench_util.h) with the
+// backend as a shape param, so tools/bench_gate.py gates each backend's
+// throughput against the committed bench_data/BENCH_storage.json baseline.
+// The mmap-vs-file speedup at 64 KiB+ ranges is additionally emitted as its
+// own gated metric (speedup_x, higher-better): the zero-copy win is a
+// committed, regression-gated fact, not a one-off observation. `--smoke`
+// shrinks repetition counts for CI; the shapes (and therefore the baseline
+// pairing) are identical in both modes.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "crypto/key.h"
+#include "crypto/ocb.h"
+#include "relation/generator.h"
+#include "service/service.h"
+#include "sim/coprocessor.h"
+#include "sim/host_store.h"
+#include "sim/storage_backend.h"
+
+namespace {
+
+using namespace ppj;  // NOLINT: bench-local convenience
+
+// Defeats dead-code elimination of the measured loops.
+volatile std::uint8_t g_sink = 0;
+
+constexpr std::size_t kSlotSize = 1024;  // range sizes count in KiB
+
+struct BackendHandle {
+  std::unique_ptr<sim::StorageBackend> backend;
+  std::string dir;  // non-empty => remove on teardown
+};
+
+Result<BackendHandle> MakeBackend(const std::string& kind) {
+  BackendHandle h;
+  if (kind == "mem") {
+    h.backend = sim::MakeInMemoryBackend();
+    return h;
+  }
+  h.dir = (std::filesystem::temp_directory_path() /
+           ("bench-storage-" + kind + "-" + std::to_string(::getpid())))
+              .string();
+  if (kind == "file") {
+    PPJ_ASSIGN_OR_RETURN(h.backend, sim::MakeFileBackend(h.dir));
+  } else {
+    PPJ_ASSIGN_OR_RETURN(h.backend, sim::MakeMmapBackend(h.dir));
+  }
+  return h;
+}
+
+void Cleanup(const BackendHandle& h) {
+  if (!h.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(h.dir, ec);
+  }
+}
+
+/// MB/s of ReadRange (read=true) or WriteRange over a `range_kib` window,
+/// repeated until ~`target_bytes` have moved.
+Result<double> RangeThroughput(const std::string& kind, bool read,
+                               std::size_t range_kib, double target_bytes) {
+  PPJ_ASSIGN_OR_RETURN(BackendHandle h, MakeBackend(kind));
+  const std::uint64_t count = range_kib;  // kSlotSize == 1 KiB
+  const std::size_t bytes = count * kSlotSize;
+  sim::HostStore host(std::move(h.backend));
+  const sim::RegionId r = host.CreateRegion("bench", kSlotSize, count);
+  std::vector<std::uint8_t> buf(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    buf[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  // Prime the region (and, for the disk backends, the page cache) so reads
+  // measure the transfer path, not first-touch faulting.
+  PPJ_RETURN_NOT_OK(host.WriteRange(r, 0, count, buf.data(), bytes));
+  const std::size_t reps =
+      std::max<std::size_t>(1, static_cast<std::size_t>(target_bytes) / bytes);
+  // Best of three timed trials: single-trial numbers at smoke sizes are at
+  // the mercy of scheduler preemption and frequency scaling.
+  double best_bps = 0;
+  for (int trial = 0; trial < 3; ++trial) {
+    const bench::WallTimer timer;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      if (read) {
+        PPJ_RETURN_NOT_OK(host.ReadRange(r, 0, count, buf.data(), bytes));
+      } else {
+        PPJ_RETURN_NOT_OK(host.WriteRange(r, 0, count, buf.data(), bytes));
+      }
+      g_sink = static_cast<std::uint8_t>(g_sink ^ buf[0]);
+    }
+    const double secs = timer.ElapsedNs() / 1e9;
+    if (secs > 0) {
+      best_bps = std::max(best_bps, static_cast<double>(reps) *
+                                        static_cast<double>(bytes) / secs);
+    }
+  }
+  Cleanup(h);
+  return best_bps;
+}
+
+/// Tuples/s through GetOpenRange + PrefetchOpen + consume-every-slot: the
+/// staging pipeline the sorters and mergers run on. A fresh coprocessor per
+/// repetition keeps the access trace bounded.
+Result<double> PrefetchOpenThroughput(const std::string& kind,
+                                      std::uint64_t slots, std::size_t reps) {
+  constexpr std::size_t kPlain = 64;
+  PPJ_ASSIGN_OR_RETURN(BackendHandle h, MakeBackend(kind));
+  sim::HostStore host(std::move(h.backend));
+  const sim::RegionId r = host.CreateRegion(
+      "sealed", sim::Coprocessor::SealedSize(kPlain), slots);
+  crypto::Ocb key(crypto::DeriveKey(11, "bench-storage"));
+  // Provider-style sealing (counter 0), like EncryptedRelation::Seal.
+  std::vector<std::uint8_t> slot(sim::Coprocessor::SealedSize(kPlain));
+  std::vector<std::uint8_t> plain(kPlain);
+  for (std::uint64_t i = 0; i < slots; ++i) {
+    const crypto::Block nonce = sim::Coprocessor::PositionNonce(r, i, 0);
+    std::memcpy(slot.data(), nonce.data(), crypto::Ocb::kBlockSize);
+    std::fill(plain.begin(), plain.end(), static_cast<std::uint8_t>(i));
+    key.EncryptInto(nonce, plain.data(), plain.size(),
+                    slot.data() + crypto::Ocb::kBlockSize);
+    PPJ_RETURN_NOT_OK(host.WriteSlot(r, i, slot));
+  }
+  const bench::WallTimer timer;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    sim::Coprocessor copro(
+        &host, sim::CoprocessorOptions{.memory_tuples = slots, .seed = 7});
+    PPJ_ASSIGN_OR_RETURN(sim::ReadRun run,
+                         copro.GetOpenRange(r, 0, slots, &key));
+    PPJ_RETURN_NOT_OK(run.PrefetchOpen());
+    for (std::uint64_t i = 0; i < slots; ++i) {
+      PPJ_ASSIGN_OR_RETURN(std::span<const std::uint8_t> p, run.NextOpen());
+      g_sink = static_cast<std::uint8_t>(g_sink ^ p[0]);
+    }
+  }
+  const double secs = timer.ElapsedNs() / 1e9;
+  Cleanup(h);
+  return secs > 0
+             ? static_cast<double>(slots) * static_cast<double>(reps) / secs
+             : 0.0;
+}
+
+/// Joins/s for Algorithm 5 end to end through the service, sequentially
+/// (allow_reuse off — every request really executes against storage).
+Result<double> JoinThroughput(const std::string& kind, std::uint64_t size_a,
+                              std::uint64_t size_b, std::uint64_t result_size,
+                              std::size_t reps) {
+  PPJ_ASSIGN_OR_RETURN(BackendHandle h, MakeBackend(kind));
+  service::SovereignJoinService svc(std::move(h.backend));
+  PPJ_RETURN_NOT_OK(svc.RegisterParty("alice", 1));
+  PPJ_RETURN_NOT_OK(svc.RegisterParty("bob", 2));
+  PPJ_RETURN_NOT_OK(svc.RegisterParty("carol", 3));
+  PPJ_ASSIGN_OR_RETURN(std::string contract,
+                       svc.CreateContract({"alice", "bob"}, "carol",
+                                          "storage bench"));
+  relation::EquijoinSpec spec;
+  spec.size_a = size_a;
+  spec.size_b = size_b;
+  spec.n_max = 4;
+  spec.result_size = result_size;
+  spec.seed = 42;
+  PPJ_ASSIGN_OR_RETURN(relation::TwoTableWorkload w,
+                       relation::MakeEquijoinWorkload(spec));
+  PPJ_RETURN_NOT_OK(svc.SubmitRelation(contract, "alice", *w.a));
+  PPJ_RETURN_NOT_OK(svc.SubmitRelation(contract, "bob", *w.b));
+
+  service::ExecuteOptions options;
+  options.algorithm = core::Algorithm::kAlgorithm5;
+  options.n = spec.n_max;
+  options.memory_tuples = 8;
+  options.seed = 5;
+  options.telemetry = false;
+  options.allow_reuse = false;
+
+  const service::JoinRequest request =
+      service::JoinRequest::PairJoin(*w.predicate);
+  const bench::WallTimer timer;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    PPJ_ASSIGN_OR_RETURN(service::Ticket ticket,
+                         svc.Submit(contract, request, options));
+    PPJ_ASSIGN_OR_RETURN(service::Response response, svc.Wait(ticket));
+    g_sink = static_cast<std::uint8_t>(
+        g_sink ^ static_cast<std::uint8_t>(response.delivery->tuples.size()));
+    svc.Release(ticket);
+  }
+  const double secs = timer.ElapsedNs() / 1e9;
+  Cleanup(h);
+  return secs > 0 ? static_cast<double>(reps) / secs : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  bench::Banner(
+      "Storage fast path — mem vs file vs mmap",
+      "Range transfer MB/s, sealed prefetch-open tuples/s and end-to-end\n"
+      "Algorithm 5 joins/s per storage backend. The mmap-vs-file speedup at\n"
+      "64 KiB+ ranges is a gated metric.");
+
+  const std::vector<std::string> kinds = {"mem", "file", "mmap"};
+  const std::vector<std::size_t> range_kibs = {4, 64, 256, 1024};
+  // Repetitions scale with mode, shapes do not — smoke and full runs pair
+  // against the same committed baseline records.
+  const double target_bytes = smoke ? 8.0 * 1024 * 1024 : 256.0 * 1024 * 1024;
+  const std::size_t prefetch_reps = smoke ? 20 : 200;
+  const std::size_t join_reps = smoke ? 8 : 32;
+
+  // ---- Range transfers ----------------------------------------------------
+  std::printf("%8s %10s %10s  %s\n", "op", "range", "backend", "MB/s");
+  // read[kib][kind] feeds the speedup records below.
+  std::vector<std::vector<double>> mbps(range_kibs.size());
+  for (const bool read : {true, false}) {
+    for (std::size_t ri = 0; ri < range_kibs.size(); ++ri) {
+      for (const std::string& kind : kinds) {
+        auto bps = RangeThroughput(kind, read, range_kibs[ri], target_bytes);
+        if (!bps.ok()) {
+          std::printf("range bench failed: %s\n",
+                      bps.status().ToString().c_str());
+          return 1;
+        }
+        if (read) mbps[ri].push_back(*bps / 1e6);
+        std::printf("%8s %8zuK %10s  %.1f\n", read ? "read" : "write",
+                    range_kibs[ri], kind.c_str(), *bps / 1e6);
+        bench::ResultLine("storage_range")
+            .Param("op", read ? std::string("read") : std::string("write"))
+            .Param("range_kib", static_cast<double>(range_kibs[ri]))
+            .Param("backend", kind)
+            .Param("bytes_per_second", *bps)
+            .Emit();
+      }
+    }
+  }
+
+  // The committed zero-copy claim: mmap beats the syscall-per-call file
+  // backend on 64 KiB reads (the batched-transfer window size). Larger
+  // ranges amortize the file backend's fixed open/seek/close cost into a
+  // plain pread and the ratio decays toward memcpy-vs-pread — printed for
+  // context, gated only at the window where the claim is stable.
+  // kinds order is mem, file, mmap.
+  for (std::size_t ri = 0; ri < range_kibs.size(); ++ri) {
+    if (range_kibs[ri] < 64) continue;
+    const double file_mbps = mbps[ri][1];
+    const double mmap_mbps = mbps[ri][2];
+    const double speedup = file_mbps > 0 ? mmap_mbps / file_mbps : 0;
+    std::printf("mmap vs file read speedup @%zuK: %.1fx\n", range_kibs[ri],
+                speedup);
+    if (range_kibs[ri] == 64) {
+      bench::ResultLine("storage_mmap_speedup")
+          .Param("range_kib", static_cast<double>(range_kibs[ri]))
+          .Param("speedup_x", speedup)
+          .Emit();
+    }
+  }
+
+  // ---- Sealed prefetch-open ----------------------------------------------
+  for (const std::string& kind : kinds) {
+    auto tps = PrefetchOpenThroughput(kind, /*slots=*/256, prefetch_reps);
+    if (!tps.ok()) {
+      std::printf("prefetch bench failed: %s\n",
+                  tps.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("prefetch_open %10s  %.0f tuples/s\n", kind.c_str(), *tps);
+    bench::ResultLine("storage_prefetch_open")
+        .Param("backend", kind)
+        .Param("tuples_per_sec", *tps)
+        .Emit();
+  }
+
+  // ---- End-to-end Algorithm 5 --------------------------------------------
+  for (const std::string& kind : kinds) {
+    auto jps = JoinThroughput(kind, /*size_a=*/16, /*size_b=*/16,
+                              /*result_size=*/8, join_reps);
+    if (!jps.ok()) {
+      std::printf("join bench failed: %s\n", jps.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("join_alg5     %10s  %.1f joins/s\n", kind.c_str(), *jps);
+    bench::ResultLine("storage_join_alg5")
+        .Param("size_a", 16.0)
+        .Param("size_b", 16.0)
+        .Param("backend", kind)
+        .Param("joins_per_sec", *jps)
+        .Emit();
+  }
+  return 0;
+}

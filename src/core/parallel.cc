@@ -11,6 +11,7 @@
 #include "core/algorithm5.h"
 #include "core/cartesian.h"
 #include "crypto/mlfsr.h"
+#include "oblivious/sort_simd.h"
 #include "oblivious/windowed_filter.h"
 #include "relation/encrypted_relation.h"
 
@@ -144,7 +145,7 @@ Status ParallelDecoyFilter(std::vector<sim::Coprocessor*>& copros,
       b += step;
     }
   }
-  const oblivious::PlainLess less = oblivious::RealFirstLess();
+  const oblivious::SortKey less = oblivious::RealFirstLess();
   PPJ_RETURN_NOT_OK(ParallelObliviousSort(copros, buffer, padded, key, less));
   while (consumed < omega) {
     const std::uint64_t chunk = std::min(delta, omega - consumed);
@@ -646,10 +647,11 @@ namespace {
 Status SortStageRange(sim::Coprocessor& copro, sim::RegionId region,
                       std::uint64_t k, std::uint64_t j, std::uint64_t lo,
                       std::uint64_t hi, const crypto::Ocb& key,
-                      const oblivious::PlainLess& less) {
+                      const oblivious::SortKey& less) {
   const std::uint64_t block = 2 * j;
   const std::uint64_t limit =
       copro.BatchLimit(std::max<std::uint64_t>(copro.memory_tuples(), 2));
+  const oblivious::SimdTier tier = oblivious::ActiveSimdTier();
   std::vector<std::uint8_t> pi;
   std::vector<std::uint8_t> pj;
   std::uint64_t i = lo;
@@ -661,6 +663,29 @@ Status SortStageRange(sim::Coprocessor& copro, sim::RegionId region,
       PPJ_RETURN_NOT_OK(in.PrefetchOpen());
       PPJ_ASSIGN_OR_RETURN(sim::WriteRun out,
                            copro.PutSealedRange(region, base, block, &key));
+      std::uint8_t* arena = in.MutablePlainArena();
+      if (arena != nullptr && less.Vectorizable()) {
+        // Vector swap pass then scalar accounting replay — identical
+        // observable effect to the loop below; see ObliviousSort for the
+        // argument. Direction is per-block constant (block aligned to 2j,
+        // k >= 2j).
+        const bool ascending = (base & k) == 0;
+        oblivious::CompareExchangeBlock(arena, in.PlainSlotSize(), j,
+                                        ascending, less, tier);
+        for (std::uint64_t c = base; c < base + j; ++c) {
+          const std::uint64_t l_idx = c ^ j;  // == c + j within the block
+          PPJ_ASSIGN_OR_RETURN(std::span<const std::uint8_t> si,
+                               in.OpenAt(c));
+          PPJ_ASSIGN_OR_RETURN(std::span<const std::uint8_t> sl,
+                               in.OpenAt(l_idx));
+          copro.NoteComparison();
+          PPJ_RETURN_NOT_OK(out.SealAt(c, si));
+          PPJ_RETURN_NOT_OK(out.SealAt(l_idx, sl));
+        }
+        PPJ_RETURN_NOT_OK(out.Flush());
+        i = base + block;
+        continue;
+      }
       for (std::uint64_t c = base; c < base + j; ++c) {
         const std::uint64_t l_idx = c ^ j;  // == c + j within the block
         PPJ_ASSIGN_OR_RETURN(std::span<const std::uint8_t> si, in.OpenAt(c));
@@ -702,7 +727,7 @@ Status SortStageRange(sim::Coprocessor& copro, sim::RegionId region,
 Status ParallelObliviousSort(std::vector<sim::Coprocessor*>& copros,
                              sim::RegionId region, std::uint64_t n,
                              const crypto::Ocb& key,
-                             const oblivious::PlainLess& less) {
+                             const oblivious::SortKey& less) {
   if (copros.empty()) {
     return Status::InvalidArgument("need at least one coprocessor");
   }

@@ -81,7 +81,7 @@ Result<ParallelOutcome> RunParallelAlgorithm6(
 Status ParallelObliviousSort(std::vector<sim::Coprocessor*>& copros,
                              sim::RegionId region, std::uint64_t n,
                              const crypto::Ocb& key,
-                             const oblivious::PlainLess& less);
+                             const oblivious::SortKey& less);
 
 }  // namespace ppj::core
 

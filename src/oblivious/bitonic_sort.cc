@@ -6,6 +6,7 @@
 
 #include "common/math.h"
 #include "common/telemetry.h"
+#include "oblivious/sort_simd.h"
 #include "relation/encrypted_relation.h"
 #include "relation/tuple.h"
 
@@ -18,7 +19,7 @@ namespace {
 /// swapped, so the host learns nothing from the exchange.
 Status CompareExchange(sim::Coprocessor& copro, sim::RegionId region,
                        std::uint64_t i, std::uint64_t j, bool ascending,
-                       const crypto::Ocb& key, const PlainLess& less) {
+                       const crypto::Ocb& key, const SortKey& less) {
   PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> pi,
                        copro.GetOpen(region, i, key));
   PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> pj,
@@ -35,13 +36,14 @@ Status CompareExchange(sim::Coprocessor& copro, sim::RegionId region,
 
 Status ObliviousSort(sim::Coprocessor& copro, sim::RegionId region,
                      std::uint64_t n, const crypto::Ocb& key,
-                     const PlainLess& less) {
+                     const SortKey& less) {
   if (n == 0 || n == 1) return Status::OK();
   if (!IsPowerOfTwo(n)) {
     return Status::InvalidArgument(
         "bitonic sort needs a power-of-two size; pad with decoys");
   }
   PPJ_DEVICE_SPAN(&copro, "bitonic-sort");
+  const SimdTier tier = ActiveSimdTier();
   // The two staging slots for the elements under comparison are the "+2"
   // of the paper's M + 2 memory model; no buffer reservation needed.
   //
@@ -69,6 +71,37 @@ Status ObliviousSort(sim::Coprocessor& copro, sim::RegionId region,
           PPJ_ASSIGN_OR_RETURN(
               sim::WriteRun out,
               copro.PutSealedRange(region, base, block, &key));
+          std::uint8_t* arena = in.MutablePlainArena();
+          if (arena != nullptr && less.Vectorizable()) {
+            // SIMD fast path. Two phases with identical observable effect
+            // to the scalar loop below:
+            //   1. Data movement only — the vector kernel swaps out-of-order
+            //      rows in the prefetched plaintext arena. The direction is
+            //      per-block constant: the block is aligned to 2j and
+            //      k >= 2j, so bit k of every index i in it equals bit k of
+            //      `base`.
+            //   2. Accounting replay — per comparator, the exact scalar
+            //      sequence: Get(i), Get(l), compare charge, Put(i),
+            //      Put(l). OpenAt hands back the (already swapped) arena
+            //      row at each position, which is precisely the plaintext
+            //      the scalar path would seal there, so ciphertexts, trace,
+            //      timing and metrics are all bit-identical.
+            const bool ascending = (base & k) == 0;
+            CompareExchangeBlock(arena, in.PlainSlotSize(), j, ascending,
+                                 less, tier);
+            for (std::uint64_t i = base; i < base + j; ++i) {
+              const std::uint64_t l = i ^ j;  // == i + j within the block
+              PPJ_ASSIGN_OR_RETURN(std::span<const std::uint8_t> si,
+                                   in.OpenAt(i));
+              PPJ_ASSIGN_OR_RETURN(std::span<const std::uint8_t> sl,
+                                   in.OpenAt(l));
+              copro.NoteComparison();
+              PPJ_RETURN_NOT_OK(out.SealAt(i, si));
+              PPJ_RETURN_NOT_OK(out.SealAt(l, sl));
+            }
+            PPJ_RETURN_NOT_OK(out.Flush());
+            continue;
+          }
           for (std::uint64_t i = base; i < base + j; ++i) {
             const std::uint64_t l = i ^ j;  // == i + j within the block
             PPJ_ASSIGN_OR_RETURN(std::span<const std::uint8_t> si,
@@ -101,41 +134,52 @@ Status ObliviousSort(sim::Coprocessor& copro, sim::RegionId region,
   return Status::OK();
 }
 
-PlainLess RealFirstLess() {
-  return [](const std::vector<std::uint8_t>& x,
-            const std::vector<std::uint8_t>& y) {
-    return relation::wire::IsReal(x) && !relation::wire::IsReal(y);
-  };
+// The structured keys carry both forms of the ordering: the lambda (the
+// scalar/ground truth, always correct) and the Kind + key_offset the
+// sort_simd.cc row kernels re-implement. Changing one side requires
+// changing the other — SimdSortTest.*Equivalence cross-checks them.
+
+SortKey RealFirstLess() {
+  return SortKey(
+      SortKey::Kind::kRealFirst, 0,
+      [](const std::vector<std::uint8_t>& x,
+         const std::vector<std::uint8_t>& y) {
+        return relation::wire::IsReal(x) && !relation::wire::IsReal(y);
+      });
 }
 
-PlainLess ColumnLess(const relation::Schema* schema, std::size_t col) {
+SortKey ColumnLess(const relation::Schema* schema, std::size_t col) {
   const std::size_t off = schema->offset(col);
-  return [off](const std::vector<std::uint8_t>& x,
-               const std::vector<std::uint8_t>& y) {
-    const bool xr = relation::wire::IsReal(x);
-    const bool yr = relation::wire::IsReal(y);
-    if (xr != yr) return xr;  // padding after all real tuples
-    if (!xr) return false;
-    // int64 little-endian at offset off within the payload (skip the flag).
-    auto load = [off](const std::vector<std::uint8_t>& p) {
-      std::uint64_t v = 0;
-      for (int i = 0; i < 8; ++i) {
-        v |= static_cast<std::uint64_t>(p[1 + off + i]) << (8 * i);
-      }
-      return static_cast<std::int64_t>(v);
-    };
-    return load(x) < load(y);
-  };
+  return SortKey(
+      SortKey::Kind::kColumnInt64, 1 + off,
+      [off](const std::vector<std::uint8_t>& x,
+            const std::vector<std::uint8_t>& y) {
+        const bool xr = relation::wire::IsReal(x);
+        const bool yr = relation::wire::IsReal(y);
+        if (xr != yr) return xr;  // padding after all real tuples
+        if (!xr) return false;
+        // int64 little-endian at offset off within the payload (skip the
+        // flag).
+        auto load = [off](const std::vector<std::uint8_t>& p) {
+          std::uint64_t v = 0;
+          for (int i = 0; i < 8; ++i) {
+            v |= static_cast<std::uint64_t>(p[1 + off + i]) << (8 * i);
+          }
+          return static_cast<std::int64_t>(v);
+        };
+        return load(x) < load(y);
+      });
 }
 
-PlainLess TagLess() {
-  return [](const std::vector<std::uint8_t>& x,
-            const std::vector<std::uint8_t>& y) {
-    std::uint64_t tx = 0, ty = 0;
-    std::memcpy(&tx, x.data() + 1, 8);
-    std::memcpy(&ty, y.data() + 1, 8);
-    return tx < ty;
-  };
+SortKey TagLess() {
+  return SortKey(SortKey::Kind::kTag, 1,
+                 [](const std::vector<std::uint8_t>& x,
+                    const std::vector<std::uint8_t>& y) {
+                   std::uint64_t tx = 0, ty = 0;
+                   std::memcpy(&tx, x.data() + 1, 8);
+                   std::memcpy(&ty, y.data() + 1, 8);
+                   return tx < ty;
+                 });
 }
 
 std::uint64_t BitonicComparators(std::uint64_t n) {

@@ -1,8 +1,11 @@
 #ifndef PPJ_OBLIVIOUS_BITONIC_SORT_H_
 #define PPJ_OBLIVIOUS_BITONIC_SORT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -20,6 +23,50 @@ namespace ppj::oblivious {
 using PlainLess = std::function<bool(const std::vector<std::uint8_t>&,
                                      const std::vector<std::uint8_t>&)>;
 
+/// A sort ordering: always usable as a plain comparator, plus enough
+/// structure — what kind of key, at what byte offset in the row — for the
+/// batched sort window to evaluate it directly on raw plaintext rows, the
+/// precondition of the SIMD compare-exchange inner loop (sort_simd.h).
+/// The standard orderings (RealFirstLess, ColumnLess, TagLess) carry their
+/// structure; arbitrary callables convert implicitly to an opaque key that
+/// sorts correctly through the scalar path alone.
+struct SortKey {
+  enum class Kind : std::uint8_t {
+    kGeneric,      ///< Opaque comparator; scalar evaluation only.
+    kRealFirst,    ///< Real tuples before decoys (flag byte only).
+    kColumnInt64,  ///< Decoys last, then ascending int64 LE at key_offset.
+    kTag,          ///< Ascending uint64 tag at key_offset; no flag logic.
+  };
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SortKey> &&
+                std::is_invocable_r_v<bool, F&,
+                                      const std::vector<std::uint8_t>&,
+                                      const std::vector<std::uint8_t>&>>>
+  SortKey(F&& f)  // NOLINT(google-explicit-constructor): see above.
+      : less(std::forward<F>(f)) {}
+
+  SortKey(Kind k, std::size_t offset, PlainLess l)
+      : kind(k), key_offset(offset), less(std::move(l)) {}
+
+  bool operator()(const std::vector<std::uint8_t>& x,
+                  const std::vector<std::uint8_t>& y) const {
+    return less(x, y);
+  }
+
+  /// True when the batched window may evaluate this key directly on rows
+  /// of the prefetched plaintext arena (the SIMD fast path); the kernel's
+  /// row evaluation is bit-equivalent to calling `less`.
+  bool Vectorizable() const { return kind != Kind::kGeneric; }
+
+  Kind kind = Kind::kGeneric;
+  /// Absolute byte offset of the 8-byte key within a plaintext row
+  /// (kColumnInt64 / kTag): 1 flag byte + the payload offset.
+  std::size_t key_offset = 0;
+  PlainLess less;
+};
+
 /// Obliviously sorts slots [0, n) of `region` with Batcher's bitonic
 /// network (Section 4.4.1 / 5.2.2). n must be a power of two — callers pad
 /// with decoy slots, which the standard comparators order last.
@@ -30,19 +77,19 @@ using PlainLess = std::function<bool(const std::vector<std::uint8_t>&,
 /// oblivious sort. The schedule depends only on n, never on the data.
 Status ObliviousSort(sim::Coprocessor& copro, sim::RegionId region,
                      std::uint64_t n, const crypto::Ocb& key,
-                     const PlainLess& less);
+                     const SortKey& less);
 
 /// Comparator placing real tuples before decoys ("giving lower priority to
 /// decoy tuples"). Ties are left untouched.
-PlainLess RealFirstLess();
+SortKey RealFirstLess();
 
 /// Comparator for Algorithm 3: ascending by int64 column `col` of `schema`,
 /// with decoy/padding slots ordered last.
-PlainLess ColumnLess(const relation::Schema* schema, std::size_t col);
+SortKey ColumnLess(const relation::Schema* schema, std::size_t col);
 
 /// Comparator by a little-endian uint64 tag prepended to the payload —
 /// used by the oblivious shuffle.
-PlainLess TagLess();
+SortKey TagLess();
 
 /// Exact number of compare-exchange operations the network performs on n
 /// elements (n a power of two).

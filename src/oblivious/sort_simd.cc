@@ -1,0 +1,240 @@
+#include "oblivious/sort_simd.h"
+
+#include <algorithm>
+#include <cstring>
+
+// Same gating shape as the AES tiers (crypto/aes128.cc): hardware paths
+// compile only on x86-64 GCC/Clang, each carrying its own target attribute
+// so the translation unit itself needs no -mavx2; -DPPJ_SIMD=OFF defines
+// PPJ_SIMD_DISABLED and pins the scalar tier at runtime.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(PPJ_SIMD_DISABLED)
+#define PPJ_SORT_SIMD 1
+#include <immintrin.h>
+#endif
+
+namespace ppj::oblivious {
+
+namespace {
+
+// Row-level re-implementations of the structured comparators. These must
+// stay bit-equivalent to the lambdas built by RealFirstLess / ColumnLess /
+// TagLess in bitonic_sort.cc — the sorter swaps rows based on these and
+// replays accounting assuming the scalar path would have swapped the same
+// pairs.
+
+bool RowIsReal(const std::uint8_t* row) { return row[0] == 1; }
+
+std::uint64_t LoadU64Le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+// TagLess memcpys the tag in native order; match it exactly.
+std::uint64_t LoadTag(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+bool RowLess(const SortKey& key, const std::uint8_t* x,
+             const std::uint8_t* y) {
+  switch (key.kind) {
+    case SortKey::Kind::kRealFirst:
+      return RowIsReal(x) && !RowIsReal(y);
+    case SortKey::Kind::kColumnInt64: {
+      const bool xr = RowIsReal(x);
+      const bool yr = RowIsReal(y);
+      if (xr != yr) return xr;  // padding after all real tuples
+      if (!xr) return false;
+      return static_cast<std::int64_t>(LoadU64Le(x + key.key_offset)) <
+             static_cast<std::int64_t>(LoadU64Le(y + key.key_offset));
+    }
+    case SortKey::Kind::kTag:
+      return LoadTag(x + key.key_offset) < LoadTag(y + key.key_offset);
+    case SortKey::Kind::kGeneric:
+      break;
+  }
+  return false;  // Unreachable: callers require key.Vectorizable().
+}
+
+void SwapRowsScalar(std::uint8_t* a, std::uint8_t* b, std::size_t n) {
+  std::swap_ranges(a, a + n, b);
+}
+
+#ifdef PPJ_SORT_SIMD
+
+// SSE2 is x86-64 baseline: no target attribute, no runtime check needed.
+void SwapRowsSse2(std::uint8_t* a, std::uint8_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<__m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<__m128i*>(b + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(a + i), vb);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(b + i), va);
+  }
+  for (; i < n; ++i) std::swap(a[i], b[i]);
+}
+
+__attribute__((target("avx2"))) void SwapRowsAvx2(std::uint8_t* a,
+                                                  std::uint8_t* b,
+                                                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<__m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<__m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i), vb);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(b + i), va);
+  }
+  for (; i + 16 <= n; i += 16) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<__m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<__m128i*>(b + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(a + i), vb);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(b + i), va);
+  }
+  for (; i < n; ++i) std::swap(a[i], b[i]);
+}
+
+/// Four comparator pairs at once for the 8-byte-key orderings: the keys of
+/// lanes r..r+3 are packed into one vector per side, compared packed, and
+/// the movemask drives per-lane row swaps. The decision is
+/// `less(first, second)` with (first, second) = ascending ? (y, x) : (x, y)
+/// — exactly the scalar window's out-of-order test.
+__attribute__((target("avx2"))) void CompareExchangeBlockAvx2(
+    std::uint8_t* rows, std::size_t row_size, std::uint64_t j,
+    bool ascending, const SortKey& key) {
+  const std::size_t stride = j * row_size;
+  std::uint64_t r = 0;
+  if (key.kind == SortKey::Kind::kColumnInt64 ||
+      key.kind == SortKey::Kind::kTag) {
+    const std::size_t off = key.key_offset;
+    const __m256i sign_flip = _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ull));
+    for (; r + 4 <= j; r += 4) {
+      std::uint8_t* x[4];
+      std::uint8_t* y[4];
+      for (int lane = 0; lane < 4; ++lane) {
+        x[lane] = rows + (r + static_cast<std::uint64_t>(lane)) * row_size;
+        y[lane] = x[lane] + stride;
+      }
+      // NB: plain statements, not lambdas — a lambda is its own function
+      // and does not inherit the enclosing target("avx2") attribute.
+      const __m256i kx =
+          _mm256_set_epi64x(static_cast<long long>(LoadTag(x[3] + off)),
+                            static_cast<long long>(LoadTag(x[2] + off)),
+                            static_cast<long long>(LoadTag(x[1] + off)),
+                            static_cast<long long>(LoadTag(x[0] + off)));
+      const __m256i ky =
+          _mm256_set_epi64x(static_cast<long long>(LoadTag(y[3] + off)),
+                            static_cast<long long>(LoadTag(y[2] + off)),
+                            static_cast<long long>(LoadTag(y[1] + off)),
+                            static_cast<long long>(LoadTag(y[0] + off)));
+      const __m256i first = ascending ? ky : kx;
+      const __m256i second = ascending ? kx : ky;
+      __m256i lt;  // lane = -1 where first < second under the ordering
+      if (key.kind == SortKey::Kind::kTag) {
+        // Unsigned compare via sign-bit flip + signed cmpgt.
+        lt = _mm256_cmpgt_epi64(_mm256_xor_si256(second, sign_flip),
+                                _mm256_xor_si256(first, sign_flip));
+      } else {
+        lt = _mm256_cmpgt_epi64(second, first);  // signed int64 column
+      }
+      if (key.kind == SortKey::Kind::kColumnInt64) {
+        // Fold in the flag logic: less = (fr & !sr) | (fr & sr & lt),
+        // where fr/sr are the "first/second is real" lane masks.
+        const __m256i fx = _mm256_set_epi64x(
+            x[3][0] == 1 ? -1 : 0, x[2][0] == 1 ? -1 : 0,
+            x[1][0] == 1 ? -1 : 0, x[0][0] == 1 ? -1 : 0);
+        const __m256i fy = _mm256_set_epi64x(
+            y[3][0] == 1 ? -1 : 0, y[2][0] == 1 ? -1 : 0,
+            y[1][0] == 1 ? -1 : 0, y[0][0] == 1 ? -1 : 0);
+        const __m256i fr = ascending ? fy : fx;
+        const __m256i sr = ascending ? fx : fy;
+        lt = _mm256_or_si256(_mm256_andnot_si256(sr, fr),
+                             _mm256_and_si256(_mm256_and_si256(fr, sr), lt));
+      }
+      const int mask =
+          _mm256_movemask_pd(_mm256_castsi256_pd(lt));
+      for (int lane = 0; lane < 4; ++lane) {
+        if (mask & (1 << lane)) SwapRowsAvx2(x[lane], y[lane], row_size);
+      }
+    }
+  }
+  // Tail pairs (and the flag-only ordering, whose "key" is one byte):
+  // scalar decision, vector row movement.
+  for (; r < j; ++r) {
+    std::uint8_t* x = rows + r * row_size;
+    std::uint8_t* y = x + stride;
+    const bool out_of_order =
+        ascending ? RowLess(key, y, x) : RowLess(key, x, y);
+    if (out_of_order) SwapRowsAvx2(x, y, row_size);
+  }
+}
+
+bool HasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+
+#endif  // PPJ_SORT_SIMD
+
+template <void (*SwapRows)(std::uint8_t*, std::uint8_t*, std::size_t)>
+void CompareExchangeBlockWith(std::uint8_t* rows, std::size_t row_size,
+                              std::uint64_t j, bool ascending,
+                              const SortKey& key) {
+  const std::size_t stride = j * row_size;
+  for (std::uint64_t r = 0; r < j; ++r) {
+    std::uint8_t* x = rows + r * row_size;
+    std::uint8_t* y = x + stride;
+    const bool out_of_order =
+        ascending ? RowLess(key, y, x) : RowLess(key, x, y);
+    if (out_of_order) SwapRows(x, y, row_size);
+  }
+}
+
+}  // namespace
+
+SimdTier ActiveSimdTier() {
+#ifdef PPJ_SORT_SIMD
+  return HasAvx2() ? SimdTier::kAvx2 : SimdTier::kSse2;
+#else
+  return SimdTier::kScalar;
+#endif
+}
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kSse2:
+      return "sse2";
+    case SimdTier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+void CompareExchangeBlock(std::uint8_t* rows, std::size_t row_size,
+                          std::uint64_t j, bool ascending, const SortKey& key,
+                          SimdTier tier) {
+#ifdef PPJ_SORT_SIMD
+  if (tier == SimdTier::kAvx2 && HasAvx2()) {
+    CompareExchangeBlockAvx2(rows, row_size, j, ascending, key);
+    return;
+  }
+  if (tier == SimdTier::kSse2 || tier == SimdTier::kAvx2) {
+    CompareExchangeBlockWith<SwapRowsSse2>(rows, row_size, j, ascending, key);
+    return;
+  }
+#else
+  (void)tier;
+#endif
+  CompareExchangeBlockWith<SwapRowsScalar>(rows, row_size, j, ascending, key);
+}
+
+}  // namespace ppj::oblivious

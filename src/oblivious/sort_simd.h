@@ -1,0 +1,40 @@
+#ifndef PPJ_OBLIVIOUS_SORT_SIMD_H_
+#define PPJ_OBLIVIOUS_SORT_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "oblivious/bitonic_sort.h"
+
+namespace ppj::oblivious {
+
+/// Vector width of the sort inner loop, resolved once per process — the
+/// same runtime-dispatch shape as the AES tier in crypto/aes128.cc.
+/// Building with -DPPJ_SIMD=OFF (the PPJ_SIMD_DISABLED definition) pins
+/// the scalar tier for A/B testing and golden cross-checks.
+enum class SimdTier : std::uint8_t {
+  kScalar,  ///< Portable byte loop.
+  kSse2,    ///< Scalar key compare, 16-byte-vector row swap.
+  kAvx2,    ///< 4-lane packed key compare, 32-byte-vector row swap.
+};
+
+SimdTier ActiveSimdTier();
+const char* SimdTierName(SimdTier tier);
+
+/// The data movement of one aligned bitonic block: `rows` holds 2j rows of
+/// `row_size` plaintext bytes; comparator pairs are (r, r + j) for
+/// r in [0, j), all with the same direction `ascending` (within an aligned
+/// block of stage (k, j), bit k of the index is constant). Rows that
+/// compare out of order are swapped in place.
+///
+/// Pure data movement — no trace, timing or cipher accounting happens
+/// here; the caller replays the scalar per-comparator accounting
+/// afterwards. Requires key.Vectorizable(); any j and row_size are
+/// accepted (vector kernels peel scalar tails).
+void CompareExchangeBlock(std::uint8_t* rows, std::size_t row_size,
+                          std::uint64_t j, bool ascending, const SortKey& key,
+                          SimdTier tier);
+
+}  // namespace ppj::oblivious
+
+#endif  // PPJ_OBLIVIOUS_SORT_SIMD_H_

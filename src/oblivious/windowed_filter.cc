@@ -99,7 +99,7 @@ Result<FilterStats> WindowedObliviousFilter(sim::Coprocessor& copro,
     }
   }
 
-  const PlainLess less = RealFirstLess();
+  const SortKey less = RealFirstLess();
   PPJ_RETURN_NOT_OK(ObliviousSort(copro, buffer, padded, key, less));
   ++stats.sort_invocations;
 

@@ -13,6 +13,7 @@
 #include "core/join_result.h"
 #include "core/join_spec.h"
 #include "core/privacy_auditor.h"
+#include "sim/arena_pool.h"
 #include "sim/coprocessor.h"
 
 namespace ppj::plan {
@@ -69,6 +70,15 @@ class PlanContext {
   std::size_t payload = 0;  ///< Joined payload bytes (a || b || ...).
   std::size_t slot = 0;     ///< Sealed slot size for that payload.
   std::vector<std::uint8_t> decoy;  ///< Decoy plaintext, one per plan.
+
+  /// Staging-arena pool shared by every operator of this plan: the
+  /// executor wires it into the coprocessor for the duration of the run,
+  /// so consecutive range transfers (thousands per sort, a handful of
+  /// distinct sizes) recycle their sealed/plaintext arenas instead of
+  /// allocating. Purely internal staging — invisible to traces, metrics
+  /// and fingerprints. Declared before `reader`/`buffer` (which can hold
+  /// lease-bearing runs) so it is destroyed after them.
+  sim::ArenaPool arena_pool;
 
   // --- Cross-operator state ---
   std::uint64_t n = 0;  ///< Resolved N (Chapter 4; ResolveNOp).

@@ -13,6 +13,14 @@ Status PlanExecutor::Run(sim::Coprocessor& copro, PhysicalPlan& plan,
   metrics::Registry& registry = ctx.metrics_registry != nullptr
                                     ? *ctx.metrics_registry
                                     : metrics::Registry::Global();
+  // Lend the plan's arena pool to the device for the duration of the run;
+  // restore on every exit path so the coprocessor never outlives a pool it
+  // still points at.
+  copro.set_arena_pool(&ctx.arena_pool);
+  struct PoolGuard {
+    sim::Coprocessor* copro;
+    ~PoolGuard() { copro->set_arena_pool(nullptr); }
+  } pool_guard{&copro};
   PPJ_DEVICE_SPAN(&copro, plan.root_span);
   for (const std::unique_ptr<ObliviousOp>& op : plan.ops) {
     if (ctx.finished) break;

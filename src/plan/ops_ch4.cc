@@ -94,7 +94,7 @@ Status ScratchRotateOp::RunRolling(sim::Coprocessor& copro,
   const sim::RegionId output =
       ctx.CreateRegion(copro, "alg1-output", size_a * n);
 
-  const oblivious::PlainLess real_first = oblivious::RealFirstLess();
+  const oblivious::SortKey real_first = oblivious::RealFirstLess();
 
   // Batched sequential scans of the inputs and a windowed writer for the
   // scratch: per slot the accounting is scalar-identical, only the physical
@@ -171,7 +171,7 @@ Status ScratchRotateOp::RunFullSort(sim::Coprocessor& copro,
   const sim::RegionId output =
       ctx.CreateRegion(copro, "alg1v-output", size_a * n);
 
-  const oblivious::PlainLess real_first = oblivious::RealFirstLess();
+  const oblivious::SortKey real_first = oblivious::RealFirstLess();
 
   // Same batching discipline as Algorithm 1: windowed input scans, windowed
   // buffer writes, flush before the sort reads the buffer.

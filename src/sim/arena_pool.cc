@@ -1,0 +1,127 @@
+#include "sim/arena_pool.h"
+
+#include <bit>
+#include <new>
+
+namespace ppj::sim {
+
+namespace {
+
+std::uint8_t* AlignedAlloc(std::size_t capacity) {
+  return static_cast<std::uint8_t*>(::operator new(
+      capacity, std::align_val_t{ArenaPool::kAlignment}));
+}
+
+void AlignedFree(std::uint8_t* data) {
+  ::operator delete(data, std::align_val_t{ArenaPool::kAlignment});
+}
+
+/// Bucket capacity for a request: power of two, floor 256 bytes so tiny
+/// tail transfers share one bucket instead of fragmenting the map.
+std::size_t BucketCapacity(std::size_t bytes) {
+  return std::bit_ceil(bytes < 256 ? std::size_t{256} : bytes);
+}
+
+}  // namespace
+
+ArenaLease::ArenaLease(ArenaLease&& other) noexcept
+    : pool_(other.pool_),
+      data_(other.data_),
+      size_(other.size_),
+      capacity_(other.capacity_) {
+  other.pool_ = nullptr;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.capacity_ = 0;
+}
+
+ArenaLease& ArenaLease::operator=(ArenaLease&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    pool_ = other.pool_;
+    data_ = other.data_;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+  }
+  return *this;
+}
+
+ArenaLease::~ArenaLease() { Reset(); }
+
+void ArenaLease::Reset() {
+  if (data_ == nullptr) return;
+  if (pool_ != nullptr) {
+    pool_->Return(data_, capacity_);
+  } else {
+    AlignedFree(data_);
+  }
+  pool_ = nullptr;
+  data_ = nullptr;
+  size_ = 0;
+  capacity_ = 0;
+}
+
+ArenaPool::~ArenaPool() { Trim(); }
+
+ArenaLease ArenaPool::Acquire(std::size_t bytes) {
+  if (bytes == 0) return ArenaLease();
+  const std::size_t capacity = BucketCapacity(bytes);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++acquires_;
+    auto it = buckets_.find(capacity);
+    if (it != buckets_.end() && !it->second.empty()) {
+      std::uint8_t* data = it->second.back();
+      it->second.pop_back();
+      ++reuses_;
+      return ArenaLease(this, data, bytes, capacity);
+    }
+  }
+  return ArenaLease(this, AlignedAlloc(capacity), bytes, capacity);
+}
+
+void ArenaPool::Return(std::uint8_t* data, std::size_t capacity) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::uint8_t*>& bucket = buckets_[capacity];
+    if (bucket.size() < kMaxPerBucket) {
+      bucket.push_back(data);
+      return;
+    }
+  }
+  AlignedFree(data);
+}
+
+void ArenaPool::Trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [capacity, bucket] : buckets_) {
+    for (std::uint8_t* data : bucket) AlignedFree(data);
+    bucket.clear();
+  }
+  buckets_.clear();
+}
+
+ArenaPool::Stats ArenaPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.acquires = acquires_;
+  stats.reuses = reuses_;
+  for (const auto& [capacity, bucket] : buckets_) {
+    stats.idle_buffers += bucket.size();
+    stats.idle_bytes += capacity * bucket.size();
+  }
+  return stats;
+}
+
+ArenaLease AcquireArena(ArenaPool* pool, std::size_t bytes) {
+  if (pool != nullptr) return pool->Acquire(bytes);
+  if (bytes == 0) return ArenaLease();
+  const std::size_t capacity = BucketCapacity(bytes);
+  return ArenaLease(nullptr, AlignedAlloc(capacity), bytes, capacity);
+}
+
+}  // namespace ppj::sim

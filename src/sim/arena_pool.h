@@ -1,0 +1,107 @@
+#ifndef PPJ_SIM_ARENA_POOL_H_
+#define PPJ_SIM_ARENA_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace ppj::sim {
+
+class ArenaPool;
+
+/// RAII handle to one staging arena — the sealed/plaintext scratch a
+/// ReadRun or WriteRun moves a batched transfer through. The buffer is
+/// 64-byte aligned (the wide OCB kernels and the SIMD sort inner loop both
+/// want cache-line alignment) and returns to its pool on destruction, or
+/// is freed directly when acquired without a pool.
+class ArenaLease {
+ public:
+  ArenaLease() = default;
+  ArenaLease(ArenaLease&& other) noexcept;
+  ArenaLease& operator=(ArenaLease&& other) noexcept;
+  ArenaLease(const ArenaLease&) = delete;
+  ArenaLease& operator=(const ArenaLease&) = delete;
+  ~ArenaLease();
+
+  std::uint8_t* data() { return data_; }
+  const std::uint8_t* data() const { return data_; }
+  /// Requested size; the underlying bucket capacity may be larger.
+  std::size_t size() const { return size_; }
+  bool empty() const { return data_ == nullptr; }
+
+  /// Returns the buffer to the pool (or frees it) early.
+  void Reset();
+
+ private:
+  friend class ArenaPool;
+  friend ArenaLease AcquireArena(ArenaPool* pool, std::size_t bytes);
+  ArenaLease(ArenaPool* pool, std::uint8_t* data, std::size_t size,
+             std::size_t capacity)
+      : pool_(pool), data_(data), size_(size), capacity_(capacity) {}
+
+  ArenaPool* pool_ = nullptr;  ///< nullptr: unpooled, freed on destruction.
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+/// Size-bucketed free list of 64-byte-aligned staging arenas. Operators of
+/// one plan run through the same coprocessor issue thousands of range
+/// transfers with a handful of distinct sizes (the batch window, the plain
+/// window, tails); pooling turns those per-run allocations into free-list
+/// pops. Buckets are power-of-two capacities; each keeps at most
+/// kMaxPerBucket idle buffers so a one-off giant transfer cannot pin
+/// memory forever. The mutex makes the pool safe to share — the in-tree
+/// wiring is one pool per PlanContext, touched by one plan at a time, so
+/// the lock is uncontended.
+///
+/// Ownership: the pool must outlive every lease it issued (PlanContext
+/// owns the pool; runs are scoped inside operator execution). The
+/// destructor frees idle buffers only; it must not run while leases are
+/// outstanding.
+class ArenaPool {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+  static constexpr std::size_t kMaxPerBucket = 8;
+
+  ArenaPool() = default;
+  ArenaPool(const ArenaPool&) = delete;
+  ArenaPool& operator=(const ArenaPool&) = delete;
+  ~ArenaPool();
+
+  /// Hands out a lease of at least `bytes` (a zero-byte request returns an
+  /// empty lease). The buffer contents are unspecified — reused arenas
+  /// carry stale bytes; every transfer path overwrites before reading.
+  ArenaLease Acquire(std::size_t bytes);
+
+  /// Frees all idle pooled buffers (outstanding leases are unaffected).
+  void Trim();
+
+  struct Stats {
+    std::uint64_t acquires = 0;      ///< Total Acquire() calls.
+    std::uint64_t reuses = 0;        ///< Served from the free list.
+    std::uint64_t idle_buffers = 0;  ///< Currently pooled, waiting.
+    std::uint64_t idle_bytes = 0;    ///< Capacity of those buffers.
+  };
+  Stats stats() const;
+
+ private:
+  friend class ArenaLease;
+  void Return(std::uint8_t* data, std::size_t capacity);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::size_t, std::vector<std::uint8_t*>> buckets_;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+/// Pool-or-heap acquisition: the coprocessor staging paths call this with
+/// whatever pool the executor wired in (possibly none) and get the same
+/// aligned lease either way.
+ArenaLease AcquireArena(ArenaPool* pool, std::size_t bytes);
+
+}  // namespace ppj::sim
+
+#endif  // PPJ_SIM_ARENA_POOL_H_

@@ -222,11 +222,30 @@ Result<ReadRun> Coprocessor::GetOpenRange(RegionId region,
   if (region >= host_->region_count()) {
     return Status::NotFound("unknown region id");
   }
-  ReadRun run(this, region, first, count, host_->RegionSlotSize(region), key);
+  const std::size_t slot_size = host_->RegionSlotSize(region);
+  ReadRun run(this, region, first, count, slot_size, key);
   if (count > 0) {
-    PPJ_RETURN_NOT_OK(RetryHostTransfer("GetRange staging", [&]() -> Status {
-      return host_->ReadRange(region, first, count, &run.arena_);
-    }));
+    const std::size_t bytes = static_cast<std::size_t>(count) * slot_size;
+    // Zero-copy fast path: borrow the sealed bytes straight from the
+    // backend's storage. Only kUnimplemented ("this backend cannot lend")
+    // falls back to the copying path — real errors (bounds, unknown
+    // region) surface immediately either way. batch_gets is charged
+    // identically on both paths so metrics stay backend-independent.
+    auto view = host_->ReadView(region, first, count);
+    if (view.ok()) {
+      run.sealed_ = *view;
+      ++borrowed_view_ranges_;
+    } else if (view.status().code() == StatusCode::kUnimplemented) {
+      run.arena_ = AcquireArena(arena_pool_, bytes);
+      PPJ_RETURN_NOT_OK(
+          RetryHostTransfer("GetRange staging", [&]() -> Status {
+            return host_->ReadRange(region, first, count, run.arena_.data(),
+                                    bytes);
+          }));
+      run.sealed_ = std::span<const std::uint8_t>(run.arena_.data(), bytes);
+    } else {
+      return view.status();
+    }
     ++metrics_.batch_gets;
   }
   return run;
@@ -268,7 +287,7 @@ Result<std::vector<std::uint8_t>> ReadRun::SealedAt(std::uint64_t index) {
   ++copro_->metrics_.gets;
   if (index == position()) ++next_;
   const std::uint8_t* slot =
-      arena_.data() + static_cast<std::size_t>(index - first_) * slot_size_;
+      sealed_.data() + static_cast<std::size_t>(index - first_) * slot_size_;
   return std::vector<std::uint8_t>(slot, slot + slot_size_);
 }
 
@@ -289,12 +308,14 @@ Status ReadRun::PrefetchOpen() {
   }
   const std::size_t body_size = slot_size_ - crypto::Ocb::kBlockSize;
   const std::size_t plain_size = body_size - crypto::Ocb::kTagSize;
-  plain_arena_.resize(static_cast<std::size_t>(count_) * plain_size);
+  plain_arena_ = AcquireArena(copro_->arena_pool_,
+                              static_cast<std::size_t>(count_) * plain_size);
   slot_state_.assign(static_cast<std::size_t>(count_), SlotState::kOk);
   slot_status_.assign(static_cast<std::size_t>(count_), Status::OK());
+  prefetch_clean_ = true;
   for (std::uint64_t i = 0; i < count_; ++i) {
     const std::uint8_t* slot =
-        arena_.data() + static_cast<std::size_t>(i) * slot_size_;
+        sealed_.data() + static_cast<std::size_t>(i) * slot_size_;
     const crypto::Block expected =
         Coprocessor::PositionNonce(region_, first_ + i, 0);
     bool nonce_ok = true;
@@ -309,6 +330,7 @@ Status ReadRun::PrefetchOpen() {
       slot_status_[static_cast<std::size_t>(i)] = Status::Tampered(
           "slot nonce bound to a different host location: reorder or "
           "replay attack detected");
+      prefetch_clean_ = false;
       continue;
     }
     crypto::Block nonce;
@@ -319,6 +341,7 @@ Status ReadRun::PrefetchOpen() {
     if (!opened.ok()) {
       slot_state_[static_cast<std::size_t>(i)] = SlotState::kOpenFailed;
       slot_status_[static_cast<std::size_t>(i)] = opened;
+      prefetch_clean_ = false;
     }
   }
   ++copro_->metrics_.prefetch_opens;
@@ -343,7 +366,7 @@ Result<std::span<const std::uint8_t>> ReadRun::OpenAt(std::uint64_t index) {
   if (index == position()) ++next_;
 
   const std::uint8_t* slot =
-      arena_.data() + static_cast<std::size_t>(index - first_) * slot_size_;
+      sealed_.data() + static_cast<std::size_t>(index - first_) * slot_size_;
   auto fail = [this](Status status) -> Status {
     if (copro_->options_.tamper_response) copro_->disabled_ = true;
     return status;
@@ -444,26 +467,26 @@ WriteRun::~WriteRun() {
   }
 }
 
-Status WriteRun::Append(const std::vector<std::uint8_t>& plaintext) {
+Status WriteRun::Append(std::span<const std::uint8_t> plaintext) {
   return SealAt(position(), plaintext);
 }
 
 Status WriteRun::SealAt(std::uint64_t index,
-                        const std::vector<std::uint8_t>& plaintext) {
+                        std::span<const std::uint8_t> plaintext) {
   return Fill(index, plaintext, /*seal=*/true);
 }
 
-Status WriteRun::AppendRaw(const std::vector<std::uint8_t>& sealed) {
+Status WriteRun::AppendRaw(std::span<const std::uint8_t> sealed) {
   return Fill(position(), sealed, /*seal=*/false);
 }
 
 Status WriteRun::RawAt(std::uint64_t index,
-                       const std::vector<std::uint8_t>& sealed) {
+                       std::span<const std::uint8_t> sealed) {
   return Fill(index, sealed, /*seal=*/false);
 }
 
-Status WriteRun::Fill(std::uint64_t index,
-                      const std::vector<std::uint8_t>& bytes, bool seal) {
+Status WriteRun::Fill(std::uint64_t index, std::span<const std::uint8_t> bytes,
+                      bool seal) {
   if (copro_->disabled_) return DeviceDisabled();
   if (index < first_ || index - first_ >= count_) {
     return Status::OutOfRange("WriteRun index outside range");

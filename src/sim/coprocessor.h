@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "crypto/ocb.h"
+#include "sim/arena_pool.h"
 #include "sim/host_store.h"
 #include "sim/metrics.h"
 #include "sim/trace.h"
@@ -136,6 +137,20 @@ class Coprocessor {
   /// (see CoprocessorOptions); never returns 0.
   std::uint64_t BatchLimit(std::uint64_t want) const;
 
+  /// Wires in a staging-arena pool (owned by the caller — in-tree, the
+  /// PlanContext of the executing plan): subsequent range transfers lease
+  /// their sealed/plaintext arenas from it instead of allocating. nullptr
+  /// (the default) falls back to per-run heap allocation. Pool reuse is
+  /// invisible to the adversary surface — arenas are internal staging.
+  void set_arena_pool(ArenaPool* pool) { arena_pool_ = pool; }
+  ArenaPool* arena_pool() const { return arena_pool_; }
+
+  /// How many staged read ranges were served as borrowed backend views
+  /// (zero-copy) instead of arena copies. Diagnostics only — deliberately
+  /// *not* a TransferMetrics field, so metrics stay bit-identical across
+  /// backends that can and cannot lend views.
+  std::uint64_t borrowed_view_ranges() const { return borrowed_view_ranges_; }
+
   // ---- Sealed-tuple convenience layer ------------------------------------
 
   /// Sealed size of a plaintext: 16-byte nonce + ciphertext + 16-byte tag.
@@ -249,6 +264,8 @@ class Coprocessor {
   AccessTrace trace_;
   Rng rng_;
   RunningHash timing_hash_;
+  ArenaPool* arena_pool_ = nullptr;
+  std::uint64_t borrowed_view_ranges_ = 0;
   std::uint64_t reserved_ = 0;
   std::uint64_t nonce_counter_ = 0;
   std::uint32_t position_counter_ = 0;
@@ -300,6 +317,25 @@ class ReadRun {
   /// Requires a key-bound run; a no-op on undersized slots or empty runs.
   Status PrefetchOpen();
 
+  /// True when PrefetchOpen ran and *every* staged slot authenticated
+  /// cleanly. Only then may a caller touch the plaintext arena directly.
+  bool PrefetchedClean() const { return prefetched_ && prefetch_clean_; }
+
+  /// Mutable access to the prefetched plaintext arena — count() rows of
+  /// PlainSlotSize() bytes, 64-byte aligned. The SIMD sort inner loop
+  /// permutes rows in place here (data movement only, no accounting), then
+  /// replays the scalar per-slot accounting via OpenAt/SealAt. nullptr
+  /// unless PrefetchedClean().
+  std::uint8_t* MutablePlainArena() {
+    return PrefetchedClean() ? plain_arena_.data() : nullptr;
+  }
+
+  /// Plaintext bytes per slot for a key-bound run (sealed slot minus nonce
+  /// and tag).
+  std::size_t PlainSlotSize() const {
+    return slot_size_ - crypto::Ocb::kBlockSize - crypto::Ocb::kTagSize;
+  }
+
  private:
   friend class Coprocessor;
   ReadRun(Coprocessor* copro, RegionId region, std::uint64_t first,
@@ -321,12 +357,17 @@ class ReadRun {
   std::uint64_t count_;
   std::size_t slot_size_;
   const crypto::Ocb* key_;
-  std::vector<std::uint8_t> arena_;  ///< count * slot_size sealed bytes.
+  /// The staged sealed bytes (count * slot_size). Either a view borrowed
+  /// straight from the storage backend (zero-copy fast path) or `arena_`
+  /// when the backend cannot lend and the range was copied in.
+  std::span<const std::uint8_t> sealed_;
+  ArenaLease arena_;                 ///< Owned staging; empty on view path.
   std::vector<std::uint8_t> plain_;  ///< Reused plaintext scratch.
-  std::vector<std::uint8_t> plain_arena_;  ///< Prefetched plaintexts.
-  std::vector<SlotState> slot_state_;      ///< Per-slot prefetch outcome.
-  std::vector<Status> slot_status_;        ///< Failure details per slot.
+  ArenaLease plain_arena_;           ///< Prefetched plaintexts.
+  std::vector<SlotState> slot_state_;  ///< Per-slot prefetch outcome.
+  std::vector<Status> slot_status_;    ///< Failure details per slot.
   bool prefetched_ = false;
+  bool prefetch_clean_ = false;  ///< Prefetch saw no bad slot.
   std::uint64_t next_ = 0;
 };
 
@@ -353,15 +394,17 @@ class WriteRun {
   std::uint64_t remaining() const { return count_ - next_; }
 
   /// Scalar-equivalent of PutSealed on the next sequential slot. Requires a
-  /// key-bound run (PutSealedRange).
-  Status Append(const std::vector<std::uint8_t>& plaintext);
+  /// key-bound run (PutSealedRange). Accepts any contiguous byte range —
+  /// vectors convert implicitly; the sorter passes spans into a prefetched
+  /// plaintext arena.
+  Status Append(std::span<const std::uint8_t> plaintext);
   /// Scalar-equivalent of PutSealed at an arbitrary slot of the range.
-  Status SealAt(std::uint64_t index, const std::vector<std::uint8_t>& plaintext);
+  Status SealAt(std::uint64_t index, std::span<const std::uint8_t> plaintext);
 
   /// Scalar-equivalent of raw Put on the next sequential slot.
-  Status AppendRaw(const std::vector<std::uint8_t>& sealed);
+  Status AppendRaw(std::span<const std::uint8_t> sealed);
   /// Scalar-equivalent of raw Put at an arbitrary slot of the range.
-  Status RawAt(std::uint64_t index, const std::vector<std::uint8_t>& sealed);
+  Status RawAt(std::uint64_t index, std::span<const std::uint8_t> sealed);
 
   /// Issues the deferred physical writes: one host scatter per contiguous
   /// span of filled slots. Idempotent; further Append* calls may follow.
@@ -377,10 +420,11 @@ class WriteRun {
         count_(count),
         slot_size_(slot_size),
         key_(key),
-        arena_(static_cast<std::size_t>(count) * slot_size),
+        arena_(AcquireArena(copro->arena_pool_,
+                            static_cast<std::size_t>(count) * slot_size)),
         filled_(count, false) {}
 
-  Status Fill(std::uint64_t index, const std::vector<std::uint8_t>& bytes,
+  Status Fill(std::uint64_t index, std::span<const std::uint8_t> bytes,
               bool seal);
 
   Coprocessor* copro_;
@@ -389,8 +433,8 @@ class WriteRun {
   std::uint64_t count_;
   std::size_t slot_size_;
   const crypto::Ocb* key_;
-  std::vector<std::uint8_t> arena_;  ///< count * slot_size sealed bytes.
-  std::vector<bool> filled_;         ///< Slots produced since last Flush.
+  ArenaLease arena_;          ///< count * slot_size sealed staging bytes.
+  std::vector<bool> filled_;  ///< Slots produced since last Flush.
   std::uint64_t next_ = 0;
 };
 

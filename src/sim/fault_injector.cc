@@ -340,14 +340,15 @@ Status FaultInjectingBackend::WriteSlot(
   return inner_->WriteSlot(region, slot_size, index, bytes);
 }
 
-Result<std::vector<std::uint8_t>> FaultInjectingBackend::ReadSlot(
-    std::uint32_t region, std::size_t slot_size, std::uint64_t index) const {
+Status FaultInjectingBackend::ReadSlotInto(std::uint32_t region,
+                                           std::size_t slot_size,
+                                           std::uint64_t index,
+                                           std::uint8_t* out) const {
   bool flip = false;
   PPJ_RETURN_NOT_OK(NextReadOp(region, &flip));
-  PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> out,
-                       inner_->ReadSlot(region, slot_size, index));
-  if (flip) FlipDeterministicBit(op_counter_, out.data(), out.size());
-  return out;
+  PPJ_RETURN_NOT_OK(inner_->ReadSlotInto(region, slot_size, index, out));
+  if (flip) FlipDeterministicBit(op_counter_, out, slot_size);
+  return Status::OK();
 }
 
 Status FaultInjectingBackend::ReadRange(std::uint32_t region,
@@ -382,6 +383,12 @@ Status FaultInjectingBackend::WriteRange(std::uint32_t region,
     return Status::Unavailable("injected fault: torn range write");
   }
   return inner_->WriteRange(region, slot_size, first, count, bytes);
+}
+
+Status FaultInjectingBackend::SyncRegion(std::uint32_t region) {
+  // Durability flushes are host housekeeping, not a traced transfer; pass
+  // through unfaulted like the region lifecycle calls.
+  return inner_->SyncRegion(region);
 }
 
 }  // namespace ppj::sim

@@ -106,11 +106,14 @@ struct FaultStats {
 /// matches the StorageBackend contract: HostStore's lock serializes calls,
 /// so the injector's schedule state needs no lock of its own.
 ///
-/// Injection points are the slot I/O entry points (ReadSlot/WriteSlot/
+/// Injection points are the slot I/O entry points (ReadSlotInto/WriteSlot/
 /// ReadRange/WriteRange) — one schedule operation per call, matching the
 /// physical-round-trip granularity of the batched transfer pipeline.
 /// CreateRegion/ResizeRegion are deliberately never faulted: they model
-/// the service's own setup, not the adversary's storage.
+/// the service's own setup, not the adversary's storage. The decorator
+/// does **not** lend borrowed views (ReadView stays kUnimplemented): the
+/// injector must own the bytes it corrupts, so a chaos-wrapped zero-copy
+/// backend deliberately exercises the copying fallback path.
 class FaultInjectingBackend final : public StorageBackend {
  public:
   explicit FaultInjectingBackend(std::unique_ptr<StorageBackend> inner);
@@ -131,15 +134,15 @@ class FaultInjectingBackend final : public StorageBackend {
   Status WriteSlot(std::uint32_t region, std::size_t slot_size,
                    std::uint64_t index,
                    const std::vector<std::uint8_t>& bytes) override;
-  Result<std::vector<std::uint8_t>> ReadSlot(
-      std::uint32_t region, std::size_t slot_size,
-      std::uint64_t index) const override;
+  Status ReadSlotInto(std::uint32_t region, std::size_t slot_size,
+                      std::uint64_t index, std::uint8_t* out) const override;
   Status ReadRange(std::uint32_t region, std::size_t slot_size,
                    std::uint64_t first, std::uint64_t count,
                    std::uint8_t* out) const override;
   Status WriteRange(std::uint32_t region, std::size_t slot_size,
                     std::uint64_t first, std::uint64_t count,
                     const std::uint8_t* bytes) override;
+  Status SyncRegion(std::uint32_t region) override;
 
  private:
   /// Uniform [0, 1) variate for (seed, op, salt) — the deterministic coin.

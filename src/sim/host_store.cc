@@ -63,8 +63,8 @@ Result<std::vector<std::uint8_t>> HostStore::ReadSlot(
 }
 
 Status HostStore::ReadRange(RegionId region, std::uint64_t first,
-                            std::uint64_t count,
-                            std::vector<std::uint8_t>* out) const {
+                            std::uint64_t count, std::uint8_t* out,
+                            std::size_t size) const {
   std::lock_guard<std::mutex> lock(mutex_);
   if (region >= regions_.size()) {
     return Status::NotFound("unknown region id");
@@ -73,9 +73,32 @@ Status HostStore::ReadRange(RegionId region, std::uint64_t first,
   if (first > meta.num_slots || count > meta.num_slots - first) {
     return Status::OutOfRange("ReadRange outside region bounds");
   }
-  out->resize(static_cast<std::size_t>(count) * meta.slot_size);
-  return backend_->ReadRange(region, meta.slot_size, first, count,
-                             out->data());
+  if (size != static_cast<std::size_t>(count) * meta.slot_size) {
+    return Status::InvalidArgument(
+        "ReadRange size does not match slot range");
+  }
+  return backend_->ReadRange(region, meta.slot_size, first, count, out);
+}
+
+Result<std::span<const std::uint8_t>> HostStore::ReadView(
+    RegionId region, std::uint64_t first, std::uint64_t count) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (region >= regions_.size()) {
+    return Status::NotFound("unknown region id");
+  }
+  const RegionMeta& meta = regions_[region];
+  if (first > meta.num_slots || count > meta.num_slots - first) {
+    return Status::OutOfRange("ReadView outside region bounds");
+  }
+  return backend_->ReadView(region, meta.slot_size, first, count);
+}
+
+Status HostStore::SyncRegion(RegionId region) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (region >= regions_.size()) {
+    return Status::NotFound("unknown region id");
+  }
+  return backend_->SyncRegion(region);
 }
 
 Status HostStore::WriteRange(RegionId region, std::uint64_t first,

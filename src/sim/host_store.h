@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -56,15 +57,31 @@ class HostStore {
                                              std::uint64_t index) const;
 
   /// Gather: reads `count` consecutive slots starting at `first` into `out`
-  /// (resized to `count * slot_size`). One lock acquisition and one backend
-  /// call for the whole range — the host half of the batched transfer path.
+  /// (`size` must equal `count * slot_size`, caller-allocated). One lock
+  /// acquisition and one backend call for the whole range — the host half
+  /// of the batched transfer path.
   Status ReadRange(RegionId region, std::uint64_t first, std::uint64_t count,
-                   std::vector<std::uint8_t>* out) const;
+                   std::uint8_t* out, std::size_t size) const;
+
+  /// Zero-copy gather: borrows a view of `count` consecutive sealed slots
+  /// straight from the backend's storage (mmap'd file, in-memory region) —
+  /// no staging copy. Fails with kUnimplemented for backends that cannot
+  /// lend (callers fall back to ReadRange). The view stays valid until the
+  /// next CreateRegion/ResizeRegion touching `region`; it reflects
+  /// subsequent writes to the covered slots, so consume it before
+  /// overwriting them.
+  Result<std::span<const std::uint8_t>> ReadView(RegionId region,
+                                                 std::uint64_t first,
+                                                 std::uint64_t count) const;
 
   /// Scatter: writes `count` consecutive slots starting at `first`;
   /// `bytes` must hold exactly `count * slot_size` bytes.
   Status WriteRange(RegionId region, std::uint64_t first, std::uint64_t count,
                     const std::uint8_t* bytes, std::size_t size);
+
+  /// Flushes OS-buffered bytes of `region` to stable storage (msync on the
+  /// mmap backend; a no-op elsewhere).
+  Status SyncRegion(RegionId region);
 
   /// Flips one bit of a stored slot — models active tampering by a
   /// malicious host. Authenticated encryption must detect this.

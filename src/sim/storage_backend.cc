@@ -9,13 +9,19 @@
 
 namespace ppj::sim {
 
+Result<std::vector<std::uint8_t>> StorageBackend::ReadSlot(
+    std::uint32_t region, std::size_t slot_size, std::uint64_t index) const {
+  std::vector<std::uint8_t> out(slot_size);
+  PPJ_RETURN_NOT_OK(ReadSlotInto(region, slot_size, index, out.data()));
+  return out;
+}
+
 Status StorageBackend::ReadRange(std::uint32_t region, std::size_t slot_size,
                                  std::uint64_t first, std::uint64_t count,
                                  std::uint8_t* out) const {
   for (std::uint64_t i = 0; i < count; ++i) {
-    PPJ_ASSIGN_OR_RETURN(std::vector<std::uint8_t> slot,
-                         ReadSlot(region, slot_size, first + i));
-    std::memcpy(out + i * slot_size, slot.data(), slot_size);
+    PPJ_RETURN_NOT_OK(
+        ReadSlotInto(region, slot_size, first + i, out + i * slot_size));
   }
   return Status::OK();
 }
@@ -28,6 +34,22 @@ Status StorageBackend::WriteRange(std::uint32_t region, std::size_t slot_size,
     std::memcpy(slot.data(), bytes + i * slot_size, slot_size);
     PPJ_RETURN_NOT_OK(WriteSlot(region, slot_size, first + i, slot));
   }
+  return Status::OK();
+}
+
+Result<std::span<const std::uint8_t>> StorageBackend::ReadView(
+    std::uint32_t region, std::size_t slot_size, std::uint64_t first,
+    std::uint64_t count) const {
+  (void)region;
+  (void)slot_size;
+  (void)first;
+  (void)count;
+  return Status::Unimplemented(
+      "storage backend cannot lend borrowed views; use ReadRange");
+}
+
+Status StorageBackend::SyncRegion(std::uint32_t region) {
+  (void)region;
   return Status::OK();
 }
 
@@ -61,13 +83,12 @@ class InMemoryBackend final : public StorageBackend {
     return Status::OK();
   }
 
-  Result<std::vector<std::uint8_t>> ReadSlot(
-      std::uint32_t region, std::size_t slot_size,
-      std::uint64_t index) const override {
+  Status ReadSlotInto(std::uint32_t region, std::size_t slot_size,
+                      std::uint64_t index, std::uint8_t* out) const override {
     const auto it = regions_.find(region);
     if (it == regions_.end()) return Status::NotFound("unknown region");
-    const auto* begin = it->second.data() + index * slot_size;
-    return std::vector<std::uint8_t>(begin, begin + slot_size);
+    std::memcpy(out, it->second.data() + index * slot_size, slot_size);
+    return Status::OK();
   }
 
   Status ReadRange(std::uint32_t region, std::size_t slot_size,
@@ -88,6 +109,21 @@ class InMemoryBackend final : public StorageBackend {
     std::memcpy(it->second.data() + first * slot_size, bytes,
                 static_cast<std::size_t>(count) * slot_size);
     return Status::OK();
+  }
+
+  Result<std::span<const std::uint8_t>> ReadView(
+      std::uint32_t region, std::size_t slot_size, std::uint64_t first,
+      std::uint64_t count) const override {
+    const auto it = regions_.find(region);
+    if (it == regions_.end()) return Status::NotFound("unknown region");
+    const std::size_t offset = static_cast<std::size_t>(first) * slot_size;
+    const std::size_t size = static_cast<std::size_t>(count) * slot_size;
+    if (offset > it->second.size() || size > it->second.size() - offset) {
+      return Status::OutOfRange("ReadView outside region storage");
+    }
+    // The vector's buffer is stable until this region is resized or
+    // recreated (map nodes never move); that is exactly the contract.
+    return std::span<const std::uint8_t>(it->second.data() + offset, size);
   }
 
  private:
@@ -139,13 +175,9 @@ class FileBackend final : public StorageBackend {
     return WriteAt(region, index * bytes.size(), bytes.data(), bytes.size());
   }
 
-  Result<std::vector<std::uint8_t>> ReadSlot(
-      std::uint32_t region, std::size_t slot_size,
-      std::uint64_t index) const override {
-    std::vector<std::uint8_t> out(slot_size);
-    PPJ_RETURN_NOT_OK(
-        ReadAt(region, index * slot_size, out.data(), out.size()));
-    return out;
+  Status ReadSlotInto(std::uint32_t region, std::size_t slot_size,
+                      std::uint64_t index, std::uint8_t* out) const override {
+    return ReadAt(region, index * slot_size, out, slot_size);
   }
 
   Status ReadRange(std::uint32_t region, std::size_t slot_size,

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -34,16 +35,25 @@ class StorageBackend {
                            std::uint64_t index,
                            const std::vector<std::uint8_t>& bytes) = 0;
 
-  /// Reads one slot.
-  virtual Result<std::vector<std::uint8_t>> ReadSlot(
-      std::uint32_t region, std::size_t slot_size,
-      std::uint64_t index) const = 0;
+  /// Reads one slot into `out` (`slot_size` bytes, caller-allocated). This
+  /// is the read primitive: decode straight into the caller's buffer so
+  /// neither the backend nor the default range loop below pays a per-slot
+  /// allocation.
+  virtual Status ReadSlotInto(std::uint32_t region, std::size_t slot_size,
+                              std::uint64_t index,
+                              std::uint8_t* out) const = 0;
+
+  /// Allocating convenience wrapper over ReadSlotInto.
+  Result<std::vector<std::uint8_t>> ReadSlot(std::uint32_t region,
+                                             std::size_t slot_size,
+                                             std::uint64_t index) const;
 
   /// Gather: reads `count` consecutive slots starting at `first` into `out`
   /// (`count * slot_size` bytes, caller-allocated). The default loops over
-  /// ReadSlot so existing backends keep working; the built-in backends
-  /// override it with a single copy / file operation — this is what makes
-  /// batched coprocessor transfers cheap.
+  /// ReadSlotInto — decoding each slot in place, no per-slot allocation —
+  /// so third-party backends keep working; the built-in backends override
+  /// it with a single copy / file operation — this is what makes batched
+  /// coprocessor transfers cheap.
   virtual Status ReadRange(std::uint32_t region, std::size_t slot_size,
                            std::uint64_t first, std::uint64_t count,
                            std::uint8_t* out) const;
@@ -53,14 +63,42 @@ class StorageBackend {
   virtual Status WriteRange(std::uint32_t region, std::size_t slot_size,
                             std::uint64_t first, std::uint64_t count,
                             const std::uint8_t* bytes);
+
+  /// Borrowed-view extension (the zero-copy fast path): a backend that can
+  /// lend stable storage — an mmap'd file, an in-memory byte vector —
+  /// returns a span over `count` consecutive slots starting at `first`
+  /// with **no copy**. The view stays valid, and reflects subsequent
+  /// WriteSlot/WriteRange content, until the next CreateRegion or
+  /// ResizeRegion touching `region`. Backends that cannot lend (files read
+  /// through syscalls, fault-injecting decorators that must own the bytes
+  /// they corrupt) keep the default, which fails with kUnimplemented so
+  /// callers fall back to the copying ReadRange path.
+  virtual Result<std::span<const std::uint8_t>> ReadView(
+      std::uint32_t region, std::size_t slot_size, std::uint64_t first,
+      std::uint64_t count) const;
+
+  /// Durability hook: flush any OS-buffered bytes of `region` to stable
+  /// storage (msync for the mmap backend). Default: nothing buffered, OK.
+  virtual Status SyncRegion(std::uint32_t region);
 };
 
-/// Default backend: regions live in process memory.
+/// Default backend: regions live in process memory. Lends borrowed views.
 std::unique_ptr<StorageBackend> MakeInMemoryBackend();
 
 /// Disk backend: each region is a file `region-<id>.bin` under `directory`
 /// (created if absent). Slots are fixed-size records at index * slot_size.
+/// Every call is a full open/seek/transfer/close cycle — simple and
+/// stateless, but syscall-bound; prefer the mmap backend for speed.
 Result<std::unique_ptr<StorageBackend>> MakeFileBackend(
+    const std::string& directory);
+
+/// Zero-copy disk backend (defined in mmap_backend.cc): the same
+/// `region-<id>.bin` file layout as the file backend, but each region file
+/// is mapped into the address space once, so range transfers are plain
+/// memcpy against the mapping, borrowed views come straight off the page
+/// cache, SyncRegion is msync, and ResizeRegion remaps. File-backend
+/// directories can be reopened with this backend and vice versa.
+Result<std::unique_ptr<StorageBackend>> MakeMmapBackend(
     const std::string& directory);
 
 }  // namespace ppj::sim

@@ -1,4 +1,6 @@
 #include <algorithm>
+#include <random>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -6,8 +8,10 @@
 #include "crypto/key.h"
 #include "oblivious/bitonic_sort.h"
 #include "oblivious/shuffle.h"
+#include "oblivious/sort_simd.h"
 #include "oblivious/windowed_filter.h"
 #include "relation/encrypted_relation.h"
+#include "relation/schema.h"
 #include "sim/coprocessor.h"
 
 namespace ppj::oblivious {
@@ -295,6 +299,104 @@ TEST_F(ObliviousTest, ShufflePreservesMultisetAndPermutes) {
   EXPECT_TRUE(moved);
   std::sort(got.begin(), got.end());
   EXPECT_EQ(got, values);
+}
+
+// ---- SIMD compare-exchange window (sort_simd.h) ---------------------------
+// Referenced from bitonic_sort.cc: the structured SortKey kinds and the
+// kernel's raw-row evaluation must stay bit-equivalent to the lambdas. Every
+// tier (scalar, SSE2, AVX2 where the CPU has it) is checked against a
+// reference that uses only the SortKey's own lambda, over every j from pure
+// tail (j < 4) through mixed vector+tail shapes, both directions, and odd
+// row sizes that exercise the byte tails of the row-swap kernels.
+
+class SimdSortTest : public ::testing::Test {
+ protected:
+  /// Applies the scalar window semantics using the SortKey as an opaque
+  /// comparator on vector copies — the ground truth the kernels must match.
+  static std::vector<std::vector<std::uint8_t>> Reference(
+      const std::vector<std::vector<std::uint8_t>>& rows, std::uint64_t j,
+      bool ascending, const SortKey& key) {
+    std::vector<std::vector<std::uint8_t>> out = rows;
+    for (std::uint64_t r = 0; r < j; ++r) {
+      const bool out_of_order =
+          ascending ? key(out[r + j], out[r]) : key(out[r], out[r + j]);
+      if (out_of_order) std::swap(out[r], out[r + j]);
+    }
+    return out;
+  }
+
+  void CheckAllTiers(const SortKey& key, std::size_t row_size,
+                     bool random_flags) {
+    ASSERT_TRUE(key.Vectorizable());
+    std::mt19937 rng(1234 + row_size);
+    for (std::uint64_t j = 1; j <= 9; ++j) {
+      for (const bool ascending : {false, true}) {
+        std::vector<std::vector<std::uint8_t>> rows(
+            2 * j, std::vector<std::uint8_t>(row_size));
+        for (auto& row : rows) {
+          for (auto& byte : row) {
+            byte = static_cast<std::uint8_t>(rng());
+          }
+          if (random_flags) row[0] = static_cast<std::uint8_t>(rng() % 2);
+        }
+        const auto expected = Reference(rows, j, ascending, key);
+        for (const SimdTier tier :
+             {SimdTier::kScalar, SimdTier::kSse2, SimdTier::kAvx2}) {
+          std::vector<std::uint8_t> flat;
+          for (const auto& row : rows) {
+            flat.insert(flat.end(), row.begin(), row.end());
+          }
+          CompareExchangeBlock(flat.data(), row_size, j, ascending, key,
+                               tier);
+          for (std::uint64_t i = 0; i < 2 * j; ++i) {
+            EXPECT_TRUE(std::equal(expected[i].begin(), expected[i].end(),
+                                   flat.begin() + i * row_size))
+                << "tier " << SimdTierName(tier) << " j=" << j
+                << " ascending=" << ascending << " row " << i;
+          }
+        }
+      }
+    }
+  }
+};
+
+TEST_F(SimdSortTest, RealFirstEquivalence) {
+  for (const std::size_t row_size : {9u, 17u, 48u}) {
+    CheckAllTiers(RealFirstLess(), row_size, /*random_flags=*/true);
+  }
+}
+
+TEST_F(SimdSortTest, ColumnEquivalence) {
+  const relation::Schema schema({relation::Schema::Int64("k")});
+  for (const std::size_t row_size : {9u, 19u, 33u}) {
+    CheckAllTiers(ColumnLess(&schema, 0), row_size, /*random_flags=*/true);
+  }
+}
+
+TEST_F(SimdSortTest, TagEquivalence) {
+  for (const std::size_t row_size : {9u, 21u, 64u}) {
+    CheckAllTiers(TagLess(), row_size, /*random_flags=*/false);
+  }
+}
+
+TEST_F(SimdSortTest, GenericKeysAreNotVectorizable) {
+  const SortKey opaque = [](const std::vector<std::uint8_t>& x,
+                            const std::vector<std::uint8_t>& y) {
+    return x < y;
+  };
+  EXPECT_FALSE(opaque.Vectorizable());
+  // The structured factories all are.
+  EXPECT_TRUE(RealFirstLess().Vectorizable());
+  EXPECT_TRUE(TagLess().Vectorizable());
+}
+
+TEST_F(SimdSortTest, ActiveTierHasAName) {
+  const SimdTier tier = ActiveSimdTier();
+  const std::string name = SimdTierName(tier);
+  EXPECT_TRUE(name == "scalar" || name == "sse2" || name == "avx2") << name;
+#ifdef PPJ_SIMD_DISABLED
+  EXPECT_EQ(tier, SimdTier::kScalar);
+#endif
 }
 
 TEST_F(ObliviousTest, ShuffleTraceIsDataIndependent) {

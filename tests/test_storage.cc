@@ -1,8 +1,11 @@
-// Tests for the pluggable host storage: the file-backed backend must be
-// indistinguishable from the in-memory one — including running a complete
+// Tests for the pluggable host storage: the file and mmap backends must be
+// indistinguishable from the in-memory one — identical slot contents,
+// identical traces, identical results — including running a complete
 // privacy preserving join against regions that live on disk.
 
+#include <cstring>
 #include <filesystem>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -16,20 +19,27 @@
 namespace ppj::sim {
 namespace {
 
-std::string TempDir(const char* tag) {
-  const auto dir = std::filesystem::temp_directory_path() /
-                   (std::string("ppj-storage-") + tag);
+std::string TempDir(const std::string& tag) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("ppj-storage-" + tag);
   std::filesystem::remove_all(dir);
   return dir.string();
 }
 
-class StorageBackendTest : public ::testing::TestWithParam<bool> {
+std::unique_ptr<StorageBackend> MakeBackendKind(const std::string& kind,
+                                                const std::string& tag) {
+  if (kind == "mem") return MakeInMemoryBackend();
+  auto backend = kind == "file" ? MakeFileBackend(TempDir(tag))
+                                : MakeMmapBackend(TempDir(tag));
+  EXPECT_TRUE(backend.ok()) << backend.status();
+  return backend.ok() ? std::move(*backend) : nullptr;
+}
+
+class StorageBackendTest : public ::testing::TestWithParam<std::string> {
  protected:
   std::unique_ptr<HostStore> MakeHost(const char* tag) {
-    if (!GetParam()) return std::make_unique<HostStore>();
-    auto backend = MakeFileBackend(TempDir(tag));
-    EXPECT_TRUE(backend.ok()) << backend.status();
-    return std::make_unique<HostStore>(std::move(*backend));
+    return std::make_unique<HostStore>(
+        MakeBackendKind(GetParam(), std::string(tag) + "-" + GetParam()));
   }
 };
 
@@ -75,11 +85,208 @@ TEST_P(StorageBackendTest, MultipleRegionsAreIndependent) {
   EXPECT_EQ(host->region_count(), 2u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Backends, StorageBackendTest,
-                         ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& pinfo) {
-                           return pinfo.param ? "FileBacked" : "InMemory";
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Backends, StorageBackendTest, ::testing::Values("mem", "file", "mmap"),
+    [](const ::testing::TestParamInfo<std::string>& pinfo) {
+      if (pinfo.param == "mem") return std::string("InMemory");
+      if (pinfo.param == "file") return std::string("FileBacked");
+      return std::string("MmapBacked");
+    });
+
+// ---- Borrowed-view contract ----------------------------------------------
+
+TEST(ReadViewTest, MemAndMmapLendLiveViews) {
+  for (const std::string kind : {"mem", "mmap"}) {
+    HostStore host(MakeBackendKind(kind, "view-" + kind));
+    const RegionId r = host.CreateRegion("r", 8, 6);
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      ASSERT_TRUE(
+          host.WriteSlot(r, i,
+                         std::vector<std::uint8_t>(
+                             8, static_cast<std::uint8_t>(i + 1)))
+              .ok());
+    }
+    auto view = host.ReadView(r, 1, 3);
+    ASSERT_TRUE(view.ok()) << kind << ": " << view.status();
+    ASSERT_EQ(view->size(), 3u * 8u);
+    EXPECT_EQ((*view)[0], 2) << kind;
+    EXPECT_EQ((*view)[2 * 8], 4) << kind;
+    // The view is a live window, not a snapshot: writes to the covered
+    // slots are visible through it.
+    ASSERT_TRUE(
+        host.WriteSlot(r, 2, std::vector<std::uint8_t>(8, 0xEE)).ok());
+    EXPECT_EQ((*view)[8], 0xEE) << kind;
+  }
+}
+
+TEST(ReadViewTest, FileBackendFallsBackWithUnimplemented) {
+  HostStore host(MakeBackendKind("file", "view-file"));
+  const RegionId r = host.CreateRegion("r", 8, 4);
+  auto view = host.ReadView(r, 0, 2);
+  ASSERT_FALSE(view.ok());
+  // Exactly kUnimplemented: that is the signal callers use to fall back to
+  // the copying ReadRange path (any other code must propagate).
+  EXPECT_EQ(view.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(ReadViewTest, OutOfRangeIsRejected) {
+  HostStore host(MakeBackendKind("mmap", "view-range"));
+  const RegionId r = host.CreateRegion("r", 8, 4);
+  EXPECT_EQ(host.ReadView(r, 3, 2).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(host.ReadView(r + 1, 0, 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---- Mmap-specific behaviour ----------------------------------------------
+
+TEST(MmapBackendTest, RemapGrowAndShrinkPreservePrefix) {
+  HostStore host(MakeBackendKind("mmap", "remap"));
+  // 512-byte slots: growing from 8 to 64 slots crosses page boundaries, so
+  // the resize is a real munmap + ftruncate + mmap cycle.
+  const RegionId r = host.CreateRegion("r", 512, 8);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        host.WriteSlot(r, i,
+                       std::vector<std::uint8_t>(
+                           512, static_cast<std::uint8_t>(0x40 + i)))
+            .ok());
+  }
+  ASSERT_TRUE(host.ResizeRegion(r, 64).ok());
+  EXPECT_EQ(host.RegionSlots(r), 64u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ((*host.ReadSlot(r, i))[511],
+              static_cast<std::uint8_t>(0x40 + i));
+  }
+  EXPECT_EQ(*host.ReadSlot(r, 63), std::vector<std::uint8_t>(512, 0));
+  ASSERT_TRUE(host.WriteSlot(r, 63,
+                             std::vector<std::uint8_t>(512, 0x77))
+                  .ok());
+  // Shrink below the original size; the retained prefix survives the remap.
+  ASSERT_TRUE(host.ResizeRegion(r, 3).ok());
+  EXPECT_EQ(host.RegionSlots(r), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ((*host.ReadSlot(r, i))[0], static_cast<std::uint8_t>(0x40 + i));
+  }
+  // Views acquired after the resize see the post-remap mapping.
+  auto view = host.ReadView(r, 0, 3);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)[0], 0x40);
+}
+
+TEST(MmapBackendTest, SyncRegionPersistsThroughFileReopen) {
+  const std::string dir = TempDir("msync");
+  {
+    auto backend = MakeMmapBackend(dir);
+    ASSERT_TRUE(backend.ok());
+    HostStore host(std::move(*backend));
+    const RegionId r = host.CreateRegion("r", 16, 4);
+    ASSERT_TRUE(
+        host.WriteSlot(r, 2, std::vector<std::uint8_t>(16, 0xAB)).ok());
+    ASSERT_TRUE(host.SyncRegion(r).ok());
+  }
+  // Same region-<id>.bin layout: a file backend pointed at the directory
+  // reads what the mmap backend wrote.
+  auto reopened = MakeFileBackend(dir);
+  ASSERT_TRUE(reopened.ok());
+  std::vector<std::uint8_t> slot(16);
+  ASSERT_TRUE((*reopened)->ReadSlotInto(0, 16, 2, slot.data()).ok());
+  EXPECT_EQ(slot, std::vector<std::uint8_t>(16, 0xAB));
+}
+
+TEST(MmapBackendTest, RejectsUnwritableDirectory) {
+  auto backend = MakeMmapBackend("/proc/definitely/not/writable");
+  EXPECT_FALSE(backend.ok());
+}
+
+// ---- Backend parity: same ops, bit-identical world ------------------------
+
+struct ParityOutcome {
+  TraceFingerprint trace;
+  TraceFingerprint timing;
+  std::uint64_t transfers = 0;
+  std::uint64_t borrowed_views = 0;
+  std::vector<relation::Tuple> tuples;
+  std::vector<std::uint8_t> output_bytes;  // sealed output region, verbatim
+};
+
+/// Runs the identical Algorithm 5 join (same workload, same keys, same
+/// coprocessor seed) against the given backend and captures every surface
+/// an adversary or a consumer could compare.
+ParityOutcome RunParityJoin(const std::string& kind) {
+  ParityOutcome out;
+  HostStore host(MakeBackendKind(kind, "parity-" + kind));
+  Coprocessor copro(&host, {.memory_tuples = 4, .seed = 9});
+
+  relation::CellSpec spec;
+  spec.size_a = 8;
+  spec.size_b = 8;
+  spec.result_size = 11;
+  spec.seed = 3;
+  auto workload = relation::MakeCellWorkload(spec);
+  EXPECT_TRUE(workload.ok());
+  const crypto::Ocb key_a(crypto::DeriveKey(1, "A"));
+  const crypto::Ocb key_b(crypto::DeriveKey(2, "B"));
+  const crypto::Ocb key_out(crypto::DeriveKey(3, "C"));
+  auto a = relation::EncryptedRelation::Seal(&host, *workload->a, &key_a);
+  auto b = relation::EncryptedRelation::Seal(&host, *workload->b, &key_b);
+  EXPECT_TRUE(a.ok() && b.ok());
+
+  const relation::PairAsMultiway multiway(workload->predicate.get());
+  core::MultiwayJoin join{{&*a, &*b}, &multiway, &key_out};
+  auto outcome = core::RunAlgorithm5(copro, join);
+  EXPECT_TRUE(outcome.ok()) << kind << ": " << outcome.status();
+  if (!outcome.ok()) return out;
+
+  out.trace = copro.trace().fingerprint();
+  out.timing = copro.timing_fingerprint();
+  out.transfers = copro.metrics().TupleTransfers();
+  out.borrowed_views = copro.borrowed_view_ranges();
+
+  const relation::Schema result_schema = relation::Schema::Concat(
+      workload->a->schema(), workload->b->schema());
+  auto decoded =
+      core::DecodeJoinOutput(host, outcome->output_region,
+                             outcome->result_size, key_out, &result_schema);
+  EXPECT_TRUE(decoded.ok()) << kind;
+  if (decoded.ok()) out.tuples = std::move(*decoded);
+
+  // The sealed output region byte for byte: slot contents, not just
+  // decrypted values, must be backend-independent.
+  const std::size_t slot_size = host.RegionSlotSize(outcome->output_region);
+  for (std::uint64_t i = 0; i < host.RegionSlots(outcome->output_region);
+       ++i) {
+    auto slot = host.ReadSlot(outcome->output_region, i);
+    EXPECT_TRUE(slot.ok());
+    if (slot.ok()) {
+      out.output_bytes.insert(out.output_bytes.end(), slot->begin(),
+                              slot->end());
+    }
+  }
+  EXPECT_EQ(out.output_bytes.size(),
+            host.RegionSlots(outcome->output_region) * slot_size);
+  return out;
+}
+
+TEST(BackendParityTest, IdenticalTracesAndSlotsAcrossMemFileMmap) {
+  const ParityOutcome mem = RunParityJoin("mem");
+  const ParityOutcome file = RunParityJoin("file");
+  const ParityOutcome mmap = RunParityJoin("mmap");
+
+  ASSERT_GT(mem.trace.count, 0u);
+  for (const ParityOutcome* other : {&file, &mmap}) {
+    EXPECT_EQ(mem.trace, other->trace);
+    EXPECT_EQ(mem.timing, other->timing);
+    EXPECT_EQ(mem.transfers, other->transfers);
+    EXPECT_EQ(mem.tuples.size(), other->tuples.size());
+    EXPECT_EQ(mem.output_bytes, other->output_bytes);
+  }
+  // The physical difference the identical traces hide: mem and mmap served
+  // staged ranges as zero-copy borrowed views, the file backend copied.
+  EXPECT_GT(mem.borrowed_views, 0u);
+  EXPECT_GT(mmap.borrowed_views, 0u);
+  EXPECT_EQ(mem.borrowed_views, mmap.borrowed_views);
+  EXPECT_EQ(file.borrowed_views, 0u);
+}
 
 TEST(FileBackendTest, EndToEndJoinOverDiskRegions) {
   auto backend = MakeFileBackend(TempDir("join"));

@@ -46,6 +46,10 @@ HIGHER_BETTER = {
     "tuples_per_sec",
     "bytes_per_second",
     "items_per_second",
+    # Relative win of one configuration over another (bench_storage's
+    # mmap-vs-file ratio): committed as a baseline so the zero-copy
+    # advantage itself is regression-gated.
+    "speedup_x",
 }
 LOWER_BETTER = {
     "p50_ms",

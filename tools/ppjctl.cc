@@ -6,9 +6,16 @@
 //
 //   ppjctl join  [--alg=1|1v|2|3|4|5|6|auto] [--size-a=N] [--size-b=N]
 //                [--s=N] [--n=N] [--m=N] [--eps=X] [--parallel=P]
-//                [--storage-dir=PATH] [--seed=N] [--batch=N]
-//                [--fault-plan=SPEC]
+//                [--backend=mem|file|mmap] [--storage-dir=PATH]
+//                [--seed=N] [--batch=N] [--fault-plan=SPEC]
 //                [--trace-out=FILE] [--metrics-json=FILE]
+//       --backend picks the host storage: mem (default), file (one file
+//       per region, read/written per call) or mmap (regions mapped into
+//       the process, range transfers borrow views — the zero-copy fast
+//       path). file/mmap store under --storage-dir, or a temp directory
+//       when none is given; --storage-dir alone still means file. The
+//       join, report and explain commands all take the flag; delivered
+//       results and metrics are backend-independent.
 //       --batch bounds one batched T<->H range transfer in slots:
 //       0 = auto-sized from free device memory (default), 1 = force the
 //       scalar per-slot path. The metrics dump reports the physical
@@ -66,9 +73,12 @@
 //       Runs the Definition 3 trace audit on two shape-equal worlds and
 //       reports the verdict (regions print their symbolic host names).
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <optional>
@@ -196,12 +206,35 @@ Result<JoinRun> ExecuteJoinFromFlags(const Flags& flags,
   PPJ_ASSIGN_OR_RETURN(relation::TwoTableWorkload workload,
                        relation::MakeEquijoinWorkload(spec));
 
+  // Backend selection: --backend=mem|file|mmap, defaulting to mem, or to
+  // file when only --storage-dir is given (the historical spelling). The
+  // disk backends get a per-process temp directory when no --storage-dir
+  // names one.
   const std::string storage_dir = flags.Get("storage-dir", "");
+  const std::string backend_kind =
+      flags.Get("backend", storage_dir.empty() ? "mem" : "file");
   std::unique_ptr<sim::StorageBackend> backend;
-  if (storage_dir.empty()) {
+  if (backend_kind == "mem") {
+    if (!storage_dir.empty()) {
+      return Status::InvalidArgument(
+          "--backend=mem does not take a --storage-dir");
+    }
     backend = sim::MakeInMemoryBackend();
+  } else if (backend_kind == "file" || backend_kind == "mmap") {
+    std::string dir = storage_dir;
+    if (dir.empty()) {
+      dir = (std::filesystem::temp_directory_path() /
+             ("ppjctl-" + backend_kind + "-" + std::to_string(::getpid())))
+                .string();
+    }
+    if (backend_kind == "file") {
+      PPJ_ASSIGN_OR_RETURN(backend, sim::MakeFileBackend(dir));
+    } else {
+      PPJ_ASSIGN_OR_RETURN(backend, sim::MakeMmapBackend(dir));
+    }
   } else {
-    PPJ_ASSIGN_OR_RETURN(backend, sim::MakeFileBackend(storage_dir));
+    return Status::InvalidArgument(
+        "bad --backend flag: want mem, file or mmap");
   }
   sim::FaultInjectingBackend* faults = nullptr;
   const std::string fault_spec = flags.Get("fault-plan", "");
