@@ -1,0 +1,77 @@
+#ifndef PPJ_COMMON_CANCEL_H_
+#define PPJ_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace ppj {
+
+/// Cooperative cancellation handle for one request (docs/ROBUSTNESS.md,
+/// "Deadlines and cooperative cancellation"). The scheduler owns one token
+/// per admitted request; the execution layers hold a const pointer and call
+/// Check() at *data-independent* checkpoints — operator boundaries in the
+/// plan executor, retry-loop iterations in the coprocessor's transfer
+/// recovery. Checkpoint placement is the trace-neutrality argument: a
+/// checkpoint never depends on tuple values, and an uncancelled Check() has
+/// no observable effect, so the trace/timing fingerprints of a run that is
+/// not cancelled are bit-identical to a build without the resilience layer.
+///
+/// Thread safety: Cancel() and SetDeadline() may race with any number of
+/// Check() calls — all state is a pair of relaxed atomics. Cancellation is
+/// sticky; there is no reset (tokens are per-request and die with the
+/// ticket).
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Idempotent; takes effect at the next Check().
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms an absolute deadline. A zero time_since_epoch means "no
+  /// deadline" and is never produced by a live steady clock.
+  void SetDeadline(Clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// True when a deadline is armed and has passed.
+  bool deadline_expired() const {
+    const std::int64_t deadline =
+        deadline_ns_.load(std::memory_order_relaxed);
+    return deadline != 0 &&
+           Clock::now().time_since_epoch().count() >= deadline;
+  }
+
+  /// The cooperative checkpoint: OK to continue, kCancelled after Cancel(),
+  /// kDeadlineExceeded after the armed deadline passed. Explicit
+  /// cancellation wins over an expired deadline (the caller asked first).
+  Status Check() const {
+    if (cancel_requested()) {
+      return Status::Cancelled("request cancelled by caller");
+    }
+    if (deadline_expired()) {
+      return Status::DeadlineExceeded("request deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  /// Steady-clock ns since epoch; 0 = no deadline armed.
+  std::atomic<std::int64_t> deadline_ns_{0};
+};
+
+}  // namespace ppj
+
+#endif  // PPJ_COMMON_CANCEL_H_

@@ -261,10 +261,18 @@ class Registry {
 inline constexpr std::string_view kRequestsSubmitted =
     "ppj_requests_submitted_total";
 /// Terminal request outcomes, labeled {tenant, kind, algorithm, outcome}
-/// with disjoint outcomes completed|failed|reused|cancelled.
+/// with disjoint outcomes
+/// completed|failed|reused|cancelled|deadline_exceeded.
 inline constexpr std::string_view kRequestsTotal = "ppj_requests_total";
 /// Admission/validation refusals, labeled {tenant, outcome="refused"}.
 inline constexpr std::string_view kQuotaRefusals = "ppj_quota_refusals_total";
+/// Circuit-breaker families, labeled {tenant}: state is a gauge
+/// (0=closed, 1=open, 2=half-open); trips count closed→open transitions;
+/// refusals count admissions rejected while open.
+inline constexpr std::string_view kBreakerState = "ppj_breaker_state";
+inline constexpr std::string_view kBreakerTrips = "ppj_breaker_trips_total";
+inline constexpr std::string_view kBreakerRefusals =
+    "ppj_breaker_refusals_total";
 /// Reuse-cache hits, labeled {tenant, kind, algorithm}.
 inline constexpr std::string_view kReuseHits = "ppj_reuse_hits_total";
 /// Gauges, labeled {tenant}.

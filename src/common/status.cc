@@ -30,6 +30,12 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kQuotaExceeded:
       return "QUOTA_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kCircuitOpen:
+      return "CIRCUIT_OPEN";
   }
   return "UNKNOWN";
 }

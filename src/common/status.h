@@ -30,6 +30,9 @@ enum class StatusCode {
   kInternal,          ///< Invariant breakage; indicates a library bug.
   kUnavailable,       ///< Transient host/storage fault; safe to retry.
   kQuotaExceeded,     ///< A tenant quota refused the request (admission).
+  kCancelled,         ///< The caller cancelled the request (cooperative).
+  kDeadlineExceeded,  ///< The request's time budget expired.
+  kCircuitOpen,       ///< The tenant's circuit breaker refused admission.
 };
 
 /// Returns a stable, human-readable name such as "TAMPERED".
@@ -86,6 +89,15 @@ class Status {
   }
   static Status QuotaExceeded(std::string msg) {
     return Status(StatusCode::kQuotaExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status CircuitOpen(std::string msg) {
+    return Status(StatusCode::kCircuitOpen, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -114,6 +115,13 @@ class PlanContext {
   /// metrics::Registry::Global(). Like the checkpoints, this only *reads*
   /// public counters — trace-neutral.
   metrics::Registry* metrics_registry = nullptr;
+
+  /// Cooperative cancellation token for this request, or nullptr when the
+  /// run has no deadline and cannot be cancelled. The executor checks it
+  /// once per operator boundary — a data-independent checkpoint, so an
+  /// uncancelled run's trace and fingerprints are unaffected
+  /// (docs/ROBUSTNESS.md#deadlines-cancellation-and-circuit-breakers).
+  const CancelToken* cancel = nullptr;
 
  private:
   const core::TwoWayJoin* two_way_ = nullptr;

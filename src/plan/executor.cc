@@ -24,6 +24,10 @@ Status PlanExecutor::Run(sim::Coprocessor& copro, PhysicalPlan& plan,
   PPJ_DEVICE_SPAN(&copro, plan.root_span);
   for (const std::unique_ptr<ObliviousOp>& op : plan.ops) {
     if (ctx.finished) break;
+    // Cooperative checkpoint at the operator boundary: data-independent
+    // (runs whether or not the operator would), so an uncancelled run's
+    // trace shape and fingerprints are untouched.
+    if (ctx.cancel != nullptr) PPJ_RETURN_NOT_OK(ctx.cancel->Check());
     if (!op->ShouldRun(ctx)) continue;
     // Per-operator retry attribution: like the checkpoint below, a pure
     // read of the device's public counters (trace-neutral). Fault-free

@@ -80,6 +80,13 @@ struct ExecuteOptions {
   /// cache hit performs no coprocessor work at all, so the adversary sees
   /// only the recipient-side decode.
   bool allow_reuse = true;
+  /// Per-request time budget in milliseconds, measured from Submit (queue
+  /// wait counts against it). 0 = no deadline. An expired request resolves
+  /// to StatusCode::kDeadlineExceeded with a structured post-mortem and no
+  /// partial plaintext; the checkpoints that enforce it are data
+  /// independent, so uncancelled runs' traces are unchanged
+  /// (docs/ROBUSTNESS.md#deadlines-cancellation-and-circuit-breakers).
+  std::uint64_t deadline_ms = 0;
 
   /// Rejects contradictory knob combinations before any coprocessor work:
   /// the Chapter 4 family is sequential (parallelism must be 1), Algorithm
@@ -129,12 +136,13 @@ struct JoinDelivery {
 ///
 /// Lifetime: each request owns its post-mortem. Read it via
 /// SovereignJoinService::post_mortem(ticket) — it stays valid until the
-/// ticket is released. The legacy last_failure() accessor remains for the
-/// serial shims but is only meaningful when requests do not interleave.
+/// ticket is released. (The racy service-wide last_failure() slot this
+/// accessor replaced is gone; per-ticket post-mortems are the only path.)
 struct ExecutionFailure {
   std::string contract_id;
   /// Coarse phase that failed: "validate", "admission", "setup",
-  /// "algorithm", "decode".
+  /// "algorithm", "decode" — or "queue" when a deadline expired (or the
+  /// request was cancelled) before a worker ever ran it.
   std::string phase;
   /// The error returned to the caller (kUnavailable = retry budget
   /// exhausted; kTampered = integrity failure, device dead).
@@ -269,8 +277,8 @@ struct RequestTrace {
   std::string contract_id;
   std::string kind;       ///< ToString(JoinRequest::Kind).
   std::string algorithm;  ///< Resolved algorithm name ("" for aggregates).
-  /// Terminal outcome: "completed", "failed", "reused", "cancelled";
-  /// "" while the request is still queued or running.
+  /// Terminal outcome: "completed", "failed", "reused", "cancelled",
+  /// "deadline_exceeded"; "" while the request is still queued or running.
   std::string outcome;
 
   std::uint64_t submitted_ns = 0;  ///< Admitted into the tenant queue.

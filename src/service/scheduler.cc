@@ -90,6 +90,142 @@ void ContractScheduler::FinishLocked(RequestState& req,
           .Increment(req.trace.tuple_transfers);
     }
   }
+
+  BreakerOnOutcomeLocked(req, outcome);
+}
+
+void ContractScheduler::FinishQueuedLocked(RequestState& req, Status status,
+                                           std::string_view outcome) {
+  --stats_.queued;
+  registry_
+      .GetGauge(metrics::kQueueDepth, metrics::LabelSet::ForTenant(req.tenant))
+      .Add(-1);
+  ExecutionFailure failure;
+  failure.contract_id = req.contract_id;
+  failure.phase = "queue";
+  failure.status = status;
+  req.failure = std::move(failure);
+  req.work = nullptr;
+  req.result = std::move(status);
+  if (outcome == "deadline_exceeded") {
+    ++stats_.deadline_exceeded;
+  } else {
+    ++stats_.cancelled;
+  }
+  FinishLocked(req, outcome);
+}
+
+void ContractScheduler::CancelAllQueuedLocked(const Status& status) {
+  for (auto& [tenant, queue] : queues_) {
+    for (auto& req : queue) {
+      FinishQueuedLocked(*req, status, "cancelled");
+    }
+    queue.clear();
+  }
+}
+
+// ---- Circuit breaker ------------------------------------------------------
+
+void ContractScheduler::PublishBreakerStateLocked(const std::string& tenant,
+                                                  BreakerState::State from,
+                                                  BreakerState::State to) {
+  if (from == to) return;
+  const bool was_closed = from == BreakerState::State::kClosed;
+  const bool is_closed = to == BreakerState::State::kClosed;
+  if (was_closed && !is_closed) ++stats_.breakers_open;
+  if (!was_closed && is_closed) --stats_.breakers_open;
+  registry_
+      .GetGauge(metrics::kBreakerState, metrics::LabelSet::ForTenant(tenant))
+      .Set(to == BreakerState::State::kClosed     ? 0
+           : to == BreakerState::State::kOpen     ? 1
+                                                  : 2);
+}
+
+Status ContractScheduler::BreakerAdmitLocked(const std::string& tenant,
+                                             bool* probe_out) {
+  *probe_out = false;
+  if (!options_.breaker.enabled) return Status::OK();
+  auto it = breakers_.find(tenant);
+  if (it == breakers_.end()) return Status::OK();
+  BreakerState& breaker = it->second;
+  const auto refuse = [&](std::string_view why) {
+    ++stats_.breaker_rejected;
+    registry_
+        .GetCounter(metrics::kBreakerRefusals,
+                    metrics::LabelSet::ForTenant(tenant))
+        .Increment();
+    return Status::CircuitOpen("tenant '" + tenant +
+                               "' circuit breaker is open (" +
+                               std::string(why) + ")");
+  };
+  switch (breaker.state) {
+    case BreakerState::State::kClosed:
+      return Status::OK();
+    case BreakerState::State::kOpen:
+      if (NowNs() < breaker.open_until_ns) {
+        return refuse("cooling down after repeated failures");
+      }
+      // Cooldown elapsed: half-open, and this request is the probe.
+      PublishBreakerStateLocked(tenant, breaker.state,
+                                BreakerState::State::kHalfOpen);
+      breaker.state = BreakerState::State::kHalfOpen;
+      breaker.probe_in_flight = true;
+      *probe_out = true;
+      return Status::OK();
+    case BreakerState::State::kHalfOpen:
+      if (breaker.probe_in_flight) {
+        return refuse("half-open probe outstanding");
+      }
+      breaker.probe_in_flight = true;
+      *probe_out = true;
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+void ContractScheduler::BreakerOnOutcomeLocked(RequestState& req,
+                                               std::string_view outcome) {
+  if (!options_.breaker.enabled) return;
+  // "cancelled" is neutral: the caller changed its mind; the backend
+  // proved nothing either way.
+  if (outcome == "cancelled") {
+    if (req.breaker_probe) {
+      auto it = breakers_.find(req.tenant);
+      if (it != breakers_.end()) it->second.probe_in_flight = false;
+    }
+    return;
+  }
+  const bool success = outcome == "completed" || outcome == "reused";
+  const bool tampered =
+      !success && !req.result.ok() &&
+      req.result.status().code() == StatusCode::kTampered;
+  BreakerState& breaker = breakers_[req.tenant];
+  if (req.breaker_probe) breaker.probe_in_flight = false;
+  if (success) {
+    PublishBreakerStateLocked(req.tenant, breaker.state,
+                              BreakerState::State::kClosed);
+    breaker.state = BreakerState::State::kClosed;
+    breaker.streak = 0;
+    return;
+  }
+  ++breaker.streak;
+  const bool trips = tampered ||
+                     breaker.streak >= options_.breaker.failure_threshold ||
+                     breaker.state == BreakerState::State::kHalfOpen;
+  if (!trips) return;
+  if (breaker.state != BreakerState::State::kOpen) {
+    ++stats_.breaker_trips;
+    registry_
+        .GetCounter(metrics::kBreakerTrips,
+                    metrics::LabelSet::ForTenant(req.tenant))
+        .Increment();
+  }
+  PublishBreakerStateLocked(req.tenant, breaker.state,
+                            BreakerState::State::kOpen);
+  breaker.state = BreakerState::State::kOpen;
+  breaker.streak = 0;
+  breaker.open_until_ns =
+      NowNs() + options_.breaker.cooldown_ms * std::uint64_t{1000000};
 }
 
 ContractScheduler::~ContractScheduler() {
@@ -97,29 +233,54 @@ ContractScheduler::~ContractScheduler() {
     std::unique_lock<std::mutex> lock(mutex_);
     stopping_ = true;
     // Cancel everything still queued: their Wait()ers unblock with a
-    // retryable kUnavailable rather than hanging forever.
-    for (auto& [tenant, queue] : queues_) {
-      for (auto& req : queue) {
-        req->result = Status::Unavailable("scheduler stopped");
-        FinishLocked(*req, "cancelled");
-        ++stats_.cancelled;
-        registry_.GetGauge(metrics::kQueueDepth, metrics::LabelSet::ForTenant(tenant))
-            .Add(-1);
-      }
-      queue.clear();
-    }
-    stats_.queued = 0;
+    // retryable kUnavailable rather than hanging forever. Running work is
+    // left to finish (its worker joins below).
+    CancelAllQueuedLocked(Status::Unavailable("scheduler stopped"));
   }
   work_cv_.notify_all();
   done_cv_.notify_all();
   for (auto& worker : workers_) worker.join();
 }
 
+Status ContractScheduler::Shutdown(std::chrono::milliseconds drain_deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) return Status::OK();  // Already shut down: idempotent.
+  draining_ = true;  // Submit refuses from here on.
+  const auto deadline = std::chrono::steady_clock::now() + drain_deadline;
+  const bool drained = done_cv_.wait_until(lock, deadline, [&] {
+    return stats_.queued == 0 && stats_.running == 0;
+  });
+  Status verdict = Status::OK();
+  if (!drained) {
+    // Budget exhausted: queued requests resolve immediately; running ones
+    // get their tokens fired and stop at the next data-independent
+    // checkpoint, which bounds the residual wait by checkpoint granularity
+    // (one operator / one transfer-retry cycle).
+    CancelAllQueuedLocked(
+        Status::Cancelled("drain deadline exceeded during shutdown"));
+    for (auto& [id, req] : tickets_) {
+      if (req->phase == TicketStatus::kRunning) req->cancel->Cancel();
+    }
+    done_cv_.notify_all();
+    done_cv_.wait(lock, [&] { return stats_.running == 0; });
+    verdict = Status::DeadlineExceeded(
+        "drain deadline exceeded: in-flight requests were cancelled");
+  }
+  stopping_ = true;
+  lock.unlock();
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+  return verdict;
+}
+
 Result<Ticket> ContractScheduler::Submit(const std::string& tenant,
                                          const std::string& contract_id,
-                                         RequestLabels labels, Work work) {
+                                         RequestLabels labels, Work work,
+                                         std::uint64_t deadline_ms) {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (stopping_) {
+  if (stopping_ || draining_) {
     return Status::Unavailable("the scheduler is shutting down");
   }
   auto& queue = queues_[tenant];
@@ -135,11 +296,21 @@ Result<Ticket> ContractScheduler::Submit(const std::string& tenant,
         " queued requests (quota max_queued=" +
         std::to_string(options_.quotas.max_queued) + ")");
   }
+  // Breaker gate last among the refusals, so a refused-for-quota request
+  // can never leave a half-open probe slot dangling.
+  bool breaker_probe = false;
+  PPJ_RETURN_NOT_OK(BreakerAdmitLocked(tenant, &breaker_probe));
   auto req = std::make_shared<RequestState>();
   req->id = next_id_++;
   req->tenant = tenant;
   req->contract_id = contract_id;
   req->work = std::move(work);
+  req->breaker_probe = breaker_probe;
+  if (deadline_ms != 0) {
+    // The budget covers the whole lifecycle from here: queue wait included.
+    req->cancel->SetDeadline(CancelToken::Clock::now() +
+                             std::chrono::milliseconds(deadline_ms));
+  }
   req->trace.ticket_id = req->id;
   req->trace.tenant = tenant;
   req->trace.contract_id = contract_id;
@@ -198,6 +369,23 @@ void ContractScheduler::WorkerLoop() {
       if (stopping_) return;
       continue;
     }
+    {
+      // Dequeue-time checkpoint: a request whose deadline expired while it
+      // waited (or that was cancelled in the queue between the fair pick
+      // and here) finishes immediately with a phase="queue" post-mortem —
+      // no worker time, no coprocessor construction, no partial plaintext.
+      Status admission = req->cancel->Check();
+      if (!admission.ok()) {
+        const std::string_view outcome =
+            admission.code() == StatusCode::kDeadlineExceeded
+                ? "deadline_exceeded"
+                : "cancelled";
+        FinishQueuedLocked(*req, std::move(admission), outcome);
+        work_cv_.notify_one();
+        done_cv_.notify_all();
+        continue;
+      }
+    }
     req->phase = TicketStatus::kRunning;
     req->trace.dequeued_ns = NowNs();
     ++running_per_tenant_[req->tenant];
@@ -221,6 +409,7 @@ void ContractScheduler::WorkerLoop() {
     ExecutionFailure failure;
     WorkContext ctx;
     ctx.failure = &failure;
+    ctx.cancel = req->cancel.get();
     ctx.mark_executing = [this, req] {
       // Fired by the service after its reuse-cache probe misses: the
       // request is now doing real coprocessor work. Take the scheduler
@@ -234,9 +423,29 @@ void ContractScheduler::WorkerLoop() {
     req->result = std::move(result);
     std::string_view outcome;
     if (!req->result.ok()) {
+      // Work that stopped at a cooperative checkpoint may not have filled
+      // the post-mortem (the plan executor just propagates the Check()
+      // status); make sure the ticket still gets a structured record.
+      if (failure.status.ok()) {
+        failure.contract_id = req->contract_id;
+        failure.phase = "algorithm";
+        failure.status = req->result.status();
+      }
       req->failure = std::move(failure);
-      ++stats_.failed;
-      outcome = "failed";
+      switch (req->result.status().code()) {
+        case StatusCode::kCancelled:
+          ++stats_.cancelled;
+          outcome = "cancelled";
+          break;
+        case StatusCode::kDeadlineExceeded:
+          ++stats_.deadline_exceeded;
+          outcome = "deadline_exceeded";
+          break;
+        default:
+          ++stats_.failed;
+          outcome = "failed";
+          break;
+      }
     } else {
       // SchedulerStats::completed keeps its PR-6 meaning (finished OK,
       // reuse hits included); the registry records disjoint outcomes.
@@ -267,6 +476,48 @@ Result<Response> ContractScheduler::Wait(Ticket ticket) {
   }
   req->consumed = true;
   return std::move(req->result);
+}
+
+Status ContractScheduler::Cancel(Ticket ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = tickets_.find(ticket.id);
+  if (it == tickets_.end()) {
+    return Status::NotFound("unknown ticket " + std::to_string(ticket.id));
+  }
+  auto req = it->second;
+  switch (req->phase) {
+    case TicketStatus::kDone:
+      return Status::FailedPrecondition(
+          "ticket " + std::to_string(ticket.id) +
+          " already finished (outcome '" + req->trace.outcome + "')");
+    case TicketStatus::kQueued: {
+      // Still in its tenant deque: remove and resolve synchronously.
+      auto& queue = queues_[req->tenant];
+      for (auto qit = queue.begin(); qit != queue.end(); ++qit) {
+        if ((*qit)->id == ticket.id) {
+          queue.erase(qit);
+          break;
+        }
+      }
+      req->cancel->Cancel();
+      FinishQueuedLocked(*req,
+                         Status::Cancelled("request cancelled by caller"),
+                         "cancelled");
+      lock.unlock();
+      done_cv_.notify_all();
+      return Status::OK();
+    }
+    case TicketStatus::kRunning:
+      // Cooperative: fire the token; the worker observes it at the next
+      // data-independent checkpoint and resolves the ticket (Wait() sees
+      // kCancelled, or — rarely — the run's natural result if it finished
+      // in the same instant).
+      req->cancel->Cancel();
+      return Status::OK();
+    case TicketStatus::kUnknown:
+      break;
+  }
+  return Status::Internal("ticket in impossible phase");
 }
 
 TicketStatus ContractScheduler::Poll(Ticket ticket) const {

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -43,6 +44,27 @@ struct SchedulerOptions {
   /// instance for isolated-per-service snapshots (tests do).
   metrics::Registry* registry = nullptr;
 
+  /// Per-tenant circuit breaker (docs/ROBUSTNESS.md): quarantines a tenant
+  /// whose requests keep failing, so a pathological workload (or a tenant
+  /// probing a tampered contract) cannot keep burning worker time. State
+  /// machine: closed → open after `failure_threshold` consecutive failures
+  /// (outcomes "failed" or "deadline_exceeded") or after a *single*
+  /// kTampered integrity failure; open refuses Submit with
+  /// StatusCode::kCircuitOpen until `cooldown_ms` of deterministic cooldown
+  /// has passed; then half-open admits exactly one probe request — probe
+  /// success closes the breaker, probe failure re-opens it for another
+  /// cooldown. Any success (including reuse hits) resets the failure
+  /// streak. "cancelled" outcomes are neutral: the caller changed its
+  /// mind, the backend proved nothing.
+  struct BreakerOptions {
+    bool enabled = true;
+    /// Consecutive failures that trip the breaker (kTampered trips at 1).
+    std::uint32_t failure_threshold = 5;
+    /// Open-state hold time before a half-open probe is admitted.
+    std::uint64_t cooldown_ms = 1000;
+  };
+  BreakerOptions breaker;
+
   /// The worker count after the `workers = 0` auto rule.
   unsigned ResolvedWorkers() const;
   /// `registry` after the nullptr → Global() rule.
@@ -68,9 +90,13 @@ struct SchedulerStats {
   std::uint64_t completed = 0;       ///< Finished OK (including reuse hits).
   std::uint64_t failed = 0;          ///< Finished with an error status.
   std::uint64_t quota_rejected = 0;  ///< Refused at admission (kQuotaExceeded).
-  std::uint64_t cancelled = 0;       ///< Queued at shutdown, never ran.
+  std::uint64_t cancelled = 0;       ///< Cancelled (caller, drain, shutdown).
+  std::uint64_t deadline_exceeded = 0;  ///< Expired before completing.
+  std::uint64_t breaker_rejected = 0;   ///< Refused while a breaker was open.
+  std::uint64_t breaker_trips = 0;      ///< closed/half-open → open edges.
   std::size_t queued = 0;            ///< Waiting right now.
   std::size_t running = 0;           ///< Executing right now.
+  std::size_t breakers_open = 0;     ///< Tenants currently open/half-open.
   unsigned workers = 0;              ///< Pool size.
 };
 
@@ -91,6 +117,11 @@ struct WorkContext {
   /// never call it, which is what makes "reused requests never reach
   /// executing" a checkable lifecycle invariant.
   std::function<void()> mark_executing;
+  /// The request's cooperative cancellation token (never null for work
+  /// dispatched by the scheduler). The closure threads it into the plan
+  /// executor and coprocessor options; it may also poll Check() itself at
+  /// data-independent points.
+  const CancelToken* cancel = nullptr;
 };
 
 /// The production front half of the service: a worker pool draining
@@ -109,7 +140,11 @@ struct WorkContext {
 /// and, since PR 7, the lifecycle *record*: every ticket's transitions are
 /// timestamped into a RequestTrace and published to the metrics registry
 /// (queue-wait/execution/latency histograms, queue-depth and in-flight
-/// gauges, outcome counters — all per tenant). Thread-safe throughout.
+/// gauges, outcome counters — all per tenant). Since PR 9 it also owns the
+/// request-resilience layer: per-request CancelTokens (deadlines +
+/// Cancel()), the per-tenant circuit breaker, and graceful drain
+/// (docs/ROBUSTNESS.md#deadlines-cancellation-and-circuit-breakers).
+/// Thread-safe throughout.
 class ContractScheduler {
  public:
   /// A request's execution body. Runs on a worker thread.
@@ -124,12 +159,32 @@ class ContractScheduler {
   ContractScheduler(const ContractScheduler&) = delete;
   ContractScheduler& operator=(const ContractScheduler&) = delete;
 
-  /// Admits a request for `tenant` (quota permitting) and returns its
-  /// ticket. kQuotaExceeded when the tenant's queue is at max_queued;
-  /// kUnavailable when the scheduler is shutting down.
+  /// Admits a request for `tenant` (quota and breaker permitting) and
+  /// returns its ticket. kQuotaExceeded when the tenant's queue is at
+  /// max_queued; kCircuitOpen when the tenant's breaker is open;
+  /// kUnavailable when the scheduler is draining or shutting down.
+  /// `deadline_ms` (0 = none) arms the request's CancelToken with an
+  /// absolute deadline measured from now — queue wait counts against it.
   Result<Ticket> Submit(const std::string& tenant,
                         const std::string& contract_id, RequestLabels labels,
-                        Work work);
+                        Work work, std::uint64_t deadline_ms = 0);
+
+  /// Cooperatively cancels a request. Queued: removed immediately, its
+  /// ticket resolves to kCancelled without ever running. Running: the
+  /// token fires and the work stops at its next data-independent
+  /// checkpoint (operator boundary / transfer-retry boundary) — resolution
+  /// is asynchronous; Wait() observes it. kNotFound for unknown tickets,
+  /// kFailedPrecondition when the request already finished.
+  Status Cancel(Ticket ticket);
+
+  /// Graceful drain: stops admission (Submit returns kUnavailable), lets
+  /// queued + running work finish for up to `drain_deadline`, then cancels
+  /// whatever is left (queued requests resolve kCancelled immediately;
+  /// running ones at their next checkpoint), joins the pool. Returns OK
+  /// when everything finished inside the budget, kDeadlineExceeded when
+  /// stragglers had to be cancelled. Idempotent; the destructor after a
+  /// Shutdown is a no-op.
+  Status Shutdown(std::chrono::milliseconds drain_deadline);
 
   /// Blocks until the ticket's request completes and returns its response
   /// (or the request's error status). Each ticket's response can be
@@ -169,9 +224,23 @@ class ContractScheduler {
     Work work;
     TicketStatus phase = TicketStatus::kQueued;
     bool consumed = false;  ///< Response already taken by Wait.
+    bool breaker_probe = false;  ///< The half-open probe of its tenant.
     Result<Response> result = Status::Internal("request not finished");
     std::optional<ExecutionFailure> failure;
     RequestTrace trace;
+    /// Owned here, handed to the work closure by const pointer; shared_ptr
+    /// because Cancel() may fire it while the worker reads it lock-free.
+    std::shared_ptr<CancelToken> cancel = std::make_shared<CancelToken>();
+  };
+
+  /// Per-tenant circuit-breaker state (see SchedulerOptions::BreakerOptions
+  /// for the state machine). Guarded by mutex_.
+  struct BreakerState {
+    enum class State { kClosed, kOpen, kHalfOpen };
+    State state = State::kClosed;
+    std::uint32_t streak = 0;        ///< Consecutive failures while closed.
+    std::uint64_t open_until_ns = 0; ///< NowNs() when cooldown elapses.
+    bool probe_in_flight = false;    ///< Half-open probe outstanding.
   };
 
   void WorkerLoop();
@@ -180,10 +249,32 @@ class ContractScheduler {
   std::shared_ptr<RequestState> NextRunnableLocked();
   /// ns since scheduler construction (steady clock).
   std::uint64_t NowNs() const;
-  /// Terminal bookkeeping shared by worker completion and shutdown
-  /// cancellation: stamps finished_ns + outcome, updates SchedulerStats and
-  /// the registry at the same transition. Caller holds mutex_.
+  /// Terminal bookkeeping shared by worker completion, queue-expiry,
+  /// cancellation and shutdown: stamps finished_ns + outcome, updates
+  /// SchedulerStats and the registry at the same transition. Caller holds
+  /// mutex_.
   void FinishLocked(RequestState& req, std::string_view outcome);
+  /// Finishes a request that never ran as `outcome` with `status` (+ a
+  /// phase="queue" post-mortem): queue-count bookkeeping plus FinishLocked.
+  /// Caller holds mutex_, has already removed the request from its tenant
+  /// deque, and guarantees it never reached a worker.
+  void FinishQueuedLocked(RequestState& req, Status status,
+                          std::string_view outcome);
+  /// Cancels everything still queued (tickets resolve to `status`).
+  /// Caller holds mutex_.
+  void CancelAllQueuedLocked(const Status& status);
+  /// Breaker admission gate for `tenant`: OK, or the kCircuitOpen refusal.
+  /// Drives open → half-open on cooldown expiry. Caller holds mutex_;
+  /// `probe_out` is set when the admitted request is the half-open probe.
+  Status BreakerAdmitLocked(const std::string& tenant, bool* probe_out);
+  /// Feeds a terminal outcome back into the tenant's breaker. Caller holds
+  /// mutex_.
+  void BreakerOnOutcomeLocked(RequestState& req, std::string_view outcome);
+  /// Publishes the tenant's breaker state gauge (0/1/2) and keeps
+  /// stats_.breakers_open consistent. Caller holds mutex_.
+  void PublishBreakerStateLocked(const std::string& tenant,
+                                 BreakerState::State from,
+                                 BreakerState::State to);
 
   SchedulerOptions options_;
   metrics::Registry& registry_;
@@ -193,10 +284,12 @@ class ContractScheduler {
   std::condition_variable work_cv_;  ///< New work / freed tenant slot.
   std::condition_variable done_cv_;  ///< A request completed.
   bool stopping_ = false;
+  bool draining_ = false;  ///< Shutdown() in progress: admission closed.
   std::uint64_t next_id_ = 1;
   /// tenant -> FIFO of queued requests.
   std::map<std::string, std::deque<std::shared_ptr<RequestState>>> queues_;
   std::map<std::string, std::size_t> running_per_tenant_;
+  std::map<std::string, BreakerState> breakers_;
   std::string rr_cursor_;  ///< Last tenant served (fair-scan start point).
   std::unordered_map<std::uint64_t, std::shared_ptr<RequestState>> tickets_;
   SchedulerStats stats_;

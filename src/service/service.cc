@@ -38,11 +38,13 @@ Result<core::Ch4Outcome> RunCh4Plan(sim::Coprocessor& copro,
                                     core::Algorithm algorithm,
                                     const core::TwoWayJoin& join,
                                     const plan::JoinPlanOptions& popts,
-                                    metrics::Registry* registry = nullptr) {
+                                    metrics::Registry* registry = nullptr,
+                                    const CancelToken* cancel = nullptr) {
   PPJ_ASSIGN_OR_RETURN(plan::PhysicalPlan physical,
                        plan::BuildJoinPlan(algorithm, &join, nullptr, popts));
   plan::PlanContext ctx(&join, nullptr);
   ctx.metrics_registry = registry;
+  ctx.cancel = cancel;
   PPJ_RETURN_NOT_OK(plan::PlanExecutor().Run(copro, physical, ctx));
   return plan::TakeCh4Outcome(ctx);
 }
@@ -51,11 +53,13 @@ Result<core::Ch5Outcome> RunCh5Plan(sim::Coprocessor& copro,
                                     core::Algorithm algorithm,
                                     const core::MultiwayJoin& join,
                                     const plan::JoinPlanOptions& popts,
-                                    metrics::Registry* registry = nullptr) {
+                                    metrics::Registry* registry = nullptr,
+                                    const CancelToken* cancel = nullptr) {
   PPJ_ASSIGN_OR_RETURN(plan::PhysicalPlan physical,
                        plan::BuildJoinPlan(algorithm, nullptr, &join, popts));
   plan::PlanContext ctx(nullptr, &join);
   ctx.metrics_registry = registry;
+  ctx.cancel = cancel;
   PPJ_RETURN_NOT_OK(plan::PlanExecutor().Run(copro, physical, ctx));
   return plan::TakeCh5Outcome(ctx);
 }
@@ -290,11 +294,6 @@ bool SovereignJoinService::ContractDead(const std::string& contract_id) const {
   return dead_contracts_.contains(contract_id);
 }
 
-std::optional<ExecutionFailure> SovereignJoinService::last_failure() const {
-  std::unique_lock<std::mutex> lock(mutex_);
-  return last_failure_;
-}
-
 Status SovereignJoinService::RecordFailure(const std::string& contract_id,
                                            std::string phase,
                                            const sim::Coprocessor* copro,
@@ -311,15 +310,12 @@ Status SovereignJoinService::RecordFailure(const std::string& contract_id,
   failure.device_disabled = (copro != nullptr && copro->disabled()) ||
                             status.code() == StatusCode::kTampered;
   if (failure_out != nullptr) *failure_out = failure;
-  {
+  if (failure.device_disabled) {
     std::unique_lock<std::mutex> lock(mutex_);
-    if (failure.device_disabled) {
-      dead_contracts_.insert(contract_id);
-      // A dead contract serves nothing — including its cached
-      // intermediates.
-      reuse_cache_->Erase(contract_id);
-    }
-    last_failure_ = std::move(failure);
+    dead_contracts_.insert(contract_id);
+    // A dead contract serves nothing — including its cached
+    // intermediates.
+    reuse_cache_->Erase(contract_id);
   }
   return status;
 }
@@ -388,9 +384,6 @@ Result<Ticket> SovereignJoinService::Submit(const std::string& contract_id,
                                             const JoinRequest& request,
                                             const ExecuteOptions& options) {
   std::unique_lock<std::mutex> lock(mutex_);
-  // Legacy single-slot semantics: each submission opens a fresh slot; a
-  // failing completion fills it. Only meaningful for serial callers.
-  last_failure_.reset();
   PPJ_RETURN_NOT_OK(CheckContractAliveLocked(contract_id));
 
   // Validation runs exactly once per request — here, at admission. The
@@ -517,7 +510,8 @@ Result<Ticket> SovereignJoinService::Submit(const std::string& contract_id,
       prep->tenant, contract_id, std::move(labels),
       [this, prep](WorkContext& ctx) -> Result<Response> {
         return RunRequest(*prep, ctx);
-      });
+      },
+      options.deadline_ms);
   if (!ticket.ok()) {
     Status status = ticket.status();
     lock.unlock();
@@ -543,6 +537,35 @@ TicketStatus SovereignJoinService::Poll(Ticket ticket) const {
   std::unique_lock<std::mutex> lock(mutex_);
   if (scheduler_ == nullptr) return TicketStatus::kUnknown;
   return scheduler_->Poll(ticket);
+}
+
+Status SovereignJoinService::Cancel(Ticket ticket) {
+  ContractScheduler* scheduler;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    scheduler = scheduler_.get();
+  }
+  if (scheduler == nullptr) {
+    return Status::NotFound("unknown ticket " + std::to_string(ticket.id));
+  }
+  return scheduler->Cancel(ticket);
+}
+
+Status SovereignJoinService::Shutdown(std::chrono::milliseconds drain_deadline) {
+  ContractScheduler* scheduler;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    scheduler = scheduler_.get();
+  }
+  // Never submitted: nothing to drain, but admission must still close.
+  if (scheduler == nullptr) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    EnsureSchedulerLocked();
+    scheduler = scheduler_.get();
+  }
+  // Drain outside mutex_: Shutdown blocks on in-flight work, which may
+  // itself take the service lock (reuse cache, RecordFailure).
+  return scheduler->Shutdown(drain_deadline);
 }
 
 std::optional<ExecutionFailure> SovereignJoinService::post_mortem(
@@ -661,7 +684,7 @@ Result<Response> SovereignJoinService::RunRequest(
   if (request.kind() == JoinRequest::Kind::kPairJoin ||
       request.kind() == JoinRequest::Kind::kMultiwayJoin) {
     PPJ_ASSIGN_OR_RETURN(JoinDelivery delivery,
-                         RunJoin(prep, failure_out));
+                         RunJoin(prep, failure_out, ctx.cancel));
     Response response;
     response.kind = request.kind();
     response.delivery = std::move(delivery);
@@ -675,6 +698,7 @@ Result<Response> SovereignJoinService::RunRequest(
   copro_options.memory_tuples = prep.options.memory_tuples;
   copro_options.seed = prep.options.seed;
   copro_options.batch_slots = prep.options.batch_slots;
+  copro_options.cancel = ctx.cancel;
   sim::Coprocessor copro(&host_, copro_options);
   core::MultiwayJoin join{tables, request.multiway(), prep.out_key};
   // These results carry no telemetry field; surface the per-phase report at
@@ -732,7 +756,8 @@ Result<Response> SovereignJoinService::RunRequest(
 }
 
 Result<JoinDelivery> SovereignJoinService::RunJoin(
-    const PreparedRequest& prep, ExecutionFailure* failure_out) {
+    const PreparedRequest& prep, ExecutionFailure* failure_out,
+    const CancelToken* cancel) {
   const bool pair = prep.request.kind() == JoinRequest::Kind::kPairJoin;
   const char* root_span = pair ? "execute-join" : "execute-multiway-join";
   std::vector<const relation::EncryptedRelation*> tables = prep.Tables();
@@ -742,6 +767,9 @@ Result<JoinDelivery> SovereignJoinService::RunJoin(
   copro_options.memory_tuples = prep.options.memory_tuples;
   copro_options.seed = prep.options.seed;
   copro_options.batch_slots = prep.options.batch_slots;
+  // Worker devices (serial or parallel) all inherit the request's token:
+  // a stalled host transfer re-checks it before every bounded retry.
+  copro_options.cancel = cancel;
 
   // The pair predicate doubles as a 2-way multiway predicate wherever the
   // Chapter 5 machinery needs one.
@@ -838,7 +866,7 @@ Result<JoinDelivery> SovereignJoinService::RunJoin(
                           prep.out_key};
     Result<core::Ch4Outcome> run =
         RunCh4Plan(copro, prep.algorithm, join, popts,
-                   &scheduler_options_.ResolvedRegistry());
+                   &scheduler_options_.ResolvedRegistry(), cancel);
     if (!run.ok()) {
       tspan.reset();
       tctx.reset();
@@ -851,7 +879,7 @@ Result<JoinDelivery> SovereignJoinService::RunJoin(
     core::MultiwayJoin join{tables, multiway, prep.out_key};
     Result<core::Ch5Outcome> run =
         RunCh5Plan(copro, prep.algorithm, join, popts,
-                   &scheduler_options_.ResolvedRegistry());
+                   &scheduler_options_.ResolvedRegistry(), cancel);
     if (!run.ok()) {
       tspan.reset();
       tctx.reset();

@@ -40,11 +40,10 @@ namespace ppj::service {
 /// Execute convenience that fuses the two. Each execution runs on a fresh
 /// coprocessor instance so traces of independent runs are comparable.
 ///
-/// Thread safety: every public method is safe to call concurrently. The
-/// only exception is last_failure(), which retains the pre-scheduler
-/// one-global-slot semantics and is only meaningful when requests do not
-/// interleave; concurrent callers read per-request post-mortems via
-/// post_mortem(ticket) instead.
+/// Thread safety: every public method is safe to call concurrently.
+/// Failure diagnostics are per-request: read them via post_mortem(ticket)
+/// (the one-global-slot last_failure() accessor is gone — it was racy by
+/// construction under concurrent submissions).
 class SovereignJoinService {
  public:
   /// The software stack this service's coprocessor attests to running.
@@ -131,6 +130,23 @@ class SovereignJoinService {
   /// Non-blocking lifecycle query: queued / running / done / unknown.
   TicketStatus Poll(Ticket ticket) const;
 
+  /// Cooperatively cancels a submitted request
+  /// (docs/ROBUSTNESS.md#deadlines-cancellation-and-circuit-breakers).
+  /// Queued requests resolve to kCancelled immediately; running ones stop
+  /// at their next data-independent checkpoint and resolve asynchronously
+  /// (observe via Wait/Poll). kNotFound for unknown tickets,
+  /// kFailedPrecondition once the request already finished. No partial
+  /// plaintext ever escapes a cancelled run — a delivery exists only on
+  /// full success.
+  Status Cancel(Ticket ticket);
+
+  /// Graceful drain: stops admission, lets in-flight work finish for up to
+  /// `drain_deadline`, then cancels the stragglers and joins the worker
+  /// pool. OK when everything drained in time, kDeadlineExceeded when
+  /// cancellation was needed. Idempotent; the destructor afterwards is a
+  /// no-op. The service refuses new Submits forever after.
+  Status Shutdown(std::chrono::milliseconds drain_deadline);
+
   /// The structured post-mortem of this ticket's failed execution, or
   /// nullopt when it succeeded or has not finished. Isolated per request:
   /// concurrent tenants each see exactly their own failure. Valid until
@@ -171,8 +187,8 @@ class SovereignJoinService {
 
   // --- Deprecated synchronous wrappers ------------------------------------
   // Thin shims over Submit/Wait kept for source compatibility; new code
-  // should build a JoinRequest and call Submit or Execute. Each shim blocks
-  // for its one request, so last_failure() keeps working for them.
+  // should build a JoinRequest and call Submit or Execute. For failure
+  // diagnostics, Submit yourself and read post_mortem(ticket).
 
   /// DEPRECATED: use Execute(id, JoinRequest::PairJoin(pred), options).
   /// Runs a two-way join with a pair predicate (Chapters 4 and 5 — the
@@ -209,19 +225,6 @@ class SovereignJoinService {
 
   sim::HostStore& host() { return host_; }
 
-  /// DEPRECATED: use post_mortem(ticket) for the per-request record and
-  /// the registry's failure counters (ppj_requests_total{outcome="failed"},
-  /// via MetricsSnapshot()) for rates. Post-mortem of the most recent
-  /// failed request *in submission order*, or nullopt when the most
-  /// recently submitted request has (so far) not failed. Kept for the
-  /// synchronous shims and single-threaded callers.
-  ///
-  /// Lifetime and concurrency: this is one global slot — Submit resets it,
-  /// a failing completion overwrites it. Under concurrent submissions the
-  /// slot is a race by construction; use post_mortem(ticket) for the
-  /// per-request record. The returned copy is the caller's own.
-  std::optional<ExecutionFailure> last_failure() const;
-
   /// True once the tamper response fired during an execution under this
   /// contract: the contract is permanently dead and every further
   /// SubmitRelation / Submit under it is refused with kTampered.
@@ -253,12 +256,11 @@ class SovereignJoinService {
   /// mutex_ held.
   Status CheckContractAliveLocked(const std::string& contract_id) const;
 
-  /// Captures an ExecutionFailure (into `failure_out` when non-null and
-  /// into the legacy last_failure() slot), marks the contract dead when the
-  /// tamper response fired (`copro` disabled, or a kTampered status from a
-  /// parallel run whose workers own their devices), and returns `status`
-  /// unchanged for the caller to propagate. Takes mutex_; must be called
-  /// without it held.
+  /// Captures an ExecutionFailure into `failure_out` (when non-null),
+  /// marks the contract dead when the tamper response fired (`copro`
+  /// disabled, or a kTampered status from a parallel run whose workers own
+  /// their devices), and returns `status` unchanged for the caller to
+  /// propagate. Takes mutex_; must be called without it held.
   Status RecordFailure(const std::string& contract_id, std::string phase,
                        const sim::Coprocessor* copro, Status status,
                        ExecutionFailure* failure_out);
@@ -269,7 +271,8 @@ class SovereignJoinService {
   /// reuse-cache hit) and fills *ctx.failure on error.
   Result<Response> RunRequest(const PreparedRequest& prep, WorkContext& ctx);
   Result<JoinDelivery> RunJoin(const PreparedRequest& prep,
-                               ExecutionFailure* failure_out);
+                               ExecutionFailure* failure_out,
+                               const CancelToken* cancel);
 
   sim::HostStore host_;
 
@@ -285,7 +288,6 @@ class SovereignJoinService {
   std::uint64_t next_contract_ = 1;
   std::uint64_t next_version_ = 1;
   std::vector<sim::AttestationLink> attestation_chain_;
-  std::optional<ExecutionFailure> last_failure_;
   std::set<std::string> dead_contracts_;
   std::unique_ptr<ReuseCache> reuse_cache_;
 

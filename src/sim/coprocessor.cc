@@ -45,6 +45,12 @@ Status Coprocessor::RetryHostTransfer(std::string_view what, Fn&& attempt) {
   PPJ_SPAN("host-retry");
   std::uint32_t attempts = 1;
   while (attempts < options_.retry.max_attempts) {
+    // Cooperative checkpoint before each retry: a stalled host burns its
+    // attempts against the deadline instead of pinning the worker.
+    if (options_.cancel != nullptr) {
+      Status cancel_status = options_.cancel->Check();
+      if (!cancel_status.ok()) return cancel_status;
+    }
     ++metrics_.host_retries;
     metrics_.backoff_cycles += options_.retry.backoff_base_cycles
                                << (attempts - 1);

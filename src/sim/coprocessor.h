@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -65,6 +66,14 @@ struct CoprocessorOptions {
     std::uint64_t backoff_base_cycles = 64;
   };
   RetryPolicy retry{};
+
+  /// Cooperative cancellation token for the request this device serves, or
+  /// nullptr. Checked only inside the transfer-*retry* loop — a path that a
+  /// fault-free run never enters — so traces, fingerprints and metrics of
+  /// uncancelled runs stay bit-identical to a build without cancellation.
+  /// It bounds the time a wedged (stalled) host can pin a worker: each
+  /// failed attempt re-checks the deadline before retrying.
+  const CancelToken* cancel = nullptr;
 };
 
 class SecureBuffer;

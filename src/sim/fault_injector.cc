@@ -1,9 +1,11 @@
 #include "sim/fault_injector.h"
 
 #include <cctype>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -66,6 +68,8 @@ std::string_view FaultKindToString(FaultKind kind) {
       return "region-unavailable";
     case FaultKind::kLatencySpike:
       return "latency-spike";
+    case FaultKind::kStall:
+      return "stall";
   }
   return "unknown";
 }
@@ -73,7 +77,8 @@ std::string_view FaultKindToString(FaultKind kind) {
 bool FaultPlan::Quiet() const {
   return transient_read_rate == 0.0 && transient_write_rate == 0.0 &&
          torn_write_rate == 0.0 && bit_flip_rate == 0.0 &&
-         region_unavailable_rate == 0.0 && latency_rate == 0.0;
+         region_unavailable_rate == 0.0 && latency_rate == 0.0 &&
+         !stall_region.has_value();
 }
 
 Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
@@ -126,6 +131,11 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
       if (!ParseU64(value, &plan.latency_cycles)) return bad();
     } else if (key == "cooldown") {
       if (!ParseU64(value, &plan.cooldown_ops)) return bad();
+    } else if (key == "stall-region") {
+      if (!ParseU64(value, &u) || u > 0xffffffffULL) return bad();
+      plan.stall_region = static_cast<std::uint32_t>(u);
+    } else if (key == "stall-ms") {
+      if (!ParseU64(value, &plan.stall_ms) || plan.stall_ms == 0) return bad();
     } else {
       return Status::InvalidArgument("fault plan: unknown key '" + key + "'");
     }
@@ -153,6 +163,9 @@ std::string FaultPlan::ToString() const {
     os << ",unavail=" << region_unavailable_rate;
   }
   if (latency_rate > 0.0) os << ",latency=" << latency_rate;
+  if (stall_region.has_value()) {
+    os << ",stall-region=" << *stall_region << ",stall-ms=" << stall_ms;
+  }
   os << ",attempts=" << transient_attempts
      << ",window=" << region_unavailable_attempts
      << ",cooldown=" << cooldown_ops;
@@ -166,7 +179,8 @@ std::string FaultStats::ToString() const {
      << ", transient_write_failures=" << transient_write_failures
      << ", torn_writes=" << torn_writes << ", bit_flips=" << bit_flips
      << ", region_unavailable_failures=" << region_unavailable_failures
-     << ", latency_spikes=" << latency_spikes << "}";
+     << ", latency_spikes=" << latency_spikes
+     << ", stalled_ops=" << stalled_ops << "}";
   return os.str();
 }
 
@@ -194,12 +208,27 @@ double FaultInjectingBackend::Draw(std::uint64_t op,
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
+Status FaultInjectingBackend::MaybeStall(std::uint32_t region) const {
+  // The wedged-backend fault: every matching-region operation burns real
+  // wall-clock time and then fails — permanently. No cooldown, no recovery
+  // window; only the request's deadline bounds the damage. Checked before
+  // every other fault kind (a wedged shard answers nothing).
+  if (!plan_.stall_region.has_value() || region != *plan_.stall_region) {
+    return Status::OK();
+  }
+  stats_.stalled_ops += 1;
+  std::this_thread::sleep_for(std::chrono::milliseconds(plan_.stall_ms));
+  return Status::Unavailable("injected fault: region " +
+                             std::to_string(region) + " stalled");
+}
+
 Status FaultInjectingBackend::NextReadOp(std::uint32_t region,
                                          bool* flip_bit) const {
   stats_.ops += 1;
   *flip_bit = false;
   if (!armed_ || plan_.Quiet()) return Status::OK();
   const std::uint64_t op = ++op_counter_;
+  PPJ_RETURN_NOT_OK(MaybeStall(region));
 
   // An open region-unavailable window rejects matching-region I/O first:
   // windows model a storage shard going dark, which trumps everything else.
@@ -259,6 +288,7 @@ Status FaultInjectingBackend::NextWriteOp(std::uint32_t region,
   *torn = false;
   if (!armed_ || plan_.Quiet()) return Status::OK();
   const std::uint64_t op = ++op_counter_;
+  PPJ_RETURN_NOT_OK(MaybeStall(region));
 
   if (unavailable_active_ && region == unavailable_region_) {
     stats_.region_unavailable_failures += 1;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -26,6 +27,7 @@ enum class FaultKind {
   kBitFlip,             ///< Read data is silently corrupted (one bit).
   kRegionUnavailable,   ///< A whole region refuses I/O for a window.
   kLatencySpike,        ///< The operation succeeds but is charged as slow.
+  kStall,               ///< A region wedges: every op sleeps, then fails.
 };
 
 std::string_view FaultKindToString(FaultKind kind);
@@ -66,13 +68,25 @@ struct FaultPlan {
   /// sequences (the recovery guarantee above).
   std::uint64_t cooldown_ops = 8;
 
-  /// True when no fault can ever fire (all rates zero).
+  /// The wedged-backend fault (kStall): when set, every operation touching
+  /// this region sleeps `stall_ms` of real wall-clock time and then fails
+  /// with kUnavailable — *forever*. Deliberately outside the recovery
+  /// guarantee: a stalled region exceeds any bounded retry budget by
+  /// construction, so only a request deadline (ExecuteOptions::deadline_ms)
+  /// bounds the damage. Explicit-only spelling (no rate): chaos tests need
+  /// the stall to target a deterministic region.
+  std::optional<std::uint32_t> stall_region;
+  /// Wall-clock sleep per stalled operation, in milliseconds.
+  std::uint64_t stall_ms = 50;
+
+  /// True when no fault can ever fire (all rates zero, no stall).
   bool Quiet() const;
 
   /// Parses a `ppjctl --fault-plan` spec: comma-separated key=value pairs.
   /// Keys: seed, transient (sets read+write), transient-read,
   /// transient-write, torn, bitflip, unavail, latency (rates as decimals),
-  /// attempts, window, cooldown (counts). Example:
+  /// attempts, window, cooldown (counts), stall-region, stall-ms (the
+  /// wedged-backend fault). Example:
   ///   "seed=7,transient=0.05,torn=0.02,unavail=0.01,attempts=2"
   static Result<FaultPlan> Parse(const std::string& spec);
 
@@ -90,11 +104,12 @@ struct FaultStats {
   std::uint64_t bit_flips = 0;
   std::uint64_t region_unavailable_failures = 0;
   std::uint64_t latency_spikes = 0;
+  std::uint64_t stalled_ops = 0;  ///< Ops that slept + failed (kStall).
 
   /// Total operations that returned an injected kUnavailable.
   std::uint64_t injected_failures() const {
     return transient_read_failures + transient_write_failures + torn_writes +
-           region_unavailable_failures;
+           region_unavailable_failures + stalled_ops;
   }
   std::string ToString() const;
 };
@@ -147,6 +162,8 @@ class FaultInjectingBackend final : public StorageBackend {
  private:
   /// Uniform [0, 1) variate for (seed, op, salt) — the deterministic coin.
   double Draw(std::uint64_t op, std::uint64_t salt) const;
+  /// The kStall fault: sleeps + fails every op on the stalled region.
+  Status MaybeStall(std::uint32_t region) const;
   /// Enters a new schedule operation; returns an injected failure for the
   /// read path (or OK), setting *flip_bit when the data must be corrupted.
   Status NextReadOp(std::uint32_t region, bool* flip_bit) const;

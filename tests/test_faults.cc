@@ -9,13 +9,17 @@
 //     wrong result;
 //   - an exhausted retry budget surfaces kUnavailable — a fault, not an
 //     integrity verdict — and leaves the device alive;
-//   - the service degrades gracefully: structured failure via
-//     last_failure(), no partial plaintext, contract dead after tampering.
+//   - the service degrades gracefully: structured per-request failure via
+//     post_mortem(ticket), no partial plaintext, contract dead after
+//     tampering;
+//   - a wedged backend (stall fault) is bounded by the request deadline:
+//     the run resolves to kDeadlineExceeded while sibling tenants complete.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -70,6 +74,19 @@ TEST(FaultPlanTest, SplitReadWriteRates) {
   EXPECT_DOUBLE_EQ(plan->transient_write_rate, 0.2);
 }
 
+TEST(FaultPlanTest, ParsesStallSpelling) {
+  auto plan = FaultPlan::Parse("seed=9,stall-region=3,stall-ms=75");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_TRUE(plan->stall_region.has_value());
+  EXPECT_EQ(*plan->stall_region, 3u);
+  EXPECT_EQ(plan->stall_ms, 75u);
+  // A stall plan is not quiet even with every rate at zero.
+  EXPECT_FALSE(plan->Quiet());
+  auto again = FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->ToString(), plan->ToString());
+}
+
 TEST(FaultPlanTest, RejectsMalformedSpecs) {
   EXPECT_EQ(FaultPlan::Parse("bogus=1").status().code(),
             StatusCode::kInvalidArgument);
@@ -82,6 +99,8 @@ TEST(FaultPlanTest, RejectsMalformedSpecs) {
   EXPECT_EQ(FaultPlan::Parse("attempts=0").status().code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(FaultPlan::Parse("seed=abc").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FaultPlan::Parse("stall-ms=0").status().code(),
             StatusCode::kInvalidArgument);
 }
 
@@ -156,6 +175,31 @@ TEST(FaultInjectorTest, TransientSequenceRespectsAttemptsAndCooldown) {
     EXPECT_TRUE(backend.ReadSlot(0, 4, 0).ok()) << "op " << i;
   }
   EXPECT_EQ(backend.stats().transient_read_failures, 2u);
+}
+
+TEST(FaultInjectorTest, StallWedgesExactlyTheTargetRegion) {
+  FaultInjectingBackend backend(sim::MakeInMemoryBackend());
+  ASSERT_TRUE(backend.CreateRegion(0, 4, 1).ok());
+  ASSERT_TRUE(backend.CreateRegion(1, 4, 1).ok());
+  const std::vector<std::uint8_t> bytes{1, 2, 3, 4};
+  ASSERT_TRUE(backend.WriteSlot(0, 4, 0, bytes).ok());
+  ASSERT_TRUE(backend.WriteSlot(1, 4, 0, bytes).ok());
+  FaultPlan plan;
+  plan.stall_region = 0;
+  plan.stall_ms = 1;  // Keep the unit test fast; chaos tests go longer.
+  backend.Arm(plan);
+  // The stalled region fails forever — no cooldown, no recovery.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(backend.ReadSlot(0, 4, 0).status().code(),
+              StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(backend.WriteSlot(0, 4, 0, bytes).code(),
+            StatusCode::kUnavailable);
+  // The sibling region is untouched.
+  EXPECT_TRUE(backend.ReadSlot(1, 4, 0).ok());
+  EXPECT_TRUE(backend.WriteSlot(1, 4, 0, bytes).ok());
+  EXPECT_EQ(backend.stats().stalled_ops, 9u);
+  EXPECT_GT(backend.stats().injected_failures(), 0u);
 }
 
 TEST(FaultInjectorTest, BitFlipCorruptsSilently) {
@@ -403,8 +447,11 @@ TEST(ChaosJoinTest, MmapBackendRecoversUnderTransientFaults) {
   ASSERT_TRUE(baseline.status.ok()) << baseline.status;
 
   for (std::uint64_t fault_seed = 1; fault_seed <= 3; ++fault_seed) {
-    auto world = MakeChaosWorld(
-        5, mk_mmap(("s" + std::to_string(fault_seed)).c_str()));
+    // (Built with += rather than operator+: GCC 12's -Wrestrict
+    // false-positives on the char* + string&& overload here.)
+    std::string sub = "s";
+    sub += std::to_string(fault_seed);
+    auto world = MakeChaosWorld(5, mk_mmap(sub.c_str()));
     world->faults->Arm(RecoverableTransientPlan(fault_seed));
     const ChaosRun chaotic = RunJoin(*world);
     ASSERT_TRUE(chaotic.status.ok())
@@ -522,30 +569,39 @@ class ChaosServiceTest : public ::testing::Test {
 TEST_F(ChaosServiceTest, TransientFaultsRecoverEndToEnd) {
   FaultPlan plan = RecoverableTransientPlan(11);
   faults_->Arm(plan);
-  auto delivery =
-      service_->ExecuteJoin(contract_, *workload_.predicate, Options());
-  ASSERT_TRUE(delivery.ok()) << delivery.status();
-  EXPECT_FALSE(service_->last_failure().has_value());
+  const service::JoinRequest request =
+      service::JoinRequest::PairJoin(*workload_.predicate);
+  auto ticket = service_->Submit(contract_, request, Options());
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  auto response = service_->Wait(*ticket);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_FALSE(service_->post_mortem(*ticket).has_value());
   EXPECT_FALSE(service_->ContractDead(contract_));
+  const service::JoinDelivery& delivery = *response->delivery;
   const relation::GroundTruth truth = relation::ComputeGroundTruth(
       *workload_.a, *workload_.b, *workload_.predicate,
-      delivery->result_schema.get());
+      delivery.result_schema.get());
   EXPECT_TRUE(
-      relation::SameTupleMultiset(delivery->tuples, truth.expected));
+      relation::SameTupleMultiset(delivery.tuples, truth.expected));
+  service_->Release(*ticket);
 }
 
 TEST_F(ChaosServiceTest, CorruptionYieldsStructuredFailureAndDeadContract) {
   FaultPlan plan;
   plan.bit_flip_rate = 1.0;
   faults_->Arm(plan);
-  auto delivery =
-      service_->ExecuteJoin(contract_, *workload_.predicate, Options());
+  const service::JoinRequest request =
+      service::JoinRequest::PairJoin(*workload_.predicate);
+  auto ticket = service_->Submit(contract_, request, Options());
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  auto delivery = service_->Wait(*ticket);
   ASSERT_FALSE(delivery.ok());
   EXPECT_EQ(delivery.status().code(), StatusCode::kTampered);
 
   // Structured post-mortem: phase, status, partial metrics, verdict.
-  ASSERT_TRUE(service_->last_failure().has_value());
-  const service::ExecutionFailure failure = *service_->last_failure();
+  ASSERT_TRUE(service_->post_mortem(*ticket).has_value());
+  const service::ExecutionFailure failure = *service_->post_mortem(*ticket);
+  service_->Release(*ticket);
   EXPECT_EQ(failure.contract_id, contract_);
   EXPECT_TRUE(failure.phase == "algorithm" || failure.phase == "decode")
       << failure.phase;
@@ -564,8 +620,12 @@ TEST_F(ChaosServiceTest, CorruptionYieldsStructuredFailureAndDeadContract) {
       service_->SubmitRelation(contract_, "airline", *workload_.a).code(),
       StatusCode::kTampered);
 
-  // Other contracts on the same service are unaffected.
-  auto fresh = service_->CreateContract({"airline", "agency"}, "analyst",
+  // Other tenants on the same service are unaffected. (The tampered
+  // tenant itself is additionally quarantined by its circuit breaker — see
+  // TamperTripsTheTenantBreakerInstantly — so the fresh contract here
+  // belongs to a different recipient.)
+  ASSERT_TRUE(service_->RegisterParty("overseer", 557).ok());
+  auto fresh = service_->CreateContract({"airline", "agency"}, "overseer",
                                         "any");
   ASSERT_TRUE(fresh.ok());
   EXPECT_FALSE(service_->ContractDead(*fresh));
@@ -584,12 +644,16 @@ TEST_F(ChaosServiceTest, ExhaustedRetryBudgetReportsUnavailable) {
   plan.transient_attempts = 64;  // Hopeless outage, outlasts every budget.
   plan.cooldown_ops = 0;
   faults_->Arm(plan);
-  auto delivery =
-      service_->ExecuteJoin(contract_, *workload_.predicate, Options());
+  const service::JoinRequest request =
+      service::JoinRequest::PairJoin(*workload_.predicate);
+  auto ticket = service_->Submit(contract_, request, Options());
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  auto delivery = service_->Wait(*ticket);
   ASSERT_FALSE(delivery.ok());
   EXPECT_EQ(delivery.status().code(), StatusCode::kUnavailable);
-  ASSERT_TRUE(service_->last_failure().has_value());
-  const service::ExecutionFailure failure = *service_->last_failure();
+  ASSERT_TRUE(service_->post_mortem(*ticket).has_value());
+  const service::ExecutionFailure failure = *service_->post_mortem(*ticket);
+  service_->Release(*ticket);
   EXPECT_FALSE(failure.device_disabled);
   // The retry history shows the budget was spent before giving up.
   EXPECT_GT(failure.partial_metrics.host_retries, 0u);
@@ -597,10 +661,12 @@ TEST_F(ChaosServiceTest, ExhaustedRetryBudgetReportsUnavailable) {
   // An outage is not tampering: the contract survives and recovers.
   EXPECT_FALSE(service_->ContractDead(contract_));
   faults_->Disarm();
-  auto retry =
-      service_->ExecuteJoin(contract_, *workload_.predicate, Options());
+  auto retry_ticket = service_->Submit(contract_, request, Options());
+  ASSERT_TRUE(retry_ticket.ok()) << retry_ticket.status();
+  auto retry = service_->Wait(*retry_ticket);
   EXPECT_TRUE(retry.ok()) << retry.status();
-  EXPECT_FALSE(service_->last_failure().has_value());
+  EXPECT_FALSE(service_->post_mortem(*retry_ticket).has_value());
+  service_->Release(*retry_ticket);
 }
 
 // ---- Chaos under concurrency ----------------------------------------------
@@ -691,8 +757,8 @@ TEST_F(ChaosServiceTest, ConcurrentCorruptionIsolatesPerRequestPostMortems) {
   faults_->Arm(plan);
 
   // Two interleaved failing requests: each ticket must retain exactly its
-  // own post-mortem (the legacy last_failure() slot is a race here by
-  // construction — that is what post_mortem(ticket) exists for).
+  // own post-mortem (a service-global failure slot would race here by
+  // construction — that is why post_mortem(ticket) is the only accessor).
   const service::JoinRequest request =
       service::JoinRequest::PairJoin(*workload_.predicate);
   auto t1 = service_->Submit(contract_, request, Options());
@@ -735,6 +801,187 @@ TEST_F(ChaosServiceTest, ConcurrentCorruptionIsolatesPerRequestPostMortems) {
       service_->Execute(*healthy, request, Options()).ok());
   service_->Release(*t1);
   service_->Release(*t2);
+}
+
+// ---- Deadlines against a wedged backend -----------------------------------
+
+TEST_F(ChaosServiceTest, StalledBackendIsBoundedByDeadline) {
+  // Region IDs allocate monotonically per backend: the fixture's two
+  // SubmitRelations own regions 0 and 1, the sibling tenant's own 2 and 3,
+  // and every scratch region comes later — so stall-region=0 wedges exactly
+  // the fixture contract's first input relation and nothing the sibling
+  // ever touches.
+  service::SchedulerOptions sched;
+  sched.workers = 2;  // The stalled request must not block the sibling.
+  ASSERT_TRUE(service_->ConfigureScheduler(sched).ok());
+
+  ASSERT_TRUE(service_->RegisterParty("sibling", 900).ok());
+  auto sibling = service_->CreateContract({"airline", "agency"}, "sibling",
+                                          "any");
+  ASSERT_TRUE(sibling.ok());
+  relation::EquijoinSpec spec;
+  spec.size_a = 8;
+  spec.size_b = 16;
+  spec.n_max = 4;
+  spec.result_size = 7;
+  spec.seed = 91;
+  auto sibling_workload = relation::MakeEquijoinWorkload(spec);
+  ASSERT_TRUE(sibling_workload.ok());
+  ASSERT_TRUE(
+      service_->SubmitRelation(*sibling, "airline", *sibling_workload->a)
+          .ok());
+  ASSERT_TRUE(
+      service_->SubmitRelation(*sibling, "agency", *sibling_workload->b)
+          .ok());
+
+  // Wedge the fixture contract's input region. 120 ms per stalled op
+  // against a 200 ms deadline: the first retry survives (t=120 < 200), the
+  // second expires (t=240) — deterministic kDeadlineExceeded, never an
+  // exhausted retry budget (the budget would need 4 attempts).
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.stall_region = 0;
+  plan.stall_ms = 120;
+  faults_->Arm(plan);
+
+  service::ExecuteOptions stalled_options = Options();
+  stalled_options.deadline_ms = 200;
+  const service::JoinRequest stalled_request =
+      service::JoinRequest::PairJoin(*workload_.predicate);
+  const service::JoinRequest sibling_request =
+      service::JoinRequest::PairJoin(*sibling_workload->predicate);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto stalled = service_->Submit(contract_, stalled_request,
+                                  stalled_options);
+  ASSERT_TRUE(stalled.ok()) << stalled.status();
+  auto healthy = service_->Submit(*sibling, sibling_request, Options());
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+
+  // The sibling completes correctly while its neighbour is wedged.
+  auto sibling_response = service_->Wait(*healthy);
+  ASSERT_TRUE(sibling_response.ok()) << sibling_response.status();
+  const relation::GroundTruth truth = relation::ComputeGroundTruth(
+      *sibling_workload->a, *sibling_workload->b,
+      *sibling_workload->predicate,
+      sibling_response->delivery->result_schema.get());
+  EXPECT_TRUE(relation::SameTupleMultiset(
+      sibling_response->delivery->tuples, truth.expected));
+
+  // The stalled request resolves — no hung worker — to kDeadlineExceeded,
+  // well inside a bound set by checkpoint granularity, not by the stall.
+  auto outcome = service_->Wait(*stalled);
+  const auto wall = std::chrono::steady_clock::now() - wall_start;
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(wall)
+                .count(),
+            5000);
+
+  // Structured post-mortem; no partial plaintext anywhere.
+  const auto failure = service_->post_mortem(*stalled);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->contract_id, contract_);
+  EXPECT_EQ(failure->status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(failure->device_disabled);
+
+  // A deadline is an availability verdict, not an integrity one.
+  EXPECT_FALSE(service_->ContractDead(contract_));
+
+  const auto trace = service_->lifecycle(*stalled);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->outcome, "deadline_exceeded");
+  EXPECT_EQ(service_->scheduler_stats().deadline_exceeded, 1u);
+  EXPECT_GT(faults_->stats().stalled_ops, 0u);
+
+  service_->Release(*stalled);
+  service_->Release(*healthy);
+}
+
+// ---- Per-tenant circuit breakers ------------------------------------------
+
+TEST_F(ChaosServiceTest, TamperTripsTheTenantBreakerInstantly) {
+  service::SchedulerOptions sched;
+  sched.workers = 2;
+  sched.breaker.failure_threshold = 5;  // Streak far away: tamper trips at 1.
+  sched.breaker.cooldown_ms = 3'600'000;  // Effectively never half-open.
+  ASSERT_TRUE(service_->ConfigureScheduler(sched).ok());
+
+  FaultPlan plan;
+  plan.bit_flip_rate = 1.0;
+  faults_->Arm(plan);
+  const service::JoinRequest request =
+      service::JoinRequest::PairJoin(*workload_.predicate);
+  auto tampered = service_->Execute(contract_, request, Options());
+  ASSERT_FALSE(tampered.ok());
+  EXPECT_EQ(tampered.status().code(), StatusCode::kTampered);
+  faults_->Disarm();
+
+  auto stats = service_->scheduler_stats();
+  EXPECT_EQ(stats.breaker_trips, 1u);
+  EXPECT_EQ(stats.breakers_open, 1u);
+
+  // The dead contract refuses on its own; the breaker's job is the rest of
+  // the tenant's work: a *fresh* contract for the same recipient is
+  // refused at admission with kCircuitOpen while the breaker holds.
+  auto fresh = service_->CreateContract({"airline", "agency"}, "analyst",
+                                        "any");
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(
+      service_->SubmitRelation(*fresh, "airline", *workload_.a).ok());
+  ASSERT_TRUE(
+      service_->SubmitRelation(*fresh, "agency", *workload_.b).ok());
+  auto refused = service_->Submit(*fresh, request, Options());
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kCircuitOpen);
+  EXPECT_EQ(service_->scheduler_stats().breaker_rejected, 1u);
+
+  // Tenant isolation: another recipient executes untouched.
+  ASSERT_TRUE(service_->RegisterParty("bystander", 901).ok());
+  auto other = service_->CreateContract({"airline", "agency"}, "bystander",
+                                        "any");
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE(
+      service_->SubmitRelation(*other, "airline", *workload_.a).ok());
+  ASSERT_TRUE(
+      service_->SubmitRelation(*other, "agency", *workload_.b).ok());
+  EXPECT_TRUE(service_->Execute(*other, request, Options()).ok());
+}
+
+TEST_F(ChaosServiceTest, ConsecutiveFailuresTripBreakerAndProbeHeals) {
+  service::SchedulerOptions sched;
+  sched.workers = 2;
+  sched.breaker.failure_threshold = 2;
+  sched.breaker.cooldown_ms = 0;  // The next submit is the half-open probe.
+  ASSERT_TRUE(service_->ConfigureScheduler(sched).ok());
+
+  // A hopeless outage: every retry budget exhausts, outcome "failed".
+  FaultPlan plan;
+  plan.transient_read_rate = 1.0;
+  plan.transient_attempts = 64;
+  plan.cooldown_ops = 0;
+  faults_->Arm(plan);
+  const service::JoinRequest request =
+      service::JoinRequest::PairJoin(*workload_.predicate);
+  for (int i = 0; i < 2; ++i) {
+    auto failed = service_->Execute(contract_, request, Options());
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable) << i;
+  }
+  auto stats = service_->scheduler_stats();
+  EXPECT_EQ(stats.breaker_trips, 1u);
+  EXPECT_EQ(stats.breakers_open, 1u);
+
+  // The outage heals; the zero cooldown admits the probe immediately, it
+  // succeeds, and the breaker closes for good.
+  faults_->Disarm();
+  auto healed = service_->Execute(contract_, request, Options());
+  EXPECT_TRUE(healed.ok()) << healed.status();
+  stats = service_->scheduler_stats();
+  EXPECT_EQ(stats.breaker_trips, 1u);       // No re-trip.
+  EXPECT_EQ(stats.breakers_open, 0u);       // Closed again.
+  EXPECT_EQ(stats.breaker_rejected, 0u);    // Nothing was refused.
+  EXPECT_TRUE(service_->Execute(contract_, request, Options()).ok());
 }
 
 // ---- The full sweep: every algorithm, scalar/batched/parallel -------------
@@ -823,25 +1070,30 @@ TEST_P(ChaosSweepTest, RecoversInEveryExecutionMode) {
 
     SweepWorld chaotic = MakeSweepWorld(workload_, needs_pad);
     chaotic.faults->Arm(RecoverableTransientPlan(29));
-    auto faulted = chaotic.service->ExecuteJoin(
-        chaotic.contract, *workload_.predicate, options);
-    ASSERT_TRUE(faulted.ok()) << faulted.status();
-    EXPECT_FALSE(chaotic.service->last_failure().has_value());
+    auto chaos_ticket = chaotic.service->Submit(
+        chaotic.contract,
+        service::JoinRequest::PairJoin(*workload_.predicate), options);
+    ASSERT_TRUE(chaos_ticket.ok()) << chaos_ticket.status();
+    auto chaos_response = chaotic.service->Wait(*chaos_ticket);
+    ASSERT_TRUE(chaos_response.ok()) << chaos_response.status();
+    EXPECT_FALSE(chaotic.service->post_mortem(*chaos_ticket).has_value());
     injected_failures += chaotic.faults->stats().injected_failures();
+    const service::JoinDelivery& faulted = *chaos_response->delivery;
 
     const relation::GroundTruth truth = relation::ComputeGroundTruth(
         *workload_.a, *workload_.b, *workload_.predicate,
-        faulted->result_schema.get());
+        faulted.result_schema.get());
     EXPECT_TRUE(
-        relation::SameTupleMultiset(faulted->tuples, truth.expected))
-        << "got " << faulted->tuples.size() << ", want "
+        relation::SameTupleMultiset(faulted.tuples, truth.expected))
+        << "got " << faulted.tuples.size() << ", want "
         << truth.expected.size();
 
     // Recovery is invisible on the adversary-observable surface.
-    EXPECT_EQ(faulted->trace, baseline->trace);
-    EXPECT_EQ(faulted->timing, baseline->timing);
-    EXPECT_EQ(faulted->metrics.TupleTransfers(),
+    EXPECT_EQ(faulted.trace, baseline->trace);
+    EXPECT_EQ(faulted.timing, baseline->timing);
+    EXPECT_EQ(faulted.metrics.TupleTransfers(),
               baseline->metrics.TupleTransfers());
+    chaotic.service->Release(*chaos_ticket);
   }
   // The sweep must exercise real faults, not a quiet plan.
   EXPECT_GT(injected_failures, 0u);

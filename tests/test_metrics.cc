@@ -255,9 +255,12 @@ TEST(MetricsHammerTest, ConcurrentPublishersLoseNothing) {
         gauge.Add(-1);
         if (i % 512 == 0) {
           // Racing get-or-create on a fresh key against the hot path.
+          // (Built with += rather than operator+: GCC 12's -Wrestrict
+          // false-positives on the char* + string&& overload here.)
+          std::string key = "k";
+          key += std::to_string(i / 512);
           registry
-              .GetCounter("ppj_hammer_keys_total",
-                          LabelSet::ForTenant("k" + std::to_string(i / 512)))
+              .GetCounter("ppj_hammer_keys_total", LabelSet::ForTenant(key))
               .Increment();
         }
       }

@@ -1,6 +1,10 @@
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <chrono>
+#include <condition_variable>
 #include <filesystem>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -529,10 +533,8 @@ TEST_F(ServiceTest, OptionQuotaViolationsGetDistinctStatusCode) {
   auto over_memory = service_.Submit(
       contract_, JoinRequest::PairJoin(*w->predicate), options);
   EXPECT_EQ(over_memory.status().code(), StatusCode::kQuotaExceeded);
-  // The refusal leaves a post-mortem with the admission phase.
-  auto failure = service_.last_failure();
-  ASSERT_TRUE(failure.has_value());
-  EXPECT_EQ(failure->phase, "admission");
+  // An admission refusal never issues a ticket, so there is no per-ticket
+  // post-mortem to read — the status code is the whole diagnostic.
 
   // A merely contradictory option set stays kInvalidArgument — the caller
   // can tell "too much" from "nonsense".
@@ -766,6 +768,274 @@ TEST_F(ServiceTest, ConcurrentMixedKindsDeliverConsistentAnswers) {
     EXPECT_EQ(static_cast<std::size_t>(agg->aggregate->count),
               join->delivery->tuples.size());
   }
+}
+
+// ---- Request-level resilience: deadlines, cancellation, drain -------------
+// These drive the ContractScheduler directly with synthetic work closures,
+// so the timing edges under test (queue expiry, cancel-while-running, drain
+// races) are deterministic and independent of join execution time.
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  static SchedulerOptions OneWorker() {
+    SchedulerOptions options;
+    options.workers = 1;
+    options.breaker.enabled = false;  // The breaker has its own chaos tests.
+    return options;
+  }
+
+  /// Work that parks on the fixture's gate until Unblock(), then succeeds.
+  ContractScheduler::Work Blocker() {
+    return [this](WorkContext&) -> Result<Response> {
+      std::unique_lock<std::mutex> lock(mu_);
+      started_ = true;
+      started_cv_.notify_all();
+      unblock_cv_.wait(lock, [this] { return unblocked_; });
+      return Response{};
+    };
+  }
+
+  /// Work that spins at a cooperative checkpoint until its token fires.
+  ContractScheduler::Work CancellableSpinner() {
+    return [this](WorkContext& ctx) -> Result<Response> {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        started_ = true;
+      }
+      started_cv_.notify_all();
+      while (true) {
+        Status status = ctx.cancel->Check();
+        if (!status.ok()) return status;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    };
+  }
+
+  void AwaitStarted() {
+    std::unique_lock<std::mutex> lock(mu_);
+    started_cv_.wait(lock, [this] { return started_; });
+  }
+
+  void Unblock() {
+    std::unique_lock<std::mutex> lock(mu_);
+    unblocked_ = true;
+    unblock_cv_.notify_all();
+  }
+
+  std::mutex mu_;
+  std::condition_variable started_cv_;
+  std::condition_variable unblock_cv_;
+  bool started_ = false;
+  bool unblocked_ = false;
+};
+
+TEST_F(ResilienceTest, QueuedDeadlineExpiresWithoutExecuting) {
+  ContractScheduler scheduler(OneWorker());
+  auto blocker = scheduler.Submit("tenant", "c-1", {}, Blocker());
+  ASSERT_TRUE(blocker.ok()) << blocker.status();
+  AwaitStarted();
+
+  // Queued behind the blocker with a 10 ms deadline: by the time the one
+  // worker frees up, the deadline is long gone — the request must resolve
+  // without its closure ever running.
+  std::atomic<bool> executed{false};
+  auto doomed = scheduler.Submit(
+      "tenant", "c-1", {},
+      [&executed](WorkContext&) -> Result<Response> {
+        executed = true;
+        return Response{};
+      },
+      /*deadline_ms=*/10);
+  ASSERT_TRUE(doomed.ok()) << doomed.status();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  Unblock();
+
+  auto result = scheduler.Wait(*doomed);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(executed.load());
+  const auto failure = scheduler.post_mortem(*doomed);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->phase, "queue");
+  const auto trace = scheduler.lifecycle(*doomed);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->outcome, "deadline_exceeded");
+  EXPECT_EQ(trace->executing_ns, 0u);
+  EXPECT_TRUE(scheduler.Wait(*blocker).ok());
+  EXPECT_EQ(scheduler.stats().deadline_exceeded, 1u);
+}
+
+TEST_F(ResilienceTest, CancelQueuedResolvesImmediately) {
+  ContractScheduler scheduler(OneWorker());
+  auto blocker = scheduler.Submit("tenant", "c-1", {}, Blocker());
+  ASSERT_TRUE(blocker.ok()) << blocker.status();
+  AwaitStarted();
+
+  std::atomic<bool> executed{false};
+  auto queued = scheduler.Submit(
+      "tenant", "c-1", {},
+      [&executed](WorkContext&) -> Result<Response> {
+        executed = true;
+        return Response{};
+      });
+  ASSERT_TRUE(queued.ok()) << queued.status();
+  // Still queued (the single worker is parked on the blocker): cancellation
+  // resolves the ticket right here, not at some later dequeue.
+  ASSERT_TRUE(scheduler.Cancel(*queued).ok());
+  auto result = scheduler.Wait(*queued);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_FALSE(executed.load());
+  const auto failure = scheduler.post_mortem(*queued);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->phase, "queue");
+  EXPECT_EQ(scheduler.stats().cancelled, 1u);
+  Unblock();
+  EXPECT_TRUE(scheduler.Wait(*blocker).ok());
+}
+
+TEST_F(ResilienceTest, CancelRunningStopsAtNextCheckpoint) {
+  ContractScheduler scheduler(OneWorker());
+  auto ticket = scheduler.Submit("tenant", "c-1", {}, CancellableSpinner());
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  AwaitStarted();
+  ASSERT_TRUE(scheduler.Cancel(*ticket).ok());
+  auto result = scheduler.Wait(*ticket);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(scheduler.stats().cancelled, 1u);
+  // Cancelling a finished request is a precondition failure, an unknown
+  // ticket is not found — neither is silently absorbed.
+  EXPECT_EQ(scheduler.Cancel(*ticket).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(scheduler.Cancel(Ticket{99999}).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ResilienceTest, ReleaseWhileExecutingIsRefusedAndWaitConsumesOnce) {
+  ContractScheduler scheduler(OneWorker());
+  auto ticket = scheduler.Submit("tenant", "c-1", {}, Blocker());
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  AwaitStarted();
+  // Release on a running ticket is silently refused: the ticket stays live.
+  scheduler.Release(*ticket);
+  EXPECT_EQ(scheduler.Poll(*ticket), TicketStatus::kRunning);
+  Unblock();
+  ASSERT_TRUE(scheduler.Wait(*ticket).ok());
+  // The response is consumable exactly once; the ticket itself (post-mortem,
+  // lifecycle record) survives until an explicit Release.
+  EXPECT_EQ(scheduler.Wait(*ticket).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(scheduler.Poll(*ticket), TicketStatus::kDone);
+  scheduler.Release(*ticket);
+  EXPECT_EQ(scheduler.Poll(*ticket), TicketStatus::kUnknown);
+}
+
+TEST_F(ResilienceTest, ShutdownDrainsInFlightWorkCleanly) {
+  ContractScheduler scheduler(OneWorker());
+  auto ticket = scheduler.Submit("tenant", "c-1", {}, Blocker());
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  AwaitStarted();
+  std::thread release([this] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Unblock();
+  });
+  // The in-flight request finishes well inside the budget: a clean drain.
+  EXPECT_TRUE(scheduler.Shutdown(std::chrono::milliseconds(5000)).ok());
+  release.join();
+  // The drained request's result is still observable after shutdown.
+  EXPECT_TRUE(scheduler.Wait(*ticket).ok());
+  // Admission is closed forever; shutdown is idempotent.
+  EXPECT_EQ(scheduler
+                .Submit("tenant", "c-1", {},
+                        [](WorkContext&) -> Result<Response> {
+                          return Response{};
+                        })
+                .status()
+                .code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE(scheduler.Shutdown(std::chrono::milliseconds(1)).ok());
+}
+
+TEST_F(ResilienceTest, WaitRacingDrainShutdownResolves) {
+  ContractScheduler scheduler(OneWorker());
+  // One cooperative runner that only stops when its token fires, and one
+  // request still queued behind it.
+  auto running = scheduler.Submit("tenant", "c-1", {}, CancellableSpinner());
+  ASSERT_TRUE(running.ok()) << running.status();
+  auto queued = scheduler.Submit("tenant", "c-1", {},
+                                 [](WorkContext&) -> Result<Response> {
+                                   return Response{};
+                                 });
+  ASSERT_TRUE(queued.ok()) << queued.status();
+  AwaitStarted();
+
+  Result<Response> running_result = Status::Internal("unset");
+  Result<Response> queued_result = Status::Internal("unset");
+  std::thread running_waiter(
+      [&] { running_result = scheduler.Wait(*running); });
+  std::thread queued_waiter(
+      [&] { queued_result = scheduler.Wait(*queued); });
+
+  // The runner never finishes on its own, so the drain budget expires, the
+  // stragglers are cancelled — and every racing Wait()er unblocks.
+  EXPECT_EQ(scheduler.Shutdown(std::chrono::milliseconds(10)).code(),
+            StatusCode::kDeadlineExceeded);
+  running_waiter.join();
+  queued_waiter.join();
+  EXPECT_EQ(running_result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(queued_result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(scheduler.stats().cancelled, 2u);
+  EXPECT_EQ(scheduler.stats().running, 0u);
+}
+
+TEST_F(ServiceTest, CancelLifecycleEdgesAtTheServiceApi) {
+  // No scheduler yet: nothing to cancel.
+  EXPECT_EQ(service_.Cancel(Ticket{1}).code(), StatusCode::kNotFound);
+
+  auto w = Workload(51);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(Submit(*w).ok());
+  ExecuteOptions options;
+  options.algorithm = core::Algorithm::kAlgorithm5;
+  options.memory_tuples = 6;
+  const JoinRequest request = JoinRequest::PairJoin(*w->predicate);
+
+  // Completed ticket: cancellation is a precondition failure.
+  auto first = service_.Submit(contract_, request, options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(service_.Wait(*first).ok());
+  EXPECT_EQ(service_.Cancel(*first).code(), StatusCode::kFailedPrecondition);
+
+  // A reuse-cache hit is just as finished as a real execution.
+  auto reused = service_.Submit(contract_, request, options);
+  ASSERT_TRUE(reused.ok()) << reused.status();
+  auto response = service_.Wait(*reused);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->reused);
+  EXPECT_EQ(service_.Cancel(*reused).code(),
+            StatusCode::kFailedPrecondition);
+
+  // After Release the ticket is unknown — Cancel says so.
+  service_.Release(*first);
+  service_.Release(*reused);
+  EXPECT_EQ(service_.Cancel(*first).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServiceTest, ShutdownClosesAdmissionForGood) {
+  auto w = Workload(53);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(Submit(*w).ok());
+  ExecuteOptions options;
+  options.algorithm = core::Algorithm::kAlgorithm5;
+  options.memory_tuples = 6;
+  const JoinRequest request = JoinRequest::PairJoin(*w->predicate);
+  ASSERT_TRUE(service_.Execute(contract_, request, options).ok());
+
+  EXPECT_TRUE(service_.Shutdown(std::chrono::milliseconds(5000)).ok());
+  EXPECT_EQ(service_.Submit(contract_, request, options).status().code(),
+            StatusCode::kUnavailable);
+  // Idempotent; the destructor afterwards is a no-op.
+  EXPECT_TRUE(service_.Shutdown(std::chrono::milliseconds(1)).ok());
 }
 
 }  // namespace

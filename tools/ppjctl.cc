@@ -8,6 +8,7 @@
 //                [--s=N] [--n=N] [--m=N] [--eps=X] [--parallel=P]
 //                [--backend=mem|file|mmap] [--storage-dir=PATH]
 //                [--seed=N] [--batch=N] [--fault-plan=SPEC]
+//                [--deadline-ms=N]
 //                [--trace-out=FILE] [--metrics-json=FILE]
 //       --backend picks the host storage: mem (default), file (one file
 //       per region, read/written per call) or mmap (regions mapped into
@@ -26,6 +27,11 @@
 //       "seed=7,transient=0.05,torn=0.02,unavail=0.01" — see
 //       docs/ROBUSTNESS.md. The run prints a fault summary: what was
 //       injected, and the retries/backoff the device spent recovering.
+//       The wedged-backend fault is "stall-region=R,stall-ms=M": every op
+//       on region R sleeps M ms of wall clock and fails, forever.
+//       --deadline-ms arms a per-request time budget (0 = none): an
+//       expired run exits nonzero with a deadline_exceeded post-mortem —
+//       the only bound on a stalled backend.
 //       --trace-out writes the execution's telemetry span tree as Chrome
 //       trace-event JSON (open in chrome://tracing or ui.perfetto.dev);
 //       --metrics-json writes the flat per-phase metrics report keyed by
@@ -270,6 +276,7 @@ Result<JoinRun> ExecuteJoinFromFlags(const Flags& flags,
   options.parallelism =
       static_cast<unsigned>(flags.GetU64("parallel", 1));
   options.batch_slots = flags.GetU64("batch", 0);
+  options.deadline_ms = flags.GetU64("deadline-ms", 0);
 
   // Setup above (sealing, submissions) runs fault-free; the plan is armed
   // for exactly the execution under test.
@@ -289,14 +296,19 @@ Result<JoinRun> ExecuteJoinFromFlags(const Flags& flags,
   if (faults != nullptr) run.fault_stats = faults->stats();
   if (!response.ok()) {
     // Graceful degradation: surface the structured post-mortem the service
-    // kept for this ticket — which phase died, the retry history, the
-    // tamper verdict.
+    // kept for this ticket — which phase died, the status (including
+    // deadline/cancellation verdicts), the retry history, the tamper
+    // verdict. Admission refusals (no ticket) have no post-mortem; their
+    // status is the whole story.
     const std::optional<service::ExecutionFailure> failure =
-        ticket.ok() ? svc.post_mortem(*ticket) : svc.last_failure();
+        ticket.ok() ? svc.post_mortem(*ticket) : std::nullopt;
     if (failure.has_value()) {
       const service::ExecutionFailure& f = *failure;
-      std::fprintf(stderr, "execution failed in phase '%s'\n",
-                   f.phase.c_str());
+      std::fprintf(stderr, "execution failed in phase '%s': %s\n",
+                   f.phase.c_str(), f.status.ToString().c_str());
+      if (run.trace.has_value()) {
+        std::fprintf(stderr, "  outcome '%s'\n", run.trace->outcome.c_str());
+      }
       std::fprintf(
           stderr, "  retries %llu, backoff %llu cycles, device %s\n",
           static_cast<unsigned long long>(f.partial_metrics.host_retries),
