@@ -4,11 +4,14 @@
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/parallel.h"
 #include "crypto/key.h"
+#include "plan/sharded.h"
 #include "relation/generator.h"
+#include "sim/sharded_store.h"
 
 int main() {
   using namespace ppj;  // NOLINT: bench-local convenience
@@ -107,6 +110,63 @@ int main() {
     bench::ResultLine("parallelism_alg4")
         .Param("p", static_cast<double>(p))
         .Transfers(static_cast<double>(maxima[1]))
+        .Emit();
+  }
+
+  // Sharded execution (the partitioned-store engine behind
+  // ExecuteOptions::shards): same workload over 1..8 sealed shards, one
+  // coprocessor per shard, output gathered over the exchange channel. The
+  // headline is again the transfer makespan — deterministic, so speedup_x
+  // and tuple_transfers are exact-gated by bench_data/BENCH_parallelism.json
+  // while wall clock (meaningless on a one-core host) is reported as 0.
+  std::printf("\nSharded Algorithm 5 across P sealed shards "
+              "(exchange-gathered):\n");
+  std::printf("%6s %16s %16s %14s %12s\n", "P", "shard makespan",
+              "total transfers", "channel bytes", "speedup");
+  std::uint64_t sharded_baseline = 0;
+  for (unsigned p : {1u, 2u, 4u, 8u}) {
+    auto workload = relation::MakeCellWorkload(spec);
+    sim::ShardedStore store(p);
+    crypto::Ocb key_a(crypto::DeriveKey(1, "A"));
+    crypto::Ocb key_b(crypto::DeriveKey(2, "B"));
+    crypto::Ocb key_out(crypto::DeriveKey(3, "C"));
+    auto a = plan::ReplicateSealed(store, *workload->a, &key_a);
+    auto b = plan::ReplicateSealed(store, *workload->b, &key_b);
+    if (!a.ok() || !b.ok()) {
+      std::printf("sharded seal failed\n");
+      return 1;
+    }
+    const relation::PairAsMultiway multiway(workload->predicate.get());
+    std::vector<core::MultiwayJoin> joins(p);
+    std::vector<const core::MultiwayJoin*> join_ptrs;
+    for (unsigned i = 0; i < p; ++i) {
+      joins[i].tables = {&(*a)[i], &(*b)[i]};
+      joins[i].predicate = &multiway;
+      joins[i].output_key = &key_out;
+      join_ptrs.push_back(&joins[i]);
+    }
+    plan::ShardedRunOptions ropts;
+    ropts.shards = p;
+    auto outcome =
+        plan::RunShardedJoin(store, core::Algorithm::kAlgorithm5, join_ptrs,
+                             {.memory_tuples = 8, .seed = 5}, ropts);
+    if (!outcome.ok()) {
+      std::printf("sharded run failed: %s\n",
+                  outcome.status().ToString().c_str());
+      return 1;
+    }
+    if (p == 1) sharded_baseline = outcome->makespan_transfers;
+    const double speedup = static_cast<double>(sharded_baseline) /
+                           static_cast<double>(outcome->makespan_transfers);
+    std::printf("%6u %16llu %16llu %14llu %11.2fx\n", p,
+                static_cast<unsigned long long>(outcome->makespan_transfers),
+                static_cast<unsigned long long>(outcome->total_transfers),
+                static_cast<unsigned long long>(outcome->channel.bytes),
+                speedup);
+    bench::ResultLine("sharded_alg5")
+        .Param("shards", static_cast<double>(p))
+        .Param("speedup_x", speedup)
+        .Transfers(static_cast<double>(outcome->makespan_transfers))
         .Emit();
   }
   return 0;

@@ -294,6 +294,19 @@ inline constexpr std::string_view kOpHostRetries =
     "ppj_op_host_retries_total";
 inline constexpr std::string_view kOpBackoffCycles =
     "ppj_op_backoff_cycles_total";
+/// Sharded-execution channel accounting, labeled {tenant, algorithm}. All
+/// values derive from the adversary-visible channel shape (message sizes,
+/// rounds, mailbox depths), so publishing them is trace-neutral by
+/// construction — the MetricsNeutrality suite pins this. Queue depth is the
+/// per-shard inbound-mailbox high-water mark, labeled additionally with
+/// {op="shard<i>"}.
+inline constexpr std::string_view kShardQueueDepth = "ppj_shard_queue_depth";
+inline constexpr std::string_view kShardChannelBytes =
+    "ppj_shard_channel_bytes_total";
+inline constexpr std::string_view kShardChannelMessages =
+    "ppj_shard_channel_messages_total";
+inline constexpr std::string_view kShardExchangeRounds =
+    "ppj_shard_exchange_rounds_total";
 
 }  // namespace ppj::metrics
 

@@ -4,6 +4,7 @@
 
 #include "analysis/chapter4_costs.h"
 #include "analysis/chapter5_costs.h"
+#include "analysis/optimizer.h"
 #include "common/math.h"
 
 namespace ppj::core {
@@ -91,11 +92,105 @@ PlannedOp Ch4OpNode(const char* op_name, const analysis::Ch4Terms& terms,
               std::move(children));
 }
 
+/// Cost trees of the sharded Chapter 5 plans (plan/sharded.h): the
+/// shard-local operators plus the `exchange` op whose cost is the channel
+/// traffic in sealed slots. Per-scan terms are priced as the *makespan* —
+/// the maximum any single shard transfers — so the totals are parallel
+/// completion times and comparable across shard counts (the
+/// bench_parallelism speedup gate divides exactly these). Leaf names match
+/// the sharded op/span names, so `ppjctl explain --shards=N` joins against
+/// measured telemetry node-for-node, like the serial trees.
+PlannedOp DescribeSharded(Algorithm algorithm, const PlannerInput& input,
+                          const Derived& d) {
+  const AlgorithmInfo& info = GetAlgorithmInfo(algorithm);
+  const double p = static_cast<double>(input.shards);
+  const std::uint64_t pu = input.shards;
+  const double ld = static_cast<double>(d.l);
+  const double sd = static_cast<double>(d.s);
+  std::vector<PlannedOp> ops;
+  switch (algorithm) {
+    case Algorithm::kAlgorithm4: {
+      const std::uint64_t l_slice = CeilDiv(d.l, pu);
+      ops.push_back(Leaf("shard-ituple-scan",
+                         "2 ceil(L/P): each shard reads + stages its "
+                         "iTuple window",
+                         2.0 * static_cast<double>(l_slice)));
+      ops.push_back(Leaf("exchange",
+                         "L - ceil(L/P) gathered staging slots + P-1 "
+                         "count envelopes",
+                         static_cast<double>(d.l - l_slice) + (p - 1.0)));
+      ops.push_back(Leaf("filter",
+                         "windowed oblivious decoy filter on the lead "
+                         "(Section 5.2.2)",
+                         analysis::FilterCost(ld, sd)));
+      ops.push_back(Leaf("output",
+                         "host-side disk writes of the S result slots",
+                         0.0));
+      break;
+    }
+    case Algorithm::kAlgorithm5: {
+      const std::uint64_t s_slice = CeilDiv(d.s, pu);
+      ops.push_back(Leaf("shard-screen",
+                         "L: the lead sizes the result, then broadcasts S",
+                         ld));
+      ops.push_back(Leaf(
+          "shard-rank-emit",
+          "ceil(ceil(S/P)/M) L scans + ceil(S/P) output per shard",
+          static_cast<double>(CeilDiv(s_slice, d.m)) * ld +
+              static_cast<double>(s_slice)));
+      ops.push_back(Leaf("exchange",
+                         "S - ceil(S/P) gathered output slots",
+                         static_cast<double>(d.s - s_slice)));
+      break;
+    }
+    case Algorithm::kAlgorithm6: {
+      const double eps = input.epsilon > 0.0 ? input.epsilon : 1e-20;
+      const std::uint64_t n_star =
+          analysis::OptimalSegmentSize(d.l, d.s, d.m, eps);
+      const std::uint64_t segments = CeilDiv(d.l, n_star);
+      const std::uint64_t seg_slice = CeilDiv(segments, pu);
+      ops.push_back(Leaf("shard-screen",
+                         "L: the lead sizes the result, then broadcasts S",
+                         ld));
+      ops.push_back(Leaf(
+          "shard-segment-emit",
+          "ceil(L/P) random-order reads + ceil(segments/P) M flushes",
+          static_cast<double>(CeilDiv(d.l, pu)) +
+              static_cast<double>(seg_slice * d.m)));
+      ops.push_back(Leaf(
+          "exchange",
+          "(segments - ceil(segments/P)) M gathered slots + P-1 blemish "
+          "envelopes",
+          static_cast<double>((segments - seg_slice) * d.m) + (p - 1.0)));
+      ops.push_back(Leaf("salvage",
+                         "re-run as Algorithm 5 only on a blemished pass",
+                         0.0));
+      ops.push_back(Leaf(
+          "filter",
+          "windowed oblivious decoy filter on the lead (Section 5.2.2)",
+          analysis::FilterCost(static_cast<double>(segments * d.m), sd)));
+      ops.push_back(Leaf("output",
+                         "host-side disk writes of the S result slots",
+                         0.0));
+      break;
+    }
+    default:
+      ops.push_back(Leaf("unsupported",
+                         "no sharded plan for this algorithm", 0.0));
+      break;
+  }
+  return Node(std::string(info.root_span), std::string(info.summary),
+              std::move(ops));
+}
+
 }  // namespace
 
 PlannedOp DescribeAlgorithm(Algorithm algorithm, const PlannerInput& input) {
   const Derived d = DeriveParameters(input);
   const AlgorithmInfo& info = GetAlgorithmInfo(algorithm);
+  if (input.shards > 1 && !IsChapter4(algorithm)) {
+    return DescribeSharded(algorithm, input, d);
+  }
   const double ld = static_cast<double>(d.l);
   const double sd = static_cast<double>(d.s);
   std::vector<PlannedOp> ops;
@@ -202,6 +297,28 @@ Plan PlanJoin(const PlannerInput& input) {
       best.rationale = why;
     }
   };
+
+  if (input.shards > 1) {
+    // Sharded execution: Chapter 5 family only (the Chapter 4 plans have
+    // no shard-local variants), priced by the makespan-based sharded cost
+    // trees so the comparison reflects parallel completion time.
+    consider(Algorithm::kAlgorithm4,
+             DescribeSharded(Algorithm::kAlgorithm4, input, d)
+                 .predicted_transfers,
+             "exact output, sharded scan, lead-side filter");
+    consider(Algorithm::kAlgorithm5,
+             DescribeSharded(Algorithm::kAlgorithm5, input, d)
+                 .predicted_transfers,
+             "exact output, rank-partitioned sharded scans");
+    if (input.epsilon > 0.0) {
+      consider(Algorithm::kAlgorithm6,
+               DescribeSharded(Algorithm::kAlgorithm6, input, d)
+                   .predicted_transfers,
+               "privacy level 1 - epsilon, segment-partitioned shards");
+    }
+    best.root = DescribeAlgorithm(best.algorithm, input);
+    return best;
+  }
 
   // Chapter 5 family: always admissible (arbitrary predicates, exact
   // output, no N assumption).

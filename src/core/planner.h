@@ -33,6 +33,13 @@ struct PlannerInput {
   bool exact_output_required = false;
   /// Largest acceptable privacy slack for Algorithm 6; 0 disables it.
   double epsilon = 0.0;
+  /// Sharded execution (plan/sharded.h): number of sealed shards the
+  /// contract fixed. 1 = unsharded. With shards > 1 only the Chapter 5
+  /// family is admissible, the cost trees switch to the shard-local
+  /// operators plus the `exchange` op, and per-scan terms are priced as
+  /// the *makespan* — the maximum any single shard transfers — which is
+  /// the parallel completion time in the paper's transfer-count model.
+  unsigned shards = 1;
 };
 
 /// One node of a physical plan description: an operator (or cost term

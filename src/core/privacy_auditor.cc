@@ -6,6 +6,37 @@ namespace ppj::core {
 
 namespace {
 
+ShardedAuditResult CompareSharded(const ShardedAuditRun& a,
+                                  const ShardedAuditRun& b) {
+  ShardedAuditResult out;
+  out.identical = true;
+  std::ostringstream os;
+  if (a.shard_fingerprints.size() != b.shard_fingerprints.size()) {
+    out.identical = false;
+    os << "shard counts differ (" << a.shard_fingerprints.size() << " vs "
+       << b.shard_fingerprints.size() << ")";
+    out.detail = os.str();
+    return out;
+  }
+  for (std::size_t i = 0; i < a.shard_fingerprints.size(); ++i) {
+    if (!(a.shard_fingerprints[i] == b.shard_fingerprints[i])) {
+      out.identical = false;
+      os << "shard " << i << " trace mismatch: "
+         << a.shard_fingerprints[i].ToString() << " vs "
+         << b.shard_fingerprints[i].ToString();
+      out.detail = os.str();
+      return out;
+    }
+  }
+  if (!(a.channel_fingerprint == b.channel_fingerprint)) {
+    out.identical = false;
+    os << "channel shape mismatch: " << a.channel_fingerprint.ToString()
+       << " vs " << b.channel_fingerprint.ToString();
+    out.detail = os.str();
+  }
+  return out;
+}
+
 AuditResult Compare(const AuditRun& a, const AuditRun& b) {
   AuditResult out;
   out.fingerprint_a = a.fingerprint;
@@ -92,6 +123,29 @@ Result<AuditResult> PrivacyAuditor::CompareManyWorlds(const WorldRunner& run,
   ok.identical = true;
   ok.fingerprint_a = first.fingerprint;
   ok.fingerprint_b = first.fingerprint;
+  return ok;
+}
+
+Result<ShardedAuditResult> ShardedPrivacyAuditor::CompareShardedWorlds(
+    const WorldRunner& run) {
+  PPJ_ASSIGN_OR_RETURN(ShardedAuditRun a, run(0));
+  PPJ_ASSIGN_OR_RETURN(ShardedAuditRun b, run(1));
+  return CompareSharded(a, b);
+}
+
+Result<ShardedAuditResult> ShardedPrivacyAuditor::CompareManyShardedWorlds(
+    const WorldRunner& run, std::uint64_t count) {
+  if (count < 2) {
+    return Status::InvalidArgument("need at least two worlds to compare");
+  }
+  PPJ_ASSIGN_OR_RETURN(ShardedAuditRun first, run(0));
+  for (std::uint64_t w = 1; w < count; ++w) {
+    PPJ_ASSIGN_OR_RETURN(ShardedAuditRun other, run(w));
+    ShardedAuditResult result = CompareSharded(first, other);
+    if (!result.identical) return result;
+  }
+  ShardedAuditResult ok;
+  ok.identical = true;
   return ok;
 }
 

@@ -72,6 +72,39 @@ class PrivacyAuditor {
                                                std::uint64_t count);
 };
 
+/// The full adversary surface of one *sharded* execution: every shard's
+/// trace fingerprint (in shard order) plus the channel's message-shape
+/// fingerprint. The sharded security claim extends Definitions 1/3: the
+/// honest-but-curious host sees all shards and all inter-shard traffic, so
+/// the *union* — not any single shard's trace — must be a function of the
+/// public shape parameters (and the contract-fixed shard count) only.
+struct ShardedAuditRun {
+  std::vector<sim::TraceFingerprint> shard_fingerprints;
+  sim::TraceFingerprint channel_fingerprint;
+};
+
+/// Verdict of a union-of-traces audit. On divergence, `detail` names the
+/// first differing component: "shard <i>" or "channel".
+struct ShardedAuditResult {
+  bool identical = false;
+  std::string detail;
+};
+
+class ShardedPrivacyAuditor {
+ public:
+  using WorldRunner =
+      std::function<Result<ShardedAuditRun>(std::uint64_t world)>;
+
+  /// Runs worlds 0 and 1 and compares the union surfaces.
+  static Result<ShardedAuditResult> CompareShardedWorlds(
+      const WorldRunner& run);
+
+  /// Runs `count` worlds and requires all union surfaces pairwise
+  /// identical.
+  static Result<ShardedAuditResult> CompareManyShardedWorlds(
+      const WorldRunner& run, std::uint64_t count);
+};
+
 }  // namespace ppj::core
 
 #endif  // PPJ_CORE_PRIVACY_AUDITOR_H_

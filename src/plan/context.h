@@ -17,7 +17,26 @@
 #include "sim/arena_pool.h"
 #include "sim/coprocessor.h"
 
+namespace ppj::sim {
+class ShardChannel;
+class ShardedStore;
+}  // namespace ppj::sim
+
 namespace ppj::plan {
+
+/// Shard placement of one plan execution: which shard of a ShardedStore
+/// this PlanContext's coprocessor owns, how many shards the contract fixed
+/// (public by construction — never data-dependent), and the channel the
+/// exchange operators move sealed slots through. nullptr on the PlanContext
+/// of an unsharded run; shard 0 is always the lead/coordinator.
+struct ShardEnv {
+  unsigned shard_id = 0;
+  unsigned shard_count = 1;
+  sim::ShardChannel* channel = nullptr;
+  sim::ShardedStore* store = nullptr;
+
+  bool lead() const { return shard_id == 0; }
+};
 
 /// One host region created on behalf of a plan: the symbolic name, the id
 /// the host assigned, and its slot count at creation time. Region lifecycle
@@ -115,6 +134,12 @@ class PlanContext {
   /// metrics::Registry::Global(). Like the checkpoints, this only *reads*
   /// public counters — trace-neutral.
   metrics::Registry* metrics_registry = nullptr;
+
+  /// Shard placement when this context is one shard of a sharded
+  /// execution (plan/sharded.h); nullptr for unsharded runs. The shard
+  /// operators read id/count/channel from here; every other operator is
+  /// shard-oblivious.
+  const ShardEnv* shard = nullptr;
 
   /// Cooperative cancellation token for this request, or nullptr when the
   /// run has no deadline and cannot be cancelled. The executor checks it

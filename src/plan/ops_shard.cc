@@ -1,0 +1,491 @@
+#include <algorithm>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "analysis/optimizer.h"
+#include "common/math.h"
+#include "common/telemetry.h"
+#include "crypto/mlfsr.h"
+#include "plan/ops_shard.h"
+#include "sim/shard_channel.h"
+#include "sim/sharded_store.h"
+
+namespace ppj::plan {
+namespace {
+
+// Fixed-size control envelope: every data-dependent scalar that crosses the
+// channel (a result size, a blemish flag) travels in exactly these 16 bytes,
+// so the adversary-visible message size never depends on the value.
+constexpr std::size_t kControlBytes = 16;
+
+sim::ChannelMessage MakeControl(std::uint64_t value, std::uint64_t flags) {
+  sim::ChannelMessage msg;
+  msg.slots = 1;
+  msg.bytes.resize(kControlBytes);
+  for (unsigned i = 0; i < 8; ++i) {
+    msg.bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    msg.bytes[8 + i] = static_cast<std::uint8_t>(flags >> (8 * i));
+  }
+  return msg;
+}
+
+Status ParseControl(const sim::ChannelMessage& msg, std::uint64_t* value,
+                    std::uint64_t* flags) {
+  if (msg.bytes.size() != kControlBytes || msg.slots != 1) {
+    return Status::Internal("malformed shard control envelope");
+  }
+  *value = 0;
+  *flags = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    *value |= static_cast<std::uint64_t>(msg.bytes[i]) << (8 * i);
+    *flags |= static_cast<std::uint64_t>(msg.bytes[8 + i]) << (8 * i);
+  }
+  return Status::OK();
+}
+
+/// Host-side gather of `count` sealed slots into a channel message, staged
+/// through the sending shard's arena pool. The bytes move verbatim — no
+/// re-sealing — which is exactly why all shards must share region-creation
+/// histories (see ShardedStore): the position-bound nonces only verify on
+/// the receiver because (region, index) match.
+Result<sim::ChannelMessage> StageSlice(const ShardEnv& env,
+                                       sim::HostStore& host,
+                                       sim::RegionId region,
+                                       std::uint64_t first,
+                                       std::uint64_t count) {
+  sim::ChannelMessage msg;
+  msg.slots = count;
+  if (count == 0) return msg;
+  const std::size_t bytes = count * host.RegionSlotSize(region);
+  sim::ArenaLease lease = env.store != nullptr
+                              ? env.store->arena_pool(env.shard_id).Acquire(bytes)
+                              : sim::ArenaLease();
+  if (!lease.empty()) {
+    PPJ_RETURN_NOT_OK(host.ReadRange(region, first, count, lease.data(), bytes));
+    msg.bytes.assign(lease.data(), lease.data() + bytes);
+  } else {
+    msg.bytes.resize(bytes);
+    PPJ_RETURN_NOT_OK(
+        host.ReadRange(region, first, count, msg.bytes.data(), bytes));
+  }
+  return msg;
+}
+
+/// Lead-side scatter of a gathered slice into its global position. The
+/// expected width is computed from public parameters; a mismatch means a
+/// shard violated the protocol, not a data-dependent condition.
+Status ApplySlice(sim::HostStore& host, sim::RegionId region,
+                  std::uint64_t first, std::uint64_t expect,
+                  const sim::ChannelMessage& msg) {
+  if (msg.slots != expect) {
+    return Status::Internal("shard exchange slice width mismatch");
+  }
+  if (expect == 0) return Status::OK();
+  const std::size_t bytes = expect * host.RegionSlotSize(region);
+  if (msg.bytes.size() != bytes) {
+    return Status::Internal("shard exchange slice byte-length mismatch");
+  }
+  return host.WriteRange(region, first, expect, msg.bytes.data(), bytes);
+}
+
+Status RequireShardEnv(const PlanContext& ctx, const ShardEnv** env) {
+  if (ctx.shard == nullptr || ctx.shard->channel == nullptr) {
+    return Status::InvalidArgument(
+        "shard operator requires a sharded execution environment");
+  }
+  *env = ctx.shard;
+  return Status::OK();
+}
+
+/// Public-parameter block partition: element range [lo, hi) owned by shard
+/// `id` out of `count` when `total` elements are split into ceil-sized
+/// blocks. Used for ranks (Alg 5), iTuple indices (Alg 4) and segment
+/// indices (Alg 6) alike — never for anything data-dependent.
+void BlockRange(std::uint64_t total, unsigned id, unsigned count,
+                std::uint64_t* lo, std::uint64_t* hi) {
+  const std::uint64_t blk = CeilDiv(total, static_cast<std::uint64_t>(count));
+  *lo = std::min<std::uint64_t>(total, id * blk);
+  *hi = std::min<std::uint64_t>(total, (id + 1) * blk);
+}
+
+}  // namespace
+
+Status ShardScreenOp::Run(sim::Coprocessor& copro, PlanContext& ctx) {
+  const ShardEnv* env = nullptr;
+  PPJ_RETURN_NOT_OK(RequireShardEnv(ctx, &env));
+  if (env->lead()) {
+    // The lead screens its replica — the full L-read pass of the serial
+    // algorithms — and broadcasts S. Deliberately no Algorithm 6
+    // buffered-all fast path here: the sharded plan always proceeds to the
+    // partitioned main pass so the per-shard trace shape stays uniform.
+    PPJ_ASSIGN_OR_RETURN(const std::uint64_t s,
+                         core::ScreenResultSize(copro, *ctx.multiway()));
+    ctx.s = s;
+    env->channel->BeginRound("screen-broadcast");
+    for (unsigned p = 1; p < env->shard_count; ++p) {
+      PPJ_RETURN_NOT_OK(env->channel->Send(0, p, MakeControl(s, 0)));
+    }
+  } else {
+    PPJ_ASSIGN_OR_RETURN(sim::ChannelMessage msg,
+                         env->channel->Recv(env->shard_id, 0, ctx.cancel));
+    std::uint64_t value = 0;
+    std::uint64_t flags = 0;
+    PPJ_RETURN_NOT_OK(ParseControl(msg, &value, &flags));
+    ctx.s = value;
+  }
+  if (ctx.s == 0) {
+    // Empty result: the size is public, so every shard finishes now. Only
+    // the lead owns the delivered (empty) output region.
+    if (env->lead()) {
+      ctx.output_region = ctx.CreateRegion(copro, output_name_, 0);
+      ctx.output_slots = 0;
+    }
+    ctx.finished = true;
+  }
+  return Status::OK();
+}
+
+Status ShardRankEmitOp::Run(sim::Coprocessor& copro, PlanContext& ctx) {
+  const ShardEnv* env = nullptr;
+  PPJ_RETURN_NOT_OK(RequireShardEnv(ctx, &env));
+  const core::MultiwayJoin& join = *ctx.multiway();
+  const std::uint64_t m = copro.memory_tuples();
+  if (m == 0) {
+    return Status::CapacityExceeded(
+        "sharded Algorithm 5 needs at least one result slot");
+  }
+  const std::uint64_t s = ctx.s;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  BlockRange(s, env->shard_id, env->shard_count, &lo, &hi);
+
+  // Every shard creates the S-slot output region — including shards whose
+  // rank range is empty — so region-creation histories stay identical and
+  // the gathered slices authenticate on the lead.
+  const sim::RegionId out = ctx.CreateRegion(copro, "shard5-output", s);
+  ctx.output_region = out;
+  ctx.output_slots = s;
+  if (lo >= hi) return Status::OK();
+
+  PPJ_ASSIGN_OR_RETURN(sim::SecureBuffer buffer,
+                       sim::SecureBuffer::Allocate(copro, m));
+  ctx.reader.emplace(&copro, join.tables);
+  core::ITupleReader& reader = *ctx.reader;
+  const std::uint64_t l = reader.index().size();
+
+  // Algorithm 5's scan-per-bufferful loop restricted to the global rank
+  // window [lo, hi): slots land at their *global* indices, so no slot moves
+  // twice and the position-bound nonces are final.
+  std::uint64_t cursor = lo;
+  std::uint64_t written = lo;
+  reader.set_batch_hint(copro.BatchLimit(buffer.capacity()));
+  while (cursor < hi) {
+    buffer.Clear();
+    const std::uint64_t take = std::min<std::uint64_t>(m, hi - cursor);
+    std::uint64_t rank = 0;
+    {
+      PPJ_SPAN("scan");
+      for (std::uint64_t idx = 0; idx < l; ++idx) {
+        PPJ_ASSIGN_OR_RETURN(core::ITupleReader::Fetched fetched,
+                             reader.Fetch(idx));
+        eval_.fetched = &fetched;
+        PPJ_RETURN_NOT_OK(eval_.Run(copro, ctx));
+        if (eval_.hit) {
+          if (rank >= cursor && rank < cursor + take) {
+            PPJ_RETURN_NOT_OK(buffer.Push(relation::wire::MakeReal(
+                core::ITupleReader::JoinedPayload(*fetched.components))));
+          }
+          ++rank;
+        }
+      }
+    }
+    PPJ_SPAN("output");
+    PPJ_ASSIGN_OR_RETURN(
+        sim::WriteRun flush,
+        copro.PutSealedRange(out, written, buffer.size(), join.output_key));
+    for (std::size_t k = 0; k < buffer.size(); ++k) {
+      PPJ_RETURN_NOT_OK(flush.Append(buffer.At(k)));
+      PPJ_RETURN_NOT_OK(copro.DiskWrite(out, written + k));
+    }
+    PPJ_RETURN_NOT_OK(flush.Flush());
+    written += buffer.size();
+    cursor += take;
+  }
+  return Status::OK();
+}
+
+Status ShardITupleScanOp::Run(sim::Coprocessor& copro, PlanContext& ctx) {
+  const ShardEnv* env = nullptr;
+  PPJ_RETURN_NOT_OK(RequireShardEnv(ctx, &env));
+  const core::MultiwayJoin& join = *ctx.multiway();
+  ctx.reader.emplace(&copro, join.tables);
+  core::ITupleReader& reader = *ctx.reader;
+  const std::uint64_t l = reader.index().size();
+
+  // Full-size staging on every shard (identical region histories); this
+  // shard fills only its iTuple window, at global indices.
+  const sim::RegionId staging = ctx.CreateRegion(copro, "shard4-staging", l);
+  ctx.staging_region = staging;
+  ctx.staging_slots = l;
+
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  BlockRange(l, env->shard_id, env->shard_count, &lo, &hi);
+
+  reader.set_batch_hint(
+      copro.BatchLimit(std::max<std::uint64_t>(copro.memory_tuples(), 1)));
+  core::BatchedSealWriter writer(&copro, staging, join.output_key);
+  std::uint64_t s = 0;
+  {
+    PPJ_SPAN("mix");
+    for (std::uint64_t idx = lo; idx < hi; ++idx) {
+      PPJ_ASSIGN_OR_RETURN(core::ITupleReader::Fetched fetched,
+                           reader.Fetch(idx));
+      eval_.fetched = &fetched;
+      PPJ_RETURN_NOT_OK(eval_.Run(copro, ctx));
+      if (eval_.hit) {
+        ++s;
+        PPJ_RETURN_NOT_OK(writer.Put(
+            idx, relation::wire::MakeReal(
+                     core::ITupleReader::JoinedPayload(*fetched.components))));
+      } else {
+        PPJ_RETURN_NOT_OK(writer.Put(idx, ctx.decoy));
+      }
+    }
+    PPJ_RETURN_NOT_OK(writer.Flush());
+  }
+
+  // Shard-local match count; the exchange aggregates the global S on the
+  // lead inside a fixed-size envelope.
+  ctx.s = s;
+  return Status::OK();
+}
+
+Status ShardSegmentEmitOp::Run(sim::Coprocessor& copro, PlanContext& ctx) {
+  const ShardEnv* env = nullptr;
+  PPJ_RETURN_NOT_OK(RequireShardEnv(ctx, &env));
+  const core::MultiwayJoin& join = *ctx.multiway();
+  const std::uint64_t m = copro.memory_tuples();
+  if (m == 0) {
+    return Status::CapacityExceeded(
+        "sharded Algorithm 6 needs at least one result slot");
+  }
+  ctx.reader.emplace(&copro, join.tables);
+  core::ITupleReader& reader = *ctx.reader;
+  const std::uint64_t l = reader.index().size();
+
+  // n* from the global (L, S, M, epsilon) — identical on every shard, so
+  // the segment grid is shared and the staging regions line up.
+  const std::uint64_t n_star = analysis::OptimalSegmentSize(l, ctx.s, m, epsilon_);
+  ctx.n_star = n_star;
+  const std::uint64_t segments = CeilDiv(l, n_star);
+  const std::uint64_t staging_slots = segments * m;
+  ctx.staging_slots = staging_slots;
+  ctx.staging_region = ctx.CreateRegion(copro, "shard6-staging", staging_slots);
+
+  std::uint64_t seg_lo = 0;
+  std::uint64_t seg_hi = 0;
+  BlockRange(segments, env->shard_id, env->shard_count, &seg_lo, &seg_hi);
+  if (seg_lo >= seg_hi) return Status::OK();
+
+  // All shards walk the same MLFSR order (same seed — Section 5.3.5's
+  // shared visiting order); this shard evaluates only the positions that
+  // fall inside its segment range.
+  PPJ_ASSIGN_OR_RETURN(crypto::RandomOrder order,
+                       crypto::RandomOrder::Create(l, order_seed_));
+  for (std::uint64_t skip = 0; skip < seg_lo * n_star; ++skip) order.Next();
+
+  PPJ_ASSIGN_OR_RETURN(sim::SecureBuffer buffer,
+                       sim::SecureBuffer::Allocate(copro, m));
+  const std::uint64_t pos_hi = std::min<std::uint64_t>(seg_hi * n_star, l);
+  bool blemish = false;
+  std::uint64_t seg = seg_lo;
+  std::uint64_t in_segment = 0;
+  {
+    PPJ_SPAN("main");
+    for (std::uint64_t pos = seg_lo * n_star; pos < pos_hi; ++pos) {
+      const std::uint64_t idx = order.Next();
+      PPJ_ASSIGN_OR_RETURN(core::ITupleReader::Fetched fetched,
+                           reader.Fetch(idx));
+      eval_.fetched = &fetched;
+      PPJ_RETURN_NOT_OK(eval_.Run(copro, ctx));
+      if (eval_.hit) {
+        if (buffer.full()) {
+          blemish = true;  // segment overflow: the epsilon-probability event
+        } else {
+          PPJ_RETURN_NOT_OK(buffer.Push(relation::wire::MakeReal(
+              core::ITupleReader::JoinedPayload(*fetched.components))));
+        }
+      }
+      ++in_segment;
+      if (in_segment == n_star || pos + 1 == pos_hi) {
+        PPJ_ASSIGN_OR_RETURN(
+            sim::WriteRun flush,
+            copro.PutSealedRange(ctx.staging_region, seg * m, m,
+                                 join.output_key));
+        for (std::uint64_t k = 0; k < m; ++k) {
+          PPJ_RETURN_NOT_OK(
+              flush.Append(k < buffer.size() ? buffer.At(k) : ctx.decoy));
+        }
+        PPJ_RETURN_NOT_OK(flush.Flush());
+        buffer.Clear();
+        in_segment = 0;
+        ++seg;
+      }
+    }
+  }
+  ctx.blemish = blemish;
+  return Status::OK();
+}
+
+std::string_view ShardExchangeOp::cost_formula() const {
+  switch (mode_) {
+    case Mode::kOutputSlices:
+      return "S - ceil(S/P) gathered slots; no control envelopes";
+    case Mode::kCountsAndStaging:
+      return "L - ceil(L/P) gathered slots + P-1 count envelopes";
+    case Mode::kSegmentsAndBlemish:
+      return "(segments - ceil(segments/P)) M gathered slots + P-1 "
+             "blemish envelopes";
+  }
+  return "";
+}
+
+Status ShardExchangeOp::Run(sim::Coprocessor& copro, PlanContext& ctx) {
+  switch (mode_) {
+    case Mode::kOutputSlices:
+      return RunOutputSlices(copro, ctx);
+    case Mode::kCountsAndStaging:
+      return RunCountsAndStaging(copro, ctx);
+    case Mode::kSegmentsAndBlemish:
+      return RunSegmentsAndBlemish(copro, ctx);
+  }
+  return Status::Internal("unknown shard exchange mode");
+}
+
+Status ShardExchangeOp::RunOutputSlices(sim::Coprocessor& copro,
+                                        PlanContext& ctx) {
+  const ShardEnv* env = nullptr;
+  PPJ_RETURN_NOT_OK(RequireShardEnv(ctx, &env));
+  const std::uint64_t s = ctx.s;
+  if (!env->lead()) {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    BlockRange(s, env->shard_id, env->shard_count, &lo, &hi);
+    PPJ_ASSIGN_OR_RETURN(
+        sim::ChannelMessage msg,
+        StageSlice(*env, *copro.host(), ctx.output_region, lo, hi - lo));
+    PPJ_RETURN_NOT_OK(env->channel->Send(env->shard_id, 0, std::move(msg)));
+    ctx.finished = true;
+    return Status::OK();
+  }
+  env->channel->BeginRound("exchange-output");
+  for (unsigned p = 1; p < env->shard_count; ++p) {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    BlockRange(s, p, env->shard_count, &lo, &hi);
+    PPJ_ASSIGN_OR_RETURN(sim::ChannelMessage msg,
+                         env->channel->Recv(0, p, ctx.cancel));
+    PPJ_RETURN_NOT_OK(
+        ApplySlice(*copro.host(), ctx.output_region, lo, hi - lo, msg));
+  }
+  return Status::OK();
+}
+
+Status ShardExchangeOp::RunCountsAndStaging(sim::Coprocessor& copro,
+                                            PlanContext& ctx) {
+  const ShardEnv* env = nullptr;
+  PPJ_RETURN_NOT_OK(RequireShardEnv(ctx, &env));
+  const std::uint64_t l = ctx.staging_slots;
+  if (!env->lead()) {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    BlockRange(l, env->shard_id, env->shard_count, &lo, &hi);
+    PPJ_RETURN_NOT_OK(
+        env->channel->Send(env->shard_id, 0, MakeControl(ctx.s, 0)));
+    PPJ_ASSIGN_OR_RETURN(
+        sim::ChannelMessage msg,
+        StageSlice(*env, *copro.host(), ctx.staging_region, lo, hi - lo));
+    PPJ_RETURN_NOT_OK(env->channel->Send(env->shard_id, 0, std::move(msg)));
+    ctx.finished = true;
+    return Status::OK();
+  }
+  // Per-lane FIFO ordering guarantees the count envelope arrives before the
+  // staging slice on each worker's lane, so two sweeps over the workers —
+  // one per round — drain exactly the right messages.
+  env->channel->BeginRound("exchange-counts");
+  std::uint64_t total = ctx.s;
+  for (unsigned p = 1; p < env->shard_count; ++p) {
+    PPJ_ASSIGN_OR_RETURN(sim::ChannelMessage msg,
+                         env->channel->Recv(0, p, ctx.cancel));
+    std::uint64_t value = 0;
+    std::uint64_t flags = 0;
+    PPJ_RETURN_NOT_OK(ParseControl(msg, &value, &flags));
+    total += value;
+  }
+  env->channel->BeginRound("exchange-staging");
+  for (unsigned p = 1; p < env->shard_count; ++p) {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    BlockRange(l, p, env->shard_count, &lo, &hi);
+    PPJ_ASSIGN_OR_RETURN(sim::ChannelMessage msg,
+                         env->channel->Recv(0, p, ctx.cancel));
+    PPJ_RETURN_NOT_OK(
+        ApplySlice(*copro.host(), ctx.staging_region, lo, hi - lo, msg));
+  }
+  ctx.s = total;
+  if (total == 0) {
+    ctx.output_region = ctx.CreateRegion(copro, empty_output_name_, 0);
+    ctx.output_slots = 0;
+    ctx.finished = true;
+  }
+  return Status::OK();
+}
+
+Status ShardExchangeOp::RunSegmentsAndBlemish(sim::Coprocessor& copro,
+                                              PlanContext& ctx) {
+  const ShardEnv* env = nullptr;
+  PPJ_RETURN_NOT_OK(RequireShardEnv(ctx, &env));
+  const std::uint64_t m = copro.memory_tuples();
+  const std::uint64_t segments = m == 0 ? 0 : ctx.staging_slots / m;
+  if (!env->lead()) {
+    std::uint64_t seg_lo = 0;
+    std::uint64_t seg_hi = 0;
+    BlockRange(segments, env->shard_id, env->shard_count, &seg_lo, &seg_hi);
+    PPJ_RETURN_NOT_OK(env->channel->Send(env->shard_id, 0,
+                                         MakeControl(ctx.blemish ? 1 : 0, 0)));
+    // The segment gather is unconditional — it happens whether or not any
+    // shard blemished, and a shard with no segments still sends a
+    // zero-width slice — so the channel shape never depends on the data.
+    PPJ_ASSIGN_OR_RETURN(
+        sim::ChannelMessage msg,
+        StageSlice(*env, *copro.host(), ctx.staging_region, seg_lo * m,
+                   (seg_hi - seg_lo) * m));
+    PPJ_RETURN_NOT_OK(env->channel->Send(env->shard_id, 0, std::move(msg)));
+    ctx.finished = true;
+    return Status::OK();
+  }
+  env->channel->BeginRound("exchange-blemish");
+  for (unsigned p = 1; p < env->shard_count; ++p) {
+    PPJ_ASSIGN_OR_RETURN(sim::ChannelMessage msg,
+                         env->channel->Recv(0, p, ctx.cancel));
+    std::uint64_t value = 0;
+    std::uint64_t flags = 0;
+    PPJ_RETURN_NOT_OK(ParseControl(msg, &value, &flags));
+    if (value != 0) ctx.blemish = true;
+  }
+  env->channel->BeginRound("exchange-segments");
+  for (unsigned p = 1; p < env->shard_count; ++p) {
+    std::uint64_t seg_lo = 0;
+    std::uint64_t seg_hi = 0;
+    BlockRange(segments, p, env->shard_count, &seg_lo, &seg_hi);
+    PPJ_ASSIGN_OR_RETURN(sim::ChannelMessage msg,
+                         env->channel->Recv(0, p, ctx.cancel));
+    PPJ_RETURN_NOT_OK(ApplySlice(*copro.host(), ctx.staging_region,
+                                 seg_lo * m, (seg_hi - seg_lo) * m, msg));
+  }
+  return Status::OK();
+}
+
+}  // namespace ppj::plan

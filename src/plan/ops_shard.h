@@ -1,0 +1,147 @@
+#ifndef PPJ_PLAN_OPS_SHARD_H_
+#define PPJ_PLAN_OPS_SHARD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "plan/context.h"
+#include "plan/operator.h"
+#include "plan/ops.h"
+
+namespace ppj::plan {
+
+// Shard-local operators (plan/sharded.h): each runs inside one shard's
+// coprocessor against that shard's replica of the sealed inputs, with the
+// cross-shard structure carried by the ShardChannel. Their trace-shape
+// contract extends the unsharded one: the *union* of the per-shard traces
+// plus the channel's message sizes/ordering must be a function of the
+// public shape parameters (L, S, M, epsilon) and the contract-fixed shard
+// count P only. Work partitioning is always by public parameters (result
+// ranks, iTuple indices, segment indices) — never by tuple contents.
+
+/// Sharded screening prologue (Algorithms 5 and 6): the lead shard runs
+/// the L-read screening pass on its replica and broadcasts S to every
+/// sibling in fixed-size control messages; siblings block on the
+/// broadcast. S == 0 completes the plan on every shard (the empty output
+/// size is public), with the lead creating the empty output region.
+class ShardScreenOp final : public ObliviousOp {
+ public:
+  explicit ShardScreenOp(std::string output_name)
+      : output_name_(std::move(output_name)) {}
+  std::string_view name() const override { return "shard-screen"; }
+  std::string_view cost_formula() const override {
+    return "L on the lead shard; P-1 one-slot control broadcasts";
+  }
+  std::string_view trace_shape() const override {
+    return "function of L and P only (S rides a fixed-size envelope)";
+  }
+  Status Run(sim::Coprocessor& copro, PlanContext& ctx) override;
+
+ private:
+  std::string output_name_;
+};
+
+/// Sharded Algorithm 5 core: shard p emits the results with global match
+/// ranks [p*ceil(S/P), (p+1)*ceil(S/P)) — a partition of the *output* by
+/// public parameters — into its local copy of the S-slot output region,
+/// using Algorithm 5's scan-per-bufferful loop over the full local
+/// replica. Every shard creates the region (identical region histories;
+/// see ShardedStore) even when its rank range is empty.
+class ShardRankEmitOp final : public ObliviousOp {
+ public:
+  std::string_view name() const override { return "shard-rank-emit"; }
+  std::string_view cost_formula() const override {
+    return "ceil(ceil(S/P)/M) L scans + ceil(S/P) output per shard";
+  }
+  std::string_view trace_shape() const override {
+    return "function of L, S, M, P only";
+  }
+  Status Run(sim::Coprocessor& copro, PlanContext& ctx) override;
+
+ private:
+  PredicateEvaluateOp eval_;
+};
+
+/// Sharded Algorithm 4 first pass: shard p scans iTuple indices
+/// [p*ceil(L/P), (p+1)*ceil(L/P)), writing one oTuple per iTuple at the
+/// *global* staging index so the gathered region authenticates on the
+/// lead. Publishes the shard-local match count in ctx.s; the exchange
+/// aggregates the total on the lead.
+class ShardITupleScanOp final : public ObliviousOp {
+ public:
+  std::string_view name() const override { return "shard-ituple-scan"; }
+  std::string_view cost_formula() const override {
+    return "2 ceil(L/P) per shard (reads + staging writes)";
+  }
+  std::string_view trace_shape() const override {
+    return "function of L and P only";
+  }
+  Status Run(sim::Coprocessor& copro, PlanContext& ctx) override;
+
+ private:
+  PredicateEvaluateOp eval_;
+};
+
+/// Sharded Algorithm 6 main pass: shards own contiguous segment ranges of
+/// the shared MLFSR visiting order (identical order seed everywhere, as in
+/// Section 5.3.5), each flushing exactly M decoy-padded oTuples per
+/// segment into its local staging copy. Segment overflow sets the local
+/// blemish flag — the epsilon-probability event.
+class ShardSegmentEmitOp final : public ObliviousOp {
+ public:
+  ShardSegmentEmitOp(double epsilon, std::uint64_t order_seed)
+      : epsilon_(epsilon), order_seed_(order_seed) {}
+  std::string_view name() const override { return "shard-segment-emit"; }
+  std::string_view cost_formula() const override {
+    return "ceil(L/P) random-order reads + ceil(segments/P) M flushes";
+  }
+  std::string_view trace_shape() const override {
+    return "function of L, S, M, epsilon, P only (seeded order)";
+  }
+  Status Run(sim::Coprocessor& copro, PlanContext& ctx) override;
+
+ private:
+  PredicateEvaluateOp eval_;
+  double epsilon_ = 1e-20;
+  std::uint64_t order_seed_ = 0x5eed;
+};
+
+/// The oblivious cross-shard exchange: sealed slots move between shards as
+/// raw host-to-host ciphertext (no re-sealing — position-bound nonces
+/// authenticate because region histories are identical), and every
+/// message's size and lane ordering is part of the adversary-visible
+/// channel trace. Data-dependent values (partial counts, blemish flags)
+/// travel in fixed-size control envelopes. All gather traffic flows
+/// worker -> lead; widths are functions of (L, S, M, epsilon, P) only,
+/// and the gather happens unconditionally (for Algorithm 6 even when a
+/// blemish forces a salvage) so the channel shape never depends on data.
+class ShardExchangeOp final : public ObliviousOp {
+ public:
+  enum class Mode {
+    kOutputSlices,       ///< Alg 5: gather rank slices of the output.
+    kCountsAndStaging,   ///< Alg 4: gather counts, then staging slices.
+    kSegmentsAndBlemish, ///< Alg 6: gather blemish flags + segment slices.
+  };
+  ShardExchangeOp(Mode mode, std::string empty_output_name)
+      : mode_(mode), empty_output_name_(std::move(empty_output_name)) {}
+  std::string_view name() const override { return "exchange"; }
+  std::string_view cost_formula() const override;
+  std::string_view trace_shape() const override {
+    return "channel messages only; sizes are functions of L, S, M, "
+           "epsilon, P";
+  }
+  Status Run(sim::Coprocessor& copro, PlanContext& ctx) override;
+
+ private:
+  Status RunOutputSlices(sim::Coprocessor& copro, PlanContext& ctx);
+  Status RunCountsAndStaging(sim::Coprocessor& copro, PlanContext& ctx);
+  Status RunSegmentsAndBlemish(sim::Coprocessor& copro, PlanContext& ctx);
+
+  Mode mode_;
+  std::string empty_output_name_;
+};
+
+}  // namespace ppj::plan
+
+#endif  // PPJ_PLAN_OPS_SHARD_H_

@@ -1,0 +1,238 @@
+#include "plan/sharded.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/telemetry.h"
+#include "plan/builder.h"
+#include "plan/executor.h"
+#include "plan/ops.h"
+#include "plan/ops_shard.h"
+
+namespace ppj::plan {
+namespace {
+
+/// Folds the full sharded adversary surface into one fingerprint: every
+/// shard's trace fingerprint in shard order, then the channel's. The
+/// auditor's union rule compares exactly this value across shape-equal
+/// worlds. count = total trace events + channel events, so a run that
+/// moves a different *number* of events can never collide.
+sim::TraceFingerprint UnionFingerprint(
+    const std::vector<sim::TraceFingerprint>& shards,
+    const sim::TraceFingerprint& channel) {
+  RunningHash hash;
+  std::uint64_t count = 0;
+  for (const sim::TraceFingerprint& fp : shards) {
+    hash.UpdateU64(fp.digest);
+    hash.UpdateU64(fp.count);
+    count += fp.count;
+  }
+  hash.UpdateU64(channel.digest);
+  hash.UpdateU64(channel.count);
+  count += channel.count;
+  return sim::TraceFingerprint{hash.digest(), count};
+}
+
+/// The shards == 1 degenerate case: the *serial* plan on shard 0 — same
+/// builder, same executor, unmodified base options — so the trace, timing
+/// and transfer surface is bit-identical to the frozen plan goldens by
+/// construction (no shard ops, no channel).
+Result<ShardedOutcome> RunSingleShard(sim::ShardedStore& store,
+                                      core::Algorithm algorithm,
+                                      const core::MultiwayJoin& join,
+                                      const sim::CoprocessorOptions& base,
+                                      const ShardedRunOptions& options) {
+  JoinPlanOptions plan_options;
+  plan_options.epsilon = options.epsilon;
+  plan_options.order_seed = options.order_seed;
+  PPJ_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                       BuildJoinPlan(algorithm, nullptr, &join, plan_options));
+  sim::Coprocessor copro(&store.shard(0), base);
+  PlanContext ctx(nullptr, &join);
+  ctx.cancel = base.cancel;
+  PlanExecutor executor;
+  PPJ_RETURN_NOT_OK(executor.Run(copro, plan, ctx));
+
+  ShardedOutcome out;
+  out.output_region = ctx.output_region;
+  out.result_size = ctx.output_slots;
+  out.blemish = ctx.blemish;
+  out.per_shard.push_back(copro.metrics());
+  out.shard_fingerprints.push_back(copro.trace().fingerprint());
+  out.channel.max_mailbox_depth.assign(1, 0);
+  out.union_fingerprint =
+      UnionFingerprint(out.shard_fingerprints, out.channel_fingerprint);
+  out.makespan_transfers = copro.metrics().TupleTransfers();
+  out.total_transfers = out.makespan_transfers;
+  out.lead_checkpoints = ctx.checkpoints;
+  return out;
+}
+
+}  // namespace
+
+Result<PhysicalPlan> BuildShardedPlan(core::Algorithm algorithm,
+                                      const ShardedRunOptions& options) {
+  const core::AlgorithmInfo& info = core::GetAlgorithmInfo(algorithm);
+  PhysicalPlan plan;
+  plan.algorithm = algorithm;
+  plan.root_span = info.root_span;
+  switch (algorithm) {
+    case core::Algorithm::kAlgorithm5:
+      plan.ops.push_back(std::make_unique<ShardScreenOp>("shard5-output"));
+      plan.ops.push_back(std::make_unique<ShardRankEmitOp>());
+      plan.ops.push_back(std::make_unique<ShardExchangeOp>(
+          ShardExchangeOp::Mode::kOutputSlices, "shard5-output"));
+      break;
+    case core::Algorithm::kAlgorithm4:
+      plan.ops.push_back(std::make_unique<ShardITupleScanOp>());
+      plan.ops.push_back(std::make_unique<ShardExchangeOp>(
+          ShardExchangeOp::Mode::kCountsAndStaging, "shard4-output"));
+      // Lead-only tail (workers finish inside the exchange): the standard
+      // serial decoy filter over the fully gathered staging region.
+      plan.ops.push_back(std::make_unique<WindowedFilterOp>(0, "shard4-output"));
+      plan.ops.push_back(std::make_unique<EmitOutputOp>());
+      break;
+    case core::Algorithm::kAlgorithm6:
+      plan.ops.push_back(std::make_unique<ShardScreenOp>("shard6-output"));
+      plan.ops.push_back(std::make_unique<ShardSegmentEmitOp>(
+          options.epsilon, options.order_seed));
+      plan.ops.push_back(std::make_unique<ShardExchangeOp>(
+          ShardExchangeOp::Mode::kSegmentsAndBlemish, "shard6-output"));
+      plan.ops.push_back(std::make_unique<SalvageOp>());
+      plan.ops.push_back(std::make_unique<WindowedFilterOp>(0, "shard6-output"));
+      plan.ops.push_back(std::make_unique<EmitOutputOp>());
+      break;
+    default:
+      return Status::InvalidArgument(
+          std::string(info.name) +
+          " has no sharded execution plan (Chapter 5 exact/epsilon "
+          "algorithms only)");
+  }
+  return plan;
+}
+
+Result<std::vector<relation::EncryptedRelation>> ReplicateSealed(
+    sim::ShardedStore& store, const relation::Relation& rel,
+    const crypto::Ocb* key, std::uint64_t padded_slots) {
+  std::vector<relation::EncryptedRelation> replicas;
+  replicas.reserve(store.shard_count());
+  for (unsigned p = 0; p < store.shard_count(); ++p) {
+    PPJ_ASSIGN_OR_RETURN(
+        relation::EncryptedRelation sealed,
+        relation::EncryptedRelation::Seal(&store.shard(p), rel, key,
+                                          padded_slots));
+    replicas.push_back(std::move(sealed));
+  }
+  return replicas;
+}
+
+Result<ShardedOutcome> RunShardedJoin(
+    sim::ShardedStore& store, core::Algorithm algorithm,
+    const std::vector<const core::MultiwayJoin*>& joins,
+    const sim::CoprocessorOptions& base_options,
+    const ShardedRunOptions& options) {
+  const unsigned shards = options.shards;
+  if (shards == 0 || shards != store.shard_count()) {
+    return Status::InvalidArgument(
+        "shard count must match the sharded store");
+  }
+  if (joins.size() != shards) {
+    return Status::InvalidArgument("need one join description per shard");
+  }
+  for (const core::MultiwayJoin* join : joins) {
+    if (join == nullptr) return Status::InvalidArgument("null shard join");
+    PPJ_RETURN_NOT_OK(join->Validate());
+  }
+  if (shards == 1) {
+    return RunSingleShard(store, algorithm, *joins[0], base_options, options);
+  }
+
+  sim::ShardChannel channel(shards);
+  std::vector<ShardEnv> envs(shards);
+  std::vector<std::unique_ptr<sim::Coprocessor>> copros;
+  std::vector<std::unique_ptr<PlanContext>> ctxs;
+  std::vector<PhysicalPlan> plans;
+  copros.reserve(shards);
+  ctxs.reserve(shards);
+  plans.reserve(shards);
+  for (unsigned p = 0; p < shards; ++p) {
+    sim::CoprocessorOptions opt = base_options;
+    // Worker seed offsets follow the parallel-engine convention (alg5
+    // workers: +1000, ..., alg2: +4000); the lead keeps the base seed so a
+    // one-shard deployment seeds exactly like the serial device.
+    if (p > 0) opt.seed = base_options.seed + 5000 + p;
+    copros.push_back(std::make_unique<sim::Coprocessor>(&store.shard(p), opt));
+    envs[p] = ShardEnv{p, shards, &channel, &store};
+    ctxs.push_back(std::make_unique<PlanContext>(nullptr, joins[p]));
+    ctxs[p]->shard = &envs[p];
+    ctxs[p]->cancel = base_options.cancel;
+    PPJ_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                         BuildShardedPlan(algorithm, options));
+    plans.push_back(std::move(plan));
+  }
+
+  std::vector<Status> statuses(shards);
+  {
+    const telemetry::SpanHandle tparent = telemetry::CurrentSpan();
+    std::vector<std::thread> threads;
+    threads.reserve(shards);
+    for (unsigned p = 0; p < shards; ++p) {
+      threads.emplace_back([&, p] {
+        telemetry::ScopedContext tctx(tparent, copros[p].get());
+        const std::string sname = "shard-" + std::to_string(p);
+        PPJ_SPAN(sname);
+        PlanExecutor executor;
+        statuses[p] = executor.Run(*copros[p], plans[p], *ctxs[p]);
+        // A failing shard poisons the channel so siblings blocked in the
+        // exchange resolve with this status instead of wedging.
+        if (!statuses[p].ok()) channel.Abort(statuses[p]);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (const Status& status : statuses) PPJ_RETURN_NOT_OK(status);
+
+  ShardedOutcome out;
+  out.output_region = ctxs[0]->output_region;
+  out.result_size = ctxs[0]->output_slots;
+  out.blemish = ctxs[0]->blemish;
+  for (unsigned p = 0; p < shards; ++p) {
+    const sim::TransferMetrics& m = copros[p]->metrics();
+    out.per_shard.push_back(m);
+    out.shard_fingerprints.push_back(copros[p]->trace().fingerprint());
+    out.makespan_transfers =
+        std::max(out.makespan_transfers, m.TupleTransfers());
+    out.total_transfers += m.TupleTransfers();
+  }
+  out.channel = channel.stats();
+  out.channel_fingerprint = channel.fingerprint();
+  out.union_fingerprint =
+      UnionFingerprint(out.shard_fingerprints, out.channel_fingerprint);
+  out.lead_checkpoints = ctxs[0]->checkpoints;
+  return out;
+}
+
+void PublishShardMetrics(metrics::Registry* registry,
+                         const metrics::LabelSet& labels,
+                         const ShardedOutcome& outcome) {
+  metrics::Registry& reg =
+      registry != nullptr ? *registry : metrics::Registry::Global();
+  reg.GetCounter(metrics::kShardChannelBytes, labels)
+      .Increment(outcome.channel.bytes);
+  reg.GetCounter(metrics::kShardChannelMessages, labels)
+      .Increment(outcome.channel.messages);
+  reg.GetCounter(metrics::kShardExchangeRounds, labels)
+      .Increment(outcome.channel.rounds);
+  for (std::size_t i = 0; i < outcome.channel.max_mailbox_depth.size(); ++i) {
+    metrics::LabelSet shard_labels = labels;
+    shard_labels.op = "shard" + std::to_string(i);
+    reg.GetGauge(metrics::kShardQueueDepth, shard_labels)
+        .Set(outcome.channel.max_mailbox_depth[i]);
+  }
+}
+
+}  // namespace ppj::plan

@@ -1,0 +1,101 @@
+#ifndef PPJ_PLAN_SHARDED_H_
+#define PPJ_PLAN_SHARDED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/algorithm.h"
+#include "core/join_spec.h"
+#include "core/privacy_auditor.h"
+#include "relation/encrypted_relation.h"
+#include "sim/coprocessor.h"
+#include "sim/shard_channel.h"
+#include "sim/sharded_store.h"
+
+namespace ppj::plan {
+
+/// Knobs of one sharded execution. The shard count is fixed by the calling
+/// contract (ExecuteOptions::shards at the service layer) — a deployment
+/// parameter, never derived from the data.
+struct ShardedRunOptions {
+  unsigned shards = 1;
+  /// Algorithm 6 privacy slack / visiting-order seed, as in the serial and
+  /// parallel engines.
+  double epsilon = 1e-20;
+  std::uint64_t order_seed = 0x5eed;
+};
+
+/// What a sharded run produced, plus the full adversary surface needed for
+/// the union-of-traces audit: every shard's trace fingerprint and the
+/// channel's message-shape fingerprint.
+struct ShardedOutcome {
+  /// Delivered output region — lives in shard 0 (the lead).
+  sim::RegionId output_region = 0;
+  std::uint64_t result_size = 0;
+  bool blemish = false;  ///< Algorithm 6 epsilon event (any shard).
+
+  std::vector<sim::TransferMetrics> per_shard;
+  std::vector<sim::TraceFingerprint> shard_fingerprints;
+  sim::ChannelStats channel;
+  sim::TraceFingerprint channel_fingerprint;
+  /// Hash over (every shard's fingerprint in shard order, then the channel
+  /// fingerprint): the single value the auditor's union rule compares.
+  sim::TraceFingerprint union_fingerprint;
+
+  /// Parallel completion time in the paper's transfer-count model: the
+  /// maximum TupleTransfers of any single shard (cf. ParallelOutcome).
+  std::uint64_t makespan_transfers = 0;
+  std::uint64_t total_transfers = 0;
+
+  /// Per-operator checkpoints of the lead shard's plan.
+  std::vector<core::OpCheckpoint> lead_checkpoints;
+};
+
+/// Builds the shard-local physical plan for `algorithm` (4, 5 or 6): the
+/// shard-local variants of the serial operators plus the exchange op that
+/// moves sealed slots through the ShardChannel. Every shard runs the same
+/// plan; lead/worker divergence is internal to the shard operators.
+Result<PhysicalPlan> BuildShardedPlan(core::Algorithm algorithm,
+                                      const ShardedRunOptions& options);
+
+/// Seals `rel` into every shard of `store`, in shard order, under `key`.
+/// Because all sharded inputs are replicated through this helper (and all
+/// plan regions are created on every shard), region-creation histories are
+/// identical across shards — the invariant that lets the exchange move
+/// sealed slots without re-sealing (see ShardedStore). Provider-side
+/// sealing: not traced, exactly like the unsharded ingest path.
+Result<std::vector<relation::EncryptedRelation>> ReplicateSealed(
+    sim::ShardedStore& store, const relation::Relation& rel,
+    const crypto::Ocb* key, std::uint64_t padded_slots = 0);
+
+/// Runs `algorithm` over `store`'s shards: one coprocessor per shard (seed
+/// base + 5000 + p for workers; the lead keeps the base seed, so a
+/// one-shard run is the serial run), one thread per shard, the shard-local
+/// plan on each, with the exchange completing on the lead. `joins[p]` is
+/// shard p's view of the same logical join — same shape, tables sealed in
+/// shard p (via ReplicateSealed). With options.shards == 1 this executes
+/// the *serial* plan on shard 0, bit-identical to the frozen plan goldens.
+///
+/// A failing shard aborts the channel, so sibling shards blocked in the
+/// exchange resolve immediately with the failing status; a stalled shard
+/// is bounded by base_options.cancel's deadline (the PR-9 resilience path).
+Result<ShardedOutcome> RunShardedJoin(
+    sim::ShardedStore& store, core::Algorithm algorithm,
+    const std::vector<const core::MultiwayJoin*>& joins,
+    const sim::CoprocessorOptions& base_options,
+    const ShardedRunOptions& options);
+
+/// Publishes the ppj_shard_* family from one finished run: channel bytes /
+/// messages / exchange rounds (counters) and the per-shard mailbox
+/// high-water marks (gauges, op="shard<i>"). All inputs are functions of
+/// the adversary-visible channel shape, so publication is trace-neutral.
+void PublishShardMetrics(metrics::Registry* registry,
+                         const metrics::LabelSet& labels,
+                         const ShardedOutcome& outcome);
+
+}  // namespace ppj::plan
+
+#endif  // PPJ_PLAN_SHARDED_H_

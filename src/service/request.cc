@@ -26,6 +26,22 @@ Status ExecuteOptions::Validate(const TenantQuotas* quotas) const {
     return Status::InvalidArgument(
         "Algorithm 6 needs a positive epsilon privacy budget");
   }
+  if (shards == 0) {
+    return Status::InvalidArgument("shards must be at least 1");
+  }
+  if (shards > 1) {
+    if (parallelism > 1) {
+      return Status::InvalidArgument(
+          "shards and parallelism are mutually exclusive ways to add "
+          "coprocessors; pick one");
+    }
+    // Sharded plans exist only for the exact-output Chapter 5 family
+    // (same capability bit as the parallel engines).
+    if (algorithm && !core::GetAlgorithmInfo(*algorithm).supports_parallel) {
+      return Status::InvalidArgument(
+          "sharded execution needs Algorithm 4, 5 or 6");
+    }
+  }
   if (quotas != nullptr) {
     // Quota violations are a distinct failure class: the options are
     // internally consistent, the tenant just asked for more than its
@@ -41,6 +57,12 @@ Status ExecuteOptions::Validate(const TenantQuotas* quotas) const {
           "memory_tuples " + std::to_string(memory_tuples) +
           " exceeds the tenant quota of " +
           std::to_string(quotas->max_memory_tuples) + " slots");
+    }
+    if (shards > quotas->max_shards) {
+      return Status::QuotaExceeded(
+          "shards " + std::to_string(shards) +
+          " exceeds the tenant quota of " +
+          std::to_string(quotas->max_shards) + " shards");
     }
   }
   return Status::OK();

@@ -48,6 +48,8 @@ struct TenantQuotas {
   unsigned max_parallelism = 16;
   /// Largest per-request device memory (ExecuteOptions::memory_tuples).
   std::uint64_t max_memory_tuples = std::uint64_t{1} << 24;
+  /// Largest per-request shard count (ExecuteOptions::shards).
+  unsigned max_shards = 16;
 };
 
 /// Execution knobs; sensible defaults everywhere.
@@ -65,6 +67,14 @@ struct ExecuteOptions {
   /// Number of coprocessors (Section 5.3.5). Values > 1 dispatch to the
   /// parallel executors; only Algorithms 4, 5 and 6 support it.
   unsigned parallelism = 1;
+  /// Number of sealed host shards (plan/sharded.h). Values > 1 run the
+  /// join over a per-request ShardedStore — one coprocessor per shard,
+  /// inputs replicated at ingest, cross-shard traffic through the
+  /// trace-visible exchange layer. Only the exact-output Chapter 5
+  /// algorithms support it, and it is mutually exclusive with
+  /// `parallelism` > 1 (shards already parallelize; the shard count is a
+  /// contract-level deployment parameter, never data-dependent).
+  unsigned shards = 1;
   /// Upper bound on one batched range transfer; 0 = auto-sized from free
   /// device memory, 1 = force the scalar per-slot path (see
   /// sim::CoprocessorOptions::batch_slots).

@@ -13,6 +13,8 @@
 #include "plan/builder.h"
 #include "plan/context.h"
 #include "plan/executor.h"
+#include "plan/sharded.h"
+#include "sim/sharded_store.h"
 
 namespace ppj::service {
 
@@ -87,6 +89,7 @@ struct SovereignJoinService::ReuseCache {
     std::uint64_t memory_tuples = 0;
     std::uint64_t seed = 0;
     unsigned parallelism = 1;
+    unsigned shards = 1;
     std::uint64_t batch_slots = 0;
     // Aggregate / group-by shape (zeroed for the join kinds).
     core::AggregateKind agg_kind = core::AggregateKind::kCount;
@@ -443,9 +446,10 @@ Result<Ticket> SovereignJoinService::Submit(const std::string& contract_id,
           request.pair()->is_equality() &&
           IsPowerOfTwo(snapshot[1]->sealed->padded_size());
       input.n = options.n;
-      // A parallel request cannot take a Chapter 4 plan (they are
-      // sequential): force the planner into the exact-output family.
-      input.exact_output_required = options.parallelism > 1;
+      // A parallel or sharded request cannot take a Chapter 4 plan (they
+      // are sequential): force the planner into the exact-output family.
+      input.exact_output_required =
+          options.parallelism > 1 || options.shards > 1;
     } else {
       input.size_a = snapshot[0]->sealed->size();
       input.size_b = 1;
@@ -456,6 +460,7 @@ Result<Ticket> SovereignJoinService::Submit(const std::string& contract_id,
     }
     input.m = options.memory_tuples;
     input.epsilon = options.epsilon;
+    input.shards = options.shards;
     algorithm = core::PlanJoin(input).algorithm;
   }
 
@@ -481,6 +486,7 @@ Result<Ticket> SovereignJoinService::Submit(const std::string& contract_id,
     key.memory_tuples = options.memory_tuples;
     key.seed = options.seed;
     key.parallelism = options.parallelism;
+    key.shards = options.shards;
     key.batch_slots = options.batch_slots;
     if (request.kind() == JoinRequest::Kind::kAggregate) {
       key.agg_kind = request.aggregate().kind;
@@ -794,6 +800,88 @@ Result<JoinDelivery> SovereignJoinService::RunJoin(
     reuse_cache_->Insert(prep.contract_id, prep.cache_key, cached,
                          scheduler_options_.reuse_entries_per_contract);
   };
+
+  // Sharded execution (plan/sharded.h): a per-request partitioned host
+  // store with one coprocessor per shard. Inputs are replicated into every
+  // shard at ingest (provider-side seal, outside any device trace), shards
+  // partition the *work* by public shape parameters, and the output is
+  // gathered to shard 0 over the trace-visible exchange channel. The
+  // sealed output lives in the per-request store, which dies with this
+  // request — so sharded runs bypass the reuse cache entirely.
+  if (prep.options.shards > 1) {
+    sim::ShardedStore store(prep.options.shards);
+    // Replicate each snapshot relation in provider order so every shard's
+    // region-creation history is identical (position-bound nonces make
+    // sealed bytes portable across shards only under that discipline).
+    std::vector<std::vector<relation::EncryptedRelation>> replicas;
+    replicas.reserve(prep.snapshot.size());
+    for (const auto& sub : prep.snapshot) {
+      Result<std::vector<relation::EncryptedRelation>> sealed =
+          plan::ReplicateSealed(store, *sub->rel, sub->sealed->key(),
+                                sub->sealed->padded_size());
+      if (!sealed.ok()) {
+        return RecordFailure(prep.contract_id, "setup", nullptr,
+                             sealed.status(), failure_out);
+      }
+      replicas.push_back(std::move(sealed).value());
+    }
+    // Per-shard join views over that shard's replicas; the predicate and
+    // output key are shared (public / recipient-side respectively).
+    std::vector<core::MultiwayJoin> shard_joins(prep.options.shards);
+    std::vector<const core::MultiwayJoin*> join_ptrs;
+    join_ptrs.reserve(prep.options.shards);
+    for (unsigned p = 0; p < prep.options.shards; ++p) {
+      for (const auto& table : replicas) {
+        shard_joins[p].tables.push_back(&table[p]);
+      }
+      shard_joins[p].predicate = multiway;
+      shard_joins[p].output_key = prep.out_key;
+      join_ptrs.push_back(&shard_joins[p]);
+    }
+    telemetry::TraceRecorder recorder(prep.options.telemetry);
+    Result<plan::ShardedOutcome> sharded =
+        Status::Internal("unsupported sharded algorithm");
+    {
+      telemetry::ScopedContext tctx(&recorder, nullptr);
+      telemetry::Span tspan(root_span);
+      plan::ShardedRunOptions ropts;
+      ropts.shards = prep.options.shards;
+      ropts.epsilon = prep.options.epsilon;
+      ropts.order_seed = prep.options.seed;
+      sharded = plan::RunShardedJoin(store, prep.algorithm, join_ptrs,
+                                     copro_options, ropts);
+    }
+    if (!sharded.ok()) {
+      return RecordFailure(prep.contract_id, "algorithm", nullptr,
+                           sharded.status(), failure_out);
+    }
+    JoinDelivery delivery;
+    delivery.telemetry = recorder.TakeTree();
+    Result<std::vector<relation::Tuple>> decoded = core::DecodeJoinOutput(
+        store.shard(0), sharded->output_region, sharded->result_size,
+        *prep.out_key, result_schema.get());
+    if (!decoded.ok()) {
+      return RecordFailure(prep.contract_id, "decode", nullptr,
+                           decoded.status(), failure_out);
+    }
+    delivery.tuples = std::move(decoded).value();
+    delivery.result_schema = std::move(result_schema);
+    for (const sim::TransferMetrics& m : sharded->per_shard) {
+      delivery.metrics += m;
+    }
+    // The adversary-visible surface of a sharded run is the union of the
+    // per-shard traces plus the channel traffic shape (Definition 3 lifted
+    // to shards); deliver that as the request's trace fingerprint.
+    delivery.trace = sharded->union_fingerprint;
+    delivery.blemish = sharded->blemish;
+    delivery.observable_output_slots = sharded->result_size;
+    metrics::LabelSet shard_labels =
+        metrics::LabelSet::ForTenant(prep.tenant);
+    shard_labels.algorithm = core::ToString(prep.algorithm);
+    plan::PublishShardMetrics(&scheduler_options_.ResolvedRegistry(),
+                              shard_labels, *sharded);
+    return delivery;
+  }
 
   // Multiple coprocessors (Section 5.3.5): dispatch to the parallel
   // executors and aggregate their per-device metrics. No single device

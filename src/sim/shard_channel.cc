@@ -1,0 +1,113 @@
+#include "sim/shard_channel.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace ppj::sim {
+
+ShardChannel::ShardChannel(unsigned shards)
+    : shards_(shards),
+      lanes_(static_cast<std::size_t>(shards) * shards),
+      mailbox_depth_(shards, 0),
+      max_mailbox_depth_(shards, 0) {}
+
+Status ShardChannel::Send(unsigned from, unsigned to, ChannelMessage msg) {
+  if (from >= shards_ || to >= shards_) {
+    return Status::InvalidArgument("shard id out of range");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (aborted_) return abort_status_;
+  Lane& lane = lanes_[LaneIndex(from, to)];
+  lane.sent_sizes.emplace_back(msg.slots, msg.bytes.size());
+  total_messages_ += 1;
+  total_slots_ += msg.slots;
+  total_bytes_ += msg.bytes.size();
+  lane.queue.push_back(std::move(msg));
+  mailbox_depth_[to] += 1;
+  if (mailbox_depth_[to] > max_mailbox_depth_[to]) {
+    max_mailbox_depth_[to] = mailbox_depth_[to];
+  }
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Result<ChannelMessage> ShardChannel::Recv(unsigned to, unsigned from,
+                                          const CancelToken* cancel) {
+  if (from >= shards_ || to >= shards_) {
+    return Status::InvalidArgument("shard id out of range");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  Lane& lane = lanes_[LaneIndex(from, to)];
+  for (;;) {
+    if (!lane.queue.empty()) {
+      ChannelMessage msg = std::move(lane.queue.front());
+      lane.queue.pop_front();
+      mailbox_depth_[to] -= 1;
+      return msg;
+    }
+    if (aborted_) return abort_status_;
+    if (cancel != nullptr) {
+      Status st = cancel->Check();
+      if (!st.ok()) return st;
+    }
+    // Bounded wait so the cancel token is polled even when no signal ever
+    // arrives (a sibling that died without aborting the channel).
+    cv_.wait_for(lock, std::chrono::milliseconds(10));
+  }
+}
+
+void ShardChannel::BeginRound(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rounds_.emplace_back(name);
+}
+
+void ShardChannel::Abort(Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (aborted_) return;
+  aborted_ = true;
+  abort_status_ = std::move(status);
+  cv_.notify_all();
+}
+
+bool ShardChannel::aborted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aborted_;
+}
+
+TraceFingerprint ShardChannel::fingerprint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RunningHash hash;
+  for (const std::string& round : rounds_) {
+    hash.Update(round.data(), round.size());
+  }
+  for (unsigned from = 0; from < shards_; ++from) {
+    for (unsigned to = 0; to < shards_; ++to) {
+      const Lane& lane = lanes_[LaneIndex(from, to)];
+      for (std::size_t seq = 0; seq < lane.sent_sizes.size(); ++seq) {
+        hash.UpdateU64(from);
+        hash.UpdateU64(to);
+        hash.UpdateU64(seq);
+        hash.UpdateU64(lane.sent_sizes[seq].first);
+        hash.UpdateU64(lane.sent_sizes[seq].second);
+      }
+    }
+  }
+  // One hash count unit per message + per round marker, independent of the
+  // interleaving-invariant aggregation above.
+  return TraceFingerprint{hash.digest(), total_messages_ + rounds_.size()};
+}
+
+ChannelStats ShardChannel::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ChannelStats out;
+  out.messages = total_messages_;
+  out.slots = total_slots_;
+  out.bytes = total_bytes_;
+  out.rounds = rounds_.size();
+  out.max_mailbox_depth = max_mailbox_depth_;
+  return out;
+}
+
+}  // namespace ppj::sim

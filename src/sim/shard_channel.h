@@ -1,0 +1,130 @@
+#ifndef PPJ_SIM_SHARD_CHANNEL_H_
+#define PPJ_SIM_SHARD_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "sim/trace.h"
+
+namespace ppj::sim {
+
+/// One inter-shard message: `slots` sealed tuple slots (possibly zero) plus
+/// the raw payload bytes. Conceptually the payload travels sealed under a
+/// pairwise channel key the coprocessors share, so the host relaying it
+/// learns nothing beyond what the simulation makes adversary-visible: the
+/// message's *size* (slot count and byte length) and its position in the
+/// per-lane ordering. Control messages (result sizes, blemish flags) ride
+/// inside fixed-size payloads for exactly this reason — a data-dependent
+/// count travels in a shape-independent envelope.
+struct ChannelMessage {
+  std::uint64_t slots = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Aggregate channel accounting for one sharded execution.
+struct ChannelStats {
+  std::uint64_t messages = 0;  ///< Total Send calls.
+  std::uint64_t slots = 0;     ///< Total sealed slots moved.
+  std::uint64_t bytes = 0;     ///< Total payload bytes moved.
+  std::uint64_t rounds = 0;    ///< BeginRound calls (exchange rounds).
+  /// High-water mark of each shard's inbound mailbox (all lanes into that
+  /// shard), indexed by shard id — the ppj_shard_queue_depth gauge source.
+  std::vector<std::uint64_t> max_mailbox_depth;
+};
+
+/// The host-mediated message fabric between the shards of a ShardedStore.
+/// Every message H relays between two coprocessors is part of the
+/// adversary-visible trace: the channel folds (from, to, sequence, slots)
+/// of every send — plus the ordered exchange-round markers — into a
+/// fingerprint with the same shape contract as an AccessTrace. The privacy
+/// auditor requires this fingerprint, like the union of the per-shard
+/// traces, to be a function of the public shape parameters only.
+///
+/// Determinism: events are recorded per directed lane (from -> to) in send
+/// order, and the fingerprint hashes lanes in fixed lexicographic
+/// (from, to) order. Per-lane order is determined by each sender's program;
+/// the global interleaving of independent lanes — genuine scheduling
+/// nondeterminism — is deliberately excluded, so the fingerprint is
+/// reproducible across runs and machines.
+///
+/// Thread safety: all methods are safe to call from concurrent shard
+/// threads. Recv blocks until the lane has a message, the channel aborts,
+/// or the caller's cancel token fires.
+class ShardChannel {
+ public:
+  explicit ShardChannel(unsigned shards);
+
+  ShardChannel(const ShardChannel&) = delete;
+  ShardChannel& operator=(const ShardChannel&) = delete;
+
+  unsigned shard_count() const { return shards_; }
+
+  /// Enqueues `msg` on the (from -> to) lane. Fails on out-of-range shard
+  /// ids or after Abort.
+  Status Send(unsigned from, unsigned to, ChannelMessage msg);
+
+  /// Dequeues the oldest message of the (from -> to) lane, blocking until
+  /// one arrives. `cancel` (optional) is polled while waiting so a
+  /// request deadline bounds the wait; an Abort wakes every waiter with
+  /// the aborting status. This is what keeps a single wedged shard from
+  /// wedging its siblings: the failing shard aborts the channel and every
+  /// blocked Recv resolves immediately.
+  Result<ChannelMessage> Recv(unsigned to, unsigned from,
+                              const CancelToken* cancel = nullptr);
+
+  /// Marks the start of a named exchange round. Called by the coordinating
+  /// shard only, so the round sequence is deterministic; the round markers
+  /// are folded into the fingerprint (round structure is trace-visible).
+  void BeginRound(std::string_view name);
+
+  /// Poisons the channel: every pending and future Send/Recv returns
+  /// `status`. First abort wins; subsequent calls are ignored.
+  void Abort(Status status);
+
+  /// True once Abort has been called.
+  bool aborted() const;
+
+  /// Fingerprint over (round markers, then every lane's ordered
+  /// (from, to, seq, slots, bytes) send events in lexicographic lane
+  /// order). count = messages + rounds.
+  TraceFingerprint fingerprint() const;
+
+  ChannelStats stats() const;
+
+ private:
+  struct Lane {
+    std::deque<ChannelMessage> queue;
+    /// Sizes of every message ever sent on this lane, in send order — the
+    /// adversary-visible shape record (payload bytes are not part of it).
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> sent_sizes;
+  };
+
+  std::size_t LaneIndex(unsigned from, unsigned to) const {
+    return static_cast<std::size_t>(from) * shards_ + to;
+  }
+
+  const unsigned shards_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Lane> lanes_;
+  std::vector<std::string> rounds_;
+  std::vector<std::uint64_t> mailbox_depth_;
+  std::vector<std::uint64_t> max_mailbox_depth_;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_slots_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool aborted_ = false;
+  Status abort_status_;
+};
+
+}  // namespace ppj::sim
+
+#endif  // PPJ_SIM_SHARD_CHANNEL_H_

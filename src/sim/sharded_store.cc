@@ -1,0 +1,26 @@
+#include "sim/sharded_store.h"
+
+#include <utility>
+
+namespace ppj::sim {
+
+ShardedStore::ShardedStore(unsigned shards) {
+  shards_.reserve(shards);
+  pools_.reserve(shards);
+  for (unsigned i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<HostStore>());
+    pools_.push_back(std::make_unique<ArenaPool>());
+  }
+}
+
+ShardedStore::ShardedStore(
+    std::vector<std::unique_ptr<StorageBackend>> backends) {
+  shards_.reserve(backends.size());
+  pools_.reserve(backends.size());
+  for (auto& backend : backends) {
+    shards_.push_back(std::make_unique<HostStore>(std::move(backend)));
+    pools_.push_back(std::make_unique<ArenaPool>());
+  }
+}
+
+}  // namespace ppj::sim

@@ -1,0 +1,61 @@
+#ifndef PPJ_SIM_SHARDED_STORE_H_
+#define PPJ_SIM_SHARDED_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "sim/arena_pool.h"
+#include "sim/host_store.h"
+#include "sim/storage_backend.h"
+
+namespace ppj::sim {
+
+/// N sealed host shards behind one handle: each shard is a full HostStore
+/// (its own StorageBackend) with a dedicated staging-arena pool, serving
+/// exactly one per-shard coprocessor during a sharded execution. The shard
+/// count is fixed when the store is constructed — per the sharding
+/// contract it is a deployment parameter, never a function of the data, so
+/// "how many shards participated" is public by construction.
+///
+/// Region-id discipline (load-bearing): sealed slots are authenticated
+/// with position-bound nonces (region, index), and the exchange layer
+/// moves sealed slots between shards as raw host bytes without re-sealing.
+/// A gathered slot therefore only authenticates on the receiving shard if
+/// both shards assigned the *same region id* to the logical region. All
+/// sharded-execution code keeps every shard's region-creation history
+/// identical — relations are replicated in the same order, and plan
+/// operators create each logical region on every shard, even shards that
+/// only write part of it.
+class ShardedStore {
+ public:
+  /// `shards` in-memory shards.
+  explicit ShardedStore(unsigned shards);
+
+  /// One shard per backend; the shard count is the vector size. This is
+  /// how file/mmap-backed shards and fault-injecting chaos decorators are
+  /// wired in.
+  explicit ShardedStore(std::vector<std::unique_ptr<StorageBackend>> backends);
+
+  ShardedStore(const ShardedStore&) = delete;
+  ShardedStore& operator=(const ShardedStore&) = delete;
+
+  unsigned shard_count() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+  HostStore& shard(unsigned i) { return *shards_[i]; }
+  const HostStore& shard(unsigned i) const { return *shards_[i]; }
+
+  /// Per-shard staging pool for host-side exchange scratch (the gather
+  /// buffers the channel moves between shards). Host-internal staging —
+  /// invisible to traces, metrics and fingerprints, like the plan pools.
+  ArenaPool& arena_pool(unsigned i) { return *pools_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<HostStore>> shards_;
+  std::vector<std::unique_ptr<ArenaPool>> pools_;
+};
+
+}  // namespace ppj::sim
+
+#endif  // PPJ_SIM_SHARDED_STORE_H_

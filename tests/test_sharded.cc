@@ -1,0 +1,541 @@
+// Sharded oblivious execution: the partitioned host store, the per-shard
+// plan, the exchange channel and the union-of-traces privacy rule.
+//
+// The load-bearing guarantees under test:
+//  - shards == 1 executes the *serial* plan and is bit-identical to the
+//    frozen pre-refactor fingerprints in test_plan_goldens.cc;
+//  - sharded results equal serial results at every shard count;
+//  - the sharded surface is backend-invariant (mem == file == mmap);
+//  - a stalled shard resolves through the request-deadline path without
+//    wedging its sibling shards (chaos);
+//  - the union of per-shard traces plus the channel shape is determined by
+//    public parameters alone (the Definition 3 rule lifted to shards);
+//  - the service end-to-end path and the ppj_shard_* metrics family.
+
+#include <chrono>
+#include <filesystem>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cancel.h"
+#include "common/metrics.h"
+#include "core/join_result.h"
+#include "core/privacy_auditor.h"
+#include "plan/sharded.h"
+#include "relation/generator.h"
+#include "service/service.h"
+#include "sim/fault_injector.h"
+#include "sim/sharded_store.h"
+#include "sim/storage_backend.h"
+#include "test_util.h"
+
+namespace ppj::plan {
+namespace {
+
+using relation::MakeCellWorkload;
+
+/// Everything one sharded run needs, with the replicas kept alive next to
+/// the per-shard join views that point into them.
+struct ShardedWorld {
+  std::unique_ptr<sim::ShardedStore> store;
+  relation::TwoTableWorkload workload;
+  std::unique_ptr<crypto::Ocb> key_a, key_b, key_out;
+  std::vector<relation::EncryptedRelation> a, b;
+  std::unique_ptr<relation::PairAsMultiway> multiway;
+  std::vector<core::MultiwayJoin> joins;
+  std::vector<const core::MultiwayJoin*> join_ptrs;
+  std::unique_ptr<relation::Schema> result_schema;
+};
+
+/// The Ch5Workload of test_plan_goldens.cc — the shape the frozen serial
+/// fingerprints were captured on.
+relation::CellSpec GoldenSpec(std::uint64_t seed = 17) {
+  relation::CellSpec spec;
+  spec.size_a = 8;
+  spec.size_b = 12;
+  spec.result_size = 9;
+  spec.seed = seed;
+  return spec;
+}
+
+Result<std::unique_ptr<ShardedWorld>> MakeShardedWorld(
+    const relation::CellSpec& spec,
+    std::vector<std::unique_ptr<sim::StorageBackend>> backends) {
+  auto world = std::make_unique<ShardedWorld>();
+  const unsigned shards = static_cast<unsigned>(backends.size());
+  world->store = std::make_unique<sim::ShardedStore>(std::move(backends));
+  PPJ_ASSIGN_OR_RETURN(world->workload, MakeCellWorkload(spec));
+  world->key_a = std::make_unique<crypto::Ocb>(crypto::DeriveKey(1, "A"));
+  world->key_b = std::make_unique<crypto::Ocb>(crypto::DeriveKey(2, "B"));
+  world->key_out = std::make_unique<crypto::Ocb>(crypto::DeriveKey(3, "C"));
+  PPJ_ASSIGN_OR_RETURN(world->a,
+                       ReplicateSealed(*world->store, *world->workload.a,
+                                       world->key_a.get()));
+  PPJ_ASSIGN_OR_RETURN(world->b,
+                       ReplicateSealed(*world->store, *world->workload.b,
+                                       world->key_b.get()));
+  world->multiway = std::make_unique<relation::PairAsMultiway>(
+      world->workload.predicate.get());
+  world->joins.resize(shards);
+  for (unsigned p = 0; p < shards; ++p) {
+    world->joins[p].tables = {&world->a[p], &world->b[p]};
+    world->joins[p].predicate = world->multiway.get();
+    world->joins[p].output_key = world->key_out.get();
+    world->join_ptrs.push_back(&world->joins[p]);
+  }
+  world->result_schema =
+      std::make_unique<relation::Schema>(relation::Schema::Concat(
+          world->workload.a->schema(), world->workload.b->schema()));
+  return world;
+}
+
+std::vector<std::unique_ptr<sim::StorageBackend>> MemBackends(unsigned n) {
+  std::vector<std::unique_ptr<sim::StorageBackend>> backends;
+  for (unsigned i = 0; i < n; ++i) {
+    backends.push_back(sim::MakeInMemoryBackend());
+  }
+  return backends;
+}
+
+std::string TempDir(const std::string& tag) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("ppj-sharded-" + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+Result<std::vector<std::unique_ptr<sim::StorageBackend>>> DiskBackends(
+    const std::string& kind, const std::string& tag, unsigned n) {
+  std::vector<std::unique_ptr<sim::StorageBackend>> backends;
+  for (unsigned i = 0; i < n; ++i) {
+    const std::string dir = TempDir(tag + "-" + std::to_string(i));
+    PPJ_ASSIGN_OR_RETURN(std::unique_ptr<sim::StorageBackend> backend,
+                         kind == "file" ? sim::MakeFileBackend(dir)
+                                        : sim::MakeMmapBackend(dir));
+    backends.push_back(std::move(backend));
+  }
+  return backends;
+}
+
+Result<ShardedOutcome> RunWorld(ShardedWorld& world, core::Algorithm algorithm,
+                           const ShardedRunOptions& ropts,
+                           const sim::CoprocessorOptions& base = {
+                               .memory_tuples = 4, .seed = 42}) {
+  return RunShardedJoin(*world.store, algorithm, world.join_ptrs, base,
+                        ropts);
+}
+
+Result<std::vector<relation::Tuple>> Decode(ShardedWorld& world,
+                                            const ShardedOutcome& outcome) {
+  return core::DecodeJoinOutput(world.store->shard(0), outcome.output_region,
+                                outcome.result_size, *world.key_out,
+                                world.result_schema.get());
+}
+
+// ---- shards == 1: bit-identical to the frozen serial goldens -------------
+
+/// The kSequentialGoldens rows of test_plan_goldens.cc for the three
+/// sharded-capable algorithms (same workload, memory_tuples = 4, seed 42).
+struct SerialGolden {
+  core::Algorithm algorithm;
+  double epsilon;  // 0 = default plan options
+  std::uint64_t trace_digest;
+  std::uint64_t trace_count;
+  std::uint64_t transfers;
+};
+
+const SerialGolden kSerialGoldens[] = {
+    {core::Algorithm::kAlgorithm4, 0.0, 0x17ed116f4766293aull, 7148, 7139},
+    {core::Algorithm::kAlgorithm5, 0.0, 0x50d6bc674b03d4e6ull, 330, 321},
+    {core::Algorithm::kAlgorithm6, 1e-6, 0xafd20469dcccb421ull, 7321, 7312},
+};
+
+TEST(ShardedPlanTest, SingleShardMatchesFrozenSerialGoldens) {
+  for (const SerialGolden& golden : kSerialGoldens) {
+    auto world = MakeShardedWorld(GoldenSpec(), MemBackends(1));
+    ASSERT_TRUE(world.ok()) << world.status();
+    ShardedRunOptions ropts;
+    ropts.shards = 1;
+    if (golden.epsilon > 0) {
+      ropts.epsilon = golden.epsilon;
+      ropts.order_seed = 0xBEEF;
+    }
+    auto outcome = RunWorld(**world, golden.algorithm, ropts);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    ASSERT_EQ(outcome->shard_fingerprints.size(), 1u);
+    EXPECT_EQ(outcome->shard_fingerprints[0].digest, golden.trace_digest)
+        << core::ToString(golden.algorithm);
+    EXPECT_EQ(outcome->shard_fingerprints[0].count, golden.trace_count);
+    EXPECT_EQ(outcome->makespan_transfers, golden.transfers);
+    // No channel exists in a one-shard run: nothing was sent, and the
+    // union surface degenerates to the serial trace (plus an empty channel
+    // fingerprint).
+    EXPECT_EQ(outcome->channel.messages, 0u);
+    EXPECT_EQ(outcome->channel_fingerprint.count, 0u);
+  }
+}
+
+TEST(ShardedPlanTest, ResultParityAcrossShardCounts) {
+  for (core::Algorithm algorithm :
+       {core::Algorithm::kAlgorithm4, core::Algorithm::kAlgorithm5,
+        core::Algorithm::kAlgorithm6}) {
+    std::vector<relation::Tuple> reference;
+    for (unsigned shards : {1u, 2u, 4u, 8u}) {
+      auto world = MakeShardedWorld(GoldenSpec(), MemBackends(shards));
+      ASSERT_TRUE(world.ok()) << world.status();
+      ShardedRunOptions ropts;
+      ropts.shards = shards;
+      ropts.epsilon = 1e-6;
+      ropts.order_seed = 0xBEEF;
+      auto outcome = RunWorld(**world, algorithm, ropts);
+      ASSERT_TRUE(outcome.ok())
+          << core::ToString(algorithm) << " shards=" << shards << ": "
+          << outcome.status();
+      EXPECT_EQ(outcome->result_size, 9u);
+      auto tuples = Decode(**world, *outcome);
+      ASSERT_TRUE(tuples.ok()) << tuples.status();
+      if (shards == 1) {
+        reference = std::move(*tuples);
+      } else {
+        EXPECT_TRUE(relation::SameTupleMultiset(reference, *tuples))
+            << core::ToString(algorithm) << " shards=" << shards;
+      }
+    }
+  }
+}
+
+TEST(ShardedPlanTest, SpeedupIsMakespanAtEightShards) {
+  // The acceptance headline, at test scale: the 8-shard transfer makespan
+  // beats the serial count by the work-partitioning factor. (The bench
+  // gates the exact 48x48 numbers; this keeps the property in ctest.)
+  relation::CellSpec spec = GoldenSpec();
+  spec.size_a = 16;
+  spec.size_b = 16;
+  spec.result_size = 32;
+  std::uint64_t serial = 0;
+  for (unsigned shards : {1u, 8u}) {
+    auto world = MakeShardedWorld(spec, MemBackends(shards));
+    ASSERT_TRUE(world.ok()) << world.status();
+    auto outcome =
+        RunWorld(**world, core::Algorithm::kAlgorithm5, {.shards = shards});
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    if (shards == 1) {
+      serial = outcome->makespan_transfers;
+    } else {
+      EXPECT_LT(outcome->makespan_transfers * 2, serial)
+          << "8 shards should at least halve the transfer makespan";
+    }
+  }
+}
+
+TEST(ShardedPlanTest, RejectsChapter4Algorithms) {
+  auto world = MakeShardedWorld(GoldenSpec(), MemBackends(2));
+  ASSERT_TRUE(world.ok()) << world.status();
+  auto outcome = RunWorld(**world, core::Algorithm::kAlgorithm2, {.shards = 2});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- Backend parity: mem == file == mmap ---------------------------------
+
+class ShardedBackendParityTest : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(ShardedBackendParityTest, UnionSurfaceAndResultsBackendInvariant) {
+  for (unsigned shards : {2u, 4u}) {
+    // Reference surface: in-memory shards.
+    auto mem_world = MakeShardedWorld(GoldenSpec(), MemBackends(shards));
+    ASSERT_TRUE(mem_world.ok()) << mem_world.status();
+    auto mem_outcome =
+        RunWorld(**mem_world, core::Algorithm::kAlgorithm5, {.shards = shards});
+    ASSERT_TRUE(mem_outcome.ok()) << mem_outcome.status();
+
+    auto backends = DiskBackends(
+        GetParam(), GetParam() + "-" + std::to_string(shards), shards);
+    ASSERT_TRUE(backends.ok()) << backends.status();
+    auto disk_world = MakeShardedWorld(GoldenSpec(), std::move(*backends));
+    ASSERT_TRUE(disk_world.ok()) << disk_world.status();
+    auto disk_outcome =
+        RunWorld(**disk_world, core::Algorithm::kAlgorithm5, {.shards = shards});
+    ASSERT_TRUE(disk_outcome.ok()) << disk_outcome.status();
+
+    // Bit-identical adversary surface: every shard's trace, the channel
+    // shape, and therefore the union fingerprint.
+    ASSERT_EQ(mem_outcome->shard_fingerprints.size(),
+              disk_outcome->shard_fingerprints.size());
+    for (unsigned p = 0; p < shards; ++p) {
+      EXPECT_EQ(mem_outcome->shard_fingerprints[p].digest,
+                disk_outcome->shard_fingerprints[p].digest)
+          << GetParam() << " shard " << p;
+      EXPECT_EQ(mem_outcome->shard_fingerprints[p].count,
+                disk_outcome->shard_fingerprints[p].count);
+    }
+    EXPECT_EQ(mem_outcome->channel_fingerprint.digest,
+              disk_outcome->channel_fingerprint.digest);
+    EXPECT_EQ(mem_outcome->union_fingerprint.digest,
+              disk_outcome->union_fingerprint.digest);
+    EXPECT_EQ(mem_outcome->union_fingerprint.count,
+              disk_outcome->union_fingerprint.count);
+    EXPECT_EQ(mem_outcome->makespan_transfers,
+              disk_outcome->makespan_transfers);
+
+    auto mem_tuples = Decode(**mem_world, *mem_outcome);
+    auto disk_tuples = Decode(**disk_world, *disk_outcome);
+    ASSERT_TRUE(mem_tuples.ok()) << mem_tuples.status();
+    ASSERT_TRUE(disk_tuples.ok()) << disk_tuples.status();
+    EXPECT_TRUE(relation::SameTupleMultiset(*mem_tuples, *disk_tuples));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FileAndMmap, ShardedBackendParityTest,
+                         ::testing::Values(std::string("file"),
+                                           std::string("mmap")));
+
+// ---- Chaos: a stalled shard resolves via the deadline path ---------------
+
+TEST(ShardedChaosTest, StalledShardResolvesViaDeadlineWithoutWedging) {
+  // Shard 1's backend stalls forever on its sealed A region; the only
+  // bound is the request deadline (the PR-9 resilience path). The run must
+  // come back with kDeadlineExceeded — all shard threads joined, none
+  // wedged in the exchange.
+  std::vector<std::unique_ptr<sim::StorageBackend>> backends;
+  backends.push_back(sim::MakeInMemoryBackend());
+  auto injector = std::make_unique<sim::FaultInjectingBackend>(
+      sim::MakeInMemoryBackend());
+  sim::FaultInjectingBackend* faults = injector.get();
+  backends.push_back(std::move(injector));
+  auto world = MakeShardedWorld(GoldenSpec(), std::move(backends));
+  ASSERT_TRUE(world.ok()) << world.status();
+
+  // Setup above ran fault-free; arm the stall for exactly the execution.
+  sim::FaultPlan plan;
+  plan.stall_region = static_cast<std::uint32_t>((*world)->a[1].region());
+  plan.stall_ms = 100;
+  faults->Arm(plan);
+
+  CancelToken cancel;
+  cancel.SetDeadline(CancelToken::Clock::now() +
+                     std::chrono::milliseconds(60));
+  sim::CoprocessorOptions base;
+  base.memory_tuples = 4;
+  base.seed = 42;
+  base.cancel = &cancel;
+  auto outcome =
+      RunWorld(**world, core::Algorithm::kAlgorithm5, {.shards = 2}, base);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kDeadlineExceeded)
+      << outcome.status();
+
+  // Siblings were not wedged: a clean rerun on fresh shards succeeds.
+  faults->Disarm();
+  auto clean = MakeShardedWorld(GoldenSpec(), MemBackends(2));
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  auto rerun = RunWorld(**clean, core::Algorithm::kAlgorithm5, {.shards = 2});
+  ASSERT_TRUE(rerun.ok()) << rerun.status();
+  EXPECT_EQ(rerun->result_size, 9u);
+}
+
+// ---- The union-of-traces audit rule --------------------------------------
+
+Result<core::ShardedAuditRun> AuditWorld(core::Algorithm algorithm,
+                                         unsigned shards,
+                                         std::uint64_t world_id) {
+  // Shape-equal worlds with disjoint data: the generator seed varies, the
+  // public parameters (L, S, M, shards, epsilon) do not.
+  auto world =
+      MakeShardedWorld(GoldenSpec(31 * world_id + 5), MemBackends(shards));
+  if (!world.ok()) return world.status();
+  ShardedRunOptions ropts;
+  ropts.shards = shards;
+  ropts.epsilon = 1e-6;
+  ropts.order_seed = 0xBEEF;
+  PPJ_ASSIGN_OR_RETURN(ShardedOutcome outcome,
+                       RunWorld(**world, algorithm, ropts));
+  core::ShardedAuditRun run;
+  run.shard_fingerprints = outcome.shard_fingerprints;
+  run.channel_fingerprint = outcome.channel_fingerprint;
+  return run;
+}
+
+TEST(ShardedAuditTest, UnionShapeDeterminedAcrossWorlds) {
+  for (core::Algorithm algorithm :
+       {core::Algorithm::kAlgorithm4, core::Algorithm::kAlgorithm5,
+        core::Algorithm::kAlgorithm6}) {
+    for (unsigned shards : {2u, 4u, 8u}) {
+      auto verdict = core::ShardedPrivacyAuditor::CompareManyShardedWorlds(
+          [&](std::uint64_t world) {
+            return AuditWorld(algorithm, shards, world);
+          },
+          /*count=*/3);
+      ASSERT_TRUE(verdict.ok()) << verdict.status();
+      EXPECT_TRUE(verdict->identical)
+          << core::ToString(algorithm) << " shards=" << shards << ": "
+          << verdict->detail;
+    }
+  }
+}
+
+TEST(ShardedAuditTest, DetectsShardCountMismatch) {
+  // Sanity of the rule itself: worlds that deployed different shard counts
+  // must not compare as identical.
+  auto verdict = core::ShardedPrivacyAuditor::CompareShardedWorlds(
+      [&](std::uint64_t world) {
+        return AuditWorld(core::Algorithm::kAlgorithm5,
+                          world == 0 ? 2u : 4u, world);
+      });
+  ASSERT_TRUE(verdict.ok()) << verdict.status();
+  EXPECT_FALSE(verdict->identical);
+  EXPECT_NE(verdict->detail.find("shard counts differ"), std::string::npos);
+}
+
+// ---- Service end-to-end --------------------------------------------------
+
+class ShardedServiceTest : public ::testing::Test {
+ protected:
+  Result<service::JoinDelivery> RunService(unsigned shards,
+                                           metrics::Registry* registry =
+                                               nullptr) {
+    service::SovereignJoinService svc;
+    service::SchedulerOptions sched;
+    sched.registry = registry;
+    PPJ_RETURN_NOT_OK(svc.ConfigureScheduler(sched));
+    PPJ_RETURN_NOT_OK(svc.RegisterParty("airline", 101));
+    PPJ_RETURN_NOT_OK(svc.RegisterParty("agency", 102));
+    PPJ_RETURN_NOT_OK(svc.RegisterParty("analyst", 103));
+    PPJ_ASSIGN_OR_RETURN(const std::string contract,
+                         svc.CreateContract({"airline", "agency"}, "analyst",
+                                            "passenger.key == watchlist.key"));
+    relation::EquijoinSpec spec;
+    spec.size_a = 8;
+    spec.size_b = 16;
+    spec.n_max = 4;
+    spec.result_size = 9;
+    spec.seed = 1;
+    PPJ_ASSIGN_OR_RETURN(relation::TwoTableWorkload workload,
+                         relation::MakeEquijoinWorkload(spec));
+    PPJ_RETURN_NOT_OK(svc.SubmitRelation(contract, "airline", *workload.a));
+    PPJ_RETURN_NOT_OK(svc.SubmitRelation(contract, "agency", *workload.b));
+    service::ExecuteOptions options;
+    options.algorithm = core::Algorithm::kAlgorithm5;
+    options.memory_tuples = 4;
+    options.shards = shards;
+    PPJ_ASSIGN_OR_RETURN(
+        const service::Ticket ticket,
+        svc.Submit(contract,
+                   service::JoinRequest::PairJoin(*workload.predicate),
+                   options));
+    PPJ_ASSIGN_OR_RETURN(service::Response response, svc.Wait(ticket));
+    if (!response.delivery.has_value()) {
+      return Status::Internal("join response carried no delivery");
+    }
+    return std::move(*response.delivery);
+  }
+};
+
+TEST_F(ShardedServiceTest, ShardedDeliveryMatchesSerial) {
+  auto serial = RunService(/*shards=*/1);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  for (unsigned shards : {2u, 4u}) {
+    auto sharded = RunService(shards);
+    ASSERT_TRUE(sharded.ok()) << sharded.status();
+    EXPECT_TRUE(
+        relation::SameTupleMultiset(serial->tuples, sharded->tuples))
+        << "shards=" << shards;
+    EXPECT_EQ(serial->observable_output_slots,
+              sharded->observable_output_slots);
+    // The sharded trace is the union surface — nonzero and distinct from
+    // the serial device trace.
+    EXPECT_NE(sharded->trace.count, 0u);
+    EXPECT_NE(sharded->trace.digest, serial->trace.digest);
+  }
+}
+
+TEST_F(ShardedServiceTest, OptionValidation) {
+  service::TenantQuotas quotas;
+  quotas.max_shards = 4;
+  service::ExecuteOptions options;
+
+  options.shards = 0;
+  EXPECT_EQ(options.Validate(&quotas).code(), StatusCode::kInvalidArgument);
+
+  options.shards = 2;
+  options.parallelism = 2;
+  EXPECT_EQ(options.Validate(&quotas).code(), StatusCode::kInvalidArgument);
+
+  options.parallelism = 1;
+  options.algorithm = core::Algorithm::kAlgorithm2;
+  EXPECT_EQ(options.Validate(&quotas).code(), StatusCode::kInvalidArgument);
+
+  options.algorithm = core::Algorithm::kAlgorithm5;
+  EXPECT_TRUE(options.Validate(&quotas).ok());
+
+  options.shards = 8;  // over the tenant quota
+  EXPECT_EQ(options.Validate(&quotas).code(), StatusCode::kQuotaExceeded);
+}
+
+// ---- ppj_shard_* metrics: published, and trace-neutral -------------------
+
+TEST(ShardedMetricsTest, PublishesShardFamilyAndStaysTraceNeutral) {
+  // Two shape-equal worlds with different data; publication into an
+  // enabled registry vs a disabled one. MetricsNeutralityTest contract:
+  // the adversary surface is identical either way, and the published
+  // values themselves are functions of the channel shape — so both worlds
+  // publish identical numbers.
+  auto run = [&](std::uint64_t seed,
+                 metrics::Registry* registry) -> Result<ShardedOutcome> {
+    auto world = MakeShardedWorld(GoldenSpec(seed), MemBackends(4));
+    if (!world.ok()) return world.status();
+    PPJ_ASSIGN_OR_RETURN(
+        ShardedOutcome outcome,
+        RunWorld(**world, core::Algorithm::kAlgorithm5, {.shards = 4}));
+    PublishShardMetrics(registry, metrics::LabelSet::ForTenant("analyst"),
+                        outcome);
+    return outcome;
+  };
+
+  metrics::Registry enabled(/*enabled=*/true);
+  metrics::Registry disabled(/*enabled=*/false);
+  auto a = run(17, &enabled);
+  ASSERT_TRUE(a.ok()) << a.status();
+  auto b = run(170, &disabled);
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  // Neutrality: the union surface does not depend on the registry state,
+  // and shape-equal worlds produce identical channel observables.
+  EXPECT_EQ(a->union_fingerprint.digest, b->union_fingerprint.digest);
+  EXPECT_EQ(a->union_fingerprint.count, b->union_fingerprint.count);
+  EXPECT_EQ(a->channel.bytes, b->channel.bytes);
+  EXPECT_EQ(a->channel.messages, b->channel.messages);
+  EXPECT_EQ(a->channel.rounds, b->channel.rounds);
+
+  const metrics::Snapshot on = enabled.TakeSnapshot();
+  const metrics::Snapshot off = disabled.TakeSnapshot();
+  if (metrics::Registry::CompiledIn()) {
+    EXPECT_EQ(on.CounterTotal(metrics::kShardChannelBytes),
+              a->channel.bytes);
+    EXPECT_EQ(on.CounterTotal(metrics::kShardChannelMessages),
+              a->channel.messages);
+    EXPECT_EQ(on.CounterTotal(metrics::kShardExchangeRounds),
+              a->channel.rounds);
+    // One queue-depth gauge per shard, labeled op="shard<i>".
+    metrics::LabelSet lead = metrics::LabelSet::ForTenant("analyst");
+    lead.op = "shard0";
+    EXPECT_GE(on.GaugeValue(metrics::kShardQueueDepth, lead), 0);
+    std::size_t depth_gauges = 0;
+    for (const auto& gauge : on.gauges) {
+      if (gauge.name == metrics::kShardQueueDepth) ++depth_gauges;
+    }
+    EXPECT_EQ(depth_gauges, 4u);
+  } else {
+    EXPECT_TRUE(on.counters.empty());
+  }
+  EXPECT_TRUE(off.counters.empty());
+  EXPECT_TRUE(off.gauges.empty());
+}
+
+}  // namespace
+}  // namespace ppj::plan

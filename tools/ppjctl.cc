@@ -6,10 +6,17 @@
 //
 //   ppjctl join  [--alg=1|1v|2|3|4|5|6|auto] [--size-a=N] [--size-b=N]
 //                [--s=N] [--n=N] [--m=N] [--eps=X] [--parallel=P]
+//                [--shards=P]
 //                [--backend=mem|file|mmap] [--storage-dir=PATH]
 //                [--seed=N] [--batch=N] [--fault-plan=SPEC]
 //                [--deadline-ms=N]
 //                [--trace-out=FILE] [--metrics-json=FILE]
+//       --shards=P runs the join over P sealed shards (partitioned host
+//       store, one coprocessor per shard, results gathered over the
+//       trace-visible exchange channel — docs/ARCHITECTURE.md "Sharded
+//       execution"). Mutually exclusive with --parallel; Chapter 5
+//       algorithms only. The metrics line then reports the union surface
+//       (per-shard traces plus channel traffic).
 //       --backend picks the host storage: mem (default), file (one file
 //       per region, read/written per call) or mmap (regions mapped into
 //       the process, range transfers borrow views — the zero-copy fast
@@ -52,6 +59,7 @@
 //
 //   ppjctl explain [--alg=1|1v|2|3|4|5|6|auto] [--size-a=N] [--size-b=N]
 //                  [--s=N] [--n=N] [--m=N] [--eps=X] [--seed=N] [--batch=N]
+//                  [--shards=P]
 //       Prints the physical plan: the operator tree the plan executor will
 //       run, each operator's predicted tuple transfers and the closed-form
 //       formula it was priced by, plus the planner's rationale. Then runs
@@ -275,6 +283,7 @@ Result<JoinRun> ExecuteJoinFromFlags(const Flags& flags,
   options.seed = flags.GetU64("seed", 1);
   options.parallelism =
       static_cast<unsigned>(flags.GetU64("parallel", 1));
+  options.shards = static_cast<unsigned>(flags.GetU64("shards", 1));
   options.batch_slots = flags.GetU64("batch", 0);
   options.deadline_ms = flags.GetU64("deadline-ms", 0);
 
@@ -343,6 +352,10 @@ int RunJoin(const Flags& flags) {
               static_cast<unsigned long long>(spec.n_max),
               static_cast<unsigned long long>(spec.result_size),
               static_cast<unsigned long long>(options.memory_tuples));
+  if (options.shards > 1) {
+    std::printf("sharding         %u sealed shards (exchange-gathered)\n",
+                options.shards);
+  }
   std::printf("delivered        %zu tuples\n", delivery.tuples.size());
   std::printf("host observed    %s\n", delivery.metrics.ToString().c_str());
   std::printf("trace            %s\n", delivery.trace.ToString().c_str());
@@ -532,6 +545,9 @@ int RunExplain(const Flags& flags) {
   input.m = flags.GetU64("m", 8);
   input.epsilon = flags.GetDouble("eps", 1e-9);
   input.equality_predicate = true;
+  // --shards switches the predicted tree to the shard-local operators plus
+  // the exchange op, priced as the per-shard makespan.
+  input.shards = static_cast<unsigned>(flags.GetU64("shards", 1));
 
   const std::string alg_flag = flags.Get("alg", "auto");
   core::Algorithm algorithm = core::Algorithm::kAlgorithm5;
@@ -581,11 +597,16 @@ int RunExplain(const Flags& flags) {
                 "-DPPJ_TELEMETRY=OFF; predicted tree only)\n");
     return 0;
   }
-  const telemetry::SpanNode* measured_root = delivery.telemetry->FindPath(
-      std::string("execute-join/") + std::string(info.root_span));
+  // Sharded runs nest each device's subtree under its shard span; the lead
+  // shard (shard-0) runs the full plan including the exchange op.
+  const std::string measured_prefix =
+      input.shards > 1 ? "shard-0/" + std::string(info.root_span)
+                       : std::string(info.root_span);
+  const telemetry::SpanNode* measured_root =
+      delivery.telemetry->FindPath("execute-join/" + measured_prefix);
   if (measured_root == nullptr) {
-    measured_root = delivery.telemetry->FindPath(
-        std::string("execute-multiway-join/") + std::string(info.root_span));
+    measured_root = delivery.telemetry->FindPath("execute-multiway-join/" +
+                                                 measured_prefix);
   }
   std::printf("\npredicted vs measured per operator\n");
   std::printf("  %-40s %12s %12s\n", "operator", "predicted", "measured");
